@@ -1,0 +1,56 @@
+"""Shared helpers for the experiment benchmarks (E1-E14).
+
+Each benchmark module reproduces one quantitative claim of the paper
+(see DESIGN.md's experiment index) and prints the corresponding table.
+`pytest benchmarks/ --benchmark-only -s` shows the tables; EXPERIMENTS.md
+records paper-vs-measured for each.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.tables import Table
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive pipeline exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def show_table():
+    """Print a Table under `-s` and always return it for assertions."""
+
+    def _show(table: Table) -> Table:
+        table.print()
+        return table
+
+    return _show
+
+
+@pytest.fixture(scope="session")
+def epi_world():
+    """A shared small two-county epidemic world for E4-style benches."""
+    from repro.epi.population import SyntheticPopulation
+    from repro.epi.seir import NetworkSEIR, SEIRParams
+    from repro.epi.surveillance import SurveillanceModel
+
+    net = SyntheticPopulation([700, 500], commuting_fraction=0.06).build(rng=11)
+    seir = NetworkSEIR(net)
+    true_params = SEIRParams(tau=0.07, seed_fraction=0.005, seed_county=0)
+    surveillance = SurveillanceModel(
+        reporting_rate=0.3, noise_dispersion=0.1, delay_weeks=1
+    )
+    n_days = 140
+    season = seir.run(true_params, n_days=n_days, rng=12)
+    data = surveillance.observe(season, rng=13)
+    return {
+        "net": net,
+        "seir": seir,
+        "true_params": true_params,
+        "surveillance": surveillance,
+        "n_days": n_days,
+        "data": data,
+    }

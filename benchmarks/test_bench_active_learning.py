@@ -1,0 +1,133 @@
+"""E6 — active learning cuts the required training data (§II-C2, [34]).
+
+Paper artifact: "The AL approach reduced the amount of required training
+data to 10% of the original model by iteratively adding training data
+calculations for regions of chemical space where the current ML model
+could not make good predictions."
+
+Reproduction: learning a triatomic potential-energy surface.  The
+"chemical space" is the (r1, r2, angle) geometry of a 3-atom cluster;
+the expensive oracle is the Stillinger-Weber-like many-body reference
+(the repo's DFT stand-in).  The candidate pool reflects [34]'s setting:
+it is dominated by *redundant* near-equilibrium geometries (what MD
+trajectories sample) with a minority of diverse configurations — random
+acquisition keeps paying for near-duplicates, while uncertainty
+sampling (MC-dropout std) spends its labels on the informative rare
+ones.  The table reports test MAE vs labeled count and the data
+fraction AL needs to match random sampling's final accuracy.  The
+exact 10% factor belongs to ANI-scale data; the reproduced *shape* is
+AL reaching equal accuracy with a substantially smaller labeled set.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.active import ActiveLearner
+from repro.core.simulation import CallableSimulation
+from repro.core.surrogate import Surrogate
+from repro.md.potentials import StillingerWeberLike
+from repro.util.tables import Table
+
+SW = StillingerWeberLike()
+
+
+def _geometry_to_positions(x):
+    r1, r2, angle = x
+    return np.array(
+        [
+            [0.0, 0.0, 0.0],
+            [r1, 0.0, 0.0],
+            [r2 * np.cos(angle), r2 * np.sin(angle), 0.0],
+        ]
+    )
+
+
+def _pes(x):
+    return np.array([SW.total_energy(_geometry_to_positions(x))])
+
+
+PES_SIM = CallableSimulation(_pes, ["r1", "r2", "angle"], ["energy"])
+
+
+def _sample_geometries(n, rng):
+    # Bond lengths kept off the repulsive wall so the PES stays in a
+    # learnable range ([-1.5, 1] reduced units); chemically this is the
+    # bound-state region an AL campaign would actually sample.
+    gen = np.random.default_rng(rng)
+    return np.column_stack(
+        [
+            gen.uniform(1.0, 1.7, n),
+            gen.uniform(1.0, 1.7, n),
+            gen.uniform(0.9, np.pi - 0.2, n),
+        ]
+    )
+
+
+def _md_like_pool(n_redundant, n_diverse, rng):
+    """[34]-style pool: mostly jitter around the equilibrium geometry
+    (redundant MD frames) plus a minority of diverse configurations."""
+    gen = np.random.default_rng(rng)
+    equilibrium = np.array([1.25, 1.25, 1.91])
+    redundant = equilibrium + gen.normal(
+        0.0, [0.03, 0.03, 0.05], (n_redundant, 3)
+    )
+    redundant = np.clip(
+        redundant, [1.0, 1.0, 0.9], [1.7, 1.7, np.pi - 0.2]
+    )
+    diverse = _sample_geometries(n_diverse, gen)
+    return np.vstack([redundant, diverse])
+
+
+def _surrogate_factory():
+    return Surrogate(
+        3, 1, hidden=(32, 32), dropout=0.1, activation="tanh",
+        epochs=250, patience=40, test_fraction=0.0, rng=7,
+    )
+
+
+def _run_campaigns():
+    pool = _md_like_pool(n_redundant=340, n_diverse=60, rng=0)
+    x_test = _sample_geometries(150, 1)
+    y_test = np.array([_pes(x) for x in x_test])
+
+    results = {}
+    for strategy in ("uncertainty", "random"):
+        learner = ActiveLearner(
+            PES_SIM, _surrogate_factory, pool, x_test, y_test,
+            batch_size=15, seed_size=15, rng=2,
+        )
+        results[strategy] = learner.run(max_rounds=7, strategy=strategy)
+    return results
+
+
+def test_bench_active_learning(benchmark, show_table):
+    results = run_once(benchmark, _run_campaigns)
+    al, rnd = results["uncertainty"], results["random"]
+
+    table = Table(
+        ["labeled geometries", "AL test MAE", "random test MAE"],
+        title="E6: active learning on the triatomic PES (SW reference)",
+    )
+    for n, m_al, m_rnd in zip(al.n_labeled, al.test_mae, rnd.test_mae):
+        table.add_row([n, f"{m_al:.4f}", f"{m_rnd:.4f}"])
+    show_table(table)
+
+    # Data-efficiency factor: labels AL needs to match the *best* accuracy
+    # random sampling reaches anywhere in its budget (retraining noise
+    # makes single endpoints unreliable; best-so-far is the stable metric).
+    target = min(rnd.test_mae)
+    n_al = al.n_labeled_to_reach(target)
+    n_rnd = rnd.n_labeled[int(np.argmin(rnd.test_mae))]
+    fraction = (n_al / n_rnd) if n_al is not None else float("nan")
+
+    summary = Table(["quantity", "paper ([34])", "measured"],
+                    title="E6: data-fraction summary")
+    summary.add_row(["acquisition", "active learning", "MC-dropout uncertainty"])
+    summary.add_row(["data fraction for equal accuracy", "~10%",
+                     f"{fraction:.0%}" if np.isfinite(fraction) else "n/a"])
+    show_table(summary)
+
+    # Shape assertions: AL dominates the random learning curve on average
+    # and reaches random's best accuracy with a fraction of the labels.
+    assert np.mean(al.test_mae) < np.mean(rnd.test_mae)
+    assert n_al is not None and fraction <= 0.7

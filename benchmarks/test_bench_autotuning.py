@@ -1,0 +1,102 @@
+"""E3 — MLautotuning of MD control parameters ([9], §III-D).
+
+Paper artifact: an ANN (D = 6 inputs, hidden layers of 30 and 48 units,
+3 outputs, S = 15640 samples, 70/30 split) trained so that a simulation
+"runs at its optimal speed (using, for example, the lowest allowable
+timestep dt and 'good' simulation control parameters for high
+efficiency) while retaining the accuracy of the final result".
+
+Reproduction: probe real Langevin MD of the confined electrolyte over a
+grid of (dt, gamma) controls; quality = run stays stable *and* the
+kinetic temperature holds its target; cost = steps needed per unit
+physical time (~1/dt).  An ANN with the paper's exact architecture
+(6 -> 30 -> 48 -> 3) learns system-parameters -> optimal controls, and
+the tuned runs are compared with a fixed conservative baseline.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.autotune import AutoTuner
+from repro.md.autotune_probes import (
+    CONSERVATIVE_CONTROL as CONSERVATIVE,
+    CONTROL_NAMES,
+    PARAM_NAMES,
+    evaluate_md,
+)
+from repro.util.tables import Table
+
+
+def _collect_and_fit():
+    tuner = AutoTuner(
+        PARAM_NAMES, CONTROL_NAMES,
+        quality_threshold=0.7,
+        conservative_control=CONSERVATIVE,
+        hidden=(30, 48),       # the exact [9] architecture
+        rng=0,
+    )
+    rng = np.random.default_rng(1)
+    n_systems = 16
+    params = np.column_stack([
+        rng.uniform(4.0, 7.0, n_systems),        # h
+        rng.integers(1, 3, n_systems),           # z_p
+        rng.integers(1, 3, n_systems),           # z_n
+        rng.uniform(0.1, 0.4, n_systems),        # c
+        rng.uniform(0.6, 0.9, n_systems),        # d
+        rng.uniform(0.8, 1.5, n_systems),        # temperature
+    ])
+    controls = np.array(
+        [[dt, g, 150.0] for dt in (0.0005, 0.002, 0.005, 0.01) for g in (1.0, 5.0)]
+    )
+    tuner.collect(evaluate_md, params, controls)
+    tuner.fit()
+    return tuner, params
+
+
+def test_bench_autotuning(benchmark, show_table):
+    tuner, params = run_once(benchmark, _collect_and_fit)
+
+    # Tuned vs conservative efficiency on fresh systems.
+    rng = np.random.default_rng(2)
+    fresh = np.column_stack([
+        rng.uniform(4.0, 7.0, 6),
+        rng.integers(1, 3, 6),
+        rng.integers(1, 3, 6),
+        rng.uniform(0.1, 0.4, 6),
+        rng.uniform(0.6, 0.9, 6),
+        rng.uniform(0.8, 1.5, 6),
+    ])
+    recs = tuner.recommend(fresh, safety_margin=0.1)
+    eval_rng = np.random.default_rng(3)
+    rows = []
+    n_ok = 0
+    for p, r in zip(fresh, recs):
+        q_tuned, c_tuned = evaluate_md(p, r, eval_rng)
+        q_base, c_base = evaluate_md(p, np.asarray(CONSERVATIVE), eval_rng)
+        ok = q_tuned >= 0.7
+        n_ok += ok
+        rows.append((r[0], q_tuned, q_base, c_base / max(c_tuned, 1e-12), ok))
+
+    table = Table(
+        ["recommended dt", "tuned quality", "baseline quality",
+         "steps saved (x)", "acceptable"],
+        title="E3: MLautotuning (ANN 6 -> 30 -> 48 -> 3, as [9])",
+    )
+    for r in rows:
+        table.add_row([f"{r[0]:.4g}", f"{r[1]:.2f}", f"{r[2]:.2f}",
+                       f"{r[3]:.1f}", str(bool(r[4]))])
+    show_table(table)
+
+    meta = Table(["quantity", "paper ([9])", "measured"],
+                 title="E3: setup comparison")
+    meta.add_row(["inputs D", 6, tuner.n_params])
+    meta.add_row(["hidden layers", "30, 48", "30, 48"])
+    meta.add_row(["outputs", 3, tuner.n_controls])
+    meta.add_row(["probe records", 15640, len(tuner.records)])
+    show_table(meta)
+
+    # Shape assertions: most tuned runs stay accurate while the tuned
+    # timestep beats the conservative default by a large factor.
+    assert n_ok >= 4
+    speedups = [r[3] for r in rows if r[4]]
+    assert np.median(speedups) > 2.0

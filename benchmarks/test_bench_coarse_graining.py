@@ -1,0 +1,113 @@
+"""E11 — ML-based coarse-graining of the diffusion equation (§I, §II-B).
+
+Paper artifact: surrogates can implement "a larger grain size to solve
+the diffusion equation underlying cellular and tissue level
+simulations", and "development of systematic ML-based coarse-graining
+techniques ... arises as an important area of research".
+
+Reproduction: the fine solver computes the steady-state morphogen
+profile on a 48x48 grid; the coarse solver uses the grid coarsened by a
+grain factor g (48/g per side).  A learned corrector
+(:class:`repro.core.coarsegrain.LearnedCorrector`) maps (parameters,
+lifted coarse probe profile) to the fine probe profile.  The table
+reports, per grain factor: raw-coarse error, corrected error, and the
+cost ratio of fine vs coarse solves.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.coarsegrain import LearnedCorrector
+from repro.tissue.fields import (
+    DiffusionParams,
+    MorphogenSteadyStateSimulation,
+    radial_probe,
+    steady_state,
+)
+from repro.util.tables import Table
+
+FINE_GRID = 48
+N_PROBES = 12
+GRAINS = (2, 3, 4)
+
+
+def _solver_for(grid):
+    sim = MorphogenSteadyStateSimulation(grid=grid, n_probes=N_PROBES)
+
+    def solve(x):
+        diffusivity, decay, rate, radius = x
+        # Radius scales with the grid so the physical problem is fixed.
+        params = DiffusionParams(diffusivity=diffusivity, decay=decay,
+                                 dx=FINE_GRID / grid)
+        field = steady_state(
+            sim.source_field(rate, radius * grid / FINE_GRID), params
+        )
+        return radial_probe(field, N_PROBES)
+
+    return solve
+
+
+def _run_grain(grain, X_train, X_eval):
+    fine = _solver_for(FINE_GRID)
+    coarse = _solver_for(FINE_GRID // grain)
+    corrector = LearnedCorrector(
+        fine, coarse, in_dim=4, fine_dim=N_PROBES, coarse_dim=N_PROBES,
+        hidden=(48, 48), rng=grain,
+    )
+    corrector.fit(X_train)
+
+    err_raw, err_corr = [], []
+    for x in X_eval:
+        truth = fine(x)
+        lifted = corrector.lift(np.asarray(coarse(x)))
+        pred = corrector.predict(x)
+        err_raw.append(np.sqrt(np.mean((lifted - truth) ** 2)))
+        err_corr.append(np.sqrt(np.mean((pred - truth) ** 2)))
+
+    x0 = X_eval[0]
+    t0 = time.perf_counter()
+    for _ in range(3):
+        fine(x0)
+    t_fine = (time.perf_counter() - t0) / 3
+    t0 = time.perf_counter()
+    for _ in range(3):
+        coarse(x0)
+    t_coarse = (time.perf_counter() - t0) / 3
+    return {
+        "grain": grain,
+        "rmse_raw": float(np.mean(err_raw)),
+        "rmse_corrected": float(np.mean(err_corr)),
+        "cost_ratio": t_fine / t_coarse,
+    }
+
+
+def _run_all():
+    X_train = MorphogenSteadyStateSimulation.sample_inputs(80, rng=0)
+    X_eval = MorphogenSteadyStateSimulation.sample_inputs(20, rng=1)
+    return [_run_grain(g, X_train, X_eval) for g in GRAINS]
+
+
+def test_bench_coarse_graining(benchmark, show_table):
+    rows = run_once(benchmark, _run_all)
+    table = Table(
+        ["grain factor", "coarse grid", "raw coarse RMSE",
+         "corrected RMSE", "fine/coarse cost"],
+        title="E11: learned coarse-graining of steady-state diffusion",
+    )
+    for r in rows:
+        table.add_row(
+            [r["grain"], f"{FINE_GRID // r['grain']}^2", f"{r['rmse_raw']:.3f}",
+             f"{r['rmse_corrected']:.3f}", f"{r['cost_ratio']:.1f}x"]
+        )
+    show_table(table)
+
+    for r in rows:
+        # The corrector recovers most of the fine-grid accuracy...
+        assert r["rmse_corrected"] < r["rmse_raw"]
+        # ...while the coarse solve is genuinely cheaper.
+        assert r["cost_ratio"] > 1.5
+    # Raw coarse error grows with grain size (the thing being corrected).
+    raws = [r["rmse_raw"] for r in rows]
+    assert raws[-1] > raws[0]

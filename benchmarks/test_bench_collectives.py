@@ -1,0 +1,76 @@
+"""E13 — collective communication abstractions (§III-A).
+
+Paper artifact: "optimized collective communication can improve the
+model update speed ... To foster faster model convergence, we need to
+design new collective communication abstractions."
+
+Reproduction: the three allreduce algorithms (flat gather+broadcast,
+binomial tree, ring reduce-scatter+allgather) under the alpha-beta cost
+model, swept over worker count and message size; plus the measured
+execution time of the *actual* data-combining implementations (they
+really reduce numpy buffers, so the cost model sits on top of verified
+semantics).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.parallel.collectives import allreduce_cost, ring_allreduce
+from repro.parallel.network import CommModel
+from repro.util.tables import Table
+
+COMM = CommModel(alpha=1e-5, beta=1e-9)
+
+
+def _cost_grid():
+    rows = []
+    for p in (4, 16, 64, 256):
+        for n_words in (1_000, 1_000_000):
+            rows.append(
+                {
+                    "p": p,
+                    "n": n_words,
+                    "flat": allreduce_cost("flat", p, n_words, COMM),
+                    "tree": allreduce_cost("tree", p, n_words, COMM),
+                    "ring": allreduce_cost("ring", p, n_words, COMM),
+                }
+            )
+    return rows
+
+
+def test_bench_allreduce_cost_model(benchmark, show_table):
+    rows = run_once(benchmark, _cost_grid)
+    table = Table(
+        ["workers p", "message words", "flat (s)", "tree (s)", "ring (s)", "best"],
+        title="E13: allreduce virtual cost (alpha = 10 us, beta = 1 ns/word)",
+    )
+    for r in rows:
+        best = min(("flat", "tree", "ring"), key=lambda a: r[a])
+        table.add_row(
+            [r["p"], f"{r['n']:.0e}", f"{r['flat']:.2e}", f"{r['tree']:.2e}",
+             f"{r['ring']:.2e}", best]
+        )
+    show_table(table)
+
+    # The classic regimes: latency-bound small messages favor the tree;
+    # bandwidth-bound large messages favor the ring; flat never wins at
+    # scale.
+    for r in rows:
+        if r["p"] >= 16 and r["n"] >= 1_000_000:
+            assert r["ring"] < r["tree"] < r["flat"]
+        if r["p"] >= 16 and r["n"] <= 1_000:
+            assert r["tree"] < r["flat"]
+
+    # Ring's *bandwidth* term is p-independent (the optimality property);
+    # strip the 2(p-1) alpha latency rounds before comparing.
+    big = [r for r in rows if r["n"] == 1_000_000]
+    bw_terms = [r["ring"] - 2 * (r["p"] - 1) * COMM.alpha for r in big]
+    assert max(bw_terms) < 1.5 * min(bw_terms)
+
+
+def test_bench_ring_allreduce_execution(benchmark):
+    """Measured wall time of the real chunked ring implementation."""
+    rng = np.random.default_rng(0)
+    bufs = [rng.normal(size=4096) for _ in range(8)]
+    result = benchmark(ring_allreduce, bufs, COMM)
+    assert np.allclose(result.value, np.sum(bufs, axis=0))

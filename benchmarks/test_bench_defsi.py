@@ -1,0 +1,134 @@
+"""E4 — DEFSI vs EpiFast vs pure-data baselines (§II-A, [19]).
+
+Paper artifact: "Experimental results show that DEFSI performs
+comparably or better than the other methods for state level forecasting;
+and it outperforms the EpiFast method for county level forecasting."
+
+Reproduction: a two-county synthetic state.  "Real" seasons are
+generated from a *misspecified* truth — the true epidemic carries
+seasonal forcing that the forecasters' model family lacks (the paper's
+setting: "knowledge of underlying mechanism is inadequate") — and
+observed through the surveillance operator (weekly state totals, 30%
+reporting, noise, 1-week delay).  Forecasters see only the coarse
+reported series; they are scored against the *true* county-level weekly
+incidence (and its state aggregate) with one-week-ahead RMSE averaged
+over several real seasons:
+
+* DEFSI — ABC parameter posterior -> synthetic seasons -> two-branch
+  network; crucially it *conditions on the current observed window*,
+* EpiFast-style — same calibration, forecast = calibrated-ensemble mean
+  at the target week (no within-season conditioning),
+* ARX / persistence — pure data, county detail only by fixed shares
+  (scaled by the known reporting rate to live in true-case units).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.epi.baselines import ARXForecaster, EpiFastForecaster, PersistenceForecaster
+from repro.epi.defsi import DEFSIForecaster
+from repro.nn import metrics
+from repro.util.tables import Table
+
+OBS_WEEKS = 10          # reported weeks available for calibration
+EVAL_START, EVAL_END = 4, 17
+
+
+def _rmse_by_level(preds, truth):
+    state_rmse = metrics.rmse(preds.sum(axis=1), truth.sum(axis=1))
+    county_rmse = metrics.rmse(preds, truth)
+    return state_rmse, county_rmse
+
+
+N_REAL_SEASONS = 3
+
+
+def _real_seasons(world):
+    """Out-of-family truth: seasonal forcing the forecasters don't model."""
+    from repro.epi.seir import SEIRParams
+
+    seir, sv, n_days = world["seir"], world["surveillance"], world["n_days"]
+    truth_params = SEIRParams(
+        tau=0.065, seed_fraction=0.005, seed_county=0,
+        seasonality=0.5, peak_day=40.0,
+    )
+    seasons = []
+    for s in range(N_REAL_SEASONS):
+        season = seir.run(truth_params, n_days=n_days, rng=100 + s)
+        seasons.append(sv.observe(season, rng=200 + s))
+    return seasons
+
+
+def _forecast_all(world):
+    seir = world["seir"]
+    sv = world["surveillance"]
+    base = world["true_params"]  # the (misspecified) forecaster family
+    n_days = world["n_days"]
+    rate = sv.reporting_rate
+    weeks = range(EVAL_START, EVAL_END)
+
+    all_preds = {k: [] for k in ("DEFSI", "EpiFast (sim-opt)",
+                                 "ARX (pure data)", "persistence")}
+    all_truth = []
+    for si, data in enumerate(_real_seasons(world)):
+        obs = data.state_weekly
+
+        defsi = DEFSIForecaster(
+            seir, sv, base_params=base, window=4,
+            n_train_seasons=24, n_days=n_days, epochs=80, rng=20 + si,
+        )
+        defsi.fit(obs[:OBS_WEEKS])
+
+        epifast = EpiFastForecaster(
+            seir, sv, base_params=base, n_ensemble=16, n_days=n_days, rng=50 + si
+        )
+        epifast.fit(obs[:OBS_WEEKS])
+
+        arx = ARXForecaster(order=3)
+        arx.fit(obs[:OBS_WEEKS])
+        persistence = PersistenceForecaster()
+
+        all_truth.append(np.stack([data.county_weekly_true[w + 1] for w in weeks]))
+        all_preds["DEFSI"].append(
+            np.stack([defsi.forecast(obs, w) for w in weeks])
+        )
+        all_preds["EpiFast (sim-opt)"].append(
+            np.stack([epifast.forecast(obs, w) for w in weeks])
+        )
+        # Pure-data baselines forecast reported counts; convert to true-case
+        # units with the known reporting rate (generous to the baselines).
+        all_preds["ARX (pure data)"].append(
+            np.stack([arx.forecast(obs, w, 2) / rate for w in weeks])
+        )
+        all_preds["persistence"].append(
+            np.stack([persistence.forecast(obs, w, 2) / rate for w in weeks])
+        )
+
+    truth = np.concatenate(all_truth)
+    preds = {k: np.concatenate(v) for k, v in all_preds.items()}
+    return preds, truth
+
+
+def test_bench_defsi_forecasting(benchmark, show_table, epi_world):
+    preds, truth = run_once(benchmark, _forecast_all, epi_world)
+
+    table = Table(
+        ["forecaster", "state-level RMSE", "county-level RMSE"],
+        title="E4: one-week-ahead forecast skill (true-case units)",
+    )
+    scores = {}
+    for name, p in preds.items():
+        s, c = _rmse_by_level(p, truth)
+        scores[name] = (s, c)
+        table.add_row([name, f"{s:.2f}", f"{c:.2f}"])
+    show_table(table)
+
+    defsi_state, defsi_county = scores["DEFSI"]
+    epifast_state, epifast_county = scores["EpiFast (sim-opt)"]
+
+    # Paper claim 1: DEFSI comparable or better at state level.
+    assert defsi_state <= 1.3 * min(s for s, _ in scores.values())
+    # Paper claim 2: DEFSI outperforms EpiFast at county level.
+    assert defsi_county < epifast_county
+    # Paper motivation: pure-data methods cannot resolve county detail.
+    assert defsi_county < scores["ARX (pure data)"][1]

@@ -1,0 +1,69 @@
+"""E1 — the effective-speedup formula of §III-D.
+
+Paper artifact: the formula
+
+    S = T_seq (N_lookup + N_train)
+        / (T_lookup N_lookup + (T_train + T_learn) N_train)
+
+"reduces to the classic simple T_seq/T_train when there is no machine
+learning and in the limit of large N_lookup/N_train becomes
+T_seq/T_lookup which can be huge!"  We tabulate S across the
+N_lookup/N_train sweep in the timing regime of the nanoconfinement
+exemplar [26] (80-hour simulations, millisecond inferences) and verify
+both limits numerically.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.effective import EffectiveSpeedupModel, speedup_sweep
+from repro.util.tables import Table
+
+# Timing regime of [26]: 64-core x 80 h runs; inference in milliseconds.
+MODEL = EffectiveSpeedupModel(
+    t_seq=80 * 3600.0,
+    t_train=80 * 3600.0,   # training runs at sequential speed (simple case)
+    t_learn=10.0,          # network-training seconds per training sample
+    t_lookup=2e-3,
+)
+
+
+def test_bench_effective_speedup_sweep(benchmark, show_table):
+    # The transition is centred at N_lookup/N_train ~ T_train/T_lookup
+    # (~1.4e8 in this regime), so the sweep spans up to 1e10.
+    rows = run_once(
+        benchmark, speedup_sweep, MODEL, np.logspace(-2, 10, 13), 4805.0
+    )
+    table = Table(
+        ["N_lookup/N_train", "N_lookup", "effective speedup S", "S / (T_seq/T_lookup)"],
+        title="E1: effective speedup vs lookup ratio (N_train = 4805, [26] regime)",
+    )
+    for r in rows:
+        table.add_row(
+            [f"{r['ratio']:.2g}", f"{r['n_lookup']:.3g}", r["speedup"],
+             f"{r['fraction_of_limit']:.3g}"]
+        )
+    show_table(table)
+
+    # Paper limit 1: no-ML limit at the left edge of the sweep.
+    assert rows[0]["speedup"] < 2 * MODEL.no_ml_limit
+    # Paper limit 2: approaches T_seq/T_lookup ("can be huge") at the right.
+    assert rows[-1]["fraction_of_limit"] > 0.9
+    assert MODEL.lookup_limit > 1e8  # the "Exa/Zetta-scale equivalent" scale
+
+    # Monotone transition between the limits.
+    s = [r["speedup"] for r in rows]
+    assert all(a <= b for a, b in zip(s, s[1:]))
+
+
+def test_bench_crossover_location(benchmark, show_table):
+    ratio = run_once(benchmark, MODEL.crossover_ratio)
+    table = Table(
+        ["quantity", "value"],
+        title="E1: regime boundaries",
+    )
+    table.add_row(["no-ML limit T_seq/(T_train+T_learn)", MODEL.no_ml_limit])
+    table.add_row(["lookup limit T_seq/T_lookup", MODEL.lookup_limit])
+    table.add_row(["crossover N_lookup/N_train (geometric-mean S)", ratio])
+    show_table(table)
+    assert 0 < ratio < MODEL.lookup_limit

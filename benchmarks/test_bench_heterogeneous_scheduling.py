@@ -1,0 +1,104 @@
+"""E9 — scheduling heterogeneous learnt + unlearnt workloads (§III-A).
+
+Paper artifact: "heterogeneity can lead to difficulty in parallel
+computing.  This is extreme for MLaroundHPC as the ML learnt result can
+be huge factors (1e5 in our initial example) faster than simulated
+answers ... One can address by load balancing the unlearnt and learnt
+separately."
+
+Reproduction: mixed workloads of second-scale simulations and
+1e-5-scale surrogate lookups on a simulated heterogeneous cluster with
+per-task dispatch overhead.  Schedulers compared: oblivious static
+round-robin, shared-queue dynamic (work-stealing limit), dynamic+LPT,
+and the paper's separation strategy (surrogate-aware: batch the learnt
+tasks, then balance).  The table reports makespan, utilization and
+imbalance across workload mixes.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.parallel.cluster import ClusterSimulator, Worker
+from repro.parallel.scheduler import (
+    DynamicGreedy,
+    ScheduleReport,
+    StaticRoundRobin,
+    SurrogateAwareScheduler,
+    make_mixed_workload,
+)
+from repro.util.tables import Table
+
+SCHEDULERS = [
+    StaticRoundRobin(),
+    DynamicGreedy(),
+    DynamicGreedy(lpt=True),
+    SurrogateAwareScheduler(),
+]
+
+MIXES = [
+    ("50 sims + 500 lookups", 50, 500),
+    ("30 sims + 5000 lookups", 30, 5000),
+    ("10 sims + 20000 lookups", 10, 20000),
+]
+
+
+def _cluster():
+    speeds = [1.0] * 6 + [0.5] * 2  # heterogeneous nodes
+    return ClusterSimulator(
+        [Worker(i, speed=s) for i, s in enumerate(speeds)],
+        dispatch_overhead=2e-3,
+    )
+
+
+def _run_grid():
+    cluster = _cluster()
+    results = {}
+    for label, n_sim, n_lookup in MIXES:
+        tasks = make_mixed_workload(
+            n_sim, n_lookup, sim_work=1.0, lookup_work=1e-5, rng=7
+        )
+        results[label] = [
+            ScheduleReport.from_trace(s.name, s.schedule(tasks, cluster))
+            for s in SCHEDULERS
+        ]
+    return results
+
+
+def test_bench_heterogeneous_scheduling(benchmark, show_table):
+    results = run_once(benchmark, _run_grid)
+
+    for label, reports in results.items():
+        table = Table(
+            ["scheduler", "makespan (s)", "utilization", "imbalance"],
+            title=f"E9: {label} (1e5 cost heterogeneity, 2 ms dispatch)",
+        )
+        for r in reports:
+            table.add_row(
+                [r.scheduler, f"{r.makespan:.3f}", f"{r.utilization:.2f}",
+                 f"{r.imbalance:.2f}"]
+            )
+        show_table(table)
+
+    for label, reports in results.items():
+        by_name = {r.scheduler: r for r in reports}
+        static = by_name["static-round-robin"]
+        aware = by_name["surrogate-aware"]
+        shared = by_name["dynamic-greedy-lpt"]
+        # Cost-aware scheduling crushes the oblivious baseline...
+        assert aware.makespan < static.makespan
+        # ...and separating/batching the learnt tasks beats even the
+        # idealized shared queue once lookups are numerous.
+        if "20000" in label or "5000" in label:
+            assert aware.makespan < shared.makespan
+
+    # The benefit of separation grows with the lookup count (the paper's
+    # point: the more pervasive the learning, the more the runtime must
+    # treat learnt work specially).
+    gains = []
+    for label, _, _ in MIXES:
+        by_name = {r.scheduler: r for r in results[label]}
+        gains.append(
+            by_name["dynamic-greedy-lpt"].makespan
+            / by_name["surrogate-aware"].makespan
+        )
+    assert gains[-1] > gains[0]

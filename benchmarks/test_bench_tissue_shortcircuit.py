@@ -1,0 +1,104 @@
+"""E10 — short-circuiting the virtual-tissue transport module (§II-B).
+
+Paper artifact: AI can benefit virtual-tissue simulations by
+"short-circuiting: the replacement of computationally costly modules
+with learned analogues" and "the elimination of short time scales,
+e.g., short-circuit the calculations of advection-diffusion" — §II-B2
+items 1 and 7, with challenge 5 noting "modeling transport and
+diffusion is compute intensive".
+
+Reproduction, two levels:
+
+1. *Module level* — an ANN surrogate of the steady-state morphogen
+   solver (4 parameters -> radial probe profile): accuracy and per-call
+   speedup vs the sparse direct solve.
+2. *System level* — the full coupled tissue simulation run twice, once
+   with the exact inner solver and once with a learned reduced model
+   (unit-response scaling fitted to the exact solver); trajectory
+   agreement and end-to-end speedup.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro import MorphogenSteadyStateSimulation, Surrogate
+from repro.tissue.cells import CellLattice
+from repro.tissue.fields import DiffusionParams, steady_state
+from repro.tissue.vt import VirtualTissueSimulation
+from repro.util.tables import Table
+
+
+def _module_level():
+    sim = MorphogenSteadyStateSimulation(grid=32, n_probes=8)
+    X = MorphogenSteadyStateSimulation.sample_inputs(150, rng=0)
+    Y = sim.run_batch(X, rng=1)
+    surrogate = Surrogate(4, 8, hidden=(48, 48), epochs=300, patience=50, rng=2)
+    report = surrogate.fit(X, np.log1p(Y))
+
+    x_probe = MorphogenSteadyStateSimulation.sample_inputs(1, rng=3)
+    start = time.perf_counter()
+    for _ in range(5):
+        sim.run(x_probe[0], rng=4)
+    t_solver = (time.perf_counter() - start) / 5
+    start = time.perf_counter()
+    for _ in range(200):
+        surrogate.predict(x_probe)
+    t_lookup = (time.perf_counter() - start) / 200
+    return report, t_solver, t_lookup
+
+
+def _system_level():
+    p = DiffusionParams(diffusivity=1.0, decay=0.05)
+    lat_ref = CellLattice.random_two_type((24, 24), rng=5)
+    ref_source = np.where(lat_ref.grid == 1, 1.0, 0.0)
+    eff = DiffusionParams(1.0, 0.05 + 0.05)
+    unit_field = steady_state(ref_source, eff) / max(ref_source.sum(), 1.0)
+
+    def learned_solver(src, params):
+        return unit_field * src.sum()
+
+    lat_a = CellLattice.random_two_type((24, 24), rng=5)
+    lat_b = CellLattice.random_two_type((24, 24), rng=5)
+
+    start = time.perf_counter()
+    exact = VirtualTissueSimulation(lat_a, p, threshold=0.5, rng=6).run(12)
+    t_exact = time.perf_counter() - start
+    start = time.perf_counter()
+    short = VirtualTissueSimulation(
+        lat_b, p, threshold=0.5, rng=6, field_solver=learned_solver
+    ).run(12)
+    t_short = time.perf_counter() - start
+    return exact, short, t_exact, t_short
+
+
+def test_bench_module_shortcircuit(benchmark, show_table):
+    report, t_solver, t_lookup = run_once(benchmark, _module_level)
+    table = Table(["quantity", "value"],
+                  title="E10a: learned analogue of the steady-state solver")
+    table.add_row(["surrogate test R^2 (log field)", f"{report.test_r2:.3f}"])
+    table.add_row(["sparse direct solve (s/call)", f"{t_solver:.2e}"])
+    table.add_row(["ANN lookup (s/call)", f"{t_lookup:.2e}"])
+    table.add_row(["per-call speedup", f"{t_solver / t_lookup:.0f}x"])
+    show_table(table)
+    assert report.test_r2 > 0.85
+    assert t_solver / t_lookup > 10
+
+
+def test_bench_system_shortcircuit(benchmark, show_table):
+    exact, short, t_exact, t_short = run_once(benchmark, _system_level)
+    table = Table(["quantity", "exact solver", "learned analogue"],
+                  title="E10b: full tissue simulation with/without short-circuit")
+    table.add_row(["final differentiated cells",
+                   exact.differentiated_series[-1],
+                   short.differentiated_series[-1]])
+    table.add_row(["final interface length",
+                   exact.interface_series[-1], short.interface_series[-1]])
+    table.add_row(["wall time (s)", f"{t_exact:.3f}", f"{t_short:.3f}"])
+    table.add_row(["speedup", "-", f"{t_exact / t_short:.1f}x"])
+    show_table(table)
+
+    e, s = exact.differentiated_series[-1], short.differentiated_series[-1]
+    assert abs(e - s) <= 0.3 * max(e, 1)   # trajectory agreement
+    assert t_short < t_exact                # learned analogue is cheaper

@@ -1,0 +1,115 @@
+"""E5 — dropout-as-UQ and the data-sufficiency stopping rule (§III-B).
+
+Paper artifact: "it is reasonable to assume that a better ML surrogate
+can be found once the training routine sees more examples ... The UQ
+scheme can play a role here to provide the training routine with a way
+to quantify the uncertainty in the prediction — once it is low enough,
+the training routine might less likely need more data."
+
+Reproduction: MC-dropout surrogates of the morphogen steady-state
+simulation trained on growing sample counts S; the table reports mean
+predictive std (the UQ signal), true test error, and interval coverage.
+The claim's shape: the UQ signal decreases with S and co-moves with the
+true error, so thresholding it is a valid stopping rule.  A second table
+reports the §III-B bias-variance decomposition across a model ensemble.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro import MorphogenSteadyStateSimulation, Surrogate
+from repro.core.uq import bias_variance_decomposition, calibration_table
+from repro.nn import metrics
+from repro.util.tables import Table
+
+SIZES = (20, 40, 80, 160)
+
+
+def _uq_vs_samples():
+    sim = MorphogenSteadyStateSimulation(grid=20, n_probes=6)
+    X_all = MorphogenSteadyStateSimulation.sample_inputs(max(SIZES), rng=0)
+    Y_all = np.log1p(sim.run_batch(X_all, rng=1))
+    X_test = MorphogenSteadyStateSimulation.sample_inputs(60, rng=2)
+    Y_test = np.log1p(sim.run_batch(X_test, rng=3))
+
+    rows = []
+    for s in SIZES:
+        surrogate = Surrogate(
+            4, 6, hidden=(32, 32), dropout=0.1, epochs=250, patience=40,
+            test_fraction=0.0, rng=4,
+        )
+        surrogate.fit(X_all[:s], Y_all[:s])
+        uq = surrogate.predict_with_uncertainty(X_test)
+        lo, hi = uq.interval(1.96)
+        rows.append(
+            {
+                "S": s,
+                "mean_std": uq.mean_std,
+                "test_mae": metrics.mae(uq.mean, Y_test),
+                "coverage95": metrics.picp(Y_test, lo, hi),
+            }
+        )
+    return rows
+
+
+def test_bench_uq_shrinks_with_data(benchmark, show_table):
+    rows = run_once(benchmark, _uq_vs_samples)
+    table = Table(
+        ["S (training samples)", "MC-dropout mean std", "true test MAE",
+         "95% interval coverage"],
+        title="E5: dropout UQ vs training-set size (morphogen surrogate)",
+    )
+    for r in rows:
+        table.add_row([r["S"], f"{r['mean_std']:.4f}", f"{r['test_mae']:.4f}",
+                       f"{r['coverage95']:.2f}"])
+    show_table(table)
+
+    # Shape: both the UQ signal and the true error decrease from the
+    # smallest to the largest training set.
+    assert rows[-1]["mean_std"] < rows[0]["mean_std"]
+    assert rows[-1]["test_mae"] < rows[0]["test_mae"]
+    # UQ co-moves with error (positive rank correlation over the sweep).
+    stds = [r["mean_std"] for r in rows]
+    maes = [r["test_mae"] for r in rows]
+    corr = np.corrcoef(stds, maes)[0, 1]
+    assert corr > 0.0
+
+
+def _bias_variance():
+    """§III-B verbatim: 'A regularization scheme can reduce the variance
+    ... at the cost of an increased amount of bias.'  Scarce noisy data,
+    one architecture, an L2 sweep, an 8-member ensemble per setting."""
+    rng = np.random.default_rng(5)
+    x = rng.uniform(-1, 1, (35, 2))
+    y = np.sin(3 * x[:, :1]) * x[:, 1:] + 0.15 * rng.normal(size=(35, 1))
+    x_test = rng.uniform(-1, 1, (80, 2))
+    y_test = np.sin(3 * x_test[:, :1]) * x_test[:, 1:]
+
+    results = {}
+    for label, l2 in (("unregularized", 0.0), ("L2 = 0.3", 0.3), ("L2 = 3.0", 3.0)):
+        preds = []
+        for m in range(8):
+            s = Surrogate(
+                2, 1, hidden=(64, 64), epochs=300, test_fraction=0.0,
+                l2=l2, rng=10 + m,
+            )
+            s.fit(x, y)
+            preds.append(s.predict(x_test))
+        results[label] = bias_variance_decomposition(np.stack(preds), y_test)
+    return results
+
+
+def test_bench_bias_variance_tradeoff(benchmark, show_table):
+    results = run_once(benchmark, _bias_variance)
+    table = Table(
+        ["regularization", "bias^2", "variance", "expected MSE"],
+        title="E5: bias-variance decomposition under regularization (§III-B)",
+    )
+    for label, d in results.items():
+        table.add_row([label, f"{d['bias_squared']:.5f}",
+                       f"{d['variance']:.5f}", f"{d['expected_mse']:.5f}"])
+    show_table(table)
+    # Regularizing reduces variance relative to the unregularized model...
+    assert results["L2 = 0.3"]["variance"] < results["unregularized"]["variance"]
+    # ...and over-regularizing buys that variance with extra bias.
+    assert results["L2 = 3.0"]["bias_squared"] > results["unregularized"]["bias_squared"]

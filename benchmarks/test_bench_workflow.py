@@ -1,0 +1,90 @@
+"""E18 — the MLaroundHPC pipeline as a scheduled workflow (§III-E 6-8, 11).
+
+The paper's systems research issues ask for dataflow-style frameworks
+(issue 6), runtimes for "heterogeneous and dynamic workflows" (issues
+7-8), and an "application agnostic description and definition of
+effective performance enhancement" (issue 11).  This bench connects the
+two halves of the repo: the §III-D *analytic* effective-speedup model
+assumes training simulations parallelize (T_train = T_seq / p); here the
+same campaign is expressed as an explicit task DAG (N_train simulations
+-> train -> N_lookup inferences), scheduled on the discrete-event
+cluster, and the analytic prediction is compared against the *scheduled*
+makespan across worker counts.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.effective import EffectiveSpeedupModel
+from repro.parallel.cluster import ClusterSimulator, Worker
+from repro.parallel.workflow import mlaround_campaign_dag, simulate_workflow
+from repro.util.tables import Table
+
+SIM_WORK = 10.0
+TRAIN_WORK = 5.0
+LOOKUP_WORK = 1e-3
+N_TRAIN = 48
+N_LOOKUP = 2000
+
+
+def _sweep_workers():
+    dag = mlaround_campaign_dag(
+        N_TRAIN, N_LOOKUP,
+        sim_work=SIM_WORK, train_work=TRAIN_WORK, lookup_work=LOOKUP_WORK,
+    )
+    # The no-ML alternative: every query runs a full simulation.
+    rows = []
+    for p in (1, 4, 16):
+        cluster = ClusterSimulator([Worker(i) for i in range(p)])
+        trace = simulate_workflow(dag, cluster)
+
+        # Analytic model with the schedule-realized T_train.
+        model = EffectiveSpeedupModel(
+            t_seq=SIM_WORK,
+            t_train=SIM_WORK / p,
+            t_learn=TRAIN_WORK / N_TRAIN,
+            t_lookup=LOOKUP_WORK,
+        )
+        predicted = model.speedup(N_LOOKUP, N_TRAIN)
+        # "Measured": the formula's own definition — sequential simulation
+        # of every query (the numerator T_seq (N_l + N_t)) divided by the
+        # actually scheduled campaign makespan.
+        t_sequential = (N_TRAIN + N_LOOKUP) * SIM_WORK
+        measured = t_sequential / trace.makespan
+        rows.append(
+            {
+                "p": p,
+                "makespan": trace.makespan,
+                "predicted_s": predicted,
+                "measured_s": measured,
+                "critical_path": dag.critical_path(),
+            }
+        )
+    return rows
+
+
+def test_bench_workflow_vs_analytic_model(benchmark, show_table):
+    rows = run_once(benchmark, _sweep_workers)
+    table = Table(
+        ["workers p", "DAG makespan (s)", "S analytic (§III-D)",
+         "S from schedule", "agreement"],
+        title="E18: MLaroundHPC campaign DAG vs the effective-speedup formula",
+    )
+    for r in rows:
+        agree = r["measured_s"] / r["predicted_s"]
+        table.add_row(
+            [r["p"], f"{r['makespan']:.2f}", f"{r['predicted_s']:.1f}",
+             f"{r['measured_s']:.1f}", f"{agree:.2f}"]
+        )
+    show_table(table)
+
+    # The analytic formula and the scheduled execution agree within the
+    # rounding the formula ignores (ceil(N/p) batching, the train task).
+    for r in rows:
+        assert 0.85 < r["measured_s"] / r["predicted_s"] < 1.2
+    # Makespan never beats the critical path.
+    for r in rows:
+        assert r["makespan"] >= r["critical_path"] - 1e-9
+    # More workers -> shorter campaign.
+    spans = [r["makespan"] for r in rows]
+    assert spans[0] > spans[1] > spans[2]

@@ -1,0 +1,74 @@
+"""Quickstart: wrap any expensive simulation in MLaroundHPC.
+
+The smallest end-to-end Learning-Everywhere loop:
+
+1. define a Simulation (here: an artificially slow analytic model),
+2. wrap it with a Surrogate behind an uncertainty gate,
+3. bootstrap from a design sweep ("no run is wasted"),
+4. query — confident queries become ANN lookups, uncertain ones run the
+   real simulation and feed retraining,
+5. read the measured effective speedup (§III-D).
+
+Run:  python examples/quickstart.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import CallableSimulation, MLAroundHPC, RetrainPolicy, Surrogate
+from repro.util.tables import Table
+
+
+def expensive_model(x, rng):
+    """A stand-in for a real solver: smooth physics + a deliberate delay."""
+    time.sleep(0.01)  # pretend this is hours of HPC time
+    response = np.sin(3.0 * x[0]) * x[1] + 0.5 * x[1] ** 2
+    return np.array([response + rng.normal(0.0, 0.005)])
+
+
+def main() -> None:
+    simulation = CallableSimulation(
+        expensive_model, input_names=["alpha", "beta"], output_names=["response"],
+        needs_rng=True,
+    )
+    surrogate = Surrogate(2, 1, hidden=(30, 48), dropout=0.1, epochs=200, rng=0)
+    wrapper = MLAroundHPC(
+        simulation,
+        surrogate,
+        tolerance=0.3,  # normalized predictive-std gate
+        policy=RetrainPolicy(min_initial_runs=30, retrain_every=25),
+        rng=1,
+    )
+
+    print("bootstrapping from a 60-point design sweep...")
+    rng = np.random.default_rng(2)
+    wrapper.bootstrap(rng.uniform(0.0, 1.0, (60, 2)))
+    print(f"  surrogate report: {surrogate.report}")
+
+    print("\nanswering 100 queries through the uncertainty gate...")
+    outcomes = wrapper.query_batch(rng.uniform(0.0, 1.0, (100, 2)))
+    n_lookup = sum(1 for o in outcomes if o.source == "lookup")
+    print(f"  {n_lookup} lookups, {100 - n_lookup} fresh simulations")
+
+    model = wrapper.effective_speedup_model()
+    table = Table(["quantity", "value"], title="measured effective performance")
+    table.add_row(["mean simulation time", f"{model.t_train:.4f} s"])
+    table.add_row(["mean lookup time", f"{model.t_lookup * 1e6:.0f} us"])
+    table.add_row(["T_seq / T_lookup limit", f"{model.lookup_limit:,.0f}x"])
+    table.add_row(
+        ["effective speedup at observed N", f"{wrapper.measured_effective_speedup():.1f}x"]
+    )
+    table.print()
+
+    x_check = np.array([0.4, 0.7])
+    looked = wrapper.query(x_check)
+    truth = simulation.run(x_check, rng=3)
+    print(
+        f"spot check at {x_check}: surrogate {looked.outputs[0]:+.4f} "
+        f"vs simulation {truth.outputs[0]:+.4f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

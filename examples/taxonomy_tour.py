@@ -1,0 +1,126 @@
+"""A tour of all six ML x HPC taxonomy categories (§I of the paper).
+
+Every category in the paper's taxonomy has a concrete, runnable
+implementation in this repository; this example touches each one with a
+miniature demonstration:
+
+* HPCrunsML          — parallel SGD on the simulated cluster
+* SimulationTrainedML — DEFSI-style simulation-trained forecasting
+* MLautotuning       — learned MD timestep selection
+* MLafterHPC         — structure identification in MD output
+* MLaroundHPC        — the uncertainty-gated surrogate wrapper
+* MLControl          — a surrogate-steered objective campaign
+
+Run:  python examples/taxonomy_tour.py   (takes ~1 minute)
+"""
+
+import numpy as np
+
+from repro import (
+    CATEGORY_INFO,
+    CallableSimulation,
+    CampaignController,
+    Category,
+    MLAroundHPC,
+    RetrainPolicy,
+    Surrogate,
+)
+from repro.md.bp import SymmetryFunctions, random_cluster
+from repro.md.structure import StructureClassifier, fcc_lattice
+from repro.parallel import CommModel, ComputationModel, ParallelSGD
+from repro.util.tables import Table
+
+
+def banner(category: Category) -> None:
+    info = CATEGORY_INFO[category]
+    print(f"\n=== {category.value} ({category.group}) ===")
+    print(f"    {info.summary}")
+
+
+def toy_simulation():
+    return CallableSimulation(
+        lambda x, rng: np.array([np.sin(3 * x[0]) * x[1] + rng.normal(0, 0.01)]),
+        ["a", "b"], ["y"], needs_rng=True,
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # ------------------------------------------------------------ HPCrunsML
+    banner(Category.HPC_RUNS_ML)
+    X = rng.normal(size=(400, 12))
+    y = X @ rng.normal(size=12)
+    sgd = ParallelSGD(X, y, n_workers=8, comm=CommModel(alpha=1e-4), flop_time=1e-7)
+    tr = sgd.run(ComputationModel.ALLREDUCE, n_rounds=25, rng=1)
+    print(f"    allreduce-SGD on 8 simulated workers: loss {tr.losses[0]:.3f} "
+          f"-> {tr.final_loss:.5f} in {tr.total_time:.4f} virtual s")
+
+    # --------------------------------------------------- SimulationTrainedML
+    banner(Category.SIMULATION_TRAINED_ML)
+    print("    (full pipeline in examples/epidemic_forecasting.py: the DEFSI")
+    print("    network trains on simulation-generated synthetic seasons and")
+    print("    is then applied to observed surveillance data)")
+
+    # ------------------------------------------------------------ MLautotuning
+    banner(Category.ML_AUTOTUNING)
+    print("    (full pipeline in examples/autotune_md.py: ANN 6->30->48->3")
+    print("    learns the largest stable MD timestep per system, ~18x savings)")
+
+    # ------------------------------------------------------------- MLafterHPC
+    banner(Category.ML_AFTER_HPC)
+    crystal = fcc_lattice(3, 1.5)
+    gas = random_cluster(len(crystal), box_side=12.0, rng=rng, min_separation=1.0)
+    clf = StructureClassifier(SymmetryFunctions(r_cut=2.0), n_classes=2, rng=2)
+    clf.fit([crystal, gas])
+    frac_c = np.bincount(clf.classify(crystal), minlength=2) / len(crystal)
+    frac_g = np.bincount(clf.classify(gas), minlength=2) / len(gas)
+    print(f"    structure identification on MD output: crystal frame -> "
+          f"class fractions {np.round(frac_c, 2)}, gas frame -> {np.round(frac_g, 2)}")
+
+    # ------------------------------------------------------------- MLaroundHPC
+    banner(Category.ML_AROUND_HPC)
+    wrapper = MLAroundHPC(
+        toy_simulation(),
+        Surrogate(2, 1, hidden=(24, 24), dropout=0.1, epochs=120, rng=3),
+        tolerance=0.3,
+        policy=RetrainPolicy(min_initial_runs=30, retrain_every=1000),
+        rng=4,
+    )
+    wrapper.bootstrap(rng.uniform(0, 1, (50, 2)))
+    outcomes = wrapper.query_batch(rng.uniform(0, 1, (40, 2)))
+    n_lookup = sum(o.source == "lookup" for o in outcomes)
+    print(f"    surrogate wrapper answered {n_lookup}/40 queries by lookup "
+          f"(T_seq/T_lookup = {wrapper.effective_speedup_model().lookup_limit:.0f}x)")
+
+    # --------------------------------------------------------------- MLControl
+    banner(Category.ML_CONTROL)
+    controller = CampaignController(
+        toy_simulation(),
+        lambda out: abs(float(out[0]) - 0.5),
+        np.array([[0.0, 1.0], [0.0, 1.0]]),
+        lambda: Surrogate(2, 1, hidden=(16, 16), dropout=0.1,
+                          epochs=80, patience=15, rng=5),
+        rng=6,
+    )
+    result = controller.run(n_seed=10, pool_size=400, max_simulations=25)
+    print(f"    campaign hit |y - 0.5| = {result.best_objective:.4f} "
+          f"in {result.n_simulations} simulations")
+
+    # ------------------------------------------------------------------ recap
+    table = Table(["category", "group", "implementation"], title="the six categories")
+    impls = {
+        Category.HPC_RUNS_ML: "repro.parallel (4 computation models, collectives)",
+        Category.SIMULATION_TRAINED_ML: "repro.epi.defsi (DEFSI pipeline)",
+        Category.ML_AUTOTUNING: "repro.core.autotune + repro.md.autotune_probes",
+        Category.ML_AFTER_HPC: "repro.md.structure (descriptor clustering)",
+        Category.ML_AROUND_HPC: "repro.core.mlaround (uncertainty-gated surrogate)",
+        Category.ML_CONTROL: "repro.core.control (LCB campaigns)",
+    }
+    for cat in Category:
+        table.add_row([cat.value, cat.group, impls[cat]])
+    table.print()
+
+
+if __name__ == "__main__":
+    main()

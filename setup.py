@@ -1,0 +1,7 @@
+"""Thin shim so legacy editable installs work offline (no `wheel` package).
+
+All metadata lives in pyproject.toml; setuptools reads it from there.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,123 @@
+"""learnhpc (package ``repro``) — a reference implementation of
+*Learning Everywhere: Pervasive Machine Learning for Effective
+High-Performance Computation* (Fox, Glazier, Kadupitiya, Jadhao, Kim,
+Qiu, Sluka, Somogyi, Marathe, Adiga, Chen, Beckstein, Jha; 2019).
+
+The paper argues that learned surrogates, autotuning, uncertainty
+quantification, and learning-aware runtimes should pervade HPC
+("Learning Everywhere"), and that the resulting *effective performance*
+can exceed traditional benchmark performance by orders of magnitude.
+This library makes that program concrete:
+
+Core framework (:mod:`repro.core`)
+    The six-category ML x HPC taxonomy; the ``Simulation`` protocol and
+    run database; ANN surrogates; MC-dropout / deep-ensemble UQ; the
+    :class:`MLAroundHPC` orchestrator; the effective-speedup performance
+    model; active learning; MLautotuning; MLControl campaigns; learned
+    coarse-graining.
+
+Substrates (each built from scratch, numpy-only)
+    :mod:`repro.nn` — a complete neural-network stack;
+    :mod:`repro.md` — molecular dynamics with the nanoconfinement
+    exemplar and Behler–Parrinello NN potentials;
+    :mod:`repro.epi` — network SEIR epidemics with the DEFSI forecasting
+    pipeline and EpiFast-style baselines;
+    :mod:`repro.tissue` — virtual-tissue simulation with learnable
+    reaction–diffusion short-circuiting;
+    :mod:`repro.parallel` — a simulated HPC runtime: collectives, the
+    four parallel computation models, heterogeneous-workload schedulers.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import CallableSimulation, Surrogate, MLAroundHPC
+>>> sim = CallableSimulation(
+...     lambda x: np.array([np.sin(3 * x[0]) * x[1]]), ["a", "b"], ["out"]
+... )
+>>> wrapper = MLAroundHPC(
+...     sim, Surrogate(2, 1, dropout=0.1, rng=0), tolerance=0.3, rng=0
+... )
+>>> wrapper.bootstrap(np.random.default_rng(0).uniform(0, 1, (40, 2)))
+>>> outcome = wrapper.query(np.array([0.5, 0.5]))
+>>> outcome.source in ("lookup", "simulate")
+True
+"""
+
+from repro.core import (
+    Category,
+    CATEGORY_INFO,
+    classify,
+    categories,
+    Simulation,
+    CallableSimulation,
+    RunRecord,
+    RunDatabase,
+    SimulationError,
+    Surrogate,
+    SurrogateReport,
+    MCDropoutUQ,
+    DeepEnsembleUQ,
+    UQResult,
+    bias_variance_decomposition,
+    calibration_table,
+    MLAroundHPC,
+    QueryOutcome,
+    RetrainPolicy,
+    effective_speedup,
+    EffectiveSpeedupModel,
+    speedup_sweep,
+    ActiveLearner,
+    random_sampling_baseline,
+    AutoTuner,
+    CampaignController,
+    FeasibilityClassifier,
+    LearnedCorrector,
+    CoarseGrainedSolver,
+)
+from repro.md.nanoconfinement import NanoconfinementSimulation
+from repro.epi.simulation import EpidemicSimulation
+from repro.epi.defsi import DEFSIForecaster
+from repro.tissue.fields import MorphogenSteadyStateSimulation
+from repro.tissue.vt import VirtualTissueSimulation
+from repro.parallel.cluster import ClusterSimulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Category",
+    "CATEGORY_INFO",
+    "classify",
+    "categories",
+    "Simulation",
+    "CallableSimulation",
+    "RunRecord",
+    "RunDatabase",
+    "SimulationError",
+    "Surrogate",
+    "SurrogateReport",
+    "MCDropoutUQ",
+    "DeepEnsembleUQ",
+    "UQResult",
+    "bias_variance_decomposition",
+    "calibration_table",
+    "MLAroundHPC",
+    "QueryOutcome",
+    "RetrainPolicy",
+    "effective_speedup",
+    "EffectiveSpeedupModel",
+    "speedup_sweep",
+    "ActiveLearner",
+    "random_sampling_baseline",
+    "AutoTuner",
+    "CampaignController",
+    "FeasibilityClassifier",
+    "LearnedCorrector",
+    "CoarseGrainedSolver",
+    "NanoconfinementSimulation",
+    "EpidemicSimulation",
+    "DEFSIForecaster",
+    "MorphogenSteadyStateSimulation",
+    "VirtualTissueSimulation",
+    "ClusterSimulator",
+    "__version__",
+]

@@ -1,0 +1,85 @@
+"""The Learning-Everywhere framework — the paper's primary contribution.
+
+This package turns the paper's prose into an operational API:
+
+* :mod:`repro.core.taxonomy` — the six ML x HPC interface categories (§I).
+* :mod:`repro.core.simulation` — the `Simulation` protocol and the run
+  database ("no run is wasted", §II-C1).
+* :mod:`repro.core.surrogate` — ANN surrogates over simulations (§II-C1).
+* :mod:`repro.core.uq` — dropout / ensemble uncertainty quantification
+  (§III-B).
+* :mod:`repro.core.mlaround` — the MLaroundHPC orchestrator: per-query
+  simulate-vs-lookup with online retraining (§I, §III-D).
+* :mod:`repro.core.effective` — the effective-speedup performance model
+  (§III-D).
+* :mod:`repro.core.active` — active learning for data-efficient training
+  (§II-C2).
+* :mod:`repro.core.autotune` — MLautotuning of simulation control
+  parameters (§I, §III-D).
+* :mod:`repro.core.control` — MLControl objective-driven campaigns (§I).
+* :mod:`repro.core.coarsegrain` — ML-based coarse-graining (§I, §II-B).
+"""
+
+from repro.core.taxonomy import Category, CATEGORY_INFO, classify, categories
+from repro.core.simulation import (
+    Simulation,
+    CallableSimulation,
+    RunRecord,
+    RunDatabase,
+    SimulationError,
+)
+from repro.core.surrogate import Surrogate, SurrogateReport
+from repro.core.uq import (
+    UQBackend,
+    MCDropoutUQ,
+    DeepEnsembleUQ,
+    UQResult,
+    bias_variance_decomposition,
+    calibration_table,
+)
+from repro.core.mlaround import MLAroundHPC, QueryOutcome, RetrainPolicy
+from repro.core.effective import (
+    effective_speedup,
+    EffectiveSpeedupModel,
+    speedup_sweep,
+)
+from repro.core.active import ActiveLearner, random_sampling_baseline
+from repro.core.autotune import AutoTuner, TuningRecord
+from repro.core.control import CampaignController, CampaignResult
+from repro.core.feasibility import FeasibilityClassifier
+from repro.core.coarsegrain import LearnedCorrector, CoarseGrainedSolver
+
+__all__ = [
+    "Category",
+    "CATEGORY_INFO",
+    "classify",
+    "categories",
+    "Simulation",
+    "CallableSimulation",
+    "RunRecord",
+    "RunDatabase",
+    "SimulationError",
+    "Surrogate",
+    "SurrogateReport",
+    "UQBackend",
+    "MCDropoutUQ",
+    "DeepEnsembleUQ",
+    "UQResult",
+    "bias_variance_decomposition",
+    "calibration_table",
+    "MLAroundHPC",
+    "QueryOutcome",
+    "RetrainPolicy",
+    "effective_speedup",
+    "EffectiveSpeedupModel",
+    "speedup_sweep",
+    "ActiveLearner",
+    "random_sampling_baseline",
+    "AutoTuner",
+    "TuningRecord",
+    "CampaignController",
+    "CampaignResult",
+    "FeasibilityClassifier",
+    "LearnedCorrector",
+    "CoarseGrainedSolver",
+]

@@ -1,0 +1,204 @@
+"""MLautotuning: learn optimal simulation control parameters (§I, §III-D).
+
+The exemplar [9] trains an ANN so that an MD simulation "runs at its
+optimal speed (using, for example, the lowest allowable timestep dt and
+'good' simulation control parameters for high efficiency) while retaining
+the accuracy of the final result".  The recipe implemented here:
+
+1. **Collection** — for a sample of system parameter vectors, evaluate a
+   grid of candidate control settings through a caller-supplied
+   ``evaluate(params, control, rng) -> (quality, cost)`` probe, and label
+   each parameter vector with the cheapest control that still meets the
+   quality threshold.
+2. **Learning** — fit an ANN (the paper's network is 6 -> 30 -> 48 -> 3)
+   from parameters to optimal controls.
+3. **Recommendation** — predict controls for unseen systems, clipped to
+   the convex hull of controls ever observed safe, with an optional
+   safety margin pulling toward the conservative end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.surrogate import Surrogate
+from repro.util.rng import ensure_rng, spawn_rngs
+
+__all__ = ["TuningRecord", "AutoTuner"]
+
+EvaluateFn = Callable[[np.ndarray, np.ndarray, np.random.Generator], tuple[float, float]]
+
+
+@dataclass
+class TuningRecord:
+    """One probe: a (params, control) pair with its measured outcome."""
+
+    params: np.ndarray
+    control: np.ndarray
+    quality: float
+    cost: float
+    acceptable: bool
+
+
+class AutoTuner:
+    """Learn the map from system parameters to optimal control settings.
+
+    Parameters
+    ----------
+    param_names:
+        Names of the system parameters (the exemplar has D=6 inputs).
+    control_names:
+        Names of the tunable controls (the exemplar has 3 outputs).
+    quality_threshold:
+        Minimum acceptable quality (higher is better) for a control to be
+        considered safe.
+    conservative_control:
+        The always-safe fallback control (e.g. the smallest timestep);
+        also the target of the safety margin and the recommendation when
+        the tuner is unfitted or a prediction falls outside observed-safe
+        bounds.
+    """
+
+    def __init__(
+        self,
+        param_names: Sequence[str],
+        control_names: Sequence[str],
+        *,
+        quality_threshold: float,
+        conservative_control: Sequence[float],
+        hidden: tuple[int, ...] = (30, 48),
+        rng: int | np.random.Generator | None = None,
+    ):
+        self.param_names = tuple(param_names)
+        self.control_names = tuple(control_names)
+        if len(self.param_names) == 0 or len(self.control_names) == 0:
+            raise ValueError("need at least one parameter and one control")
+        conservative = np.asarray(conservative_control, dtype=float).ravel()
+        if conservative.size != len(self.control_names):
+            raise ValueError(
+                f"conservative_control must have {len(self.control_names)} entries"
+            )
+        self.quality_threshold = float(quality_threshold)
+        self.conservative_control = conservative
+        self._hidden = hidden
+        self.rng = ensure_rng(rng)
+        self.records: list[TuningRecord] = []
+        self.surrogate: Surrogate | None = None
+        self._safe_lo: np.ndarray | None = None
+        self._safe_hi: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def n_params(self) -> int:
+        return len(self.param_names)
+
+    @property
+    def n_controls(self) -> int:
+        return len(self.control_names)
+
+    def collect(
+        self,
+        evaluate: EvaluateFn,
+        param_samples: np.ndarray,
+        control_candidates: np.ndarray,
+    ) -> int:
+        """Probe every (params, candidate-control) pair.
+
+        ``control_candidates`` has shape (m, n_controls); candidates are
+        assumed ordered from conservative to aggressive along the cost
+        axis (only the *measured* cost is used for selection, so the
+        ordering only matters for tie-breaks).  Returns the number of
+        parameter vectors that gained an acceptable optimal control.
+        """
+        params = np.atleast_2d(np.asarray(param_samples, dtype=float))
+        controls = np.atleast_2d(np.asarray(control_candidates, dtype=float))
+        if params.shape[1] != self.n_params:
+            raise ValueError(f"param_samples must have {self.n_params} columns")
+        if controls.shape[1] != self.n_controls:
+            raise ValueError(f"control_candidates must have {self.n_controls} columns")
+        eval_rng, = spawn_rngs(self.rng, 1)
+        n_labeled = 0
+        for p in params:
+            best: TuningRecord | None = None
+            for c in controls:
+                quality, cost = evaluate(p, c, eval_rng)
+                acceptable = quality >= self.quality_threshold
+                rec = TuningRecord(
+                    params=p.copy(), control=c.copy(),
+                    quality=float(quality), cost=float(cost),
+                    acceptable=acceptable,
+                )
+                self.records.append(rec)
+                if acceptable and (best is None or rec.cost < best.cost):
+                    best = rec
+            if best is not None:
+                n_labeled += 1
+        return n_labeled
+
+    def optimal_dataset(self) -> tuple[np.ndarray, np.ndarray]:
+        """(params, optimal-control) matrix built from collected records.
+
+        For each distinct parameter vector the cheapest acceptable probe
+        wins; parameter vectors with no acceptable probe are omitted.
+        """
+        if not self.records:
+            raise ValueError("no records collected")
+        best: dict[bytes, TuningRecord] = {}
+        for rec in self.records:
+            if not rec.acceptable:
+                continue
+            key = rec.params.tobytes()
+            cur = best.get(key)
+            if cur is None or rec.cost < cur.cost:
+                best[key] = rec
+        if not best:
+            raise ValueError("no acceptable controls found for any parameter vector")
+        X = np.stack([r.params for r in best.values()])
+        C = np.stack([r.control for r in best.values()])
+        return X, C
+
+    # ------------------------------------------------------------------
+    def fit(self) -> None:
+        """Train the params -> optimal-control network."""
+        X, C = self.optimal_dataset()
+        self._safe_lo = C.min(axis=0)
+        self._safe_hi = C.max(axis=0)
+        self.surrogate = Surrogate(
+            self.n_params,
+            self.n_controls,
+            hidden=self._hidden,
+            test_fraction=0.3 if len(X) >= 20 else 0.0,
+            rng=self.rng,
+        )
+        self.surrogate.fit(X, C)
+
+    def recommend(
+        self, params: np.ndarray, *, safety_margin: float = 0.0
+    ) -> np.ndarray:
+        """Predict controls for ``params`` (shape (n, n_params) or (n_params,)).
+
+        ``safety_margin`` in [0, 1] linearly interpolates the prediction
+        toward :attr:`conservative_control`; predictions are clipped to
+        the observed-safe control box.  Falls back to the conservative
+        control when unfitted.
+        """
+        if not 0.0 <= safety_margin <= 1.0:
+            raise ValueError(f"safety_margin must be in [0, 1], got {safety_margin}")
+        params = np.atleast_2d(np.asarray(params, dtype=float))
+        if self.surrogate is None:
+            return np.tile(self.conservative_control, (len(params), 1))
+        pred = self.surrogate.predict(params)
+        pred = np.clip(pred, self._safe_lo, self._safe_hi)
+        if safety_margin:
+            pred = (1.0 - safety_margin) * pred + safety_margin * self.conservative_control
+        return pred
+
+    def __repr__(self) -> str:
+        state = "fitted" if self.surrogate is not None else "unfitted"
+        return (
+            f"AutoTuner({self.n_params} params -> {self.n_controls} controls, "
+            f"{len(self.records)} probes, {state})"
+        )

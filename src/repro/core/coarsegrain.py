@@ -1,0 +1,152 @@
+"""ML-based coarse-graining (§I, §II-B).
+
+The paper names coarse-graining "a difficult but essential aspect of the
+many multi-scale application areas" and gives the concrete example of
+using "a larger grain size to solve the diffusion equation underlying
+cellular and tissue level simulations".
+
+:class:`LearnedCorrector` implements residual coarse-graining: given a
+*fine* solver (expensive, accurate) and a *coarse* solver (cheap — e.g.
+the same PDE on a grid coarsened by a grain factor), it trains a network
+on the residual ``fine(x) - lift(coarse(x))`` so that
+
+    corrected(x) = lift(coarse(x)) + network(x, coarse(x))
+
+approaches fine accuracy at coarse cost.  :class:`CoarseGrainedSolver`
+packages the corrected solver behind the same callable interface.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.surrogate import Surrogate
+from repro.nn import metrics
+from repro.util.rng import ensure_rng
+
+__all__ = ["LearnedCorrector", "CoarseGrainedSolver"]
+
+SolverFn = Callable[[np.ndarray], np.ndarray]
+
+
+class LearnedCorrector:
+    """Train the coarse-to-fine residual model.
+
+    Parameters
+    ----------
+    fine_solver, coarse_solver:
+        ``solver(x) -> y`` with fixed output sizes; the coarse output may
+        have a different length than the fine output (``lift`` handles
+        the mapping; the default lift is linear interpolation).
+    in_dim:
+        Length of the parameter vector ``x``.
+    fine_dim, coarse_dim:
+        Output lengths of the two solvers.
+    lift:
+        Maps a coarse output onto the fine grid; default interpolates.
+    """
+
+    def __init__(
+        self,
+        fine_solver: SolverFn,
+        coarse_solver: SolverFn,
+        in_dim: int,
+        fine_dim: int,
+        coarse_dim: int,
+        *,
+        lift: Callable[[np.ndarray], np.ndarray] | None = None,
+        hidden: tuple[int, ...] = (64, 64),
+        rng: int | np.random.Generator | None = None,
+    ):
+        if min(in_dim, fine_dim, coarse_dim) <= 0:
+            raise ValueError("in_dim, fine_dim, coarse_dim must be positive")
+        self.fine_solver = fine_solver
+        self.coarse_solver = coarse_solver
+        self.in_dim = int(in_dim)
+        self.fine_dim = int(fine_dim)
+        self.coarse_dim = int(coarse_dim)
+        self.lift = lift if lift is not None else self._default_lift
+        self.rng = ensure_rng(rng)
+        # Corrector sees (x, coarse output) and predicts the fine residual.
+        self.surrogate = Surrogate(
+            in_dim + fine_dim,
+            fine_dim,
+            hidden=hidden,
+            test_fraction=0.2,
+            rng=self.rng,
+        )
+        self._fitted = False
+
+    def _default_lift(self, y_coarse: np.ndarray) -> np.ndarray:
+        """Linear interpolation from the coarse to the fine output grid."""
+        if self.coarse_dim == self.fine_dim:
+            return y_coarse
+        xc = np.linspace(0.0, 1.0, self.coarse_dim)
+        xf = np.linspace(0.0, 1.0, self.fine_dim)
+        return np.interp(xf, xc, y_coarse)
+
+    def _features(self, x: np.ndarray, lifted: np.ndarray) -> np.ndarray:
+        return np.concatenate([x, lifted])
+
+    def fit(self, X: np.ndarray) -> dict[str, float]:
+        """Train on a design matrix of parameter vectors.
+
+        Returns a dict with the corrected and uncorrected test RMSE
+        against the fine solver (computed on the surrogate's held-out
+        split proxy: a fresh 20% of ``X``).
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if X.shape[1] != self.in_dim:
+            raise ValueError(f"X must have {self.in_dim} columns, got {X.shape[1]}")
+        if len(X) < 10:
+            raise ValueError("need at least 10 training parameter vectors")
+        feats, residuals, lifted_all, fine_all = [], [], [], []
+        for x in X:
+            y_fine = np.asarray(self.fine_solver(x), dtype=float).ravel()
+            y_coarse = np.asarray(self.coarse_solver(x), dtype=float).ravel()
+            if y_fine.size != self.fine_dim or y_coarse.size != self.coarse_dim:
+                raise ValueError("solver output size mismatch with declared dims")
+            lifted = self.lift(y_coarse)
+            feats.append(self._features(x, lifted))
+            residuals.append(y_fine - lifted)
+            lifted_all.append(lifted)
+            fine_all.append(y_fine)
+        feats = np.stack(feats)
+        residuals = np.stack(residuals)
+        self.surrogate.fit(feats, residuals)
+        self._fitted = True
+
+        # Held-out check on a deterministic tail slice of the inputs.
+        n_eval = max(2, len(X) // 5)
+        corrected = np.stack([self.predict(x) for x in X[-n_eval:]])
+        fine = np.stack(fine_all[-n_eval:])
+        lifted = np.stack(lifted_all[-n_eval:])
+        return {
+            "rmse_uncorrected": metrics.rmse(lifted, fine),
+            "rmse_corrected": metrics.rmse(corrected, fine),
+        }
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Corrected solution: lift(coarse(x)) + learned residual."""
+        if not self._fitted:
+            raise RuntimeError("LearnedCorrector used before fit()")
+        x = np.asarray(x, dtype=float).ravel()
+        lifted = self.lift(np.asarray(self.coarse_solver(x), dtype=float).ravel())
+        residual = self.surrogate.predict(self._features(x, lifted)[None, :])[0]
+        return lifted + residual
+
+
+class CoarseGrainedSolver:
+    """Callable facade: ``solver(x) -> corrected fine-grid solution``."""
+
+    def __init__(self, corrector: LearnedCorrector):
+        self.corrector = corrector
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.corrector.predict(x)
+
+    @property
+    def fine_dim(self) -> int:
+        return self.corrector.fine_dim

@@ -1,0 +1,197 @@
+"""MLControl: objective-driven computational campaigns (§I).
+
+The paper files "objective driven computational campaigns" under
+MLControl and notes that "the simulation surrogates are very valuable to
+allow real-time predictions".  :class:`CampaignController` implements a
+surrogate-steered search: a cheap learned model screens a large candidate
+pool each round and only the most promising candidate is paid for with a
+real simulation — the run is then banked, the surrogate retrained, and the
+loop continues until the objective target or the simulation budget is hit.
+
+Acquisition is lower-confidence-bound (LCB) when the surrogate provides
+uncertainty: ``score = predicted_objective - kappa * std``, balancing
+exploitation against exploring poorly learned regions (the ergodicity
+concern of §I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.feasibility import FeasibilityClassifier
+from repro.core.simulation import RunDatabase, Simulation, SimulationError
+from repro.core.surrogate import Surrogate
+from repro.util.rng import ensure_rng, spawn_rngs
+
+__all__ = ["CampaignResult", "CampaignController"]
+
+ObjectiveFn = Callable[[np.ndarray], float]
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one campaign."""
+
+    best_inputs: np.ndarray
+    best_outputs: np.ndarray
+    best_objective: float
+    n_simulations: int
+    reached_target: bool
+    objective_trace: list[float] = field(default_factory=list)
+
+
+class CampaignController:
+    """Objective-driven campaign over a simulation's input space.
+
+    Parameters
+    ----------
+    simulation:
+        The expensive evaluator.
+    objective:
+        ``objective(outputs) -> float`` to *minimize* (e.g. absolute
+        distance of a contact density from its target value).
+    bounds:
+        Per-input (lo, hi) search box, shape (D, 2).
+    surrogate_factory:
+        Fresh-surrogate builder; ``dropout > 0`` enables the LCB
+        exploration term.
+    """
+
+    def __init__(
+        self,
+        simulation: Simulation,
+        objective: ObjectiveFn,
+        bounds: np.ndarray,
+        surrogate_factory: Callable[[], Surrogate],
+        *,
+        kappa: float = 1.0,
+        feasibility_factory: Callable[[], "FeasibilityClassifier"] | None = None,
+        feasibility_threshold: float = 0.5,
+        rng: int | np.random.Generator | None = None,
+    ):
+        bounds = np.asarray(bounds, dtype=float)
+        if bounds.shape != (simulation.n_inputs, 2):
+            raise ValueError(
+                f"bounds must have shape ({simulation.n_inputs}, 2), got {bounds.shape}"
+            )
+        if np.any(bounds[:, 0] >= bounds[:, 1]):
+            raise ValueError("each bounds row must satisfy lo < hi")
+        if kappa < 0:
+            raise ValueError(f"kappa must be >= 0, got {kappa}")
+        if not 0.0 < feasibility_threshold < 1.0:
+            raise ValueError(
+                f"feasibility_threshold must be in (0, 1), got {feasibility_threshold}"
+            )
+        self.simulation = simulation
+        self.objective = objective
+        self.bounds = bounds
+        self.surrogate_factory = surrogate_factory
+        self.kappa = float(kappa)
+        self.feasibility_factory = feasibility_factory
+        self.feasibility_threshold = float(feasibility_threshold)
+        self.rng = ensure_rng(rng)
+        self.db = RunDatabase()
+
+    # ------------------------------------------------------------------
+    def _sample_box(self, n: int, gen: np.random.Generator) -> np.ndarray:
+        lo, hi = self.bounds[:, 0], self.bounds[:, 1]
+        return gen.uniform(lo, hi, size=(n, len(lo)))
+
+    def _screen_feasible(self, pool: np.ndarray) -> np.ndarray:
+        """Drop pool candidates a trained feasibility model rejects.
+
+        The classifier ("no run is wasted": it learns from the campaign's
+        own failed runs) only engages once both outcomes are represented;
+        if screening would empty the pool it is skipped for the round.
+        """
+        if self.feasibility_factory is None:
+            return pool
+        if self.db.n_failure == 0 or self.db.n_success == 0:
+            return pool
+        classifier = self.feasibility_factory()
+        classifier.fit_database(self.db)
+        keep = classifier.predict(pool, threshold=self.feasibility_threshold)
+        if not np.any(keep):
+            return pool
+        return pool[keep]
+
+    def _evaluate(
+        self, x: np.ndarray, sim_rng: np.random.Generator
+    ) -> tuple[np.ndarray, float] | None:
+        try:
+            record = self.simulation.run_recorded(x, self.db, sim_rng)
+        except SimulationError:
+            return None
+        return record.outputs, float(self.objective(record.outputs))
+
+    def run(
+        self,
+        *,
+        n_seed: int = 15,
+        pool_size: int = 2000,
+        max_simulations: int = 60,
+        target: float | None = None,
+    ) -> CampaignResult:
+        """Execute the campaign.
+
+        ``n_seed`` random simulations initialize the surrogate; thereafter
+        each round screens ``pool_size`` random candidates through the
+        surrogate and simulates only the LCB-best one.  Stops when the
+        best objective falls to ``target`` (if given) or the budget of
+        ``max_simulations`` is spent.
+        """
+        if n_seed < 5:
+            raise ValueError("n_seed must be >= 5")
+        if max_simulations < n_seed:
+            raise ValueError("max_simulations must cover the seed phase")
+        seed_rng, sim_rng, pool_rng = spawn_rngs(self.rng, 3)
+
+        best_x: np.ndarray | None = None
+        best_y: np.ndarray | None = None
+        best_obj = float("inf")
+        trace: list[float] = []
+
+        for x in self._sample_box(n_seed, seed_rng):
+            out = self._evaluate(x, sim_rng)
+            if out is not None and out[1] < best_obj:
+                best_x, best_y, best_obj = x, out[0], out[1]
+            trace.append(best_obj)
+        if best_x is None:
+            raise RuntimeError("every seed simulation failed")
+        if target is not None and best_obj <= target:
+            return CampaignResult(best_x, best_y, best_obj, len(self.db), True, trace)
+
+        n_used = len(self.db)
+        while n_used < max_simulations:
+            X, Y = self.db.training_arrays()
+            surrogate = self.surrogate_factory()
+            surrogate.fit(X, Y)
+
+            pool = self._sample_box(pool_size, pool_rng)
+            pool = self._screen_feasible(pool)
+            if surrogate.uq_backend is not None and self.kappa > 0:
+                uq = surrogate.predict_with_uncertainty(pool)
+                pred_obj = np.array([self.objective(m) for m in uq.mean])
+                scale = surrogate.y_scaler.scale_std()
+                explore = np.max(uq.std / scale, axis=1)
+                scores = pred_obj - self.kappa * explore * np.std(pred_obj)
+            else:
+                pred = surrogate.predict(pool)
+                scores = np.array([self.objective(m) for m in pred])
+            candidate = pool[int(np.argmin(scores))]
+
+            out = self._evaluate(candidate, sim_rng)
+            n_used = len(self.db)
+            if out is not None and out[1] < best_obj:
+                best_x, best_y, best_obj = candidate, out[0], out[1]
+            trace.append(best_obj)
+            if target is not None and best_obj <= target:
+                return CampaignResult(best_x, best_y, best_obj, n_used, True, trace)
+
+        return CampaignResult(
+            best_x, best_y, best_obj, n_used, target is not None and best_obj <= target,
+            trace,
+        )

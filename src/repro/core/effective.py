@@ -1,0 +1,173 @@
+"""The effective-performance model of §III-D.
+
+The paper distinguishes *traditional* performance (benchmark scores) from
+*effective* performance — what the user sees when learned surrogates
+answer most queries.  Its central formula, for a campaign of
+``N_train`` training simulations followed by ``N_lookup`` surrogate
+inferences::
+
+                 T_seq * (N_lookup + N_train)
+    S  =  ------------------------------------------------
+          T_lookup * N_lookup + (T_train + T_learn) * N_train
+
+with T_seq the sequential simulation time, T_train the (parallel)
+per-simulation time while generating training data, T_learn the per-sample
+training cost, and T_lookup the per-inference cost.  The two limits called
+out in the paper:
+
+* ``N_lookup = 0``  ->  ``S -> T_seq / (T_train + T_learn)`` (classic
+  parallel speedup when T_learn is negligible), and
+* ``N_lookup / N_train -> inf``  ->  ``S -> T_seq / T_lookup`` — "which
+  can be huge!" (the paper reports ~1e5 for the nanoconfinement surrogate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.timing import WallClockLedger
+from repro.util.validation import check_positive
+
+__all__ = ["effective_speedup", "EffectiveSpeedupModel", "speedup_sweep"]
+
+
+def effective_speedup(
+    t_seq: float,
+    t_train: float,
+    t_learn: float,
+    t_lookup: float,
+    n_lookup: float,
+    n_train: float,
+) -> float:
+    """Evaluate the §III-D effective-speedup formula.
+
+    Parameters mirror the paper exactly; ``n_lookup`` and ``n_train`` may
+    be floats (the formula is used for asymptotic sweeps).  ``n_train``
+    must be positive (the model assumes some training simulations);
+    ``n_lookup`` may be zero.
+    """
+    check_positive("t_seq", t_seq)
+    check_positive("t_train", t_train)
+    check_positive("t_learn", t_learn, strict=False)
+    check_positive("t_lookup", t_lookup)
+    check_positive("n_train", n_train)
+    check_positive("n_lookup", n_lookup, strict=False)
+    numerator = t_seq * (n_lookup + n_train)
+    denominator = t_lookup * n_lookup + (t_train + t_learn) * n_train
+    return numerator / denominator
+
+
+@dataclass(frozen=True)
+class EffectiveSpeedupModel:
+    """The four timing constants of §III-D bundled with analysis helpers.
+
+    Attributes
+    ----------
+    t_seq:
+        Sequential execution time of one simulation.
+    t_train:
+        Per-simulation wall time while producing training data (lower than
+        ``t_seq`` when training simulations run in parallel).
+    t_learn:
+        Network-training time *per training sample*.
+    t_lookup:
+        Inference time per surrogate query.
+    """
+
+    t_seq: float
+    t_train: float
+    t_learn: float
+    t_lookup: float
+
+    def __post_init__(self) -> None:
+        check_positive("t_seq", self.t_seq)
+        check_positive("t_train", self.t_train)
+        check_positive("t_learn", self.t_learn, strict=False)
+        check_positive("t_lookup", self.t_lookup)
+
+    def speedup(self, n_lookup: float, n_train: float) -> float:
+        return effective_speedup(
+            self.t_seq, self.t_train, self.t_learn, self.t_lookup, n_lookup, n_train
+        )
+
+    @property
+    def no_ml_limit(self) -> float:
+        """S at ``n_lookup = 0``: the classic T_seq / (T_train + T_learn)."""
+        return self.t_seq / (self.t_train + self.t_learn)
+
+    @property
+    def lookup_limit(self) -> float:
+        """S as ``n_lookup / n_train -> inf``: T_seq / T_lookup."""
+        return self.t_seq / self.t_lookup
+
+    def crossover_ratio(self) -> float:
+        """``n_lookup / n_train`` at which S reaches the geometric mean of
+        its two limits — a scalar summary of where the transition happens.
+        """
+        target = float(np.sqrt(self.no_ml_limit * self.lookup_limit))
+        # Solve S(r) = target for r = n_lookup/n_train analytically:
+        #   t_seq (r + 1) = target (t_lookup r + t_train + t_learn)
+        a = self.t_seq - target * self.t_lookup
+        b = target * (self.t_train + self.t_learn) - self.t_seq
+        if a <= 0:
+            return float("inf")
+        r = b / a
+        return float(max(r, 0.0))
+
+    @classmethod
+    def from_ledger(
+        cls, ledger: WallClockLedger, *, t_seq: float | None = None
+    ) -> "EffectiveSpeedupModel":
+        """Build the model from *measured* costs in a
+        :class:`~repro.util.timing.WallClockLedger` using the conventional
+        category names ``simulate`` / ``train`` / ``lookup``.
+
+        ``t_seq`` defaults to the measured mean simulation time (i.e. the
+        training simulations are assumed to run at sequential speed, the
+        "simple case" of the paper).  ``t_learn`` is the total training
+        time divided by the number of simulate calls (training cost *per
+        sample*, as the paper defines it).
+        """
+        mean_sim = ledger.mean("simulate")
+        if mean_sim == 0.0:
+            raise ValueError("ledger has no 'simulate' records")
+        if ledger.count("lookup") == 0:
+            raise ValueError("ledger has no 'lookup' records")
+        n_train = max(ledger.count("simulate"), 1)
+        t_learn = ledger.total("train") / n_train
+        return cls(
+            t_seq=t_seq if t_seq is not None else mean_sim,
+            t_train=mean_sim,
+            t_learn=t_learn,
+            t_lookup=ledger.mean("lookup"),
+        )
+
+
+def speedup_sweep(
+    model: EffectiveSpeedupModel,
+    ratios: np.ndarray | None = None,
+    n_train: float = 1000.0,
+) -> list[dict[str, float]]:
+    """Tabulate S over a sweep of ``n_lookup / n_train`` ratios.
+
+    Returns one row per ratio with the ratio, n_lookup, the speedup, and
+    the fraction of the asymptotic ``lookup_limit`` attained — the series
+    a figure of §III-D would plot.
+    """
+    if ratios is None:
+        ratios = np.logspace(-2, 6, 17)
+    rows = []
+    for r in np.asarray(ratios, dtype=float):
+        n_lookup = r * n_train
+        s = model.speedup(n_lookup, n_train)
+        rows.append(
+            {
+                "ratio": float(r),
+                "n_lookup": float(n_lookup),
+                "speedup": s,
+                "fraction_of_limit": s / model.lookup_limit,
+            }
+        )
+    return rows

@@ -1,0 +1,126 @@
+"""Feasibility classification from failed simulation runs (§II-C1).
+
+"No run is wasted.  Training needs both successful and unsuccessful
+runs."  Successful runs feed the regression surrogate; *failed* runs
+(diverged integrators, unphysical parameter combinations) carry a
+different signal — where the simulation cannot go — and this module
+turns them into a learned feasibility boundary:
+
+* :class:`FeasibilityClassifier` — a sigmoid-output MLP trained with
+  binary cross-entropy on (inputs, success) pairs, e.g. straight from
+  :meth:`repro.core.simulation.RunDatabase.feasibility_arrays`;
+* campaign integration — :class:`~repro.core.control.CampaignController`
+  accepts one and screens its candidate pool, so objective-driven
+  campaigns stop burning budget on parameter regions that always fail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.simulation import RunDatabase
+from repro.nn.model import MLP
+from repro.nn.optimizers import Adam
+from repro.nn.scalers import StandardScaler
+from repro.util.rng import ensure_rng, spawn_rngs
+
+__all__ = ["FeasibilityClassifier"]
+
+
+class FeasibilityClassifier:
+    """Learn ``P(run succeeds | inputs)``.
+
+    Parameters
+    ----------
+    in_dim:
+        Input feature count (the simulation's D).
+    hidden:
+        Hidden-layer widths of the classifier MLP.
+    epochs, batch_size, learning_rate:
+        Training configuration.
+    rng:
+        Seed/generator for initialization and shuffling.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        *,
+        hidden: tuple[int, ...] = (24, 24),
+        epochs: int = 200,
+        batch_size: int = 32,
+        learning_rate: float = 3e-3,
+        rng: int | np.random.Generator | None = None,
+    ):
+        if in_dim < 1:
+            raise ValueError("in_dim must be >= 1")
+        self.in_dim = int(in_dim)
+        self._epochs = int(epochs)
+        self._batch_size = int(batch_size)
+        self._lr = float(learning_rate)
+        gen = ensure_rng(rng)
+        model_rng, self._train_rng = spawn_rngs(gen, 2)
+        self.model = MLP.regressor(
+            in_dim, list(hidden), 1,
+            activation="relu", out_activation="sigmoid", rng=model_rng,
+        )
+        self.scaler = StandardScaler()
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, success: np.ndarray) -> float:
+        """Train on (inputs, success flags); returns final training BCE.
+
+        Degenerate label sets (all success or all failure) are accepted —
+        the classifier then predicts a constant, which is the correct
+        inference from such data.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(success, dtype=float).ravel()[:, None]
+        if X.shape[1] != self.in_dim:
+            raise ValueError(f"expected {self.in_dim} features, got {X.shape[1]}")
+        if len(X) != len(y):
+            raise ValueError("X and success lengths differ")
+        if len(X) < 4:
+            raise ValueError("need at least 4 runs to fit")
+        if np.any((y != 0.0) & (y != 1.0)):
+            raise ValueError("success labels must be 0 or 1")
+
+        Xs = self.scaler.fit_transform(X)
+        optimizer = Adam(self._lr)
+        final = float("nan")
+        for _ in range(self._epochs):
+            perm = self._train_rng.permutation(len(Xs))
+            total, n = 0.0, 0
+            for start in range(0, len(Xs), self._batch_size):
+                idx = perm[start : start + self._batch_size]
+                loss = self.model.train_batch(Xs[idx], y[idx], "bce")
+                optimizer.step(self.model.params, self.model.grads)
+                total += loss
+                n += 1
+            final = total / n
+        self._fitted = True
+        return final
+
+    def fit_database(self, db: RunDatabase) -> float:
+        """Train directly from a run database (all runs, success labels)."""
+        X, s = db.feasibility_arrays()
+        return self.fit(X, s)
+
+    # ------------------------------------------------------------------
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """``P(success)`` per row, shape (n,)."""
+        if not self._fitted:
+            raise RuntimeError("FeasibilityClassifier used before fit()")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        return self.model.predict(self.scaler.transform(X))[:, 0]
+
+    def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Boolean feasibility mask at the given probability threshold."""
+        if not 0.0 < threshold < 1.0:
+            raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+        return self.predict_proba(X) >= threshold
+
+    def accuracy(self, X: np.ndarray, success: np.ndarray) -> float:
+        y = np.asarray(success, dtype=float).ravel()
+        return float(np.mean(self.predict(X) == (y > 0.5)))

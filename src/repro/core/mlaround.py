@@ -1,0 +1,231 @@
+"""MLaroundHPC: learned surrogates wrapped around a live simulation (§I, §III-D).
+
+:class:`MLAroundHPC` is the paper's central object rendered as code.  It
+owns a :class:`~repro.core.simulation.Simulation`, a
+:class:`~repro.core.surrogate.Surrogate` and a
+:class:`~repro.util.timing.WallClockLedger`, and answers *queries*:
+
+* while the surrogate is untrained (or uncertain at the query point), the
+  real simulation runs — and its result is banked as training data ("no
+  run is wasted");
+* once the surrogate is confident, queries are answered by inference,
+  orders of magnitude faster (the "effective performance" boost);
+* the surrogate retrains on a configurable cadence as new simulation
+  results accumulate ("with new simulation runs, the ML layer gets better
+  at making predictions" — auto-tunability outcome 3 of §II-C1).
+
+The ledger feeds :class:`~repro.core.effective.EffectiveSpeedupModel`, so
+every orchestrator can report its *measured* effective speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.effective import EffectiveSpeedupModel
+from repro.core.simulation import RunDatabase, Simulation, SimulationError
+from repro.core.surrogate import Surrogate
+from repro.util.rng import ensure_rng, spawn_rngs
+from repro.util.timing import WallClockLedger
+
+__all__ = ["RetrainPolicy", "QueryOutcome", "MLAroundHPC"]
+
+
+@dataclass(frozen=True)
+class RetrainPolicy:
+    """When the wrapper (re)trains its surrogate.
+
+    Attributes
+    ----------
+    min_initial_runs:
+        No surrogate exists until this many successful runs are banked.
+    retrain_every:
+        After the initial fit, retrain once this many *new* successful
+        runs accumulate.
+    """
+
+    min_initial_runs: int = 20
+    retrain_every: int = 25
+
+    def __post_init__(self) -> None:
+        if self.min_initial_runs < 4:
+            raise ValueError("min_initial_runs must be >= 4 (surrogate needs data)")
+        if self.retrain_every < 1:
+            raise ValueError("retrain_every must be >= 1")
+
+
+@dataclass
+class QueryOutcome:
+    """The answer to one query plus its provenance."""
+
+    inputs: np.ndarray
+    outputs: np.ndarray
+    source: str  # "simulate" | "lookup"
+    #: Normalized predictive std (max over outputs, in scaled units);
+    #: NaN when the answer came from the simulation.
+    uncertainty: float = float("nan")
+    wall_seconds: float = 0.0
+
+
+class MLAroundHPC:
+    """Wrap a simulation in a learned, uncertainty-gated surrogate.
+
+    Parameters
+    ----------
+    simulation:
+        The expensive ground truth.
+    surrogate:
+        An unfitted :class:`~repro.core.surrogate.Surrogate` whose
+        dimensions match the simulation signature.  Give it ``dropout>0``
+        to enable the UQ gate.
+    tolerance:
+        Lookup is allowed when the surrogate's normalized predictive std
+        (std divided by the output scaler's scale — dimensionless) is at
+        most this value.  ``None`` disables the gate: any fitted surrogate
+        answers every query (the non-UQ mode the paper warns about).
+    policy:
+        Retraining cadence.
+    rng:
+        Seed/generator for simulation stochasticity.
+    """
+
+    def __init__(
+        self,
+        simulation: Simulation,
+        surrogate: Surrogate,
+        *,
+        tolerance: float | None = 0.2,
+        policy: RetrainPolicy | None = None,
+        rng: int | np.random.Generator | None = None,
+    ):
+        if surrogate.in_dim != simulation.n_inputs:
+            raise ValueError(
+                f"surrogate expects {surrogate.in_dim} inputs but simulation "
+                f"has {simulation.n_inputs}"
+            )
+        if surrogate.out_dim != simulation.n_outputs:
+            raise ValueError(
+                f"surrogate predicts {surrogate.out_dim} outputs but simulation "
+                f"has {simulation.n_outputs}"
+            )
+        if tolerance is not None and tolerance <= 0:
+            raise ValueError(f"tolerance must be > 0 or None, got {tolerance}")
+        self.simulation = simulation
+        self.surrogate = surrogate
+        self.tolerance = tolerance
+        self.policy = policy or RetrainPolicy()
+        self.db = RunDatabase()
+        self.ledger = WallClockLedger()
+        self._sim_rng, = spawn_rngs(ensure_rng(rng), 1)
+        self._runs_at_last_fit = 0
+        self._trained = False
+        self.n_lookups = 0
+        self.n_simulations = 0
+
+    # ------------------------------------------------------------------
+    def bootstrap(self, X: np.ndarray) -> None:
+        """Run the simulation over a design matrix and fit the surrogate.
+
+        This is the "run N_train simulations, then learn" phase of the
+        paper's simple-case analysis.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        for x in X:
+            self._simulate(x)
+        self._maybe_fit(force=True)
+
+    def query(self, x: np.ndarray) -> QueryOutcome:
+        """Answer one query, choosing lookup vs simulation."""
+        x = np.asarray(x, dtype=float).ravel()
+        if self._trained:
+            outcome = self._try_lookup(x)
+            if outcome is not None:
+                return outcome
+        outcome = self._simulate(x)
+        self._maybe_fit()
+        return outcome
+
+    def query_batch(self, X: np.ndarray) -> list[QueryOutcome]:
+        return [self.query(x) for x in np.atleast_2d(np.asarray(X, dtype=float))]
+
+    # ------------------------------------------------------------------
+    def _try_lookup(self, x: np.ndarray) -> QueryOutcome | None:
+        with self.ledger.measure("lookup") as t:
+            if self.tolerance is None or self.surrogate.uq_backend is None:
+                y = self.surrogate.predict(x[None, :])[0]
+                std_norm = float("nan")
+                confident = self.tolerance is None
+            else:
+                uq = self.surrogate.predict_with_uncertainty(x[None, :])
+                y = uq.mean[0]
+                scale = self.surrogate.y_scaler.scale_std()
+                std_norm = float(np.max(uq.std[0] / scale))
+                confident = std_norm <= self.tolerance
+        if not confident:
+            return None
+        self.n_lookups += 1
+        return QueryOutcome(
+            inputs=x, outputs=y, source="lookup",
+            uncertainty=std_norm, wall_seconds=t.elapsed,
+        )
+
+    def _simulate(self, x: np.ndarray) -> QueryOutcome:
+        with self.ledger.measure("simulate") as t:
+            try:
+                record = self.simulation.run_recorded(x, self.db, self._sim_rng)
+            except SimulationError:
+                # The failure is banked in the db (feasibility signal);
+                # surface NaNs to the caller rather than aborting.
+                self.n_simulations += 1
+                return QueryOutcome(
+                    inputs=x,
+                    outputs=np.full(self.simulation.n_outputs, np.nan),
+                    source="simulate",
+                    wall_seconds=t.elapsed,
+                )
+        self.n_simulations += 1
+        return QueryOutcome(
+            inputs=x, outputs=record.outputs, source="simulate",
+            wall_seconds=t.elapsed,
+        )
+
+    def _maybe_fit(self, force: bool = False) -> None:
+        n_good = self.db.n_success
+        if n_good < self.policy.min_initial_runs:
+            return
+        new_runs = n_good - self._runs_at_last_fit
+        due = force or not self._trained or new_runs >= self.policy.retrain_every
+        if not due:
+            return
+        X, Y = self.db.training_arrays()
+        with self.ledger.measure("train"):
+            self.surrogate.fit(X, Y)
+        self._trained = True
+        self._runs_at_last_fit = n_good
+
+    # ------------------------------------------------------------------
+    @property
+    def is_trained(self) -> bool:
+        return self._trained
+
+    def lookup_fraction(self) -> float:
+        total = self.n_lookups + self.n_simulations
+        return self.n_lookups / total if total else 0.0
+
+    def effective_speedup_model(self) -> EffectiveSpeedupModel:
+        """Measured-cost effective-speedup model for this wrapper."""
+        return EffectiveSpeedupModel.from_ledger(self.ledger)
+
+    def measured_effective_speedup(self) -> float:
+        """S evaluated at the actually observed (N_lookup, N_train)."""
+        model = self.effective_speedup_model()
+        return model.speedup(max(self.n_lookups, 0), max(self.n_simulations, 1))
+
+    def __repr__(self) -> str:
+        return (
+            f"MLAroundHPC(sim={type(self.simulation).__name__}, "
+            f"trained={self._trained}, lookups={self.n_lookups}, "
+            f"simulations={self.n_simulations})"
+        )

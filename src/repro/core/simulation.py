@@ -1,0 +1,243 @@
+"""The `Simulation` protocol and the run database.
+
+A *simulation* in the Learning-Everywhere sense is any expensive map from
+a small feature vector (the paper's ``D`` control parameters, §III-C) to
+an output vector, optionally stochastic.  The framework only needs:
+
+* ``input_names`` / ``output_names`` — the feature signature,
+* ``run(x, rng)`` — one (timed) evaluation,
+
+and everything else (surrogates, UQ, orchestration, campaigns) is built
+on top.  :class:`RunDatabase` implements the "no run is wasted" principle
+of §II-C1: every executed run — successful or failed — is recorded and
+becomes training signal (outputs for the regressor, success flags for a
+feasibility model).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.util.rng import ensure_rng
+
+__all__ = [
+    "SimulationError",
+    "Simulation",
+    "CallableSimulation",
+    "RunRecord",
+    "RunDatabase",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised by a simulation run that fails for physical or numerical
+    reasons (e.g. an unstable integrator timestep).  Failed runs are still
+    recorded by the framework."""
+
+
+class Simulation:
+    """Base class for expensive parameterized computations.
+
+    Subclasses must set :attr:`input_names` and :attr:`output_names` and
+    implement :meth:`_run`.  ``run`` adds input validation and timing.
+    """
+
+    #: Names of the input features, length D (see §III-C).
+    input_names: tuple[str, ...] = ()
+    #: Names of the output quantities.
+    output_names: tuple[str, ...] = ()
+
+    @property
+    def n_inputs(self) -> int:
+        return len(self.input_names)
+
+    @property
+    def n_outputs(self) -> int:
+        return len(self.output_names)
+
+    def _run(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+    def run(
+        self, x: Sequence[float] | np.ndarray, rng: int | np.random.Generator | None = None
+    ) -> "RunRecord":
+        """Execute one simulation; always returns a :class:`RunRecord`.
+
+        Failures raise :exc:`SimulationError` *after* being wrapped into a
+        record by callers that use :meth:`run_recorded`; direct ``run``
+        propagates the exception.
+        """
+        x = np.asarray(x, dtype=float).ravel()
+        if x.size != self.n_inputs:
+            raise ValueError(
+                f"{type(self).__name__} expects {self.n_inputs} inputs "
+                f"({', '.join(self.input_names)}), got {x.size}"
+            )
+        gen = ensure_rng(rng)
+        start = time.perf_counter()
+        y = self._run(x, gen)
+        elapsed = time.perf_counter() - start
+        y = np.asarray(y, dtype=float).ravel()
+        if y.size != self.n_outputs:
+            raise RuntimeError(
+                f"{type(self).__name__}._run returned {y.size} outputs, "
+                f"expected {self.n_outputs}"
+            )
+        return RunRecord(inputs=x, outputs=y, wall_seconds=elapsed, success=True)
+
+    def run_recorded(
+        self,
+        x: Sequence[float] | np.ndarray,
+        db: "RunDatabase",
+        rng: int | np.random.Generator | None = None,
+    ) -> "RunRecord":
+        """Run and append to ``db``; failures are recorded, then re-raised."""
+        x = np.asarray(x, dtype=float).ravel()
+        start = time.perf_counter()
+        try:
+            record = self.run(x, rng)
+        except SimulationError as exc:
+            elapsed = time.perf_counter() - start
+            record = RunRecord(
+                inputs=x,
+                outputs=np.full(self.n_outputs, np.nan),
+                wall_seconds=elapsed,
+                success=False,
+                error=str(exc),
+            )
+            db.add(record)
+            raise
+        db.add(record)
+        return record
+
+    def run_batch(
+        self,
+        X: np.ndarray,
+        rng: int | np.random.Generator | None = None,
+        db: "RunDatabase | None" = None,
+    ) -> np.ndarray:
+        """Run every row of ``X``; returns the (n, n_outputs) output matrix.
+
+        Failed rows contribute NaN outputs (and are recorded as failures
+        when ``db`` is given) rather than aborting the sweep.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        gen = ensure_rng(rng)
+        out = np.empty((len(X), self.n_outputs))
+        for i, x in enumerate(X):
+            try:
+                if db is not None:
+                    record = self.run_recorded(x, db, gen)
+                else:
+                    record = self.run(x, gen)
+                out[i] = record.outputs
+            except SimulationError:
+                out[i] = np.nan
+        return out
+
+
+class CallableSimulation(Simulation):
+    """Adapter turning a plain function into a :class:`Simulation`.
+
+    Parameters
+    ----------
+    fn:
+        ``fn(x, rng) -> array`` or ``fn(x) -> array`` (detected by a probe
+        of its signature at first call is avoided — pass ``needs_rng``).
+    input_names, output_names:
+        Feature signature.
+    needs_rng:
+        Whether ``fn`` accepts the generator as second argument.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[..., np.ndarray],
+        input_names: Sequence[str],
+        output_names: Sequence[str],
+        *,
+        needs_rng: bool = False,
+    ):
+        self._fn = fn
+        self.input_names = tuple(input_names)
+        self.output_names = tuple(output_names)
+        self._needs_rng = bool(needs_rng)
+
+    def _run(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self._needs_rng:
+            return np.asarray(self._fn(x, rng), dtype=float)
+        return np.asarray(self._fn(x), dtype=float)
+
+
+@dataclass
+class RunRecord:
+    """One executed simulation: inputs, outputs, cost, success flag."""
+
+    inputs: np.ndarray
+    outputs: np.ndarray
+    wall_seconds: float
+    success: bool = True
+    error: str | None = None
+    metadata: dict = field(default_factory=dict)
+
+
+class RunDatabase:
+    """Append-only store of :class:`RunRecord` — "no run is wasted".
+
+    Provides training matrices for surrogates (:meth:`training_arrays`,
+    successful runs only) and a feasibility dataset
+    (:meth:`feasibility_arrays`, all runs with success labels).
+    """
+
+    def __init__(self) -> None:
+        self._records: list[RunRecord] = []
+
+    def add(self, record: RunRecord) -> None:
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def __getitem__(self, i: int) -> RunRecord:
+        return self._records[i]
+
+    @property
+    def n_success(self) -> int:
+        return sum(1 for r in self._records if r.success)
+
+    @property
+    def n_failure(self) -> int:
+        return len(self._records) - self.n_success
+
+    def total_wall_seconds(self) -> float:
+        return sum(r.wall_seconds for r in self._records)
+
+    def training_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """(X, Y) from successful runs; shapes (S, D) and (S, K)."""
+        good = [r for r in self._records if r.success]
+        if not good:
+            raise ValueError("no successful runs in database")
+        X = np.stack([r.inputs for r in good])
+        Y = np.stack([r.outputs for r in good])
+        return X, Y
+
+    def feasibility_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """(X, success) over *all* runs — training data for a feasibility
+        classifier; this is where failed runs earn their keep."""
+        if not self._records:
+            raise ValueError("empty database")
+        X = np.stack([r.inputs for r in self._records])
+        s = np.array([float(r.success) for r in self._records])
+        return X, s
+
+    def mean_run_seconds(self) -> float:
+        if not self._records:
+            return 0.0
+        return self.total_wall_seconds() / len(self._records)

@@ -1,0 +1,289 @@
+"""ANN surrogates over simulations (§II-C1, §III-D).
+
+A :class:`Surrogate` packages the full recipe used by the paper's
+nanoconfinement exemplar [26]: standard-scale the D input features and the
+K outputs, train a small dense network on S samples with a 70/30
+train/test split, and report agreement metrics on the held-out fraction.
+The surrogate can carry a UQ backend (MC-dropout by default when the
+network has dropout) so callers can ask not only "what is the predicted
+output" but "can the prediction be trusted" (§III-B).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.uq import MCDropoutUQ, UQBackend, UQResult
+from repro.nn import metrics
+from repro.nn.model import MLP
+from repro.nn.optimizers import Adam, Optimizer
+from repro.nn.scalers import StandardScaler
+from repro.nn.training import EarlyStopping, Trainer
+from repro.util.rng import ensure_rng, spawn_rngs
+
+__all__ = ["Surrogate", "SurrogateReport"]
+
+
+@dataclass
+class SurrogateReport:
+    """Held-out accuracy of a trained surrogate."""
+
+    n_train: int
+    n_test: int
+    test_rmse: float
+    test_mae: float
+    test_r2: float
+    per_output_rmse: np.ndarray = field(repr=False, default=None)
+
+    def __str__(self) -> str:
+        return (
+            f"SurrogateReport(S={self.n_train}, test={self.n_test}, "
+            f"rmse={self.test_rmse:.4g}, mae={self.test_mae:.4g}, "
+            f"r2={self.test_r2:.4f})"
+        )
+
+
+class Surrogate:
+    """A trained stand-in for an expensive simulation.
+
+    Parameters
+    ----------
+    in_dim, out_dim:
+        Feature signature (the paper's D and the output count).
+    hidden:
+        Hidden layer widths; defaults mirror the exemplar networks
+        (§III-D uses hidden layers of 30 and 48 units).
+    dropout:
+        Dropout rate; > 0 enables MC-dropout UQ.
+    activation, l2, epochs, batch_size, learning_rate, patience:
+        Training configuration forwarded to :class:`~repro.nn.training.Trainer`.
+    test_fraction:
+        Held-out fraction for the accuracy report (paper: 30%).
+    rng:
+        Seed or generator controlling init, splits, shuffling, dropout.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        *,
+        hidden: tuple[int, ...] = (30, 48),
+        dropout: float = 0.0,
+        activation: str = "relu",
+        l2: float = 0.0,
+        epochs: int = 400,
+        batch_size: int = 32,
+        learning_rate: float = 1e-3,
+        patience: int = 40,
+        test_fraction: float = 0.3,
+        rng: int | np.random.Generator | None = None,
+    ):
+        if not 0.0 <= test_fraction < 1.0:
+            raise ValueError(f"test_fraction must be in [0, 1), got {test_fraction}")
+        self.in_dim = int(in_dim)
+        self.out_dim = int(out_dim)
+        self.test_fraction = float(test_fraction)
+        self._epochs = int(epochs)
+        self._batch_size = int(batch_size)
+        self._lr = float(learning_rate)
+        self._patience = int(patience)
+        gen = ensure_rng(rng)
+        model_rng, self._train_rng, self._split_rng = spawn_rngs(gen, 3)
+        self.model = MLP.regressor(
+            in_dim,
+            list(hidden),
+            out_dim,
+            activation=activation,
+            dropout=dropout,
+            l2=l2,
+            rng=model_rng,
+        )
+        self.x_scaler = StandardScaler()
+        self.y_scaler = StandardScaler()
+        self._fitted = False
+        self.report: SurrogateReport | None = None
+        self.uq_backend: UQBackend | None = None
+        self._uq_samples = 50
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, Y: np.ndarray) -> SurrogateReport:
+        """Train on (X, Y); returns the held-out accuracy report.
+
+        Rows with non-finite outputs (failed simulation runs) are dropped
+        from the regression set — they still matter elsewhere, via
+        :meth:`repro.core.simulation.RunDatabase.feasibility_arrays`.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        Y = np.asarray(Y, dtype=float)
+        if Y.ndim == 1:
+            Y = Y[:, None]
+        if X.shape[1] != self.in_dim or Y.shape[1] != self.out_dim:
+            raise ValueError(
+                f"expected shapes (n, {self.in_dim}) and (n, {self.out_dim}); "
+                f"got {X.shape} and {Y.shape}"
+            )
+        if len(X) != len(Y):
+            raise ValueError("X and Y row counts differ")
+        finite = np.all(np.isfinite(Y), axis=1) & np.all(np.isfinite(X), axis=1)
+        X, Y = X[finite], Y[finite]
+        if len(X) < 4:
+            raise ValueError(f"need at least 4 finite samples, got {len(X)}")
+
+        n_test = int(round(self.test_fraction * len(X)))
+        order = self._split_rng.permutation(len(X))
+        test_idx, train_idx = order[:n_test], order[n_test:]
+        X_train, Y_train = X[train_idx], Y[train_idx]
+
+        Xs = self.x_scaler.fit_transform(X_train)
+        Ys = self.y_scaler.fit_transform(Y_train)
+        trainer = Trainer(
+            self.model,
+            optimizer=Adam(self._lr),
+            epochs=self._epochs,
+            batch_size=self._batch_size,
+            validation_fraction=0.15 if self._patience else 0.0,
+            early_stopping=EarlyStopping(self._patience) if self._patience else None,
+            rng=self._train_rng,
+        )
+        trainer.fit(Xs, Ys)
+        self._fitted = True
+
+        if self.model.has_dropout():
+            self.uq_backend = MCDropoutUQ(self.model, n_samples=self._uq_samples)
+
+        if n_test:
+            pred = self.predict(X[test_idx])
+            truth = Y[test_idx]
+            per_out = np.sqrt(np.mean((pred - truth) ** 2, axis=0))
+            self.report = SurrogateReport(
+                n_train=len(train_idx),
+                n_test=n_test,
+                test_rmse=metrics.rmse(pred, truth),
+                test_mae=metrics.mae(pred, truth),
+                test_r2=metrics.r2_score(pred, truth),
+                per_output_rmse=per_out,
+            )
+        else:
+            self.report = SurrogateReport(
+                n_train=len(train_idx),
+                n_test=0,
+                test_rmse=float("nan"),
+                test_mae=float("nan"),
+                test_r2=float("nan"),
+            )
+        return self.report
+
+    # ------------------------------------------------------------------
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError("Surrogate used before fit()")
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Point predictions in original output units, shape (n, K)."""
+        self._require_fitted()
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        Zs = self.model.predict(self.x_scaler.transform(X))
+        return self.y_scaler.inverse_transform(Zs)
+
+    def predict_with_uncertainty(self, X: np.ndarray) -> UQResult:
+        """Predictive mean and std in original units (requires dropout)."""
+        self._require_fitted()
+        if self.uq_backend is None:
+            raise RuntimeError(
+                "no UQ backend: construct the Surrogate with dropout > 0, "
+                "or attach a DeepEnsembleUQ to .uq_backend"
+            )
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        raw = self.uq_backend.predict(self.x_scaler.transform(X))
+        mean = self.y_scaler.inverse_transform(raw.mean)
+        std = raw.std * self.y_scaler.scale_std()
+        return UQResult(mean=mean, std=std)
+
+    # ------------------------------------------------------------------
+    # serialization — "enable real-time, anytime, and anywhere access to
+    # simulation results" (§II-C1 outcome 4) requires shipping trained
+    # surrogates around without retraining.
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialize a *fitted* surrogate (weights + scalers) to JSON."""
+        self._require_fitted()
+        payload = {
+            "in_dim": self.in_dim,
+            "out_dim": self.out_dim,
+            "test_fraction": self.test_fraction,
+            "model": json.loads(self.model.to_json()),
+            "x_scaler": {
+                "mean": self.x_scaler.mean_.tolist(),
+                "scale": self.x_scaler.scale_.tolist(),
+            },
+            "y_scaler": {
+                "mean": self.y_scaler.mean_.tolist(),
+                "scale": self.y_scaler.scale_.tolist(),
+            },
+            "report": None
+            if self.report is None
+            else {
+                "n_train": self.report.n_train,
+                "n_test": self.report.n_test,
+                "test_rmse": self.report.test_rmse,
+                "test_mae": self.report.test_mae,
+                "test_r2": self.report.test_r2,
+            },
+        }
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Surrogate":
+        """Restore a fitted surrogate saved by :meth:`to_json`.
+
+        The restored object predicts (and, when the architecture has
+        dropout, provides MC-dropout UQ); it is not meant to be refit.
+        """
+        payload = json.loads(text)
+        surrogate = cls.__new__(cls)
+        surrogate.in_dim = int(payload["in_dim"])
+        surrogate.out_dim = int(payload["out_dim"])
+        surrogate.test_fraction = float(payload["test_fraction"])
+        surrogate.model = MLP.from_json(json.dumps(payload["model"]))
+        surrogate.x_scaler = StandardScaler()
+        surrogate.x_scaler.mean_ = np.asarray(payload["x_scaler"]["mean"])
+        surrogate.x_scaler.scale_ = np.asarray(payload["x_scaler"]["scale"])
+        surrogate.x_scaler._fitted = True
+        surrogate.y_scaler = StandardScaler()
+        surrogate.y_scaler.mean_ = np.asarray(payload["y_scaler"]["mean"])
+        surrogate.y_scaler.scale_ = np.asarray(payload["y_scaler"]["scale"])
+        surrogate.y_scaler._fitted = True
+        surrogate._fitted = True
+        surrogate._epochs = 0
+        surrogate._batch_size = 32
+        surrogate._lr = 1e-3
+        surrogate._patience = 0
+        surrogate._train_rng = None
+        surrogate._split_rng = None
+        surrogate._uq_samples = 50
+        rep = payload.get("report")
+        surrogate.report = (
+            None
+            if rep is None
+            else SurrogateReport(
+                n_train=rep["n_train"],
+                n_test=rep["n_test"],
+                test_rmse=rep["test_rmse"],
+                test_mae=rep["test_mae"],
+                test_r2=rep["test_r2"],
+            )
+        )
+        surrogate.uq_backend = (
+            MCDropoutUQ(surrogate.model, n_samples=surrogate._uq_samples)
+            if surrogate.model.has_dropout()
+            else None
+        )
+        return surrogate
+
+    def __repr__(self) -> str:
+        state = "fitted" if self._fitted else "unfitted"
+        return f"Surrogate(D={self.in_dim}, K={self.out_dim}, {state})"

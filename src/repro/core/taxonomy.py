@@ -1,0 +1,130 @@
+"""The six-category taxonomy of ML x HPC interfaces (§I of the paper).
+
+The paper's first contribution is a categorization of the links between
+machine learning and HPC: two broad groups (HPCforML, MLforHPC) refined
+into six categories.  This module encodes the taxonomy as data so that
+tools, schedulers and documentation can reference categories by a stable
+identity, and provides :func:`classify` which maps a description of a
+coupling (who learns from whom, what is replaced) onto a category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["Category", "CategoryInfo", "CATEGORY_INFO", "classify", "categories"]
+
+
+class Category(Enum):
+    """The six interface categories defined in §I."""
+
+    HPC_RUNS_ML = "HPCrunsML"
+    SIMULATION_TRAINED_ML = "SimulationTrainedML"
+    ML_AUTOTUNING = "MLautotuning"
+    ML_AFTER_HPC = "MLafterHPC"
+    ML_AROUND_HPC = "MLaroundHPC"
+    ML_CONTROL = "MLControl"
+
+    @property
+    def group(self) -> str:
+        """The broad group: ``"HPCforML"`` or ``"MLforHPC"``."""
+        if self in (Category.HPC_RUNS_ML, Category.SIMULATION_TRAINED_ML):
+            return "HPCforML"
+        return "MLforHPC"
+
+
+@dataclass(frozen=True)
+class CategoryInfo:
+    """Human-readable description of one taxonomy category."""
+
+    category: Category
+    summary: str
+    paper_examples: tuple[str, ...]
+
+
+CATEGORY_INFO: dict[Category, CategoryInfo] = {
+    Category.HPC_RUNS_ML: CategoryInfo(
+        Category.HPC_RUNS_ML,
+        "Using HPC to execute ML with high performance.",
+        ("MLPerf benchmarking", "Horovod distributed training"),
+    ),
+    Category.SIMULATION_TRAINED_ML: CategoryInfo(
+        Category.SIMULATION_TRAINED_ML,
+        "Using HPC simulations to train ML algorithms, which are then used "
+        "to understand experimental data or simulations.",
+        ("theory-guided machine learning", "CosmoGAN"),
+    ),
+    Category.ML_AUTOTUNING: CategoryInfo(
+        Category.ML_AUTOTUNING,
+        "Using ML to configure (autotune) ML or HPC simulations.",
+        ("ATLAS block sizes", "MD timestep selection", "Spark/Hadoop configuration"),
+    ),
+    Category.ML_AFTER_HPC: CategoryInfo(
+        Category.ML_AFTER_HPC,
+        "ML analyzing results of HPC, as in trajectory analysis and "
+        "structure identification in biomolecular simulations.",
+        ("trajectory clustering", "structure identification"),
+    ),
+    Category.ML_AROUND_HPC: CategoryInfo(
+        Category.ML_AROUND_HPC,
+        "Using ML to learn from simulations and produce learned surrogates "
+        "for the simulations; the ML wrapper improves HPC performance.",
+        ("nanoconfinement density surrogate", "NN potentials for AIMD"),
+    ),
+    Category.ML_CONTROL: CategoryInfo(
+        Category.ML_CONTROL,
+        "Using simulations (with HPC) in control of experiments and in "
+        "objective-driven computational campaigns; surrogates enable "
+        "real-time predictions.",
+        ("materials design campaigns", "experiment steering"),
+    ),
+}
+
+
+def categories(group: str | None = None) -> list[Category]:
+    """All categories, optionally filtered by broad group name."""
+    cats = list(Category)
+    if group is None:
+        return cats
+    if group not in ("HPCforML", "MLforHPC"):
+        raise ValueError(f"unknown group {group!r}; expected HPCforML or MLforHPC")
+    return [c for c in cats if c.group == group]
+
+
+def classify(
+    *,
+    ml_consumes_simulation_output: bool = False,
+    ml_replaces_simulation: bool = False,
+    ml_configures_execution: bool = False,
+    ml_targets_experiment: bool = False,
+    hpc_executes_ml: bool = False,
+) -> Category:
+    """Map a coupling description onto its taxonomy category.
+
+    The flags mirror the distinctions drawn in §I: what the ML reads, what
+    it replaces, and what it steers.  Exactly one category is returned;
+    precedence follows the paper's own ordering (control > surrogate >
+    autotuning > analysis > simulation-trained > plain execution).
+
+    Examples
+    --------
+    >>> classify(ml_replaces_simulation=True)
+    <Category.ML_AROUND_HPC: 'MLaroundHPC'>
+    >>> classify(ml_configures_execution=True)
+    <Category.ML_AUTOTUNING: 'MLautotuning'>
+    """
+    if ml_targets_experiment:
+        return Category.ML_CONTROL
+    if ml_replaces_simulation:
+        return Category.ML_AROUND_HPC
+    if ml_configures_execution:
+        return Category.ML_AUTOTUNING
+    if ml_consumes_simulation_output:
+        # Distinguish post-hoc analysis from training a reusable model:
+        # the paper files trajectory analysis under MLafterHPC and
+        # experiment-facing trained networks under SimulationTrainedML.
+        return Category.ML_AFTER_HPC
+    if hpc_executes_ml:
+        return Category.HPC_RUNS_ML
+    return Category.SIMULATION_TRAINED_ML

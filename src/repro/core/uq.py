@@ -1,0 +1,187 @@
+"""Uncertainty quantification for learned surrogates (§III-B).
+
+Two UQ backends over the numpy MLP stack:
+
+* :class:`MCDropoutUQ` — Monte-Carlo dropout (Gal & Ghahramani 2016):
+  dropout masks are resampled at prediction time, and the spread of the
+  resulting "thinned network" ensemble is the predictive uncertainty.
+* :class:`DeepEnsembleUQ` — an explicit ensemble of independently
+  initialized/trained networks; more expensive but not tied to a dropout
+  rate (addressing research issue 10 of §III-E).
+
+Also provided: the bias–variance decomposition discussed in §III-B and a
+calibration table (empirical coverage of z-score intervals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.model import MLP
+from repro.nn.metrics import picp
+from repro.util.rng import ensure_rng, spawn_rngs
+
+__all__ = [
+    "UQResult",
+    "UQBackend",
+    "MCDropoutUQ",
+    "DeepEnsembleUQ",
+    "bias_variance_decomposition",
+    "calibration_table",
+]
+
+
+@dataclass
+class UQResult:
+    """Predictive mean and spread, shapes (n, K)."""
+
+    mean: np.ndarray
+    std: np.ndarray
+
+    def interval(self, z: float = 1.96) -> tuple[np.ndarray, np.ndarray]:
+        """(lower, upper) of the +-z*std interval."""
+        if z <= 0:
+            raise ValueError(f"z must be > 0, got {z}")
+        return self.mean - z * self.std, self.mean + z * self.std
+
+    @property
+    def max_std(self) -> float:
+        return float(np.max(self.std)) if self.std.size else 0.0
+
+    @property
+    def mean_std(self) -> float:
+        return float(np.mean(self.std)) if self.std.size else 0.0
+
+
+class UQBackend:
+    """Interface: produce a :class:`UQResult` for a batch of inputs."""
+
+    def predict(self, x: np.ndarray) -> UQResult:
+        raise NotImplementedError
+
+
+class MCDropoutUQ(UQBackend):
+    """Monte-Carlo dropout over a single trained model.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`~repro.nn.model.MLP` that contains at least one
+        Dropout layer with positive rate.
+    n_samples:
+        Number of stochastic forward passes; the predictive distribution
+        is the sample distribution over these "thinned" networks.
+    """
+
+    def __init__(self, model: MLP, n_samples: int = 50):
+        if n_samples < 2:
+            raise ValueError(f"n_samples must be >= 2, got {n_samples}")
+        if not model.has_dropout():
+            raise ValueError(
+                "MCDropoutUQ requires a model with a Dropout layer of positive rate"
+            )
+        self.model = model
+        self.n_samples = int(n_samples)
+
+    def predict(self, x: np.ndarray) -> UQResult:
+        self.model.set_mc_dropout(True)
+        try:
+            draws = np.stack(
+                [self.model.predict(x) for _ in range(self.n_samples)], axis=0
+            )
+        finally:
+            self.model.set_mc_dropout(False)
+        return UQResult(mean=draws.mean(axis=0), std=draws.std(axis=0, ddof=1))
+
+
+class DeepEnsembleUQ(UQBackend):
+    """Ensemble of independently trained models.
+
+    Build with :meth:`train` (which handles independent initialization) or
+    wrap already-trained models directly.
+    """
+
+    def __init__(self, models: Sequence[MLP]):
+        if len(models) < 2:
+            raise ValueError("an ensemble needs at least 2 models")
+        self.models = list(models)
+
+    @classmethod
+    def train(
+        cls,
+        build_and_train,
+        n_members: int = 5,
+        rng: int | np.random.Generator | None = None,
+    ) -> "DeepEnsembleUQ":
+        """Train ``n_members`` models via ``build_and_train(rng) -> MLP``.
+
+        Each member receives an independent generator stream (independent
+        initialization and shuffling — the source of ensemble diversity).
+        """
+        if n_members < 2:
+            raise ValueError("an ensemble needs at least 2 members")
+        streams = spawn_rngs(ensure_rng(rng), n_members)
+        return cls([build_and_train(s) for s in streams])
+
+    def predict(self, x: np.ndarray) -> UQResult:
+        draws = np.stack([m.predict(x) for m in self.models], axis=0)
+        return UQResult(mean=draws.mean(axis=0), std=draws.std(axis=0, ddof=1))
+
+
+def bias_variance_decomposition(
+    predictions: np.ndarray, target: np.ndarray
+) -> dict[str, float]:
+    """Decompose expected squared error over an ensemble of predictors.
+
+    ``predictions`` has shape (M, n, K): M model instances predicting the
+    same n points.  Returns the decomposition of §III-B::
+
+        expected_mse = bias^2 + variance
+
+    where bias is measured against ``target`` and variance is the spread
+    across instances.
+    """
+    preds = np.asarray(predictions, dtype=float)
+    if preds.ndim != 3:
+        raise ValueError(f"predictions must be (M, n, K), got shape {preds.shape}")
+    t = np.asarray(target, dtype=float)
+    if t.shape != preds.shape[1:]:
+        raise ValueError(
+            f"target shape {t.shape} incompatible with predictions {preds.shape}"
+        )
+    mean_pred = preds.mean(axis=0)
+    bias_sq = float(np.mean((mean_pred - t) ** 2))
+    variance = float(np.mean(preds.var(axis=0)))
+    expected_mse = float(np.mean((preds - t[None]) ** 2))
+    return {
+        "bias_squared": bias_sq,
+        "variance": variance,
+        "expected_mse": expected_mse,
+    }
+
+
+def calibration_table(
+    uq: UQResult, target: np.ndarray, z_values: Sequence[float] = (0.674, 1.0, 1.645, 1.96)
+) -> list[dict[str, float]]:
+    """Empirical coverage of +-z*std intervals vs the Gaussian nominal.
+
+    For a perfectly calibrated Gaussian predictive distribution the
+    empirical coverage at z=1.96 would be 0.95, etc.
+    """
+    from scipy.stats import norm
+
+    t = np.asarray(target, dtype=float)
+    rows = []
+    for z in z_values:
+        lo, hi = uq.interval(z)
+        rows.append(
+            {
+                "z": float(z),
+                "nominal": float(norm.cdf(z) - norm.cdf(-z)),
+                "empirical": picp(t, lo, hi),
+            }
+        )
+    return rows

@@ -1,0 +1,51 @@
+"""Networked-epidemic substrate: the DEFSI exemplar (§II-A).
+
+A from-scratch stand-in for the EpiFast/DEFSI stack of [19]:
+
+* :mod:`repro.epi.population` — synthetic hierarchical population
+  (counties -> households / schools / workplaces + commuting),
+* :mod:`repro.epi.seir` — vectorized discrete-time stochastic SEIR on the
+  contact network,
+* :mod:`repro.epi.surveillance` — the observation operator: weekly
+  aggregation, under-reporting, noise (the "low resolution, not real
+  time, incomplete, noisy" data of §II-A),
+* :mod:`repro.epi.curves` — epi-curve summary features,
+* :mod:`repro.epi.defsi` — the DEFSI pipeline: parameter estimation from
+  coarse surveillance, simulation-generated synthetic training data, and
+  the two-branch deep network producing high-resolution forecasts,
+* :mod:`repro.epi.baselines` — EpiFast-style simulation-optimization
+  forecasting plus pure-data ARX and persistence baselines,
+* :mod:`repro.epi.simulation` — a 4-feature
+  :class:`~repro.core.simulation.Simulation` adapter for MLaroundHPC use.
+"""
+
+from repro.epi.population import SyntheticPopulation, ContactNetwork
+from repro.epi.seir import SEIRParams, NetworkSEIR, SeasonResult
+from repro.epi.surveillance import SurveillanceModel, SurveillanceData
+from repro.epi.curves import curve_features
+from repro.epi.defsi import DEFSIForecaster, estimate_parameter_distribution
+from repro.epi.baselines import (
+    EpiFastForecaster,
+    ARXForecaster,
+    PersistenceForecaster,
+)
+from repro.epi.simulation import EpidemicSimulation, EPI_INPUTS, EPI_OUTPUTS
+
+__all__ = [
+    "SyntheticPopulation",
+    "ContactNetwork",
+    "SEIRParams",
+    "NetworkSEIR",
+    "SeasonResult",
+    "SurveillanceModel",
+    "SurveillanceData",
+    "curve_features",
+    "DEFSIForecaster",
+    "estimate_parameter_distribution",
+    "EpiFastForecaster",
+    "ARXForecaster",
+    "PersistenceForecaster",
+    "EpidemicSimulation",
+    "EPI_INPUTS",
+    "EPI_OUTPUTS",
+]

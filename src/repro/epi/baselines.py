@@ -1,0 +1,166 @@
+"""Forecasting baselines for the DEFSI comparison (experiment E4).
+
+* :class:`EpiFastForecaster` — simulation-optimization in the EpiFast
+  style: calibrate the ABM to the observed prefix (the same ABC module
+  DEFSI uses), then forecast with the ensemble of best-fitting simulated
+  futures.  County detail comes *only* from the simulations.
+* :class:`ARXForecaster` — pure data: linear autoregression on the
+  state-level series, downscaled to counties by fixed historical shares —
+  the paper's point that "completely data driven models cannot discover
+  higher resolution details from lower resolution ground truth data".
+* :class:`PersistenceForecaster` — next week equals this week.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.epi.defsi import estimate_parameter_distribution
+from repro.epi.seir import NetworkSEIR, SEIRParams
+from repro.epi.surveillance import SurveillanceModel
+from repro.util.rng import ensure_rng, spawn_rngs
+
+__all__ = ["EpiFastForecaster", "ARXForecaster", "PersistenceForecaster"]
+
+
+class EpiFastForecaster:
+    """Simulation-optimization forecasting.
+
+    ``fit`` calibrates (tau, seed_fraction) against the observed state
+    prefix, then simulates an ensemble of full seasons from the accepted
+    parameters; ``forecast`` returns the ensemble-mean county incidence at
+    the requested target week, conditioning on nothing but season time —
+    the pure-mechanistic-model strategy.
+    """
+
+    def __init__(
+        self,
+        seir: NetworkSEIR,
+        surveillance: SurveillanceModel,
+        *,
+        base_params: SEIRParams,
+        n_ensemble: int = 20,
+        n_days: int = 182,
+        rng: int | np.random.Generator | None = None,
+    ):
+        if n_ensemble < 2:
+            raise ValueError("n_ensemble must be >= 2")
+        self.seir = seir
+        self.surveillance = surveillance
+        self.base_params = base_params
+        self.n_ensemble = int(n_ensemble)
+        self.n_days = int(n_days)
+        self.rng = ensure_rng(rng)
+        self._county_curves: np.ndarray | None = None  # (M, weeks, counties)
+
+    def fit(self, observed_state_weekly: np.ndarray) -> None:
+        calib_rng, sim_rng = spawn_rngs(self.rng, 2)
+        posterior = estimate_parameter_distribution(
+            observed_state_weekly,
+            self.seir,
+            self.surveillance,
+            base_params=self.base_params,
+            n_days=self.n_days,
+            rng=calib_rng,
+        )
+        curves = []
+        for _ in range(self.n_ensemble):
+            tau, seed = posterior.sample(sim_rng)
+            params = SEIRParams(
+                tau=tau,
+                sigma=self.base_params.sigma,
+                gamma_r=self.base_params.gamma_r,
+                seed_fraction=seed,
+                seed_county=self.base_params.seed_county,
+                seasonality=self.base_params.seasonality,
+                peak_day=self.base_params.peak_day,
+            )
+            season = self.seir.run(params, n_days=self.n_days, rng=sim_rng)
+            curves.append(season.weekly_incidence())
+        min_weeks = min(len(c) for c in curves)
+        self._county_curves = np.stack([c[:min_weeks] for c in curves])
+
+    def forecast(self, observed_state_weekly: np.ndarray, week: int) -> np.ndarray:
+        """Ensemble-mean county incidence at target week ``week + 1``."""
+        if self._county_curves is None:
+            raise RuntimeError("EpiFastForecaster.forecast called before fit()")
+        target = week + 1
+        curves = self._county_curves
+        if target >= curves.shape[1]:
+            target = curves.shape[1] - 1
+        return curves[:, target, :].mean(axis=0)
+
+
+class ARXForecaster:
+    """Linear autoregression on the state series + share-based downscaling.
+
+    County shares come from a fixed prior (uniform by default, or e.g.
+    population shares) — a pure-data method has no county-resolved signal
+    to learn them from state-level reports.
+    """
+
+    def __init__(self, order: int = 3, county_shares: np.ndarray | None = None):
+        if order < 1:
+            raise ValueError(f"order must be >= 1, got {order}")
+        self.order = int(order)
+        self.county_shares = county_shares
+        self._coef: np.ndarray | None = None
+
+    def fit(self, observed_state_weekly: np.ndarray) -> None:
+        obs = np.asarray(observed_state_weekly, dtype=float).ravel()
+        p = self.order
+        if obs.size <= p + 1:
+            # Degenerate prefix: fall back to persistence coefficients.
+            self._coef = np.zeros(p + 1)
+            self._coef[0] = 1.0
+            return
+        rows = np.stack([obs[t - p : t][::-1] for t in range(p, obs.size)])
+        rows = np.hstack([rows, np.ones((len(rows), 1))])
+        targets = obs[p:]
+        self._coef, *_ = np.linalg.lstsq(rows, targets, rcond=None)
+
+    def forecast_state(self, observed_state_weekly: np.ndarray, week: int) -> float:
+        if self._coef is None:
+            raise RuntimeError("ARXForecaster.forecast called before fit()")
+        obs = np.asarray(observed_state_weekly, dtype=float).ravel()[: week + 1]
+        p = self.order
+        lags = np.zeros(p)
+        avail = min(p, obs.size)
+        if avail:
+            lags[:avail] = obs[-avail:][::-1]
+        features = np.concatenate([lags, [1.0]])
+        return float(max(features @ self._coef, 0.0))
+
+    def forecast(
+        self, observed_state_weekly: np.ndarray, week: int, n_counties: int
+    ) -> np.ndarray:
+        state = self.forecast_state(observed_state_weekly, week)
+        shares = (
+            np.full(n_counties, 1.0 / n_counties)
+            if self.county_shares is None
+            else np.asarray(self.county_shares, dtype=float)
+        )
+        if shares.size != n_counties or not np.isclose(shares.sum(), 1.0):
+            raise ValueError("county_shares must have n_counties entries summing to 1")
+        return state * shares
+
+
+class PersistenceForecaster:
+    """Next week equals this week (state level), share-downscaled."""
+
+    def __init__(self, county_shares: np.ndarray | None = None):
+        self.county_shares = county_shares
+
+    def forecast(
+        self, observed_state_weekly: np.ndarray, week: int, n_counties: int
+    ) -> np.ndarray:
+        obs = np.asarray(observed_state_weekly, dtype=float).ravel()
+        state = float(obs[min(week, obs.size - 1)]) if obs.size else 0.0
+        shares = (
+            np.full(n_counties, 1.0 / n_counties)
+            if self.county_shares is None
+            else np.asarray(self.county_shares, dtype=float)
+        )
+        if shares.size != n_counties or not np.isclose(shares.sum(), 1.0):
+            raise ValueError("county_shares must have n_counties entries summing to 1")
+        return state * shares

@@ -1,0 +1,55 @@
+"""Epi-curve summary features.
+
+Scalar descriptions of a weekly incidence curve — the quantities
+forecasting papers (and experiment E4's tables) report: peak week, peak
+intensity, onset week, attack rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["curve_features"]
+
+
+def curve_features(
+    weekly: np.ndarray,
+    population: int | None = None,
+    onset_threshold: float = 0.05,
+) -> dict[str, float]:
+    """Summarize one weekly incidence series.
+
+    Parameters
+    ----------
+    weekly:
+        1-D weekly incidence counts.
+    population:
+        If given, attack rate = total / population is included.
+    onset_threshold:
+        Onset week = first week whose incidence exceeds this fraction of
+        the peak value (NaN if the curve is flat zero).
+    """
+    w = np.asarray(weekly, dtype=float).ravel()
+    if w.size == 0:
+        raise ValueError("empty weekly series")
+    if np.any(w < 0):
+        raise ValueError("incidence cannot be negative")
+    total = float(w.sum())
+    peak_week = int(np.argmax(w))
+    peak_value = float(w[peak_week])
+    if peak_value > 0:
+        above = np.flatnonzero(w >= onset_threshold * peak_value)
+        onset_week = float(above[0])
+    else:
+        onset_week = float("nan")
+    feats = {
+        "peak_week": float(peak_week),
+        "peak_value": peak_value,
+        "onset_week": onset_week,
+        "total": total,
+    }
+    if population is not None:
+        if population <= 0:
+            raise ValueError(f"population must be > 0, got {population}")
+        feats["attack_rate"] = total / population
+    return feats

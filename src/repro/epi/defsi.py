@@ -1,0 +1,285 @@
+"""DEFSI: Deep-learning epidemic forecasting with synthetic information
+(§II-A, [19]).
+
+Three modules, exactly as the paper describes:
+
+(i)   a *model-configuration* module estimating a distribution for each
+      parameter of the agent-based epidemic model from coarse
+      surveillance data (:func:`estimate_parameter_distribution`, an
+      ABC-style rejection sampler);
+(ii)  a *synthetic-training-data* module generating high-resolution
+      training seasons by running the HPC simulation parameterized from
+      the estimated distributions;
+(iii) a *two-branch deep neural network* trained on the synthetic data
+      and applied with coarse surveillance as input to make detailed
+      (county-level) forecasts.
+
+Branch A ("within-season") sees the recent observed state-level window;
+branch B ("between-season") sees the climatological weekly profile of the
+synthetic ensemble at the same season position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.epi.seir import NetworkSEIR, SEIRParams, SeasonResult
+from repro.epi.surveillance import SurveillanceData, SurveillanceModel
+from repro.nn.scalers import StandardScaler
+from repro.nn.twobranch import TwoBranchNetwork
+from repro.util.rng import ensure_rng, spawn_rngs
+
+__all__ = ["ParameterPosterior", "estimate_parameter_distribution", "DEFSIForecaster"]
+
+
+@dataclass
+class ParameterPosterior:
+    """Empirical posterior over (tau, seed_fraction) from ABC rejection."""
+
+    samples: np.ndarray  # (k, 2) accepted parameter draws
+    scores: np.ndarray   # matching RMSE of each accepted draw
+
+    def sample(self, rng: np.random.Generator, jitter: float = 0.05) -> tuple[float, float]:
+        """Draw one parameter pair, with relative log-normal jitter."""
+        i = rng.integers(0, len(self.samples))
+        tau, seed = self.samples[i]
+        if jitter > 0:
+            tau *= rng.lognormal(0.0, jitter)
+            seed *= rng.lognormal(0.0, jitter)
+        return float(np.clip(tau, 1e-4, 0.999)), float(np.clip(seed, 1e-5, 0.5))
+
+    @property
+    def mean(self) -> np.ndarray:
+        return self.samples.mean(axis=0)
+
+
+def estimate_parameter_distribution(
+    observed_state_weekly: np.ndarray,
+    seir: NetworkSEIR,
+    surveillance: SurveillanceModel,
+    *,
+    base_params: SEIRParams,
+    tau_range: tuple[float, float] = (0.02, 0.12),
+    seed_range: tuple[float, float] = (0.001, 0.01),
+    n_samples: int = 40,
+    top_k: int = 8,
+    n_days: int = 182,
+    rng: int | np.random.Generator | None = None,
+) -> ParameterPosterior:
+    """ABC rejection: sample (tau, seed_fraction) from uniform priors, run
+    the ABM, keep the ``top_k`` draws whose *reported* state curves best
+    match the observed prefix (RMSE over the observed weeks)."""
+    obs = np.asarray(observed_state_weekly, dtype=float).ravel()
+    if obs.size < 2:
+        raise ValueError("need at least 2 observed weeks to calibrate")
+    if top_k < 1 or top_k > n_samples:
+        raise ValueError("require 1 <= top_k <= n_samples")
+    gen = ensure_rng(rng)
+    draws = np.empty((n_samples, 2))
+    scores = np.empty(n_samples)
+    for s in range(n_samples):
+        tau = gen.uniform(*tau_range)
+        seed = gen.uniform(*seed_range)
+        params = SEIRParams(
+            tau=tau,
+            sigma=base_params.sigma,
+            gamma_r=base_params.gamma_r,
+            seed_fraction=seed,
+            seed_county=base_params.seed_county,
+            seasonality=base_params.seasonality,
+            peak_day=base_params.peak_day,
+        )
+        season = seir.run(params, n_days=n_days, rng=gen)
+        data = surveillance.observe(season, rng=gen)
+        sim = data.state_weekly[: obs.size]
+        if sim.size < obs.size:
+            sim = np.pad(sim, (0, obs.size - sim.size))
+        draws[s] = (tau, seed)
+        scores[s] = float(np.sqrt(np.mean((sim - obs) ** 2)))
+    order = np.argsort(scores)[:top_k]
+    return ParameterPosterior(samples=draws[order], scores=scores[order])
+
+
+@dataclass
+class _TrainingTensors:
+    branch_a: np.ndarray
+    branch_b: np.ndarray
+    targets: np.ndarray
+
+
+class DEFSIForecaster:
+    """The full DEFSI pipeline bound to one contact network.
+
+    Parameters
+    ----------
+    seir:
+        The agent-based model (network dynamical system).
+    surveillance:
+        The observation operator applied to synthetic seasons, so the
+        network trains on inputs distributed like real observations.
+    window:
+        Width W of the within-season observation window (branch A input).
+    n_train_seasons:
+        Synthetic seasons generated from the estimated posterior.
+    base_params:
+        Season configuration whose (tau, seed_fraction) get replaced by
+        posterior draws.
+    """
+
+    def __init__(
+        self,
+        seir: NetworkSEIR,
+        surveillance: SurveillanceModel,
+        *,
+        base_params: SEIRParams,
+        window: int = 4,
+        n_train_seasons: int = 30,
+        n_days: int = 182,
+        epochs: int = 150,
+        hidden: int = 32,
+        rng: int | np.random.Generator | None = None,
+    ):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if n_train_seasons < 3:
+            raise ValueError("need at least 3 synthetic training seasons")
+        self.seir = seir
+        self.surveillance = surveillance
+        self.base_params = base_params
+        self.window = int(window)
+        self.n_train_seasons = int(n_train_seasons)
+        self.n_days = int(n_days)
+        self.epochs = int(epochs)
+        self.hidden = int(hidden)
+        self.rng = ensure_rng(rng)
+        self.posterior: ParameterPosterior | None = None
+        self.network_model: TwoBranchNetwork | None = None
+        self.climatology: np.ndarray | None = None
+        self._a_scaler = StandardScaler()
+        self._b_scaler = StandardScaler()
+        self._y_scaler = StandardScaler()
+        self.synthetic_seasons: list[SurveillanceData] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def n_counties(self) -> int:
+        return self.seir.network.n_counties
+
+    def fit(self, observed_state_weekly: np.ndarray) -> None:
+        """Run all three DEFSI modules against the observed coarse prefix."""
+        calib_rng, sim_rng, train_rng, model_rng = spawn_rngs(self.rng, 4)
+
+        # (i) model configuration
+        self.posterior = estimate_parameter_distribution(
+            observed_state_weekly,
+            self.seir,
+            self.surveillance,
+            base_params=self.base_params,
+            n_days=self.n_days,
+            rng=calib_rng,
+        )
+
+        # (ii) synthetic training data
+        self.synthetic_seasons = []
+        for _ in range(self.n_train_seasons):
+            tau, seed = self.posterior.sample(sim_rng)
+            params = SEIRParams(
+                tau=tau,
+                sigma=self.base_params.sigma,
+                gamma_r=self.base_params.gamma_r,
+                seed_fraction=seed,
+                seed_county=self.base_params.seed_county,
+                seasonality=self.base_params.seasonality,
+                peak_day=self.base_params.peak_day,
+            )
+            season = self.seir.run(params, n_days=self.n_days, rng=sim_rng)
+            self.synthetic_seasons.append(self.surveillance.observe(season, rng=sim_rng))
+
+        state_curves = np.stack([d.state_weekly for d in self.synthetic_seasons])
+        self.climatology = state_curves.mean(axis=0)
+
+        # (iii) two-branch network
+        tensors = self._training_tensors()
+        a = self._a_scaler.fit_transform(tensors.branch_a)
+        b = self._b_scaler.fit_transform(tensors.branch_b)
+        y = self._y_scaler.fit_transform(tensors.targets)
+        self.network_model = TwoBranchNetwork(
+            (a.shape[1], b.shape[1]),
+            branch_hidden=(self.hidden,),
+            branch_out=self.hidden // 2,
+            head_hidden=(self.hidden,),
+            out_dim=self.n_counties,
+            rng=model_rng,
+        )
+        self.network_model.fit(a, b, y, epochs=self.epochs, rng=train_rng)
+
+    def training_data(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(branch_a, branch_b, targets) built from the synthetic seasons.
+
+        Exposed for architecture ablations (e.g. benchmarking the
+        two-branch design against single-branch variants).  Requires
+        :meth:`fit` to have generated the synthetic seasons.
+        """
+        if not self.synthetic_seasons:
+            raise RuntimeError("training_data requires fit() to have run")
+        t = self._training_tensors()
+        return t.branch_a, t.branch_b, t.targets
+
+    def _training_tensors(self) -> _TrainingTensors:
+        """Sliding-window examples from every synthetic season."""
+        W = self.window
+        rows_a, rows_b, rows_y = [], [], []
+        for data in self.synthetic_seasons:
+            n_weeks = data.n_weeks
+            for t in range(W - 1, n_weeks - 1):
+                rows_a.append(data.state_weekly[t - W + 1 : t + 1])
+                rows_b.append(self._between_season_features(t))
+                rows_y.append(data.county_weekly_true[t + 1])
+        return _TrainingTensors(
+            branch_a=np.stack(rows_a),
+            branch_b=np.stack(rows_b),
+            targets=np.stack(rows_y),
+        )
+
+    def _between_season_features(self, week: int) -> np.ndarray:
+        """Climatological window around the forecast week (branch B)."""
+        W = self.window
+        clim = self.climatology
+        idx = np.clip(np.arange(week - W + 2, week + 2), 0, len(clim) - 1)
+        return clim[idx]
+
+    # ------------------------------------------------------------------
+    def forecast(self, observed_state_weekly: np.ndarray, week: int) -> np.ndarray:
+        """County-level next-week forecast standing at ``week``.
+
+        ``observed_state_weekly`` is the full reported state series; only
+        entries up to ``week`` (inclusive) are used.
+        """
+        if self.network_model is None:
+            raise RuntimeError("DEFSIForecaster.forecast called before fit()")
+        obs = np.asarray(observed_state_weekly, dtype=float).ravel()
+        W = self.window
+        if week + 1 < W:
+            raise ValueError(f"need at least window={W} observed weeks")
+        a = obs[week - W + 1 : week + 1][None, :]
+        b = self._between_season_features(week)[None, :]
+        pred = self.network_model.predict(
+            self._a_scaler.transform(a), self._b_scaler.transform(b)
+        )
+        county = self._y_scaler.inverse_transform(pred)[0]
+        return np.maximum(county, 0.0)
+
+    def forecast_series(
+        self, observed_state_weekly: np.ndarray, start_week: int, end_week: int
+    ) -> np.ndarray:
+        """(end_week - start_week + 1, n_counties) one-week-ahead forecasts
+        for target weeks ``start_week+1 .. end_week+1``."""
+        return np.stack(
+            [
+                self.forecast(observed_state_weekly, t)
+                for t in range(start_week, end_week + 1)
+            ]
+        )

@@ -1,0 +1,203 @@
+"""Synthetic hierarchical population and contact network.
+
+The DEFSI substrate needs an individual-level network whose dynamics
+produce *county-resolved* incidence while surveillance only reports
+*state-level* aggregates.  The generator mirrors the standard synthetic-
+population construction (households as cliques, schools/workplaces as
+mixing groups, sparse long-range and commuting contacts), scaled to run
+on a laptop (see the substitution table in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from repro.util.rng import ensure_rng
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = ["ContactNetwork", "SyntheticPopulation"]
+
+
+@dataclass
+class ContactNetwork:
+    """Edge-array view of the contact graph, ready for vectorized SEIR.
+
+    Attributes
+    ----------
+    n_nodes:
+        Total individuals.
+    src, dst:
+        Directed edge endpoints (both directions of each contact present),
+        so transmission pressure on a node is a pure gather over ``dst``.
+    weight:
+        Per-directed-edge contact weight in [0, 1] (scales transmissibility).
+    county:
+        Node -> county index.
+    n_counties:
+        Number of counties.
+    """
+
+    n_nodes: int
+    src: np.ndarray
+    dst: np.ndarray
+    weight: np.ndarray
+    county: np.ndarray
+    n_counties: int
+
+    @property
+    def n_contacts(self) -> int:
+        """Undirected contact count."""
+        return len(self.src) // 2
+
+    def county_sizes(self) -> np.ndarray:
+        return np.bincount(self.county, minlength=self.n_counties)
+
+    def degree(self) -> np.ndarray:
+        return np.bincount(self.dst, minlength=self.n_nodes)
+
+
+class SyntheticPopulation:
+    """Generator of hierarchical county/household/group contact networks.
+
+    Parameters
+    ----------
+    county_sizes:
+        Individuals per county.
+    household_size:
+        Mean household size (Poisson around it, min 1); households are
+        cliques with weight ``w_household``.
+    group_size:
+        Mean mixing-group (school/workplace) size; groups are cliques with
+        weight ``w_group``; every individual joins exactly one group in
+        its own county.
+    random_contacts:
+        Mean per-person long-range contacts within the county
+        (Erdős–Rényi-style, weight ``w_random``).
+    commuting_fraction:
+        Fraction of individuals with one cross-county contact
+        (weight ``w_random``) — the coupling that lets an epidemic seeded
+        in one county reach the others.
+    """
+
+    def __init__(
+        self,
+        county_sizes: list[int] | np.ndarray,
+        *,
+        household_size: float = 3.5,
+        group_size: float = 12.0,
+        random_contacts: float = 2.0,
+        commuting_fraction: float = 0.05,
+        w_household: float = 1.0,
+        w_group: float = 0.4,
+        w_random: float = 0.2,
+    ):
+        sizes = np.asarray(county_sizes, dtype=int)
+        if sizes.ndim != 1 or len(sizes) == 0 or np.any(sizes < 10):
+            raise ValueError("county_sizes must be a 1-D list of sizes >= 10")
+        check_positive("household_size", household_size)
+        check_positive("group_size", group_size)
+        check_positive("random_contacts", random_contacts, strict=False)
+        check_in_range("commuting_fraction", commuting_fraction, 0.0, 1.0)
+        for name, w in (
+            ("w_household", w_household),
+            ("w_group", w_group),
+            ("w_random", w_random),
+        ):
+            check_in_range(name, w, 0.0, 1.0)
+        self.county_sizes = sizes
+        self.household_size = float(household_size)
+        self.group_size = float(group_size)
+        self.random_contacts = float(random_contacts)
+        self.commuting_fraction = float(commuting_fraction)
+        self.w_household = float(w_household)
+        self.w_group = float(w_group)
+        self.w_random = float(w_random)
+
+    # ------------------------------------------------------------------
+    def build(self, rng: int | np.random.Generator | None = None) -> ContactNetwork:
+        """Generate one network realization."""
+        gen = ensure_rng(rng)
+        n_total = int(self.county_sizes.sum())
+        county = np.repeat(np.arange(len(self.county_sizes)), self.county_sizes)
+
+        edges: dict[tuple[int, int], float] = {}
+
+        def add(u: int, v: int, w: float) -> None:
+            if u == v:
+                return
+            key = (u, v) if u < v else (v, u)
+            # Strongest context wins when contacts overlap.
+            if w > edges.get(key, 0.0):
+                edges[key] = w
+
+        offset = 0
+        for size in self.county_sizes:
+            nodes = np.arange(offset, offset + size)
+            self._add_cliques(nodes, self.household_size, self.w_household, edges, add, gen)
+            self._add_cliques(nodes, self.group_size, self.w_group, edges, add, gen)
+            # long-range contacts within the county
+            n_rand = gen.poisson(self.random_contacts * size / 2.0)
+            if n_rand and size >= 2:
+                us = gen.integers(0, size, n_rand) + offset
+                vs = gen.integers(0, size, n_rand) + offset
+                for u, v in zip(us, vs):
+                    add(int(u), int(v), self.w_random)
+            offset += size
+
+        # cross-county commuting
+        if len(self.county_sizes) >= 2 and self.commuting_fraction > 0:
+            n_commuters = int(round(self.commuting_fraction * n_total))
+            commuters = gen.choice(n_total, size=n_commuters, replace=False)
+            for u in commuters:
+                home = county[u]
+                other = gen.integers(0, len(self.county_sizes) - 1)
+                if other >= home:
+                    other += 1
+                lo = int(self.county_sizes[:other].sum())
+                v = int(gen.integers(lo, lo + self.county_sizes[other]))
+                add(int(u), v, self.w_random)
+
+        if not edges:
+            raise RuntimeError("generated network has no edges")
+        und = np.array(list(edges.keys()), dtype=int)
+        w = np.array(list(edges.values()))
+        src = np.concatenate([und[:, 0], und[:, 1]])
+        dst = np.concatenate([und[:, 1], und[:, 0]])
+        weight = np.concatenate([w, w])
+        return ContactNetwork(
+            n_nodes=n_total,
+            src=src,
+            dst=dst,
+            weight=weight,
+            county=county,
+            n_counties=len(self.county_sizes),
+        )
+
+    @staticmethod
+    def _add_cliques(nodes, mean_size, weight, edges, add, gen) -> None:
+        """Partition ``nodes`` into cliques of Poisson(mean) sizes."""
+        order = gen.permutation(nodes)
+        i = 0
+        while i < len(order):
+            size = max(1, int(gen.poisson(mean_size)))
+            members = order[i : i + size]
+            for a in range(len(members)):
+                for b in range(a + 1, len(members)):
+                    add(int(members[a]), int(members[b]), weight)
+            i += size
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def to_networkx(net: ContactNetwork) -> nx.Graph:
+        """Undirected networkx view (for analysis / visualization)."""
+        g = nx.Graph()
+        g.add_nodes_from(range(net.n_nodes))
+        half = len(net.src) // 2
+        for u, v, w in zip(net.src[:half], net.dst[:half], net.weight[:half]):
+            g.add_edge(int(u), int(v), weight=float(w))
+        for node in g.nodes:
+            g.nodes[node]["county"] = int(net.county[node])
+        return g

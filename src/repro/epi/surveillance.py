@@ -1,0 +1,100 @@
+"""The surveillance observation operator (§II-A).
+
+Turns ground-truth county-level daily incidence into what forecasters
+actually see: "weekly incidence number reported to the CDC ... of low
+spatial temporal resolution (weekly at state level), not real time (at
+least one week delay), incomplete (reported cases are only a small
+fraction of actual ones), and noisy".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.epi.seir import SeasonResult
+from repro.util.rng import ensure_rng
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = ["SurveillanceData", "SurveillanceModel"]
+
+
+@dataclass
+class SurveillanceData:
+    """What the public-health system reports for one season.
+
+    Attributes
+    ----------
+    state_weekly:
+        (n_weeks,) reported state-level weekly counts.
+    county_weekly_true:
+        (n_weeks, n_counties) *true* county weekly incidence — the
+        high-resolution target a forecaster is scored against but never
+        observes.
+    delay_weeks:
+        Reporting delay: at week t a forecaster has seen
+        ``state_weekly[: t + 1 - delay_weeks]``.
+    """
+
+    state_weekly: np.ndarray
+    county_weekly_true: np.ndarray
+    delay_weeks: int
+
+    @property
+    def n_weeks(self) -> int:
+        return len(self.state_weekly)
+
+    def observed_through(self, week: int) -> np.ndarray:
+        """State-level series available when standing at ``week``."""
+        cutoff = max(0, week + 1 - self.delay_weeks)
+        return self.state_weekly[:cutoff]
+
+
+class SurveillanceModel:
+    """Stochastic reporting process.
+
+    Parameters
+    ----------
+    reporting_rate:
+        Fraction of true cases that get reported (binomial thinning).
+    noise_dispersion:
+        Extra multiplicative log-normal noise sigma on weekly counts
+        (0 disables).
+    delay_weeks:
+        Weeks of reporting lag.
+    """
+
+    def __init__(
+        self,
+        reporting_rate: float = 0.25,
+        noise_dispersion: float = 0.1,
+        delay_weeks: int = 1,
+    ):
+        check_in_range("reporting_rate", reporting_rate, 0.0, 1.0, inclusive=True)
+        if reporting_rate == 0.0:
+            raise ValueError("reporting_rate must be > 0 (nothing observable)")
+        check_positive("noise_dispersion", noise_dispersion, strict=False)
+        if delay_weeks < 0:
+            raise ValueError(f"delay_weeks must be >= 0, got {delay_weeks}")
+        self.reporting_rate = float(reporting_rate)
+        self.noise_dispersion = float(noise_dispersion)
+        self.delay_weeks = int(delay_weeks)
+
+    def observe(
+        self, season: SeasonResult, rng: int | np.random.Generator | None = None
+    ) -> SurveillanceData:
+        """Apply the reporting process to one simulated season."""
+        gen = ensure_rng(rng)
+        county_weekly = season.weekly_incidence()
+        state_true = county_weekly.sum(axis=1)
+        reported = gen.binomial(state_true.astype(int), self.reporting_rate).astype(float)
+        if self.noise_dispersion > 0:
+            reported = reported * gen.lognormal(
+                0.0, self.noise_dispersion, size=reported.shape
+            )
+        return SurveillanceData(
+            state_weekly=reported,
+            county_weekly_true=county_weekly,
+            delay_weeks=self.delay_weeks,
+        )

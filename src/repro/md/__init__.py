@@ -1,0 +1,93 @@
+"""Molecular-dynamics / nanoscale-simulation substrate (§II-C, §III-D).
+
+A from-scratch particle-simulation engine standing in for the LAMMPS-class
+codes behind the paper's nanoconfinement exemplar [26] and autotuning
+exemplar [9]:
+
+* :mod:`repro.md.system` — particle state in a slit-confined periodic box,
+* :mod:`repro.md.potentials` — Lennard-Jones, WCA, screened-Coulomb
+  (Yukawa), 9-3 walls, and a Stillinger–Weber-like many-body reference,
+* :mod:`repro.md.forces` — vectorized O(N²) and cell-list pair kernels,
+* :mod:`repro.md.integrators` — velocity-Verlet and Langevin (BAOAB),
+  with instability detection,
+* :mod:`repro.md.observables` — z-density profiles (contact / peak /
+  mid-plane densities), radial distribution functions,
+* :mod:`repro.md.analysis` — autocorrelation times, block averaging and
+  statistical inefficiency (the dc-blocking discussion of §III-D),
+* :mod:`repro.md.mc` — Metropolis Monte-Carlo sampling (statistical-physics
+  route; research issue 9 of §III-E),
+* :mod:`repro.md.bp` — Behler–Parrinello symmetry functions and an
+  NN potential trained against the many-body reference (§II-C2),
+* :mod:`repro.md.nanoconfinement` — the 5-feature ionic-density
+  :class:`~repro.core.simulation.Simulation` of the paper's central
+  exemplar.
+"""
+
+from repro.md.system import ParticleSystem, SlitBox
+from repro.md.potentials import (
+    PairPotential,
+    LennardJones,
+    WCA,
+    Yukawa,
+    SoftSphere,
+    Wall93,
+    StillingerWeberLike,
+)
+from repro.md.forces import pairwise_forces, PairTable, CellList, cell_list_forces
+from repro.md.integrators import VelocityVerlet, Langevin, IntegrationDiverged
+from repro.md.observables import DensityProfile, density_features, radial_distribution
+from repro.md.analysis import (
+    autocorrelation,
+    integrated_autocorrelation_time,
+    block_average,
+    statistical_inefficiency,
+)
+from repro.md.mc import MetropolisMC
+from repro.md.transport import (
+    TrajectoryRecorder,
+    mean_squared_displacement,
+    diffusion_coefficient,
+)
+from repro.md.tightbinding import TightBindingModel
+from repro.md.structure import StructureClassifier, fcc_lattice
+from repro.md.bp import SymmetryFunctions, BPPotential, train_bp_potential
+from repro.md.nanoconfinement import NanoconfinementSimulation, NANO_INPUTS, NANO_OUTPUTS
+
+__all__ = [
+    "ParticleSystem",
+    "SlitBox",
+    "PairPotential",
+    "LennardJones",
+    "WCA",
+    "Yukawa",
+    "SoftSphere",
+    "Wall93",
+    "StillingerWeberLike",
+    "pairwise_forces",
+    "PairTable",
+    "CellList",
+    "cell_list_forces",
+    "VelocityVerlet",
+    "Langevin",
+    "IntegrationDiverged",
+    "DensityProfile",
+    "density_features",
+    "radial_distribution",
+    "autocorrelation",
+    "integrated_autocorrelation_time",
+    "block_average",
+    "statistical_inefficiency",
+    "MetropolisMC",
+    "TrajectoryRecorder",
+    "mean_squared_displacement",
+    "diffusion_coefficient",
+    "TightBindingModel",
+    "StructureClassifier",
+    "fcc_lattice",
+    "SymmetryFunctions",
+    "BPPotential",
+    "train_bp_potential",
+    "NanoconfinementSimulation",
+    "NANO_INPUTS",
+    "NANO_OUTPUTS",
+]

@@ -1,0 +1,98 @@
+"""Time-series analysis: autocorrelation and block averaging.
+
+§III-D: "you want to block at a timescale that is at least greater than
+the autocorrelation time dc ... Blocking every timestep will not improve
+the training as typically it won't produce a statistically independent
+data point."  These routines measure dc, the statistical inefficiency,
+and the effective number of independent samples — the quantities that
+set how often a simulation should emit training data (experiment E12).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "autocorrelation",
+    "integrated_autocorrelation_time",
+    "block_average",
+    "statistical_inefficiency",
+    "effective_samples",
+]
+
+
+def autocorrelation(series: np.ndarray, max_lag: int | None = None) -> np.ndarray:
+    """Normalized autocorrelation function C(t)/C(0) via FFT.
+
+    Returns lags 0..max_lag (default n//2).  Constant series return all
+    ones (perfectly correlated) by convention.
+    """
+    x = np.asarray(series, dtype=float).ravel()
+    n = x.size
+    if n < 2:
+        raise ValueError(f"series must have >= 2 points, got {n}")
+    if max_lag is None:
+        max_lag = n // 2
+    max_lag = int(min(max_lag, n - 1))
+    x = x - x.mean()
+    var = float(np.dot(x, x) / n)
+    if var == 0.0:
+        return np.ones(max_lag + 1)
+    nfft = 1 << (2 * n - 1).bit_length()
+    fx = np.fft.rfft(x, nfft)
+    acov = np.fft.irfft(fx * np.conj(fx), nfft)[: max_lag + 1]
+    acov /= np.arange(n, n - max_lag - 1, -1)  # unbiased normalization
+    return acov / acov[0]
+
+
+def integrated_autocorrelation_time(
+    series: np.ndarray, *, c_window: float = 6.0
+) -> float:
+    """Integrated autocorrelation time tau with Sokal's self-consistent
+    windowing: sum C(t) up to the first lag exceeding ``c_window * tau``.
+
+    tau = 0.5 for white noise; larger values mean fewer independent
+    samples per step.
+    """
+    acf = autocorrelation(series)
+    tau = 0.5
+    for t in range(1, len(acf)):
+        tau += float(acf[t])
+        if t >= c_window * tau:
+            break
+    return max(tau, 0.5)
+
+
+def block_average(series: np.ndarray, block_size: int) -> tuple[float, float]:
+    """Mean and standard error from non-overlapping blocks.
+
+    The standard error is computed across block means; it converges to
+    the true error of the mean once ``block_size`` exceeds the
+    correlation time — the classic Flyvbjerg–Petersen picture.
+    """
+    x = np.asarray(series, dtype=float).ravel()
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size}")
+    n_blocks = x.size // block_size
+    if n_blocks < 2:
+        raise ValueError(
+            f"need >= 2 blocks; series of {x.size} with block_size {block_size} "
+            f"gives {n_blocks}"
+        )
+    blocks = x[: n_blocks * block_size].reshape(n_blocks, block_size).mean(axis=1)
+    mean = float(blocks.mean())
+    sem = float(blocks.std(ddof=1) / np.sqrt(n_blocks))
+    return mean, sem
+
+
+def statistical_inefficiency(series: np.ndarray) -> float:
+    """g = 1 + 2 tau_int-style factor: the subsampling stride that yields
+    approximately independent samples.  g = 1 for white noise."""
+    tau = integrated_autocorrelation_time(series)
+    return max(1.0, 2.0 * tau)
+
+
+def effective_samples(series: np.ndarray) -> float:
+    """Number of effectively independent samples, n / g."""
+    x = np.asarray(series, dtype=float).ravel()
+    return x.size / statistical_inefficiency(x)

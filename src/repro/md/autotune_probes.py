@@ -1,0 +1,87 @@
+"""MD autotuning probes: the evaluation function behind experiment E3.
+
+[9] trains an ANN so MD "runs at its optimal speed (using, for example,
+the lowest allowable timestep dt ...) while retaining the accuracy of
+the final result".  This module supplies the pieces an
+:class:`~repro.core.autotune.AutoTuner` needs for that workflow on the
+confined-electrolyte substrate:
+
+* the 6 system-parameter names (D = 6, matching [9]),
+* the 3 control names (dt, thermostat friction, equilibration steps),
+* :func:`evaluate_md` — run real Langevin MD under a candidate control
+  and score it: quality = stability + thermostat fidelity, cost = steps
+  per unit physical time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.simulation import SimulationError
+from repro.md.forces import PairTable
+from repro.md.integrators import Langevin
+from repro.md.potentials import WCA, Wall93, Yukawa
+from repro.md.system import ParticleSystem, SlitBox
+
+__all__ = [
+    "PARAM_NAMES",
+    "CONTROL_NAMES",
+    "CONSERVATIVE_CONTROL",
+    "build_md_system",
+    "evaluate_md",
+]
+
+#: The 6 system parameters (D = 6, as [9]).
+PARAM_NAMES = ("h", "z_p", "z_n", "c", "d", "temperature")
+#: The 3 tunable controls (3 network outputs, as [9]).
+CONTROL_NAMES = ("dt", "gamma", "equil_steps")
+#: Always-safe fallback control: tiny timestep, strong friction.
+CONSERVATIVE_CONTROL = (0.0005, 5.0, 400.0)
+
+
+def build_md_system(
+    params: np.ndarray, rng: np.random.Generator
+) -> tuple[ParticleSystem, PairTable]:
+    """Confined electrolyte for a 6-vector of system parameters."""
+    h, z_p, z_n, c, d, temperature = (float(v) for v in params)
+    n_units = 10
+    n_p, n_n = n_units * int(z_n), n_units * int(z_p)
+    area = (n_p + n_n) / (c * h)
+    side = float(np.sqrt(area))
+    box = SlitBox(side, side, h)
+    system = ParticleSystem.random_electrolyte(
+        box, n_p, n_n, float(int(z_p)), -float(int(z_n)), d,
+        temperature=temperature, rng=rng,
+    )
+    kappa = float(np.sqrt(8.0 * np.pi * 2.0 * 0.5 * c))
+    table = PairTable(
+        [WCA(sigma=d), Yukawa(bjerrum=2.0, kappa=kappa, rcut=max(3.0 * d, 1.5))],
+        wall=Wall93(sigma=0.5 * d, cutoff=1.25 * d),
+    )
+    return system, table
+
+
+def evaluate_md(
+    params: np.ndarray, control: np.ndarray, rng: np.random.Generator
+) -> tuple[float, float]:
+    """Score one (system, control) pair with a real short MD run.
+
+    Returns ``(quality, cost)``: quality is 1 for a stable run whose
+    kinetic temperature matches the target (decreasing with thermostat
+    error, 0 on divergence); cost is the steps needed per unit physical
+    time, ``1/dt``.
+    """
+    dt, gamma, equil_steps = float(control[0]), float(control[1]), int(control[2])
+    system, table = build_md_system(params, rng)
+    lang = Langevin(table, dt, temperature=float(params[5]), gamma=gamma, rng=rng)
+    try:
+        lang.step(system, equil_steps)
+        temps = []
+        for _ in range(10):
+            lang.step(system, 10)
+            temps.append(system.temperature())
+    except SimulationError:
+        return 0.0, 1.0 / dt
+    t_err = abs(float(np.mean(temps)) - float(params[5])) / float(params[5])
+    quality = max(0.0, 1.0 - 2.0 * t_err)
+    return quality, 1.0 / dt

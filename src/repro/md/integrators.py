@@ -1,0 +1,151 @@
+"""Time integrators: velocity-Verlet (NVE) and Langevin (BAOAB, NVT).
+
+Both detect numerical divergence (the failure mode MLautotuning must
+learn to avoid, §III-D / [9]) and raise :exc:`IntegrationDiverged`, which
+is a :class:`~repro.core.simulation.SimulationError` so orchestrators
+record the run as failed instead of crashing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.simulation import SimulationError
+from repro.md.forces import PairTable, pairwise_forces
+from repro.md.system import ParticleSystem
+from repro.util.rng import ensure_rng
+from repro.util.validation import check_positive
+
+__all__ = ["IntegrationDiverged", "VelocityVerlet", "Langevin"]
+
+ForceFn = Callable[[ParticleSystem, PairTable], tuple[np.ndarray, float]]
+
+
+class IntegrationDiverged(SimulationError):
+    """The trajectory blew up (non-finite coordinates or runaway speed)."""
+
+
+def _check_stable(system: ParticleSystem, max_speed: float) -> None:
+    if not np.all(np.isfinite(system.x)) or not np.all(np.isfinite(system.v)):
+        raise IntegrationDiverged("non-finite coordinates or velocities")
+    vmax = float(np.max(np.abs(system.v))) if system.n else 0.0
+    if vmax > max_speed:
+        raise IntegrationDiverged(f"velocity {vmax:.3g} exceeded limit {max_speed:.3g}")
+
+
+class VelocityVerlet:
+    """Symplectic NVE integrator.
+
+    Parameters
+    ----------
+    table:
+        Interactions.
+    dt:
+        Timestep (the key autotuning control).
+    force_fn:
+        Force kernel; defaults to the O(N²) reference.
+    max_speed:
+        Divergence threshold on any velocity component.
+    """
+
+    def __init__(
+        self,
+        table: PairTable,
+        dt: float,
+        *,
+        force_fn: ForceFn = pairwise_forces,
+        max_speed: float = 1e3,
+    ):
+        self.table = table
+        self.dt = check_positive("dt", dt)
+        self.force_fn = force_fn
+        self.max_speed = check_positive("max_speed", max_speed)
+        self._forces: np.ndarray | None = None
+        self.potential_energy = 0.0
+
+    def step(self, system: ParticleSystem, n_steps: int = 1) -> None:
+        """Advance ``n_steps`` velocity-Verlet steps in place."""
+        if n_steps < 1:
+            raise ValueError(f"n_steps must be >= 1, got {n_steps}")
+        dt = self.dt
+        if self._forces is None or self._forces.shape != system.x.shape:
+            self._forces, self.potential_energy = self.force_fn(system, self.table)
+        f = self._forces
+        for _ in range(n_steps):
+            system.v += 0.5 * dt * f
+            system.x += dt * system.v
+            system.x = system.box.wrap(system.x)
+            f, self.potential_energy = self.force_fn(system, self.table)
+            system.v += 0.5 * dt * f
+            _check_stable(system, self.max_speed)
+        self._forces = f
+
+    def total_energy(self, system: ParticleSystem) -> float:
+        return system.kinetic_energy() + self.potential_energy
+
+
+class Langevin:
+    """BAOAB Langevin integrator (Leimkuhler & Matthews).
+
+    The O-step uses the exact Ornstein–Uhlenbeck update, making the
+    scheme stable and accurate for configurational averages even at
+    moderate timesteps — the property the nanoconfinement exemplar relies
+    on to reach diffusive sampling quickly.
+
+    Parameters
+    ----------
+    table:
+        Interactions.
+    dt:
+        Timestep.
+    temperature:
+        Target temperature (k_B = 1).
+    gamma:
+        Friction coefficient (the second autotuning control in E3).
+    """
+
+    def __init__(
+        self,
+        table: PairTable,
+        dt: float,
+        temperature: float = 1.0,
+        gamma: float = 1.0,
+        *,
+        force_fn: ForceFn = pairwise_forces,
+        max_speed: float = 1e3,
+        rng: int | np.random.Generator | None = None,
+    ):
+        self.table = table
+        self.dt = check_positive("dt", dt)
+        self.temperature = check_positive("temperature", temperature)
+        self.gamma = check_positive("gamma", gamma)
+        self.force_fn = force_fn
+        self.max_speed = check_positive("max_speed", max_speed)
+        self.rng = ensure_rng(rng)
+        self._forces: np.ndarray | None = None
+        self.potential_energy = 0.0
+        self._c1 = np.exp(-gamma * dt)
+        self._c2 = np.sqrt(temperature * (1.0 - self._c1 * self._c1))
+
+    def step(self, system: ParticleSystem, n_steps: int = 1) -> None:
+        """Advance ``n_steps`` BAOAB steps in place."""
+        if n_steps < 1:
+            raise ValueError(f"n_steps must be >= 1, got {n_steps}")
+        dt = self.dt
+        half = 0.5 * dt
+        if self._forces is None or self._forces.shape != system.x.shape:
+            self._forces, self.potential_energy = self.force_fn(system, self.table)
+        f = self._forces
+        for _ in range(n_steps):
+            system.v += half * f                       # B
+            system.x += half * system.v                # A
+            system.v *= self._c1                       # O (exact OU)
+            system.v += self._c2 * self.rng.normal(size=system.v.shape)
+            system.x += half * system.v                # A
+            system.x = system.box.wrap(system.x)
+            f, self.potential_energy = self.force_fn(system, self.table)
+            system.v += half * f                       # B
+            _check_stable(system, self.max_speed)
+        self._forces = f

@@ -1,0 +1,131 @@
+"""Metropolis Monte-Carlo sampling.
+
+Two uses in the reproduction:
+
+* configurational sampling of the confined electrolyte via cheap
+  single-particle moves (an alternative to Langevin MD — the paper's
+  research issue 9 notes statistical-physics problems "may need different
+  techniques than those used in deterministic time evolutions");
+* driving a :class:`~repro.md.bp.BPPotential` that only provides energies
+  (no analytic forces), which is exactly how an NN surrogate potential is
+  easiest to deploy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.md.forces import PairTable
+from repro.md.system import ParticleSystem
+from repro.util.rng import ensure_rng
+from repro.util.validation import check_positive
+
+__all__ = ["MetropolisMC", "particle_energy"]
+
+
+def particle_energy(system: ParticleSystem, i: int, table: PairTable) -> float:
+    """Interaction energy of particle ``i`` with all others + the walls.
+
+    O(N) — the kernel behind efficient single-particle MC moves.
+    """
+    x = system.x
+    energy = 0.0
+    if system.n >= 2 and table.pair_potentials:
+        dr = system.box.minimum_image(x[i] - x)
+        r2 = np.sum(dr * dr, axis=-1)
+        r2[i] = np.inf  # exclude self
+        qq = system.q[i] * system.q
+        for pot in table.pair_potentials:
+            mask = r2 < pot.rcut * pot.rcut
+            if not np.any(mask):
+                continue
+            qqm = qq[mask] if pot.needs_charge else None
+            energy += float(np.sum(pot.energy(r2[mask], qqm)))
+    if table.wall is not None:
+        z = x[i, 2]
+        dz_lo = max(z, 1e-6)
+        dz_hi = max(system.box.h - z, 1e-6)
+        energy += float(
+            table.wall.wall_energy(np.array([dz_lo]))[0]
+            + table.wall.wall_energy(np.array([dz_hi]))[0]
+        )
+    return energy
+
+
+class MetropolisMC:
+    """Single-particle-move Metropolis sampler in the slit geometry.
+
+    Parameters
+    ----------
+    table:
+        Interactions (same object the MD integrators use).
+    temperature:
+        Sampling temperature (k_B = 1).
+    max_displacement:
+        Half-width of the uniform trial-move cube.
+    energy_fn:
+        Optional total-energy override ``energy_fn(positions) -> float``;
+        when given, moves are accepted with *full* energy recomputation —
+        the mode used to sample an NN potential that has no pair
+        decomposition.  Leave None for the fast O(N) pair path.
+    """
+
+    def __init__(
+        self,
+        table: PairTable,
+        temperature: float = 1.0,
+        max_displacement: float = 0.3,
+        *,
+        energy_fn: Callable[[np.ndarray], float] | None = None,
+        rng: int | np.random.Generator | None = None,
+    ):
+        self.table = table
+        self.temperature = check_positive("temperature", temperature)
+        self.max_displacement = check_positive("max_displacement", max_displacement)
+        self.energy_fn = energy_fn
+        self.rng = ensure_rng(rng)
+        self.n_trials = 0
+        self.n_accepted = 0
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.n_accepted / self.n_trials if self.n_trials else 0.0
+
+    def sweep(self, system: ParticleSystem, n_sweeps: int = 1) -> None:
+        """Perform ``n_sweeps`` sweeps of N single-particle trial moves."""
+        if n_sweeps < 1:
+            raise ValueError(f"n_sweeps must be >= 1, got {n_sweeps}")
+        beta = 1.0 / self.temperature
+        n = system.n
+        h = system.box.h
+        for _ in range(n_sweeps):
+            order = self.rng.permutation(n)
+            deltas = self.rng.uniform(
+                -self.max_displacement, self.max_displacement, size=(n, 3)
+            )
+            accepts = self.rng.random(n)
+            for k, i in enumerate(order):
+                old = system.x[i].copy()
+                new = old + deltas[k]
+                # reject moves placing the center past a wall outright
+                if not 0.0 < new[2] < h:
+                    self.n_trials += 1
+                    continue
+                if self.energy_fn is not None:
+                    e_old = self.energy_fn(system.x)
+                    system.x[i] = new
+                    e_new = self.energy_fn(system.x)
+                    de = e_new - e_old
+                    system.x[i] = old
+                else:
+                    e_old = particle_energy(system, i, self.table)
+                    system.x[i] = new
+                    e_new = particle_energy(system, i, self.table)
+                    de = e_new - e_old
+                    system.x[i] = old
+                self.n_trials += 1
+                if de <= 0.0 or accepts[k] < np.exp(-beta * de):
+                    system.x[i] = system.box.wrap(new[None, :])[0]
+                    self.n_accepted += 1

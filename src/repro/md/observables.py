@@ -1,0 +1,144 @@
+"""Observables: z-density profiles and radial distribution functions.
+
+The nanoconfinement exemplar's outputs (§II-C1) are *features of the
+ionic density profile*: the contact density (at the walls), the mid-plane
+(center) density, and the peak density — "average values of contact
+density or center density directly relate to important experimentally
+measured quantities such as the osmotic pressure".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.md.system import ParticleSystem
+from repro.util.validation import check_positive
+
+__all__ = ["DensityProfile", "density_features", "radial_distribution"]
+
+
+class DensityProfile:
+    """Accumulates the z-resolved number density of a species.
+
+    Parameters
+    ----------
+    h:
+        Slit height; bins span [0, h].
+    n_bins:
+        Histogram resolution.
+    lateral_area:
+        Box cross-section used to normalize counts to number densities.
+    species:
+        Which species label to histogram (None = all particles).
+    """
+
+    def __init__(
+        self,
+        h: float,
+        n_bins: int,
+        lateral_area: float,
+        species: int | None = None,
+    ):
+        check_positive("h", h)
+        check_positive("lateral_area", lateral_area)
+        if n_bins < 4:
+            raise ValueError(f"n_bins must be >= 4, got {n_bins}")
+        self.h = float(h)
+        self.n_bins = int(n_bins)
+        self.lateral_area = float(lateral_area)
+        self.species = species
+        self.edges = np.linspace(0.0, h, n_bins + 1)
+        self.counts = np.zeros(n_bins)
+        self.n_samples = 0
+
+    def sample(self, system: ParticleSystem) -> None:
+        """Accumulate one configuration."""
+        z = system.x[:, 2]
+        if self.species is not None:
+            z = z[system.species == self.species]
+        hist, _ = np.histogram(z, bins=self.edges)
+        self.counts += hist
+        self.n_samples += 1
+
+    @property
+    def bin_centers(self) -> np.ndarray:
+        return 0.5 * (self.edges[:-1] + self.edges[1:])
+
+    def density(self) -> np.ndarray:
+        """Mean number density per bin (particles / volume)."""
+        if self.n_samples == 0:
+            raise ValueError("no samples accumulated")
+        bin_volume = self.lateral_area * (self.h / self.n_bins)
+        return self.counts / (self.n_samples * bin_volume)
+
+    def reset(self) -> None:
+        self.counts.fill(0.0)
+        self.n_samples = 0
+
+
+def density_features(profile_z: np.ndarray, density: np.ndarray) -> dict[str, float]:
+    """Extract the exemplar's three output features from a profile.
+
+    * ``contact`` — density at the wall, averaged over the first and last
+      occupied bins on either side (first bin whose density exceeds 1% of
+      the profile max; purely-excluded bins right at the wall are skipped),
+    * ``peak`` — the global maximum,
+    * ``center`` — density at the mid-plane (central bin average).
+    """
+    z = np.asarray(profile_z, dtype=float)
+    rho = np.asarray(density, dtype=float)
+    if z.shape != rho.shape or z.ndim != 1 or z.size < 4:
+        raise ValueError("profile_z and density must be equal-length 1-D, size >= 4")
+    rho_max = float(np.max(rho))
+    if rho_max <= 0:
+        return {"contact": 0.0, "peak": 0.0, "center": 0.0}
+    threshold = 0.01 * rho_max
+    occupied = np.flatnonzero(rho > threshold)
+    lo, hi = occupied[0], occupied[-1]
+    contact = 0.5 * (rho[lo] + rho[hi])
+    mid = len(rho) // 2
+    center = float(np.mean(rho[max(0, mid - 1) : mid + 1]))
+    return {"contact": float(contact), "peak": rho_max, "center": center}
+
+
+def radial_distribution(
+    system: ParticleSystem,
+    r_max: float,
+    n_bins: int = 100,
+    species_pair: tuple[int, int] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """In-plane pair correlation g(r) (xy minimum image, z included raw).
+
+    Normalization uses the full slit volume; adequate for the
+    structure-tracking use of §II-C1 (peak positions of pair correlation
+    functions characterizing assembly).
+
+    Returns (bin centers, g).
+    """
+    check_positive("r_max", r_max)
+    if n_bins < 4:
+        raise ValueError(f"n_bins must be >= 4, got {n_bins}")
+    x = system.x
+    if species_pair is not None:
+        sa, sb = species_pair
+        xa = x[system.species == sa]
+        xb = x[system.species == sb]
+        same = sa == sb
+    else:
+        xa = xb = x
+        same = True
+    if len(xa) == 0 or len(xb) == 0:
+        raise ValueError("empty species selection")
+    dr = xa[:, None, :] - xb[None, :, :]
+    dr = system.box.minimum_image(dr)
+    r = np.sqrt(np.sum(dr * dr, axis=-1)).ravel()
+    if same:
+        r = r[r > 1e-12]  # drop self-pairs
+    r = r[r < r_max]
+    edges = np.linspace(0.0, r_max, n_bins + 1)
+    hist, _ = np.histogram(r, bins=edges)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    shell = 4.0 * np.pi * centers**2 * (r_max / n_bins)
+    rho_pairs = len(xa) * len(xb) / system.box.volume
+    g = hist / (shell * rho_pairs)
+    return centers, g

@@ -1,0 +1,270 @@
+"""Interaction potentials.
+
+Pair potentials expose vectorized ``energy(r2, ...)`` and
+``force_over_r(r2, ...)`` on arrays of *squared* distances (avoiding a
+sqrt in the hot path where possible); the force kernel returns
+``-(dU/dr)/r`` so callers multiply by the displacement vector directly.
+
+Charge-dependent potentials (Yukawa) additionally receive the pairwise
+charge products.  Wall potentials act on z-coordinates.  The
+Stillinger–Weber-like many-body potential serves as the "expensive ground
+truth" for the NN-potential experiment (E7) — the stand-in for DFT in the
+Behler–Parrinello pipeline of §II-C2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+__all__ = [
+    "PairPotential",
+    "LennardJones",
+    "WCA",
+    "SoftSphere",
+    "Yukawa",
+    "Wall93",
+    "StillingerWeberLike",
+]
+
+
+class PairPotential:
+    """Base: isotropic pair interaction with a finite cutoff."""
+
+    #: Cutoff radius; pairs beyond it contribute nothing.
+    rcut: float = np.inf
+
+    #: Whether the kernels need the charge product ``qq = q_i * q_j``.
+    needs_charge: bool = False
+
+    def energy(self, r2: np.ndarray, qq: np.ndarray | None = None) -> np.ndarray:
+        """Pair energies for squared distances ``r2`` (vectorized)."""
+        raise NotImplementedError
+
+    def force_over_r(self, r2: np.ndarray, qq: np.ndarray | None = None) -> np.ndarray:
+        """``-(dU/dr)/r`` for squared distances ``r2`` (vectorized)."""
+        raise NotImplementedError
+
+
+class LennardJones(PairPotential):
+    """12-6 Lennard-Jones, truncated and shifted to zero at ``rcut``.
+
+    The shift keeps the energy continuous across the cutoff (essential
+    for NVE energy conservation); pass ``shift=False`` for the bare
+    truncated form.
+    """
+
+    def __init__(
+        self,
+        epsilon: float = 1.0,
+        sigma: float = 1.0,
+        rcut: float = 2.5,
+        shift: bool = True,
+    ):
+        self.epsilon = check_positive("epsilon", epsilon)
+        self.sigma = check_positive("sigma", sigma)
+        self.rcut = check_positive("rcut", rcut)
+        if shift:
+            sc6 = (sigma / rcut) ** 6
+            self._shift = 4.0 * epsilon * (sc6 * sc6 - sc6)
+        else:
+            self._shift = 0.0
+
+    def energy(self, r2, qq=None):
+        s2 = self.sigma * self.sigma / r2
+        s6 = s2 * s2 * s2
+        return 4.0 * self.epsilon * (s6 * s6 - s6) - self._shift
+
+    def force_over_r(self, r2, qq=None):
+        s2 = self.sigma * self.sigma / r2
+        s6 = s2 * s2 * s2
+        return 24.0 * self.epsilon * (2.0 * s6 * s6 - s6) / r2
+
+
+class WCA(LennardJones):
+    """Weeks–Chandler–Andersen: purely repulsive LJ, shifted to zero at
+    the minimum ``2^(1/6) sigma`` — the excluded-volume interaction used
+    for finite ion diameters."""
+
+    def __init__(self, epsilon: float = 1.0, sigma: float = 1.0):
+        super().__init__(epsilon, sigma, rcut=2.0 ** (1.0 / 6.0) * sigma, shift=False)
+
+    def energy(self, r2, qq=None):
+        return super().energy(r2) + self.epsilon
+
+    # force_over_r inherited: the constant shift has zero derivative.
+
+
+class SoftSphere(PairPotential):
+    """Purely repulsive ``epsilon (sigma/r)^12`` — used for gentle overlap
+    relaxation of random initial configurations."""
+
+    def __init__(self, epsilon: float = 1.0, sigma: float = 1.0, rcut: float = 2.5):
+        self.epsilon = check_positive("epsilon", epsilon)
+        self.sigma = check_positive("sigma", sigma)
+        self.rcut = check_positive("rcut", rcut)
+
+    def energy(self, r2, qq=None):
+        s2 = self.sigma * self.sigma / r2
+        s6 = s2 * s2 * s2
+        return self.epsilon * s6 * s6
+
+    def force_over_r(self, r2, qq=None):
+        s2 = self.sigma * self.sigma / r2
+        s6 = s2 * s2 * s2
+        return 12.0 * self.epsilon * s6 * s6 / r2
+
+
+class Yukawa(PairPotential):
+    """Screened Coulomb: ``U = lB qq exp(-kappa r) / r``.
+
+    The implicit-solvent electrolyte interaction: ``lB`` is the Bjerrum
+    length, ``kappa`` the inverse Debye screening length set by the salt
+    concentration (feature ``c`` of the nanoconfinement exemplar).
+    """
+
+    needs_charge = True
+
+    def __init__(
+        self,
+        bjerrum: float = 1.0,
+        kappa: float = 1.0,
+        rcut: float = 4.0,
+        shift: bool = True,
+    ):
+        self.bjerrum = check_positive("bjerrum", bjerrum)
+        self.kappa = check_positive("kappa", kappa, strict=False)
+        self.rcut = check_positive("rcut", rcut)
+        # Shift is linear in qq: U(rcut)/qq, subtracted per pair so the
+        # energy is continuous at the cutoff for every charge product.
+        self._shift_per_qq = (
+            bjerrum * np.exp(-kappa * rcut) / rcut if shift else 0.0
+        )
+
+    def energy(self, r2, qq=None):
+        if qq is None:
+            raise ValueError("Yukawa.energy requires charge products qq")
+        r = np.sqrt(r2)
+        return self.bjerrum * qq * np.exp(-self.kappa * r) / r - self._shift_per_qq * qq
+
+    def force_over_r(self, r2, qq=None):
+        if qq is None:
+            raise ValueError("Yukawa.force_over_r requires charge products qq")
+        r = np.sqrt(r2)
+        # -(dU/dr)/r with U = lB qq e^{-kr}/r:
+        #   dU/dr = -lB qq e^{-kr} (1 + k r) / r^2
+        return self.bjerrum * qq * np.exp(-self.kappa * r) * (1.0 + self.kappa * r) / (r2 * r)
+
+
+class Wall93(PairPotential):
+    """9-3 wall potential for the two slit walls.
+
+    ``U(dz) = eps_w [ (2/15)(sigma/dz)^9 - (sigma/dz)^3 ]`` where ``dz``
+    is the distance from the wall plane.  Methods take dz (not r²) since
+    the interaction is one-dimensional.
+    """
+
+    def __init__(
+        self,
+        epsilon: float = 1.0,
+        sigma: float = 1.0,
+        cutoff: float = 2.5,
+        shift: bool = True,
+    ):
+        self.epsilon = check_positive("epsilon", epsilon)
+        self.sigma = check_positive("sigma", sigma)
+        self.cutoff = check_positive("cutoff", cutoff)
+        if shift:
+            s3c = (sigma / cutoff) ** 3
+            self._shift = epsilon * ((2.0 / 15.0) * s3c**3 - s3c)
+        else:
+            self._shift = 0.0
+
+    def wall_energy(self, dz: np.ndarray) -> np.ndarray:
+        dz = np.asarray(dz, dtype=float)
+        s3 = (self.sigma / dz) ** 3
+        s9 = s3 * s3 * s3
+        e = self.epsilon * ((2.0 / 15.0) * s9 - s3) - self._shift
+        return np.where(dz < self.cutoff, e, 0.0)
+
+    def wall_force(self, dz: np.ndarray) -> np.ndarray:
+        """Force along +z (pushing away from the wall at dz=0)."""
+        dz = np.asarray(dz, dtype=float)
+        s3 = (self.sigma / dz) ** 3
+        s9 = s3 * s3 * s3
+        f = self.epsilon * ((18.0 / 15.0) * s9 - 3.0 * s3) / dz
+        return np.where(dz < self.cutoff, f, 0.0)
+
+
+class StillingerWeberLike(PairPotential):
+    """Two-body + three-body cluster potential (SW-flavoured).
+
+    Used as the *expensive reference* ("DFT stand-in") for training
+    Behler–Parrinello NN potentials: the three-body angular term makes its
+    evaluation markedly more costly than a pair potential and gives the
+    NN something genuinely many-body to learn.
+
+    ``U = sum_pairs A [(sigma/r)^4 - 1] e^{sigma/(r - a sigma)}
+         + lam sum_triplets (cos th_jik + 1/3)^2
+               e^{gamma sigma/(r_ij - a sigma)} e^{gamma sigma/(r_ik - a sigma)}``
+
+    with all terms cut off smoothly at ``r = a sigma``.
+    """
+
+    def __init__(
+        self,
+        a_cut: float = 1.8,
+        sigma: float = 1.0,
+        big_a: float = 7.05,
+        lam: float = 21.0,
+        gamma: float = 1.2,
+    ):
+        self.sigma = check_positive("sigma", sigma)
+        self.a_cut = check_positive("a_cut", a_cut)
+        self.big_a = check_positive("big_a", big_a)
+        self.lam = check_positive("lam", lam, strict=False)
+        self.gamma = check_positive("gamma", gamma)
+        self.rcut = a_cut * sigma
+
+    def _h(self, r: np.ndarray) -> np.ndarray:
+        """Smooth cutoff factor exp(sigma/(r - rcut)) for r < rcut, else 0."""
+        out = np.zeros_like(r)
+        inside = r < self.rcut
+        out[inside] = np.exp(self.sigma / (r[inside] - self.rcut))
+        return out
+
+    def total_energy(self, positions: np.ndarray) -> float:
+        """Total cluster energy of an open (non-periodic) configuration.
+
+        O(N^2) pair term + O(N * k^2) triplet term over in-range
+        neighbors; intended for the small clusters of the NN-potential
+        experiments, not for driving large MD.
+        """
+        x = np.atleast_2d(np.asarray(positions, dtype=float))
+        n = len(x)
+        if n < 2:
+            return 0.0
+        dr = x[:, None, :] - x[None, :, :]
+        r = np.sqrt(np.sum(dr * dr, axis=-1))
+        iu = np.triu_indices(n, k=1)
+        rp = r[iu]
+        mask = rp < self.rcut
+        rp = rp[mask]
+        h = np.exp(self.sigma / (rp - self.rcut))
+        e2 = float(np.sum(self.big_a * ((self.sigma / rp) ** 4 - 1.0) * h))
+
+        e3 = 0.0
+        if self.lam > 0:
+            for i in range(n):
+                nbr = np.flatnonzero((r[i] < self.rcut) & (r[i] > 0))
+                if nbr.size < 2:
+                    continue
+                rij = r[i, nbr]
+                uij = dr[nbr, i, :] / rij[:, None] * -1.0  # unit vectors i->j
+                gfac = np.exp(self.gamma * self.sigma / (rij - self.rcut))
+                cosmat = uij @ uij.T
+                term = (cosmat + 1.0 / 3.0) ** 2 * np.outer(gfac, gfac)
+                ju = np.triu_indices(nbr.size, k=1)
+                e3 += float(np.sum(term[ju]))
+        return e2 + self.lam * e3

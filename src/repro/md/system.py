@@ -1,0 +1,208 @@
+"""Particle state and the slit-confined periodic box.
+
+Geometry matches the nanoconfinement experiments of [26]: periodic in x
+and y with side ``L``, confined by two hard/soft walls at ``z = 0`` and
+``z = h`` (the paper's confinement length feature).  Reduced Lennard-Jones
+units throughout (sigma = epsilon = k_B = m = 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import ensure_rng
+from repro.util.validation import check_positive
+
+__all__ = ["SlitBox", "ParticleSystem"]
+
+
+class SlitBox:
+    """Periodic-in-xy, wall-bounded-in-z simulation box.
+
+    Parameters
+    ----------
+    lx, ly:
+        Lateral periodic box lengths.
+    h:
+        Wall separation (z in [0, h]).
+    """
+
+    def __init__(self, lx: float, ly: float, h: float):
+        self.lx = check_positive("lx", lx)
+        self.ly = check_positive("ly", ly)
+        self.h = check_positive("h", h)
+
+    @property
+    def volume(self) -> float:
+        return self.lx * self.ly * self.h
+
+    @property
+    def lateral_area(self) -> float:
+        return self.lx * self.ly
+
+    def minimum_image(self, dr: np.ndarray) -> np.ndarray:
+        """Apply the minimum-image convention in x and y (in place-safe).
+
+        ``dr`` has shape (..., 3); z is untouched (walls, not periodic).
+        """
+        out = np.array(dr, dtype=float, copy=True)
+        out[..., 0] -= self.lx * np.round(out[..., 0] / self.lx)
+        out[..., 1] -= self.ly * np.round(out[..., 1] / self.ly)
+        return out
+
+    def wrap(self, positions: np.ndarray) -> np.ndarray:
+        """Wrap x, y into [0, L); z is left unwrapped (walls confine it)."""
+        out = np.array(positions, dtype=float, copy=True)
+        out[..., 0] %= self.lx
+        out[..., 1] %= self.ly
+        return out
+
+    def __repr__(self) -> str:
+        return f"SlitBox(lx={self.lx}, ly={self.ly}, h={self.h})"
+
+
+class ParticleSystem:
+    """Positions, velocities, charges and diameters of N particles.
+
+    Attributes
+    ----------
+    x : (N, 3) positions
+    v : (N, 3) velocities
+    q : (N,) charges (valencies in reduced units)
+    d : (N,) diameters
+    species : (N,) integer species labels (0 = positive ions, 1 = negative
+        ions in the nanoconfinement setup)
+    """
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        box: SlitBox,
+        *,
+        v: np.ndarray | None = None,
+        q: np.ndarray | None = None,
+        d: np.ndarray | None = None,
+        species: np.ndarray | None = None,
+    ):
+        self.x = np.atleast_2d(np.asarray(x, dtype=float)).copy()
+        if self.x.ndim != 2 or self.x.shape[1] != 3:
+            raise ValueError(f"positions must be (N, 3), got {self.x.shape}")
+        n = len(self.x)
+        self.box = box
+        self.v = (
+            np.zeros((n, 3)) if v is None else np.asarray(v, dtype=float).copy()
+        )
+        self.q = np.zeros(n) if q is None else np.asarray(q, dtype=float).copy()
+        self.d = np.ones(n) if d is None else np.asarray(d, dtype=float).copy()
+        self.species = (
+            np.zeros(n, dtype=int)
+            if species is None
+            else np.asarray(species, dtype=int).copy()
+        )
+        for name, arr, shape in (
+            ("v", self.v, (n, 3)),
+            ("q", self.q, (n,)),
+            ("d", self.d, (n,)),
+            ("species", self.species, (n,)),
+        ):
+            if arr.shape != shape:
+                raise ValueError(f"{name} must have shape {shape}, got {arr.shape}")
+
+    @property
+    def n(self) -> int:
+        return len(self.x)
+
+    def kinetic_energy(self) -> float:
+        return 0.5 * float(np.sum(self.v * self.v))
+
+    def temperature(self) -> float:
+        """Instantaneous kinetic temperature, k_B = m = 1.
+
+        Uses 3N degrees of freedom (Langevin dynamics does not conserve
+        momentum, so no COM subtraction).
+        """
+        if self.n == 0:
+            return 0.0
+        return 2.0 * self.kinetic_energy() / (3.0 * self.n)
+
+    def thermalize(
+        self, temperature: float, rng: int | np.random.Generator | None = None
+    ) -> None:
+        """Draw Maxwell–Boltzmann velocities at the given temperature."""
+        check_positive("temperature", temperature)
+        gen = ensure_rng(rng)
+        self.v = gen.normal(0.0, np.sqrt(temperature), size=(self.n, 3))
+
+    @classmethod
+    def random_electrolyte(
+        cls,
+        box: SlitBox,
+        n_positive: int,
+        n_negative: int,
+        z_positive: float,
+        z_negative: float,
+        diameter: float,
+        *,
+        temperature: float = 1.0,
+        rng: int | np.random.Generator | None = None,
+    ) -> "ParticleSystem":
+        """Random non-overlapping-ish electrolyte in the slit.
+
+        Ions are inserted by rejection sampling with pair separations of
+        at least ``0.9 * diameter`` (minimum image in x/y), and z kept
+        ``diameter/2`` away from both walls, so the WCA core never starts
+        from a catastrophic overlap.
+        """
+        if n_positive < 0 or n_negative < 0 or n_positive + n_negative == 0:
+            raise ValueError("need a positive total ion count")
+        if z_negative > 0:
+            raise ValueError(f"z_negative must be <= 0, got {z_negative}")
+        check_positive("diameter", diameter)
+        gen = ensure_rng(rng)
+        n = n_positive + n_negative
+        margin = diameter / 2.0
+        if box.h <= 2 * margin:
+            raise ValueError(
+                f"slit height {box.h} too small for ion diameter {diameter}"
+            )
+        min_sep = 0.9 * diameter
+        min_sep2 = min_sep * min_sep
+        x = np.empty((n, 3))
+        placed = 0
+        attempts = 0
+        max_attempts = 500 * n
+        while placed < n:
+            cand = np.array(
+                [
+                    gen.uniform(0.0, box.lx),
+                    gen.uniform(0.0, box.ly),
+                    gen.uniform(margin, box.h - margin),
+                ]
+            )
+            if placed:
+                dr = box.minimum_image(cand - x[:placed])
+                if np.min(np.sum(dr * dr, axis=-1)) < min_sep2:
+                    attempts += 1
+                    if attempts > max_attempts:
+                        raise ValueError(
+                            f"could not place {n} ions of diameter {diameter} in "
+                            f"box {box!r}; density too high"
+                        )
+                    continue
+            x[placed] = cand
+            placed += 1
+        q = np.concatenate(
+            [np.full(n_positive, z_positive), np.full(n_negative, z_negative)]
+        )
+        d = np.full(n, diameter)
+        species = np.concatenate(
+            [np.zeros(n_positive, dtype=int), np.ones(n_negative, dtype=int)]
+        )
+        system = cls(x, box, q=q, d=d, species=species)
+        system.thermalize(temperature, gen)
+        return system
+
+    def copy(self) -> "ParticleSystem":
+        return ParticleSystem(
+            self.x, self.box, v=self.v, q=self.q, d=self.d, species=self.species
+        )

@@ -1,0 +1,93 @@
+"""A from-scratch, numpy-only neural-network stack.
+
+The paper's exemplars used scikit-learn, TensorFlow and Keras as the ML
+subsystem (§III-D).  None of those are available offline, and the networks
+involved are small dense regressors (two hidden layers, tens of units), so
+this subpackage reimplements exactly the required machinery:
+
+* dense / dropout / activation layers with analytic backprop
+  (:mod:`repro.nn.layers`),
+* regression and classification losses (:mod:`repro.nn.losses`),
+* SGD-family and Adam optimizers with learning-rate schedules
+  (:mod:`repro.nn.optimizers`),
+* a :class:`~repro.nn.model.MLP` sequential container with flat parameter
+  vector access (needed by the parallel computation models of §III-A),
+* a mini-batch :class:`~repro.nn.training.Trainer` with early stopping,
+* feature scalers and metrics,
+* a :class:`~repro.nn.twobranch.TwoBranchNetwork` matching the DEFSI
+  architecture (§II-A), and
+* Monte-Carlo-dropout predictive sampling used by the UQ layer (§III-B).
+
+All stochastic operations (init, shuffling, dropout masks) draw from an
+explicit :class:`numpy.random.Generator`.
+"""
+
+from repro.nn.activations import (
+    Activation,
+    Identity,
+    ReLU,
+    LeakyReLU,
+    Tanh,
+    Sigmoid,
+    Softplus,
+    get_activation,
+)
+from repro.nn.initializers import glorot_uniform, he_normal, zeros_init, get_initializer
+from repro.nn.layers import Layer, Dense, Dropout, ActivationLayer
+from repro.nn.losses import Loss, MSELoss, MAELoss, HuberLoss, BCELoss, get_loss
+from repro.nn.optimizers import (
+    Optimizer,
+    SGD,
+    Momentum,
+    Adam,
+    RMSProp,
+    ConstantSchedule,
+    ExponentialDecay,
+    StepDecay,
+)
+from repro.nn.model import MLP
+from repro.nn.training import Trainer, TrainingHistory, EarlyStopping
+from repro.nn.scalers import StandardScaler, MinMaxScaler
+from repro.nn.twobranch import TwoBranchNetwork
+from repro.nn import metrics
+
+__all__ = [
+    "Activation",
+    "Identity",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Softplus",
+    "get_activation",
+    "glorot_uniform",
+    "he_normal",
+    "zeros_init",
+    "get_initializer",
+    "Layer",
+    "Dense",
+    "Dropout",
+    "ActivationLayer",
+    "Loss",
+    "MSELoss",
+    "MAELoss",
+    "HuberLoss",
+    "BCELoss",
+    "get_loss",
+    "Optimizer",
+    "SGD",
+    "Momentum",
+    "Adam",
+    "RMSProp",
+    "ConstantSchedule",
+    "ExponentialDecay",
+    "StepDecay",
+    "MLP",
+    "Trainer",
+    "TrainingHistory",
+    "EarlyStopping",
+    "StandardScaler",
+    "MinMaxScaler",
+    "TwoBranchNetwork",
+    "metrics",
+]

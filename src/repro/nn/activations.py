@@ -1,0 +1,144 @@
+"""Elementwise activation functions with analytic derivatives.
+
+Each activation exposes ``forward(x)`` and ``backward(x, grad_out)`` where
+``backward`` returns ``grad_out * f'(x)`` evaluated at the *pre-activation*
+``x`` saved by the caller.  All operations are vectorized over arbitrary
+array shapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Activation",
+    "Identity",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Softplus",
+    "get_activation",
+]
+
+
+class Activation:
+    """Base class: a differentiable elementwise function."""
+
+    name: str = "base"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, x: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class Identity(Activation):
+    """f(x) = x — the linear output head."""
+
+    name = "identity"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, x: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out
+
+
+class ReLU(Activation):
+    """Rectified linear unit, max(x, 0)."""
+
+    name = "relu"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0)
+
+    def backward(self, x: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * (x > 0.0)
+
+
+class LeakyReLU(Activation):
+    """ReLU with slope ``alpha`` on the negative side."""
+
+    name = "leaky_relu"
+
+    def __init__(self, alpha: float = 0.01):
+        if alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {alpha}")
+        self.alpha = float(alpha)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.where(x > 0.0, x, self.alpha * x)
+
+    def backward(self, x: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * np.where(x > 0.0, 1.0, self.alpha)
+
+    def __repr__(self) -> str:
+        return f"LeakyReLU(alpha={self.alpha})"
+
+
+class Tanh(Activation):
+    """Hyperbolic tangent."""
+
+    name = "tanh"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
+    def backward(self, x: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        t = np.tanh(x)
+        return grad_out * (1.0 - t * t)
+
+
+class Sigmoid(Activation):
+    """Logistic sigmoid, numerically stable for large |x|."""
+
+    name = "sigmoid"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        # Numerically stable piecewise form avoids overflow in exp.
+        out = np.empty_like(x, dtype=float)
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        out[~pos] = ex / (1.0 + ex)
+        return out
+
+    def backward(self, x: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        s = self.forward(x)
+        return grad_out * s * (1.0 - s)
+
+
+class Softplus(Activation):
+    """log(1 + e^x), a smooth positive ReLU."""
+
+    name = "softplus"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        # log(1+e^x) = max(x,0) + log1p(e^{-|x|}) is stable for large |x|.
+        return np.maximum(x, 0.0) + np.log1p(np.exp(-np.abs(x)))
+
+    def backward(self, x: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * Sigmoid().forward(x)
+
+
+_REGISTRY: dict[str, type[Activation]] = {
+    cls.name: cls for cls in (Identity, ReLU, LeakyReLU, Tanh, Sigmoid, Softplus)
+}
+_REGISTRY["linear"] = Identity
+
+
+def get_activation(spec: str | Activation) -> Activation:
+    """Resolve an activation by name or pass an instance through."""
+    if isinstance(spec, Activation):
+        return spec
+    try:
+        return _REGISTRY[spec]()
+    except KeyError:
+        raise ValueError(
+            f"unknown activation {spec!r}; known: {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,78 @@
+"""Numerical gradient checking (central differences).
+
+Used by the test suite to validate every layer's analytic backward pass
+against finite differences — the standard correctness oracle for a
+hand-written backprop stack.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.losses import Loss, get_loss
+from repro.nn.model import MLP
+
+__all__ = ["numerical_gradient", "check_model_gradients", "max_relative_error"]
+
+
+def numerical_gradient(
+    f: Callable[[np.ndarray], float], x: np.ndarray, eps: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``f`` at ``x`` (same shape as x)."""
+    x = np.asarray(x, dtype=float)
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    gflat = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        f_plus = f(x)
+        flat[i] = orig - eps
+        f_minus = f(x)
+        flat[i] = orig
+        gflat[i] = (f_plus - f_minus) / (2.0 * eps)
+    return grad
+
+
+def max_relative_error(a: np.ndarray, b: np.ndarray, floor: float = 1e-8) -> float:
+    """Elementwise max of |a-b| / max(|a|, |b|, floor)."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    denom = np.maximum(np.maximum(np.abs(a), np.abs(b)), floor)
+    return float(np.max(np.abs(a - b) / denom))
+
+
+def check_model_gradients(
+    model: MLP,
+    x: np.ndarray,
+    y: np.ndarray,
+    loss: str | Loss = "mse",
+    eps: float = 1e-6,
+) -> float:
+    """Compare analytic flat gradient to finite differences.
+
+    Returns the max relative error across all parameters.  The model must
+    be deterministic in training mode (no dropout) for the comparison to
+    be meaningful.
+    """
+    loss_fn = get_loss(loss)
+    y = np.asarray(y, dtype=float)
+    if y.ndim == 1:
+        y = y[:, None]
+
+    model.train_batch(x, y, loss_fn)
+    analytic = model.flat_grad()
+
+    theta0 = model.get_flat_params()
+
+    def f(theta_flat: np.ndarray) -> float:
+        model.set_flat_params(theta_flat)
+        pred = model.forward(x, training=True)
+        value, _ = loss_fn(pred, y)
+        return value + model.penalty()
+
+    numeric = numerical_gradient(f, theta0.copy(), eps=eps)
+    model.set_flat_params(theta0)
+    return max_relative_error(analytic, numeric)

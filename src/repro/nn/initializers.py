@@ -1,0 +1,52 @@
+"""Weight initialization schemes.
+
+Glorot (Xavier) uniform for tanh/sigmoid networks, He normal for ReLU
+networks.  All take an explicit generator so that a model seeded once is
+reproducible across platforms.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "he_normal", "zeros_init", "get_initializer"]
+
+Initializer = Callable[[int, int, np.random.Generator], np.ndarray]
+
+
+def glorot_uniform(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Uniform(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def he_normal(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Normal(0, sqrt(2 / fan_in)) — preserves variance through ReLU."""
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def zeros_init(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """All-zero initialization (baselines and tests)."""
+    return np.zeros((fan_in, fan_out))
+
+
+_REGISTRY: dict[str, Initializer] = {
+    "glorot_uniform": glorot_uniform,
+    "he_normal": he_normal,
+    "zeros": zeros_init,
+}
+
+
+def get_initializer(spec: str | Initializer) -> Initializer:
+    """Resolve an initializer by name or pass a callable through."""
+    if callable(spec):
+        return spec
+    try:
+        return _REGISTRY[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown initializer {spec!r}; known: {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,193 @@
+"""Network layers with explicit forward/backward passes.
+
+Data layout is ``(batch, features)`` throughout.  Each layer caches
+whatever its backward pass needs during ``forward`` and accumulates
+parameter gradients into preallocated buffers (``grads``), which the
+optimizer consumes in place — no per-step allocation of gradient arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import Activation, get_activation
+from repro.nn.initializers import get_initializer
+from repro.util.rng import ensure_rng
+
+__all__ = ["Layer", "Dense", "Dropout", "ActivationLayer"]
+
+
+class Layer:
+    """Base layer.
+
+    Attributes
+    ----------
+    params : list[numpy.ndarray]
+        Trainable parameter arrays (possibly empty).
+    grads : list[numpy.ndarray]
+        Gradient buffers, same shapes as ``params``.
+    """
+
+    def __init__(self) -> None:
+        self.params: list[np.ndarray] = []
+        self.grads: list[np.ndarray] = []
+
+    def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Accumulate parameter gradients; return gradient w.r.t. input."""
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for g in self.grads:
+            g.fill(0.0)
+
+    @property
+    def n_params(self) -> int:
+        return int(sum(p.size for p in self.params))
+
+    def config(self) -> dict:
+        """JSON-serializable layer description (weights excluded)."""
+        raise NotImplementedError
+
+
+class Dense(Layer):
+    """Affine map ``y = x @ W + b`` with optional L2 weight penalty.
+
+    Parameters
+    ----------
+    in_dim, out_dim:
+        Input and output feature counts.
+    init:
+        Weight initializer name or callable (bias starts at zero).
+    l2:
+        Coefficient of the ``0.5 * l2 * ||W||^2`` penalty added to the
+        weight gradient (bias is not penalized).
+    rng:
+        Seed or generator for initialization.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        *,
+        init: str = "glorot_uniform",
+        l2: float = 0.0,
+        rng: int | np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if in_dim <= 0 or out_dim <= 0:
+            raise ValueError(f"dimensions must be positive, got ({in_dim}, {out_dim})")
+        if l2 < 0:
+            raise ValueError(f"l2 must be >= 0, got {l2}")
+        self.in_dim = int(in_dim)
+        self.out_dim = int(out_dim)
+        self.l2 = float(l2)
+        self._init_name = init if isinstance(init, str) else getattr(init, "__name__", "custom")
+        gen = ensure_rng(rng)
+        self.W = get_initializer(init)(in_dim, out_dim, gen)
+        self.b = np.zeros(out_dim)
+        self.params = [self.W, self.b]
+        self.grads = [np.zeros_like(self.W), np.zeros_like(self.b)]
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self.in_dim:
+            raise ValueError(
+                f"Dense({self.in_dim}->{self.out_dim}) got input shape {x.shape}"
+            )
+        self._x = x if training else None
+        return x @ self.W + self.b
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        gW, gb = self.grads
+        gW += self._x.T @ grad_out
+        if self.l2:
+            gW += self.l2 * self.W
+        gb += grad_out.sum(axis=0)
+        return grad_out @ self.W.T
+
+    def penalty(self) -> float:
+        """Current L2 penalty value (for loss reporting)."""
+        return 0.5 * self.l2 * float(np.sum(self.W * self.W)) if self.l2 else 0.0
+
+    def config(self) -> dict:
+        return {
+            "kind": "dense",
+            "in_dim": self.in_dim,
+            "out_dim": self.out_dim,
+            "init": self._init_name,
+            "l2": self.l2,
+        }
+
+    def __repr__(self) -> str:
+        return f"Dense({self.in_dim}->{self.out_dim}, l2={self.l2})"
+
+
+class Dropout(Layer):
+    """Inverted dropout.
+
+    During training each unit is zeroed with probability ``rate`` and the
+    survivors are scaled by ``1/(1-rate)`` so the expected activation is
+    unchanged.  At inference the layer is the identity *unless*
+    ``mc=True`` is set, in which case masks are sampled at predict time —
+    this is the Monte-Carlo-dropout mode used for uncertainty
+    quantification (§III-B, Gal & Ghahramani).
+    """
+
+    def __init__(self, rate: float, *, rng: int | np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = float(rate)
+        self.mc = False
+        self._rng = ensure_rng(rng)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        if self.rate == 0.0 or not (training or self.mc):
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask
+
+    def config(self) -> dict:
+        return {"kind": "dropout", "rate": self.rate}
+
+    def __repr__(self) -> str:
+        return f"Dropout(rate={self.rate}, mc={self.mc})"
+
+
+class ActivationLayer(Layer):
+    """Wraps an :class:`~repro.nn.activations.Activation` as a layer."""
+
+    def __init__(self, activation: str | Activation):
+        super().__init__()
+        self.activation = get_activation(activation)
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        self._x = x if training else None
+        return self.activation.forward(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        return self.activation.backward(self._x, grad_out)
+
+    def config(self) -> dict:
+        return {"kind": "activation", "activation": self.activation.name}
+
+    def __repr__(self) -> str:
+        return f"ActivationLayer({self.activation.name})"

@@ -1,0 +1,109 @@
+"""Loss functions returning (value, gradient-w.r.t.-prediction).
+
+Gradients are scaled so that ``value`` is the *mean* loss over the batch
+and ``grad`` is its exact derivative — the optimizer step size is then
+independent of batch size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Loss", "MSELoss", "MAELoss", "HuberLoss", "BCELoss", "get_loss"]
+
+
+class Loss:
+    """Base loss: call with (pred, target) to get (value, grad)."""
+
+    name: str = "base"
+
+    def __call__(
+        self, pred: np.ndarray, target: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        pred = np.asarray(pred, dtype=float)
+        target = np.asarray(target, dtype=float)
+        if pred.shape != target.shape:
+            raise ValueError(
+                f"prediction shape {pred.shape} != target shape {target.shape}"
+            )
+        return self.compute(pred, target)
+
+    def compute(self, pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+        raise NotImplementedError
+
+
+class MSELoss(Loss):
+    """Mean squared error, ``mean((pred - target)^2)``."""
+
+    name = "mse"
+
+    def compute(self, pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+        diff = pred - target
+        value = float(np.mean(diff * diff))
+        grad = (2.0 / diff.size) * diff
+        return value, grad
+
+
+class MAELoss(Loss):
+    """Mean absolute error; subgradient 0 at exact zeros."""
+
+    name = "mae"
+
+    def compute(self, pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+        diff = pred - target
+        value = float(np.mean(np.abs(diff)))
+        grad = np.sign(diff) / diff.size
+        return value, grad
+
+
+class HuberLoss(Loss):
+    """Huber loss: quadratic inside ``delta``, linear outside."""
+
+    name = "huber"
+
+    def __init__(self, delta: float = 1.0):
+        if delta <= 0:
+            raise ValueError(f"delta must be > 0, got {delta}")
+        self.delta = float(delta)
+
+    def compute(self, pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+        diff = pred - target
+        absd = np.abs(diff)
+        quad = absd <= self.delta
+        value = float(
+            np.mean(
+                np.where(quad, 0.5 * diff * diff, self.delta * (absd - 0.5 * self.delta))
+            )
+        )
+        grad = np.where(quad, diff, self.delta * np.sign(diff)) / diff.size
+        return value, grad
+
+
+class BCELoss(Loss):
+    """Binary cross-entropy on probabilities in (0, 1); clipped for stability."""
+
+    name = "bce"
+
+    def __init__(self, eps: float = 1e-12):
+        self.eps = float(eps)
+
+    def compute(self, pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+        p = np.clip(pred, self.eps, 1.0 - self.eps)
+        value = float(-np.mean(target * np.log(p) + (1.0 - target) * np.log1p(-p)))
+        grad = (p - target) / (p * (1.0 - p) * p.size)
+        return value, grad
+
+
+_REGISTRY: dict[str, type[Loss]] = {
+    cls.name: cls for cls in (MSELoss, MAELoss, HuberLoss, BCELoss)
+}
+
+
+def get_loss(spec: str | Loss) -> Loss:
+    """Resolve a loss by name or pass an instance through."""
+    if isinstance(spec, Loss):
+        return spec
+    try:
+        return _REGISTRY[spec]()
+    except KeyError:
+        raise ValueError(f"unknown loss {spec!r}; known: {sorted(_REGISTRY)}") from None

@@ -1,0 +1,102 @@
+"""Regression / classification / calibration metrics.
+
+These back the accuracy tables in EXPERIMENTS.md (surrogate agreement with
+explicit simulation, forecast RMSE by resolution, UQ calibration).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "mse",
+    "rmse",
+    "mae",
+    "r2_score",
+    "mape",
+    "pearson_r",
+    "accuracy",
+    "picp",
+    "mean_interval_width",
+]
+
+
+def _align(pred: np.ndarray, target: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    p = np.asarray(pred, dtype=float)
+    t = np.asarray(target, dtype=float)
+    if p.shape != t.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {t.shape}")
+    return p, t
+
+
+def mse(pred: np.ndarray, target: np.ndarray) -> float:
+    p, t = _align(pred, target)
+    return float(np.mean((p - t) ** 2))
+
+
+def rmse(pred: np.ndarray, target: np.ndarray) -> float:
+    return float(np.sqrt(mse(pred, target)))
+
+
+def mae(pred: np.ndarray, target: np.ndarray) -> float:
+    p, t = _align(pred, target)
+    return float(np.mean(np.abs(p - t)))
+
+
+def r2_score(pred: np.ndarray, target: np.ndarray) -> float:
+    """Coefficient of determination; 1.0 is perfect, 0.0 is mean-prediction."""
+    p, t = _align(pred, target)
+    ss_res = np.sum((t - p) ** 2)
+    ss_tot = np.sum((t - t.mean()) ** 2)
+    if ss_tot == 0:
+        return 1.0 if ss_res == 0 else 0.0
+    return float(1.0 - ss_res / ss_tot)
+
+
+def mape(pred: np.ndarray, target: np.ndarray, eps: float = 1e-12) -> float:
+    """Mean absolute percentage error (targets near zero guarded by eps)."""
+    p, t = _align(pred, target)
+    return float(np.mean(np.abs(p - t) / np.maximum(np.abs(t), eps))) * 100.0
+
+
+def pearson_r(pred: np.ndarray, target: np.ndarray) -> float:
+    p, t = _align(pred, target)
+    p, t = p.ravel(), t.ravel()
+    ps, ts = p.std(), t.std()
+    if ps == 0 or ts == 0:
+        return 0.0
+    return float(np.mean((p - p.mean()) * (t - t.mean())) / (ps * ts))
+
+
+def accuracy(pred_labels: np.ndarray, target_labels: np.ndarray) -> float:
+    p = np.asarray(pred_labels)
+    t = np.asarray(target_labels)
+    if p.shape != t.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {t.shape}")
+    return float(np.mean(p == t))
+
+
+def picp(
+    target: np.ndarray, lower: np.ndarray, upper: np.ndarray
+) -> float:
+    """Prediction-interval coverage probability.
+
+    Fraction of targets inside [lower, upper] — for a well-calibrated 95%
+    interval this should be ~0.95 (the UQ calibration check of §III-B).
+    """
+    t = np.asarray(target, dtype=float)
+    lo = np.asarray(lower, dtype=float)
+    hi = np.asarray(upper, dtype=float)
+    if not (t.shape == lo.shape == hi.shape):
+        raise ValueError("target/lower/upper shapes differ")
+    if np.any(lo > hi):
+        raise ValueError("lower bound exceeds upper bound")
+    return float(np.mean((t >= lo) & (t <= hi)))
+
+
+def mean_interval_width(lower: np.ndarray, upper: np.ndarray) -> float:
+    lo = np.asarray(lower, dtype=float)
+    hi = np.asarray(upper, dtype=float)
+    if lo.shape != hi.shape:
+        raise ValueError("lower/upper shapes differ")
+    return float(np.mean(hi - lo))

@@ -1,0 +1,223 @@
+"""The :class:`MLP` sequential model.
+
+Beyond the obvious forward/backward, the model exposes a *flat parameter
+vector* view (:meth:`MLP.get_flat_params` / :meth:`MLP.set_flat_params` /
+:meth:`MLP.flat_grad`).  The parallel computation models of §III-A
+(Locking, Rotation, Allreduce, Asynchronous) all operate on the model as a
+single dense vector, which is exactly how parameter servers and MPI
+allreduce see it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.activations import get_activation
+from repro.nn.layers import ActivationLayer, Dense, Dropout, Layer
+from repro.nn.losses import Loss, get_loss
+from repro.util.rng import ensure_rng, spawn_rngs
+
+__all__ = ["MLP"]
+
+
+class MLP:
+    """Multi-layer perceptron built from an explicit layer list.
+
+    Use the :meth:`MLP.regressor` factory for the common "D inputs, a few
+    hidden layers, K outputs" shape used throughout the paper's exemplars
+    (e.g. the 6 -> 30 -> 48 -> 3 autotuning network of §III-D).
+    """
+
+    def __init__(self, layers: Sequence[Layer]):
+        if not layers:
+            raise ValueError("MLP needs at least one layer")
+        self.layers = list(layers)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def regressor(
+        cls,
+        in_dim: int,
+        hidden: Sequence[int],
+        out_dim: int,
+        *,
+        activation: str = "relu",
+        out_activation: str = "identity",
+        dropout: float = 0.0,
+        l2: float = 0.0,
+        rng: int | np.random.Generator | None = None,
+    ) -> "MLP":
+        """Build a dense regressor ``in_dim -> hidden... -> out_dim``.
+
+        ``dropout`` inserts a Dropout layer after every hidden activation
+        (the placement required for MC-dropout UQ).
+        """
+        gen = ensure_rng(rng)
+        n_dense = len(hidden) + 1
+        n_drop = len(hidden) if dropout > 0 else 0
+        streams = spawn_rngs(gen, n_dense + n_drop)
+        init = "he_normal" if activation in ("relu", "leaky_relu") else "glorot_uniform"
+        layers: list[Layer] = []
+        dims = [in_dim, *hidden, out_dim]
+        si = 0
+        for i in range(len(dims) - 1):
+            layers.append(Dense(dims[i], dims[i + 1], init=init, l2=l2, rng=streams[si]))
+            si += 1
+            last = i == len(dims) - 2
+            layers.append(ActivationLayer(out_activation if last else activation))
+            if dropout > 0 and not last:
+                layers.append(Dropout(dropout, rng=streams[si]))
+                si += 1
+        return cls(layers)
+
+    # ------------------------------------------------------------------
+    # forward / backward
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        out = np.asarray(x, dtype=float)
+        if out.ndim == 1:
+            out = out[None, :]
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Inference pass (dropout inactive unless a layer is in MC mode)."""
+        return self.forward(x, training=False)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = grad_out
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    def train_batch(
+        self, x: np.ndarray, y: np.ndarray, loss: Loss | str
+    ) -> float:
+        """Forward + backward on one batch; returns loss value.
+
+        Gradients are left in the layers' ``grads`` buffers for the
+        optimizer (or for a parallel runtime to reduce across workers).
+        """
+        loss_fn = get_loss(loss)
+        self.zero_grad()
+        pred = self.forward(x, training=True)
+        value, grad = loss_fn(pred, np.asarray(y, dtype=float))
+        self.backward(grad)
+        return value + self.penalty()
+
+    def penalty(self) -> float:
+        return sum(l.penalty() for l in self.layers if isinstance(l, Dense))
+
+    # ------------------------------------------------------------------
+    # parameter access
+    # ------------------------------------------------------------------
+    @property
+    def params(self) -> list[np.ndarray]:
+        return [p for layer in self.layers for p in layer.params]
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        return [g for layer in self.layers for g in layer.grads]
+
+    @property
+    def n_params(self) -> int:
+        return sum(layer.n_params for layer in self.layers)
+
+    def get_flat_params(self) -> np.ndarray:
+        """Concatenate all parameters into one 1-D vector (a copy)."""
+        if not self.params:
+            return np.empty(0)
+        return np.concatenate([p.ravel() for p in self.params])
+
+    def set_flat_params(self, flat: np.ndarray) -> None:
+        """Load parameters from a flat vector produced by ``get_flat_params``."""
+        flat = np.asarray(flat, dtype=float)
+        if flat.size != self.n_params:
+            raise ValueError(f"expected {self.n_params} values, got {flat.size}")
+        offset = 0
+        for p in self.params:
+            p[...] = flat[offset : offset + p.size].reshape(p.shape)
+            offset += p.size
+
+    def flat_grad(self) -> np.ndarray:
+        """Concatenate all gradient buffers into one 1-D vector (a copy)."""
+        if not self.grads:
+            return np.empty(0)
+        return np.concatenate([g.ravel() for g in self.grads])
+
+    def set_mc_dropout(self, enabled: bool) -> None:
+        """Toggle Monte-Carlo dropout mode on every Dropout layer."""
+        for layer in self.layers:
+            if isinstance(layer, Dropout):
+                layer.mc = enabled
+
+    def has_dropout(self) -> bool:
+        return any(isinstance(l, Dropout) and l.rate > 0 for l in self.layers)
+
+    def copy(self) -> "MLP":
+        """Deep copy sharing nothing with the original."""
+        clone = MLP.from_config(self.config())
+        clone.set_flat_params(self.get_flat_params())
+        return clone
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def config(self) -> dict:
+        return {"layers": [layer.config() for layer in self.layers]}
+
+    @classmethod
+    def from_config(cls, config: dict, *, rng: int | np.random.Generator | None = 0) -> "MLP":
+        gen = ensure_rng(rng)
+        layers: list[Layer] = []
+        for spec in config["layers"]:
+            kind = spec["kind"]
+            if kind == "dense":
+                layers.append(
+                    Dense(
+                        spec["in_dim"],
+                        spec["out_dim"],
+                        init=spec.get("init", "glorot_uniform"),
+                        l2=spec.get("l2", 0.0),
+                        rng=gen,
+                    )
+                )
+            elif kind == "dropout":
+                layers.append(Dropout(spec["rate"], rng=gen))
+            elif kind == "activation":
+                layers.append(ActivationLayer(get_activation(spec["activation"])))
+            else:
+                raise ValueError(f"unknown layer kind {kind!r}")
+        return cls(layers)
+
+    def to_json(self) -> str:
+        """Serialize architecture + weights to a JSON string."""
+        payload = {
+            "config": self.config(),
+            "params": [p.tolist() for p in self.params],
+        }
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "MLP":
+        payload = json.loads(text)
+        model = cls.from_config(payload["config"])
+        flats = [np.asarray(p, dtype=float).ravel() for p in payload["params"]]
+        model.set_flat_params(
+            np.concatenate(flats) if flats else np.empty(0)
+        )
+        return model
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(l) for l in self.layers)
+        return f"MLP([{inner}], n_params={self.n_params})"

@@ -1,0 +1,178 @@
+"""First-order optimizers and learning-rate schedules.
+
+Optimizers mutate parameter arrays in place (the arrays owned by layers),
+keeping per-parameter state (momenta, second moments) keyed by position so
+a single optimizer instance can drive a whole model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Momentum",
+    "Adam",
+    "RMSProp",
+    "ConstantSchedule",
+    "ExponentialDecay",
+    "StepDecay",
+]
+
+
+class Schedule:
+    """Learning-rate schedule: maps step index -> learning rate."""
+
+    def __call__(self, step: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantSchedule(Schedule):
+    """Fixed learning rate."""
+
+    def __init__(self, lr: float):
+        if lr <= 0:
+            raise ValueError(f"lr must be > 0, got {lr}")
+        self.lr = float(lr)
+
+    def __call__(self, step: int) -> float:
+        return self.lr
+
+
+class ExponentialDecay(Schedule):
+    """``lr * decay**(step / decay_steps)`` — smooth geometric decay."""
+
+    def __init__(self, lr: float, decay: float = 0.96, decay_steps: int = 100):
+        if lr <= 0 or not 0 < decay <= 1 or decay_steps <= 0:
+            raise ValueError("invalid ExponentialDecay parameters")
+        self.lr, self.decay, self.decay_steps = float(lr), float(decay), int(decay_steps)
+
+    def __call__(self, step: int) -> float:
+        return self.lr * self.decay ** (step / self.decay_steps)
+
+
+class StepDecay(Schedule):
+    """Piecewise-constant decay: divide by ``factor`` every ``every`` steps."""
+
+    def __init__(self, lr: float, factor: float = 10.0, every: int = 1000):
+        if lr <= 0 or factor <= 1 or every <= 0:
+            raise ValueError("invalid StepDecay parameters")
+        self.lr, self.factor, self.every = float(lr), float(factor), int(every)
+
+    def __call__(self, step: int) -> float:
+        return self.lr / self.factor ** (step // self.every)
+
+
+def _as_schedule(lr: float | Schedule) -> Schedule:
+    return lr if isinstance(lr, Schedule) else ConstantSchedule(float(lr))
+
+
+class Optimizer:
+    """Base optimizer.
+
+    Subclasses implement :meth:`update_param` acting on one
+    (param, grad, state) triple; :meth:`step` walks all registered pairs.
+    """
+
+    def __init__(self, lr: float | Schedule = 1e-3):
+        self.schedule = _as_schedule(lr)
+        self.step_count = 0
+        self._state: dict[int, dict[str, np.ndarray]] = {}
+
+    @property
+    def lr(self) -> float:
+        return self.schedule(self.step_count)
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        """Apply one update to every parameter array, in place."""
+        if len(params) != len(grads):
+            raise ValueError("params and grads length mismatch")
+        lr = self.schedule(self.step_count)
+        for i, (p, g) in enumerate(zip(params, grads)):
+            if p.shape != g.shape:
+                raise ValueError(f"param/grad shape mismatch at index {i}")
+            state = self._state.setdefault(i, {})
+            self.update_param(p, g, state, lr)
+        self.step_count += 1
+
+    def update_param(
+        self, p: np.ndarray, g: np.ndarray, state: dict[str, np.ndarray], lr: float
+    ) -> None:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Drop accumulated state and the step counter."""
+        self._state.clear()
+        self.step_count = 0
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent."""
+
+    def update_param(self, p, g, state, lr) -> None:
+        p -= lr * g
+
+
+class Momentum(Optimizer):
+    """Heavy-ball momentum (optionally Nesterov)."""
+
+    def __init__(self, lr: float | Schedule = 1e-2, beta: float = 0.9, nesterov: bool = False):
+        super().__init__(lr)
+        if not 0 <= beta < 1:
+            raise ValueError(f"beta must be in [0, 1), got {beta}")
+        self.beta = float(beta)
+        self.nesterov = bool(nesterov)
+
+    def update_param(self, p, g, state, lr) -> None:
+        v = state.setdefault("v", np.zeros_like(p))
+        v *= self.beta
+        v -= lr * g
+        if self.nesterov:
+            p += self.beta * v - lr * g
+        else:
+            p += v
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba 2015)."""
+
+    def __init__(
+        self,
+        lr: float | Schedule = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        super().__init__(lr)
+        if not 0 <= beta1 < 1 or not 0 <= beta2 < 1:
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1, self.beta2, self.eps = float(beta1), float(beta2), float(eps)
+
+    def update_param(self, p, g, state, lr) -> None:
+        m = state.setdefault("m", np.zeros_like(p))
+        v = state.setdefault("v", np.zeros_like(p))
+        t = self.step_count + 1
+        m *= self.beta1
+        m += (1.0 - self.beta1) * g
+        v *= self.beta2
+        v += (1.0 - self.beta2) * g * g
+        mhat = m / (1.0 - self.beta1**t)
+        vhat = v / (1.0 - self.beta2**t)
+        p -= lr * mhat / (np.sqrt(vhat) + self.eps)
+
+
+class RMSProp(Optimizer):
+    """RMSProp (Tieleman & Hinton)."""
+
+    def __init__(self, lr: float | Schedule = 1e-3, rho: float = 0.9, eps: float = 1e-8):
+        super().__init__(lr)
+        if not 0 <= rho < 1:
+            raise ValueError(f"rho must be in [0, 1), got {rho}")
+        self.rho, self.eps = float(rho), float(eps)
+
+    def update_param(self, p, g, state, lr) -> None:
+        s = state.setdefault("s", np.zeros_like(p))
+        s *= self.rho
+        s += (1.0 - self.rho) * g * g
+        p -= lr * g / (np.sqrt(s) + self.eps)

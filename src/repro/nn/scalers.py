@@ -1,0 +1,91 @@
+"""Feature scalers (fit/transform/inverse_transform).
+
+The surrogate inputs of the paper's exemplars span wildly different
+magnitudes (confinement length in nm vs salt concentration in M vs integer
+valencies), so every :class:`~repro.core.surrogate.Surrogate` scales both
+inputs and outputs before training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StandardScaler", "MinMaxScaler"]
+
+
+class _FittedMixin:
+    _fitted: bool = False
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError(f"{type(self).__name__} used before fit()")
+
+
+class StandardScaler(_FittedMixin):
+    """Zero-mean / unit-variance scaling; constant columns pass through."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        self.mean_ = x.mean(axis=0)
+        std = x.std(axis=0)
+        # Constant columns get scale 1 so transform is a pure shift there.
+        self.scale_ = np.where(std > 0, std, 1.0)
+        self._fitted = True
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        return (x - self.mean_) / self.scale_
+
+    def inverse_transform(self, z: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        z = np.atleast_2d(np.asarray(z, dtype=float))
+        return z * self.scale_ + self.mean_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def scale_std(self) -> np.ndarray:
+        """Per-feature scale — used to de-scale predictive std-devs."""
+        self._require_fitted()
+        return self.scale_.copy()
+
+
+class MinMaxScaler(_FittedMixin):
+    """Scale features to [lo, hi] (default [0, 1]); constant columns map to lo."""
+
+    def __init__(self, feature_range: tuple[float, float] = (0.0, 1.0)):
+        lo, hi = feature_range
+        if not lo < hi:
+            raise ValueError(f"feature_range must satisfy lo < hi, got {feature_range}")
+        self.lo, self.hi = float(lo), float(hi)
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "MinMaxScaler":
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        self.min_ = x.min(axis=0)
+        rng = x.max(axis=0) - self.min_
+        self.range_ = np.where(rng > 0, rng, 1.0)
+        self._fitted = True
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        unit = (x - self.min_) / self.range_
+        return unit * (self.hi - self.lo) + self.lo
+
+    def inverse_transform(self, z: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        z = np.atleast_2d(np.asarray(z, dtype=float))
+        unit = (z - self.lo) / (self.hi - self.lo)
+        return unit * self.range_ + self.min_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)

@@ -1,0 +1,180 @@
+"""Mini-batch training loop with validation tracking and early stopping.
+
+This is the sequential trainer; the parallel computation models of §III-A
+live in :mod:`repro.parallel.computation_models` and reuse
+:meth:`repro.nn.model.MLP.train_batch` per worker shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.losses import Loss, get_loss
+from repro.nn.model import MLP
+from repro.nn.optimizers import Adam, Optimizer
+from repro.util.rng import ensure_rng
+
+__all__ = ["TrainingHistory", "EarlyStopping", "Trainer"]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss curves collected by the trainer."""
+
+    train_loss: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    lr: list[float] = field(default_factory=list)
+    stopped_epoch: int | None = None
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.train_loss)
+
+    @property
+    def best_val_loss(self) -> float:
+        return min(self.val_loss) if self.val_loss else float("nan")
+
+    @property
+    def best_epoch(self) -> int:
+        if not self.val_loss:
+            raise ValueError("no validation losses recorded")
+        return int(np.argmin(self.val_loss))
+
+
+class EarlyStopping:
+    """Stop when validation loss hasn't improved by ``min_delta`` for
+    ``patience`` consecutive epochs; restores the best weights on stop."""
+
+    def __init__(self, patience: int = 20, min_delta: float = 0.0):
+        if patience <= 0:
+            raise ValueError(f"patience must be > 0, got {patience}")
+        if min_delta < 0:
+            raise ValueError(f"min_delta must be >= 0, got {min_delta}")
+        self.patience = int(patience)
+        self.min_delta = float(min_delta)
+        self.best = float("inf")
+        self.wait = 0
+        self.best_params: np.ndarray | None = None
+
+    def update(self, val_loss: float, model: MLP) -> bool:
+        """Record one epoch; returns True when training should stop."""
+        if val_loss < self.best - self.min_delta:
+            self.best = val_loss
+            self.wait = 0
+            self.best_params = model.get_flat_params()
+            return False
+        self.wait += 1
+        if self.wait >= self.patience:
+            if self.best_params is not None:
+                model.set_flat_params(self.best_params)
+            return True
+        return False
+
+
+class Trainer:
+    """Shuffled mini-batch trainer.
+
+    Parameters
+    ----------
+    model:
+        The :class:`~repro.nn.model.MLP` to optimize (mutated in place).
+    loss:
+        Loss name or instance; defaults to MSE (the regression setting of
+        all the paper's surrogates).
+    optimizer:
+        Defaults to Adam(1e-3).
+    batch_size, epochs:
+        Mini-batch size and maximum epoch count.
+    validation_fraction:
+        Fraction of the training data held out for the validation curve
+        and early stopping (0 disables both).
+    early_stopping:
+        An :class:`EarlyStopping` instance, or None to train all epochs.
+    rng:
+        Seed or generator for the epoch shuffles and the validation split.
+    """
+
+    def __init__(
+        self,
+        model: MLP,
+        *,
+        loss: str | Loss = "mse",
+        optimizer: Optimizer | None = None,
+        batch_size: int = 32,
+        epochs: int = 200,
+        validation_fraction: float = 0.1,
+        early_stopping: EarlyStopping | None = None,
+        rng: int | np.random.Generator | None = None,
+    ):
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be > 0, got {batch_size}")
+        if epochs <= 0:
+            raise ValueError(f"epochs must be > 0, got {epochs}")
+        if not 0.0 <= validation_fraction < 1.0:
+            raise ValueError(
+                f"validation_fraction must be in [0, 1), got {validation_fraction}"
+            )
+        if early_stopping is not None and validation_fraction == 0.0:
+            raise ValueError("early stopping requires a validation split")
+        self.model = model
+        self.loss = get_loss(loss)
+        self.optimizer = optimizer if optimizer is not None else Adam(1e-3)
+        self.batch_size = int(batch_size)
+        self.epochs = int(epochs)
+        self.validation_fraction = float(validation_fraction)
+        self.early_stopping = early_stopping
+        self.rng = ensure_rng(rng)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> TrainingHistory:
+        """Train the model; returns the loss history."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float)
+        if y.ndim == 1:
+            y = y[:, None]
+        if len(x) != len(y):
+            raise ValueError(f"x has {len(x)} rows but y has {len(y)}")
+        if len(x) < 2:
+            raise ValueError("need at least 2 samples to train")
+
+        n_val = int(round(self.validation_fraction * len(x)))
+        order = self.rng.permutation(len(x))
+        val_idx, train_idx = order[:n_val], order[n_val:]
+        if len(train_idx) == 0:
+            raise ValueError("validation split left no training data")
+        x_train, y_train = x[train_idx], y[train_idx]
+        x_val, y_val = x[val_idx], y[val_idx]
+
+        history = TrainingHistory()
+        for epoch in range(self.epochs):
+            perm = self.rng.permutation(len(x_train))
+            epoch_loss = 0.0
+            n_batches = 0
+            for start in range(0, len(x_train), self.batch_size):
+                idx = perm[start : start + self.batch_size]
+                batch_loss = self.model.train_batch(x_train[idx], y_train[idx], self.loss)
+                self.optimizer.step(self.model.params, self.model.grads)
+                epoch_loss += batch_loss
+                n_batches += 1
+            history.train_loss.append(epoch_loss / n_batches)
+            history.lr.append(self.optimizer.lr)
+
+            if n_val:
+                val_pred = self.model.predict(x_val)
+                val_loss, _ = self.loss(val_pred, y_val)
+                history.val_loss.append(val_loss)
+                if self.early_stopping is not None and self.early_stopping.update(
+                    val_loss, self.model
+                ):
+                    history.stopped_epoch = epoch
+                    break
+        return history
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Mean loss of the current model on ``(x, y)``."""
+        y = np.asarray(y, dtype=float)
+        if y.ndim == 1:
+            y = y[:, None]
+        value, _ = self.loss(self.model.predict(x), y)
+        return value

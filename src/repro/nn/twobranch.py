@@ -1,0 +1,151 @@
+"""Two-branch network (the DEFSI architecture, §II-A).
+
+DEFSI feeds a *within-season* branch (the recent coarse surveillance
+window) and a *between-season* branch (the same epidemiological week in
+historical seasons) into separate sub-networks whose representations are
+concatenated and mapped to the high-resolution forecast by a head
+network.  Here each branch and the head are dense stacks from
+:mod:`repro.nn.model`, wired together with an explicit concatenation
+backward pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.losses import Loss, get_loss
+from repro.nn.model import MLP
+from repro.nn.optimizers import Adam, Optimizer
+from repro.util.rng import ensure_rng, spawn_rngs
+
+__all__ = ["TwoBranchNetwork"]
+
+
+class TwoBranchNetwork:
+    """Dense network with two input branches and a joint head.
+
+    Parameters
+    ----------
+    in_dims:
+        ``(d_a, d_b)`` input widths of the two branches.
+    branch_hidden:
+        Hidden widths for each branch stack (shared shape).
+    branch_out:
+        Output width of each branch (the merged representation is
+        ``2 * branch_out`` wide).
+    head_hidden:
+        Hidden widths of the head stack.
+    out_dim:
+        Final output width (e.g. number of counties forecast).
+    """
+
+    def __init__(
+        self,
+        in_dims: tuple[int, int],
+        branch_hidden: tuple[int, ...] = (32,),
+        branch_out: int = 16,
+        head_hidden: tuple[int, ...] = (32,),
+        out_dim: int = 1,
+        *,
+        activation: str = "relu",
+        dropout: float = 0.0,
+        rng: int | np.random.Generator | None = None,
+    ):
+        d_a, d_b = in_dims
+        if d_a <= 0 or d_b <= 0 or branch_out <= 0 or out_dim <= 0:
+            raise ValueError("all widths must be positive")
+        gen = ensure_rng(rng)
+        r_a, r_b, r_h = spawn_rngs(gen, 3)
+        self.branch_a = MLP.regressor(
+            d_a, list(branch_hidden), branch_out,
+            activation=activation, out_activation=activation,
+            dropout=dropout, rng=r_a,
+        )
+        self.branch_b = MLP.regressor(
+            d_b, list(branch_hidden), branch_out,
+            activation=activation, out_activation=activation,
+            dropout=dropout, rng=r_b,
+        )
+        self.head = MLP.regressor(
+            2 * branch_out, list(head_hidden), out_dim,
+            activation=activation, dropout=dropout, rng=r_h,
+        )
+        self.in_dims = (int(d_a), int(d_b))
+        self.branch_out = int(branch_out)
+        self.out_dim = int(out_dim)
+
+    # ------------------------------------------------------------------
+    def forward(
+        self, x_a: np.ndarray, x_b: np.ndarray, *, training: bool = False
+    ) -> np.ndarray:
+        h_a = self.branch_a.forward(x_a, training=training)
+        h_b = self.branch_b.forward(x_b, training=training)
+        merged = np.concatenate([h_a, h_b], axis=1)
+        return self.head.forward(merged, training=training)
+
+    def predict(self, x_a: np.ndarray, x_b: np.ndarray) -> np.ndarray:
+        return self.forward(x_a, x_b, training=False)
+
+    def train_batch(
+        self, x_a: np.ndarray, x_b: np.ndarray, y: np.ndarray, loss: Loss | str
+    ) -> float:
+        loss_fn = get_loss(loss)
+        for part in (self.branch_a, self.branch_b, self.head):
+            part.zero_grad()
+        pred = self.forward(x_a, x_b, training=True)
+        y = np.asarray(y, dtype=float)
+        if y.ndim == 1:
+            y = y[:, None]
+        value, grad = loss_fn(pred, y)
+        grad_merged = self.head.backward(grad)
+        k = self.branch_out
+        self.branch_a.backward(grad_merged[:, :k])
+        self.branch_b.backward(grad_merged[:, k:])
+        return value
+
+    # ------------------------------------------------------------------
+    @property
+    def params(self) -> list[np.ndarray]:
+        return self.branch_a.params + self.branch_b.params + self.head.params
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        return self.branch_a.grads + self.branch_b.grads + self.head.grads
+
+    @property
+    def n_params(self) -> int:
+        return self.branch_a.n_params + self.branch_b.n_params + self.head.n_params
+
+    def fit(
+        self,
+        x_a: np.ndarray,
+        x_b: np.ndarray,
+        y: np.ndarray,
+        *,
+        loss: str | Loss = "mse",
+        optimizer: Optimizer | None = None,
+        batch_size: int = 32,
+        epochs: int = 200,
+        rng: int | np.random.Generator | None = None,
+    ) -> list[float]:
+        """Mini-batch training; returns per-epoch mean training losses."""
+        x_a = np.atleast_2d(np.asarray(x_a, dtype=float))
+        x_b = np.atleast_2d(np.asarray(x_b, dtype=float))
+        y = np.asarray(y, dtype=float)
+        if y.ndim == 1:
+            y = y[:, None]
+        if not (len(x_a) == len(x_b) == len(y)):
+            raise ValueError("branch inputs and targets must have equal length")
+        opt = optimizer if optimizer is not None else Adam(1e-3)
+        gen = ensure_rng(rng)
+        losses: list[float] = []
+        for _ in range(epochs):
+            perm = gen.permutation(len(y))
+            total, n = 0.0, 0
+            for start in range(0, len(y), batch_size):
+                idx = perm[start : start + batch_size]
+                total += self.train_batch(x_a[idx], x_b[idx], y[idx], loss)
+                opt.step(self.params, self.grads)
+                n += 1
+            losses.append(total / n)
+        return losses

@@ -1,0 +1,84 @@
+"""Simulated HPC runtime (§III-A and the paper's conclusions).
+
+The paper's systems claims — four synchronization models for parallel ML,
+optimized collectives beating asynchronous updates, and the scheduling
+challenge of workloads mixing ~1e5-times-faster surrogate lookups with
+full simulations — are about *semantics and cost shape*, not about any
+particular interconnect.  This package models them explicitly:
+
+* :mod:`repro.parallel.cluster` — discrete-event cluster: heterogeneous
+  workers, a virtual clock, task execution traces,
+* :mod:`repro.parallel.network` — latency/bandwidth (alpha-beta)
+  communication cost model,
+* :mod:`repro.parallel.collectives` — flat, binary-tree, and ring
+  allreduce algorithms with step-accurate cost accounting (and a real
+  data-combining reduction so correctness is testable),
+* :mod:`repro.parallel.computation_models` — the paper's four parallel
+  computation models — (a) Locking, (b) Rotation, (c) Allreduce,
+  (d) Asynchronous — applied to data-parallel SGD, K-means and cyclic
+  coordinate descent,
+* :mod:`repro.parallel.scheduler` — static, dynamic (work-stealing-style
+  list scheduling) and surrogate-aware schedulers for heterogeneous
+  learnt+unlearnt workloads (experiment E9).
+"""
+
+from repro.parallel.network import CommModel
+from repro.parallel.cluster import Worker, ClusterSimulator, TaskSpec, ExecutionTrace
+from repro.parallel.collectives import (
+    allreduce_cost,
+    flat_allreduce,
+    tree_allreduce,
+    ring_allreduce,
+    AllreduceResult,
+)
+from repro.parallel.computation_models import (
+    ComputationModel,
+    ConvergenceTrace,
+    ParallelSGD,
+    ParallelKMeans,
+    ParallelCCD,
+)
+from repro.parallel.gibbs import ParallelIsingGibbs
+from repro.parallel.workflow import (
+    WorkflowDAG,
+    WorkflowTask,
+    simulate_workflow,
+    mlaround_campaign_dag,
+)
+from repro.parallel.scheduler import (
+    Scheduler,
+    StaticRoundRobin,
+    DynamicGreedy,
+    SurrogateAwareScheduler,
+    ScheduleReport,
+    make_mixed_workload,
+)
+
+__all__ = [
+    "CommModel",
+    "Worker",
+    "ClusterSimulator",
+    "TaskSpec",
+    "ExecutionTrace",
+    "allreduce_cost",
+    "flat_allreduce",
+    "tree_allreduce",
+    "ring_allreduce",
+    "AllreduceResult",
+    "ComputationModel",
+    "ConvergenceTrace",
+    "ParallelSGD",
+    "ParallelKMeans",
+    "ParallelCCD",
+    "ParallelIsingGibbs",
+    "WorkflowDAG",
+    "WorkflowTask",
+    "simulate_workflow",
+    "mlaround_campaign_dag",
+    "Scheduler",
+    "StaticRoundRobin",
+    "DynamicGreedy",
+    "SurrogateAwareScheduler",
+    "ScheduleReport",
+    "make_mixed_workload",
+]

@@ -1,0 +1,560 @@
+"""The four parallel computation models of §III-A.
+
+The paper categorizes parallel iterative ML algorithms "into four types
+of computation models (a) Locking, (b) Rotation, (c) Allreduce, (d)
+Asynchronous, based on the synchronization patterns and the effectiveness
+of the model parameter update", studied on Gibbs sampling, SGD, cyclic
+coordinate descent (CCD) and K-means.  This module implements the four
+models over three of those kernels — SGD (least squares), K-means, and
+CCD (ridge regression) — with *real* numerics (losses are exact) and
+*virtual* wall-clock accounting from an alpha-beta communication model,
+so time-to-convergence comparisons are meaningful.
+
+Model semantics (p workers, model size D, per-worker data shards):
+
+* **Locking** — a parameter server serializes updates: fetch, compute,
+  write-back, one worker at a time.  Always-fresh parameters, zero
+  parallelism in the update path.
+* **Rotation** — the model is partitioned into p disjoint blocks;
+  in each sub-step every worker updates a distinct block against its
+  local data, then blocks rotate (small D/p messages).  After p
+  sub-steps every block has seen every shard.  No global barrier on the
+  full model, no stale overwrites (blocks are disjoint).
+* **Allreduce** — bulk-synchronous: all workers compute on the same
+  parameters, contributions are combined with a (ring by default)
+  allreduce, everyone applies the identical update.
+* **Asynchronous** — workers fetch and write a shared parameter store at
+  their own pace with no locks; gradients are computed on stale
+  snapshots.  Fastest pipeline, noisiest updates.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.parallel.collectives import allreduce_cost
+from repro.parallel.network import CommModel
+from repro.util.rng import ensure_rng, spawn_rngs
+from repro.util.validation import check_positive
+
+__all__ = [
+    "ComputationModel",
+    "ConvergenceTrace",
+    "ParallelSGD",
+    "ParallelKMeans",
+    "ParallelCCD",
+]
+
+
+class ComputationModel(Enum):
+    """The four synchronization models of §III-A."""
+
+    LOCKING = "locking"
+    ROTATION = "rotation"
+    ALLREDUCE = "allreduce"
+    ASYNCHRONOUS = "asynchronous"
+
+
+@dataclass
+class ConvergenceTrace:
+    """(virtual time, loss) series for one run."""
+
+    model: ComputationModel
+    times: list[float] = field(default_factory=list)
+    losses: list[float] = field(default_factory=list)
+
+    def record(self, t: float, loss: float) -> None:
+        self.times.append(float(t))
+        self.losses.append(float(loss))
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("inf")
+
+    @property
+    def total_time(self) -> float:
+        return self.times[-1] if self.times else 0.0
+
+    def time_to(self, loss_target: float) -> float | None:
+        """First virtual time at which the loss reached the target."""
+        for t, l in zip(self.times, self.losses):
+            if l <= loss_target:
+                return t
+        return None
+
+
+def _shard(n: int, p: int) -> list[np.ndarray]:
+    """Contiguous near-equal index shards."""
+    bounds = np.linspace(0, n, p + 1).astype(int)
+    return [np.arange(bounds[i], bounds[i + 1]) for i in range(p)]
+
+
+class _WorkerPool:
+    """Shared speed/cost bookkeeping for all three kernels."""
+
+    def __init__(
+        self,
+        n_workers: int,
+        comm: CommModel,
+        *,
+        speeds: np.ndarray | None = None,
+        flop_time: float = 1e-9,
+    ):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.p = int(n_workers)
+        self.comm = comm
+        if speeds is None:
+            speeds = np.ones(self.p)
+        self.speeds = np.asarray(speeds, dtype=float)
+        if self.speeds.shape != (self.p,) or np.any(self.speeds <= 0):
+            raise ValueError("speeds must be positive, one per worker")
+        self.flop_time = check_positive("flop_time", flop_time)
+
+    def compute_time(self, i: int, flops: float) -> float:
+        return flops * self.flop_time / self.speeds[i]
+
+
+class ParallelSGD(_WorkerPool):
+    """Data-parallel mini-batch SGD on least squares ``||X theta - y||^2 / n``.
+
+    Parameters
+    ----------
+    x, y:
+        The full dataset (sharded internally across workers).
+    n_workers, comm, speeds, flop_time:
+        Pool configuration (see :class:`CommModel`).
+    lr, batch_size:
+        Optimization hyperparameters.
+    allreduce_algorithm:
+        Collective used in ALLREDUCE mode (flat | tree | ring).
+    """
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        n_workers: int,
+        comm: CommModel | None = None,
+        *,
+        lr: float = 0.05,
+        batch_size: int = 16,
+        speeds: np.ndarray | None = None,
+        flop_time: float = 1e-9,
+        allreduce_algorithm: str = "ring",
+    ):
+        super().__init__(n_workers, comm or CommModel(), speeds=speeds, flop_time=flop_time)
+        self.x = np.atleast_2d(np.asarray(x, dtype=float))
+        self.y = np.asarray(y, dtype=float).ravel()
+        if len(self.x) != len(self.y):
+            raise ValueError("x and y lengths differ")
+        if len(self.x) < self.p:
+            raise ValueError("fewer samples than workers")
+        self.lr = check_positive("lr", lr)
+        self.batch_size = int(check_positive("batch_size", batch_size))
+        self.shards = _shard(len(self.x), self.p)
+        self.d = self.x.shape[1]
+        self.allreduce_algorithm = allreduce_algorithm
+
+    # -- helpers ---------------------------------------------------------
+    def loss(self, theta: np.ndarray) -> float:
+        r = self.x @ theta - self.y
+        return float(np.mean(r * r))
+
+    def _grad(self, theta: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        xb, yb = self.x[idx], self.y[idx]
+        return 2.0 * xb.T @ (xb @ theta - yb) / len(idx)
+
+    def _batch(self, i: int, rng: np.random.Generator) -> np.ndarray:
+        shard = self.shards[i]
+        k = min(self.batch_size, len(shard))
+        return rng.choice(shard, size=k, replace=False)
+
+    def _grad_flops(self) -> float:
+        return 4.0 * self.batch_size * self.d  # two mat-vec passes
+
+    # -- the four models --------------------------------------------------
+    def run(
+        self,
+        model: ComputationModel,
+        n_rounds: int = 50,
+        rng: int | np.random.Generator | None = None,
+    ) -> ConvergenceTrace:
+        """Run ``n_rounds`` logical rounds (one round ~ p worker updates,
+        or one bulk-synchronous step for ALLREDUCE) and trace convergence."""
+        if n_rounds < 1:
+            raise ValueError("n_rounds must be >= 1")
+        gen = ensure_rng(rng)
+        theta = np.zeros(self.d)
+        trace = ConvergenceTrace(model=model)
+        trace.record(0.0, self.loss(theta))
+        runner = {
+            ComputationModel.LOCKING: self._run_locking,
+            ComputationModel.ROTATION: self._run_rotation,
+            ComputationModel.ALLREDUCE: self._run_allreduce,
+            ComputationModel.ASYNCHRONOUS: self._run_async,
+        }[model]
+        runner(theta, n_rounds, gen, trace)
+        return trace
+
+    def _run_locking(self, theta, n_rounds, gen, trace) -> None:
+        t = 0.0
+        fetch_cost = self.comm.p2p(self.d)
+        for _ in range(n_rounds):
+            for i in range(self.p):
+                g = self._grad(theta, self._batch(i, gen))
+                theta -= self.lr * g
+                t += fetch_cost + self.compute_time(i, self._grad_flops()) + fetch_cost
+            trace.record(t, self.loss(theta))
+
+    def _run_allreduce(self, theta, n_rounds, gen, trace) -> None:
+        t = 0.0
+        comm_cost = allreduce_cost(self.allreduce_algorithm, self.p, self.d, self.comm)
+        for _ in range(n_rounds):
+            grads = np.stack(
+                [self._grad(theta, self._batch(i, gen)) for i in range(self.p)]
+            )
+            theta -= self.lr * grads.mean(axis=0)
+            compute = max(
+                self.compute_time(i, self._grad_flops()) for i in range(self.p)
+            )
+            t += compute + comm_cost
+            trace.record(t, self.loss(theta))
+
+    def _run_rotation(self, theta, n_rounds, gen, trace) -> None:
+        t = 0.0
+        blocks = _shard(self.d, self.p)
+        rotate_cost = self.comm.p2p(max(self.d / self.p, 1))
+        for _ in range(n_rounds):
+            for s in range(self.p):
+                new_theta = theta.copy()
+                for i in range(self.p):
+                    b = blocks[(i + s) % self.p]
+                    g = self._grad(theta, self._batch(i, gen))
+                    new_theta[b] = theta[b] - self.lr * g[b]
+                theta[...] = new_theta
+                compute = max(
+                    self.compute_time(i, self._grad_flops()) for i in range(self.p)
+                )
+                t += compute + rotate_cost
+            trace.record(t, self.loss(theta))
+
+    def _run_async(self, theta, n_rounds, gen, trace) -> None:
+        fetch_cost = self.comm.p2p(self.d)
+        n_updates = n_rounds * self.p
+        worker_rngs = spawn_rngs(gen, self.p)
+        # Event heap: (finish_time, seq, worker, theta_snapshot, batch)
+        counter = itertools.count()
+        heap: list[tuple[float, int, int, np.ndarray, np.ndarray]] = []
+        for i in range(self.p):
+            start = fetch_cost
+            dur = self.compute_time(i, self._grad_flops())
+            heap.append(
+                (start + dur, next(counter), i, theta.copy(), self._batch(i, worker_rngs[i]))
+            )
+        heapq.heapify(heap)
+        done = 0
+        while done < n_updates and heap:
+            finish, _, i, snapshot, batch = heapq.heappop(heap)
+            g = self._grad(snapshot, batch)
+            theta -= self.lr * g
+            done += 1
+            t_apply = finish + fetch_cost
+            if done % self.p == 0:
+                trace.record(t_apply, self.loss(theta))
+            # Worker immediately refetches and starts the next gradient.
+            refetch = t_apply + fetch_cost
+            dur = self.compute_time(i, self._grad_flops())
+            heapq.heappush(
+                heap,
+                (refetch + dur, next(counter), i, theta.copy(),
+                 self._batch(i, worker_rngs[i])),
+            )
+
+
+class ParallelKMeans(_WorkerPool):
+    """Data-parallel Lloyd iterations under the four computation models.
+
+    In ALLREDUCE mode each round is an exact Lloyd step (partial sums
+    combined collectively); LOCKING serializes per-shard centroid updates;
+    ASYNCHRONOUS applies per-shard updates to a shared table with
+    staleness; ROTATION partitions *centroids* into p blocks that rotate
+    across workers (each worker refines its current block against its
+    shard only).
+    """
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        k: int,
+        n_workers: int,
+        comm: CommModel | None = None,
+        *,
+        speeds: np.ndarray | None = None,
+        flop_time: float = 1e-9,
+        allreduce_algorithm: str = "ring",
+    ):
+        super().__init__(n_workers, comm or CommModel(), speeds=speeds, flop_time=flop_time)
+        self.x = np.atleast_2d(np.asarray(x, dtype=float))
+        if k < 1 or k > len(self.x):
+            raise ValueError("require 1 <= k <= n_samples")
+        if len(self.x) < self.p:
+            raise ValueError("fewer samples than workers")
+        self.k = int(k)
+        self.d = self.x.shape[1]
+        self.shards = _shard(len(self.x), self.p)
+        self.allreduce_algorithm = allreduce_algorithm
+
+    def loss(self, centroids: np.ndarray) -> float:
+        d2 = np.sum((self.x[:, None, :] - centroids[None]) ** 2, axis=-1)
+        return float(np.mean(np.min(d2, axis=1)))
+
+    def _partials(self, centroids: np.ndarray, idx: np.ndarray):
+        xs = self.x[idx]
+        d2 = np.sum((xs[:, None, :] - centroids[None]) ** 2, axis=-1)
+        assign = np.argmin(d2, axis=1)
+        sums = np.zeros((self.k, self.d))
+        np.add.at(sums, assign, xs)
+        counts = np.bincount(assign, minlength=self.k).astype(float)
+        return sums, counts
+
+    def _assign_flops(self, n_points: int) -> float:
+        return 3.0 * n_points * self.k * self.d
+
+    def init_centroids(self, rng: np.random.Generator) -> np.ndarray:
+        idx = rng.choice(len(self.x), size=self.k, replace=False)
+        return self.x[idx].copy()
+
+    def run(
+        self,
+        model: ComputationModel,
+        n_rounds: int = 20,
+        rng: int | np.random.Generator | None = None,
+    ) -> ConvergenceTrace:
+        gen = ensure_rng(rng)
+        centroids = self.init_centroids(gen)
+        trace = ConvergenceTrace(model=model)
+        trace.record(0.0, self.loss(centroids))
+        words = self.k * self.d + self.k
+        if model is ComputationModel.ALLREDUCE:
+            comm_cost = allreduce_cost(self.allreduce_algorithm, self.p, words, self.comm)
+            t = 0.0
+            for _ in range(n_rounds):
+                parts = [self._partials(centroids, s) for s in self.shards]
+                sums = np.sum([p[0] for p in parts], axis=0)
+                counts = np.sum([p[1] for p in parts], axis=0)
+                nz = counts > 0
+                centroids[nz] = sums[nz] / counts[nz, None]
+                t += max(
+                    self.compute_time(i, self._assign_flops(len(self.shards[i])))
+                    for i in range(self.p)
+                ) + comm_cost
+                trace.record(t, self.loss(centroids))
+        elif model is ComputationModel.LOCKING:
+            t = 0.0
+            msg = self.comm.p2p(words)
+            for _ in range(n_rounds):
+                for i in range(self.p):
+                    sums, counts = self._partials(centroids, self.shards[i])
+                    nz = counts > 0
+                    # Convex blend of the current table with shard means.
+                    centroids[nz] = 0.5 * centroids[nz] + 0.5 * (
+                        sums[nz] / counts[nz, None]
+                    )
+                    t += msg + self.compute_time(
+                        i, self._assign_flops(len(self.shards[i]))
+                    ) + msg
+                trace.record(t, self.loss(centroids))
+        elif model is ComputationModel.ASYNCHRONOUS:
+            msg = self.comm.p2p(words)
+            counter = itertools.count()
+            heap = []
+            for i in range(self.p):
+                dur = self.compute_time(i, self._assign_flops(len(self.shards[i])))
+                heap.append((msg + dur, next(counter), i, centroids.copy()))
+            heapq.heapify(heap)
+            done, n_updates = 0, n_rounds * self.p
+            while done < n_updates and heap:
+                finish, _, i, snapshot = heapq.heappop(heap)
+                sums, counts = self._partials(snapshot, self.shards[i])
+                nz = counts > 0
+                centroids[nz] = 0.5 * centroids[nz] + 0.5 * (
+                    sums[nz] / counts[nz, None]
+                )
+                done += 1
+                t_apply = finish + msg
+                if done % self.p == 0:
+                    trace.record(t_apply, self.loss(centroids))
+                dur = self.compute_time(i, self._assign_flops(len(self.shards[i])))
+                heapq.heappush(
+                    heap, (t_apply + msg + dur, next(counter), i, centroids.copy())
+                )
+        elif model is ComputationModel.ROTATION:
+            t = 0.0
+            blocks = _shard(self.k, self.p)
+            rotate_cost = self.comm.p2p(max(words / self.p, 1))
+            for _ in range(n_rounds):
+                for s in range(self.p):
+                    new_c = centroids.copy()
+                    for i in range(self.p):
+                        b = blocks[(i + s) % self.p]
+                        if len(b) == 0:
+                            continue
+                        sums, counts = self._partials(centroids, self.shards[i])
+                        nz = b[counts[b] > 0]
+                        new_c[nz] = 0.5 * centroids[nz] + 0.5 * (
+                            sums[nz] / counts[nz, None]
+                        )
+                    centroids = new_c
+                    t += max(
+                        self.compute_time(i, self._assign_flops(len(self.shards[i])))
+                        for i in range(self.p)
+                    ) + rotate_cost
+                trace.record(t, self.loss(centroids))
+        else:
+            raise ValueError(f"unknown computation model {model}")
+        return trace
+
+
+class ParallelCCD(_WorkerPool):
+    """Cyclic coordinate descent for ridge regression under the models.
+
+    CCD is the paper's canonical *rotation* kernel: coordinates partition
+    naturally into p blocks, each block update is exact given the current
+    residual, and rotating block ownership avoids both locks and stale
+    overwrites.  ALLREDUCE mode does Jacobi-style simultaneous block
+    updates (cheap but can oscillate); LOCKING serializes exact block
+    updates (one worker at a time); ROTATION performs p disjoint exact
+    block updates per sub-step.
+    """
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        n_workers: int,
+        comm: CommModel | None = None,
+        *,
+        l2: float = 0.1,
+        speeds: np.ndarray | None = None,
+        flop_time: float = 1e-9,
+        allreduce_algorithm: str = "ring",
+        damping: float = 0.5,
+    ):
+        super().__init__(n_workers, comm or CommModel(), speeds=speeds, flop_time=flop_time)
+        self.x = np.atleast_2d(np.asarray(x, dtype=float))
+        self.y = np.asarray(y, dtype=float).ravel()
+        if len(self.x) != len(self.y):
+            raise ValueError("x and y lengths differ")
+        self.l2 = check_positive("l2", l2, strict=False)
+        self.d = self.x.shape[1]
+        if self.d < self.p:
+            raise ValueError("fewer coordinates than workers")
+        self.blocks = _shard(self.d, self.p)
+        self.allreduce_algorithm = allreduce_algorithm
+        self.damping = check_positive("damping", damping)
+        self._col_sq = np.sum(self.x * self.x, axis=0) + self.l2
+
+    def loss(self, theta: np.ndarray) -> float:
+        r = self.x @ theta - self.y
+        return float(np.mean(r * r) + self.l2 * np.sum(theta * theta) / len(self.y))
+
+    def _block_update(self, theta: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Exact coordinate minimization over block b (sequential in-block,
+        incremental residual maintenance)."""
+        new = theta.copy()
+        r = self.x @ new - self.y
+        for j in b:
+            xj = self.x[:, j]
+            r_minus = r - xj * new[j]
+            # minimize ||r_minus + x_j t||^2 + l2 t^2 over t
+            new_j = float(-(xj @ r_minus)) / self._col_sq[j]
+            r = r_minus + xj * new_j
+            new[j] = new_j
+        return new
+
+    def _block_flops(self, block_size: int) -> float:
+        return 4.0 * len(self.x) * block_size
+
+    def run(
+        self,
+        model: ComputationModel,
+        n_rounds: int = 10,
+        rng: int | np.random.Generator | None = None,
+    ) -> ConvergenceTrace:
+        gen = ensure_rng(rng)
+        theta = np.zeros(self.d)
+        trace = ConvergenceTrace(model=model)
+        trace.record(0.0, self.loss(theta))
+        if model is ComputationModel.ROTATION:
+            t = 0.0
+            rotate_cost = self.comm.p2p(max(self.d / self.p, 1))
+            for _ in range(n_rounds):
+                for s in range(self.p):
+                    new_theta = theta.copy()
+                    for i in range(self.p):
+                        b = self.blocks[(i + s) % self.p]
+                        upd = self._block_update(theta, b)
+                        new_theta[b] = upd[b]
+                    theta = new_theta
+                    t += max(
+                        self.compute_time(i, self._block_flops(len(self.blocks[0])))
+                        for i in range(self.p)
+                    ) + rotate_cost
+                trace.record(t, self.loss(theta))
+        elif model is ComputationModel.LOCKING:
+            t = 0.0
+            msg = self.comm.p2p(self.d)
+            for _ in range(n_rounds):
+                for i in range(self.p):
+                    theta = self._block_update(theta, self.blocks[i])
+                    t += msg + self.compute_time(
+                        i, self._block_flops(len(self.blocks[i]))
+                    ) + msg
+                trace.record(t, self.loss(theta))
+        elif model is ComputationModel.ALLREDUCE:
+            t = 0.0
+            comm_cost = allreduce_cost(self.allreduce_algorithm, self.p, self.d, self.comm)
+            for _ in range(n_rounds):
+                updates = [self._block_update(theta, b) for b in self.blocks]
+                new_theta = theta.copy()
+                for b, upd in zip(self.blocks, updates):
+                    # Damped Jacobi: simultaneous block updates oscillate
+                    # undamped when features correlate across blocks.
+                    new_theta[b] = (1 - self.damping) * theta[b] + self.damping * upd[b]
+                theta = new_theta
+                t += max(
+                    self.compute_time(i, self._block_flops(len(self.blocks[i])))
+                    for i in range(self.p)
+                ) + comm_cost
+                trace.record(t, self.loss(theta))
+        elif model is ComputationModel.ASYNCHRONOUS:
+            msg = self.comm.p2p(self.d)
+            counter = itertools.count()
+            heap = []
+            for i in range(self.p):
+                dur = self.compute_time(i, self._block_flops(len(self.blocks[i])))
+                heap.append((msg + dur, next(counter), i, theta.copy()))
+            heapq.heapify(heap)
+            done, n_updates = 0, n_rounds * self.p
+            while done < n_updates and heap:
+                finish, _, i, snapshot = heapq.heappop(heap)
+                upd = self._block_update(snapshot, self.blocks[i])
+                theta = theta.copy()
+                theta[self.blocks[i]] = upd[self.blocks[i]]
+                done += 1
+                t_apply = finish + msg
+                if done % self.p == 0:
+                    trace.record(t_apply, self.loss(theta))
+                dur = self.compute_time(i, self._block_flops(len(self.blocks[i])))
+                heapq.heappush(
+                    heap, (t_apply + msg + dur, next(counter), i, theta.copy())
+                )
+        else:
+            raise ValueError(f"unknown computation model {model}")
+        return trace

@@ -1,0 +1,235 @@
+"""Parallel Gibbs sampling under the four computation models (§III-A).
+
+Gibbs sampling is the first kernel the paper lists ("looking in
+particular at Gibbs Sampling, Stochastic Gradient Descent (SGD), Cyclic
+Coordinate Descent (CCD) and K-means clustering"), representing the
+MCMC class.  The testbed is the 2-D Ising model — heat-bath (Gibbs)
+single-spin updates on a periodic lattice — partitioned into row-strip
+shards across workers:
+
+* **Locking** — workers take turns sweeping their strip against the
+  globally current lattice (serialized, always-fresh boundaries),
+* **Rotation** — strip ownership rotates; in each sub-step every worker
+  sweeps a *different* strip, and strips are disjoint so all p updates
+  per sub-step are exact (small halo messages),
+* **Allreduce** — chromatic (red-black) parallelism: all same-color
+  spins are conditionally independent, so each half-sweep is one bulk
+  parallel update followed by a halo allreduce,
+* **Asynchronous** — workers sweep their strips concurrently against
+  *stale* neighbor-strip boundaries (Hogwild-style), refreshing halos
+  only after each local sweep.
+
+All variants sample the same model; the physics observable (energy per
+site) converges to the same equilibrium value, while virtual time and
+boundary staleness differ — exactly the paper's synchronization-pattern
+trade-off, now for MCMC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.collectives import allreduce_cost
+from repro.parallel.computation_models import ComputationModel, ConvergenceTrace, _shard
+from repro.parallel.network import CommModel
+from repro.util.rng import ensure_rng, spawn_rngs
+from repro.util.validation import check_positive
+
+__all__ = ["ParallelIsingGibbs"]
+
+
+class ParallelIsingGibbs:
+    """Heat-bath Ising sampling with worker-sharded rows.
+
+    Parameters
+    ----------
+    shape:
+        Lattice dimensions (rows, cols), periodic boundaries.
+    beta:
+        Inverse temperature (coupling J = 1).
+    n_workers:
+        Row strips are distributed contiguously across this many workers.
+    comm:
+        Alpha-beta communication model for the virtual clock.
+    flop_time:
+        Virtual cost per single-spin update.
+    """
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        beta: float,
+        n_workers: int,
+        comm: CommModel | None = None,
+        *,
+        flop_time: float = 1e-8,
+    ):
+        ny, nx = shape
+        if ny < 4 or nx < 4:
+            raise ValueError("lattice must be at least 4x4")
+        if n_workers < 1 or n_workers > ny // 2:
+            raise ValueError("need 1 <= n_workers <= rows/2")
+        self.ny, self.nx = int(ny), int(nx)
+        self.beta = check_positive("beta", beta)
+        self.p = int(n_workers)
+        self.comm = comm or CommModel()
+        self.flop_time = check_positive("flop_time", flop_time)
+        self.strips = _shard(self.ny, self.p)
+
+    # ------------------------------------------------------------------
+    def random_lattice(self, rng: np.random.Generator) -> np.ndarray:
+        return rng.choice([-1, 1], size=(self.ny, self.nx)).astype(np.int8)
+
+    def energy_per_site(self, spins: np.ndarray) -> float:
+        """Nearest-neighbor energy density, each bond counted once."""
+        right = np.roll(spins, -1, axis=1)
+        down = np.roll(spins, -1, axis=0)
+        return float(-(spins * right + spins * down).sum() / spins.size)
+
+    def magnetization(self, spins: np.ndarray) -> float:
+        return float(np.abs(spins.mean()))
+
+    # -- update kernels ----------------------------------------------
+    def _heat_bath_rows(
+        self,
+        spins: np.ndarray,
+        rows: np.ndarray,
+        rng: np.random.Generator,
+        top_halo: np.ndarray | None = None,
+        bottom_halo: np.ndarray | None = None,
+    ) -> None:
+        """Sequential heat-bath updates over the given rows (in place).
+
+        Optional stale halos replace the live neighbor rows at the strip
+        boundary — the mechanism of the asynchronous model.
+        """
+        ny, nx = spins.shape
+        for y in rows:
+            up_row = (
+                top_halo
+                if top_halo is not None and y == rows[0]
+                else spins[(y - 1) % ny]
+            )
+            down_row = (
+                bottom_halo
+                if bottom_halo is not None and y == rows[-1]
+                else spins[(y + 1) % ny]
+            )
+            us = rng.random(nx)
+            for x in range(nx):
+                nn = (
+                    int(up_row[x])
+                    + int(down_row[x])
+                    + int(spins[y, (x - 1) % nx])
+                    + int(spins[y, (x + 1) % nx])
+                )
+                p_up = 1.0 / (1.0 + np.exp(-2.0 * self.beta * nn))
+                spins[y, x] = 1 if us[x] < p_up else -1
+
+    def _chromatic_half_sweep(
+        self, spins: np.ndarray, color: int, rng: np.random.Generator
+    ) -> None:
+        """Vectorized heat-bath update of every site of one parity."""
+        nn = (
+            np.roll(spins, 1, axis=0)
+            + np.roll(spins, -1, axis=0)
+            + np.roll(spins, 1, axis=1)
+            + np.roll(spins, -1, axis=1)
+        )
+        p_up = 1.0 / (1.0 + np.exp(-2.0 * self.beta * nn))
+        draws = rng.random(spins.shape)
+        parity = (np.add.outer(np.arange(self.ny), np.arange(self.nx)) % 2) == color
+        spins[parity] = np.where(draws[parity] < p_up[parity], 1, -1).astype(np.int8)
+
+    # -- cost model -----------------------------------------------------
+    def _strip_compute(self, strip: np.ndarray) -> float:
+        return self.flop_time * len(strip) * self.nx
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        model: ComputationModel,
+        n_sweeps: int = 50,
+        rng: int | np.random.Generator | None = None,
+    ) -> ConvergenceTrace:
+        """Sample ``n_sweeps`` lattice sweeps; trace = energy per site."""
+        if n_sweeps < 1:
+            raise ValueError("n_sweeps must be >= 1")
+        gen = ensure_rng(rng)
+        spins = self.random_lattice(gen)
+        trace = ConvergenceTrace(model=model)
+        trace.record(0.0, self.energy_per_site(spins))
+        halo_words = self.nx
+
+        if model is ComputationModel.LOCKING:
+            t = 0.0
+            msg = self.comm.p2p(halo_words)
+            for _ in range(n_sweeps):
+                for i, strip in enumerate(self.strips):
+                    self._heat_bath_rows(spins, strip, gen)
+                    t += 2 * msg + self._strip_compute(strip)
+                trace.record(t, self.energy_per_site(spins))
+
+        elif model is ComputationModel.ROTATION:
+            t = 0.0
+            rotate_cost = self.comm.p2p(halo_words)
+            for _ in range(n_sweeps):
+                for s in range(self.p):
+                    # Worker i sweeps strip (i+s) mod p; strips are
+                    # disjoint so the p sub-updates commute exactly.
+                    for i in range(self.p):
+                        self._heat_bath_rows(spins, self.strips[(i + s) % self.p], gen)
+                    t += max(
+                        self._strip_compute(self.strips[(i + s) % self.p])
+                        for i in range(self.p)
+                    ) + rotate_cost
+                trace.record(t, self.energy_per_site(spins))
+            # NOTE: with strips swept in rotation order the full sweep is
+            # p sub-steps; compute per sub-step is one strip per worker.
+
+        elif model is ComputationModel.ALLREDUCE:
+            t = 0.0
+            sync = allreduce_cost("ring", self.p, 2 * halo_words, self.comm)
+            per_half = max(self._strip_compute(s) for s in self.strips) / 2.0
+            for _ in range(n_sweeps):
+                self._chromatic_half_sweep(spins, 0, gen)
+                self._chromatic_half_sweep(spins, 1, gen)
+                t += 2 * (per_half + sync)
+                trace.record(t, self.energy_per_site(spins))
+
+        elif model is ComputationModel.ASYNCHRONOUS:
+            t = 0.0
+            worker_rngs = spawn_rngs(gen, self.p)
+            msg = self.comm.p2p(halo_words)
+            for _ in range(n_sweeps):
+                # Snapshot stale halos, then all workers sweep concurrently.
+                halos = []
+                for strip in self.strips:
+                    top = spins[(strip[0] - 1) % self.ny].copy()
+                    bottom = spins[(strip[-1] + 1) % self.ny].copy()
+                    halos.append((top, bottom))
+                for i, strip in enumerate(self.strips):
+                    top, bottom = halos[i]
+                    self._heat_bath_rows(
+                        spins, strip, worker_rngs[i], top_halo=top, bottom_halo=bottom
+                    )
+                t += max(self._strip_compute(s) for s in self.strips) + msg
+                trace.record(t, self.energy_per_site(spins))
+        else:
+            raise ValueError(f"unknown computation model {model}")
+        return trace
+
+    def equilibrium_energy(
+        self, n_sweeps: int = 200, burn_in: int = 100, rng=None
+    ) -> float:
+        """Reference equilibrium energy density from long chromatic runs
+        (exact sampler; used as ground truth in tests and benches)."""
+        gen = ensure_rng(rng)
+        spins = self.random_lattice(gen)
+        energies = []
+        for sweep in range(n_sweeps):
+            self._chromatic_half_sweep(spins, 0, gen)
+            self._chromatic_half_sweep(spins, 1, gen)
+            if sweep >= burn_in:
+                energies.append(self.energy_per_site(spins))
+        return float(np.mean(energies))

@@ -1,0 +1,53 @@
+"""Alpha-beta communication cost model.
+
+The standard parallel-computing abstraction: sending an ``n``-word
+message costs ``alpha + beta * n`` seconds (latency + inverse bandwidth).
+All collectives and the parameter-server models derive their costs from
+one :class:`CommModel` instance, so experiments can sweep interconnect
+quality the way §III-A sweeps synchronization strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive
+
+__all__ = ["CommModel"]
+
+
+@dataclass(frozen=True)
+class CommModel:
+    """Point-to-point cost parameters.
+
+    Attributes
+    ----------
+    alpha:
+        Per-message latency (seconds).
+    beta:
+        Per-word transfer time (seconds/word).
+    flop_time:
+        Time per arithmetic reduction op (used for the reduction work in
+        collectives; usually negligible but kept explicit).
+    """
+
+    alpha: float = 1e-5
+    beta: float = 1e-9
+    flop_time: float = 1e-10
+
+    def __post_init__(self) -> None:
+        check_positive("alpha", self.alpha, strict=False)
+        check_positive("beta", self.beta, strict=False)
+        check_positive("flop_time", self.flop_time, strict=False)
+
+    def p2p(self, n_words: int | float) -> float:
+        """Cost of one point-to-point message of ``n_words`` words."""
+        if n_words < 0:
+            raise ValueError(f"n_words must be >= 0, got {n_words}")
+        return self.alpha + self.beta * float(n_words)
+
+    def reduce_work(self, n_words: int | float) -> float:
+        """Arithmetic cost of combining two ``n_words`` buffers."""
+        if n_words < 0:
+            raise ValueError(f"n_words must be >= 0, got {n_words}")
+        return self.flop_time * float(n_words)

@@ -1,0 +1,205 @@
+"""Heterogeneous workflow DAGs on the simulated cluster (§III-E issues 6-8).
+
+The paper's systems research issues ask for "appropriate systems
+frameworks for MLaroundHPC" (issue 6 — "Is Dataflow useful?") and
+"runtime systems ... for workloads comprised of multiple heterogeneous
+tasks" (issues 7-8).  This module supplies the dataflow layer:
+
+* :class:`WorkflowDAG` — tasks with work, kind and dependencies; cycle
+  detection, topological order, critical-path analysis,
+* :func:`simulate_workflow` — event-driven execution on a
+  :class:`~repro.parallel.cluster.ClusterSimulator`: tasks become ready
+  when their dependencies finish, free workers pull the largest ready
+  task (list scheduling),
+* :func:`mlaround_campaign_dag` — the §III-D "simple case" pipeline
+  (N_train simulations → train → N_lookup inferences) as a DAG, so the
+  effective-speedup model's parallel-training assumption can be checked
+  against an actual schedule.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.parallel.cluster import ClusterSimulator, ExecutionTrace
+from repro.util.validation import check_positive
+
+__all__ = ["WorkflowTask", "WorkflowDAG", "simulate_workflow", "mlaround_campaign_dag"]
+
+
+@dataclass(frozen=True)
+class WorkflowTask:
+    """One DAG node: work units, a kind label, and dependencies."""
+
+    task_id: int
+    work: float
+    kind: str = "simulation"
+    deps: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        check_positive("work", self.work)
+
+
+class WorkflowDAG:
+    """A dependency graph of heterogeneous tasks."""
+
+    def __init__(self) -> None:
+        self._tasks: dict[int, WorkflowTask] = {}
+        self._next_id = 0
+
+    def add(
+        self,
+        work: float,
+        kind: str = "simulation",
+        deps: tuple[int, ...] | list[int] = (),
+    ) -> int:
+        """Add a task; returns its id.  Dependencies must already exist."""
+        for d in deps:
+            if d not in self._tasks:
+                raise ValueError(f"dependency {d} not in the DAG")
+        tid = self._next_id
+        self._next_id += 1
+        self._tasks[tid] = WorkflowTask(tid, float(work), kind, tuple(deps))
+        return tid
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __getitem__(self, tid: int) -> WorkflowTask:
+        return self._tasks[tid]
+
+    def tasks(self) -> list[WorkflowTask]:
+        return list(self._tasks.values())
+
+    # ------------------------------------------------------------------
+    def topological_order(self) -> list[int]:
+        """Kahn's algorithm; raises on cycles.
+
+        (Cycles cannot be built through :meth:`add`, which only accepts
+        existing tasks as dependencies, but the check keeps externally
+        constructed graphs honest.)
+        """
+        in_deg = {tid: len(t.deps) for tid, t in self._tasks.items()}
+        children: dict[int, list[int]] = {tid: [] for tid in self._tasks}
+        for tid, t in self._tasks.items():
+            for d in t.deps:
+                children[d].append(tid)
+        ready = [tid for tid, deg in in_deg.items() if deg == 0]
+        order: list[int] = []
+        while ready:
+            tid = ready.pop()
+            order.append(tid)
+            for c in children[tid]:
+                in_deg[c] -= 1
+                if in_deg[c] == 0:
+                    ready.append(c)
+        if len(order) != len(self._tasks):
+            raise ValueError("workflow DAG contains a cycle")
+        return order
+
+    def critical_path(self) -> float:
+        """Longest dependency chain by work (unit-speed lower bound on
+        the makespan, regardless of worker count)."""
+        finish: dict[int, float] = {}
+        for tid in self.topological_order():
+            t = self._tasks[tid]
+            start = max((finish[d] for d in t.deps), default=0.0)
+            finish[tid] = start + t.work
+        return max(finish.values(), default=0.0)
+
+    def total_work(self) -> float:
+        return sum(t.work for t in self._tasks.values())
+
+
+def simulate_workflow(
+    dag: WorkflowDAG, cluster: ClusterSimulator
+) -> ExecutionTrace:
+    """Event-driven list-scheduled execution of the DAG.
+
+    Free workers pull the largest ready task (LPT among ready).  Returns
+    the usual :class:`~repro.parallel.cluster.ExecutionTrace`.
+    """
+    order = dag.topological_order()  # validates acyclicity
+    children: dict[int, list[int]] = {tid: [] for tid in order}
+    remaining = {}
+    for tid in order:
+        t = dag[tid]
+        remaining[tid] = len(t.deps)
+        for d in t.deps:
+            children[d].append(tid)
+
+    workers = cluster.workers
+    busy = np.zeros(len(workers))
+    trace = ExecutionTrace(makespan=0.0, worker_busy=busy)
+    counter = itertools.count()
+
+    # ready: max-heap by work (negate), worker pool: min-heap by free time.
+    ready: list[tuple[float, int, int]] = []
+    for tid in order:
+        if remaining[tid] == 0:
+            heapq.heappush(ready, (-dag[tid].work, next(counter), tid))
+    free: list[tuple[float, int, int]] = [
+        (0.0, next(counter), i) for i in range(len(workers))
+    ]
+    heapq.heapify(free)
+    running: list[tuple[float, int, int, int]] = []  # (end, seq, tid, worker)
+    now = 0.0
+    n_done = 0
+
+    while n_done < len(order):
+        # Dispatch every ready task onto the earliest-free workers that
+        # are free at or before the earliest running completion.
+        while ready and free:
+            free_at, _, wi = heapq.heappop(free)
+            if running and free_at > running[0][0]:
+                heapq.heappush(free, (free_at, next(counter), wi))
+                break
+            _, _, tid = heapq.heappop(ready)
+            start = max(free_at, now)
+            dur = cluster.dispatch_overhead + workers[wi].duration(dag[tid])
+            end = start + dur
+            busy[wi] += dur
+            trace.assignments.append((tid, workers[wi].worker_id, start, end))
+            heapq.heappush(running, (end, next(counter), tid, wi))
+        if not running:
+            raise RuntimeError("workflow stalled with unfinished tasks")
+        end, _, tid, wi = heapq.heappop(running)
+        now = end
+        n_done += 1
+        heapq.heappush(free, (end, next(counter), wi))
+        for c in children[tid]:
+            remaining[c] -= 1
+            if remaining[c] == 0:
+                heapq.heappush(ready, (-dag[c].work, next(counter), c))
+
+    trace.makespan = max((a[3] for a in trace.assignments), default=0.0)
+    return trace
+
+
+def mlaround_campaign_dag(
+    n_train: int,
+    n_lookup: int,
+    *,
+    sim_work: float = 1.0,
+    train_work: float = 2.0,
+    lookup_work: float = 1e-4,
+) -> WorkflowDAG:
+    """The §III-D simple-case pipeline as a DAG.
+
+    ``n_train`` independent simulations feed one training task; all
+    ``n_lookup`` inferences depend on training.  Simulating this DAG on a
+    p-worker cluster realizes the T_train = T_seq/p parallel-training
+    assumption the effective-speedup model makes.
+    """
+    if n_train < 1 or n_lookup < 0:
+        raise ValueError("need n_train >= 1 and n_lookup >= 0")
+    dag = WorkflowDAG()
+    sims = [dag.add(sim_work, "simulation") for _ in range(n_train)]
+    train = dag.add(train_work, "train", deps=tuple(sims))
+    for _ in range(n_lookup):
+        dag.add(lookup_work, "lookup", deps=(train,))
+    return dag

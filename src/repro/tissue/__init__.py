@@ -1,0 +1,44 @@
+"""Virtual-tissue substrate (§II-B).
+
+Laptop-scale stand-in for mechanism-based multiscale tissue simulation:
+
+* :mod:`repro.tissue.fields` — reaction–diffusion solvers on a 2-D grid:
+  explicit (FTCS) stepping, ADI (alternating-direction implicit)
+  stepping, and a sparse direct steady-state solve.  Transport "is
+  compute intensive" (§II-B challenge 5) — this is the module the
+  learned surrogate short-circuits in experiment E10.
+* :mod:`repro.tissue.cells` — lattice cell model with differential
+  adhesion (Potts-flavoured Kawasaki exchange dynamics) producing the
+  classic cell-sorting behaviour.
+* :mod:`repro.tissue.vt` — the coupled virtual-tissue simulation: typed
+  cells secrete and consume a morphogen whose steady-state field feeds
+  back on cell behaviour; the inner field solver is pluggable so a
+  learned analogue can replace it ("short-circuiting", §II-B2 item 1).
+"""
+
+from repro.tissue.fields import (
+    DiffusionParams,
+    ftcs_step,
+    adi_step,
+    steady_state,
+    radial_probe,
+    MorphogenSteadyStateSimulation,
+    FIELD_INPUTS,
+)
+from repro.tissue.cells import CellLattice, adhesion_energy, boundary_length
+from repro.tissue.vt import VirtualTissueSimulation, TissueResult
+
+__all__ = [
+    "DiffusionParams",
+    "ftcs_step",
+    "adi_step",
+    "steady_state",
+    "radial_probe",
+    "MorphogenSteadyStateSimulation",
+    "FIELD_INPUTS",
+    "CellLattice",
+    "adhesion_energy",
+    "boundary_length",
+    "VirtualTissueSimulation",
+    "TissueResult",
+]

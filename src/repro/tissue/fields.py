@@ -1,0 +1,247 @@
+"""Reaction–diffusion field solvers on a 2-D grid.
+
+The morphogen field obeys::
+
+    du/dt = D laplacian(u) - k u + s(x, y)
+
+with no-flux boundaries.  Three solvers:
+
+* :func:`ftcs_step` — explicit forward-time centered-space step (simple,
+  conditionally stable: ``D dt / dx^2 <= 0.25``),
+* :func:`adi_step` — Peaceman–Rachford alternating-direction implicit
+  step (unconditionally stable; two tridiagonal sweeps per step),
+* :func:`steady_state` — direct sparse solve of
+  ``(k I - D laplacian) u = s`` (the expensive, exact inner module that
+  experiment E10 short-circuits with a learned analogue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+from scipy.linalg import solve_banded
+
+from repro.core.simulation import Simulation
+from repro.util.validation import check_positive
+
+__all__ = [
+    "DiffusionParams",
+    "ftcs_step",
+    "adi_step",
+    "steady_state",
+    "radial_probe",
+    "MorphogenSteadyStateSimulation",
+    "FIELD_INPUTS",
+    "FIELD_BOUNDS",
+]
+
+
+@dataclass(frozen=True)
+class DiffusionParams:
+    """Field parameters: diffusivity D, decay k, grid spacing dx."""
+
+    diffusivity: float
+    decay: float
+    dx: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("diffusivity", self.diffusivity)
+        check_positive("decay", self.decay, strict=False)
+        check_positive("dx", self.dx)
+
+    def stable_dt(self) -> float:
+        """Largest FTCS-stable timestep (safety factor 0.9)."""
+        return 0.9 * 0.25 * self.dx * self.dx / self.diffusivity
+
+
+def _laplacian_neumann(u: np.ndarray, dx: float) -> np.ndarray:
+    """5-point Laplacian with reflecting (no-flux) boundaries."""
+    up = np.pad(u, 1, mode="edge")
+    return (
+        up[:-2, 1:-1] + up[2:, 1:-1] + up[1:-1, :-2] + up[1:-1, 2:] - 4.0 * u
+    ) / (dx * dx)
+
+
+def ftcs_step(
+    u: np.ndarray, source: np.ndarray, params: DiffusionParams, dt: float
+) -> np.ndarray:
+    """One explicit step; raises on an unstable timestep."""
+    if dt <= 0:
+        raise ValueError(f"dt must be > 0, got {dt}")
+    if params.diffusivity * dt / params.dx**2 > 0.25 + 1e-12:
+        raise ValueError(
+            f"FTCS unstable: D dt / dx^2 = "
+            f"{params.diffusivity * dt / params.dx ** 2:.3f} > 0.25"
+        )
+    return u + dt * (
+        params.diffusivity * _laplacian_neumann(u, params.dx)
+        - params.decay * u
+        + source
+    )
+
+
+def _tridiag_solve(lower: float, diag: np.ndarray, upper: float, rhs: np.ndarray) -> np.ndarray:
+    """Solve many tridiagonal systems with constant off-diagonals.
+
+    ``rhs`` has shape (m, n): m independent systems of size n.
+    """
+    n = rhs.shape[-1]
+    ab = np.zeros((3, n))
+    ab[0, 1:] = upper
+    ab[1, :] = diag
+    ab[2, :-1] = lower
+    return solve_banded((1, 1), ab, rhs.T).T
+
+
+def adi_step(
+    u: np.ndarray, source: np.ndarray, params: DiffusionParams, dt: float
+) -> np.ndarray:
+    """One Peaceman–Rachford ADI step (no-flux boundaries).
+
+    Each half-step treats one direction implicitly and the other
+    explicitly; reaction and source are split evenly between halves.
+    """
+    if dt <= 0:
+        raise ValueError(f"dt must be > 0, got {dt}")
+    d = params.diffusivity
+    dx2 = params.dx * params.dx
+    r = d * dt / (2.0 * dx2)
+    ny, nx = u.shape
+
+    def implicit_1d(rhs: np.ndarray, n: int) -> np.ndarray:
+        # (1 + 2r + k dt/2) on the diagonal, Neumann rows adjusted.
+        diag = np.full(n, 1.0 + 2.0 * r + 0.5 * params.decay * dt)
+        diag[0] -= r
+        diag[-1] -= r
+        return _tridiag_solve(-r, diag, -r, rhs)
+
+    def explicit_dir(v: np.ndarray, axis: int) -> np.ndarray:
+        vp = np.pad(v, 1, mode="edge")
+        if axis == 0:
+            lap = vp[:-2, 1:-1] - 2.0 * v + vp[2:, 1:-1]
+        else:
+            lap = vp[1:-1, :-2] - 2.0 * v + vp[1:-1, 2:]
+        return lap / dx2
+
+    # Half-step 1: implicit in x (rows), explicit in y.
+    rhs1 = u + 0.5 * dt * (d * explicit_dir(u, 0) + source - 0.0 * u)
+    half = implicit_1d(rhs1, nx)
+    # Half-step 2: implicit in y (columns), explicit in x.
+    rhs2 = half + 0.5 * dt * (d * explicit_dir(half, 1) + source)
+    out = implicit_1d(rhs2.T, ny).T
+    return out
+
+
+def steady_state(
+    source: np.ndarray, params: DiffusionParams
+) -> np.ndarray:
+    """Exact steady state of ``D lap(u) - k u + s = 0`` (sparse direct).
+
+    Requires ``decay > 0`` (otherwise the Neumann problem is singular
+    unless the source integrates to zero).
+    """
+    if params.decay <= 0:
+        raise ValueError("steady_state requires decay > 0")
+    ny, nx = source.shape
+    n = ny * nx
+    dx2 = params.dx * params.dx
+
+    main = np.full(n, params.decay)
+    idx = np.arange(n).reshape(ny, nx)
+    rows, cols, vals = [], [], []
+
+    def couple(a: np.ndarray, b: np.ndarray) -> None:
+        rows.extend([a.ravel(), b.ravel()])
+        cols.extend([b.ravel(), a.ravel()])
+        vals.extend(
+            [np.full(a.size, -params.diffusivity / dx2)] * 2
+        )
+
+    couple(idx[:-1, :], idx[1:, :])
+    couple(idx[:, :-1], idx[:, 1:])
+    # Neumann BC: each neighbor coupling adds +D/dx2 to BOTH endpoints'
+    # diagonals (missing neighbors contribute nothing).
+    diag_add = np.zeros(n)
+    for a, b in ((idx[:-1, :], idx[1:, :]), (idx[:, :-1], idx[:, 1:])):
+        np.add.at(diag_add, a.ravel(), params.diffusivity / dx2)
+        np.add.at(diag_add, b.ravel(), params.diffusivity / dx2)
+    main = main + diag_add
+
+    A = sp.coo_matrix(
+        (
+            np.concatenate(vals + [main]),
+            (
+                np.concatenate(rows + [np.arange(n)]),
+                np.concatenate(cols + [np.arange(n)]),
+            ),
+        ),
+        shape=(n, n),
+    ).tocsr()
+    u = spla.spsolve(A, source.ravel())
+    return u.reshape(ny, nx)
+
+
+def radial_probe(field: np.ndarray, n_probes: int = 8) -> np.ndarray:
+    """Sample a field at ``n_probes`` points along the center-to-corner
+    diagonal — the compact output signature used by the field surrogate."""
+    if n_probes < 2:
+        raise ValueError(f"n_probes must be >= 2, got {n_probes}")
+    ny, nx = field.shape
+    cy, cx = (ny - 1) / 2.0, (nx - 1) / 2.0
+    ts = np.linspace(0.0, 1.0, n_probes)
+    ys = np.clip(np.round(cy + ts * (ny - 1 - cy)).astype(int), 0, ny - 1)
+    xs = np.clip(np.round(cx + ts * (nx - 1 - cx)).astype(int), 0, nx - 1)
+    return field[ys, xs]
+
+
+FIELD_INPUTS = ("diffusivity", "decay", "source_rate", "source_radius")
+FIELD_BOUNDS = {
+    "diffusivity": (0.2, 2.0),
+    "decay": (0.01, 0.3),
+    "source_rate": (0.5, 5.0),
+    "source_radius": (2.0, 8.0),
+}
+
+
+class MorphogenSteadyStateSimulation(Simulation):
+    """Steady-state morphogen field as a 4-feature Simulation.
+
+    A disk source of the given radius and rate sits at the grid center;
+    the output is the steady field sampled at radial probe points.  This
+    is the "computationally costly module" of §II-B that the learned
+    analogue replaces in E10.
+    """
+
+    input_names = FIELD_INPUTS
+
+    def __init__(self, grid: int = 48, n_probes: int = 8):
+        if grid < 8:
+            raise ValueError("grid must be >= 8")
+        self.grid = int(grid)
+        self.n_probes = int(n_probes)
+        self.output_names = tuple(f"u_probe_{i}" for i in range(n_probes))
+        yy, xx = np.mgrid[0:grid, 0:grid]
+        c = (grid - 1) / 2.0
+        self._r2 = (yy - c) ** 2 + (xx - c) ** 2
+
+    def source_field(self, source_rate: float, source_radius: float) -> np.ndarray:
+        return np.where(self._r2 <= source_radius**2, source_rate, 0.0)
+
+    def _run(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        diffusivity, decay, source_rate, source_radius = (float(v) for v in x)
+        params = DiffusionParams(diffusivity=diffusivity, decay=decay)
+        field = steady_state(self.source_field(source_rate, source_radius), params)
+        return radial_probe(field, self.n_probes)
+
+    @staticmethod
+    def sample_inputs(
+        n: int, rng: int | np.random.Generator | None = None
+    ) -> np.ndarray:
+        from repro.util.rng import ensure_rng
+
+        gen = ensure_rng(rng)
+        cols = [gen.uniform(*FIELD_BOUNDS[name], n) for name in FIELD_INPUTS]
+        return np.stack(cols, axis=1)

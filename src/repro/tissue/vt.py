@@ -1,0 +1,140 @@
+"""The coupled virtual-tissue simulation (§II-B).
+
+Couples the two substrates of this package:
+
+* a :class:`~repro.tissue.cells.CellLattice` whose type-1 cells secrete a
+  morphogen and whose type-2 cells differentiate (switch to type 1) when
+  the local steady-state concentration crosses a threshold, and
+* a steady-state morphogen field recomputed every tissue step — "modeling
+  transport and diffusion is compute intensive" (§II-B challenge 5).
+
+The field solver is *pluggable*: pass ``field_solver`` to replace the
+exact sparse solve with a learned analogue, which is precisely the
+"short-circuiting: the replacement of computationally costly modules with
+learned analogues" of §II-B2.  Experiment E10 runs the same tissue with
+both solvers and compares trajectories and cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.tissue.cells import CellLattice
+from repro.tissue.fields import DiffusionParams, steady_state
+from repro.util.rng import ensure_rng
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = ["TissueResult", "VirtualTissueSimulation"]
+
+FieldSolver = Callable[[np.ndarray, DiffusionParams], np.ndarray]
+
+
+@dataclass
+class TissueResult:
+    """Trajectory of one virtual-tissue run."""
+
+    interface_series: list[int] = field(default_factory=list)
+    differentiated_series: list[int] = field(default_factory=list)
+    mean_concentration_series: list[float] = field(default_factory=list)
+    final_grid: np.ndarray | None = None
+    final_field: np.ndarray | None = None
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.interface_series)
+
+
+class VirtualTissueSimulation:
+    """Cell sorting + morphogen-driven differentiation.
+
+    Parameters
+    ----------
+    lattice:
+        The cell lattice (mutated during :meth:`run`).
+    params:
+        Morphogen field parameters.
+    secretion_rate:
+        Source strength of type-1 sites.
+    uptake:
+        Additional decay contributed (uniformly) by cellular uptake.
+    threshold:
+        Concentration above which a type-2 site differentiates to type 1
+        (per step, with probability ``diff_probability``).
+    field_solver:
+        ``solver(source, params) -> field`` — defaults to the exact
+        sparse steady-state solve; replace with a learned analogue to
+        short-circuit.
+    """
+
+    def __init__(
+        self,
+        lattice: CellLattice,
+        params: DiffusionParams,
+        *,
+        secretion_rate: float = 1.0,
+        uptake: float = 0.05,
+        threshold: float = 0.5,
+        diff_probability: float = 0.2,
+        field_solver: FieldSolver | None = None,
+        rng: int | np.random.Generator | None = None,
+    ):
+        self.lattice = lattice
+        self.base_params = params
+        self.secretion_rate = check_positive("secretion_rate", secretion_rate)
+        self.uptake = check_positive("uptake", uptake, strict=False)
+        self.threshold = check_positive("threshold", threshold)
+        self.diff_probability = check_in_range(
+            "diff_probability", diff_probability, 0.0, 1.0
+        )
+        self.field_solver = field_solver if field_solver is not None else steady_state
+        self.rng = ensure_rng(rng)
+        self.n_field_solves = 0
+
+    # ------------------------------------------------------------------
+    def _effective_params(self) -> DiffusionParams:
+        return DiffusionParams(
+            diffusivity=self.base_params.diffusivity,
+            decay=self.base_params.decay + self.uptake,
+            dx=self.base_params.dx,
+        )
+
+    def solve_field(self) -> np.ndarray:
+        """Current steady-state morphogen field."""
+        source = np.where(self.lattice.grid == 1, self.secretion_rate, 0.0)
+        self.n_field_solves += 1
+        return self.field_solver(source, self._effective_params())
+
+    def step(self) -> tuple[np.ndarray, int]:
+        """One tissue step: mechanics sweep, field solve, differentiation.
+
+        Returns the field and the number of differentiation events.
+        """
+        self.lattice.sweep(1)
+        u = self.solve_field()
+        type2 = self.lattice.grid == 2
+        eligible = type2 & (u >= self.threshold)
+        flips = eligible & (
+            self.rng.random(self.lattice.grid.shape) < self.diff_probability
+        )
+        self.lattice.grid[flips] = 1
+        return u, int(np.count_nonzero(flips))
+
+    def run(self, n_steps: int) -> TissueResult:
+        """Run ``n_steps`` tissue steps, recording the trajectory."""
+        if n_steps < 1:
+            raise ValueError(f"n_steps must be >= 1, got {n_steps}")
+        result = TissueResult()
+        u = None
+        for _ in range(int(n_steps)):
+            u, _ = self.step()
+            result.interface_series.append(self.lattice.interface())
+            result.differentiated_series.append(
+                int(np.count_nonzero(self.lattice.grid == 1))
+            )
+            result.mean_concentration_series.append(float(u.mean()))
+        result.final_grid = self.lattice.grid.copy()
+        result.final_field = u
+        return result

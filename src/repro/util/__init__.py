@@ -1,0 +1,35 @@
+"""Shared utilities: reproducible RNG handling, timing, tables, validation.
+
+Every stochastic component in :mod:`repro` accepts either an integer seed, a
+:class:`numpy.random.Generator`, or ``None`` and normalizes it through
+:func:`ensure_rng`, so that any experiment in the benchmark suite can be
+replayed bit-for-bit from a single seed.
+"""
+
+from repro.util.rng import ensure_rng, spawn_rngs, SeedSequenceFactory
+from repro.util.timing import Timer, WallClockLedger, TimingRecord
+from repro.util.tables import Table, format_si, format_seconds
+from repro.util.validation import (
+    check_positive,
+    check_in_range,
+    check_probability,
+    check_array_shape,
+    check_finite,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "SeedSequenceFactory",
+    "Timer",
+    "WallClockLedger",
+    "TimingRecord",
+    "Table",
+    "format_si",
+    "format_seconds",
+    "check_positive",
+    "check_in_range",
+    "check_probability",
+    "check_array_shape",
+    "check_finite",
+]

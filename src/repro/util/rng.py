@@ -1,0 +1,101 @@
+"""Reproducible random-number-generator plumbing.
+
+The Learning-Everywhere workloads couple stochastic simulations (MD
+thermostats, SEIR transmission, Potts dynamics) with stochastic training
+(mini-batch shuffling, dropout masks).  To keep an entire pipeline
+replayable, all components take a ``rng`` argument normalized by
+:func:`ensure_rng`, and pipelines that need several independent streams
+derive them with :func:`spawn_rngs` so that adding a consumer never
+perturbs the draws seen by existing consumers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["ensure_rng", "spawn_rngs", "SeedSequenceFactory"]
+
+
+def ensure_rng(rng: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Normalize ``rng`` to a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` (fresh nondeterministic generator), an integer seed, or an
+        existing generator (returned unchanged so state is shared with the
+        caller).
+
+    Returns
+    -------
+    numpy.random.Generator
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        if rng < 0:
+            raise ValueError(f"seed must be non-negative, got {rng}")
+        return np.random.default_rng(int(rng))
+    raise TypeError(
+        f"rng must be None, an int seed, or a numpy Generator; got {type(rng).__name__}"
+    )
+
+
+def spawn_rngs(rng: int | np.random.Generator | None, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators.
+
+    Uses the SeedSequence spawning protocol so child streams do not overlap
+    and are stable under insertion of later consumers.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    base = ensure_rng(rng)
+    seeds = base.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(np.random.SeedSequence(int(s))) for s in seeds]
+
+
+class SeedSequenceFactory:
+    """Deterministic factory handing out numbered child generators.
+
+    Useful for discrete-event simulations where components are created
+    dynamically but must receive reproducible streams keyed by a stable
+    identifier rather than by creation order.
+    """
+
+    def __init__(self, seed: int = 0):
+        if seed < 0:
+            raise ValueError(f"seed must be non-negative, got {seed}")
+        self._seed = int(seed)
+        self._issued: dict[str, np.random.Generator] = {}
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def get(self, key: str) -> np.random.Generator:
+        """Return the generator for ``key``, creating it deterministically.
+
+        The same (seed, key) pair always yields an identical stream, and
+        the stream is cached so repeated lookups share state.
+        """
+        if key not in self._issued:
+            digest = _stable_hash(key)
+            ss = np.random.SeedSequence([self._seed, digest])
+            self._issued[key] = np.random.default_rng(ss)
+        return self._issued[key]
+
+    def keys(self) -> Iterable[str]:
+        return self._issued.keys()
+
+
+def _stable_hash(key: str) -> int:
+    """64-bit FNV-1a hash — stable across processes, unlike ``hash()``."""
+    h = 0xCBF29CE484222325
+    for byte in key.encode("utf-8"):
+        h ^= byte
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h

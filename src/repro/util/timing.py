@@ -1,0 +1,127 @@
+"""Wall-clock instrumentation for effective-performance accounting.
+
+The effective-speedup model of the paper (§III-D) needs four measured
+times — ``T_seq``, ``T_train``, ``T_learn``, ``T_lookup``.  The
+:class:`WallClockLedger` accumulates named timing records from anywhere in
+a pipeline (simulation runs, surrogate training, surrogate inference) so
+the model can be evaluated on *measured* rather than assumed costs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "TimingRecord", "WallClockLedger"]
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+
+
+@dataclass
+class TimingRecord:
+    """Aggregate of all timed events under a single category name."""
+
+    name: str
+    total_seconds: float = 0.0
+    count: int = 0
+    min_seconds: float = field(default=float("inf"))
+    max_seconds: float = 0.0
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def add(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"negative duration {seconds!r}")
+        self.total_seconds += seconds
+        self.count += 1
+        self.min_seconds = min(self.min_seconds, seconds)
+        self.max_seconds = max(self.max_seconds, seconds)
+
+
+class WallClockLedger:
+    """Named accumulator of wall-clock costs across a pipeline.
+
+    Categories are created lazily; the conventional names used by
+    :class:`repro.core.mlaround.MLAroundHPC` are ``"simulate"``, ``"train"``
+    and ``"lookup"``.
+    """
+
+    def __init__(self) -> None:
+        self._records: dict[str, TimingRecord] = {}
+
+    def record(self, name: str, seconds: float) -> None:
+        self._records.setdefault(name, TimingRecord(name)).add(seconds)
+
+    def measure(self, name: str) -> "_LedgerTimer":
+        """Context manager that records its elapsed time under ``name``."""
+        return _LedgerTimer(self, name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._records
+
+    def __getitem__(self, name: str) -> TimingRecord:
+        return self._records[name]
+
+    def get(self, name: str) -> TimingRecord | None:
+        return self._records.get(name)
+
+    def total(self, name: str) -> float:
+        rec = self._records.get(name)
+        return rec.total_seconds if rec else 0.0
+
+    def mean(self, name: str) -> float:
+        rec = self._records.get(name)
+        return rec.mean_seconds if rec else 0.0
+
+    def count(self, name: str) -> int:
+        rec = self._records.get(name)
+        return rec.count if rec else 0
+
+    def categories(self) -> list[str]:
+        return sorted(self._records)
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        return {
+            name: {
+                "total_seconds": r.total_seconds,
+                "count": r.count,
+                "mean_seconds": r.mean_seconds,
+            }
+            for name, r in self._records.items()
+        }
+
+
+class _LedgerTimer(Timer):
+    def __init__(self, ledger: WallClockLedger, name: str) -> None:
+        super().__init__()
+        self._ledger = ledger
+        self._name = name
+
+    def __exit__(self, *exc) -> None:
+        super().__exit__(*exc)
+        self._ledger.record(self._name, self.elapsed)

@@ -1,0 +1,83 @@
+"""Argument validation helpers shared across the library.
+
+All public constructors validate their numeric arguments eagerly so
+mis-configured experiments fail at setup time with a message naming the
+offending parameter, not deep inside a vectorized kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_in_range",
+    "check_probability",
+    "check_array_shape",
+    "check_finite",
+]
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> float:
+    """Validate that ``value`` is positive (``>= 0`` when ``strict=False``)."""
+    if not np.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    lo: float,
+    hi: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Validate ``lo <= value <= hi`` (or strict inequalities)."""
+    ok = (lo <= value <= hi) if inclusive else (lo < value < hi)
+    if not ok:
+        bracket = "[]" if inclusive else "()"
+        raise ValueError(
+            f"{name} must be in {bracket[0]}{lo}, {hi}{bracket[1]}, got {value!r}"
+        )
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that ``value`` lies in [0, 1]."""
+    return check_in_range(name, value, 0.0, 1.0)
+
+
+def check_array_shape(
+    name: str, array: np.ndarray, shape: Sequence[int | None]
+) -> np.ndarray:
+    """Validate an array's dimensionality and per-axis sizes.
+
+    ``None`` entries in ``shape`` match any size along that axis.
+    """
+    arr = np.asarray(array)
+    if arr.ndim != len(shape):
+        raise ValueError(
+            f"{name} must have {len(shape)} dimensions, got shape {arr.shape}"
+        )
+    for axis, (want, got) in enumerate(zip(shape, arr.shape)):
+        if want is not None and want != got:
+            raise ValueError(
+                f"{name} axis {axis} must have size {want}, got shape {arr.shape}"
+            )
+    return arr
+
+
+def check_finite(name: str, array: Any) -> np.ndarray:
+    """Validate that every element of ``array`` is finite."""
+    arr = np.asarray(array, dtype=float)
+    if not np.all(np.isfinite(arr)):
+        bad = int(np.count_nonzero(~np.isfinite(arr)))
+        raise ValueError(f"{name} contains {bad} non-finite values")
+    return arr

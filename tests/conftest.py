@@ -1,0 +1,32 @@
+"""Shared fixtures for the learnhpc test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def regression_data(rng):
+    """A smooth 3-feature, 2-output regression problem (n=240)."""
+    x = rng.uniform(-1.0, 1.0, (240, 3))
+    y = np.stack(
+        [np.sin(2.0 * x[:, 0]) + 0.5 * x[:, 1] ** 2, x[:, 2] * x[:, 0] + 0.2 * x[:, 1]],
+        axis=1,
+    )
+    return x, y
+
+
+@pytest.fixture
+def small_contact_network():
+    """A two-county contact network small enough for fast SEIR tests."""
+    from repro.epi import SyntheticPopulation
+
+    pop = SyntheticPopulation([300, 200], commuting_fraction=0.05)
+    return pop.build(rng=7)

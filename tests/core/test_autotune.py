@@ -1,0 +1,127 @@
+"""Tests for repro.core.autotune — MLautotuning."""
+
+import numpy as np
+import pytest
+
+from repro.core.autotune import AutoTuner, TuningRecord
+
+
+def _toy_evaluate(params, control, rng):
+    """Quality drops as the control (dt) exceeds a param-dependent limit;
+    cost is inversely proportional to dt.  Optimal dt ~ 0.1 * params[0]."""
+    dt = control[0]
+    dt_max = 0.1 * params[0]
+    quality = 1.0 if dt <= dt_max else max(0.0, 1.0 - 5.0 * (dt - dt_max))
+    cost = 1.0 / dt
+    return quality, cost
+
+
+def _make_tuner(**kw):
+    return AutoTuner(
+        ["size"],
+        ["dt"],
+        quality_threshold=0.95,
+        conservative_control=[0.01],
+        hidden=(16, 16),
+        rng=0,
+        **kw,
+    )
+
+
+@pytest.fixture
+def collected_tuner():
+    tuner = _make_tuner()
+    params = np.linspace(1.0, 5.0, 30)[:, None]
+    controls = np.linspace(0.01, 0.6, 12)[:, None]
+    tuner.collect(_toy_evaluate, params, controls)
+    return tuner
+
+
+class TestCollect:
+    def test_probe_records_created(self, collected_tuner):
+        assert len(collected_tuner.records) == 30 * 12
+
+    def test_labels_every_param_with_safe_candidate(self):
+        tuner = _make_tuner()
+        n = tuner.collect(
+            _toy_evaluate,
+            np.array([[2.0], [4.0]]),
+            np.array([[0.01], [0.1], [0.5]]),
+        )
+        assert n == 2
+
+    def test_optimal_dataset_picks_cheapest_acceptable(self):
+        tuner = _make_tuner()
+        tuner.collect(
+            _toy_evaluate, np.array([[2.0]]), np.array([[0.05], [0.15], [0.4]])
+        )
+        X, C = tuner.optimal_dataset()
+        # dt_max = 0.2; acceptable candidates 0.05 and 0.15; cheapest cost
+        # = largest dt = 0.15.
+        assert C[0, 0] == pytest.approx(0.15)
+
+    def test_no_acceptable_raises(self):
+        tuner = _make_tuner()
+        tuner.collect(_toy_evaluate, np.array([[1.0]]), np.array([[0.9]]))
+        with pytest.raises(ValueError, match="no acceptable"):
+            tuner.optimal_dataset()
+
+    def test_empty_records_raises(self):
+        with pytest.raises(ValueError):
+            _make_tuner().optimal_dataset()
+
+    def test_shape_validation(self):
+        tuner = _make_tuner()
+        with pytest.raises(ValueError):
+            tuner.collect(_toy_evaluate, np.zeros((3, 2)), np.zeros((3, 1)))
+        with pytest.raises(ValueError):
+            tuner.collect(_toy_evaluate, np.zeros((3, 1)), np.zeros((3, 2)))
+
+
+class TestFitRecommend:
+    def test_learns_monotone_relationship(self, collected_tuner):
+        collected_tuner.fit()
+        test_params = np.array([[1.5], [4.5]])
+        rec = collected_tuner.recommend(test_params)
+        # Bigger systems tolerate bigger timesteps in the toy model.
+        assert rec[1, 0] > rec[0, 0]
+
+    def test_predictions_clipped_to_safe_box(self, collected_tuner):
+        collected_tuner.fit()
+        rec = collected_tuner.recommend(np.array([[100.0]]))  # far extrapolation
+        assert rec[0, 0] <= collected_tuner._safe_hi[0] + 1e-12
+
+    def test_safety_margin_pulls_conservative(self, collected_tuner):
+        collected_tuner.fit()
+        p = np.array([[3.0]])
+        bold = collected_tuner.recommend(p, safety_margin=0.0)
+        safe = collected_tuner.recommend(p, safety_margin=0.5)
+        fully = collected_tuner.recommend(p, safety_margin=1.0)
+        assert safe[0, 0] < bold[0, 0]
+        assert fully[0, 0] == pytest.approx(0.01)
+
+    def test_unfitted_recommends_conservative(self):
+        tuner = _make_tuner()
+        rec = tuner.recommend(np.array([[2.0], [3.0]]))
+        assert np.allclose(rec, 0.01)
+
+    def test_invalid_safety_margin(self, collected_tuner):
+        collected_tuner.fit()
+        with pytest.raises(ValueError):
+            collected_tuner.recommend(np.array([[1.0]]), safety_margin=1.5)
+
+
+class TestConstruction:
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            AutoTuner([], ["dt"], quality_threshold=0.9, conservative_control=[0.1])
+        with pytest.raises(ValueError):
+            AutoTuner(
+                ["a"], ["dt", "gamma"],
+                quality_threshold=0.9, conservative_control=[0.1],
+            )
+
+    def test_repr_mentions_state(self, collected_tuner):
+        assert "unfitted" in repr(collected_tuner)
+        collected_tuner.fit()
+        assert "fitted" in repr(collected_tuner)

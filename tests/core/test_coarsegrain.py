@@ -1,0 +1,103 @@
+"""Tests for repro.core.coarsegrain — learned coarse-graining."""
+
+import numpy as np
+import pytest
+
+from repro.core.coarsegrain import CoarseGrainedSolver, LearnedCorrector
+
+
+def fine_solver(x):
+    """High-resolution 'profile': 32 samples of a parameterized wave."""
+    t = np.linspace(0.0, np.pi, 32)
+    return np.sin(t * x[0]) * x[1] + 0.1 * np.sin(3 * t) * x[0]
+
+
+def coarse_solver(x):
+    """Same physics on an 8-point grid, with a systematic amplitude bias."""
+    t = np.linspace(0.0, np.pi, 8)
+    return 0.85 * np.sin(t * x[0]) * x[1]
+
+
+@pytest.fixture
+def trained(rng):
+    lc = LearnedCorrector(
+        fine_solver, coarse_solver, in_dim=2, fine_dim=32, coarse_dim=8,
+        hidden=(48,), rng=0,
+    )
+    X = rng.uniform(0.5, 2.0, (80, 2))
+    report = lc.fit(X)
+    return lc, report
+
+
+class TestLearnedCorrector:
+    def test_correction_beats_raw_coarse(self, trained):
+        lc, report = trained
+        assert report["rmse_corrected"] < report["rmse_uncorrected"] * 0.7
+
+    def test_predict_matches_fine_closely(self, trained, rng):
+        lc, _ = trained
+        x = np.array([1.3, 1.1])
+        pred = lc.predict(x)
+        truth = fine_solver(x)
+        lifted = lc.lift(coarse_solver(x))
+        assert np.sqrt(np.mean((pred - truth) ** 2)) < np.sqrt(
+            np.mean((lifted - truth) ** 2)
+        )
+
+    def test_output_on_fine_grid(self, trained):
+        lc, _ = trained
+        assert lc.predict(np.array([1.0, 1.0])).shape == (32,)
+
+    def test_default_lift_interpolates(self):
+        lc = LearnedCorrector(
+            fine_solver, coarse_solver, in_dim=2, fine_dim=32, coarse_dim=8, rng=0
+        )
+        coarse = np.linspace(0.0, 1.0, 8)
+        lifted = lc.lift(coarse)
+        assert lifted.shape == (32,)
+        assert lifted[0] == pytest.approx(0.0)
+        assert lifted[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(lifted) >= -1e-12)
+
+    def test_identity_lift_when_dims_match(self):
+        lc = LearnedCorrector(
+            fine_solver, lambda x: fine_solver(x), in_dim=2, fine_dim=32,
+            coarse_dim=32, rng=0,
+        )
+        v = np.arange(32.0)
+        assert np.array_equal(lc.lift(v), v)
+
+    def test_predict_before_fit_rejected(self):
+        lc = LearnedCorrector(
+            fine_solver, coarse_solver, in_dim=2, fine_dim=32, coarse_dim=8, rng=0
+        )
+        with pytest.raises(RuntimeError):
+            lc.predict(np.array([1.0, 1.0]))
+
+    def test_too_few_samples_rejected(self, rng):
+        lc = LearnedCorrector(
+            fine_solver, coarse_solver, in_dim=2, fine_dim=32, coarse_dim=8, rng=0
+        )
+        with pytest.raises(ValueError):
+            lc.fit(rng.uniform(0.5, 2.0, (5, 2)))
+
+    def test_wrong_solver_output_size_detected(self, rng):
+        lc = LearnedCorrector(
+            fine_solver, lambda x: np.zeros(5), in_dim=2, fine_dim=32,
+            coarse_dim=8, rng=0,
+        )
+        with pytest.raises(ValueError, match="output size"):
+            lc.fit(rng.uniform(0.5, 2.0, (12, 2)))
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            LearnedCorrector(fine_solver, coarse_solver, 0, 32, 8)
+
+
+class TestCoarseGrainedSolver:
+    def test_callable_facade(self, trained):
+        lc, _ = trained
+        solver = CoarseGrainedSolver(lc)
+        x = np.array([1.0, 1.0])
+        assert np.array_equal(solver(x), lc.predict(x))
+        assert solver.fine_dim == 32

@@ -1,0 +1,109 @@
+"""Tests for repro.core.control — MLControl campaigns."""
+
+import numpy as np
+import pytest
+
+from repro.core.control import CampaignController, CampaignResult
+from repro.core.simulation import CallableSimulation, Simulation, SimulationError
+from repro.core.surrogate import Surrogate
+
+
+def _sim():
+    # Smooth response surface with a unique optimum at (0.6, 0.3).
+    return CallableSimulation(
+        lambda x: np.array([(x[0] - 0.6) ** 2 + (x[1] - 0.3) ** 2]),
+        ["a", "b"],
+        ["response"],
+    )
+
+
+def _factory():
+    return Surrogate(2, 1, hidden=(24, 24), dropout=0.1, epochs=100, patience=15, rng=2)
+
+
+def _controller(**kw):
+    bounds = np.array([[0.0, 1.0], [0.0, 1.0]])
+    return CampaignController(
+        _sim(), lambda out: float(out[0]), bounds, _factory, rng=3, **kw
+    )
+
+
+class TestCampaign:
+    def test_finds_low_objective(self):
+        result = _controller().run(n_seed=10, pool_size=400, max_simulations=30)
+        assert isinstance(result, CampaignResult)
+        assert result.best_objective < 0.05
+        assert result.n_simulations <= 30
+
+    def test_beats_random_search_at_equal_budget(self):
+        budget = 30
+        result = _controller().run(n_seed=10, pool_size=400, max_simulations=budget)
+        # Pure random baseline with the same budget and seed space.
+        rng = np.random.default_rng(3)
+        sim = _sim()
+        best_random = min(
+            float(sim.run(x).outputs[0]) for x in rng.uniform(0, 1, (budget, 2))
+        )
+        assert result.best_objective <= best_random * 1.5  # at least competitive
+
+    def test_stops_at_target(self):
+        result = _controller().run(
+            n_seed=10, pool_size=400, max_simulations=60, target=0.2
+        )
+        assert result.reached_target
+        assert result.best_objective <= 0.2
+        assert result.n_simulations < 60
+
+    def test_trace_monotone_nonincreasing(self):
+        result = _controller().run(n_seed=10, pool_size=200, max_simulations=20)
+        t = result.objective_trace
+        assert all(a >= b - 1e-12 for a, b in zip(t, t[1:]))
+
+    def test_budget_respected(self):
+        result = _controller().run(n_seed=10, pool_size=100, max_simulations=15)
+        assert result.n_simulations <= 15
+
+    def test_best_outputs_consistent_with_objective(self):
+        result = _controller().run(n_seed=10, pool_size=100, max_simulations=15)
+        assert float(result.best_outputs[0]) == pytest.approx(result.best_objective)
+
+
+class TestValidation:
+    def test_bounds_shape(self):
+        with pytest.raises(ValueError, match="bounds"):
+            CampaignController(
+                _sim(), lambda o: 0.0, np.zeros((3, 2)), _factory
+            )
+
+    def test_bounds_ordering(self):
+        bad = np.array([[1.0, 0.0], [0.0, 1.0]])
+        with pytest.raises(ValueError, match="lo < hi"):
+            CampaignController(_sim(), lambda o: 0.0, bad, _factory)
+
+    def test_negative_kappa(self):
+        bounds = np.array([[0.0, 1.0], [0.0, 1.0]])
+        with pytest.raises(ValueError):
+            CampaignController(_sim(), lambda o: 0.0, bounds, _factory, kappa=-1.0)
+
+    def test_seed_budget_constraints(self):
+        c = _controller()
+        with pytest.raises(ValueError):
+            c.run(n_seed=3)
+        with pytest.raises(ValueError):
+            c.run(n_seed=10, max_simulations=5)
+
+    def test_all_seeds_failing_raises(self):
+        class AlwaysFails(Simulation):
+            input_names = ("a",)
+            output_names = ("y",)
+
+            def _run(self, x, rng):
+                raise SimulationError("no")
+
+        bounds = np.array([[0.0, 1.0]])
+        c = CampaignController(
+            AlwaysFails(), lambda o: 0.0, bounds,
+            lambda: Surrogate(1, 1, rng=0), rng=0,
+        )
+        with pytest.raises(RuntimeError, match="seed"):
+            c.run(n_seed=5, max_simulations=10)

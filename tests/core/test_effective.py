@@ -1,0 +1,134 @@
+"""Tests for repro.core.effective — the §III-D effective-speedup formula.
+
+These tests pin the *analytic* content of the paper: the formula itself,
+its two limits, and its monotonicity.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.effective import EffectiveSpeedupModel, effective_speedup, speedup_sweep
+from repro.util.timing import WallClockLedger
+
+pos = st.floats(1e-6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestFormula:
+    def test_paper_formula_verbatim(self):
+        """S = T_seq (N_l + N_t) / (T_lookup N_l + (T_train + T_learn) N_t)."""
+        s = effective_speedup(
+            t_seq=100.0, t_train=50.0, t_learn=1.0, t_lookup=0.001,
+            n_lookup=1000.0, n_train=10.0,
+        )
+        expected = 100.0 * 1010.0 / (0.001 * 1000.0 + 51.0 * 10.0)
+        assert s == pytest.approx(expected)
+
+    def test_no_ml_limit(self):
+        """At N_lookup = 0 the formula reduces to T_seq / (T_train + T_learn);
+        with negligible T_learn, the classic T_seq / T_train."""
+        s = effective_speedup(100.0, 10.0, 0.0, 0.001, n_lookup=0.0, n_train=50.0)
+        assert s == pytest.approx(100.0 / 10.0)
+
+    def test_lookup_limit(self):
+        """As N_lookup/N_train -> inf, S -> T_seq / T_lookup ("can be huge")."""
+        m = EffectiveSpeedupModel(t_seq=100.0, t_train=100.0, t_learn=0.1, t_lookup=1e-3)
+        assert m.lookup_limit == pytest.approx(1e5)
+        s = m.speedup(n_lookup=1e12, n_train=100.0)
+        assert s == pytest.approx(m.lookup_limit, rel=1e-3)
+
+    @given(pos, pos, pos, pos, pos)
+    def test_speedup_positive(self, t_seq, t_train, t_learn, t_lookup, n_train):
+        s = effective_speedup(t_seq, t_train, t_learn, t_lookup, 10.0, n_train)
+        assert s > 0
+
+    @given(pos, pos)
+    def test_monotone_in_lookup_ratio_when_lookup_cheaper(self, t_seq, n_train):
+        """More lookups help whenever T_lookup < T_train + T_learn."""
+        m = EffectiveSpeedupModel(t_seq=t_seq, t_train=1.0, t_learn=0.1, t_lookup=1e-4)
+        s1 = m.speedup(10.0, n_train)
+        s2 = m.speedup(1000.0, n_train)
+        assert s2 >= s1
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            effective_speedup(0.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            effective_speedup(1.0, 1.0, 1.0, 1.0, 1.0, 0.0)  # n_train > 0
+        with pytest.raises(ValueError):
+            effective_speedup(1.0, 1.0, -1.0, 1.0, 1.0, 1.0)
+
+
+class TestModel:
+    def test_limits_bracket_all_speedups(self):
+        m = EffectiveSpeedupModel(t_seq=10.0, t_train=10.0, t_learn=0.01, t_lookup=1e-4)
+        for r in (0.0, 1.0, 100.0, 1e6):
+            s = m.speedup(r * 50.0, 50.0)
+            assert m.no_ml_limit - 1e-9 <= s <= m.lookup_limit + 1e-9
+
+    def test_crossover_reaches_geometric_mean(self):
+        m = EffectiveSpeedupModel(t_seq=100.0, t_train=100.0, t_learn=0.0, t_lookup=1e-3)
+        r = m.crossover_ratio()
+        target = np.sqrt(m.no_ml_limit * m.lookup_limit)
+        assert m.speedup(r * 10.0, 10.0) == pytest.approx(target, rel=1e-6)
+
+    def test_crossover_infinite_when_target_unreachable(self):
+        # lookup barely cheaper: geometric-mean target above achievable S
+        m = EffectiveSpeedupModel(t_seq=1.0, t_train=1.0, t_learn=0.0, t_lookup=0.99)
+        assert np.isfinite(m.crossover_ratio()) or m.crossover_ratio() == np.inf
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EffectiveSpeedupModel(t_seq=-1.0, t_train=1.0, t_learn=0.0, t_lookup=1.0)
+
+
+class TestFromLedger:
+    def test_builds_from_measured_costs(self):
+        led = WallClockLedger()
+        for _ in range(10):
+            led.record("simulate", 0.5)
+        led.record("train", 2.0)
+        for _ in range(100):
+            led.record("lookup", 1e-4)
+        m = EffectiveSpeedupModel.from_ledger(led)
+        assert m.t_seq == pytest.approx(0.5)
+        assert m.t_train == pytest.approx(0.5)
+        assert m.t_learn == pytest.approx(0.2)  # 2.0 / 10 simulate calls
+        assert m.t_lookup == pytest.approx(1e-4)
+
+    def test_explicit_t_seq_override(self):
+        led = WallClockLedger()
+        led.record("simulate", 1.0)
+        led.record("lookup", 0.001)
+        m = EffectiveSpeedupModel.from_ledger(led, t_seq=10.0)
+        assert m.t_seq == 10.0
+
+    def test_requires_simulate_and_lookup(self):
+        led = WallClockLedger()
+        led.record("lookup", 0.001)
+        with pytest.raises(ValueError, match="simulate"):
+            EffectiveSpeedupModel.from_ledger(led)
+        led2 = WallClockLedger()
+        led2.record("simulate", 1.0)
+        with pytest.raises(ValueError, match="lookup"):
+            EffectiveSpeedupModel.from_ledger(led2)
+
+
+class TestSweep:
+    def test_rows_cover_requested_ratios(self):
+        m = EffectiveSpeedupModel(t_seq=10.0, t_train=10.0, t_learn=0.0, t_lookup=1e-3)
+        ratios = np.array([0.1, 1.0, 10.0])
+        rows = speedup_sweep(m, ratios, n_train=100.0)
+        assert [r["ratio"] for r in rows] == [0.1, 1.0, 10.0]
+        assert rows[0]["n_lookup"] == pytest.approx(10.0)
+
+    def test_speedup_monotone_across_sweep(self):
+        m = EffectiveSpeedupModel(t_seq=10.0, t_train=10.0, t_learn=0.0, t_lookup=1e-3)
+        rows = speedup_sweep(m)
+        s = [r["speedup"] for r in rows]
+        assert all(a <= b + 1e-12 for a, b in zip(s, s[1:]))
+
+    def test_fraction_of_limit_approaches_one(self):
+        m = EffectiveSpeedupModel(t_seq=10.0, t_train=10.0, t_learn=0.0, t_lookup=1e-3)
+        rows = speedup_sweep(m, np.array([1e8]), n_train=10.0)
+        assert rows[-1]["fraction_of_limit"] == pytest.approx(1.0, rel=1e-2)

@@ -1,0 +1,121 @@
+"""Tests for repro.core.feasibility — learning from failed runs."""
+
+import numpy as np
+import pytest
+
+from repro.core.control import CampaignController
+from repro.core.feasibility import FeasibilityClassifier
+from repro.core.simulation import RunDatabase, Simulation, SimulationError
+from repro.core.surrogate import Surrogate
+
+
+class HalfFeasibleSimulation(Simulation):
+    """Fails whenever x[0] > 0.5 — a sharp feasibility boundary."""
+
+    input_names = ("a", "b")
+    output_names = ("y",)
+
+    def _run(self, x, rng):
+        if x[0] > 0.5:
+            raise SimulationError("diverged")
+        return np.array([x[0] + x[1]])
+
+
+def _labeled_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 1, (n, 2))
+    success = (X[:, 0] <= 0.5).astype(float)
+    return X, success
+
+
+class TestFit:
+    def test_learns_sharp_boundary(self):
+        X, success = _labeled_data()
+        clf = FeasibilityClassifier(2, epochs=150, rng=0)
+        clf.fit(X, success)
+        X_test, s_test = _labeled_data(100, seed=1)
+        assert clf.accuracy(X_test, s_test) > 0.85
+
+    def test_probabilities_in_unit_interval(self):
+        X, success = _labeled_data()
+        clf = FeasibilityClassifier(2, epochs=50, rng=0)
+        clf.fit(X, success)
+        p = clf.predict_proba(X)
+        assert np.all((p >= 0) & (p <= 1))
+
+    def test_probability_ordering_across_boundary(self):
+        X, success = _labeled_data()
+        clf = FeasibilityClassifier(2, epochs=150, rng=0)
+        clf.fit(X, success)
+        deep_feasible = clf.predict_proba(np.array([[0.1, 0.5]]))[0]
+        deep_infeasible = clf.predict_proba(np.array([[0.9, 0.5]]))[0]
+        assert deep_feasible > 0.8 > 0.3 > deep_infeasible
+
+    def test_degenerate_all_success(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(0, 1, (20, 2))
+        clf = FeasibilityClassifier(2, epochs=50, rng=0)
+        clf.fit(X, np.ones(20))
+        assert np.all(clf.predict_proba(X) > 0.5)
+
+    def test_fit_from_database(self):
+        sim = HalfFeasibleSimulation()
+        db = RunDatabase()
+        rng = np.random.default_rng(3)
+        sim.run_batch(rng.uniform(0, 1, (120, 2)), db=db)
+        clf = FeasibilityClassifier(2, epochs=150, rng=0)
+        clf.fit_database(db)
+        assert clf.predict_proba(np.array([[0.2, 0.5]]))[0] > 0.6
+        assert clf.predict_proba(np.array([[0.8, 0.5]]))[0] < 0.4
+
+    def test_validation(self):
+        clf = FeasibilityClassifier(2, rng=0)
+        with pytest.raises(ValueError):
+            clf.fit(np.zeros((5, 3)), np.zeros(5))
+        with pytest.raises(ValueError):
+            clf.fit(np.zeros((5, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            clf.fit(np.zeros((2, 2)), np.zeros(2))
+        with pytest.raises(ValueError):
+            clf.fit(np.zeros((5, 2)), np.full(5, 0.5))  # non-binary labels
+        with pytest.raises(RuntimeError):
+            clf.predict_proba(np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            FeasibilityClassifier(0)
+
+    def test_threshold_validation(self):
+        X, success = _labeled_data(50)
+        clf = FeasibilityClassifier(2, epochs=20, rng=0)
+        clf.fit(X, success)
+        with pytest.raises(ValueError):
+            clf.predict(X, threshold=1.0)
+
+
+class TestCampaignIntegration:
+    def test_screening_avoids_infeasible_region(self):
+        """With feasibility screening, the campaign wastes fewer runs on
+        the failing half-space."""
+        bounds = np.array([[0.0, 1.0], [0.0, 1.0]])
+
+        def run_campaign(feas):
+            controller = CampaignController(
+                HalfFeasibleSimulation(),
+                lambda out: abs(float(out[0]) - 0.6),
+                bounds,
+                lambda: Surrogate(2, 1, hidden=(16, 16), dropout=0.1,
+                                  epochs=60, patience=10, rng=4),
+                feasibility_factory=(
+                    (lambda: FeasibilityClassifier(2, epochs=80, rng=5))
+                    if feas else None
+                ),
+                rng=6,
+            )
+            result = controller.run(n_seed=12, pool_size=300, max_simulations=30)
+            return controller.db.n_failure, result
+
+        failures_with, result_with = run_campaign(True)
+        failures_without, result_without = run_campaign(False)
+        # Screening engages after the seed phase; steering rounds should
+        # produce strictly fewer failures.
+        assert failures_with <= failures_without
+        assert np.isfinite(result_with.best_objective)

@@ -1,0 +1,157 @@
+"""Tests for repro.core.mlaround — the MLaroundHPC orchestrator."""
+
+import numpy as np
+import pytest
+
+from repro.core.mlaround import MLAroundHPC, QueryOutcome, RetrainPolicy
+from repro.core.simulation import CallableSimulation, Simulation, SimulationError
+from repro.core.surrogate import Surrogate
+
+
+def _make_sim(noise=0.0):
+    def fn(x, rng):
+        base = np.array([np.sin(2 * x[0]) + x[1], x[0] * x[1]])
+        if noise:
+            base = base + rng.normal(0, noise, 2)
+        return base
+
+    return CallableSimulation(fn, ["a", "b"], ["u", "v"], needs_rng=True)
+
+
+def _make_wrapper(tolerance=0.5, dropout=0.1, **kw):
+    sim = _make_sim()
+    sur = Surrogate(2, 2, hidden=(24, 24), dropout=dropout, epochs=150, rng=0)
+    return MLAroundHPC(sim, sur, tolerance=tolerance, rng=1, **kw)
+
+
+class TestConstruction:
+    def test_dimension_checks(self):
+        sim = _make_sim()
+        with pytest.raises(ValueError, match="inputs"):
+            MLAroundHPC(sim, Surrogate(3, 2, rng=0))
+        with pytest.raises(ValueError, match="outputs"):
+            MLAroundHPC(sim, Surrogate(2, 3, rng=0))
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            MLAroundHPC(_make_sim(), Surrogate(2, 2, rng=0), tolerance=0.0)
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetrainPolicy(min_initial_runs=2)
+        with pytest.raises(ValueError):
+            RetrainPolicy(retrain_every=0)
+
+
+class TestBootstrapAndQuery:
+    def test_bootstrap_trains(self, rng):
+        w = _make_wrapper()
+        w.bootstrap(rng.uniform(-1, 1, (40, 2)))
+        assert w.is_trained
+        assert w.n_simulations == 40
+        assert len(w.db) == 40
+
+    def test_untrained_wrapper_simulates(self):
+        w = _make_wrapper(policy=RetrainPolicy(min_initial_runs=100))
+        out = w.query(np.array([0.1, 0.2]))
+        assert out.source == "simulate"
+        assert w.n_simulations == 1
+
+    def test_query_returns_outcome(self, rng):
+        w = _make_wrapper()
+        w.bootstrap(rng.uniform(-1, 1, (40, 2)))
+        out = w.query(np.array([0.0, 0.0]))
+        assert isinstance(out, QueryOutcome)
+        assert out.outputs.shape == (2,)
+        assert out.source in ("lookup", "simulate")
+
+    def test_confident_wrapper_looks_up(self, rng):
+        w = _make_wrapper(tolerance=10.0)  # gate effectively open
+        w.bootstrap(rng.uniform(-1, 1, (40, 2)))
+        out = w.query(np.array([0.0, 0.0]))
+        assert out.source == "lookup"
+        assert np.isfinite(out.uncertainty)
+
+    def test_tight_tolerance_falls_back_to_simulation(self, rng):
+        w = _make_wrapper(tolerance=1e-9)
+        w.bootstrap(rng.uniform(-1, 1, (40, 2)))
+        out = w.query(np.array([0.0, 0.0]))
+        assert out.source == "simulate"
+
+    def test_tolerance_none_always_trusts(self, rng):
+        w = _make_wrapper(tolerance=None, dropout=0.0)
+        w.bootstrap(rng.uniform(-1, 1, (40, 2)))
+        outs = w.query_batch(rng.uniform(-1, 1, (10, 2)))
+        assert all(o.source == "lookup" for o in outs)
+        assert w.lookup_fraction() > 0
+
+    def test_lookup_accuracy_reasonable(self, rng):
+        w = _make_wrapper(tolerance=None, dropout=0.0)
+        w.bootstrap(rng.uniform(-1, 1, (120, 2)))
+        x = np.array([0.3, -0.4])
+        looked = w.query(x)
+        truth = w.simulation.run(x, rng=0).outputs
+        assert np.abs(looked.outputs - truth).max() < 0.3
+
+
+class TestRetraining:
+    def test_retrains_after_enough_new_runs(self, rng):
+        w = _make_wrapper(
+            tolerance=1e-9,  # never confident -> every query simulates
+            policy=RetrainPolicy(min_initial_runs=10, retrain_every=5),
+        )
+        w.bootstrap(rng.uniform(-1, 1, (10, 2)))
+        assert w.ledger.count("train") == 1
+        for x in rng.uniform(-1, 1, (5, 2)):
+            w.query(x)
+        assert w.ledger.count("train") == 2
+
+    def test_no_retrain_before_cadence(self, rng):
+        w = _make_wrapper(
+            tolerance=1e-9,
+            policy=RetrainPolicy(min_initial_runs=10, retrain_every=100),
+        )
+        w.bootstrap(rng.uniform(-1, 1, (10, 2)))
+        for x in rng.uniform(-1, 1, (5, 2)):
+            w.query(x)
+        assert w.ledger.count("train") == 1
+
+
+class TestFailureHandling:
+    def test_failed_simulation_banked_and_nan_returned(self):
+        class Failing(Simulation):
+            input_names = ("a",)
+            output_names = ("y",)
+
+            def _run(self, x, rng):
+                raise SimulationError("always fails")
+
+        w = MLAroundHPC(Failing(), Surrogate(1, 1, rng=0), rng=0)
+        out = w.query(np.array([1.0]))
+        assert out.source == "simulate"
+        assert np.isnan(out.outputs[0])
+        assert w.db.n_failure == 1
+
+
+class TestAccounting:
+    def test_ledger_categories(self, rng):
+        w = _make_wrapper(tolerance=10.0)
+        w.bootstrap(rng.uniform(-1, 1, (40, 2)))
+        w.query(np.array([0.0, 0.0]))
+        assert w.ledger.count("simulate") == 40
+        assert w.ledger.count("train") >= 1
+        assert w.ledger.count("lookup") >= 1
+
+    def test_effective_speedup_model_built(self, rng):
+        w = _make_wrapper(tolerance=10.0)
+        w.bootstrap(rng.uniform(-1, 1, (40, 2)))
+        for x in rng.uniform(-1, 1, (5, 2)):
+            w.query(x)
+        m = w.effective_speedup_model()
+        assert m.t_lookup > 0
+        s = w.measured_effective_speedup()
+        assert s > 0
+
+    def test_lookup_fraction_zero_before_queries(self):
+        w = _make_wrapper()
+        assert w.lookup_fraction() == 0.0

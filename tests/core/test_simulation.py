@@ -1,0 +1,141 @@
+"""Tests for repro.core.simulation — the Simulation protocol + RunDatabase."""
+
+import numpy as np
+import pytest
+
+from repro.core.simulation import (
+    CallableSimulation,
+    RunDatabase,
+    RunRecord,
+    Simulation,
+    SimulationError,
+)
+
+
+def _quad(x):
+    return np.array([x[0] ** 2 + x[1], x[0] - x[1]])
+
+
+@pytest.fixture
+def sim():
+    return CallableSimulation(_quad, ["a", "b"], ["u", "v"])
+
+
+class FailingSimulation(Simulation):
+    """Fails whenever the first input is negative."""
+
+    input_names = ("a",)
+    output_names = ("y",)
+
+    def _run(self, x, rng):
+        if x[0] < 0:
+            raise SimulationError("unstable for negative a")
+        return np.array([x[0] * 2])
+
+
+class TestSimulationProtocol:
+    def test_run_returns_record_with_timing(self, sim):
+        rec = sim.run([2.0, 1.0])
+        assert isinstance(rec, RunRecord)
+        assert np.allclose(rec.outputs, [5.0, 1.0])
+        assert rec.wall_seconds >= 0
+        assert rec.success
+
+    def test_input_count_validated(self, sim):
+        with pytest.raises(ValueError, match="expects 2 inputs"):
+            sim.run([1.0])
+
+    def test_output_count_validated(self):
+        bad = CallableSimulation(lambda x: np.zeros(3), ["a"], ["y"])
+        with pytest.raises(RuntimeError, match="returned 3 outputs"):
+            bad.run([1.0])
+
+    def test_signature_properties(self, sim):
+        assert sim.n_inputs == 2 and sim.n_outputs == 2
+        assert sim.input_names == ("a", "b")
+
+    def test_rng_passed_when_requested(self):
+        sim = CallableSimulation(
+            lambda x, rng: np.array([rng.random()]), ["a"], ["y"], needs_rng=True
+        )
+        r1 = sim.run([0.0], rng=5)
+        r2 = sim.run([0.0], rng=5)
+        assert r1.outputs == r2.outputs  # same seed, same draw
+
+    def test_run_batch_shapes(self, sim):
+        out = sim.run_batch(np.array([[1.0, 0.0], [2.0, 1.0], [0.0, 0.0]]))
+        assert out.shape == (3, 2)
+        assert np.allclose(out[1], [5.0, 1.0])
+
+    def test_run_batch_failures_become_nan(self):
+        sim = FailingSimulation()
+        out = sim.run_batch(np.array([[1.0], [-1.0], [2.0]]))
+        assert np.allclose(out[[0, 2], 0], [2.0, 4.0])
+        assert np.isnan(out[1, 0])
+
+
+class TestRunRecorded:
+    def test_success_recorded(self, sim):
+        db = RunDatabase()
+        sim.run_recorded([1.0, 1.0], db)
+        assert len(db) == 1 and db.n_success == 1
+
+    def test_failure_recorded_then_reraised(self):
+        sim = FailingSimulation()
+        db = RunDatabase()
+        with pytest.raises(SimulationError):
+            sim.run_recorded([-1.0], db)
+        assert len(db) == 1
+        assert db.n_failure == 1
+        assert db[0].error == "unstable for negative a"
+        assert np.isnan(db[0].outputs[0])
+
+    def test_run_batch_records_everything(self):
+        sim = FailingSimulation()
+        db = RunDatabase()
+        sim.run_batch(np.array([[1.0], [-2.0], [3.0]]), db=db)
+        assert len(db) == 3
+        assert db.n_success == 2 and db.n_failure == 1
+
+
+class TestRunDatabase:
+    def test_training_arrays_successes_only(self):
+        sim = FailingSimulation()
+        db = RunDatabase()
+        sim.run_batch(np.array([[1.0], [-2.0], [3.0]]), db=db)
+        X, Y = db.training_arrays()
+        assert X.shape == (2, 1) and Y.shape == (2, 1)
+        assert np.allclose(Y[:, 0], [2.0, 6.0])
+
+    def test_training_arrays_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RunDatabase().training_arrays()
+
+    def test_feasibility_arrays_include_failures(self):
+        sim = FailingSimulation()
+        db = RunDatabase()
+        sim.run_batch(np.array([[1.0], [-2.0]]), db=db)
+        X, s = db.feasibility_arrays()
+        assert X.shape == (2, 1)
+        assert list(s) == [1.0, 0.0]
+
+    def test_feasibility_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RunDatabase().feasibility_arrays()
+
+    def test_wall_time_accounting(self, sim):
+        db = RunDatabase()
+        sim.run_recorded([1.0, 1.0], db)
+        sim.run_recorded([2.0, 2.0], db)
+        assert db.total_wall_seconds() >= 0
+        assert db.mean_run_seconds() == pytest.approx(
+            db.total_wall_seconds() / 2
+        )
+
+    def test_mean_run_seconds_empty(self):
+        assert RunDatabase().mean_run_seconds() == 0.0
+
+    def test_iteration_and_indexing(self, sim):
+        db = RunDatabase()
+        sim.run_recorded([1.0, 0.0], db)
+        assert list(db)[0] is db[0]

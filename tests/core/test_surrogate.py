@@ -1,0 +1,187 @@
+"""Tests for repro.core.surrogate — the ANN surrogate wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.core.surrogate import Surrogate
+from repro.core.uq import DeepEnsembleUQ
+from repro.nn.model import MLP
+from repro.nn.optimizers import Adam
+from repro.nn.training import Trainer
+
+
+@pytest.fixture
+def smooth_problem(rng):
+    x = rng.uniform(-1, 1, (300, 2))
+    y = np.stack([np.sin(2 * x[:, 0]), x[:, 1] ** 2], axis=1)
+    return x, y
+
+
+class TestFit:
+    def test_learns_smooth_function(self, smooth_problem):
+        x, y = smooth_problem
+        s = Surrogate(2, 2, hidden=(32, 32), epochs=250, rng=0)
+        report = s.fit(x, y)
+        assert report.test_r2 > 0.9
+        assert report.n_train + report.n_test == len(x)
+
+    def test_seventy_thirty_split_default(self, smooth_problem):
+        x, y = smooth_problem
+        s = Surrogate(2, 2, epochs=5, rng=0)
+        report = s.fit(x, y)
+        assert report.n_test == pytest.approx(0.3 * len(x), abs=1)
+
+    def test_predict_shape_and_units(self, smooth_problem):
+        x, y = smooth_problem
+        s = Surrogate(2, 2, hidden=(16,), epochs=100, rng=0)
+        s.fit(x, y)
+        pred = s.predict(x[:5])
+        assert pred.shape == (5, 2)
+        # Predictions live in original units, not scaled space.
+        assert np.abs(pred).max() < 5.0
+
+    def test_nan_rows_dropped(self, smooth_problem):
+        x, y = smooth_problem
+        y = y.copy()
+        y[0, 0] = np.nan
+        s = Surrogate(2, 2, epochs=5, rng=0)
+        report = s.fit(x, y)
+        assert report.n_train + report.n_test == len(x) - 1
+
+    def test_too_few_samples_rejected(self):
+        s = Surrogate(2, 1, rng=0)
+        with pytest.raises(ValueError, match="at least 4"):
+            s.fit(np.zeros((3, 2)), np.zeros((3, 1)))
+
+    def test_dim_mismatch_rejected(self, smooth_problem):
+        x, y = smooth_problem
+        s = Surrogate(3, 2, rng=0)
+        with pytest.raises(ValueError):
+            s.fit(x, y)
+
+    def test_row_count_mismatch_rejected(self):
+        s = Surrogate(2, 1, rng=0)
+        with pytest.raises(ValueError):
+            s.fit(np.zeros((5, 2)), np.zeros((4, 1)))
+
+    def test_1d_targets_promoted(self, rng):
+        x = rng.uniform(-1, 1, (100, 2))
+        y = x[:, 0] * x[:, 1]
+        s = Surrogate(2, 1, epochs=5, rng=0)
+        s.fit(x, y)
+        assert s.predict(x[:3]).shape == (3, 1)
+
+    def test_reproducible(self, smooth_problem):
+        x, y = smooth_problem
+
+        def run():
+            s = Surrogate(2, 2, hidden=(8,), epochs=10, rng=7)
+            s.fit(x, y)
+            return s.predict(x[:4])
+
+        assert np.array_equal(run(), run())
+
+    def test_zero_test_fraction(self, smooth_problem):
+        x, y = smooth_problem
+        s = Surrogate(2, 2, epochs=5, test_fraction=0.0, rng=0)
+        report = s.fit(x, y)
+        assert report.n_test == 0
+        assert np.isnan(report.test_rmse)
+
+
+class TestBeforeFit:
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError, match="before fit"):
+            Surrogate(2, 1, rng=0).predict(np.zeros((1, 2)))
+
+    def test_uq_before_fit(self):
+        with pytest.raises(RuntimeError):
+            Surrogate(2, 1, dropout=0.1, rng=0).predict_with_uncertainty(
+                np.zeros((1, 2))
+            )
+
+
+class TestUQIntegration:
+    def test_dropout_enables_uq(self, smooth_problem):
+        x, y = smooth_problem
+        s = Surrogate(2, 2, dropout=0.1, epochs=60, rng=0)
+        s.fit(x, y)
+        uq = s.predict_with_uncertainty(x[:4])
+        assert uq.mean.shape == (4, 2)
+        assert np.all(uq.std >= 0)
+        assert uq.max_std > 0
+
+    def test_no_dropout_no_uq(self, smooth_problem):
+        x, y = smooth_problem
+        s = Surrogate(2, 2, epochs=5, rng=0)
+        s.fit(x, y)
+        with pytest.raises(RuntimeError, match="UQ backend"):
+            s.predict_with_uncertainty(x[:2])
+
+    def test_ensemble_backend_attachable(self, smooth_problem):
+        x, y = smooth_problem
+        s = Surrogate(2, 2, hidden=(8,), epochs=20, rng=0)
+        s.fit(x, y)
+
+        def build(rng):
+            m = MLP.regressor(2, [8], 2, rng=rng)
+            Trainer(m, epochs=20, optimizer=Adam(3e-3), rng=rng).fit(
+                s.x_scaler.transform(x), s.y_scaler.transform(y)
+            )
+            return m
+
+        s.uq_backend = DeepEnsembleUQ.train(build, n_members=3, rng=1)
+        uq = s.predict_with_uncertainty(x[:3])
+        assert uq.mean.shape == (3, 2)
+
+    def test_uncertainty_units_descaled(self, rng):
+        """Std must be expressed in original output units (scaled by the
+        y-scaler), so outputs with larger magnitude get larger std."""
+        x = rng.uniform(-1, 1, (200, 1))
+        y = np.hstack([x, 100.0 * x])  # second output 100x larger scale
+        s = Surrogate(1, 2, hidden=(16,), dropout=0.2, epochs=60, rng=0)
+        s.fit(x, y)
+        uq = s.predict_with_uncertainty(x[:20])
+        assert uq.std[:, 1].mean() > 10 * uq.std[:, 0].mean()
+
+    def test_invalid_test_fraction(self):
+        with pytest.raises(ValueError):
+            Surrogate(2, 1, test_fraction=1.0)
+
+
+class TestSerialization:
+    def test_roundtrip_predictions(self, smooth_problem):
+        x, y = smooth_problem
+        s = Surrogate(2, 2, hidden=(16,), epochs=60, rng=0)
+        s.fit(x, y)
+        restored = Surrogate.from_json(s.to_json())
+        assert np.allclose(restored.predict(x[:10]), s.predict(x[:10]))
+
+    def test_roundtrip_preserves_report(self, smooth_problem):
+        x, y = smooth_problem
+        s = Surrogate(2, 2, hidden=(16,), epochs=30, rng=0)
+        s.fit(x, y)
+        restored = Surrogate.from_json(s.to_json())
+        assert restored.report.test_r2 == pytest.approx(s.report.test_r2)
+        assert restored.report.n_train == s.report.n_train
+
+    def test_roundtrip_restores_uq(self, smooth_problem):
+        x, y = smooth_problem
+        s = Surrogate(2, 2, hidden=(16,), dropout=0.2, epochs=30, rng=0)
+        s.fit(x, y)
+        restored = Surrogate.from_json(s.to_json())
+        uq = restored.predict_with_uncertainty(x[:3])
+        assert uq.std.shape == (3, 2)
+        assert np.all(uq.std >= 0)
+
+    def test_unfitted_cannot_serialize(self):
+        with pytest.raises(RuntimeError):
+            Surrogate(2, 1, rng=0).to_json()
+
+    def test_restored_dims(self, smooth_problem):
+        x, y = smooth_problem
+        s = Surrogate(2, 2, hidden=(8,), epochs=10, rng=0)
+        s.fit(x, y)
+        restored = Surrogate.from_json(s.to_json())
+        assert restored.in_dim == 2 and restored.out_dim == 2
+        assert "fitted" in repr(restored)

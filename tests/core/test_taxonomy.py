@@ -1,0 +1,64 @@
+"""Tests for repro.core.taxonomy — the six-category ML x HPC taxonomy."""
+
+import pytest
+
+from repro.core.taxonomy import CATEGORY_INFO, Category, categories, classify
+
+
+class TestCategory:
+    def test_six_categories(self):
+        assert len(Category) == 6
+
+    def test_groups_partition(self):
+        hpcforml = categories("HPCforML")
+        mlforhpc = categories("MLforHPC")
+        assert len(hpcforml) == 2
+        assert len(mlforhpc) == 4
+        assert set(hpcforml) | set(mlforhpc) == set(Category)
+        assert set(hpcforml) & set(mlforhpc) == set()
+
+    def test_group_attribute(self):
+        assert Category.HPC_RUNS_ML.group == "HPCforML"
+        assert Category.ML_AROUND_HPC.group == "MLforHPC"
+        assert Category.ML_AUTOTUNING.group == "MLforHPC"
+
+    def test_values_match_paper_names(self):
+        assert Category.ML_AROUND_HPC.value == "MLaroundHPC"
+        assert Category.SIMULATION_TRAINED_ML.value == "SimulationTrainedML"
+
+    def test_unknown_group_rejected(self):
+        with pytest.raises(ValueError):
+            categories("MLforEverything")
+
+    def test_info_covers_every_category(self):
+        assert set(CATEGORY_INFO) == set(Category)
+        for info in CATEGORY_INFO.values():
+            assert info.summary
+            assert info.paper_examples
+
+
+class TestClassify:
+    def test_surrogate_is_mlaround(self):
+        assert classify(ml_replaces_simulation=True) is Category.ML_AROUND_HPC
+
+    def test_autotuning(self):
+        assert classify(ml_configures_execution=True) is Category.ML_AUTOTUNING
+
+    def test_control_takes_precedence(self):
+        assert (
+            classify(ml_targets_experiment=True, ml_replaces_simulation=True)
+            is Category.ML_CONTROL
+        )
+
+    def test_analysis_is_mlafter(self):
+        assert classify(ml_consumes_simulation_output=True) is Category.ML_AFTER_HPC
+
+    def test_execution_only_is_hpcrunsml(self):
+        assert classify(hpc_executes_ml=True) is Category.HPC_RUNS_ML
+
+    def test_default_is_simulation_trained(self):
+        assert classify() is Category.SIMULATION_TRAINED_ML
+
+    def test_surrogate_precedence_over_autotuning(self):
+        got = classify(ml_replaces_simulation=True, ml_configures_execution=True)
+        assert got is Category.ML_AROUND_HPC

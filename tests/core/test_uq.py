@@ -1,0 +1,171 @@
+"""Tests for repro.core.uq — dropout/ensemble UQ, bias-variance, calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core.uq import (
+    DeepEnsembleUQ,
+    MCDropoutUQ,
+    UQResult,
+    bias_variance_decomposition,
+    calibration_table,
+)
+from repro.nn.model import MLP
+from repro.nn.optimizers import Adam
+from repro.nn.training import Trainer
+
+
+def _trained_dropout_model(rng_seed=0, n=300, dropout=0.2):
+    rng = np.random.default_rng(1)
+    x = rng.uniform(-1, 1, (n, 1))
+    y = np.sin(3 * x)
+    m = MLP.regressor(1, [32], 1, dropout=dropout, rng=rng_seed)
+    Trainer(m, epochs=80, optimizer=Adam(3e-3), rng=2).fit(x, y)
+    return m, x, y
+
+
+class TestUQResult:
+    def test_interval(self):
+        r = UQResult(mean=np.zeros((2, 1)), std=np.ones((2, 1)))
+        lo, hi = r.interval(2.0)
+        assert np.allclose(lo, -2.0) and np.allclose(hi, 2.0)
+
+    def test_invalid_z(self):
+        r = UQResult(mean=np.zeros((1, 1)), std=np.ones((1, 1)))
+        with pytest.raises(ValueError):
+            r.interval(0.0)
+
+    def test_summary_stats(self):
+        r = UQResult(mean=np.zeros((2, 2)), std=np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert r.max_std == 4.0
+        assert r.mean_std == 2.5
+
+
+class TestMCDropout:
+    def test_produces_positive_std(self):
+        m, x, _ = _trained_dropout_model()
+        uq = MCDropoutUQ(m, n_samples=30).predict(x[:10])
+        assert np.all(uq.std > 0)
+
+    def test_mc_mode_restored_after_predict(self):
+        m, x, _ = _trained_dropout_model()
+        MCDropoutUQ(m, n_samples=5).predict(x[:2])
+        # Deterministic again afterwards.
+        assert np.array_equal(m.predict(x[:2]), m.predict(x[:2]))
+
+    def test_mean_close_to_deterministic_prediction(self):
+        m, x, _ = _trained_dropout_model()
+        uq = MCDropoutUQ(m, n_samples=200).predict(x[:20])
+        det = m.predict(x[:20])
+        assert np.abs(uq.mean - det).mean() < 0.15
+
+    def test_requires_dropout_layer(self):
+        m = MLP.regressor(1, [8], 1, rng=0)
+        with pytest.raises(ValueError, match="Dropout"):
+            MCDropoutUQ(m)
+
+    def test_requires_two_samples(self):
+        m = MLP.regressor(1, [8], 1, dropout=0.1, rng=0)
+        with pytest.raises(ValueError):
+            MCDropoutUQ(m, n_samples=1)
+
+    def test_higher_dropout_higher_uncertainty(self):
+        m_lo, x, _ = _trained_dropout_model(dropout=0.05)
+        m_hi, _, _ = _trained_dropout_model(dropout=0.4)
+        lo = MCDropoutUQ(m_lo, 50).predict(x[:30]).mean_std
+        hi = MCDropoutUQ(m_hi, 50).predict(x[:30]).mean_std
+        assert hi > lo
+
+
+class TestDeepEnsemble:
+    def test_train_builds_n_members(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, (100, 1))
+        y = x**2
+
+        def build(gen):
+            m = MLP.regressor(1, [8], 1, rng=gen)
+            Trainer(m, epochs=10, rng=gen).fit(x, y)
+            return m
+
+        ens = DeepEnsembleUQ.train(build, n_members=3, rng=1)
+        assert len(ens.models) == 3
+        uq = ens.predict(x[:5])
+        assert uq.mean.shape == (5, 1)
+        assert np.all(uq.std >= 0)
+
+    def test_members_are_diverse(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, (100, 1))
+        y = x**2
+
+        def build(gen):
+            m = MLP.regressor(1, [8], 1, rng=gen)
+            Trainer(m, epochs=5, rng=gen).fit(x, y)
+            return m
+
+        ens = DeepEnsembleUQ.train(build, n_members=3, rng=1)
+        p0 = ens.models[0].predict(x[:10])
+        p1 = ens.models[1].predict(x[:10])
+        assert not np.allclose(p0, p1)
+
+    def test_too_few_members_rejected(self):
+        with pytest.raises(ValueError):
+            DeepEnsembleUQ([MLP.regressor(1, [4], 1, rng=0)])
+
+
+class TestBiasVariance:
+    def test_decomposition_identity(self, rng):
+        """expected_mse == bias^2 + variance (exact for squared loss)."""
+        preds = rng.normal(size=(6, 20, 2))
+        target = rng.normal(size=(20, 2))
+        d = bias_variance_decomposition(preds, target)
+        assert d["expected_mse"] == pytest.approx(
+            d["bias_squared"] + d["variance"], rel=1e-10
+        )
+
+    def test_zero_variance_for_identical_models(self, rng):
+        p = rng.normal(size=(1, 10, 1))
+        preds = np.repeat(p, 4, axis=0)
+        d = bias_variance_decomposition(preds, np.zeros((10, 1)))
+        assert d["variance"] == pytest.approx(0.0)
+
+    def test_zero_bias_for_exact_mean(self, rng):
+        target = rng.normal(size=(10, 1))
+        noise = rng.normal(size=(4, 10, 1))
+        preds = target[None] + noise - noise.mean(axis=0, keepdims=True)
+        d = bias_variance_decomposition(preds, target)
+        assert d["bias_squared"] == pytest.approx(0.0, abs=1e-20)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            bias_variance_decomposition(np.zeros((3, 4)), np.zeros((4, 1)))
+        with pytest.raises(ValueError):
+            bias_variance_decomposition(np.zeros((3, 4, 1)), np.zeros((5, 1)))
+
+
+class TestCalibration:
+    def test_gaussian_predictions_are_calibrated(self, rng):
+        """Synthetic exactly-Gaussian errors must match nominal coverage."""
+        n = 4000
+        std = np.full((n, 1), 0.5)
+        mean = np.zeros((n, 1))
+        target = rng.normal(0.0, 0.5, (n, 1))
+        rows = calibration_table(UQResult(mean, std), target)
+        for row in rows:
+            assert row["empirical"] == pytest.approx(row["nominal"], abs=0.03)
+
+    def test_overconfident_predictions_undercover(self, rng):
+        n = 2000
+        std = np.full((n, 1), 0.1)  # claims much less spread than reality
+        target = rng.normal(0.0, 1.0, (n, 1))
+        rows = calibration_table(UQResult(np.zeros((n, 1)), std), target)
+        assert all(r["empirical"] < r["nominal"] for r in rows)
+
+    def test_row_structure(self, rng):
+        rows = calibration_table(
+            UQResult(np.zeros((10, 1)), np.ones((10, 1))),
+            rng.normal(size=(10, 1)),
+            z_values=(1.0, 2.0),
+        )
+        assert [r["z"] for r in rows] == [1.0, 2.0]

@@ -1,0 +1,212 @@
+"""Tests for repro.epi.defsi and repro.epi.baselines — the E4 pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.epi.baselines import ARXForecaster, EpiFastForecaster, PersistenceForecaster
+from repro.epi.defsi import (
+    DEFSIForecaster,
+    ParameterPosterior,
+    estimate_parameter_distribution,
+)
+from repro.epi.seir import NetworkSEIR, SEIRParams
+from repro.epi.surveillance import SurveillanceModel
+
+TRUE = SEIRParams(tau=0.07, seed_fraction=0.006, seed_county=0)
+N_DAYS = 112  # 16 weeks
+
+
+@pytest.fixture(scope="module")
+def world():
+    from repro.epi.population import SyntheticPopulation
+
+    net = SyntheticPopulation([350, 250], commuting_fraction=0.06).build(rng=3)
+    seir = NetworkSEIR(net)
+    sv = SurveillanceModel(reporting_rate=0.3, noise_dispersion=0.1, delay_weeks=1)
+    season = seir.run(TRUE, n_days=N_DAYS, rng=4)
+    data = sv.observe(season, rng=5)
+    return net, seir, sv, data
+
+
+class TestPosterior:
+    def test_abc_prefers_true_region(self, world):
+        net, seir, sv, data = world
+        post = estimate_parameter_distribution(
+            data.state_weekly[:10], seir, sv,
+            base_params=TRUE, n_samples=30, top_k=6, n_days=N_DAYS, rng=6,
+        )
+        assert post.samples.shape == (6, 2)
+        # Accepted taus should bracket the truth rather than sit at the
+        # prior edges.
+        assert 0.02 < post.mean[0] < 0.12
+
+    def test_scores_sorted_best_first(self, world):
+        net, seir, sv, data = world
+        post = estimate_parameter_distribution(
+            data.state_weekly[:8], seir, sv,
+            base_params=TRUE, n_samples=10, top_k=5, n_days=N_DAYS, rng=7,
+        )
+        assert np.all(np.diff(post.scores) >= 0)
+
+    def test_sample_respects_bounds(self):
+        post = ParameterPosterior(
+            samples=np.array([[0.05, 0.005]]), scores=np.array([1.0])
+        )
+        gen = np.random.default_rng(0)
+        for _ in range(20):
+            tau, seed = post.sample(gen, jitter=0.5)
+            assert 0 < tau < 1 and 0 < seed <= 0.5
+
+    def test_validation(self, world):
+        net, seir, sv, data = world
+        with pytest.raises(ValueError):
+            estimate_parameter_distribution(
+                np.array([1.0]), seir, sv, base_params=TRUE
+            )
+        with pytest.raises(ValueError):
+            estimate_parameter_distribution(
+                data.state_weekly[:5], seir, sv,
+                base_params=TRUE, n_samples=5, top_k=10,
+            )
+
+
+@pytest.fixture(scope="module")
+def fitted_defsi(world):
+    net, seir, sv, data = world
+    defsi = DEFSIForecaster(
+        seir, sv, base_params=TRUE, window=3,
+        n_train_seasons=8, n_days=N_DAYS, epochs=40, rng=8,
+    )
+    defsi.fit(data.state_weekly[:10])
+    return defsi
+
+
+class TestDEFSI:
+    def test_pipeline_components_populated(self, fitted_defsi):
+        assert fitted_defsi.posterior is not None
+        assert len(fitted_defsi.synthetic_seasons) == 8
+        assert fitted_defsi.network_model is not None
+        assert fitted_defsi.climatology is not None
+
+    def test_forecast_shape_and_nonnegative(self, fitted_defsi, world):
+        *_, data = world
+        fc = fitted_defsi.forecast(data.state_weekly, week=8)
+        assert fc.shape == (2,)
+        assert np.all(fc >= 0.0)
+
+    def test_forecast_series(self, fitted_defsi, world):
+        *_, data = world
+        series = fitted_defsi.forecast_series(data.state_weekly, 4, 10)
+        assert series.shape == (7, 2)
+
+    def test_county_forecasts_track_truth_scale(self, fitted_defsi, world):
+        """Forecasts should be within an order of magnitude of county truth
+        in the epidemic's growth phase — i.e. actually informative."""
+        *_, data = world
+        weeks = range(4, 12)
+        preds = np.stack([fitted_defsi.forecast(data.state_weekly, w) for w in weeks])
+        truth = np.stack([data.county_weekly_true[w + 1] for w in weeks])
+        rmse = np.sqrt(np.mean((preds - truth) ** 2))
+        assert rmse < truth.max()  # far better than wild guessing
+
+    def test_forecast_before_fit_rejected(self, world):
+        net, seir, sv, data = world
+        fresh = DEFSIForecaster(seir, sv, base_params=TRUE, n_train_seasons=3, rng=0)
+        with pytest.raises(RuntimeError):
+            fresh.forecast(data.state_weekly, week=5)
+
+    def test_window_too_early_rejected(self, fitted_defsi, world):
+        *_, data = world
+        with pytest.raises(ValueError):
+            fitted_defsi.forecast(data.state_weekly, week=1)
+
+    def test_validation(self, world):
+        net, seir, sv, _ = world
+        with pytest.raises(ValueError):
+            DEFSIForecaster(seir, sv, base_params=TRUE, window=0)
+        with pytest.raises(ValueError):
+            DEFSIForecaster(seir, sv, base_params=TRUE, n_train_seasons=1)
+
+
+class TestEpiFast:
+    def test_fit_builds_ensemble(self, world):
+        net, seir, sv, data = world
+        ef = EpiFastForecaster(
+            seir, sv, base_params=TRUE, n_ensemble=4, n_days=N_DAYS, rng=9
+        )
+        ef.fit(data.state_weekly[:8])
+        assert ef._county_curves.shape[0] == 4
+
+    def test_forecast_shape(self, world):
+        net, seir, sv, data = world
+        ef = EpiFastForecaster(
+            seir, sv, base_params=TRUE, n_ensemble=4, n_days=N_DAYS, rng=10
+        )
+        ef.fit(data.state_weekly[:8])
+        fc = ef.forecast(data.state_weekly, week=8)
+        assert fc.shape == (2,)
+        assert np.all(fc >= 0)
+
+    def test_forecast_before_fit_rejected(self, world):
+        net, seir, sv, data = world
+        ef = EpiFastForecaster(seir, sv, base_params=TRUE, rng=0)
+        with pytest.raises(RuntimeError):
+            ef.forecast(data.state_weekly, 5)
+
+    def test_horizon_clamped(self, world):
+        net, seir, sv, data = world
+        ef = EpiFastForecaster(
+            seir, sv, base_params=TRUE, n_ensemble=3, n_days=N_DAYS, rng=11
+        )
+        ef.fit(data.state_weekly[:8])
+        fc = ef.forecast(data.state_weekly, week=1000)  # beyond season end
+        assert fc.shape == (2,)
+
+
+class TestPureDataBaselines:
+    def test_arx_fits_and_forecasts(self, world):
+        *_, data = world
+        arx = ARXForecaster(order=3)
+        arx.fit(data.state_weekly[:10])
+        fc = arx.forecast(data.state_weekly, week=9, n_counties=2)
+        assert fc.shape == (2,)
+        assert np.all(fc >= 0)
+
+    def test_arx_learns_linear_growth(self):
+        obs = np.arange(20.0) * 2.0
+        arx = ARXForecaster(order=2)
+        arx.fit(obs)
+        pred = arx.forecast_state(obs, week=19)
+        assert pred == pytest.approx(40.0, rel=0.05)
+
+    def test_arx_short_series_falls_back_to_persistence(self):
+        arx = ARXForecaster(order=5)
+        arx.fit(np.array([3.0, 4.0]))
+        assert arx.forecast_state(np.array([3.0, 4.0]), week=1) == pytest.approx(4.0)
+
+    def test_arx_county_shares_uniform_default(self):
+        arx = ARXForecaster(order=1)
+        arx.fit(np.arange(10.0))
+        fc = arx.forecast(np.arange(10.0), week=9, n_counties=4)
+        assert np.allclose(fc, fc[0])  # uniform split
+
+    def test_arx_custom_shares(self):
+        arx = ARXForecaster(order=1, county_shares=np.array([0.8, 0.2]))
+        arx.fit(np.full(10, 10.0))
+        fc = arx.forecast(np.full(10, 10.0), week=9, n_counties=2)
+        assert fc[0] == pytest.approx(4 * fc[1])
+
+    def test_arx_bad_shares_rejected(self):
+        arx = ARXForecaster(order=1, county_shares=np.array([0.5, 0.2]))
+        arx.fit(np.arange(10.0))
+        with pytest.raises(ValueError):
+            arx.forecast(np.arange(10.0), 9, 2)
+
+    def test_persistence_repeats_last_observation(self):
+        p = PersistenceForecaster()
+        fc = p.forecast(np.array([1.0, 2.0, 8.0]), week=2, n_counties=2)
+        assert np.allclose(fc, 4.0)  # 8 split over 2 counties
+
+    def test_arx_invalid_order(self):
+        with pytest.raises(ValueError):
+            ARXForecaster(order=0)

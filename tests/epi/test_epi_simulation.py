@@ -1,0 +1,71 @@
+"""Tests for repro.epi.simulation — the MLaroundHPC epidemic adapter."""
+
+import numpy as np
+import pytest
+
+from repro.epi.simulation import EPI_BOUNDS, EPI_INPUTS, EPI_OUTPUTS, EpidemicSimulation
+
+
+@pytest.fixture(scope="module")
+def sim():
+    from repro.epi.population import SyntheticPopulation
+
+    net = SyntheticPopulation([250, 200], commuting_fraction=0.05).build(rng=1)
+    return EpidemicSimulation(net, n_days=98, n_replicates=1)
+
+
+class TestSignature:
+    def test_names(self, sim):
+        assert sim.input_names == ("tau", "sigma", "gamma_r", "seed_fraction")
+        assert sim.output_names == ("peak_week", "peak_value", "attack_rate")
+
+    def test_constants(self):
+        assert set(EPI_BOUNDS) == set(EPI_INPUTS)
+        assert len(EPI_OUTPUTS) == 3
+
+
+class TestRun:
+    def test_outputs_in_plausible_ranges(self, sim):
+        rec = sim.run([0.08, 0.25, 0.25, 0.01], rng=0)
+        peak_week, peak_value, attack = rec.outputs
+        assert 0 <= peak_week <= 14
+        assert peak_value >= 0
+        assert 0 <= attack <= 1
+
+    def test_reproducible(self, sim):
+        x = [0.06, 0.25, 0.25, 0.01]
+        assert np.array_equal(sim.run(x, rng=3).outputs, sim.run(x, rng=3).outputs)
+
+    def test_attack_rises_with_tau(self, sim):
+        lo = np.mean([sim.run([0.03, 0.25, 0.3, 0.01], rng=s).outputs[2] for s in range(3)])
+        hi = np.mean([sim.run([0.14, 0.25, 0.3, 0.01], rng=s).outputs[2] for s in range(3)])
+        assert hi > lo
+
+    def test_replicates_average(self):
+        from repro.epi.population import SyntheticPopulation
+
+        net = SyntheticPopulation([200]).build(rng=2)
+        one = EpidemicSimulation(net, n_days=70, n_replicates=1)
+        three = EpidemicSimulation(net, n_days=70, n_replicates=3)
+        # More replicates -> lower variance of the output across seeds.
+        var1 = np.var([one.run([0.08, 0.25, 0.25, 0.01], rng=s).outputs[2] for s in range(6)])
+        var3 = np.var([three.run([0.08, 0.25, 0.25, 0.01], rng=s).outputs[2] for s in range(6)])
+        assert var3 <= var1 * 1.5  # allow noise, expect reduction
+
+    def test_validation(self, sim):
+        from repro.epi.population import SyntheticPopulation
+
+        net = SyntheticPopulation([200]).build(rng=0)
+        with pytest.raises(ValueError):
+            EpidemicSimulation(net, n_days=5)
+        with pytest.raises(ValueError):
+            EpidemicSimulation(net, n_replicates=0)
+
+
+class TestSampleInputs:
+    def test_bounds(self):
+        X = EpidemicSimulation.sample_inputs(40, rng=0)
+        assert X.shape == (40, 4)
+        for j, name in enumerate(EPI_INPUTS):
+            lo, hi = EPI_BOUNDS[name]
+            assert np.all((X[:, j] >= lo) & (X[:, j] <= hi))

@@ -1,0 +1,97 @@
+"""Tests for repro.epi.population — synthetic contact networks."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.epi.population import ContactNetwork, SyntheticPopulation
+
+
+@pytest.fixture(scope="module")
+def net():
+    pop = SyntheticPopulation([400, 250], commuting_fraction=0.08)
+    return pop.build(rng=0)
+
+
+class TestBuild:
+    def test_node_and_county_counts(self, net):
+        assert net.n_nodes == 650
+        assert net.n_counties == 2
+        assert list(net.county_sizes()) == [400, 250]
+
+    def test_county_labels_contiguous(self, net):
+        assert np.all(net.county[:400] == 0)
+        assert np.all(net.county[400:] == 1)
+
+    def test_edges_are_bidirectional(self, net):
+        pairs = set(zip(net.src.tolist(), net.dst.tolist()))
+        for u, v in list(pairs)[:500]:
+            assert (v, u) in pairs
+
+    def test_no_self_loops(self, net):
+        assert np.all(net.src != net.dst)
+
+    def test_weights_in_unit_interval(self, net):
+        assert np.all(net.weight > 0) and np.all(net.weight <= 1.0)
+
+    def test_reasonable_mean_degree(self, net):
+        """Households (~2.5 links) + group (~11) + random (~2) contacts."""
+        mean_deg = net.degree().mean()
+        assert 5 < mean_deg < 40
+
+    def test_cross_county_edges_exist(self, net):
+        cross = net.county[net.src] != net.county[net.dst]
+        assert np.count_nonzero(cross) > 0
+
+    def test_no_commuting_isolates_counties(self):
+        pop = SyntheticPopulation([100, 100], commuting_fraction=0.0)
+        net = pop.build(rng=1)
+        cross = net.county[net.src] != net.county[net.dst]
+        assert np.count_nonzero(cross) == 0
+
+    def test_reproducible(self):
+        pop = SyntheticPopulation([150, 100])
+        a = pop.build(rng=5)
+        b = pop.build(rng=5)
+        assert np.array_equal(a.src, b.src)
+        assert np.array_equal(a.weight, b.weight)
+
+    def test_different_seeds_differ(self):
+        pop = SyntheticPopulation([150, 100])
+        a, b = pop.build(rng=1), pop.build(rng=2)
+        assert len(a.src) != len(b.src) or not np.array_equal(a.src, b.src)
+
+
+class TestValidation:
+    def test_small_county_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticPopulation([5])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticPopulation([])
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticPopulation([100], w_household=1.5)
+
+    def test_bad_commuting_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticPopulation([100, 100], commuting_fraction=-0.1)
+
+
+class TestNetworkxView:
+    def test_roundtrip_counts(self, net):
+        g = SyntheticPopulation.to_networkx(net)
+        assert g.number_of_nodes() == net.n_nodes
+        assert g.number_of_edges() == net.n_contacts
+
+    def test_county_attribute(self, net):
+        g = SyntheticPopulation.to_networkx(net)
+        assert g.nodes[0]["county"] == 0
+        assert g.nodes[net.n_nodes - 1]["county"] == 1
+
+    def test_mostly_connected(self, net):
+        g = SyntheticPopulation.to_networkx(net)
+        biggest = max(nx.connected_components(g), key=len)
+        assert len(biggest) > 0.9 * net.n_nodes

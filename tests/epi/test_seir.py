@@ -1,0 +1,135 @@
+"""Tests for repro.epi.seir — network SEIR dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.epi.seir import NetworkSEIR, SEIRParams, SeasonResult
+
+
+@pytest.fixture
+def seir(small_contact_network):
+    return NetworkSEIR(small_contact_network)
+
+
+BASE = dict(tau=0.06, sigma=0.25, gamma_r=0.25, seed_fraction=0.01)
+
+
+class TestSEIRParams:
+    def test_valid(self):
+        p = SEIRParams(**BASE)
+        assert p.tau == 0.06
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            SEIRParams(tau=1.5)
+        with pytest.raises(ValueError):
+            SEIRParams(tau=0.05, sigma=-0.1)
+        with pytest.raises(ValueError):
+            SEIRParams(tau=0.05, seed_fraction=2.0)
+
+
+class TestRun:
+    def test_output_shapes(self, seir, small_contact_network):
+        season = seir.run(SEIRParams(**BASE), n_days=70, rng=0)
+        assert season.daily_incidence.shape == (70, 2)
+        assert season.final_recovered.shape == (2,)
+
+    def test_epidemic_spreads_at_high_tau(self, seir, small_contact_network):
+        season = seir.run(SEIRParams(tau=0.1, seed_fraction=0.01), n_days=120, rng=1)
+        assert season.attack_rate(small_contact_network.n_nodes) > 0.3
+
+    def test_zero_tau_never_spreads_beyond_seeds(self, seir):
+        season = seir.run(SEIRParams(tau=0.0, seed_fraction=0.01), n_days=40, rng=2)
+        assert season.daily_incidence.sum() == 0.0
+
+    def test_attack_rate_increases_with_tau(self, seir, small_contact_network):
+        n = small_contact_network.n_nodes
+        low = np.mean([
+            seir.run(SEIRParams(tau=0.02, seed_fraction=0.01), 120, rng=s).attack_rate(n)
+            for s in range(3)
+        ])
+        high = np.mean([
+            seir.run(SEIRParams(tau=0.12, seed_fraction=0.01), 120, rng=s).attack_rate(n)
+            for s in range(3)
+        ])
+        assert high > low
+
+    def test_seed_county_restricts_initial_cases(self, seir):
+        season = seir.run(
+            SEIRParams(tau=0.08, seed_fraction=0.02, seed_county=0), n_days=14, rng=3
+        )
+        early = season.daily_incidence[:5]
+        # Early incidence concentrated in county 0 (spreads later).
+        assert early[:, 0].sum() >= early[:, 1].sum()
+
+    def test_invalid_seed_county(self, seir):
+        with pytest.raises(ValueError):
+            seir.run(SEIRParams(tau=0.05, seed_county=7), rng=0)
+
+    def test_reproducible(self, seir):
+        a = seir.run(SEIRParams(**BASE), n_days=60, rng=9)
+        b = seir.run(SEIRParams(**BASE), n_days=60, rng=9)
+        assert np.array_equal(a.daily_incidence, b.daily_incidence)
+
+    def test_conservation_incidence_bounded_by_population(
+        self, seir, small_contact_network
+    ):
+        season = seir.run(SEIRParams(tau=0.15, seed_fraction=0.05), n_days=150, rng=4)
+        total = season.daily_incidence.sum()
+        assert total <= small_contact_network.n_nodes
+
+    def test_recovered_at_least_incident(self, seir):
+        """After a long season, everyone infected has recovered; R counts
+        also include seeds (who never appear in incidence)."""
+        season = seir.run(SEIRParams(tau=0.1, seed_fraction=0.01), n_days=400, rng=5)
+        assert season.final_recovered.sum() >= season.daily_incidence.sum()
+
+    def test_early_extinction_leaves_zero_tail(self, seir):
+        season = seir.run(
+            SEIRParams(tau=0.005, seed_fraction=0.005), n_days=200, rng=6
+        )
+        # With tiny tau the epidemic dies; late days must all be zero.
+        assert season.daily_incidence[-50:].sum() == 0.0
+
+    def test_seasonality_modulates_transmission(self, seir, small_contact_network):
+        n = small_contact_network.n_nodes
+        flat = np.mean([
+            seir.run(SEIRParams(tau=0.05, seed_fraction=0.01), 100, rng=s).attack_rate(n)
+            for s in range(3)
+        ])
+        boosted = np.mean([
+            seir.run(
+                SEIRParams(tau=0.05, seed_fraction=0.01, seasonality=0.9, peak_day=30),
+                100,
+                rng=s,
+            ).attack_rate(n)
+            for s in range(3)
+        ])
+        assert boosted > flat
+
+
+class TestSeasonResult:
+    def test_weekly_aggregation(self):
+        daily = np.ones((15, 2))
+        season = SeasonResult(daily_incidence=daily, final_recovered=np.zeros(2))
+        weekly = season.weekly_incidence()
+        assert weekly.shape == (2, 2)  # 15 days -> 2 full weeks
+        assert np.all(weekly == 7.0)
+
+    def test_weekly_too_short_rejected(self):
+        season = SeasonResult(
+            daily_incidence=np.ones((5, 1)), final_recovered=np.zeros(1)
+        )
+        with pytest.raises(ValueError):
+            season.weekly_incidence()
+
+    def test_total_incidence(self):
+        daily = np.arange(6.0).reshape(3, 2)
+        season = SeasonResult(daily_incidence=daily, final_recovered=np.zeros(2))
+        assert np.array_equal(season.total_incidence(), daily.sum(axis=1))
+
+    def test_run_many_replicates_differ(self, seir):
+        seasons = seir.run_many(SEIRParams(**BASE), n_replicates=3, n_days=60, rng=7)
+        assert len(seasons) == 3
+        totals = [s.daily_incidence.sum() for s in seasons]
+        assert len(set(totals)) > 1

@@ -1,0 +1,115 @@
+"""Tests for repro.epi.surveillance and repro.epi.curves."""
+
+import numpy as np
+import pytest
+
+from repro.epi.curves import curve_features
+from repro.epi.seir import SeasonResult
+from repro.epi.surveillance import SurveillanceData, SurveillanceModel
+
+
+def _season(n_days=70, n_counties=2, scale=10.0, seed=0):
+    rng = np.random.default_rng(seed)
+    daily = rng.poisson(scale, size=(n_days, n_counties)).astype(float)
+    return SeasonResult(daily_incidence=daily, final_recovered=np.zeros(n_counties))
+
+
+class TestSurveillanceModel:
+    def test_reporting_rate_thins_counts(self):
+        season = _season(scale=50.0)
+        sv = SurveillanceModel(reporting_rate=0.2, noise_dispersion=0.0, delay_weeks=0)
+        data = sv.observe(season, rng=0)
+        true_total = season.weekly_incidence().sum()
+        assert data.state_weekly.sum() == pytest.approx(0.2 * true_total, rel=0.1)
+
+    def test_full_reporting_no_noise_is_exact(self):
+        season = _season()
+        sv = SurveillanceModel(reporting_rate=1.0, noise_dispersion=0.0)
+        data = sv.observe(season, rng=0)
+        assert np.array_equal(
+            data.state_weekly, season.weekly_incidence().sum(axis=1)
+        )
+
+    def test_noise_perturbs(self):
+        season = _season()
+        sv = SurveillanceModel(reporting_rate=1.0, noise_dispersion=0.3)
+        a = sv.observe(season, rng=1).state_weekly
+        b = sv.observe(season, rng=2).state_weekly
+        assert not np.array_equal(a, b)
+
+    def test_county_truth_carried_unmodified(self):
+        season = _season()
+        sv = SurveillanceModel()
+        data = sv.observe(season, rng=0)
+        assert np.array_equal(data.county_weekly_true, season.weekly_incidence())
+
+    def test_reproducible(self):
+        season = _season()
+        sv = SurveillanceModel()
+        assert np.array_equal(
+            sv.observe(season, rng=5).state_weekly,
+            sv.observe(season, rng=5).state_weekly,
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SurveillanceModel(reporting_rate=0.0)
+        with pytest.raises(ValueError):
+            SurveillanceModel(reporting_rate=1.5)
+        with pytest.raises(ValueError):
+            SurveillanceModel(delay_weeks=-1)
+
+
+class TestSurveillanceData:
+    def test_observed_through_applies_delay(self):
+        data = SurveillanceData(
+            state_weekly=np.arange(10.0),
+            county_weekly_true=np.zeros((10, 2)),
+            delay_weeks=2,
+        )
+        obs = data.observed_through(5)
+        assert len(obs) == 4  # weeks 0..3 visible when standing at week 5
+
+    def test_zero_delay_sees_current_week(self):
+        data = SurveillanceData(
+            state_weekly=np.arange(10.0),
+            county_weekly_true=np.zeros((10, 2)),
+            delay_weeks=0,
+        )
+        assert len(data.observed_through(5)) == 6
+
+    def test_n_weeks(self):
+        data = SurveillanceData(np.zeros(8), np.zeros((8, 1)), 1)
+        assert data.n_weeks == 8
+
+
+class TestCurveFeatures:
+    def test_peak_identification(self):
+        w = np.array([1.0, 5.0, 20.0, 8.0, 2.0])
+        f = curve_features(w)
+        assert f["peak_week"] == 2
+        assert f["peak_value"] == 20.0
+        assert f["total"] == 36.0
+
+    def test_onset_threshold(self):
+        w = np.array([0.0, 0.5, 2.0, 10.0, 4.0])
+        f = curve_features(w, onset_threshold=0.1)
+        assert f["onset_week"] == 2  # first week >= 1.0 (10% of peak)
+
+    def test_attack_rate_with_population(self):
+        w = np.array([10.0, 20.0])
+        f = curve_features(w, population=300)
+        assert f["attack_rate"] == pytest.approx(0.1)
+
+    def test_flat_zero_curve(self):
+        f = curve_features(np.zeros(5))
+        assert np.isnan(f["onset_week"])
+        assert f["peak_value"] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            curve_features(np.array([]))
+        with pytest.raises(ValueError):
+            curve_features(np.array([-1.0, 2.0]))
+        with pytest.raises(ValueError):
+            curve_features(np.array([1.0]), population=0)

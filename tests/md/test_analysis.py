@@ -1,0 +1,127 @@
+"""Tests for repro.md.analysis — autocorrelation and blocking (E12 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.md.analysis import (
+    autocorrelation,
+    block_average,
+    effective_samples,
+    integrated_autocorrelation_time,
+    statistical_inefficiency,
+)
+
+
+def ar1(n, phi, seed=0):
+    """AR(1) series with known autocorrelation phi^t."""
+    rng = np.random.default_rng(seed)
+    x = np.zeros(n)
+    for i in range(1, n):
+        x[i] = phi * x[i - 1] + rng.normal()
+    return x
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self):
+        acf = autocorrelation(ar1(2000, 0.5))
+        assert acf[0] == pytest.approx(1.0)
+
+    def test_white_noise_decorrelates(self):
+        rng = np.random.default_rng(1)
+        acf = autocorrelation(rng.normal(size=5000), max_lag=20)
+        assert np.all(np.abs(acf[1:]) < 0.1)
+
+    def test_ar1_matches_phi_powers(self):
+        phi = 0.8
+        acf = autocorrelation(ar1(60000, phi, seed=2), max_lag=10)
+        for t in range(1, 6):
+            assert acf[t] == pytest.approx(phi**t, abs=0.05)
+
+    def test_constant_series_convention(self):
+        acf = autocorrelation(np.full(100, 3.0), max_lag=5)
+        assert np.all(acf == 1.0)
+
+    def test_max_lag_clamped(self):
+        acf = autocorrelation(np.arange(10.0), max_lag=100)
+        assert len(acf) == 10  # clamped to n-1 lags + lag 0
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            autocorrelation(np.array([1.0]))
+
+
+class TestIntegratedAutocorrelationTime:
+    def test_white_noise_is_half(self):
+        rng = np.random.default_rng(3)
+        tau = integrated_autocorrelation_time(rng.normal(size=10000))
+        assert tau == pytest.approx(0.5, abs=0.15)
+
+    def test_ar1_theoretical_value(self):
+        """For AR(1), tau_int = 0.5 * (1+phi)/(1-phi)."""
+        phi = 0.7
+        tau = integrated_autocorrelation_time(ar1(80000, phi, seed=4))
+        expected = 0.5 * (1 + phi) / (1 - phi)
+        assert tau == pytest.approx(expected, rel=0.2)
+
+    def test_more_correlation_longer_tau(self):
+        t_fast = integrated_autocorrelation_time(ar1(40000, 0.3, seed=5))
+        t_slow = integrated_autocorrelation_time(ar1(40000, 0.9, seed=5))
+        assert t_slow > t_fast
+
+
+class TestBlockAverage:
+    def test_mean_preserved(self):
+        x = ar1(10000, 0.5, seed=6) + 5.0
+        mean, sem = block_average(x, 100)
+        assert mean == pytest.approx(x[: 100 * 100].reshape(100, 100).mean(), rel=1e-12)
+
+    def test_sem_grows_until_decorrelated(self):
+        """Flyvbjerg–Petersen: blocked SEM rises with block size until
+        blocks decorrelate, then plateaus above the naive SEM."""
+        x = ar1(50000, 0.9, seed=7)
+        naive_sem = x.std(ddof=1) / np.sqrt(len(x))
+        _, sem_small = block_average(x, 1)
+        _, sem_big = block_average(x, 500)
+        assert sem_small == pytest.approx(naive_sem, rel=1e-6)
+        assert sem_big > 2 * sem_small
+
+    def test_white_noise_sem_flat(self):
+        rng = np.random.default_rng(8)
+        x = rng.normal(size=20000)
+        _, sem1 = block_average(x, 1)
+        _, sem100 = block_average(x, 100)
+        assert sem100 == pytest.approx(sem1, rel=0.35)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            block_average(np.arange(10.0), 0)
+        with pytest.raises(ValueError, match="2 blocks"):
+            block_average(np.arange(10.0), 9)
+
+
+class TestStatisticalInefficiency:
+    def test_white_noise_near_one(self):
+        rng = np.random.default_rng(9)
+        g = statistical_inefficiency(rng.normal(size=20000))
+        assert g == pytest.approx(1.0, abs=0.3)
+
+    def test_correlated_series_bigger_g(self):
+        g = statistical_inefficiency(ar1(40000, 0.9, seed=10))
+        assert g > 5.0
+
+    def test_effective_samples_consistent(self):
+        x = ar1(10000, 0.8, seed=11)
+        n_eff = effective_samples(x)
+        assert n_eff == pytest.approx(len(x) / statistical_inefficiency(x))
+        assert n_eff < len(x)
+
+    def test_blocking_at_dc_recovers_independence(self):
+        """The §III-D claim: subsample at the correlation stride and the
+        resulting series is (nearly) white."""
+        x = ar1(100000, 0.8, seed=12)
+        g = statistical_inefficiency(x)
+        stride = int(np.ceil(g)) * 3
+        sub = x[::stride]
+        g_sub = statistical_inefficiency(sub)
+        assert g_sub < g / 2
+        assert g_sub < 2.0

@@ -1,0 +1,69 @@
+"""Tests for repro.md.autotune_probes — the E3 MD evaluation probes."""
+
+import numpy as np
+import pytest
+
+from repro.md.autotune_probes import (
+    CONSERVATIVE_CONTROL,
+    CONTROL_NAMES,
+    PARAM_NAMES,
+    build_md_system,
+    evaluate_md,
+)
+
+
+@pytest.fixture
+def params():
+    # (h, z_p, z_n, c, d, temperature)
+    return np.array([5.0, 2.0, 1.0, 0.2, 0.7, 1.0])
+
+
+class TestConstants:
+    def test_signature_matches_paper(self):
+        assert len(PARAM_NAMES) == 6     # D = 6 in [9]
+        assert len(CONTROL_NAMES) == 3   # 3 network outputs in [9]
+        assert len(CONSERVATIVE_CONTROL) == 3
+
+    def test_conservative_is_small_timestep(self):
+        assert CONSERVATIVE_CONTROL[0] <= 0.001
+
+
+class TestBuildSystem:
+    def test_charge_neutral(self, params, rng):
+        system, _ = build_md_system(params, rng)
+        assert float(system.q.sum()) == pytest.approx(0.0)
+
+    def test_concentration_honored(self, params, rng):
+        system, _ = build_md_system(params, rng)
+        c = system.n / system.box.volume
+        assert c == pytest.approx(params[3], rel=0.3)
+
+    def test_temperature_honored(self, rng):
+        hot = np.array([5.0, 1.0, 1.0, 0.2, 0.7, 1.4])
+        system, _ = build_md_system(hot, rng)
+        assert system.temperature() == pytest.approx(1.4, rel=0.4)
+
+
+class TestEvaluate:
+    def test_conservative_control_is_high_quality(self, params):
+        rng = np.random.default_rng(0)
+        quality, cost = evaluate_md(params, np.asarray(CONSERVATIVE_CONTROL), rng)
+        assert quality > 0.5
+        assert cost == pytest.approx(1.0 / CONSERVATIVE_CONTROL[0])
+
+    def test_absurd_timestep_scores_zero(self, params):
+        rng = np.random.default_rng(1)
+        quality, cost = evaluate_md(params, np.array([5.0, 1.0, 100.0]), rng)
+        assert quality == 0.0
+
+    def test_cost_decreases_with_timestep(self, params):
+        rng = np.random.default_rng(2)
+        _, cost_small = evaluate_md(params, np.array([0.001, 1.0, 100.0]), rng)
+        _, cost_big = evaluate_md(params, np.array([0.01, 1.0, 100.0]), rng)
+        assert cost_big < cost_small
+
+    def test_quality_in_unit_interval(self, params):
+        rng = np.random.default_rng(3)
+        for dt in (0.001, 0.005, 0.02):
+            quality, _ = evaluate_md(params, np.array([dt, 1.0, 100.0]), rng)
+            assert 0.0 <= quality <= 1.0

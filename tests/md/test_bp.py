@@ -1,0 +1,158 @@
+"""Tests for repro.md.bp — Behler–Parrinello symmetry functions + NN potential."""
+
+import numpy as np
+import pytest
+
+from repro.md.bp import (
+    BPPotential,
+    SymmetryFunctions,
+    random_cluster,
+    train_bp_potential,
+)
+from repro.md.potentials import StillingerWeberLike
+
+
+def _rotation(theta):
+    return np.array(
+        [
+            [np.cos(theta), -np.sin(theta), 0.0],
+            [np.sin(theta), np.cos(theta), 0.0],
+            [0.0, 0.0, 1.0],
+        ]
+    )
+
+
+@pytest.fixture
+def sf():
+    return SymmetryFunctions(r_cut=3.0)
+
+
+@pytest.fixture
+def cluster(rng):
+    return random_cluster(6, box_side=2.5, rng=rng, min_separation=0.9)
+
+
+class TestSymmetryFunctions:
+    def test_feature_count(self, sf):
+        assert sf.n_features == 4 + 2 * 1 * 2
+
+    def test_describe_shape(self, sf, cluster):
+        feats = sf.describe(cluster)
+        assert feats.shape == (6, sf.n_features)
+
+    def test_translation_invariance(self, sf, cluster):
+        a = sf.describe(cluster)
+        b = sf.describe(cluster + np.array([3.0, -1.0, 2.0]))
+        assert np.allclose(a, b, atol=1e-12)
+
+    def test_rotation_invariance(self, sf, cluster):
+        a = sf.describe(cluster)
+        b = sf.describe(cluster @ _rotation(1.1).T)
+        assert np.allclose(a, b, atol=1e-10)
+
+    def test_permutation_equivariance(self, sf, cluster):
+        """Permuting atoms permutes descriptor rows identically."""
+        perm = np.array([3, 1, 5, 0, 4, 2])
+        a = sf.describe(cluster)
+        b = sf.describe(cluster[perm])
+        assert np.allclose(a[perm], b, atol=1e-12)
+
+    def test_isolated_atom_zero_descriptor(self, sf):
+        pos = np.array([[0.0, 0.0, 0.0], [10.0, 10.0, 10.0]])
+        feats = sf.describe(pos)
+        assert np.allclose(feats, 0.0)
+
+    def test_single_atom(self, sf):
+        assert np.allclose(sf.describe(np.zeros((1, 3))), 0.0)
+
+    def test_cutoff_smoothness(self, sf):
+        """Descriptor goes continuously to zero as a pair reaches r_cut."""
+        vals = []
+        for r in (2.8, 2.95, 2.999):
+            pos = np.array([[0.0, 0.0, 0.0], [r, 0.0, 0.0]])
+            vals.append(np.abs(sf.describe(pos)).max())
+        assert vals[0] > vals[1] > vals[2]
+        assert vals[2] < 1e-3
+
+    def test_closer_neighbors_bigger_signal(self, sf):
+        near = sf.describe(np.array([[0, 0, 0], [1.0, 0, 0]], dtype=float))
+        far = sf.describe(np.array([[0, 0, 0], [2.0, 0, 0]], dtype=float))
+        assert near[0, 0] > far[0, 0]
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            SymmetryFunctions(r_cut=0.0)
+        with pytest.raises(ValueError):
+            SymmetryFunctions(radial_etas=(1.0, 2.0), radial_shifts=(0.0,))
+
+
+class TestRandomCluster:
+    def test_min_separation_respected(self, rng):
+        pos = random_cluster(8, box_side=3.0, rng=rng, min_separation=0.8)
+        d = np.linalg.norm(pos[:, None] - pos[None], axis=-1)
+        np.fill_diagonal(d, np.inf)
+        assert d.min() >= 0.8
+
+    def test_impossible_packing_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            random_cluster(100, box_side=1.0, rng=rng, min_separation=0.9)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            random_cluster(0, 2.0, rng)
+
+
+class TestTrainBPPotential:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        sw = StillingerWeberLike()
+        rng = np.random.default_rng(0)
+        configs = [
+            random_cluster(5, box_side=2.2, rng=rng, min_separation=0.9)
+            for _ in range(60)
+        ]
+        return train_bp_potential(
+            sw.total_energy, configs, epochs=150, rng=1
+        ), sw, configs
+
+    def test_learns_reference_energy(self, trained):
+        result, sw, configs = trained
+        # Per-atom test error well under the per-atom energy spread.
+        energies = np.array([sw.total_energy(c) / len(c) for c in configs])
+        assert result.test_rmse_per_atom < energies.std()
+
+    def test_potential_callable(self, trained):
+        result, sw, configs = trained
+        e = result.potential(configs[0])
+        assert np.isfinite(e)
+
+    def test_energy_is_sum_of_atomic(self, trained):
+        result, _, configs = trained
+        pot = result.potential
+        atoms = pot.atomic_energies(configs[0])
+        assert pot.energy(configs[0]) == pytest.approx(atoms.sum())
+
+    def test_prediction_correlates_with_reference(self, trained):
+        result, sw, configs = trained
+        rng = np.random.default_rng(9)
+        fresh = [
+            random_cluster(5, box_side=2.2, rng=rng, min_separation=0.9)
+            for _ in range(20)
+        ]
+        pred = np.array([result.potential(c) for c in fresh])
+        ref = np.array([sw.total_energy(c) for c in fresh])
+        corr = np.corrcoef(pred, ref)[0, 1]
+        assert corr > 0.8
+
+    def test_permutation_invariant_total_energy(self, trained):
+        result, _, configs = trained
+        c = configs[0]
+        perm = np.random.default_rng(2).permutation(len(c))
+        assert result.potential(c) == pytest.approx(result.potential(c[perm]))
+
+    def test_too_few_configs_rejected(self):
+        sw = StillingerWeberLike()
+        rng = np.random.default_rng(3)
+        configs = [random_cluster(4, 2.0, rng) for _ in range(2)]
+        with pytest.raises(ValueError):
+            train_bp_potential(sw.total_energy, configs, epochs=1, test_fraction=0.5)

@@ -1,0 +1,160 @@
+"""Tests for repro.md.forces — the O(N²) reference vs cell-list kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.md.forces import CellList, PairTable, cell_list_forces, pairwise_forces, wall_forces
+from repro.md.potentials import WCA, LennardJones, Wall93, Yukawa
+from repro.md.system import ParticleSystem, SlitBox
+
+
+def _random_system(n, seed, lx=10.0, h=6.0, diameter=0.7):
+    box = SlitBox(lx, lx, h)
+    n_half = n // 2
+    return ParticleSystem.random_electrolyte(
+        box, n_half, n - n_half, 2.0, -2.0, diameter, rng=seed
+    )
+
+
+def _table(wall=True):
+    return PairTable(
+        pair_potentials=[WCA(sigma=0.7), Yukawa(bjerrum=2.0, kappa=1.0, rcut=3.0)],
+        wall=Wall93(epsilon=1.0, sigma=0.35, cutoff=1.0) if wall else None,
+    )
+
+
+class TestPairwiseForces:
+    def test_two_particle_newton_third_law(self):
+        box = SlitBox(10, 10, 10)
+        sys_ = ParticleSystem(
+            np.array([[2.0, 2.0, 5.0], [3.0, 2.0, 5.0]]), box, q=np.array([1.0, -1.0])
+        )
+        f, e = pairwise_forces(sys_, _table(wall=False))
+        assert np.allclose(f[0], -f[1])
+        assert np.isfinite(e)
+
+    def test_pair_forces_sum_to_zero(self):
+        sys_ = _random_system(30, 0)
+        f, _ = pairwise_forces(sys_, _table(wall=False))
+        assert np.allclose(f.sum(axis=0), 0.0, atol=1e-9)
+
+    def test_force_is_minus_gradient_of_energy(self):
+        """Move one particle; dE/dx must equal -F_x (central differences)."""
+        sys_ = _random_system(12, 1)
+        table = _table()
+        f, _ = pairwise_forces(sys_, table)
+        eps = 1e-6
+        for axis in range(3):
+            plus = sys_.copy()
+            plus.x[3, axis] += eps
+            minus = sys_.copy()
+            minus.x[3, axis] -= eps
+            _, e_plus = pairwise_forces(plus, table)
+            _, e_minus = pairwise_forces(minus, table)
+            numeric = -(e_plus - e_minus) / (2 * eps)
+            assert f[3, axis] == pytest.approx(numeric, rel=1e-4, abs=1e-6)
+
+    def test_minimum_image_applies(self):
+        """Particles near opposite x-edges interact through the boundary."""
+        box = SlitBox(10, 10, 10)
+        sys_ = ParticleSystem(
+            np.array([[0.2, 5.0, 5.0], [9.8, 5.0, 5.0]]), box
+        )
+        table = PairTable([WCA(sigma=0.7)])
+        f, e = pairwise_forces(sys_, table)
+        assert e > 0  # they overlap through the periodic boundary
+        assert f[0, 0] > 0 and f[1, 0] < 0  # pushed apart across the seam
+
+    def test_empty_interactions(self):
+        sys_ = _random_system(5, 2)
+        f, e = pairwise_forces(sys_, PairTable([]))
+        assert np.allclose(f, 0.0) and e == 0.0
+
+    def test_single_particle_with_wall(self):
+        box = SlitBox(5, 5, 3)
+        sys_ = ParticleSystem(np.array([[1.0, 1.0, 0.3]]), box)
+        table = PairTable([], wall=Wall93(sigma=0.5, cutoff=1.5))
+        f, e = pairwise_forces(sys_, table)
+        assert f[0, 2] > 0  # pushed up from the bottom wall
+
+
+class TestWallForces:
+    def test_symmetric_at_midplane(self):
+        box = SlitBox(5, 5, 4)
+        sys_ = ParticleSystem(np.array([[1.0, 1.0, 2.0]]), box)
+        f, _ = wall_forces(sys_, Wall93(sigma=0.5, cutoff=3.0))
+        assert f[0, 2] == pytest.approx(0.0, abs=1e-12)
+
+    def test_near_each_wall(self):
+        box = SlitBox(5, 5, 4)
+        sys_ = ParticleSystem(np.array([[1, 1, 0.3], [1, 1, 3.7]]), box)
+        f, e = wall_forces(sys_, Wall93(sigma=0.5, cutoff=1.0))
+        assert f[0, 2] > 0 and f[1, 2] < 0
+        assert e > 0
+
+    def test_leaked_particle_gets_restoring_force(self):
+        box = SlitBox(5, 5, 4)
+        sys_ = ParticleSystem(np.array([[1.0, 1.0, -0.1]]), box)
+        f, _ = wall_forces(sys_, Wall93(sigma=0.5, cutoff=1.0))
+        assert f[0, 2] > 0 and np.isfinite(f[0, 2])
+
+
+class TestCellListAgreement:
+    @pytest.mark.parametrize("n,seed", [(16, 0), (40, 1), (80, 2)])
+    def test_matches_reference_forces_and_energy(self, n, seed):
+        sys_ = _random_system(n, seed, lx=12.0)
+        table = _table()
+        f_ref, e_ref = pairwise_forces(sys_, table)
+        f_cl, e_cl = cell_list_forces(sys_, table)
+        assert np.allclose(f_cl, f_ref, atol=1e-9)
+        assert e_cl == pytest.approx(e_ref, rel=1e-12)
+
+    def test_small_box_duplicate_pair_handling(self):
+        """Boxes with < 3 cells per axis exercise the dedup path."""
+        sys_ = _random_system(14, 3, lx=4.0, h=4.0, diameter=0.5)
+        table = PairTable([WCA(sigma=0.5), Yukawa(bjerrum=1.0, kappa=1.0, rcut=1.9)])
+        f_ref, e_ref = pairwise_forces(sys_, table)
+        f_cl, e_cl = cell_list_forces(sys_, table)
+        assert np.allclose(f_cl, f_ref, atol=1e-9)
+        assert e_cl == pytest.approx(e_ref, rel=1e-12)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(4, 30), st.integers(0, 10_000))
+    def test_property_agreement_random_configs(self, n, seed):
+        sys_ = _random_system(n, seed, lx=9.0)
+        table = _table(wall=False)
+        f_ref, e_ref = pairwise_forces(sys_, table)
+        f_cl, e_cl = cell_list_forces(sys_, table)
+        assert np.allclose(f_cl, f_ref, atol=1e-8)
+        assert e_cl == pytest.approx(e_ref, rel=1e-9)
+
+    def test_candidate_pairs_unique(self):
+        sys_ = _random_system(30, 4, lx=6.0)
+        cl = CellList(sys_, rcut=2.0)
+        i, j = cl.candidate_pairs()
+        keys = set()
+        for a, b in zip(i, j):
+            key = (min(a, b), max(a, b))
+            assert key not in keys, "duplicate pair emitted"
+            keys.add(key)
+
+    def test_candidate_pairs_cover_all_close_pairs(self):
+        sys_ = _random_system(40, 5, lx=10.0)
+        rcut = 2.5
+        cl = CellList(sys_, rcut)
+        pairs = set(
+            (min(a, b), max(a, b)) for a, b in zip(*cl.candidate_pairs())
+        )
+        dr = sys_.x[:, None, :] - sys_.x[None, :, :]
+        dr = sys_.box.minimum_image(dr)
+        r2 = np.sum(dr * dr, axis=-1)
+        iu, ju = np.triu_indices(sys_.n, k=1)
+        close = r2[iu, ju] < rcut * rcut
+        for a, b in zip(iu[close], ju[close]):
+            assert (a, b) in pairs, f"close pair ({a},{b}) missed by cell list"
+
+    def test_invalid_rcut(self):
+        sys_ = _random_system(6, 6)
+        with pytest.raises(ValueError):
+            CellList(sys_, 0.0)

@@ -1,0 +1,142 @@
+"""Tests for repro.md.integrators — NVE conservation, NVT thermostat,
+divergence detection (the autotuning failure mode)."""
+
+import numpy as np
+import pytest
+
+from repro.core.simulation import SimulationError
+from repro.md.forces import PairTable, cell_list_forces
+from repro.md.integrators import IntegrationDiverged, Langevin, VelocityVerlet
+from repro.md.potentials import WCA, Wall93, Yukawa
+from repro.md.system import ParticleSystem, SlitBox
+
+
+def _equilibrated_system(seed=0, n=30, temperature=0.5):
+    box = SlitBox(10.0, 10.0, 6.0)
+    sys_ = ParticleSystem.random_electrolyte(
+        box, n // 2, n - n // 2, 1.0, -1.0, 0.7, temperature=temperature, rng=seed
+    )
+    table = PairTable(
+        [WCA(sigma=0.7), Yukawa(bjerrum=1.0, kappa=1.0, rcut=3.0)],
+        wall=Wall93(sigma=0.35, cutoff=1.0),
+    )
+    relax = Langevin(table, 0.001, temperature=temperature, gamma=5.0, rng=seed + 1)
+    relax.step(sys_, 200)
+    return sys_, table
+
+
+class TestVelocityVerlet:
+    def test_energy_conserved_at_small_dt(self):
+        sys_, table = _equilibrated_system()
+        vv = VelocityVerlet(table, dt=0.0005)
+        vv.step(sys_, 1)
+        e0 = vv.total_energy(sys_)
+        vv.step(sys_, 400)
+        e1 = vv.total_energy(sys_)
+        scale = max(abs(e0), sys_.kinetic_energy())
+        assert abs(e1 - e0) / scale < 0.05
+
+    def test_drift_shrinks_with_dt(self):
+        """Symplectic integrator: halving dt must reduce energy drift."""
+        drifts = {}
+        for dt in (0.002, 0.0005):
+            sys_, table = _equilibrated_system(seed=3)
+            vv = VelocityVerlet(table, dt=dt)
+            vv.step(sys_, 1)
+            e0 = vv.total_energy(sys_)
+            vv.step(sys_, int(0.4 / dt))  # same physical time
+            drifts[dt] = abs(vv.total_energy(sys_) - e0)
+        assert drifts[0.0005] < drifts[0.002]
+
+    def test_time_reversibility_of_free_flight(self):
+        box = SlitBox(20, 20, 20)
+        sys_ = ParticleSystem(
+            np.array([[5.0, 5.0, 10.0]]), box, v=np.array([[1.0, 0.5, 0.0]])
+        )
+        vv = VelocityVerlet(PairTable([]), dt=0.01)
+        x0 = sys_.x.copy()
+        vv.step(sys_, 100)
+        sys_.v *= -1.0
+        vv._forces = None
+        vv.step(sys_, 100)
+        assert np.allclose(sys_.x, x0, atol=1e-10)
+
+    def test_diverges_at_huge_dt(self):
+        sys_, table = _equilibrated_system()
+        vv = VelocityVerlet(table, dt=0.5)
+        with pytest.raises(IntegrationDiverged):
+            vv.step(sys_, 100)
+
+    def test_divergence_is_simulation_error(self):
+        assert issubclass(IntegrationDiverged, SimulationError)
+
+    def test_invalid_steps(self):
+        _, table = _equilibrated_system()
+        vv = VelocityVerlet(table, dt=0.001)
+        with pytest.raises(ValueError):
+            vv.step(ParticleSystem(np.zeros((1, 3)), SlitBox(2, 2, 2)), 0)
+
+    def test_works_with_cell_list_kernel(self):
+        sys_, table = _equilibrated_system()
+        vv = VelocityVerlet(table, dt=0.0005, force_fn=cell_list_forces)
+        vv.step(sys_, 50)
+        assert np.all(np.isfinite(sys_.x))
+
+
+class TestLangevin:
+    def test_thermostat_reaches_target_temperature(self):
+        sys_, table = _equilibrated_system(seed=5, n=40, temperature=0.2)
+        lang = Langevin(table, dt=0.004, temperature=1.2, gamma=2.0, rng=6)
+        temps = []
+        for _ in range(80):
+            lang.step(sys_, 5)
+            temps.append(sys_.temperature())
+        assert np.mean(temps[30:]) == pytest.approx(1.2, rel=0.15)
+
+    def test_free_particle_ou_variance(self):
+        """With no forces, velocities follow an OU process with stationary
+        variance = temperature."""
+        box = SlitBox(50, 50, 50)
+        sys_ = ParticleSystem(np.full((500, 3), 25.0), box)
+        lang = Langevin(PairTable([]), dt=0.05, temperature=0.7, gamma=1.0, rng=0)
+        lang.step(sys_, 200)
+        assert sys_.v.var() == pytest.approx(0.7, rel=0.1)
+
+    def test_reproducible_with_seed(self):
+        def run():
+            sys_, table = _equilibrated_system(seed=7)
+            lang = Langevin(table, 0.002, temperature=1.0, gamma=1.0, rng=8)
+            lang.step(sys_, 50)
+            return sys_.x.copy()
+
+        assert np.array_equal(run(), run())
+
+    def test_different_seeds_diverge(self):
+        sys1, table = _equilibrated_system(seed=7)
+        sys2 = sys1.copy()
+        Langevin(table, 0.002, temperature=1.0, gamma=1.0, rng=1).step(sys1, 20)
+        Langevin(table, 0.002, temperature=1.0, gamma=1.0, rng=2).step(sys2, 20)
+        assert not np.allclose(sys1.x, sys2.x)
+
+    def test_diverges_at_huge_dt(self):
+        sys_, table = _equilibrated_system()
+        lang = Langevin(table, dt=1.0, temperature=1.0, gamma=0.1, rng=0)
+        with pytest.raises(IntegrationDiverged):
+            lang.step(sys_, 200)
+
+    def test_param_validation(self):
+        table = PairTable([])
+        with pytest.raises(ValueError):
+            Langevin(table, dt=-0.001)
+        with pytest.raises(ValueError):
+            Langevin(table, dt=0.001, temperature=0.0)
+        with pytest.raises(ValueError):
+            Langevin(table, dt=0.001, gamma=0.0)
+
+    def test_particles_stay_inside_slit(self):
+        sys_, table = _equilibrated_system(seed=9)
+        lang = Langevin(table, 0.003, temperature=1.0, gamma=1.0, rng=10)
+        lang.step(sys_, 300)
+        # Wall93 confines: no particle should be far outside [0, h].
+        assert np.all(sys_.x[:, 2] > -0.5)
+        assert np.all(sys_.x[:, 2] < sys_.box.h + 0.5)

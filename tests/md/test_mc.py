@@ -1,0 +1,138 @@
+"""Tests for repro.md.mc — Metropolis Monte Carlo."""
+
+import numpy as np
+import pytest
+
+from repro.md.forces import PairTable, pairwise_forces
+from repro.md.mc import MetropolisMC, particle_energy
+from repro.md.potentials import WCA, Wall93, Yukawa
+from repro.md.system import ParticleSystem, SlitBox
+
+
+def _system_and_table(n=24, seed=0):
+    box = SlitBox(8.0, 8.0, 5.0)
+    sys_ = ParticleSystem.random_electrolyte(
+        box, n // 2, n - n // 2, 1.0, -1.0, 0.6, rng=seed
+    )
+    table = PairTable(
+        [WCA(sigma=0.6), Yukawa(bjerrum=1.5, kappa=1.0, rcut=3.0)],
+        wall=Wall93(sigma=0.3, cutoff=0.9),
+    )
+    return sys_, table
+
+
+class TestParticleEnergy:
+    def test_sum_of_particle_energies_is_twice_total_pairs(self):
+        """Sum over i of E_i double-counts pairs but counts walls once:
+        sum_i E_i = 2 E_pairs + E_walls."""
+        sys_, table = _system_and_table()
+        total_particle = sum(
+            particle_energy(sys_, i, table) for i in range(sys_.n)
+        )
+        _, e_total = pairwise_forces(sys_, table)
+        wall_only = PairTable([], wall=table.wall)
+        _, e_wall = pairwise_forces(sys_, wall_only)
+        e_pairs = e_total - e_wall
+        assert total_particle == pytest.approx(2 * e_pairs + e_wall, rel=1e-9)
+
+    def test_isolated_particle_feels_only_walls(self):
+        box = SlitBox(5, 5, 4)
+        sys_ = ParticleSystem(np.array([[2.0, 2.0, 0.2]]), box)
+        table = PairTable([], wall=Wall93(sigma=0.4, cutoff=1.0))
+        e = particle_energy(sys_, 0, table)
+        assert e > 0  # close to bottom wall -> repulsive energy
+
+
+class TestMetropolisMC:
+    def test_acceptance_in_sane_range(self):
+        sys_, table = _system_and_table()
+        mc = MetropolisMC(table, temperature=1.0, max_displacement=0.25, rng=1)
+        mc.sweep(sys_, 10)
+        assert 0.1 < mc.acceptance_rate < 0.95
+
+    def test_tiny_moves_almost_always_accepted(self):
+        sys_, table = _system_and_table()
+        mc = MetropolisMC(table, temperature=1.0, max_displacement=0.001, rng=2)
+        mc.sweep(sys_, 5)
+        assert mc.acceptance_rate > 0.9
+
+    def test_huge_moves_mostly_rejected(self):
+        sys_, table = _system_and_table()
+        mc = MetropolisMC(table, temperature=0.5, max_displacement=3.0, rng=3)
+        mc.sweep(sys_, 5)
+        assert mc.acceptance_rate < 0.5
+
+    def test_energy_relaxes_from_random_start(self):
+        sys_, table = _system_and_table(seed=4)
+        # Heat it up artificially by compressing z.
+        sys_.x[:, 2] = 0.5 + 0.1 * sys_.x[:, 2]
+        _, e0 = pairwise_forces(sys_, table)
+        mc = MetropolisMC(table, temperature=1.0, max_displacement=0.3, rng=5)
+        mc.sweep(sys_, 30)
+        _, e1 = pairwise_forces(sys_, table)
+        assert e1 < e0
+
+    def test_walls_never_crossed(self):
+        sys_, table = _system_and_table(seed=6)
+        mc = MetropolisMC(table, temperature=2.0, max_displacement=0.5, rng=7)
+        mc.sweep(sys_, 20)
+        assert np.all(sys_.x[:, 2] > 0.0)
+        assert np.all(sys_.x[:, 2] < sys_.box.h)
+
+    def test_reproducible(self):
+        def run():
+            sys_, table = _system_and_table(seed=8)
+            mc = MetropolisMC(table, temperature=1.0, max_displacement=0.3, rng=9)
+            mc.sweep(sys_, 5)
+            return sys_.x.copy()
+
+        assert np.array_equal(run(), run())
+
+    def test_custom_energy_fn_mode(self):
+        """Full-energy mode (as used with NN potentials) must agree in
+        distributional behaviour: acceptance rate similar to pair mode."""
+        sys_, table = _system_and_table(seed=10)
+
+        def full_energy(x):
+            tmp = ParticleSystem(x, sys_.box, q=sys_.q, d=sys_.d, species=sys_.species)
+            _, e = pairwise_forces(tmp, table)
+            return e
+
+        sys_b = sys_.copy()
+        mc_pair = MetropolisMC(table, temperature=1.0, max_displacement=0.3, rng=11)
+        mc_full = MetropolisMC(
+            table, temperature=1.0, max_displacement=0.3, energy_fn=full_energy, rng=11
+        )
+        mc_pair.sweep(sys_, 3)
+        mc_full.sweep(sys_b, 3)
+        # Identical seeds + identical physics -> identical trajectories.
+        assert np.allclose(sys_.x, sys_b.x)
+
+    def test_validation(self):
+        _, table = _system_and_table()
+        with pytest.raises(ValueError):
+            MetropolisMC(table, temperature=0.0)
+        with pytest.raises(ValueError):
+            MetropolisMC(table, max_displacement=0.0)
+        mc = MetropolisMC(table)
+        with pytest.raises(ValueError):
+            mc.sweep(ParticleSystem(np.zeros((1, 3)), SlitBox(2, 2, 2)), 0)
+
+    def test_uniform_density_for_ideal_gas(self):
+        """No interactions (beyond walls): z-density must be uniform away
+        from the walls — a detailed-balance sanity check."""
+        box = SlitBox(4.0, 4.0, 6.0)
+        rng = np.random.default_rng(12)
+        x = np.column_stack(
+            [rng.uniform(0, 4, 200), rng.uniform(0, 4, 200), rng.uniform(1, 5, 200)]
+        )
+        sys_ = ParticleSystem(x, box)
+        table = PairTable([], wall=Wall93(sigma=0.3, cutoff=0.9))
+        mc = MetropolisMC(table, temperature=1.0, max_displacement=0.5, rng=13)
+        zs = []
+        for _ in range(40):
+            mc.sweep(sys_, 1)
+            zs.append(sys_.x[:, 2].copy())
+        z_all = np.concatenate(zs)
+        hist, _ = np.histogram(z_all, bins=6, range=(1.0, 5.0))
+        assert hist.std() / hist.mean() < 0.2

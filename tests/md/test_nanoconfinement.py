@@ -1,0 +1,140 @@
+"""Tests for repro.md.nanoconfinement — the paper's central exemplar."""
+
+import numpy as np
+import pytest
+
+from repro.md.nanoconfinement import (
+    NANO_BOUNDS,
+    NANO_INPUTS,
+    NANO_OUTPUTS,
+    NanoconfinementSimulation,
+)
+
+
+@pytest.fixture(scope="module")
+def sim():
+    # Fast preset for tests.
+    return NanoconfinementSimulation(
+        n_target_ions=24,
+        equilibration_steps=150,
+        production_steps=300,
+        sample_every=15,
+        n_bins=16,
+    )
+
+
+class TestSignature:
+    def test_five_inputs_three_outputs(self, sim):
+        """The paper's D=5 feature signature (h, z_p, z_n, c, d)."""
+        assert sim.input_names == ("h", "z_p", "z_n", "c", "d")
+        assert sim.output_names == (
+            "contact_density",
+            "peak_density",
+            "center_density",
+        )
+        assert sim.n_inputs == 5 and sim.n_outputs == 3
+
+    def test_module_constants(self):
+        assert len(NANO_INPUTS) == 5 and len(NANO_OUTPUTS) == 3
+
+
+class TestBuildSystem:
+    def test_charge_neutrality(self, sim, rng):
+        x = np.array([5.0, 2.0, 1.0, 0.2, 0.7])
+        system, _ = sim.build_system(x, rng)
+        assert float(system.q.sum()) == pytest.approx(0.0)
+
+    def test_asymmetric_valencies(self, sim, rng):
+        x = np.array([5.0, 3.0, 1.0, 0.2, 0.7])
+        system, _ = sim.build_system(x, rng)
+        n_p = np.count_nonzero(system.species == 0)
+        n_n = np.count_nonzero(system.species == 1)
+        assert n_n == 3 * n_p  # 3:1 counterion stoichiometry for z_p=3, z_n=1
+
+    def test_concentration_sets_box_area(self, sim, rng):
+        x = np.array([5.0, 1.0, 1.0, 0.1, 0.7])
+        system, _ = sim.build_system(x, rng)
+        c_actual = system.n / system.box.volume
+        assert c_actual == pytest.approx(0.1, rel=0.25)
+
+    def test_interactions_include_wca_yukawa_wall(self, sim, rng):
+        x = np.array([5.0, 1.0, 1.0, 0.2, 0.7])
+        _, table = sim.build_system(x, rng)
+        names = [type(p).__name__ for p in table.pair_potentials]
+        assert "WCA" in names and "Yukawa" in names
+        assert table.wall is not None
+
+    def test_higher_concentration_stronger_screening(self, sim, rng):
+        from repro.md.potentials import Yukawa
+
+        def kappa_for(c):
+            x = np.array([5.0, 1.0, 1.0, c, 0.7])
+            _, table = sim.build_system(x, rng)
+            yk = [p for p in table.pair_potentials if isinstance(p, Yukawa)][0]
+            return yk.kappa
+
+        assert kappa_for(0.4) > kappa_for(0.1)
+
+    def test_bounds_enforced(self, sim, rng):
+        bad = np.array([20.0, 1.0, 1.0, 0.2, 0.7])  # h out of range
+        with pytest.raises(ValueError, match="h"):
+            sim.build_system(bad, rng)
+
+
+class TestRun:
+    def test_outputs_finite_nonnegative(self, sim):
+        rec = sim.run(np.array([5.0, 2.0, 1.0, 0.2, 0.7]), rng=0)
+        assert rec.outputs.shape == (3,)
+        assert np.all(np.isfinite(rec.outputs))
+        assert np.all(rec.outputs >= 0.0)
+
+    def test_peak_is_maximum_feature(self, sim):
+        rec = sim.run(np.array([5.0, 2.0, 1.0, 0.2, 0.7]), rng=1)
+        contact, peak, center = rec.outputs
+        assert peak >= contact - 1e-12
+        assert peak >= center - 1e-12
+
+    def test_reproducible_given_seed(self, sim):
+        x = np.array([4.0, 1.0, 1.0, 0.3, 0.6])
+        a = sim.run(x, rng=7).outputs
+        b = sim.run(x, rng=7).outputs
+        assert np.array_equal(a, b)
+
+    def test_higher_concentration_higher_density(self, sim):
+        """More ions per volume -> systematically higher profile levels."""
+        x_lo = np.array([5.0, 1.0, 1.0, 0.08, 0.7])
+        x_hi = np.array([5.0, 1.0, 1.0, 0.45, 0.7])
+        lo = np.mean([sim.run(x_lo, rng=s).outputs[1] for s in range(3)])
+        hi = np.mean([sim.run(x_hi, rng=s).outputs[1] for s in range(3)])
+        assert hi > lo
+
+    def test_wall_time_recorded(self, sim):
+        rec = sim.run(np.array([5.0, 1.0, 1.0, 0.2, 0.7]), rng=0)
+        assert rec.wall_seconds > 0
+
+
+class TestSampleInputs:
+    def test_shape_and_bounds(self):
+        X = NanoconfinementSimulation.sample_inputs(50, rng=0)
+        assert X.shape == (50, 5)
+        for j, name in enumerate(NANO_INPUTS):
+            lo, hi = NANO_BOUNDS[name]
+            assert np.all(X[:, j] >= lo) and np.all(X[:, j] <= hi)
+
+    def test_valencies_integer(self):
+        X = NanoconfinementSimulation.sample_inputs(30, rng=1)
+        assert np.array_equal(X[:, 1], np.round(X[:, 1]))
+        assert np.array_equal(X[:, 2], np.round(X[:, 2]))
+
+    def test_reproducible(self):
+        a = NanoconfinementSimulation.sample_inputs(10, rng=3)
+        b = NanoconfinementSimulation.sample_inputs(10, rng=3)
+        assert np.array_equal(a, b)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NanoconfinementSimulation(n_target_ions=4)
+        with pytest.raises(ValueError):
+            NanoconfinementSimulation(dt=-0.1)

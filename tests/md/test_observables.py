@@ -1,0 +1,148 @@
+"""Tests for repro.md.observables — density profiles and g(r)."""
+
+import numpy as np
+import pytest
+
+from repro.md.observables import DensityProfile, density_features, radial_distribution
+from repro.md.system import ParticleSystem, SlitBox
+
+
+def _uniform_system(n, seed, h=4.0, lx=5.0):
+    rng = np.random.default_rng(seed)
+    x = np.empty((n, 3))
+    x[:, 0] = rng.uniform(0, lx, n)
+    x[:, 1] = rng.uniform(0, lx, n)
+    x[:, 2] = rng.uniform(0, h, n)
+    return ParticleSystem(x, SlitBox(lx, lx, h))
+
+
+class TestDensityProfile:
+    def test_uniform_gas_density_recovered(self):
+        sys_ = _uniform_system(4000, 0)
+        prof = DensityProfile(4.0, 8, sys_.box.lateral_area)
+        prof.sample(sys_)
+        rho = prof.density()
+        expected = 4000 / sys_.box.volume
+        assert np.allclose(rho, expected, rtol=0.15)
+
+    def test_integrates_to_particle_count(self):
+        sys_ = _uniform_system(500, 1)
+        prof = DensityProfile(4.0, 16, sys_.box.lateral_area)
+        prof.sample(sys_)
+        bin_volume = sys_.box.lateral_area * (4.0 / 16)
+        assert prof.density().sum() * bin_volume == pytest.approx(500)
+
+    def test_multiple_samples_average(self):
+        sys_ = _uniform_system(100, 2)
+        prof = DensityProfile(4.0, 8, sys_.box.lateral_area)
+        prof.sample(sys_)
+        rho1 = prof.density().copy()
+        prof.sample(sys_)  # same configuration again
+        assert np.allclose(prof.density(), rho1)
+        assert prof.n_samples == 2
+
+    def test_species_filter(self):
+        box = SlitBox(5, 5, 4)
+        x = np.array([[1, 1, 1.0], [1, 1, 3.0]])
+        sys_ = ParticleSystem(x, box, species=np.array([0, 1]))
+        prof0 = DensityProfile(4.0, 4, box.lateral_area, species=0)
+        prof0.sample(sys_)
+        rho = prof0.density()
+        assert rho[1] > 0 and rho[3] == 0.0  # only the species-0 particle
+
+    def test_no_samples_rejected(self):
+        prof = DensityProfile(4.0, 8, 25.0)
+        with pytest.raises(ValueError, match="no samples"):
+            prof.density()
+
+    def test_reset(self):
+        sys_ = _uniform_system(10, 3)
+        prof = DensityProfile(4.0, 8, sys_.box.lateral_area)
+        prof.sample(sys_)
+        prof.reset()
+        assert prof.n_samples == 0
+        assert np.all(prof.counts == 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DensityProfile(4.0, 2, 25.0)
+        with pytest.raises(ValueError):
+            DensityProfile(-1.0, 8, 25.0)
+
+    def test_bin_centers_span_slit(self):
+        prof = DensityProfile(4.0, 8, 25.0)
+        assert prof.bin_centers[0] == pytest.approx(0.25)
+        assert prof.bin_centers[-1] == pytest.approx(3.75)
+
+
+class TestDensityFeatures:
+    def test_flat_profile(self):
+        z = np.linspace(0, 4, 16)
+        rho = np.full(16, 2.0)
+        f = density_features(z, rho)
+        assert f["contact"] == pytest.approx(2.0)
+        assert f["peak"] == pytest.approx(2.0)
+        assert f["center"] == pytest.approx(2.0)
+
+    def test_wall_peaked_profile(self):
+        """Double-layer-like shape: contact > center."""
+        z = np.linspace(0, 4, 32)
+        rho = 1.0 + 3.0 * (np.exp(-z / 0.4) + np.exp(-(4 - z) / 0.4))
+        f = density_features(z, rho)
+        assert f["contact"] > f["center"]
+        assert f["peak"] >= f["contact"]
+
+    def test_skips_empty_wall_bins(self):
+        """Excluded-volume zeros at the exact wall must not zero the
+        contact value."""
+        z = np.linspace(0, 4, 16)
+        rho = np.full(16, 1.0)
+        rho[0] = rho[-1] = 0.0  # sterically excluded bins
+        f = density_features(z, rho)
+        assert f["contact"] == pytest.approx(1.0)
+
+    def test_all_zero_profile(self):
+        z = np.linspace(0, 4, 8)
+        f = density_features(z, np.zeros(8))
+        assert f == {"contact": 0.0, "peak": 0.0, "center": 0.0}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            density_features(np.zeros(3), np.zeros(3))
+        with pytest.raises(ValueError):
+            density_features(np.zeros(8), np.zeros(7))
+
+
+class TestRadialDistribution:
+    def test_ideal_gas_g_near_one(self):
+        sys_ = _uniform_system(800, 4, h=10.0, lx=10.0)
+        r, g = radial_distribution(sys_, r_max=3.0, n_bins=12)
+        # Ignore the smallest bins (few pairs, noisy).
+        assert np.allclose(g[3:], 1.0, atol=0.35)
+
+    def test_excluded_core_shows_zero(self):
+        box = SlitBox(6, 6, 6)
+        sys_ = ParticleSystem.random_electrolyte(box, 30, 30, 1.0, -1.0, 0.8, rng=5)
+        r, g = radial_distribution(sys_, r_max=2.0, n_bins=20)
+        # Insertion enforces min separation 0.72, so the core is empty.
+        core = r < 0.6
+        assert np.all(g[core] == 0.0)
+
+    def test_species_pair_selection(self):
+        box = SlitBox(6, 6, 6)
+        sys_ = ParticleSystem.random_electrolyte(box, 20, 20, 1.0, -1.0, 0.5, rng=6)
+        r, g_pp = radial_distribution(sys_, 2.5, 10, species_pair=(0, 0))
+        r2, g_pm = radial_distribution(sys_, 2.5, 10, species_pair=(0, 1))
+        assert g_pp.shape == g_pm.shape == (10,)
+
+    def test_empty_species_rejected(self):
+        sys_ = _uniform_system(10, 7)
+        with pytest.raises(ValueError, match="empty species"):
+            radial_distribution(sys_, 2.0, species_pair=(0, 5))
+
+    def test_validation(self):
+        sys_ = _uniform_system(10, 8)
+        with pytest.raises(ValueError):
+            radial_distribution(sys_, -1.0)
+        with pytest.raises(ValueError):
+            radial_distribution(sys_, 2.0, n_bins=2)

@@ -1,0 +1,210 @@
+"""Tests for repro.md.potentials — energies and force consistency."""
+
+import numpy as np
+import pytest
+
+from repro.md.potentials import (
+    WCA,
+    LennardJones,
+    SoftSphere,
+    StillingerWeberLike,
+    Wall93,
+    Yukawa,
+)
+
+
+def numeric_force_over_r(pot, r, qq=None, eps=1e-6):
+    """-(dU/dr)/r via central differences on scalar r."""
+    def u(rr):
+        arr = np.array([rr * rr])
+        q = np.array([qq]) if qq is not None else None
+        return float(pot.energy(arr, q)[0])
+
+    dudr = (u(r + eps) - u(r - eps)) / (2 * eps)
+    return -dudr / r
+
+
+class TestLennardJones:
+    def test_minimum_at_r_min(self):
+        lj = LennardJones(epsilon=1.0, sigma=1.0, shift=False)
+        r_min = 2.0 ** (1.0 / 6.0)
+        e_min = lj.energy(np.array([r_min**2]))[0]
+        assert e_min == pytest.approx(-1.0)
+        assert lj.force_over_r(np.array([r_min**2]))[0] == pytest.approx(0.0, abs=1e-10)
+
+    def test_zero_crossing_at_sigma_unshifted(self):
+        lj = LennardJones(shift=False)
+        assert lj.energy(np.array([1.0]))[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_shifted_energy_zero_at_cutoff(self):
+        lj = LennardJones(rcut=2.5)
+        assert lj.energy(np.array([2.5**2]))[0] == pytest.approx(0.0, abs=1e-15)
+
+    def test_shift_does_not_change_force(self):
+        r2 = np.array([1.44])
+        f_s = LennardJones(shift=True).force_over_r(r2)
+        f_u = LennardJones(shift=False).force_over_r(r2)
+        assert np.array_equal(f_s, f_u)
+
+    @pytest.mark.parametrize("r", [0.95, 1.1, 1.5, 2.2])
+    def test_force_matches_derivative(self, r):
+        lj = LennardJones()
+        analytic = lj.force_over_r(np.array([r * r]))[0]
+        assert analytic == pytest.approx(numeric_force_over_r(lj, r), rel=1e-4)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LennardJones(epsilon=-1.0)
+
+
+class TestWCA:
+    def test_cutoff_at_minimum(self):
+        wca = WCA(sigma=0.8)
+        assert wca.rcut == pytest.approx(2.0 ** (1.0 / 6.0) * 0.8)
+
+    def test_energy_zero_at_cutoff(self):
+        wca = WCA()
+        e = wca.energy(np.array([wca.rcut**2]))[0]
+        assert e == pytest.approx(0.0, abs=1e-10)
+
+    def test_purely_repulsive_inside(self):
+        wca = WCA()
+        rs = np.linspace(0.8, wca.rcut * 0.999, 20)
+        f = wca.force_over_r(rs**2)
+        assert np.all(f > 0)  # always pushes apart
+
+    @pytest.mark.parametrize("r", [0.85, 0.95, 1.05])
+    def test_force_matches_derivative(self, r):
+        wca = WCA()
+        analytic = wca.force_over_r(np.array([r * r]))[0]
+        assert analytic == pytest.approx(numeric_force_over_r(wca, r), rel=1e-4)
+
+
+class TestYukawa:
+    def test_reduces_to_coulomb_at_zero_screening(self):
+        yk = Yukawa(bjerrum=2.0, kappa=0.0, shift=False)
+        e = yk.energy(np.array([4.0]), np.array([3.0]))[0]
+        assert e == pytest.approx(2.0 * 3.0 / 2.0)
+
+    def test_screening_decays(self):
+        yk = Yukawa(bjerrum=1.0, kappa=2.0, shift=False)
+        e1 = yk.energy(np.array([1.0]), np.array([1.0]))[0]
+        e2 = yk.energy(np.array([4.0]), np.array([1.0]))[0]
+        assert e2 < e1 * np.exp(-2.0 * 1.0) * 0.51  # decays faster than 1/r
+
+    def test_shifted_energy_zero_at_cutoff_any_charge(self):
+        yk = Yukawa(bjerrum=1.5, kappa=0.7, rcut=3.0)
+        for qq in (1.0, -2.0, 4.0):
+            e = yk.energy(np.array([9.0]), np.array([qq]))[0]
+            assert e == pytest.approx(0.0, abs=1e-15)
+
+    def test_like_charges_repel_opposite_attract(self):
+        yk = Yukawa()
+        f_like = yk.force_over_r(np.array([1.0]), np.array([1.0]))[0]
+        f_opp = yk.force_over_r(np.array([1.0]), np.array([-1.0]))[0]
+        assert f_like > 0 and f_opp < 0
+
+    @pytest.mark.parametrize("r,qq", [(0.9, 1.0), (1.5, -2.0), (2.5, 4.0)])
+    def test_force_matches_derivative(self, r, qq):
+        yk = Yukawa(bjerrum=1.7, kappa=0.8)
+        analytic = yk.force_over_r(np.array([r * r]), np.array([qq]))[0]
+        assert analytic == pytest.approx(numeric_force_over_r(yk, r, qq), rel=1e-4)
+
+    def test_charge_required(self):
+        yk = Yukawa()
+        with pytest.raises(ValueError):
+            yk.energy(np.array([1.0]))
+        with pytest.raises(ValueError):
+            yk.force_over_r(np.array([1.0]))
+
+    def test_needs_charge_flag(self):
+        assert Yukawa().needs_charge
+        assert not LennardJones().needs_charge
+
+
+class TestSoftSphere:
+    @pytest.mark.parametrize("r", [0.8, 1.0, 1.4])
+    def test_force_matches_derivative(self, r):
+        ss = SoftSphere(epsilon=0.5, sigma=0.9)
+        analytic = ss.force_over_r(np.array([r * r]))[0]
+        assert analytic == pytest.approx(numeric_force_over_r(ss, r), rel=1e-4)
+
+
+class TestWall93:
+    def test_repulsive_near_attractive_far(self):
+        w = Wall93(epsilon=1.0, sigma=1.0, cutoff=3.0)
+        assert w.wall_force(np.array([0.5]))[0] > 0   # pushes away
+        assert w.wall_energy(np.array([2.0]))[0] < 0  # attractive tail
+
+    def test_zero_beyond_cutoff(self):
+        w = Wall93(cutoff=2.0)
+        assert w.wall_energy(np.array([2.5]))[0] == 0.0
+        assert w.wall_force(np.array([2.5]))[0] == 0.0
+
+    def test_force_is_minus_gradient(self):
+        w = Wall93(epsilon=0.7, sigma=0.9, cutoff=5.0)
+        z, eps = 1.2, 1e-6
+        dudz = (w.wall_energy(np.array([z + eps]))[0] - w.wall_energy(np.array([z - eps]))[0]) / (2 * eps)
+        assert w.wall_force(np.array([z]))[0] == pytest.approx(-dudz, rel=1e-5)
+
+
+class TestStillingerWeberLike:
+    def test_two_atoms_pair_energy_only(self):
+        sw = StillingerWeberLike()
+        pos = np.array([[0.0, 0.0, 0.0], [1.2, 0.0, 0.0]])
+        e = sw.total_energy(pos)
+        r = np.array([1.2])
+        h = np.exp(sw.sigma / (r - sw.rcut))
+        expected = sw.big_a * ((sw.sigma / 1.2) ** 4 - 1.0) * h[0]
+        assert e == pytest.approx(expected)
+
+    def test_single_atom_zero(self):
+        assert StillingerWeberLike().total_energy(np.zeros((1, 3))) == 0.0
+
+    def test_beyond_cutoff_zero(self):
+        sw = StillingerWeberLike(a_cut=1.5)
+        pos = np.array([[0.0, 0.0, 0.0], [2.0, 0.0, 0.0]])
+        assert sw.total_energy(pos) == 0.0
+
+    def test_three_body_term_angle_dependent(self):
+        sw = StillingerWeberLike()
+        # 180-degree triple: cos = -1, penalty (cos+1/3)^2 = 4/9
+        linear = np.array([[-1.0, 0, 0], [0.0, 0, 0], [1.0, 0, 0]])
+        # 109.47-degree (tetrahedral): cos = -1/3, zero penalty for the
+        # center atom; arms of length 1.2 put the two outer atoms at
+        # 1.96 > rcut so no other triplets contribute.
+        c = -1.0 / 3.0
+        s = np.sqrt(1 - c * c)
+        tetra = 1.2 * np.array([[1.0, 0, 0], [0.0, 0, 0], [c, s, 0]])
+        e_pair_only = StillingerWeberLike(lam=0.0)
+        assert sw.total_energy(tetra) - e_pair_only.total_energy(tetra) == pytest.approx(
+            0.0, abs=1e-10
+        )
+        assert sw.total_energy(linear) > e_pair_only.total_energy(linear)
+
+    def test_translation_invariance(self):
+        sw = StillingerWeberLike()
+        rng = np.random.default_rng(0)
+        pos = rng.uniform(0, 2, (5, 3))
+        assert sw.total_energy(pos) == pytest.approx(sw.total_energy(pos + 10.0))
+
+    def test_rotation_invariance(self):
+        sw = StillingerWeberLike()
+        rng = np.random.default_rng(1)
+        pos = rng.uniform(0, 2, (5, 3))
+        theta = 0.7
+        R = np.array(
+            [
+                [np.cos(theta), -np.sin(theta), 0],
+                [np.sin(theta), np.cos(theta), 0],
+                [0, 0, 1],
+            ]
+        )
+        assert sw.total_energy(pos) == pytest.approx(sw.total_energy(pos @ R.T))
+
+    def test_permutation_invariance(self):
+        sw = StillingerWeberLike()
+        rng = np.random.default_rng(2)
+        pos = rng.uniform(0, 2, (6, 3))
+        perm = rng.permutation(6)
+        assert sw.total_energy(pos) == pytest.approx(sw.total_energy(pos[perm]))

@@ -1,0 +1,123 @@
+"""Tests for repro.md.structure — MLafterHPC structure identification."""
+
+import numpy as np
+import pytest
+
+from repro.md.bp import SymmetryFunctions, random_cluster
+from repro.md.structure import StructureClassifier, StructureLabels, fcc_lattice
+
+
+class TestFccLattice:
+    def test_atom_count(self):
+        assert len(fcc_lattice(2)) == 4 * 8
+
+    def test_nearest_neighbor_distance(self):
+        """FCC nearest-neighbor distance is a / sqrt(2)."""
+        a = 1.5
+        pts = fcc_lattice(2, a)
+        d = np.linalg.norm(pts[:, None] - pts[None], axis=-1)
+        np.fill_diagonal(d, np.inf)
+        assert d.min() == pytest.approx(a / np.sqrt(2.0))
+
+    def test_interior_coordination_is_twelve(self):
+        a = 1.5
+        pts = fcc_lattice(3, a)
+        center = pts[np.argmin(np.linalg.norm(pts - pts.mean(axis=0), axis=1))]
+        d = np.linalg.norm(pts - center, axis=1)
+        nn = np.sum((d > 1e-9) & (d < a / np.sqrt(2) * 1.1))
+        assert nn == 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fcc_lattice(0)
+        with pytest.raises(ValueError):
+            fcc_lattice(2, -1.0)
+
+
+class TestStructureClassifier:
+    @pytest.fixture(scope="class")
+    def crystal_and_gas(self):
+        crystal = fcc_lattice(3, lattice_constant=1.5)
+        rng = np.random.default_rng(0)
+        gas = random_cluster(
+            len(crystal), box_side=12.0, rng=rng, min_separation=1.0
+        )
+        return crystal, gas
+
+    def test_separates_crystal_from_gas(self, crystal_and_gas):
+        crystal, gas = crystal_and_gas
+        clf = StructureClassifier(
+            SymmetryFunctions(r_cut=2.0), n_classes=2, rng=1
+        )
+        clf.fit([crystal, gas])
+        lab_c = clf.classify(crystal)
+        lab_g = clf.classify(gas)
+        # Each configuration should be dominated by one class, and the
+        # dominant classes must differ.
+        maj_c = np.bincount(lab_c, minlength=2).argmax()
+        maj_g = np.bincount(lab_g, minlength=2).argmax()
+        assert maj_c != maj_g
+        assert np.mean(lab_c == maj_c) > 0.6
+        assert np.mean(lab_g == maj_g) > 0.6
+
+    def test_labels_shape_for_uniform_frames(self, crystal_and_gas):
+        crystal, gas = crystal_and_gas
+        clf = StructureClassifier(SymmetryFunctions(r_cut=2.0), rng=2)
+        result = clf.fit([crystal, gas])
+        assert isinstance(result, StructureLabels)
+        assert result.labels.shape == (2, len(crystal))
+        assert result.n_classes == 2
+
+    def test_class_fractions_sum_to_one(self, crystal_and_gas):
+        crystal, gas = crystal_and_gas
+        clf = StructureClassifier(SymmetryFunctions(r_cut=2.0), rng=3)
+        result = clf.fit([crystal, gas])
+        assert result.class_fractions(0).sum() == pytest.approx(1.0)
+
+    def test_classify_before_fit_rejected(self):
+        clf = StructureClassifier(rng=0)
+        with pytest.raises(RuntimeError):
+            clf.classify(np.zeros((3, 3)))
+
+    def test_classification_invariant_under_rotation(self, crystal_and_gas):
+        crystal, gas = crystal_and_gas
+        clf = StructureClassifier(SymmetryFunctions(r_cut=2.0), rng=4)
+        clf.fit([crystal, gas])
+        theta = 0.8
+        rot = np.array(
+            [
+                [np.cos(theta), -np.sin(theta), 0],
+                [np.sin(theta), np.cos(theta), 0],
+                [0, 0, 1],
+            ]
+        )
+        assert np.array_equal(clf.classify(crystal), clf.classify(crystal @ rot.T))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StructureClassifier(n_classes=1)
+        clf = StructureClassifier(rng=0)
+        with pytest.raises(ValueError):
+            clf.fit([])
+
+
+class TestHeterogeneousFrames:
+    def test_fit_handles_different_particle_counts(self):
+        crystal = fcc_lattice(2, 1.5)          # 32 atoms
+        rng = np.random.default_rng(9)
+        gas = random_cluster(20, box_side=9.0, rng=rng, min_separation=1.0)
+        clf = StructureClassifier(SymmetryFunctions(r_cut=2.0), rng=10)
+        result = clf.fit([crystal, gas])
+        assert result.n_frames == 2
+        assert len(result.frame_labels[0]) == len(crystal)
+        assert len(result.frame_labels[1]) == 20
+        with pytest.raises(ValueError, match="different particle counts"):
+            result.labels
+
+    def test_uniform_frames_expose_label_matrix(self):
+        crystal = fcc_lattice(2, 1.5)
+        rng = np.random.default_rng(11)
+        gas = random_cluster(len(crystal), box_side=9.0, rng=rng, min_separation=1.0)
+        clf = StructureClassifier(SymmetryFunctions(r_cut=2.0), rng=12)
+        result = clf.fit([crystal, gas])
+        assert result.labels.shape == (2, len(crystal))

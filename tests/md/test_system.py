@@ -1,0 +1,138 @@
+"""Tests for repro.md.system — SlitBox and ParticleSystem."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.md.system import ParticleSystem, SlitBox
+
+
+class TestSlitBox:
+    def test_volume_and_area(self):
+        box = SlitBox(4.0, 5.0, 2.0)
+        assert box.volume == 40.0
+        assert box.lateral_area == 20.0
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            SlitBox(0.0, 1.0, 1.0)
+
+    def test_minimum_image_xy_only(self):
+        box = SlitBox(10.0, 10.0, 5.0)
+        dr = np.array([9.0, -9.0, 4.0])
+        mi = box.minimum_image(dr)
+        assert mi[0] == pytest.approx(-1.0)
+        assert mi[1] == pytest.approx(1.0)
+        assert mi[2] == pytest.approx(4.0)  # z untouched
+
+    @given(st.floats(-100, 100), st.floats(-100, 100))
+    def test_minimum_image_bounds(self, dx, dy):
+        box = SlitBox(7.0, 3.0, 5.0)
+        mi = box.minimum_image(np.array([dx, dy, 0.0]))
+        assert abs(mi[0]) <= 3.5 + 1e-9
+        assert abs(mi[1]) <= 1.5 + 1e-9
+
+    def test_minimum_image_batch_shape(self):
+        box = SlitBox(5.0, 5.0, 5.0)
+        dr = np.zeros((4, 7, 3))
+        assert box.minimum_image(dr).shape == (4, 7, 3)
+
+    def test_wrap_keeps_z(self):
+        box = SlitBox(5.0, 5.0, 3.0)
+        x = np.array([[6.0, -1.0, 2.5]])
+        w = box.wrap(x)
+        assert w[0, 0] == pytest.approx(1.0)
+        assert w[0, 1] == pytest.approx(4.0)
+        assert w[0, 2] == 2.5
+
+    def test_wrap_does_not_mutate_input(self):
+        box = SlitBox(5.0, 5.0, 3.0)
+        x = np.array([[6.0, 0.0, 1.0]])
+        box.wrap(x)
+        assert x[0, 0] == 6.0
+
+
+class TestParticleSystem:
+    def test_construction_defaults(self):
+        sys_ = ParticleSystem(np.zeros((3, 3)), SlitBox(2, 2, 2))
+        assert sys_.n == 3
+        assert np.all(sys_.v == 0) and np.all(sys_.q == 0) and np.all(sys_.d == 1)
+
+    def test_shape_validation(self):
+        box = SlitBox(2, 2, 2)
+        with pytest.raises(ValueError):
+            ParticleSystem(np.zeros((3, 2)), box)
+        with pytest.raises(ValueError):
+            ParticleSystem(np.zeros((3, 3)), box, q=np.zeros(2))
+
+    def test_kinetic_energy_and_temperature(self):
+        box = SlitBox(2, 2, 2)
+        v = np.ones((4, 3))
+        sys_ = ParticleSystem(np.zeros((4, 3)), box, v=v)
+        assert sys_.kinetic_energy() == pytest.approx(0.5 * 12)
+        assert sys_.temperature() == pytest.approx(2 * 6 / (3 * 4))
+
+    def test_thermalize_hits_temperature(self):
+        box = SlitBox(5, 5, 5)
+        sys_ = ParticleSystem(np.zeros((2000, 3)), box)
+        sys_.thermalize(1.5, rng=0)
+        assert sys_.temperature() == pytest.approx(1.5, rel=0.05)
+
+    def test_copy_is_deep(self):
+        box = SlitBox(2, 2, 2)
+        a = ParticleSystem(np.zeros((2, 3)), box)
+        b = a.copy()
+        b.x[0, 0] = 9.0
+        assert a.x[0, 0] == 0.0
+
+
+class TestRandomElectrolyte:
+    def test_charge_neutral_when_counts_match(self):
+        box = SlitBox(10, 10, 5)
+        sys_ = ParticleSystem.random_electrolyte(box, 10, 20, 2.0, -1.0, 0.5, rng=0)
+        assert float(np.sum(sys_.q)) == pytest.approx(0.0)
+        assert sys_.n == 30
+
+    def test_species_labels(self):
+        box = SlitBox(10, 10, 5)
+        sys_ = ParticleSystem.random_electrolyte(box, 5, 5, 1.0, -1.0, 0.5, rng=0)
+        assert np.count_nonzero(sys_.species == 0) == 5
+        assert np.count_nonzero(sys_.species == 1) == 5
+
+    def test_z_stays_inside_walls(self):
+        box = SlitBox(10, 10, 4)
+        sys_ = ParticleSystem.random_electrolyte(box, 20, 20, 1.0, -1.0, 0.8, rng=1)
+        assert np.all(sys_.x[:, 2] >= 0.4 - 1e-12)
+        assert np.all(sys_.x[:, 2] <= 4 - 0.4 + 1e-12)
+
+    def test_minimum_separation_enforced(self):
+        box = SlitBox(12, 12, 5)
+        d = 0.8
+        sys_ = ParticleSystem.random_electrolyte(box, 25, 25, 1.0, -1.0, d, rng=2)
+        dr = sys_.x[:, None, :] - sys_.x[None, :, :]
+        dr = box.minimum_image(dr)
+        r = np.sqrt(np.sum(dr * dr, axis=-1))
+        np.fill_diagonal(r, np.inf)
+        assert r.min() >= 0.9 * d - 1e-9
+
+    def test_overpacked_box_rejected(self):
+        box = SlitBox(2, 2, 2)
+        with pytest.raises(ValueError, match="density too high"):
+            ParticleSystem.random_electrolyte(box, 200, 200, 1.0, -1.0, 0.9, rng=0)
+
+    def test_slit_too_small_rejected(self):
+        box = SlitBox(5, 5, 0.5)
+        with pytest.raises(ValueError, match="too small"):
+            ParticleSystem.random_electrolyte(box, 2, 2, 1.0, -1.0, 0.6, rng=0)
+
+    def test_positive_z_negative_rejected(self):
+        box = SlitBox(5, 5, 5)
+        with pytest.raises(ValueError):
+            ParticleSystem.random_electrolyte(box, 2, 2, 1.0, 1.0, 0.5, rng=0)
+
+    def test_reproducible(self):
+        box = SlitBox(8, 8, 4)
+        a = ParticleSystem.random_electrolyte(box, 10, 10, 1.0, -1.0, 0.5, rng=9)
+        b = ParticleSystem.random_electrolyte(box, 10, 10, 1.0, -1.0, 0.5, rng=9)
+        assert np.array_equal(a.x, b.x)
+        assert np.array_equal(a.v, b.v)

@@ -1,0 +1,118 @@
+"""Tests for repro.md.tightbinding — the SCF electronic-structure toy."""
+
+import numpy as np
+import pytest
+
+from repro.md.tightbinding import TightBindingModel
+
+
+@pytest.fixture
+def tb():
+    return TightBindingModel()
+
+
+def _dimer(r):
+    return np.array([[0.0, 0.0, 0.0], [r, 0.0, 0.0]])
+
+
+class TestDimer:
+    def test_dimer_analytic_structure(self):
+        """For a symmetric dimer the SCF is trivial (q = 0) and the band
+        energy is 2 * (onsite - |hopping|)."""
+        tb = TightBindingModel(hubbard_u=1.0, repulsion_a=0.0)
+        r = 1.2
+        e = tb.total_energy(_dimer(r))
+        hopping = tb.t0 * np.exp(-tb.decay * (r - tb.r0))
+        assert e == pytest.approx(2.0 * (tb.onsite - hopping), abs=1e-8)
+
+    def test_repulsion_raises_energy_at_short_range(self, tb):
+        e_no_rep = TightBindingModel(repulsion_a=0.0).total_energy(_dimer(0.9))
+        e_rep = tb.total_energy(_dimer(0.9))
+        assert e_rep > e_no_rep
+
+    def test_binding_curve_has_minimum(self, tb):
+        rs = np.linspace(0.8, 2.8, 25)
+        es = [tb.total_energy(_dimer(r)) for r in rs]
+        i_min = int(np.argmin(es))
+        assert 0 < i_min < len(rs) - 1  # bound state, not at the edges
+
+    def test_beyond_cutoff_atoms_decouple(self, tb):
+        e_far = tb.total_energy(_dimer(5.0))
+        e_single = 2 * tb.total_energy(np.zeros((1, 3)))
+        assert e_far == pytest.approx(e_single, abs=1e-9)
+
+
+class TestSCF:
+    def test_symmetric_cluster_converges_fast(self, tb):
+        tb.total_energy(_dimer(1.2))
+        assert tb.last_scf_iterations < tb.max_scf_iters
+
+    def test_u_zero_single_diagonalization(self):
+        tb = TightBindingModel(hubbard_u=0.0)
+        tb.total_energy(_dimer(1.2))
+        # No charge feedback: q stays 0, converges after iteration 1..2.
+        assert tb.last_scf_iterations <= 2
+
+    def test_asymmetric_cluster_develops_charges_u_matters(self):
+        """An asymmetric trimer polarizes; U changes its energy."""
+        pos = np.array([[0.0, 0, 0], [1.1, 0, 0], [2.4, 0, 0]])
+        e_u0 = TightBindingModel(hubbard_u=0.0).total_energy(pos)
+        e_u2 = TightBindingModel(hubbard_u=2.0).total_energy(pos)
+        assert e_u0 != pytest.approx(e_u2, abs=1e-6)
+
+    def test_iteration_count_tracked(self, tb):
+        pos = np.array([[0.0, 0, 0], [1.1, 0, 0], [2.0, 0.8, 0]])
+        tb.total_energy(pos)
+        assert 1 <= tb.last_scf_iterations <= tb.max_scf_iters
+
+
+class TestInvariances:
+    @pytest.fixture
+    def cluster(self, rng):
+        from repro.md.bp import random_cluster
+
+        return random_cluster(6, box_side=2.4, rng=rng, min_separation=0.9)
+
+    def test_translation_invariance(self, tb, cluster):
+        assert tb.total_energy(cluster) == pytest.approx(
+            tb.total_energy(cluster + 7.0), rel=1e-9
+        )
+
+    def test_rotation_invariance(self, tb, cluster):
+        theta = 0.9
+        rot = np.array(
+            [
+                [np.cos(theta), -np.sin(theta), 0],
+                [np.sin(theta), np.cos(theta), 0],
+                [0, 0, 1],
+            ]
+        )
+        assert tb.total_energy(cluster) == pytest.approx(
+            tb.total_energy(cluster @ rot.T), rel=1e-9
+        )
+
+    def test_permutation_invariance(self, tb, cluster, rng):
+        perm = rng.permutation(len(cluster))
+        assert tb.total_energy(cluster) == pytest.approx(
+            tb.total_energy(cluster[perm]), rel=1e-9
+        )
+
+    def test_deterministic(self, tb, cluster):
+        assert tb.total_energy(cluster) == tb.total_energy(cluster)
+
+
+class TestValidation:
+    def test_single_atom(self, tb):
+        assert tb.total_energy(np.zeros((1, 3))) == tb.onsite
+
+    def test_callable_protocol(self, tb):
+        pos = _dimer(1.2)
+        assert tb(pos) == tb.total_energy(pos)
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            TightBindingModel(t0=0.0)
+        with pytest.raises(ValueError):
+            TightBindingModel(mixing=0.0)
+        with pytest.raises(ValueError):
+            TightBindingModel(max_scf_iters=0)

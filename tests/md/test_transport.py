@@ -1,0 +1,130 @@
+"""Tests for repro.md.transport — MSD and diffusion coefficients."""
+
+import numpy as np
+import pytest
+
+from repro.md.forces import PairTable
+from repro.md.integrators import Langevin
+from repro.md.system import ParticleSystem, SlitBox
+from repro.md.transport import (
+    TrajectoryRecorder,
+    diffusion_coefficient,
+    mean_squared_displacement,
+)
+
+
+class TestTrajectoryRecorder:
+    def test_records_frames(self):
+        box = SlitBox(5, 5, 5)
+        sys_ = ParticleSystem(np.full((3, 3), 2.0), box)
+        rec = TrajectoryRecorder(sys_)
+        sys_.x += 0.1
+        rec.sample(sys_)
+        assert rec.n_frames == 2
+        assert rec.trajectory().shape == (2, 3, 3)
+
+    def test_unwraps_across_periodic_boundary(self):
+        box = SlitBox(4.0, 4.0, 4.0)
+        sys_ = ParticleSystem(np.array([[3.9, 2.0, 2.0]]), box)
+        rec = TrajectoryRecorder(sys_)
+        # Move +0.3 in x: wraps to 0.2, but displacement is +0.3.
+        sys_.x = box.wrap(np.array([[4.2, 2.0, 2.0]]))
+        rec.sample(sys_)
+        traj = rec.trajectory()
+        assert traj[1, 0, 0] == pytest.approx(4.2)  # unwrapped keeps going
+
+    def test_long_walk_accumulates(self):
+        box = SlitBox(2.0, 2.0, 10.0)
+        sys_ = ParticleSystem(np.array([[1.0, 1.0, 5.0]]), box)
+        rec = TrajectoryRecorder(sys_)
+        for _ in range(10):
+            sys_.x = box.wrap(sys_.x + np.array([0.5, 0.0, 0.0]))
+            rec.sample(sys_)
+        assert rec.trajectory()[-1, 0, 0] == pytest.approx(6.0)
+
+
+class TestMSD:
+    def test_ballistic_motion_quadratic(self):
+        """Constant velocity: MSD(lag) = (v lag)^2."""
+        frames = np.zeros((20, 1, 3))
+        frames[:, 0, 0] = 0.3 * np.arange(20)
+        msd = mean_squared_displacement(frames, max_lag=8)
+        for lag in range(1, 9):
+            assert msd[lag] == pytest.approx((0.3 * lag) ** 2)
+
+    def test_axis_selection(self):
+        frames = np.zeros((10, 1, 3))
+        frames[:, 0, 2] = np.arange(10.0)  # motion only along z
+        msd_xy = mean_squared_displacement(frames, max_lag=4, axes=(0, 1))
+        msd_z = mean_squared_displacement(frames, max_lag=4, axes=(2,))
+        assert np.allclose(msd_xy, 0.0)
+        assert msd_z[4] == pytest.approx(16.0)
+
+    def test_lag_zero_is_zero(self):
+        rng = np.random.default_rng(0)
+        frames = rng.normal(size=(12, 4, 3))
+        msd = mean_squared_displacement(frames)
+        assert msd[0] == 0.0
+
+    def test_random_walk_linear(self):
+        rng = np.random.default_rng(1)
+        steps = rng.normal(0.0, 1.0, (2000, 50, 3))
+        frames = np.cumsum(steps, axis=0)
+        msd = mean_squared_displacement(frames, max_lag=20)
+        # MSD(lag) = 3 * lag for unit-variance per-axis steps.
+        for lag in (5, 10, 20):
+            assert msd[lag] == pytest.approx(3.0 * lag, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mean_squared_displacement(np.zeros((1, 2, 3)))
+        with pytest.raises(ValueError):
+            mean_squared_displacement(np.zeros((5, 2, 2)))
+
+
+class TestDiffusionCoefficient:
+    def test_recovers_known_slope(self):
+        lags = np.arange(50)
+        msd = 2 * 3 * 0.7 * lags * 0.01  # D = 0.7, dt = 0.01
+        d = diffusion_coefficient(msd, 0.01)
+        assert d == pytest.approx(0.7, rel=1e-6)
+
+    def test_2d_normalization(self):
+        lags = np.arange(50)
+        msd = 2 * 2 * 0.5 * lags * 0.01
+        d = diffusion_coefficient(msd, 0.01, n_dims=2)
+        assert d == pytest.approx(0.5, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diffusion_coefficient(np.zeros(2), 0.01)
+        with pytest.raises(ValueError):
+            diffusion_coefficient(np.zeros(10), -0.1)
+        with pytest.raises(ValueError):
+            diffusion_coefficient(np.zeros(10), 0.01, n_dims=4)
+
+
+class TestLangevinEinsteinRelation:
+    def test_free_particle_diffusion_matches_theory(self):
+        """Free Langevin particles: D = k_B T / (m gamma), exactly.
+
+        This closes the loop on the whole dynamics stack: integrator,
+        thermostat, recorder, MSD and fit all have to be right at once.
+        """
+        temperature, gamma = 1.2, 0.8
+        expected = temperature / gamma
+        box = SlitBox(1000.0, 1000.0, 1000.0)
+        n = 400
+        sys_ = ParticleSystem(np.full((n, 3), 500.0), box)
+        sys_.thermalize(temperature, rng=0)
+        lang = Langevin(PairTable([]), dt=0.05, temperature=temperature,
+                        gamma=gamma, rng=1)
+        rec = TrajectoryRecorder(sys_)
+        sample_every = 4
+        for _ in range(300):
+            lang.step(sys_, sample_every)
+            rec.sample(sys_)
+        msd = mean_squared_displacement(rec.trajectory(), max_lag=100)
+        d = diffusion_coefficient(msd, dt_per_lag=0.05 * sample_every,
+                                  fit_start_fraction=0.3)
+        assert d == pytest.approx(expected, rel=0.1)

@@ -1,0 +1,111 @@
+"""Tests for repro.nn.activations — values and analytic derivatives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn.activations import (
+    Identity,
+    LeakyReLU,
+    ReLU,
+    Sigmoid,
+    Softplus,
+    Tanh,
+    get_activation,
+)
+
+ALL = [Identity(), ReLU(), LeakyReLU(0.1), Tanh(), Sigmoid(), Softplus()]
+
+
+def numeric_derivative(act, x, eps=1e-6):
+    return (act.forward(x + eps) - act.forward(x - eps)) / (2 * eps)
+
+
+@pytest.mark.parametrize("act", ALL, ids=lambda a: a.name)
+class TestDerivatives:
+    def test_backward_matches_finite_difference(self, act):
+        rng = np.random.default_rng(0)
+        # Stay away from the ReLU kink where FD is ill-defined.
+        x = rng.uniform(-3, 3, 200)
+        x = x[np.abs(x) > 1e-3]
+        grad_out = np.ones_like(x)
+        analytic = act.backward(x, grad_out)
+        numeric = numeric_derivative(act, x)
+        assert np.allclose(analytic, numeric, atol=1e-4)
+
+    def test_backward_scales_with_grad_out(self, act):
+        x = np.linspace(-2, 2, 11)
+        g1 = act.backward(x, np.ones_like(x))
+        g3 = act.backward(x, 3.0 * np.ones_like(x))
+        assert np.allclose(g3, 3.0 * g1)
+
+    def test_shape_preserved(self, act):
+        x = np.zeros((4, 5)) + 0.3
+        assert act.forward(x).shape == (4, 5)
+        assert act.backward(x, np.ones((4, 5))).shape == (4, 5)
+
+
+class TestSpecificValues:
+    def test_relu_clamps(self):
+        assert np.array_equal(ReLU().forward(np.array([-1.0, 2.0])), [0.0, 2.0])
+
+    def test_sigmoid_bounds_and_midpoint(self):
+        s = Sigmoid()
+        assert s.forward(np.array([0.0]))[0] == pytest.approx(0.5)
+        big = s.forward(np.array([1000.0, -1000.0]))
+        assert big[0] == pytest.approx(1.0)
+        assert big[1] == pytest.approx(0.0)
+
+    def test_sigmoid_no_overflow_warnings(self):
+        with np.errstate(over="raise"):
+            Sigmoid().forward(np.array([-1e4, 1e4]))
+
+    def test_softplus_stable_at_extremes(self):
+        sp = Softplus()
+        out = sp.forward(np.array([-1e4, 0.0, 1e4]))
+        assert np.all(np.isfinite(out))
+        assert out[2] == pytest.approx(1e4)
+
+    def test_softplus_positive(self):
+        assert np.all(Softplus().forward(np.linspace(-5, 5, 50)) > 0)
+
+    def test_tanh_odd(self):
+        x = np.linspace(-2, 2, 9)
+        t = Tanh()
+        assert np.allclose(t.forward(x), -t.forward(-x))
+
+    def test_leaky_relu_alpha(self):
+        lr = LeakyReLU(0.2)
+        assert lr.forward(np.array([-1.0]))[0] == pytest.approx(-0.2)
+
+    def test_leaky_relu_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            LeakyReLU(-0.1)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name", ["identity", "linear", "relu", "leaky_relu", "tanh", "sigmoid", "softplus"]
+    )
+    def test_lookup_by_name(self, name):
+        act = get_activation(name)
+        assert hasattr(act, "forward")
+
+    def test_instance_passthrough(self):
+        inst = Tanh()
+        assert get_activation(inst) is inst
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(ValueError, match="relu"):
+            get_activation("swish")
+
+    @given(
+        arrays(np.float64, st.integers(1, 20), elements=st.floats(-5, 5))
+    )
+    def test_monotone_activations(self, x):
+        """ReLU, sigmoid, tanh, softplus are monotone non-decreasing."""
+        xs = np.sort(x)
+        for act in (ReLU(), Sigmoid(), Tanh(), Softplus()):
+            y = act.forward(xs)
+            assert np.all(np.diff(y) >= -1e-12)

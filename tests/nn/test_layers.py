@@ -1,0 +1,182 @@
+"""Tests for repro.nn.layers — Dense, Dropout, ActivationLayer."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import max_relative_error, numerical_gradient
+from repro.nn.initializers import get_initializer, glorot_uniform, he_normal, zeros_init
+from repro.nn.layers import ActivationLayer, Dense, Dropout
+
+
+class TestDense:
+    def test_forward_affine(self):
+        layer = Dense(2, 3, rng=0)
+        layer.W[...] = np.arange(6).reshape(2, 3)
+        layer.b[...] = [1.0, 2.0, 3.0]
+        out = layer.forward(np.array([[1.0, 1.0]]))
+        assert np.allclose(out, [[0 + 3 + 1, 1 + 4 + 2, 2 + 5 + 3]])
+
+    def test_bad_input_shape_rejected(self):
+        layer = Dense(3, 2, rng=0)
+        with pytest.raises(ValueError, match="Dense"):
+            layer.forward(np.zeros((4, 5)))
+
+    def test_backward_requires_training_forward(self):
+        layer = Dense(2, 2, rng=0)
+        layer.forward(np.zeros((1, 2)), training=False)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_weight_gradient_matches_numeric(self):
+        rng = np.random.default_rng(1)
+        layer = Dense(3, 2, rng=0)
+        x = rng.normal(size=(5, 3))
+        target = rng.normal(size=(5, 2))
+
+        def loss_at(W):
+            layer.W[...] = W
+            pred = x @ layer.W + layer.b
+            return float(np.sum((pred - target) ** 2))
+
+        W0 = layer.W.copy()
+        numeric = numerical_gradient(loss_at, W0.copy())
+        layer.W[...] = W0
+        layer.zero_grad()
+        layer.forward(x, training=True)
+        layer.backward(2.0 * (x @ layer.W + layer.b - target))
+        assert max_relative_error(layer.grads[0], numeric) < 1e-5
+
+    def test_bias_gradient_is_column_sum(self):
+        layer = Dense(2, 2, rng=0)
+        x = np.random.default_rng(0).normal(size=(7, 2))
+        layer.zero_grad()
+        layer.forward(x, training=True)
+        g = np.random.default_rng(1).normal(size=(7, 2))
+        layer.backward(g)
+        assert np.allclose(layer.grads[1], g.sum(axis=0))
+
+    def test_grad_accumulates_until_zeroed(self):
+        layer = Dense(2, 2, rng=0)
+        x = np.ones((1, 2))
+        layer.forward(x, training=True)
+        layer.backward(np.ones((1, 2)))
+        g1 = layer.grads[0].copy()
+        layer.forward(x, training=True)
+        layer.backward(np.ones((1, 2)))
+        assert np.allclose(layer.grads[0], 2 * g1)
+        layer.zero_grad()
+        assert np.allclose(layer.grads[0], 0.0)
+
+    def test_l2_penalty_enters_gradient(self):
+        layer = Dense(2, 2, l2=0.5, rng=0)
+        x = np.zeros((1, 2))
+        layer.zero_grad()
+        layer.forward(x, training=True)
+        layer.backward(np.zeros((1, 2)))
+        # With zero data gradient, the L2 term remains.
+        assert np.allclose(layer.grads[0], 0.5 * layer.W)
+        assert layer.penalty() == pytest.approx(0.25 * float(np.sum(layer.W**2)))
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            Dense(0, 3)
+        with pytest.raises(ValueError):
+            Dense(3, 2, l2=-0.1)
+
+    def test_n_params(self):
+        assert Dense(4, 5, rng=0).n_params == 4 * 5 + 5
+
+    def test_config_roundtrip_fields(self):
+        cfg = Dense(3, 4, l2=0.1, rng=0).config()
+        assert cfg == {
+            "kind": "dense",
+            "in_dim": 3,
+            "out_dim": 4,
+            "init": "glorot_uniform",
+            "l2": 0.1,
+        }
+
+
+class TestDropout:
+    def test_identity_at_inference(self):
+        d = Dropout(0.5, rng=0)
+        x = np.ones((4, 8))
+        assert np.array_equal(d.forward(x, training=False), x)
+
+    def test_training_zeroes_and_scales(self):
+        d = Dropout(0.5, rng=0)
+        x = np.ones((2000, 1))
+        out = d.forward(x, training=True)
+        zeros = np.count_nonzero(out == 0.0)
+        survivors = out[out != 0]
+        assert np.allclose(survivors, 2.0)  # 1 / (1 - 0.5)
+        assert 0.4 < zeros / out.size < 0.6
+
+    def test_expected_value_preserved(self):
+        d = Dropout(0.3, rng=1)
+        x = np.ones((20000, 1))
+        out = d.forward(x, training=True)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_mc_mode_samples_at_inference(self):
+        d = Dropout(0.5, rng=0)
+        d.mc = True
+        x = np.ones((4, 16))
+        a = d.forward(x, training=False)
+        b = d.forward(x, training=False)
+        assert not np.array_equal(a, b)
+
+    def test_backward_uses_same_mask(self):
+        d = Dropout(0.5, rng=0)
+        x = np.ones((3, 10))
+        out = d.forward(x, training=True)
+        grad = d.backward(np.ones_like(x))
+        assert np.array_equal(grad == 0.0, out == 0.0)
+
+    def test_zero_rate_is_identity_everywhere(self):
+        d = Dropout(0.0)
+        x = np.random.default_rng(0).normal(size=(3, 3))
+        assert np.array_equal(d.forward(x, training=True), x)
+        assert np.array_equal(d.backward(x), x)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+
+class TestActivationLayer:
+    def test_forward_applies_activation(self):
+        layer = ActivationLayer("relu")
+        out = layer.forward(np.array([[-1.0, 2.0]]))
+        assert np.array_equal(out, [[0.0, 2.0]])
+
+    def test_backward_requires_training(self):
+        layer = ActivationLayer("tanh")
+        layer.forward(np.zeros((1, 2)), training=False)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2)))
+
+    def test_has_no_params(self):
+        assert ActivationLayer("tanh").n_params == 0
+
+
+class TestInitializers:
+    def test_glorot_bounds(self):
+        w = glorot_uniform(100, 100, np.random.default_rng(0))
+        limit = np.sqrt(6.0 / 200)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_he_variance(self):
+        w = he_normal(1000, 50, np.random.default_rng(0))
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 1000), rel=0.1)
+
+    def test_zeros(self):
+        assert np.all(zeros_init(3, 3, np.random.default_rng(0)) == 0.0)
+
+    def test_registry_and_passthrough(self):
+        assert get_initializer("he_normal") is he_normal
+        assert get_initializer(glorot_uniform) is glorot_uniform
+        with pytest.raises(ValueError):
+            get_initializer("nope")

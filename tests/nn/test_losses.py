@@ -1,0 +1,109 @@
+"""Tests for repro.nn.losses — values and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import max_relative_error, numerical_gradient
+from repro.nn.losses import BCELoss, HuberLoss, MAELoss, MSELoss, get_loss
+
+ALL_SMOOTH = [MSELoss(), HuberLoss(0.7)]
+
+
+def _numeric_loss_grad(loss, pred, target):
+    def f(p):
+        v, _ = loss(p, target)
+        return v
+
+    return numerical_gradient(f, pred.copy())
+
+
+class TestValues:
+    def test_mse_known_value(self):
+        v, _ = MSELoss()(np.array([[1.0, 2.0]]), np.array([[0.0, 0.0]]))
+        assert v == pytest.approx((1 + 4) / 2)
+
+    def test_mae_known_value(self):
+        v, _ = MAELoss()(np.array([[1.0, -3.0]]), np.array([[0.0, 0.0]]))
+        assert v == pytest.approx(2.0)
+
+    def test_huber_quadratic_inside(self):
+        v, _ = HuberLoss(1.0)(np.array([[0.5]]), np.array([[0.0]]))
+        assert v == pytest.approx(0.5 * 0.25)
+
+    def test_huber_linear_outside(self):
+        v, _ = HuberLoss(1.0)(np.array([[3.0]]), np.array([[0.0]]))
+        assert v == pytest.approx(1.0 * (3.0 - 0.5))
+
+    def test_bce_perfect_prediction_near_zero(self):
+        v, _ = BCELoss()(np.array([[0.999999]]), np.array([[1.0]]))
+        assert v < 1e-4
+
+    def test_bce_clips_exact_zero_one(self):
+        v, _ = BCELoss()(np.array([[0.0, 1.0]]), np.array([[0.0, 1.0]]))
+        assert np.isfinite(v)
+
+    def test_zero_loss_at_exact_match(self):
+        p = np.array([[1.0, 2.0], [3.0, 4.0]])
+        for loss in (MSELoss(), MAELoss(), HuberLoss()):
+            v, g = loss(p, p.copy())
+            assert v == 0.0
+            assert np.allclose(g, 0.0)
+
+
+class TestGradients:
+    @pytest.mark.parametrize("loss", ALL_SMOOTH, ids=lambda l: l.name)
+    def test_gradient_matches_numeric(self, loss):
+        rng = np.random.default_rng(0)
+        pred = rng.normal(size=(6, 3))
+        target = rng.normal(size=(6, 3))
+        _, analytic = loss(pred, target)
+        numeric = _numeric_loss_grad(loss, pred, target)
+        assert max_relative_error(analytic, numeric) < 1e-4
+
+    def test_mae_gradient_sign(self):
+        pred = np.array([[2.0, -2.0]])
+        target = np.zeros((1, 2))
+        _, g = MAELoss()(pred, target)
+        assert g[0, 0] > 0 and g[0, 1] < 0
+
+    def test_bce_gradient_matches_numeric(self):
+        rng = np.random.default_rng(1)
+        pred = rng.uniform(0.1, 0.9, size=(5, 2))
+        target = (rng.random((5, 2)) > 0.5).astype(float)
+        loss = BCELoss()
+        _, analytic = loss(pred, target)
+        numeric = _numeric_loss_grad(loss, pred, target)
+        assert max_relative_error(analytic, numeric) < 1e-4
+
+    def test_gradient_batch_scaling(self):
+        """Loss is the batch mean, so the per-element grad shrinks as 1/n."""
+        loss = MSELoss()
+        p1 = np.array([[1.0]])
+        t1 = np.array([[0.0]])
+        _, g1 = loss(p1, t1)
+        p2 = np.tile(p1, (10, 1))
+        t2 = np.tile(t1, (10, 1))
+        _, g2 = loss(p2, t2)
+        assert g2[0, 0] == pytest.approx(g1[0, 0] / 10)
+
+
+class TestValidationAndRegistry:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            MSELoss()(np.zeros((2, 2)), np.zeros((3, 2)))
+
+    def test_invalid_huber_delta(self):
+        with pytest.raises(ValueError):
+            HuberLoss(0.0)
+
+    @pytest.mark.parametrize("name", ["mse", "mae", "huber", "bce"])
+    def test_registry(self, name):
+        assert get_loss(name).name == name
+
+    def test_instance_passthrough(self):
+        inst = HuberLoss(2.0)
+        assert get_loss(inst) is inst
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            get_loss("hinge")

@@ -1,0 +1,150 @@
+"""Tests for repro.nn.model.MLP — forward/backward, flat params, serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import check_model_gradients
+from repro.nn.layers import ActivationLayer, Dense, Dropout
+from repro.nn.model import MLP
+
+
+@pytest.fixture
+def model():
+    return MLP.regressor(3, [8, 6], 2, activation="tanh", rng=0)
+
+
+class TestConstruction:
+    def test_regressor_layer_structure(self, model):
+        kinds = [l.config()["kind"] for l in model.layers]
+        assert kinds == ["dense", "activation", "dense", "activation", "dense", "activation"]
+
+    def test_regressor_with_dropout_places_after_hidden(self):
+        m = MLP.regressor(3, [8, 6], 2, dropout=0.2, rng=0)
+        kinds = [l.config()["kind"] for l in m.layers]
+        assert kinds.count("dropout") == 2
+        # No dropout after the output layer.
+        assert kinds[-1] == "activation" and kinds[-2] == "dense"
+
+    def test_relu_uses_he_init(self):
+        m = MLP.regressor(3, [4], 1, activation="relu", rng=0)
+        assert m.layers[0].config()["init"] == "he_normal"
+
+    def test_tanh_uses_glorot(self):
+        m = MLP.regressor(3, [4], 1, activation="tanh", rng=0)
+        assert m.layers[0].config()["init"] == "glorot_uniform"
+
+    def test_empty_layers_rejected(self):
+        with pytest.raises(ValueError):
+            MLP([])
+
+    def test_same_seed_same_weights(self):
+        a = MLP.regressor(3, [8], 2, rng=5)
+        b = MLP.regressor(3, [8], 2, rng=5)
+        assert np.array_equal(a.get_flat_params(), b.get_flat_params())
+
+
+class TestForward:
+    def test_output_shape(self, model):
+        out = model.predict(np.zeros((7, 3)))
+        assert out.shape == (7, 2)
+
+    def test_1d_input_promoted(self, model):
+        out = model.predict(np.zeros(3))
+        assert out.shape == (1, 2)
+
+    def test_deterministic_without_dropout(self, model):
+        x = np.random.default_rng(0).normal(size=(4, 3))
+        assert np.array_equal(model.predict(x), model.predict(x))
+
+
+class TestBackward:
+    def test_gradcheck_tanh(self):
+        m = MLP.regressor(3, [6, 5], 2, activation="tanh", rng=1)
+        rng = np.random.default_rng(2)
+        err = check_model_gradients(m, rng.normal(size=(4, 3)), rng.normal(size=(4, 2)))
+        assert err < 1e-4
+
+    def test_gradcheck_with_l2(self):
+        m = MLP.regressor(3, [5], 1, activation="tanh", l2=0.1, rng=1)
+        rng = np.random.default_rng(2)
+        err = check_model_gradients(m, rng.normal(size=(4, 3)), rng.normal(size=(4, 1)))
+        assert err < 1e-4
+
+    def test_gradcheck_softplus_head(self):
+        m = MLP.regressor(2, [4], 1, activation="softplus", rng=3)
+        rng = np.random.default_rng(4)
+        err = check_model_gradients(m, rng.normal(size=(3, 2)), rng.normal(size=(3, 1)))
+        assert err < 1e-4
+
+    def test_train_batch_returns_loss(self, model):
+        x = np.zeros((4, 3))
+        y = np.ones((4, 2))
+        loss = model.train_batch(x, y, "mse")
+        assert loss > 0
+
+
+class TestFlatParams:
+    def test_roundtrip(self, model):
+        flat = model.get_flat_params()
+        assert flat.size == model.n_params
+        model.set_flat_params(np.zeros_like(flat))
+        assert np.allclose(model.get_flat_params(), 0.0)
+        model.set_flat_params(flat)
+        assert np.array_equal(model.get_flat_params(), flat)
+
+    def test_wrong_size_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.set_flat_params(np.zeros(3))
+
+    def test_flat_grad_matches_layer_grads(self, model):
+        x = np.random.default_rng(0).normal(size=(4, 3))
+        y = np.random.default_rng(1).normal(size=(4, 2))
+        model.train_batch(x, y, "mse")
+        flat = model.flat_grad()
+        manual = np.concatenate([g.ravel() for g in model.grads])
+        assert np.array_equal(flat, manual)
+
+    def test_copy_is_independent(self, model):
+        clone = model.copy()
+        x = np.zeros((1, 3))
+        assert np.allclose(clone.predict(x), model.predict(x))
+        clone.set_flat_params(np.zeros(clone.n_params))
+        assert not np.allclose(clone.get_flat_params(), model.get_flat_params())
+
+
+class TestMCDropout:
+    def test_set_mc_dropout_toggles(self):
+        m = MLP.regressor(3, [16], 1, dropout=0.3, rng=0)
+        x = np.ones((2, 3))
+        base = m.predict(x)
+        assert np.array_equal(base, m.predict(x))  # off by default
+        m.set_mc_dropout(True)
+        assert not np.array_equal(m.predict(x), m.predict(x))
+        m.set_mc_dropout(False)
+        assert np.array_equal(m.predict(x), m.predict(x))
+
+    def test_has_dropout(self):
+        assert MLP.regressor(3, [4], 1, dropout=0.1, rng=0).has_dropout()
+        assert not MLP.regressor(3, [4], 1, rng=0).has_dropout()
+
+
+class TestSerialization:
+    def test_json_roundtrip_predictions(self, model):
+        x = np.random.default_rng(3).normal(size=(5, 3))
+        restored = MLP.from_json(model.to_json())
+        assert np.allclose(restored.predict(x), model.predict(x))
+
+    def test_json_preserves_architecture(self):
+        m = MLP.regressor(4, [7], 2, dropout=0.25, l2=0.01, rng=0)
+        restored = MLP.from_json(m.to_json())
+        assert restored.config() == m.config()
+
+    def test_from_config_unknown_kind(self):
+        with pytest.raises(ValueError):
+            MLP.from_config({"layers": [{"kind": "conv"}]})
+
+    def test_manual_layer_list(self):
+        m = MLP([Dense(2, 3, rng=0), ActivationLayer("relu"), Dropout(0.1, rng=1)])
+        assert m.n_params == 2 * 3 + 3
+        out = m.predict(np.zeros((1, 2)))
+        assert out.shape == (1, 3)

@@ -1,0 +1,149 @@
+"""Tests for repro.nn.optimizers — updates, state, schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optimizers import (
+    SGD,
+    Adam,
+    ConstantSchedule,
+    ExponentialDecay,
+    Momentum,
+    RMSProp,
+    StepDecay,
+)
+
+ALL_OPTS = [
+    SGD(0.1),
+    Momentum(0.05, 0.9),
+    Momentum(0.05, 0.9, nesterov=True),
+    Adam(0.1),
+    RMSProp(0.05),
+]
+
+
+def quadratic_descent(opt, steps=200):
+    """Minimize 0.5 * ||theta - target||^2 with the optimizer."""
+    theta = np.array([5.0, -3.0])
+    target = np.array([1.0, 2.0])
+    for _ in range(steps):
+        grad = theta - target
+        opt.step([theta], [grad])
+    return theta, target
+
+
+@pytest.mark.parametrize("opt", ALL_OPTS, ids=lambda o: type(o).__name__ + str(id(o) % 97))
+class TestConvergence:
+    def test_converges_on_quadratic(self, opt):
+        opt.reset()
+        theta, target = quadratic_descent(opt)
+        assert np.allclose(theta, target, atol=1e-2)
+
+    def test_step_counts(self, opt):
+        opt.reset()
+        opt.step([np.zeros(2)], [np.zeros(2)])
+        assert opt.step_count == 1
+
+    def test_reset_clears_state(self, opt):
+        opt.reset()
+        theta = np.array([1.0])
+        opt.step([theta], [np.array([1.0])])
+        opt.reset()
+        assert opt.step_count == 0
+        assert opt._state == {}
+
+
+class TestSGDBehaviour:
+    def test_exact_update(self):
+        opt = SGD(0.5)
+        theta = np.array([2.0])
+        opt.step([theta], [np.array([1.0])])
+        assert theta[0] == pytest.approx(1.5)
+
+    def test_updates_in_place(self):
+        opt = SGD(0.1)
+        theta = np.zeros(3)
+        ref = theta
+        opt.step([theta], [np.ones(3)])
+        assert ref is theta and np.allclose(theta, -0.1)
+
+
+class TestMomentumBehaviour:
+    def test_velocity_accumulates(self):
+        opt = Momentum(0.1, beta=0.9)
+        theta = np.array([0.0])
+        g = np.array([1.0])
+        opt.step([theta], [g])
+        first = -theta[0]
+        opt.step([theta], [g])
+        second = -theta[0] - first
+        assert second > first  # momentum accelerates along constant grad
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            Momentum(0.1, beta=1.0)
+
+
+class TestAdamBehaviour:
+    def test_first_step_is_lr_sized(self):
+        opt = Adam(0.1)
+        theta = np.array([0.0])
+        opt.step([theta], [np.array([100.0])])
+        # Bias-corrected Adam's first step magnitude ~ lr regardless of grad scale.
+        assert abs(theta[0]) == pytest.approx(0.1, rel=1e-3)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam(0.1, beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam(0.1, beta2=-0.1)
+
+
+class TestValidation:
+    def test_param_grad_length_mismatch(self):
+        with pytest.raises(ValueError):
+            SGD(0.1).step([np.zeros(2)], [])
+
+    def test_param_grad_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            SGD(0.1).step([np.zeros(2)], [np.zeros(3)])
+
+    def test_nonpositive_lr_rejected(self):
+        with pytest.raises(ValueError):
+            SGD(0.0)
+
+    def test_rmsprop_invalid_rho(self):
+        with pytest.raises(ValueError):
+            RMSProp(0.1, rho=1.0)
+
+
+class TestSchedules:
+    def test_constant(self):
+        s = ConstantSchedule(0.01)
+        assert s(0) == s(1000) == 0.01
+
+    def test_exponential_decay(self):
+        s = ExponentialDecay(1.0, decay=0.5, decay_steps=10)
+        assert s(0) == 1.0
+        assert s(10) == pytest.approx(0.5)
+        assert s(20) == pytest.approx(0.25)
+
+    def test_step_decay(self):
+        s = StepDecay(1.0, factor=10.0, every=100)
+        assert s(99) == 1.0
+        assert s(100) == pytest.approx(0.1)
+        assert s(250) == pytest.approx(0.01)
+
+    def test_optimizer_consumes_schedule(self):
+        opt = SGD(StepDecay(1.0, factor=2.0, every=1))
+        theta = np.array([0.0])
+        opt.step([theta], [np.array([1.0])])   # lr = 1.0
+        assert theta[0] == pytest.approx(-1.0)
+        opt.step([theta], [np.array([1.0])])   # lr = 0.5
+        assert theta[0] == pytest.approx(-1.5)
+
+    def test_invalid_schedule_params(self):
+        with pytest.raises(ValueError):
+            ExponentialDecay(1.0, decay=0.0)
+        with pytest.raises(ValueError):
+            StepDecay(1.0, factor=1.0)

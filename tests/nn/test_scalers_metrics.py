@@ -1,0 +1,141 @@
+"""Tests for repro.nn.scalers and repro.nn.metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import metrics
+from repro.nn.scalers import MinMaxScaler, StandardScaler
+
+finite_matrix = arrays(
+    np.float64,
+    st.tuples(st.integers(3, 12), st.integers(1, 5)),
+    elements=st.floats(-1e4, 1e4, allow_nan=False),
+)
+
+
+class TestStandardScaler:
+    def test_transform_normalizes(self, rng):
+        x = rng.normal(5.0, 3.0, (500, 4))
+        z = StandardScaler().fit_transform(x)
+        assert np.allclose(z.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(z.std(axis=0), 1.0, atol=1e-10)
+
+    @given(finite_matrix)
+    def test_roundtrip(self, x):
+        s = StandardScaler().fit(x)
+        back = s.inverse_transform(s.transform(x))
+        assert np.allclose(back, x, atol=1e-6 * (1 + np.abs(x).max()))
+
+    def test_constant_column_passthrough(self):
+        x = np.column_stack([np.full(10, 7.0), np.arange(10.0)])
+        s = StandardScaler().fit(x)
+        z = s.transform(x)
+        assert np.allclose(z[:, 0], 0.0)  # shifted, not divided by zero
+        assert np.all(np.isfinite(z))
+
+    def test_use_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_scale_std(self):
+        x = np.random.default_rng(0).normal(0.0, 2.0, (1000, 1))
+        s = StandardScaler().fit(x)
+        assert s.scale_std()[0] == pytest.approx(2.0, rel=0.1)
+
+
+class TestMinMaxScaler:
+    def test_maps_to_unit_interval(self, rng):
+        x = rng.uniform(-10, 10, (100, 3))
+        z = MinMaxScaler().fit_transform(x)
+        assert z.min() >= -1e-12 and z.max() <= 1 + 1e-12
+
+    def test_custom_range(self, rng):
+        x = rng.uniform(0, 1, (50, 2))
+        z = MinMaxScaler((-1.0, 1.0)).fit_transform(x)
+        assert z.min() >= -1 - 1e-12 and z.max() <= 1 + 1e-12
+
+    @given(finite_matrix)
+    def test_roundtrip(self, x):
+        s = MinMaxScaler().fit(x)
+        back = s.inverse_transform(s.transform(x))
+        assert np.allclose(back, x, atol=1e-6 * (1 + np.abs(x).max()))
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler((1.0, 1.0))
+
+    def test_constant_column_maps_to_lo(self):
+        x = np.full((5, 1), 3.0)
+        z = MinMaxScaler((0.0, 1.0)).fit_transform(x)
+        assert np.allclose(z, 0.0)
+
+
+class TestRegressionMetrics:
+    def test_rmse_is_sqrt_mse(self, rng):
+        p, t = rng.normal(size=(20, 2)), rng.normal(size=(20, 2))
+        assert metrics.rmse(p, t) == pytest.approx(np.sqrt(metrics.mse(p, t)))
+
+    def test_perfect_scores(self):
+        t = np.arange(10.0)
+        assert metrics.mse(t, t) == 0.0
+        assert metrics.mae(t, t) == 0.0
+        assert metrics.r2_score(t, t) == 1.0
+        assert metrics.mape(t + 1e-9, t + 1e-9) < 1e-6
+
+    def test_r2_of_mean_prediction_is_zero(self):
+        t = np.arange(10.0)
+        p = np.full(10, t.mean())
+        assert metrics.r2_score(p, t) == pytest.approx(0.0)
+
+    def test_r2_constant_target(self):
+        t = np.ones(5)
+        assert metrics.r2_score(np.ones(5), t) == 1.0
+        assert metrics.r2_score(np.zeros(5), t) == 0.0
+
+    def test_pearson_perfect_and_anti(self):
+        t = np.arange(10.0)
+        assert metrics.pearson_r(t, t) == pytest.approx(1.0)
+        assert metrics.pearson_r(-t, t) == pytest.approx(-1.0)
+
+    def test_pearson_constant_is_zero(self):
+        assert metrics.pearson_r(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_mape_percent_units(self):
+        assert metrics.mape(np.array([110.0]), np.array([100.0])) == pytest.approx(10.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            metrics.mse(np.zeros(3), np.zeros(4))
+
+    def test_accuracy(self):
+        assert metrics.accuracy(np.array([1, 0, 1]), np.array([1, 1, 1])) == pytest.approx(2 / 3)
+
+
+class TestIntervalMetrics:
+    def test_picp_full_coverage(self):
+        t = np.zeros(10)
+        assert metrics.picp(t, t - 1, t + 1) == 1.0
+
+    def test_picp_partial(self):
+        t = np.array([0.0, 5.0])
+        assert metrics.picp(t, np.array([-1.0, -1.0]), np.array([1.0, 1.0])) == 0.5
+
+    def test_picp_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            metrics.picp(np.zeros(2), np.ones(2), np.zeros(2))
+
+    def test_mean_interval_width(self):
+        assert metrics.mean_interval_width(np.zeros(4), np.full(4, 2.0)) == 2.0
+
+    @given(
+        arrays(np.float64, st.integers(2, 30), elements=st.floats(-100, 100)),
+        st.floats(0.1, 5.0),
+    )
+    def test_picp_monotone_in_width(self, t, w):
+        """Wider intervals can only cover more."""
+        mid = np.zeros_like(t)
+        narrow = metrics.picp(t, mid - w, mid + w)
+        wide = metrics.picp(t, mid - 2 * w, mid + 2 * w)
+        assert wide >= narrow

@@ -1,0 +1,132 @@
+"""Tests for repro.nn.training — Trainer, EarlyStopping, history."""
+
+import numpy as np
+import pytest
+
+from repro.nn.model import MLP
+from repro.nn.optimizers import Adam, SGD
+from repro.nn.training import EarlyStopping, Trainer, TrainingHistory
+
+
+class TestTrainer:
+    def test_loss_decreases(self, regression_data):
+        x, y = regression_data
+        model = MLP.regressor(3, [16], 2, activation="tanh", rng=0)
+        trainer = Trainer(model, epochs=60, optimizer=Adam(3e-3), rng=1)
+        hist = trainer.fit(x, y)
+        assert hist.train_loss[-1] < hist.train_loss[0] / 3
+
+    def test_learns_the_function(self, regression_data):
+        x, y = regression_data
+        model = MLP.regressor(3, [24, 24], 2, activation="tanh", rng=0)
+        trainer = Trainer(model, epochs=200, optimizer=Adam(3e-3), rng=1)
+        trainer.fit(x, y)
+        assert trainer.evaluate(x, y) < 0.01
+
+    def test_validation_curve_recorded(self, regression_data):
+        x, y = regression_data
+        model = MLP.regressor(3, [8], 2, rng=0)
+        trainer = Trainer(model, epochs=10, validation_fraction=0.2, rng=1)
+        hist = trainer.fit(x, y)
+        assert len(hist.val_loss) == hist.n_epochs == 10
+
+    def test_no_validation_split(self, regression_data):
+        x, y = regression_data
+        model = MLP.regressor(3, [8], 2, rng=0)
+        trainer = Trainer(model, epochs=5, validation_fraction=0.0, rng=1)
+        hist = trainer.fit(x, y)
+        assert hist.val_loss == []
+
+    def test_reproducible_given_seeds(self, regression_data):
+        x, y = regression_data
+
+        def run():
+            model = MLP.regressor(3, [8], 2, rng=3)
+            Trainer(model, epochs=5, optimizer=Adam(1e-3), rng=4).fit(x, y)
+            return model.get_flat_params()
+
+        assert np.array_equal(run(), run())
+
+    def test_1d_targets_accepted(self, rng):
+        x = rng.uniform(-1, 1, (100, 2))
+        y = x[:, 0] + x[:, 1]
+        model = MLP.regressor(2, [8], 1, rng=0)
+        hist = Trainer(model, epochs=5, rng=1).fit(x, y)
+        assert hist.n_epochs == 5
+
+    def test_mismatched_lengths_rejected(self):
+        model = MLP.regressor(2, [4], 1, rng=0)
+        with pytest.raises(ValueError):
+            Trainer(model, rng=0).fit(np.zeros((5, 2)), np.zeros((4, 1)))
+
+    def test_too_few_samples_rejected(self):
+        model = MLP.regressor(2, [4], 1, rng=0)
+        with pytest.raises(ValueError):
+            Trainer(model, rng=0).fit(np.zeros((1, 2)), np.zeros((1, 1)))
+
+    def test_invalid_config_rejected(self):
+        model = MLP.regressor(2, [4], 1, rng=0)
+        with pytest.raises(ValueError):
+            Trainer(model, batch_size=0)
+        with pytest.raises(ValueError):
+            Trainer(model, epochs=0)
+        with pytest.raises(ValueError):
+            Trainer(model, validation_fraction=1.0)
+        with pytest.raises(ValueError):
+            Trainer(model, validation_fraction=0.0, early_stopping=EarlyStopping(5))
+
+
+class TestEarlyStopping:
+    def test_stops_and_restores_best(self, regression_data):
+        x, y = regression_data
+        model = MLP.regressor(3, [16], 2, rng=0)
+        es = EarlyStopping(patience=5)
+        trainer = Trainer(
+            model, epochs=500, optimizer=SGD(0.5), early_stopping=es, rng=1
+        )
+        hist = trainer.fit(x, y)
+        # Aggressive lr makes validation plateau/noise trigger the stop.
+        if hist.stopped_epoch is not None:
+            assert hist.n_epochs < 500
+            # Restored weights should reproduce (close to) the best val loss.
+            val_at_best = hist.val_loss[hist.best_epoch]
+            assert es.best == pytest.approx(val_at_best)
+
+    def test_update_counts_patience(self):
+        model = MLP.regressor(2, [4], 1, rng=0)
+        es = EarlyStopping(patience=2)
+        assert not es.update(1.0, model)
+        assert not es.update(1.0, model)   # no improvement (wait=1)
+        assert es.update(1.0, model)       # wait=2 -> stop
+
+    def test_improvement_resets_patience(self):
+        model = MLP.regressor(2, [4], 1, rng=0)
+        es = EarlyStopping(patience=2)
+        es.update(1.0, model)
+        es.update(1.0, model)
+        assert not es.update(0.5, model)   # improvement resets
+        assert not es.update(0.5, model)
+        assert es.update(0.5, model)
+
+    def test_min_delta_counts_small_gains_as_no_improvement(self):
+        model = MLP.regressor(2, [4], 1, rng=0)
+        es = EarlyStopping(patience=1, min_delta=0.1)
+        es.update(1.0, model)
+        assert es.update(0.95, model)  # gain below min_delta -> stop
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=1, min_delta=-1.0)
+
+
+class TestTrainingHistory:
+    def test_best_epoch(self):
+        h = TrainingHistory(train_loss=[3, 2, 1], val_loss=[3.0, 1.0, 2.0])
+        assert h.best_epoch == 1
+        assert h.best_val_loss == 1.0
+
+    def test_best_epoch_requires_validation(self):
+        with pytest.raises(ValueError):
+            TrainingHistory(train_loss=[1.0]).best_epoch

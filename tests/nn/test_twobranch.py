@@ -1,0 +1,88 @@
+"""Tests for repro.nn.twobranch — the DEFSI architecture."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import max_relative_error, numerical_gradient
+from repro.nn.losses import MSELoss
+from repro.nn.twobranch import TwoBranchNetwork
+
+
+@pytest.fixture
+def net():
+    return TwoBranchNetwork((4, 3), branch_hidden=(6,), branch_out=5,
+                            head_hidden=(6,), out_dim=2, activation="tanh", rng=0)
+
+
+class TestForward:
+    def test_output_shape(self, net):
+        out = net.predict(np.zeros((7, 4)), np.zeros((7, 3)))
+        assert out.shape == (7, 2)
+
+    def test_both_branches_matter(self, net):
+        rng = np.random.default_rng(1)
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(3, 3))
+        base = net.predict(a, b)
+        assert not np.allclose(net.predict(a + 1.0, b), base)
+        assert not np.allclose(net.predict(a, b + 1.0), base)
+
+    def test_invalid_widths_rejected(self):
+        with pytest.raises(ValueError):
+            TwoBranchNetwork((0, 3))
+        with pytest.raises(ValueError):
+            TwoBranchNetwork((3, 3), out_dim=0)
+
+
+class TestBackward:
+    def test_full_gradcheck(self, net):
+        """Finite-difference check through branches + concat + head."""
+        rng = np.random.default_rng(2)
+        xa, xb = rng.normal(size=(3, 4)), rng.normal(size=(3, 3))
+        y = rng.normal(size=(3, 2))
+        loss = MSELoss()
+
+        net.train_batch(xa, xb, y, loss)
+        analytic = np.concatenate([g.ravel() for g in net.grads])
+
+        params = net.params
+        theta0 = np.concatenate([p.ravel() for p in params])
+
+        def set_flat(flat):
+            off = 0
+            for p in params:
+                p[...] = flat[off : off + p.size].reshape(p.shape)
+                off += p.size
+
+        def f(flat):
+            set_flat(flat)
+            v, _ = loss(net.forward(xa, xb, training=True), y)
+            return v
+
+        numeric = numerical_gradient(f, theta0.copy())
+        set_flat(theta0)
+        assert max_relative_error(analytic, numeric) < 1e-4
+
+    def test_n_params_consistent(self, net):
+        assert net.n_params == sum(p.size for p in net.params)
+        assert len(net.params) == len(net.grads)
+
+
+class TestFit:
+    def test_loss_decreases(self, rng):
+        xa = rng.normal(size=(150, 4))
+        xb = rng.normal(size=(150, 3))
+        y = (xa[:, :1] * 2 + xb[:, :1])  # depends on both branches
+        net = TwoBranchNetwork((4, 3), out_dim=1, rng=0)
+        losses = net.fit(xa, xb, y, epochs=60, rng=1)
+        assert losses[-1] < losses[0] / 3
+
+    def test_1d_targets_accepted(self, rng):
+        xa, xb = rng.normal(size=(50, 4)), rng.normal(size=(50, 3))
+        y = rng.normal(size=50)
+        net = TwoBranchNetwork((4, 3), out_dim=1, rng=0)
+        losses = net.fit(xa, xb, y, epochs=3, rng=1)
+        assert len(losses) == 3
+
+    def test_length_mismatch_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.fit(np.zeros((5, 4)), np.zeros((4, 3)), np.zeros((5, 2)), epochs=1)

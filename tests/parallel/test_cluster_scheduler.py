@@ -1,0 +1,176 @@
+"""Tests for repro.parallel.cluster and repro.parallel.scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.cluster import ClusterSimulator, TaskSpec, Worker
+from repro.parallel.scheduler import (
+    DynamicGreedy,
+    ScheduleReport,
+    StaticRoundRobin,
+    SurrogateAwareScheduler,
+    make_mixed_workload,
+)
+
+
+def _cluster(speeds=(1.0, 1.0, 1.0, 1.0), overhead=0.0):
+    return ClusterSimulator(
+        [Worker(i, speed=s) for i, s in enumerate(speeds)], overhead
+    )
+
+
+class TestWorkerAndTask:
+    def test_duration_scales_with_speed(self):
+        t = TaskSpec(0, work=10.0)
+        assert Worker(0, speed=2.0).duration(t) == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TaskSpec(0, work=0.0)
+        with pytest.raises(ValueError):
+            Worker(0, speed=0.0)
+
+
+class TestClusterSimulator:
+    def test_static_assignment_makespan(self):
+        cluster = _cluster((1.0, 2.0))
+        tasks = {0: [TaskSpec(0, 4.0)], 1: [TaskSpec(1, 4.0)]}
+        trace = cluster.run_assignment(tasks)
+        assert trace.makespan == 4.0  # slow worker dominates
+        assert trace.worker_busy[1] == 2.0
+
+    def test_dynamic_prefers_free_worker(self):
+        cluster = _cluster((1.0, 1.0))
+        tasks = [TaskSpec(i, 1.0) for i in range(4)]
+        trace = cluster.run_dynamic(tasks)
+        assert trace.makespan == pytest.approx(2.0)
+        assert trace.utilization() == pytest.approx(1.0)
+
+    def test_dynamic_with_heterogeneous_speeds(self):
+        cluster = _cluster((1.0, 0.5))
+        tasks = [TaskSpec(i, 1.0) for i in range(3)]
+        trace = cluster.run_dynamic(tasks)
+        # Fast worker does 2 tasks (2s), slow does 1 (2s).
+        assert trace.makespan == pytest.approx(2.0)
+
+    def test_dispatch_overhead_added_per_task(self):
+        base = _cluster((1.0,), overhead=0.0).run_dynamic(
+            [TaskSpec(i, 1.0) for i in range(5)]
+        )
+        slow = _cluster((1.0,), overhead=0.5).run_dynamic(
+            [TaskSpec(i, 1.0) for i in range(5)]
+        )
+        assert slow.makespan == pytest.approx(base.makespan + 2.5)
+
+    def test_imbalance_metric(self):
+        cluster = _cluster((1.0, 1.0))
+        trace = cluster.run_assignment(
+            {0: [TaskSpec(0, 3.0)], 1: [TaskSpec(1, 1.0)]}
+        )
+        assert trace.imbalance() == pytest.approx(1.5)
+
+    def test_unknown_worker_rejected(self):
+        cluster = _cluster((1.0,))
+        with pytest.raises(ValueError):
+            cluster.run_assignment({9: [TaskSpec(0, 1.0)]})
+
+    def test_duplicate_worker_ids_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSimulator([Worker(0), Worker(0)])
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSimulator([])
+
+    def test_assignments_recorded(self):
+        cluster = _cluster((1.0,))
+        trace = cluster.run_dynamic([TaskSpec(7, 2.0)])
+        task_id, worker_id, start, end = trace.assignments[0]
+        assert task_id == 7 and worker_id == 0
+        assert end - start == pytest.approx(2.0)
+
+
+class TestWorkloadGenerator:
+    def test_counts_and_kinds(self):
+        tasks = make_mixed_workload(10, 50, rng=0)
+        kinds = [t.kind for t in tasks]
+        assert kinds.count("simulation") == 10
+        assert kinds.count("lookup") == 50
+
+    def test_heterogeneity_factor(self):
+        tasks = make_mixed_workload(20, 20, sim_work=1.0, lookup_work=1e-5, rng=1)
+        sims = [t.work for t in tasks if t.kind == "simulation"]
+        lookups = [t.work for t in tasks if t.kind == "lookup"]
+        assert np.mean(sims) / np.mean(lookups) > 1e4
+
+    def test_sim_durations_vary(self):
+        tasks = make_mixed_workload(50, 0, sim_cv=0.5, rng=2)
+        works = [t.work for t in tasks]
+        assert np.std(works) > 0
+
+    def test_unique_ids(self):
+        tasks = make_mixed_workload(5, 5, rng=3)
+        assert len({t.task_id for t in tasks}) == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            make_mixed_workload(0, 0)
+
+
+class TestSchedulers:
+    @pytest.fixture
+    def workload(self):
+        return make_mixed_workload(30, 2000, sim_work=1.0, lookup_work=1e-5, rng=4)
+
+    @pytest.fixture
+    def cluster(self):
+        return _cluster((1.0, 1.0, 1.0, 1.0, 0.5, 0.5), overhead=1e-3)
+
+    def test_all_schedulers_complete_all_tasks(self, workload, cluster):
+        for sch in (StaticRoundRobin(), DynamicGreedy(), SurrogateAwareScheduler()):
+            trace = sch.schedule(workload, cluster)
+            if isinstance(sch, SurrogateAwareScheduler):
+                # Lookups are batched, so count >= sims + batches.
+                assert trace.n_tasks >= 30
+            else:
+                assert trace.n_tasks == len(workload)
+
+    def test_dynamic_beats_static(self, workload, cluster):
+        static = StaticRoundRobin().schedule(workload, cluster)
+        dynamic = DynamicGreedy().schedule(workload, cluster)
+        assert dynamic.makespan < static.makespan
+
+    def test_lpt_no_worse_than_fifo(self, workload, cluster):
+        fifo = DynamicGreedy(lpt=False).schedule(workload, cluster)
+        lpt = DynamicGreedy(lpt=True).schedule(workload, cluster)
+        assert lpt.makespan <= fifo.makespan * 1.05
+
+    def test_surrogate_aware_beats_shared_queue_with_overhead(
+        self, workload, cluster
+    ):
+        """The paper's separation claim (E9): batching learnt lookups
+        avoids per-task dispatch costs."""
+        shared = DynamicGreedy(lpt=True).schedule(workload, cluster)
+        aware = SurrogateAwareScheduler().schedule(workload, cluster)
+        assert aware.makespan < shared.makespan
+
+    def test_surrogate_aware_falls_back_without_lookups(self, cluster):
+        sims_only = make_mixed_workload(20, 0, rng=5)
+        trace = SurrogateAwareScheduler().schedule(sims_only, cluster)
+        assert trace.n_tasks == 20
+
+    def test_single_worker_fallback(self):
+        cluster = _cluster((1.0,))
+        tasks = make_mixed_workload(5, 5, rng=6)
+        trace = SurrogateAwareScheduler().schedule(tasks, cluster)
+        assert trace.makespan > 0
+
+    def test_report_from_trace(self, workload, cluster):
+        trace = DynamicGreedy().schedule(workload, cluster)
+        report = ScheduleReport.from_trace("dynamic-greedy", trace)
+        assert report.makespan == trace.makespan
+        assert 0 < report.utilization <= 1.0
+
+    def test_surrogate_aware_validation(self):
+        with pytest.raises(ValueError):
+            SurrogateAwareScheduler(batches_per_worker=0)

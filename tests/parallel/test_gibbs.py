@@ -1,0 +1,112 @@
+"""Tests for repro.parallel.gibbs — parallel Gibbs sampling on the Ising model."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.computation_models import ComputationModel
+from repro.parallel.gibbs import ParallelIsingGibbs
+from repro.parallel.network import CommModel
+
+COMM = CommModel(alpha=1e-4, beta=1e-8)
+
+
+@pytest.fixture
+def gibbs():
+    return ParallelIsingGibbs((16, 16), beta=0.3, n_workers=4, comm=COMM)
+
+
+class TestObservables:
+    def test_energy_per_site_ground_state(self, gibbs):
+        spins = np.ones((16, 16), dtype=np.int8)
+        # All aligned: every one of the 2 bonds/site contributes -1.
+        assert gibbs.energy_per_site(spins) == pytest.approx(-2.0)
+
+    def test_energy_checkerboard(self, gibbs):
+        spins = (
+            (np.add.outer(np.arange(16), np.arange(16)) % 2) * 2 - 1
+        ).astype(np.int8)
+        assert gibbs.energy_per_site(spins) == pytest.approx(2.0)
+
+    def test_magnetization_bounds(self, gibbs, rng):
+        spins = gibbs.random_lattice(rng)
+        assert 0.0 <= gibbs.magnetization(spins) <= 1.0
+
+
+class TestSampling:
+    @pytest.mark.parametrize("model", list(ComputationModel))
+    def test_every_model_lowers_energy(self, gibbs, model):
+        """From a random start at beta=0.3, heat-bath sampling must move
+        the energy well below the infinite-temperature value 0."""
+        trace = gibbs.run(model, n_sweeps=25, rng=0)
+        assert trace.losses[0] > -0.3  # random lattice starts near 0
+        assert np.mean(trace.losses[-8:]) < -0.5
+
+    @pytest.mark.parametrize("model", list(ComputationModel))
+    def test_virtual_time_increases(self, gibbs, model):
+        trace = gibbs.run(model, n_sweeps=6, rng=1)
+        assert all(a < b for a, b in zip(trace.times, trace.times[1:]))
+
+    def test_chromatic_matches_sequential_equilibrium(self):
+        """Red-black (allreduce) and serial (locking) sample the same
+        distribution: equilibrium energies agree within noise."""
+        g = ParallelIsingGibbs((16, 16), beta=0.35, n_workers=2, comm=COMM)
+        ref = g.equilibrium_energy(n_sweeps=150, burn_in=75, rng=2)
+        lock = g.run(ComputationModel.LOCKING, n_sweeps=60, rng=3)
+        tail = np.mean(lock.losses[-30:])
+        assert tail == pytest.approx(ref, abs=0.12)
+
+    def test_async_is_fastest_per_sweep(self, gibbs):
+        t_async = gibbs.run(ComputationModel.ASYNCHRONOUS, 5, rng=4).total_time
+        t_lock = gibbs.run(ComputationModel.LOCKING, 5, rng=4).total_time
+        assert t_async < t_lock
+
+    def test_high_beta_orders_the_lattice(self):
+        """Deep in the ordered phase the energy density approaches the
+        ground-state value -2 (magnetization can stay trapped in domains;
+        energy is the domain-insensitive order diagnostic)."""
+        g = ParallelIsingGibbs((16, 16), beta=1.0, n_workers=2, comm=COMM)
+        gen = np.random.default_rng(5)
+        spins = g.random_lattice(gen)
+        for _ in range(60):
+            g._chromatic_half_sweep(spins, 0, gen)
+            g._chromatic_half_sweep(spins, 1, gen)
+        assert g.energy_per_site(spins) < -1.5
+
+    def test_low_beta_stays_disordered(self):
+        g = ParallelIsingGibbs((16, 16), beta=0.05, n_workers=2, comm=COMM)
+        gen = np.random.default_rng(6)
+        spins = g.random_lattice(gen)
+        for _ in range(40):
+            g._chromatic_half_sweep(spins, 0, gen)
+            g._chromatic_half_sweep(spins, 1, gen)
+        assert g.magnetization(spins) < 0.3
+
+    def test_reproducible(self, gibbs):
+        a = gibbs.run(ComputationModel.ALLREDUCE, 5, rng=7)
+        b = gibbs.run(ComputationModel.ALLREDUCE, 5, rng=7)
+        assert a.losses == b.losses
+
+    def test_spins_stay_binary(self, gibbs):
+        gen = np.random.default_rng(8)
+        spins = gibbs.random_lattice(gen)
+        gibbs._heat_bath_rows(spins, np.arange(4), gen)
+        gibbs._chromatic_half_sweep(spins, 0, gen)
+        assert set(np.unique(spins)) <= {-1, 1}
+
+
+class TestValidation:
+    def test_lattice_too_small(self):
+        with pytest.raises(ValueError):
+            ParallelIsingGibbs((2, 8), beta=0.3, n_workers=1)
+
+    def test_too_many_workers(self):
+        with pytest.raises(ValueError):
+            ParallelIsingGibbs((8, 8), beta=0.3, n_workers=8)
+
+    def test_bad_beta(self):
+        with pytest.raises(ValueError):
+            ParallelIsingGibbs((8, 8), beta=0.0, n_workers=2)
+
+    def test_bad_sweeps(self, gibbs):
+        with pytest.raises(ValueError):
+            gibbs.run(ComputationModel.LOCKING, n_sweeps=0)

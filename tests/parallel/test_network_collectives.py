@@ -1,0 +1,116 @@
+"""Tests for repro.parallel.network and repro.parallel.collectives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.parallel.collectives import (
+    allreduce_cost,
+    flat_allreduce,
+    ring_allreduce,
+    tree_allreduce,
+)
+from repro.parallel.network import CommModel
+
+ALGOS = [flat_allreduce, tree_allreduce, ring_allreduce]
+
+
+@pytest.fixture
+def comm():
+    return CommModel(alpha=1e-4, beta=1e-8, flop_time=1e-10)
+
+
+class TestCommModel:
+    def test_p2p_cost(self, comm):
+        assert comm.p2p(1000) == pytest.approx(1e-4 + 1e-8 * 1000)
+
+    def test_zero_words(self, comm):
+        assert comm.p2p(0) == pytest.approx(1e-4)
+
+    def test_negative_rejected(self, comm):
+        with pytest.raises(ValueError):
+            comm.p2p(-1)
+        with pytest.raises(ValueError):
+            comm.reduce_work(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CommModel(alpha=-1.0)
+
+
+class TestAllreduceCorrectness:
+    @pytest.mark.parametrize("fn", ALGOS, ids=lambda f: f.__name__)
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 7, 8])
+    def test_value_equals_sum(self, fn, p, comm, rng):
+        bufs = [rng.normal(size=64) for _ in range(p)]
+        res = fn(bufs, comm)
+        assert np.allclose(res.value, np.sum(bufs, axis=0), atol=1e-10)
+
+    @pytest.mark.parametrize("fn", ALGOS, ids=lambda f: f.__name__)
+    def test_single_buffer(self, fn, comm):
+        buf = np.arange(10.0)
+        res = fn([buf], comm)
+        assert np.array_equal(res.value, buf)
+
+    @pytest.mark.parametrize("fn", ALGOS, ids=lambda f: f.__name__)
+    def test_length_mismatch_rejected(self, fn, comm):
+        with pytest.raises(ValueError):
+            fn([np.zeros(3), np.zeros(4)], comm)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(2, 9), st.integers(1, 200))
+    def test_property_all_algorithms_agree(self, p, n):
+        comm = CommModel()
+        rng = np.random.default_rng(p * 1000 + n)
+        bufs = [rng.normal(size=n) for _ in range(p)]
+        expected = np.sum(bufs, axis=0)
+        for fn in ALGOS:
+            assert np.allclose(fn(bufs, comm).value, expected, atol=1e-9)
+
+
+class TestAllreduceCosts:
+    def test_ring_is_bandwidth_optimal_for_large_messages(self, comm):
+        """For big n, ring beats tree beats flat — the §III-A 'optimized
+        collective' ordering."""
+        p, n = 32, 10**7
+        flat = allreduce_cost("flat", p, n, comm)
+        tree = allreduce_cost("tree", p, n, comm)
+        ring = allreduce_cost("ring", p, n, comm)
+        assert ring < tree < flat
+
+    def test_tree_wins_for_tiny_messages(self, comm):
+        """Latency-bound regime: log(p) rounds beat 2(p-1) rounds."""
+        p, n = 32, 4
+        tree = allreduce_cost("tree", p, n, comm)
+        ring = allreduce_cost("ring", p, n, comm)
+        assert tree < ring
+
+    def test_costs_scale_with_workers(self, comm):
+        for algo in ("flat", "ring"):
+            c8 = allreduce_cost(algo, 8, 1000, comm)
+            c64 = allreduce_cost(algo, 64, 1000, comm)
+            assert c64 > c8
+
+    def test_single_worker_free(self, comm):
+        for algo in ("flat", "tree", "ring"):
+            assert allreduce_cost(algo, 1, 1000, comm) == 0.0
+
+    def test_closed_form_matches_executed(self, comm, rng):
+        p, n = 8, 128
+        bufs = [rng.normal(size=n) for _ in range(p)]
+        assert flat_allreduce(bufs, comm).time_seconds == pytest.approx(
+            allreduce_cost("flat", p, n, comm)
+        )
+        assert ring_allreduce(bufs, comm).time_seconds == pytest.approx(
+            allreduce_cost("ring", p, n, comm)
+        )
+
+    def test_unknown_algorithm(self, comm):
+        with pytest.raises(ValueError):
+            allreduce_cost("butterfly", 4, 100, comm)
+
+    def test_validation(self, comm):
+        with pytest.raises(ValueError):
+            allreduce_cost("ring", 0, 100, comm)
+        with pytest.raises(ValueError):
+            allreduce_cost("ring", 4, -1, comm)

@@ -1,0 +1,153 @@
+"""Tests for repro.parallel.workflow — heterogeneous workflow DAGs."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.cluster import ClusterSimulator, Worker
+from repro.parallel.workflow import (
+    WorkflowDAG,
+    mlaround_campaign_dag,
+    simulate_workflow,
+)
+
+
+def _cluster(n=4, speed=1.0, overhead=0.0):
+    return ClusterSimulator([Worker(i, speed=speed) for i in range(n)], overhead)
+
+
+class TestWorkflowDAG:
+    def test_add_and_lookup(self):
+        dag = WorkflowDAG()
+        a = dag.add(1.0, "simulation")
+        b = dag.add(2.0, "train", deps=(a,))
+        assert len(dag) == 2
+        assert dag[b].deps == (a,)
+
+    def test_missing_dependency_rejected(self):
+        dag = WorkflowDAG()
+        with pytest.raises(ValueError, match="dependency"):
+            dag.add(1.0, deps=(99,))
+
+    def test_topological_order_respects_deps(self):
+        dag = WorkflowDAG()
+        a = dag.add(1.0)
+        b = dag.add(1.0, deps=(a,))
+        c = dag.add(1.0, deps=(a, b))
+        order = dag.topological_order()
+        assert order.index(a) < order.index(b) < order.index(c)
+
+    def test_critical_path_chain(self):
+        dag = WorkflowDAG()
+        prev = dag.add(1.0)
+        for _ in range(4):
+            prev = dag.add(1.0, deps=(prev,))
+        assert dag.critical_path() == pytest.approx(5.0)
+
+    def test_critical_path_parallel_tasks(self):
+        dag = WorkflowDAG()
+        a = dag.add(3.0)
+        dag.add(1.0)
+        dag.add(1.0)
+        assert dag.critical_path() == pytest.approx(3.0)
+
+    def test_total_work(self):
+        dag = WorkflowDAG()
+        dag.add(1.5)
+        dag.add(2.5)
+        assert dag.total_work() == pytest.approx(4.0)
+
+    def test_invalid_work(self):
+        dag = WorkflowDAG()
+        with pytest.raises(ValueError):
+            dag.add(0.0)
+
+
+class TestSimulateWorkflow:
+    def test_independent_tasks_parallelize(self):
+        dag = WorkflowDAG()
+        for _ in range(4):
+            dag.add(1.0)
+        trace = simulate_workflow(dag, _cluster(4))
+        assert trace.makespan == pytest.approx(1.0)
+
+    def test_chain_serializes(self):
+        dag = WorkflowDAG()
+        prev = dag.add(1.0)
+        for _ in range(3):
+            prev = dag.add(1.0, deps=(prev,))
+        trace = simulate_workflow(dag, _cluster(4))
+        assert trace.makespan == pytest.approx(4.0)
+
+    def test_makespan_bounds(self):
+        """List scheduling: critical path <= makespan <= work/p + cp."""
+        rng = np.random.default_rng(0)
+        dag = WorkflowDAG()
+        layer = [dag.add(float(rng.uniform(0.5, 2.0))) for _ in range(6)]
+        for _ in range(2):
+            layer = [
+                dag.add(float(rng.uniform(0.5, 2.0)),
+                        deps=tuple(rng.choice(layer, 2, replace=False)))
+                for _ in range(6)
+            ]
+        p = 3
+        trace = simulate_workflow(dag, _cluster(p))
+        cp = dag.critical_path()
+        assert trace.makespan >= cp - 1e-9
+        assert trace.makespan <= dag.total_work() / p + cp + 1e-9
+
+    def test_dependencies_never_violated(self):
+        rng = np.random.default_rng(1)
+        dag = WorkflowDAG()
+        ids = [dag.add(float(rng.uniform(0.1, 1.0)))]
+        for _ in range(30):
+            deps = tuple(
+                rng.choice(ids, size=min(2, len(ids)), replace=False).tolist()
+            )
+            ids.append(dag.add(float(rng.uniform(0.1, 1.0)), deps=deps))
+        trace = simulate_workflow(dag, _cluster(4))
+        start = {tid: s for tid, _, s, _ in trace.assignments}
+        end = {tid: e for tid, _, _, e in trace.assignments}
+        for t in dag.tasks():
+            for d in t.deps:
+                assert start[t.task_id] >= end[d] - 1e-9
+
+    def test_all_tasks_executed_once(self):
+        dag = mlaround_campaign_dag(5, 10)
+        trace = simulate_workflow(dag, _cluster(3))
+        executed = [tid for tid, *_ in trace.assignments]
+        assert sorted(executed) == sorted(t.task_id for t in dag.tasks())
+
+    def test_dispatch_overhead_applied(self):
+        dag = WorkflowDAG()
+        dag.add(1.0)
+        t0 = simulate_workflow(dag, _cluster(1, overhead=0.0)).makespan
+        t1 = simulate_workflow(dag, _cluster(1, overhead=0.5)).makespan
+        assert t1 == pytest.approx(t0 + 0.5)
+
+
+class TestMLAroundCampaignDAG:
+    def test_structure(self):
+        dag = mlaround_campaign_dag(4, 6, sim_work=1.0, train_work=2.0)
+        kinds = [t.kind for t in dag.tasks()]
+        assert kinds.count("simulation") == 4
+        assert kinds.count("train") == 1
+        assert kinds.count("lookup") == 6
+
+    def test_training_gates_lookups(self):
+        dag = mlaround_campaign_dag(3, 4)
+        train = [t for t in dag.tasks() if t.kind == "train"][0]
+        for t in dag.tasks():
+            if t.kind == "lookup":
+                assert t.deps == (train.task_id,)
+
+    def test_parallel_training_assumption(self):
+        """With p workers the simulation phase takes ~ceil(N/p) * T_sim —
+        the T_train = T_seq/p assumption of the effective-speedup model."""
+        n_train, p = 12, 4
+        dag = mlaround_campaign_dag(n_train, 0, sim_work=1.0, train_work=0.5)
+        trace = simulate_workflow(dag, _cluster(p))
+        assert trace.makespan == pytest.approx(n_train / p * 1.0 + 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mlaround_campaign_dag(0, 5)

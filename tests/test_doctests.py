@@ -1,0 +1,33 @@
+"""Run the doctests embedded in public docstrings.
+
+Docstring examples are part of the documented API contract; this keeps
+them executable.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.taxonomy
+import repro.util.rng
+import repro.util.tables
+import repro.util.timing
+
+MODULES = [
+    repro.core.taxonomy,
+    repro.util.rng,
+    repro.util.timing,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+
+
+def test_package_docstring_quickstart():
+    """The quickstart in the top-level docstring must actually run."""
+    results = doctest.testmod(repro, verbose=False)
+    assert results.failed == 0

@@ -1,0 +1,187 @@
+"""Integration tests: the Learning-Everywhere framework driving each
+substrate end-to-end (small configurations of the E2/E3/E4/E10/E14
+pipelines)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AutoTuner,
+    CampaignController,
+    EffectiveSpeedupModel,
+    EpidemicSimulation,
+    MLAroundHPC,
+    MorphogenSteadyStateSimulation,
+    NanoconfinementSimulation,
+    RetrainPolicy,
+    Surrogate,
+)
+from repro.core.simulation import RunDatabase
+from repro.tissue.cells import CellLattice
+from repro.tissue.fields import DiffusionParams, steady_state
+from repro.tissue.vt import VirtualTissueSimulation
+
+
+@pytest.mark.integration
+class TestNanoconfinementMLAround:
+    """E2 in miniature: wrap the ionic-density MD in MLaroundHPC."""
+
+    @pytest.fixture(scope="class")
+    def wrapper(self):
+        sim = NanoconfinementSimulation(
+            n_target_ions=16,
+            equilibration_steps=80,
+            production_steps=160,
+            sample_every=20,
+            n_bins=12,
+        )
+        surrogate = Surrogate(5, 3, hidden=(30, 48), epochs=150, rng=0)
+        w = MLAroundHPC(
+            sim, surrogate, tolerance=None,
+            policy=RetrainPolicy(min_initial_runs=20, retrain_every=1000), rng=1,
+        )
+        w.bootstrap(NanoconfinementSimulation.sample_inputs(40, rng=2))
+        return w
+
+    def test_trains_from_md_runs(self, wrapper):
+        assert wrapper.is_trained
+        assert wrapper.surrogate.report.n_train > 0
+
+    def test_lookup_much_faster_than_simulation(self, wrapper):
+        X = NanoconfinementSimulation.sample_inputs(10, rng=3)
+        for x in X:
+            out = wrapper.query(x)
+            assert out.source == "lookup"
+        model = wrapper.effective_speedup_model()
+        # The cost asymmetry at the heart of the paper: even a laptop-scale
+        # MD run is >100x slower than an ANN inference.
+        assert model.lookup_limit > 100
+
+    def test_measured_effective_speedup_grows_with_lookups(self, wrapper):
+        s_before = wrapper.measured_effective_speedup()
+        for x in NanoconfinementSimulation.sample_inputs(30, rng=4):
+            wrapper.query(x)
+        assert wrapper.measured_effective_speedup() > s_before
+
+
+@pytest.mark.integration
+class TestEpidemicMLAround:
+    def test_surrogate_learns_epi_features(self):
+        from repro.epi.population import SyntheticPopulation
+
+        net = SyntheticPopulation([250, 150]).build(rng=0)
+        sim = EpidemicSimulation(net, n_days=98, n_replicates=1)
+        X = EpidemicSimulation.sample_inputs(50, rng=1)
+        db = RunDatabase()
+        Y = sim.run_batch(X, rng=2, db=db)
+        surrogate = Surrogate(4, 3, hidden=(24, 24), epochs=200, rng=3)
+        report = surrogate.fit(X, Y)
+        # Attack rate (output 2) is smooth in tau — learnable even with
+        # few samples; demand better-than-mean prediction overall.
+        assert report.test_r2 > 0.0
+        assert db.n_success == 50
+
+
+@pytest.mark.integration
+class TestTissueShortCircuit:
+    """E10 in miniature: learned field solver inside the tissue loop."""
+
+    def test_surrogate_field_solver_drives_tissue(self):
+        field_sim = MorphogenSteadyStateSimulation(grid=24, n_probes=8)
+        X = MorphogenSteadyStateSimulation.sample_inputs(120, rng=0)
+        Y = field_sim.run_batch(X, rng=1)
+        # The probe values span 3 orders of magnitude; learn log1p(u),
+        # the standard transform for positive wide-dynamic-range fields.
+        surrogate = Surrogate(4, 8, hidden=(48, 48), epochs=300, patience=50, rng=2)
+        report = surrogate.fit(X, np.log1p(Y))
+        assert report.test_r2 > 0.85
+
+    def test_learned_solver_approximates_exact_in_vt(self):
+        """Replace the sparse solve by a cheap per-source-mass scaling
+        model trained against it; trajectories must stay close."""
+        p = DiffusionParams(diffusivity=1.0, decay=0.05)
+
+        # "Learn" a reduced model: field ~ response to unit source scaled
+        # by total source mass (valid while geometry is similar).
+        lat_ref = CellLattice.random_two_type((16, 16), rng=3)
+        ref_source = np.where(lat_ref.grid == 1, 1.0, 0.0)
+        eff = DiffusionParams(1.0, 0.05 + 0.05)
+        unit_field = steady_state(ref_source, eff) / max(ref_source.sum(), 1.0)
+
+        def learned_solver(src, params):
+            return unit_field * src.sum()
+
+        lat_a = CellLattice.random_two_type((16, 16), rng=3)
+        lat_b = CellLattice.random_two_type((16, 16), rng=3)
+        exact = VirtualTissueSimulation(lat_a, p, threshold=0.5, rng=4).run(4)
+        short = VirtualTissueSimulation(
+            lat_b, p, threshold=0.5, rng=4, field_solver=learned_solver
+        ).run(4)
+        e, s = exact.differentiated_series[-1], short.differentiated_series[-1]
+        assert abs(e - s) <= 0.3 * max(e, 1)
+
+
+@pytest.mark.integration
+class TestAutotuneToyMD:
+    """E3 in miniature: learn stable-timestep limits of a stiff oscillator."""
+
+    def test_tuner_learns_stability_boundary(self):
+        def evaluate(params, control, rng):
+            # Harmonic oscillator with frequency params[0]: explicit Euler
+            # style stability limit dt < 2/omega; quality = energy drift.
+            omega, dt = params[0], control[0]
+            stable = dt < 1.8 / omega
+            quality = 1.0 if stable else 0.0
+            return quality, 1.0 / dt
+
+        tuner = AutoTuner(
+            ["omega"], ["dt"], quality_threshold=0.5,
+            conservative_control=[0.01], hidden=(16, 16), rng=0,
+        )
+        omegas = np.linspace(1.0, 8.0, 25)[:, None]
+        dts = np.linspace(0.02, 1.5, 15)[:, None]
+        tuner.collect(evaluate, omegas, dts)
+        tuner.fit()
+        rec = tuner.recommend(np.array([[2.0], [6.0]]))
+        # Stiffer system (bigger omega) must get a smaller dt.
+        assert rec[1, 0] < rec[0, 0]
+        # Recommendation below the true stability limit (with margin).
+        assert rec[1, 0] < 1.8 / 6.0 * 1.3
+
+
+@pytest.mark.integration
+class TestMLControlOnFields:
+    """E14 in miniature: hit a target morphogen level with few solves."""
+
+    def test_campaign_reaches_target_probe_value(self):
+        sim = MorphogenSteadyStateSimulation(grid=20, n_probes=4)
+        target_value = 3.0
+
+        def objective(outputs):
+            return abs(float(outputs[0]) - target_value)
+
+        bounds = np.array([[0.2, 2.0], [0.01, 0.3], [0.5, 5.0], [2.0, 8.0]])
+        controller = CampaignController(
+            sim, objective, bounds,
+            lambda: Surrogate(4, 4, hidden=(24, 24), dropout=0.1,
+                              epochs=80, patience=15, rng=5),
+            rng=6,
+        )
+        result = controller.run(n_seed=12, pool_size=500, max_simulations=30)
+        assert result.best_objective < 1.0  # within 1 unit of target
+
+
+@pytest.mark.integration
+class TestEffectiveSpeedupEndToEnd:
+    def test_paper_scale_numbers(self):
+        """Plug the paper's own regime in: simulation hours vs ms lookups
+        -> effective speedups in the 1e5 ballpark at large N_lookup."""
+        m = EffectiveSpeedupModel(
+            t_seq=80 * 3600.0,      # 80-hour simulation ([26] scale)
+            t_train=80 * 3600.0,
+            t_learn=10.0,           # per-sample training share
+            t_lookup=2e-3,          # ANN inference
+        )
+        assert 1e7 < m.lookup_limit < 1e9
+        s = m.speedup(n_lookup=1e6, n_train=4805)  # the paper's S
+        assert s > 100  # already far past traditional-parallelism gains

@@ -1,0 +1,120 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Invariants that must hold for *any* valid input, spanning modules:
+flat-parameter round trips for arbitrary architectures, effective-speedup
+bracketing, SEIR conservation laws, workflow scheduling bounds, and
+collective-reduction exactness.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.effective import EffectiveSpeedupModel
+from repro.nn.model import MLP
+from repro.parallel.cluster import ClusterSimulator, Worker
+from repro.parallel.workflow import WorkflowDAG, simulate_workflow
+
+pos_time = st.floats(1e-6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestMLPProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(1, 6),
+        st.lists(st.integers(1, 12), min_size=1, max_size=3),
+        st.integers(1, 4),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_flat_params_roundtrip_any_architecture(self, d_in, hidden, d_out, seed):
+        m = MLP.regressor(d_in, hidden, d_out, rng=seed)
+        flat = m.get_flat_params()
+        assert flat.size == m.n_params
+        rng = np.random.default_rng(seed)
+        new = rng.normal(size=flat.size)
+        m.set_flat_params(new)
+        assert np.array_equal(m.get_flat_params(), new)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(1, 5), st.integers(1, 3), st.integers(0, 1000))
+    def test_copy_predicts_identically(self, d_in, d_out, seed):
+        m = MLP.regressor(d_in, [8], d_out, rng=seed)
+        clone = m.copy()
+        x = np.random.default_rng(seed).normal(size=(4, d_in))
+        assert np.allclose(clone.predict(x), m.predict(x))
+
+
+class TestEffectiveSpeedupProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(pos_time, pos_time, pos_time, pos_time,
+           st.floats(0, 1e9), st.floats(1, 1e6))
+    def test_speedup_bracketed_by_limits(
+        self, t_seq, t_train, t_learn, t_lookup, n_lookup, n_train
+    ):
+        m = EffectiveSpeedupModel(
+            t_seq=t_seq, t_train=t_train, t_learn=t_learn, t_lookup=t_lookup
+        )
+        s = m.speedup(n_lookup, n_train)
+        lo = min(m.no_ml_limit, m.lookup_limit)
+        hi = max(m.no_ml_limit, m.lookup_limit)
+        assert lo * (1 - 1e-9) <= s <= hi * (1 + 1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(pos_time, pos_time, st.floats(1, 1e5))
+    def test_cheaper_lookup_never_hurts(self, t_seq, t_train, n_train):
+        fast = EffectiveSpeedupModel(t_seq=t_seq, t_train=t_train,
+                                     t_learn=0.0, t_lookup=t_train / 100.0)
+        slow = EffectiveSpeedupModel(t_seq=t_seq, t_train=t_train,
+                                     t_learn=0.0, t_lookup=t_train / 2.0)
+        assert fast.speedup(1000.0, n_train) >= slow.speedup(1000.0, n_train)
+
+
+class TestSEIRProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(st.floats(0.0, 0.2), st.integers(0, 100))
+    def test_incidence_conservation(self, tau, seed):
+        """Cumulative incidence never exceeds the susceptible pool."""
+        from repro.epi.population import SyntheticPopulation
+        from repro.epi.seir import NetworkSEIR, SEIRParams
+
+        net = SyntheticPopulation([120]).build(rng=7)
+        seir = NetworkSEIR(net)
+        season = seir.run(
+            SEIRParams(tau=tau, seed_fraction=0.02), n_days=60, rng=seed
+        )
+        assert season.daily_incidence.sum() <= net.n_nodes
+        assert np.all(season.daily_incidence >= 0)
+
+
+class TestWorkflowProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(1, 20), st.integers(1, 6), st.integers(0, 10_000))
+    def test_makespan_bounds_random_dags(self, n_tasks, p, seed):
+        rng = np.random.default_rng(seed)
+        dag = WorkflowDAG()
+        ids = []
+        for _ in range(n_tasks):
+            n_deps = int(rng.integers(0, min(3, len(ids)) + 1)) if ids else 0
+            deps = tuple(
+                rng.choice(ids, size=n_deps, replace=False).tolist()
+            ) if n_deps else ()
+            ids.append(dag.add(float(rng.uniform(0.1, 2.0)), deps=deps))
+        cluster = ClusterSimulator([Worker(i) for i in range(p)])
+        trace = simulate_workflow(dag, cluster)
+        # Graham's list-scheduling bounds.
+        assert trace.makespan >= dag.critical_path() - 1e-9
+        assert trace.makespan >= dag.total_work() / p - 1e-9
+        assert trace.makespan <= dag.total_work() / p + dag.critical_path() + 1e-9
+
+
+class TestCollectiveProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 10), st.integers(1, 64), st.integers(0, 10_000))
+    def test_ring_allreduce_exact_for_any_shape(self, p, n, seed):
+        from repro.parallel.collectives import ring_allreduce
+        from repro.parallel.network import CommModel
+
+        rng = np.random.default_rng(seed)
+        bufs = [rng.normal(size=n) for _ in range(p)]
+        res = ring_allreduce(bufs, CommModel())
+        assert np.allclose(res.value, np.sum(bufs, axis=0), atol=1e-9)

@@ -1,0 +1,71 @@
+"""Public-API integrity: every exported name resolves and is documented."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.nn",
+    "repro.md",
+    "repro.epi",
+    "repro.tissue",
+    "repro.parallel",
+    "repro.util",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    mod = importlib.import_module(package)
+    assert hasattr(mod, "__all__"), f"{package} has no __all__"
+    for name in mod.__all__:
+        assert hasattr(mod, name), f"{package}.__all__ lists missing name {name!r}"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_package_docstrings(package):
+    mod = importlib.import_module(package)
+    assert mod.__doc__ and len(mod.__doc__.strip()) > 40, (
+        f"{package} needs a real module docstring"
+    )
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_public_classes_and_functions_documented(package):
+    """Every object exported via __all__ carries a docstring."""
+    mod = importlib.import_module(package)
+    undocumented = []
+    for name in mod.__all__:
+        obj = getattr(mod, name)
+        if callable(obj) or isinstance(obj, type):
+            if not getattr(obj, "__doc__", None):
+                undocumented.append(name)
+    assert not undocumented, f"{package}: undocumented exports {undocumented}"
+
+
+def test_version_string():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3 and all(p.isdigit() for p in parts)
+
+
+def test_simulation_registry_signature_consistency():
+    """Every shipped Simulation exposes matching names/dims."""
+    from repro import (
+        EpidemicSimulation,
+        MorphogenSteadyStateSimulation,
+        NanoconfinementSimulation,
+    )
+    from repro.epi.population import SyntheticPopulation
+
+    sims = [
+        NanoconfinementSimulation(),
+        EpidemicSimulation(SyntheticPopulation([100]).build(rng=0)),
+        MorphogenSteadyStateSimulation(),
+    ]
+    for sim in sims:
+        assert sim.n_inputs == len(sim.input_names) > 0
+        assert sim.n_outputs == len(sim.output_names) > 0

@@ -1,0 +1,182 @@
+"""Tests for repro.tissue.cells and repro.tissue.vt."""
+
+import numpy as np
+import pytest
+
+from repro.tissue.cells import CellLattice, adhesion_energy, boundary_length
+from repro.tissue.fields import DiffusionParams, steady_state
+from repro.tissue.vt import VirtualTissueSimulation
+
+
+class TestAdhesionEnergy:
+    def test_uniform_grid_zero_mismatch(self):
+        grid = np.ones((6, 6), dtype=int)
+        j = np.array([[0.0, 0.0], [0.0, 0.0]])
+        assert adhesion_energy(grid, j) == 0.0
+
+    def test_checkerboard_max_interface(self):
+        grid = np.indices((6, 6)).sum(axis=0) % 2
+        j = np.array([[0.0, 1.0], [1.0, 0.0]])
+        # Every one of the 2 * 36 bonds is heterotypic.
+        assert adhesion_energy(grid, j) == 72.0
+
+    def test_counts_each_bond_once(self):
+        grid = np.zeros((4, 4), dtype=int)
+        grid[0, 0] = 1
+        j = np.array([[0.0, 1.0], [1.0, 0.0]])
+        # Site (0,0) has 4 neighbors (periodic), all type 0 -> 4 bonds.
+        assert adhesion_energy(grid, j) == 4.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            adhesion_energy(np.zeros((3, 3), dtype=int), np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            adhesion_energy(np.full((3, 3), 5), np.zeros((2, 2)))
+
+
+class TestBoundaryLength:
+    def test_simple_interface(self):
+        grid = np.zeros((4, 4), dtype=int)
+        grid[:, :2] = 1
+        grid[:, 2:] = 2
+        # Interface at column 1|2 and periodic seam 3|0: 2 columns * 4 rows.
+        assert boundary_length(grid, 1, 2) == 8
+
+    def test_no_contact(self):
+        grid = np.zeros((4, 4), dtype=int)
+        grid[0, 0] = 1
+        grid[2, 2] = 2
+        assert boundary_length(grid, 1, 2) == 0
+
+
+class TestCellLattice:
+    def test_random_two_type_composition(self):
+        lat = CellLattice.random_two_type((20, 20), fill_fraction=0.5, rng=0)
+        counts = lat.type_counts()
+        assert counts.sum() == 400
+        assert counts[1] + counts[2] == 200
+
+    def test_kawasaki_conserves_type_counts(self):
+        lat = CellLattice.random_two_type((16, 16), rng=1)
+        before = lat.type_counts()
+        lat.sweep(5)
+        assert np.array_equal(lat.type_counts(), before)
+
+    def test_sorting_reduces_interface(self):
+        lat = CellLattice.random_two_type((24, 24), temperature=0.5, rng=2)
+        i0 = lat.interface()
+        lat.sweep(25)
+        assert lat.interface() < 0.7 * i0
+
+    def test_sorting_reduces_energy(self):
+        lat = CellLattice.random_two_type((24, 24), temperature=0.5, rng=3)
+        e0 = lat.energy()
+        lat.sweep(25)
+        assert lat.energy() < e0
+
+    def test_high_temperature_stays_mixed(self):
+        cold = CellLattice.random_two_type((20, 20), temperature=0.3, rng=4)
+        hot = CellLattice.random_two_type((20, 20), temperature=50.0, rng=4)
+        cold.sweep(15)
+        hot.sweep(15)
+        assert hot.interface() > cold.interface()
+
+    def test_acceptance_tracked(self):
+        lat = CellLattice.random_two_type((12, 12), rng=5)
+        lat.sweep(2)
+        assert lat.n_swaps_tried == 2 * 144
+        assert 0 <= lat.n_swaps_accepted <= lat.n_swaps_tried
+
+    def test_reproducible(self):
+        a = CellLattice.random_two_type((12, 12), rng=6)
+        b = CellLattice.random_two_type((12, 12), rng=6)
+        a.sweep(3)
+        b.sweep(3)
+        assert np.array_equal(a.grid, b.grid)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CellLattice(np.zeros((3, 3), dtype=int), np.array([[0.0, 1.0], [0.5, 0.0]]))
+        with pytest.raises(ValueError):
+            CellLattice(np.full((3, 3), 9), np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            CellLattice.random_two_type((10, 10), fill_fraction=0.0)
+
+
+class TestVirtualTissue:
+    @pytest.fixture
+    def vt(self):
+        lat = CellLattice.random_two_type((20, 20), temperature=0.8, rng=7)
+        return VirtualTissueSimulation(
+            lat,
+            DiffusionParams(diffusivity=1.0, decay=0.05),
+            secretion_rate=1.0,
+            threshold=0.6,
+            diff_probability=0.3,
+            rng=8,
+        )
+
+    def test_run_produces_trajectory(self, vt):
+        res = vt.run(6)
+        assert res.n_steps == 6
+        assert len(res.differentiated_series) == 6
+        assert res.final_grid is not None and res.final_field is not None
+
+    def test_differentiation_monotone_nondecreasing(self, vt):
+        res = vt.run(8)
+        d = res.differentiated_series
+        assert all(a <= b for a, b in zip(d, d[1:]))
+
+    def test_field_solver_called_once_per_step(self, vt):
+        vt.run(5)
+        assert vt.n_field_solves == 5
+
+    def test_secretion_drives_positive_field(self, vt):
+        res = vt.run(3)
+        assert res.mean_concentration_series[-1] > 0
+
+    def test_pluggable_solver_changes_results(self):
+        lat_a = CellLattice.random_two_type((16, 16), rng=9)
+        lat_b = CellLattice.random_two_type((16, 16), rng=9)
+        p = DiffusionParams(1.0, 0.05)
+        vt_exact = VirtualTissueSimulation(lat_a, p, threshold=0.5, rng=10)
+        vt_zero = VirtualTissueSimulation(
+            lat_b, p, threshold=0.5, rng=10,
+            field_solver=lambda src, params: np.zeros_like(src),
+        )
+        r_exact = vt_exact.run(5)
+        r_zero = vt_zero.run(5)
+        # Zero field -> no differentiation at all.
+        assert r_zero.differentiated_series[-1] == r_zero.differentiated_series[0]
+        assert r_exact.differentiated_series[-1] >= r_zero.differentiated_series[-1]
+
+    def test_surrogate_solver_approximates_exact_trajectory(self):
+        """A mildly perturbed solver yields a nearby differentiation curve —
+        the short-circuiting premise of E10."""
+        lat_a = CellLattice.random_two_type((16, 16), rng=11)
+        lat_b = CellLattice.random_two_type((16, 16), rng=11)
+        p = DiffusionParams(1.0, 0.05)
+
+        def approx_solver(src, params):
+            return steady_state(src, params) * 1.02  # 2% systematic error
+
+        r_exact = VirtualTissueSimulation(lat_a, p, threshold=0.5, rng=12).run(5)
+        r_approx = VirtualTissueSimulation(
+            lat_b, p, threshold=0.5, rng=12, field_solver=approx_solver
+        ).run(5)
+        final_e = r_exact.differentiated_series[-1]
+        final_a = r_approx.differentiated_series[-1]
+        assert abs(final_e - final_a) <= 0.25 * max(final_e, 1)
+
+    def test_uptake_raises_effective_decay(self, vt):
+        eff = vt._effective_params()
+        assert eff.decay == pytest.approx(0.05 + vt.uptake)
+
+    def test_validation(self):
+        lat = CellLattice.random_two_type((10, 10), rng=0)
+        p = DiffusionParams(1.0, 0.1)
+        with pytest.raises(ValueError):
+            VirtualTissueSimulation(lat, p, diff_probability=1.5)
+        vt = VirtualTissueSimulation(lat, p)
+        with pytest.raises(ValueError):
+            vt.run(0)

@@ -1,0 +1,194 @@
+"""Tests for repro.tissue.fields — reaction–diffusion solvers."""
+
+import numpy as np
+import pytest
+
+from repro.tissue.fields import (
+    FIELD_BOUNDS,
+    FIELD_INPUTS,
+    DiffusionParams,
+    MorphogenSteadyStateSimulation,
+    adi_step,
+    ftcs_step,
+    radial_probe,
+    steady_state,
+)
+
+
+@pytest.fixture
+def params():
+    return DiffusionParams(diffusivity=1.0, decay=0.1)
+
+
+@pytest.fixture
+def disk_source():
+    src = np.zeros((20, 20))
+    src[8:12, 8:12] = 2.0
+    return src
+
+
+class TestDiffusionParams:
+    def test_stable_dt(self):
+        p = DiffusionParams(diffusivity=2.0, decay=0.0, dx=1.0)
+        assert p.stable_dt() == pytest.approx(0.9 * 0.25 / 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiffusionParams(diffusivity=0.0, decay=0.1)
+        with pytest.raises(ValueError):
+            DiffusionParams(diffusivity=1.0, decay=-0.1)
+
+
+class TestFTCS:
+    def test_stability_guard(self, params, disk_source):
+        u = np.zeros((20, 20))
+        with pytest.raises(ValueError, match="unstable"):
+            ftcs_step(u, disk_source, params, dt=1.0)
+
+    def test_mass_conserved_without_decay_or_source(self):
+        p = DiffusionParams(diffusivity=1.0, decay=0.0)
+        rng = np.random.default_rng(0)
+        u = rng.random((16, 16))
+        total = u.sum()
+        for _ in range(50):
+            u = ftcs_step(u, np.zeros_like(u), p, p.stable_dt())
+        # No-flux boundaries + no decay: total mass invariant.
+        assert u.sum() == pytest.approx(total, rel=1e-10)
+
+    def test_decay_shrinks_mass(self, disk_source):
+        p = DiffusionParams(diffusivity=1.0, decay=0.5)
+        u = np.ones((20, 20))
+        u2 = ftcs_step(u, np.zeros_like(u), p, 0.1)
+        assert u2.sum() < u.sum()
+
+    def test_maximum_principle(self):
+        """Pure diffusion never exceeds the initial extrema."""
+        p = DiffusionParams(diffusivity=1.0, decay=0.0)
+        rng = np.random.default_rng(1)
+        u = rng.random((12, 12))
+        lo, hi = u.min(), u.max()
+        for _ in range(100):
+            u = ftcs_step(u, np.zeros_like(u), p, p.stable_dt())
+        assert u.min() >= lo - 1e-12 and u.max() <= hi + 1e-12
+
+    def test_converges_to_steady_state(self, params, disk_source):
+        u = np.zeros_like(disk_source)
+        dt = params.stable_dt()
+        for _ in range(4000):
+            u = ftcs_step(u, disk_source, params, dt)
+        exact = steady_state(disk_source, params)
+        assert np.max(np.abs(u - exact)) < 1e-8
+
+
+class TestADI:
+    def test_matches_direct_steady_state(self, params, disk_source):
+        u = np.zeros_like(disk_source)
+        for _ in range(400):
+            u = adi_step(u, disk_source, params, 0.5)
+        exact = steady_state(disk_source, params)
+        assert np.max(np.abs(u - exact)) < 1e-5
+
+    def test_stable_at_large_dt(self, params, disk_source):
+        """ADI is unconditionally stable — a dt far beyond the FTCS limit
+        must not blow up."""
+        u = np.zeros_like(disk_source)
+        for _ in range(50):
+            u = adi_step(u, disk_source, params, 5.0)
+        assert np.all(np.isfinite(u))
+        assert u.max() < 100.0
+
+    def test_agrees_with_ftcs_on_transient(self, params, disk_source):
+        dt = params.stable_dt()
+        uf = np.zeros_like(disk_source)
+        ua = np.zeros_like(disk_source)
+        for _ in range(200):
+            uf = ftcs_step(uf, disk_source, params, dt)
+            ua = adi_step(ua, disk_source, params, dt)
+        assert np.max(np.abs(uf - ua)) < 0.02 * max(uf.max(), 1e-12)
+
+    def test_invalid_dt(self, params, disk_source):
+        with pytest.raises(ValueError):
+            adi_step(np.zeros((20, 20)), disk_source, params, 0.0)
+
+
+class TestSteadyState:
+    def test_residual_is_zero(self, params, disk_source):
+        """Check the PDE residual D lap(u) - k u + s = 0 on the interior."""
+        u = steady_state(disk_source, params)
+        up = np.pad(u, 1, mode="edge")
+        lap = (
+            up[:-2, 1:-1] + up[2:, 1:-1] + up[1:-1, :-2] + up[1:-1, 2:] - 4 * u
+        )
+        residual = params.diffusivity * lap - params.decay * u + disk_source
+        assert np.max(np.abs(residual)) < 1e-10
+
+    def test_uniform_source_analytic(self):
+        """Uniform source: steady state is exactly s / k everywhere."""
+        p = DiffusionParams(diffusivity=1.0, decay=0.2)
+        src = np.full((10, 10), 3.0)
+        u = steady_state(src, p)
+        assert np.allclose(u, 15.0)
+
+    def test_positivity(self, params, disk_source):
+        u = steady_state(disk_source, params)
+        assert np.all(u >= 0)
+
+    def test_peak_at_source(self, params, disk_source):
+        u = steady_state(disk_source, params)
+        peak = np.unravel_index(np.argmax(u), u.shape)
+        assert 8 <= peak[0] <= 11 and 8 <= peak[1] <= 11
+
+    def test_zero_decay_rejected(self, disk_source):
+        p = DiffusionParams(diffusivity=1.0, decay=0.0)
+        with pytest.raises(ValueError):
+            steady_state(disk_source, p)
+
+    def test_faster_diffusion_flattens_field(self, disk_source):
+        slow = steady_state(disk_source, DiffusionParams(0.3, 0.1))
+        fast = steady_state(disk_source, DiffusionParams(3.0, 0.1))
+        assert fast.max() - fast.min() < slow.max() - slow.min()
+
+
+class TestRadialProbe:
+    def test_descends_from_center_for_centered_source(self, params):
+        sim = MorphogenSteadyStateSimulation(grid=32)
+        field = steady_state(sim.source_field(2.0, 4.0), params)
+        probes = radial_probe(field, 8)
+        assert probes[0] == probes.max()
+        assert probes[-1] == probes.min()
+
+    def test_count(self):
+        field = np.random.default_rng(0).random((16, 16))
+        assert radial_probe(field, 5).shape == (5,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            radial_probe(np.zeros((8, 8)), 1)
+
+
+class TestMorphogenSimulation:
+    def test_signature(self):
+        sim = MorphogenSteadyStateSimulation(grid=24, n_probes=6)
+        assert sim.input_names == FIELD_INPUTS
+        assert sim.n_outputs == 6
+
+    def test_run_reproducible_and_deterministic(self):
+        sim = MorphogenSteadyStateSimulation(grid=24)
+        x = [1.0, 0.1, 2.0, 4.0]
+        assert np.array_equal(sim.run(x, rng=0).outputs, sim.run(x, rng=99).outputs)
+
+    def test_stronger_source_higher_field(self):
+        sim = MorphogenSteadyStateSimulation(grid=24)
+        weak = sim.run([1.0, 0.1, 1.0, 4.0]).outputs
+        strong = sim.run([1.0, 0.1, 4.0, 4.0]).outputs
+        assert np.all(strong >= weak)
+
+    def test_sample_inputs_bounds(self):
+        X = MorphogenSteadyStateSimulation.sample_inputs(30, rng=0)
+        for j, name in enumerate(FIELD_INPUTS):
+            lo, hi = FIELD_BOUNDS[name]
+            assert np.all((X[:, j] >= lo) & (X[:, j] <= hi))
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            MorphogenSteadyStateSimulation(grid=4)

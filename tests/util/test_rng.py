@@ -1,0 +1,103 @@
+"""Tests for repro.util.rng — reproducibility plumbing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.rng import SeedSequenceFactory, ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(ensure_rng(1).random(5), ensure_rng(2).random(5))
+
+    def test_generator_passes_through_identically(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_numpy_integer_seed_accepted(self):
+        a = ensure_rng(np.int64(7)).random(3)
+        b = ensure_rng(7).random(3)
+        assert np.array_equal(a, b)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ensure_rng(-1)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not a seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_is_allowed(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_are_independent_streams(self):
+        a, b = spawn_rngs(0, 2)
+        assert not np.array_equal(a.random(10), b.random(10))
+
+    def test_deterministic_from_seed(self):
+        a1, b1 = spawn_rngs(3, 2)
+        a2, b2 = spawn_rngs(3, 2)
+        assert np.array_equal(a1.random(5), a2.random(5))
+        assert np.array_equal(b1.random(5), b2.random(5))
+
+    def test_prefix_stability(self):
+        """Adding more children must not change earlier streams."""
+        (a1,) = spawn_rngs(9, 1)
+        a2, _, _ = spawn_rngs(9, 3)
+        assert np.array_equal(a1.random(5), a2.random(5))
+
+
+class TestSeedSequenceFactory:
+    def test_same_key_same_stream_cached(self):
+        f = SeedSequenceFactory(0)
+        g1 = f.get("worker-1")
+        g2 = f.get("worker-1")
+        assert g1 is g2
+
+    def test_same_key_across_factories_matches(self):
+        a = SeedSequenceFactory(5).get("x").random(4)
+        b = SeedSequenceFactory(5).get("x").random(4)
+        assert np.array_equal(a, b)
+
+    def test_different_keys_differ(self):
+        f = SeedSequenceFactory(0)
+        assert not np.array_equal(f.get("a").random(4), f.get("b").random(4))
+
+    def test_different_seeds_differ(self):
+        a = SeedSequenceFactory(1).get("k").random(4)
+        b = SeedSequenceFactory(2).get("k").random(4)
+        assert not np.array_equal(a, b)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            SeedSequenceFactory(-3)
+
+    def test_keys_listing(self):
+        f = SeedSequenceFactory(0)
+        f.get("a")
+        f.get("b")
+        assert set(f.keys()) == {"a", "b"}
+
+    @given(st.text(min_size=1, max_size=30))
+    def test_any_key_reproducible(self, key):
+        a = SeedSequenceFactory(11).get(key).random(2)
+        b = SeedSequenceFactory(11).get(key).random(2)
+        assert np.array_equal(a, b)

@@ -1,0 +1,84 @@
+"""Tests for repro.util.tables — benchmark table rendering."""
+
+import math
+
+import pytest
+
+from repro.util.tables import Table, format_seconds, format_si
+
+
+class TestFormatSi:
+    def test_kilo(self):
+        assert format_si(123000.0) == "123 k"
+
+    def test_unit_appended(self):
+        assert format_si(2.5e6, "Hz") == "2.5 MHz"
+
+    def test_milli(self):
+        assert format_si(0.0042, "s") == "4.2 ms"
+
+    def test_zero(self):
+        assert format_si(0.0, "s") == "0 s"
+
+    def test_nan_passthrough(self):
+        assert "nan" in format_si(float("nan"))
+
+    def test_tiny_clamps_to_nano(self):
+        out = format_si(1e-12, "s")
+        assert "ns" in out
+
+
+class TestFormatSeconds:
+    def test_minutes(self):
+        assert format_seconds(120.0) == "2 min"
+
+    def test_hours(self):
+        assert format_seconds(7200.0) == "2 h"
+
+    def test_subsecond(self):
+        assert format_seconds(0.003) == "3 ms"
+
+    def test_negative(self):
+        assert format_seconds(-120.0) == "-2 min"
+
+    def test_inf(self):
+        assert "inf" in format_seconds(math.inf)
+
+
+class TestTable:
+    def test_render_contains_all_cells(self):
+        t = Table(["model", "rmse"], title="skill")
+        t.add_row(["DEFSI", 0.12])
+        t.add_row(["EpiFast", 0.3456])
+        out = t.render()
+        assert "skill" in out and "DEFSI" in out and "EpiFast" in out
+        assert "0.12" in out
+
+    def test_row_length_mismatch_rejected(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_len_counts_rows(self):
+        t = Table(["a"])
+        assert len(t) == 0
+        t.add_row([1])
+        assert len(t) == 1
+
+    def test_large_floats_scientific(self):
+        t = Table(["v"])
+        t.add_row([1.23e8])
+        assert "e+08" in t.render()
+
+    def test_alignment_consistent_width(self):
+        t = Table(["col"])
+        t.add_row(["short"])
+        t.add_row(["a-much-longer-cell"])
+        lines = t.render().splitlines()
+        data_lines = lines[1:]  # no title given
+        widths = {len(l) for l in data_lines}
+        assert len(widths) == 1

@@ -1,0 +1,96 @@
+"""Tests for repro.util.timing — the wall-clock ledger."""
+
+import time
+
+import pytest
+
+from repro.util.timing import Timer, TimingRecord, WallClockLedger
+
+
+class TestTimer:
+    def test_measures_nonnegative(self):
+        with Timer() as t:
+            pass
+        assert t.elapsed >= 0.0
+
+    def test_measures_sleep(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            time.sleep(0.005)
+        assert t.elapsed >= 0.004
+        assert t.elapsed != first or first == 0.0
+
+
+class TestTimingRecord:
+    def test_accumulates(self):
+        r = TimingRecord("x")
+        r.add(1.0)
+        r.add(3.0)
+        assert r.total_seconds == 4.0
+        assert r.count == 2
+        assert r.mean_seconds == 2.0
+        assert r.min_seconds == 1.0
+        assert r.max_seconds == 3.0
+
+    def test_empty_mean_is_zero(self):
+        assert TimingRecord("x").mean_seconds == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            TimingRecord("x").add(-0.1)
+
+
+class TestWallClockLedger:
+    def test_record_and_totals(self):
+        led = WallClockLedger()
+        led.record("simulate", 2.0)
+        led.record("simulate", 4.0)
+        led.record("lookup", 0.001)
+        assert led.total("simulate") == 6.0
+        assert led.mean("simulate") == 3.0
+        assert led.count("simulate") == 2
+        assert led.count("lookup") == 1
+
+    def test_missing_category_is_zero(self):
+        led = WallClockLedger()
+        assert led.total("nope") == 0.0
+        assert led.mean("nope") == 0.0
+        assert led.count("nope") == 0
+        assert led.get("nope") is None
+
+    def test_measure_context_manager(self):
+        led = WallClockLedger()
+        with led.measure("train"):
+            time.sleep(0.005)
+        assert led.count("train") == 1
+        assert led.total("train") >= 0.004
+
+    def test_contains_and_categories(self):
+        led = WallClockLedger()
+        led.record("b", 1.0)
+        led.record("a", 1.0)
+        assert "a" in led and "c" not in led
+        assert led.categories() == ["a", "b"]
+
+    def test_as_dict_roundtrip_fields(self):
+        led = WallClockLedger()
+        led.record("x", 2.0)
+        d = led.as_dict()
+        assert d["x"]["total_seconds"] == 2.0
+        assert d["x"]["count"] == 1
+        assert d["x"]["mean_seconds"] == 2.0
+
+    def test_getitem(self):
+        led = WallClockLedger()
+        led.record("x", 1.5)
+        assert led["x"].total_seconds == 1.5
+        with pytest.raises(KeyError):
+            led["missing"]

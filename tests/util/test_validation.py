@@ -1,0 +1,89 @@
+"""Tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    check_array_shape,
+    check_finite,
+    check_in_range,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0.0)
+
+    def test_accepts_zero_when_not_strict(self):
+        assert check_positive("x", 0.0, strict=False) == 0.0
+
+    def test_rejects_negative_always(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1.0, strict=False)
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError):
+            check_positive("x", float("nan"))
+        with pytest.raises(ValueError):
+            check_positive("x", float("inf"))
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range("x", 0.0, 0.0, 1.0) == 0.0
+        assert check_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 0.0, 0.0, 1.0, inclusive=False)
+
+    def test_out_of_range_message_names_param(self):
+        with pytest.raises(ValueError, match="myparam"):
+            check_in_range("myparam", 2.0, 0.0, 1.0)
+
+
+class TestCheckProbability:
+    def test_valid(self):
+        assert check_probability("p", 0.5) == 0.5
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+
+
+class TestCheckArrayShape:
+    def test_exact_shape(self):
+        a = np.zeros((3, 4))
+        assert check_array_shape("a", a, (3, 4)) is not None
+
+    def test_wildcard_axis(self):
+        a = np.zeros((7, 4))
+        check_array_shape("a", a, (None, 4))
+
+    def test_wrong_ndim(self):
+        with pytest.raises(ValueError, match="dimensions"):
+            check_array_shape("a", np.zeros(3), (3, 1))
+
+    def test_wrong_axis_size(self):
+        with pytest.raises(ValueError, match="axis 1"):
+            check_array_shape("a", np.zeros((3, 5)), (3, 4))
+
+
+class TestCheckFinite:
+    def test_accepts_finite(self):
+        out = check_finite("a", [1.0, 2.0])
+        assert out.dtype == float
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="1 non-finite"):
+            check_finite("a", [1.0, float("nan")])
+
+    def test_counts_bad_values(self):
+        with pytest.raises(ValueError, match="2 non-finite"):
+            check_finite("a", [float("inf"), float("nan")])
