@@ -1,0 +1,18 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test lint lint-json baseline check
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+lint:
+	$(PYTHON) -m repro.analysis src/repro
+
+lint-json:
+	$(PYTHON) -m repro.analysis src/repro --format json
+
+baseline:
+	$(PYTHON) -m repro.analysis src/repro --update-baseline
+
+check: lint test

@@ -1,0 +1,43 @@
+"""Self-hosted static analysis for the Learning-Everywhere codebase.
+
+An AST-based linter (pure stdlib ``ast``, no new dependencies) that
+enforces the invariants the reproduction is built on:
+
+- **DET** — determinism: all randomness flows through the seeded
+  pipeline in :mod:`repro.util.rng`.
+- **PUR** — dependency purity: numpy/scipy/networkx + stdlib only.
+- **NUM** — numerical safety: no swallowed errors, float-literal
+  equality, mutable defaults, global seterr, or unguarded
+  reduction divisions.
+- **API** — contracts: ``__all__`` consistency, documented public
+  callables, canonical ``rng`` signatures.
+
+Run ``python -m repro.analysis`` (see ``--help``); suppress a finding
+in-line with ``# repro: noqa[RULE]`` or grandfather it with a justified
+entry in ``analysis-baseline.json``.  The tier-1 test
+``tests/analysis/test_self_lint.py`` keeps the tree clean.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.engine import (
+    AnalysisError,
+    all_rules,
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+)
+from repro.analysis.findings import Finding, Rule
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisError",
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+]

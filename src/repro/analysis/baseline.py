@@ -1,0 +1,120 @@
+"""Committed-baseline support for grandfathered findings.
+
+The baseline file (``analysis-baseline.json`` at the repo root) lists
+violations that are known, reviewed, and explicitly justified.  Entries
+are keyed by ``(path, rule)`` with a count rather than a line number so
+that unrelated edits to a file do not invalidate the baseline.  The
+linter exits zero only when every finding is either fixed, suppressed
+in-line with ``# repro: noqa[RULE]``, or covered by a baseline entry.
+
+Regenerate with ``python -m repro.analysis --update-baseline`` — which
+preserves existing justifications and marks new entries with a TODO so
+a reviewer can tell which entries still need one.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding
+
+__all__ = ["BaselineEntry", "Baseline"]
+
+_FORMAT_VERSION = 1
+_TODO = "TODO: justify or fix"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """A budget of ``count`` accepted findings for one (path, rule) pair."""
+
+    path: str
+    rule_id: str
+    count: int
+    justification: str = _TODO
+
+    def key(self) -> tuple[str, str]:
+        """Return the ``(path, rule)`` grouping key."""
+        return (self.path, self.rule_id)
+
+
+@dataclass
+class Baseline:
+    """In-memory view of the committed baseline file."""
+
+    entries: dict[tuple[str, str], BaselineEntry] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Parse a baseline JSON file; raises ValueError on malformed input."""
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or data.get("version") != _FORMAT_VERSION:
+            raise ValueError(f"unsupported baseline format in {path}")
+        entries: dict[tuple[str, str], BaselineEntry] = {}
+        for raw in data.get("entries", []):
+            entry = BaselineEntry(
+                path=str(raw["path"]),
+                rule_id=str(raw["rule"]),
+                count=int(raw["count"]),
+                justification=str(raw.get("justification", _TODO)),
+            )
+            if entry.count < 0:
+                raise ValueError(f"negative count in baseline entry {entry.key()}")
+            entries[entry.key()] = entry
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(
+        cls, findings: Iterable[Finding], previous: "Baseline | None" = None
+    ) -> "Baseline":
+        """Build a baseline covering ``findings``, keeping old justifications."""
+        counts: dict[tuple[str, str], int] = {}
+        for f in findings:
+            key = (f.path, f.rule_id)
+            counts[key] = counts.get(key, 0) + 1
+        entries = {}
+        for key, count in counts.items():
+            old = previous.entries.get(key) if previous else None
+            justification = old.justification if old else _TODO
+            entries[key] = BaselineEntry(key[0], key[1], count, justification)
+        return cls(entries=entries)
+
+    def apply(self, findings: Sequence[Finding]) -> list[Finding]:
+        """Return the findings NOT covered by the baseline.
+
+        Findings are consumed against each entry's budget in stable
+        (path, line) order, so when a file gains a new violation beyond
+        its budget the *newest* locations surface first in reports.
+        """
+        budget = {key: entry.count for key, entry in self.entries.items()}
+        leftover: list[Finding] = []
+        for f in sorted(findings):
+            key = (f.path, f.rule_id)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+            else:
+                leftover.append(f)
+        return leftover
+
+    def to_json(self) -> str:
+        """Serialize to the committed on-disk format (stable ordering)."""
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": [
+                {
+                    "path": e.path,
+                    "rule": e.rule_id,
+                    "count": e.count,
+                    "justification": e.justification,
+                }
+                for e in sorted(self.entries.values(), key=BaselineEntry.key)
+            ],
+        }
+        return json.dumps(payload, indent=2) + "\n"
+
+    def save(self, path: Path) -> None:
+        """Write the baseline file to ``path``."""
+        path.write_text(self.to_json(), encoding="utf-8")

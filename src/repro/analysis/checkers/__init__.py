@@ -1,0 +1,17 @@
+"""Built-in checker families.
+
+Importing this package registers every checker with the engine's
+registry (each module applies ``@register_checker`` at import time).
+"""
+
+from repro.analysis.checkers.contracts import ContractsChecker
+from repro.analysis.checkers.determinism import DeterminismChecker
+from repro.analysis.checkers.numerics import NumericsChecker
+from repro.analysis.checkers.purity import PurityChecker
+
+__all__ = [
+    "ContractsChecker",
+    "DeterminismChecker",
+    "NumericsChecker",
+    "PurityChecker",
+]

@@ -1,0 +1,234 @@
+"""API-contract checkers (API family).
+
+Public surface rules: every public module declares ``__all__`` and the
+declaration is consistent with the names actually defined; every public
+top-level callable is documented; and ``rng`` parameters follow the
+canonical ``rng: int | np.random.Generator | None = None`` shape so the
+whole library is seedable the same way.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.engine import BaseChecker, FileContext, register_checker
+from repro.analysis.findings import Rule
+
+__all__ = ["ContractsChecker"]
+
+API001 = Rule(
+    "API001",
+    "module-declares-all",
+    "public module defines top-level names but no __all__",
+    "__all__ is the contract tests and star-imports rely on.",
+)
+API002 = Rule(
+    "API002",
+    "all-names-exist",
+    "__all__ lists a name not bound at module top level",
+    "Phantom exports break `from module import *` and API docs.",
+)
+API003 = Rule(
+    "API003",
+    "public-names-exported",
+    "public top-level def/class missing from __all__",
+    "Unlisted public names drift out of the tested API surface.",
+)
+API004 = Rule(
+    "API004",
+    "public-callable-documented",
+    "public top-level function/class lacks a docstring",
+    "The docstring is the only spec for a hand-rolled numeric stack.",
+)
+API005 = Rule(
+    "API005",
+    "canonical-rng-signature",
+    "rng parameter deviates from `rng: int | np.random.Generator | None = None`",
+    "A uniform seeding signature lets pipelines thread one rng everywhere.",
+)
+
+_CANONICAL_RNG = frozenset(
+    {
+        "int|np.random.Generator|None",
+        "int|numpy.random.Generator|None",
+        "None|int|np.random.Generator",
+        "np.random.Generator|int|None",
+    }
+)
+_WS = re.compile(r"\s+")
+
+
+def _top_level_bindings(tree: ast.Module) -> set[str]:
+    """Names bound at module top level (defs, classes, assigns, imports).
+
+    Descends into top-level ``if``/``try`` blocks so conditionally bound
+    names (version guards, optional fast paths) count as defined.
+    """
+    bound: set[str] = set()
+
+    def collect(body: list[ast.stmt]) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    for sub in ast.walk(target):
+                        if isinstance(sub, ast.Name):
+                            bound.add(sub.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                bound.add(node.target.id)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    bound.add((alias.asname or alias.name).split(".")[0])
+            elif isinstance(node, ast.If):
+                collect(node.body)
+                collect(node.orelse)
+            elif isinstance(node, ast.Try):
+                collect(node.body)
+                collect(node.orelse)
+                collect(node.finalbody)
+                for handler in node.handlers:
+                    collect(handler.body)
+
+    collect(tree.body)
+    return bound
+
+
+def _declared_all(tree: ast.Module) -> tuple[list[str] | None, ast.AST | None]:
+    """Return (__all__ entries, node) or (None, None) when absent/dynamic."""
+    for node in tree.body:
+        value = None
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+        ):
+            value = node.value
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and node.target.id == "__all__"
+        ):
+            value = node.value
+        if value is not None:
+            if isinstance(value, (ast.List, ast.Tuple)) and all(
+                isinstance(e, ast.Constant) and isinstance(e.value, str)
+                for e in value.elts
+            ):
+                return [e.value for e in value.elts], node
+            return None, node  # dynamic __all__: treat as declared, skip checks
+    return None, None
+
+
+@register_checker
+class ContractsChecker(BaseChecker):
+    """Enforces __all__/docstring/rng-signature consistency."""
+
+    rules = (API001, API002, API003, API004, API005)
+
+    def __init__(self, context: FileContext):
+        super().__init__(context)
+        self._class_stack: list[str] = []
+
+    @property
+    def _module_is_public(self) -> bool:
+        stem = self.context.path.rsplit("/", 1)[-1].removesuffix(".py")
+        return not stem.startswith("_")
+
+    def visit_Module(self, node: ast.Module) -> None:
+        public_defs = [
+            n
+            for n in node.body
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+            and not n.name.startswith("_")
+        ]
+        exported, all_node = _declared_all(node)
+        if self._module_is_public:
+            if all_node is None and public_defs:
+                self.report(
+                    node,
+                    "API001",
+                    "module defines public names but no __all__",
+                )
+            if exported is not None:
+                bound = _top_level_bindings(node)
+                for name in exported:
+                    if name not in bound:
+                        self.report(
+                            all_node,
+                            "API002",
+                            f"__all__ lists `{name}` which is not defined in the module",
+                        )
+                for d in public_defs:
+                    if d.name not in exported:
+                        self.report(
+                            d,
+                            "API003",
+                            f"public `{d.name}` is missing from __all__",
+                        )
+            for d in public_defs:
+                if not ast.get_docstring(d):
+                    self.report(
+                        d,
+                        "API004",
+                        f"public `{d.name}` has no docstring",
+                    )
+        self.generic_visit(node)
+
+    # -- API005: canonical rng signatures -----------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _check_rng_signature(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        public = not node.name.startswith("_") or node.name == "__init__"
+        if not public or any(c.startswith("_") for c in self._class_stack):
+            return
+        args = node.args
+        positional = args.posonlyargs + args.args
+        pos_defaults: dict[str, ast.expr] = dict(
+            zip((a.arg for a in reversed(positional)), reversed(args.defaults))
+        )
+        kw_defaults: dict[str, ast.expr | None] = {
+            a.arg: d for a, d in zip(args.kwonlyargs, args.kw_defaults)
+        }
+        for param in positional + args.kwonlyargs:
+            if param.arg != "rng":
+                continue
+            has_default = param.arg in pos_defaults or (
+                kw_defaults.get(param.arg) is not None
+            )
+            default = pos_defaults.get(param.arg) or kw_defaults.get(param.arg)
+            if has_default:
+                if not (isinstance(default, ast.Constant) and default.value is None):
+                    self.report(
+                        node,
+                        "API005",
+                        f"`{node.name}` defaults rng to "
+                        f"`{ast.unparse(default)}`; the canonical default is None",
+                    )
+                elif param.annotation is not None:
+                    text = _WS.sub("", ast.unparse(param.annotation))
+                    if text not in _CANONICAL_RNG:
+                        self.report(
+                            node,
+                            "API005",
+                            f"`{node.name}` annotates rng as `{text}`; expected "
+                            "`int | np.random.Generator | None`",
+                        )
+            elif node.name == "__init__" and self._class_stack:
+                self.report(
+                    node,
+                    "API005",
+                    f"constructor of `{self._class_stack[-1]}` requires rng; "
+                    "give it the canonical `= None` default",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_rng_signature(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_rng_signature(node)
+        self.generic_visit(node)

@@ -1,0 +1,217 @@
+"""Determinism checkers (DET family).
+
+Every stochastic component in this codebase must be replayable through
+the single seeded pipeline in ``repro.util.rng`` — "no run is wasted".
+These rules flag code paths that smuggle in entropy the pipeline cannot
+see: the legacy numpy global RNG, the stdlib ``random`` module, unseeded
+generators, process-unstable ``hash()`` seeding, and public ``rng``
+parameters consumed raw instead of via ``ensure_rng``/``spawn_rngs``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import BaseChecker, FileContext, register_checker
+from repro.analysis.findings import Rule
+
+__all__ = ["DeterminismChecker"]
+
+DET001 = Rule(
+    "DET001",
+    "no-legacy-global-rng",
+    "Call into the legacy numpy global RNG (np.random.seed/rand/...)",
+    "Global-state draws cannot be replayed or spawned; use ensure_rng.",
+)
+DET002 = Rule(
+    "DET002",
+    "no-stdlib-random",
+    "Import of the stdlib `random` module",
+    "stdlib random has its own hidden global state outside the seeded pipeline.",
+)
+DET003 = Rule(
+    "DET003",
+    "no-unseeded-default-rng",
+    "Unseeded np.random.default_rng() outside repro.util.rng",
+    "Only ensure_rng(None) may mint nondeterministic generators, so call sites stay replayable.",
+)
+DET004 = Rule(
+    "DET004",
+    "no-builtin-hash-seeding",
+    "Use of builtin hash(), which is salted per process",
+    "PYTHONHASHSEED makes hash() differ across runs; use a stable digest (see rng._stable_hash).",
+)
+DET005 = Rule(
+    "DET005",
+    "rng-param-normalized",
+    "Public rng-taking callable uses `rng` raw without ensure_rng/spawn_rngs",
+    "Normalizing lets every public entry point accept int seeds, Generators, or None uniformly.",
+)
+
+# Constructors/types reachable via np.random.* that do NOT touch the
+# legacy global state.
+_MODERN_RANDOM_ATTRS = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+_NORMALIZERS = frozenset({"ensure_rng", "spawn_rngs"})
+
+
+def _dotted_name(node: ast.AST) -> str | None:
+    """Return the dotted source form of a Name/Attribute chain, or None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@register_checker
+class DeterminismChecker(BaseChecker):
+    """Flags entropy sources outside the seeded RNG pipeline."""
+
+    rules = (DET001, DET002, DET003, DET004, DET005)
+
+    def __init__(self, context: FileContext):
+        super().__init__(context)
+        self._numpy_aliases: set[str] = set()
+        self._numpy_random_aliases: set[str] = set()
+        self._default_rng_aliases: set[str] = set()
+        self._class_stack: list[str] = []
+        self._in_rng_module = context.config.is_rng_module(context.path)
+
+    # -- imports ------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root == "random":
+                self.report(node, "DET002", "import of stdlib `random`; use repro.util.rng")
+            if alias.name == "numpy":
+                self._numpy_aliases.add(alias.asname or "numpy")
+            if alias.name == "numpy.random":
+                self._numpy_random_aliases.add(alias.asname or "numpy")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level == 0 and node.module:
+            root = node.module.split(".")[0]
+            if root == "random":
+                self.report(node, "DET002", "import from stdlib `random`; use repro.util.rng")
+            if node.module == "numpy":
+                for alias in node.names:
+                    if alias.name == "random":
+                        self._numpy_random_aliases.add(alias.asname or "random")
+            if node.module == "numpy.random":
+                for alias in node.names:
+                    if alias.name == "default_rng":
+                        self._default_rng_aliases.add(alias.asname or "default_rng")
+                    elif alias.name not in _MODERN_RANDOM_ATTRS:
+                        self.report(
+                            node,
+                            "DET001",
+                            f"import of legacy numpy.random.{alias.name}; "
+                            "use a Generator from ensure_rng",
+                        )
+        self.generic_visit(node)
+
+    # -- calls --------------------------------------------------------
+
+    def _random_attr(self, dotted: str) -> str | None:
+        """If ``dotted`` is ``<np>.random.<attr>`` or an alias, return attr."""
+        parts = dotted.split(".")
+        if len(parts) == 3 and parts[0] in self._numpy_aliases and parts[1] == "random":
+            return parts[2]
+        if len(parts) == 2 and parts[0] in self._numpy_random_aliases:
+            return parts[1]
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+        if dotted is not None:
+            attr = self._random_attr(dotted)
+            if attr is not None and attr not in _MODERN_RANDOM_ATTRS:
+                self.report(
+                    node,
+                    "DET001",
+                    f"legacy global-RNG call {dotted}(); use a seeded Generator "
+                    "from repro.util.rng.ensure_rng",
+                )
+            is_default_rng = (
+                attr == "default_rng" or dotted in self._default_rng_aliases
+            )
+            if (
+                is_default_rng
+                and not node.args
+                and not node.keywords
+                and not self._in_rng_module
+            ):
+                self.report(
+                    node,
+                    "DET003",
+                    "unseeded default_rng(); thread an rng through "
+                    "ensure_rng so the run stays replayable",
+                )
+            if dotted == "hash":
+                self.report(
+                    node,
+                    "DET004",
+                    "builtin hash() is salted per process; use a stable "
+                    "digest such as repro.util.rng's FNV-1a helper",
+                )
+        self.generic_visit(node)
+
+    # -- rng-parameter normalization (DET005) -------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _check_rng_normalized(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        public = not node.name.startswith("_") or node.name == "__init__"
+        if not public or any(c.startswith("_") for c in self._class_stack):
+            return
+        params = node.args.posonlyargs + node.args.args + node.args.kwonlyargs
+        if not any(a.arg == "rng" for a in params):
+            return
+        uses_raw = False
+        normalizes = False
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                dotted = _dotted_name(sub.func) or ""
+                if dotted.split(".")[-1] in _NORMALIZERS:
+                    normalizes = True
+            if (
+                isinstance(sub, ast.Attribute)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id == "rng"
+            ):
+                uses_raw = True
+        if uses_raw and not normalizes and not self._in_rng_module:
+            self.report(
+                node,
+                "DET005",
+                f"public callable `{node.name}` draws from `rng` without "
+                "normalizing via ensure_rng/spawn_rngs",
+            )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_rng_normalized(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_rng_normalized(node)
+        self.generic_visit(node)

@@ -1,0 +1,183 @@
+"""Numerical-safety checkers (NUM family).
+
+Rules that keep numeric failures loud and localized: no swallowed
+exceptions around kernels, no exact equality against float literals,
+no mutable default arguments, no process-global ``np.seterr`` state,
+and no division by a bare reduction (a sum/mean/norm that can be zero)
+without an epsilon guard or an ``np.errstate`` context.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import BaseChecker, FileContext, register_checker
+from repro.analysis.findings import Rule
+
+__all__ = ["NumericsChecker"]
+
+NUM001 = Rule(
+    "NUM001",
+    "no-blanket-except",
+    "bare `except:` / `except Exception:` without re-raise",
+    "Swallowing errors hides NaNs and shape bugs; catch the narrowest type.",
+)
+NUM002 = Rule(
+    "NUM002",
+    "no-float-literal-equality",
+    "`==`/`!=` against a non-integral float literal",
+    "Round-off makes exact float equality order-dependent; compare with a tolerance.",
+)
+NUM003 = Rule(
+    "NUM003",
+    "no-mutable-default",
+    "mutable default argument (list/dict/set/ndarray)",
+    "Defaults are evaluated once; mutations leak across calls.",
+)
+NUM004 = Rule(
+    "NUM004",
+    "no-global-seterr",
+    "np.seterr() mutates process-global error state",
+    "Use the scoped `with np.errstate(...)` context manager instead.",
+)
+NUM005 = Rule(
+    "NUM005",
+    "no-unguarded-reduction-division",
+    "division by a bare reduction (sum/mean/norm/len) that can be zero",
+    "Guard with an epsilon (np.maximum(x, eps) / x + eps) or an np.errstate block.",
+)
+
+_REDUCTIONS = frozenset(
+    {"sum", "mean", "std", "var", "norm", "count_nonzero", "len", "trace", "prod"}
+)
+_MUTABLE_FACTORIES = frozenset(
+    {"list", "dict", "set", "bytearray", "array", "zeros", "ones", "empty", "full"}
+)
+_BLANKET_TYPES = frozenset({"Exception", "BaseException"})
+
+
+def _call_name(node: ast.AST) -> str:
+    """Return the terminal callee name of a Call node, or ''."""
+    if not isinstance(node, ast.Call):
+        return ""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+@register_checker
+class NumericsChecker(BaseChecker):
+    """Flags constructs that hide or destabilize numerical errors."""
+
+    rules = (NUM001, NUM002, NUM003, NUM004, NUM005)
+
+    def __init__(self, context: FileContext):
+        super().__init__(context)
+        self._errstate_depth = 0
+
+    # -- NUM001 -------------------------------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        blanket = node.type is None or (
+            isinstance(node.type, ast.Name) and node.type.id in _BLANKET_TYPES
+        )
+        reraises = any(
+            isinstance(sub, ast.Raise) and sub.exc is None for sub in ast.walk(node)
+        )
+        if blanket and not reraises:
+            what = "bare except" if node.type is None else f"except {node.type.id}"
+            self.report(
+                node,
+                "NUM001",
+                f"{what} swallows errors; catch a specific exception or re-raise",
+            )
+        self.generic_visit(node)
+
+    # -- NUM002 -------------------------------------------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for i, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side in (operands[i], operands[i + 1]):
+                if (
+                    isinstance(side, ast.Constant)
+                    and isinstance(side.value, float)
+                    and side.value != int(side.value)
+                ):
+                    self.report(
+                        node,
+                        "NUM002",
+                        f"exact comparison against float literal {side.value!r}; "
+                        "use np.isclose or a tolerance",
+                    )
+        self.generic_visit(node)
+
+    # -- NUM003 -------------------------------------------------------
+
+    def _check_defaults(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                _call_name(default) in _MUTABLE_FACTORIES
+            )
+            if mutable:
+                self.report(
+                    default,
+                    "NUM003",
+                    f"mutable default `{ast.unparse(default)}` in `{node.name}`; "
+                    "default to None and construct inside the body",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    # -- NUM004 / NUM005 ----------------------------------------------
+
+    def visit_With(self, node: ast.With) -> None:
+        errstate = any(
+            _call_name(item.context_expr) == "errstate" for item in node.items
+        )
+        if errstate:
+            self._errstate_depth += 1
+            self.generic_visit(node)
+            self._errstate_depth -= 1
+        else:
+            self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "seterr"
+        ):
+            self.report(
+                node,
+                "NUM004",
+                "np.seterr mutates global error state; use `with np.errstate(...)`",
+            )
+        self.generic_visit(node)
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if (
+            isinstance(node.op, ast.Div)
+            and _call_name(node.right) in _REDUCTIONS
+            and self._errstate_depth == 0
+        ):
+            self.report(
+                node,
+                "NUM005",
+                f"division by bare `{ast.unparse(node.right)}`; add an epsilon "
+                "guard or wrap in `with np.errstate(...)`",
+            )
+        self.generic_visit(node)

@@ -1,0 +1,51 @@
+"""Dependency-purity checker (PUR family).
+
+DESIGN.md commits this reproduction to a hand-rolled stack: numpy,
+scipy, and networkx only, with the neural network written from scratch.
+PUR001 forbids any other third-party import under ``src/repro`` — no
+torch, tensorflow, sklearn, pandas, or transitive convenience deps —
+including imports hidden inside ``try``/``except`` fallbacks.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import BaseChecker, register_checker
+from repro.analysis.findings import Rule
+
+__all__ = ["PurityChecker"]
+
+PUR001 = Rule(
+    "PUR001",
+    "allowed-imports-only",
+    "Import outside the numpy/scipy/networkx + stdlib allowlist",
+    "The stack stays pure so every numeric path is auditable and the "
+    "repo runs on a bare scientific-python image.",
+)
+
+
+@register_checker
+class PurityChecker(BaseChecker):
+    """Flags imports whose top-level module is not allowlisted."""
+
+    rules = (PUR001,)
+
+    def _check_root(self, node: ast.AST, root: str) -> None:
+        if not self.context.config.import_allowed(root):
+            self.report(
+                node,
+                "PUR001",
+                f"import of `{root}` is outside the allowed set "
+                "(numpy/scipy/networkx/repro + stdlib)",
+            )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._check_root(node, alias.name.split(".")[0])
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level == 0 and node.module:  # relative imports are always fine
+            self._check_root(node, node.module.split(".")[0])
+        self.generic_visit(node)

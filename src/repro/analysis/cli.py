@@ -1,0 +1,118 @@
+"""Command-line interface: ``python -m repro.analysis [paths...]``.
+
+Exit codes: 0 = clean (after noqa + baseline suppression), 1 = findings
+remain, 2 = usage or analysis error (unreadable file, syntax error,
+malformed baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.engine import AnalysisError, all_rules, analyze_paths
+from repro.analysis.reporters import render_json, render_rule_table, render_text
+
+__all__ = ["build_parser", "main"]
+
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Self-hosted static analysis enforcing this repository's "
+            "determinism, purity, numerical-safety, and API-contract invariants."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline file of accepted findings (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file and report every finding",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to cover current findings (keeps justifications)",
+    )
+    parser.add_argument(
+        "--select",
+        default="",
+        help="comma-separated rule ids or family prefixes to run (e.g. DET,NUM002)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default="",
+        help="comma-separated rule ids or family prefixes to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry and exit",
+    )
+    return parser
+
+
+def _parse_filter(text: str) -> frozenset[str]:
+    return frozenset(part.strip() for part in text.split(",") if part.strip())
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the linter; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(render_rule_table(all_rules()))
+        return 0
+
+    config = AnalysisConfig(
+        select=_parse_filter(args.select), ignore=_parse_filter(args.ignore)
+    )
+    try:
+        findings = analyze_paths([Path(p) for p in args.paths], config)
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline)
+    previous: Baseline | None = None
+    if not args.no_baseline and baseline_path.exists():
+        try:
+            previous = Baseline.load(baseline_path)
+        except (ValueError, KeyError, OSError) as exc:
+            print(f"error: malformed baseline {baseline_path}: {exc}", file=sys.stderr)
+            return 2
+
+    if args.update_baseline:
+        Baseline.from_findings(findings, previous).save(baseline_path)
+        print(f"baseline written: {baseline_path} ({len(findings)} findings covered)")
+        return 0
+
+    reported = previous.apply(findings) if previous else list(findings)
+    if args.format == "json":
+        print(render_json(reported, all_rules()))
+    else:
+        print(render_text(reported))
+    return 1 if reported else 0

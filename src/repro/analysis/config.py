@@ -1,0 +1,88 @@
+"""Configuration for the static-analysis run.
+
+The defaults encode this repository's invariants (see DESIGN.md,
+"Enforced invariants & static analysis"): the scientific stack is
+restricted to numpy/scipy/networkx + stdlib, all randomness flows
+through ``repro.util.rng``, and a committed baseline file grandfathers
+explicitly-justified violations.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field, replace
+
+__all__ = ["AnalysisConfig", "DEFAULT_ALLOWED_ROOTS", "DEFAULT_RNG_MODULES"]
+
+# Third-party import roots the purity checker accepts anywhere under
+# src/repro (stdlib modules are always allowed on top of these).
+DEFAULT_ALLOWED_ROOTS: frozenset[str] = frozenset({"numpy", "scipy", "networkx", "repro"})
+
+# Modules allowed to construct unseeded generators / own the RNG plumbing.
+# Matched as posix path suffixes against the linted file's path.
+DEFAULT_RNG_MODULES: tuple[str, ...] = ("repro/util/rng.py",)
+
+
+def _stdlib_names() -> frozenset[str]:
+    """Names of stdlib top-level modules for the running interpreter."""
+    return frozenset(sys.stdlib_module_names)
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Immutable settings consumed by the engine and checkers.
+
+    Attributes
+    ----------
+    allowed_import_roots:
+        Non-stdlib top-level modules that may be imported under the
+        linted tree (PUR001).
+    stdlib_roots:
+        Stdlib module names (always importable); defaults to the running
+        interpreter's ``sys.stdlib_module_names``.
+    rng_module_suffixes:
+        Path suffixes of modules exempt from DET003/DET005 because they
+        *are* the RNG plumbing.
+    select:
+        If non-empty, only these rule ids (or family prefixes) run.
+    ignore:
+        Rule ids (or family prefixes) to skip entirely.
+    """
+
+    allowed_import_roots: frozenset[str] = DEFAULT_ALLOWED_ROOTS
+    stdlib_roots: frozenset[str] = field(default_factory=_stdlib_names)
+    rng_module_suffixes: tuple[str, ...] = DEFAULT_RNG_MODULES
+    select: frozenset[str] = frozenset()
+    ignore: frozenset[str] = frozenset()
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        """Return True when ``rule_id`` passes the select/ignore filters.
+
+        Filters accept exact ids (``DET001``) or family prefixes
+        (``DET``).
+        """
+        family = rule_id[:3]
+        if rule_id in self.ignore or family in self.ignore:
+            return False
+        if self.select:
+            return rule_id in self.select or family in self.select
+        return True
+
+    def is_rng_module(self, posix_path: str) -> bool:
+        """Return True when ``posix_path`` is part of the RNG plumbing."""
+        return any(posix_path.endswith(sfx) for sfx in self.rng_module_suffixes)
+
+    def import_allowed(self, root: str) -> bool:
+        """Return True when top-level module ``root`` may be imported."""
+        return root in self.allowed_import_roots or root in self.stdlib_roots
+
+    def with_filters(
+        self, select: frozenset[str] | None = None, ignore: frozenset[str] | None = None
+    ) -> "AnalysisConfig":
+        """Return a copy with updated select/ignore filters."""
+        kwargs: dict = {}
+        if select is not None:
+            kwargs["select"] = select
+        if ignore is not None:
+            kwargs["ignore"] = ignore
+        return replace(self, **kwargs)

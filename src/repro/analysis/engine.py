@@ -1,0 +1,233 @@
+"""Checker registry, visitor framework, and per-file analysis driver.
+
+Checkers are ``ast.NodeVisitor`` subclasses registered with
+:func:`register_checker`; each declares the :class:`~repro.analysis.findings.Rule`
+objects it can emit.  The engine parses each file once, runs every
+enabled checker over the tree, then drops findings suppressed by
+``# repro: noqa[RULE]`` / ``# repro: noqa-file[RULE]`` comments.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence, Type
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding, Rule
+
+__all__ = [
+    "FileContext",
+    "BaseChecker",
+    "register_checker",
+    "all_rules",
+    "all_checkers",
+    "parse_suppressions",
+    "iter_python_files",
+    "analyze_source",
+    "analyze_file",
+    "analyze_paths",
+    "AnalysisError",
+]
+
+_CHECKERS: list[Type["BaseChecker"]] = []
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?P<file>-file)?(?:\[(?P<rules>[A-Z0-9_,\s]+)\])?"
+)
+
+
+class AnalysisError(Exception):
+    """Raised when a target cannot be analyzed (unreadable / syntax error)."""
+
+
+@dataclass
+class FileContext:
+    """Everything a checker may need about the file under analysis."""
+
+    path: str  # posix-style, repo-relative when possible
+    tree: ast.Module
+    source: str
+    config: AnalysisConfig
+    lines: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+
+class BaseChecker(ast.NodeVisitor):
+    """Base class for all checkers.
+
+    Subclasses set the ``rules`` class attribute to the tuple of
+    :class:`Rule` objects they may emit and call :meth:`report` from
+    their ``visit_*`` methods.  A checker instance is created fresh for
+    every file, so per-file state can live on ``self``.
+    """
+
+    rules: tuple[Rule, ...] = ()
+
+    def __init__(self, context: FileContext):
+        self.context = context
+        self.findings: list[Finding] = []
+        self._rule_ids = {r.rule_id for r in self.rules}
+
+    def report(self, node: ast.AST, rule_id: str, message: str) -> None:
+        """Record a finding for ``rule_id`` at ``node``'s location."""
+        if rule_id not in self._rule_ids:
+            raise ValueError(
+                f"{type(self).__name__} reported undeclared rule {rule_id}"
+            )
+        if not self.context.config.rule_enabled(rule_id):
+            return
+        self.findings.append(
+            Finding(
+                path=self.context.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                rule_id=rule_id,
+                message=message,
+            )
+        )
+
+    def run(self) -> list[Finding]:
+        """Visit the whole tree and return collected findings."""
+        self.visit(self.context.tree)
+        return self.findings
+
+
+def register_checker(cls: Type[BaseChecker]) -> Type[BaseChecker]:
+    """Class decorator adding ``cls`` to the global checker registry."""
+    if not cls.rules:
+        raise ValueError(f"checker {cls.__name__} declares no rules")
+    _CHECKERS.append(cls)
+    return cls
+
+
+def _load_builtin_checkers() -> None:
+    # Imported lazily: checker modules import this module for BaseChecker.
+    from repro.analysis import checkers as _  # noqa: F401 (import side effect)
+
+
+def all_checkers() -> list[Type[BaseChecker]]:
+    """Return the registered checker classes (loading built-ins first)."""
+    _load_builtin_checkers()
+    return list(_CHECKERS)
+
+
+def all_rules() -> dict[str, Rule]:
+    """Return every known rule keyed by id, sorted by id."""
+    rules = [r for cls in all_checkers() for r in cls.rules]
+    return {r.rule_id: r for r in sorted(rules, key=lambda r: r.rule_id)}
+
+
+def parse_suppressions(source: str) -> tuple[dict[int, frozenset[str] | None], dict]:
+    """Extract noqa directives from ``source``.
+
+    Returns ``(per_line, per_file)`` where ``per_line`` maps a 1-based
+    line number to either ``None`` (suppress every rule on that line)
+    or a frozenset of rule ids, and ``per_file`` is the same shape keyed
+    by the single key ``"file"`` when a ``noqa-file`` directive exists.
+    """
+    per_line: dict[int, frozenset[str] | None] = {}
+    per_file: dict[str, frozenset[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _NOQA_RE.search(line)
+        if not m:
+            continue
+        rules_text = m.group("rules")
+        rules = (
+            None
+            if rules_text is None
+            else frozenset(r.strip() for r in rules_text.split(",") if r.strip())
+        )
+        if m.group("file"):
+            prev = per_file.get("file", frozenset())
+            if rules is None or prev is None:
+                per_file["file"] = None
+            else:
+                per_file["file"] = prev | rules
+        else:
+            prev_line = per_line.get(lineno, frozenset())
+            if rules is None or prev_line is None:
+                per_line[lineno] = None
+            else:
+                per_line[lineno] = prev_line | rules
+    return per_line, per_file
+
+
+def _is_suppressed(
+    finding: Finding,
+    per_line: dict[int, frozenset[str] | None],
+    per_file: dict[str, frozenset[str] | None],
+) -> bool:
+    if "file" in per_file:
+        rules = per_file["file"]
+        if rules is None or finding.rule_id in rules:
+            return True
+    if finding.line in per_line:
+        rules = per_line[finding.line]
+        if rules is None or finding.rule_id in rules:
+            return True
+    return False
+
+
+def analyze_source(
+    source: str, path: str, config: AnalysisConfig | None = None
+) -> list[Finding]:
+    """Analyze Python ``source`` attributed to ``path``; return findings.
+
+    Raises :class:`AnalysisError` on syntax errors.
+    """
+    config = config or AnalysisConfig()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise AnalysisError(f"{path}: syntax error: {exc.msg} (line {exc.lineno})") from exc
+    context = FileContext(path=path, tree=tree, source=source, config=config)
+    findings: list[Finding] = []
+    for cls in all_checkers():
+        findings.extend(cls(context).run())
+    per_line, per_file = parse_suppressions(source)
+    return sorted(f for f in findings if not _is_suppressed(f, per_line, per_file))
+
+
+def _display_path(path: Path) -> str:
+    try:
+        rel = path.resolve().relative_to(Path.cwd().resolve())
+        return rel.as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def analyze_file(path: Path, config: AnalysisConfig | None = None) -> list[Finding]:
+    """Analyze one file on disk; paths in findings are repo-relative."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise AnalysisError(f"{path}: cannot read: {exc}") from exc
+    return analyze_source(source, _display_path(path), config)
+
+
+def iter_python_files(paths: Iterable[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files."""
+    out: set[Path] = set()
+    for p in paths:
+        if p.is_dir():
+            out.update(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            out.add(p)
+        elif not p.exists():
+            raise AnalysisError(f"{p}: no such file or directory")
+    return sorted(out)
+
+
+def analyze_paths(
+    paths: Sequence[Path], config: AnalysisConfig | None = None
+) -> list[Finding]:
+    """Analyze every Python file under ``paths``; return sorted findings."""
+    findings: list[Finding] = []
+    for f in iter_python_files(paths):
+        findings.extend(analyze_file(f, config))
+    return sorted(findings)

@@ -1,0 +1,85 @@
+"""Core value types for the static-analysis subsystem.
+
+A :class:`Rule` describes one invariant the linter enforces; a
+:class:`Finding` is one concrete violation of a rule at a source
+location.  Both are plain frozen dataclasses so reporters, baselines,
+and tests can treat them as values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Rule", "Finding", "SEVERITY_ERROR", "SEVERITY_WARNING"]
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One enforced invariant, identified by a stable short ID.
+
+    Parameters
+    ----------
+    rule_id:
+        Stable identifier such as ``"DET001"``; the family prefix groups
+        related rules (DET = determinism, PUR = purity, NUM = numerical
+        safety, API = API contracts).
+    name:
+        Short kebab-case name used in ``--list-rules`` output.
+    summary:
+        One-line human description of the invariant.
+    rationale:
+        Why the invariant matters for this codebase (shown by
+        ``--list-rules --verbose``-style reporting and docs).
+    severity:
+        ``"error"`` (gates CI) or ``"warning"``.
+    """
+
+    rule_id: str
+    name: str
+    summary: str
+    rationale: str = ""
+    severity: str = SEVERITY_ERROR
+
+    def __post_init__(self) -> None:
+        if not self.rule_id or not self.rule_id[:3].isalpha():
+            raise ValueError(f"malformed rule id: {self.rule_id!r}")
+        if self.severity not in (SEVERITY_ERROR, SEVERITY_WARNING):
+            raise ValueError(f"unknown severity: {self.severity!r}")
+
+    @property
+    def family(self) -> str:
+        """The three-letter family prefix, e.g. ``"DET"``."""
+        return self.rule_id[:3]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a concrete source location.
+
+    Orderable so reports are stable: sorted by path, then line, then
+    column, then rule id.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    suppressed: bool = field(default=False, compare=False)
+
+    def location(self) -> str:
+        """Return the conventional ``path:line:col`` location string."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict:
+        """Return a JSON-serializable representation (used by reporters)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }

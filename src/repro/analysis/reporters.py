@@ -1,0 +1,58 @@
+"""Finding reporters: human-readable text and machine-readable JSON.
+
+The JSON schema is stable so CI can parse it::
+
+    {"version": 1, "count": N, "findings": [{"path", "line", "col",
+     "rule", "message"}, ...], "rules": {"DET001": "summary", ...}}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.analysis.findings import Finding, Rule
+
+__all__ = ["render_text", "render_json", "render_rule_table"]
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Format findings one-per-line as ``path:line:col: RULE message``."""
+    lines = [
+        f"{f.location()}: {f.rule_id} {f.message}" for f in sorted(findings)
+    ]
+    if findings:
+        noun = "finding" if len(findings) == 1 else "findings"
+        lines.append(f"{len(findings)} {noun}")
+    else:
+        lines.append("clean: no findings")
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding], rules: dict[str, Rule] | None = None
+) -> str:
+    """Serialize findings (and optionally the rule table) as JSON."""
+    payload: dict = {
+        "version": 1,
+        "count": len(findings),
+        "findings": [f.to_dict() for f in sorted(findings)],
+    }
+    if rules:
+        payload["rules"] = {rid: r.summary for rid, r in sorted(rules.items())}
+    return json.dumps(payload, indent=2)
+
+
+def render_rule_table(rules: dict[str, Rule]) -> str:
+    """Format the rule registry for ``--list-rules``."""
+    lines = []
+    family = None
+    for rule_id in sorted(rules):
+        rule = rules[rule_id]
+        if rule.family != family:
+            family = rule.family
+            lines.append(f"[{family}]")
+        lines.append(f"  {rule.rule_id}  {rule.name}: {rule.summary}")
+        if rule.rationale:
+            lines.append(f"          why: {rule.rationale}")
+    return "\n".join(lines)

@@ -29,6 +29,7 @@ import numpy as np
 from repro.epi.seir import NetworkSEIR, SEIRParams, SeasonResult
 from repro.epi.surveillance import SurveillanceData, SurveillanceModel
 from repro.nn.scalers import StandardScaler
+from repro.util.rng import ensure_rng
 from repro.nn.twobranch import TwoBranchNetwork
 from repro.util.rng import ensure_rng, spawn_rngs
 
@@ -42,13 +43,14 @@ class ParameterPosterior:
     samples: np.ndarray  # (k, 2) accepted parameter draws
     scores: np.ndarray   # matching RMSE of each accepted draw
 
-    def sample(self, rng: np.random.Generator, jitter: float = 0.05) -> tuple[float, float]:
+    def sample(self, rng: int | np.random.Generator, jitter: float = 0.05) -> tuple[float, float]:
         """Draw one parameter pair, with relative log-normal jitter."""
-        i = rng.integers(0, len(self.samples))
+        gen = ensure_rng(rng)
+        i = gen.integers(0, len(self.samples))
         tau, seed = self.samples[i]
         if jitter > 0:
-            tau *= rng.lognormal(0.0, jitter)
-            seed *= rng.lognormal(0.0, jitter)
+            tau *= gen.lognormal(0.0, jitter)
+            seed *= gen.lognormal(0.0, jitter)
         return float(np.clip(tau, 1e-4, 0.999)), float(np.clip(seed, 1e-5, 0.5))
 
     @property

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.epi.population import ContactNetwork
 from repro.util.rng import ensure_rng
-from repro.util.validation import check_in_range, check_positive
+from repro.util.validation import check_in_range, check_integer, check_positive
 
 __all__ = ["SEIRParams", "SeasonResult", "NetworkSEIR"]
 
@@ -116,7 +116,7 @@ class NetworkSEIR:
         rng: int | np.random.Generator | None = None,
     ) -> SeasonResult:
         """Simulate one season of ``n_days`` days."""
-        check_positive("n_days", n_days)
+        n_days = check_integer("n_days", n_days, minimum=1)
         gen = ensure_rng(rng)
         net = self.network
         n = net.n_nodes

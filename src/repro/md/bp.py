@@ -32,7 +32,13 @@ from repro.nn.optimizers import Adam
 from repro.nn.scalers import StandardScaler
 from repro.util.rng import ensure_rng, spawn_rngs
 
-__all__ = ["SymmetryFunctions", "BPPotential", "train_bp_potential", "random_cluster"]
+__all__ = [
+    "SymmetryFunctions",
+    "BPPotential",
+    "BPTrainingResult",
+    "train_bp_potential",
+    "random_cluster",
+]
 
 
 class SymmetryFunctions:
@@ -191,6 +197,8 @@ def random_cluster(
 
 @dataclass
 class BPTrainingResult:
+    """Fitted potential plus its train/test RMSE per atom (in model units)."""
+
     potential: BPPotential
     train_rmse_per_atom: float
     test_rmse_per_atom: float

@@ -78,7 +78,10 @@ class StructureLabels:
     def class_fractions(self, frame: int = -1) -> np.ndarray:
         """Fraction of particles in each class for one frame."""
         counts = np.bincount(self.frame_labels[frame], minlength=self.n_classes)
-        return counts / counts.sum()
+        total = counts.sum()
+        if total == 0:
+            return np.zeros(self.n_classes)
+        return counts / total
 
 
 class StructureClassifier:

@@ -11,21 +11,25 @@ from typing import Callable
 
 import numpy as np
 
+from repro.util.rng import ensure_rng
+
 __all__ = ["glorot_uniform", "he_normal", "zeros_init", "get_initializer"]
 
 Initializer = Callable[[int, int, np.random.Generator], np.ndarray]
 
 
-def glorot_uniform(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+def glorot_uniform(fan_in: int, fan_out: int, rng: int | np.random.Generator) -> np.ndarray:
     """Uniform(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
+    gen = ensure_rng(rng)
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+    return gen.uniform(-limit, limit, size=(fan_in, fan_out))
 
 
-def he_normal(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+def he_normal(fan_in: int, fan_out: int, rng: int | np.random.Generator) -> np.ndarray:
     """Normal(0, sqrt(2 / fan_in)) — preserves variance through ReLU."""
+    gen = ensure_rng(rng)
     std = np.sqrt(2.0 / fan_in)
-    return rng.normal(0.0, std, size=(fan_in, fan_out))
+    return gen.normal(0.0, std, size=(fan_in, fan_out))
 
 
 def zeros_init(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:

@@ -30,15 +30,18 @@ def _align(pred: np.ndarray, target: np.ndarray) -> tuple[np.ndarray, np.ndarray
 
 
 def mse(pred: np.ndarray, target: np.ndarray) -> float:
+    """Mean squared error between prediction and target."""
     p, t = _align(pred, target)
     return float(np.mean((p - t) ** 2))
 
 
 def rmse(pred: np.ndarray, target: np.ndarray) -> float:
+    """Root mean squared error — same units as the target."""
     return float(np.sqrt(mse(pred, target)))
 
 
 def mae(pred: np.ndarray, target: np.ndarray) -> float:
+    """Mean absolute error, robust to occasional large residuals."""
     p, t = _align(pred, target)
     return float(np.mean(np.abs(p - t)))
 
@@ -60,6 +63,7 @@ def mape(pred: np.ndarray, target: np.ndarray, eps: float = 1e-12) -> float:
 
 
 def pearson_r(pred: np.ndarray, target: np.ndarray) -> float:
+    """Pearson correlation coefficient; 0.0 when either side is constant."""
     p, t = _align(pred, target)
     p, t = p.ravel(), t.ravel()
     ps, ts = p.std(), t.std()
@@ -69,6 +73,7 @@ def pearson_r(pred: np.ndarray, target: np.ndarray) -> float:
 
 
 def accuracy(pred_labels: np.ndarray, target_labels: np.ndarray) -> float:
+    """Fraction of exactly-matching labels."""
     p = np.asarray(pred_labels)
     t = np.asarray(target_labels)
     if p.shape != t.shape:
@@ -95,6 +100,7 @@ def picp(
 
 
 def mean_interval_width(lower: np.ndarray, upper: np.ndarray) -> float:
+    """Average width of the prediction interval (sharpness companion to picp)."""
     lo = np.asarray(lower, dtype=float)
     hi = np.asarray(upper, dtype=float)
     if lo.shape != hi.shape:

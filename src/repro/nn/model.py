@@ -177,7 +177,7 @@ class MLP:
         return {"layers": [layer.config() for layer in self.layers]}
 
     @classmethod
-    def from_config(cls, config: dict, *, rng: int | np.random.Generator | None = 0) -> "MLP":
+    def from_config(cls, config: dict, *, rng: int | np.random.Generator | None = 0) -> "MLP":  # repro: noqa[API005] — seed 0 so config round-trips rebuild identical weights by default
         gen = ensure_rng(rng)
         layers: list[Layer] = []
         for spec in config["layers"]:

@@ -11,6 +11,7 @@ import numpy as np
 
 __all__ = [
     "Optimizer",
+    "Schedule",
     "SGD",
     "Momentum",
     "Adam",

@@ -326,8 +326,10 @@ class ParallelKMeans(_WorkerPool):
     def _assign_flops(self, n_points: int) -> float:
         return 3.0 * n_points * self.k * self.d
 
-    def init_centroids(self, rng: np.random.Generator) -> np.ndarray:
-        idx = rng.choice(len(self.x), size=self.k, replace=False)
+    def init_centroids(self, rng: int | np.random.Generator) -> np.ndarray:
+        """Pick ``k`` distinct data points as starting centroids."""
+        gen = ensure_rng(rng)
+        idx = gen.choice(len(self.x), size=self.k, replace=False)
         return self.x[idx].copy()
 
     def run(

@@ -33,7 +33,7 @@ from repro.parallel.collectives import allreduce_cost
 from repro.parallel.computation_models import ComputationModel, ConvergenceTrace, _shard
 from repro.parallel.network import CommModel
 from repro.util.rng import ensure_rng, spawn_rngs
-from repro.util.validation import check_positive
+from repro.util.validation import check_integer, check_positive
 
 __all__ = ["ParallelIsingGibbs"]
 
@@ -65,20 +65,23 @@ class ParallelIsingGibbs:
         flop_time: float = 1e-8,
     ):
         ny, nx = shape
-        if ny < 4 or nx < 4:
-            raise ValueError("lattice must be at least 4x4")
-        if n_workers < 1 or n_workers > ny // 2:
+        ny = check_integer("ny", ny, minimum=4)
+        nx = check_integer("nx", nx, minimum=4)
+        n_workers = check_integer("n_workers", n_workers, minimum=1)
+        if n_workers > ny // 2:
             raise ValueError("need 1 <= n_workers <= rows/2")
-        self.ny, self.nx = int(ny), int(nx)
+        self.ny, self.nx = ny, nx
         self.beta = check_positive("beta", beta)
-        self.p = int(n_workers)
+        self.p = n_workers
         self.comm = comm or CommModel()
         self.flop_time = check_positive("flop_time", flop_time)
         self.strips = _shard(self.ny, self.p)
 
     # ------------------------------------------------------------------
-    def random_lattice(self, rng: np.random.Generator) -> np.ndarray:
-        return rng.choice([-1, 1], size=(self.ny, self.nx)).astype(np.int8)
+    def random_lattice(self, rng: int | np.random.Generator) -> np.ndarray:
+        """Uniform ±1 spin lattice drawn from ``rng`` (seed or Generator)."""
+        gen = ensure_rng(rng)
+        return gen.choice([-1, 1], size=(self.ny, self.nx)).astype(np.int8)
 
     def energy_per_site(self, spins: np.ndarray) -> float:
         """Nearest-neighbor energy density, each bond counted once."""

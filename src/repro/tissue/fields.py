@@ -25,7 +25,7 @@ import scipy.sparse.linalg as spla
 from scipy.linalg import solve_banded
 
 from repro.core.simulation import Simulation
-from repro.util.validation import check_positive
+from repro.util.validation import check_integer, check_positive
 
 __all__ = [
     "DiffusionParams",
@@ -218,10 +218,8 @@ class MorphogenSteadyStateSimulation(Simulation):
     input_names = FIELD_INPUTS
 
     def __init__(self, grid: int = 48, n_probes: int = 8):
-        if grid < 8:
-            raise ValueError("grid must be >= 8")
-        self.grid = int(grid)
-        self.n_probes = int(n_probes)
+        self.grid = check_integer("grid", grid, minimum=8)
+        self.n_probes = check_integer("n_probes", n_probes, minimum=1)
         self.output_names = tuple(f"u_probe_{i}" for i in range(n_probes))
         yy, xx = np.mgrid[0:grid, 0:grid]
         c = (grid - 1) / 2.0

@@ -48,14 +48,30 @@ def ensure_rng(rng: int | np.random.Generator | None = None) -> np.random.Genera
 def spawn_rngs(rng: int | np.random.Generator | None, n: int) -> list[np.random.Generator]:
     """Derive ``n`` statistically independent child generators.
 
-    Uses the SeedSequence spawning protocol so child streams do not overlap
-    and are stable under insertion of later consumers.
+    Children are derived through the SeedSequence spawning protocol —
+    ``ensure_rng(rng).bit_generator.seed_seq.spawn(n)`` — which guarantees
+    non-overlapping streams by construction (no birthday-collision risk,
+    unlike re-seeding from drawn integers) and keeps earlier children
+    stable when later consumers are added.
+
+    Passing a :class:`~numpy.random.Generator` does **not** consume draws
+    from it; instead the underlying seed sequence's spawn counter advances,
+    so repeated calls on the same generator yield fresh, disjoint children.
+    For exotic bit generators constructed without a seed sequence, an int
+    seed falls back to ``SeedSequence(seed).spawn(n)`` and a generator
+    falls back to seeding a sequence from one 63-bit draw.
     """
     if n < 0:
         raise ValueError(f"n must be non-negative, got {n}")
     base = ensure_rng(rng)
-    seeds = base.integers(0, 2**63 - 1, size=n, dtype=np.int64)
-    return [np.random.default_rng(np.random.SeedSequence(int(s))) for s in seeds]
+    seed_seq = getattr(base.bit_generator, "seed_seq", None)
+    if not isinstance(seed_seq, np.random.SeedSequence):
+        if isinstance(rng, (int, np.integer)):
+            seed_seq = np.random.SeedSequence(int(rng))
+        else:
+            seed_seq = np.random.SeedSequence(int(base.integers(0, 2**63 - 1)))
+    children = seed_seq.spawn(n)
+    return [np.random.default_rng(child) for child in children]
 
 
 class SeedSequenceFactory:

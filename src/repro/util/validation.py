@@ -14,6 +14,7 @@ import numpy as np
 __all__ = [
     "check_positive",
     "check_in_range",
+    "check_integer",
     "check_probability",
     "check_array_shape",
     "check_finite",
@@ -39,7 +40,13 @@ def check_in_range(
     *,
     inclusive: bool = True,
 ) -> float:
-    """Validate ``lo <= value <= hi`` (or strict inequalities)."""
+    """Validate ``lo <= value <= hi`` (or strict inequalities).
+
+    NaN is rejected up front with a "must be finite" message rather than
+    falling through to a confusing out-of-range error.
+    """
+    if np.isnan(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
     ok = (lo <= value <= hi) if inclusive else (lo < value < hi)
     if not ok:
         bracket = "[]" if inclusive else "()"
@@ -47,6 +54,29 @@ def check_in_range(
             f"{name} must be in {bracket[0]}{lo}, {hi}{bracket[1]}, got {value!r}"
         )
     return value
+
+
+def check_integer(name: str, value: Any, *, minimum: int | None = None) -> int:
+    """Validate a count-like parameter and return it as a plain ``int``.
+
+    Accepts ints, numpy integers, and integer-valued floats (``30.0``);
+    rejects bools, fractional floats, and non-numeric types so that a
+    mis-typed ``n_steps=0.5`` fails at setup time instead of silently
+    truncating inside a kernel.
+    """
+    if isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got bool")
+    if isinstance(value, (int, np.integer)):
+        out = int(value)
+    elif isinstance(value, (float, np.floating)) and float(value).is_integer():
+        out = int(value)
+    else:
+        raise TypeError(
+            f"{name} must be an integer, got {type(value).__name__} {value!r}"
+        )
+    if minimum is not None and out < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {out}")
+    return out
 
 
 def check_probability(name: str, value: float) -> float:

@@ -1,0 +1,160 @@
+"""CLI tests: exit codes, JSON output, baseline workflow, and a fixture
+tree of seeded violations covering all four checker families."""
+
+import json
+
+import pytest
+
+from repro.analysis.cli import main
+
+CLEAN_MODULE = (
+    '"""A conforming module."""\n'
+    "import numpy as np\n"
+    "from repro.util.rng import ensure_rng\n"
+    '__all__ = ["draw"]\n'
+    "def draw(n, rng: int | np.random.Generator | None = None):\n"
+    '    """Draw n uniforms."""\n'
+    "    gen = ensure_rng(rng)\n"
+    "    return gen.random(n)\n"
+)
+
+# One file per checker family, each seeding known violations.
+FIXTURES = {
+    "det_bad.py": (
+        '"""Determinism violations."""\n'
+        "__all__ = []\n"
+        "import random\n"  # DET002
+        "import numpy as np\n"
+        "np.random.seed(0)\n"  # DET001
+        "g = np.random.default_rng()\n"  # DET003
+        "key = hash('worker')\n"  # DET004
+    ),
+    "pur_bad.py": (
+        '"""Purity violations."""\n'
+        "__all__ = []\n"
+        "import torch\n"  # PUR001
+        "from sklearn import linear_model\n"  # PUR001
+    ),
+    "num_bad.py": (
+        '"""Numerics violations."""\n'
+        '__all__ = ["f"]\n'
+        "import numpy as np\n"
+        "np.seterr(all='ignore')\n"  # NUM004
+        "def f(x, acc=[]):\n"  # NUM003
+        '    """Doc."""\n'
+        "    try:\n"
+        "        y = x / x.sum()\n"  # NUM005
+        "    except Exception:\n"  # NUM001
+        "        y = 0\n"
+        "    return y == 0.5\n"  # NUM002
+    ),
+    "api_bad.py": (
+        '"""API violations."""\n'
+        '__all__ = ["ghost"]\n'  # API002
+        "def undocumented():\n"  # API003 + API004
+        "    return 1\n"
+    ),
+}
+
+EXPECTED_RULES = {
+    "DET001",
+    "DET002",
+    "DET003",
+    "DET004",
+    "PUR001",
+    "NUM001",
+    "NUM002",
+    "NUM003",
+    "NUM004",
+    "NUM005",
+    "API002",
+    "API003",
+    "API004",
+}
+
+
+@pytest.fixture
+def fixture_tree(tmp_path):
+    """A package tree seeded with violations from every family."""
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    for name, source in FIXTURES.items():
+        (pkg / name).write_text(source)
+    (pkg / "clean.py").write_text(CLEAN_MODULE)
+    return pkg
+
+
+class TestFixtureTree:
+    def test_nonzero_exit_with_correct_rule_ids(self, fixture_tree, capsys, monkeypatch):
+        monkeypatch.chdir(fixture_tree.parent)
+        code = main([str(fixture_tree), "--format", "json", "--no-baseline"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        seen = {f["rule"] for f in payload["findings"]}
+        assert seen == EXPECTED_RULES
+        flagged_files = {f["path"].rsplit("/", 1)[-1] for f in payload["findings"]}
+        assert "clean.py" not in flagged_files
+
+    def test_family_to_file_mapping(self, fixture_tree, capsys, monkeypatch):
+        monkeypatch.chdir(fixture_tree.parent)
+        main([str(fixture_tree), "--format", "json", "--no-baseline"])
+        payload = json.loads(capsys.readouterr().out)
+        by_file = {}
+        for f in payload["findings"]:
+            by_file.setdefault(f["path"].rsplit("/", 1)[-1], set()).add(f["rule"][:3])
+        assert by_file["det_bad.py"] == {"DET"}
+        assert by_file["pur_bad.py"] == {"PUR"}
+        assert by_file["num_bad.py"] == {"NUM"}
+        assert by_file["api_bad.py"] == {"API"}
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "clean.py").write_text(CLEAN_MODULE)
+        assert main([str(pkg), "--no-baseline"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+
+class TestCliModes:
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["/nonexistent/path/xyz", "--no-baseline"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_syntax_error_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        assert main([str(bad), "--no-baseline"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for family in ("DET", "PUR", "NUM", "API"):
+            assert f"[{family}]" in out
+
+    def test_select_filter(self, fixture_tree, capsys, monkeypatch):
+        monkeypatch.chdir(fixture_tree.parent)
+        main([str(fixture_tree), "--select", "PUR", "--format", "json", "--no-baseline"])
+        payload = json.loads(capsys.readouterr().out)
+        assert {f["rule"] for f in payload["findings"]} == {"PUR001"}
+
+    def test_update_baseline_then_clean(self, fixture_tree, capsys, monkeypatch):
+        monkeypatch.chdir(fixture_tree.parent)
+        baseline = fixture_tree.parent / "baseline.json"
+        code = main(
+            [str(fixture_tree), "--baseline", str(baseline), "--update-baseline"]
+        )
+        assert code == 0 and baseline.exists()
+        capsys.readouterr()
+        assert main([str(fixture_tree), "--baseline", str(baseline)]) == 0
+        # a fresh violation beyond the baselined budget still fails
+        (fixture_tree / "new_bad.py").write_text(
+            '"""New."""\n__all__ = []\nimport random\n'
+        )
+        capsys.readouterr()
+        assert main([str(fixture_tree), "--baseline", str(baseline)]) == 1
+
+    def test_malformed_baseline_exits_two(self, fixture_tree, capsys):
+        baseline = fixture_tree.parent / "baseline.json"
+        baseline.write_text("{not json")
+        code = main([str(fixture_tree), "--baseline", str(baseline)])
+        assert code == 2

@@ -1,0 +1,162 @@
+"""Engine-level tests: suppression comments, baseline budgets, reporters,
+rule filters, and the registry."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    AnalysisConfig,
+    AnalysisError,
+    Baseline,
+    Finding,
+    all_rules,
+    analyze_source,
+)
+from repro.analysis.baseline import BaselineEntry
+from repro.analysis.engine import parse_suppressions
+from repro.analysis.reporters import render_json, render_text
+
+VIOLATION = '"""Mod."""\n__all__ = []\nimport random\n'
+
+
+class TestSuppressions:
+    def test_line_noqa_all_rules(self):
+        src = '"""Mod."""\n__all__ = []\nimport random  # repro: noqa\n'
+        assert analyze_source(src, "src/repro/x.py") == []
+
+    def test_line_noqa_specific_rule(self):
+        src = '"""Mod."""\n__all__ = []\nimport random  # repro: noqa[DET002]\n'
+        assert analyze_source(src, "src/repro/x.py") == []
+
+    def test_line_noqa_wrong_rule_does_not_suppress(self):
+        src = '"""Mod."""\n__all__ = []\nimport random  # repro: noqa[NUM001]\n'
+        assert [f.rule_id for f in analyze_source(src, "src/repro/x.py")] == ["DET002"]
+
+    def test_file_noqa(self):
+        src = (
+            '"""Mod."""\n# repro: noqa-file[DET002]\n__all__ = []\n'
+            "import random\nimport random\n"
+        )
+        assert analyze_source(src, "src/repro/x.py") == []
+
+    def test_file_noqa_only_named_rule(self):
+        src = (
+            '"""Mod."""\n# repro: noqa-file[DET002]\n__all__ = []\n'
+            "import random\nimport torch\n"
+        )
+        assert [f.rule_id for f in analyze_source(src, "src/repro/x.py")] == ["PUR001"]
+
+    def test_parse_multiple_rules_one_comment(self):
+        per_line, per_file = parse_suppressions("x = 1  # repro: noqa[DET001, NUM002]\n")
+        assert per_line == {1: frozenset({"DET001", "NUM002"})}
+        assert per_file == {}
+
+    def test_parse_file_directive(self):
+        _, per_file = parse_suppressions("# repro: noqa-file[API004]\n")
+        assert per_file == {"file": frozenset({"API004"})}
+
+
+class TestFilters:
+    def test_ignore_family(self):
+        config = AnalysisConfig(ignore=frozenset({"DET"}))
+        assert analyze_source(VIOLATION, "src/repro/x.py", config) == []
+
+    def test_select_only_family(self):
+        src = '"""Mod."""\n__all__ = []\nimport random\nimport torch\n'
+        config = AnalysisConfig(select=frozenset({"PUR"}))
+        assert [f.rule_id for f in analyze_source(src, "src/repro/x.py", config)] == [
+            "PUR001"
+        ]
+
+    def test_select_exact_rule(self):
+        config = AnalysisConfig(select=frozenset({"DET002"}))
+        found = analyze_source(VIOLATION, "src/repro/x.py", config)
+        assert [f.rule_id for f in found] == ["DET002"]
+
+
+class TestBaseline:
+    def _finding(self, path="src/repro/a.py", line=3, rule="DET002"):
+        return Finding(path=path, line=line, col=0, rule_id=rule, message="m")
+
+    def test_budget_consumed_in_order(self):
+        baseline = Baseline(
+            entries={("src/repro/a.py", "DET002"): BaselineEntry("src/repro/a.py", "DET002", 1)}
+        )
+        f1, f2 = self._finding(line=3), self._finding(line=9)
+        leftover = baseline.apply([f2, f1])
+        assert leftover == [f2]
+
+    def test_unrelated_rule_not_covered(self):
+        baseline = Baseline(
+            entries={("src/repro/a.py", "DET002"): BaselineEntry("src/repro/a.py", "DET002", 5)}
+        )
+        other = self._finding(rule="NUM001")
+        assert baseline.apply([other]) == [other]
+
+    def test_round_trip(self, tmp_path):
+        baseline = Baseline.from_findings([self._finding(), self._finding(line=8)])
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        assert loaded.entries[("src/repro/a.py", "DET002")].count == 2
+
+    def test_regeneration_keeps_justifications(self):
+        old = Baseline(
+            entries={
+                ("src/repro/a.py", "DET002"): BaselineEntry(
+                    "src/repro/a.py", "DET002", 1, "reviewed: interop shim"
+                )
+            }
+        )
+        new = Baseline.from_findings([self._finding()], previous=old)
+        assert new.entries[("src/repro/a.py", "DET002")].justification == (
+            "reviewed: interop shim"
+        )
+
+    def test_malformed_version_rejected(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text('{"version": 99, "entries": []}')
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+
+class TestReporters:
+    def test_text_clean(self):
+        assert "clean" in render_text([])
+
+    def test_text_has_location_and_rule(self):
+        f = Finding("src/repro/a.py", 3, 7, "DET002", "msg here")
+        out = render_text([f])
+        assert "src/repro/a.py:3:7: DET002 msg here" in out
+        assert "1 finding" in out
+
+    def test_json_schema(self):
+        f = Finding("src/repro/a.py", 3, 7, "DET002", "msg")
+        payload = json.loads(render_json([f], all_rules()))
+        assert payload["version"] == 1
+        assert payload["count"] == 1
+        assert payload["findings"][0] == {
+            "path": "src/repro/a.py",
+            "line": 3,
+            "col": 7,
+            "rule": "DET002",
+            "message": "msg",
+        }
+        assert "DET002" in payload["rules"]
+
+
+class TestRegistry:
+    def test_all_four_families_registered(self):
+        families = {r.family for r in all_rules().values()}
+        assert families == {"DET", "PUR", "NUM", "API"}
+
+    def test_rule_ids_unique_and_described(self):
+        rules = all_rules()
+        assert len(rules) >= 15
+        for rule in rules.values():
+            assert rule.summary and rule.name
+
+    def test_syntax_error_raises_analysis_error(self):
+        with pytest.raises(AnalysisError, match="syntax error"):
+            analyze_source("def broken(:\n", "src/repro/x.py")

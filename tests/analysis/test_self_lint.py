@@ -1,0 +1,67 @@
+"""The self-hosting gate (tier 1).
+
+Runs the full linter over ``src/repro`` and asserts zero non-baselined
+findings.  If this test fails, either fix the new violation, suppress it
+in-line with ``# repro: noqa[RULE]`` and a reason, or — for reviewed,
+justified exceptions — regenerate the committed baseline with
+``python -m repro.analysis --update-baseline`` and fill in the
+``justification`` field.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, analyze_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+BASELINE = REPO_ROOT / "analysis-baseline.json"
+
+
+@pytest.fixture(autouse=True)
+def _repo_root_cwd(monkeypatch):
+    """Finding paths are cwd-relative; pin cwd so they match the baseline."""
+    monkeypatch.chdir(REPO_ROOT)
+
+
+def test_source_tree_exists():
+    assert SRC.is_dir()
+
+
+def test_self_lint_zero_non_baselined_findings():
+    findings = analyze_paths([SRC])
+    baseline = Baseline.load(BASELINE) if BASELINE.exists() else Baseline()
+    leftover = baseline.apply(findings)
+    assert leftover == [], (
+        "static analysis found new violations:\n"
+        + "\n".join(f"  {f.location()}: {f.rule_id} {f.message}" for f in leftover)
+    )
+
+
+def test_baseline_entries_all_justified():
+    """Every grandfathered finding must carry a real justification."""
+    if not BASELINE.exists():
+        pytest.skip("no baseline committed")
+    baseline = Baseline.load(BASELINE)
+    for entry in baseline.entries.values():
+        assert entry.justification and not entry.justification.startswith("TODO"), (
+            f"baseline entry {entry.key()} lacks a justification"
+        )
+
+
+def test_baseline_is_not_stale():
+    """Baseline budgets may not exceed what the tree actually contains."""
+    if not BASELINE.exists():
+        pytest.skip("no baseline committed")
+    findings = analyze_paths([SRC])
+    counts: dict = {}
+    for f in findings:
+        counts[(f.path, f.rule_id)] = counts.get((f.path, f.rule_id), 0) + 1
+    baseline = Baseline.load(BASELINE)
+    for key, entry in baseline.entries.items():
+        actual = counts.get(key, 0)
+        assert actual >= entry.count, (
+            f"baseline entry {key} covers {entry.count} findings but only "
+            f"{actual} remain — shrink or remove it (--update-baseline)"
+        )

@@ -1,10 +1,14 @@
 """Tests for repro.util.rng — reproducibility plumbing."""
 
+import os
+import subprocess
+import sys
+
 import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.util.rng import SeedSequenceFactory, ensure_rng, spawn_rngs
+from repro.util.rng import SeedSequenceFactory, _stable_hash, ensure_rng, spawn_rngs
 
 
 class TestEnsureRng:
@@ -65,6 +69,49 @@ class TestSpawnRngs:
         assert np.array_equal(a1.random(5), a2.random(5))
 
 
+class TestSpawnProtocol:
+    """Regression tests pinning the SeedSequence spawning protocol."""
+
+    def test_children_derive_from_seed_sequence_spawn(self):
+        """spawn_rngs(seed, n) must equal SeedSequence(seed).spawn(n)."""
+        ours = spawn_rngs(1234, 3)
+        protocol = [
+            np.random.default_rng(c) for c in np.random.SeedSequence(1234).spawn(3)
+        ]
+        for a, b in zip(ours, protocol):
+            assert np.array_equal(a.random(8), b.random(8))
+
+    def test_generator_input_does_not_consume_parent_draws(self):
+        gen = np.random.default_rng(7)
+        before = gen.bit_generator.state
+        spawn_rngs(gen, 4)
+        assert gen.bit_generator.state == before
+
+    def test_repeated_spawns_from_same_generator_are_disjoint(self):
+        gen = np.random.default_rng(7)
+        (a,) = spawn_rngs(gen, 1)
+        (b,) = spawn_rngs(gen, 1)
+        assert not np.array_equal(a.random(10), b.random(10))
+
+    def test_consumer_insertion_stability(self):
+        """Adding consumers later must not perturb existing streams."""
+        early = [g.random(6) for g in spawn_rngs(42, 2)]
+        late = [g.random(6) for g in spawn_rngs(42, 5)]
+        for e, l in zip(early, late):
+            assert np.array_equal(e, l)
+
+    def test_children_pairwise_independent(self):
+        draws = [g.random(12) for g in spawn_rngs(0, 6)]
+        for i in range(len(draws)):
+            for j in range(i + 1, len(draws)):
+                assert not np.array_equal(draws[i], draws[j])
+
+    def test_child_differs_from_parent_stream(self):
+        (child,) = spawn_rngs(5, 1)
+        parent = ensure_rng(5)
+        assert not np.array_equal(child.random(10), parent.random(10))
+
+
 class TestSeedSequenceFactory:
     def test_same_key_same_stream_cached(self):
         f = SeedSequenceFactory(0)
@@ -101,3 +148,58 @@ class TestSeedSequenceFactory:
         a = SeedSequenceFactory(11).get(key).random(2)
         b = SeedSequenceFactory(11).get(key).random(2)
         assert np.array_equal(a, b)
+
+    def test_same_seed_key_identical_across_processes(self):
+        """The (seed, key) → stream map must survive hash randomization."""
+        snippet = (
+            "from repro.util.rng import SeedSequenceFactory;"
+            "print(','.join(map(str, SeedSequenceFactory(3).get('worker-0')"
+            ".integers(0, 2**32, 8))))"
+        )
+        outs = []
+        for hashseed in ("1", "2"):
+            import repro
+
+            src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+            env = dict(os.environ, PYTHONHASHSEED=hashseed)
+            env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+            proc = subprocess.run(
+                [sys.executable, "-c", snippet],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            outs.append(proc.stdout.strip())
+        assert outs[0] == outs[1]
+        here = ",".join(
+            map(str, SeedSequenceFactory(3).get("worker-0").integers(0, 2**32, 8))
+        )
+        assert outs[0] == here
+
+    def test_distinct_keys_give_distinct_streams_broadly(self):
+        f = SeedSequenceFactory(0)
+        draws = {k: tuple(f.get(k).integers(0, 2**32, 4)) for k in
+                 ("a", "b", "worker-0", "worker-1", "md", "epi")}
+        assert len(set(draws.values())) == len(draws)
+
+
+class TestStableHash:
+    """Golden values: FNV-1a 64-bit must never change across versions."""
+
+    GOLDEN = {
+        "": 0xCBF29CE484222325,
+        "a": 0xAF63DC4C8601EC8C,
+        "worker-0": 0x24913DC59027EA3A,
+        "md/thermostat": 0xAC4546BF805A8C40,
+    }
+
+    def test_golden_values(self):
+        for key, want in self.GOLDEN.items():
+            assert _stable_hash(key) == want
+
+    @given(st.text(max_size=50))
+    def test_stable_and_64bit(self, key):
+        h = _stable_hash(key)
+        assert h == _stable_hash(key)
+        assert 0 <= h < 2**64

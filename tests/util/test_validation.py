@@ -7,6 +7,7 @@ from repro.util.validation import (
     check_array_shape,
     check_finite,
     check_in_range,
+    check_integer,
     check_positive,
     check_probability,
 )
@@ -46,6 +47,51 @@ class TestCheckInRange:
     def test_out_of_range_message_names_param(self):
         with pytest.raises(ValueError, match="myparam"):
             check_in_range("myparam", 2.0, 0.0, 1.0)
+
+
+class TestCheckInRangeNaN:
+    def test_nan_rejected_with_finite_message(self):
+        with pytest.raises(ValueError, match="must be finite"):
+            check_in_range("x", float("nan"), 0.0, 1.0)
+
+    def test_nan_message_names_param(self):
+        with pytest.raises(ValueError, match="myparam"):
+            check_in_range("myparam", float("nan"), 0.0, 1.0)
+
+    def test_inf_still_reported_as_range_error(self):
+        with pytest.raises(ValueError, match=r"must be in"):
+            check_in_range("x", float("inf"), 0.0, 1.0)
+
+
+class TestCheckInteger:
+    def test_accepts_int(self):
+        assert check_integer("n", 5) == 5
+
+    def test_accepts_numpy_integer(self):
+        out = check_integer("n", np.int64(7))
+        assert out == 7 and isinstance(out, int)
+
+    def test_accepts_integral_float(self):
+        assert check_integer("n", 30.0) == 30
+
+    def test_rejects_fractional_float(self):
+        with pytest.raises(TypeError, match="n_steps"):
+            check_integer("n_steps", 0.5)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError, match="bool"):
+            check_integer("n", True)
+
+    def test_rejects_nan_and_string(self):
+        with pytest.raises(TypeError):
+            check_integer("n", float("nan"))
+        with pytest.raises(TypeError):
+            check_integer("n", "3")
+
+    def test_minimum_enforced(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            check_integer("n", 0, minimum=1)
+        assert check_integer("n", 0, minimum=0) == 0
 
 
 class TestCheckProbability:
