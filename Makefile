@@ -1,10 +1,13 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint lint-json baseline check
+.PHONY: test lint lint-json baseline bench check
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m repro.md.bench
 
 lint:
 	$(PYTHON) -m repro.analysis src/repro

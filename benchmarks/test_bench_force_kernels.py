@@ -1,0 +1,77 @@
+"""Force-kernel micro-benchmarks — the MD perf baseline behind
+``BENCH_md_forces.json``.
+
+Three force paths over the same configuration: the O(N²) reference,
+the per-call cell list, and the persistent Verlet-list engine.  The
+committed JSON (regenerated with ``python -m repro.md.bench``) tracks
+the N-sweep; this module keeps the comparison runnable under
+pytest-benchmark and asserts the structural claims — agreement with the
+reference kernel, a real speedup, and zero rebuilds in steady state.
+"""
+
+import numpy as np
+
+from repro.md.bench import bench_force_kernels, build_bench_system
+from repro.md.forces import PairTable, cell_list_forces, pairwise_forces
+from repro.md.neighbors import ForceEngine
+from repro.md.potentials import LennardJones
+from repro.util.tables import Table
+
+N_BENCH = 600
+
+
+def _setup():
+    system = build_bench_system(N_BENCH, rng=0)
+    table = PairTable([LennardJones(rcut=2.5)])
+    return system, table
+
+
+def test_bench_reference_kernel(benchmark):
+    system, table = _setup()
+    f, e = benchmark(pairwise_forces, system, table)
+    assert np.all(np.isfinite(f)) and np.isfinite(e)
+
+
+def test_bench_cell_list_kernel(benchmark):
+    system, table = _setup()
+    f, e = benchmark(cell_list_forces, system, table)
+    assert np.all(np.isfinite(f)) and np.isfinite(e)
+
+
+def test_bench_verlet_engine_steady_state(benchmark):
+    system, table = _setup()
+    engine = ForceEngine(table)
+    engine.compute(system)  # initial build happens outside the timer
+    builds_before = engine.n_builds
+    f, e = benchmark(engine.compute, system)
+    assert np.all(np.isfinite(f)) and np.isfinite(e)
+    # Static positions: steady state must perform zero rebuilds.
+    assert engine.n_builds == builds_before
+
+
+def test_bench_force_kernel_sweep(show_table):
+    """One-round sweep printing the kernel comparison table, with the
+    acceptance assertions on agreement and speedup."""
+    payload = bench_force_kernels((200, 600), rounds=2, seed=0)
+    table = Table(
+        ["N", "t_ref (ms)", "t_cell (ms)", "t_verlet (ms)", "speedup", "max rel err"],
+        title="MD force kernels: reference vs cell list vs Verlet engine",
+    )
+    for row in payload["results"]:
+        table.add_row(
+            [
+                row["n"],
+                f"{row['t_reference_s'] * 1e3:.2f}",
+                f"{row['t_cell_list_s'] * 1e3:.2f}",
+                f"{row['t_verlet_engine_s'] * 1e3:.2f}",
+                f"{row['speedup_verlet_vs_reference']:.1f}x",
+                f"{row['max_rel_force_error']:.2e}",
+            ]
+        )
+    show_table(table)
+    for row in payload["results"]:
+        assert row["max_rel_force_error"] <= 1e-9
+        assert row["n_rebuilds_during_timing"] == 0
+    # The engine must beat the O(N²) reference decisively at N=600
+    # (the committed BENCH_md_forces.json records ~90x at N=2000).
+    assert payload["results"][-1]["speedup_verlet_vs_reference"] >= 3.0

@@ -7,11 +7,13 @@ registry (each module applies ``@register_checker`` at import time).
 from repro.analysis.checkers.contracts import ContractsChecker
 from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.numerics import NumericsChecker
+from repro.analysis.checkers.perf import PerfChecker
 from repro.analysis.checkers.purity import PurityChecker
 
 __all__ = [
     "ContractsChecker",
     "DeterminismChecker",
     "NumericsChecker",
+    "PerfChecker",
     "PurityChecker",
 ]

@@ -1,0 +1,60 @@
+"""Performance checkers (PERF family).
+
+Rules that keep the hot numeric paths on the fast idioms this codebase
+has standardized on.  The first rule targets ``np.add.at``: the buffered
+ufunc-at dispatch is 10-100x slower than an equivalent
+``np.bincount``-based scatter, and the repo provides
+:func:`repro.util.scatter.scatter_add` precisely so call sites never
+need the slow form.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import BaseChecker, FileContext, register_checker
+from repro.analysis.findings import Rule
+
+__all__ = ["PerfChecker"]
+
+PERF001 = Rule(
+    "PERF001",
+    "no-ufunc-at-scatter",
+    "`np.add.at` scatter-add on a hot path",
+    "Buffered `ufunc.at` dispatch is 10-100x slower than a bincount "
+    "scatter; use repro.util.scatter.scatter_add instead.",
+)
+
+# The scatter helper itself is the one place allowed to own the idiom
+# (it uses np.bincount, but any future fallback lives there too).
+_SCATTER_MODULE_SUFFIX = "repro/util/scatter.py"
+
+
+@register_checker
+class PerfChecker(BaseChecker):
+    """Flags slow numeric idioms with fast in-repo replacements."""
+
+    rules = (PERF001,)
+
+    def __init__(self, context: FileContext):
+        super().__init__(context)
+        self._is_scatter_module = context.path.endswith(_SCATTER_MODULE_SUFFIX)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # Match `<anything>.add.at(...)` — covers np.add.at and aliased
+        # numpy imports without needing import resolution.
+        func = node.func
+        if (
+            not self._is_scatter_module
+            and isinstance(func, ast.Attribute)
+            and func.attr == "at"
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "add"
+        ):
+            self.report(
+                node,
+                "PERF001",
+                "np.add.at scatter is 10-100x slower than bincount; "
+                "use repro.util.scatter.scatter_add",
+            )
+        self.generic_visit(node)

@@ -59,9 +59,9 @@ class AnalysisConfig:
         """Return True when ``rule_id`` passes the select/ignore filters.
 
         Filters accept exact ids (``DET001``) or family prefixes
-        (``DET``).
+        (``DET``, ``PERF``).
         """
-        family = rule_id[:3]
+        family = rule_id.rstrip("0123456789")
         if rule_id in self.ignore or family in self.ignore:
             return False
         if self.select:

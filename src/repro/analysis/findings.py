@@ -25,7 +25,7 @@ class Rule:
     rule_id:
         Stable identifier such as ``"DET001"``; the family prefix groups
         related rules (DET = determinism, PUR = purity, NUM = numerical
-        safety, API = API contracts).
+        safety, API = API contracts, PERF = performance).
     name:
         Short kebab-case name used in ``--list-rules`` output.
     summary:
@@ -51,8 +51,8 @@ class Rule:
 
     @property
     def family(self) -> str:
-        """The three-letter family prefix, e.g. ``"DET"``."""
-        return self.rule_id[:3]
+        """The alphabetic family prefix, e.g. ``"DET"`` or ``"PERF"``."""
+        return self.rule_id.rstrip("0123456789")
 
 
 @dataclass(frozen=True, order=True)

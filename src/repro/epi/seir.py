@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.epi.population import ContactNetwork
 from repro.util.rng import ensure_rng
+from repro.util.scatter import scatter_add
 from repro.util.validation import check_in_range, check_integer, check_positive
 
 __all__ = ["SEIRParams", "SeasonResult", "NetworkSEIR"]
@@ -155,7 +156,7 @@ class NetworkSEIR:
                 # log-escape accumulation: one scatter-add over active edges
                 log_escape = np.zeros(n)
                 active = infectious & (state[dst] == S)
-                np.add.at(
+                scatter_add(
                     log_escape,
                     dst[active],
                     np.log1p(-np.minimum(tau_t * w[active], 1.0 - 1e-12)),

@@ -8,6 +8,10 @@ exemplar [9]:
 * :mod:`repro.md.potentials` — Lennard-Jones, WCA, screened-Coulomb
   (Yukawa), 9-3 walls, and a Stillinger–Weber-like many-body reference,
 * :mod:`repro.md.forces` — vectorized O(N²) and cell-list pair kernels,
+* :mod:`repro.md.neighbors` — persistent Verlet-list
+  :class:`~repro.md.neighbors.ForceEngine` (the production force path),
+* :mod:`repro.md.bench` — force-kernel benchmark CLI
+  (``python -m repro.md.bench``) tracking the perf trajectory,
 * :mod:`repro.md.integrators` — velocity-Verlet and Langevin (BAOAB),
   with instability detection,
 * :mod:`repro.md.observables` — z-density profiles (contact / peak /
@@ -34,6 +38,7 @@ from repro.md.potentials import (
     StillingerWeberLike,
 )
 from repro.md.forces import pairwise_forces, PairTable, CellList, cell_list_forces
+from repro.md.neighbors import NeighborList, ForceEngine
 from repro.md.integrators import VelocityVerlet, Langevin, IntegrationDiverged
 from repro.md.observables import DensityProfile, density_features, radial_distribution
 from repro.md.analysis import (
@@ -67,6 +72,8 @@ __all__ = [
     "PairTable",
     "CellList",
     "cell_list_forces",
+    "NeighborList",
+    "ForceEngine",
     "VelocityVerlet",
     "Langevin",
     "IntegrationDiverged",

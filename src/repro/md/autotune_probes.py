@@ -20,6 +20,7 @@ import numpy as np
 from repro.core.simulation import SimulationError
 from repro.md.forces import PairTable
 from repro.md.integrators import Langevin
+from repro.md.neighbors import ForceEngine
 from repro.md.potentials import WCA, Wall93, Yukawa
 from repro.md.system import ParticleSystem, SlitBox
 
@@ -73,14 +74,24 @@ def evaluate_md(
     """
     dt, gamma, equil_steps = float(control[0]), float(control[1]), int(control[2])
     system, table = build_md_system(params, rng)
-    lang = Langevin(table, dt, temperature=float(params[5]), gamma=gamma, rng=rng)
+    # Persistent Verlet-list engine: surrogate training-data generation
+    # runs many short MD probes, so the shared list matters here too.
+    engine = ForceEngine(table)
+    lang = Langevin(
+        table, dt, temperature=float(params[5]), gamma=gamma,
+        force_fn=engine, rng=rng,
+    )
     try:
         lang.step(system, equil_steps)
         temps = []
         for _ in range(10):
             lang.step(system, 10)
             temps.append(system.temperature())
-    except SimulationError:
+    except (SimulationError, ValueError):
+        # SimulationError: the trajectory diverged.  ValueError: a
+        # pathological candidate control (zero steps, or coordinates
+        # already non-finite when the neighbor list rebuilds) — both
+        # score as zero-quality probes rather than crashing the tuner.
         return 0.0, 1.0 / dt
     t_err = abs(float(np.mean(temps)) - float(params[5])) / float(params[5])
     quality = max(0.0, 1.0 - 2.0 * t_err)

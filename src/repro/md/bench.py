@@ -1,0 +1,200 @@
+"""Force-kernel benchmark CLI: ``python -m repro.md.bench``.
+
+Times the three force paths — O(N²) reference, per-call cell list, and
+the persistent Verlet-list :class:`~repro.md.neighbors.ForceEngine` —
+over an N-sweep of short-ranged Lennard-Jones systems, cross-checks the
+optimized kernels against the reference, and writes the results to
+``BENCH_md_forces.json``.  The committed JSON is the repo's tracked MD
+performance baseline: rerun the CLI after touching the kernels and
+compare before merging.
+
+The engine is timed in steady state (repeated calls at fixed positions,
+after the initial build), which is the regime the MD loop lives in
+between rebuilds; the first-call build cost and the rebuild counter are
+recorded alongside so list-construction overhead stays visible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.md.forces import PairTable, cell_list_forces, pairwise_forces
+from repro.md.neighbors import DEFAULT_SKIN, ForceEngine
+from repro.md.potentials import LennardJones
+from repro.md.system import ParticleSystem, SlitBox
+from repro.util.rng import ensure_rng
+
+__all__ = ["build_bench_system", "bench_force_kernels", "main"]
+
+DEFAULT_SIZES = (250, 500, 1000, 2000)
+DEFAULT_OUTPUT = "BENCH_md_forces.json"
+
+
+def build_bench_system(
+    n: int,
+    *,
+    density: float = 0.4,
+    rng: int | np.random.Generator | None = None,
+) -> ParticleSystem:
+    """Uniform-random N-particle LJ system in a cubic slit box.
+
+    Random placement (no overlap rejection) keeps setup O(N); the LJ
+    kernel handles the occasional close pair with a large-but-finite
+    force, which is irrelevant for timing purposes.
+    """
+    if n < 2:
+        raise ValueError(f"need n >= 2 particles, got {n}")
+    gen = ensure_rng(rng)
+    side = float((n / density) ** (1.0 / 3.0))
+    box = SlitBox(side, side, side)
+    margin = 0.3
+    x = np.empty((n, 3))
+    x[:, 0] = gen.uniform(0.0, side, n)
+    x[:, 1] = gen.uniform(0.0, side, n)
+    x[:, 2] = gen.uniform(margin, side - margin, n)
+    return ParticleSystem(x, box)
+
+
+def _best_of(fn, rounds: int) -> float:
+    """Minimum wall time of ``rounds`` calls, after one warmup call."""
+    fn()
+    best = np.inf
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return float(best)
+
+
+def bench_force_kernels(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    *,
+    rounds: int = 5,
+    rcut: float = 2.5,
+    skin: float = DEFAULT_SKIN,
+    density: float = 0.4,
+    seed: int = 0,
+) -> dict:
+    """Run the N-sweep and return the JSON-serializable result payload."""
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    table = PairTable([LennardJones(rcut=rcut)])
+    results = []
+    for n in sizes:
+        system = build_bench_system(int(n), density=density, rng=seed)
+        f_ref, e_ref = pairwise_forces(system, table)
+
+        engine = ForceEngine(table, skin=skin)
+        t_build = _best_of(lambda: (engine.reset(), engine.compute(system)), 1)
+        engine.reset()
+        f_verlet, e_verlet = engine.compute(system)
+
+        norm_ref = np.maximum(np.linalg.norm(f_ref, axis=1), 1e-12)
+        rel_err = float(
+            np.max(np.linalg.norm(f_verlet - f_ref, axis=1) / norm_ref)
+        )
+        energy_rel_err = float(
+            abs(e_verlet - e_ref) / max(abs(e_ref), 1e-12)
+        )
+
+        t_ref = _best_of(lambda: pairwise_forces(system, table), rounds)
+        t_cell = _best_of(lambda: cell_list_forces(system, table), rounds)
+        rebuilds_before = engine.n_rebuilds
+        t_verlet = _best_of(lambda: engine.compute(system), rounds)
+
+        results.append(
+            {
+                "n": int(n),
+                "t_reference_s": t_ref,
+                "t_cell_list_s": t_cell,
+                "t_verlet_engine_s": t_verlet,
+                "t_verlet_first_build_s": t_build,
+                "speedup_cell_vs_reference": t_ref / t_cell,
+                "speedup_verlet_vs_reference": t_ref / t_verlet,
+                "speedup_verlet_vs_cell": t_cell / t_verlet,
+                "n_pairs": engine.nlist.n_pairs if engine.nlist else 0,
+                "n_rebuilds_during_timing": engine.n_rebuilds - rebuilds_before,
+                "max_rel_force_error": rel_err,
+                "rel_energy_error": energy_rel_err,
+            }
+        )
+    return {
+        "benchmark": "md_force_kernels",
+        "potential": "LennardJones",
+        "rcut": rcut,
+        "skin": skin,
+        "density": density,
+        "rounds": rounds,
+        "seed": seed,
+        "results": results,
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; writes the timing payload as JSON."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.md.bench",
+        description="Benchmark the MD force kernels and record the "
+        "repo's tracked perf baseline.",
+    )
+    parser.add_argument(
+        "--sizes",
+        default=",".join(str(n) for n in DEFAULT_SIZES),
+        help="comma-separated particle counts (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=5,
+        help="timing repetitions per kernel; best-of is reported "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--rcut", type=float, default=2.5,
+        help="LJ cutoff (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--skin", type=float, default=DEFAULT_SKIN,
+        help="Verlet skin distance (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--density", type=float, default=0.4,
+        help="number density of the benchmark systems (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="RNG seed for the benchmark configurations (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--output", default=DEFAULT_OUTPUT,
+        help=f"output JSON path (default: {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+    sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+    payload = bench_force_kernels(
+        sizes,
+        rounds=args.rounds,
+        rcut=args.rcut,
+        skin=args.skin,
+        density=args.density,
+        seed=args.seed,
+    )
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    for row in payload["results"]:
+        print(
+            f"N={row['n']:>6}  ref {row['t_reference_s'] * 1e3:8.2f} ms  "
+            f"cell {row['t_cell_list_s'] * 1e3:8.2f} ms  "
+            f"verlet {row['t_verlet_engine_s'] * 1e3:8.2f} ms  "
+            f"speedup(verlet/ref) {row['speedup_verlet_vs_reference']:7.1f}x  "
+            f"max rel err {row['max_rel_force_error']:.2e}"
+        )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,6 +5,13 @@ reference implementation; the :class:`CellList` kernel is the
 algorithmic optimization (linear scaling for short-ranged cutoffs).  The
 test suite cross-validates the two on random configurations, which is the
 safety net recommended before trusting any optimized kernel.
+
+All three force paths (reference, cell-list, and the persistent Verlet
+engine in :mod:`repro.md.neighbors`) share one inner kernel,
+:func:`accumulate_pair_forces`: a single displacement/distance
+computation feeds every potential in the :class:`PairTable`, and
+accumulation goes through the bincount-based
+:func:`repro.util.scatter.scatter_add` instead of ``np.add.at``.
 """
 
 from __future__ import annotations
@@ -16,8 +23,17 @@ import numpy as np
 
 from repro.md.potentials import PairPotential, Wall93
 from repro.md.system import ParticleSystem
+from repro.util.scatter import scatter_add
+from repro.util.validation import check_finite
 
-__all__ = ["PairTable", "pairwise_forces", "CellList", "cell_list_forces", "wall_forces"]
+__all__ = [
+    "PairTable",
+    "pairwise_forces",
+    "CellList",
+    "cell_list_forces",
+    "wall_forces",
+    "accumulate_pair_forces",
+]
 
 
 @dataclass
@@ -54,6 +70,54 @@ def wall_forces(system: ParticleSystem, wall: Wall93) -> tuple[np.ndarray, float
     return f, energy
 
 
+def accumulate_pair_forces(
+    system: ParticleSystem,
+    table: PairTable,
+    i: np.ndarray,
+    j: np.ndarray,
+    forces: np.ndarray,
+    *,
+    fr_scratch: np.ndarray | None = None,
+) -> float:
+    """Evaluate every pair potential over the pairs ``(i, j)``.
+
+    The shared inner kernel of all three force paths (reference,
+    cell-list, Verlet engine): one displacement/distance computation
+    feeds every potential in the table, per-pair ``-(dU/dr)/r`` factors
+    are summed across potentials, and the resulting pair-force vectors
+    are scattered into ``forces`` (modified in place) with the bincount
+    helper — Newton's third law by construction.  Returns the potential
+    energy of the evaluated pairs.
+
+    ``fr_scratch``, when given, must be a float buffer of length
+    ``len(i)``; it is zeroed and reused, letting a persistent engine
+    avoid a per-step allocation.
+    """
+    if i.size == 0:
+        return 0.0
+    dr = system.box.minimum_image(system.x[i] - system.x[j])
+    r2 = np.einsum("ij,ij->i", dr, dr)
+    qq = system.q[i] * system.q[j]
+    if fr_scratch is None:
+        fr = np.zeros(i.size)
+    else:
+        fr = fr_scratch
+        fr[:] = 0.0
+    energy = 0.0
+    for pot in table.pair_potentials:
+        mask = r2 < pot.rcut * pot.rcut
+        if not np.any(mask):
+            continue
+        r2m = r2[mask]
+        qqm = qq[mask] if pot.needs_charge else None
+        energy += float(np.sum(pot.energy(r2m, qqm)))
+        fr[mask] += pot.force_over_r(r2m, qqm)
+    fvec = fr[:, None] * dr
+    scatter_add(forces, i, fvec)
+    scatter_add(forces, j, -fvec)
+    return energy
+
+
 def pairwise_forces(
     system: ParticleSystem, table: PairTable
 ) -> tuple[np.ndarray, float]:
@@ -63,29 +127,12 @@ def pairwise_forces(
     obey Newton's third law by construction (antisymmetric displacement
     matrix), giving zero net force from the pair terms.
     """
-    x = system.x
     n = system.n
-    forces = np.zeros_like(x)
+    forces = np.zeros_like(system.x)
     energy = 0.0
     if n >= 2 and table.pair_potentials:
-        dr = x[:, None, :] - x[None, :, :]
-        dr = system.box.minimum_image(dr)
-        r2 = np.sum(dr * dr, axis=-1)
         iu, ju = np.triu_indices(n, k=1)
-        r2u = r2[iu, ju]
-        dru = dr[iu, ju]
-        qqu = system.q[iu] * system.q[ju]
-        for pot in table.pair_potentials:
-            mask = r2u < pot.rcut * pot.rcut
-            if not np.any(mask):
-                continue
-            r2m = r2u[mask]
-            qqm = qqu[mask] if pot.needs_charge else None
-            energy += float(np.sum(pot.energy(r2m, qqm)))
-            fr = pot.force_over_r(r2m, qqm)
-            fvec = fr[:, None] * dru[mask]
-            np.add.at(forces, iu[mask], fvec)
-            np.add.at(forces, ju[mask], -fvec)
+        energy += accumulate_pair_forces(system, table, iu, ju, forces)
     if table.wall is not None:
         fw, ew = wall_forces(system, table.wall)
         forces += fw
@@ -98,11 +145,19 @@ class CellList:
 
     Cells are at least ``rcut`` wide in every direction; neighbor search
     visits the 27-cell stencil with periodic wrapping in x/y only.
+    Candidate-pair generation is fully vectorized: particles are bucketed
+    into a padded ``(n_cells, max_occupancy)`` slot matrix once, and the
+    13-offset half stencil is broadcast over every cell at the same time
+    — no per-cell Python loops.
     """
 
     def __init__(self, system: ParticleSystem, rcut: float):
         if rcut <= 0:
             raise ValueError(f"rcut must be > 0, got {rcut}")
+        # Non-finite coordinates would silently poison the binning below
+        # (NaN compares false everywhere, so clip/argsort shuffle the
+        # particle into an arbitrary cell); reject them loudly instead.
+        check_finite("positions", system.x)
         box = system.box
         self.ncx = max(1, int(box.lx // rcut))
         self.ncy = max(1, int(box.ly // rcut))
@@ -125,43 +180,61 @@ class CellList:
         return self._sorted[self._starts[flat] : self._starts[flat + 1]]
 
     def candidate_pairs(self) -> tuple[np.ndarray, np.ndarray]:
-        """All (i, j) candidate pairs with i != j, each pair once."""
-        pairs_i: list[np.ndarray] = []
-        pairs_j: list[np.ndarray] = []
-        periodic_x = self.ncx >= 3
-        periodic_y = self.ncy >= 3
-        for cx in range(self.ncx):
-            for cy in range(self.ncy):
-                for cz in range(self.ncz):
-                    home = self.members(cx, cy, cz)
-                    if home.size == 0:
-                        continue
-                    # pairs within the home cell
-                    if home.size >= 2:
-                        ii, jj = np.triu_indices(home.size, k=1)
-                        pairs_i.append(home[ii])
-                        pairs_j.append(home[jj])
-                    # half-stencil of neighbor cells to count each pair once
-                    for dx, dy, dz in _HALF_STENCIL:
-                        nx, ny, nz = cx + dx, cy + dy, cz + dz
-                        if periodic_x:
-                            nx %= self.ncx
-                        elif not 0 <= nx < self.ncx:
-                            continue
-                        if periodic_y:
-                            ny %= self.ncy
-                        elif not 0 <= ny < self.ncy:
-                            continue
-                        if not 0 <= nz < self.ncz:
-                            continue
-                        other = self.members(nx, ny, nz)
-                        if other.size == 0:
-                            continue
-                        gi, gj = np.meshgrid(home, other, indexing="ij")
-                        pairs_i.append(gi.ravel())
-                        pairs_j.append(gj.ravel())
-        if not pairs_i:
+        """All (i, j) candidate pairs with i != j, each pair once.
+
+        Vectorized over cells: intra-cell pairs come from one padded
+        triangular gather; cross-cell pairs from broadcasting the
+        13-offset half stencil (each unordered cell pair visited from
+        exactly one side) against the slot matrix of every cell at once.
+        """
+        counts = np.diff(self._starts)
+        n_cells = counts.size
+        if n_cells == 0 or counts.max() == 0:
             return np.empty(0, dtype=int), np.empty(0, dtype=int)
+        occ = int(counts.max())
+        # Padded member matrix: row c lists the particles of cell c in
+        # sorted order; `filled` marks real slots vs padding.  Boolean
+        # assignment fills row-major, matching the cell-sorted order.
+        slot = np.arange(occ)
+        filled = slot[None, :] < counts[:, None]            # (n_cells, occ)
+        members = np.zeros((n_cells, occ), dtype=np.int64)
+        members[filled] = self._sorted
+
+        # Intra-cell pairs: the strict upper triangle of every cell's
+        # slot matrix, padding masked out.
+        ii, jj = np.triu_indices(occ, k=1)
+        intra_ok = filled[:, ii] & filled[:, jj]
+        pairs_i = [members[:, ii][intra_ok]]
+        pairs_j = [members[:, jj][intra_ok]]
+
+        # Cross-cell pairs: broadcast all 13 half-stencil offsets over
+        # all cells simultaneously.
+        cells = np.arange(n_cells)
+        cz = cells % self.ncz
+        cy = (cells // self.ncz) % self.ncy
+        cx = cells // (self.ncz * self.ncy)
+        off = _HALF_STENCIL_ARRAY                           # (13, 3)
+        nx = cx[None, :] + off[:, 0:1]                      # (13, n_cells)
+        ny = cy[None, :] + off[:, 1:2]
+        nz = cz[None, :] + off[:, 2:3]
+        valid = (nz >= 0) & (nz < self.ncz)                 # z is never periodic
+        if self.ncx >= 3:
+            nx %= self.ncx
+        else:
+            valid &= (nx >= 0) & (nx < self.ncx)
+        if self.ncy >= 3:
+            ny %= self.ncy
+        else:
+            valid &= (ny >= 0) & (ny < self.ncy)
+        nflat = np.where(valid, (nx * self.ncy + ny) * self.ncz + nz, 0)
+        nb_members = members[nflat]                         # (13, n_cells, occ)
+        nb_filled = filled[nflat] & valid[:, :, None]
+        # Every home slot against every neighbor-cell slot.
+        cross_ok = filled[None, :, :, None] & nb_filled[:, :, None, :]
+        shape = cross_ok.shape                              # (13, n_cells, occ, occ)
+        pairs_i.append(np.broadcast_to(members[None, :, :, None], shape)[cross_ok])
+        pairs_j.append(np.broadcast_to(nb_members[:, :, None, :], shape)[cross_ok])
+
         i = np.concatenate(pairs_i)
         j = np.concatenate(pairs_j)
         # With fewer than 3 cells along a periodic axis the half-stencil
@@ -185,6 +258,7 @@ _HALF_STENCIL = [
     for dz in (-1, 0, 1)
     if (dx, dy, dz) > (0, 0, 0)
 ]
+_HALF_STENCIL_ARRAY = np.array(_HALF_STENCIL, dtype=np.int64)
 
 
 def cell_list_forces(
@@ -198,21 +272,7 @@ def cell_list_forces(
     if system.n >= 2 and table.pair_potentials and rcut > 0:
         cl = CellList(system, rcut)
         i, j = cl.candidate_pairs()
-        if i.size:
-            dr = system.box.minimum_image(system.x[i] - system.x[j])
-            r2 = np.sum(dr * dr, axis=-1)
-            qq = system.q[i] * system.q[j]
-            for pot in table.pair_potentials:
-                mask = r2 < pot.rcut * pot.rcut
-                if not np.any(mask):
-                    continue
-                r2m = r2[mask]
-                qqm = qq[mask] if pot.needs_charge else None
-                energy += float(np.sum(pot.energy(r2m, qqm)))
-                fr = pot.force_over_r(r2m, qqm)
-                fvec = fr[:, None] * dr[mask]
-                np.add.at(forces, i[mask], fvec)
-                np.add.at(forces, j[mask], -fvec)
+        energy += accumulate_pair_forces(system, table, i, j, forces)
     if table.wall is not None:
         fw, ew = wall_forces(system, table.wall)
         forces += fw

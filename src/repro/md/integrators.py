@@ -20,6 +20,11 @@ from repro.util.validation import check_positive
 
 __all__ = ["IntegrationDiverged", "VelocityVerlet", "Langevin"]
 
+#: Force-kernel signature both integrators accept.  Any callable works:
+#: the O(N²) reference (the default), :func:`~repro.md.forces.cell_list_forces`,
+#: or a persistent :class:`~repro.md.neighbors.ForceEngine` bound to the
+#: same table — the engine keeps its Verlet list and scratch buffers
+#: alive across steps, which is the fast path for production MD.
 ForceFn = Callable[[ParticleSystem, PairTable], tuple[np.ndarray, float]]
 
 
@@ -45,7 +50,9 @@ class VelocityVerlet:
     dt:
         Timestep (the key autotuning control).
     force_fn:
-        Force kernel; defaults to the O(N²) reference.
+        Force kernel; defaults to the O(N²) reference.  Pass a
+        :class:`~repro.md.neighbors.ForceEngine` built from the same
+        ``table`` to reuse a persistent Verlet list across steps.
     max_speed:
         Divergence threshold on any velocity component.
     """
@@ -104,6 +111,10 @@ class Langevin:
         Target temperature (k_B = 1).
     gamma:
         Friction coefficient (the second autotuning control in E3).
+    force_fn:
+        Force kernel; defaults to the O(N²) reference.  Pass a
+        :class:`~repro.md.neighbors.ForceEngine` built from the same
+        ``table`` to reuse a persistent Verlet list across steps.
     """
 
     def __init__(

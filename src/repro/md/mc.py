@@ -18,6 +18,7 @@ from typing import Callable
 import numpy as np
 
 from repro.md.forces import PairTable
+from repro.md.neighbors import ForceEngine
 from repro.md.system import ParticleSystem
 from repro.util.rng import ensure_rng
 from repro.util.validation import check_positive
@@ -70,6 +71,14 @@ class MetropolisMC:
         when given, moves are accepted with *full* energy recomputation —
         the mode used to sample an NN potential that has no pair
         decomposition.  Leave None for the fast O(N) pair path.
+    engine:
+        Optional shared :class:`~repro.md.neighbors.ForceEngine` bound to
+        the same ``table``.  Trial energies are then evaluated over the
+        particle's Verlet-list neighbors — O(neighbors) instead of O(N)
+        per move — with the persistent list shared with any MD driven by
+        the same engine.  Requires a skin wide enough that a single
+        trial move (``sqrt(3) * max_displacement``) cannot escape the
+        ``skin / 2`` safety sphere.
     """
 
     def __init__(
@@ -79,12 +88,27 @@ class MetropolisMC:
         max_displacement: float = 0.3,
         *,
         energy_fn: Callable[[np.ndarray], float] | None = None,
+        engine: ForceEngine | None = None,
         rng: int | np.random.Generator | None = None,
     ):
         self.table = table
         self.temperature = check_positive("temperature", temperature)
         self.max_displacement = check_positive("max_displacement", max_displacement)
         self.energy_fn = energy_fn
+        if engine is not None:
+            if engine.table is not table:
+                raise ValueError("engine must be bound to the sampler's table")
+            if energy_fn is not None:
+                raise ValueError("pass either energy_fn or engine, not both")
+            min_skin = 2.0 * np.sqrt(3.0) * max_displacement
+            if engine.skin < min_skin:
+                raise ValueError(
+                    f"engine skin {engine.skin:.3g} too small for "
+                    f"max_displacement {max_displacement:.3g}; need >= "
+                    f"2*sqrt(3)*max_displacement = {min_skin:.3g} so a trial "
+                    "move cannot outrun the neighbor list"
+                )
+        self.engine = engine
         self.rng = ensure_rng(rng)
         self.n_trials = 0
         self.n_accepted = 0
@@ -100,6 +124,12 @@ class MetropolisMC:
         beta = 1.0 / self.temperature
         n = system.n
         h = system.box.h
+        # Largest possible trial step; keeping the Verlet list rebuilt
+        # within skin/2 - margin guarantees every trial position stays
+        # inside the list's safety sphere.
+        margin = np.sqrt(3.0) * self.max_displacement
+        if self.engine is not None:
+            self.engine.prepare(system)
         for _ in range(n_sweeps):
             order = self.rng.permutation(n)
             deltas = self.rng.uniform(
@@ -119,6 +149,11 @@ class MetropolisMC:
                     e_new = self.energy_fn(system.x)
                     de = e_new - e_old
                     system.x[i] = old
+                elif self.engine is not None:
+                    self.engine.note_moved(system, i, margin=margin)
+                    e_old = self.engine.particle_energy(system, i)
+                    e_new = self.engine.particle_energy(system, i, position=new)
+                    de = e_new - e_old
                 else:
                     e_old = particle_energy(system, i, self.table)
                     system.x[i] = new

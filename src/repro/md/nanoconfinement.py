@@ -27,6 +27,7 @@ import numpy as np
 from repro.core.simulation import Simulation
 from repro.md.forces import PairTable
 from repro.md.integrators import Langevin
+from repro.md.neighbors import ForceEngine
 from repro.md.observables import DensityProfile, density_features
 from repro.md.potentials import WCA, Wall93, Yukawa
 from repro.md.system import ParticleSystem, SlitBox
@@ -145,18 +146,22 @@ class NanoconfinementSimulation(Simulation):
 
     def _run(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         system, table = self.build_system(x, rng)
+        # One persistent Verlet-list engine shared by the relaxation and
+        # production integrators: the neighbor list survives across both.
+        engine = ForceEngine(table)
         integrator = Langevin(
             table,
             self.dt,
             temperature=self.temperature,
             gamma=self.gamma,
+            force_fn=engine,
             rng=rng,
         )
         # Gentle start: short small-step relaxation removes the worst
         # random-insertion overlaps before the production timestep.
         relax = Langevin(
             table, self.dt / 10.0, temperature=self.temperature,
-            gamma=5.0, rng=rng,
+            gamma=5.0, force_fn=engine, rng=rng,
         )
         relax.step(system, 50)
         integrator.step(system, self.equilibration_steps)

@@ -40,6 +40,7 @@ import numpy as np
 from repro.parallel.collectives import allreduce_cost
 from repro.parallel.network import CommModel
 from repro.util.rng import ensure_rng, spawn_rngs
+from repro.util.scatter import scatter_add
 from repro.util.validation import check_positive
 
 __all__ = [
@@ -319,7 +320,7 @@ class ParallelKMeans(_WorkerPool):
         d2 = np.sum((xs[:, None, :] - centroids[None]) ** 2, axis=-1)
         assign = np.argmin(d2, axis=1)
         sums = np.zeros((self.k, self.d))
-        np.add.at(sums, assign, xs)
+        scatter_add(sums, assign, xs)
         counts = np.bincount(assign, minlength=self.k).astype(float)
         return sums, counts
 

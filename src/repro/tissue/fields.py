@@ -25,6 +25,7 @@ import scipy.sparse.linalg as spla
 from scipy.linalg import solve_banded
 
 from repro.core.simulation import Simulation
+from repro.util.scatter import scatter_add
 from repro.util.validation import check_integer, check_positive
 
 __all__ = [
@@ -166,8 +167,8 @@ def steady_state(
     # diagonals (missing neighbors contribute nothing).
     diag_add = np.zeros(n)
     for a, b in ((idx[:-1, :], idx[1:, :]), (idx[:, :-1], idx[:, 1:])):
-        np.add.at(diag_add, a.ravel(), params.diffusivity / dx2)
-        np.add.at(diag_add, b.ravel(), params.diffusivity / dx2)
+        scatter_add(diag_add, a.ravel(), params.diffusivity / dx2)
+        scatter_add(diag_add, b.ravel(), params.diffusivity / dx2)
     main = main + diag_add
 
     A = sp.coo_matrix(

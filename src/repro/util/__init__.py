@@ -1,4 +1,6 @@
-"""Shared utilities: reproducible RNG handling, timing, tables, validation.
+"""Shared utilities: reproducible RNG handling, timing, tables, validation,
+and the bincount-based :func:`scatter_add` used by every hot-path
+scatter-accumulation.
 
 Every stochastic component in :mod:`repro` accepts either an integer seed, a
 :class:`numpy.random.Generator`, or ``None`` and normalizes it through
@@ -7,6 +9,7 @@ replayed bit-for-bit from a single seed.
 """
 
 from repro.util.rng import ensure_rng, spawn_rngs, SeedSequenceFactory
+from repro.util.scatter import scatter_add
 from repro.util.timing import Timer, WallClockLedger, TimingRecord
 from repro.util.tables import Table, format_si, format_seconds
 from repro.util.validation import (
@@ -21,6 +24,7 @@ __all__ = [
     "ensure_rng",
     "spawn_rngs",
     "SeedSequenceFactory",
+    "scatter_add",
     "Timer",
     "WallClockLedger",
     "TimingRecord",

@@ -298,3 +298,47 @@ class TestContracts:
             "        self.rng = rng\n"
         )
         assert "API005" in rules_of(src)
+
+
+class TestPerf:
+    def test_perf001_np_add_at(self):
+        src = HEADER + (
+            "import numpy as np\n"
+            "out = np.zeros(4)\n"
+            "np.add.at(out, [0, 1], 1.0)\n"
+        )
+        assert "PERF001" in rules_of(src)
+
+    def test_perf001_aliased_numpy(self):
+        src = HEADER + (
+            "import numpy as xp\n"
+            "out = xp.zeros(4)\n"
+            "xp.add.at(out, [0], 2.0)\n"
+        )
+        assert "PERF001" in rules_of(src)
+
+    def test_perf001_scatter_add_clean(self):
+        src = HEADER + (
+            "import numpy as np\n"
+            "from repro.util.scatter import scatter_add\n"
+            "out = np.zeros(4)\n"
+            "scatter_add(out, np.array([0, 1]), 1.0)\n"
+        )
+        assert "PERF001" not in rules_of(src)
+
+    def test_perf001_other_ufunc_at_clean(self):
+        # Only the add.at scatter has an in-repo replacement.
+        src = HEADER + (
+            "import numpy as np\n"
+            "out = np.ones(4)\n"
+            "np.multiply.at(out, [0], 2.0)\n"
+        )
+        assert "PERF001" not in rules_of(src)
+
+    def test_perf001_exempt_in_scatter_module(self):
+        src = HEADER + (
+            "import numpy as np\n"
+            "out = np.zeros(4)\n"
+            "np.add.at(out, [0], 1.0)\n"
+        )
+        assert "PERF001" not in rules_of(src, path="src/repro/util/scatter.py")

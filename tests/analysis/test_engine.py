@@ -147,9 +147,15 @@ class TestReporters:
 
 
 class TestRegistry:
-    def test_all_four_families_registered(self):
+    def test_all_families_registered(self):
         families = {r.family for r in all_rules().values()}
-        assert families == {"DET", "PUR", "NUM", "API"}
+        assert families == {"DET", "PUR", "NUM", "API", "PERF"}
+
+    def test_family_strips_digits_not_fixed_width(self):
+        # PERF001 is four letters; family must not truncate to "PER".
+        rules = all_rules()
+        assert rules["PERF001"].family == "PERF"
+        assert rules["DET001"].family == "DET"
 
     def test_rule_ids_unique_and_described(self):
         rules = all_rules()

@@ -107,7 +107,7 @@ class TestCellListAgreement:
         table = _table()
         f_ref, e_ref = pairwise_forces(sys_, table)
         f_cl, e_cl = cell_list_forces(sys_, table)
-        assert np.allclose(f_cl, f_ref, atol=1e-9)
+        assert np.allclose(f_cl, f_ref, rtol=1e-12, atol=1e-12)
         assert e_cl == pytest.approx(e_ref, rel=1e-12)
 
     def test_small_box_duplicate_pair_handling(self):
@@ -116,7 +116,7 @@ class TestCellListAgreement:
         table = PairTable([WCA(sigma=0.5), Yukawa(bjerrum=1.0, kappa=1.0, rcut=1.9)])
         f_ref, e_ref = pairwise_forces(sys_, table)
         f_cl, e_cl = cell_list_forces(sys_, table)
-        assert np.allclose(f_cl, f_ref, atol=1e-9)
+        assert np.allclose(f_cl, f_ref, rtol=1e-12, atol=1e-12)
         assert e_cl == pytest.approx(e_ref, rel=1e-12)
 
     @settings(max_examples=10, deadline=None)
@@ -126,8 +126,8 @@ class TestCellListAgreement:
         table = _table(wall=False)
         f_ref, e_ref = pairwise_forces(sys_, table)
         f_cl, e_cl = cell_list_forces(sys_, table)
-        assert np.allclose(f_cl, f_ref, atol=1e-8)
-        assert e_cl == pytest.approx(e_ref, rel=1e-9)
+        assert np.allclose(f_cl, f_ref, rtol=1e-9, atol=1e-10)
+        assert e_cl == pytest.approx(e_ref, rel=1e-12)
 
     def test_candidate_pairs_unique(self):
         sys_ = _random_system(30, 4, lx=6.0)
@@ -158,3 +158,14 @@ class TestCellListAgreement:
         sys_ = _random_system(6, 6)
         with pytest.raises(ValueError):
             CellList(sys_, 0.0)
+
+    def test_non_finite_positions_rejected(self):
+        """NaN/inf coordinates used to be silently mis-binned into edge
+        cells; they must be rejected up front with a clear error."""
+        sys_ = _random_system(8, 7)
+        sys_.x[3, 1] = np.nan
+        with pytest.raises(ValueError, match="positions"):
+            CellList(sys_, 2.0)
+        sys_.x[3, 1] = np.inf
+        with pytest.raises(ValueError, match="positions"):
+            CellList(sys_, 2.0)

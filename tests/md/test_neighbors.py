@@ -1,0 +1,280 @@
+"""Tests for repro.md.neighbors — the persistent Verlet-list engine.
+
+The structural claims of the force-engine refactor: the engine agrees
+with the O(N²) reference at tight tolerance, the list is *not* rebuilt
+while every particle stays inside the skin/2 safety sphere (and the
+forces stay exact there), a forced rebuild restores agreement, NVE
+energy is conserved through rebuilds, and the Monte-Carlo path built on
+``particle_energy`` reproduces the O(N) reference sampler exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.md import mc
+from repro.md.forces import PairTable, pairwise_forces
+from repro.md.integrators import VelocityVerlet
+from repro.md.mc import MetropolisMC
+from repro.md.neighbors import DEFAULT_SKIN, ForceEngine, NeighborList
+from repro.md.potentials import WCA, LennardJones, Wall93, Yukawa
+from repro.md.system import ParticleSystem, SlitBox
+from repro.util.rng import ensure_rng
+
+
+def _random_system(n, seed, lx=10.0, h=6.0, diameter=0.7):
+    box = SlitBox(lx, lx, h)
+    n_half = n // 2
+    return ParticleSystem.random_electrolyte(
+        box, n_half, n - n_half, 2.0, -2.0, diameter, rng=seed
+    )
+
+
+def _table(wall=True):
+    return PairTable(
+        pair_potentials=[WCA(sigma=0.7), Yukawa(bjerrum=2.0, kappa=1.0, rcut=3.0)],
+        wall=Wall93(epsilon=1.0, sigma=0.35, cutoff=1.0) if wall else None,
+    )
+
+
+def _rel_force_error(f, f_ref):
+    norm = np.maximum(np.linalg.norm(f_ref, axis=1), 1e-12)
+    return float(np.max(np.linalg.norm(f - f_ref, axis=1) / norm))
+
+
+def _drift(system, magnitude, seed=0):
+    """Displace every particle by exactly ``magnitude`` in a random
+    direction (keeping z safely inside the slit)."""
+    gen = ensure_rng(seed)
+    d = gen.normal(size=system.x.shape)
+    d /= np.linalg.norm(d, axis=1, keepdims=True)
+    system.x = system.box.wrap(system.x + magnitude * d)
+    np.clip(system.x[:, 2], 0.05, system.box.h - 0.05, out=system.x[:, 2])
+
+
+class TestNeighborList:
+    def test_initial_build_counters(self):
+        sys_ = _random_system(30, 0)
+        nlist = NeighborList(sys_, rcut=2.0)
+        assert nlist.n_builds == 1
+        assert nlist.n_rebuilds == 0
+        assert nlist.n_pairs > 0
+
+    def test_contains_every_pair_within_capture_radius(self):
+        sys_ = _random_system(40, 1)
+        rcut, skin = 2.0, 0.4
+        nlist = NeighborList(sys_, rcut, skin)
+        stored = set(zip(np.minimum(nlist.i, nlist.j), np.maximum(nlist.i, nlist.j)))
+        dr = sys_.box.minimum_image(sys_.x[:, None, :] - sys_.x[None, :, :])
+        r2 = np.sum(dr * dr, axis=-1)
+        iu, ju = np.triu_indices(sys_.n, k=1)
+        close = r2[iu, ju] < rcut * rcut  # strictly inside rcut, well within capture
+        for a, b in zip(iu[close], ju[close]):
+            assert (a, b) in stored
+
+    def test_no_rebuild_while_inside_safety_sphere(self):
+        sys_ = _random_system(30, 2)
+        nlist = NeighborList(sys_, rcut=2.0, skin=0.4)
+        _drift(sys_, 0.4 * 0.5 * nlist.skin, seed=3)  # well under skin/2
+        assert not nlist.needs_rebuild(sys_)
+        assert nlist.ensure_current(sys_) is False
+        assert nlist.n_rebuilds == 0
+
+    def test_rebuild_after_escaping_safety_sphere(self):
+        sys_ = _random_system(30, 3)
+        nlist = NeighborList(sys_, rcut=2.0, skin=0.4)
+        sys_.x[0, 0] += 0.6 * nlist.skin  # > skin/2
+        assert nlist.needs_rebuild(sys_)
+        assert nlist.ensure_current(sys_) is True
+        assert nlist.n_rebuilds == 1
+        assert not nlist.needs_rebuild(sys_)
+
+    def test_neighbors_of_is_symmetric(self):
+        sys_ = _random_system(25, 4)
+        nlist = NeighborList(sys_, rcut=2.0)
+        for i in range(sys_.n):
+            for j in nlist.neighbors_of(i):
+                assert i in nlist.neighbors_of(int(j))
+
+
+class TestForceEngineAgreement:
+    @pytest.mark.parametrize("n,seed", [(16, 0), (40, 1), (80, 2)])
+    def test_matches_reference(self, n, seed):
+        sys_ = _random_system(n, seed, lx=12.0)
+        table = _table()
+        f_ref, e_ref = pairwise_forces(sys_, table)
+        engine = ForceEngine(table)
+        f, e = engine.compute(sys_)
+        assert _rel_force_error(f, f_ref) <= 1e-9
+        assert e == pytest.approx(e_ref, rel=1e-12)
+
+    def test_static_positions_never_rebuild(self):
+        sys_ = _random_system(30, 5)
+        engine = ForceEngine(_table())
+        f0, e0 = engine.compute(sys_)
+        for _ in range(5):
+            f, e = engine.compute(sys_)
+        assert engine.n_builds == 1
+        assert np.array_equal(f, f0) and e == e0
+
+    def test_drift_within_skin_no_rebuild_and_exact_forces(self):
+        """The property the skin buys: after any drift < skin/2 the stale
+        list still yields forces identical to the reference kernel."""
+        sys_ = _random_system(40, 6)
+        table = _table()
+        engine = ForceEngine(table)
+        engine.compute(sys_)
+        _drift(sys_, 0.45 * 0.5 * engine.skin, seed=7)
+        f, e = engine.compute(sys_)
+        assert engine.n_rebuilds == 0
+        f_ref, e_ref = pairwise_forces(sys_, table)
+        assert _rel_force_error(f, f_ref) <= 1e-9
+        assert e == pytest.approx(e_ref, rel=1e-12)
+
+    def test_forced_rebuild_restores_agreement(self):
+        sys_ = _random_system(40, 8)
+        table = _table()
+        engine = ForceEngine(table)
+        engine.compute(sys_)
+        sys_.x[2, 1] += 0.75 * engine.skin  # escape the safety sphere
+        f, e = engine.compute(sys_)
+        assert engine.n_rebuilds == 1
+        f_ref, e_ref = pairwise_forces(sys_, table)
+        assert _rel_force_error(f, f_ref) <= 1e-9
+        assert e == pytest.approx(e_ref, rel=1e-12)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(6, 30),
+        st.integers(0, 10_000),
+        st.floats(0.0, 0.99),
+    )
+    def test_property_agreement_after_drift(self, n, seed, drift_frac):
+        """Forces from a possibly-stale list match the reference for any
+        drift inside the safety sphere."""
+        sys_ = _random_system(n, seed, lx=9.0)
+        table = _table(wall=False)
+        engine = ForceEngine(table)
+        engine.compute(sys_)
+        _drift(sys_, drift_frac * 0.5 * engine.skin, seed=seed + 1)
+        f, e = engine.compute(sys_)
+        f_ref, e_ref = pairwise_forces(sys_, table)
+        assert _rel_force_error(f, f_ref) <= 1e-9
+        assert e == pytest.approx(e_ref, rel=1e-9, abs=1e-12)
+
+    def test_force_fn_adapter_and_table_binding(self):
+        sys_ = _random_system(12, 9)
+        table = _table()
+        engine = ForceEngine(table)
+        f, e = engine(sys_, table)  # the (system, table) ForceFn shape
+        f_ref, e_ref = pairwise_forces(sys_, table)
+        assert _rel_force_error(f, f_ref) <= 1e-9
+        with pytest.raises(ValueError, match="bound"):
+            engine(sys_, _table())
+
+    def test_reset_forgets_the_list(self):
+        sys_ = _random_system(12, 10)
+        engine = ForceEngine(_table())
+        engine.compute(sys_)
+        engine.reset()
+        assert engine.n_builds == 0
+        engine.compute(sys_)
+        assert engine.n_builds == 1
+
+    def test_no_pair_potentials_wall_only(self):
+        sys_ = _random_system(8, 11)
+        table = PairTable([], wall=Wall93(sigma=0.5, cutoff=1.0))
+        engine = ForceEngine(table)
+        f, e = engine.compute(sys_)
+        f_ref, e_ref = pairwise_forces(sys_, table)
+        assert np.allclose(f, f_ref) and e == pytest.approx(e_ref)
+        assert engine.nlist is None  # no list needed without pair cutoffs
+
+
+class TestEngineNVE:
+    def test_energy_conserved_through_rebuilds(self):
+        """NVE with the Verlet engine: total energy drifts < 1e-3
+        relative over a trajectory long enough to force rebuilds."""
+        sys_ = _random_system(24, 12, lx=8.0)
+        table = PairTable([WCA(sigma=0.7)])
+        sys_.thermalize(0.5, rng=13)
+        engine = ForceEngine(table)
+        integ = VelocityVerlet(table, dt=0.002, force_fn=engine)
+        integ.step(sys_, 1)
+        e0 = integ.total_energy(sys_)
+        integ.step(sys_, 400)
+        e1 = integ.total_energy(sys_)
+        assert engine.n_rebuilds >= 1  # the trajectory actually moved
+        assert abs(e1 - e0) / abs(e0) < 1e-3
+
+    def test_same_trajectory_as_reference_kernel(self):
+        sys_a = _random_system(16, 14, lx=8.0)
+        sys_a.thermalize(0.4, rng=15)
+        sys_b = sys_a.copy()
+        table = PairTable([WCA(sigma=0.7)])
+        engine = ForceEngine(table)
+        VelocityVerlet(table, dt=0.002, force_fn=engine).step(sys_a, 50)
+        VelocityVerlet(table, dt=0.002).step(sys_b, 50)
+        assert np.allclose(sys_a.x, sys_b.x, rtol=1e-7, atol=1e-9)
+
+
+class TestEngineMC:
+    def test_particle_energy_matches_reference(self):
+        sys_ = _random_system(30, 16)
+        table = _table()
+        engine = ForceEngine(table)
+        engine.prepare(sys_)
+        for i in (0, 7, 29):
+            assert engine.particle_energy(sys_, i) == pytest.approx(
+                mc.particle_energy(sys_, i, table), rel=1e-12
+            )
+
+    def test_particle_energy_at_trial_position(self):
+        sys_ = _random_system(20, 17)
+        table = _table()
+        engine = ForceEngine(table)
+        engine.prepare(sys_)
+        i = 4
+        trial = sys_.x[i] + np.array([0.05, -0.03, 0.02])
+        e_trial = engine.particle_energy(sys_, i, position=trial)
+        moved = sys_.copy()
+        moved.x[i] = trial
+        assert e_trial == pytest.approx(mc.particle_energy(moved, i, table), rel=1e-12)
+        # and the original positions were not touched
+        assert sys_.x[i] is not trial
+
+    def test_mc_with_engine_reproduces_reference_sampler(self):
+        """Same seed, same trajectory: the engine path and the O(N)
+        reference path must make identical accept/reject decisions."""
+        table = _table()
+        sys_a = _random_system(24, 18)
+        sys_b = sys_a.copy()
+        step = 0.05
+        engine = ForceEngine(table, skin=2.0 * np.sqrt(3.0) * step + 0.1)
+        mc_a = MetropolisMC(table, max_displacement=step, engine=engine, rng=19)
+        mc_b = MetropolisMC(table, max_displacement=step, rng=19)
+        mc_a.sweep(sys_a, 3)
+        mc_b.sweep(sys_b, 3)
+        assert mc_a.n_accepted == mc_b.n_accepted
+        assert np.allclose(sys_a.x, sys_b.x, rtol=0, atol=0)
+
+    def test_skin_too_small_for_trial_moves_rejected(self):
+        table = _table()
+        with pytest.raises(ValueError, match="skin"):
+            MetropolisMC(
+                table, max_displacement=0.3, engine=ForceEngine(table, skin=DEFAULT_SKIN)
+            )
+
+    def test_engine_must_share_the_table(self):
+        with pytest.raises(ValueError, match="table"):
+            MetropolisMC(_table(), engine=ForceEngine(_table(), skin=2.0))
+
+    def test_energy_fn_and_engine_are_exclusive(self):
+        table = _table()
+        with pytest.raises(ValueError, match="not both"):
+            MetropolisMC(
+                table,
+                max_displacement=0.05,
+                energy_fn=lambda x: 0.0,
+                engine=ForceEngine(table, skin=2.0),
+            )

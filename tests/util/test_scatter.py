@@ -1,0 +1,113 @@
+"""Tests for repro.util.scatter — the bincount scatter-add helper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util.rng import ensure_rng
+from repro.util.scatter import scatter_add
+
+
+class TestMatchesAddAt:
+    def test_1d_duplicates(self):
+        out = np.zeros(5)
+        expected = out.copy()
+        idx = np.array([0, 2, 2, 4, 0, 0])
+        vals = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        np.add.at(expected, idx, vals)
+        scatter_add(out, idx, vals)
+        assert np.array_equal(out, expected)
+
+    def test_2d_rows(self):
+        out = np.zeros((4, 3))
+        expected = out.copy()
+        idx = np.array([1, 3, 1, 0])
+        vals = np.arange(12.0).reshape(4, 3)
+        np.add.at(expected, idx, vals)
+        scatter_add(out, idx, vals)
+        assert np.array_equal(out, expected)
+
+    def test_scalar_values_broadcast(self):
+        out = np.zeros(4)
+        expected = out.copy()
+        idx = np.array([2, 2, 0])
+        np.add.at(expected, idx, 1.5)
+        scatter_add(out, idx, 1.5)
+        assert np.array_equal(out, expected)
+
+    def test_2d_out_with_1d_row_broadcast(self):
+        out = np.zeros((3, 2))
+        expected = out.copy()
+        idx = np.array([0, 2, 0])
+        vals = np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+        np.add.at(expected, idx, vals)
+        scatter_add(out, idx, vals)
+        assert np.array_equal(out, expected)
+
+    def test_accumulates_onto_existing_content(self):
+        out = np.ones(3)
+        scatter_add(out, np.array([1]), 2.0)
+        assert np.array_equal(out, [1.0, 3.0, 1.0])
+
+    def test_returns_out(self):
+        out = np.zeros(2)
+        assert scatter_add(out, np.array([0]), 1.0) is not None
+        assert np.array_equal(out, [1.0, 0.0])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 30), st.integers(0, 100), st.integers(0, 10_000))
+    def test_property_random_1d(self, m, k, seed):
+        gen = ensure_rng(seed)
+        idx = gen.integers(0, m, size=k)
+        vals = gen.normal(size=k)
+        expected = np.zeros(m)
+        np.add.at(expected, idx, vals)
+        got = scatter_add(np.zeros(m), idx, vals)
+        assert np.allclose(got, expected, rtol=1e-12, atol=1e-12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 20), st.integers(1, 4), st.integers(0, 50), st.integers(0, 10_000))
+    def test_property_random_2d(self, m, d, k, seed):
+        gen = ensure_rng(seed)
+        idx = gen.integers(0, m, size=k)
+        vals = gen.normal(size=(k, d))
+        expected = np.zeros((m, d))
+        np.add.at(expected, idx, vals)
+        got = scatter_add(np.zeros((m, d)), idx, vals)
+        assert np.allclose(got, expected, rtol=1e-12, atol=1e-12)
+
+
+class TestEdgesAndErrors:
+    def test_empty_idx_is_noop(self):
+        out = np.ones(3)
+        scatter_add(out, np.empty(0, dtype=int), np.empty(0))
+        assert np.array_equal(out, np.ones(3))
+
+    def test_integer_out_rejected(self):
+        with pytest.raises(TypeError, match="float"):
+            scatter_add(np.zeros(3, dtype=int), np.array([0]), 1.0)
+
+    def test_3d_out_rejected(self):
+        with pytest.raises(ValueError, match="1-D or 2-D"):
+            scatter_add(np.zeros((2, 2, 2)), np.array([0]), 1.0)
+
+    def test_float_idx_rejected(self):
+        with pytest.raises(ValueError, match="integer"):
+            scatter_add(np.zeros(3), np.array([0.0]), 1.0)
+
+    def test_2d_idx_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            scatter_add(np.zeros(3), np.array([[0], [1]]), 1.0)
+
+    def test_out_of_range_idx_rejected(self):
+        with pytest.raises(IndexError):
+            scatter_add(np.zeros(3), np.array([3]), 1.0)
+
+    def test_negative_idx_rejected(self):
+        # np.add.at would wrap around; scatter_add treats it as a bug.
+        with pytest.raises(IndexError):
+            scatter_add(np.zeros(3), np.array([-1]), 1.0)
+
+    def test_mismatched_values_shape_rejected(self):
+        with pytest.raises(ValueError):
+            scatter_add(np.zeros(3), np.array([0, 1]), np.zeros(5))
