@@ -8,6 +8,7 @@ test:
 
 bench:
 	$(PYTHON) -m repro.md.bench
+	$(PYTHON) -m repro.serve.bench
 
 lint:
 	$(PYTHON) -m repro.analysis src/repro

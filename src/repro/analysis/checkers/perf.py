@@ -5,7 +5,11 @@ has standardized on.  The first rule targets ``np.add.at``: the buffered
 ufunc-at dispatch is 10-100x slower than an equivalent
 ``np.bincount``-based scatter, and the repo provides
 :func:`repro.util.scatter.scatter_add` precisely so call sites never
-need the slow form.
+need the slow form.  The second targets per-row ``predict*`` calls
+inside loops: every model in this repo exposes a batched prediction
+path (one vectorized forward + UQ pass for a whole matrix — the
+amortization the serving layer is built on), so looping a single-row
+predict over loop elements forfeits 10-100x of throughput.
 """
 
 from __future__ import annotations
@@ -25,21 +29,82 @@ PERF001 = Rule(
     "scatter; use repro.util.scatter.scatter_add instead.",
 )
 
+PERF002 = Rule(
+    "PERF002",
+    "no-per-row-predict-in-loop",
+    "per-row `predict*` call inside a loop",
+    "Calling `.predict*` on each loop element pays the full forward-pass "
+    "dispatch per row; stack the rows and make one batched call "
+    "(predict / predict_stable / predict_with_uncertainty / gate_batch "
+    "all accept matrices).",
+)
+
 # The scatter helper itself is the one place allowed to own the idiom
 # (it uses np.bincount, but any future fallback lives there too).
 _SCATTER_MODULE_SUFFIX = "repro/util/scatter.py"
+
+
+def _target_names(target: ast.expr) -> set[str]:
+    """Names bound by a loop target (handles tuple/starred unpacking)."""
+    names: set[str] = set()
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+    return names
+
+
+def _references_any(node: ast.expr, names: set[str]) -> bool:
+    return any(
+        isinstance(sub, ast.Name) and sub.id in names for sub in ast.walk(node)
+    )
 
 
 @register_checker
 class PerfChecker(BaseChecker):
     """Flags slow numeric idioms with fast in-repo replacements."""
 
-    rules = (PERF001,)
+    rules = (PERF001, PERF002)
 
     def __init__(self, context: FileContext):
         super().__init__(context)
         self._is_scatter_module = context.path.endswith(_SCATTER_MODULE_SUFFIX)
+        # Stack of name-sets bound by the enclosing for-loops /
+        # comprehension generators the visitor is currently inside.
+        self._loop_targets: list[set[str]] = []
 
+    # -- loop-scope tracking -------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        self._loop_targets.append(_target_names(node.target))
+        for stmt in node.body:
+            self.visit(stmt)
+        self._loop_targets.pop()
+        for stmt in node.orelse:
+            self.visit(stmt)
+
+    def _visit_comprehension(self, node) -> None:
+        names: set[str] = set()
+        for gen in node.generators:
+            # The iterable of the first generator is evaluated outside the
+            # comprehension scope; conditions and elements are inside.
+            self.visit(gen.iter)
+            names |= _target_names(gen.target)
+        self._loop_targets.append(names)
+        for gen in node.generators:
+            for cond in gen.ifs:
+                self.visit(cond)
+        if isinstance(node, ast.DictComp):
+            self.visit(node.key)
+            self.visit(node.value)
+        else:
+            self.visit(node.elt)
+        self._loop_targets.pop()
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+
+    # -- call sites -----------------------------------------------------
     def visit_Call(self, node: ast.Call) -> None:
         # Match `<anything>.add.at(...)` — covers np.add.at and aliased
         # numpy imports without needing import resolution.
@@ -57,4 +122,28 @@ class PerfChecker(BaseChecker):
                 "np.add.at scatter is 10-100x slower than bincount; "
                 "use repro.util.scatter.scatter_add",
             )
+        self._check_per_row_predict(node)
         self.generic_visit(node)
+
+    def _check_per_row_predict(self, node: ast.Call) -> None:
+        # Heuristic: a `.predict*` attribute call where some argument
+        # references a name bound by an enclosing loop — the signature of
+        # feeding loop elements one at a time into a batched API.  Batched
+        # calls hoisted out of the loop, and loops over *models* (ensemble
+        # members calling `m.predict(X)` on a fixed matrix), don't match.
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr.startswith("predict")):
+            return
+        if not self._loop_targets:
+            return
+        active = set().union(*self._loop_targets)
+        if not active:
+            return
+        args = list(node.args) + [kw.value for kw in node.keywords]
+        if any(_references_any(arg, active) for arg in args):
+            self.report(
+                node,
+                "PERF002",
+                f"per-row .{func.attr} call on a loop element; stack the "
+                "rows and make one batched call",
+            )

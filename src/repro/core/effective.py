@@ -102,6 +102,23 @@ class EffectiveSpeedupModel:
         """S as ``n_lookup / n_train -> inf``: T_seq / T_lookup."""
         return self.t_seq / self.t_lookup
 
+    def speedup_at_fraction(self, lookup_fraction: float, n_total: float) -> float:
+        """S for a campaign of ``n_total`` queries with a given lookup fraction.
+
+        ``lookup_fraction`` is ``n_lookup / (n_lookup + n_train)`` — the
+        quantity the MLaroundHPC ledger reports — so serving metrics can be
+        compared against the analytic model without unpacking the counts.
+        ``lookup_fraction`` must lie in ``[0, 1)`` (the formula needs at
+        least one training simulation).
+        """
+        if not 0.0 <= lookup_fraction < 1.0:
+            raise ValueError(
+                f"lookup_fraction must be in [0, 1), got {lookup_fraction}"
+            )
+        check_positive("n_total", n_total)
+        n_lookup = lookup_fraction * n_total
+        return self.speedup(n_lookup, n_total - n_lookup)
+
     def crossover_ratio(self) -> float:
         """``n_lookup / n_train`` at which S reaches the geometric mean of
         its two limits — a scalar summary of where the transition happens.

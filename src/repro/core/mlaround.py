@@ -28,7 +28,7 @@ from repro.core.effective import EffectiveSpeedupModel
 from repro.core.simulation import RunDatabase, Simulation, SimulationError
 from repro.core.surrogate import Surrogate
 from repro.util.rng import ensure_rng, spawn_rngs
-from repro.util.timing import WallClockLedger
+from repro.util.timing import Timer, WallClockLedger
 
 __all__ = ["RetrainPolicy", "QueryOutcome", "MLAroundHPC"]
 
@@ -148,27 +148,96 @@ class MLAroundHPC:
         return outcome
 
     def query_batch(self, X: np.ndarray) -> list[QueryOutcome]:
-        return [self.query(x) for x in np.atleast_2d(np.asarray(X, dtype=float))]
+        """Answer a query matrix with one vectorized gate pass.
+
+        A trained wrapper evaluates the UQ gate for *all* rows in a single
+        :meth:`gate_batch` call — one batched NN forward + UQ pass instead of
+        one per query — then falls back to the simulation for the rows the
+        gate rejects.  Per-query ledger semantics match :meth:`query`: every
+        gated row contributes one ``"lookup"`` record (its share of the batch
+        cost) and every fallback contributes one ``"simulate"`` record.
+        Because the UQ backends are bitwise row-stable, each row's answer and
+        gate decision are identical to a per-row :meth:`query` against the
+        same surrogate state.
+
+        One documented difference from the sequential loop: the gate is
+        evaluated against the surrogate state at batch entry, so a retrain
+        triggered by a fallback simulation inside the batch takes effect from
+        the *next* batch rather than re-gating the remaining rows.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        outcomes: list[QueryOutcome | None] = [None] * len(X)
+        if self._trained and len(X):
+            with Timer() as t:
+                mean, std_norm, confident = self.gate_batch(X)
+            share = t.elapsed / len(X)
+            for i in range(len(X)):
+                self.ledger.record("lookup", share)
+                if confident[i]:
+                    self.n_lookups += 1
+                    outcomes[i] = QueryOutcome(
+                        inputs=X[i],
+                        outputs=mean[i],
+                        source="lookup",
+                        uncertainty=float(std_norm[i]),
+                        wall_seconds=share,
+                    )
+        for i in range(len(X)):
+            if outcomes[i] is None:
+                outcomes[i] = self._simulate(X[i].ravel())
+                self._maybe_fit()
+        return outcomes
 
     # ------------------------------------------------------------------
+    def gate_batch(
+        self, X: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Evaluate the UQ gate for a whole query matrix at once.
+
+        Returns ``(mean, std_norm, confident)`` — predictions of shape
+        ``(n, K)``, the normalized predictive std per row (NaN when no UQ
+        backend is available), and the boolean gate decision per row.  One
+        vectorized forward/UQ pass serves every row; this is the shared
+        batched-lookup helper behind :meth:`query`, :meth:`query_batch` and
+        the :mod:`repro.serve` micro-batcher.  Requires a trained surrogate.
+        """
+        if not self._trained:
+            raise RuntimeError("gate_batch requires a trained surrogate")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        n = len(X)
+        if self.tolerance is None or self.surrogate.uq_backend is None:
+            mean = self.surrogate.predict_stable(X)
+            std_norm = np.full(n, np.nan)
+            confident = np.full(n, self.tolerance is None)
+        else:
+            uq = self.surrogate.predict_with_uncertainty(X)
+            mean = uq.mean
+            scale = self.surrogate.y_scaler.scale_std()
+            std_norm = np.max(uq.std / scale, axis=1)
+            confident = std_norm <= self.tolerance
+        return mean, std_norm, confident
+
+    def force_simulate(self, x: np.ndarray) -> QueryOutcome:
+        """Run the ground-truth simulation regardless of surrogate confidence.
+
+        The run is banked in the database ("no run is wasted") and the
+        retrain cadence is honored, exactly as for a gate-rejected
+        :meth:`query`.  The serving layer's fallback pool dispatches
+        low-confidence queries through this entry point.
+        """
+        outcome = self._simulate(np.asarray(x, dtype=float).ravel())
+        self._maybe_fit()
+        return outcome
+
     def _try_lookup(self, x: np.ndarray) -> QueryOutcome | None:
         with self.ledger.measure("lookup") as t:
-            if self.tolerance is None or self.surrogate.uq_backend is None:
-                y = self.surrogate.predict(x[None, :])[0]
-                std_norm = float("nan")
-                confident = self.tolerance is None
-            else:
-                uq = self.surrogate.predict_with_uncertainty(x[None, :])
-                y = uq.mean[0]
-                scale = self.surrogate.y_scaler.scale_std()
-                std_norm = float(np.max(uq.std[0] / scale))
-                confident = std_norm <= self.tolerance
-        if not confident:
+            mean, std_norm, confident = self.gate_batch(x[None, :])
+        if not confident[0]:
             return None
         self.n_lookups += 1
         return QueryOutcome(
-            inputs=x, outputs=y, source="lookup",
-            uncertainty=std_norm, wall_seconds=t.elapsed,
+            inputs=x, outputs=mean[0], source="lookup",
+            uncertainty=float(std_norm[0]), wall_seconds=t.elapsed,
         )
 
     def _simulate(self, x: np.ndarray) -> QueryOutcome:

@@ -189,8 +189,37 @@ class Surrogate:
         Zs = self.model.predict(self.x_scaler.transform(X))
         return self.y_scaler.inverse_transform(Zs)
 
+    def predict_stable(self, X: np.ndarray) -> np.ndarray:
+        """Row-stable point predictions, shape (n, K).
+
+        Like :meth:`predict` but through the fixed-summation-order forward
+        pass of :meth:`~repro.nn.model.MLP.predict_stable`, so row ``i`` is
+        bitwise identical no matter which other rows share the batch.  The
+        serving layer uses this for degraded (UQ-free) answers so responses
+        never depend on how the micro-batcher happened to group queries.
+        """
+        self._require_fitted()
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        Zs = self.model.predict_stable(self.x_scaler.transform(X))
+        return self.y_scaler.inverse_transform(Zs)
+
     def predict_with_uncertainty(self, X: np.ndarray) -> UQResult:
-        """Predictive mean and std in original units (requires dropout)."""
+        """Predictive mean and std in original units (requires a UQ backend).
+
+        This is the *batched fast path*: the whole query matrix is scaled
+        once and handed to the UQ backend in a single
+        :meth:`~repro.core.uq.UQBackend.predict` call — one set of MC/ensemble
+        forward passes for the batch instead of one per row.  Because the
+        shipped backends are bitwise row-stable (per-unit dropout masks drawn
+        from a per-call generator, fixed-order contractions), the batched
+        result matches per-row calls exactly::
+
+            predict_with_uncertainty(X).mean[i]
+              == predict_with_uncertainty(X[i:i+1]).mean[0]   # bitwise
+
+        so batching queries (``MLAroundHPC.query_batch``, ``repro.serve``)
+        never changes any answer or gate decision.
+        """
         self._require_fitted()
         if self.uq_backend is None:
             raise RuntimeError(
@@ -198,6 +227,8 @@ class Surrogate:
                 "or attach a DeepEnsembleUQ to .uq_backend"
             )
         X = np.atleast_2d(np.asarray(X, dtype=float))
+        # Scale once, one backend call for the whole matrix; both transforms
+        # are elementwise, so they preserve the backend's row stability.
         raw = self.uq_backend.predict(self.x_scaler.transform(X))
         mean = self.y_scaler.inverse_transform(raw.mean)
         std = raw.std * self.y_scaler.scale_std()

@@ -63,8 +63,43 @@ class UQBackend:
         raise NotImplementedError
 
 
+def _stable_moments(draws: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    """Sample mean and ddof-1 std with a batch-width-independent reduction.
+
+    ``np.mean``/``np.std`` over a stacked ``(S, n, K)`` axis use pairwise
+    summation whose blocking depends on the row width ``n``, so their last
+    bits change with batch size.  Sequential elementwise accumulation has a
+    fixed per-element order, preserving the bitwise row-stability the
+    forward passes guarantee.
+    """
+    n = len(draws)
+    mean = np.zeros_like(draws[0])
+    for d in draws:
+        mean += d
+    mean /= n
+    var = np.zeros_like(mean)
+    for d in draws:
+        var += (d - mean) ** 2
+    var /= n - 1
+    return mean, np.sqrt(var)
+
+
 class MCDropoutUQ(UQBackend):
     """Monte-Carlo dropout over a single trained model.
+
+    :meth:`predict` is a *pure function* of its input: every call rebuilds
+    the mask generator from ``seed``, each of the ``n_samples`` stochastic
+    passes samples one per-unit mask per dropout layer (a single "thinned
+    network" applied to every row), and the forward pass runs through the
+    row-stable :meth:`~repro.nn.model.MLP.predict_stable` kernel.  Together
+    these make the result
+
+    * identical across repeated calls (no hidden generator state), and
+    * bitwise row-stable — ``predict(X).mean[i] == predict(X[i:i+1]).mean[0]``
+
+    which is what lets the serving layer batch queries arbitrarily without
+    changing any answer, and lets batched gates reproduce per-query gates
+    exactly.
 
     Parameters
     ----------
@@ -74,9 +109,11 @@ class MCDropoutUQ(UQBackend):
     n_samples:
         Number of stochastic forward passes; the predictive distribution
         is the sample distribution over these "thinned" networks.
+    seed:
+        Integer seed the per-call mask generator is rebuilt from.
     """
 
-    def __init__(self, model: MLP, n_samples: int = 50):
+    def __init__(self, model: MLP, n_samples: int = 50, *, seed: int = 0):
         if n_samples < 2:
             raise ValueError(f"n_samples must be >= 2, got {n_samples}")
         if not model.has_dropout():
@@ -85,16 +122,16 @@ class MCDropoutUQ(UQBackend):
             )
         self.model = model
         self.n_samples = int(n_samples)
+        self.seed = int(seed)
 
     def predict(self, x: np.ndarray) -> UQResult:
-        self.model.set_mc_dropout(True)
-        try:
-            draws = np.stack(
-                [self.model.predict(x) for _ in range(self.n_samples)], axis=0
-            )
-        finally:
-            self.model.set_mc_dropout(False)
-        return UQResult(mean=draws.mean(axis=0), std=draws.std(axis=0, ddof=1))
+        gen = np.random.default_rng(self.seed)
+        draws = [
+            self.model.predict_stable(x, mc_dropout_rng=gen)
+            for _ in range(self.n_samples)
+        ]
+        mean, std = _stable_moments(draws)
+        return UQResult(mean=mean, std=std)
 
 
 class DeepEnsembleUQ(UQBackend):
@@ -127,8 +164,10 @@ class DeepEnsembleUQ(UQBackend):
         return cls([build_and_train(s) for s in streams])
 
     def predict(self, x: np.ndarray) -> UQResult:
-        draws = np.stack([m.predict(x) for m in self.models], axis=0)
-        return UQResult(mean=draws.mean(axis=0), std=draws.std(axis=0, ddof=1))
+        # predict_stable keeps ensemble UQ bitwise row-stable (batched ==
+        # per-row), matching the MCDropoutUQ guarantee the serving layer uses.
+        mean, std = _stable_moments([m.predict_stable(x) for m in self.models])
+        return UQResult(mean=mean, std=std)
 
 
 def bias_variance_decomposition(

@@ -90,6 +90,54 @@ class MLP:
         """Inference pass (dropout inactive unless a layer is in MC mode)."""
         return self.forward(x, training=False)
 
+    def predict_stable(
+        self,
+        x: np.ndarray,
+        *,
+        mc_dropout_rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Row-stable inference: row ``i`` of the result is bitwise identical
+        whether ``x`` holds one row or many.
+
+        BLAS matmul kernels choose blocking (and therefore floating-point
+        accumulation order) based on the batch dimension, so ``predict(X)[i]``
+        and ``predict(X[i:i+1])`` can differ in the last ulp.  This path
+        evaluates every Dense layer with a fixed-order ``np.einsum``
+        contraction instead, making results independent of how queries were
+        batched together — the invariant the serving layer
+        (:mod:`repro.serve`) and batched UQ rely on.
+
+        ``mc_dropout_rng`` enables Monte-Carlo dropout with *per-unit* masks
+        (one mask per hidden unit, broadcast across the batch — a single
+        "thinned network" per pass).  Because the mask shape depends only on
+        layer widths, the generator consumes the same number of draws for any
+        batch size, preserving row stability.  With ``None`` dropout layers
+        are the identity.
+        """
+        out = np.asarray(x, dtype=float)
+        if out.ndim == 1:
+            out = out[None, :]
+        for layer in self.layers:
+            if isinstance(layer, Dense):
+                if out.shape[1] != layer.in_dim:
+                    raise ValueError(
+                        f"Dense({layer.in_dim}->{layer.out_dim}) got input "
+                        f"shape {out.shape}"
+                    )
+                # optimize=False keeps einsum's fixed per-element summation
+                # order (no BLAS dispatch), which is what makes rows stable.
+                out = np.einsum("nd,dh->nh", out, layer.W, optimize=False) + layer.b
+            elif isinstance(layer, Dropout):
+                if mc_dropout_rng is not None and layer.rate > 0.0:
+                    keep = 1.0 - layer.rate
+                    mask = (mc_dropout_rng.random((1, out.shape[1])) < keep) / keep
+                    out = out * mask
+            elif isinstance(layer, ActivationLayer):
+                out = layer.activation.forward(out)
+            else:
+                out = layer.forward(out, training=False)
+        return out
+
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         grad = grad_out
         for layer in reversed(self.layers):

@@ -23,7 +23,13 @@ particular interconnect.  This package models them explicitly:
 """
 
 from repro.parallel.network import CommModel
-from repro.parallel.cluster import Worker, ClusterSimulator, TaskSpec, ExecutionTrace
+from repro.parallel.cluster import (
+    Worker,
+    ClusterSimulator,
+    OnlineDispatcher,
+    TaskSpec,
+    ExecutionTrace,
+)
 from repro.parallel.collectives import (
     allreduce_cost,
     flat_allreduce,
@@ -51,6 +57,7 @@ from repro.parallel.scheduler import (
     DynamicGreedy,
     SurrogateAwareScheduler,
     ScheduleReport,
+    pack_lookup_batches,
     make_mixed_workload,
 )
 
@@ -58,6 +65,7 @@ __all__ = [
     "CommModel",
     "Worker",
     "ClusterSimulator",
+    "OnlineDispatcher",
     "TaskSpec",
     "ExecutionTrace",
     "allreduce_cost",
@@ -80,5 +88,6 @@ __all__ = [
     "DynamicGreedy",
     "SurrogateAwareScheduler",
     "ScheduleReport",
+    "pack_lookup_batches",
     "make_mixed_workload",
 ]

@@ -17,7 +17,13 @@ import numpy as np
 
 from repro.util.validation import check_positive
 
-__all__ = ["TaskSpec", "Worker", "ExecutionTrace", "ClusterSimulator"]
+__all__ = [
+    "TaskSpec",
+    "Worker",
+    "ExecutionTrace",
+    "OnlineDispatcher",
+    "ClusterSimulator",
+]
 
 
 @dataclass(frozen=True)
@@ -84,6 +90,77 @@ class ExecutionTrace:
         return float(np.max(self.worker_busy) / mean)
 
 
+class OnlineDispatcher:
+    """Incremental next-free-worker dispatch over a worker pool.
+
+    The stateful core of list scheduling, exposed so *online* clients — the
+    serving layer's fallback pool, most importantly — can feed tasks one at
+    a time as they materialize instead of handing over a complete queue.
+    Each :meth:`submit` assigns the task to the worker that frees up first
+    (ties broken by submission order, so dispatch is deterministic), charges
+    the per-task ``dispatch_overhead``, and returns the placement.
+    :meth:`ClusterSimulator.run_dynamic` is this dispatcher driven over a
+    static queue.
+
+    Parameters
+    ----------
+    workers:
+        The pool; ids must be unique.
+    dispatch_overhead:
+        Per-task cost of pulling work from the shared queue.
+    """
+
+    def __init__(self, workers: list[Worker], dispatch_overhead: float = 0.0):
+        if not workers:
+            raise ValueError("need at least one worker")
+        if dispatch_overhead < 0:
+            raise ValueError(f"dispatch_overhead must be >= 0, got {dispatch_overhead}")
+        self.workers = list(workers)
+        self.dispatch_overhead = float(dispatch_overhead)
+        self._busy = np.zeros(len(self.workers))
+        self._trace = ExecutionTrace(makespan=0.0, worker_busy=self._busy)
+        self._counter = itertools.count()
+        self._heap = [(0.0, next(self._counter), i) for i in range(len(self.workers))]
+        heapq.heapify(self._heap)
+        self._ends: list[float] = []
+
+    def submit(
+        self, task: TaskSpec, release: float = 0.0
+    ) -> tuple[int, float, float]:
+        """Place ``task`` on the next-free worker, no earlier than ``release``.
+
+        Returns ``(worker_id, start, end)`` in virtual seconds.  ``release``
+        models the instant the task becomes runnable (e.g. the moment a UQ
+        gate rejects a query); a worker that frees up earlier idles until
+        then.
+        """
+        if release < 0:
+            raise ValueError(f"release must be >= 0, got {release}")
+        free_at, _, i = heapq.heappop(self._heap)
+        w = self.workers[i]
+        start = max(free_at, release)
+        dur = self.dispatch_overhead + w.duration(task)
+        end = start + dur
+        self._trace.assignments.append((task.task_id, w.worker_id, start, end))
+        self._busy[i] += dur
+        self._ends.append(end)
+        heapq.heappush(self._heap, (end, next(self._counter), i))
+        return w.worker_id, start, end
+
+    def in_flight(self, now: float) -> int:
+        """Number of submitted tasks still running at virtual time ``now``."""
+        return sum(1 for end in self._ends if end > now)
+
+    def next_free_at(self) -> float:
+        """Earliest virtual time at which some worker is idle."""
+        return self._heap[0][0]
+
+    def trace(self) -> ExecutionTrace:
+        """Snapshot the execution trace accumulated so far."""
+        self._trace.makespan = float(max(self._ends)) if self._ends else 0.0
+        return self._trace
+
+
 class ClusterSimulator:
     """Event-driven executor over a fixed worker pool.
 
@@ -130,19 +207,7 @@ class ClusterSimulator:
     def run_dynamic(self, queue: list[TaskSpec]) -> ExecutionTrace:
         """Execute a shared queue greedily: the next free worker pulls the
         next task (list scheduling — the idealized work-stealing limit)."""
-        busy = np.zeros(len(self.workers))
-        trace = ExecutionTrace(makespan=0.0, worker_busy=busy)
-        # heap of (free_at, tiebreak, worker_index)
-        counter = itertools.count()
-        heap = [(0.0, next(counter), i) for i in range(len(self.workers))]
-        heapq.heapify(heap)
+        dispatcher = OnlineDispatcher(self.workers, self.dispatch_overhead)
         for task in queue:
-            free_at, _, i = heapq.heappop(heap)
-            w = self.workers[i]
-            dur = self.dispatch_overhead + w.duration(task)
-            trace.assignments.append((task.task_id, w.worker_id, free_at, free_at + dur))
-            busy[i] += dur
-            heapq.heappush(heap, (free_at + dur, next(counter), i))
-        ends = [t[3] for t in trace.assignments]
-        trace.makespan = float(max(ends)) if ends else 0.0
-        return trace
+            dispatcher.submit(task)
+        return dispatcher.trace()

@@ -33,8 +33,34 @@ __all__ = [
     "DynamicGreedy",
     "SurrogateAwareScheduler",
     "ScheduleReport",
+    "pack_lookup_batches",
     "make_mixed_workload",
 ]
+
+
+def pack_lookup_batches(
+    lookups: list[TaskSpec], n_batches: int, *, kind: str = "lookup"
+) -> list[TaskSpec]:
+    """Pack micro-lookup tasks into at most ``n_batches`` aggregate tasks.
+
+    Each aggregate carries the summed work of its chunk and a negative
+    ``task_id`` so batches are distinguishable from real tasks in traces.
+    This is the amortization step shared by the offline
+    :class:`SurrogateAwareScheduler` and any online client that wants one
+    dispatch per batch instead of one per microsecond-scale lookup.
+    """
+    if n_batches < 1:
+        raise ValueError(f"n_batches must be >= 1, got {n_batches}")
+    chunks = np.array_split(np.arange(len(lookups)), n_batches)
+    return [
+        TaskSpec(
+            task_id=-(c + 1),
+            work=sum(lookups[i].work for i in chunk),
+            kind=kind,
+        )
+        for c, chunk in enumerate(chunks)
+        if len(chunk)
+    ]
 
 
 @dataclass
@@ -129,16 +155,7 @@ class SurrogateAwareScheduler(Scheduler):
             return DynamicGreedy(lpt=True).schedule(tasks, cluster)
 
         n_batches = max(1, len(cluster.workers) * self.batches_per_worker)
-        chunks = np.array_split(np.arange(len(lookups)), n_batches)
-        batched = [
-            TaskSpec(
-                task_id=-(c + 1),
-                work=sum(lookups[i].work for i in chunk),
-                kind=self.lookup_kind,
-            )
-            for c, chunk in enumerate(chunks)
-            if len(chunk)
-        ]
+        batched = pack_lookup_batches(lookups, n_batches, kind=self.lookup_kind)
         combined = sorted(sims + batched, key=lambda t: -t.work)
         return cluster.run_dynamic(combined)
 

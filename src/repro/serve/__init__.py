@@ -1,0 +1,85 @@
+"""repro.serve: deterministic, production-shaped surrogate serving.
+
+The paper's effective-performance argument (§III-D) is about *serving*:
+once a surrogate answers most queries, the user-visible speedup is set by
+how cheaply lookups are delivered and how gracefully the system falls
+back to real simulation when the UQ gate says no.  This package is that
+serving layer, built over any trained
+:class:`~repro.core.mlaround.MLAroundHPC`:
+
+* :mod:`~repro.serve.batching` — micro-batching of queued queries into
+  single vectorized NN + UQ passes (size and max-wait flush policies);
+* :mod:`~repro.serve.cache` — quantized-key LRU result cache;
+* :mod:`~repro.serve.dispatch` — online fallback dispatch of
+  low-confidence queries onto the simulated worker pool;
+* :mod:`~repro.serve.admission` — token-bucket + bounded-queue admission
+  with explicit rejected/degraded outcomes;
+* :mod:`~repro.serve.server` — the discrete-event loop tying the stages
+  together on a simulated clock;
+* :mod:`~repro.serve.metrics` / :mod:`~repro.serve.loadgen` /
+  :mod:`~repro.serve.bench` — per-stage metrics feeding
+  :meth:`~repro.core.effective.EffectiveSpeedupModel.from_ledger`, seeded
+  open-loop load generation, and the tracked ``BENCH_serve.json`` CLI.
+
+Everything runs on a virtual clock: answers come from the real kernels,
+timing comes from the :class:`~repro.serve.cost.ServeCostModel`, and an
+identical seeded request stream reproduces responses, ledger and metrics
+bitwise.
+"""
+
+from repro.serve.admission import (
+    DECISION_ACCEPT,
+    DECISION_DEGRADE,
+    DECISION_REJECT,
+    AdmissionController,
+    TokenBucket,
+)
+from repro.serve.batching import FlushDirective, MicroBatcher, PendingQuery
+from repro.serve.cache import CachedResult, QuantizedLRUCache
+from repro.serve.clock import SimulatedClock
+from repro.serve.cost import ServeCostModel
+from repro.serve.dispatch import FallbackPool
+from repro.serve.loadgen import OpenLoopLoadGenerator
+from repro.serve.messages import (
+    SOURCE_CACHE,
+    SOURCE_NONE,
+    SOURCE_SIMULATION,
+    SOURCE_SURROGATE,
+    STATUS_DEGRADED,
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_SHED,
+    Request,
+    Response,
+)
+from repro.serve.metrics import ServeMetrics
+from repro.serve.server import SurrogateServer
+
+__all__ = [
+    "AdmissionController",
+    "CachedResult",
+    "DECISION_ACCEPT",
+    "DECISION_DEGRADE",
+    "DECISION_REJECT",
+    "FallbackPool",
+    "FlushDirective",
+    "MicroBatcher",
+    "OpenLoopLoadGenerator",
+    "PendingQuery",
+    "QuantizedLRUCache",
+    "Request",
+    "Response",
+    "ServeCostModel",
+    "ServeMetrics",
+    "SimulatedClock",
+    "SOURCE_CACHE",
+    "SOURCE_NONE",
+    "SOURCE_SIMULATION",
+    "SOURCE_SURROGATE",
+    "STATUS_DEGRADED",
+    "STATUS_OK",
+    "STATUS_REJECTED",
+    "STATUS_SHED",
+    "SurrogateServer",
+    "TokenBucket",
+]

@@ -1,0 +1,125 @@
+"""Admission control: token bucket, bounded queues, overload degradation.
+
+A serving system that accepts everything under overload serves nothing
+well.  This module makes the overload policy explicit and deterministic:
+
+* a :class:`TokenBucket` bounds the sustained accept rate (refilled in
+  *virtual* time, so admission decisions replay bitwise),
+* a bounded queue depth rejects work the backlog could never absorb,
+* between "healthy" and "full" sits a *degraded* band in which queries
+  are still answered — but with a cheap point prediction and no UQ pass
+  (the explicit quality-for-throughput trade the paper's huge
+  learnt/unlearnt cost gap makes worthwhile under pressure).
+
+Every decision is one of :data:`DECISION_ACCEPT`, :data:`DECISION_DEGRADE`
+or :data:`DECISION_REJECT`; the server turns rejections into explicit
+``Rejected`` responses rather than silent drops.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DECISION_ACCEPT",
+    "DECISION_DEGRADE",
+    "DECISION_REJECT",
+    "TokenBucket",
+    "AdmissionController",
+]
+
+#: Admit with the full UQ-gated pipeline.
+DECISION_ACCEPT = "accept"
+#: Admit, but serve a point prediction without UQ (overload band).
+DECISION_DEGRADE = "degrade"
+#: Refuse: token bucket empty or queue at capacity.
+DECISION_REJECT = "reject"
+
+
+class TokenBucket:
+    """Deterministic token bucket refilled along the virtual clock.
+
+    ``rate`` tokens accrue per virtual second up to ``burst``; each
+    admitted request spends one.  ``rate=None`` disables rate limiting
+    (the bucket always grants).
+    """
+
+    def __init__(self, rate: float | None, burst: float = 1.0):
+        if rate is not None and rate <= 0:
+            raise ValueError(f"rate must be > 0 or None, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = None if rate is None else float(rate)
+        self.burst = float(burst)
+        self._tokens = self.burst
+        self._t_last = 0.0
+
+    def try_acquire(self, now: float) -> bool:
+        """Spend one token at virtual time ``now`` if available."""
+        if self.rate is None:
+            return True
+        if now < self._t_last:
+            raise ValueError(
+                f"token bucket time moved backwards: {self._t_last} -> {now}"
+            )
+        self._tokens = min(self.burst, self._tokens + (now - self._t_last) * self.rate)
+        self._t_last = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available at the last refill instant."""
+        return self._tokens
+
+
+class AdmissionController:
+    """Bounded-queue admission with an explicit degraded band.
+
+    Parameters
+    ----------
+    max_depth:
+        Queue depth (batcher backlog + in-flight fallbacks) at or above
+        which new work is rejected.
+    degrade_depth:
+        Depth at or above which admitted work is served degraded (point
+        prediction, no UQ).  ``None`` disables degradation.
+    bucket:
+        Optional :class:`TokenBucket` bounding the sustained accept rate.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 256,
+        degrade_depth: int | None = None,
+        bucket: TokenBucket | None = None,
+    ):
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if degrade_depth is not None and not 0 < degrade_depth <= max_depth:
+            raise ValueError(
+                f"degrade_depth must be in (0, max_depth], got {degrade_depth}"
+            )
+        self.max_depth = int(max_depth)
+        self.degrade_depth = None if degrade_depth is None else int(degrade_depth)
+        self.bucket = bucket
+        self.n_accepted = 0
+        self.n_degraded = 0
+        self.n_rejected = 0
+
+    def admit(self, now: float, depth: int) -> str:
+        """Decide the fate of a request arriving at ``now`` with backlog
+        ``depth``; returns one of the ``DECISION_*`` constants."""
+        if depth < 0:
+            raise ValueError(f"depth must be >= 0, got {depth}")
+        if self.bucket is not None and not self.bucket.try_acquire(now):
+            self.n_rejected += 1
+            return DECISION_REJECT
+        if depth >= self.max_depth:
+            self.n_rejected += 1
+            return DECISION_REJECT
+        if self.degrade_depth is not None and depth >= self.degrade_depth:
+            self.n_degraded += 1
+            return DECISION_DEGRADE
+        self.n_accepted += 1
+        return DECISION_ACCEPT

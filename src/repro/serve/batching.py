@@ -1,0 +1,123 @@
+"""The micro-batcher: coalesce queued queries into vectorized flushes.
+
+The single biggest serving lever this codebase has is that one
+``predict_with_uncertainty`` call over a 64-row matrix costs barely more
+than over 1 row (the MC-sample forward passes dominate and are shared).
+The batcher buffers admitted queries and flushes them as one batch under
+two policies:
+
+* **size**: the buffer reached ``max_batch_size`` — flush immediately;
+* **wait**: ``max_wait`` virtual seconds elapsed since the first query
+  entered the current batch — flush whatever is there, bounding the
+  latency a lone query can pay for the amortization.
+
+Because the UQ backends are bitwise row-stable, *which* queries end up
+sharing a flush cannot change any answer — batching is purely a
+performance decision, never a numerical one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serve.messages import Request
+
+__all__ = ["PendingQuery", "FlushDirective", "MicroBatcher"]
+
+
+@dataclass(frozen=True)
+class PendingQuery:
+    """A buffered request plus its admission verdict."""
+
+    request: Request
+    degraded: bool = False
+
+
+@dataclass(frozen=True)
+class FlushDirective:
+    """What the event loop should do after an :meth:`MicroBatcher.add`.
+
+    ``flush_now`` — the batch hit ``max_batch_size``; drain immediately.
+    ``arm_timer_at`` — first query of a fresh batch: schedule a flush at
+    this virtual time (``None`` when no timer is needed).  ``epoch``
+    identifies the batch the timer belongs to; a timer whose epoch no
+    longer matches the batcher's is stale and must be ignored.
+    """
+
+    flush_now: bool
+    arm_timer_at: float | None
+    epoch: int
+
+
+class MicroBatcher:
+    """Coalesces queries into batches under size and max-wait policies.
+
+    Parameters
+    ----------
+    max_batch_size:
+        Flush as soon as this many queries are buffered.
+    max_wait:
+        Maximum virtual seconds the *first* query of a batch may wait
+        before the batch is flushed regardless of fill.
+    """
+
+    def __init__(self, max_batch_size: int = 64, max_wait: float = 1e-3):
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait < 0:
+            raise ValueError(f"max_wait must be >= 0, got {max_wait}")
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait = float(max_wait)
+        self._buffer: list[PendingQuery] = []
+        self._epoch = 0
+        self.n_size_flushes = 0
+        self.n_timer_flushes = 0
+        self.n_rows_flushed = 0
+        self.n_flushes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Queries currently buffered."""
+        return len(self._buffer)
+
+    @property
+    def epoch(self) -> int:
+        """Identifier of the batch currently being assembled."""
+        return self._epoch
+
+    def add(self, pending: PendingQuery, now: float) -> FlushDirective:
+        """Buffer one admitted query; report what the event loop must do."""
+        self._buffer.append(pending)
+        if len(self._buffer) >= self.max_batch_size:
+            return FlushDirective(flush_now=True, arm_timer_at=None, epoch=self._epoch)
+        if len(self._buffer) == 1:
+            return FlushDirective(
+                flush_now=False, arm_timer_at=now + self.max_wait, epoch=self._epoch
+            )
+        return FlushDirective(flush_now=False, arm_timer_at=None, epoch=self._epoch)
+
+    def drain(self, *, timer: bool = False) -> list[PendingQuery]:
+        """Remove and return the current batch, starting a new epoch.
+
+        ``timer`` records which flush policy fired (for the metrics'
+        batch-fill accounting); draining an empty buffer returns ``[]``
+        without consuming an epoch.
+        """
+        if not self._buffer:
+            return []
+        batch = self._buffer
+        self._buffer = []
+        self._epoch += 1
+        self.n_flushes += 1
+        self.n_rows_flushed += len(batch)
+        if timer:
+            self.n_timer_flushes += 1
+        else:
+            self.n_size_flushes += 1
+        return batch
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Mean rows per flush so far (0.0 before the first flush)."""
+        return self.n_rows_flushed / self.n_flushes if self.n_flushes else 0.0

@@ -1,0 +1,333 @@
+"""Serving benchmark CLI: ``python -m repro.serve.bench``.
+
+Replays seeded open-loop request streams through :class:`SurrogateServer`
+configurations and writes ``BENCH_serve.json``, the repo's tracked
+serving baseline.  Four scenarios:
+
+* **throughput sweep** — served throughput and p50/p99 latency versus
+  offered load;
+* **batched vs unbatched** — the same saturating stream served with
+  batch 64 versus batch 1 (micro-batching disabled); the throughput
+  ratio is the amortization win and must be ≥ 5×;
+* **cache** — a duplicate-heavy stream; the per-source p50 ratio of
+  surrogate-path to cache-hit latency must be ≥ 20×;
+* **effective-speedup agreement** — a mixed confident/fallback run whose
+  *measured* §III-D speedup (via
+  :meth:`~repro.core.effective.EffectiveSpeedupModel.from_ledger` on the
+  serve ledger) must agree with the analytic model evaluated at the same
+  lookup fraction and realized mean batch size to within 10%.
+
+All scenario numbers are virtual-time and bitwise reproducible (the
+``deterministic_replay`` flag re-runs one scenario and compares
+summaries); the optional calibration block is the only wall-clock
+section and exists to show the cost constants are the right order of
+magnitude on this machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.effective import EffectiveSpeedupModel
+from repro.core.mlaround import MLAroundHPC, RetrainPolicy
+from repro.core.simulation import CallableSimulation
+from repro.core.surrogate import Surrogate
+from repro.parallel.cluster import Worker
+from repro.serve.batching import MicroBatcher
+from repro.serve.cost import ServeCostModel
+from repro.serve.dispatch import FallbackPool
+from repro.serve.loadgen import OpenLoopLoadGenerator
+from repro.serve.messages import SOURCE_CACHE, SOURCE_SURROGATE
+from repro.serve.server import SurrogateServer
+from repro.util.rng import ensure_rng
+
+__all__ = ["build_engine", "run_serve_bench", "main"]
+
+DEFAULT_OUTPUT = "BENCH_serve.json"
+#: Bootstrap sampling box; serve streams draw from a slightly wider box so
+#: edge queries carry genuinely higher predictive uncertainty.
+TRAIN_BOUNDS = np.array([[-2.0, 2.0], [-2.0, 2.0]])
+SERVE_BOUNDS = np.array([[-2.6, 2.6], [-2.6, 2.6]])
+
+
+def _toy_response(x: np.ndarray) -> np.ndarray:
+    """Smooth 2-in/2-out ground truth for the bench engine."""
+    return np.array([np.sin(x[0]) * np.cos(x[1]), 0.25 * x[0] * x[1]])
+
+
+def build_engine(
+    *,
+    tolerance: float | None,
+    seed: int = 0,
+    n_bootstrap: int = 48,
+    epochs: int = 200,
+) -> MLAroundHPC:
+    """Fresh bootstrapped MLaroundHPC engine for one bench scenario.
+
+    Every scenario gets its own engine because serving mutates it (banked
+    fallback runs, retrains); sharing one would couple the scenarios.
+    """
+    sim = CallableSimulation(_toy_response, ["a", "b"], ["u", "v"])
+    surrogate = Surrogate(
+        2, 2, hidden=(24, 24), dropout=0.1, epochs=epochs, rng=seed
+    )
+    engine = MLAroundHPC(
+        sim,
+        surrogate,
+        tolerance=tolerance,
+        policy=RetrainPolicy(min_initial_runs=16, retrain_every=24),
+        rng=seed,
+    )
+    gen = ensure_rng(seed)
+    lo, hi = TRAIN_BOUNDS[:, 0], TRAIN_BOUNDS[:, 1]
+    X = lo + gen.random((n_bootstrap, 2)) * (hi - lo)
+    engine.bootstrap(X)
+    return engine
+
+
+def _run(
+    requests,
+    *,
+    tolerance: float | None,
+    seed: int,
+    cost: ServeCostModel,
+    max_batch_size: int = 64,
+    max_wait: float = 1e-3,
+    n_workers: int = 4,
+    epochs: int = 200,
+) -> SurrogateServer:
+    engine = build_engine(tolerance=tolerance, seed=seed, epochs=epochs)
+    server = SurrogateServer(
+        engine,
+        cost=cost,
+        batcher=MicroBatcher(max_batch_size=max_batch_size, max_wait=max_wait),
+        pool=FallbackPool([Worker(i) for i in range(n_workers)]),
+        rng=seed + 1,
+    )
+    server.serve(requests)
+    return server
+
+
+def run_serve_bench(
+    *,
+    n_requests: int = 2000,
+    seed: int = 0,
+    epochs: int = 200,
+    calibrate: bool = True,
+) -> dict:
+    """Run all scenarios and return the JSON-serializable payload."""
+    if n_requests < 50:
+        raise ValueError(f"n_requests must be >= 50, got {n_requests}")
+    cost = ServeCostModel()
+
+    # ---- scenario 1: throughput / latency vs offered load -------------
+    sweep = []
+    for rate in (500.0, 2000.0, 8000.0, 32000.0):
+        gen = OpenLoopLoadGenerator(rate, SERVE_BOUNDS)
+        server = _run(
+            gen.generate(n_requests, rng=seed),
+            tolerance=None,
+            seed=seed,
+            cost=cost,
+            epochs=epochs,
+        )
+        m = server.metrics
+        sweep.append(
+            {
+                "offered_rate": rate,
+                "throughput": m.throughput(),
+                "p50_s": m.percentile(50),
+                "p99_s": m.percentile(99),
+                "n_served": m.n_served,
+                "n_rejected": m.status_counts["rejected"],
+                "mean_batch_size": server.batcher.mean_batch_size,
+            }
+        )
+
+    # ---- scenario 2: batched vs unbatched saturation throughput -------
+    sat_gen = OpenLoopLoadGenerator(50000.0, SERVE_BOUNDS)
+    sat_requests = sat_gen.generate(n_requests, rng=seed)
+    batched = _run(
+        sat_requests, tolerance=None, seed=seed, cost=cost,
+        max_batch_size=64, epochs=epochs,
+    )
+    unbatched = _run(
+        sat_requests, tolerance=None, seed=seed, cost=cost,
+        max_batch_size=1, max_wait=0.0, epochs=epochs,
+    )
+    t_batched = batched.metrics.throughput()
+    t_unbatched = unbatched.metrics.throughput()
+    batch_ratio = t_batched / t_unbatched
+    batched_vs_unbatched = {
+        "batched_throughput": t_batched,
+        "unbatched_throughput": t_unbatched,
+        "speedup": batch_ratio,
+        "batched_mean_batch_size": batched.batcher.mean_batch_size,
+    }
+
+    # ---- scenario 3: cache hits vs the cold surrogate path ------------
+    dup_gen = OpenLoopLoadGenerator(
+        4000.0, SERVE_BOUNDS, duplicate_fraction=0.6
+    )
+    cache_server = _run(
+        dup_gen.generate(n_requests, rng=seed), tolerance=None, seed=seed,
+        cost=cost, epochs=epochs,
+    )
+    p50_cache = cache_server.metrics.percentile(50, SOURCE_CACHE)
+    p50_cold = cache_server.metrics.percentile(50, SOURCE_SURROGATE)
+    cache_ratio = p50_cold / p50_cache
+    cache_block = {
+        "p50_cache_hit_s": p50_cache,
+        "p50_surrogate_s": p50_cold,
+        "speedup": cache_ratio,
+        "hit_rate": cache_server.cache.hit_rate,
+        "n_hits": cache_server.cache.n_hits,
+    }
+
+    # ---- scenario 4: measured vs analytic effective speedup -----------
+    def agreement_run() -> SurrogateServer:
+        agen = OpenLoopLoadGenerator(2000.0, SERVE_BOUNDS)
+        return _run(
+            agen.generate(n_requests, rng=seed), tolerance=0.6, seed=seed,
+            cost=cost, epochs=epochs,
+        )
+
+    ag = agreement_run()
+    ledger = ag.metrics.ledger
+    n_lookup = ledger.count("lookup")
+    n_sim = ledger.count("simulate")
+    n_flushes = ag.batcher.n_flushes
+    mean_bs = n_lookup / n_flushes
+    measured_model = ag.metrics.effective_model(t_seq=cost.t_simulate)
+    measured = measured_model.speedup(n_lookup, n_sim)
+    analytic_model = EffectiveSpeedupModel(
+        t_seq=cost.t_simulate,
+        t_train=cost.t_simulate,
+        t_learn=cost.t_retrain * ledger.count("train") / max(n_sim, 1),
+        t_lookup=cost.amortized_lookup(mean_bs),
+    )
+    analytic = analytic_model.speedup(n_lookup, n_sim)
+    rel_diff = abs(measured - analytic) / analytic
+    agreement = {
+        "measured_speedup": measured,
+        "analytic_speedup": analytic,
+        "rel_diff": rel_diff,
+        "lookup_fraction": ag.metrics.lookup_fraction,
+        "n_lookup": n_lookup,
+        "n_simulate": n_sim,
+        "n_retrains": ledger.count("train"),
+        "mean_batch_size": mean_bs,
+        "measured_t_lookup_s": ledger.mean("lookup"),
+        "analytic_t_lookup_s": cost.amortized_lookup(mean_bs),
+    }
+
+    # ---- determinism: an identical replay must match bitwise ----------
+    replay = agreement_run()
+    deterministic = json.dumps(ag.metrics.summary(), sort_keys=True) == json.dumps(
+        replay.metrics.summary(), sort_keys=True
+    )
+
+    criteria = {
+        "batched_speedup_ge_5x": bool(batch_ratio >= 5.0),
+        "cache_hit_ge_20x": bool(cache_ratio >= 20.0),
+        "effective_agreement_le_10pct": bool(rel_diff <= 0.10),
+        "deterministic_replay": bool(deterministic),
+    }
+
+    payload = {
+        "benchmark": "serve",
+        "n_requests": n_requests,
+        "seed": seed,
+        "epochs": epochs,
+        "cost_model": {
+            "t_cache_hit": cost.t_cache_hit,
+            "t_batch_overhead": cost.t_batch_overhead,
+            "t_per_row_uq": cost.t_per_row_uq,
+            "t_point_row": cost.t_point_row,
+            "t_simulate": cost.t_simulate,
+            "sim_cv": cost.sim_cv,
+            "t_retrain": cost.t_retrain,
+        },
+        "throughput_sweep": sweep,
+        "batched_vs_unbatched": batched_vs_unbatched,
+        "cache": cache_block,
+        "effective_speedup_agreement": agreement,
+        "criteria": criteria,
+        "all_criteria_pass": bool(all(criteria.values())),
+    }
+    if calibrate:
+        calibrated = ServeCostModel.calibrate(
+            build_engine(tolerance=None, seed=seed, epochs=epochs).surrogate,
+            rng=seed,
+        )
+        payload["wall_clock_calibration"] = {
+            "t_cache_hit": calibrated.t_cache_hit,
+            "t_batch_overhead": calibrated.t_batch_overhead,
+            "t_per_row_uq": calibrated.t_per_row_uq,
+            "t_point_row": calibrated.t_point_row,
+        }
+    return payload
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; writes the serving bench payload as JSON."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.bench",
+        description="Benchmark the UQ-gated serving layer and record the "
+        "repo's tracked serving baseline.",
+    )
+    parser.add_argument(
+        "--n-requests", type=int, default=2000,
+        help="requests per scenario stream (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="RNG seed for load and engines (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--epochs", type=int, default=200,
+        help="surrogate training epochs per engine (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--skip-calibration", action="store_true",
+        help="omit the wall-clock calibration block (CI smoke runs)",
+    )
+    parser.add_argument(
+        "--output", default=DEFAULT_OUTPUT,
+        help=f"output JSON path (default: {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+    payload = run_serve_bench(
+        n_requests=args.n_requests,
+        seed=args.seed,
+        epochs=args.epochs,
+        calibrate=not args.skip_calibration,
+    )
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    b = payload["batched_vs_unbatched"]
+    c = payload["cache"]
+    a = payload["effective_speedup_agreement"]
+    print(
+        f"batched {b['batched_throughput']:.0f}/s vs unbatched "
+        f"{b['unbatched_throughput']:.0f}/s  ({b['speedup']:.1f}x)"
+    )
+    print(
+        f"cache p50 {c['p50_cache_hit_s'] * 1e6:.1f} us vs surrogate "
+        f"{c['p50_surrogate_s'] * 1e6:.1f} us  ({c['speedup']:.1f}x)"
+    )
+    print(
+        f"effective speedup measured {a['measured_speedup']:.1f} vs analytic "
+        f"{a['analytic_speedup']:.1f}  (rel diff {a['rel_diff'] * 100:.2f}%)"
+    )
+    print(f"criteria: {payload['criteria']}")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

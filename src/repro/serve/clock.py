@@ -1,0 +1,45 @@
+"""The simulated clock behind the serving subsystem.
+
+Everything in :mod:`repro.serve` runs in *virtual* time: arrivals,
+batching deadlines, admission-control refills and fallback-simulation
+completions are all coordinates on a :class:`SimulatedClock`, never on
+``time.perf_counter``.  That is what makes identical query streams
+produce bitwise-identical responses, ledgers and metrics across runs —
+the determinism contract the effective-speedup accounting (§III-D)
+needs to be trustworthy.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimulatedClock"]
+
+
+class SimulatedClock:
+    """A monotonic virtual clock measured in seconds.
+
+    The clock only moves when the event loop tells it to; it never reads
+    wall time.  ``advance_to`` enforces monotonicity so an out-of-order
+    event is a loud bug instead of silent time travel.
+    """
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ValueError(f"start must be >= 0, got {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move the clock forward to ``t``; rejects moving backwards."""
+        if t < self._now:
+            raise ValueError(
+                f"cannot move clock backwards: now={self._now}, requested {t}"
+            )
+        self._now = float(t)
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimulatedClock(now={self._now:.6g})"

@@ -1,0 +1,162 @@
+"""Virtual service-time constants for the serving loop.
+
+The serving layer separates *what* is computed (real vectorized NN
+forwards, real fallback simulations, banked runs) from *how long it
+counts as taking* (virtual seconds on the simulated clock).  A
+:class:`ServeCostModel` holds the per-stage constants; the bench CLI can
+:meth:`~ServeCostModel.calibrate` them against wall-clock
+micro-measurements of the actual kernels so the modeled system tracks
+the machine, while served runs stay deterministic because they only ever
+consume the constants.
+
+The cost structure mirrors §III-A/§III-D: one UQ flush costs a fixed
+``t_batch_overhead`` (the MC-sample forward passes exist whether the
+batch holds 1 row or 64) plus a small marginal ``t_per_row_uq``, so the
+amortized per-query lookup cost falls roughly linearly with batch fill —
+exactly the dispatch-amortization argument the surrogate-aware scheduler
+makes for learnt/unlearnt separation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import ensure_rng
+from repro.util.validation import check_positive
+
+__all__ = ["ServeCostModel"]
+
+
+@dataclass(frozen=True)
+class ServeCostModel:
+    """Virtual per-stage service times (seconds) for the serving loop.
+
+    Attributes
+    ----------
+    t_cache_hit:
+        Answering from the quantized LRU cache (a dict probe).
+    t_batch_overhead:
+        Fixed cost of one UQ flush — the batch-size-independent part of
+        the MC/ensemble forward passes.
+    t_per_row_uq:
+        Marginal cost per queued row inside a UQ flush.
+    t_point_row:
+        Per-row cost of a degraded (single deterministic forward, no UQ)
+        answer riding along with a flush.
+    t_simulate:
+        Mean virtual cost of one fallback simulation.
+    sim_cv:
+        Coefficient of variation of the log-normal fallback-simulation
+        durations (the §III-A heterogeneity knob; 0 = constant cost).
+    t_retrain:
+        Virtual cost booked under ``"train"`` when a fallback run trips
+        the retrain cadence.
+    """
+
+    t_cache_hit: float = 2e-6
+    t_batch_overhead: float = 1e-3
+    t_per_row_uq: float = 2e-5
+    t_point_row: float = 2e-6
+    t_simulate: float = 0.05
+    sim_cv: float = 0.3
+    t_retrain: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_positive("t_cache_hit", self.t_cache_hit)
+        check_positive("t_batch_overhead", self.t_batch_overhead)
+        check_positive("t_per_row_uq", self.t_per_row_uq)
+        check_positive("t_point_row", self.t_point_row)
+        check_positive("t_simulate", self.t_simulate)
+        check_positive("sim_cv", self.sim_cv, strict=False)
+        check_positive("t_retrain", self.t_retrain, strict=False)
+
+    # ------------------------------------------------------------------
+    def flush_cost(self, n_uq_rows: int, n_point_rows: int = 0) -> float:
+        """Virtual service time of one flush over the queued rows."""
+        if n_uq_rows < 0 or n_point_rows < 0:
+            raise ValueError("row counts must be >= 0")
+        cost = 0.0
+        if n_uq_rows:
+            cost += self.t_batch_overhead + n_uq_rows * self.t_per_row_uq
+        if n_point_rows:
+            cost += n_point_rows * self.t_point_row
+        return cost
+
+    def amortized_lookup(self, batch_size: float) -> float:
+        """Per-query lookup cost at a given mean UQ batch size."""
+        check_positive("batch_size", batch_size)
+        return self.t_batch_overhead / batch_size + self.t_per_row_uq
+
+    def sample_sim_durations(
+        self, n: int, rng: int | np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Draw ``n`` log-normal fallback durations with mean ``t_simulate``."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        gen = ensure_rng(rng)
+        if self.sim_cv == 0.0:
+            return np.full(n, self.t_simulate)
+        sigma = float(np.sqrt(np.log1p(self.sim_cv**2)))
+        mu = float(np.log(self.t_simulate)) - 0.5 * sigma * sigma
+        return gen.lognormal(mu, sigma, n)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def calibrate(
+        cls,
+        surrogate,
+        *,
+        batch_size: int = 64,
+        rounds: int = 5,
+        t_simulate: float = 0.05,
+        sim_cv: float = 0.3,
+        t_retrain: float = 0.5,
+        rng: int | np.random.Generator | None = None,
+    ) -> "ServeCostModel":
+        """Measure the NN-side constants on the actual kernels.
+
+        Wall-clock timings (best-of-``rounds``) of a batch-1 UQ pass, a
+        batch-``batch_size`` UQ pass, a point-prediction pass and a dict
+        probe yield ``t_batch_overhead``, ``t_per_row_uq``, ``t_point_row``
+        and ``t_cache_hit``.  Calibration intentionally reads wall time —
+        it happens *outside* any served run; the returned constants are
+        what the deterministic event loop consumes.  The simulation-side
+        constants cannot be inferred from the surrogate and are passed
+        through.
+        """
+        if batch_size < 2:
+            raise ValueError(f"batch_size must be >= 2, got {batch_size}")
+        if rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {rounds}")
+        gen = ensure_rng(rng)
+        x1 = gen.normal(size=(1, surrogate.in_dim))
+        xb = gen.normal(size=(batch_size, surrogate.in_dim))
+
+        def best_of(fn) -> float:
+            fn()
+            best = float("inf")
+            for _ in range(rounds):
+                t0 = time.perf_counter()
+                fn()
+                best = min(best, time.perf_counter() - t0)
+            return best
+
+        t_one = best_of(lambda: surrogate.predict_with_uncertainty(x1))
+        t_batch = best_of(lambda: surrogate.predict_with_uncertainty(xb))
+        t_point = best_of(lambda: surrogate.predict_stable(xb)) / batch_size
+        probe = {b"k": 0}
+        t_probe = best_of(lambda: probe.get(b"k"))
+        per_row = max((t_batch - t_one) / (batch_size - 1), 1e-9)
+        overhead = max(t_one - per_row, 1e-9)
+        return cls(
+            t_cache_hit=max(t_probe, 1e-9),
+            t_batch_overhead=overhead,
+            t_per_row_uq=per_row,
+            t_point_row=max(t_point, 1e-9),
+            t_simulate=t_simulate,
+            sim_cv=sim_cv,
+            t_retrain=t_retrain,
+        )

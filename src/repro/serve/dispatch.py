@@ -1,0 +1,69 @@
+"""UQ-gated fallback dispatch onto the simulated worker pool.
+
+When the surrogate's predictive uncertainty exceeds the engine's
+tolerance, the serving loop cannot answer from the network — the query
+falls back to a real simulation, exactly the unlearnt path of §III-D.
+:class:`FallbackPool` wraps the parallel layer's
+:class:`~repro.parallel.cluster.OnlineDispatcher` so those fallbacks are
+placed online, one at a time as UQ gates reject them, on the next-free
+worker of a heterogeneous pool.  The pool's execution trace is the same
+:class:`~repro.parallel.cluster.ExecutionTrace` the E9 scheduler
+experiments analyse, so serving-time fallback behaviour and offline
+scheduling results are directly comparable.
+"""
+
+from __future__ import annotations
+
+from repro.parallel.cluster import ExecutionTrace, OnlineDispatcher, TaskSpec, Worker
+from repro.parallel.scheduler import ScheduleReport
+
+__all__ = ["FallbackPool"]
+
+
+class FallbackPool:
+    """Online next-free-worker pool for UQ-rejected fallback simulations.
+
+    Parameters
+    ----------
+    workers:
+        The simulated pool; heterogeneous speeds are honoured.
+    dispatch_overhead:
+        Per-task virtual cost of handing a fallback to a worker.
+    """
+
+    def __init__(self, workers: list[Worker], dispatch_overhead: float = 0.0):
+        self._dispatcher = OnlineDispatcher(
+            workers, dispatch_overhead=dispatch_overhead
+        )
+        self.n_workers = len(workers)
+        self.n_submitted = 0
+
+    def submit(
+        self, task_id: int, work: float, release: float
+    ) -> tuple[int, float, float]:
+        """Run one fallback of ``work`` virtual seconds, runnable at ``release``.
+
+        Returns ``(worker_id, start, end)``; ``end`` is when the response
+        can be emitted.  ``work`` is expressed in unit-speed seconds, so a
+        worker of speed ``s`` finishes it in ``work / s``.
+        """
+        self.n_submitted += 1
+        return self._dispatcher.submit(
+            TaskSpec(task_id=task_id, work=work, kind="fallback"), release=release
+        )
+
+    def in_flight(self, now: float) -> int:
+        """Fallbacks still running at virtual time ``now``."""
+        return self._dispatcher.in_flight(now)
+
+    def next_free_at(self) -> float:
+        """Earliest virtual time at which some worker is idle."""
+        return self._dispatcher.next_free_at()
+
+    def trace(self) -> ExecutionTrace:
+        """The pool's execution trace so far."""
+        return self._dispatcher.trace()
+
+    def report(self, name: str = "fallback-pool") -> ScheduleReport:
+        """Summary row (makespan / utilization / imbalance) for the pool."""
+        return ScheduleReport.from_trace(name, self.trace())

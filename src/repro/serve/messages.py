@@ -1,0 +1,112 @@
+"""Request/response types shared across the serving pipeline.
+
+A :class:`Request` is one query with a virtual arrival time and optional
+deadline; a :class:`Response` is its fate.  Every request gets exactly
+one response with an explicit ``status`` — the admission controller's
+``rejected``, the batcher's ``shed``, the overload path's ``degraded``
+or a normal ``ok`` — and a ``source`` naming which stage produced the
+answer (cache, surrogate or fallback simulation).  Explicit outcomes
+instead of silent drops are what make the measured ledger honest: a
+query that was never served must not count toward the effective-speedup
+denominator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "STATUS_OK",
+    "STATUS_DEGRADED",
+    "STATUS_REJECTED",
+    "STATUS_SHED",
+    "SOURCE_CACHE",
+    "SOURCE_SURROGATE",
+    "SOURCE_SIMULATION",
+    "SOURCE_NONE",
+    "Request",
+    "Response",
+]
+
+#: Served with full UQ gating.
+STATUS_OK = "ok"
+#: Served a point prediction without UQ under overload.
+STATUS_DEGRADED = "degraded"
+#: Refused at admission (token bucket empty or queue full).
+STATUS_REJECTED = "rejected"
+#: Dropped at flush time because its deadline had already passed.
+STATUS_SHED = "shed"
+
+#: Answered from the quantized LRU cache.
+SOURCE_CACHE = "cache"
+#: Answered by the surrogate (batched NN forward + UQ gate).
+SOURCE_SURROGATE = "surrogate"
+#: Answered by a fallback simulation on the worker pool.
+SOURCE_SIMULATION = "simulation"
+#: Not answered (rejected / shed).
+SOURCE_NONE = "none"
+
+
+@dataclass(frozen=True, eq=False)
+class Request:
+    """One query entering the serving loop.
+
+    Attributes
+    ----------
+    query_id:
+        Unique, monotonically assigned by the load generator / caller;
+        also the deterministic tiebreak everywhere times collide.
+    x:
+        The query point, shape ``(D,)``.
+    t_arrival:
+        Virtual arrival time in seconds.
+    deadline:
+        Absolute virtual time after which the answer is worthless; ``None``
+        disables shedding for this request.
+    """
+
+    query_id: int
+    x: np.ndarray
+    t_arrival: float
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.t_arrival < 0:
+            raise ValueError(f"t_arrival must be >= 0, got {self.t_arrival}")
+        if self.deadline is not None and self.deadline < self.t_arrival:
+            raise ValueError("deadline must not precede arrival")
+
+
+@dataclass(eq=False)
+class Response:
+    """The outcome of one request.
+
+    ``y``/``uncertainty`` are ``None``/NaN for unserved outcomes
+    (``rejected``/``shed``) and for degraded answers, which carry a point
+    prediction but no predictive std.  ``t_done`` is the virtual
+    completion time; for unserved outcomes it is the moment the decision
+    was made.
+    """
+
+    query_id: int
+    status: str
+    source: str
+    t_arrival: float
+    t_done: float
+    y: np.ndarray | None = None
+    uncertainty: float = float("nan")
+    batch_size: int = 0
+    worker_id: int | None = None
+    x: np.ndarray = field(default=None, repr=False)
+
+    @property
+    def latency(self) -> float:
+        """Virtual seconds between arrival and completion."""
+        return self.t_done - self.t_arrival
+
+    @property
+    def served(self) -> bool:
+        """True when the request received an answer (ok or degraded)."""
+        return self.status in (STATUS_OK, STATUS_DEGRADED)

@@ -1,0 +1,170 @@
+"""Per-stage serving metrics and the measured effective-speedup bridge.
+
+:class:`ServeMetrics` is the single sink every stage of the serving loop
+reports into: admission verdicts, per-source latencies, batch fill, cache
+hits, and — most importantly — a virtual-time
+:class:`~repro.util.timing.WallClockLedger` using the same
+``simulate`` / ``train`` / ``lookup`` categories as
+:class:`~repro.core.mlaround.MLaroundHPC`.  That shared vocabulary is the
+point: :meth:`effective_model` hands the served ledger straight to
+:meth:`~repro.core.effective.EffectiveSpeedupModel.from_ledger`, so the
+*measured* effective speedup of a serving run is computed by the exact
+§III-D machinery the analytic experiments use, and the two can be
+compared number-for-number at the same lookup fraction.
+
+All latencies are virtual seconds; percentile aggregation uses
+``np.percentile`` over the recorded populations, never sampling, so a
+replayed run reports bitwise-identical metrics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.effective import EffectiveSpeedupModel
+from repro.serve.messages import (
+    SOURCE_CACHE,
+    SOURCE_SIMULATION,
+    SOURCE_SURROGATE,
+    STATUS_DEGRADED,
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_SHED,
+    Response,
+)
+from repro.util.timing import WallClockLedger
+
+__all__ = ["ServeMetrics"]
+
+_STATUSES = (STATUS_OK, STATUS_DEGRADED, STATUS_REJECTED, STATUS_SHED)
+_SOURCES = (SOURCE_CACHE, SOURCE_SURROGATE, SOURCE_SIMULATION)
+
+
+class ServeMetrics:
+    """Accumulates per-stage counters, latency populations and the ledger."""
+
+    def __init__(self) -> None:
+        self.ledger = WallClockLedger()
+        self.status_counts: dict[str, int] = {s: 0 for s in _STATUSES}
+        self.source_counts: dict[str, int] = {s: 0 for s in _SOURCES}
+        self._latency: dict[str, list[float]] = {s: [] for s in _SOURCES}
+        self.t_first_arrival = float("inf")
+        self.t_last_done = 0.0
+        self.n_requests = 0
+
+    # ------------------------------------------------------------------
+    def observe(self, response: Response) -> None:
+        """Fold one response into the counters."""
+        if response.status not in self.status_counts:
+            raise ValueError(f"unknown status {response.status!r}")
+        self.n_requests += 1
+        self.status_counts[response.status] += 1
+        self.t_first_arrival = min(self.t_first_arrival, response.t_arrival)
+        self.t_last_done = max(self.t_last_done, response.t_done)
+        if response.served:
+            self.source_counts[response.source] += 1
+            self._latency[response.source].append(response.latency)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_served(self) -> int:
+        """Requests that received an answer (ok or degraded)."""
+        return self.status_counts[STATUS_OK] + self.status_counts[STATUS_DEGRADED]
+
+    @property
+    def duration(self) -> float:
+        """Virtual span from first arrival to last completion."""
+        if self.n_requests == 0:
+            return 0.0
+        return self.t_last_done - self.t_first_arrival
+
+    def throughput(self) -> float:
+        """Served responses per virtual second."""
+        return self.n_served / self.duration if self.duration > 0 else 0.0
+
+    def latencies(self, source: str | None = None) -> np.ndarray:
+        """Latency population for one source, or all served traffic."""
+        if source is None:
+            pop = [v for vals in self._latency.values() for v in vals]
+        else:
+            if source not in self._latency:
+                raise ValueError(f"unknown source {source!r}")
+            pop = self._latency[source]
+        return np.asarray(pop, dtype=float)
+
+    def percentile(self, q: float, source: str | None = None) -> float:
+        """Latency percentile ``q`` (in [0, 100]) over served traffic."""
+        pop = self.latencies(source)
+        if pop.size == 0:
+            return float("nan")
+        return float(np.percentile(pop, q))
+
+    @property
+    def lookup_fraction(self) -> float:
+        """``N_lookup / (N_lookup + N_train)`` as the §III-D model counts it.
+
+        Counted from ledger events: every UQ gate evaluation is a
+        ``lookup`` record and every fallback a ``simulate`` record — a
+        gate check that fails and falls back contributes one of each,
+        matching :class:`~repro.core.mlaround.MLAroundHPC` per-query
+        semantics.  Cache hits are excluded: a hit re-serves an answer
+        whose cost was already booked when it was first computed, so
+        counting it again would double-credit the surrogate.
+        """
+        n_lookup = self.ledger.count("lookup")
+        n_sim = self.ledger.count("simulate")
+        total = n_lookup + n_sim
+        return n_lookup / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    def effective_model(self, *, t_seq: float | None = None) -> EffectiveSpeedupModel:
+        """§III-D model built from this run's measured ledger."""
+        return EffectiveSpeedupModel.from_ledger(self.ledger, t_seq=t_seq)
+
+    def measured_effective_speedup(self, *, t_seq: float | None = None) -> float:
+        """Effective speedup of this run at its realized mix.
+
+        Evaluates the measured model at the run's own lookup/simulate
+        counts — "how much faster than all-sequential-simulation was the
+        traffic we actually served".
+        """
+        model = self.effective_model(t_seq=t_seq)
+        return model.speedup(
+            n_lookup=self.ledger.count("lookup"),
+            n_train=self.ledger.count("simulate"),
+        )
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """JSON-ready snapshot of the run."""
+        out: dict = {
+            "n_requests": self.n_requests,
+            "n_served": self.n_served,
+            "duration": self.duration,
+            "throughput": self.throughput(),
+            "status_counts": dict(self.status_counts),
+            "source_counts": dict(self.source_counts),
+            "lookup_fraction": self.lookup_fraction,
+            "latency": {},
+            "ledger": {
+                name: {
+                    "count": self.ledger.count(name),
+                    "total": self.ledger.total(name),
+                    "mean": self.ledger.mean(name),
+                }
+                for name in ("lookup", "simulate", "train", "cache")
+                if self.ledger.count(name)
+            },
+        }
+        for source in (None, *_SOURCES):
+            pop = self.latencies(source)
+            if pop.size == 0:
+                continue
+            out["latency"][source or "all"] = {
+                "n": int(pop.size),
+                "mean": float(pop.mean()),
+                "p50": float(np.percentile(pop, 50)),
+                "p99": float(np.percentile(pop, 99)),
+                "max": float(pop.max()),
+            }
+        return out

@@ -1,0 +1,311 @@
+"""The serving event loop: cache → batcher → UQ gate → fallback pool.
+
+:class:`SurrogateServer` wires the serving components around a trained
+:class:`~repro.core.mlaround.MLAroundHPC` engine and replays a request
+stream on the simulated clock as a discrete-event simulation:
+
+1. **admission** — each arrival passes the token bucket / bounded-queue
+   check; rejects get an explicit ``rejected`` response immediately;
+2. **cache** — admitted queries probe the quantized LRU cache; hits are
+   answered in ``t_cache_hit`` virtual seconds without touching the NN;
+3. **batching** — misses join the micro-batch, flushed on fill or on the
+   max-wait timer;
+4. **gate** — one vectorized :meth:`~repro.core.mlaround.MLAroundHPC.gate_batch`
+   call serves the whole flush; confident rows answer from the surrogate,
+   degraded rows (overload band) get an un-gated point prediction;
+5. **fallback** — rows the gate rejects are dispatched online to the
+   simulated worker pool and answered by the *real* simulation (banked,
+   retrain cadence honored — "no run is wasted").
+
+Two time domains never mix: answers are computed by the real NN and
+simulation kernels, while every latency, queue decision and ledger entry
+is virtual time from the :class:`~repro.serve.cost.ServeCostModel`.
+Identical seeded request streams therefore produce bitwise-identical
+responses, metrics and ledger, while the served numbers remain honest
+model outputs rather than wall-clock noise.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+import numpy as np
+
+from repro.core.mlaround import MLAroundHPC
+from repro.parallel.cluster import Worker
+from repro.serve.admission import DECISION_DEGRADE, DECISION_REJECT, AdmissionController
+from repro.serve.batching import MicroBatcher, PendingQuery
+from repro.serve.cache import CachedResult, QuantizedLRUCache
+from repro.serve.clock import SimulatedClock
+from repro.serve.cost import ServeCostModel
+from repro.serve.dispatch import FallbackPool
+from repro.serve.messages import (
+    SOURCE_CACHE,
+    SOURCE_NONE,
+    SOURCE_SIMULATION,
+    SOURCE_SURROGATE,
+    STATUS_DEGRADED,
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_SHED,
+    Request,
+    Response,
+)
+from repro.serve.metrics import ServeMetrics
+from repro.util.rng import ensure_rng
+
+__all__ = ["SurrogateServer"]
+
+_ARRIVAL = "arrival"
+_TIMER = "timer"
+_COMPLETE = "complete"
+
+
+class SurrogateServer:
+    """Deterministic DES serving loop over a trained MLaroundHPC engine.
+
+    Parameters
+    ----------
+    engine:
+        A trained :class:`~repro.core.mlaround.MLAroundHPC`; its surrogate
+        answers flushes and its simulation backs the fallback pool.
+    cost:
+        Virtual service-time constants (default :class:`ServeCostModel`).
+    batcher, cache, admission, pool:
+        The pipeline stages; any left ``None`` gets a sensible default
+        (batch 64 / 1 ms wait, 4096-entry cache, depth-256 admission,
+        4 unit-speed fallback workers).
+    rng:
+        Seed/generator for the log-normal fallback *durations* (virtual
+        time only — answers never depend on it).
+    """
+
+    def __init__(
+        self,
+        engine: MLAroundHPC,
+        *,
+        cost: ServeCostModel | None = None,
+        batcher: MicroBatcher | None = None,
+        cache: QuantizedLRUCache | None = None,
+        admission: AdmissionController | None = None,
+        pool: FallbackPool | None = None,
+        rng: int | np.random.Generator | None = None,
+    ):
+        self.engine = engine
+        self.cost = cost or ServeCostModel()
+        self.batcher = batcher or MicroBatcher()
+        self.cache = cache or QuantizedLRUCache()
+        self.admission = admission or AdmissionController()
+        self.pool = pool or FallbackPool([Worker(i) for i in range(4)])
+        self.metrics = ServeMetrics()
+        self.clock = SimulatedClock()
+        # One persistent stream so fallback durations are reproducible
+        # across the whole run regardless of how flushes group them.
+        self._dur_rng = ensure_rng(rng)
+        self._nn_free_at = 0.0
+        self._seq = itertools.count()
+        self._events: list[tuple[float, int, str, object]] = []
+        self._served_once = False
+
+    # ------------------------------------------------------------------
+    def serve(self, requests: list[Request]) -> list[Response]:
+        """Replay a request stream; returns responses sorted by query id.
+
+        One server instance serves one stream: the simulated clock only
+        moves forward, so call :meth:`serve` once per
+        :class:`SurrogateServer`.
+        """
+        if self._served_once:
+            raise RuntimeError(
+                "SurrogateServer.serve is one-shot; build a fresh server "
+                "per request stream"
+            )
+        self._served_once = True
+        if not self.engine.is_trained:
+            raise RuntimeError("serving requires a trained engine (bootstrap first)")
+        responses: list[Response] = []
+        for req in sorted(requests, key=lambda r: (r.t_arrival, r.query_id)):
+            self._push(req.t_arrival, _ARRIVAL, req)
+        while self._events:
+            t, _, kind, payload = heapq.heappop(self._events)
+            self.clock.advance_to(t)
+            if kind == _ARRIVAL:
+                self._on_arrival(payload, t)
+            elif kind == _TIMER:
+                if payload == self.batcher.epoch:
+                    self._flush(t, timer=True)
+            else:  # _COMPLETE
+                response, cache_x, cached = payload
+                if cache_x is not None:
+                    self.cache.put(cache_x, cached)
+                self.metrics.observe(response)
+                responses.append(response)
+        return sorted(responses, key=lambda r: r.query_id)
+
+    # ------------------------------------------------------------------
+    def _push(self, t: float, kind: str, payload: object) -> None:
+        heapq.heappush(self._events, (t, next(self._seq), kind, payload))
+
+    def _complete(
+        self,
+        response: Response,
+        *,
+        cache_x: np.ndarray | None = None,
+        cached: CachedResult | None = None,
+    ) -> None:
+        self._push(response.t_done, _COMPLETE, (response, cache_x, cached))
+
+    def _on_arrival(self, req: Request, now: float) -> None:
+        depth = self.batcher.size + self.pool.in_flight(now)
+        decision = self.admission.admit(now, depth)
+        if decision == DECISION_REJECT:
+            self._complete(
+                Response(
+                    query_id=req.query_id,
+                    status=STATUS_REJECTED,
+                    source=SOURCE_NONE,
+                    t_arrival=req.t_arrival,
+                    t_done=now,
+                )
+            )
+            return
+        hit = self.cache.get(req.x)
+        if hit is not None:
+            self.metrics.ledger.record("cache", self.cost.t_cache_hit)
+            self._complete(
+                Response(
+                    query_id=req.query_id,
+                    status=STATUS_OK,
+                    source=SOURCE_CACHE,
+                    t_arrival=req.t_arrival,
+                    t_done=now + self.cost.t_cache_hit,
+                    y=hit.y,
+                    uncertainty=hit.uncertainty,
+                    x=req.x,
+                )
+            )
+            return
+        pending = PendingQuery(request=req, degraded=decision == DECISION_DEGRADE)
+        directive = self.batcher.add(pending, now)
+        if directive.flush_now:
+            self._flush(now)
+        elif directive.arm_timer_at is not None:
+            self._push(directive.arm_timer_at, _TIMER, directive.epoch)
+
+    # ------------------------------------------------------------------
+    def _flush(self, now: float, *, timer: bool = False) -> None:
+        batch = self.batcher.drain(timer=timer)
+        if not batch:
+            return
+        service_start = max(now, self._nn_free_at)
+        live: list[PendingQuery] = []
+        for p in batch:
+            deadline = p.request.deadline
+            if deadline is not None and deadline < service_start:
+                self._complete(
+                    Response(
+                        query_id=p.request.query_id,
+                        status=STATUS_SHED,
+                        source=SOURCE_NONE,
+                        t_arrival=p.request.t_arrival,
+                        t_done=now,
+                    )
+                )
+            else:
+                live.append(p)
+        if not live:
+            return
+        normal = [p for p in live if not p.degraded]
+        degraded = [p for p in live if p.degraded]
+        flush_cost = self.cost.flush_cost(len(normal), len(degraded))
+        t_done = service_start + flush_cost
+        self._nn_free_at = t_done
+
+        if normal:
+            X = np.stack([p.request.x for p in normal])
+            mean, std_norm, confident = self.engine.gate_batch(X)
+            uq_share = self.cost.flush_cost(len(normal)) / len(normal)
+            fallbacks = [i for i in range(len(normal)) if not confident[i]]
+            durations = self.cost.sample_sim_durations(len(fallbacks), self._dur_rng)
+            for i, p in enumerate(normal):
+                self.metrics.ledger.record("lookup", uq_share)
+                if confident[i]:
+                    self._complete(
+                        Response(
+                            query_id=p.request.query_id,
+                            status=STATUS_OK,
+                            source=SOURCE_SURROGATE,
+                            t_arrival=p.request.t_arrival,
+                            t_done=t_done,
+                            y=mean[i],
+                            uncertainty=float(std_norm[i]),
+                            batch_size=len(normal),
+                            x=p.request.x,
+                        ),
+                        cache_x=p.request.x,
+                        cached=CachedResult(
+                            y=mean[i],
+                            uncertainty=float(std_norm[i]),
+                            source=SOURCE_SURROGATE,
+                        ),
+                    )
+            for j, i in enumerate(fallbacks):
+                self._fallback(normal[i], float(durations[j]), t_done, len(normal))
+
+        if degraded:
+            y_degraded = self.engine.surrogate.predict_stable(
+                np.stack([p.request.x for p in degraded])
+            )
+            for i, p in enumerate(degraded):
+                self.metrics.ledger.record("lookup", self.cost.t_point_row)
+                self._complete(
+                    Response(
+                        query_id=p.request.query_id,
+                        status=STATUS_DEGRADED,
+                        source=SOURCE_SURROGATE,
+                        t_arrival=p.request.t_arrival,
+                        t_done=t_done,
+                        y=y_degraded[i],
+                        batch_size=len(live),
+                        x=p.request.x,
+                    )
+                )
+
+    def _fallback(
+        self, p: PendingQuery, work: float, release: float, batch_size: int
+    ) -> None:
+        """Dispatch one gate-rejected query to the simulated worker pool."""
+        worker_id, start, end = self.pool.submit(
+            task_id=p.request.query_id, work=work, release=release
+        )
+        trained_before = self.engine.ledger.count("train")
+        outcome = self.engine.force_simulate(p.request.x)
+        self.metrics.ledger.record("simulate", end - start)
+        if self.engine.ledger.count("train") > trained_before:
+            self.metrics.ledger.record("train", self.cost.t_retrain)
+        self._complete(
+            Response(
+                query_id=p.request.query_id,
+                status=STATUS_OK,
+                source=SOURCE_SIMULATION,
+                t_arrival=p.request.t_arrival,
+                t_done=end,
+                y=outcome.outputs,
+                batch_size=batch_size,
+                worker_id=worker_id,
+                x=p.request.x,
+            ),
+            cache_x=p.request.x,
+            cached=CachedResult(
+                y=outcome.outputs,
+                uncertainty=float("nan"),
+                source=SOURCE_SIMULATION,
+            ),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SurrogateServer(engine={self.engine!r}, "
+            f"served={self.metrics.n_requests})"
+        )

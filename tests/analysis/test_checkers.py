@@ -342,3 +342,67 @@ class TestPerf:
             "np.add.at(out, [0], 1.0)\n"
         )
         assert "PERF001" not in rules_of(src, path="src/repro/util/scatter.py")
+
+
+class TestPerf002:
+    def test_fires_on_per_row_predict_in_for_loop(self):
+        src = HEADER + (
+            "def f(model, X):\n"
+            "    out = []\n"
+            "    for x in X:\n"
+            "        out.append(model.predict(x))\n"
+            "    return out\n"
+        )
+        assert "PERF002" in rules_of(src)
+
+    def test_fires_in_comprehension(self):
+        src = HEADER + "def f(model, X):\n    return [model.predict(x) for x in X]\n"
+        assert "PERF002" in rules_of(src)
+
+    def test_fires_on_predict_variants(self):
+        for attr in ("predict_stable", "predict_with_uncertainty"):
+            src = HEADER + (
+                f"def f(s, X):\n    return [s.{attr}(row) for row in X]\n"
+            )
+            assert "PERF002" in rules_of(src), attr
+
+    def test_fires_on_derived_loop_expression(self):
+        src = HEADER + (
+            "def f(model, X):\n"
+            "    for i in range(len(X)):\n"
+            "        model.predict(X[i])\n"
+        )
+        assert "PERF002" in rules_of(src)
+
+    def test_quiet_on_batched_call_outside_loop(self):
+        src = HEADER + (
+            "def f(model, X):\n"
+            "    Y = model.predict(X)\n"
+            "    for y in Y:\n"
+            "        print(y)\n"
+        )
+        assert "PERF002" not in rules_of(src)
+
+    def test_quiet_on_ensemble_member_loop(self):
+        # Looping over *models* with a fixed batched matrix is the
+        # ensemble idiom, not a per-row anti-pattern.
+        src = HEADER + (
+            "def f(models, X):\n"
+            "    return [m.predict(X) for m in models]\n"
+        )
+        assert "PERF002" not in rules_of(src)
+
+    def test_quiet_on_hoisted_batch_inside_outer_loop(self):
+        src = HEADER + (
+            "def f(model, batches):\n"
+            "    for epoch in range(3):\n"
+            "        Y = model.predict(batches)\n"
+        )
+        assert "PERF002" not in rules_of(src)
+
+    def test_noqa_suppresses(self):
+        src = HEADER + (
+            "def f(model, X):\n"
+            "    return [model.predict(x) for x in X]  # repro: noqa[PERF002]\n"
+        )
+        assert "PERF002" not in rules_of(src)

@@ -155,3 +155,123 @@ class TestAccounting:
     def test_lookup_fraction_zero_before_queries(self):
         w = _make_wrapper()
         assert w.lookup_fraction() == 0.0
+
+
+class TestRetrainBoundary:
+    def test_no_retrain_at_cadence_minus_one(self, rng):
+        w = _make_wrapper(
+            tolerance=1e-9,
+            policy=RetrainPolicy(min_initial_runs=10, retrain_every=5),
+        )
+        w.bootstrap(rng.uniform(-1, 1, (10, 2)))
+        for x in rng.uniform(-1, 1, (4, 2)):
+            w.query(x)
+        assert w.ledger.count("train") == 1
+        w.query(rng.uniform(-1, 1, 2))  # the 5th new run crosses the cadence
+        assert w.ledger.count("train") == 2
+
+    def test_initial_fit_exactly_at_min_runs(self):
+        w = _make_wrapper(policy=RetrainPolicy(min_initial_runs=6, retrain_every=50))
+        gen = np.random.default_rng(0)
+        for x in gen.uniform(-1, 1, (5, 2)):
+            w.query(x)
+        assert not w.is_trained
+        w.query(gen.uniform(-1, 1, 2))
+        assert w.is_trained and w.ledger.count("train") == 1
+
+
+class TestBatchedQueries:
+    def test_query_batch_matches_per_row_queries_bitwise(self, rng):
+        # Huge retrain_every so no retrain fires mid-stream: both engines
+        # then see identical surrogate state for every gate decision.
+        kw = dict(
+            tolerance=0.5,
+            policy=RetrainPolicy(min_initial_runs=20, retrain_every=10_000),
+        )
+        a, b = _make_wrapper(**kw), _make_wrapper(**kw)
+        X_boot = rng.uniform(-1, 1, (20, 2))
+        a.bootstrap(X_boot)
+        b.bootstrap(X_boot)
+        X = rng.uniform(-1.5, 1.5, (30, 2))
+        batched = a.query_batch(X)
+        sequential = [b.query(x) for x in X]
+        assert any(o.source == "lookup" for o in batched)
+        assert any(o.source == "simulate" for o in batched)
+        for ob, os in zip(batched, sequential):
+            assert ob.source == os.source
+            assert np.array_equal(ob.outputs, os.outputs)
+
+    def test_query_batch_ledger_per_query_semantics(self, rng):
+        w = _make_wrapper(
+            tolerance=0.5,
+            policy=RetrainPolicy(min_initial_runs=20, retrain_every=10_000),
+        )
+        w.bootstrap(rng.uniform(-1, 1, (20, 2)))
+        base_lookup = w.ledger.count("lookup")
+        base_sim = w.ledger.count("simulate")
+        outs = w.query_batch(rng.uniform(-1.5, 1.5, (25, 2)))
+        n_fallback = sum(1 for o in outs if o.source == "simulate")
+        # Every gated row books one lookup record; fallbacks add simulates.
+        assert w.ledger.count("lookup") - base_lookup == 25
+        assert w.ledger.count("simulate") - base_sim == n_fallback
+
+    def test_force_simulate_banks_and_honors_cadence(self, rng):
+        w = _make_wrapper(
+            tolerance=10.0,
+            policy=RetrainPolicy(min_initial_runs=10, retrain_every=3),
+        )
+        w.bootstrap(rng.uniform(-1, 1, (10, 2)))
+        trains_before = w.ledger.count("train")
+        for x in rng.uniform(-1, 1, (3, 2)):
+            out = w.force_simulate(x)
+            assert out.source == "simulate"
+        assert len(w.db) == 13
+        assert w.ledger.count("train") == trains_before + 1
+
+    def test_gate_batch_requires_training(self):
+        w = _make_wrapper()
+        with pytest.raises(RuntimeError):
+            w.gate_batch(np.zeros((2, 2)))
+
+
+class TestFromLedgerRoundTrip:
+    def test_known_ledger_reproduces_constants(self):
+        from repro.core.effective import EffectiveSpeedupModel
+        from repro.util.timing import WallClockLedger
+
+        ledger = WallClockLedger()
+        for _ in range(4):
+            ledger.record("simulate", 2.0)
+        ledger.record("train", 1.0)
+        for _ in range(10):
+            ledger.record("lookup", 0.01)
+        model = EffectiveSpeedupModel.from_ledger(ledger)
+        assert model.t_seq == pytest.approx(2.0)
+        assert model.t_train == pytest.approx(2.0)
+        assert model.t_learn == pytest.approx(0.25)
+        assert model.t_lookup == pytest.approx(0.01)
+        expected = 2.0 * (10 + 4) / (0.01 * 10 + (2.0 + 0.25) * 4)
+        assert model.speedup(10, 4) == pytest.approx(expected)
+
+    def test_wrapper_ledger_round_trips_through_model(self, rng):
+        w = _make_wrapper(tolerance=10.0)
+        w.bootstrap(rng.uniform(-1, 1, (40, 2)))
+        for x in rng.uniform(-1, 1, (8, 2)):
+            w.query(x)
+        model = w.effective_speedup_model()
+        assert model.t_train == pytest.approx(w.ledger.mean("simulate"))
+        assert model.t_lookup == pytest.approx(w.ledger.mean("lookup"))
+        assert model.t_learn == pytest.approx(
+            w.ledger.total("train") / w.ledger.count("simulate")
+        )
+
+    def test_speedup_at_fraction_consistency(self):
+        from repro.core.effective import EffectiveSpeedupModel
+
+        model = EffectiveSpeedupModel(
+            t_seq=1.0, t_train=1.0, t_learn=0.1, t_lookup=1e-4
+        )
+        direct = model.speedup(900.0, 100.0)
+        assert model.speedup_at_fraction(0.9, 1000.0) == pytest.approx(direct)
+        with pytest.raises(ValueError):
+            model.speedup_at_fraction(1.0, 100.0)

@@ -185,3 +185,40 @@ class TestSerialization:
         restored = Surrogate.from_json(s.to_json())
         assert restored.in_dim == 2 and restored.out_dim == 2
         assert "fitted" in repr(restored)
+
+
+class TestBatchedFastPath:
+    """predict_stable / predict_with_uncertainty batched == per-row bitwise."""
+
+    def test_predict_stable_row_stability(self, smooth_problem):
+        x, y = smooth_problem
+        s = Surrogate(2, 2, hidden=(16, 16), epochs=30, rng=0)
+        s.fit(x, y)
+        batched = s.predict_stable(x[:32])
+        for i in range(32):
+            assert np.array_equal(batched[i], s.predict_stable(x[i : i + 1])[0])
+
+    def test_predict_with_uncertainty_batched_equals_per_row(self, smooth_problem):
+        x, y = smooth_problem
+        s = Surrogate(2, 2, hidden=(16, 16), dropout=0.2, epochs=30, rng=0)
+        s.fit(x, y)
+        batched = s.predict_with_uncertainty(x[:16])
+        for i in range(16):
+            row = s.predict_with_uncertainty(x[i : i + 1])
+            assert np.array_equal(batched.mean[i], row.mean[0])
+            assert np.array_equal(batched.std[i], row.std[0])
+
+    def test_predict_with_uncertainty_repeatable(self, smooth_problem):
+        x, y = smooth_problem
+        s = Surrogate(2, 2, hidden=(16,), dropout=0.2, epochs=20, rng=0)
+        s.fit(x, y)
+        a = s.predict_with_uncertainty(x[:8])
+        b = s.predict_with_uncertainty(x[:8])
+        assert np.array_equal(a.mean, b.mean) and np.array_equal(a.std, b.std)
+
+    def test_predict_stable_matches_predict_closely(self, smooth_problem):
+        """The einsum path and the BLAS path agree to float tolerance."""
+        x, y = smooth_problem
+        s = Surrogate(2, 2, hidden=(16,), epochs=30, rng=0)
+        s.fit(x, y)
+        assert np.allclose(s.predict_stable(x[:50]), s.predict(x[:50]), atol=1e-10)

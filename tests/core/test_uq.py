@@ -169,3 +169,48 @@ class TestCalibration:
             z_values=(1.0, 2.0),
         )
         assert [r["z"] for r in rows] == [1.0, 2.0]
+
+
+class TestBitwiseBatchStability:
+    """Batched UQ must equal per-row UQ bit for bit (serving invariant)."""
+
+    def test_mcdropout_pure_function_of_inputs(self):
+        m, x, _ = _trained_dropout_model()
+        uq = MCDropoutUQ(m, n_samples=20, seed=3)
+        a = uq.predict(x[:6])
+        b = uq.predict(x[:6])
+        assert np.array_equal(a.mean, b.mean) and np.array_equal(a.std, b.std)
+
+    def test_mcdropout_batched_equals_per_row(self):
+        m, x, _ = _trained_dropout_model()
+        uq = MCDropoutUQ(m, n_samples=20, seed=3)
+        batched = uq.predict(x[:8])
+        for i in range(8):
+            row = uq.predict(x[i : i + 1])
+            assert np.array_equal(batched.mean[i], row.mean[0])
+            assert np.array_equal(batched.std[i], row.std[0])
+
+    def test_mcdropout_row_answers_independent_of_batch_composition(self):
+        m, x, _ = _trained_dropout_model()
+        uq = MCDropoutUQ(m, n_samples=10, seed=0)
+        full = uq.predict(x[:10])
+        half = uq.predict(x[5:10])
+        assert np.array_equal(full.mean[5:], half.mean)
+        assert np.array_equal(full.std[5:], half.std)
+
+    def test_deep_ensemble_batched_equals_per_row(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, (100, 1))
+        y = x**2
+
+        def build(gen):
+            m = MLP.regressor(1, [8], 1, rng=gen)
+            Trainer(m, epochs=5, rng=gen).fit(x, y)
+            return m
+
+        ens = DeepEnsembleUQ.train(build, n_members=3, rng=1)
+        batched = ens.predict(x[:6])
+        for i in range(6):
+            row = ens.predict(x[i : i + 1])
+            assert np.array_equal(batched.mean[i], row.mean[0])
+            assert np.array_equal(batched.std[i], row.std[0])

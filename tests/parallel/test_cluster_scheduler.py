@@ -174,3 +174,73 @@ class TestSchedulers:
     def test_surrogate_aware_validation(self):
         with pytest.raises(ValueError):
             SurrogateAwareScheduler(batches_per_worker=0)
+
+
+class TestOnlineDispatcher:
+    def test_matches_run_dynamic_on_static_queue(self):
+        from repro.parallel.cluster import OnlineDispatcher
+
+        tasks = [TaskSpec(i, work=w) for i, w in enumerate([4.0, 1.0, 3.0, 2.0, 5.0])]
+        cluster = _cluster(speeds=(1.0, 2.0), overhead=0.1)
+        trace = cluster.run_dynamic(tasks)
+        disp = OnlineDispatcher(
+            [Worker(0, speed=1.0), Worker(1, speed=2.0)], dispatch_overhead=0.1
+        )
+        for t in tasks:
+            disp.submit(t)
+        online = disp.trace()
+        assert online.makespan == pytest.approx(trace.makespan)
+        assert online.assignments == trace.assignments
+
+    def test_release_time_delays_start(self):
+        from repro.parallel.cluster import OnlineDispatcher
+
+        disp = OnlineDispatcher([Worker(0)])
+        _, start, end = disp.submit(TaskSpec(0, work=1.0), release=2.0)
+        assert start == 2.0 and end == 3.0
+        # Worker idles until release even though it was free earlier.
+        assert disp.next_free_at() == 3.0
+
+    def test_in_flight_counts(self):
+        from repro.parallel.cluster import OnlineDispatcher
+
+        disp = OnlineDispatcher([Worker(0), Worker(1)])
+        disp.submit(TaskSpec(0, work=2.0))
+        disp.submit(TaskSpec(1, work=4.0))
+        assert disp.in_flight(1.0) == 2
+        assert disp.in_flight(3.0) == 1
+        assert disp.in_flight(5.0) == 0
+
+    def test_deterministic_tiebreak(self):
+        from repro.parallel.cluster import OnlineDispatcher
+
+        a = OnlineDispatcher([Worker(0), Worker(1)])
+        b = OnlineDispatcher([Worker(0), Worker(1)])
+        tasks = [TaskSpec(i, work=1.0) for i in range(6)]
+        placements_a = [a.submit(t) for t in tasks]
+        placements_b = [b.submit(t) for t in tasks]
+        assert placements_a == placements_b
+
+
+class TestPackLookupBatches:
+    def test_preserves_total_work_and_counts(self):
+        from repro.parallel.scheduler import pack_lookup_batches
+
+        lookups = [TaskSpec(i, work=0.5, kind="lookup") for i in range(10)]
+        batches = pack_lookup_batches(lookups, 3)
+        assert len(batches) == 3
+        assert sum(b.work for b in batches) == pytest.approx(5.0)
+        assert all(b.task_id < 0 for b in batches)
+        assert all(b.kind == "lookup" for b in batches)
+
+    def test_fewer_lookups_than_batches(self):
+        from repro.parallel.scheduler import pack_lookup_batches
+
+        lookups = [TaskSpec(i, work=1.0, kind="lookup") for i in range(2)]
+        batches = pack_lookup_batches(lookups, 5)
+        assert len(batches) == 2
+
+    def test_empty_input(self):
+        from repro.parallel.scheduler import pack_lookup_batches
+
+        assert pack_lookup_batches([], 4) == []

@@ -1,0 +1,42 @@
+"""Smoke tests for the serving bench CLI (small n, no calibration)."""
+
+import json
+
+from repro.serve.bench import main, run_serve_bench
+
+
+class TestRunServeBench:
+    def test_payload_structure_and_criteria(self):
+        payload = run_serve_bench(n_requests=120, epochs=60, calibrate=False)
+        assert payload["benchmark"] == "serve"
+        assert len(payload["throughput_sweep"]) == 4
+        assert payload["batched_vs_unbatched"]["speedup"] >= 5.0
+        assert payload["cache"]["speedup"] >= 20.0
+        assert payload["effective_speedup_agreement"]["rel_diff"] <= 0.10
+        assert payload["criteria"]["deterministic_replay"]
+        assert payload["all_criteria_pass"]
+        json.dumps(payload)  # fully serializable
+
+    def test_rejects_tiny_runs(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            run_serve_bench(n_requests=10)
+
+
+class TestCLI:
+    def test_main_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        rc = main(
+            [
+                "--n-requests", "120",
+                "--epochs", "60",
+                "--skip-calibration",
+                "--output", str(out),
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["benchmark"] == "serve"
+        assert "wall_clock_calibration" not in payload
+        assert "criteria" in capsys.readouterr().out

@@ -1,0 +1,277 @@
+"""Unit tests for the repro.serve pipeline components."""
+
+import numpy as np
+import pytest
+
+from repro.core.surrogate import Surrogate
+from repro.parallel.cluster import Worker
+from repro.serve import (
+    DECISION_ACCEPT,
+    DECISION_DEGRADE,
+    DECISION_REJECT,
+    AdmissionController,
+    CachedResult,
+    FallbackPool,
+    MicroBatcher,
+    OpenLoopLoadGenerator,
+    PendingQuery,
+    QuantizedLRUCache,
+    Request,
+    Response,
+    ServeCostModel,
+    SimulatedClock,
+    TokenBucket,
+)
+from repro.serve.messages import SOURCE_NONE, SOURCE_SURROGATE, STATUS_OK, STATUS_REJECTED
+
+BOUNDS = np.array([[-1.0, 1.0], [0.0, 2.0]])
+
+
+def _request(qid=0, x=(0.1, 0.2), t=0.0, deadline=None):
+    return Request(query_id=qid, x=np.asarray(x, dtype=float), t_arrival=t, deadline=deadline)
+
+
+class TestClock:
+    def test_monotonic_advance(self):
+        c = SimulatedClock()
+        c.advance_to(1.5)
+        c.advance_to(1.5)
+        assert c.now == 1.5
+
+    def test_backwards_raises(self):
+        c = SimulatedClock(start=2.0)
+        with pytest.raises(ValueError):
+            c.advance_to(1.0)
+
+
+class TestMessages:
+    def test_deadline_before_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            _request(t=1.0, deadline=0.5)
+
+    def test_latency_and_served(self):
+        r = Response(
+            query_id=0, status=STATUS_OK, source=SOURCE_SURROGATE,
+            t_arrival=1.0, t_done=1.25,
+        )
+        assert r.latency == pytest.approx(0.25)
+        assert r.served
+        rej = Response(
+            query_id=1, status=STATUS_REJECTED, source=SOURCE_NONE,
+            t_arrival=1.0, t_done=1.0,
+        )
+        assert not rej.served
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        c = QuantizedLRUCache(capacity=4)
+        x = np.array([0.5, -0.5])
+        assert c.get(x) is None
+        c.put(x, CachedResult(y=np.array([1.0]), uncertainty=0.1, source="surrogate"))
+        hit = c.get(x)
+        assert hit is not None and hit.y[0] == 1.0
+        assert c.n_hits == 1 and c.n_misses == 1
+
+    def test_quantization_merges_near_duplicates(self):
+        c = QuantizedLRUCache(capacity=4, quantum=1e-3)
+        c.put(np.array([0.1000, 0.2]), CachedResult(np.array([1.0]), 0.0, "s"))
+        assert c.get(np.array([0.10004, 0.2])) is not None
+        assert c.get(np.array([0.102, 0.2])) is None
+
+    def test_lru_eviction_order(self):
+        c = QuantizedLRUCache(capacity=2)
+        a, b, d = np.array([1.0]), np.array([2.0]), np.array([3.0])
+        c.put(a, CachedResult(np.array([0.0]), 0.0, "s"))
+        c.put(b, CachedResult(np.array([0.0]), 0.0, "s"))
+        c.get(a)  # refresh a; b becomes LRU
+        c.put(d, CachedResult(np.array([0.0]), 0.0, "s"))
+        assert a in c and d in c and b not in c
+        assert c.n_evictions == 1
+
+    def test_nonfinite_key_rejected(self):
+        c = QuantizedLRUCache()
+        with pytest.raises(ValueError):
+            c.key(np.array([np.nan]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuantizedLRUCache(capacity=0)
+        with pytest.raises(ValueError):
+            QuantizedLRUCache(quantum=0.0)
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        b = TokenBucket(rate=10.0, burst=2.0)
+        assert b.try_acquire(0.0)
+        assert b.try_acquire(0.0)
+        assert not b.try_acquire(0.0)
+        assert b.try_acquire(0.1)  # one token accrued
+
+    def test_disabled_bucket_always_grants(self):
+        b = TokenBucket(rate=None)
+        assert all(b.try_acquire(0.0) for _ in range(100))
+
+    def test_time_backwards_raises(self):
+        b = TokenBucket(rate=1.0)
+        b.try_acquire(1.0)
+        with pytest.raises(ValueError):
+            b.try_acquire(0.5)
+
+
+class TestAdmission:
+    def test_depth_bands(self):
+        a = AdmissionController(max_depth=10, degrade_depth=5)
+        assert a.admit(0.0, 0) == DECISION_ACCEPT
+        assert a.admit(0.0, 5) == DECISION_DEGRADE
+        assert a.admit(0.0, 10) == DECISION_REJECT
+        assert (a.n_accepted, a.n_degraded, a.n_rejected) == (1, 1, 1)
+
+    def test_bucket_rejects_before_depth(self):
+        a = AdmissionController(max_depth=10, bucket=TokenBucket(rate=1.0, burst=1.0))
+        assert a.admit(0.0, 0) == DECISION_ACCEPT
+        assert a.admit(0.0, 0) == DECISION_REJECT
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_depth=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_depth=4, degrade_depth=5)
+
+
+class TestMicroBatcher:
+    def test_first_add_arms_timer(self):
+        b = MicroBatcher(max_batch_size=4, max_wait=0.01)
+        d = b.add(PendingQuery(_request(0)), now=1.0)
+        assert not d.flush_now and d.arm_timer_at == pytest.approx(1.01)
+        d2 = b.add(PendingQuery(_request(1)), now=1.001)
+        assert not d2.flush_now and d2.arm_timer_at is None
+
+    def test_size_flush(self):
+        b = MicroBatcher(max_batch_size=2, max_wait=1.0)
+        b.add(PendingQuery(_request(0)), now=0.0)
+        d = b.add(PendingQuery(_request(1)), now=0.0)
+        assert d.flush_now
+        batch = b.drain()
+        assert [p.request.query_id for p in batch] == [0, 1]
+        assert b.size == 0 and b.n_size_flushes == 1
+
+    def test_epoch_invalidates_stale_timers(self):
+        b = MicroBatcher(max_batch_size=2, max_wait=1.0)
+        d = b.add(PendingQuery(_request(0)), now=0.0)
+        epoch_before = d.epoch
+        b.add(PendingQuery(_request(1)), now=0.0)
+        b.drain()
+        assert b.epoch == epoch_before + 1
+
+    def test_drain_empty_is_noop(self):
+        b = MicroBatcher()
+        assert b.drain() == []
+        assert b.n_flushes == 0 and b.epoch == 0
+
+    def test_mean_batch_size(self):
+        b = MicroBatcher(max_batch_size=3, max_wait=1.0)
+        for i in range(3):
+            b.add(PendingQuery(_request(i)), now=0.0)
+        b.drain()
+        b.add(PendingQuery(_request(3)), now=0.0)
+        b.drain(timer=True)
+        assert b.mean_batch_size == pytest.approx(2.0)
+        assert b.n_timer_flushes == 1
+
+
+class TestFallbackPool:
+    def test_next_free_worker_placement(self):
+        pool = FallbackPool([Worker(0, speed=1.0), Worker(1, speed=2.0)])
+        w0, s0, e0 = pool.submit(task_id=1, work=1.0, release=0.0)
+        w1, s1, e1 = pool.submit(task_id=2, work=1.0, release=0.0)
+        assert {w0, w1} == {0, 1}
+        fast_end = min(e0, e1)
+        assert fast_end == pytest.approx(0.5)  # speed-2 worker
+
+    def test_release_delays_start(self):
+        pool = FallbackPool([Worker(0)])
+        _, start, end = pool.submit(task_id=1, work=1.0, release=3.0)
+        assert start == 3.0 and end == 4.0
+
+    def test_in_flight_and_report(self):
+        pool = FallbackPool([Worker(0)])
+        pool.submit(task_id=1, work=2.0, release=0.0)
+        assert pool.in_flight(1.0) == 1
+        assert pool.in_flight(2.5) == 0
+        rep = pool.report()
+        assert rep.makespan == pytest.approx(2.0)
+        assert pool.n_submitted == 1
+
+
+class TestCostModel:
+    def test_flush_cost_structure(self):
+        c = ServeCostModel()
+        assert c.flush_cost(0) == 0.0
+        assert c.flush_cost(4) == pytest.approx(c.t_batch_overhead + 4 * c.t_per_row_uq)
+        assert c.flush_cost(0, 3) == pytest.approx(3 * c.t_point_row)
+
+    def test_amortized_lookup_decreases_with_batch(self):
+        c = ServeCostModel()
+        assert c.amortized_lookup(64) < c.amortized_lookup(1)
+        assert c.amortized_lookup(1) == pytest.approx(c.flush_cost(1))
+
+    def test_sim_durations_deterministic_with_mean(self):
+        c = ServeCostModel()
+        d1 = c.sample_sim_durations(4000, rng=0)
+        d2 = c.sample_sim_durations(4000, rng=0)
+        assert np.array_equal(d1, d2)
+        assert d1.mean() == pytest.approx(c.t_simulate, rel=0.05)
+
+    def test_zero_cv_is_constant(self):
+        c = ServeCostModel(sim_cv=0.0)
+        assert np.all(c.sample_sim_durations(5, rng=0) == c.t_simulate)
+
+    def test_calibrate_produces_positive_constants(self, rng):
+        s = Surrogate(2, 2, hidden=(8,), dropout=0.1, epochs=5, rng=0)
+        x = rng.uniform(-1, 1, (40, 2))
+        s.fit(x, np.stack([x[:, 0], x[:, 1] ** 2], axis=1))
+        c = ServeCostModel.calibrate(s, batch_size=8, rounds=1, rng=0)
+        assert c.t_batch_overhead > 0 and c.t_per_row_uq > 0
+        assert c.t_point_row > 0 and c.t_cache_hit > 0
+
+
+class TestLoadGenerator:
+    def test_seeded_streams_identical(self):
+        g = OpenLoopLoadGenerator(100.0, BOUNDS, duplicate_fraction=0.3)
+        a = g.generate(50, rng=7)
+        b = g.generate(50, rng=7)
+        assert all(
+            ra.query_id == rb.query_id
+            and ra.t_arrival == rb.t_arrival
+            and np.array_equal(ra.x, rb.x)
+            for ra, rb in zip(a, b)
+        )
+
+    def test_arrivals_monotone_and_in_bounds(self):
+        g = OpenLoopLoadGenerator(500.0, BOUNDS)
+        reqs = g.generate(200, rng=0)
+        times = [r.t_arrival for r in reqs]
+        assert all(t2 > t1 for t1, t2 in zip(times, times[1:]))
+        X = np.stack([r.x for r in reqs])
+        assert np.all(X >= BOUNDS[:, 0]) and np.all(X <= BOUNDS[:, 1])
+
+    def test_duplicates_reissue_previous_points(self):
+        g = OpenLoopLoadGenerator(100.0, BOUNDS, duplicate_fraction=0.8)
+        reqs = g.generate(100, rng=0)
+        keys = {tuple(r.x) for r in reqs}
+        assert len(keys) < 60  # heavy duplication collapses distinct points
+
+    def test_relative_deadline_attached(self):
+        g = OpenLoopLoadGenerator(100.0, BOUNDS, relative_deadline=0.05)
+        reqs = g.generate(10, rng=0)
+        assert all(r.deadline == pytest.approx(r.t_arrival + 0.05) for r in reqs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OpenLoopLoadGenerator(0.0, BOUNDS)
+        with pytest.raises(ValueError):
+            OpenLoopLoadGenerator(1.0, np.array([[1.0, 0.0]]))
+        with pytest.raises(ValueError):
+            OpenLoopLoadGenerator(1.0, BOUNDS, duplicate_fraction=1.0)

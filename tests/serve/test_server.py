@@ -1,0 +1,247 @@
+"""Integration tests for the SurrogateServer event loop."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.effective import EffectiveSpeedupModel
+from repro.core.mlaround import MLAroundHPC, RetrainPolicy
+from repro.core.simulation import CallableSimulation
+from repro.core.surrogate import Surrogate
+from repro.parallel.cluster import Worker
+from repro.serve import (
+    AdmissionController,
+    FallbackPool,
+    MicroBatcher,
+    OpenLoopLoadGenerator,
+    ServeCostModel,
+    SurrogateServer,
+)
+from repro.serve.messages import (
+    SOURCE_CACHE,
+    SOURCE_SIMULATION,
+    SOURCE_SURROGATE,
+    STATUS_DEGRADED,
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_SHED,
+)
+
+BOUNDS = np.array([[-2.0, 2.0], [-2.0, 2.0]])
+
+
+def _fn(x):
+    return np.array([np.sin(x[0]) * np.cos(x[1]), 0.25 * x[0] * x[1]])
+
+
+def build_engine(tolerance=None, seed=0, epochs=120, retrain_every=24):
+    sim = CallableSimulation(_fn, ["a", "b"], ["u", "v"])
+    surrogate = Surrogate(2, 2, hidden=(24, 24), dropout=0.1, epochs=epochs, rng=seed)
+    engine = MLAroundHPC(
+        sim, surrogate, tolerance=tolerance,
+        policy=RetrainPolicy(min_initial_runs=16, retrain_every=retrain_every),
+        rng=seed,
+    )
+    gen = np.random.default_rng(seed)
+    engine.bootstrap(-2.0 + gen.random((48, 2)) * 4.0)
+    return engine
+
+
+def build_server(tolerance=None, seed=0, **kw):
+    engine = kw.pop("engine", None) or build_engine(tolerance=tolerance, seed=seed)
+    return SurrogateServer(engine, rng=seed + 1, **kw)
+
+
+def stream(n=200, rate=2000.0, seed=0, **kw):
+    return OpenLoopLoadGenerator(rate, BOUNDS, **kw).generate(n, rng=seed)
+
+
+class TestBasicServing:
+    def test_every_request_gets_exactly_one_response(self):
+        reqs = stream(150)
+        responses = build_server().serve(reqs)
+        assert [r.query_id for r in responses] == list(range(150))
+
+    def test_surrogate_answers_match_engine_bitwise(self):
+        reqs = stream(100)
+        server = build_server()
+        responses = server.serve(reqs)
+        reference = build_engine()  # identical seeds -> identical surrogate
+        by_id = {r.query_id: r for r in responses}
+        X = np.stack([req.x for req in reqs])
+        mean, _, _ = reference.gate_batch(X)
+        for i, req in enumerate(reqs):
+            resp = by_id[req.query_id]
+            assert resp.status == STATUS_OK and resp.source == SOURCE_SURROGATE
+            assert np.array_equal(resp.y, mean[i])
+
+    def test_latencies_positive_and_bounded_by_wait(self):
+        server = build_server(batcher=MicroBatcher(max_batch_size=64, max_wait=1e-3))
+        responses = server.serve(stream(100, rate=500.0))
+        for r in responses:
+            assert r.latency > 0
+            # wait-bound + one flush service time
+            assert r.latency < 1e-3 + server.cost.flush_cost(64) + 1e-9
+
+    def test_one_shot_serve(self):
+        server = build_server()
+        server.serve(stream(20))
+        with pytest.raises(RuntimeError):
+            server.serve(stream(20))
+
+    def test_untrained_engine_rejected(self):
+        sim = CallableSimulation(_fn, ["a", "b"], ["u", "v"])
+        engine = MLAroundHPC(sim, Surrogate(2, 2, rng=0), rng=0)
+        with pytest.raises(RuntimeError):
+            SurrogateServer(engine).serve(stream(5))
+
+
+class TestDeterminism:
+    def test_identical_streams_replay_bitwise(self):
+        reqs = stream(150, rate=3000.0, duplicate_fraction=0.3)
+        servers = [build_server(tolerance=0.6, seed=0) for _ in range(2)]
+        outs = [s.serve(reqs) for s in servers]
+        for a, b in zip(*outs):
+            assert a.query_id == b.query_id
+            assert a.status == b.status and a.source == b.source
+            assert a.t_done == b.t_done
+            if a.y is not None:
+                assert np.array_equal(a.y, b.y)
+        s0 = json.dumps(servers[0].metrics.summary(), sort_keys=True)
+        s1 = json.dumps(servers[1].metrics.summary(), sort_keys=True)
+        assert s0 == s1
+
+    def test_answers_invariant_to_batch_size(self):
+        reqs = stream(120, rate=5000.0)
+        big = build_server(batcher=MicroBatcher(max_batch_size=64))
+        small = build_server(batcher=MicroBatcher(max_batch_size=8))
+        ys_big = {r.query_id: r.y for r in big.serve(reqs)}
+        ys_small = {r.query_id: r.y for r in small.serve(reqs)}
+        for qid in ys_big:
+            assert np.array_equal(ys_big[qid], ys_small[qid])
+
+
+class TestCacheIntegration:
+    def test_duplicates_hit_cache_with_identical_answers(self):
+        reqs = stream(200, rate=2000.0, duplicate_fraction=0.5)
+        server = build_server()
+        responses = server.serve(reqs)
+        hits = [r for r in responses if r.source == SOURCE_CACHE]
+        assert hits and server.cache.n_hits == len(hits)
+        by_x = {}
+        for r in responses:
+            if r.source == SOURCE_SURROGATE:
+                by_x[tuple(r.x)] = r.y
+        for h in hits:
+            assert np.array_equal(h.y, by_x[tuple(h.x)])
+            assert h.latency == pytest.approx(server.cost.t_cache_hit)
+
+
+class TestOverloadPolicies:
+    def test_bounded_queue_rejects_under_burst(self):
+        reqs = stream(200, rate=200000.0)
+        server = build_server(
+            admission=AdmissionController(max_depth=8),
+            batcher=MicroBatcher(max_batch_size=64, max_wait=1e-2),
+        )
+        responses = server.serve(reqs)
+        rejected = [r for r in responses if r.status == STATUS_REJECTED]
+        assert rejected
+        assert all(r.y is None for r in rejected)
+        assert len(responses) == 200
+
+    def test_degraded_band_serves_point_predictions(self):
+        reqs = stream(200, rate=200000.0)
+        server = build_server(
+            admission=AdmissionController(max_depth=256, degrade_depth=4),
+            batcher=MicroBatcher(max_batch_size=64, max_wait=1e-2),
+        )
+        responses = server.serve(reqs)
+        degraded = [r for r in responses if r.status == STATUS_DEGRADED]
+        assert degraded
+        for r in degraded:
+            assert r.y is not None and np.isnan(r.uncertainty)
+
+    def test_expired_deadlines_are_shed(self):
+        reqs = stream(60, rate=500.0, relative_deadline=1e-5)
+        server = build_server(
+            batcher=MicroBatcher(max_batch_size=64, max_wait=1e-3)
+        )
+        responses = server.serve(reqs)
+        shed = [r for r in responses if r.status == STATUS_SHED]
+        assert shed and all(r.y is None for r in shed)
+
+
+class TestFallbackPath:
+    def test_uncertain_queries_fall_back_to_simulation(self):
+        engine = build_engine(tolerance=1e-9)  # gate never passes
+        server = build_server(engine=engine)
+        n_banked_before = len(engine.db)
+        responses = server.serve(stream(40, rate=100.0))
+        assert all(r.source == SOURCE_SIMULATION for r in responses if r.served)
+        assert len(engine.db) > n_banked_before  # no run is wasted
+        assert server.pool.trace().n_tasks == sum(1 for r in responses if r.served)
+        for r in responses:
+            if r.served:
+                assert r.worker_id is not None
+                assert np.array_equal(r.y, _fn(r.x))
+
+    def test_fallback_latency_includes_queueing(self):
+        engine = build_engine(tolerance=1e-9)
+        server = build_server(
+            engine=engine, pool=FallbackPool([Worker(0)])
+        )
+        responses = server.serve(stream(20, rate=10000.0))
+        served = [r for r in responses if r.served]
+        # One worker at ~50 ms per sim: later fallbacks must queue.
+        assert max(r.latency for r in served) > 5 * server.cost.t_simulate
+
+
+class TestEffectiveSpeedupAgreement:
+    def test_measured_within_ten_percent_of_analytic(self):
+        cost = ServeCostModel()
+        server = build_server(tolerance=0.6, cost=cost)
+        server.serve(stream(400, rate=2000.0))
+        ledger = server.metrics.ledger
+        n_lookup = ledger.count("lookup")
+        n_sim = ledger.count("simulate")
+        assert n_lookup > 0 and n_sim > 0
+        mean_bs = n_lookup / server.batcher.n_flushes
+        measured = server.metrics.effective_model(t_seq=cost.t_simulate).speedup(
+            n_lookup, n_sim
+        )
+        analytic = EffectiveSpeedupModel(
+            t_seq=cost.t_simulate,
+            t_train=cost.t_simulate,
+            t_learn=cost.t_retrain * ledger.count("train") / n_sim,
+            t_lookup=cost.amortized_lookup(mean_bs),
+        ).speedup(n_lookup, n_sim)
+        assert abs(measured - analytic) / analytic <= 0.10
+
+    def test_ledger_lookup_mean_matches_amortization_exactly(self):
+        cost = ServeCostModel()
+        server = build_server(cost=cost)
+        server.serve(stream(300, rate=4000.0))
+        ledger = server.metrics.ledger
+        mean_bs = ledger.count("lookup") / server.batcher.n_flushes
+        assert ledger.mean("lookup") == pytest.approx(
+            cost.amortized_lookup(mean_bs), rel=1e-12
+        )
+
+
+class TestMetrics:
+    def test_summary_is_json_serializable_and_consistent(self):
+        server = build_server(tolerance=0.6)
+        responses = server.serve(stream(150, duplicate_fraction=0.2))
+        summary = json.loads(json.dumps(server.metrics.summary()))
+        assert summary["n_requests"] == len(responses)
+        assert summary["n_served"] == sum(1 for r in responses if r.served)
+        assert 0.0 < summary["throughput"]
+        assert set(summary["status_counts"]) == {"ok", "degraded", "rejected", "shed"}
+
+    def test_percentiles_ordered(self):
+        server = build_server()
+        server.serve(stream(200))
+        m = server.metrics
+        assert m.percentile(50) <= m.percentile(99)

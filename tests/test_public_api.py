@@ -12,6 +12,7 @@ PACKAGES = [
     "repro.epi",
     "repro.tissue",
     "repro.parallel",
+    "repro.serve",
     "repro.util",
 ]
 
