@@ -1,14 +1,20 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint lint-json baseline bench check
+.PHONY: test lint lint-json baseline bench trace check
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 bench:
-	$(PYTHON) -m repro.md.bench
-	$(PYTHON) -m repro.serve.bench
+	$(PYTHON) -m repro.md.bench --trace
+	$(PYTHON) -m repro.serve.bench --trace
+
+trace:
+	$(PYTHON) -m repro.serve.bench --n-requests 300 --epochs 60 \
+		--skip-calibration --trace --trace-output /tmp/TRACE_serve.jsonl \
+		--output /tmp/BENCH_serve_trace.json
+	$(PYTHON) -m repro.obs summarize /tmp/TRACE_serve.jsonl
 
 lint:
 	$(PYTHON) -m repro.analysis src/repro

@@ -7,6 +7,7 @@ registry (each module applies ``@register_checker`` at import time).
 from repro.analysis.checkers.contracts import ContractsChecker
 from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.numerics import NumericsChecker
+from repro.analysis.checkers.obs import ObservabilityChecker
 from repro.analysis.checkers.perf import PerfChecker
 from repro.analysis.checkers.purity import PurityChecker
 
@@ -14,6 +15,7 @@ __all__ = [
     "ContractsChecker",
     "DeterminismChecker",
     "NumericsChecker",
+    "ObservabilityChecker",
     "PerfChecker",
     "PurityChecker",
 ]

@@ -1,0 +1,113 @@
+"""Observability checkers (OBS family).
+
+The repo's timing story has exactly two sanctioned surfaces: the
+:class:`~repro.util.timing.Timer`/ledger plumbing and the
+:mod:`repro.obs` tracing backbone.  Raw wall-clock reads anywhere else
+bypass both — the cost neither lands in a ledger category nor appears in
+a trace, so it silently falls out of the §III-D accounting and, worse,
+can leak nondeterministic wall time into virtual-time code paths.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import BaseChecker, FileContext, register_checker
+from repro.analysis.findings import Rule
+
+__all__ = ["ObservabilityChecker"]
+
+OBS001 = Rule(
+    "OBS001",
+    "no-raw-wall-clock",
+    "Raw time.perf_counter()/time.time() call outside the timing plumbing",
+    "Unledgered clock reads escape the §III-D accounting and smuggle wall "
+    "time into deterministic code; go through repro.util.timing or repro.obs.",
+)
+
+#: Clock-reading functions in the stdlib ``time`` module that OBS001
+#: flags.  Sleeping/formatting helpers (sleep, strftime, ...) are fine.
+_CLOCK_READS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+        "thread_time",
+        "thread_time_ns",
+    }
+)
+
+
+def _dotted_name(node: ast.AST) -> str | None:
+    """Return the dotted source form of a Name/Attribute chain, or None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@register_checker
+class ObservabilityChecker(BaseChecker):
+    """Flags wall-clock reads that bypass the timing/obs plumbing."""
+
+    rules = (OBS001,)
+
+    def __init__(self, context: FileContext):
+        super().__init__(context)
+        self._time_aliases: set[str] = set()
+        # local alias -> time-module function it names
+        self._clock_aliases: dict[str, str] = {}
+        self._exempt = context.config.is_timing_module(context.path)
+
+    # -- imports ------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "time":
+                self._time_aliases.add(alias.asname or "time")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level == 0 and node.module == "time":
+            for alias in node.names:
+                if alias.name in _CLOCK_READS:
+                    self._clock_aliases[alias.asname or alias.name] = alias.name
+        self.generic_visit(node)
+
+    # -- calls --------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if not self._exempt:
+            dotted = _dotted_name(node.func)
+            if dotted is not None:
+                fn = self._clock_read_name(dotted)
+                if fn is not None:
+                    self.report(
+                        node,
+                        "OBS001",
+                        f"raw wall-clock read time.{fn}(); use "
+                        "repro.util.timing (Timer/ledger) or a "
+                        "repro.obs.trace span so the cost is accounted",
+                    )
+        self.generic_visit(node)
+
+    def _clock_read_name(self, dotted: str) -> str | None:
+        parts = dotted.split(".")
+        if (
+            len(parts) == 2
+            and parts[0] in self._time_aliases
+            and parts[1] in _CLOCK_READS
+        ):
+            return parts[1]
+        if len(parts) == 1 and parts[0] in self._clock_aliases:
+            return self._clock_aliases[parts[0]]
+        return None

@@ -12,7 +12,12 @@ from __future__ import annotations
 import sys
 from dataclasses import dataclass, field, replace
 
-__all__ = ["AnalysisConfig", "DEFAULT_ALLOWED_ROOTS", "DEFAULT_RNG_MODULES"]
+__all__ = [
+    "AnalysisConfig",
+    "DEFAULT_ALLOWED_ROOTS",
+    "DEFAULT_RNG_MODULES",
+    "DEFAULT_TIMING_MODULES",
+]
 
 # Third-party import roots the purity checker accepts anywhere under
 # src/repro (stdlib modules are always allowed on top of these).
@@ -21,6 +26,11 @@ DEFAULT_ALLOWED_ROOTS: frozenset[str] = frozenset({"numpy", "scipy", "networkx",
 # Modules allowed to construct unseeded generators / own the RNG plumbing.
 # Matched as posix path suffixes against the linted file's path.
 DEFAULT_RNG_MODULES: tuple[str, ...] = ("repro/util/rng.py",)
+
+# Modules allowed to read raw wall clocks (OBS001).  Entries ending in
+# "/" are directory markers matched as path substrings; everything else
+# is a posix path suffix, like the RNG list.
+DEFAULT_TIMING_MODULES: tuple[str, ...] = ("repro/util/timing.py", "repro/obs/")
 
 
 def _stdlib_names() -> frozenset[str]:
@@ -43,6 +53,10 @@ class AnalysisConfig:
     rng_module_suffixes:
         Path suffixes of modules exempt from DET003/DET005 because they
         *are* the RNG plumbing.
+    timing_module_suffixes:
+        Path suffixes (or ``.../``-terminated directory markers) of
+        modules exempt from OBS001 because they *are* the timing /
+        observability plumbing.
     select:
         If non-empty, only these rule ids (or family prefixes) run.
     ignore:
@@ -52,6 +66,7 @@ class AnalysisConfig:
     allowed_import_roots: frozenset[str] = DEFAULT_ALLOWED_ROOTS
     stdlib_roots: frozenset[str] = field(default_factory=_stdlib_names)
     rng_module_suffixes: tuple[str, ...] = DEFAULT_RNG_MODULES
+    timing_module_suffixes: tuple[str, ...] = DEFAULT_TIMING_MODULES
     select: frozenset[str] = frozenset()
     ignore: frozenset[str] = frozenset()
 
@@ -71,6 +86,13 @@ class AnalysisConfig:
     def is_rng_module(self, posix_path: str) -> bool:
         """Return True when ``posix_path`` is part of the RNG plumbing."""
         return any(posix_path.endswith(sfx) for sfx in self.rng_module_suffixes)
+
+    def is_timing_module(self, posix_path: str) -> bool:
+        """Return True when ``posix_path`` may read raw wall clocks."""
+        return any(
+            (sfx in posix_path) if sfx.endswith("/") else posix_path.endswith(sfx)
+            for sfx in self.timing_module_suffixes
+        )
 
     def import_allowed(self, root: str) -> bool:
         """Return True when top-level module ``root`` may be imported."""

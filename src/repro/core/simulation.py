@@ -16,13 +16,13 @@ feasibility model).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.util.rng import ensure_rng
+from repro.util.timing import Timer
 
 __all__ = [
     "SimulationError",
@@ -78,16 +78,15 @@ class Simulation:
                 f"({', '.join(self.input_names)}), got {x.size}"
             )
         gen = ensure_rng(rng)
-        start = time.perf_counter()
-        y = self._run(x, gen)
-        elapsed = time.perf_counter() - start
+        with Timer() as t:
+            y = self._run(x, gen)
         y = np.asarray(y, dtype=float).ravel()
         if y.size != self.n_outputs:
             raise RuntimeError(
                 f"{type(self).__name__}._run returned {y.size} outputs, "
                 f"expected {self.n_outputs}"
             )
-        return RunRecord(inputs=x, outputs=y, wall_seconds=elapsed, success=True)
+        return RunRecord(inputs=x, outputs=y, wall_seconds=t.elapsed, success=True)
 
     def run_recorded(
         self,
@@ -97,15 +96,15 @@ class Simulation:
     ) -> "RunRecord":
         """Run and append to ``db``; failures are recorded, then re-raised."""
         x = np.asarray(x, dtype=float).ravel()
-        start = time.perf_counter()
+        t = Timer()
         try:
-            record = self.run(x, rng)
+            with t:
+                record = self.run(x, rng)
         except SimulationError as exc:
-            elapsed = time.perf_counter() - start
             record = RunRecord(
                 inputs=x,
                 outputs=np.full(self.n_outputs, np.nan),
-                wall_seconds=elapsed,
+                wall_seconds=t.elapsed,
                 success=False,
                 error=str(exc),
             )

@@ -12,6 +12,7 @@ output" but "can the prediction be trusted" (§III-B).
 from __future__ import annotations
 
 import json
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -108,6 +109,15 @@ class Surrogate:
         self.report: SurrogateReport | None = None
         self.uq_backend: UQBackend | None = None
         self._uq_samples = 50
+        #: Optional duck-typed repro.obs.trace.Tracer; when set, fit and
+        #: the predict paths are wrapped in kind="nn" spans.  Kept
+        #: duck-typed (no repro.obs import) so core stays cycle-free.
+        self.tracer = None
+
+    def _span(self, name: str, n_rows: int):
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(name, "nn", attrs={"n_rows": int(n_rows)})
 
     # ------------------------------------------------------------------
     def fit(self, X: np.ndarray, Y: np.ndarray) -> SurrogateReport:
@@ -138,18 +148,21 @@ class Surrogate:
         test_idx, train_idx = order[:n_test], order[n_test:]
         X_train, Y_train = X[train_idx], Y[train_idx]
 
-        Xs = self.x_scaler.fit_transform(X_train)
-        Ys = self.y_scaler.fit_transform(Y_train)
-        trainer = Trainer(
-            self.model,
-            optimizer=Adam(self._lr),
-            epochs=self._epochs,
-            batch_size=self._batch_size,
-            validation_fraction=0.15 if self._patience else 0.0,
-            early_stopping=EarlyStopping(self._patience) if self._patience else None,
-            rng=self._train_rng,
-        )
-        trainer.fit(Xs, Ys)
+        with self._span("surrogate.fit", len(X_train)):
+            Xs = self.x_scaler.fit_transform(X_train)
+            Ys = self.y_scaler.fit_transform(Y_train)
+            trainer = Trainer(
+                self.model,
+                optimizer=Adam(self._lr),
+                epochs=self._epochs,
+                batch_size=self._batch_size,
+                validation_fraction=0.15 if self._patience else 0.0,
+                early_stopping=EarlyStopping(self._patience)
+                if self._patience
+                else None,
+                rng=self._train_rng,
+            )
+            trainer.fit(Xs, Ys)
         self._fitted = True
 
         if self.model.has_dropout():
@@ -186,8 +199,9 @@ class Surrogate:
         """Point predictions in original output units, shape (n, K)."""
         self._require_fitted()
         X = np.atleast_2d(np.asarray(X, dtype=float))
-        Zs = self.model.predict(self.x_scaler.transform(X))
-        return self.y_scaler.inverse_transform(Zs)
+        with self._span("surrogate.predict", len(X)):
+            Zs = self.model.predict(self.x_scaler.transform(X))
+            return self.y_scaler.inverse_transform(Zs)
 
     def predict_stable(self, X: np.ndarray) -> np.ndarray:
         """Row-stable point predictions, shape (n, K).
@@ -200,8 +214,9 @@ class Surrogate:
         """
         self._require_fitted()
         X = np.atleast_2d(np.asarray(X, dtype=float))
-        Zs = self.model.predict_stable(self.x_scaler.transform(X))
-        return self.y_scaler.inverse_transform(Zs)
+        with self._span("surrogate.predict_stable", len(X)):
+            Zs = self.model.predict_stable(self.x_scaler.transform(X))
+            return self.y_scaler.inverse_transform(Zs)
 
     def predict_with_uncertainty(self, X: np.ndarray) -> UQResult:
         """Predictive mean and std in original units (requires a UQ backend).
@@ -229,10 +244,11 @@ class Surrogate:
         X = np.atleast_2d(np.asarray(X, dtype=float))
         # Scale once, one backend call for the whole matrix; both transforms
         # are elementwise, so they preserve the backend's row stability.
-        raw = self.uq_backend.predict(self.x_scaler.transform(X))
-        mean = self.y_scaler.inverse_transform(raw.mean)
-        std = raw.std * self.y_scaler.scale_std()
-        return UQResult(mean=mean, std=std)
+        with self._span("surrogate.predict_uq", len(X)):
+            raw = self.uq_backend.predict(self.x_scaler.transform(X))
+            mean = self.y_scaler.inverse_transform(raw.mean)
+            std = raw.std * self.y_scaler.scale_std()
+            return UQResult(mean=mean, std=std)
 
     # ------------------------------------------------------------------
     # serialization — "enable real-time, anytime, and anywhere access to
@@ -296,6 +312,7 @@ class Surrogate:
         surrogate._train_rng = None
         surrogate._split_rng = None
         surrogate._uq_samples = 50
+        surrogate.tracer = None
         rep = payload.get("report")
         surrogate.report = (
             None

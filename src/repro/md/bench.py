@@ -12,6 +12,13 @@ The engine is timed in steady state (repeated calls at fixed positions,
 after the initial build), which is the regime the MD loop lives in
 between rebuilds; the first-call build cost and the rebuild counter are
 recorded alongside so list-construction overhead stays visible.
+
+With ``--trace``, each size is additionally timed through an engine
+carrying a :class:`~repro.obs.trace.Tracer` and
+:class:`~repro.obs.metrics.MetricRegistry`; the traced-vs-untraced
+steady-state ratio is recorded per size and the largest size (the only
+one slow enough to resolve a 5% bound above timer noise) gates the
+``trace_overhead_lt_5pct`` criterion in the BENCH JSON.
 """
 
 from __future__ import annotations
@@ -28,6 +35,8 @@ from repro.md.forces import PairTable, cell_list_forces, pairwise_forces
 from repro.md.neighbors import DEFAULT_SKIN, ForceEngine
 from repro.md.potentials import LennardJones
 from repro.md.system import ParticleSystem, SlitBox
+from repro.obs.metrics import MetricRegistry
+from repro.obs.trace import Tracer
 from repro.util.rng import ensure_rng
 
 __all__ = ["build_bench_system", "bench_force_kernels", "main"]
@@ -80,6 +89,7 @@ def bench_force_kernels(
     skin: float = DEFAULT_SKIN,
     density: float = 0.4,
     seed: int = 0,
+    trace: bool = False,
 ) -> dict:
     """Run the N-sweep and return the JSON-serializable result payload."""
     if rounds < 1:
@@ -108,23 +118,34 @@ def bench_force_kernels(
         rebuilds_before = engine.n_rebuilds
         t_verlet = _best_of(lambda: engine.compute(system), rounds)
 
-        results.append(
-            {
-                "n": int(n),
-                "t_reference_s": t_ref,
-                "t_cell_list_s": t_cell,
-                "t_verlet_engine_s": t_verlet,
-                "t_verlet_first_build_s": t_build,
-                "speedup_cell_vs_reference": t_ref / t_cell,
-                "speedup_verlet_vs_reference": t_ref / t_verlet,
-                "speedup_verlet_vs_cell": t_cell / t_verlet,
-                "n_pairs": engine.nlist.n_pairs if engine.nlist else 0,
-                "n_rebuilds_during_timing": engine.n_rebuilds - rebuilds_before,
-                "max_rel_force_error": rel_err,
-                "rel_energy_error": energy_rel_err,
-            }
-        )
-    return {
+        row = {
+            "n": int(n),
+            "t_reference_s": t_ref,
+            "t_cell_list_s": t_cell,
+            "t_verlet_engine_s": t_verlet,
+            "t_verlet_first_build_s": t_build,
+            "speedup_cell_vs_reference": t_ref / t_cell,
+            "speedup_verlet_vs_reference": t_ref / t_verlet,
+            "speedup_verlet_vs_cell": t_cell / t_verlet,
+            "n_pairs": engine.nlist.n_pairs if engine.nlist else 0,
+            "n_rebuilds_during_timing": engine.n_rebuilds - rebuilds_before,
+            "max_rel_force_error": rel_err,
+            "rel_energy_error": energy_rel_err,
+        }
+        if trace:
+            tracer = Tracer(meta={"benchmark": "md_force_kernels", "n": int(n)})
+            registry = MetricRegistry()
+            traced_engine = ForceEngine(
+                table, skin=skin, tracer=tracer, registry=registry
+            )
+            traced_engine.compute(system)  # build outside the timed region
+            t_traced = _best_of(lambda: traced_engine.compute(system), rounds)
+            row["t_verlet_traced_s"] = t_traced
+            row["trace_overhead"] = t_traced / t_verlet - 1.0
+            row["traced_n_spans"] = tracer.n_spans
+            row["traced_reuses"] = registry.counter("md.neighbor.reuses").value
+        results.append(row)
+    payload = {
         "benchmark": "md_force_kernels",
         "potential": "LennardJones",
         "rcut": rcut,
@@ -134,6 +155,15 @@ def bench_force_kernels(
         "seed": seed,
         "results": results,
     }
+    if trace:
+        largest = max(results, key=lambda r: r["n"])
+        payload["trace"] = {
+            "overhead_at_largest_n": largest["trace_overhead"],
+            "criteria": {
+                "trace_overhead_lt_5pct": bool(largest["trace_overhead"] < 0.05)
+            },
+        }
+    return payload
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -170,6 +200,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="RNG seed for the benchmark configurations (default: %(default)s)",
     )
     parser.add_argument(
+        "--trace", action="store_true",
+        help="also time a traced engine per size and gate instrumentation "
+        "overhead at the largest N (< 5%%)",
+    )
+    parser.add_argument(
         "--output", default=DEFAULT_OUTPUT,
         help=f"output JSON path (default: {DEFAULT_OUTPUT})",
     )
@@ -182,6 +217,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         skin=args.skin,
         density=args.density,
         seed=args.seed,
+        trace=args.trace,
     )
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
     for row in payload["results"]:
@@ -191,6 +227,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"verlet {row['t_verlet_engine_s'] * 1e3:8.2f} ms  "
             f"speedup(verlet/ref) {row['speedup_verlet_vs_reference']:7.1f}x  "
             f"max rel err {row['max_rel_force_error']:.2e}"
+        )
+    if "trace" in payload:
+        t = payload["trace"]
+        print(
+            f"trace overhead at largest N: {t['overhead_at_largest_n'] * 100:.2f}% "
+            f"(criteria: {t['criteria']})"
         )
     print(f"wrote {args.output}")
     return 0

@@ -163,13 +163,34 @@ class ForceEngine:
         Interactions; the engine is permanently bound to this table.
     skin:
         Verlet skin distance handed to the :class:`NeighborList`.
+    tracer:
+        Optional duck-typed :class:`~repro.obs.trace.Tracer`; when set,
+        every :meth:`compute` call is recorded as a span of kind
+        ``"md.rebuild"`` or ``"md.reuse"`` depending on whether the
+        neighbor list had to be reconstructed.
+    registry:
+        Optional duck-typed :class:`~repro.obs.metrics.MetricRegistry`;
+        when set, the engine mirrors its build counter into
+        ``md.neighbor.builds`` / ``md.neighbor.reuses`` counters and the
+        current pair count into the ``md.neighbor.pairs`` gauge.  Both
+        hooks are duck-typed so :mod:`repro.md` never imports
+        :mod:`repro.obs`.
     """
 
-    def __init__(self, table: PairTable, *, skin: float = DEFAULT_SKIN):
+    def __init__(
+        self,
+        table: PairTable,
+        *,
+        skin: float = DEFAULT_SKIN,
+        tracer=None,
+        registry=None,
+    ):
         self.table = table
         self.skin = check_positive("skin", skin)
         self.nlist: NeighborList | None = None
         self._fr_scratch: np.ndarray | None = None
+        self.tracer = tracer
+        self.registry = registry
 
     # -- bookkeeping ---------------------------------------------------
 
@@ -188,11 +209,15 @@ class ForceEngine:
         self.nlist = None
         self._fr_scratch = None
 
-    def prepare(self, system: ParticleSystem) -> None:
-        """Build the list for ``system``, or refresh it if stale."""
+    def prepare(self, system: ParticleSystem) -> bool:
+        """Build the list for ``system``, or refresh it if stale.
+
+        Returns whether a (re)build happened — the flag the tracer uses
+        to classify the enclosing force call as rebuild vs. reuse.
+        """
         rcut = self.table.max_rcut
         if not self.table.pair_potentials or rcut <= 0 or system.n < 2:
-            return
+            return False
         if (
             self.nlist is None
             or self.nlist.rcut != rcut
@@ -201,16 +226,52 @@ class ForceEngine:
         ):
             self.nlist = NeighborList(system, rcut, self.skin)
             self._fr_scratch = None
-        elif self.nlist.ensure_current(system):
+            self._note_build(rebuilt=True)
+            return True
+        if self.nlist.ensure_current(system):
             self._fr_scratch = None
+            self._note_build(rebuilt=True)
+            return True
+        self._note_build(rebuilt=False)
+        return False
+
+    def _note_build(self, *, rebuilt: bool) -> None:
+        """Mirror one prepare outcome into the bound metric registry."""
+        if self.registry is None:
+            return
+        name = "md.neighbor.builds" if rebuilt else "md.neighbor.reuses"
+        self.registry.counter(name).inc()
+        if self.nlist is not None:
+            self.registry.gauge("md.neighbor.pairs").set(self.nlist.n_pairs)
 
     # -- full-system forces --------------------------------------------
 
     def compute(self, system: ParticleSystem) -> tuple[np.ndarray, float]:
         """Forces and potential energy at the current positions."""
+        if self.tracer is None:
+            return self._compute(system)
+        sid = self.tracer.open_span("force.compute", "md.reuse")
+        rebuilt = False
+        try:
+            rebuilt = self.prepare(system)
+            return self._compute(system, prepared=True)
+        finally:
+            self.tracer.close_span(
+                sid,
+                kind="md.rebuild" if rebuilt else "md.reuse",
+                attrs={
+                    "n": int(system.n),
+                    "n_pairs": self.nlist.n_pairs if self.nlist else 0,
+                },
+            )
+
+    def _compute(
+        self, system: ParticleSystem, *, prepared: bool = False
+    ) -> tuple[np.ndarray, float]:
         forces = np.zeros_like(system.x)
         energy = 0.0
-        self.prepare(system)
+        if not prepared:
+            self.prepare(system)
         if self.nlist is not None and self.nlist.n_pairs:
             if (
                 self._fr_scratch is None

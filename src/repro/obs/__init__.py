@@ -1,0 +1,80 @@
+"""repro.obs: deterministic tracing, metrics and profiling backbone.
+
+The paper's effective-speedup argument (§III-D) stands or falls on
+*measured* component costs — ``T_seq``, ``T_train``, ``T_learn``,
+``T_lookup``.  This package is the shared event model those measurements
+flow through:
+
+* :mod:`~repro.obs.span` / :mod:`~repro.obs.trace` — hierarchical,
+  attributed :class:`Span` intervals recorded by a :class:`Tracer`
+  against either wall clock or the serving layer's
+  :class:`~repro.serve.clock.SimulatedClock`, so discrete-event runs
+  produce bitwise-reproducible traces;
+* :mod:`~repro.obs.metrics` — a :class:`MetricRegistry` of counters,
+  gauges and fixed-bucket histograms with deterministic aggregation (no
+  reservoir sampling), the sink the serving metrics, neighbor-list
+  counters and :class:`~repro.util.timing.WallClockLedger` mirror into;
+* :mod:`~repro.obs.export` — canonical JSONL trace files plus text/JSON
+  reporters following the :mod:`repro.analysis` reporter protocol;
+* :mod:`~repro.obs.summary` — per-kind profiles, critical path, and
+  :func:`ledger_from_spans`, which folds a trace's ledger-kind spans
+  back into §III-D form so ``python -m repro.obs summarize`` reproduces
+  a served run's measured effective speedup from the trace file alone.
+
+Instrumented producers: ``serve.server`` (admit → batch → cache → gate →
+surrogate/fallback), ``core.surrogate`` fit/predict, the
+``md.neighbors.ForceEngine`` rebuild/reuse path, and
+``parallel.cluster.OnlineDispatcher`` placement.
+"""
+
+from repro.obs.export import (
+    dumps_trace,
+    loads_trace,
+    read_trace,
+    render_json,
+    render_text,
+    write_trace,
+)
+from repro.obs.metrics import (
+    DEFAULT_TIME_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+)
+from repro.obs.span import (
+    KIND_CACHE,
+    KIND_LOOKUP,
+    KIND_SIMULATE,
+    KIND_TRAIN,
+    LEDGER_KINDS,
+    Span,
+)
+from repro.obs.summary import critical_path, ledger_from_spans, summarize
+from repro.obs.trace import ClockLike, Tracer, WallClock
+
+__all__ = [
+    "ClockLike",
+    "Counter",
+    "DEFAULT_TIME_EDGES",
+    "Gauge",
+    "Histogram",
+    "KIND_CACHE",
+    "KIND_LOOKUP",
+    "KIND_SIMULATE",
+    "KIND_TRAIN",
+    "LEDGER_KINDS",
+    "MetricRegistry",
+    "Span",
+    "Tracer",
+    "WallClock",
+    "critical_path",
+    "dumps_trace",
+    "ledger_from_spans",
+    "loads_trace",
+    "read_trace",
+    "render_json",
+    "render_text",
+    "summarize",
+    "write_trace",
+]

@@ -1,0 +1,8 @@
+"""Module entry point for ``python -m repro.obs``."""
+
+from repro.obs.cli import main
+
+__all__: list[str] = []
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,96 @@
+"""Command-line interface: ``python -m repro.obs <command> trace.jsonl``.
+
+Two subcommands over a JSONL trace file:
+
+* ``summarize`` — per-span-kind totals, critical path, top-k slowest
+  spans, and (when the trace carries ledger-kind spans) the §III-D
+  effective-speedup block reconstructed from the trace alone;
+* ``speedup`` — just the reconstructed
+  :class:`~repro.core.effective.EffectiveSpeedupModel` inputs and the
+  speedup at the trace's own lookup/simulate mix, as JSON.
+
+Exit codes: 0 = success, 2 = usage or trace error (missing file,
+malformed JSONL, ``speedup`` on a trace without simulate+lookup spans).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.obs.export import read_trace, render_json, render_text
+from repro.obs.summary import summarize
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description=(
+            "Summarize a repro.obs JSONL trace: per-kind totals, critical "
+            "path, slowest spans, and the reconstructed §III-D effective "
+            "speedup."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sum = sub.add_parser("summarize", help="profile a trace file")
+    p_sum.add_argument("trace", help="JSONL trace file to summarize")
+    p_sum.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    p_sum.add_argument(
+        "--top-k",
+        type=int,
+        default=5,
+        help="number of slowest spans to report (default: %(default)s)",
+    )
+
+    p_speed = sub.add_parser(
+        "speedup", help="emit only the reconstructed §III-D block as JSON"
+    )
+    p_speed.add_argument("trace", help="JSONL trace file to analyze")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the trace analyzer; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    trace_path = Path(args.trace)
+    try:
+        spans, meta = read_trace(trace_path)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read trace {trace_path}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.command == "speedup":
+        summary = summarize(spans, meta=meta)
+        effective = summary["effective"]
+        if effective is None:
+            print(
+                f"error: {trace_path} has no simulate+lookup spans; "
+                "cannot reconstruct the effective speedup",
+                file=sys.stderr,
+            )
+            return 2
+        print(json.dumps(effective, indent=2, sort_keys=True))
+        return 0
+
+    try:
+        summary = summarize(spans, meta=meta, top_k=args.top_k)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(summary))
+    else:
+        print(render_text(summary))
+    return 0

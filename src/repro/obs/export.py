@@ -1,0 +1,162 @@
+"""Trace export: JSONL event log writer/reader and summary reporters.
+
+The on-disk format is one JSON object per line, deterministic byte for
+byte (sorted keys, compact separators) so a replayed run's trace file
+can be compared with ``cmp``:
+
+* line 1 — ``{"event": "header", "version": 1, "meta": {...}}`` carrying
+  the tracer's free-form metadata (seeds, cost constants, ``t_seq``);
+* every further line — ``{"event": "span", ...}`` with the
+  :meth:`~repro.obs.span.Span.to_dict` body, in span-id order.
+
+The text/JSON reporters follow the same protocol as
+:mod:`repro.analysis.reporters`: pure functions from a summary dict to a
+string, so the CLI and CI consume one stable surface.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.obs.span import Span
+
+__all__ = [
+    "TRACE_VERSION",
+    "dumps_trace",
+    "loads_trace",
+    "write_trace",
+    "read_trace",
+    "render_text",
+    "render_json",
+]
+
+TRACE_VERSION = 1
+
+
+def _as_spans(trace) -> list[Span]:
+    """Accept a Tracer (anything with ``.spans``/``.meta``) or a span list."""
+    spans = trace.spans if hasattr(trace, "spans") else list(trace)
+    return sorted(spans, key=lambda s: s.span_id)
+
+
+def dumps_trace(trace, *, meta: dict | None = None) -> str:
+    """Serialize a trace to its canonical JSONL string.
+
+    ``trace`` is a :class:`~repro.obs.trace.Tracer` or a sequence of
+    spans; ``meta`` overrides the tracer's own metadata when given.
+    Output is deterministic: spans sorted by id, keys sorted, compact
+    separators, trailing newline.
+    """
+    if meta is None:
+        meta = getattr(trace, "meta", None) or {}
+    lines = [
+        json.dumps(
+            {"event": "header", "version": TRACE_VERSION, "meta": meta},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+    ]
+    for span in _as_spans(trace):
+        body = {"event": "span"}
+        body.update(span.to_dict())
+        lines.append(json.dumps(body, sort_keys=True, separators=(",", ":")))
+    return "\n".join(lines) + "\n"
+
+
+def loads_trace(text: str) -> tuple[list[Span], dict]:
+    """Parse a JSONL trace string back into ``(spans, meta)``.
+
+    Spans are returned in span-id order.  Unknown event types are
+    rejected so a corrupt or foreign file fails loudly rather than
+    silently dropping data.
+    """
+    spans: list[Span] = []
+    meta: dict = {}
+    saw_header = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        if not raw.strip():
+            continue
+        payload = json.loads(raw)
+        event = payload.get("event")
+        if event == "header":
+            if saw_header:
+                raise ValueError(f"line {lineno}: duplicate trace header")
+            version = payload.get("version")
+            if version != TRACE_VERSION:
+                raise ValueError(
+                    f"line {lineno}: unsupported trace version {version!r}"
+                )
+            meta = dict(payload.get("meta", {}))
+            saw_header = True
+        elif event == "span":
+            spans.append(Span.from_dict(payload))
+        else:
+            raise ValueError(f"line {lineno}: unknown trace event {event!r}")
+    if not saw_header:
+        raise ValueError("trace has no header line")
+    return sorted(spans, key=lambda s: s.span_id), meta
+
+
+def write_trace(path: str | Path, trace, *, meta: dict | None = None) -> Path:
+    """Write a trace as JSONL to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(dumps_trace(trace, meta=meta))
+    return path
+
+
+def read_trace(path: str | Path) -> tuple[list[Span], dict]:
+    """Read a JSONL trace file back into ``(spans, meta)``."""
+    return loads_trace(Path(path).read_text())
+
+
+# ----------------------------------------------------------------------
+# Reporters over the summary dict produced by repro.obs.summary.summarize.
+def render_text(summary: dict) -> str:
+    """Human-readable report: kind table, critical path, slowest spans."""
+    lines = [
+        f"trace: {summary['n_spans']} spans over "
+        f"{summary['wall_seconds']:.6g} s "
+        f"[{summary['t_min']:.6g}, {summary['t_max']:.6g}]"
+    ]
+    lines.append("per-kind totals:")
+    for kind, row in summary["kinds"].items():
+        lines.append(
+            f"  {kind:<12} count {row['count']:>7}  "
+            f"total {row['total_seconds']:.6g} s  "
+            f"mean {row['mean_seconds']:.3g} s"
+        )
+    path = summary["critical_path"]
+    lines.append(
+        f"critical path ({summary['critical_path_seconds']:.6g} s, "
+        f"{len(path)} spans):"
+    )
+    for hop in path:
+        lines.append(
+            f"  #{hop['id']} {hop['name']} [{hop['kind']}] "
+            f"{hop['duration']:.6g} s"
+        )
+    lines.append("slowest spans:")
+    for hop in summary["slowest"]:
+        lines.append(
+            f"  #{hop['id']} {hop['name']} [{hop['kind']}] "
+            f"{hop['duration']:.6g} s @ t={hop['t_start']:.6g}"
+        )
+    effective = summary.get("effective")
+    if effective is not None:
+        lines.append(
+            "effective speedup (§III-D, from ledger-kind spans alone): "
+            f"S = {effective['speedup']:.4g} at "
+            f"n_lookup={effective['n_lookup']}, "
+            f"n_train={effective['n_train']} "
+            f"(lookup limit {effective['lookup_limit']:.4g})"
+        )
+    else:
+        lines.append("effective speedup: n/a (no simulate+lookup spans)")
+    return "\n".join(lines)
+
+
+def render_json(summary: dict) -> str:
+    """Machine-readable report: the summary dict, stable key order."""
+    return json.dumps(summary, indent=2, sort_keys=True)

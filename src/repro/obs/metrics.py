@@ -1,0 +1,263 @@
+"""Deterministic metrics: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricRegistry` is the shared sink the subsystem-local
+counters (``ServeMetrics`` status/source tallies, ``NeighborList`` build
+counters, the :class:`~repro.util.timing.WallClockLedger`) adapt onto,
+so one snapshot describes a whole mixed ML-around-HPC run.
+
+Aggregation is exact and order-deterministic by construction: counters
+and gauges are plain accumulators, and :class:`Histogram` uses *fixed*
+bucket edges chosen at creation — never reservoir sampling, never
+adaptive re-bucketing — so two replays of the same run produce
+bitwise-identical snapshots, and merging shards is plain addition.
+Quantiles interpolated from histogram buckets are approximations with a
+known resolution (the bucket width); populations that need exact
+percentiles (the serve latency populations) keep their full sample list
+and use the histogram only as the mergeable summary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "DEFAULT_TIME_EDGES",
+]
+
+#: Default histogram edges for timing populations: half-decade geometric
+#: spacing from 1 ns to 100 s.  Fixed at import time so every timing
+#: histogram in a process is mergeable with every other.
+DEFAULT_TIME_EDGES: tuple[float, ...] = tuple(
+    float(10.0 ** (e / 2.0)) for e in range(-18, 5)
+)
+
+
+class Counter:
+    """A monotonically increasing tally."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the tally."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease ({amount})")
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot."""
+        return {"type": "counter", "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A point-in-time value (queue depth, pair count, hit rate)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        self.value = float(value)
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot."""
+        return {"type": "gauge", "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact count/sum/min/max sidecars.
+
+    ``edges`` are the strictly increasing upper bounds of the first
+    ``len(edges)`` buckets; one overflow bucket catches everything
+    larger.  Observation is O(log buckets) (binary search) and two
+    histograms with identical edges merge by adding counts — the
+    property that makes per-shard metrics aggregation deterministic.
+    """
+
+    __slots__ = ("name", "edges", "bucket_counts", "count", "total", "vmin", "vmax")
+
+    def __init__(self, name: str, edges: tuple[float, ...] | None = None):
+        self.name = name
+        self.edges = tuple(float(e) for e in (edges or DEFAULT_TIME_EDGES))
+        if not self.edges:
+            raise ValueError("histogram needs at least one bucket edge")
+        if any(b <= a for a, b in zip(self.edges, self.edges[1:])):
+            raise ValueError(f"histogram edges must be strictly increasing: {edges}")
+        self.bucket_counts = [0] * (len(self.edges) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.vmin = float("inf")
+        self.vmax = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the buckets and exact sidecars."""
+        value = float(value)
+        if not np.isfinite(value):
+            raise ValueError(f"histogram {self.name!r} observed non-finite {value!r}")
+        idx = int(np.searchsorted(self.edges, value, side="left"))
+        self.bucket_counts[idx] += 1
+        self.count += 1
+        self.total += value
+        self.vmin = min(self.vmin, value)
+        self.vmax = max(self.vmax, value)
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Deterministic bucket-interpolated quantile, ``q`` in [0, 1].
+
+        Resolution is the containing bucket's width: the estimate
+        interpolates linearly inside the bucket, clamped to the exact
+        observed ``[min, max]``.  Returns NaN when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.count == 0:
+            return float("nan")
+        target = q * self.count
+        seen = 0.0
+        for idx, n in enumerate(self.bucket_counts):
+            if n == 0:
+                continue
+            if seen + n >= target:
+                lo = self.vmin if idx == 0 else self.edges[idx - 1]
+                hi = self.vmax if idx == len(self.edges) else self.edges[idx]
+                lo = max(lo, self.vmin)
+                hi = min(hi, self.vmax)
+                frac = (target - seen) / n
+                return float(min(max(lo + frac * (hi - lo), self.vmin), self.vmax))
+            seen += n
+        return self.vmax
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram with identical edges into this one."""
+        if other.edges != self.edges:
+            raise ValueError(
+                f"cannot merge histograms with different edges "
+                f"({self.name!r} vs {other.name!r})"
+            )
+        for i, n in enumerate(other.bucket_counts):
+            self.bucket_counts[i] += n
+        self.count += other.count
+        self.total += other.total
+        self.vmin = min(self.vmin, other.vmin)
+        self.vmax = max(self.vmax, other.vmax)
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot (exact sidecars + bucket counts)."""
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.vmin if self.count else 0.0,
+            "max": self.vmax if self.count else 0.0,
+            "edges": list(self.edges),
+            "buckets": list(self.bucket_counts),
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count}, mean={self.mean:.3g})"
+
+
+class MetricRegistry:
+    """Named get-or-create store of counters, gauges and histograms.
+
+    One registry describes one run.  Metric names are dotted paths
+    (``"serve.status.ok"``, ``"md.neighbor.builds"``); a name is bound
+    to its metric type at first use and re-requesting it with a
+    different type is an error — silent type morphing is how dashboards
+    lie.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, cls, *args):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {type(existing).__name__}, "
+                    f"requested as {cls.__name__}"
+                )
+            return existing
+        metric = cls(name, *args)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge called ``name``."""
+        return self._get_or_create(name, Gauge)
+
+    def histogram(
+        self, name: str, edges: tuple[float, ...] | None = None
+    ) -> Histogram:
+        """Get or create the histogram called ``name``.
+
+        ``edges`` only applies at creation; a later lookup with
+        different edges raises so all writers share one bucketing.
+        """
+        hist = self._get_or_create(name, Histogram, edges)
+        if edges is not None and hist.edges != tuple(float(e) for e in edges):
+            raise ValueError(f"histogram {name!r} already exists with other edges")
+        return hist
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        """Return the metric called ``name``, or None."""
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        """Sorted metric names."""
+        return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def as_dict(self) -> dict:
+        """Stable (name-sorted) JSON-ready snapshot of every metric."""
+        return {name: self._metrics[name].as_dict() for name in self.names()}
+
+    def merge_ledger(self, ledger, prefix: str = "ledger") -> None:
+        """Fold a :class:`~repro.util.timing.WallClockLedger` snapshot in.
+
+        One-shot aggregation of an *existing* ledger: per category,
+        ``<prefix>.<name>.count`` and ``<prefix>.<name>.seconds``
+        counters gain the record's count and total.  For continuous
+        no-drift mirroring, construct the ledger with
+        ``WallClockLedger(registry=...)`` instead, which routes every
+        ``record`` call through this registry as it happens.
+        """
+        for name in ledger.categories():
+            rec = ledger[name]
+            self.counter(f"{prefix}.{name}.count").inc(rec.count)
+            self.counter(f"{prefix}.{name}.seconds").inc(rec.total_seconds)
+
+    def __repr__(self) -> str:
+        return f"MetricRegistry(n={len(self._metrics)})"

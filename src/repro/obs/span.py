@@ -1,0 +1,114 @@
+"""The span model: one named, timed, attributed interval of work.
+
+A :class:`Span` is the unit of the tracing backbone — a half-open
+interval ``[t_start, t_end]`` on some clock (wall or simulated), with a
+``kind`` that groups spans for aggregation and a ``parent_id`` that
+links spans into trees.  Spans are plain frozen values: recorded once by
+a :class:`~repro.obs.trace.Tracer`, serialized losslessly by
+:mod:`repro.obs.export`, and folded into summaries by
+:mod:`repro.obs.summary`.
+
+The ``kind`` vocabulary is deliberately shared with the
+:class:`~repro.util.timing.WallClockLedger` categories — spans of kind
+``"lookup"``, ``"simulate"``, ``"train"`` and ``"cache"`` ARE the ledger
+entries of a traced run, which is what lets
+:func:`repro.obs.summary.ledger_from_spans` rebuild the §III-D
+effective-speedup inputs from a trace file alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Span",
+    "KIND_LOOKUP",
+    "KIND_SIMULATE",
+    "KIND_TRAIN",
+    "KIND_CACHE",
+    "LEDGER_KINDS",
+]
+
+#: Span kinds that double as :class:`~repro.util.timing.WallClockLedger`
+#: categories.  A span of one of these kinds contributes its duration as
+#: one ledger record when a trace is folded back into §III-D form.
+KIND_LOOKUP = "lookup"
+KIND_SIMULATE = "simulate"
+KIND_TRAIN = "train"
+KIND_CACHE = "cache"
+LEDGER_KINDS = (KIND_LOOKUP, KIND_SIMULATE, KIND_TRAIN, KIND_CACHE)
+
+
+@dataclass(frozen=True)
+class Span:
+    """One timed interval of work in a trace.
+
+    Attributes
+    ----------
+    span_id:
+        Tracer-local identifier, dense from 0 in creation order.
+    parent_id:
+        ``span_id`` of the enclosing span, or ``None`` for a root.
+    name:
+        Human label for this occurrence (``"flush"``, ``"fallback"``).
+    kind:
+        Aggregation group; ledger-compatible kinds are listed in
+        :data:`LEDGER_KINDS`, everything else is free-form.
+    t_start, t_end:
+        Interval endpoints in seconds on the tracer's clock.  Virtual
+        when traced against a simulated clock, wall seconds otherwise.
+    attrs:
+        JSON-serializable key/value annotations (query ids, batch fill,
+        worker placement, ...).
+    """
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    kind: str
+    t_start: float
+    t_end: float
+    attrs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.span_id < 0:
+            raise ValueError(f"span_id must be >= 0, got {self.span_id}")
+        if not self.name:
+            raise ValueError("span name must be non-empty")
+        if not self.kind:
+            raise ValueError("span kind must be non-empty")
+        if self.t_end < self.t_start:
+            raise ValueError(
+                f"span {self.name!r} ends before it starts "
+                f"({self.t_end} < {self.t_start})"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds, ``t_end - t_start``."""
+        return self.t_end - self.t_start
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (the JSONL event body)."""
+        return {
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "kind": self.kind,
+            "t0": self.t_start,
+            "t1": self.t_end,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Span":
+        """Rebuild a span from :meth:`to_dict` output."""
+        return cls(
+            span_id=int(payload["id"]),
+            parent_id=None if payload["parent"] is None else int(payload["parent"]),
+            name=str(payload["name"]),
+            kind=str(payload["kind"]),
+            t_start=float(payload["t0"]),
+            t_end=float(payload["t1"]),
+            attrs=dict(payload.get("attrs", {})),
+        )

@@ -1,0 +1,156 @@
+"""Trace analysis: per-kind totals, critical path, §III-D reconstruction.
+
+:func:`summarize` folds a span list into the profile the CLI reports;
+:func:`ledger_from_spans` is the bridge back to the effective-performance
+machinery — spans whose kind is one of
+:data:`~repro.obs.span.LEDGER_KINDS` are replayed, in span-id order, into
+a fresh :class:`~repro.util.timing.WallClockLedger`, so
+:meth:`~repro.core.effective.EffectiveSpeedupModel.from_ledger` computes
+the measured §III-D speedup from the trace file alone.  Because the
+serving loop emits exactly one ledger-kind span per ledger record, the
+reconstructed ledger matches the live one to float rounding and the
+speedup agrees with ``BENCH_serve.json`` far inside its 2% acceptance
+band.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.effective import EffectiveSpeedupModel
+from repro.obs.span import LEDGER_KINDS, Span
+from repro.util.timing import WallClockLedger
+
+__all__ = ["ledger_from_spans", "critical_path", "summarize"]
+
+
+def ledger_from_spans(spans: Sequence[Span]) -> WallClockLedger:
+    """Rebuild the wall-clock ledger a traced run recorded.
+
+    Only ledger-kind spans contribute; each adds its duration under its
+    kind.  Replay order is span-id order — the order the live run
+    recorded in — so float accumulation matches the original ledger.
+    """
+    ledger = WallClockLedger()
+    for span in sorted(spans, key=lambda s: s.span_id):
+        if span.kind in LEDGER_KINDS:
+            ledger.record(span.kind, span.duration)
+    return ledger
+
+
+def critical_path(spans: Sequence[Span]) -> list[Span]:
+    """Deterministic heaviest chain: root → child, maximizing duration.
+
+    A profile-style heuristic, not a scheduling analysis: start from the
+    longest root span and repeatedly descend into the longest child
+    (ties broken by lowest span id).  On DES traces where the root spans
+    the whole run this surfaces the dominant stage at each level.
+    """
+    if not spans:
+        return []
+    children: dict[int | None, list[Span]] = {}
+    for span in sorted(spans, key=lambda s: s.span_id):
+        children.setdefault(span.parent_id, []).append(span)
+
+    def heaviest(candidates: list[Span]) -> Span:
+        return max(candidates, key=lambda s: (s.duration, -s.span_id))
+
+    path = [heaviest(children.get(None, sorted(spans, key=lambda s: s.span_id)))]
+    while True:
+        kids = children.get(path[-1].span_id)
+        if not kids:
+            return path
+        path.append(heaviest(kids))
+
+
+def _span_row(span: Span) -> dict:
+    return {
+        "id": span.span_id,
+        "name": span.name,
+        "kind": span.kind,
+        "duration": span.duration,
+        "t_start": span.t_start,
+    }
+
+
+def summarize(
+    spans: Sequence[Span], *, meta: dict | None = None, top_k: int = 5
+) -> dict:
+    """Profile a trace into a JSON-ready summary dict.
+
+    The ``effective`` block is present when the trace contains both
+    ``simulate`` and ``lookup`` spans: the §III-D model is rebuilt via
+    :func:`ledger_from_spans` and evaluated at the trace's own
+    lookup/simulate counts, with ``t_seq`` taken from ``meta["t_seq"]``
+    when the producer recorded it (the serve bench does) and the
+    measured mean simulate time otherwise.
+    """
+    if top_k < 1:
+        raise ValueError(f"top_k must be >= 1, got {top_k}")
+    spans = sorted(spans, key=lambda s: s.span_id)
+    meta = dict(meta or {})
+    if not spans:
+        return {
+            "version": 1,
+            "n_spans": 0,
+            "t_min": 0.0,
+            "t_max": 0.0,
+            "wall_seconds": 0.0,
+            "kinds": {},
+            "critical_path": [],
+            "critical_path_seconds": 0.0,
+            "slowest": [],
+            "ledger": {},
+            "effective": None,
+            "meta": meta,
+        }
+
+    kinds: dict[str, dict] = {}
+    for span in spans:
+        row = kinds.setdefault(
+            span.kind, {"count": 0, "total_seconds": 0.0, "mean_seconds": 0.0}
+        )
+        row["count"] += 1
+        row["total_seconds"] += span.duration
+    for row in kinds.values():
+        row["mean_seconds"] = row["total_seconds"] / row["count"]
+    kinds = {k: kinds[k] for k in sorted(kinds)}
+
+    path = critical_path(spans)
+    slowest = sorted(spans, key=lambda s: (-s.duration, s.span_id))[:top_k]
+    ledger = ledger_from_spans(spans)
+
+    effective = None
+    if ledger.count("simulate") and ledger.count("lookup"):
+        t_seq = meta.get("t_seq")
+        model = EffectiveSpeedupModel.from_ledger(
+            ledger, t_seq=float(t_seq) if t_seq is not None else None
+        )
+        n_lookup = ledger.count("lookup")
+        n_train = ledger.count("simulate")
+        effective = {
+            "t_seq": model.t_seq,
+            "t_train": model.t_train,
+            "t_learn": model.t_learn,
+            "t_lookup": model.t_lookup,
+            "n_lookup": n_lookup,
+            "n_train": n_train,
+            "speedup": model.speedup(n_lookup, n_train),
+            "no_ml_limit": model.no_ml_limit,
+            "lookup_limit": model.lookup_limit,
+        }
+
+    return {
+        "version": 1,
+        "n_spans": len(spans),
+        "t_min": min(s.t_start for s in spans),
+        "t_max": max(s.t_end for s in spans),
+        "wall_seconds": max(s.t_end for s in spans) - min(s.t_start for s in spans),
+        "kinds": kinds,
+        "critical_path": [_span_row(s) for s in path],
+        "critical_path_seconds": sum(s.duration for s in path),
+        "slowest": [_span_row(s) for s in slowest],
+        "ledger": ledger.as_dict(),
+        "effective": effective,
+        "meta": meta,
+    }

@@ -1,0 +1,234 @@
+"""Hierarchical span recording against wall or simulated clocks.
+
+A :class:`Tracer` is the single recording surface of the observability
+backbone.  It supports two styles, usable together on one tracer:
+
+* **scoped spans** (:meth:`Tracer.span`) — a context manager that reads
+  the tracer's clock at entry and exit and parents to the innermost
+  open span; this is how wall-clock call sites (``Surrogate.fit``, the
+  :class:`~repro.md.neighbors.ForceEngine`) are instrumented;
+* **explicit spans** (:meth:`Tracer.record`, or
+  :meth:`Tracer.open_span` / :meth:`Tracer.close_span`) — endpoints are
+  supplied by the caller; this is how discrete-event code
+  (:class:`~repro.serve.server.SurrogateServer`,
+  :class:`~repro.parallel.cluster.OnlineDispatcher`) records spans whose
+  coordinates are *virtual* seconds computed ahead of time.
+
+The clock is anything exposing a monotonic ``.now`` float property —
+:class:`~repro.serve.clock.SimulatedClock` satisfies it, and the default
+:class:`WallClock` reads ``time.perf_counter``.  A tracer driven only by
+explicit virtual coordinates never touches its clock, so a served run
+traced this way is bitwise reproducible: identical inputs produce an
+identical span list, byte for byte after export.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Protocol
+
+from repro.obs.span import Span
+
+__all__ = ["ClockLike", "WallClock", "Tracer"]
+
+
+class ClockLike(Protocol):
+    """Anything with a monotonic ``now`` property in seconds."""
+
+    @property
+    def now(self) -> float:  # pragma: no cover - protocol signature
+        ...
+
+
+class WallClock:
+    """The default tracer clock: ``time.perf_counter`` behind ``.now``."""
+
+    @property
+    def now(self) -> float:
+        """Current wall time in seconds (perf_counter origin)."""
+        return time.perf_counter()
+
+    def __repr__(self) -> str:
+        return "WallClock()"
+
+
+class _OpenSpan:
+    """Mutable bookkeeping for a span that has started but not ended."""
+
+    __slots__ = ("span_id", "parent_id", "name", "kind", "t_start", "attrs")
+
+    def __init__(self, span_id, parent_id, name, kind, t_start, attrs):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.kind = kind
+        self.t_start = t_start
+        self.attrs = attrs
+
+
+class Tracer:
+    """Records :class:`~repro.obs.span.Span` values in creation order.
+
+    Parameters
+    ----------
+    clock:
+        Time source for scoped spans; ``None`` means :class:`WallClock`.
+        Pass the serving layer's
+        :class:`~repro.serve.clock.SimulatedClock` to stamp scoped spans
+        in virtual time.
+    meta:
+        Free-form JSON-serializable annotations for the whole trace
+        (cost-model constants, seeds, scenario names); carried through
+        export/import and consulted by the summarizer (e.g. ``t_seq``).
+    """
+
+    def __init__(self, clock: ClockLike | None = None, meta: dict | None = None):
+        self.clock: ClockLike = clock if clock is not None else WallClock()
+        self.meta: dict = dict(meta) if meta else {}
+        self._spans: list[Span] = []
+        self._open: dict[int, _OpenSpan] = {}
+        self._stack: list[int] = []
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def spans(self) -> list[Span]:
+        """Completed spans in completion order (a copy)."""
+        return list(self._spans)
+
+    @property
+    def n_spans(self) -> int:
+        """Number of completed spans."""
+        return len(self._spans)
+
+    @property
+    def current_span_id(self) -> int | None:
+        """Id of the innermost open span, or ``None`` at the root."""
+        return self._stack[-1] if self._stack else None
+
+    def _take_id(self) -> int:
+        sid = self._next_id
+        self._next_id += 1
+        return sid
+
+    # ------------------------------------------------------------------
+    def open_span(
+        self,
+        name: str,
+        kind: str = "span",
+        *,
+        t_start: float | None = None,
+        parent_id: int | None = None,
+        attrs: dict | None = None,
+    ) -> int:
+        """Start a span and push it onto the parenting stack.
+
+        ``t_start`` defaults to the clock's ``now``; ``parent_id``
+        defaults to the innermost open span.  Returns the new span id,
+        to be passed to :meth:`close_span`.
+        """
+        if parent_id is None:
+            parent_id = self.current_span_id
+        if t_start is None:
+            t_start = self.clock.now
+        sid = self._take_id()
+        self._open[sid] = _OpenSpan(
+            sid, parent_id, name, kind, float(t_start), dict(attrs or {})
+        )
+        self._stack.append(sid)
+        return sid
+
+    def close_span(
+        self,
+        span_id: int,
+        *,
+        t_end: float | None = None,
+        attrs: dict | None = None,
+        kind: str | None = None,
+    ) -> Span:
+        """Finish an open span, recording it; extra ``attrs`` are merged.
+
+        ``kind`` reclassifies the span at close time, for work whose
+        category is only known from its outcome (a force call that turned
+        out to rebuild its neighbor list rather than reuse it).
+        """
+        if span_id not in self._open:
+            raise ValueError(f"span {span_id} is not open")
+        pending = self._open.pop(span_id)
+        self._stack.remove(span_id)
+        if t_end is None:
+            t_end = self.clock.now
+        if attrs:
+            pending.attrs.update(attrs)
+        span = Span(
+            span_id=pending.span_id,
+            parent_id=pending.parent_id,
+            name=pending.name,
+            kind=kind if kind is not None else pending.kind,
+            t_start=pending.t_start,
+            t_end=float(t_end),
+            attrs=pending.attrs,
+        )
+        self._spans.append(span)
+        return span
+
+    @contextmanager
+    def span(
+        self, name: str, kind: str = "span", attrs: dict | None = None
+    ) -> Iterator[int]:
+        """Scoped span: clock-stamped at entry and exit, auto-parented.
+
+        Yields the span id so the body can attach attributes via
+        :meth:`annotate`.  The span is recorded even when the body
+        raises, so failed work stays visible in the trace.
+        """
+        sid = self.open_span(name, kind, attrs=attrs)
+        try:
+            yield sid
+        finally:
+            self.close_span(sid)
+
+    def annotate(self, span_id: int, **attrs) -> None:
+        """Attach attributes to a still-open span."""
+        if span_id not in self._open:
+            raise ValueError(f"span {span_id} is not open")
+        self._open[span_id].attrs.update(attrs)
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        name: str,
+        kind: str,
+        t_start: float,
+        t_end: float,
+        *,
+        parent_id: int | None = None,
+        attrs: dict | None = None,
+    ) -> Span:
+        """Record a completed span with explicit endpoints.
+
+        The discrete-event entry point: the caller supplies virtual
+        coordinates, the clock is never consulted.  ``parent_id``
+        defaults to the innermost open span, so event-loop spans nest
+        under a run-level root opened with :meth:`open_span`.
+        """
+        if parent_id is None:
+            parent_id = self.current_span_id
+        span = Span(
+            span_id=self._take_id(),
+            parent_id=parent_id,
+            name=name,
+            kind=kind,
+            t_start=float(t_start),
+            t_end=float(t_end),
+            attrs=dict(attrs or {}),
+        )
+        self._spans.append(span)
+        return span
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer(clock={self.clock!r}, spans={len(self._spans)}, "
+            f"open={len(self._open)})"
+        )

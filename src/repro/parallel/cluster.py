@@ -108,15 +108,27 @@ class OnlineDispatcher:
         The pool; ids must be unique.
     dispatch_overhead:
         Per-task cost of pulling work from the shared queue.
+    tracer:
+        Optional duck-typed :class:`~repro.obs.trace.Tracer`; when set,
+        every placement is recorded as an explicit-coordinate span of
+        kind ``"dispatch"`` at the task's virtual ``[start, end]``, with
+        the worker id and queue wait in its attrs.
     """
 
-    def __init__(self, workers: list[Worker], dispatch_overhead: float = 0.0):
+    def __init__(
+        self,
+        workers: list[Worker],
+        dispatch_overhead: float = 0.0,
+        *,
+        tracer=None,
+    ):
         if not workers:
             raise ValueError("need at least one worker")
         if dispatch_overhead < 0:
             raise ValueError(f"dispatch_overhead must be >= 0, got {dispatch_overhead}")
         self.workers = list(workers)
         self.dispatch_overhead = float(dispatch_overhead)
+        self.tracer = tracer
         self._busy = np.zeros(len(self.workers))
         self._trace = ExecutionTrace(makespan=0.0, worker_busy=self._busy)
         self._counter = itertools.count()
@@ -145,6 +157,18 @@ class OnlineDispatcher:
         self._busy[i] += dur
         self._ends.append(end)
         heapq.heappush(self._heap, (end, next(self._counter), i))
+        if self.tracer is not None:
+            self.tracer.record(
+                "dispatch",
+                "dispatch",
+                start,
+                end,
+                attrs={
+                    "task_id": int(task.task_id),
+                    "worker_id": int(w.worker_id),
+                    "queue_wait": start - release,
+                },
+            )
         return w.worker_id, start, end
 
     def in_flight(self, now: float) -> int:

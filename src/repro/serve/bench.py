@@ -22,6 +22,14 @@ All scenario numbers are virtual-time and bitwise reproducible (the
 summaries); the optional calibration block is the only wall-clock
 section and exists to show the cost constants are the right order of
 magnitude on this machine.
+
+With ``--trace``, the agreement scenario is additionally re-run with a
+:class:`~repro.obs.trace.Tracer` attached: the trace is written as
+JSONL, a traced replay must reproduce it byte for byte, the §III-D
+speedup reconstructed from the trace alone must match the measured value
+within 2%, and the wall-clock instrumentation overhead (best-of serve
+times, traced vs. untraced) must stay under 5% — all recorded as
+criteria in the BENCH JSON.
 """
 
 from __future__ import annotations
@@ -37,6 +45,9 @@ from repro.core.effective import EffectiveSpeedupModel
 from repro.core.mlaround import MLAroundHPC, RetrainPolicy
 from repro.core.simulation import CallableSimulation
 from repro.core.surrogate import Surrogate
+from repro.obs.export import dumps_trace
+from repro.obs.summary import summarize
+from repro.obs.trace import Tracer
 from repro.parallel.cluster import Worker
 from repro.serve.batching import MicroBatcher
 from repro.serve.cost import ServeCostModel
@@ -45,6 +56,7 @@ from repro.serve.loadgen import OpenLoopLoadGenerator
 from repro.serve.messages import SOURCE_CACHE, SOURCE_SURROGATE
 from repro.serve.server import SurrogateServer
 from repro.util.rng import ensure_rng
+from repro.util.timing import Timer
 
 __all__ = ["build_engine", "run_serve_bench", "main"]
 
@@ -100,7 +112,9 @@ def _run(
     max_wait: float = 1e-3,
     n_workers: int = 4,
     epochs: int = 200,
-) -> SurrogateServer:
+    tracer: Tracer | None = None,
+) -> tuple[SurrogateServer, float]:
+    """Serve ``requests`` on a fresh engine; returns (server, serve wall s)."""
     engine = build_engine(tolerance=tolerance, seed=seed, epochs=epochs)
     server = SurrogateServer(
         engine,
@@ -108,9 +122,11 @@ def _run(
         batcher=MicroBatcher(max_batch_size=max_batch_size, max_wait=max_wait),
         pool=FallbackPool([Worker(i) for i in range(n_workers)]),
         rng=seed + 1,
+        tracer=tracer,
     )
-    server.serve(requests)
-    return server
+    with Timer() as t:
+        server.serve(requests)
+    return server, t.elapsed
 
 
 def run_serve_bench(
@@ -119,6 +135,8 @@ def run_serve_bench(
     seed: int = 0,
     epochs: int = 200,
     calibrate: bool = True,
+    trace: bool = False,
+    trace_output: str | Path | None = None,
 ) -> dict:
     """Run all scenarios and return the JSON-serializable payload."""
     if n_requests < 50:
@@ -129,7 +147,7 @@ def run_serve_bench(
     sweep = []
     for rate in (500.0, 2000.0, 8000.0, 32000.0):
         gen = OpenLoopLoadGenerator(rate, SERVE_BOUNDS)
-        server = _run(
+        server, _ = _run(
             gen.generate(n_requests, rng=seed),
             tolerance=None,
             seed=seed,
@@ -152,11 +170,11 @@ def run_serve_bench(
     # ---- scenario 2: batched vs unbatched saturation throughput -------
     sat_gen = OpenLoopLoadGenerator(50000.0, SERVE_BOUNDS)
     sat_requests = sat_gen.generate(n_requests, rng=seed)
-    batched = _run(
+    batched, _ = _run(
         sat_requests, tolerance=None, seed=seed, cost=cost,
         max_batch_size=64, epochs=epochs,
     )
-    unbatched = _run(
+    unbatched, _ = _run(
         sat_requests, tolerance=None, seed=seed, cost=cost,
         max_batch_size=1, max_wait=0.0, epochs=epochs,
     )
@@ -174,7 +192,7 @@ def run_serve_bench(
     dup_gen = OpenLoopLoadGenerator(
         4000.0, SERVE_BOUNDS, duplicate_fraction=0.6
     )
-    cache_server = _run(
+    cache_server, _ = _run(
         dup_gen.generate(n_requests, rng=seed), tolerance=None, seed=seed,
         cost=cost, epochs=epochs,
     )
@@ -190,14 +208,14 @@ def run_serve_bench(
     }
 
     # ---- scenario 4: measured vs analytic effective speedup -----------
-    def agreement_run() -> SurrogateServer:
+    def agreement_run(tracer: Tracer | None = None) -> tuple[SurrogateServer, float]:
         agen = OpenLoopLoadGenerator(2000.0, SERVE_BOUNDS)
         return _run(
             agen.generate(n_requests, rng=seed), tolerance=0.6, seed=seed,
-            cost=cost, epochs=epochs,
+            cost=cost, epochs=epochs, tracer=tracer,
         )
 
-    ag = agreement_run()
+    ag, t_untraced = agreement_run()
     ledger = ag.metrics.ledger
     n_lookup = ledger.count("lookup")
     n_sim = ledger.count("simulate")
@@ -227,7 +245,7 @@ def run_serve_bench(
     }
 
     # ---- determinism: an identical replay must match bitwise ----------
-    replay = agreement_run()
+    replay, _ = agreement_run()
     deterministic = json.dumps(ag.metrics.summary(), sort_keys=True) == json.dumps(
         replay.metrics.summary(), sort_keys=True
     )
@@ -238,6 +256,60 @@ def run_serve_bench(
         "effective_agreement_le_10pct": bool(rel_diff <= 0.10),
         "deterministic_replay": bool(deterministic),
     }
+
+    # ---- optional: traced agreement run + overhead guard --------------
+    trace_block = None
+    trace_text = None
+    if trace:
+        trace_meta = {
+            "benchmark": "serve",
+            "scenario": "effective_speedup_agreement",
+            "seed": seed,
+            "n_requests": n_requests,
+            "t_seq": cost.t_simulate,
+        }
+        traced, t_traced = agreement_run(Tracer(meta=trace_meta))
+        traced_replay, t_traced2 = agreement_run(Tracer(meta=trace_meta))
+        # Tracing must not perturb the run: the traced metrics must match
+        # the untraced scenario bitwise, and two traced runs must emit
+        # byte-identical JSONL.
+        trace_text = dumps_trace(traced.tracer)
+        trace_is_deterministic = trace_text == dumps_trace(traced_replay.tracer)
+        trace_preserves_run = json.dumps(
+            traced.metrics.summary(), sort_keys=True
+        ) == json.dumps(ag.metrics.summary(), sort_keys=True)
+        # Overhead: best-of serve wall times.  Extra rounds are
+        # interleaved so machine-load drift lands on both sides; the min
+        # converges to each variant's floor and their ratio isolates the
+        # instrumentation cost from retrain-time jitter.
+        wall_untraced = [t_untraced]
+        wall_traced = [t_traced, t_traced2]
+        for _ in range(3):
+            wall_untraced.append(agreement_run()[1])
+            wall_traced.append(agreement_run(Tracer(meta=trace_meta))[1])
+        best_untraced = min(wall_untraced)
+        best_traced = min(wall_traced)
+        overhead = best_traced / best_untraced - 1.0
+        trace_summary = summarize(traced.tracer.spans, meta=traced.tracer.meta)
+        speedup_from_trace = trace_summary["effective"]["speedup"]
+        trace_rel_diff = abs(speedup_from_trace - measured) / measured
+        trace_block = {
+            "n_spans": trace_summary["n_spans"],
+            "per_kind": trace_summary["kinds"],
+            "speedup_from_trace": speedup_from_trace,
+            "rel_diff_vs_measured": trace_rel_diff,
+            "t_serve_untraced_s": best_untraced,
+            "t_serve_traced_s": best_traced,
+            "overhead": overhead,
+        }
+        criteria["deterministic_traced_replay"] = bool(
+            trace_is_deterministic and trace_preserves_run
+        )
+        criteria["trace_speedup_within_2pct"] = bool(trace_rel_diff <= 0.02)
+        criteria["trace_overhead_lt_5pct"] = bool(overhead < 0.05)
+        if trace_output is not None:
+            Path(trace_output).write_text(trace_text)
+            trace_block["output"] = str(trace_output)
 
     payload = {
         "benchmark": "serve",
@@ -260,6 +332,8 @@ def run_serve_bench(
         "criteria": criteria,
         "all_criteria_pass": bool(all(criteria.values())),
     }
+    if trace_block is not None:
+        payload["trace"] = trace_block
     if calibrate:
         calibrated = ServeCostModel.calibrate(
             build_engine(tolerance=None, seed=seed, epochs=epochs).surrogate,
@@ -298,6 +372,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="omit the wall-clock calibration block (CI smoke runs)",
     )
     parser.add_argument(
+        "--trace", action="store_true",
+        help="re-run the agreement scenario with a Tracer attached, write "
+        "the trace as JSONL, and gate on replay determinism, trace-derived "
+        "speedup agreement, and instrumentation overhead",
+    )
+    parser.add_argument(
+        "--trace-output", default="TRACE_serve.jsonl",
+        help="trace JSONL path when --trace is set (default: %(default)s)",
+    )
+    parser.add_argument(
         "--output", default=DEFAULT_OUTPUT,
         help=f"output JSON path (default: {DEFAULT_OUTPUT})",
     )
@@ -307,6 +391,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         seed=args.seed,
         epochs=args.epochs,
         calibrate=not args.skip_calibration,
+        trace=args.trace,
+        trace_output=args.trace_output if args.trace else None,
     )
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
     b = payload["batched_vs_unbatched"]
@@ -324,6 +410,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         f"effective speedup measured {a['measured_speedup']:.1f} vs analytic "
         f"{a['analytic_speedup']:.1f}  (rel diff {a['rel_diff'] * 100:.2f}%)"
     )
+    if "trace" in payload:
+        t = payload["trace"]
+        print(
+            f"trace: {t['n_spans']} spans, speedup {t['speedup_from_trace']:.1f} "
+            f"({t['rel_diff_vs_measured'] * 100:.2f}% vs measured), "
+            f"overhead {t['overhead'] * 100:.2f}%"
+        )
     print(f"criteria: {payload['criteria']}")
     print(f"wrote {args.output}")
     return 0

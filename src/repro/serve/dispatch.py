@@ -38,6 +38,10 @@ class FallbackPool:
         self.n_workers = len(workers)
         self.n_submitted = 0
 
+    def bind_tracer(self, tracer) -> None:
+        """Route placements into a duck-typed tracer as dispatch spans."""
+        self._dispatcher.tracer = tracer
+
     def submit(
         self, task_id: int, work: float, release: float
     ) -> tuple[int, float, float]:

@@ -12,9 +12,16 @@ point: :meth:`effective_model` hands the served ledger straight to
 §III-D machinery the analytic experiments use, and the two can be
 compared number-for-number at the same lookup fraction.
 
+Counters live in a :class:`~repro.obs.metrics.MetricRegistry` (the
+status/source tallies are ``serve.status.*`` / ``serve.source.*``
+counters, latencies feed ``serve.latency.*`` histograms, and the ledger
+is constructed bound to the registry so the two can never drift); the
+dict-shaped accessors are thin views over those metrics.
+
 All latencies are virtual seconds; percentile aggregation uses
 ``np.percentile`` over the recorded populations, never sampling, so a
-replayed run reports bitwise-identical metrics.
+replayed run reports bitwise-identical metrics.  The registry histograms
+are the mergeable fixed-bucket summaries of the same populations.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.effective import EffectiveSpeedupModel
+from repro.obs.metrics import MetricRegistry
 from repro.serve.messages import (
     SOURCE_CACHE,
     SOURCE_SIMULATION,
@@ -41,35 +49,70 @@ _SOURCES = (SOURCE_CACHE, SOURCE_SURROGATE, SOURCE_SIMULATION)
 
 
 class ServeMetrics:
-    """Accumulates per-stage counters, latency populations and the ledger."""
+    """Accumulates per-stage counters, latency populations and the ledger.
 
-    def __init__(self) -> None:
-        self.ledger = WallClockLedger()
-        self.status_counts: dict[str, int] = {s: 0 for s in _STATUSES}
-        self.source_counts: dict[str, int] = {s: 0 for s in _SOURCES}
+    Parameters
+    ----------
+    registry:
+        Metrics sink shared with the rest of the run; a private
+        :class:`~repro.obs.metrics.MetricRegistry` is created when not
+        given.
+    """
+
+    def __init__(self, registry: MetricRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricRegistry()
+        self.ledger = WallClockLedger(registry=self.registry, prefix="serve.ledger")
         self._latency: dict[str, list[float]] = {s: [] for s in _SOURCES}
         self.t_first_arrival = float("inf")
         self.t_last_done = 0.0
-        self.n_requests = 0
+        for status in _STATUSES:
+            self.registry.counter(f"serve.status.{status}")
+        for source in _SOURCES:
+            self.registry.counter(f"serve.source.{source}")
 
     # ------------------------------------------------------------------
     def observe(self, response: Response) -> None:
         """Fold one response into the counters."""
-        if response.status not in self.status_counts:
+        if response.status not in _STATUSES:
             raise ValueError(f"unknown status {response.status!r}")
-        self.n_requests += 1
-        self.status_counts[response.status] += 1
+        self.registry.counter("serve.requests").inc()
+        self.registry.counter(f"serve.status.{response.status}").inc()
         self.t_first_arrival = min(self.t_first_arrival, response.t_arrival)
         self.t_last_done = max(self.t_last_done, response.t_done)
         if response.served:
-            self.source_counts[response.source] += 1
+            self.registry.counter(f"serve.source.{response.source}").inc()
             self._latency[response.source].append(response.latency)
+            self.registry.histogram(
+                f"serve.latency.{response.source}"
+            ).observe(response.latency)
 
     # ------------------------------------------------------------------
     @property
+    def status_counts(self) -> dict[str, int]:
+        """Responses per admission status (view over the registry)."""
+        return {
+            s: int(self.registry.counter(f"serve.status.{s}").value)
+            for s in _STATUSES
+        }
+
+    @property
+    def source_counts(self) -> dict[str, int]:
+        """Served responses per answer source (view over the registry)."""
+        return {
+            s: int(self.registry.counter(f"serve.source.{s}").value)
+            for s in _SOURCES
+        }
+
+    @property
+    def n_requests(self) -> int:
+        """Total responses observed."""
+        return int(self.registry.counter("serve.requests").value)
+
+    @property
     def n_served(self) -> int:
         """Requests that received an answer (ok or degraded)."""
-        return self.status_counts[STATUS_OK] + self.status_counts[STATUS_DEGRADED]
+        counts = self.status_counts
+        return counts[STATUS_OK] + counts[STATUS_DEGRADED]
 
     @property
     def duration(self) -> float:
@@ -93,7 +136,14 @@ class ServeMetrics:
         return np.asarray(pop, dtype=float)
 
     def percentile(self, q: float, source: str | None = None) -> float:
-        """Latency percentile ``q`` (in [0, 100]) over served traffic."""
+        """Latency percentile ``q`` (in [0, 100]) over served traffic.
+
+        Returns NaN for an empty population (e.g. a source filter that
+        matched nothing); rejects ``q`` outside [0, 100] rather than
+        letting ``np.percentile`` raise from deep inside.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
         pop = self.latencies(source)
         if pop.size == 0:
             return float("nan")

@@ -23,6 +23,15 @@ is virtual time from the :class:`~repro.serve.cost.ServeCostModel`.
 Identical seeded request streams therefore produce bitwise-identical
 responses, metrics and ledger, while the served numbers remain honest
 model outputs rather than wall-clock noise.
+
+When a :class:`~repro.obs.trace.Tracer` is attached, the loop records an
+explicit-coordinate span for every stage — admit verdicts, batch
+flushes, cache hits, per-row UQ lookups, fallback simulations and
+retrains — at the same virtual endpoints the ledger books, one
+ledger-kind span per ledger record.  The trace is therefore bitwise
+reproducible like everything else, and folding its ledger-kind spans
+back through :func:`repro.obs.summary.ledger_from_spans` reconstructs
+this run's §III-D inputs from the trace file alone.
 """
 
 from __future__ import annotations
@@ -79,6 +88,12 @@ class SurrogateServer:
     rng:
         Seed/generator for the log-normal fallback *durations* (virtual
         time only — answers never depend on it).
+    tracer:
+        Optional duck-typed :class:`~repro.obs.trace.Tracer`.  The
+        server only ever records spans at explicit virtual coordinates,
+        so the tracer's own clock is never consulted and tracing cannot
+        perturb the run.  The fallback pool's dispatcher is bound to the
+        same tracer so placements appear as ``dispatch`` spans.
     """
 
     def __init__(
@@ -91,6 +106,7 @@ class SurrogateServer:
         admission: AdmissionController | None = None,
         pool: FallbackPool | None = None,
         rng: int | np.random.Generator | None = None,
+        tracer=None,
     ):
         self.engine = engine
         self.cost = cost or ServeCostModel()
@@ -100,6 +116,9 @@ class SurrogateServer:
         self.pool = pool or FallbackPool([Worker(i) for i in range(4)])
         self.metrics = ServeMetrics()
         self.clock = SimulatedClock()
+        self.tracer = tracer
+        if tracer is not None:
+            self.pool.bind_tracer(tracer)
         # One persistent stream so fallback durations are reproducible
         # across the whole run regardless of how flushes group them.
         self._dur_rng = ensure_rng(rng)
@@ -125,7 +144,17 @@ class SurrogateServer:
         if not self.engine.is_trained:
             raise RuntimeError("serving requires a trained engine (bootstrap first)")
         responses: list[Response] = []
-        for req in sorted(requests, key=lambda r: (r.t_arrival, r.query_id)):
+        ordered = sorted(requests, key=lambda r: (r.t_arrival, r.query_id))
+        root = None
+        if self.tracer is not None:
+            t0 = ordered[0].t_arrival if ordered else 0.0
+            root = self.tracer.open_span(
+                "serve",
+                "serve",
+                t_start=t0,
+                attrs={"n_requests": len(ordered), "t_seq": self.cost.t_simulate},
+            )
+        for req in ordered:
             self._push(req.t_arrival, _ARRIVAL, req)
         while self._events:
             t, _, kind, payload = heapq.heappop(self._events)
@@ -141,6 +170,8 @@ class SurrogateServer:
                     self.cache.put(cache_x, cached)
                 self.metrics.observe(response)
                 responses.append(response)
+        if root is not None:
+            self.tracer.close_span(root, t_end=self.clock.now)
         return sorted(responses, key=lambda r: r.query_id)
 
     # ------------------------------------------------------------------
@@ -160,6 +191,11 @@ class SurrogateServer:
         depth = self.batcher.size + self.pool.in_flight(now)
         decision = self.admission.admit(now, depth)
         if decision == DECISION_REJECT:
+            if self.tracer is not None:
+                self.tracer.record(
+                    "reject", "admit", now, now,
+                    attrs={"query_id": int(req.query_id), "depth": int(depth)},
+                )
             self._complete(
                 Response(
                     query_id=req.query_id,
@@ -173,6 +209,11 @@ class SurrogateServer:
         hit = self.cache.get(req.x)
         if hit is not None:
             self.metrics.ledger.record("cache", self.cost.t_cache_hit)
+            if self.tracer is not None:
+                self.tracer.record(
+                    "cache_hit", "cache", now, now + self.cost.t_cache_hit,
+                    attrs={"query_id": int(req.query_id)},
+                )
             self._complete(
                 Response(
                     query_id=req.query_id,
@@ -203,6 +244,11 @@ class SurrogateServer:
         for p in batch:
             deadline = p.request.deadline
             if deadline is not None and deadline < service_start:
+                if self.tracer is not None:
+                    self.tracer.record(
+                        "shed", "shed", now, now,
+                        attrs={"query_id": int(p.request.query_id)},
+                    )
                 self._complete(
                     Response(
                         query_id=p.request.query_id,
@@ -221,6 +267,18 @@ class SurrogateServer:
         flush_cost = self.cost.flush_cost(len(normal), len(degraded))
         t_done = service_start + flush_cost
         self._nn_free_at = t_done
+        flush_sid = None
+        if self.tracer is not None:
+            flush_sid = self.tracer.open_span(
+                "flush",
+                "batch",
+                t_start=service_start,
+                attrs={
+                    "n_normal": len(normal),
+                    "n_degraded": len(degraded),
+                    "timer": bool(timer),
+                },
+            )
 
         if normal:
             X = np.stack([p.request.x for p in normal])
@@ -230,6 +288,14 @@ class SurrogateServer:
             durations = self.cost.sample_sim_durations(len(fallbacks), self._dur_rng)
             for i, p in enumerate(normal):
                 self.metrics.ledger.record("lookup", uq_share)
+                if self.tracer is not None:
+                    self.tracer.record(
+                        "uq_row", "lookup", service_start, service_start + uq_share,
+                        attrs={
+                            "query_id": int(normal[i].request.query_id),
+                            "confident": bool(confident[i]),
+                        },
+                    )
                 if confident[i]:
                     self._complete(
                         Response(
@@ -259,6 +325,14 @@ class SurrogateServer:
             )
             for i, p in enumerate(degraded):
                 self.metrics.ledger.record("lookup", self.cost.t_point_row)
+                if self.tracer is not None:
+                    self.tracer.record(
+                        "degraded_row",
+                        "lookup",
+                        service_start,
+                        service_start + self.cost.t_point_row,
+                        attrs={"query_id": int(p.request.query_id)},
+                    )
                 self._complete(
                     Response(
                         query_id=p.request.query_id,
@@ -271,6 +345,8 @@ class SurrogateServer:
                         x=p.request.x,
                     )
                 )
+        if flush_sid is not None:
+            self.tracer.close_span(flush_sid, t_end=t_done)
 
     def _fallback(
         self, p: PendingQuery, work: float, release: float, batch_size: int
@@ -282,8 +358,21 @@ class SurrogateServer:
         trained_before = self.engine.ledger.count("train")
         outcome = self.engine.force_simulate(p.request.x)
         self.metrics.ledger.record("simulate", end - start)
+        if self.tracer is not None:
+            self.tracer.record(
+                "fallback", "simulate", start, end,
+                attrs={
+                    "query_id": int(p.request.query_id),
+                    "worker_id": int(worker_id),
+                },
+            )
         if self.engine.ledger.count("train") > trained_before:
             self.metrics.ledger.record("train", self.cost.t_retrain)
+            if self.tracer is not None:
+                self.tracer.record(
+                    "retrain", "train", end, end + self.cost.t_retrain,
+                    attrs={"n_banked": int(self.engine.ledger.count("train"))},
+                )
         self._complete(
             Response(
                 query_id=p.request.query_id,

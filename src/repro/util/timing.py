@@ -5,6 +5,12 @@ times — ``T_seq``, ``T_train``, ``T_learn``, ``T_lookup``.  The
 :class:`WallClockLedger` accumulates named timing records from anywhere in
 a pipeline (simulation runs, surrogate training, surrogate inference) so
 the model can be evaluated on *measured* rather than assumed costs.
+
+A ledger can be bound to a :class:`~repro.obs.metrics.MetricRegistry`
+(any object with ``counter``/``histogram`` accessors — the coupling is
+duck-typed so this module stays import-cycle-free): every ``record``
+call is then mirrored into the registry as it happens, so the ledger and
+the run-wide metrics snapshot cannot drift apart.
 """
 
 from __future__ import annotations
@@ -47,8 +53,18 @@ class TimingRecord:
     name: str
     total_seconds: float = 0.0
     count: int = 0
-    min_seconds: float = field(default=float("inf"))
     max_seconds: float = 0.0
+    _min_seconds: float = field(default=float("inf"), init=False, repr=False)
+
+    @property
+    def min_seconds(self) -> float:
+        """Smallest observed duration; 0.0 for a never-observed record.
+
+        The internal sentinel stays ``inf`` so :meth:`add` keeps its
+        one-line min update, but it never leaks into summaries — a
+        created-but-empty record reports 0.0, matching ``max_seconds``.
+        """
+        return self._min_seconds if self.count else 0.0
 
     @property
     def mean_seconds(self) -> float:
@@ -59,7 +75,7 @@ class TimingRecord:
             raise ValueError(f"negative duration {seconds!r}")
         self.total_seconds += seconds
         self.count += 1
-        self.min_seconds = min(self.min_seconds, seconds)
+        self._min_seconds = min(self._min_seconds, seconds)
         self.max_seconds = max(self.max_seconds, seconds)
 
 
@@ -69,13 +85,40 @@ class WallClockLedger:
     Categories are created lazily; the conventional names used by
     :class:`repro.core.mlaround.MLAroundHPC` are ``"simulate"``, ``"train"``
     and ``"lookup"``.
+
+    Parameters
+    ----------
+    registry:
+        Optional metrics sink (duck-typed
+        :class:`~repro.obs.metrics.MetricRegistry`); when bound, every
+        ``record(name, s)`` also increments ``<prefix>.<name>.count``
+        and observes ``s`` in the ``<prefix>.<name>.seconds`` histogram.
+    prefix:
+        Metric-name prefix for mirrored records (default ``"ledger"``).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, registry=None, prefix: str = "ledger") -> None:
         self._records: dict[str, TimingRecord] = {}
+        self._registry = registry
+        self._prefix = prefix
+
+    def bind_registry(self, registry, prefix: str | None = None) -> None:
+        """Attach (or replace) the mirrored metrics sink.
+
+        Only future ``record`` calls are mirrored; to fold an existing
+        ledger in, use ``MetricRegistry.merge_ledger`` instead.
+        """
+        self._registry = registry
+        if prefix is not None:
+            self._prefix = prefix
 
     def record(self, name: str, seconds: float) -> None:
         self._records.setdefault(name, TimingRecord(name)).add(seconds)
+        if self._registry is not None:
+            self._registry.counter(f"{self._prefix}.{name}.count").inc()
+            self._registry.histogram(f"{self._prefix}.{name}.seconds").observe(
+                seconds
+            )
 
     def measure(self, name: str) -> "_LedgerTimer":
         """Context manager that records its elapsed time under ``name``."""
@@ -111,6 +154,8 @@ class WallClockLedger:
                 "total_seconds": r.total_seconds,
                 "count": r.count,
                 "mean_seconds": r.mean_seconds,
+                "min_seconds": r.min_seconds,
+                "max_seconds": r.max_seconds,
             }
             for name, r in self._records.items()
         }

@@ -406,3 +406,51 @@ class TestPerf002:
             "    return [model.predict(x) for x in X]  # repro: noqa[PERF002]\n"
         )
         assert "PERF002" not in rules_of(src)
+
+
+class TestObservability:
+    def test_obs001_time_time(self):
+        src = HEADER + "import time\nt = time.time()\n"
+        assert "OBS001" in rules_of(src)
+
+    def test_obs001_perf_counter(self):
+        src = HEADER + "import time\nt = time.perf_counter()\n"
+        assert "OBS001" in rules_of(src)
+
+    def test_obs001_module_alias(self):
+        src = HEADER + "import time as tm\nt = tm.monotonic()\n"
+        assert "OBS001" in rules_of(src)
+
+    def test_obs001_from_import(self):
+        src = HEADER + "from time import perf_counter\nt = perf_counter()\n"
+        assert "OBS001" in rules_of(src)
+
+    def test_obs001_from_import_alias(self):
+        src = HEADER + "from time import perf_counter as pc\nt = pc()\n"
+        assert "OBS001" in rules_of(src)
+
+    def test_obs001_message_names_function(self):
+        src = HEADER + "import time\nt = time.time_ns()\n"
+        (finding,) = findings_for(src, "OBS001")
+        assert "time.time_ns" in finding.message
+
+    def test_quiet_on_non_clock_time_functions(self):
+        src = HEADER + "import time\ntime.sleep(0.1)\ns = time.strftime('%Y')\n"
+        assert "OBS001" not in rules_of(src)
+
+    def test_quiet_on_unrelated_module_named_time(self):
+        # A locally defined `perf_counter` is not the time module's.
+        src = HEADER + "def perf_counter():\n    return 0.0\nt = perf_counter()\n"
+        assert "OBS001" not in rules_of(src)
+
+    def test_exempt_in_timing_module(self):
+        src = HEADER + "import time\nt = time.perf_counter()\n"
+        assert "OBS001" not in rules_of(src, path="src/repro/util/timing.py")
+
+    def test_exempt_in_obs_package(self):
+        src = HEADER + "import time\nt = time.perf_counter()\n"
+        assert "OBS001" not in rules_of(src, path="src/repro/obs/trace.py")
+
+    def test_noqa_suppresses(self):
+        src = HEADER + "import time\nt = time.time()  # repro: noqa[OBS001]\n"
+        assert "OBS001" not in rules_of(src)

@@ -1,0 +1,114 @@
+"""Tests for repro.obs.export and the ``python -m repro.obs`` CLI."""
+
+import json
+
+import pytest
+
+from repro.obs.cli import main
+from repro.obs.export import (
+    dumps_trace,
+    loads_trace,
+    read_trace,
+    render_json,
+    render_text,
+    write_trace,
+)
+from repro.obs.summary import summarize
+from repro.obs.trace import Tracer
+
+
+def sample_tracer():
+    tr = Tracer(meta={"t_seq": 0.05, "seed": 0})
+    root = tr.open_span("serve", "serve", t_start=0.0)
+    tr.record("uq_row", "lookup", 0.0, 0.001, attrs={"query_id": 1})
+    tr.record("fallback", "simulate", 0.001, 0.051, attrs={"query_id": 2})
+    tr.close_span(root, t_end=0.1)
+    return tr
+
+
+class TestRoundTrip:
+    def test_spans_and_meta_survive(self, tmp_path):
+        tr = sample_tracer()
+        path = write_trace(tmp_path / "t.jsonl", tr)
+        spans, meta = read_trace(path)
+        assert spans == sorted(tr.spans, key=lambda s: s.span_id)
+        assert meta == tr.meta
+
+    def test_summary_identical_after_round_trip(self, tmp_path):
+        tr = sample_tracer()
+        path = write_trace(tmp_path / "t.jsonl", tr)
+        spans, meta = read_trace(path)
+        assert summarize(spans, meta=meta) == summarize(tr.spans, meta=tr.meta)
+
+    def test_dumps_is_bitwise_deterministic(self):
+        assert dumps_trace(sample_tracer()) == dumps_trace(sample_tracer())
+
+    def test_accepts_plain_span_sequence(self):
+        tr = sample_tracer()
+        assert dumps_trace(tr.spans, meta=tr.meta) == dumps_trace(tr)
+
+
+class TestLoadErrors:
+    def test_missing_header(self):
+        with pytest.raises(ValueError, match="no header"):
+            loads_trace("")
+
+    def test_duplicate_header(self):
+        header = '{"event":"header","version":1,"meta":{}}\n'
+        with pytest.raises(ValueError, match="duplicate"):
+            loads_trace(header + header)
+
+    def test_wrong_version(self):
+        with pytest.raises(ValueError, match="version"):
+            loads_trace('{"event":"header","version":99,"meta":{}}\n')
+
+    def test_unknown_event(self):
+        header = '{"event":"header","version":1,"meta":{}}\n'
+        with pytest.raises(ValueError, match="unknown trace event"):
+            loads_trace(header + '{"event":"mystery"}\n')
+
+
+class TestReporters:
+    def test_text_mentions_kinds_and_effective(self):
+        s = summarize(sample_tracer().spans, meta={"t_seq": 0.05})
+        out = render_text(s)
+        assert "lookup" in out and "critical path" in out
+        assert "effective speedup" in out
+
+    def test_json_is_parseable(self):
+        s = summarize(sample_tracer().spans)
+        assert json.loads(render_json(s))["n_spans"] == s["n_spans"]
+
+
+class TestCli:
+    def test_summarize_text(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", sample_tracer())
+        assert main(["summarize", str(path)]) == 0
+        assert "per-kind totals" in capsys.readouterr().out
+
+    def test_summarize_json(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", sample_tracer())
+        assert main(["summarize", str(path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_spans"] == 3
+
+    def test_speedup_emits_effective_block(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", sample_tracer())
+        assert main(["speedup", str(path)]) == 0
+        effective = json.loads(capsys.readouterr().out)
+        assert effective["t_seq"] == 0.05 and effective["speedup"] > 0
+
+    def test_speedup_without_ledger_spans_exits_2(self, tmp_path, capsys):
+        tr = Tracer()
+        tr.record("only", "misc", 0.0, 1.0)
+        path = write_trace(tmp_path / "t.jsonl", tr)
+        assert main(["speedup", str(path)]) == 2
+        assert "no simulate+lookup" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["summarize", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_bad_top_k_exits_2(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", sample_tracer())
+        assert main(["summarize", str(path), "--top-k", "0"]) == 2

@@ -1,0 +1,130 @@
+"""Tests for repro.obs.metrics — deterministic counters and histograms."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_TIME_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_inc_rejected(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("c").inc(-1.0)
+
+
+class TestGauge:
+    def test_set_replaces(self):
+        g = Gauge("g")
+        g.set(4.0)
+        g.set(2.0)
+        assert g.value == 2.0
+
+
+class TestHistogram:
+    def test_default_edges_cover_timing_range(self):
+        h = Histogram("h")
+        assert h.edges == DEFAULT_TIME_EDGES
+        assert len(h.bucket_counts) == len(h.edges) + 1
+
+    def test_exact_sidecars(self):
+        h = Histogram("h", edges=(1.0, 10.0))
+        for v in (0.5, 2.0, 20.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == pytest.approx(22.5)
+        assert (h.vmin, h.vmax) == (0.5, 20.0)
+        assert h.bucket_counts == [1, 1, 1]
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            Histogram("h").observe(float("nan"))
+
+    def test_bad_edges_rejected(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", edges=(1.0, 1.0))
+
+    def test_empty_edges_fall_back_to_defaults(self):
+        assert Histogram("h", edges=()).edges == DEFAULT_TIME_EDGES
+
+    def test_quantile_empty_is_nan(self):
+        assert math.isnan(Histogram("h").quantile(0.5))
+
+    def test_quantile_clamped_to_observed_range(self):
+        h = Histogram("h", edges=(1.0, 10.0, 100.0))
+        for v in (2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.quantile(0.0) >= 2.0
+        assert h.quantile(1.0) <= 4.0
+
+    def test_quantile_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            Histogram("h").quantile(1.5)
+
+    def test_merge_adds_counts(self):
+        a = Histogram("a", edges=(1.0,))
+        b = Histogram("b", edges=(1.0,))
+        a.observe(0.5)
+        b.observe(2.0)
+        a.merge(b)
+        assert a.count == 2 and a.bucket_counts == [1, 1]
+        assert (a.vmin, a.vmax) == (0.5, 2.0)
+
+    def test_merge_mismatched_edges_rejected(self):
+        with pytest.raises(ValueError, match="different edges"):
+            Histogram("a", edges=(1.0,)).merge(Histogram("b", edges=(2.0,)))
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_type_morphing_rejected(self):
+        reg = MetricRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="is a Counter"):
+            reg.gauge("x")
+
+    def test_histogram_edge_conflict_rejected(self):
+        reg = MetricRegistry()
+        reg.histogram("h", edges=(1.0, 2.0))
+        with pytest.raises(ValueError, match="other edges"):
+            reg.histogram("h", edges=(1.0, 3.0))
+
+    def test_as_dict_name_sorted(self):
+        reg = MetricRegistry()
+        reg.counter("b.two").inc()
+        reg.gauge("a.one").set(5.0)
+        snap = reg.as_dict()
+        assert list(snap) == ["a.one", "b.two"]
+        assert snap["a.one"] == {"type": "gauge", "value": 5.0}
+
+    def test_contains_len_names(self):
+        reg = MetricRegistry()
+        reg.counter("x")
+        assert "x" in reg and "y" not in reg
+        assert len(reg) == 1 and reg.names() == ["x"]
+
+    def test_merge_ledger_one_shot(self):
+        from repro.util.timing import WallClockLedger
+
+        led = WallClockLedger()
+        led.record("simulate", 2.0)
+        led.record("simulate", 4.0)
+        reg = MetricRegistry()
+        reg.merge_ledger(led)
+        assert reg.counter("ledger.simulate.count").value == 2
+        assert reg.counter("ledger.simulate.seconds").value == pytest.approx(6.0)

@@ -1,0 +1,47 @@
+"""Tests for repro.obs.span — the frozen span value and its dict form."""
+
+import pytest
+
+from repro.obs.span import LEDGER_KINDS, Span
+
+
+class TestValidation:
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError, match="span_id"):
+            Span(-1, None, "x", "span", 0.0, 1.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            Span(0, None, "", "span", 0.0, 1.0)
+
+    def test_empty_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            Span(0, None, "x", "", 0.0, 1.0)
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError, match="ends before"):
+            Span(0, None, "x", "span", 2.0, 1.0)
+
+    def test_zero_duration_allowed(self):
+        s = Span(0, None, "reject", "admit", 3.0, 3.0)
+        assert s.duration == 0.0
+
+
+class TestDictRoundTrip:
+    def test_to_from_dict_identity(self):
+        s = Span(7, 2, "flush", "batch", 1.5, 2.25, {"n": 4})
+        assert Span.from_dict(s.to_dict()) == s
+
+    def test_root_parent_survives(self):
+        s = Span(0, None, "serve", "serve", 0.0, 9.0)
+        d = s.to_dict()
+        assert d["parent"] is None
+        assert Span.from_dict(d).parent_id is None
+
+    def test_missing_attrs_defaults_empty(self):
+        payload = {"id": 1, "parent": 0, "name": "a", "kind": "b", "t0": 0, "t1": 1}
+        assert Span.from_dict(payload).attrs == {}
+
+
+def test_ledger_kinds_match_ledger_vocabulary():
+    assert LEDGER_KINDS == ("lookup", "simulate", "train", "cache")

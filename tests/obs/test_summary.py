@@ -1,0 +1,98 @@
+"""Tests for repro.obs.summary — profiling and §III-D reconstruction."""
+
+import pytest
+
+from repro.obs.span import Span
+from repro.obs.summary import critical_path, ledger_from_spans, summarize
+from repro.obs.trace import Tracer
+
+
+def des_trace():
+    """A small discrete-event trace shaped like a serve run."""
+    tr = Tracer(meta={"t_seq": 0.05})
+    root = tr.open_span("serve", "serve", t_start=0.0)
+    tr.record("uq_row", "lookup", 0.0, 0.001)
+    tr.record("uq_row", "lookup", 0.001, 0.002)
+    tr.record("fallback", "simulate", 0.002, 0.052)
+    tr.record("retrain", "train", 0.052, 0.552)
+    tr.record("cache_hit", "cache", 0.6, 0.600002)
+    tr.close_span(root, t_end=1.0)
+    return tr
+
+
+class TestLedgerFromSpans:
+    def test_only_ledger_kinds_contribute(self):
+        tr = des_trace()
+        ledger = ledger_from_spans(tr.spans)
+        assert ledger.count("lookup") == 2
+        assert ledger.count("simulate") == 1
+        assert ledger.count("train") == 1
+        assert ledger.count("cache") == 1
+        assert "serve" not in ledger
+
+    def test_durations_replayed_exactly(self):
+        tr = des_trace()
+        ledger = ledger_from_spans(tr.spans)
+        assert ledger.total("simulate") == pytest.approx(0.05, rel=1e-12)
+        assert ledger.total("train") == pytest.approx(0.5, rel=1e-12)
+
+
+class TestCriticalPath:
+    def test_empty(self):
+        assert critical_path([]) == []
+
+    def test_descends_heaviest_child(self):
+        spans = [
+            Span(0, None, "root", "serve", 0.0, 10.0),
+            Span(1, 0, "light", "a", 0.0, 1.0),
+            Span(2, 0, "heavy", "b", 1.0, 9.0),
+            Span(3, 2, "leaf", "c", 1.0, 2.0),
+        ]
+        assert [s.name for s in critical_path(spans)] == ["root", "heavy", "leaf"]
+
+    def test_duration_tie_breaks_to_lowest_id(self):
+        spans = [
+            Span(0, None, "root", "serve", 0.0, 4.0),
+            Span(1, 0, "first", "a", 0.0, 2.0),
+            Span(2, 0, "second", "a", 2.0, 4.0),
+        ]
+        assert [s.name for s in critical_path(spans)] == ["root", "first"]
+
+
+class TestSummarize:
+    def test_empty_trace(self):
+        s = summarize([])
+        assert s["n_spans"] == 0
+        assert s["effective"] is None
+        assert s["kinds"] == {}
+
+    def test_kind_totals_and_window(self):
+        s = summarize(des_trace().spans)
+        assert s["n_spans"] == 6
+        assert s["t_min"] == 0.0 and s["t_max"] == 1.0
+        assert s["kinds"]["lookup"]["count"] == 2
+        assert list(s["kinds"]) == sorted(s["kinds"])
+
+    def test_effective_block_uses_meta_t_seq(self):
+        tr = des_trace()
+        s = summarize(tr.spans, meta=tr.meta)
+        eff = s["effective"]
+        assert eff["t_seq"] == 0.05
+        assert eff["n_lookup"] == 2 and eff["n_train"] == 1
+        # S = t_seq * (N_l + N_t) / (t_lookup*N_l + (t_train + t_learn)*N_t)
+        expected = 0.05 * 3 / (eff["t_lookup"] * 2 + (0.05 + 0.5) * 1)
+        assert eff["speedup"] == pytest.approx(expected, rel=1e-9)
+
+    def test_effective_absent_without_simulate(self):
+        tr = Tracer()
+        tr.record("uq_row", "lookup", 0.0, 0.001)
+        assert summarize(tr.spans)["effective"] is None
+
+    def test_top_k_validation(self):
+        with pytest.raises(ValueError, match="top_k"):
+            summarize([], top_k=0)
+
+    def test_slowest_respects_top_k(self):
+        s = summarize(des_trace().spans, top_k=2)
+        assert len(s["slowest"]) == 2
+        assert s["slowest"][0]["name"] == "serve"

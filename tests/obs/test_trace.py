@@ -1,0 +1,110 @@
+"""Tests for repro.obs.trace — scoped and explicit span recording."""
+
+import pytest
+
+from repro.obs.trace import Tracer, WallClock
+
+
+class FixedClock:
+    """Deterministic ClockLike: advances by `step` on every read."""
+
+    def __init__(self, start=0.0, step=1.0):
+        self._t = start
+        self._step = step
+
+    @property
+    def now(self):
+        t = self._t
+        self._t += self._step
+        return t
+
+
+class PoisonClock:
+    """A clock that fails the test if anything reads it."""
+
+    @property
+    def now(self):
+        raise AssertionError("clock consulted on an explicit-coordinate path")
+
+
+class TestScopedSpans:
+    def test_span_context_records_interval(self):
+        tr = Tracer(clock=FixedClock())
+        with tr.span("work", "compute"):
+            pass
+        (span,) = tr.spans
+        assert (span.name, span.kind) == ("work", "compute")
+        assert span.t_start == 0.0 and span.t_end == 1.0
+        assert span.parent_id is None
+
+    def test_nesting_parents_to_innermost(self):
+        tr = Tracer(clock=FixedClock())
+        with tr.span("outer") as outer_id:
+            with tr.span("inner"):
+                assert tr.current_span_id != outer_id
+        inner, outer = tr.spans
+        assert inner.name == "inner" and inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_span_recorded_on_exception(self):
+        tr = Tracer(clock=FixedClock())
+        with pytest.raises(RuntimeError):
+            with tr.span("doomed"):
+                raise RuntimeError("boom")
+        assert tr.n_spans == 1
+        assert tr.spans[0].name == "doomed"
+
+    def test_annotate_open_span(self):
+        tr = Tracer(clock=FixedClock())
+        with tr.span("work") as sid:
+            tr.annotate(sid, rows=12)
+        assert tr.spans[0].attrs == {"rows": 12}
+
+    def test_annotate_closed_span_raises(self):
+        tr = Tracer(clock=FixedClock())
+        with tr.span("work") as sid:
+            pass
+        with pytest.raises(ValueError, match="not open"):
+            tr.annotate(sid, late=True)
+
+    def test_default_clock_is_wall(self):
+        assert isinstance(Tracer().clock, WallClock)
+
+
+class TestExplicitSpans:
+    def test_record_never_consults_clock(self):
+        tr = Tracer(clock=PoisonClock())
+        span = tr.record("uq_row", "lookup", 2.0, 2.5, attrs={"query_id": 3})
+        assert span.duration == 0.5
+        assert tr.spans == [span]
+
+    def test_open_close_with_explicit_coordinates(self):
+        tr = Tracer(clock=PoisonClock())
+        sid = tr.open_span("flush", "batch", t_start=1.0)
+        tr.record("row", "lookup", 1.0, 1.1)
+        span = tr.close_span(sid, t_end=2.0, attrs={"n": 1})
+        assert span.t_end == 2.0 and span.attrs == {"n": 1}
+        assert tr.spans[0].parent_id == sid  # the row nested under flush
+
+    def test_close_span_kind_override(self):
+        tr = Tracer(clock=FixedClock())
+        sid = tr.open_span("force.compute", "md.reuse")
+        span = tr.close_span(sid, kind="md.rebuild")
+        assert span.kind == "md.rebuild"
+
+    def test_close_unknown_span_raises(self):
+        tr = Tracer(clock=FixedClock())
+        with pytest.raises(ValueError, match="not open"):
+            tr.close_span(99)
+
+    def test_ids_dense_in_creation_order(self):
+        tr = Tracer(clock=PoisonClock())
+        a = tr.record("a", "k", 0.0, 1.0)
+        b = tr.record("b", "k", 1.0, 2.0)
+        assert (a.span_id, b.span_id) == (0, 1)
+
+    def test_meta_is_copied(self):
+        meta = {"seed": 0}
+        tr = Tracer(meta=meta)
+        meta["seed"] = 1
+        assert tr.meta == {"seed": 0}

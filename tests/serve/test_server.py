@@ -245,3 +245,102 @@ class TestMetrics:
         server.serve(stream(200))
         m = server.metrics
         assert m.percentile(50) <= m.percentile(99)
+
+    def test_percentile_empty_population_is_nan(self):
+        from repro.serve.metrics import ServeMetrics
+
+        m = ServeMetrics()
+        assert np.isnan(m.percentile(50))
+
+    def test_percentile_empty_source_filter_is_nan(self):
+        server = build_server(tolerance=None)  # no fallbacks -> no simulation
+        server.serve(stream(100))
+        assert np.isnan(server.metrics.percentile(50, SOURCE_SIMULATION))
+
+    def test_percentile_endpoints_bracket_population(self):
+        server = build_server()
+        server.serve(stream(150))
+        m = server.metrics
+        pop = m.latencies()
+        assert m.percentile(0) == pytest.approx(float(pop.min()))
+        assert m.percentile(100) == pytest.approx(float(pop.max()))
+
+    def test_percentile_single_sample_is_that_sample(self):
+        from repro.serve.messages import Response
+        from repro.serve.metrics import ServeMetrics
+
+        m = ServeMetrics()
+        m.observe(
+            Response(
+                query_id=0, status=STATUS_OK, source=SOURCE_SURROGATE,
+                t_arrival=1.0, t_done=1.25,
+            )
+        )
+        for q in (0.0, 37.5, 100.0):
+            assert m.percentile(q) == pytest.approx(0.25)
+
+    def test_percentile_out_of_range_rejected(self):
+        from repro.serve.metrics import ServeMetrics
+
+        m = ServeMetrics()
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            m.percentile(-1.0)
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            m.percentile(100.5)
+
+
+class TestTracing:
+    def serve_traced(self, n=150):
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer(meta={"t_seq": ServeCostModel().t_simulate})
+        server = build_server(tolerance=0.6, tracer=tracer)
+        server.serve(stream(n))
+        return server, tracer
+
+    def test_ledger_kind_spans_mirror_ledger_exactly(self):
+        from repro.obs.summary import ledger_from_spans
+
+        server, tracer = self.serve_traced()
+        rebuilt = ledger_from_spans(tracer.spans)
+        live = server.metrics.ledger
+        for name in ("lookup", "simulate", "train", "cache"):
+            assert rebuilt.count(name) == live.count(name)
+            assert rebuilt.total(name) == pytest.approx(
+                live.total(name), rel=1e-12, abs=1e-15
+            )
+
+    def test_trace_round_trip_preserves_tree_and_summary(self, tmp_path):
+        from repro.obs.export import read_trace, write_trace
+        from repro.obs.summary import summarize
+
+        _, tracer = self.serve_traced()
+        path = write_trace(tmp_path / "serve.jsonl", tracer)
+        spans, meta = read_trace(path)
+        assert spans == sorted(tracer.spans, key=lambda s: s.span_id)
+        assert {s.span_id: s.parent_id for s in spans} == {
+            s.span_id: s.parent_id for s in tracer.spans
+        }
+        assert summarize(spans, meta=meta) == summarize(
+            tracer.spans, meta=tracer.meta
+        )
+
+    def test_tracing_does_not_change_responses(self):
+        from repro.obs.trace import Tracer
+
+        reqs = stream(120)
+        plain = build_server(tolerance=0.6).serve(reqs)
+        traced = build_server(tolerance=0.6, tracer=Tracer()).serve(reqs)
+        assert [(r.query_id, r.status, r.t_done) for r in plain] == [
+            (r.query_id, r.status, r.t_done) for r in traced
+        ]
+
+    def test_trace_reconstructs_measured_speedup(self):
+        from repro.obs.summary import summarize
+
+        server, tracer = self.serve_traced()
+        measured = server.metrics.measured_effective_speedup(
+            t_seq=ServeCostModel().t_simulate
+        )
+        eff = summarize(tracer.spans, meta=tracer.meta)["effective"]
+        assert eff["speedup"] == pytest.approx(measured, rel=1e-9)

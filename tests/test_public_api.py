@@ -11,6 +11,7 @@ PACKAGES = [
     "repro.md",
     "repro.epi",
     "repro.tissue",
+    "repro.obs",
     "repro.parallel",
     "repro.serve",
     "repro.util",

@@ -43,6 +43,15 @@ class TestTimingRecord:
     def test_empty_mean_is_zero(self):
         assert TimingRecord("x").mean_seconds == 0.0
 
+    def test_empty_min_is_zero_not_inf(self):
+        assert TimingRecord("x").min_seconds == 0.0
+
+    def test_min_still_tracks_after_first_add(self):
+        r = TimingRecord("x")
+        r.add(0.5)
+        r.add(0.25)
+        assert r.min_seconds == 0.25
+
     def test_negative_duration_rejected(self):
         with pytest.raises(ValueError):
             TimingRecord("x").add(-0.1)
@@ -94,3 +103,47 @@ class TestWallClockLedger:
         assert led["x"].total_seconds == 1.5
         with pytest.raises(KeyError):
             led["missing"]
+
+    def test_as_dict_includes_min_max(self):
+        led = WallClockLedger()
+        led.record("x", 1.0)
+        led.record("x", 3.0)
+        d = led.as_dict()["x"]
+        assert d["min_seconds"] == 1.0
+        assert d["max_seconds"] == 3.0
+
+
+class TestRegistryMirroring:
+    def test_records_mirror_into_registry(self):
+        from repro.obs.metrics import MetricRegistry
+
+        reg = MetricRegistry()
+        led = WallClockLedger(registry=reg, prefix="serve.ledger")
+        led.record("simulate", 0.05)
+        led.record("simulate", 0.07)
+        assert reg.counter("serve.ledger.simulate.count").value == 2
+        hist = reg.histogram("serve.ledger.simulate.seconds")
+        assert hist.count == 2
+        assert hist.total == pytest.approx(0.12)
+
+    def test_cannot_drift_totals_agree(self):
+        from repro.obs.metrics import MetricRegistry
+
+        reg = MetricRegistry()
+        led = WallClockLedger(registry=reg)
+        for s in (0.1, 0.2, 0.3):
+            led.record("train", s)
+        assert reg.histogram("ledger.train.seconds").total == pytest.approx(
+            led.total("train")
+        )
+
+    def test_bind_registry_mirrors_future_records_only(self):
+        from repro.obs.metrics import MetricRegistry
+
+        led = WallClockLedger()
+        led.record("lookup", 1.0)
+        reg = MetricRegistry()
+        led.bind_registry(reg)
+        led.record("lookup", 2.0)
+        assert reg.counter("ledger.lookup.count").value == 1
+        assert led.count("lookup") == 2
