@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint lint-json baseline bench trace check
+.PHONY: test lint lint-json baseline bench trace regress check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -12,9 +12,24 @@ bench:
 
 trace:
 	$(PYTHON) -m repro.serve.bench --n-requests 300 --epochs 60 \
-		--skip-calibration --trace --trace-output /tmp/TRACE_serve.jsonl \
+		--skip-calibration --trace --trace-output /tmp/TRACE_serve.jsonl.gz \
 		--output /tmp/BENCH_serve_trace.json
-	$(PYTHON) -m repro.obs summarize /tmp/TRACE_serve.jsonl
+	$(PYTHON) -m repro.obs summarize /tmp/TRACE_serve.jsonl.gz
+
+# Fresh reduced benches compared against the committed BENCH_*.json
+# baselines.  Criteria are gated unconditionally; numeric metrics only
+# arm when the fresh run's parameters match the committed full-size
+# baselines (run the benches at default sizes for the full gate).
+regress:
+	$(PYTHON) -m repro.serve.bench --n-requests 400 --epochs 60 \
+		--skip-calibration --trace --trace-output /tmp/TRACE_regress.jsonl.gz \
+		--output /tmp/BENCH_serve_fresh.json
+	$(PYTHON) -m repro.md.bench --sizes 64,128 \
+		--output /tmp/BENCH_md_forces_fresh.json
+	$(PYTHON) -m repro.obs regress BENCH_serve.json /tmp/BENCH_serve_fresh.json \
+		--output /tmp/REGRESS_serve.json
+	$(PYTHON) -m repro.obs regress BENCH_md_forces.json /tmp/BENCH_md_forces_fresh.json \
+		--output /tmp/REGRESS_md_forces.json
 
 lint:
 	$(PYTHON) -m repro.analysis src/repro

@@ -25,6 +25,20 @@ OBS001 = Rule(
     "time into deterministic code; go through repro.util.timing or repro.obs.",
 )
 
+OBS002 = Rule(
+    "OBS002",
+    "no-ambient-datetime",
+    "datetime.now()/utcnow()/today() call outside the timing plumbing",
+    "Ambient date reads make runs irreproducible (a replayed trace or bench "
+    "stamped 'now' diverges bitwise); pass timestamps in explicitly or stamp "
+    "at the CLI boundary.",
+)
+
+#: ``datetime``-module class methods OBS002 flags (on ``datetime.datetime``
+#: and ``datetime.date``).  Constructors and parsing are fine — they are
+#: pure functions of their arguments.
+_DATETIME_READS = frozenset({"now", "utcnow", "today"})
+
 #: Clock-reading functions in the stdlib ``time`` module that OBS001
 #: flags.  Sleeping/formatting helpers (sleep, strftime, ...) are fine.
 _CLOCK_READS = frozenset(
@@ -59,13 +73,16 @@ def _dotted_name(node: ast.AST) -> str | None:
 class ObservabilityChecker(BaseChecker):
     """Flags wall-clock reads that bypass the timing/obs plumbing."""
 
-    rules = (OBS001,)
+    rules = (OBS001, OBS002)
 
     def __init__(self, context: FileContext):
         super().__init__(context)
         self._time_aliases: set[str] = set()
         # local alias -> time-module function it names
         self._clock_aliases: dict[str, str] = {}
+        self._datetime_mod_aliases: set[str] = set()
+        # local alias -> datetime class ("datetime" or "date") it names
+        self._datetime_cls_aliases: dict[str, str] = {}
         self._exempt = context.config.is_timing_module(context.path)
 
     # -- imports ------------------------------------------------------
@@ -74,6 +91,8 @@ class ObservabilityChecker(BaseChecker):
         for alias in node.names:
             if alias.name == "time":
                 self._time_aliases.add(alias.asname or "time")
+            elif alias.name == "datetime":
+                self._datetime_mod_aliases.add(alias.asname or "datetime")
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -81,6 +100,12 @@ class ObservabilityChecker(BaseChecker):
             for alias in node.names:
                 if alias.name in _CLOCK_READS:
                     self._clock_aliases[alias.asname or alias.name] = alias.name
+        if node.level == 0 and node.module == "datetime":
+            for alias in node.names:
+                if alias.name in ("datetime", "date"):
+                    self._datetime_cls_aliases[alias.asname or alias.name] = (
+                        alias.name
+                    )
         self.generic_visit(node)
 
     # -- calls --------------------------------------------------------
@@ -98,6 +123,15 @@ class ObservabilityChecker(BaseChecker):
                         "repro.util.timing (Timer/ledger) or a "
                         "repro.obs.trace span so the cost is accounted",
                     )
+                read = self._datetime_read_name(dotted)
+                if read is not None:
+                    self.report(
+                        node,
+                        "OBS002",
+                        f"ambient date read {read}(); pass the timestamp in "
+                        "explicitly (argument or trace meta) so replays stay "
+                        "bitwise reproducible",
+                    )
         self.generic_visit(node)
 
     def _clock_read_name(self, dotted: str) -> str | None:
@@ -110,4 +144,24 @@ class ObservabilityChecker(BaseChecker):
             return parts[1]
         if len(parts) == 1 and parts[0] in self._clock_aliases:
             return self._clock_aliases[parts[0]]
+        return None
+
+    def _datetime_read_name(self, dotted: str) -> str | None:
+        """The canonical ``datetime.<cls>.<method>`` form of an ambient
+        date read, or None if ``dotted`` is not one."""
+        parts = dotted.split(".")
+        if (
+            len(parts) == 3
+            and parts[0] in self._datetime_mod_aliases
+            and parts[1] in ("datetime", "date")
+            and parts[2] in _DATETIME_READS
+        ):
+            return f"datetime.{parts[1]}.{parts[2]}"
+        if (
+            len(parts) == 2
+            and parts[0] in self._datetime_cls_aliases
+            and parts[1] in _DATETIME_READS
+        ):
+            cls = self._datetime_cls_aliases[parts[0]]
+            return f"datetime.{cls}.{parts[1]}"
         return None

@@ -169,7 +169,7 @@ class MLAroundHPC:
         outcomes: list[QueryOutcome | None] = [None] * len(X)
         if self._trained and len(X):
             with Timer() as t:
-                mean, std_norm, confident = self.gate_batch(X)
+                mean, _, std_norm, confident = self.gate_batch(X)
             share = t.elapsed / len(X)
             for i in range(len(X)):
                 self.ledger.record("lookup", share)
@@ -191,15 +191,21 @@ class MLAroundHPC:
     # ------------------------------------------------------------------
     def gate_batch(
         self, X: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Evaluate the UQ gate for a whole query matrix at once.
 
-        Returns ``(mean, std_norm, confident)`` — predictions of shape
-        ``(n, K)``, the normalized predictive std per row (NaN when no UQ
-        backend is available), and the boolean gate decision per row.  One
-        vectorized forward/UQ pass serves every row; this is the shared
-        batched-lookup helper behind :meth:`query`, :meth:`query_batch` and
-        the :mod:`repro.serve` micro-batcher.  Requires a trained surrogate.
+        Returns ``(mean, std, std_norm, confident)`` — predictions of
+        shape ``(n, K)``, the raw predictive std in output units with the
+        same shape (NaN-filled when no UQ backend is available), the
+        normalized predictive std per row (NaN without UQ), and the
+        boolean gate decision per row.  The raw std is what downstream
+        calibration monitoring needs: paired with a fallback simulation's
+        truth it yields the served z-scores the
+        :class:`~repro.obs.monitor.CalibrationCoverageMonitor` watches.
+        One vectorized forward/UQ pass serves every row; this is the
+        shared batched-lookup helper behind :meth:`query`,
+        :meth:`query_batch` and the :mod:`repro.serve` micro-batcher.
+        Requires a trained surrogate.
         """
         if not self._trained:
             raise RuntimeError("gate_batch requires a trained surrogate")
@@ -207,15 +213,42 @@ class MLAroundHPC:
         n = len(X)
         if self.tolerance is None or self.surrogate.uq_backend is None:
             mean = self.surrogate.predict_stable(X)
+            std = np.full((n, self.surrogate.out_dim), np.nan)
             std_norm = np.full(n, np.nan)
             confident = np.full(n, self.tolerance is None)
         else:
             uq = self.surrogate.predict_with_uncertainty(X)
             mean = uq.mean
+            std = uq.std
             scale = self.surrogate.y_scaler.scale_std()
             std_norm = np.max(uq.std / scale, axis=1)
             confident = std_norm <= self.tolerance
-        return mean, std_norm, confident
+        return mean, std, std_norm, confident
+
+    def retrain_now(self) -> bool:
+        """Retrain immediately on everything banked, off-cadence.
+
+        This is the MLControl early-retrain entry point: a drift monitor
+        that has stopped trusting the surrogate's calibration can force a
+        refit without waiting for ``policy.retrain_every`` new runs to
+        accumulate.  Returns True when a retrain actually ran (the ledger
+        gains one ``"train"`` record); False when too few successful runs
+        are banked for any fit to be possible.
+        """
+        if self.db.n_success < self.policy.min_initial_runs:
+            return False
+        self._maybe_fit(force=True)
+        return True
+
+    def set_tolerance(self, tolerance: float | None) -> None:
+        """Replace the UQ gate tolerance (MLControl gate tightening).
+
+        Same validation as the constructor; takes effect from the next
+        :meth:`gate_batch` call.
+        """
+        if tolerance is not None and tolerance <= 0:
+            raise ValueError(f"tolerance must be > 0 or None, got {tolerance}")
+        self.tolerance = tolerance
 
     def force_simulate(self, x: np.ndarray) -> QueryOutcome:
         """Run the ground-truth simulation regardless of surrogate confidence.
@@ -231,7 +264,7 @@ class MLAroundHPC:
 
     def _try_lookup(self, x: np.ndarray) -> QueryOutcome | None:
         with self.ledger.measure("lookup") as t:
-            mean, std_norm, confident = self.gate_batch(x[None, :])
+            mean, _, std_norm, confident = self.gate_batch(x[None, :])
         if not confident[0]:
             return None
         self.n_lookups += 1

@@ -113,6 +113,10 @@ class Surrogate:
         #: the predict paths are wrapped in kind="nn" spans.  Kept
         #: duck-typed (no repro.obs import) so core stays cycle-free.
         self.tracer = None
+        #: Optional duck-typed repro.obs.metrics.MetricRegistry; forwarded
+        #: (with the tracer) to the Trainer so fits emit per-epoch spans
+        #: and loss/grad-norm gauges.
+        self.registry = None
 
     def _span(self, name: str, n_rows: int):
         if self.tracer is None:
@@ -161,6 +165,8 @@ class Surrogate:
                 if self._patience
                 else None,
                 rng=self._train_rng,
+                tracer=self.tracer,
+                registry=self.registry,
             )
             trainer.fit(Xs, Ys)
         self._fitted = True
@@ -313,6 +319,7 @@ class Surrogate:
         surrogate._split_rng = None
         surrogate._uq_samples = 50
         surrogate.tracer = None
+        surrogate.registry = None
         rep = payload.get("report")
         surrogate.report = (
             None

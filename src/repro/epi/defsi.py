@@ -21,6 +21,7 @@ synthetic ensemble at the same season position.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -129,6 +130,15 @@ class DEFSIForecaster:
     base_params:
         Season configuration whose (tau, seed_fraction) get replaced by
         posterior draws.
+    tracer, registry:
+        Duck-typed observability hooks (same contract as
+        :class:`~repro.epi.seir.NetworkSEIR`): the calibrate / synthesize
+        / train / forecast phases become spans — the training phase kind
+        ``"train"`` and forecasts kind ``"lookup"``, so a DEFSI run's
+        trace feeds the §III-D ledger reconstruction — and the hooks are
+        propagated to a ``seir`` that has none of its own, so the inner
+        seasons appear as ``"simulate"`` spans.  ``None`` (the default)
+        costs nothing.
     """
 
     def __init__(
@@ -143,6 +153,8 @@ class DEFSIForecaster:
         epochs: int = 150,
         hidden: int = 32,
         rng: int | np.random.Generator | None = None,
+        tracer=None,
+        registry=None,
     ):
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
@@ -150,6 +162,12 @@ class DEFSIForecaster:
             raise ValueError("need at least 3 synthetic training seasons")
         self.seir = seir
         self.surveillance = surveillance
+        self.tracer = tracer
+        self.registry = registry
+        if tracer is not None and getattr(seir, "tracer", None) is None:
+            seir.tracer = tracer
+        if registry is not None and getattr(seir, "registry", None) is None:
+            seir.registry = registry
         self.base_params = base_params
         self.window = int(window)
         self.n_train_seasons = int(n_train_seasons)
@@ -170,35 +188,48 @@ class DEFSIForecaster:
     def n_counties(self) -> int:
         return self.seir.network.n_counties
 
+    def _span(self, name: str, kind: str, **attrs):
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(name, kind, attrs=attrs)
+
     def fit(self, observed_state_weekly: np.ndarray) -> None:
         """Run all three DEFSI modules against the observed coarse prefix."""
         calib_rng, sim_rng, train_rng, model_rng = spawn_rngs(self.rng, 4)
 
         # (i) model configuration
-        self.posterior = estimate_parameter_distribution(
-            observed_state_weekly,
-            self.seir,
-            self.surveillance,
-            base_params=self.base_params,
-            n_days=self.n_days,
-            rng=calib_rng,
-        )
+        with self._span("defsi.calibrate", "epi"):
+            self.posterior = estimate_parameter_distribution(
+                observed_state_weekly,
+                self.seir,
+                self.surveillance,
+                base_params=self.base_params,
+                n_days=self.n_days,
+                rng=calib_rng,
+            )
 
         # (ii) synthetic training data
         self.synthetic_seasons = []
-        for _ in range(self.n_train_seasons):
-            tau, seed = self.posterior.sample(sim_rng)
-            params = SEIRParams(
-                tau=tau,
-                sigma=self.base_params.sigma,
-                gamma_r=self.base_params.gamma_r,
-                seed_fraction=seed,
-                seed_county=self.base_params.seed_county,
-                seasonality=self.base_params.seasonality,
-                peak_day=self.base_params.peak_day,
+        with self._span("defsi.synthesize", "epi", n_seasons=self.n_train_seasons):
+            for _ in range(self.n_train_seasons):
+                tau, seed = self.posterior.sample(sim_rng)
+                params = SEIRParams(
+                    tau=tau,
+                    sigma=self.base_params.sigma,
+                    gamma_r=self.base_params.gamma_r,
+                    seed_fraction=seed,
+                    seed_county=self.base_params.seed_county,
+                    seasonality=self.base_params.seasonality,
+                    peak_day=self.base_params.peak_day,
+                )
+                season = self.seir.run(params, n_days=self.n_days, rng=sim_rng)
+                self.synthetic_seasons.append(
+                    self.surveillance.observe(season, rng=sim_rng)
+                )
+        if self.registry is not None:
+            self.registry.counter("epi.defsi.synthetic_seasons").inc(
+                self.n_train_seasons
             )
-            season = self.seir.run(params, n_days=self.n_days, rng=sim_rng)
-            self.synthetic_seasons.append(self.surveillance.observe(season, rng=sim_rng))
 
         state_curves = np.stack([d.state_weekly for d in self.synthetic_seasons])
         self.climatology = state_curves.mean(axis=0)
@@ -208,15 +239,16 @@ class DEFSIForecaster:
         a = self._a_scaler.fit_transform(tensors.branch_a)
         b = self._b_scaler.fit_transform(tensors.branch_b)
         y = self._y_scaler.fit_transform(tensors.targets)
-        self.network_model = TwoBranchNetwork(
-            (a.shape[1], b.shape[1]),
-            branch_hidden=(self.hidden,),
-            branch_out=self.hidden // 2,
-            head_hidden=(self.hidden,),
-            out_dim=self.n_counties,
-            rng=model_rng,
-        )
-        self.network_model.fit(a, b, y, epochs=self.epochs, rng=train_rng)
+        with self._span("defsi.train", "train", n_examples=len(a)):
+            self.network_model = TwoBranchNetwork(
+                (a.shape[1], b.shape[1]),
+                branch_hidden=(self.hidden,),
+                branch_out=self.hidden // 2,
+                head_hidden=(self.hidden,),
+                out_dim=self.n_counties,
+                rng=model_rng,
+            )
+            self.network_model.fit(a, b, y, epochs=self.epochs, rng=train_rng)
 
     def training_data(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """(branch_a, branch_b, targets) built from the synthetic seasons.
@@ -268,10 +300,13 @@ class DEFSIForecaster:
             raise ValueError(f"need at least window={W} observed weeks")
         a = obs[week - W + 1 : week + 1][None, :]
         b = self._between_season_features(week)[None, :]
-        pred = self.network_model.predict(
-            self._a_scaler.transform(a), self._b_scaler.transform(b)
-        )
-        county = self._y_scaler.inverse_transform(pred)[0]
+        with self._span("defsi.forecast", "lookup", week=int(week)):
+            pred = self.network_model.predict(
+                self._a_scaler.transform(a), self._b_scaler.transform(b)
+            )
+            county = self._y_scaler.inverse_transform(pred)[0]
+        if self.registry is not None:
+            self.registry.counter("epi.defsi.forecasts").inc()
         return np.maximum(county, 0.0)
 
     def forecast_series(

@@ -105,10 +105,22 @@ class SeasonResult:
 
 
 class NetworkSEIR:
-    """SEIR simulator bound to one contact network."""
+    """SEIR simulator bound to one contact network.
 
-    def __init__(self, network: ContactNetwork):
+    ``tracer`` / ``registry`` are the same duck-typed observability hooks
+    as :class:`~repro.md.neighbors.ForceEngine`'s: when set, every
+    :meth:`run` is recorded as a kind ``"simulate"`` span (so epidemic
+    workloads appear in ``python -m repro.obs summarize`` and count
+    toward the §III-D ledger reconstruction like md/serve work) and
+    ``epi.seir.*`` counters track runs, simulated days and infections.
+    Both default to ``None`` with every branch guarded — an untraced
+    simulation does zero extra work.
+    """
+
+    def __init__(self, network: ContactNetwork, *, tracer=None, registry=None):
         self.network = network
+        self.tracer = tracer
+        self.registry = registry
 
     def run(
         self,
@@ -140,7 +152,18 @@ class NetworkSEIR:
         src, dst, w = net.src, net.dst, net.weight
         county = net.county
 
+        sid = (
+            self.tracer.open_span(
+                "seir.run",
+                "simulate",
+                attrs={"n_days": int(n_days), "n_nodes": int(n)},
+            )
+            if self.tracer is not None
+            else None
+        )
+        days_run = 0
         for day in range(int(n_days)):
+            days_run = day + 1
             if params.seasonality > 0:
                 tau_t = params.tau * (
                     1.0
@@ -182,6 +205,18 @@ class NetworkSEIR:
                 break  # epidemic extinguished; remaining days stay zero
 
         final_r = np.bincount(county[state == R], minlength=net.n_counties)
+        if self.registry is not None:
+            self.registry.counter("epi.seir.runs").inc()
+            self.registry.counter("epi.seir.days").inc(days_run)
+            self.registry.counter("epi.seir.infections").inc(float(daily.sum()))
+        if sid is not None:
+            self.tracer.close_span(
+                sid,
+                attrs={
+                    "days_run": int(days_run),
+                    "infections": float(daily.sum()),
+                },
+            )
         return SeasonResult(daily_incidence=daily, final_recovered=final_r)
 
     def run_many(

@@ -94,6 +94,19 @@ class Trainer:
         An :class:`EarlyStopping` instance, or None to train all epochs.
     rng:
         Seed or generator for the epoch shuffles and the validation split.
+    tracer:
+        Optional duck-typed :class:`~repro.obs.trace.Tracer`; when set,
+        every epoch is recorded as a kind ``"nn.epoch"`` span carrying
+        the epoch losses and the gradient norm.  (Deliberately *not*
+        kind ``"train"`` — that kind is reserved for whole §III-D ledger
+        retrain events, and per-epoch spans would corrupt the
+        trace-reconstructed ledger.)
+    registry:
+        Optional duck-typed :class:`~repro.obs.metrics.MetricRegistry`;
+        when set, ``nn.train.loss`` / ``nn.train.grad_norm`` gauges track
+        the latest epoch and an ``nn.train.epochs`` counter accumulates.
+        Both hooks are ``None`` by default and every instrumentation
+        branch is guarded, so an untraced fit does zero extra work.
     """
 
     def __init__(
@@ -107,6 +120,8 @@ class Trainer:
         validation_fraction: float = 0.1,
         early_stopping: EarlyStopping | None = None,
         rng: int | np.random.Generator | None = None,
+        tracer=None,
+        registry=None,
     ):
         if batch_size <= 0:
             raise ValueError(f"batch_size must be > 0, got {batch_size}")
@@ -126,6 +141,8 @@ class Trainer:
         self.validation_fraction = float(validation_fraction)
         self.early_stopping = early_stopping
         self.rng = ensure_rng(rng)
+        self.tracer = tracer
+        self.registry = registry
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> TrainingHistory:
         """Train the model; returns the loss history."""
@@ -146,8 +163,14 @@ class Trainer:
         x_train, y_train = x[train_idx], y[train_idx]
         x_val, y_val = x[val_idx], y[val_idx]
 
+        instrumented = self.tracer is not None or self.registry is not None
         history = TrainingHistory()
         for epoch in range(self.epochs):
+            epoch_sid = (
+                self.tracer.open_span("epoch", "nn.epoch", attrs={"epoch": epoch})
+                if self.tracer is not None
+                else None
+            )
             perm = self.rng.permutation(len(x_train))
             epoch_loss = 0.0
             n_batches = 0
@@ -157,18 +180,45 @@ class Trainer:
                 self.optimizer.step(self.model.params, self.model.grads)
                 epoch_loss += batch_loss
                 n_batches += 1
-            history.train_loss.append(epoch_loss / n_batches)
+            mean_loss = epoch_loss / n_batches
+            history.train_loss.append(mean_loss)
             history.lr.append(self.optimizer.lr)
+            if instrumented:
+                # Gradient norm of the epoch's final mini-batch — a cheap
+                # convergence signal that avoids accumulating across
+                # batches on the hot path.
+                grad_norm = float(
+                    np.sqrt(sum(float(np.sum(g * g)) for g in self.model.grads))
+                )
+                if self.registry is not None:
+                    self.registry.gauge("nn.train.loss").set(mean_loss)
+                    self.registry.gauge("nn.train.grad_norm").set(grad_norm)
+                    self.registry.counter("nn.train.epochs").inc()
 
             if n_val:
                 val_pred = self.model.predict(x_val)
                 val_loss, _ = self.loss(val_pred, y_val)
                 history.val_loss.append(val_loss)
-                if self.early_stopping is not None and self.early_stopping.update(
+                stop = self.early_stopping is not None and self.early_stopping.update(
                     val_loss, self.model
-                ):
+                )
+                if epoch_sid is not None:
+                    self.tracer.close_span(
+                        epoch_sid,
+                        attrs={
+                            "loss": float(mean_loss),
+                            "val_loss": float(val_loss),
+                            "grad_norm": grad_norm,
+                        },
+                    )
+                if stop:
                     history.stopped_epoch = epoch
                     break
+            elif epoch_sid is not None:
+                self.tracer.close_span(
+                    epoch_sid,
+                    attrs={"loss": float(mean_loss), "grad_norm": grad_norm},
+                )
         return history
 
     def evaluate(self, x: np.ndarray, y: np.ndarray) -> float:

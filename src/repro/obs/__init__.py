@@ -19,7 +19,16 @@ flow through:
 * :mod:`~repro.obs.summary` — per-kind profiles, critical path, and
   :func:`ledger_from_spans`, which folds a trace's ledger-kind spans
   back into §III-D form so ``python -m repro.obs summarize`` reproduces
-  a served run's measured effective speedup from the trace file alone.
+  a served run's measured effective speedup from the trace file alone;
+* :mod:`~repro.obs.streaming` / :mod:`~repro.obs.monitor` — the control
+  plane over the backbone: from-scratch streaming statistics (Welford,
+  EWMA) and drift detectors (Page–Hinkley, two-sided CUSUM) feeding UQ
+  calibration-coverage, latency/shed SLO burn-rate and cache-hit
+  monitors, whose deduplicated :class:`Alert` log is byte-stable and
+  replayable from a trace file (``python -m repro.obs monitor``);
+* :mod:`~repro.obs.regress` — the performance-regression gate comparing
+  a fresh bench run against committed ``BENCH_*.json`` history
+  (``python -m repro.obs regress``), wired into CI.
 
 Instrumented producers: ``serve.server`` (admit → batch → cache → gate →
 surrogate/fallback), ``core.surrogate`` fit/predict, the
@@ -42,6 +51,23 @@ from repro.obs.metrics import (
     Histogram,
     MetricRegistry,
 )
+from repro.obs.monitor import (
+    ACTION_FORCE_FALLBACK,
+    ACTION_RETRAIN,
+    ACTION_TIGHTEN_GATE,
+    SEVERITIES,
+    Alert,
+    AlertManager,
+    CacheHitRateMonitor,
+    CalibrationCoverageMonitor,
+    LatencySLOMonitor,
+    MonitorSuite,
+    ShedRateMonitor,
+    default_serve_monitors,
+    dumps_alerts,
+    watch_trace,
+)
+from repro.obs.regress import compare_reports, run_regress
 from repro.obs.span import (
     KIND_CACHE,
     KIND_LOOKUP,
@@ -50,13 +76,22 @@ from repro.obs.span import (
     LEDGER_KINDS,
     Span,
 )
+from repro.obs.streaming import EWMA, PageHinkley, TwoSidedCUSUM, Welford
 from repro.obs.summary import critical_path, ledger_from_spans, summarize
 from repro.obs.trace import ClockLike, Tracer, WallClock
 
 __all__ = [
+    "ACTION_FORCE_FALLBACK",
+    "ACTION_RETRAIN",
+    "ACTION_TIGHTEN_GATE",
+    "Alert",
+    "AlertManager",
+    "CacheHitRateMonitor",
+    "CalibrationCoverageMonitor",
     "ClockLike",
     "Counter",
     "DEFAULT_TIME_EDGES",
+    "EWMA",
     "Gauge",
     "Histogram",
     "KIND_CACHE",
@@ -64,17 +99,29 @@ __all__ = [
     "KIND_SIMULATE",
     "KIND_TRAIN",
     "LEDGER_KINDS",
+    "LatencySLOMonitor",
     "MetricRegistry",
+    "MonitorSuite",
+    "PageHinkley",
+    "SEVERITIES",
+    "ShedRateMonitor",
     "Span",
     "Tracer",
+    "TwoSidedCUSUM",
     "WallClock",
+    "Welford",
+    "compare_reports",
     "critical_path",
+    "default_serve_monitors",
+    "dumps_alerts",
     "dumps_trace",
     "ledger_from_spans",
     "loads_trace",
     "read_trace",
     "render_json",
     "render_text",
+    "run_regress",
     "summarize",
+    "watch_trace",
     "write_trace",
 ]

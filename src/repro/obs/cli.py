@@ -1,15 +1,24 @@
 """Command-line interface: ``python -m repro.obs <command> trace.jsonl``.
 
-Two subcommands over a JSONL trace file:
+Four subcommands:
 
 * ``summarize`` — per-span-kind totals, critical path, top-k slowest
   spans, and (when the trace carries ledger-kind spans) the §III-D
   effective-speedup block reconstructed from the trace alone;
 * ``speedup`` — just the reconstructed
   :class:`~repro.core.effective.EffectiveSpeedupModel` inputs and the
-  speedup at the trace's own lookup/simulate mix, as JSON.
+  speedup at the trace's own lookup/simulate mix, as JSON;
+* ``monitor`` — replay a trace through the default serve monitor suite
+  (:func:`repro.obs.monitor.default_serve_monitors`) and print the alert
+  log.  Because traces store spans in record order and the suite is a
+  pure function of its span feed, the printed JSONL alert log is
+  byte-identical to the one produced live — run it twice and ``cmp``;
+* ``regress`` — compare a fresh ``BENCH_*.json`` report against the
+  committed baseline (:mod:`repro.obs.regress`) and fail on regression.
 
-Exit codes: 0 = success, 2 = usage or trace error (missing file,
+Trace subcommands accept plain ``.jsonl`` and gzip ``.jsonl.gz`` files.
+Exit codes: 0 = success, 1 = ``regress`` found a regression (or
+``monitor --fail-on`` matched), 2 = usage or input error (missing file,
 malformed JSONL, ``speedup`` on a trace without simulate+lookup spans).
 """
 
@@ -22,6 +31,14 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.obs.export import read_trace, render_json, render_text
+from repro.obs.monitor import (
+    SEVERITIES,
+    default_serve_monitors,
+    dumps_alerts,
+    render_alerts_text,
+    watch_trace,
+)
+from repro.obs.regress import render_report_text, run_regress
 from repro.obs.summary import summarize
 
 __all__ = ["build_parser", "main"]
@@ -58,12 +75,95 @@ def build_parser() -> argparse.ArgumentParser:
         "speedup", help="emit only the reconstructed §III-D block as JSON"
     )
     p_speed.add_argument("trace", help="JSONL trace file to analyze")
+
+    p_mon = sub.add_parser(
+        "monitor", help="replay a trace through the drift/SLO monitor suite"
+    )
+    p_mon.add_argument("trace", help="JSONL trace file to monitor")
+    p_mon.add_argument(
+        "--format",
+        choices=("jsonl", "text"),
+        default="jsonl",
+        help="alert log format: byte-stable JSONL or a ranked text report "
+        "(default: %(default)s)",
+    )
+    p_mon.add_argument(
+        "--window",
+        type=float,
+        default=0.05,
+        help="window-monitor boundary spacing in trace seconds "
+        "(default: %(default)s)",
+    )
+    p_mon.add_argument(
+        "--cooldown",
+        type=float,
+        default=0.1,
+        help="alert dedup cooldown per (source, kind) in trace seconds "
+        "(default: %(default)s)",
+    )
+    p_mon.add_argument(
+        "--slo-latency",
+        type=float,
+        default=0.05,
+        help="latency SLO threshold in seconds (default: %(default)s)",
+    )
+    p_mon.add_argument(
+        "--coverage-floor",
+        type=float,
+        default=0.5,
+        help="UQ calibration coverage floor (default: %(default)s)",
+    )
+    p_mon.add_argument(
+        "--fail-on",
+        choices=SEVERITIES,
+        default=None,
+        help="exit 1 when any alert at or above this severity fired",
+    )
+
+    p_reg = sub.add_parser(
+        "regress", help="gate a fresh bench report against a committed baseline"
+    )
+    p_reg.add_argument("baseline", help="committed BENCH_*.json baseline")
+    p_reg.add_argument("fresh", help="freshly produced bench report")
+    p_reg.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="override every metric's own fractional tolerance",
+    )
+    p_reg.add_argument(
+        "--output", default=None, help="also write the JSON report to this path"
+    )
+    p_reg.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format on stdout (default: %(default)s)",
+    )
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Run the trace analyzer; returns the process exit code."""
     args = build_parser().parse_args(argv)
+
+    if args.command == "regress":
+        try:
+            report = run_regress(
+                args.baseline,
+                args.fresh,
+                tolerance=args.tolerance,
+                output=args.output,
+            )
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+            print(f"error: cannot compare bench reports: {exc}", file=sys.stderr)
+            return 2
+        if args.format == "json":
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(render_report_text(report))
+        return 0 if report["ok"] else 1
+
     trace_path = Path(args.trace)
     try:
         spans, meta = read_trace(trace_path)
@@ -82,6 +182,24 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
             return 2
         print(json.dumps(effective, indent=2, sort_keys=True))
+        return 0
+
+    if args.command == "monitor":
+        suite = default_serve_monitors(
+            window=args.window,
+            cooldown=args.cooldown,
+            slo_latency_s=args.slo_latency,
+            coverage_floor=args.coverage_floor,
+        )
+        alerts = watch_trace(spans, suite)
+        if args.format == "text":
+            print(render_alerts_text(alerts, suite.manager))
+        else:
+            sys.stdout.write(dumps_alerts(alerts))
+        if args.fail_on is not None:
+            threshold = SEVERITIES.index(args.fail_on)
+            if any(a.severity_rank >= threshold for a in alerts):
+                return 1
         return 0
 
     try:

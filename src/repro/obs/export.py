@@ -7,7 +7,19 @@ can be compared with ``cmp``:
 * line 1 — ``{"event": "header", "version": 1, "meta": {...}}`` carrying
   the tracer's free-form metadata (seeds, cost constants, ``t_seq``);
 * every further line — ``{"event": "span", ...}`` with the
-  :meth:`~repro.obs.span.Span.to_dict` body, in span-id order.
+  :meth:`~repro.obs.span.Span.to_dict` body, in the tracer's *record*
+  (completion) order.
+
+Record order — not span-id order — is load-bearing: it is the order the
+live monitoring suite (:mod:`repro.obs.monitor`) saw the spans, so
+replaying a file through :func:`~repro.obs.monitor.watch_trace`
+reproduces the live alert log byte for byte.  Consumers that need a
+canonical order (:func:`repro.obs.summary.summarize`,
+:func:`repro.obs.summary.ledger_from_spans`) sort by span id internally.
+
+Paths ending in ``.gz`` are read and written gzip-compressed,
+transparently and still byte-stably (fixed mtime, no embedded filename),
+so large traces can be committed without losing ``cmp``-ability.
 
 The text/JSON reporters follow the same protocol as
 :mod:`repro.analysis.reporters`: pure functions from a summary dict to a
@@ -16,6 +28,8 @@ string, so the CLI and CI consume one stable surface.
 
 from __future__ import annotations
 
+import gzip
+import io
 import json
 from pathlib import Path
 from typing import Sequence
@@ -37,8 +51,7 @@ TRACE_VERSION = 1
 
 def _as_spans(trace) -> list[Span]:
     """Accept a Tracer (anything with ``.spans``/``.meta``) or a span list."""
-    spans = trace.spans if hasattr(trace, "spans") else list(trace)
-    return sorted(spans, key=lambda s: s.span_id)
+    return list(trace.spans if hasattr(trace, "spans") else trace)
 
 
 def dumps_trace(trace, *, meta: dict | None = None) -> str:
@@ -46,8 +59,8 @@ def dumps_trace(trace, *, meta: dict | None = None) -> str:
 
     ``trace`` is a :class:`~repro.obs.trace.Tracer` or a sequence of
     spans; ``meta`` overrides the tracer's own metadata when given.
-    Output is deterministic: spans sorted by id, keys sorted, compact
-    separators, trailing newline.
+    Output is deterministic: spans in the given (record) order, keys
+    sorted, compact separators, trailing newline.
     """
     if meta is None:
         meta = getattr(trace, "meta", None) or {}
@@ -68,7 +81,8 @@ def dumps_trace(trace, *, meta: dict | None = None) -> str:
 def loads_trace(text: str) -> tuple[list[Span], dict]:
     """Parse a JSONL trace string back into ``(spans, meta)``.
 
-    Spans are returned in span-id order.  Unknown event types are
+    Spans are returned in file order (the tracer's record order, for
+    round-trip and alert-replay fidelity).  Unknown event types are
     rejected so a corrupt or foreign file fails loudly rather than
     silently dropping data.
     """
@@ -96,19 +110,41 @@ def loads_trace(text: str) -> tuple[list[Span], dict]:
             raise ValueError(f"line {lineno}: unknown trace event {event!r}")
     if not saw_header:
         raise ValueError("trace has no header line")
-    return sorted(spans, key=lambda s: s.span_id), meta
+    return spans, meta
+
+
+def _is_gzip(path: Path) -> bool:
+    return path.suffix == ".gz"
 
 
 def write_trace(path: str | Path, trace, *, meta: dict | None = None) -> Path:
-    """Write a trace as JSONL to ``path``; returns the path."""
+    """Write a trace as JSONL to ``path``; returns the path.
+
+    A ``.gz`` suffix selects transparent gzip compression.  The gzip
+    stream is built with a zeroed mtime and no embedded filename, so the
+    compressed bytes — like the plain ones — depend only on the trace
+    content.
+    """
     path = Path(path)
-    path.write_text(dumps_trace(trace, meta=meta))
+    text = dumps_trace(trace, meta=meta)
+    if _is_gzip(path):
+        raw = io.BytesIO()
+        with gzip.GzipFile(fileobj=raw, mode="wb", mtime=0) as zf:
+            zf.write(text.encode("utf-8"))
+        path.write_bytes(raw.getvalue())
+    else:
+        path.write_text(text)
     return path
 
 
 def read_trace(path: str | Path) -> tuple[list[Span], dict]:
-    """Read a JSONL trace file back into ``(spans, meta)``."""
-    return loads_trace(Path(path).read_text())
+    """Read a JSONL trace file (plain or ``.gz``) into ``(spans, meta)``."""
+    path = Path(path)
+    if _is_gzip(path):
+        text = gzip.decompress(path.read_bytes()).decode("utf-8")
+    else:
+        text = path.read_text()
+    return loads_trace(text)
 
 
 # ----------------------------------------------------------------------

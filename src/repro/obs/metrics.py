@@ -80,6 +80,14 @@ class Gauge:
         return f"Gauge({self.name!r}, value={self.value})"
 
 
+#: Fixed-point scale for the histogram sum: the smallest positive
+#: subnormal double is 2**-1074, so scaling every observation by 2**1074
+#: makes it an exact integer and the sum an exact big-int — addition is
+#: then truly associative and commutative, which is what makes shard
+#: merges bitwise order-independent (floats only approximate this).
+_SUM_FIXED_SHIFT = 1074
+
+
 class Histogram:
     """Fixed-bucket histogram with exact count/sum/min/max sidecars.
 
@@ -88,9 +96,13 @@ class Histogram:
     larger.  Observation is O(log buckets) (binary search) and two
     histograms with identical edges merge by adding counts — the
     property that makes per-shard metrics aggregation deterministic.
+    The running sum is kept as an exact fixed-point integer (every
+    finite double is an integer multiple of 2**-1074), so
+    ``merge(a, merge(b, c))`` and ``merge(merge(a, b), c)`` agree
+    bitwise and :attr:`total` is the correctly rounded true sum.
     """
 
-    __slots__ = ("name", "edges", "bucket_counts", "count", "total", "vmin", "vmax")
+    __slots__ = ("name", "edges", "bucket_counts", "count", "_sum_fixed", "vmin", "vmax")
 
     def __init__(self, name: str, edges: tuple[float, ...] | None = None):
         self.name = name
@@ -101,9 +113,25 @@ class Histogram:
             raise ValueError(f"histogram edges must be strictly increasing: {edges}")
         self.bucket_counts = [0] * (len(self.edges) + 1)
         self.count = 0
-        self.total = 0.0
+        self._sum_fixed = 0
         self.vmin = float("inf")
         self.vmax = float("-inf")
+
+    @staticmethod
+    def _to_fixed(value: float) -> int:
+        # as_integer_ratio gives num / 2**k for every finite double, so
+        # num << (1074 - k) is the exact value scaled by 2**1074.
+        num, den = value.as_integer_ratio()
+        return num << (_SUM_FIXED_SHIFT - (den.bit_length() - 1))
+
+    @property
+    def total(self) -> float:
+        """Correctly rounded exact sum of all observations."""
+        try:
+            # CPython's big-int true division rounds correctly.
+            return self._sum_fixed / (1 << _SUM_FIXED_SHIFT)
+        except OverflowError:
+            return float("inf") if self._sum_fixed > 0 else float("-inf")
 
     def observe(self, value: float) -> None:
         """Fold one observation into the buckets and exact sidecars."""
@@ -113,7 +141,7 @@ class Histogram:
         idx = int(np.searchsorted(self.edges, value, side="left"))
         self.bucket_counts[idx] += 1
         self.count += 1
-        self.total += value
+        self._sum_fixed += self._to_fixed(value)
         self.vmin = min(self.vmin, value)
         self.vmax = max(self.vmax, value)
 
@@ -158,7 +186,7 @@ class Histogram:
         for i, n in enumerate(other.bucket_counts):
             self.bucket_counts[i] += n
         self.count += other.count
-        self.total += other.total
+        self._sum_fixed += other._sum_fixed
         self.vmin = min(self.vmin, other.vmin)
         self.vmax = max(self.vmax, other.vmax)
 

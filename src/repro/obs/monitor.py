@@ -1,0 +1,778 @@
+"""Online drift/SLO monitoring and alerting over the trace backbone.
+
+PR 4's backbone is a flight recorder; this module is the control plane
+on top of it (the paper's MLControl category, §I).  A
+:class:`MonitorSuite` consumes the *same* span stream a
+:class:`~repro.obs.trace.Tracer` records — fed live by the serving
+event loop, or replayed from a JSONL trace file via
+:func:`watch_trace` — folds it into an internal
+:class:`~repro.obs.metrics.MetricRegistry`, and drives two families of
+monitors:
+
+* **span monitors** (:class:`CalibrationCoverageMonitor`) react to
+  individual spans: every fallback simulation carries the surrogate's
+  prediction, its UQ std and the simulated truth (the ``cal`` attr), so
+  the monitor maintains a sliding window of served-prediction z-scores,
+  runs a Page–Hinkley / CUSUM change-point test on them, and checks the
+  empirical interval coverage with
+  :func:`repro.core.uq.calibration_table` — undercoverage means the
+  surrogate's uncertainties have stopped being honest;
+* **window monitors** (:class:`LatencySLOMonitor`,
+  :class:`ShedRateMonitor`, :class:`CacheHitRateMonitor`) evaluate at
+  fixed virtual-time window boundaries over registry snapshot deltas —
+  SLO error-budget burn rate, shed/reject fraction, EWMA-smoothed cache
+  hit rate.
+
+Alerts flow through an :class:`AlertManager` that deduplicates by
+``(source, kind)`` cooldown, ranks by severity, and keeps a byte-stable
+event log (:func:`dumps_alerts`).  An alert may carry an *action*
+(``retrain`` / ``tighten_gate`` / ``force_fallback``) which the serving
+loop — subscribed to the suite — executes and records as a span, so
+every control decision lands in the trace and the §III-D ledger stays
+complete.
+
+Determinism contract: the suite is a pure function of the span sequence
+it is fed.  The server feeds every span it records, in record order, and
+trace files serialize spans in that same order — so replaying a trace
+through ``python -m repro.obs monitor`` reproduces the live alert log
+byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.obs.metrics import MetricRegistry
+from repro.obs.span import Span
+from repro.obs.streaming import EWMA, PageHinkley, TwoSidedCUSUM
+
+__all__ = [
+    "SEVERITY_INFO",
+    "SEVERITY_WARNING",
+    "SEVERITY_CRITICAL",
+    "SEVERITIES",
+    "ACTION_RETRAIN",
+    "ACTION_TIGHTEN_GATE",
+    "ACTION_FORCE_FALLBACK",
+    "Alert",
+    "AlertManager",
+    "CalibrationCoverageMonitor",
+    "LatencySLOMonitor",
+    "ShedRateMonitor",
+    "CacheHitRateMonitor",
+    "MonitorSuite",
+    "default_serve_monitors",
+    "watch_trace",
+    "dumps_alerts",
+    "render_alerts_text",
+]
+
+SEVERITY_INFO = "info"
+SEVERITY_WARNING = "warning"
+SEVERITY_CRITICAL = "critical"
+#: Severities in ascending order; index = rank.
+SEVERITIES = (SEVERITY_INFO, SEVERITY_WARNING, SEVERITY_CRITICAL)
+
+#: Control actions the serving loop knows how to execute.  Kept as plain
+#: strings so producers stay duck-typed (no serve import here, no obs
+#: import in the server).
+ACTION_RETRAIN = "retrain"
+ACTION_TIGHTEN_GATE = "tighten_gate"
+ACTION_FORCE_FALLBACK = "force_fallback"
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One monitor finding at one instant of (virtual) time.
+
+    Attributes
+    ----------
+    t:
+        Clock coordinate the finding refers to (the triggering span's
+        end, or a window boundary).
+    source:
+        Name of the monitor that raised it.
+    kind:
+        Stable machine-readable finding type (``"calibration_coverage"``,
+        ``"slo_burn"``); dedup cooldowns key on ``(source, kind)``.
+    severity:
+        One of :data:`SEVERITIES`.
+    message:
+        Human-readable one-liner.
+    action:
+        Optional control action (:data:`ACTION_RETRAIN`, ...) for the
+        serving loop to execute.
+    attrs:
+        JSON-serializable evidence (coverage, statistic values, counts).
+    """
+
+    t: float
+    source: str
+    kind: str
+    severity: str
+    message: str
+    action: str | None = None
+    attrs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    @property
+    def severity_rank(self) -> int:
+        """Ascending severity rank (info=0 ... critical=2)."""
+        return SEVERITIES.index(self.severity)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (the alert-log line body)."""
+        return {
+            "t": self.t,
+            "source": self.source,
+            "kind": self.kind,
+            "severity": self.severity,
+            "message": self.message,
+            "action": self.action,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Alert":
+        """Rebuild an alert from :meth:`to_dict` output."""
+        return cls(
+            t=float(payload["t"]),
+            source=str(payload["source"]),
+            kind=str(payload["kind"]),
+            severity=str(payload["severity"]),
+            message=str(payload["message"]),
+            action=payload.get("action"),
+            attrs=dict(payload.get("attrs", {})),
+        )
+
+
+class AlertManager:
+    """Deduplicating, severity-ranking sink for monitor alerts.
+
+    Repeated findings of the same ``(source, kind)`` within ``cooldown``
+    clock seconds of the last *fired* one are suppressed (counted, not
+    logged), so a persistent condition produces a heartbeat rather than
+    one alert per span.  Subscribers registered via :meth:`subscribe`
+    are notified synchronously of every fired alert — this is the hook
+    the serving loop uses to close the MLControl loop.
+    """
+
+    def __init__(self, *, cooldown: float = 0.0):
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        self.cooldown = float(cooldown)
+        self.alerts: list[Alert] = []
+        self.n_suppressed = 0
+        self._last_fired: dict[tuple[str, str], float] = {}
+        self._subscribers: list[Callable[[Alert], None]] = []
+
+    def subscribe(self, callback: Callable[[Alert], None]) -> None:
+        """Register a callback invoked on every fired (non-deduped) alert."""
+        self._subscribers.append(callback)
+
+    def fire(self, alert: Alert) -> Alert | None:
+        """Log an alert unless deduplicated; returns it when fired."""
+        key = (alert.source, alert.kind)
+        last = self._last_fired.get(key)
+        if last is not None and alert.t - last < self.cooldown:
+            self.n_suppressed += 1
+            return None
+        self._last_fired[key] = alert.t
+        self.alerts.append(alert)
+        for callback in self._subscribers:
+            callback(alert)
+        return alert
+
+    def ranked(self) -> list[Alert]:
+        """Alerts most-severe first (ties broken by time, then source/kind)."""
+        return sorted(
+            self.alerts, key=lambda a: (-a.severity_rank, a.t, a.source, a.kind)
+        )
+
+    def summary(self) -> dict:
+        """JSON-ready rollup: counts by severity and by (source, kind)."""
+        by_severity = {s: 0 for s in SEVERITIES}
+        by_kind: dict[str, int] = {}
+        for a in self.alerts:
+            by_severity[a.severity] += 1
+            key = f"{a.source}/{a.kind}"
+            by_kind[key] = by_kind.get(key, 0) + 1
+        return {
+            "n_alerts": len(self.alerts),
+            "n_suppressed": self.n_suppressed,
+            "by_severity": by_severity,
+            "by_kind": {k: by_kind[k] for k in sorted(by_kind)},
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"AlertManager(alerts={len(self.alerts)}, "
+            f"suppressed={self.n_suppressed}, cooldown={self.cooldown})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Span monitors.
+class CalibrationCoverageMonitor:
+    """UQ calibration watchdog over served predictions.
+
+    Every fallback simulation is a free ground-truth probe of the
+    surrogate: the serving loop attaches the gate's prediction
+    (``mean``), its UQ std and the simulated truth to the fallback span
+    as the ``cal`` attr.  This monitor folds each probe's worst
+    per-output z-score ``max_k |truth_k - mean_k| / std_k`` into a
+    change-point detector (early warning) and, over a sliding window of
+    probes, checks the empirical coverage of the ``±z·std`` interval via
+    :func:`repro.core.uq.calibration_table` (confirmation).  Coverage
+    below ``coverage_floor`` raises a critical alert carrying
+    ``action`` — the closed-loop retrain trigger — after which window
+    and detector reset so recovery is judged on fresh data only.
+    """
+
+    def __init__(
+        self,
+        *,
+        name: str = "uq_calibration",
+        z: float = 1.645,
+        window: int = 48,
+        min_rows: int = 16,
+        stride: int = 8,
+        coverage_floor: float = 0.5,
+        detector: PageHinkley | TwoSidedCUSUM | None = None,
+        action: str | None = ACTION_RETRAIN,
+    ):
+        if z <= 0:
+            raise ValueError(f"z must be > 0, got {z}")
+        if not 0.0 < coverage_floor < 1.0:
+            raise ValueError(f"coverage_floor must be in (0, 1), got {coverage_floor}")
+        if min_rows < 2 or window < min_rows:
+            raise ValueError("require window >= min_rows >= 2")
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        self.name = name
+        self.z = float(z)
+        self.min_rows = int(min_rows)
+        self.stride = int(stride)
+        self.coverage_floor = float(coverage_floor)
+        self.detector = detector if detector is not None else PageHinkley(
+            delta=0.25, threshold=40.0, min_samples=8
+        )
+        self.action = action
+        self._rows: deque[tuple[list, list, list]] = deque(maxlen=int(window))
+        self._since_check = 0
+        self._warned = False
+
+    def _coverage(self) -> float:
+        from repro.core.uq import UQResult, calibration_table
+
+        mean = np.array([r[0] for r in self._rows], dtype=float)
+        std = np.array([r[1] for r in self._rows], dtype=float)
+        truth = np.array([r[2] for r in self._rows], dtype=float)
+        table = calibration_table(
+            UQResult(mean=mean, std=std), truth, z_values=(self.z,)
+        )
+        return float(table[0]["empirical"])
+
+    def on_span(self, span: Span) -> list[Alert]:
+        """Fold one span; returns candidate alerts (pre-dedup)."""
+        cal = span.attrs.get("cal") if span.kind == "simulate" else None
+        if not cal:
+            return []
+        mean, std, truth = cal["mean"], cal["std"], cal["truth"]
+        values = [v for row in (mean, std, truth) for v in row]
+        if not all(np.isfinite(v) for v in values):
+            return []  # failed simulation or UQ-less gate: no probe
+        zmax = max(
+            abs(t - m) / max(s, 1e-12) for m, s, t in zip(mean, std, truth)
+        )
+        alerts: list[Alert] = []
+        self.detector.update(zmax)
+        if self.detector.drifted and not self._warned:
+            self._warned = True
+            alerts.append(
+                Alert(
+                    t=span.t_end,
+                    source=self.name,
+                    kind="uq_drift",
+                    severity=SEVERITY_WARNING,
+                    message=(
+                        "change-point detector tripped on served-prediction "
+                        f"z-scores (statistic {self.detector.statistic:.3g})"
+                    ),
+                    attrs={
+                        "statistic": float(self.detector.statistic),
+                        "n": int(self.detector.n),
+                        "zmax": float(zmax),
+                    },
+                )
+            )
+        self._rows.append((list(mean), list(std), list(truth)))
+        self._since_check += 1
+        if len(self._rows) >= self.min_rows and self._since_check >= self.stride:
+            self._since_check = 0
+            coverage = self._coverage()
+            if coverage < self.coverage_floor:
+                alerts.append(
+                    Alert(
+                        t=span.t_end,
+                        source=self.name,
+                        kind="calibration_coverage",
+                        severity=SEVERITY_CRITICAL,
+                        message=(
+                            f"empirical coverage {coverage:.3f} at z={self.z:g} "
+                            f"below floor {self.coverage_floor:g} over "
+                            f"{len(self._rows)} served probes"
+                        ),
+                        action=self.action,
+                        attrs={
+                            "coverage": coverage,
+                            "floor": self.coverage_floor,
+                            "z": self.z,
+                            "n_rows": len(self._rows),
+                        },
+                    )
+                )
+                self.reset()
+        return alerts
+
+    def reset(self) -> None:
+        """Drop the probe window and re-arm the detector."""
+        self._rows.clear()
+        self._since_check = 0
+        self._warned = False
+        self.detector.reset()
+
+
+# ----------------------------------------------------------------------
+# Window monitors (evaluated at fixed virtual-time boundaries over
+# registry snapshot deltas).
+class _CounterDelta:
+    """Per-window delta reader over named registry counters."""
+
+    __slots__ = ("_prev",)
+
+    def __init__(self) -> None:
+        self._prev: dict[str, float] = {}
+
+    def take(self, registry: MetricRegistry, name: str) -> float:
+        metric = registry.get(name)
+        current = metric.value if metric is not None else 0.0
+        delta = current - self._prev.get(name, 0.0)
+        self._prev[name] = current
+        return delta
+
+
+class LatencySLOMonitor:
+    """Error-budget burn-rate monitor over the window latency histogram.
+
+    The SLO is "fraction of responses slower than ``slo_latency_s``
+    stays below ``1 - target``".  Each window, the violation fraction is
+    computed from the latency histogram's bucket-count delta (so the SLO
+    threshold resolves to bucket granularity) and divided by the error
+    budget: a burn rate of 1.0 consumes the budget exactly, and the
+    monitor alerts when it reaches ``burn_threshold`` — the standard
+    multi-window burn-rate alerting discipline, here over one window
+    size for determinism.
+    """
+
+    def __init__(
+        self,
+        *,
+        name: str = "latency_slo",
+        slo_latency_s: float = 0.05,
+        target: float = 0.99,
+        burn_threshold: float = 2.0,
+        min_count: int = 20,
+        action: str | None = None,
+        severity: str = SEVERITY_WARNING,
+    ):
+        if slo_latency_s <= 0:
+            raise ValueError(f"slo_latency_s must be > 0, got {slo_latency_s}")
+        if not 0.0 < target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {target}")
+        if burn_threshold <= 0:
+            raise ValueError(f"burn_threshold must be > 0, got {burn_threshold}")
+        self.name = name
+        self.slo_latency_s = float(slo_latency_s)
+        self.target = float(target)
+        self.burn_threshold = float(burn_threshold)
+        self.min_count = int(min_count)
+        self.action = action
+        self.severity = severity
+        self._prev_buckets: list[int] | None = None
+
+    def on_window(self, t: float, registry: MetricRegistry) -> list[Alert]:
+        """Evaluate one window boundary; returns candidate alerts."""
+        hist = registry.get("mon.latency")
+        if hist is None:
+            return []
+        buckets = list(hist.bucket_counts)
+        prev = self._prev_buckets or [0] * len(buckets)
+        self._prev_buckets = buckets
+        delta = [b - p for b, p in zip(buckets, prev)]
+        total = sum(delta)
+        if total < max(self.min_count, 1):
+            return []
+        # Bucket b holds values in (edges[b-1], edges[b]]; a bucket lies
+        # entirely above the SLO iff its lower bound >= slo.
+        first_bad = bisect_left(hist.edges, self.slo_latency_s) + 1
+        violations = sum(delta[first_bad:])
+        burn = (violations / total) / (1.0 - self.target)
+        if burn < self.burn_threshold:
+            return []
+        return [
+            Alert(
+                t=t,
+                source=self.name,
+                kind="slo_burn",
+                severity=self.severity,
+                message=(
+                    f"latency SLO burn rate {burn:.2f}x "
+                    f"({violations}/{total} responses over "
+                    f"{self.slo_latency_s:g}s, target {self.target:g})"
+                ),
+                action=self.action,
+                attrs={
+                    "burn_rate": float(burn),
+                    "violations": int(violations),
+                    "responses": int(total),
+                    "slo_latency_s": self.slo_latency_s,
+                    "target": self.target,
+                },
+            )
+        ]
+
+
+class ShedRateMonitor:
+    """Alerts when the per-window shed+reject fraction exceeds a cap."""
+
+    def __init__(
+        self,
+        *,
+        name: str = "shed_rate",
+        max_rate: float = 0.05,
+        min_count: int = 20,
+        action: str | None = None,
+        severity: str = SEVERITY_WARNING,
+    ):
+        if not 0.0 <= max_rate < 1.0:
+            raise ValueError(f"max_rate must be in [0, 1), got {max_rate}")
+        self.name = name
+        self.max_rate = float(max_rate)
+        self.min_count = int(min_count)
+        self.action = action
+        self.severity = severity
+        self._delta = _CounterDelta()
+
+    def on_window(self, t: float, registry: MetricRegistry) -> list[Alert]:
+        """Evaluate one window boundary; returns candidate alerts."""
+        responses = self._delta.take(registry, "mon.responses")
+        dropped = self._delta.take(registry, "mon.shed") + self._delta.take(
+            registry, "mon.rejected"
+        )
+        if responses < max(self.min_count, 1):
+            return []
+        rate = dropped / responses
+        if rate <= self.max_rate:
+            return []
+        return [
+            Alert(
+                t=t,
+                source=self.name,
+                kind="shed_rate",
+                severity=self.severity,
+                message=(
+                    f"shed/reject rate {rate:.3f} above cap {self.max_rate:g} "
+                    f"({int(dropped)}/{int(responses)} this window)"
+                ),
+                action=self.action,
+                attrs={
+                    "rate": float(rate),
+                    "dropped": float(dropped),
+                    "responses": float(responses),
+                    "max_rate": self.max_rate,
+                },
+            )
+        ]
+
+
+class CacheHitRateMonitor:
+    """EWMA-smoothed cache hit-rate floor over window deltas.
+
+    The raw per-window hit rate (hits / (hits + surrogate lookups)) is
+    smoothed with an :class:`~repro.obs.streaming.EWMA` so one sparse
+    window cannot flap the alert; the monitor fires when the smoothed
+    rate sits below ``floor`` after at least ``min_windows`` windows.
+    A floor of 0.0 (the default suite's choice for workloads without
+    duplicate traffic) disables the monitor while still tracking the
+    smoothed rate.
+    """
+
+    def __init__(
+        self,
+        *,
+        name: str = "cache_hit_rate",
+        floor: float = 0.0,
+        alpha: float = 0.3,
+        min_count: int = 20,
+        min_windows: int = 3,
+        action: str | None = None,
+        severity: str = SEVERITY_INFO,
+    ):
+        if not 0.0 <= floor < 1.0:
+            raise ValueError(f"floor must be in [0, 1), got {floor}")
+        self.name = name
+        self.floor = float(floor)
+        self.min_count = int(min_count)
+        self.min_windows = int(min_windows)
+        self.action = action
+        self.severity = severity
+        self.ewma = EWMA(alpha)
+        self._delta = _CounterDelta()
+
+    def on_window(self, t: float, registry: MetricRegistry) -> list[Alert]:
+        """Evaluate one window boundary; returns candidate alerts."""
+        hits = self._delta.take(registry, "mon.cache_hits")
+        lookups = self._delta.take(registry, "mon.lookups")
+        population = hits + lookups
+        if population < max(self.min_count, 1):
+            return []
+        smoothed = self.ewma.update(hits / population)
+        if self.ewma.n < self.min_windows or smoothed >= self.floor:
+            return []
+        return [
+            Alert(
+                t=t,
+                source=self.name,
+                kind="cache_hit_rate",
+                severity=self.severity,
+                message=(
+                    f"smoothed cache hit rate {smoothed:.3f} below floor "
+                    f"{self.floor:g}"
+                ),
+                action=self.action,
+                attrs={
+                    "smoothed_rate": float(smoothed),
+                    "floor": self.floor,
+                    "n_windows": int(self.ewma.n),
+                },
+            )
+        ]
+
+
+# ----------------------------------------------------------------------
+#: Span names the suite recognizes, mapped to the registry fold applied.
+#: Spans with any other name are ignored entirely (they neither fold nor
+#: advance the window clock), which keeps live monitoring and trace
+#: replay in lockstep even for span classes only one side sees.
+_RECOGNIZED = frozenset(
+    {
+        "reject",
+        "shed",
+        "cache_hit",
+        "uq_row",
+        "degraded_row",
+        "fallback",
+        "retrain",
+        "control_retrain",
+        "flush",
+    }
+)
+
+
+class MonitorSuite:
+    """Feeds a span stream to monitors and collects their alerts.
+
+    The suite owns a private :class:`MetricRegistry` folded from the
+    spans it recognizes (never the server's own registry, so replaying a
+    trace needs nothing but the file) and a virtual-time window clock:
+    the first recognized span's start anchors the boundary grid, and
+    each recognized span's *end* advances it, evaluating every window
+    monitor at each crossed boundary before the crossing span is folded.
+    Out-of-order completions (a fallback whose simulation ends after
+    later rows were served) land in the earliest unevaluated window —
+    deterministically, because the feed order is the tracer's record
+    order both live and on replay.
+
+    ``on_span`` returns the alerts that *fired* (survived the
+    :class:`AlertManager` dedup); the serving loop executes any actions
+    they carry.
+    """
+
+    def __init__(
+        self,
+        monitors: Sequence[object],
+        *,
+        window: float = 0.05,
+        manager: AlertManager | None = None,
+    ):
+        if window <= 0:
+            raise ValueError(f"window must be > 0, got {window}")
+        self.window = float(window)
+        self.manager = manager if manager is not None else AlertManager()
+        self.registry = MetricRegistry()
+        self.monitors = list(monitors)
+        self._span_monitors = [m for m in self.monitors if hasattr(m, "on_span")]
+        self._window_monitors = [m for m in self.monitors if hasattr(m, "on_window")]
+        self._boundary: float | None = None
+        self.n_spans = 0
+        self.n_windows = 0
+
+    @property
+    def alerts(self) -> list[Alert]:
+        """Fired alerts, in firing order (delegates to the manager)."""
+        return list(self.manager.alerts)
+
+    def on_span(self, span: Span) -> list[Alert]:
+        """Feed one span; returns the alerts that fired because of it."""
+        if span.name not in _RECOGNIZED:
+            return []
+        self.n_spans += 1
+        fired: list[Alert] = []
+        if self._boundary is None:
+            self._boundary = span.t_start + self.window
+        while span.t_end >= self._boundary:
+            boundary = self._boundary
+            self._boundary = boundary + self.window
+            self.n_windows += 1
+            for monitor in self._window_monitors:
+                for alert in monitor.on_window(boundary, self.registry):
+                    out = self.manager.fire(alert)
+                    if out is not None:
+                        fired.append(out)
+        self._fold(span)
+        for monitor in self._span_monitors:
+            for alert in monitor.on_span(span):
+                out = self.manager.fire(alert)
+                if out is not None:
+                    fired.append(out)
+        return fired
+
+    def _fold(self, span: Span) -> None:
+        reg = self.registry
+        name = span.name
+        lat = span.attrs.get("lat")
+        if name == "reject":
+            reg.counter("mon.responses").inc()
+            reg.counter("mon.rejected").inc()
+        elif name == "shed":
+            reg.counter("mon.responses").inc()
+            reg.counter("mon.shed").inc()
+        elif name == "cache_hit":
+            reg.counter("mon.responses").inc()
+            reg.counter("mon.cache_hits").inc()
+        elif name == "uq_row":
+            reg.counter("mon.lookups").inc()
+            if lat is not None:
+                reg.counter("mon.responses").inc()
+        elif name == "degraded_row":
+            reg.counter("mon.lookups").inc()
+            reg.counter("mon.responses").inc()
+        elif name == "fallback":
+            reg.counter("mon.responses").inc()
+            reg.counter("mon.fallbacks").inc()
+        elif name in ("retrain", "control_retrain"):
+            reg.counter("mon.retrains").inc()
+        elif name == "flush":
+            reg.counter("mon.batches").inc()
+        if lat is not None:
+            reg.histogram("mon.latency").observe(float(lat))
+
+    def summary(self) -> dict:
+        """JSON-ready rollup of suite state and the alert log."""
+        return {
+            "n_spans": self.n_spans,
+            "n_windows": self.n_windows,
+            "window_s": self.window,
+            "alerts": self.manager.summary(),
+            "registry": self.registry.as_dict(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MonitorSuite(monitors={len(self.monitors)}, "
+            f"spans={self.n_spans}, alerts={len(self.manager.alerts)})"
+        )
+
+
+def default_serve_monitors(
+    *,
+    window: float = 0.05,
+    cooldown: float = 0.1,
+    slo_latency_s: float = 0.05,
+    coverage_floor: float = 0.5,
+    calibration_z: float = 1.645,
+    cache_floor: float = 0.0,
+    calibration_action: str | None = ACTION_RETRAIN,
+) -> MonitorSuite:
+    """The canonical serve-trace monitor suite.
+
+    Both the live serving bench and the ``python -m repro.obs monitor``
+    replay CLI build their suite here, with identical defaults — the
+    precondition for the live alert log and the trace-replayed one being
+    byte-identical.
+    """
+    monitors = [
+        CalibrationCoverageMonitor(
+            z=calibration_z,
+            coverage_floor=coverage_floor,
+            action=calibration_action,
+        ),
+        LatencySLOMonitor(slo_latency_s=slo_latency_s),
+        ShedRateMonitor(),
+        CacheHitRateMonitor(floor=cache_floor),
+    ]
+    return MonitorSuite(
+        monitors, window=window, manager=AlertManager(cooldown=cooldown)
+    )
+
+
+def watch_trace(spans: Sequence[Span], suite: MonitorSuite) -> list[Alert]:
+    """Replay a span sequence through a suite; returns the fired alerts.
+
+    Spans must be fed in the order the trace file stores them (the
+    tracer's record order) — :func:`repro.obs.export.read_trace`
+    preserves it — so the replayed alert log matches the live one.
+    """
+    for span in spans:
+        suite.on_span(span)
+    return suite.alerts
+
+
+def dumps_alerts(alerts: Sequence[Alert]) -> str:
+    """Serialize an alert log to its canonical byte-stable JSONL string."""
+    return "".join(
+        json.dumps(a.to_dict(), sort_keys=True, separators=(",", ":")) + "\n"
+        for a in alerts
+    )
+
+
+def render_alerts_text(alerts: Sequence[Alert], manager: AlertManager | None = None) -> str:
+    """Human-readable alert report, most severe first."""
+    if not alerts:
+        lines = ["no alerts"]
+    else:
+        ranked = sorted(
+            alerts, key=lambda a: (-a.severity_rank, a.t, a.source, a.kind)
+        )
+        lines = [f"{len(alerts)} alert(s):"]
+        for a in ranked:
+            action = f" -> {a.action}" if a.action else ""
+            lines.append(
+                f"  [{a.severity:<8}] t={a.t:.6g} {a.source}/{a.kind}: "
+                f"{a.message}{action}"
+            )
+    if manager is not None:
+        lines.append(f"suppressed by dedup: {manager.n_suppressed}")
+    return "\n".join(lines)

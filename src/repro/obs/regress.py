@@ -1,0 +1,300 @@
+"""Performance-regression gate over committed ``BENCH_*.json`` history.
+
+The repo commits benchmark reports (``BENCH_serve.json``,
+``BENCH_md_forces.json``) produced by the tier-2 benches; this module
+compares a *fresh* run of the same bench against the committed baseline
+and fails — exit code 1 — when it regressed beyond tolerance, the
+MLPerf-HPC-style discipline that keeps "effective performance" claims
+honest run over run.
+
+Two layers of gating:
+
+* **criteria** — every boolean under a ``criteria`` dict (collected
+  recursively, so nested blocks like ``trace.criteria`` count) that
+  passed in the baseline must still pass in the fresh run.  Criteria are
+  the benches' own self-checks (``batched_speedup_ge_5x``,
+  ``trace_overhead_lt_5pct``) and are gated *unconditionally* — they are
+  designed to hold at any bench size.
+* **metrics** — numeric comparisons (speedups, agreement gaps, error
+  bounds) with per-metric direction and tolerance.  These are only
+  meaningful when the fresh run used the same bench parameters as the
+  baseline, so they are gated when the parameter sets match and reported
+  as ``skipped`` otherwise (the CI smoke gate runs a reduced bench and
+  relies on criteria; a full-size local ``make regress`` also arms the
+  numeric layer).
+
+Serve-bench numbers are virtual-clock (discrete-event) quantities and
+hence deterministic at fixed parameters, so their tolerances are tight;
+md-bench numbers are wall-clock and get generous tolerances that only a
+genuine regression (not scheduler noise) can breach.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = [
+    "MetricSpec",
+    "collect_criteria",
+    "compare_reports",
+    "render_report_text",
+    "run_regress",
+]
+
+
+class MetricSpec:
+    """One numeric comparison: dotted path, direction, tolerance.
+
+    ``direction`` is ``"higher"`` (regression when the fresh value drops
+    more than ``tolerance`` fractionally below baseline) or ``"lower"``
+    (regression when it rises above ``baseline + max(tolerance * |baseline|,
+    abs_slack)`` — the absolute slack keeps near-zero baselines from
+    demanding the impossible).
+    """
+
+    __slots__ = ("path", "direction", "tolerance", "abs_slack")
+
+    def __init__(
+        self,
+        path: str,
+        direction: str,
+        tolerance: float,
+        *,
+        abs_slack: float = 0.0,
+    ):
+        if direction not in ("higher", "lower"):
+            raise ValueError(f"direction must be 'higher' or 'lower', got {direction!r}")
+        if tolerance < 0:
+            raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+        self.path = path
+        self.direction = direction
+        self.tolerance = float(tolerance)
+        self.abs_slack = float(abs_slack)
+
+    def check(self, baseline: float, fresh: float, tolerance: float | None = None) -> bool:
+        """True when ``fresh`` is within tolerance of ``baseline``."""
+        tol = self.tolerance if tolerance is None else float(tolerance)
+        if self.direction == "higher":
+            return fresh >= baseline * (1.0 - tol) - self.abs_slack
+        return fresh <= baseline + max(tol * abs(baseline), self.abs_slack)
+
+
+#: Bench parameter keys that must match for numeric gating, per benchmark.
+_PARAM_KEYS = {
+    "serve": ("n_requests", "seed", "epochs"),
+    "md_force_kernels": ("potential", "rcut", "skin", "density", "seed"),
+}
+
+#: Serve metrics are virtual-clock deterministic: tight tolerances.
+_SERVE_METRICS = (
+    MetricSpec("batched_vs_unbatched.speedup", "higher", 0.05),
+    MetricSpec("cache.speedup", "higher", 0.10),
+    MetricSpec("cache.hit_rate", "higher", 0.02),
+    MetricSpec("effective_speedup_agreement.measured_speedup", "higher", 0.05),
+    MetricSpec("effective_speedup_agreement.rel_diff", "lower", 0.10, abs_slack=0.02),
+)
+
+#: MD metrics are wall-clock: only large drops count.
+_MD_METRIC_TEMPLATES = (
+    ("speedup_verlet_vs_reference", "higher", 0.6, 0.0),
+    ("speedup_verlet_vs_cell", "higher", 0.6, 0.0),
+    ("max_rel_force_error", "lower", 0.0, 1e-9),
+    ("rel_energy_error", "lower", 0.0, 1e-9),
+)
+
+
+def _dig(payload: dict, path: str):
+    node = payload
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def collect_criteria(payload: dict, prefix: str = "") -> dict[str, bool]:
+    """Recursively collect every boolean under any ``criteria`` dict.
+
+    Returns a flat ``{dotted.path: passed}`` mapping, e.g.
+    ``{"criteria.batched_speedup_ge_5x": True,
+    "trace.criteria.trace_overhead_lt_5pct": True}``.
+    """
+    found: dict[str, bool] = {}
+    for key, value in payload.items():
+        path = f"{prefix}{key}"
+        if key == "criteria" and isinstance(value, dict):
+            for name, passed in value.items():
+                if isinstance(passed, bool):
+                    found[f"{path}.{name}"] = passed
+        elif isinstance(value, dict):
+            found.update(collect_criteria(value, prefix=f"{path}."))
+    return found
+
+
+def _metric_specs(benchmark: str, baseline: dict, fresh: dict) -> list[tuple[str, MetricSpec]]:
+    """Resolve the (label, spec) comparison list for one benchmark type."""
+    if benchmark == "serve":
+        specs = [(s.path, s) for s in _SERVE_METRICS]
+        base_rates = {
+            row["offered_rate"]: row for row in baseline.get("throughput_sweep", [])
+        }
+        fresh_rates = {
+            row["offered_rate"]: row for row in fresh.get("throughput_sweep", [])
+        }
+        for rate in sorted(set(base_rates) & set(fresh_rates)):
+            specs.append(
+                (
+                    f"throughput_sweep[rate={rate:g}].throughput",
+                    MetricSpec(f"__rate|{rate!r}|throughput", "higher", 0.05),
+                )
+            )
+        return specs
+    if benchmark == "md_force_kernels":
+        base_rows = {row["n"]: row for row in baseline.get("results", [])}
+        fresh_rows = {row["n"]: row for row in fresh.get("results", [])}
+        specs = []
+        for n in sorted(set(base_rows) & set(fresh_rows)):
+            for name, direction, tol, slack in _MD_METRIC_TEMPLATES:
+                specs.append(
+                    (
+                        f"results[n={n}].{name}",
+                        MetricSpec(f"__row|{n!r}|{name}", direction, tol, abs_slack=slack),
+                    )
+                )
+        return specs
+    return []
+
+
+def _lookup_metric(payload: dict, spec_path: str):
+    """Resolve a spec path, including the ``|``-delimited sweep/row
+    pseudo-paths (``|`` because a float's repr contains ``.``)."""
+    if spec_path.startswith("__rate|") or spec_path.startswith("__row|"):
+        _, key, name = spec_path.split("|", 2)
+        rows = (
+            payload.get("throughput_sweep", [])
+            if spec_path.startswith("__rate|")
+            else payload.get("results", [])
+        )
+        row_key = "offered_rate" if spec_path.startswith("__rate|") else "n"
+        for row in rows:
+            if repr(row.get(row_key)) == key:
+                return row.get(name)
+        return None
+    return _dig(payload, spec_path)
+
+
+def compare_reports(
+    baseline: dict, fresh: dict, *, tolerance: float | None = None
+) -> dict:
+    """Compare a fresh bench report against its committed baseline.
+
+    Returns a JSON-ready report with per-criterion and per-metric rows
+    and the overall verdict in ``"ok"``; ``tolerance`` (when given)
+    overrides every metric's own tolerance.
+    """
+    benchmark = baseline.get("benchmark", "")
+    if fresh.get("benchmark", "") != benchmark:
+        raise ValueError(
+            f"benchmark type mismatch: baseline {benchmark!r} "
+            f"vs fresh {fresh.get('benchmark')!r}"
+        )
+    param_keys = _PARAM_KEYS.get(benchmark, ())
+    params_match = all(baseline.get(k) == fresh.get(k) for k in param_keys)
+
+    criteria_rows = []
+    base_criteria = collect_criteria(baseline)
+    fresh_criteria = collect_criteria(fresh)
+    for name in sorted(base_criteria):
+        base_ok = base_criteria[name]
+        fresh_ok = fresh_criteria.get(name)
+        if not base_ok:
+            status = "waived"  # was already failing at the baseline
+        elif fresh_ok is None:
+            status = "skipped"  # fresh run did not exercise it
+        elif fresh_ok:
+            status = "ok"
+        else:
+            status = "regression"
+        criteria_rows.append(
+            {"name": name, "baseline": base_ok, "fresh": fresh_ok, "status": status}
+        )
+
+    metric_rows = []
+    for label, spec in _metric_specs(benchmark, baseline, fresh):
+        base_value = _lookup_metric(baseline, spec.path)
+        fresh_value = _lookup_metric(fresh, spec.path)
+        tol = spec.tolerance if tolerance is None else float(tolerance)
+        row = {
+            "name": label,
+            "baseline": base_value,
+            "fresh": fresh_value,
+            "direction": spec.direction,
+            "tolerance": tol,
+        }
+        if not params_match:
+            row["status"] = "skipped"
+        elif base_value is None or fresh_value is None:
+            row["status"] = "missing"
+        elif spec.check(float(base_value), float(fresh_value), tolerance):
+            row["status"] = "ok"
+        else:
+            row["status"] = "regression"
+        metric_rows.append(row)
+
+    n_regressions = sum(
+        1 for row in criteria_rows + metric_rows if row["status"] == "regression"
+    )
+    return {
+        "benchmark": benchmark,
+        "params_match": params_match,
+        "param_keys": list(param_keys),
+        "criteria": criteria_rows,
+        "metrics": metric_rows,
+        "n_regressions": n_regressions,
+        "ok": n_regressions == 0,
+    }
+
+
+def render_report_text(report: dict) -> str:
+    """Human-readable regression report."""
+    lines = [
+        f"benchmark: {report['benchmark']}  "
+        f"(params {'match' if report['params_match'] else 'differ'} -> "
+        f"numeric gate {'armed' if report['params_match'] else 'skipped'})"
+    ]
+    lines.append("criteria:")
+    for row in report["criteria"]:
+        lines.append(f"  [{row['status']:>10}] {row['name']}")
+    if report["metrics"]:
+        lines.append("metrics:")
+        for row in report["metrics"]:
+            base, fresh = row["baseline"], row["fresh"]
+            base_s = "n/a" if base is None else f"{base:.6g}"
+            fresh_s = "n/a" if fresh is None else f"{fresh:.6g}"
+            lines.append(
+                f"  [{row['status']:>10}] {row['name']}: "
+                f"{base_s} -> {fresh_s} "
+                f"({row['direction']} better, tol {row['tolerance']:g})"
+            )
+    verdict = "OK" if report["ok"] else f"REGRESSION x{report['n_regressions']}"
+    lines.append(f"verdict: {verdict}")
+    return "\n".join(lines)
+
+
+def run_regress(
+    baseline_path: str | Path,
+    fresh_path: str | Path,
+    *,
+    tolerance: float | None = None,
+    output: str | Path | None = None,
+) -> dict:
+    """Load both reports, compare, optionally write the JSON report."""
+    baseline = json.loads(Path(baseline_path).read_text())
+    fresh = json.loads(Path(fresh_path).read_text())
+    report = compare_reports(baseline, fresh, tolerance=tolerance)
+    report["baseline_path"] = str(baseline_path)
+    report["fresh_path"] = str(fresh_path)
+    if output is not None:
+        Path(output).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report

@@ -1,0 +1,246 @@
+"""Streaming window statistics and drift detectors, from scratch.
+
+These are the primitive accumulators the monitoring layer
+(:mod:`repro.obs.monitor`) composes into rule-based and change-point
+monitors.  Everything here is *online* — O(1) state per stream, one
+``update`` per observation — and exactly deterministic: the same
+observation sequence always produces bitwise-identical state, which is
+what lets an alert log be replayed from a trace file and compared with
+``cmp``.
+
+* :class:`Welford` — numerically stable running mean/variance
+  (Welford's algorithm; the textbook recurrence
+  ``M2 += (x - mean_old) * (x - mean_new)``).
+* :class:`EWMA` — exponentially weighted moving average, the smoother
+  behind rate monitors that should not flap on one noisy window.
+* :class:`PageHinkley` — the Page–Hinkley test for upward mean shift:
+  accumulate deviations from the running mean minus a drift allowance
+  ``delta`` and alarm when the cumulative sum rises ``threshold`` above
+  its running minimum.
+* :class:`TwoSidedCUSUM` — tabular CUSUM in both directions against a
+  reference mean/std learned from a warmup prefix; alarms when either
+  one-sided statistic exceeds ``threshold`` standard deviations.
+
+None of these import anything beyond ``math`` — they are pure Python on
+purpose, so monitors embed them without dragging numpy broadcasting
+semantics (and its batch-width-dependent reductions) into code whose
+whole contract is bit-for-bit replayability.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["Welford", "EWMA", "PageHinkley", "TwoSidedCUSUM"]
+
+
+class Welford:
+    """Running mean/variance via Welford's single-pass recurrence."""
+
+    __slots__ = ("n", "mean", "_m2")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def update(self, value: float) -> None:
+        """Fold one observation into the running moments."""
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(f"Welford observed non-finite value {value!r}")
+        self.n += 1
+        delta = value - self.mean
+        self.mean += delta / self.n
+        self._m2 += delta * (value - self.mean)
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the observations so far (0.0 when n < 2)."""
+        return self._m2 / self.n if self.n >= 2 else 0.0
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation (0.0 when n < 2)."""
+        return math.sqrt(self.variance)
+
+    def reset(self) -> None:
+        """Forget all observations."""
+        self.n = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def __repr__(self) -> str:
+        return f"Welford(n={self.n}, mean={self.mean:.6g}, std={self.std:.6g})"
+
+
+class EWMA:
+    """Exponentially weighted moving average with smoothing ``alpha``.
+
+    The first observation initializes the average directly (no zero
+    bias); each later one folds in as
+    ``value_new = alpha * x + (1 - alpha) * value_old``.
+    """
+
+    __slots__ = ("alpha", "value", "n")
+
+    def __init__(self, alpha: float = 0.3):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = float(alpha)
+        self.value: float | None = None
+        self.n = 0
+
+    def update(self, value: float) -> float:
+        """Fold one observation; returns the updated average."""
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(f"EWMA observed non-finite value {value!r}")
+        self.n += 1
+        if self.value is None:
+            self.value = value
+        else:
+            self.value = self.alpha * value + (1.0 - self.alpha) * self.value
+        return self.value
+
+    def reset(self) -> None:
+        """Forget the average."""
+        self.value = None
+        self.n = 0
+
+    def __repr__(self) -> str:
+        return f"EWMA(alpha={self.alpha}, value={self.value}, n={self.n})"
+
+
+class PageHinkley:
+    """Page–Hinkley test for an upward shift of the stream mean.
+
+    Maintains the cumulative sum of ``x_t - mean_t - delta`` (``mean_t``
+    the running mean, ``delta`` the tolerated drift per step) and its
+    running minimum; :attr:`drifted` turns True once the sum exceeds the
+    minimum by ``threshold``.  ``min_samples`` observations must arrive
+    before the test can alarm, so a short noisy prefix cannot trip it.
+    """
+
+    __slots__ = ("delta", "threshold", "min_samples", "_moments", "_cum", "_cum_min", "drifted")
+
+    def __init__(
+        self, *, delta: float = 0.05, threshold: float = 5.0, min_samples: int = 8
+    ):
+        if threshold <= 0:
+            raise ValueError(f"threshold must be > 0, got {threshold}")
+        if delta < 0:
+            raise ValueError(f"delta must be >= 0, got {delta}")
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+        self.delta = float(delta)
+        self.threshold = float(threshold)
+        self.min_samples = int(min_samples)
+        self._moments = Welford()
+        self._cum = 0.0
+        self._cum_min = 0.0
+        self.drifted = False
+
+    @property
+    def n(self) -> int:
+        """Observations folded in since the last reset."""
+        return self._moments.n
+
+    @property
+    def statistic(self) -> float:
+        """Current test statistic (cumulative sum above its minimum)."""
+        return self._cum - self._cum_min
+
+    def update(self, value: float) -> bool:
+        """Fold one observation; returns True when drift is detected."""
+        self._moments.update(value)
+        self._cum += float(value) - self._moments.mean - self.delta
+        self._cum_min = min(self._cum_min, self._cum)
+        if self.n >= self.min_samples and self.statistic > self.threshold:
+            self.drifted = True
+        return self.drifted
+
+    def reset(self) -> None:
+        """Restart the test (after an alarm has been acted on)."""
+        self._moments.reset()
+        self._cum = 0.0
+        self._cum_min = 0.0
+        self.drifted = False
+
+    def __repr__(self) -> str:
+        return (
+            f"PageHinkley(n={self.n}, statistic={self.statistic:.4g}, "
+            f"threshold={self.threshold}, drifted={self.drifted})"
+        )
+
+
+class TwoSidedCUSUM:
+    """Two-sided tabular CUSUM against a warmup-learned reference.
+
+    The first ``warmup`` observations only feed the reference
+    mean/std (via :class:`Welford`); after that, each observation is
+    standardized against the frozen reference and folded into the
+    classic one-sided statistics ``g+ = max(0, g+ + z - k)`` and
+    ``g- = max(0, g- - z - k)`` with allowance ``k`` (in standard
+    deviations).  :attr:`drifted` turns True when either side exceeds
+    ``threshold``.
+    """
+
+    __slots__ = ("k", "threshold", "warmup", "_reference", "_ref_std", "g_pos", "g_neg", "drifted")
+
+    def __init__(self, *, k: float = 0.5, threshold: float = 5.0, warmup: int = 10):
+        if threshold <= 0:
+            raise ValueError(f"threshold must be > 0, got {threshold}")
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        if warmup < 2:
+            raise ValueError(f"warmup must be >= 2, got {warmup}")
+        self.k = float(k)
+        self.threshold = float(threshold)
+        self.warmup = int(warmup)
+        self._reference = Welford()
+        self._ref_std = 0.0
+        self.g_pos = 0.0
+        self.g_neg = 0.0
+        self.drifted = False
+
+    @property
+    def n(self) -> int:
+        """Observations folded in since the last reset."""
+        return self._reference.n
+
+    @property
+    def statistic(self) -> float:
+        """Max of the two one-sided statistics."""
+        return max(self.g_pos, self.g_neg)
+
+    def update(self, value: float) -> bool:
+        """Fold one observation; returns True when drift is detected."""
+        value = float(value)
+        if self._reference.n < self.warmup:
+            self._reference.update(value)
+            if self._reference.n == self.warmup:
+                # Freeze the reference; a degenerate (constant) warmup
+                # gets a tiny floor so later deviations still register.
+                self._ref_std = max(self._reference.std, 1e-12)
+            return self.drifted
+        z = (value - self._reference.mean) / self._ref_std
+        self.g_pos = max(0.0, self.g_pos + z - self.k)
+        self.g_neg = max(0.0, self.g_neg - z - self.k)
+        if self.statistic > self.threshold:
+            self.drifted = True
+        return self.drifted
+
+    def reset(self) -> None:
+        """Restart the test, forgetting the reference."""
+        self._reference.reset()
+        self._ref_std = 0.0
+        self.g_pos = 0.0
+        self.g_neg = 0.0
+        self.drifted = False
+
+    def __repr__(self) -> str:
+        return (
+            f"TwoSidedCUSUM(n={self.n}, g_pos={self.g_pos:.4g}, "
+            f"g_neg={self.g_neg:.4g}, drifted={self.drifted})"
+        )

@@ -37,6 +37,7 @@ from repro.serve.admission import (
 from repro.serve.batching import FlushDirective, MicroBatcher, PendingQuery
 from repro.serve.cache import CachedResult, QuantizedLRUCache
 from repro.serve.clock import SimulatedClock
+from repro.serve.control import ControlPolicy
 from repro.serve.cost import ServeCostModel
 from repro.serve.dispatch import FallbackPool
 from repro.serve.loadgen import OpenLoopLoadGenerator
@@ -58,6 +59,7 @@ from repro.serve.server import SurrogateServer
 __all__ = [
     "AdmissionController",
     "CachedResult",
+    "ControlPolicy",
     "DECISION_ACCEPT",
     "DECISION_DEGRADE",
     "DECISION_REJECT",

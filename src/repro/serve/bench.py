@@ -25,11 +25,26 @@ magnitude on this machine.
 
 With ``--trace``, the agreement scenario is additionally re-run with a
 :class:`~repro.obs.trace.Tracer` attached: the trace is written as
-JSONL, a traced replay must reproduce it byte for byte, the §III-D
-speedup reconstructed from the trace alone must match the measured value
-within 2%, and the wall-clock instrumentation overhead (best-of serve
-times, traced vs. untraced) must stay under 5% — all recorded as
-criteria in the BENCH JSON.
+JSONL (gzipped when the output path ends in ``.gz``), a traced replay
+must reproduce it byte for byte, the §III-D speedup reconstructed from
+the trace alone must match the measured value within 2%, and the
+wall-clock instrumentation overhead (best-of serve times, traced vs.
+untraced) must stay under 5% — all recorded as criteria in the BENCH
+JSON.
+
+``--trace`` also exercises the closed MLControl loop twice:
+
+* **monitored agreement** — the healthy scenario re-served with the
+  default :func:`~repro.obs.monitor.default_serve_monitors` suite
+  attached; it must stay critical-alert silent and its marginal
+  wall-clock overhead over plain tracing must stay under 5%;
+* **drift injection** — mid-stream, a scheduled fault biases the
+  surrogate's output scaler by ``_DRIFT_BIAS_SIGMA`` standard
+  deviations, silently corrupting served answers without touching the
+  UQ gate.  The calibration-coverage monitor must fire, the fired
+  alert's ``retrain`` action must appear as a ``control_retrain`` train
+  span in the trace, and replaying that trace offline through an
+  identical suite must reproduce the live alert log byte for byte.
 """
 
 from __future__ import annotations
@@ -45,7 +60,8 @@ from repro.core.effective import EffectiveSpeedupModel
 from repro.core.mlaround import MLAroundHPC, RetrainPolicy
 from repro.core.simulation import CallableSimulation
 from repro.core.surrogate import Surrogate
-from repro.obs.export import dumps_trace
+from repro.obs.export import dumps_trace, write_trace
+from repro.obs.monitor import default_serve_monitors, dumps_alerts, watch_trace
 from repro.obs.summary import summarize
 from repro.obs.trace import Tracer
 from repro.parallel.cluster import Worker
@@ -67,9 +83,39 @@ TRAIN_BOUNDS = np.array([[-2.0, 2.0], [-2.0, 2.0]])
 SERVE_BOUNDS = np.array([[-2.6, 2.6], [-2.6, 2.6]])
 
 
+#: Output-scaler bias (in per-dimension standard deviations) injected by
+#: the drift scenario.  Large enough that fallback-row calibration
+#: coverage collapses within one monitor window.
+_DRIFT_BIAS_SIGMA = 4.0
+
+
+def _drift_trace_path(trace_output: str | Path) -> Path:
+    """Sibling path for the drift-scenario trace (``X.jsonl.gz`` ->
+    ``X_drift.jsonl.gz``)."""
+    p = Path(trace_output)
+    name = p.name
+    for ext in (".jsonl.gz", ".jsonl", ".gz", ".json"):
+        if name.endswith(ext):
+            return p.with_name(name[: -len(ext)] + "_drift" + ext)
+    return p.with_name(name + "_drift")
+
+
 def _toy_response(x: np.ndarray) -> np.ndarray:
     """Smooth 2-in/2-out ground truth for the bench engine."""
     return np.array([np.sin(x[0]) * np.cos(x[1]), 0.25 * x[0] * x[1]])
+
+
+def _inject_scaler_bias(server: SurrogateServer, t: float) -> None:
+    """Scheduled fault: silently corrupt the surrogate's served answers.
+
+    Shifts the output scaler's mean by ``_DRIFT_BIAS_SIGMA`` standard
+    deviations, so every subsequent prediction is biased while the
+    MC-dropout spread (and hence the UQ gate) is untouched — the exact
+    failure mode only calibration monitoring can catch.  A genuine
+    retrain refits the scaler from banked truth data and recovers.
+    """
+    scaler = server.engine.surrogate.y_scaler
+    scaler.mean_ = scaler.mean_ + _DRIFT_BIAS_SIGMA * scaler.scale_
 
 
 def build_engine(
@@ -78,11 +124,15 @@ def build_engine(
     seed: int = 0,
     n_bootstrap: int = 48,
     epochs: int = 200,
+    retrain_every: int = 24,
 ) -> MLAroundHPC:
     """Fresh bootstrapped MLaroundHPC engine for one bench scenario.
 
     Every scenario gets its own engine because serving mutates it (banked
     fallback runs, retrains); sharing one would couple the scenarios.
+    ``retrain_every`` is the cadence-retrain interval; the drift scenario
+    passes an effectively infinite value so the monitor-triggered control
+    retrain is the only recovery path.
     """
     sim = CallableSimulation(_toy_response, ["a", "b"], ["u", "v"])
     surrogate = Surrogate(
@@ -92,7 +142,9 @@ def build_engine(
         sim,
         surrogate,
         tolerance=tolerance,
-        policy=RetrainPolicy(min_initial_runs=16, retrain_every=24),
+        policy=RetrainPolicy(
+            min_initial_runs=16, retrain_every=retrain_every
+        ),
         rng=seed,
     )
     gen = ensure_rng(seed)
@@ -112,10 +164,21 @@ def _run(
     max_wait: float = 1e-3,
     n_workers: int = 4,
     epochs: int = 200,
+    retrain_every: int = 24,
     tracer: Tracer | None = None,
+    monitor=None,
+    prepare=None,
 ) -> tuple[SurrogateServer, float]:
-    """Serve ``requests`` on a fresh engine; returns (server, serve wall s)."""
-    engine = build_engine(tolerance=tolerance, seed=seed, epochs=epochs)
+    """Serve ``requests`` on a fresh engine; returns (server, serve wall s).
+
+    ``monitor`` is forwarded to the server (requires ``tracer``);
+    ``prepare`` is called with the built server before serving — the
+    hook the drift scenario uses to schedule its mid-stream fault.
+    """
+    engine = build_engine(
+        tolerance=tolerance, seed=seed, epochs=epochs,
+        retrain_every=retrain_every,
+    )
     server = SurrogateServer(
         engine,
         cost=cost,
@@ -123,7 +186,10 @@ def _run(
         pool=FallbackPool([Worker(i) for i in range(n_workers)]),
         rng=seed + 1,
         tracer=tracer,
+        monitor=monitor,
     )
+    if prepare is not None:
+        prepare(server)
     with Timer() as t:
         server.serve(requests)
     return server, t.elapsed
@@ -208,11 +274,13 @@ def run_serve_bench(
     }
 
     # ---- scenario 4: measured vs analytic effective speedup -----------
-    def agreement_run(tracer: Tracer | None = None) -> tuple[SurrogateServer, float]:
+    def agreement_run(
+        tracer: Tracer | None = None, monitor=None
+    ) -> tuple[SurrogateServer, float]:
         agen = OpenLoopLoadGenerator(2000.0, SERVE_BOUNDS)
         return _run(
             agen.generate(n_requests, rng=seed), tolerance=0.6, seed=seed,
-            cost=cost, epochs=epochs, tracer=tracer,
+            cost=cost, epochs=epochs, tracer=tracer, monitor=monitor,
         )
 
     ag, t_untraced = agreement_run()
@@ -278,18 +346,34 @@ def run_serve_bench(
         trace_preserves_run = json.dumps(
             traced.metrics.summary(), sort_keys=True
         ) == json.dumps(ag.metrics.summary(), sort_keys=True)
+        # Monitored run: the same healthy scenario with the default
+        # alert suite riding the span feed.  It must stay quiet (no
+        # critical alerts — a false alarm here would trigger spurious
+        # control actions on every production-shaped run).
+        healthy_suite = default_serve_monitors()
+        monitored, t_monitored = agreement_run(
+            Tracer(meta=trace_meta), monitor=healthy_suite
+        )
         # Overhead: best-of serve wall times.  Extra rounds are
-        # interleaved so machine-load drift lands on both sides; the min
+        # interleaved so machine-load drift lands on all sides; the min
         # converges to each variant's floor and their ratio isolates the
         # instrumentation cost from retrain-time jitter.
         wall_untraced = [t_untraced]
         wall_traced = [t_traced, t_traced2]
+        wall_monitored = [t_monitored]
         for _ in range(3):
             wall_untraced.append(agreement_run()[1])
             wall_traced.append(agreement_run(Tracer(meta=trace_meta))[1])
+            wall_monitored.append(
+                agreement_run(
+                    Tracer(meta=trace_meta), monitor=default_serve_monitors()
+                )[1]
+            )
         best_untraced = min(wall_untraced)
         best_traced = min(wall_traced)
+        best_monitored = min(wall_monitored)
         overhead = best_traced / best_untraced - 1.0
+        monitor_overhead = best_monitored / best_traced - 1.0
         trace_summary = summarize(traced.tracer.spans, meta=traced.tracer.meta)
         speedup_from_trace = trace_summary["effective"]["speedup"]
         trace_rel_diff = abs(speedup_from_trace - measured) / measured
@@ -308,8 +392,97 @@ def run_serve_bench(
         criteria["trace_speedup_within_2pct"] = bool(trace_rel_diff <= 0.02)
         criteria["trace_overhead_lt_5pct"] = bool(overhead < 0.05)
         if trace_output is not None:
-            Path(trace_output).write_text(trace_text)
+            write_trace(trace_output, traced.tracer)
             trace_block["output"] = str(trace_output)
+
+        healthy_criticals = sum(
+            1 for a in healthy_suite.alerts if a.severity == "critical"
+        )
+        monitor_block = {
+            "t_serve_monitored_s": best_monitored,
+            "overhead_vs_traced": monitor_overhead,
+            "healthy_alerts": healthy_suite.manager.summary(),
+            "healthy_critical_alerts": healthy_criticals,
+        }
+        criteria["monitor_overhead_lt_5pct"] = bool(monitor_overhead < 0.05)
+        criteria["monitor_quiet_on_healthy"] = bool(healthy_criticals == 0)
+
+        # ---- drift injection: the closed MLControl loop end to end ----
+        drift_meta = {
+            "benchmark": "serve",
+            "scenario": "drift_injection",
+            "seed": seed,
+            "n_requests": n_requests,
+            "t_seq": cost.t_simulate,
+            "bias_sigma": _DRIFT_BIAS_SIGMA,
+        }
+        # Inject a quarter of the way through the stream; a tighter
+        # tolerance than the agreement run keeps enough fallback traffic
+        # flowing that the calibration monitor sees its minimum window of
+        # fresh probes after the fault even at smoke-test sizes.  Cadence
+        # retraining is disabled (effectively infinite interval) so the
+        # injected bias persists until the monitor catches it: the
+        # control retrain it triggers is the *only* recovery path, which
+        # is exactly the closed loop this scenario certifies.
+        t_inject = 0.25 * n_requests / 2000.0
+
+        def drift_run() -> tuple[SurrogateServer, object, Tracer]:
+            suite = default_serve_monitors()
+            tracer = Tracer(meta=drift_meta)
+            dgen = OpenLoopLoadGenerator(2000.0, SERVE_BOUNDS)
+            server, _ = _run(
+                dgen.generate(n_requests, rng=seed), tolerance=0.4, seed=seed,
+                cost=cost, epochs=epochs, retrain_every=10**6,
+                tracer=tracer, monitor=suite,
+                prepare=lambda srv: srv.schedule(t_inject, _inject_scaler_bias),
+            )
+            return server, suite, tracer
+
+        drift_server, drift_suite, drift_tracer = drift_run()
+        live_log = dumps_alerts(drift_suite.alerts)
+        drift_text = dumps_trace(drift_tracer)
+        # Replaying the drift trace offline through a fresh identical
+        # suite must reproduce the live alert log byte for byte — the
+        # monitor is a pure function of the span stream.
+        replay_suite = default_serve_monitors()
+        watch_trace(drift_tracer.spans, replay_suite)
+        replay_log = dumps_alerts(replay_suite.alerts)
+        # And the whole closed loop must itself be deterministic.
+        _, drift_suite2, drift_tracer2 = drift_run()
+        drift_deterministic = (
+            drift_text == dumps_trace(drift_tracer2)
+            and live_log == dumps_alerts(drift_suite2.alerts)
+        )
+        n_control_retrains = sum(
+            1 for s in drift_tracer.spans if s.name == "control_retrain"
+        )
+        drift_fired = any(
+            a.kind == "calibration_coverage" and a.t >= t_inject
+            for a in drift_suite.alerts
+        )
+        drift_block = {
+            "t_inject_s": t_inject,
+            "bias_sigma": _DRIFT_BIAS_SIGMA,
+            "tolerance": 0.4,
+            "n_spans": len(drift_tracer.spans),
+            "n_alerts": len(drift_suite.alerts),
+            "alerts": drift_suite.manager.summary(),
+            "n_control_retrains": n_control_retrains,
+            "n_train_spans": sum(
+                1 for s in drift_tracer.spans if s.kind == "train"
+            ),
+            "n_ledger_retrains": drift_server.metrics.ledger.count("train"),
+        }
+        criteria["drift_alert_fired"] = bool(drift_fired)
+        criteria["drift_triggers_retrain"] = bool(n_control_retrains >= 1)
+        criteria["monitor_replay_matches_live"] = bool(live_log == replay_log)
+        criteria["deterministic_drift_replay"] = bool(drift_deterministic)
+        if trace_output is not None:
+            drift_output = _drift_trace_path(trace_output)
+            write_trace(drift_output, drift_tracer)
+            drift_block["output"] = str(drift_output)
+        trace_block["monitor"] = monitor_block
+        trace_block["drift"] = drift_block
 
     payload = {
         "benchmark": "serve",
@@ -374,12 +547,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--trace", action="store_true",
         help="re-run the agreement scenario with a Tracer attached, write "
-        "the trace as JSONL, and gate on replay determinism, trace-derived "
-        "speedup agreement, and instrumentation overhead",
+        "the trace as JSONL, gate on replay determinism, trace-derived "
+        "speedup agreement, and instrumentation overhead, and run the "
+        "monitored + drift-injection control-loop scenarios",
     )
     parser.add_argument(
-        "--trace-output", default="TRACE_serve.jsonl",
-        help="trace JSONL path when --trace is set (default: %(default)s)",
+        "--trace-output", default="TRACE_serve.jsonl.gz",
+        help="trace JSONL path when --trace is set; a .gz suffix writes "
+        "gzip (default: %(default)s); the drift-scenario trace lands at "
+        "the _drift sibling path",
     )
     parser.add_argument(
         "--output", default=DEFAULT_OUTPUT,
@@ -416,6 +592,18 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"trace: {t['n_spans']} spans, speedup {t['speedup_from_trace']:.1f} "
             f"({t['rel_diff_vs_measured'] * 100:.2f}% vs measured), "
             f"overhead {t['overhead'] * 100:.2f}%"
+        )
+        mon = t["monitor"]
+        dr = t["drift"]
+        print(
+            f"monitor: overhead {mon['overhead_vs_traced'] * 100:.2f}% vs "
+            f"traced, {mon['healthy_critical_alerts']} critical alerts on "
+            f"healthy run"
+        )
+        print(
+            f"drift: {dr['n_alerts']} alerts, "
+            f"{dr['n_control_retrains']} control retrains "
+            f"(inject at t={dr['t_inject_s']:.2f}s)"
         )
     print(f"criteria: {payload['criteria']}")
     print(f"wrote {args.output}")

@@ -1,0 +1,86 @@
+"""MLControl policy: how the serving loop reacts to monitor alerts.
+
+The monitor suite (:mod:`repro.obs.monitor`) only *detects* — drift in
+the surrogate's UQ calibration, SLO burn, shed storms.  This module
+holds the server-side half of the closed loop: a :class:`ControlPolicy`
+bounding which corrective actions the
+:class:`~repro.serve.server.SurrogateServer` may take when an alert
+carries one, and how hard:
+
+* ``retrain`` — force an off-cadence
+  :meth:`~repro.core.mlaround.MLAroundHPC.retrain_now`, capped at
+  ``max_retrains`` per run so a mis-tuned monitor cannot thrash the
+  trainer;
+* ``tighten_gate`` — multiply the UQ admission tolerance by
+  ``tighten_factor`` (floored at ``min_tolerance``), trading lookup
+  fraction for trustworthiness while the surrogate recovers;
+* ``force_fallback`` — disable surrogate lookups entirely for
+  ``fallback_hold_s`` of virtual time, the circuit-breaker of last
+  resort.
+
+Every action the server executes is recorded as a span (kind ``"train"``
+for retrains, ``"control"`` otherwise), so the §III-D ledger keeps
+explaining the run's effective speedup *including* the cost of keeping
+the surrogate honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ACTION_RETRAIN",
+    "ACTION_TIGHTEN_GATE",
+    "ACTION_FORCE_FALLBACK",
+    "ControlPolicy",
+]
+
+# Mirrors repro.obs.monitor's action vocabulary; duplicated as literals
+# so serve does not import obs (the dependency runs monitor -> nothing,
+# server <- duck-typed suite, same as the tracer hooks).
+ACTION_RETRAIN = "retrain"
+ACTION_TIGHTEN_GATE = "tighten_gate"
+ACTION_FORCE_FALLBACK = "force_fallback"
+
+
+@dataclass(frozen=True)
+class ControlPolicy:
+    """Bounds on the serving loop's alert-driven corrective actions.
+
+    Attributes
+    ----------
+    max_retrains:
+        Alert-triggered retrains allowed per served stream (0 disables
+        the retrain action entirely).
+    tighten_factor:
+        Multiplier applied to the engine's UQ tolerance on a
+        ``tighten_gate`` action, in (0, 1].
+    min_tolerance:
+        Tightening never pushes the tolerance below this floor.
+    fallback_hold_s:
+        Virtual seconds the surrogate stays bypassed after a
+        ``force_fallback`` action.
+    """
+
+    max_retrains: int = 4
+    tighten_factor: float = 0.5
+    min_tolerance: float = 1e-3
+    fallback_hold_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_retrains < 0:
+            raise ValueError(f"max_retrains must be >= 0, got {self.max_retrains}")
+        if not 0.0 < self.tighten_factor <= 1.0:
+            raise ValueError(
+                f"tighten_factor must be in (0, 1], got {self.tighten_factor}"
+            )
+        if self.min_tolerance <= 0:
+            raise ValueError(f"min_tolerance must be > 0, got {self.min_tolerance}")
+        if self.fallback_hold_s < 0:
+            raise ValueError(
+                f"fallback_hold_s must be >= 0, got {self.fallback_hold_s}"
+            )
+
+    def tightened(self, tolerance: float) -> float:
+        """The tolerance after one tighten step (floored)."""
+        return max(tolerance * self.tighten_factor, self.min_tolerance)

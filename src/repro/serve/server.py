@@ -47,6 +47,12 @@ from repro.serve.admission import DECISION_DEGRADE, DECISION_REJECT, AdmissionCo
 from repro.serve.batching import MicroBatcher, PendingQuery
 from repro.serve.cache import CachedResult, QuantizedLRUCache
 from repro.serve.clock import SimulatedClock
+from repro.serve.control import (
+    ACTION_FORCE_FALLBACK,
+    ACTION_RETRAIN,
+    ACTION_TIGHTEN_GATE,
+    ControlPolicy,
+)
 from repro.serve.cost import ServeCostModel
 from repro.serve.dispatch import FallbackPool
 from repro.serve.messages import (
@@ -69,6 +75,7 @@ __all__ = ["SurrogateServer"]
 _ARRIVAL = "arrival"
 _TIMER = "timer"
 _COMPLETE = "complete"
+_CALLBACK = "callback"
 
 
 class SurrogateServer:
@@ -94,6 +101,19 @@ class SurrogateServer:
         so the tracer's own clock is never consulted and tracing cannot
         perturb the run.  The fallback pool's dispatcher is bound to the
         same tracer so placements appear as ``dispatch`` spans.
+    monitor:
+        Optional duck-typed :class:`~repro.obs.monitor.MonitorSuite`.
+        Every span the server itself records is also fed to the suite,
+        in record order — exactly the order a trace file replays — and
+        any alert the feed fires comes straight back: alerts carrying a
+        control action (``retrain`` / ``tighten_gate`` /
+        ``force_fallback``) are executed, subject to ``control``, and
+        the execution is recorded as a span of its own.  Requires
+        ``tracer`` (spans are the monitor's input).
+    control:
+        Bounds on alert-driven actions
+        (:class:`~repro.serve.control.ControlPolicy`; defaults apply
+        when ``None``).
     """
 
     def __init__(
@@ -107,6 +127,8 @@ class SurrogateServer:
         pool: FallbackPool | None = None,
         rng: int | np.random.Generator | None = None,
         tracer=None,
+        monitor=None,
+        control: ControlPolicy | None = None,
     ):
         self.engine = engine
         self.cost = cost or ServeCostModel()
@@ -117,6 +139,10 @@ class SurrogateServer:
         self.metrics = ServeMetrics()
         self.clock = SimulatedClock()
         self.tracer = tracer
+        if monitor is not None and tracer is None:
+            raise ValueError("monitor requires a tracer (spans are its feed)")
+        self.monitor = monitor
+        self.control = control or ControlPolicy()
         if tracer is not None:
             self.pool.bind_tracer(tracer)
         # One persistent stream so fallback durations are reproducible
@@ -126,6 +152,9 @@ class SurrogateServer:
         self._seq = itertools.count()
         self._events: list[tuple[float, int, str, object]] = []
         self._served_once = False
+        self._in_control = False
+        self._control_retrains = 0
+        self._force_fallback_until = float("-inf")
 
     # ------------------------------------------------------------------
     def serve(self, requests: list[Request]) -> list[Response]:
@@ -164,6 +193,8 @@ class SurrogateServer:
             elif kind == _TIMER:
                 if payload == self.batcher.epoch:
                     self._flush(t, timer=True)
+            elif kind == _CALLBACK:
+                payload(self, t)
             else:  # _COMPLETE
                 response, cache_x, cached = payload
                 if cache_x is not None:
@@ -171,12 +202,108 @@ class SurrogateServer:
                 self.metrics.observe(response)
                 responses.append(response)
         if root is not None:
-            self.tracer.close_span(root, t_end=self.clock.now)
+            self._emit(self.tracer.close_span(root, t_end=self.clock.now))
         return sorted(responses, key=lambda r: r.query_id)
+
+    def schedule(self, t: float, callback) -> None:
+        """Run ``callback(server, t)`` at virtual time ``t`` during serve.
+
+        The bench layer's fault/drift-injection hook: schedule a state
+        perturbation (e.g. biasing the surrogate's output scaler) before
+        calling :meth:`serve` and it fires deterministically between the
+        events straddling ``t``.
+        """
+        self._push(float(t), _CALLBACK, callback)
 
     # ------------------------------------------------------------------
     def _push(self, t: float, kind: str, payload: object) -> None:
         heapq.heappush(self._events, (t, next(self._seq), kind, payload))
+
+    def _emit(self, span) -> None:
+        """Feed one just-recorded span to the monitor suite and react.
+
+        Spans reach the suite in the tracer's record order — the same
+        order :func:`repro.obs.export.write_trace` serializes and a
+        replay feeds — which is what makes the live alert log and the
+        trace-replayed one byte-identical.  Alerts fired while a control
+        action is itself being executed are logged but not re-acted on,
+        so the loop cannot recurse.
+        """
+        if self.monitor is None or span is None:
+            return
+        fired = self.monitor.on_span(span)
+        if fired and not self._in_control:
+            self._apply_alerts(fired, span.t_end)
+
+    def _apply_alerts(self, alerts, t: float) -> None:
+        self._in_control = True
+        try:
+            for alert in alerts:
+                action = getattr(alert, "action", None)
+                if action == ACTION_RETRAIN:
+                    self._control_retrain(alert, t)
+                elif action == ACTION_TIGHTEN_GATE:
+                    self._control_tighten(alert, t)
+                elif action == ACTION_FORCE_FALLBACK:
+                    self._control_force_fallback(alert, t)
+        finally:
+            self._in_control = False
+
+    def _control_retrain(self, alert, t: float) -> None:
+        """Execute a monitor-confirmed early retrain (MLControl)."""
+        if self._control_retrains >= self.control.max_retrains:
+            return
+        if not self.engine.retrain_now():
+            return
+        self._control_retrains += 1
+        self.metrics.ledger.record("train", self.cost.t_retrain)
+        t_end = t + self.cost.t_retrain
+        self._nn_free_at = max(self._nn_free_at, t_end)
+        if self.tracer is not None:
+            self._emit(
+                self.tracer.record(
+                    "control_retrain", "train", t, t_end,
+                    attrs={
+                        "trigger": f"{alert.source}/{alert.kind}",
+                        "n_control_retrains": int(self._control_retrains),
+                    },
+                )
+            )
+
+    def _control_tighten(self, alert, t: float) -> None:
+        """Tighten the UQ admission gate in response to an alert."""
+        old = self.engine.tolerance
+        if old is None:
+            return
+        new = self.control.tightened(old)
+        if new >= old:
+            return
+        self.engine.set_tolerance(new)
+        if self.tracer is not None:
+            self._emit(
+                self.tracer.record(
+                    "control_tighten", "control", t, t,
+                    attrs={
+                        "trigger": f"{alert.source}/{alert.kind}",
+                        "old_tolerance": float(old),
+                        "new_tolerance": float(new),
+                    },
+                )
+            )
+
+    def _control_force_fallback(self, alert, t: float) -> None:
+        """Bypass the surrogate for a hold period (circuit breaker)."""
+        until = t + self.control.fallback_hold_s
+        if until <= self._force_fallback_until:
+            return
+        self._force_fallback_until = until
+        if self.tracer is not None:
+            self._emit(
+                self.tracer.record(
+                    "control_fallback", "control", t, until,
+                    attrs={"trigger": f"{alert.source}/{alert.kind}"},
+                )
+            )
 
     def _complete(
         self,
@@ -192,9 +319,11 @@ class SurrogateServer:
         decision = self.admission.admit(now, depth)
         if decision == DECISION_REJECT:
             if self.tracer is not None:
-                self.tracer.record(
-                    "reject", "admit", now, now,
-                    attrs={"query_id": int(req.query_id), "depth": int(depth)},
+                self._emit(
+                    self.tracer.record(
+                        "reject", "admit", now, now,
+                        attrs={"query_id": int(req.query_id), "depth": int(depth)},
+                    )
                 )
             self._complete(
                 Response(
@@ -210,9 +339,14 @@ class SurrogateServer:
         if hit is not None:
             self.metrics.ledger.record("cache", self.cost.t_cache_hit)
             if self.tracer is not None:
-                self.tracer.record(
-                    "cache_hit", "cache", now, now + self.cost.t_cache_hit,
-                    attrs={"query_id": int(req.query_id)},
+                self._emit(
+                    self.tracer.record(
+                        "cache_hit", "cache", now, now + self.cost.t_cache_hit,
+                        attrs={
+                            "query_id": int(req.query_id),
+                            "lat": now + self.cost.t_cache_hit - req.t_arrival,
+                        },
+                    )
                 )
             self._complete(
                 Response(
@@ -245,9 +379,11 @@ class SurrogateServer:
             deadline = p.request.deadline
             if deadline is not None and deadline < service_start:
                 if self.tracer is not None:
-                    self.tracer.record(
-                        "shed", "shed", now, now,
-                        attrs={"query_id": int(p.request.query_id)},
+                    self._emit(
+                        self.tracer.record(
+                            "shed", "shed", now, now,
+                            attrs={"query_id": int(p.request.query_id)},
+                        )
                     )
                 self._complete(
                     Response(
@@ -282,19 +418,29 @@ class SurrogateServer:
 
         if normal:
             X = np.stack([p.request.x for p in normal])
-            mean, std_norm, confident = self.engine.gate_batch(X)
+            mean, std, std_norm, confident = self.engine.gate_batch(X)
+            if service_start < self._force_fallback_until:
+                # Circuit breaker armed: the gate still ran (its cost is
+                # real and its mean/std feed the calibration probes), but
+                # no surrogate answer is trusted.
+                confident = np.zeros(len(normal), dtype=bool)
             uq_share = self.cost.flush_cost(len(normal)) / len(normal)
             fallbacks = [i for i in range(len(normal)) if not confident[i]]
             durations = self.cost.sample_sim_durations(len(fallbacks), self._dur_rng)
             for i, p in enumerate(normal):
                 self.metrics.ledger.record("lookup", uq_share)
                 if self.tracer is not None:
-                    self.tracer.record(
-                        "uq_row", "lookup", service_start, service_start + uq_share,
-                        attrs={
-                            "query_id": int(normal[i].request.query_id),
-                            "confident": bool(confident[i]),
-                        },
+                    row_attrs = {
+                        "query_id": int(normal[i].request.query_id),
+                        "confident": bool(confident[i]),
+                    }
+                    if confident[i]:
+                        row_attrs["lat"] = t_done - p.request.t_arrival
+                    self._emit(
+                        self.tracer.record(
+                            "uq_row", "lookup", service_start, service_start + uq_share,
+                            attrs=row_attrs,
+                        )
                     )
                 if confident[i]:
                     self._complete(
@@ -317,7 +463,14 @@ class SurrogateServer:
                         ),
                     )
             for j, i in enumerate(fallbacks):
-                self._fallback(normal[i], float(durations[j]), t_done, len(normal))
+                self._fallback(
+                    normal[i],
+                    float(durations[j]),
+                    t_done,
+                    len(normal),
+                    mean_row=mean[i],
+                    std_row=std[i],
+                )
 
         if degraded:
             y_degraded = self.engine.surrogate.predict_stable(
@@ -326,12 +479,17 @@ class SurrogateServer:
             for i, p in enumerate(degraded):
                 self.metrics.ledger.record("lookup", self.cost.t_point_row)
                 if self.tracer is not None:
-                    self.tracer.record(
-                        "degraded_row",
-                        "lookup",
-                        service_start,
-                        service_start + self.cost.t_point_row,
-                        attrs={"query_id": int(p.request.query_id)},
+                    self._emit(
+                        self.tracer.record(
+                            "degraded_row",
+                            "lookup",
+                            service_start,
+                            service_start + self.cost.t_point_row,
+                            attrs={
+                                "query_id": int(p.request.query_id),
+                                "lat": t_done - p.request.t_arrival,
+                            },
+                        )
                     )
                 self._complete(
                     Response(
@@ -346,12 +504,25 @@ class SurrogateServer:
                     )
                 )
         if flush_sid is not None:
-            self.tracer.close_span(flush_sid, t_end=t_done)
+            self._emit(self.tracer.close_span(flush_sid, t_end=t_done))
 
     def _fallback(
-        self, p: PendingQuery, work: float, release: float, batch_size: int
+        self,
+        p: PendingQuery,
+        work: float,
+        release: float,
+        batch_size: int,
+        *,
+        mean_row: np.ndarray | None = None,
+        std_row: np.ndarray | None = None,
     ) -> None:
-        """Dispatch one gate-rejected query to the simulated worker pool."""
+        """Dispatch one gate-rejected query to the simulated worker pool.
+
+        ``mean_row`` / ``std_row`` are the gate's prediction and raw UQ
+        std for this query; paired with the simulated truth they form a
+        free calibration probe, attached to the fallback span as the
+        ``cal`` attr for the drift monitor.
+        """
         worker_id, start, end = self.pool.submit(
             task_id=p.request.query_id, work=work, release=release
         )
@@ -359,19 +530,32 @@ class SurrogateServer:
         outcome = self.engine.force_simulate(p.request.x)
         self.metrics.ledger.record("simulate", end - start)
         if self.tracer is not None:
-            self.tracer.record(
-                "fallback", "simulate", start, end,
-                attrs={
-                    "query_id": int(p.request.query_id),
-                    "worker_id": int(worker_id),
-                },
-            )
+            attrs = {
+                "query_id": int(p.request.query_id),
+                "worker_id": int(worker_id),
+                "lat": end - p.request.t_arrival,
+            }
+            if (
+                mean_row is not None
+                and std_row is not None
+                and np.all(np.isfinite(mean_row))
+                and np.all(np.isfinite(std_row))
+                and np.all(np.isfinite(outcome.outputs))
+            ):
+                attrs["cal"] = {
+                    "mean": [float(v) for v in mean_row],
+                    "std": [float(v) for v in std_row],
+                    "truth": [float(v) for v in outcome.outputs],
+                }
+            self._emit(self.tracer.record("fallback", "simulate", start, end, attrs=attrs))
         if self.engine.ledger.count("train") > trained_before:
             self.metrics.ledger.record("train", self.cost.t_retrain)
             if self.tracer is not None:
-                self.tracer.record(
-                    "retrain", "train", end, end + self.cost.t_retrain,
-                    attrs={"n_banked": int(self.engine.ledger.count("train"))},
+                self._emit(
+                    self.tracer.record(
+                        "retrain", "train", end, end + self.cost.t_retrain,
+                        attrs={"n_banked": int(self.engine.ledger.count("train"))},
+                    )
                 )
         self._complete(
             Response(

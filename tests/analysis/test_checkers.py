@@ -454,3 +454,50 @@ class TestObservability:
     def test_noqa_suppresses(self):
         src = HEADER + "import time\nt = time.time()  # repro: noqa[OBS001]\n"
         assert "OBS001" not in rules_of(src)
+
+    def test_obs002_datetime_now(self):
+        src = HEADER + "import datetime\nt = datetime.datetime.now()\n"
+        assert "OBS002" in rules_of(src)
+
+    def test_obs002_date_today(self):
+        src = HEADER + "import datetime\nd = datetime.date.today()\n"
+        assert "OBS002" in rules_of(src)
+
+    def test_obs002_class_import(self):
+        src = HEADER + "from datetime import datetime\nt = datetime.utcnow()\n"
+        assert "OBS002" in rules_of(src)
+
+    def test_obs002_class_import_alias(self):
+        src = HEADER + "from datetime import datetime as dt\nt = dt.now()\n"
+        assert "OBS002" in rules_of(src)
+
+    def test_obs002_module_alias(self):
+        src = HEADER + "import datetime as dtm\nt = dtm.datetime.now()\n"
+        assert "OBS002" in rules_of(src)
+
+    def test_obs002_message_names_canonical_form(self):
+        src = HEADER + "from datetime import date\nd = date.today()\n"
+        (finding,) = findings_for(src, "OBS002")
+        assert "datetime.date.today" in finding.message
+
+    def test_obs002_quiet_on_pure_constructors(self):
+        src = HEADER + (
+            "import datetime\n"
+            "d = datetime.date(2020, 1, 1)\n"
+            "t = datetime.datetime.fromisoformat('2020-01-01')\n"
+        )
+        assert "OBS002" not in rules_of(src)
+
+    def test_obs002_quiet_on_unrelated_datetime_name(self):
+        src = HEADER + (
+            "class datetime:\n"
+            "    @staticmethod\n"
+            "    def now():\n"
+            "        return 0\n"
+            "t = datetime.now()\n"
+        )
+        assert "OBS002" not in rules_of(src)
+
+    def test_obs002_exempt_in_timing_module(self):
+        src = HEADER + "import datetime\nt = datetime.datetime.now()\n"
+        assert "OBS002" not in rules_of(src, path="src/repro/util/timing.py")

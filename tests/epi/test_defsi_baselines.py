@@ -210,3 +210,30 @@ class TestPureDataBaselines:
     def test_arx_invalid_order(self):
         with pytest.raises(ValueError):
             ARXForecaster(order=0)
+
+
+class TestDEFSIInstrumentation:
+    def test_fit_and_forecast_emit_ledger_compatible_spans(self, world):
+        from repro.obs.metrics import MetricRegistry
+        from repro.obs.trace import Tracer
+
+        net, _, sv, data = world
+        tracer, registry = Tracer(), MetricRegistry()
+        defsi = DEFSIForecaster(
+            NetworkSEIR(net), sv, base_params=TRUE, window=3,
+            n_train_seasons=3, n_days=N_DAYS, epochs=8, rng=8,
+            tracer=tracer, registry=registry,
+        )
+        defsi.fit(data.state_weekly[:10])
+        names = [s.name for s in tracer.spans]
+        assert "defsi.calibrate" in names
+        assert "defsi.synthesize" in names
+        train = next(s for s in tracer.spans if s.name == "defsi.train")
+        assert train.kind == "train"
+        # hooks propagate to the inner SEIR: seasons appear as simulate
+        assert sum(1 for s in tracer.spans if s.name == "seir.run") > 0
+        defsi.forecast(data.state_weekly, week=8)
+        fc = [s for s in tracer.spans if s.name == "defsi.forecast"]
+        assert len(fc) == 1 and fc[0].kind == "lookup"
+        assert registry.counter("epi.defsi.forecasts").value == 1
+        assert registry.counter("epi.defsi.synthetic_seasons").value == 3

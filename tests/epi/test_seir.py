@@ -133,3 +133,38 @@ class TestSeasonResult:
         assert len(seasons) == 3
         totals = [s.daily_incidence.sum() for s in seasons]
         assert len(set(totals)) > 1
+
+
+class TestInstrumentation:
+    def test_untraced_by_default(self, small_contact_network):
+        seir = NetworkSEIR(small_contact_network)
+        assert seir.tracer is None and seir.registry is None
+
+    def test_run_emits_simulate_span_and_counters(self, small_contact_network):
+        from repro.obs.metrics import MetricRegistry
+        from repro.obs.trace import Tracer
+
+        tracer, registry = Tracer(), MetricRegistry()
+        seir = NetworkSEIR(
+            small_contact_network, tracer=tracer, registry=registry
+        )
+        season = seir.run(SEIRParams(**BASE), n_days=30, rng=0)
+        spans = [s for s in tracer.spans if s.name == "seir.run"]
+        assert len(spans) == 1 and spans[0].kind == "simulate"
+        assert spans[0].attrs["n_days"] == 30
+        assert registry.counter("epi.seir.runs").value == 1
+        assert registry.counter("epi.seir.days").value == spans[0].attrs["days_run"]
+        assert registry.counter("epi.seir.infections").value == pytest.approx(
+            float(season.daily_incidence.sum())
+        )
+
+    def test_instrumentation_does_not_change_results(self, small_contact_network):
+        from repro.obs.trace import Tracer
+
+        plain = NetworkSEIR(small_contact_network).run(
+            SEIRParams(**BASE), n_days=40, rng=7
+        )
+        traced = NetworkSEIR(small_contact_network, tracer=Tracer()).run(
+            SEIRParams(**BASE), n_days=40, rng=7
+        )
+        assert np.array_equal(plain.daily_incidence, traced.daily_incidence)

@@ -130,3 +130,66 @@ class TestTrainingHistory:
     def test_best_epoch_requires_validation(self):
         with pytest.raises(ValueError):
             TrainingHistory(train_loss=[1.0]).best_epoch
+
+
+class TestInstrumentation:
+    def test_untraced_by_default(self, regression_data):
+        x, y = regression_data
+        trainer = Trainer(MLP.regressor(3, [8], 2, rng=0), epochs=3, rng=1)
+        assert trainer.tracer is None and trainer.registry is None
+        trainer.fit(x, y)  # no hooks: nothing to record, nothing to break
+
+    def test_per_epoch_spans_and_gauges(self, regression_data):
+        from repro.obs.metrics import MetricRegistry
+        from repro.obs.trace import Tracer
+
+        x, y = regression_data
+        tracer, registry = Tracer(), MetricRegistry()
+        model = MLP.regressor(3, [8], 2, rng=0)
+        trainer = Trainer(
+            model, epochs=5, validation_fraction=0.2, rng=1,
+            tracer=tracer, registry=registry,
+        )
+        hist = trainer.fit(x, y)
+        epochs = [s for s in tracer.spans if s.name == "epoch"]
+        assert len(epochs) == 5
+        # kind deliberately NOT "train": per-epoch spans must not count
+        # as ledger train entries in a trace-reconstructed §III-D ledger
+        assert all(s.kind == "nn.epoch" for s in epochs)
+        assert [s.attrs["epoch"] for s in epochs] == list(range(5))
+        assert epochs[-1].attrs["loss"] == pytest.approx(hist.train_loss[-1])
+        assert epochs[-1].attrs["val_loss"] == pytest.approx(hist.val_loss[-1])
+        assert epochs[-1].attrs["grad_norm"] > 0
+        assert registry.counter("nn.train.epochs").value == 5
+        assert registry.get("nn.train.loss").value == pytest.approx(
+            hist.train_loss[-1]
+        )
+        assert registry.get("nn.train.grad_norm").value > 0
+
+    def test_instrumentation_does_not_change_training(self, regression_data):
+        from repro.obs.trace import Tracer
+
+        x, y = regression_data
+
+        def run(**hooks):
+            model = MLP.regressor(3, [8], 2, rng=3)
+            Trainer(model, epochs=5, optimizer=Adam(1e-3), rng=4, **hooks).fit(x, y)
+            return model.get_flat_params()
+
+        assert np.array_equal(run(), run(tracer=Tracer()))
+
+    def test_early_stop_closes_open_span(self, regression_data):
+        from repro.obs.trace import Tracer
+
+        x, y = regression_data
+        tracer = Tracer()
+        trainer = Trainer(
+            MLP.regressor(3, [8], 2, rng=0), epochs=200,
+            validation_fraction=0.2, rng=1,
+            early_stopping=EarlyStopping(patience=2, min_delta=1e9),
+            tracer=tracer,
+        )
+        hist = trainer.fit(x, y)
+        assert hist.n_epochs < 200
+        epochs = [s for s in tracer.spans if s.name == "epoch"]
+        assert len(epochs) == hist.n_epochs  # all closed, none dangling

@@ -31,7 +31,11 @@ class TestRoundTrip:
         tr = sample_tracer()
         path = write_trace(tmp_path / "t.jsonl", tr)
         spans, meta = read_trace(path)
-        assert spans == sorted(tr.spans, key=lambda s: s.span_id)
+        # Record (completion) order, not span-id order: the serve root
+        # opened first but closed last, so it loads last.  Order fidelity
+        # is what makes offline monitor replays byte-match live runs.
+        assert spans == tr.spans
+        assert [s.span_id for s in spans] == [1, 2, 0]
         assert meta == tr.meta
 
     def test_summary_identical_after_round_trip(self, tmp_path):
@@ -46,6 +50,35 @@ class TestRoundTrip:
     def test_accepts_plain_span_sequence(self):
         tr = sample_tracer()
         assert dumps_trace(tr.spans, meta=tr.meta) == dumps_trace(tr)
+
+
+class TestGzip:
+    def test_gz_round_trip_matches_plain(self, tmp_path):
+        tr = sample_tracer()
+        plain = write_trace(tmp_path / "t.jsonl", tr)
+        gz = write_trace(tmp_path / "t.jsonl.gz", tr)
+        assert read_trace(gz) == read_trace(plain)
+
+    def test_gz_file_is_actually_compressed(self, tmp_path):
+        import gzip
+
+        tr = sample_tracer()
+        gz = write_trace(tmp_path / "t.jsonl.gz", tr)
+        raw = gz.read_bytes()
+        assert raw[:2] == b"\x1f\x8b"
+        assert gzip.decompress(raw).decode("utf-8") == dumps_trace(tr)
+
+    def test_gz_bytes_are_deterministic(self, tmp_path):
+        # mtime and filename are excluded from the gzip header, so two
+        # writes of the same trace are bitwise identical on disk.
+        a = write_trace(tmp_path / "a.jsonl.gz", sample_tracer())
+        b = write_trace(tmp_path / "b.jsonl.gz", sample_tracer())
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_cli_reads_gz(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl.gz", sample_tracer())
+        assert main(["summarize", str(path), "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out)["n_spans"] == 3
 
 
 class TestLoadErrors:

@@ -87,6 +87,69 @@ class TestHistogram:
             Histogram("a", edges=(1.0,)).merge(Histogram("b", edges=(2.0,)))
 
 
+def _shard(values, edges=(1.0,)):
+    h = Histogram("shard", edges=edges)
+    for v in values:
+        h.observe(v)
+    return h
+
+
+def _merged(*hists, edges=(1.0,)):
+    out = Histogram("merged", edges=edges)
+    for h in hists:
+        out.merge(h)
+    return out
+
+
+class TestShardMergeAssociativity:
+    # Shard values chosen so naive float accumulation is order-dependent
+    # (1e16 + 1.0 == 1e16 in doubles); the fixed-point sum is exact, so
+    # any merge tree must agree bitwise.
+    SHARDS = ([1e16, 1.0], [1.0, -1e16], [1e-3, 0.1, 0.1])
+
+    def test_merge_is_bitwise_associative(self):
+        import struct
+
+        a, b, c = (_shard(s) for s in self.SHARDS)
+        bc = _merged(b, c)
+        left = _merged(_shard(self.SHARDS[0]), bc)
+
+        ab = _merged(_shard(self.SHARDS[0]), _shard(self.SHARDS[1]))
+        right = _merged(ab, _shard(self.SHARDS[2]))
+
+        assert left.as_dict() == right.as_dict()
+        assert struct.pack("<d", left.total) == struct.pack("<d", right.total)
+        assert left._sum_fixed == right._sum_fixed
+
+    def test_merge_order_permutations_agree(self):
+        import itertools
+
+        totals = set()
+        for perm in itertools.permutations(self.SHARDS):
+            m = _merged(*(_shard(s) for s in perm))
+            totals.add((m._sum_fixed, m.count, tuple(m.bucket_counts)))
+        assert len(totals) == 1
+
+    def test_total_is_correctly_rounded_true_sum(self):
+        from fractions import Fraction
+
+        values = [0.1] * 10 + [1e16, 1.0, -1e16]
+        h = _shard(values)
+        exact = float(sum(Fraction(v) for v in values))
+        assert h.total == exact
+
+    def test_quantile_error_bounded_by_bucket_width(self):
+        import math
+
+        edges = tuple(float(e) for e in range(1, 10))  # unit-width buckets
+        values = [(i % 97) / 9.7 for i in range(300)]  # ~uniform on [0, 9.9]
+        h = _shard(values, edges=edges)
+        ordered = sorted(values)
+        for q in (0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 1.0):
+            true_q = ordered[max(math.ceil(q * len(values)), 1) - 1]
+            assert abs(h.quantile(q) - true_q) <= 1.0
+
+
 class TestRegistry:
     def test_get_or_create_is_idempotent(self):
         reg = MetricRegistry()

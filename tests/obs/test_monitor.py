@@ -1,0 +1,262 @@
+"""Tests for repro.obs.monitor — alerts, monitors, suite, replay."""
+
+import json
+
+import pytest
+
+from repro.obs.monitor import (
+    ACTION_RETRAIN,
+    Alert,
+    AlertManager,
+    CacheHitRateMonitor,
+    CalibrationCoverageMonitor,
+    LatencySLOMonitor,
+    MonitorSuite,
+    ShedRateMonitor,
+    default_serve_monitors,
+    dumps_alerts,
+    render_alerts_text,
+    watch_trace,
+)
+from repro.obs.span import Span
+
+
+def _span(name, kind, t0, t1, span_id=0, **attrs):
+    return Span(
+        span_id=span_id, parent_id=None, name=name, kind=kind,
+        t_start=t0, t_end=t1, attrs=attrs,
+    )
+
+
+def _probe(t, mean, std, truth, span_id=0):
+    """A fallback-simulation span carrying a calibration probe."""
+    return _span(
+        "fallback", "simulate", t - 0.01, t, span_id=span_id,
+        cal={"mean": mean, "std": std, "truth": truth},
+    )
+
+
+class TestAlert:
+    def test_bad_severity_rejected(self):
+        with pytest.raises(ValueError, match="severity"):
+            Alert(t=0.0, source="s", kind="k", severity="loud", message="m")
+
+    def test_severity_rank_ordering(self):
+        mk = lambda sev: Alert(t=0.0, source="s", kind="k", severity=sev, message="m")
+        assert mk("info").severity_rank < mk("warning").severity_rank
+        assert mk("warning").severity_rank < mk("critical").severity_rank
+
+    def test_dict_round_trip(self):
+        a = Alert(
+            t=1.5, source="s", kind="k", severity="critical", message="m",
+            action=ACTION_RETRAIN, attrs={"coverage": 0.4},
+        )
+        assert Alert.from_dict(a.to_dict()) == a
+
+
+class TestAlertManager:
+    def _alert(self, t, kind="k"):
+        return Alert(t=t, source="s", kind=kind, severity="warning", message="m")
+
+    def test_cooldown_suppresses_repeats(self):
+        m = AlertManager(cooldown=1.0)
+        assert m.fire(self._alert(0.0)) is not None
+        assert m.fire(self._alert(0.5)) is None
+        assert m.fire(self._alert(1.5)) is not None
+        assert len(m.alerts) == 2 and m.n_suppressed == 1
+
+    def test_cooldown_keys_on_source_and_kind(self):
+        m = AlertManager(cooldown=10.0)
+        assert m.fire(self._alert(0.0, kind="a")) is not None
+        assert m.fire(self._alert(0.0, kind="b")) is not None
+
+    def test_subscribers_see_fired_only(self):
+        m = AlertManager(cooldown=1.0)
+        seen = []
+        m.subscribe(seen.append)
+        m.fire(self._alert(0.0))
+        m.fire(self._alert(0.1))
+        assert len(seen) == 1
+
+    def test_ranked_most_severe_first(self):
+        m = AlertManager()
+        m.fire(Alert(t=0.0, source="s", kind="a", severity="info", message="m"))
+        m.fire(Alert(t=1.0, source="s", kind="b", severity="critical", message="m"))
+        assert [a.severity for a in m.ranked()] == ["critical", "info"]
+
+    def test_summary_counts(self):
+        m = AlertManager()
+        m.fire(self._alert(0.0))
+        s = m.summary()
+        assert s["n_alerts"] == 1 and s["by_severity"]["warning"] == 1
+        assert s["by_kind"] == {"s/k": 1}
+
+
+class TestCalibrationCoverageMonitor:
+    def test_healthy_probes_stay_silent(self):
+        mon = CalibrationCoverageMonitor(min_rows=4, stride=2)
+        alerts = []
+        for i in range(40):
+            # truth within ~0.5 std of the mean: well covered at z=1.645
+            alerts += mon.on_span(
+                _probe(0.1 * i, [0.0], [1.0], [0.5 if i % 2 else -0.5])
+            )
+        assert alerts == []
+
+    def test_biased_predictions_fire_critical_with_action(self):
+        mon = CalibrationCoverageMonitor(min_rows=4, stride=2)
+        fired = []
+        for i in range(30):
+            fired += mon.on_span(_probe(0.1 * i, [0.0], [0.1], [4.0]))
+        kinds = {a.kind for a in fired}
+        assert "calibration_coverage" in kinds
+        crit = next(a for a in fired if a.kind == "calibration_coverage")
+        assert crit.severity == "critical" and crit.action == ACTION_RETRAIN
+        assert crit.attrs["coverage"] < mon.coverage_floor
+
+    def test_window_resets_after_critical(self):
+        mon = CalibrationCoverageMonitor(min_rows=4, stride=2)
+        for i in range(30):
+            mon.on_span(_probe(0.1 * i, [0.0], [0.1], [4.0]))
+        assert len(mon._rows) < 4  # reset dropped the probe window
+
+    def test_non_finite_probe_ignored(self):
+        mon = CalibrationCoverageMonitor(min_rows=4, stride=1)
+        out = mon.on_span(_probe(0.0, [float("nan")], [1.0], [0.0]))
+        assert out == [] and len(mon._rows) == 0
+
+    def test_non_simulate_span_ignored(self):
+        mon = CalibrationCoverageMonitor()
+        span = _span("fallback", "lookup", 0.0, 0.1, cal={"mean": [0.0]})
+        assert mon.on_span(span) == []
+
+
+class TestWindowMonitors:
+    def _registry_with_latency(self, values):
+        from repro.obs.metrics import MetricRegistry
+
+        reg = MetricRegistry()
+        h = reg.histogram("mon.latency")
+        for v in values:
+            h.observe(v)
+        return reg
+
+    def test_latency_slo_fires_on_burn(self):
+        mon = LatencySLOMonitor(slo_latency_s=0.05, target=0.99, min_count=10)
+        reg = self._registry_with_latency([0.001] * 15 + [1.0] * 5)
+        alerts = mon.on_window(1.0, reg)
+        assert len(alerts) == 1 and alerts[0].kind == "slo_burn"
+        assert alerts[0].attrs["violations"] == 5
+
+    def test_latency_slo_quiet_when_fast(self):
+        mon = LatencySLOMonitor(slo_latency_s=0.05, target=0.99, min_count=10)
+        reg = self._registry_with_latency([0.001] * 50)
+        assert mon.on_window(1.0, reg) == []
+
+    def test_latency_slo_uses_window_delta_not_totals(self):
+        mon = LatencySLOMonitor(slo_latency_s=0.05, target=0.99, min_count=10)
+        reg = self._registry_with_latency([1.0] * 20)
+        assert len(mon.on_window(1.0, reg)) == 1
+        # no new observations: next window sees an empty delta
+        assert mon.on_window(2.0, reg) == []
+
+    def test_shed_rate_fires_above_cap(self):
+        from repro.obs.metrics import MetricRegistry
+
+        mon = ShedRateMonitor(max_rate=0.05, min_count=10)
+        reg = MetricRegistry()
+        reg.counter("mon.responses").inc(20)
+        reg.counter("mon.shed").inc(5)
+        alerts = mon.on_window(1.0, reg)
+        assert len(alerts) == 1 and alerts[0].attrs["rate"] == 0.25
+
+    def test_cache_hit_floor_zero_never_fires(self):
+        from repro.obs.metrics import MetricRegistry
+
+        mon = CacheHitRateMonitor(floor=0.0, min_count=1, min_windows=1)
+        reg = MetricRegistry()
+        reg.counter("mon.lookups").inc(50)
+        assert mon.on_window(1.0, reg) == []
+
+    def test_cache_hit_fires_below_floor_after_min_windows(self):
+        from repro.obs.metrics import MetricRegistry
+
+        mon = CacheHitRateMonitor(floor=0.5, min_count=1, min_windows=2)
+        reg = MetricRegistry()
+        reg.counter("mon.lookups").inc(10)
+        assert mon.on_window(1.0, reg) == []  # window 1 of 2
+        reg.counter("mon.lookups").inc(10)
+        alerts = mon.on_window(2.0, reg)
+        assert len(alerts) == 1 and alerts[0].kind == "cache_hit_rate"
+
+
+class TestMonitorSuite:
+    def test_unrecognized_spans_fully_ignored(self):
+        suite = default_serve_monitors()
+        suite.on_span(_span("dispatch", "simulate", 0.0, 10.0))
+        suite.on_span(_span("serve", "serve", 0.0, 10.0))
+        assert suite.n_spans == 0 and suite.n_windows == 0
+
+    def test_window_clock_anchors_on_first_recognized_span(self):
+        suite = MonitorSuite([], window=1.0)
+        suite.on_span(_span("flush", "batch", 5.0, 5.1))
+        assert suite._boundary == 6.0
+        suite.on_span(_span("flush", "batch", 5.2, 8.5, span_id=1))
+        assert suite.n_windows == 3  # boundaries 6, 7, 8 crossed
+
+    def test_fold_counts_and_latency(self):
+        suite = MonitorSuite([], window=100.0)
+        suite.on_span(_span("cache_hit", "cache", 0.0, 0.01, lat=0.01))
+        suite.on_span(_span("shed", "admission", 0.02, 0.02, span_id=1))
+        reg = suite.registry
+        assert reg.counter("mon.responses").value == 2
+        assert reg.counter("mon.cache_hits").value == 1
+        assert reg.counter("mon.shed").value == 1
+        assert reg.histogram("mon.latency").count == 1
+
+    def test_replay_reproduces_live_alert_log(self):
+        # Live: feed spans one by one; replay: watch_trace over the same
+        # sequence. Byte equality of the logs is the contract the serve
+        # bench relies on.
+        spans = []
+        for i in range(30):
+            spans.append(_probe(0.1 * i, [0.0], [0.1], [4.0], span_id=i))
+        live = default_serve_monitors()
+        for s in spans:
+            live.on_span(s)
+        replayed = default_serve_monitors()
+        watch_trace(spans, replayed)
+        assert dumps_alerts(live.alerts) == dumps_alerts(replayed.alerts)
+        assert len(live.alerts) > 0
+
+    def test_suite_summary_is_json_ready(self):
+        suite = default_serve_monitors()
+        suite.on_span(_span("uq_row", "lookup", 0.0, 0.001, lat=0.001))
+        json.dumps(suite.summary())
+
+
+class TestRendering:
+    def test_dumps_alerts_is_byte_stable_jsonl(self):
+        alerts = [
+            Alert(t=0.5, source="s", kind="k", severity="warning", message="m"),
+            Alert(t=1.0, source="s", kind="j", severity="info", message="n"),
+        ]
+        out = dumps_alerts(alerts)
+        assert out == dumps_alerts(list(alerts))
+        lines = out.splitlines()
+        assert len(lines) == 2 and out.endswith("\n")
+        assert json.loads(lines[0])["kind"] == "k"
+
+    def test_render_text_ranks_and_reports_suppressed(self):
+        m = AlertManager(cooldown=10.0)
+        m.fire(Alert(t=0.0, source="s", kind="k", severity="info", message="low"))
+        m.fire(Alert(t=0.1, source="s", kind="k", severity="info", message="dup"))
+        m.fire(Alert(t=0.2, source="s", kind="c", severity="critical",
+                     message="bad", action=ACTION_RETRAIN))
+        text = render_alerts_text(m.alerts, m)
+        assert text.index("bad") < text.index("low")
+        assert "-> retrain" in text
+        assert "suppressed by dedup: 1" in text
+
+    def test_render_text_empty(self):
+        assert "no alerts" in render_alerts_text([])

@@ -1,0 +1,174 @@
+"""Tests for repro.obs.regress — the BENCH_*.json regression gate."""
+
+import json
+
+import pytest
+
+from repro.obs.cli import main
+from repro.obs.regress import (
+    MetricSpec,
+    collect_criteria,
+    compare_reports,
+    render_report_text,
+    run_regress,
+)
+
+
+def serve_report(
+    *,
+    batched_speedup=25.0,
+    cache_speedup=900.0,
+    criteria_pass=True,
+    n_requests=2000,
+    throughput=5000.0,
+):
+    return {
+        "benchmark": "serve",
+        "n_requests": n_requests,
+        "seed": 0,
+        "epochs": 200,
+        "throughput_sweep": [
+            {"offered_rate": 500.0, "throughput": throughput},
+        ],
+        "batched_vs_unbatched": {"speedup": batched_speedup},
+        "cache": {"speedup": cache_speedup, "hit_rate": 0.59},
+        "effective_speedup_agreement": {
+            "measured_speedup": 25.0,
+            "rel_diff": 0.02,
+        },
+        "criteria": {"batched_speedup_ge_5x": criteria_pass},
+        "trace": {"criteria": {"trace_overhead_lt_5pct": True}},
+    }
+
+
+class TestMetricSpec:
+    def test_higher_direction(self):
+        spec = MetricSpec("x", "higher", 0.10)
+        assert spec.check(100.0, 91.0)
+        assert not spec.check(100.0, 89.0)
+
+    def test_lower_direction_with_abs_slack(self):
+        spec = MetricSpec("x", "lower", 0.0, abs_slack=0.02)
+        assert spec.check(0.01, 0.03)
+        assert not spec.check(0.01, 0.04)
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError, match="direction"):
+            MetricSpec("x", "sideways", 0.1)
+
+
+class TestCollectCriteria:
+    def test_nested_criteria_found_with_dotted_names(self):
+        found = collect_criteria(serve_report())
+        assert found["criteria.batched_speedup_ge_5x"] is True
+        assert found["trace.criteria.trace_overhead_lt_5pct"] is True
+
+    def test_non_bool_values_ignored(self):
+        found = collect_criteria({"criteria": {"a": True, "b": "yes"}})
+        assert found == {"criteria.a": True}
+
+
+class TestCompareReports:
+    def test_identical_reports_pass(self):
+        report = compare_reports(serve_report(), serve_report())
+        assert report["ok"] and report["n_regressions"] == 0
+        assert report["params_match"]
+
+    def test_criterion_regression_fails(self):
+        fresh = serve_report(criteria_pass=False)
+        report = compare_reports(serve_report(), fresh)
+        assert not report["ok"]
+        row = next(
+            r for r in report["criteria"]
+            if r["name"] == "criteria.batched_speedup_ge_5x"
+        )
+        assert row["status"] == "regression"
+
+    def test_baseline_failing_criterion_is_waived(self):
+        base = serve_report(criteria_pass=False)
+        report = compare_reports(base, serve_report(criteria_pass=False))
+        row = next(
+            r for r in report["criteria"]
+            if r["name"] == "criteria.batched_speedup_ge_5x"
+        )
+        assert row["status"] == "waived" and report["ok"]
+
+    def test_metric_regression_fails_when_params_match(self):
+        fresh = serve_report(batched_speedup=10.0)
+        report = compare_reports(serve_report(), fresh)
+        assert not report["ok"]
+        row = next(
+            r for r in report["metrics"]
+            if r["name"] == "batched_vs_unbatched.speedup"
+        )
+        assert row["status"] == "regression"
+
+    def test_metrics_skipped_when_params_differ(self):
+        fresh = serve_report(batched_speedup=1.0, n_requests=100)
+        report = compare_reports(serve_report(), fresh)
+        assert report["ok"]  # criteria still pass; numbers not comparable
+        assert not report["params_match"]
+        assert all(r["status"] == "skipped" for r in report["metrics"])
+
+    def test_throughput_sweep_gated_per_rate(self):
+        fresh = serve_report(throughput=100.0)
+        report = compare_reports(serve_report(), fresh)
+        row = next(
+            r for r in report["metrics"]
+            if r["name"] == "throughput_sweep[rate=500].throughput"
+        )
+        assert row["status"] == "regression"
+
+    def test_tolerance_override(self):
+        fresh = serve_report(batched_speedup=20.0)  # -20% vs baseline
+        assert not compare_reports(serve_report(), fresh)["ok"]
+        assert compare_reports(serve_report(), fresh, tolerance=0.5)["ok"]
+
+    def test_benchmark_mismatch_raises(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            compare_reports(serve_report(), {"benchmark": "md_force_kernels"})
+
+    def test_render_text_has_verdict(self):
+        text = render_report_text(compare_reports(serve_report(), serve_report()))
+        assert "verdict: OK" in text
+        bad = render_report_text(
+            compare_reports(serve_report(), serve_report(criteria_pass=False))
+        )
+        assert "REGRESSION" in bad
+
+
+class TestRunRegressAndCli:
+    def _write(self, tmp_path, name, payload):
+        p = tmp_path / name
+        p.write_text(json.dumps(payload))
+        return p
+
+    def test_run_regress_writes_report(self, tmp_path):
+        base = self._write(tmp_path, "base.json", serve_report())
+        fresh = self._write(tmp_path, "fresh.json", serve_report())
+        out = tmp_path / "report.json"
+        report = run_regress(base, fresh, output=out)
+        assert report["ok"]
+        assert json.loads(out.read_text())["ok"] is True
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", serve_report())
+        good = self._write(tmp_path, "good.json", serve_report())
+        bad = self._write(
+            tmp_path, "bad.json", serve_report(criteria_pass=False)
+        )
+        assert main(["regress", str(base), str(good)]) == 0
+        assert "verdict: OK" in capsys.readouterr().out
+        assert main(["regress", str(base), str(bad)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_cli_json_format(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", serve_report())
+        fresh = self._write(tmp_path, "fresh.json", serve_report())
+        assert main(["regress", str(base), str(fresh), "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out)["ok"] is True
+
+    def test_cli_missing_file_exits_2(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", serve_report())
+        assert main(["regress", str(base), str(tmp_path / "nope.json")]) == 2
+        assert capsys.readouterr().err

@@ -1,0 +1,118 @@
+"""Tests for repro.obs.streaming — online stats and change detectors."""
+
+import math
+
+import pytest
+
+from repro.obs.streaming import EWMA, PageHinkley, TwoSidedCUSUM, Welford
+
+
+class TestWelford:
+    def test_matches_batch_moments(self):
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        w = Welford()
+        for v in values:
+            w.update(v)
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / len(values)
+        assert w.n == len(values)
+        assert w.mean == pytest.approx(mean)
+        assert w.variance == pytest.approx(var)
+        assert w.std == pytest.approx(math.sqrt(var))
+
+    def test_empty_and_single(self):
+        w = Welford()
+        assert w.n == 0 and w.mean == 0.0 and w.variance == 0.0
+        w.update(3.5)
+        assert w.mean == 3.5 and w.variance == 0.0
+
+    def test_reset(self):
+        w = Welford()
+        w.update(1.0)
+        w.reset()
+        assert w.n == 0 and w.mean == 0.0
+
+    def test_is_deterministic(self):
+        a, b = Welford(), Welford()
+        for i in range(100):
+            v = math.sin(i)
+            a.update(v)
+            b.update(v)
+        assert (a.n, a.mean, a.variance) == (b.n, b.mean, b.variance)
+
+
+class TestEWMA:
+    def test_first_observation_initializes(self):
+        e = EWMA(alpha=0.3)
+        e.update(10.0)
+        assert e.value == 10.0 and e.n == 1
+
+    def test_recurrence(self):
+        e = EWMA(alpha=0.5)
+        e.update(0.0)
+        e.update(4.0)
+        assert e.value == pytest.approx(2.0)
+        e.update(4.0)
+        assert e.value == pytest.approx(3.0)
+
+    def test_alpha_one_tracks_last(self):
+        e = EWMA(alpha=1.0)
+        for v in (1.0, 9.0, -3.0):
+            e.update(v)
+        assert e.value == -3.0
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(ValueError, match="alpha"):
+            EWMA(alpha=0.0)
+        with pytest.raises(ValueError, match="alpha"):
+            EWMA(alpha=1.5)
+
+
+class TestPageHinkley:
+    def test_quiet_on_stationary_stream(self):
+        ph = PageHinkley(delta=0.1, threshold=5.0)
+        for i in range(200):
+            ph.update(math.sin(i) * 0.5)
+            assert not ph.drifted
+
+    def test_detects_level_shift(self):
+        ph = PageHinkley(delta=0.1, threshold=5.0, min_samples=8)
+        for i in range(50):
+            ph.update(math.sin(i) * 0.1)
+        for i in range(50):
+            ph.update(3.0 + math.sin(i) * 0.1)
+        assert ph.drifted
+
+    def test_drift_latches_until_reset(self):
+        ph = PageHinkley(delta=0.0, threshold=1.0, min_samples=2)
+        for v in (0.0, 0.0, 5.0, 5.0):
+            ph.update(v)
+        assert ph.drifted
+        ph.update(0.0)
+        assert ph.drifted
+        ph.reset()
+        assert not ph.drifted and ph.n == 0
+
+    def test_no_detection_before_min_samples(self):
+        ph = PageHinkley(delta=0.0, threshold=0.1, min_samples=10)
+        for _ in range(9):
+            ph.update(100.0)
+        assert not ph.drifted
+
+
+class TestTwoSidedCUSUM:
+    def test_detects_upward_and_downward_shifts(self):
+        for direction in (+1.0, -1.0):
+            c = TwoSidedCUSUM(k=0.5, threshold=4.0, warmup=10)
+            for i in range(30):
+                c.update(math.sin(i) * 0.2)
+            assert not c.drifted
+            for i in range(30):
+                c.update(direction * 2.0 + math.sin(i) * 0.2)
+            assert c.drifted
+
+    def test_quiet_on_stationary_stream(self):
+        c = TwoSidedCUSUM(k=0.5, threshold=8.0, warmup=10)
+        for i in range(500):
+            c.update(math.sin(i * 0.7))
+        assert not c.drifted

@@ -23,6 +23,40 @@ class TestRunServeBench:
         with pytest.raises(ValueError):
             run_serve_bench(n_requests=10)
 
+    def test_trace_block_runs_monitor_and_drift_scenarios(self, tmp_path):
+        trace_out = tmp_path / "trace.jsonl.gz"
+        payload = run_serve_bench(
+            n_requests=400, epochs=60, calibrate=False,
+            trace=True, trace_output=trace_out,
+        )
+        crit = payload["criteria"]
+        for name in (
+            "monitor_overhead_lt_5pct",
+            "monitor_quiet_on_healthy",
+            "drift_alert_fired",
+            "drift_triggers_retrain",
+            "monitor_replay_matches_live",
+            "deterministic_drift_replay",
+        ):
+            assert name in crit
+        assert crit["drift_alert_fired"]
+        assert crit["drift_triggers_retrain"]
+        assert crit["monitor_replay_matches_live"]
+        assert crit["deterministic_drift_replay"]
+        assert crit["monitor_quiet_on_healthy"]
+        drift = payload["trace"]["drift"]
+        assert drift["n_control_retrains"] >= 1
+        # both traces written, gz-compressed, and replayable
+        from repro.obs.export import read_trace
+
+        assert trace_out.exists()
+        drift_path = tmp_path / "trace_drift.jsonl.gz"
+        assert drift_path.exists()
+        spans, meta = read_trace(drift_path)
+        assert meta["scenario"] == "drift_injection"
+        assert any(s.name == "control_retrain" for s in spans)
+        json.dumps(payload)
+
 
 class TestCLI:
     def test_main_writes_json(self, tmp_path, capsys):

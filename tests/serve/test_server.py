@@ -70,7 +70,7 @@ class TestBasicServing:
         reference = build_engine()  # identical seeds -> identical surrogate
         by_id = {r.query_id: r for r in responses}
         X = np.stack([req.x for req in reqs])
-        mean, _, _ = reference.gate_batch(X)
+        mean, _, _, _ = reference.gate_batch(X)
         for i, req in enumerate(reqs):
             resp = by_id[req.query_id]
             assert resp.status == STATUS_OK and resp.source == SOURCE_SURROGATE
@@ -317,7 +317,9 @@ class TestTracing:
         _, tracer = self.serve_traced()
         path = write_trace(tmp_path / "serve.jsonl", tracer)
         spans, meta = read_trace(path)
-        assert spans == sorted(tracer.spans, key=lambda s: s.span_id)
+        # Traces serialize and load in record order, so live monitor
+        # feeds and file replays see identical sequences.
+        assert spans == tracer.spans
         assert {s.span_id: s.parent_id for s in spans} == {
             s.span_id: s.parent_id for s in tracer.spans
         }
@@ -344,3 +346,171 @@ class TestTracing:
         )
         eff = summarize(tracer.spans, meta=tracer.meta)["effective"]
         assert eff["speedup"] == pytest.approx(measured, rel=1e-9)
+
+
+class TestControlLoop:
+    """The alert -> action closed loop (monitor riding the span feed)."""
+
+    class _OneShot:
+        """Stub span monitor: fires one alert with a fixed action."""
+
+        def __init__(self, action):
+            self.action = action
+            self.fired = False
+
+        def on_span(self, span):
+            from repro.obs.monitor import Alert
+
+            if self.fired:
+                return []
+            self.fired = True
+            return [
+                Alert(
+                    t=span.t_end, source="stub", kind="stub",
+                    severity="warning", message="stub", action=self.action,
+                )
+            ]
+
+    class _Always:
+        """Stub span monitor: fires on every recognized span."""
+
+        def __init__(self, action):
+            self.action = action
+            self.n = 0
+
+        def on_span(self, span):
+            from repro.obs.monitor import Alert
+
+            self.n += 1
+            return [
+                Alert(
+                    t=span.t_end, source="stub", kind=f"stub{self.n}",
+                    severity="warning", message="stub", action=self.action,
+                )
+            ]
+
+    def _suite(self, monitor):
+        from repro.obs.monitor import MonitorSuite
+
+        return MonitorSuite([monitor])
+
+    def test_monitor_requires_tracer(self):
+        with pytest.raises(ValueError, match="tracer"):
+            build_server(monitor=self._suite(self._OneShot(None)))
+
+    def test_schedule_runs_callback_at_virtual_time(self):
+        seen = []
+        server = build_server()
+        server.schedule(0.01, lambda srv, t: seen.append((srv, t)))
+        server.serve(stream(50))
+        assert len(seen) == 1
+        assert seen[0][0] is server and seen[0][1] == pytest.approx(0.01)
+
+    def test_retrain_action_emits_train_span_and_ledger_entry(self):
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+        server = build_server(
+            tolerance=0.6, tracer=tracer,
+            monitor=self._suite(self._OneShot("retrain")),
+        )
+        server.serve(stream(100))
+        control = [s for s in tracer.spans if s.name == "control_retrain"]
+        assert len(control) == 1 and control[0].kind == "train"
+        assert control[0].attrs["trigger"] == "stub/stub"
+        # every span-recorded retrain is also a ledger train entry
+        n_train_spans = sum(1 for s in tracer.spans if s.kind == "train")
+        assert server.metrics.ledger.count("train") == n_train_spans
+
+    def test_retrain_capped_by_control_policy(self):
+        from repro.obs.trace import Tracer
+        from repro.serve import ControlPolicy
+
+        tracer = Tracer()
+        server = build_server(
+            tolerance=0.6, tracer=tracer,
+            monitor=self._suite(self._Always("retrain")),
+            control=ControlPolicy(max_retrains=2),
+        )
+        server.serve(stream(200))
+        control = [s for s in tracer.spans if s.name == "control_retrain"]
+        assert len(control) == 2
+
+    def test_tighten_gate_action_lowers_tolerance(self):
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+        server = build_server(
+            tolerance=0.6, tracer=tracer,
+            monitor=self._suite(self._OneShot("tighten_gate")),
+        )
+        server.serve(stream(100))
+        assert server.engine.tolerance == pytest.approx(0.3)
+        spans = [s for s in tracer.spans if s.name == "control_tighten"]
+        assert len(spans) == 1
+        assert spans[0].attrs["new_tolerance"] == pytest.approx(0.3)
+
+    def test_force_fallback_action_bypasses_surrogate(self):
+        from repro.obs.trace import Tracer
+        from repro.serve import ControlPolicy
+
+        tracer = Tracer()
+        server = build_server(
+            tolerance=0.6, tracer=tracer,
+            monitor=self._suite(self._OneShot("force_fallback")),
+            control=ControlPolicy(fallback_hold_s=1e6),
+        )
+        responses = server.serve(stream(200, duplicate_fraction=0.0))
+        assert any(s.name == "control_fallback" for s in tracer.spans)
+        # only the in-flight first flush can still answer from the
+        # surrogate; everything after is forced to simulation
+        n_surrogate = sum(1 for r in responses if r.source == SOURCE_SURROGATE)
+        n_sim = sum(1 for r in responses if r.source == SOURCE_SIMULATION)
+        assert n_surrogate <= server.batcher.max_batch_size
+        assert n_sim >= 100
+
+    def test_drift_injection_fires_calibration_alert_and_retrains(self):
+        from repro.obs.monitor import default_serve_monitors, dumps_alerts, watch_trace
+        from repro.obs.trace import Tracer
+
+        def run():
+            suite = default_serve_monitors()
+            tracer = Tracer()
+            server = build_server(tolerance=0.4, tracer=tracer, monitor=suite)
+
+            def inject(srv, t):
+                scaler = srv.engine.surrogate.y_scaler
+                scaler.mean_ = scaler.mean_ + 4.0 * scaler.scale_
+
+            server.schedule(1e-9, inject)
+            server.serve(stream(400, rate=2000.0))
+            return server, suite, tracer
+
+        server, suite, tracer = run()
+        kinds = {a.kind for a in suite.alerts}
+        assert "calibration_coverage" in kinds
+        assert any(s.name == "control_retrain" for s in tracer.spans)
+        # offline replay of the recorded trace reproduces the live log
+        replay = default_serve_monitors()
+        watch_trace(tracer.spans, replay)
+        assert dumps_alerts(replay.alerts) == dumps_alerts(suite.alerts)
+
+    def test_control_actions_do_not_recurse(self):
+        # a control_retrain span is itself recognized by the suite; the
+        # _Always stub alerts on it too, but the server must not act on
+        # alerts raised while executing an action (no retrain cascade).
+        from repro.obs.trace import Tracer
+        from repro.serve import ControlPolicy
+
+        tracer = Tracer()
+        always = self._Always("retrain")
+        server = build_server(
+            tolerance=0.6, tracer=tracer, monitor=self._suite(always),
+            control=ControlPolicy(max_retrains=1000),
+        )
+        server.serve(stream(60))
+        control = [s for s in tracer.spans if s.name == "control_retrain"]
+        # bounded by the number of non-control recognized spans: a
+        # cascade would blow far past it
+        recognized_non_control = always.n - len(control)
+        assert len(control) <= recognized_non_control
