@@ -31,13 +31,15 @@ regress:
 	$(PYTHON) -m repro.obs regress BENCH_md_forces.json /tmp/BENCH_md_forces_fresh.json \
 		--output /tmp/REGRESS_md_forces.json
 
+LINT_PATHS = src/repro tests benchmarks examples
+
 lint:
-	$(PYTHON) -m repro.analysis src/repro
+	$(PYTHON) -m repro.analysis $(LINT_PATHS)
 
 lint-json:
-	$(PYTHON) -m repro.analysis src/repro --format json
+	$(PYTHON) -m repro.analysis $(LINT_PATHS) --format json
 
 baseline:
-	$(PYTHON) -m repro.analysis src/repro --update-baseline
+	$(PYTHON) -m repro.analysis $(LINT_PATHS) --update-baseline
 
 check: lint test

@@ -20,7 +20,7 @@ from repro import CallableSimulation, MLAroundHPC, RetrainPolicy, Surrogate
 from repro.util.tables import Table
 
 
-def expensive_model(x, rng):
+def expensive_model(x, rng):  # repro: noqa[DET005] -- rng is injected pre-normalized by CallableSimulation(needs_rng=True)
     """A stand-in for a real solver: smooth physics + a deliberate delay."""
     time.sleep(0.01)  # pretend this is hours of HPC time
     response = np.sin(3.0 * x[0]) * x[1] + 0.5 * x[1] ** 2

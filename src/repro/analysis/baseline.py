@@ -99,6 +99,40 @@ class Baseline:
                 leftover.append(f)
         return leftover
 
+    def stale_entries(
+        self, findings: Sequence[Finding]
+    ) -> list[tuple[BaselineEntry, int]]:
+        """Entries whose budget exceeds the actual finding count.
+
+        Returns ``(entry, actual)`` pairs sorted by key — each is a
+        grandfathered violation that has since been (partly) fixed, so
+        its budget is slack a regression could silently consume.
+        """
+        counts: dict[tuple[str, str], int] = {}
+        for f in findings:
+            key = (f.path, f.rule_id)
+            counts[key] = counts.get(key, 0) + 1
+        return [
+            (entry, counts.get(key, 0))
+            for key, entry in sorted(self.entries.items())
+            if counts.get(key, 0) < entry.count
+        ]
+
+    def pruned(self, findings: Sequence[Finding]) -> "Baseline":
+        """A copy with budgets clamped to actual counts (zeros dropped)."""
+        counts: dict[tuple[str, str], int] = {}
+        for f in findings:
+            key = (f.path, f.rule_id)
+            counts[key] = counts.get(key, 0) + 1
+        entries: dict[tuple[str, str], BaselineEntry] = {}
+        for key, entry in self.entries.items():
+            actual = min(entry.count, counts.get(key, 0))
+            if actual > 0:
+                entries[key] = BaselineEntry(
+                    entry.path, entry.rule_id, actual, entry.justification
+                )
+        return Baseline(entries=entries)
+
     def to_json(self) -> str:
         """Serialize to the committed on-disk format (stable ordering)."""
         payload = {

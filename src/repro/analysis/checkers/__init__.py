@@ -1,11 +1,15 @@
 """Built-in checker families.
 
 Importing this package registers every checker with the engine's
-registry (each module applies ``@register_checker`` at import time).
+registry (each module applies ``@register_checker`` /
+``@register_project_checker`` at import time).
 """
 
+from repro.analysis.checkers.concurrency import LoopCaptureChecker, SharedStateChecker
 from repro.analysis.checkers.contracts import ContractsChecker
 from repro.analysis.checkers.determinism import DeterminismChecker
+from repro.analysis.checkers.flowrules import FlowChecker
+from repro.analysis.checkers.meta import NoqaChecker
 from repro.analysis.checkers.numerics import NumericsChecker
 from repro.analysis.checkers.obs import ObservabilityChecker
 from repro.analysis.checkers.perf import PerfChecker
@@ -14,8 +18,12 @@ from repro.analysis.checkers.purity import PurityChecker
 __all__ = [
     "ContractsChecker",
     "DeterminismChecker",
+    "FlowChecker",
+    "LoopCaptureChecker",
+    "NoqaChecker",
     "NumericsChecker",
     "ObservabilityChecker",
     "PerfChecker",
     "PurityChecker",
+    "SharedStateChecker",
 ]

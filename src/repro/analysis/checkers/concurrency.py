@@ -1,0 +1,286 @@
+"""Shared-state and closure-capture rules (CONC family).
+
+The parallel layer (``repro.parallel``) and the serving DES
+(``repro.serve``) both invoke user callables from dispatcher/worker
+machinery: ``pool.submit(fn, ...)``, ``server.schedule(t, callback)``.
+Those callables run interleaved with other events, so:
+
+- **CONC001** (project phase) — a function reachable from a
+  worker-invoked entry point mutates module-level or class-attribute
+  state.  Under any parallel or replayed-DES execution that shared
+  mutation is an ordering hazard: results depend on dispatch order,
+  which is exactly what the determinism ledger cannot tolerate.
+  Instance state (``self.*``) is exempt — the DES event loop serializes
+  access to the owning object.
+- **CONC002** (per-file) — a ``lambda`` or nested ``def`` created
+  inside a loop captures the loop variable and is handed to a
+  worker-submit call.  Python closures capture by reference, so every
+  worker sees the *last* loop value; bind it as a default
+  (``lambda x=x: ...``) or use ``functools.partial``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import (
+    BaseChecker,
+    BaseProjectChecker,
+    register_checker,
+    register_project_checker,
+)
+from repro.analysis.findings import Rule
+
+__all__ = ["SharedStateChecker", "LoopCaptureChecker"]
+
+CONC001 = Rule(
+    "CONC001",
+    "shared-state-mutation-from-worker",
+    "Module-level or class-attribute state mutated from a worker-invoked function",
+    "Shared mutable state touched from dispatcher/DES-invoked code makes "
+    "results depend on dispatch order; replay determinism requires all "
+    "worker-visible state to be instance-owned or immutable.",
+)
+CONC002 = Rule(
+    "CONC002",
+    "loop-var-captured-by-worker-closure",
+    "Closure created in a loop captures the loop variable and is handed to a worker",
+    "Python closures capture by reference — every deferred invocation "
+    "sees the final loop value; bind the value as a default argument or "
+    "use functools.partial.",
+)
+
+#: Attribute names of calls that hand a callable to worker machinery.
+WORKER_SUBMIT_ATTRS = frozenset(
+    {"submit", "schedule", "apply_async", "map_async", "defer", "spawn"}
+)
+
+#: Method names that mutate a container in place.
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "extend",
+        "insert",
+        "remove",
+        "discard",
+        "clear",
+        "sort",
+    }
+)
+
+
+def _is_submit_call(call: ast.Call) -> bool:
+    return (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr in WORKER_SUBMIT_ATTRS
+    )
+
+
+def _callable_args(call: ast.Call) -> list[ast.expr]:
+    """Arguments of a submit-like call that may be callables."""
+    return [a for a in call.args] + [kw.value for kw in call.keywords]
+
+
+def _local_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names bound inside ``func`` (params + any Store), non-recursive enough."""
+    a = func.args
+    names = {p.arg for p in a.posonlyargs + a.args + a.kwonlyargs}
+    if a.vararg:
+        names.add(a.vararg.arg)
+    if a.kwarg:
+        names.add(a.kwarg.arg)
+    for sub in ast.walk(func):
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+            names.add(sub.id)
+        elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if sub is not func:
+                names.add(sub.name)
+    return names
+
+
+@register_project_checker
+class SharedStateChecker(BaseProjectChecker):
+    """CONC001: shared-state mutation reachable from worker entry points."""
+
+    rules = (CONC001,)
+
+    def run(self):
+        index = self.project.index
+        graph = self.project.graph
+        seeds = self._worker_seeds()
+        for seed in sorted(seeds):
+            reached = graph.reachable_from({seed})
+            for qualname in sorted(reached):
+                info = index.functions.get(qualname)
+                if info is None:
+                    continue
+                self._check_mutations(info, seed)
+        return self._dedup(self.findings)
+
+    @staticmethod
+    def _dedup(findings):
+        # The same function may be reachable from several seeds; keep the
+        # first (lexicographically smallest seed names it).
+        seen = set()
+        out = []
+        for f in findings:
+            key = (f.path, f.line, f.rule_id)
+            if key not in seen:
+                seen.add(key)
+                out.append(f)
+        return out
+
+    def _worker_seeds(self) -> set[str]:
+        index = self.project.index
+        graph = self.project.graph
+        seeds: set[str] = set()
+        for qualname in sorted(index.functions):
+            info = index.functions[qualname]
+            mod = index.modules[info.module]
+            for sub in ast.walk(info.node):
+                if not (isinstance(sub, ast.Call) and _is_submit_call(sub)):
+                    continue
+                for arg in _callable_args(sub):
+                    ref = graph.resolve_callable_ref(arg, info, mod)
+                    if ref is not None:
+                        seeds.add(ref)
+        return seeds
+
+    def _check_mutations(self, info, seed: str) -> None:
+        mod = self.project.index.modules[info.module]
+        local = _local_names(info.node)
+        for sub in ast.walk(info.node):
+            target_desc = None
+            lineno = getattr(sub, "lineno", 1)
+            if isinstance(sub, (ast.Assign, ast.AugAssign)):
+                targets = sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                for target in targets:
+                    target_desc = target_desc or self._mutated_shared(
+                        target, mod, local
+                    )
+            elif isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+                if sub.func.attr in _MUTATOR_METHODS:
+                    base = sub.func.value
+                    if (
+                        isinstance(base, ast.Name)
+                        and base.id in mod.module_vars
+                        and base.id not in local
+                    ):
+                        target_desc = f"module-level `{base.id}`"
+            if target_desc:
+                self.report(
+                    info.path,
+                    "CONC001",
+                    f"{target_desc} is mutated here, but this function is "
+                    f"reachable from worker entry `{seed}`; shared mutable "
+                    "state under dispatch is an ordering hazard — move it "
+                    "onto the owning instance or pass it explicitly",
+                    line=lineno,
+                )
+
+    def _mutated_shared(self, target: ast.expr, mod, local: set[str]) -> str | None:
+        if isinstance(target, ast.Name):
+            if target.id in mod.module_vars and target.id not in local:
+                return f"module-level `{target.id}`"
+            return None
+        if isinstance(target, ast.Subscript) and isinstance(target.value, ast.Name):
+            name = target.value.id
+            if name in mod.module_vars and name not in local:
+                return f"module-level `{name}`"
+            return None
+        if isinstance(target, ast.Attribute) and isinstance(target.value, ast.Name):
+            base = target.value.id
+            if base in ("self",):
+                return None  # instance state: serialized by the event loop
+            if base == "cls" or self.project.index.imported_class(mod, base):
+                return f"class attribute `{base}.{target.attr}`"
+        return None
+
+
+@register_checker
+class LoopCaptureChecker(BaseChecker):
+    """CONC002: loop-variable capture in worker-bound closures."""
+
+    rules = (CONC002,)
+
+    def __init__(self, context):
+        super().__init__(context)
+        self._loop_vars: list[set[str]] = []
+        # name -> loop vars captured, for `def`s nested inside a loop.
+        self._loop_defs: dict[str, set[str]] = {}
+
+    def _loop_targets(self, node: ast.For | ast.AsyncFor) -> set[str]:
+        return {
+            sub.id
+            for sub in ast.walk(node.target)
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store)
+        }
+
+    def _visit_loop(self, node) -> None:
+        self._loop_vars.append(self._loop_targets(node))
+        self.generic_visit(node)
+        self._loop_vars.pop()
+
+    visit_For = _visit_loop
+    visit_AsyncFor = _visit_loop
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if self._loop_vars:
+            enclosing = set().union(*self._loop_vars)
+            captured = _free_loop_vars(node, enclosing)
+            if captured:
+                self._loop_defs[node.name] = captured
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._loop_vars and _is_submit_call(node):
+            enclosing = set().union(*self._loop_vars)
+            for arg in _callable_args(node):
+                captured = self._captured_loop_vars(arg, enclosing)
+                if captured:
+                    names = ", ".join(f"`{n}`" for n in sorted(captured))
+                    self.report(
+                        node,
+                        "CONC002",
+                        f"closure passed to worker captures loop variable "
+                        f"{names} by reference — every deferred call sees "
+                        "the last loop value; bind it as a default "
+                        "argument instead",
+                    )
+        self.generic_visit(node)
+
+    def _captured_loop_vars(self, arg: ast.expr, loop_vars: set[str]) -> set[str]:
+        if isinstance(arg, ast.Lambda):
+            return _free_loop_vars(arg, loop_vars)
+        if isinstance(arg, ast.Name) and arg.id in self._loop_defs:
+            return self._loop_defs[arg.id] & loop_vars
+        return set()
+
+
+def _free_loop_vars(
+    fn: ast.Lambda | ast.FunctionDef | ast.AsyncFunctionDef, loop_vars: set[str]
+) -> set[str]:
+    """Loop variables ``fn`` references without binding them itself."""
+    a = fn.args
+    bound = {p.arg for p in a.posonlyargs + a.args + a.kwonlyargs}
+    if a.vararg:
+        bound.add(a.vararg.arg)
+    if a.kwarg:
+        bound.add(a.kwarg.arg)
+    body = fn.body if isinstance(fn.body, list) else [fn.body]
+    free: set[str] = set()
+    for stmt in body:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Name):
+                if isinstance(sub.ctx, ast.Store):
+                    bound.add(sub.id)
+                elif isinstance(sub.ctx, ast.Load):
+                    free.add(sub.id)
+    return (free - bound) & loop_vars

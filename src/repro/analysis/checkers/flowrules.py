@@ -1,0 +1,256 @@
+"""Flow-sensitive rules (FLOW family) — project phase.
+
+These rules run over the :class:`~repro.analysis.engine.ProjectContext`
+built by ``analyze_paths`` and use the ``repro.analysis.flow`` package:
+
+- **FLOW001** — interprocedural entropy taint: a value carrying ambient
+  entropy (wall clock, ``os.environ``, unsorted directory listing,
+  set-iteration order, unseeded RNG) reaches a serialization sink
+  (trace export, JSON writers, ledger records, file writes), possibly
+  through helper functions.  The syntactic DET/OBS rules flag the
+  *read*; this rule flags the *laundering* — a clock value stored,
+  passed through two helpers, and then serialized.
+- **FLOW002** — dead stores: an assignment no later use can observe on
+  any CFG path.  In numeric kernels a dead store is usually a stale
+  refactor remnant or a dropped result.
+- **FLOW003** — span safety: a ``tracer.open_span(...)`` id with some
+  CFG path (including exception edges) to the function exit that never
+  passes a matching ``close_span``.  A leaked span truncates the trace
+  and silently corrupts the effective-speedup ledger on error paths;
+  the sanctioned shape is ``try``/``finally`` (or the ``span()``
+  context manager).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import BaseProjectChecker, register_project_checker
+from repro.analysis.findings import SEVERITY_WARNING, Rule
+from repro.analysis.flow.cfg import EDGE_EXCEPT, EDGE_FALSE, EDGE_TRUE, CFG, build_cfg
+from repro.analysis.flow.dataflow import ReachingDefs, compute_reaching
+from repro.analysis.flow.taint import TaintAnalysis
+
+__all__ = ["FlowChecker"]
+
+FLOW001 = Rule(
+    "FLOW001",
+    "entropy-taint-to-sink",
+    "Value carrying ambient entropy reaches a serialization sink",
+    "Traces, bench JSON, and ledgers must be byte-identical across "
+    "replays; entropy laundered through helpers defeats the syntactic "
+    "determinism rules.",
+)
+FLOW002 = Rule(
+    "FLOW002",
+    "dead-store",
+    "Assignment that no later use can observe on any path",
+    "Dead stores in numeric code are usually dropped results or stale "
+    "refactor remnants; either is a silent correctness hazard.",
+    severity=SEVERITY_WARNING,
+)
+FLOW003 = Rule(
+    "FLOW003",
+    "span-leak",
+    "Tracer span opened without a guaranteed close on every path",
+    "A span leaked on an exception path truncates the trace and "
+    "corrupts the effective-speedup ledger exactly when things go "
+    "wrong; close in a finally block or use the span() context manager.",
+)
+
+#: Call-attr names that open / close a tracer span.
+_OPEN_ATTR = "open_span"
+_CLOSE_ATTR = "close_span"
+
+
+def _open_span_call(expr: ast.expr) -> ast.Call | None:
+    """The ``.open_span(...)`` call inside ``expr``, if it produces its value.
+
+    Handles the direct form and the conditional-open idiom
+    ``tracer.open_span(...) if tracer is not None else None``.
+    """
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr == _OPEN_ATTR
+    ):
+        return expr
+    if isinstance(expr, ast.IfExp):
+        return _open_span_call(expr.body) or _open_span_call(expr.orelse)
+    return None
+
+
+def _closes_var(stmt: ast.stmt, var: str) -> bool:
+    """True when ``stmt`` contains ``*.close_span(var, ...)``."""
+    for sub in ast.walk(stmt):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr == _CLOSE_ATTR
+            and sub.args
+            and isinstance(sub.args[0], ast.Name)
+            and sub.args[0].id == var
+        ):
+            return True
+    return False
+
+
+def _transfers_var(stmt: ast.stmt, var: str) -> bool:
+    """True when ``stmt`` returns/yields ``var`` (ownership moves out)."""
+    if isinstance(stmt, ast.Return) and stmt.value is not None:
+        return any(
+            isinstance(sub, ast.Name) and sub.id == var
+            for sub in ast.walk(stmt.value)
+        )
+    return False
+
+
+def _branch_constraint(test: ast.expr, var: str) -> str | None:
+    """Which edge of ``test`` is consistent with ``var`` being a live span.
+
+    Returns ``EDGE_TRUE``/``EDGE_FALSE`` when the test is a direct
+    None-check (or truthiness check) of ``var``, else None (no pruning).
+    A real span id is never None, so on e.g. ``if sid is not None:`` only
+    the True branch can still hold the span.
+    """
+    if isinstance(test, ast.Name) and test.id == var:
+        return EDGE_TRUE
+    if (
+        isinstance(test, ast.UnaryOp)
+        and isinstance(test.op, ast.Not)
+        and isinstance(test.operand, ast.Name)
+        and test.operand.id == var
+    ):
+        return EDGE_FALSE
+    if (
+        isinstance(test, ast.Compare)
+        and isinstance(test.left, ast.Name)
+        and test.left.id == var
+        and len(test.ops) == 1
+        and len(test.comparators) == 1
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+    ):
+        if isinstance(test.ops[0], ast.IsNot):
+            return EDGE_TRUE
+        if isinstance(test.ops[0], ast.Is):
+            return EDGE_FALSE
+    return None
+
+
+def _leak_path_exists(cfg: CFG, open_id: int, var: str) -> bool:
+    """DFS from the open site to exit avoiding close/transfer nodes.
+
+    Branches inconsistent with ``var`` holding a real (non-None) span id
+    are pruned, so a close guarded by ``if sid is not None:`` counts.
+    The open statement's own exception edge is not a leak path — if
+    ``open_span`` itself raises, no span was created.
+    """
+    work = [
+        edge.dst for edge in cfg.successors(open_id) if edge.kind != EDGE_EXCEPT
+    ]
+    seen: set[int] = set()
+    while work:
+        nid = work.pop()
+        if nid in seen:
+            continue
+        seen.add(nid)
+        if nid == cfg.exit_id:
+            return True
+        node = cfg.node(nid)
+        if node.stmt is not None:
+            if _closes_var(node.stmt, var) or _transfers_var(node.stmt, var):
+                continue
+        constraint = None
+        if node.label == "test" and node.stmt is not None:
+            constraint = _branch_constraint(node.stmt.test, var)
+        for edge in cfg.successors(nid):
+            if constraint is not None and edge.kind in (EDGE_TRUE, EDGE_FALSE):
+                if edge.kind != constraint:
+                    continue
+            work.append(edge.dst)
+    return False
+
+
+@register_project_checker
+class FlowChecker(BaseProjectChecker):
+    """Runs the FLOW family over every indexed function."""
+
+    rules = (FLOW001, FLOW002, FLOW003)
+
+    def run(self):
+        self._taint()
+        for qualname in sorted(self.project.index.functions):
+            info = self.project.index.functions[qualname]
+            cfg = build_cfg(info.node)
+            rd = compute_reaching(cfg, info.node)
+            self._dead_stores(info, rd)
+            self._span_leaks(info, cfg)
+        return self.findings
+
+    # -- FLOW001 ---------------------------------------------------------
+    def _taint(self) -> None:
+        analysis = TaintAnalysis(
+            self.project.index, self.project.graph, self.project.config
+        )
+        for flow in analysis.run():
+            self.report(
+                flow.path,
+                "FLOW001",
+                flow.message(),
+                line=flow.line,
+                col=flow.col,
+            )
+
+    # -- FLOW002 ---------------------------------------------------------
+    def _dead_stores(self, info, rd: ReachingDefs) -> None:
+        for d in rd.dead_definitions():
+            # `aug` is excluded: `p += v` on an ndarray mutates shared
+            # storage in place, so the rebinding being unread is fine.
+            if d.kind not in ("assign", "ann", "walrus"):
+                continue
+            if d.from_unpack or d.var.startswith("_"):
+                continue
+            node = rd.cfg.node(d.node_id)
+            self.report(
+                info.path,
+                "FLOW002",
+                f"store to `{d.var}` is never read on any path; "
+                "drop it or rename to `_` if only the side effect matters",
+                line=node.lineno,
+            )
+
+    # -- FLOW003 ---------------------------------------------------------
+    def _span_leaks(self, info, cfg: CFG) -> None:
+        for node in cfg.nodes:
+            stmt = node.stmt
+            if stmt is None:
+                continue
+            if isinstance(stmt, ast.Expr):
+                call = _open_span_call(stmt.value)
+                if call is not None:
+                    self.report(
+                        info.path,
+                        "FLOW003",
+                        "open_span() result discarded — the span id is "
+                        "required to close it; this span can never be closed",
+                        line=node.lineno,
+                    )
+                continue
+            if not isinstance(stmt, ast.Assign):
+                continue
+            if len(stmt.targets) != 1 or not isinstance(stmt.targets[0], ast.Name):
+                continue
+            call = _open_span_call(stmt.value)
+            if call is None:
+                continue
+            var = stmt.targets[0].id
+            if _leak_path_exists(cfg, node.node_id, var):
+                self.report(
+                    info.path,
+                    "FLOW003",
+                    f"span `{var}` opened here is not closed on every "
+                    "path to function exit (exception edges included); "
+                    "close it in a finally block",
+                    line=node.lineno,
+                )

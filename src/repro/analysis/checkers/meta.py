@@ -1,0 +1,89 @@
+"""Meta rules about the analysis machinery itself (ANA family).
+
+ANA001 guards the suppression surface: a ``# repro: noqa[RULE]``
+directive naming a rule id that does not exist silently suppresses
+nothing — usually a typo (``DET01``), a renamed rule, or a lowercase
+id that degrades the directive to a suppress-everything bare ``noqa``.
+ANA001 findings are themselves exempt from noqa suppression (you cannot
+silence the checker that validates silencing).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import BaseChecker, register_checker
+from repro.analysis.findings import SEVERITY_WARNING, Rule
+
+__all__ = ["NoqaChecker"]
+
+ANA001 = Rule(
+    "ANA001",
+    "unknown-noqa-rule",
+    "noqa directive names a rule id the registry does not know",
+    "A misspelled rule id suppresses nothing (or, malformed, suppresses "
+    "everything); directives must name real rules so suppressions stay "
+    "auditable.",
+    severity=SEVERITY_WARNING,
+)
+
+
+@register_checker
+class NoqaChecker(BaseChecker):
+    """Validates every noqa directive against the rule registry."""
+
+    rules = (ANA001,)
+
+    def run(self):
+        # Imported here: the registry is only complete once every
+        # checker module has loaded.
+        from repro.analysis.engine import _NOQA_RE, _comment_lines, all_rules
+
+        known = set(all_rules())
+        for lineno, line in _comment_lines(self.context.source):
+            m = _NOQA_RE.search(line)
+            if not m:
+                continue
+            rules_text = m.group("rules")
+            if rules_text is None:
+                # A bare `noqa` is legal (suppress-all) — but if it is
+                # immediately followed by a bracket the rule list failed
+                # to parse (lowercase ids, stray chars) and the directive
+                # silently widened to suppress-everything.
+                if line[m.end() :].lstrip().startswith("["):
+                    self._warn(
+                        lineno,
+                        "malformed noqa rule list (ids must be uppercase "
+                        "alphanumeric); directive degrades to "
+                        "suppress-all",
+                    )
+                continue
+            seen: set[str] = set()
+            for token in rules_text.split(","):
+                token = token.strip()
+                if not token:
+                    continue
+                if token in seen:
+                    self._warn(lineno, f"duplicate rule id `{token}` in noqa list")
+                    continue
+                seen.add(token)
+                if token not in known:
+                    self._warn(
+                        lineno,
+                        f"unknown rule id `{token}` in noqa directive "
+                        "(see --list-rules)",
+                    )
+        return self.findings
+
+    def _warn(self, lineno: int, message: str) -> None:
+        if not self.context.config.rule_enabled_for("ANA001", self.context.path):
+            return
+        from repro.analysis.findings import Finding
+
+        self.findings.append(
+            Finding(
+                path=self.context.path,
+                line=lineno,
+                col=0,
+                rule_id="ANA001",
+                message=message,
+            )
+        )

@@ -32,7 +32,7 @@ class PurityChecker(BaseChecker):
     rules = (PUR001,)
 
     def _check_root(self, node: ast.AST, root: str) -> None:
-        if not self.context.config.import_allowed(root):
+        if not self.context.config.import_allowed(root, self.context.path):
             self.report(
                 node,
                 "PUR001",

@@ -2,7 +2,7 @@
 
 Exit codes: 0 = clean (after noqa + baseline suppression), 1 = findings
 remain, 2 = usage or analysis error (unreadable file, syntax error,
-malformed baseline).
+malformed baseline, unknown rule in a filter).
 """
 
 from __future__ import annotations
@@ -14,7 +14,15 @@ from typing import Sequence
 
 from repro.analysis.baseline import Baseline
 from repro.analysis.config import AnalysisConfig
-from repro.analysis.engine import AnalysisError, all_rules, analyze_paths
+from repro.analysis.engine import (
+    AnalysisError,
+    ProjectContext,
+    all_rules,
+    analyze_paths,
+    iter_python_files,
+    _display_path,
+    _parse_context,
+)
 from repro.analysis.reporters import render_json, render_rule_table, render_text
 
 __all__ = ["build_parser", "main"]
@@ -28,7 +36,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.analysis",
         description=(
             "Self-hosted static analysis enforcing this repository's "
-            "determinism, purity, numerical-safety, and API-contract invariants."
+            "determinism, purity, numerical-safety, API-contract, and "
+            "interprocedural flow/concurrency invariants."
         ),
     )
     parser.add_argument(
@@ -59,6 +68,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="rewrite the baseline to cover current findings (keeps justifications)",
     )
     parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help="drop stale baseline budget (entries whose violations were fixed)",
+    )
+    parser.add_argument(
         "--select",
         default="",
         help="comma-separated rule ids or family prefixes to run (e.g. DET,NUM002)",
@@ -67,6 +81,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--ignore",
         default="",
         help="comma-separated rule ids or family prefixes to skip",
+    )
+    parser.add_argument(
+        "--no-flow",
+        action="store_true",
+        help="skip the interprocedural project phase (FLOW/CONC rules)",
+    )
+    parser.add_argument(
+        "--call-graph",
+        action="store_true",
+        help="print the resolved project call graph and exit",
+    )
+    parser.add_argument(
+        "--dump-cfg",
+        metavar="QUALNAME",
+        default="",
+        help="print the CFG of functions whose qualified name ends with "
+        "QUALNAME, then exit",
     )
     parser.add_argument(
         "--list-rules",
@@ -80,6 +111,41 @@ def _parse_filter(text: str) -> frozenset[str]:
     return frozenset(part.strip() for part in text.split(",") if part.strip())
 
 
+def _validate_filters(select: frozenset[str], ignore: frozenset[str]) -> str | None:
+    """Return the first unknown token in the filters, or None when valid."""
+    rules = all_rules()
+    families = {rule.family for rule in rules.values()}
+    for flag, tokens in (("--select", select), ("--ignore", ignore)):
+        for token in sorted(tokens):
+            if token not in rules and token not in families:
+                return f"unknown rule or family {token!r} in {flag}"
+    return None
+
+
+def _build_project(paths: Sequence[str], config: AnalysisConfig) -> ProjectContext:
+    files = {}
+    for f in iter_python_files([Path(p) for p in paths]):
+        source = f.read_text(encoding="utf-8")
+        context = _parse_context(source, _display_path(f), config)
+        files[context.path] = context
+    return ProjectContext.build(files, config)
+
+
+def _dump_cfg(paths: Sequence[str], config: AnalysisConfig, suffix: str) -> int:
+    from repro.analysis.flow.cfg import build_cfg
+
+    project = _build_project(paths, config)
+    matches = sorted(
+        q for q in project.index.functions if q == suffix or q.endswith("." + suffix)
+    )
+    if not matches:
+        print(f"error: no function matches {suffix!r}", file=sys.stderr)
+        return 2
+    for qualname in matches:
+        print(build_cfg(project.index.functions[qualname].node, qualname).describe())
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Run the linter; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -87,10 +153,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(render_rule_table(all_rules()))
         return 0
 
-    config = AnalysisConfig(
-        select=_parse_filter(args.select), ignore=_parse_filter(args.ignore)
-    )
+    select, ignore = _parse_filter(args.select), _parse_filter(args.ignore)
+    bad = _validate_filters(select, ignore)
+    if bad is not None:
+        print(f"error: {bad}", file=sys.stderr)
+        return 2
+
+    config = AnalysisConfig(select=select, ignore=ignore, flow=not args.no_flow)
     try:
+        if args.call_graph:
+            print(_build_project(args.paths, config).graph.describe())
+            return 0
+        if args.dump_cfg:
+            return _dump_cfg(args.paths, config, args.dump_cfg)
         findings = analyze_paths([Path(p) for p in args.paths], config)
     except AnalysisError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -109,6 +184,28 @@ def main(argv: Sequence[str] | None = None) -> int:
         Baseline.from_findings(findings, previous).save(baseline_path)
         print(f"baseline written: {baseline_path} ({len(findings)} findings covered)")
         return 0
+
+    if args.prune_baseline:
+        if previous is None:
+            print("error: no baseline to prune", file=sys.stderr)
+            return 2
+        pruned = previous.pruned(findings)
+        dropped = len(previous.entries) - len(pruned.entries)
+        pruned.save(baseline_path)
+        print(
+            f"baseline pruned: {baseline_path} "
+            f"({dropped} entries dropped, {len(pruned.entries)} kept)"
+        )
+        return 0
+
+    if previous is not None:
+        for entry, actual in previous.stale_entries(findings):
+            print(
+                f"warning: stale baseline entry {entry.path} {entry.rule_id}: "
+                f"budget {entry.count}, found {actual} "
+                "(run --prune-baseline to drop the slack)",
+                file=sys.stderr,
+            )
 
     reported = previous.apply(findings) if previous else list(findings)
     if args.format == "json":

@@ -14,9 +14,11 @@ from dataclasses import dataclass, field, replace
 
 __all__ = [
     "AnalysisConfig",
+    "PathRules",
     "DEFAULT_ALLOWED_ROOTS",
     "DEFAULT_RNG_MODULES",
     "DEFAULT_TIMING_MODULES",
+    "DEFAULT_PATH_RULES",
 ]
 
 # Third-party import roots the purity checker accepts anywhere under
@@ -36,6 +38,50 @@ DEFAULT_TIMING_MODULES: tuple[str, ...] = ("repro/util/timing.py", "repro/obs/")
 def _stdlib_names() -> frozenset[str]:
     """Names of stdlib top-level modules for the running interpreter."""
     return frozenset(sys.stdlib_module_names)
+
+
+@dataclass(frozen=True)
+class PathRules:
+    """Per-directory policy overlay, matched by path substring.
+
+    ``marker`` is a posix path fragment (``"tests/"``); any analyzed
+    file whose display path contains it inherits the extra ignored
+    rules/families and the extra allowed import roots.  This is how the
+    lint surface extends to tests/benchmarks/examples without flooding
+    the baseline: test code may import pytest and skip the API-contract
+    family, but still answers to determinism and flow rules.
+    """
+
+    marker: str
+    ignore: frozenset[str] = frozenset()
+    extra_import_roots: frozenset[str] = frozenset()
+
+    def matches(self, posix_path: str) -> bool:
+        """Return True when this overlay applies to ``posix_path``."""
+        return self.marker in posix_path
+
+
+# Default per-directory overlays for the non-library trees the lint
+# target covers.  Rationale per directory:
+#   tests/       pytest idioms (no __all__, literal expected values,
+#                magic tolerances, ad-hoc loops) are fine in test code;
+#                determinism and flow/concurrency rules still apply.
+#   benchmarks/  same, plus OBS001 — benchmarks measure wall time by
+#                definition.
+#   examples/    scripts need no __all__/docstring contract.
+DEFAULT_PATH_RULES: tuple[PathRules, ...] = (
+    PathRules(
+        "tests/",
+        ignore=frozenset({"API", "DET005", "NUM002", "NUM005", "PERF", "FLOW002"}),
+        extra_import_roots=frozenset({"pytest", "hypothesis"}),
+    ),
+    PathRules(
+        "benchmarks/",
+        ignore=frozenset({"API", "DET005", "NUM005", "OBS001", "PERF", "FLOW002"}),
+        extra_import_roots=frozenset({"pytest", "benchmarks"}),
+    ),
+    PathRules("examples/", ignore=frozenset({"API"})),
+)
 
 
 @dataclass(frozen=True)
@@ -61,6 +107,12 @@ class AnalysisConfig:
         If non-empty, only these rule ids (or family prefixes) run.
     ignore:
         Rule ids (or family prefixes) to skip entirely.
+    path_rules:
+        Per-directory :class:`PathRules` overlays (tests/, benchmarks/,
+        examples/ by default).
+    flow:
+        When False the interprocedural project phase (FLOW/CONC
+        families) is skipped entirely; per-file checkers still run.
     """
 
     allowed_import_roots: frozenset[str] = DEFAULT_ALLOWED_ROOTS
@@ -69,6 +121,8 @@ class AnalysisConfig:
     timing_module_suffixes: tuple[str, ...] = DEFAULT_TIMING_MODULES
     select: frozenset[str] = frozenset()
     ignore: frozenset[str] = frozenset()
+    path_rules: tuple[PathRules, ...] = DEFAULT_PATH_RULES
+    flow: bool = True
 
     def rule_enabled(self, rule_id: str) -> bool:
         """Return True when ``rule_id`` passes the select/ignore filters.
@@ -83,6 +137,18 @@ class AnalysisConfig:
             return rule_id in self.select or family in self.select
         return True
 
+    def rule_enabled_for(self, rule_id: str, posix_path: str) -> bool:
+        """Path-aware :meth:`rule_enabled`, applying directory overlays."""
+        if not self.rule_enabled(rule_id):
+            return False
+        family = rule_id.rstrip("0123456789")
+        for overlay in self.path_rules:
+            if overlay.matches(posix_path) and (
+                rule_id in overlay.ignore or family in overlay.ignore
+            ):
+                return False
+        return True
+
     def is_rng_module(self, posix_path: str) -> bool:
         """Return True when ``posix_path`` is part of the RNG plumbing."""
         return any(posix_path.endswith(sfx) for sfx in self.rng_module_suffixes)
@@ -94,9 +160,19 @@ class AnalysisConfig:
             for sfx in self.timing_module_suffixes
         )
 
-    def import_allowed(self, root: str) -> bool:
-        """Return True when top-level module ``root`` may be imported."""
-        return root in self.allowed_import_roots or root in self.stdlib_roots
+    def import_allowed(self, root: str, posix_path: str = "") -> bool:
+        """Return True when top-level module ``root`` may be imported.
+
+        ``posix_path`` (when given) activates per-directory overlays —
+        e.g. tests may import ``pytest``.
+        """
+        if root in self.allowed_import_roots or root in self.stdlib_roots:
+            return True
+        if posix_path:
+            for overlay in self.path_rules:
+                if overlay.matches(posix_path) and root in overlay.extra_import_roots:
+                    return True
+        return False
 
     def with_filters(
         self, select: frozenset[str] | None = None, ignore: frozenset[str] | None = None

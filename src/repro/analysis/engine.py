@@ -1,10 +1,16 @@
-"""Checker registry, visitor framework, and per-file analysis driver.
+"""Checker registry, visitor framework, and two-phase analysis driver.
 
-Checkers are ``ast.NodeVisitor`` subclasses registered with
+Per-file checkers are ``ast.NodeVisitor`` subclasses registered with
 :func:`register_checker`; each declares the :class:`~repro.analysis.findings.Rule`
 objects it can emit.  The engine parses each file once, runs every
-enabled checker over the tree, then drops findings suppressed by
-``# repro: noqa[RULE]`` / ``# repro: noqa-file[RULE]`` comments.
+enabled checker over the tree, then — when more than syntax is needed —
+runs a second, *project* phase: :class:`BaseProjectChecker` subclasses
+(registered with :func:`register_project_checker`) see every parsed
+file at once through a :class:`ProjectContext` carrying the project
+symbol table and call graph, which is what the interprocedural
+FLOW/CONC rule families are built on.  Findings from both phases flow
+through the same ``# repro: noqa[RULE]`` / ``# repro: noqa-file[RULE]``
+suppression pass and the same baseline.
 """
 
 from __future__ import annotations
@@ -20,10 +26,14 @@ from repro.analysis.findings import Finding, Rule
 
 __all__ = [
     "FileContext",
+    "ProjectContext",
     "BaseChecker",
+    "BaseProjectChecker",
     "register_checker",
+    "register_project_checker",
     "all_rules",
     "all_checkers",
+    "all_project_checkers",
     "parse_suppressions",
     "iter_python_files",
     "analyze_source",
@@ -33,6 +43,7 @@ __all__ = [
 ]
 
 _CHECKERS: list[Type["BaseChecker"]] = []
+_PROJECT_CHECKERS: list[Type["BaseProjectChecker"]] = []
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?P<file>-file)?(?:\[(?P<rules>[A-Z0-9_,\s]+)\])?"
 )
@@ -57,6 +68,30 @@ class FileContext:
             self.lines = self.source.splitlines()
 
 
+@dataclass
+class ProjectContext:
+    """Whole-project view handed to the second analysis phase.
+
+    ``files`` maps display paths to their :class:`FileContext`;
+    ``index`` and ``graph`` are the flow package's symbol table and
+    call graph over the same trees.  Built once per
+    :func:`analyze_paths` run.
+    """
+
+    files: dict  # path -> FileContext
+    config: AnalysisConfig
+    index: "object"  # ProjectIndex (typed loosely to keep imports lazy)
+    graph: "object"  # CallGraph
+
+    @classmethod
+    def build(cls, files: dict, config: AnalysisConfig) -> "ProjectContext":
+        """Index the parsed files and resolve the call graph."""
+        from repro.analysis.flow.project import CallGraph, ProjectIndex
+
+        index = ProjectIndex.build({p: ctx.tree for p, ctx in files.items()})
+        return cls(files=files, config=config, index=index, graph=CallGraph.build(index))
+
+
 class BaseChecker(ast.NodeVisitor):
     """Base class for all checkers.
 
@@ -79,7 +114,7 @@ class BaseChecker(ast.NodeVisitor):
             raise ValueError(
                 f"{type(self).__name__} reported undeclared rule {rule_id}"
             )
-        if not self.context.config.rule_enabled(rule_id):
+        if not self.context.config.rule_enabled_for(rule_id, self.context.path):
             return
         self.findings.append(
             Finding(
@@ -97,11 +132,56 @@ class BaseChecker(ast.NodeVisitor):
         return self.findings
 
 
+class BaseProjectChecker:
+    """Base class for project-phase (interprocedural) checkers.
+
+    Unlike :class:`BaseChecker`, an instance sees *all* parsed files at
+    once through a :class:`ProjectContext` and reports findings against
+    whichever file each defect lives in.  One instance is created per
+    :func:`analyze_paths` run.
+    """
+
+    rules: tuple[Rule, ...] = ()
+
+    def __init__(self, project: ProjectContext):
+        self.project = project
+        self.findings: list[Finding] = []
+        self._rule_ids = {r.rule_id for r in self.rules}
+
+    def report(
+        self, path: str, rule_id: str, message: str, line: int = 1, col: int = 0
+    ) -> None:
+        """Record a finding for ``rule_id`` at ``path:line``."""
+        if rule_id not in self._rule_ids:
+            raise ValueError(
+                f"{type(self).__name__} reported undeclared rule {rule_id}"
+            )
+        if not self.project.config.rule_enabled_for(rule_id, path):
+            return
+        self.findings.append(
+            Finding(path=path, line=line, col=col, rule_id=rule_id, message=message)
+        )
+
+    def run(self) -> list[Finding]:
+        """Analyze the whole project; subclasses must override."""
+        raise NotImplementedError
+
+
 def register_checker(cls: Type[BaseChecker]) -> Type[BaseChecker]:
     """Class decorator adding ``cls`` to the global checker registry."""
     if not cls.rules:
         raise ValueError(f"checker {cls.__name__} declares no rules")
     _CHECKERS.append(cls)
+    return cls
+
+
+def register_project_checker(
+    cls: Type[BaseProjectChecker],
+) -> Type[BaseProjectChecker]:
+    """Class decorator adding ``cls`` to the project-checker registry."""
+    if not cls.rules:
+        raise ValueError(f"project checker {cls.__name__} declares no rules")
+    _PROJECT_CHECKERS.append(cls)
     return cls
 
 
@@ -116,10 +196,38 @@ def all_checkers() -> list[Type[BaseChecker]]:
     return list(_CHECKERS)
 
 
+def all_project_checkers() -> list[Type[BaseProjectChecker]]:
+    """Return the registered project-checker classes."""
+    _load_builtin_checkers()
+    return list(_PROJECT_CHECKERS)
+
+
 def all_rules() -> dict[str, Rule]:
     """Return every known rule keyed by id, sorted by id."""
     rules = [r for cls in all_checkers() for r in cls.rules]
+    rules += [r for cls in all_project_checkers() for r in cls.rules]
     return {r.rule_id: r for r in sorted(rules, key=lambda r: r.rule_id)}
+
+
+def _comment_lines(source: str) -> list[tuple[int, str]]:
+    """``(lineno, comment_text)`` for every real comment token.
+
+    Tokenizing (rather than scanning raw lines) keeps directive-shaped
+    text inside strings and docstrings — e.g. documentation *about*
+    ``# repro: noqa[RULE]`` — from acting as a live suppression.
+    """
+    import io
+    import tokenize
+
+    out: list[tuple[int, str]] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                out.append((tok.start[0], tok.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Fall back to raw line scanning for untokenizable input.
+        return [(i, line) for i, line in enumerate(source.splitlines(), start=1)]
+    return out
 
 
 def parse_suppressions(source: str) -> tuple[dict[int, frozenset[str] | None], dict]:
@@ -129,10 +237,12 @@ def parse_suppressions(source: str) -> tuple[dict[int, frozenset[str] | None], d
     line number to either ``None`` (suppress every rule on that line)
     or a frozenset of rule ids, and ``per_file`` is the same shape keyed
     by the single key ``"file"`` when a ``noqa-file`` directive exists.
+    Only real comment tokens count — directive-shaped text inside
+    strings or docstrings is inert.
     """
     per_line: dict[int, frozenset[str] | None] = {}
     per_file: dict[str, frozenset[str] | None] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
+    for lineno, line in _comment_lines(source):
         m = _NOQA_RE.search(line)
         if not m:
             continue
@@ -162,6 +272,10 @@ def _is_suppressed(
     per_line: dict[int, frozenset[str] | None],
     per_file: dict[str, frozenset[str] | None],
 ) -> bool:
+    if finding.rule_id == "ANA001":
+        # The noqa validator cannot be silenced by the directives it
+        # validates — a malformed directive would suppress its own report.
+        return False
     if "file" in per_file:
         rules = per_file["file"]
         if rules is None or finding.rule_id in rules:
@@ -173,24 +287,38 @@ def _is_suppressed(
     return False
 
 
+def _parse_context(source: str, path: str, config: AnalysisConfig) -> FileContext:
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise AnalysisError(f"{path}: syntax error: {exc.msg} (line {exc.lineno})") from exc
+    return FileContext(path=path, tree=tree, source=source, config=config)
+
+
+def _run_file_checkers(context: FileContext) -> list[Finding]:
+    findings: list[Finding] = []
+    for cls in all_checkers():
+        findings.extend(cls(context).run())
+    return findings
+
+
+def _suppress(findings: Iterable[Finding], source: str) -> list[Finding]:
+    per_line, per_file = parse_suppressions(source)
+    return [f for f in findings if not _is_suppressed(f, per_line, per_file)]
+
+
 def analyze_source(
     source: str, path: str, config: AnalysisConfig | None = None
 ) -> list[Finding]:
     """Analyze Python ``source`` attributed to ``path``; return findings.
 
-    Raises :class:`AnalysisError` on syntax errors.
+    Runs the per-file phase only — project (FLOW/CONC) rules need
+    :func:`analyze_paths`.  Raises :class:`AnalysisError` on syntax
+    errors.
     """
     config = config or AnalysisConfig()
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        raise AnalysisError(f"{path}: syntax error: {exc.msg} (line {exc.lineno})") from exc
-    context = FileContext(path=path, tree=tree, source=source, config=config)
-    findings: list[Finding] = []
-    for cls in all_checkers():
-        findings.extend(cls(context).run())
-    per_line, per_file = parse_suppressions(source)
-    return sorted(f for f in findings if not _is_suppressed(f, per_line, per_file))
+    context = _parse_context(source, path, config)
+    return sorted(_suppress(_run_file_checkers(context), source))
 
 
 def _display_path(path: Path) -> str:
@@ -226,8 +354,31 @@ def iter_python_files(paths: Iterable[Path]) -> list[Path]:
 def analyze_paths(
     paths: Sequence[Path], config: AnalysisConfig | None = None
 ) -> list[Finding]:
-    """Analyze every Python file under ``paths``; return sorted findings."""
-    findings: list[Finding] = []
+    """Analyze every Python file under ``paths``; return sorted findings.
+
+    Two phases: the per-file checkers run over each file, then (unless
+    ``config.flow`` is off) every parsed tree is indexed into a
+    :class:`ProjectContext` and the project checkers run once over the
+    whole set.  ``noqa`` suppression applies to both phases' findings.
+    """
+    config = config or AnalysisConfig()
+    files: dict[str, FileContext] = {}
+    findings_by_path: dict[str, list[Finding]] = {}
     for f in iter_python_files(paths):
-        findings.extend(analyze_file(f, config))
+        try:
+            source = f.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise AnalysisError(f"{f}: cannot read: {exc}") from exc
+        context = _parse_context(source, _display_path(f), config)
+        files[context.path] = context
+        findings_by_path[context.path] = _run_file_checkers(context)
+    if config.flow and files:
+        project = ProjectContext.build(files, config)
+        for cls in all_project_checkers():
+            for finding in cls(project).run():
+                findings_by_path.setdefault(finding.path, []).append(finding)
+    findings: list[Finding] = []
+    for path, found in findings_by_path.items():
+        context = files.get(path)
+        findings.extend(_suppress(found, context.source) if context else found)
     return sorted(findings)

@@ -1,0 +1,40 @@
+"""Project-level dataflow machinery for the static-analysis subsystem.
+
+The per-file checkers (:mod:`repro.analysis.checkers`) are syntactic:
+they match call names at the use site and see nothing across statement
+or function boundaries.  This package supplies the semantic layer the
+FLOW/CONC rule families are built on:
+
+- :mod:`repro.analysis.flow.cfg` — per-function control-flow graphs
+  with explicit exception edges (``try``/``except``/``finally``,
+  ``with``, loops, early returns);
+- :mod:`repro.analysis.flow.dataflow` — reaching definitions and
+  def-use chains computed by a worklist pass over the CFG;
+- :mod:`repro.analysis.flow.project` — a two-pass project symbol table
+  and call graph resolved across ``src/repro`` modules;
+- :mod:`repro.analysis.flow.taint` — worklist-based interprocedural
+  taint propagation from ambient-entropy sources to serialization
+  sinks, using per-function summaries over the call graph.
+
+Everything here is pure stdlib ``ast`` — no new dependencies — and
+fully deterministic: node ids follow source order, worklists iterate in
+sorted order, and every public ``describe()`` view is byte-stable.
+"""
+
+from repro.analysis.flow.cfg import CFG, CFGEdge, CFGNode, build_cfg
+from repro.analysis.flow.dataflow import ReachingDefs, compute_reaching
+from repro.analysis.flow.project import CallGraph, ProjectIndex
+from repro.analysis.flow.taint import TaintAnalysis, TaintFlow
+
+__all__ = [
+    "CFG",
+    "CFGEdge",
+    "CFGNode",
+    "build_cfg",
+    "ReachingDefs",
+    "compute_reaching",
+    "CallGraph",
+    "ProjectIndex",
+    "TaintAnalysis",
+    "TaintFlow",
+]

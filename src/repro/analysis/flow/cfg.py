@@ -1,0 +1,349 @@
+"""Per-function control-flow graphs with exception edges.
+
+One :class:`CFG` is built per ``def``: every simple statement, branch
+test, loop head, and ``except`` clause becomes a node (numbered in
+source order), and edges carry a kind — ``next`` for fallthrough,
+``true``/``false`` for branch outcomes, ``back`` for loop back-edges,
+and ``except`` for the paths an exception takes.  Exception edges are
+what make the graph useful for the FLOW rules: a span opened before a
+call and closed after it has a path to the function exit that skips the
+close, unless the close lives in a ``finally`` suite.
+
+Exception routing is conservative: any statement that contains a call,
+attribute access, subscript, arithmetic, or an explicit ``raise``/
+``assert`` is assumed able to raise, and gets an edge to the innermost
+enclosing handler chain (or ``finally`` suite, or the function exit when
+nothing encloses it).  ``finally`` suites are modeled once, entered from
+every completion of the protected region, and re-raise outward after
+running.  The approximation only ever *adds* paths, so analyses built on
+top (reaching definitions, span-leak search) stay sound for the rules
+enforced here.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = [
+    "EDGE_NEXT",
+    "EDGE_TRUE",
+    "EDGE_FALSE",
+    "EDGE_BACK",
+    "EDGE_EXCEPT",
+    "CFGNode",
+    "CFGEdge",
+    "CFG",
+    "build_cfg",
+]
+
+EDGE_NEXT = "next"
+EDGE_TRUE = "true"
+EDGE_FALSE = "false"
+EDGE_BACK = "back"
+EDGE_EXCEPT = "except"
+
+#: Statement types that can never raise at runtime.
+_SAFE_STMTS = (ast.Pass, ast.Break, ast.Continue, ast.Global, ast.Nonlocal)
+
+#: Expression node types whose evaluation may raise.
+_RAISY_EXPRS = (
+    ast.Call,
+    ast.Attribute,
+    ast.Subscript,
+    ast.BinOp,
+    ast.UnaryOp,
+    ast.Compare,
+    ast.BoolOp,
+    ast.Await,
+    ast.Yield,
+    ast.YieldFrom,
+    ast.Starred,
+    ast.FormattedValue,
+)
+
+
+@dataclass(frozen=True)
+class CFGNode:
+    """One CFG node: a statement, branch test, handler, or entry/exit.
+
+    ``label`` is one of ``entry``, ``exit``, ``stmt``, ``test``,
+    ``loop``, or ``handler``; ``stmt`` is the underlying AST node
+    (``None`` for entry/exit).
+    """
+
+    node_id: int
+    label: str
+    stmt: ast.AST | None = None
+
+    @property
+    def lineno(self) -> int:
+        """Source line of the underlying statement (0 for entry/exit)."""
+        return getattr(self.stmt, "lineno", 0)
+
+
+@dataclass(frozen=True, order=True)
+class CFGEdge:
+    """A directed, kind-labeled edge between two CFG nodes."""
+
+    src: int
+    dst: int
+    kind: str
+
+
+class CFG:
+    """Control-flow graph of one function.
+
+    Nodes are numbered in source order with ``entry`` first and ``exit``
+    last; edges are deduplicated and sorted, so :meth:`describe` output
+    is byte-stable and usable as a golden-test surface.
+    """
+
+    def __init__(self, name: str, nodes: list[CFGNode], edges: list[CFGEdge]):
+        self.name = name
+        self.nodes = nodes
+        self.edges = sorted(set(edges))
+        self.entry_id = 0
+        self.exit_id = nodes[-1].node_id
+        self._succ: dict[int, list[CFGEdge]] = {}
+        self._pred: dict[int, list[CFGEdge]] = {}
+        for edge in self.edges:
+            self._succ.setdefault(edge.src, []).append(edge)
+            self._pred.setdefault(edge.dst, []).append(edge)
+
+    def node(self, node_id: int) -> CFGNode:
+        """Return the node with ``node_id``."""
+        return self.nodes[node_id]
+
+    def successors(self, node_id: int) -> list[CFGEdge]:
+        """Outgoing edges of ``node_id``, sorted."""
+        return self._succ.get(node_id, [])
+
+    def predecessors(self, node_id: int) -> list[CFGEdge]:
+        """Incoming edges of ``node_id``, sorted."""
+        return self._pred.get(node_id, [])
+
+    def describe(self) -> str:
+        """Deterministic text dump: one line per node, then per edge."""
+        lines = [f"cfg {self.name}:"]
+        for node in self.nodes:
+            loc = f" L{node.lineno}" if node.stmt is not None else ""
+            kind = type(node.stmt).__name__ if node.stmt is not None else ""
+            suffix = f" {kind}" if kind else ""
+            lines.append(f"  n{node.node_id} {node.label}{suffix}{loc}")
+        for edge in self.edges:
+            lines.append(f"  n{edge.src} -> n{edge.dst} [{edge.kind}]")
+        return "\n".join(lines)
+
+
+def _may_raise(stmt: ast.stmt) -> bool:
+    """Conservatively decide whether executing ``stmt`` can raise."""
+    if isinstance(stmt, _SAFE_STMTS):
+        return False
+    if isinstance(stmt, (ast.Raise, ast.Assert, ast.Delete)):
+        return True
+    if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+        return True
+    for sub in ast.walk(stmt):
+        if isinstance(sub, _RAISY_EXPRS):
+            return True
+        if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # A nested definition's body does not execute here.
+            return False
+    return False
+
+
+@dataclass
+class _Loop:
+    """Break/continue targets for one enclosing loop."""
+
+    head_id: int
+    breaks: list[tuple[int, str]] = field(default_factory=list)
+
+
+class _Builder:
+    """Single-use CFG builder; ``build_cfg`` is the public entry point."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.nodes: list[CFGNode] = []
+        self.edges: list[CFGEdge] = []
+        self.loops: list[_Loop] = []
+        self.returns: list[int] = []
+        # Stack of pending-raise lists; edges land on the innermost
+        # enclosing handler chain once it is materialized.  The bottom
+        # list routes to the function exit.
+        self.raises: list[list[int]] = [[]]
+
+    def _add(self, label: str, stmt: ast.AST | None) -> int:
+        nid = len(self.nodes)
+        self.nodes.append(CFGNode(nid, label, stmt))
+        return nid
+
+    def _wire(self, pendings: list[tuple[int, str]], dst: int) -> None:
+        for src, kind in pendings:
+            self.edges.append(CFGEdge(src, dst, kind))
+
+    def _stmt_node(self, stmt: ast.stmt, label: str, incoming: list[tuple[int, str]]) -> int:
+        nid = self._add(label, stmt)
+        self._wire(incoming, nid)
+        if _may_raise(stmt):
+            self.raises[-1].append(nid)
+        return nid
+
+    # ------------------------------------------------------------------
+    def build(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+        """Build and return the CFG of ``func``."""
+        entry = self._add("entry", None)
+        out = self._body(func.body, [(entry, EDGE_NEXT)])
+        exit_id = self._add("exit", None)
+        self._wire(out, exit_id)
+        for nid in self.returns:
+            self.edges.append(CFGEdge(nid, exit_id, EDGE_NEXT))
+        for nid in self.raises[0]:
+            self.edges.append(CFGEdge(nid, exit_id, EDGE_EXCEPT))
+        return CFG(self.name, self.nodes, self.edges)
+
+    def _body(
+        self, stmts: list[ast.stmt], incoming: list[tuple[int, str]]
+    ) -> list[tuple[int, str]]:
+        current = incoming
+        for stmt in stmts:
+            current = self._dispatch(stmt, current)
+        return current
+
+    def _dispatch(
+        self, stmt: ast.stmt, incoming: list[tuple[int, str]]
+    ) -> list[tuple[int, str]]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, incoming)
+        if isinstance(stmt, (ast.While,)):
+            return self._while(stmt, incoming)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, incoming)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, incoming)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, incoming)
+        if isinstance(stmt, ast.Return):
+            nid = self._stmt_node(stmt, "stmt", incoming)
+            self.returns.append(nid)
+            return []
+        if isinstance(stmt, ast.Raise):
+            self._stmt_node(stmt, "stmt", incoming)
+            return []
+        if isinstance(stmt, ast.Break):
+            nid = self._stmt_node(stmt, "stmt", incoming)
+            if self.loops:
+                self.loops[-1].breaks.append((nid, EDGE_NEXT))
+            return []
+        if isinstance(stmt, ast.Continue):
+            nid = self._stmt_node(stmt, "stmt", incoming)
+            if self.loops:
+                self.edges.append(CFGEdge(nid, self.loops[-1].head_id, EDGE_BACK))
+            return []
+        nid = self._stmt_node(stmt, "stmt", incoming)
+        return [(nid, EDGE_NEXT)]
+
+    # -- compound statements -------------------------------------------
+    def _if(self, stmt: ast.If, incoming: list[tuple[int, str]]) -> list[tuple[int, str]]:
+        test = self._stmt_node(stmt, "test", incoming)
+        out = self._body(stmt.body, [(test, EDGE_TRUE)])
+        if stmt.orelse:
+            out += self._body(stmt.orelse, [(test, EDGE_FALSE)])
+        else:
+            out.append((test, EDGE_FALSE))
+        return out
+
+    def _while(self, stmt: ast.While, incoming: list[tuple[int, str]]) -> list[tuple[int, str]]:
+        test = self._stmt_node(stmt, "test", incoming)
+        loop = _Loop(test)
+        self.loops.append(loop)
+        body_out = self._body(stmt.body, [(test, EDGE_TRUE)])
+        self.loops.pop()
+        for src, _ in body_out:
+            self.edges.append(CFGEdge(src, test, EDGE_BACK))
+        out = [(test, EDGE_FALSE)] + loop.breaks
+        if stmt.orelse:
+            out = self._body(stmt.orelse, [(test, EDGE_FALSE)]) + loop.breaks
+        return out
+
+    def _for(self, stmt: ast.For | ast.AsyncFor, incoming: list[tuple[int, str]]) -> list[tuple[int, str]]:
+        head = self._stmt_node(stmt, "loop", incoming)
+        loop = _Loop(head)
+        self.loops.append(loop)
+        body_out = self._body(stmt.body, [(head, EDGE_TRUE)])
+        self.loops.pop()
+        for src, _ in body_out:
+            self.edges.append(CFGEdge(src, head, EDGE_BACK))
+        out = [(head, EDGE_FALSE)] + loop.breaks
+        if stmt.orelse:
+            out = self._body(stmt.orelse, [(head, EDGE_FALSE)]) + loop.breaks
+        return out
+
+    def _with(self, stmt: ast.With | ast.AsyncWith, incoming: list[tuple[int, str]]) -> list[tuple[int, str]]:
+        head = self._stmt_node(stmt, "stmt", incoming)
+        return self._body(stmt.body, [(head, EDGE_NEXT)])
+
+    def _try(self, stmt: ast.Try, incoming: list[tuple[int, str]]) -> list[tuple[int, str]]:
+        # Raises inside the protected body land on the handler chain
+        # (or the finally suite when there are no handlers).
+        n_returns = len(self.returns)
+        self.raises.append([])
+        body_out = self._body(stmt.body, incoming)
+        body_raises = self.raises.pop()
+
+        if stmt.orelse:
+            body_out = self._body(stmt.orelse, body_out)
+
+        handler_outs: list[tuple[int, str]] = []
+        unmatched: list[tuple[int, str]] = []
+        if stmt.handlers:
+            prev: tuple[int, str] | None = None
+            for handler in stmt.handlers:
+                hid = self._add("handler", handler)
+                if prev is None:
+                    for nid in body_raises:
+                        self.edges.append(CFGEdge(nid, hid, EDGE_EXCEPT))
+                else:
+                    self.edges.append(CFGEdge(prev[0], hid, prev[1]))
+                # Handler bodies raise outward, past this try.
+                handler_outs += self._body(handler.body, [(hid, EDGE_TRUE)])
+                prev = (hid, EDGE_FALSE)
+            if prev is not None:
+                unmatched = [prev]
+        else:
+            unmatched = [(nid, EDGE_EXCEPT) for nid in body_raises]
+
+        if stmt.finalbody:
+            fin_in = body_out + handler_outs + unmatched
+            # A `return` inside the protected region runs the finally
+            # suite first: reroute region returns into the finalbody,
+            # then let the finally's own exits stand in for them (an
+            # over-approximation — the path also continues to the next
+            # statement — but every return-path correctly passes
+            # through the finally nodes).
+            region_returns = self.returns[n_returns:]
+            del self.returns[n_returns:]
+            fin_in = fin_in + [(nid, EDGE_NEXT) for nid in region_returns]
+            fin_out = self._body(stmt.finalbody, fin_in)
+            if region_returns:
+                self.returns.extend(src for src, _ in fin_out)
+            # An unmatched exception re-raises after the finally suite.
+            for src, _ in fin_out:
+                self.raises[-1].append(src)
+            return fin_out
+        for src, _kind in unmatched:
+            self.raises[-1].append(src)
+        return body_out + handler_outs
+
+
+def build_cfg(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, name: str | None = None
+) -> CFG:
+    """Build the control-flow graph of one function definition.
+
+    ``name`` overrides the display name (e.g. a project qualname for
+    ``--dump-cfg``); defaults to the function's own name.
+    """
+    return _Builder(name or func.name).build(func)

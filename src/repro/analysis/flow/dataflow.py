@@ -1,0 +1,291 @@
+"""Reaching definitions and def-use chains over a function CFG.
+
+A :class:`Definition` is one binding of a local name at one CFG node
+(an assignment, loop target, ``with`` alias, import, parameter, ...).
+:func:`compute_reaching` runs the classic forward worklist algorithm —
+``IN[n] = union OUT[p]``, ``OUT[n] = GEN[n] | (IN[n] - KILL[n])`` — over
+the exception-edge-aware CFG, so a definition that is only consumed on
+an error path (a ``finally`` suite reading state set before the
+``try``) still counts as used.
+
+The resulting :class:`ReachingDefs` exposes def-use chains and the raw
+dead-definition list the FLOW dead-store rule filters; names captured
+by nested functions or declared ``global``/``nonlocal`` are reported
+separately so checkers can skip them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.flow.cfg import CFG, CFGNode
+
+__all__ = ["Definition", "ReachingDefs", "compute_reaching"]
+
+
+@dataclass(frozen=True, order=True)
+class Definition:
+    """One binding of ``var`` at CFG node ``node_id``.
+
+    ``kind`` records the binding construct: ``param``, ``assign``,
+    ``aug``, ``ann``, ``for``, ``with``, ``import``, ``def``,
+    ``handler``, or ``walrus``.  ``from_unpack`` marks tuple/starred
+    unpacking targets, which dead-store rules conventionally skip.
+    """
+
+    var: str
+    node_id: int
+    kind: str = "assign"
+    from_unpack: bool = False
+
+
+def _target_names(target: ast.expr, kind: str, node_id: int) -> list[Definition]:
+    """Definitions bound by an assignment/loop target expression."""
+    if isinstance(target, ast.Name):
+        return [Definition(target.id, node_id, kind)]
+    defs: list[Definition] = []
+    for sub in ast.walk(target):
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+            defs.append(Definition(sub.id, node_id, kind, from_unpack=True))
+    return defs
+
+
+class _UseCollector(ast.NodeVisitor):
+    """Collect Name loads in an expression, tracking closure captures.
+
+    Names referenced inside nested ``lambda``/``def`` bodies are
+    recorded both as uses (they keep outer definitions live) and in the
+    ``captured`` set (so dead-store rules can skip those variables
+    entirely — a closure may read them long after this function frame
+    would have considered them dead).
+    """
+
+    def __init__(self) -> None:
+        self.uses: set[str] = set()
+        self.walrus: list[str] = []
+        self.captured: set[str] = set()
+        self._nested = 0
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.uses.add(node.id)
+            if self._nested:
+                self.captured.add(node.id)
+
+    def visit_NamedExpr(self, node: ast.NamedExpr) -> None:
+        if not self._nested and isinstance(node.target, ast.Name):
+            self.walrus.append(node.target.id)
+        self.visit(node.value)
+
+    def _enter_nested(self, node) -> None:
+        self._nested += 1
+        self.generic_visit(node)
+        self._nested -= 1
+
+    visit_Lambda = _enter_nested
+    visit_FunctionDef = _enter_nested
+    visit_AsyncFunctionDef = _enter_nested
+
+
+def _own_parts(node: CFGNode) -> tuple[list[Definition], list[ast.expr]]:
+    """The definitions and use-expressions *owned* by one CFG node.
+
+    Compound statements (``if``/``while``/``for``/``with``/handlers)
+    own only their test/iterator/context expressions — their bodies are
+    separate CFG nodes — so this never double-counts.
+    """
+    stmt = node.stmt
+    nid = node.node_id
+    if stmt is None:
+        return [], []
+    if node.label == "test":  # ast.If / ast.While
+        return [], [stmt.test]
+    if node.label == "loop":  # ast.For / ast.AsyncFor
+        return _target_names(stmt.target, "for", nid), [stmt.iter]
+    if node.label == "handler":  # ast.ExceptHandler
+        defs = [Definition(stmt.name, nid, "handler")] if stmt.name else []
+        return defs, [stmt.type] if stmt.type else []
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        defs: list[Definition] = []
+        uses: list[ast.expr] = []
+        for item in stmt.items:
+            uses.append(item.context_expr)
+            if item.optional_vars is not None:
+                defs += _target_names(item.optional_vars, "with", nid)
+        return defs, uses
+    if isinstance(stmt, ast.Assign):
+        defs = []
+        uses = [stmt.value]
+        for target in stmt.targets:
+            if isinstance(target, (ast.Name, ast.Tuple, ast.List, ast.Starred)):
+                defs += _target_names(target, "assign", nid)
+            else:
+                # a[i] = v / a.x = v mutate, not rebind: the base is a use.
+                uses.append(target)
+        return defs, uses
+    if isinstance(stmt, ast.AugAssign):
+        if isinstance(stmt.target, ast.Name):
+            return (
+                [Definition(stmt.target.id, nid, "aug")],
+                [stmt.value, ast.Name(id=stmt.target.id, ctx=ast.Load())],
+            )
+        return [], [stmt.value, stmt.target]
+    if isinstance(stmt, ast.AnnAssign):
+        uses = [stmt.value] if stmt.value else []
+        if stmt.value and isinstance(stmt.target, ast.Name):
+            return [Definition(stmt.target.id, nid, "ann")], uses
+        return [], uses + ([stmt.target] if not isinstance(stmt.target, ast.Name) else [])
+    if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+        defs = [
+            Definition((alias.asname or alias.name).split(".")[0], nid, "import")
+            for alias in stmt.names
+            if alias.name != "*"
+        ]
+        return defs, []
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        uses = list(stmt.decorator_list) + [
+            d for d in stmt.args.defaults + stmt.args.kw_defaults if d is not None
+        ]
+        return [Definition(stmt.name, nid, "def")], uses
+    if isinstance(stmt, ast.ClassDef):
+        return [Definition(stmt.name, nid, "class")], list(stmt.bases) + list(
+            stmt.decorator_list
+        )
+    # Everything else (Expr, Return, Raise, Assert, Delete, ...) only uses.
+    uses = [sub for sub in ast.iter_child_nodes(stmt) if isinstance(sub, ast.expr)]
+    return [], uses
+
+
+class ReachingDefs:
+    """Reaching-definition sets, def-use chains, and capture info."""
+
+    def __init__(self, cfg: CFG, func: ast.FunctionDef | ast.AsyncFunctionDef):
+        self.cfg = cfg
+        self.params: list[str] = [
+            a.arg
+            for a in (
+                func.args.posonlyargs + func.args.args + func.args.kwonlyargs
+            )
+        ]
+        if func.args.vararg:
+            self.params.append(func.args.vararg.arg)
+        if func.args.kwarg:
+            self.params.append(func.args.kwarg.arg)
+        self.captured: set[str] = set()
+        self.scoped_out: set[str] = set()
+        self.defs_by_node: dict[int, list[Definition]] = {}
+        self.uses_by_node: dict[int, set[str]] = {}
+        self._collect(func)
+        self.in_: dict[int, frozenset[Definition]] = {}
+        self.out_: dict[int, frozenset[Definition]] = {}
+        self._solve()
+
+    # -- local syntax scan ---------------------------------------------
+    def _collect(self, func) -> None:
+        entry_defs = [Definition(p, self.cfg.entry_id, "param") for p in self.params]
+        self.defs_by_node[self.cfg.entry_id] = entry_defs
+        for node in self.cfg.nodes:
+            if node.stmt is None:
+                continue
+            if isinstance(node.stmt, (ast.Global, ast.Nonlocal)):
+                self.scoped_out.update(node.stmt.names)
+            defs, use_exprs = _own_parts(node)
+            collector = _UseCollector()
+            for expr in use_exprs:
+                collector.visit(expr)
+            if isinstance(
+                node.stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                # The nested body is not part of this CFG, but names it
+                # loads are closure captures: record them as uses (they
+                # keep outer definitions live) and mark them captured.
+                for sub in node.stmt.body:
+                    for name in ast.walk(sub):
+                        if isinstance(name, ast.Name) and isinstance(
+                            name.ctx, ast.Load
+                        ):
+                            collector.uses.add(name.id)
+                            collector.captured.add(name.id)
+            defs = defs + [
+                Definition(v, node.node_id, "walrus") for v in collector.walrus
+            ]
+            if defs:
+                self.defs_by_node.setdefault(node.node_id, []).extend(defs)
+            if collector.uses:
+                self.uses_by_node[node.node_id] = collector.uses
+            self.captured |= collector.captured
+
+    # -- worklist -------------------------------------------------------
+    def _solve(self) -> None:
+        all_defs: dict[str, set[Definition]] = {}
+        for defs in self.defs_by_node.values():
+            for d in defs:
+                all_defs.setdefault(d.var, set()).add(d)
+        gen: dict[int, frozenset[Definition]] = {}
+        kill: dict[int, frozenset[Definition]] = {}
+        for node in self.cfg.nodes:
+            defs = self.defs_by_node.get(node.node_id, [])
+            gen[node.node_id] = frozenset(defs)
+            killed: set[Definition] = set()
+            for d in defs:
+                killed |= all_defs[d.var] - {d}
+            kill[node.node_id] = frozenset(killed)
+        in_: dict[int, set[Definition]] = {n.node_id: set() for n in self.cfg.nodes}
+        out: dict[int, set[Definition]] = {
+            n.node_id: set(gen[n.node_id]) for n in self.cfg.nodes
+        }
+        work = [n.node_id for n in self.cfg.nodes]
+        while work:
+            nid = work.pop(0)
+            new_in: set[Definition] = set()
+            for edge in self.cfg.predecessors(nid):
+                if edge.kind == "except":
+                    # The raising statement may have failed before its
+                    # own binding took effect, so its KILL must not
+                    # apply along the exception edge; its GEN may-have
+                    # happened, so it still joins (union semantics).
+                    new_in |= gen[edge.src] | in_[edge.src]
+                else:
+                    new_in |= out[edge.src]
+            new_out = gen[nid] | (new_in - kill[nid])
+            changed = new_out != out[nid] or new_in != in_[nid]
+            in_[nid] = new_in
+            out[nid] = new_out
+            if changed:
+                for edge in self.cfg.successors(nid):
+                    if edge.dst not in work:
+                        work.append(edge.dst)
+        self.in_ = {nid: frozenset(s) for nid, s in in_.items()}
+        self.out_ = {nid: frozenset(s) for nid, s in out.items()}
+
+    # -- queries --------------------------------------------------------
+    def reaching_in(self, node_id: int, var: str) -> list[Definition]:
+        """Definitions of ``var`` that reach the start of ``node_id``."""
+        return sorted(d for d in self.in_[node_id] if d.var == var)
+
+    def uses_of(self, definition: Definition) -> list[int]:
+        """Node ids whose uses of the variable may observe ``definition``."""
+        hits = []
+        for nid, used in self.uses_by_node.items():
+            if definition.var in used and definition in self.in_[nid]:
+                hits.append(nid)
+        return sorted(hits)
+
+    def dead_definitions(self) -> list[Definition]:
+        """Definitions no use can observe (raw; callers apply skip rules)."""
+        dead = []
+        for defs in self.defs_by_node.values():
+            for d in defs:
+                if d.var in self.captured or d.var in self.scoped_out:
+                    continue
+                if not self.uses_of(d):
+                    dead.append(d)
+        return sorted(dead)
+
+
+def compute_reaching(
+    cfg: CFG, func: ast.FunctionDef | ast.AsyncFunctionDef
+) -> ReachingDefs:
+    """Run the reaching-definitions worklist for ``func`` over ``cfg``."""
+    return ReachingDefs(cfg, func)

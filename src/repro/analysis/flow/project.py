@@ -1,0 +1,367 @@
+"""Two-pass project symbol table and call graph.
+
+Pass 1 walks every analyzed file and indexes its module name (derived
+from the path, ``src/repro/md/bench.py`` → ``repro.md.bench``), its
+import aliases, its top-level functions and classes (with methods), and
+its module-level assignments.  Pass 2 resolves every call site inside
+every function body against that table, producing a :class:`CallGraph`
+whose edges connect fully-qualified function names.
+
+Resolution is deliberately simple and deterministic:
+
+- plain names resolve through local definitions, then import aliases;
+- ``self.``/``cls.`` attribute calls resolve to methods of the
+  enclosing class;
+- attribute calls on a variable assigned from ``ClassName(...)`` in the
+  same function resolve to that class's methods (one-step local type
+  inference — enough for ``dispatcher = OnlineDispatcher(...);``
+  ``dispatcher.submit(...)``);
+- as a last resort an attribute call resolves to a method name that is
+  defined by exactly **one** project class (unique-name matching);
+  ambiguous names produce no edge rather than a wrong one.
+
+The graph is an over-approximation in places and incomplete in others
+(first-class function values are not tracked); the FLOW/CONC rules are
+designed to stay useful under both errors.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = [
+    "module_name_for",
+    "FunctionInfo",
+    "ClassInfo",
+    "ModuleInfo",
+    "ProjectIndex",
+    "CallGraph",
+]
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for a posix file path.
+
+    Paths under a ``src/`` root drop the root (``src/repro/x.py`` →
+    ``repro.x``); everything else converts the whole relative path, so
+    test and benchmark files still get stable, unique names.
+    """
+    p = path[:-3] if path.endswith(".py") else path
+    parts = [part for part in p.split("/") if part not in ("", ".")]
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class FunctionInfo:
+    """One project function or method, keyed by its qualified name."""
+
+    qualname: str
+    module: str
+    path: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_name: str | None = None
+
+    @property
+    def params(self) -> list[str]:
+        """Positional/keyword parameter names, ``self``/``cls`` included."""
+        a = self.node.args
+        return [p.arg for p in a.posonlyargs + a.args + a.kwonlyargs]
+
+    @property
+    def name(self) -> str:
+        """The bare function name."""
+        return self.node.name
+
+
+@dataclass
+class ClassInfo:
+    """One project class with its method table."""
+
+    qualname: str
+    module: str
+    node: ast.ClassDef
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """Per-module symbol information from pass 1."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    imports: dict[str, str] = field(default_factory=dict)  # alias -> qualified
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)  # bare name
+    classes: dict[str, ClassInfo] = field(default_factory=dict)  # bare name
+    module_vars: set[str] = field(default_factory=set)  # top-level assignments
+
+
+class ProjectIndex:
+    """Symbol table over every analyzed file (pass 1)."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self._method_name_index: dict[str, list[str]] = {}
+
+    @classmethod
+    def build(cls, trees: dict[str, ast.Module]) -> "ProjectIndex":
+        """Index ``{path: parsed module}`` into a project symbol table."""
+        index = cls()
+        for path in sorted(trees):
+            index._index_module(path, trees[path])
+        for methods in index._method_name_index.values():
+            methods.sort()
+        return index
+
+    # -- pass 1 ---------------------------------------------------------
+    def _index_module(self, path: str, tree: ast.Module) -> None:
+        name = module_name_for(path)
+        mod = ModuleInfo(name=name, path=path, tree=tree)
+        self.modules[name] = mod
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    mod.imports[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name
+                    )
+            elif isinstance(stmt, ast.ImportFrom):
+                base = self._resolve_from(mod, stmt)
+                for alias in stmt.names:
+                    if alias.name != "*":
+                        mod.imports[alias.asname or alias.name] = (
+                            f"{base}.{alias.name}" if base else alias.name
+                        )
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo(f"{name}.{stmt.name}", name, path, stmt)
+                mod.functions[stmt.name] = info
+                self.functions[info.qualname] = info
+            elif isinstance(stmt, ast.ClassDef):
+                self._index_class(mod, stmt)
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    stmt.targets
+                    if isinstance(stmt, ast.Assign)
+                    else [stmt.target]
+                )
+                for target in targets:
+                    for sub in ast.walk(target):
+                        if isinstance(sub, ast.Name):
+                            mod.module_vars.add(sub.id)
+
+    def _resolve_from(self, mod: ModuleInfo, stmt: ast.ImportFrom) -> str:
+        if stmt.level == 0:
+            return stmt.module or ""
+        parts = mod.name.split(".")
+        # level 1 = current package: for a module `a.b.c`, that is `a.b`.
+        base_parts = parts[: len(parts) - stmt.level]
+        if stmt.module:
+            base_parts.append(stmt.module)
+        return ".".join(base_parts)
+
+    def _index_class(self, mod: ModuleInfo, stmt: ast.ClassDef) -> None:
+        qual = f"{mod.name}.{stmt.name}"
+        cls_info = ClassInfo(qual, mod.name, stmt)
+        mod.classes[stmt.name] = cls_info
+        self.classes[qual] = cls_info
+        for sub in stmt.body:
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo(
+                    f"{qual}.{sub.name}", mod.name, mod.path, sub, stmt.name
+                )
+                cls_info.methods[sub.name] = info
+                self.functions[info.qualname] = info
+                self._method_name_index.setdefault(sub.name, []).append(
+                    info.qualname
+                )
+
+    # -- resolution helpers ---------------------------------------------
+    def resolve_name(self, mod: ModuleInfo, name: str) -> str | None:
+        """Resolve a bare name in ``mod`` to a project function qualname."""
+        if name in mod.functions:
+            return mod.functions[name].qualname
+        if name in mod.classes:
+            init = mod.classes[name].methods.get("__init__")
+            return init.qualname if init else mod.classes[name].qualname
+        target = mod.imports.get(name)
+        if target is None:
+            return None
+        if target in self.functions:
+            return target
+        if target in self.classes:
+            init = self.classes[target].methods.get("__init__")
+            return init.qualname if init else target
+        return None
+
+    def resolve_attr_on_class(self, class_qual: str, attr: str) -> str | None:
+        """Resolve ``attr`` as a method of the class ``class_qual``."""
+        cls_info = self.classes.get(class_qual)
+        if cls_info and attr in cls_info.methods:
+            return cls_info.methods[attr].qualname
+        return None
+
+    def resolve_unique_method(self, attr: str) -> str | None:
+        """Resolve a method name defined by exactly one project class."""
+        owners = self._method_name_index.get(attr, [])
+        return owners[0] if len(owners) == 1 else None
+
+    def imported_class(self, mod: ModuleInfo, name: str) -> str | None:
+        """The class qualname a bare name refers to in ``mod``, if any."""
+        if name in mod.classes:
+            return mod.classes[name].qualname
+        target = mod.imports.get(name)
+        if target in self.classes:
+            return target
+        return None
+
+
+@dataclass(frozen=True)
+class _CallSite:
+    """One resolved call edge with its source location."""
+
+    caller: str
+    callee: str
+    lineno: int
+
+
+class CallGraph:
+    """Resolved call edges between project functions (pass 2)."""
+
+    def __init__(self, index: ProjectIndex):
+        self.index = index
+        self.edges: dict[str, set[str]] = {}
+        self.callers: dict[str, set[str]] = {}
+        self.sites: list[_CallSite] = []
+
+    @classmethod
+    def build(cls, index: ProjectIndex) -> "CallGraph":
+        """Resolve every call site in every indexed function."""
+        graph = cls(index)
+        for qualname in sorted(index.functions):
+            info = index.functions[qualname]
+            mod = index.modules[info.module]
+            for call, callee in graph._calls_in(info, mod):
+                graph._add(qualname, callee, getattr(call, "lineno", 0))
+        return graph
+
+    def _add(self, caller: str, callee: str, lineno: int) -> None:
+        self.edges.setdefault(caller, set()).add(callee)
+        self.callers.setdefault(callee, set()).add(caller)
+        self.sites.append(_CallSite(caller, callee, lineno))
+
+    # -- resolution ------------------------------------------------------
+    def _local_instances(self, info: FunctionInfo, mod: ModuleInfo) -> dict[str, str]:
+        """Map local var -> class qualname for ``v = ClassName(...)`` defs."""
+        instances: dict[str, str] = {}
+        for sub in ast.walk(info.node):
+            if (
+                isinstance(sub, ast.Assign)
+                and len(sub.targets) == 1
+                and isinstance(sub.targets[0], ast.Name)
+                and isinstance(sub.value, ast.Call)
+                and isinstance(sub.value.func, ast.Name)
+            ):
+                qual = self.index.imported_class(mod, sub.value.func.id)
+                if qual is not None:
+                    instances[sub.targets[0].id] = qual
+        return instances
+
+    def _calls_in(self, info: FunctionInfo, mod: ModuleInfo):
+        instances = self._local_instances(info, mod)
+        for sub in ast.walk(info.node):
+            if not isinstance(sub, ast.Call):
+                continue
+            callee = self.resolve_call(sub, info, mod, instances)
+            if callee is not None:
+                yield sub, callee
+
+    def resolve_call(
+        self,
+        call: ast.Call,
+        info: FunctionInfo,
+        mod: ModuleInfo,
+        instances: dict[str, str] | None = None,
+    ) -> str | None:
+        """Resolve one call node to a project function qualname, if possible."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self.index.resolve_name(mod, func.id)
+        if not isinstance(func, ast.Attribute):
+            return None
+        attr = func.attr
+        base = func.value
+        if isinstance(base, ast.Name):
+            if base.id in ("self", "cls") and info.class_name is not None:
+                own = self.index.resolve_attr_on_class(
+                    f"{mod.name}.{info.class_name}", attr
+                )
+                if own is not None:
+                    return own
+            if instances and base.id in instances:
+                hit = self.index.resolve_attr_on_class(instances[base.id], attr)
+                if hit is not None:
+                    return hit
+            # Module-alias call: mod_alias.func(...)
+            target = mod.imports.get(base.id)
+            if target is not None:
+                qual = f"{target}.{attr}"
+                if qual in self.index.functions:
+                    return qual
+                if qual in self.index.classes:
+                    init = self.index.classes[qual].methods.get("__init__")
+                    return init.qualname if init else qual
+        # Attribute on self-attribute or unknown object: unique-name match.
+        return self.index.resolve_unique_method(attr)
+
+    def resolve_callable_ref(
+        self, expr: ast.expr, info: FunctionInfo, mod: ModuleInfo
+    ) -> str | None:
+        """Resolve a *reference* to a function (not a call) to a qualname.
+
+        Handles ``worker_fn`` (local/imported) and ``self._on_event``;
+        used to seed worker-reachability for the CONC rules.
+        """
+        if isinstance(expr, ast.Name):
+            return self.index.resolve_name(mod, expr.id)
+        if isinstance(expr, ast.Attribute):
+            if (
+                isinstance(expr.value, ast.Name)
+                and expr.value.id in ("self", "cls")
+                and info.class_name is not None
+            ):
+                return self.index.resolve_attr_on_class(
+                    f"{mod.name}.{info.class_name}", expr.attr
+                )
+            return self.index.resolve_unique_method(expr.attr)
+        return None
+
+    # -- queries ---------------------------------------------------------
+    def reachable_from(self, seeds: set[str]) -> set[str]:
+        """Transitive closure of ``seeds`` over call edges (seeds included)."""
+        seen = set(seeds)
+        work = sorted(seeds)
+        while work:
+            current = work.pop(0)
+            for callee in sorted(self.edges.get(current, ())):
+                if callee not in seen:
+                    seen.add(callee)
+                    work.append(callee)
+        return seen
+
+    def describe(self) -> str:
+        """Deterministic text dump of the call graph, one edge per line."""
+        lines = ["call graph:"]
+        for caller in sorted(self.edges):
+            for callee in sorted(self.edges[caller]):
+                lines.append(f"  {caller} -> {callee}")
+        lines.append(
+            f"{len(self.index.functions)} functions, "
+            f"{sum(len(v) for v in self.edges.values())} edges"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,545 @@
+"""Worklist-based interprocedural entropy-taint propagation.
+
+**Sources** are expressions that read ambient entropy the deterministic
+replay pipeline cannot see: wall clocks and ambient dates (outside the
+sanctioned timing modules), ``os.environ``, unsorted filesystem
+listings (``os.listdir``/``glob``/``Path.iterdir``), set-iteration
+order, and the legacy/unseeded numpy RNG surface.  **Sinks** are the
+serialization surfaces whose bytes the repo commits or replays:
+``json.dump(s)``, trace export (``write_trace``/``dumps_trace``),
+ledger/tracer ``record`` calls, and file writes.
+
+Within one function, taint flows along the reaching-definition chains
+of :mod:`repro.analysis.flow.dataflow` — assignments, arithmetic,
+f-strings, containers, and attribute access propagate; ``sorted``/
+``min``/``max``/``sum`` strip the *order* labels (they are
+order-insensitive reductions), and comparisons strip them too
+(membership tests do not depend on iteration order).
+
+Across functions, a worklist iterates per-function **summaries** to a
+fixpoint over the call graph: which parameters flow to the return
+value (and whether order labels were stripped on the way), which taint
+the function returns intrinsically, and which parameters reach a sink
+inside the callee.  A caller that passes a wall-clock value into a
+helper that serializes it is reported *at the call site* with the
+helper named — the laundering case the per-file DET/OBS rules cannot
+see.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.flow.cfg import CFG, build_cfg
+from repro.analysis.flow.dataflow import ReachingDefs, _own_parts, compute_reaching
+from repro.analysis.flow.project import CallGraph, FunctionInfo, ModuleInfo, ProjectIndex
+
+__all__ = [
+    "LABELS",
+    "ORDER_LABELS",
+    "TaintFlow",
+    "FunctionSummary",
+    "TaintAnalysis",
+]
+
+#: Human descriptions per taint label.
+LABELS = {
+    "wall-clock": "ambient wall-clock read",
+    "datetime": "ambient date/time read",
+    "env": "os.environ read",
+    "fs-order": "unsorted filesystem listing",
+    "set-order": "set-iteration order",
+    "rng": "ambient (unseeded) RNG draw",
+}
+
+#: Labels that order-insensitive reductions (sorted/min/max/sum) remove.
+ORDER_LABELS = frozenset({"fs-order", "set-order"})
+
+_CLOCK_CALLS = frozenset(
+    f"time.{n}"
+    for n in (
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+        "thread_time",
+        "thread_time_ns",
+    )
+)
+_DATETIME_CALLS = frozenset(
+    {
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+_FS_CALLS = frozenset({"os.listdir", "os.scandir", "glob.glob", "glob.iglob"})
+_FS_METHODS = frozenset({"iterdir", "rglob"})
+_SANITIZERS = frozenset({"sorted", "min", "max", "sum", "frozenset"})
+_MODERN_RANDOM = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: Sink call patterns: canonical dotted names and bare attribute names.
+_SINK_CANONICAL = {
+    "json.dump": "json serialization",
+    "json.dumps": "json serialization",
+}
+_SINK_ATTRS = {
+    "write_trace": "trace export",
+    "dumps_trace": "trace export",
+    "record": "ledger/trace record",
+    "write_text": "file write",
+    "write_bytes": "file write",
+    "write": "file write",
+}
+_SINK_NAMES = {
+    "write_trace": "trace export",
+    "dumps_trace": "trace export",
+}
+
+
+@dataclass(frozen=True, order=True)
+class TaintFlow:
+    """One tainted value arriving at a serialization sink."""
+
+    path: str
+    line: int
+    col: int
+    sink: str
+    label: str
+    source_path: str
+    source_line: int
+    via: str = ""
+
+    def message(self) -> str:
+        """Human-readable finding message for reporters."""
+        src = f"{LABELS[self.label]} at {self.source_path}:{self.source_line}"
+        via = f" (via `{self.via}`)" if self.via else ""
+        return (
+            f"value carrying {src}{via} reaches {self.sink} sink; "
+            "entropy in committed/replayed artifacts breaks byte-stable replay"
+        )
+
+
+@dataclass
+class FunctionSummary:
+    """Interprocedural taint summary of one function."""
+
+    #: Source tokens the return value carries intrinsically.
+    returns: frozenset = frozenset()
+    #: param index -> True when order labels are stripped en route.
+    param_to_return: dict = field(default_factory=dict)
+    #: param index -> set of (sink description, order_sanitized).
+    param_to_sink: dict = field(default_factory=dict)
+
+    def signature(self) -> tuple:
+        """Hashable fingerprint used for fixpoint convergence checks."""
+        return (
+            self.returns,
+            tuple(sorted(self.param_to_return.items())),
+            tuple(
+                (k, tuple(sorted(v))) for k, v in sorted(self.param_to_sink.items())
+            ),
+        )
+
+
+def _src_token(label: str, path: str, line: int, via: str = "") -> tuple:
+    return ("src", label, path, line, via)
+
+
+def _strip_order(tokens: frozenset) -> frozenset:
+    out = set()
+    for t in tokens:
+        if t[0] == "src" and t[1] in ORDER_LABELS:
+            continue
+        if t[0] == "param":
+            out.add(("param-sorted", t[1]))
+        else:
+            out.add(t)
+    return frozenset(out)
+
+
+class TaintAnalysis:
+    """Project-wide taint fixpoint over the call graph."""
+
+    def __init__(self, index: ProjectIndex, graph: CallGraph, config):
+        self.index = index
+        self.graph = graph
+        self.config = config
+        self.summaries: dict[str, FunctionSummary] = {}
+        self._cfgs: dict[str, CFG] = {}
+        self._rds: dict[str, ReachingDefs] = {}
+        self._flows: dict[str, set[TaintFlow]] = {}
+
+    # -- caches ---------------------------------------------------------
+    def _cfg(self, qualname: str) -> CFG:
+        if qualname not in self._cfgs:
+            self._cfgs[qualname] = build_cfg(self.index.functions[qualname].node)
+        return self._cfgs[qualname]
+
+    def _rd(self, qualname: str) -> ReachingDefs:
+        if qualname not in self._rds:
+            self._rds[qualname] = compute_reaching(
+                self._cfg(qualname), self.index.functions[qualname].node
+            )
+        return self._rds[qualname]
+
+    # -- public API -----------------------------------------------------
+    def run(self) -> list[TaintFlow]:
+        """Iterate summaries to a fixpoint; return sorted sink flows."""
+        names = sorted(self.index.functions)
+        for _round in range(8):
+            changed = False
+            for qualname in names:
+                before = self.summaries.get(
+                    qualname, FunctionSummary()
+                ).signature()
+                self._analyze(qualname)
+                if self.summaries[qualname].signature() != before:
+                    changed = True
+            if not changed:
+                break
+        flows: set[TaintFlow] = set()
+        for per_fn in self._flows.values():
+            flows |= per_fn
+        return sorted(flows)
+
+    # -- per-function analysis ------------------------------------------
+    def _analyze(self, qualname: str) -> None:
+        info = self.index.functions[qualname]
+        mod = self.index.modules[info.module]
+        cfg = self._cfg(qualname)
+        rd = self._rd(qualname)
+        state = _FunctionState(self, info, mod, cfg, rd)
+        state.solve()
+        self.summaries[qualname] = state.summary()
+        self._flows[qualname] = state.flows
+
+
+class _FunctionState:
+    """Intra-function taint propagation for one analysis round."""
+
+    def __init__(self, owner: TaintAnalysis, info, mod, cfg, rd):
+        self.owner = owner
+        self.info: FunctionInfo = info
+        self.mod: ModuleInfo = mod
+        self.cfg = cfg
+        self.rd = rd
+        self.config = owner.config
+        self.def_taint: dict = {}
+        self.returns: frozenset = frozenset()
+        self.sink_params: dict = {}
+        self.flows: set[TaintFlow] = set()
+        self.params = info.params
+        self._timing_ok = owner.config.is_timing_module(info.path)
+        self._rng_ok = owner.config.is_rng_module(info.path)
+        self._instances = owner.graph._local_instances(info, mod)
+        for d in rd.defs_by_node.get(cfg.entry_id, []):
+            if d.var in self.params:
+                self.def_taint[d] = frozenset(
+                    {("param", self.params.index(d.var))}
+                )
+
+    def solve(self) -> None:
+        """Iterate the per-definition taint map to a local fixpoint."""
+        for _ in range(6):
+            changed = False
+            for node in self.cfg.nodes:
+                for d in self.rd.defs_by_node.get(node.node_id, []):
+                    if d.kind == "param":
+                        continue
+                    taint = self._def_value_taint(node, d)
+                    old = self.def_taint.get(d, frozenset())
+                    new = old | taint
+                    if new != old:
+                        self.def_taint[d] = new
+                        changed = True
+            if not changed:
+                break
+        # Final pass: sinks and returns, with the converged map.
+        for node in self.cfg.nodes:
+            self._scan_node(node)
+
+    def summary(self) -> FunctionSummary:
+        """Condense this function's state into its call summary."""
+        returns = set()
+        param_to_return: dict = {}
+        for t in self.returns:
+            if t[0] == "src":
+                returns.add(t)
+            elif t[0] == "param":
+                param_to_return[t[1]] = False
+            elif t[0] == "param-sorted":
+                param_to_return.setdefault(t[1], True)
+        return FunctionSummary(
+            returns=frozenset(returns),
+            param_to_return=param_to_return,
+            param_to_sink={k: frozenset(v) for k, v in self.sink_params.items()},
+        )
+
+    # -- node scanning ---------------------------------------------------
+    def _def_value_taint(self, node, d) -> frozenset:
+        stmt = node.stmt
+        if d.kind in ("assign", "ann"):
+            return self._eval(stmt.value, node.node_id)
+        if d.kind == "aug":
+            return self._eval(stmt.value, node.node_id) | self._name_taint(
+                d.var, node.node_id
+            )
+        if d.kind == "for":
+            return self._eval(stmt.iter, node.node_id)
+        if d.kind == "with":
+            return frozenset().union(
+                *(
+                    self._eval(item.context_expr, node.node_id)
+                    for item in stmt.items
+                )
+            )
+        if d.kind == "walrus":
+            taint = frozenset()
+            for sub in ast.walk(stmt):
+                if (
+                    isinstance(sub, ast.NamedExpr)
+                    and isinstance(sub.target, ast.Name)
+                    and sub.target.id == d.var
+                ):
+                    taint |= self._eval(sub.value, node.node_id)
+            return taint
+        return frozenset()
+
+    def _scan_node(self, node) -> None:
+        if node.stmt is None:
+            return
+        _defs, use_exprs = _own_parts(node)
+        for expr in use_exprs:
+            for sub in ast.walk(expr):
+                if isinstance(sub, ast.Call):
+                    self._check_sink(sub, node.node_id)
+                elif isinstance(sub, (ast.Yield, ast.YieldFrom)) and sub.value:
+                    self.returns |= self._eval(sub.value, node.node_id)
+        if isinstance(node.stmt, ast.Return) and node.stmt.value is not None:
+            self.returns |= self._eval(node.stmt.value, node.node_id)
+
+    # -- expression evaluation -------------------------------------------
+    def _canonical(self, expr: ast.expr) -> str | None:
+        parts: list[str] = []
+        while isinstance(expr, ast.Attribute):
+            parts.append(expr.attr)
+            expr = expr.value
+        if not isinstance(expr, ast.Name):
+            return None
+        root = self.mod.imports.get(expr.id, expr.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def _name_taint(self, var: str, node_id: int) -> frozenset:
+        taint: frozenset = frozenset()
+        for d in self.rd.reaching_in(node_id, var):
+            taint |= self.def_taint.get(d, frozenset())
+        return taint
+
+    def _source_token(self, call: ast.Call, canonical: str | None):
+        if canonical is None:
+            return None
+        path, line = self.info.path, getattr(call, "lineno", 0)
+        if canonical in _CLOCK_CALLS and not self._timing_ok:
+            return _src_token("wall-clock", path, line)
+        if canonical in _DATETIME_CALLS and not self._timing_ok:
+            return _src_token("datetime", path, line)
+        if canonical == "os.getenv" or canonical.startswith("os.environ."):
+            return _src_token("env", path, line)
+        if canonical in _FS_CALLS:
+            return _src_token("fs-order", path, line)
+        if canonical.startswith("numpy.random."):
+            attr = canonical.rsplit(".", 1)[-1]
+            if attr not in _MODERN_RANDOM and not self._rng_ok:
+                return _src_token("rng", path, line)
+            if attr == "default_rng" and not call.args and not call.keywords and not self._rng_ok:
+                return _src_token("rng", path, line)
+        return None
+
+    def _call_args(self, call: ast.Call, node_id: int) -> list[frozenset]:
+        return [
+            self._eval(a.value if isinstance(a, ast.Starred) else a, node_id)
+            for a in call.args
+        ] + [self._eval(kw.value, node_id) for kw in call.keywords]
+
+    def _eval(self, expr: ast.expr, node_id: int) -> frozenset:
+        if expr is None or isinstance(expr, (ast.Constant, ast.Lambda)):
+            return frozenset()
+        if isinstance(expr, ast.Name):
+            return self._name_taint(expr.id, node_id)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, node_id)
+        if isinstance(expr, ast.Attribute):
+            canonical = self._canonical(expr)
+            if canonical is not None and canonical.startswith("os.environ"):
+                return frozenset(
+                    {
+                        _src_token(
+                            "env", self.info.path, getattr(expr, "lineno", 0)
+                        )
+                    }
+                )
+            return self._eval(expr.value, node_id)
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            if isinstance(expr, ast.Set):
+                inner = frozenset().union(
+                    *(self._eval(e, node_id) for e in expr.elts)
+                )
+            else:
+                inner = frozenset().union(
+                    *(self._eval(g.iter, node_id) for g in expr.generators)
+                )
+            return inner | frozenset(
+                {
+                    _src_token(
+                        "set-order", self.info.path, getattr(expr, "lineno", 0)
+                    )
+                }
+            )
+        if isinstance(expr, ast.Compare):
+            joined = self._eval(expr.left, node_id).union(
+                *(self._eval(c, node_id) for c in expr.comparators)
+            )
+            return frozenset(
+                t for t in joined if not (t[0] == "src" and t[1] in ORDER_LABELS)
+            )
+        if isinstance(expr, ast.IfExp):
+            return self._eval(expr.body, node_id) | self._eval(
+                expr.orelse, node_id
+            )
+        if isinstance(expr, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            taint = frozenset().union(
+                *(self._eval(g.iter, node_id) for g in expr.generators)
+            )
+            if isinstance(expr, ast.DictComp):
+                return taint | self._eval(expr.key, node_id) | self._eval(
+                    expr.value, node_id
+                )
+            return taint | self._eval(expr.elt, node_id)
+        # Generic recursive union over child expressions.
+        taint = frozenset()
+        for sub in ast.iter_child_nodes(expr):
+            if isinstance(sub, ast.expr):
+                taint |= self._eval(sub, node_id)
+            elif isinstance(sub, ast.comprehension):
+                taint |= self._eval(sub.iter, node_id)
+        return taint
+
+    def _eval_call(self, call: ast.Call, node_id: int) -> frozenset:
+        canonical = self._canonical(call.func)
+        source = self._source_token(call, canonical)
+        if source is not None:
+            return frozenset({source})
+        if canonical in _SANITIZERS:
+            taint = frozenset().union(*self._call_args(call, node_id)) or frozenset()
+            return _strip_order(taint)
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in _FS_METHODS
+        ):
+            return frozenset(
+                {
+                    _src_token(
+                        "fs-order", self.info.path, getattr(call, "lineno", 0)
+                    )
+                }
+            )
+        callee = self.owner.graph.resolve_call(
+            call, self.info, self.mod, self._instances
+        )
+        args = self._call_args(call, node_id)
+        if callee is not None and callee in self.owner.summaries:
+            summary = self.owner.summaries[callee]
+            result = set()
+            for t in summary.returns:
+                result.add((t[0], t[1], t[2], t[3], t[4] or callee))
+            for idx, sanitized in summary.param_to_return.items():
+                if idx < len(args):
+                    arg = _strip_order(args[idx]) if sanitized else args[idx]
+                    result |= arg
+            return frozenset(result)
+        # Unknown callee: conservatively join the arguments (a float()
+        # or np.mean() of a tainted value stays tainted) plus the
+        # receiver object for method calls.
+        taint = frozenset().union(*args) if args else frozenset()
+        if isinstance(call.func, ast.Attribute):
+            taint |= self._eval(call.func.value, node_id)
+        return taint
+
+    # -- sinks -----------------------------------------------------------
+    def _sink_name(self, call: ast.Call) -> str | None:
+        canonical = self._canonical(call.func)
+        if canonical in _SINK_CANONICAL:
+            return _SINK_CANONICAL[canonical]
+        if isinstance(call.func, ast.Attribute) and call.func.attr in _SINK_ATTRS:
+            return _SINK_ATTRS[call.func.attr]
+        if isinstance(call.func, ast.Name):
+            name = self.mod.imports.get(call.func.id, call.func.id)
+            short = name.rsplit(".", 1)[-1]
+            if short in _SINK_NAMES:
+                return _SINK_NAMES[short]
+        return None
+
+    def _emit(self, call: ast.Call, sink: str, taint: frozenset, via: str) -> None:
+        for t in sorted(taint):
+            if t[0] != "src":
+                continue
+            self.flows.add(
+                TaintFlow(
+                    path=self.info.path,
+                    line=getattr(call, "lineno", 0),
+                    col=getattr(call, "col_offset", 0),
+                    sink=sink,
+                    label=t[1],
+                    source_path=t[2],
+                    source_line=t[3],
+                    via=via or t[4],
+                )
+            )
+
+    def _check_sink(self, call: ast.Call, node_id: int) -> None:
+        args = self._call_args(call, node_id)
+        sink = self._sink_name(call)
+        if sink is not None:
+            for arg in args:
+                self._emit(call, sink, arg, via="")
+                for t in arg:
+                    if t[0] in ("param", "param-sorted"):
+                        self.sink_params.setdefault(t[1], set()).add(
+                            (sink, t[0] == "param-sorted")
+                        )
+        callee = self.owner.graph.resolve_call(
+            call, self.info, self.mod, self._instances
+        )
+        if callee is not None and callee in self.owner.summaries:
+            summary = self.owner.summaries[callee]
+            for idx, sinks in sorted(summary.param_to_sink.items()):
+                if idx >= len(args):
+                    continue
+                for sink_name, sanitized in sorted(sinks):
+                    arg = _strip_order(args[idx]) if sanitized else args[idx]
+                    self._emit(call, sink_name, arg, via=callee)
+                    for t in arg:
+                        if t[0] in ("param", "param-sorted"):
+                            self.sink_params.setdefault(t[1], set()).add(
+                                (sink_name, sanitized or t[0] == "param-sorted")
+                            )

@@ -162,61 +162,63 @@ class NetworkSEIR:
             else None
         )
         days_run = 0
-        for day in range(int(n_days)):
-            days_run = day + 1
-            if params.seasonality > 0:
-                tau_t = params.tau * (
-                    1.0
-                    + params.seasonality
-                    * np.cos(2.0 * np.pi * (day - params.peak_day) / 365.0)
+        try:
+            for day in range(int(n_days)):
+                days_run = day + 1
+                if params.seasonality > 0:
+                    tau_t = params.tau * (
+                        1.0
+                        + params.seasonality
+                        * np.cos(2.0 * np.pi * (day - params.peak_day) / 365.0)
+                    )
+                    tau_t = float(np.clip(tau_t, 0.0, 1.0))
+                else:
+                    tau_t = params.tau
+
+                infectious = state[src] == I
+                if np.any(infectious) and tau_t > 0:
+                    # log-escape accumulation: one scatter-add over active edges
+                    log_escape = np.zeros(n)
+                    active = infectious & (state[dst] == S)
+                    scatter_add(
+                        log_escape,
+                        dst[active],
+                        np.log1p(-np.minimum(tau_t * w[active], 1.0 - 1e-12)),
+                    )
+                    p_inf = -np.expm1(log_escape)  # 1 - exp(sum log(1-p))
+                    new_e = (state == S) & (gen.random(n) < p_inf)
+                else:
+                    new_e = np.zeros(n, dtype=bool)
+
+                new_i = (state == E) & (gen.random(n) < params.sigma)
+                new_r = (state == I) & (gen.random(n) < params.gamma_r)
+
+                state[new_r] = R
+                state[new_i] = I
+                state[new_e] = E
+
+                if np.any(new_e):
+                    daily[day] = np.bincount(
+                        county[new_e], minlength=net.n_counties
+                    )
+
+                if not np.any(state == E) and not np.any(state == I):
+                    break  # epidemic extinguished; remaining days stay zero
+
+            final_r = np.bincount(county[state == R], minlength=net.n_counties)
+            if self.registry is not None:
+                self.registry.counter("epi.seir.runs").inc()
+                self.registry.counter("epi.seir.days").inc(days_run)
+                self.registry.counter("epi.seir.infections").inc(float(daily.sum()))
+        finally:
+            if sid is not None:
+                self.tracer.close_span(
+                    sid,
+                    attrs={
+                        "days_run": int(days_run),
+                        "infections": float(daily.sum()),
+                    },
                 )
-                tau_t = float(np.clip(tau_t, 0.0, 1.0))
-            else:
-                tau_t = params.tau
-
-            infectious = state[src] == I
-            if np.any(infectious) and tau_t > 0:
-                # log-escape accumulation: one scatter-add over active edges
-                log_escape = np.zeros(n)
-                active = infectious & (state[dst] == S)
-                scatter_add(
-                    log_escape,
-                    dst[active],
-                    np.log1p(-np.minimum(tau_t * w[active], 1.0 - 1e-12)),
-                )
-                p_inf = -np.expm1(log_escape)  # 1 - exp(sum log(1-p))
-                new_e = (state == S) & (gen.random(n) < p_inf)
-            else:
-                new_e = np.zeros(n, dtype=bool)
-
-            new_i = (state == E) & (gen.random(n) < params.sigma)
-            new_r = (state == I) & (gen.random(n) < params.gamma_r)
-
-            state[new_r] = R
-            state[new_i] = I
-            state[new_e] = E
-
-            if np.any(new_e):
-                daily[day] = np.bincount(
-                    county[new_e], minlength=net.n_counties
-                )
-
-            if not np.any(state == E) and not np.any(state == I):
-                break  # epidemic extinguished; remaining days stay zero
-
-        final_r = np.bincount(county[state == R], minlength=net.n_counties)
-        if self.registry is not None:
-            self.registry.counter("epi.seir.runs").inc()
-            self.registry.counter("epi.seir.days").inc(days_run)
-            self.registry.counter("epi.seir.infections").inc(float(daily.sum()))
-        if sid is not None:
-            self.tracer.close_span(
-                sid,
-                attrs={
-                    "days_run": int(days_run),
-                    "infections": float(daily.sum()),
-                },
-            )
         return SeasonResult(daily_incidence=daily, final_recovered=final_r)
 
     def run_many(

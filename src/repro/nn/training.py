@@ -171,54 +171,56 @@ class Trainer:
                 if self.tracer is not None
                 else None
             )
-            perm = self.rng.permutation(len(x_train))
-            epoch_loss = 0.0
-            n_batches = 0
-            for start in range(0, len(x_train), self.batch_size):
-                idx = perm[start : start + self.batch_size]
-                batch_loss = self.model.train_batch(x_train[idx], y_train[idx], self.loss)
-                self.optimizer.step(self.model.params, self.model.grads)
-                epoch_loss += batch_loss
-                n_batches += 1
-            mean_loss = epoch_loss / n_batches
-            history.train_loss.append(mean_loss)
-            history.lr.append(self.optimizer.lr)
-            if instrumented:
-                # Gradient norm of the epoch's final mini-batch — a cheap
-                # convergence signal that avoids accumulating across
-                # batches on the hot path.
-                grad_norm = float(
-                    np.sqrt(sum(float(np.sum(g * g)) for g in self.model.grads))
-                )
-                if self.registry is not None:
-                    self.registry.gauge("nn.train.loss").set(mean_loss)
-                    self.registry.gauge("nn.train.grad_norm").set(grad_norm)
-                    self.registry.counter("nn.train.epochs").inc()
+            close_attrs: dict = {}
+            stop = False
+            try:
+                perm = self.rng.permutation(len(x_train))
+                epoch_loss = 0.0
+                n_batches = 0
+                for start in range(0, len(x_train), self.batch_size):
+                    idx = perm[start : start + self.batch_size]
+                    batch_loss = self.model.train_batch(x_train[idx], y_train[idx], self.loss)
+                    self.optimizer.step(self.model.params, self.model.grads)
+                    epoch_loss += batch_loss
+                    n_batches += 1
+                mean_loss = epoch_loss / n_batches
+                history.train_loss.append(mean_loss)
+                history.lr.append(self.optimizer.lr)
+                if instrumented:
+                    # Gradient norm of the epoch's final mini-batch — a cheap
+                    # convergence signal that avoids accumulating across
+                    # batches on the hot path.
+                    grad_norm = float(
+                        np.sqrt(sum(float(np.sum(g * g)) for g in self.model.grads))
+                    )
+                    if self.registry is not None:
+                        self.registry.gauge("nn.train.loss").set(mean_loss)
+                        self.registry.gauge("nn.train.grad_norm").set(grad_norm)
+                        self.registry.counter("nn.train.epochs").inc()
 
-            if n_val:
-                val_pred = self.model.predict(x_val)
-                val_loss, _ = self.loss(val_pred, y_val)
-                history.val_loss.append(val_loss)
-                stop = self.early_stopping is not None and self.early_stopping.update(
-                    val_loss, self.model
-                )
-                if epoch_sid is not None:
-                    self.tracer.close_span(
-                        epoch_sid,
-                        attrs={
+                if n_val:
+                    val_pred = self.model.predict(x_val)
+                    val_loss, _ = self.loss(val_pred, y_val)
+                    history.val_loss.append(val_loss)
+                    stop = self.early_stopping is not None and self.early_stopping.update(
+                        val_loss, self.model
+                    )
+                    if epoch_sid is not None:
+                        close_attrs = {
                             "loss": float(mean_loss),
                             "val_loss": float(val_loss),
                             "grad_norm": grad_norm,
-                        },
-                    )
-                if stop:
-                    history.stopped_epoch = epoch
-                    break
-            elif epoch_sid is not None:
-                self.tracer.close_span(
-                    epoch_sid,
-                    attrs={"loss": float(mean_loss), "grad_norm": grad_norm},
-                )
+                        }
+                elif epoch_sid is not None:
+                    close_attrs = {"loss": float(mean_loss), "grad_norm": grad_norm}
+            finally:
+                # Close even when a batch raises, so the trace keeps the
+                # failed epoch (with whatever attrs were collected).
+                if epoch_sid is not None:
+                    self.tracer.close_span(epoch_sid, attrs=close_attrs)
+            if stop:
+                history.stopped_epoch = epoch
+                break
         return history
 
     def evaluate(self, x: np.ndarray, y: np.ndarray) -> float:

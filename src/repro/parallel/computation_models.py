@@ -490,7 +490,9 @@ class ParallelCCD(_WorkerPool):
         n_rounds: int = 10,
         rng: int | np.random.Generator | None = None,
     ) -> ConvergenceTrace:
-        gen = ensure_rng(rng)
+        # Note: all three schedules below are deterministic given the
+        # fixed block partition, so ``rng`` is accepted for interface
+        # symmetry with the SGD runners but never drawn from.
         theta = np.zeros(self.d)
         trace = ConvergenceTrace(model=model)
         trace.record(0.0, self.loss(theta))

@@ -327,7 +327,6 @@ def run_serve_bench(
 
     # ---- optional: traced agreement run + overhead guard --------------
     trace_block = None
-    trace_text = None
     if trace:
         trace_meta = {
             "benchmark": "serve",

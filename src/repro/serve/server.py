@@ -183,26 +183,30 @@ class SurrogateServer:
                 t_start=t0,
                 attrs={"n_requests": len(ordered), "t_seq": self.cost.t_simulate},
             )
-        for req in ordered:
-            self._push(req.t_arrival, _ARRIVAL, req)
-        while self._events:
-            t, _, kind, payload = heapq.heappop(self._events)
-            self.clock.advance_to(t)
-            if kind == _ARRIVAL:
-                self._on_arrival(payload, t)
-            elif kind == _TIMER:
-                if payload == self.batcher.epoch:
-                    self._flush(t, timer=True)
-            elif kind == _CALLBACK:
-                payload(self, t)
-            else:  # _COMPLETE
-                response, cache_x, cached = payload
-                if cache_x is not None:
-                    self.cache.put(cache_x, cached)
-                self.metrics.observe(response)
-                responses.append(response)
-        if root is not None:
-            self._emit(self.tracer.close_span(root, t_end=self.clock.now))
+        try:
+            for req in ordered:
+                self._push(req.t_arrival, _ARRIVAL, req)
+            while self._events:
+                t, _, kind, payload = heapq.heappop(self._events)
+                self.clock.advance_to(t)
+                if kind == _ARRIVAL:
+                    self._on_arrival(payload, t)
+                elif kind == _TIMER:
+                    if payload == self.batcher.epoch:
+                        self._flush(t, timer=True)
+                elif kind == _CALLBACK:
+                    payload(self, t)
+                else:  # _COMPLETE
+                    response, cache_x, cached = payload
+                    if cache_x is not None:
+                        self.cache.put(cache_x, cached)
+                    self.metrics.observe(response)
+                    responses.append(response)
+        finally:
+            # Close the root span even when a handler raises so the
+            # partial trace stays well-formed for replay.
+            if root is not None:
+                self._emit(self.tracer.close_span(root, t_end=self.clock.now))
         return sorted(responses, key=lambda r: r.query_id)
 
     def schedule(self, t: float, callback) -> None:
@@ -416,95 +420,97 @@ class SurrogateServer:
                 },
             )
 
-        if normal:
-            X = np.stack([p.request.x for p in normal])
-            mean, std, std_norm, confident = self.engine.gate_batch(X)
-            if service_start < self._force_fallback_until:
-                # Circuit breaker armed: the gate still ran (its cost is
-                # real and its mean/std feed the calibration probes), but
-                # no surrogate answer is trusted.
-                confident = np.zeros(len(normal), dtype=bool)
-            uq_share = self.cost.flush_cost(len(normal)) / len(normal)
-            fallbacks = [i for i in range(len(normal)) if not confident[i]]
-            durations = self.cost.sample_sim_durations(len(fallbacks), self._dur_rng)
-            for i, p in enumerate(normal):
-                self.metrics.ledger.record("lookup", uq_share)
-                if self.tracer is not None:
-                    row_attrs = {
-                        "query_id": int(normal[i].request.query_id),
-                        "confident": bool(confident[i]),
-                    }
-                    if confident[i]:
-                        row_attrs["lat"] = t_done - p.request.t_arrival
-                    self._emit(
-                        self.tracer.record(
-                            "uq_row", "lookup", service_start, service_start + uq_share,
-                            attrs=row_attrs,
+        try:
+            if normal:
+                X = np.stack([p.request.x for p in normal])
+                mean, std, std_norm, confident = self.engine.gate_batch(X)
+                if service_start < self._force_fallback_until:
+                    # Circuit breaker armed: the gate still ran (its cost is
+                    # real and its mean/std feed the calibration probes), but
+                    # no surrogate answer is trusted.
+                    confident = np.zeros(len(normal), dtype=bool)
+                uq_share = self.cost.flush_cost(len(normal)) / len(normal)
+                fallbacks = [i for i in range(len(normal)) if not confident[i]]
+                durations = self.cost.sample_sim_durations(len(fallbacks), self._dur_rng)
+                for i, p in enumerate(normal):
+                    self.metrics.ledger.record("lookup", uq_share)
+                    if self.tracer is not None:
+                        row_attrs = {
+                            "query_id": int(normal[i].request.query_id),
+                            "confident": bool(confident[i]),
+                        }
+                        if confident[i]:
+                            row_attrs["lat"] = t_done - p.request.t_arrival
+                        self._emit(
+                            self.tracer.record(
+                                "uq_row", "lookup", service_start, service_start + uq_share,
+                                attrs=row_attrs,
+                            )
                         )
+                    if confident[i]:
+                        self._complete(
+                            Response(
+                                query_id=p.request.query_id,
+                                status=STATUS_OK,
+                                source=SOURCE_SURROGATE,
+                                t_arrival=p.request.t_arrival,
+                                t_done=t_done,
+                                y=mean[i],
+                                uncertainty=float(std_norm[i]),
+                                batch_size=len(normal),
+                                x=p.request.x,
+                            ),
+                            cache_x=p.request.x,
+                            cached=CachedResult(
+                                y=mean[i],
+                                uncertainty=float(std_norm[i]),
+                                source=SOURCE_SURROGATE,
+                            ),
+                        )
+                for j, i in enumerate(fallbacks):
+                    self._fallback(
+                        normal[i],
+                        float(durations[j]),
+                        t_done,
+                        len(normal),
+                        mean_row=mean[i],
+                        std_row=std[i],
                     )
-                if confident[i]:
+
+            if degraded:
+                y_degraded = self.engine.surrogate.predict_stable(
+                    np.stack([p.request.x for p in degraded])
+                )
+                for i, p in enumerate(degraded):
+                    self.metrics.ledger.record("lookup", self.cost.t_point_row)
+                    if self.tracer is not None:
+                        self._emit(
+                            self.tracer.record(
+                                "degraded_row",
+                                "lookup",
+                                service_start,
+                                service_start + self.cost.t_point_row,
+                                attrs={
+                                    "query_id": int(p.request.query_id),
+                                    "lat": t_done - p.request.t_arrival,
+                                },
+                            )
+                        )
                     self._complete(
                         Response(
                             query_id=p.request.query_id,
-                            status=STATUS_OK,
+                            status=STATUS_DEGRADED,
                             source=SOURCE_SURROGATE,
                             t_arrival=p.request.t_arrival,
                             t_done=t_done,
-                            y=mean[i],
-                            uncertainty=float(std_norm[i]),
-                            batch_size=len(normal),
+                            y=y_degraded[i],
+                            batch_size=len(live),
                             x=p.request.x,
-                        ),
-                        cache_x=p.request.x,
-                        cached=CachedResult(
-                            y=mean[i],
-                            uncertainty=float(std_norm[i]),
-                            source=SOURCE_SURROGATE,
-                        ),
-                    )
-            for j, i in enumerate(fallbacks):
-                self._fallback(
-                    normal[i],
-                    float(durations[j]),
-                    t_done,
-                    len(normal),
-                    mean_row=mean[i],
-                    std_row=std[i],
-                )
-
-        if degraded:
-            y_degraded = self.engine.surrogate.predict_stable(
-                np.stack([p.request.x for p in degraded])
-            )
-            for i, p in enumerate(degraded):
-                self.metrics.ledger.record("lookup", self.cost.t_point_row)
-                if self.tracer is not None:
-                    self._emit(
-                        self.tracer.record(
-                            "degraded_row",
-                            "lookup",
-                            service_start,
-                            service_start + self.cost.t_point_row,
-                            attrs={
-                                "query_id": int(p.request.query_id),
-                                "lat": t_done - p.request.t_arrival,
-                            },
                         )
                     )
-                self._complete(
-                    Response(
-                        query_id=p.request.query_id,
-                        status=STATUS_DEGRADED,
-                        source=SOURCE_SURROGATE,
-                        t_arrival=p.request.t_arrival,
-                        t_done=t_done,
-                        y=y_degraded[i],
-                        batch_size=len(live),
-                        x=p.request.x,
-                    )
-                )
-        if flush_sid is not None:
-            self._emit(self.tracer.close_span(flush_sid, t_end=t_done))
+        finally:
+            if flush_sid is not None:
+                self._emit(self.tracer.close_span(flush_sid, t_end=t_done))
 
     def _fallback(
         self,

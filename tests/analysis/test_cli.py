@@ -137,6 +137,16 @@ class TestCliModes:
         payload = json.loads(capsys.readouterr().out)
         assert {f["rule"] for f in payload["findings"]} == {"PUR001"}
 
+    def test_unknown_select_token_exits_two(self, fixture_tree, capsys, monkeypatch):
+        monkeypatch.chdir(fixture_tree.parent)
+        assert main([str(fixture_tree), "--select", "DET,NOPE99"]) == 2
+        assert "unknown rule or family 'NOPE99' in --select" in capsys.readouterr().err
+
+    def test_unknown_ignore_token_exits_two(self, fixture_tree, capsys, monkeypatch):
+        monkeypatch.chdir(fixture_tree.parent)
+        assert main([str(fixture_tree), "--ignore", "det002"]) == 2
+        assert "--ignore" in capsys.readouterr().err
+
     def test_update_baseline_then_clean(self, fixture_tree, capsys, monkeypatch):
         monkeypatch.chdir(fixture_tree.parent)
         baseline = fixture_tree.parent / "baseline.json"
@@ -158,3 +168,75 @@ class TestCliModes:
         baseline.write_text("{not json")
         code = main([str(fixture_tree), "--baseline", str(baseline)])
         assert code == 2
+
+
+FLOW_FIXTURE = (
+    '"""Mod."""\n__all__ = ["helper", "f"]\n'
+    "import json\nimport os\n"
+    "def helper(root):\n"
+    '    """Doc."""\n'
+    "    return os.listdir(root)\n"
+    "def f(root):\n"
+    '    """Doc."""\n'
+    "    return json.dumps(helper(root))\n"
+)
+
+
+@pytest.fixture
+def flow_tree(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "mod.py").write_text(FLOW_FIXTURE)
+    return pkg
+
+
+class TestFlowFlags:
+    def test_flow_finding_present_by_default(self, flow_tree, capsys):
+        assert main([str(flow_tree), "--no-baseline", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert {f["rule"] for f in payload["findings"]} == {"FLOW001"}
+
+    def test_no_flow_skips_project_phase(self, flow_tree, capsys):
+        assert main([str(flow_tree), "--no-baseline", "--no-flow"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_call_graph_mode(self, flow_tree, capsys):
+        assert main([str(flow_tree), "--call-graph"]) == 0
+        out = capsys.readouterr().out
+        assert "pkg.mod.f" in out and "pkg.mod.helper" in out
+
+    def test_dump_cfg_suffix_match(self, flow_tree, capsys):
+        assert main([str(flow_tree), "--dump-cfg", "helper"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("cfg pkg.mod.helper:")
+        assert "entry" in out and "exit" in out
+
+    def test_dump_cfg_no_match_exits_two(self, flow_tree, capsys):
+        assert main([str(flow_tree), "--dump-cfg", "nosuchfn"]) == 2
+        assert "no function matches" in capsys.readouterr().err
+
+
+class TestBaselineMaintenance:
+    def test_stale_warning_then_prune(self, fixture_tree, capsys, monkeypatch):
+        monkeypatch.chdir(fixture_tree.parent)
+        baseline = fixture_tree.parent / "baseline.json"
+        assert main([str(fixture_tree), "--baseline", str(baseline), "--update-baseline"]) == 0
+        capsys.readouterr()
+        # Fix one whole fixture file; its baseline budget is now slack.
+        (fixture_tree / "pur_bad.py").write_text('"""Fixed."""\n__all__ = []\n')
+        assert main([str(fixture_tree), "--baseline", str(baseline)]) == 0
+        err = capsys.readouterr().err
+        assert "stale baseline entry" in err and "PUR001" in err
+        assert main([str(fixture_tree), "--baseline", str(baseline), "--prune-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline pruned" in out and "dropped" in out
+        # After pruning: still clean, and no more stale warnings.
+        assert main([str(fixture_tree), "--baseline", str(baseline)]) == 0
+        assert "stale baseline entry" not in capsys.readouterr().err
+
+    def test_prune_without_baseline_exits_two(self, fixture_tree, capsys, monkeypatch):
+        monkeypatch.chdir(fixture_tree.parent)
+        missing = fixture_tree.parent / "nope.json"
+        assert main([str(fixture_tree), "--baseline", str(missing), "--prune-baseline"]) == 2
+        assert "no baseline to prune" in capsys.readouterr().err

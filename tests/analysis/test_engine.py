@@ -149,7 +149,17 @@ class TestReporters:
 class TestRegistry:
     def test_all_families_registered(self):
         families = {r.family for r in all_rules().values()}
-        assert families == {"DET", "PUR", "NUM", "API", "PERF", "OBS"}
+        assert families == {
+            "DET",
+            "PUR",
+            "NUM",
+            "API",
+            "PERF",
+            "OBS",
+            "FLOW",
+            "CONC",
+            "ANA",
+        }
 
     def test_family_strips_digits_not_fixed_width(self):
         # PERF001 is four letters; family must not truncate to "PER".

@@ -1,0 +1,624 @@
+"""Tests for the interprocedural flow package and the FLOW/CONC/ANA rules.
+
+Covers the CFG builder (exception edges, finally paths), reaching
+definitions (except-edge conservatism, closure capture), the project
+symbol table + call graph, taint propagation through helpers, and a
+fixture-backed true positive per project rule — each one a defect the
+per-file syntactic rules cannot see.
+"""
+
+import ast
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import AnalysisConfig, analyze_paths, analyze_source
+from repro.analysis.cli import main
+from repro.analysis.flow.cfg import (
+    EDGE_BACK,
+    EDGE_EXCEPT,
+    EDGE_FALSE,
+    EDGE_TRUE,
+    build_cfg,
+)
+from repro.analysis.flow.dataflow import compute_reaching
+from repro.analysis.flow.project import CallGraph, ProjectIndex, module_name_for
+from repro.analysis.flow.taint import TaintAnalysis
+
+
+def _cfg_of(source):
+    func = ast.parse(textwrap.dedent(source)).body[0]
+    return build_cfg(func)
+
+
+def _edge_kinds(cfg):
+    return {edge.kind for edge in cfg.edges}
+
+
+class TestCFG:
+    def test_if_else_has_true_and_false_edges(self):
+        cfg = _cfg_of(
+            """
+            def f(x):
+                if x > 0:
+                    y = 1
+                else:
+                    y = 2
+                return y
+            """
+        )
+        assert {EDGE_TRUE, EDGE_FALSE} <= _edge_kinds(cfg)
+
+    def test_while_loop_has_back_edge(self):
+        cfg = _cfg_of(
+            """
+            def f(n):
+                i = 0
+                while i < n:
+                    i = i + 1
+                return i
+            """
+        )
+        assert EDGE_BACK in _edge_kinds(cfg)
+
+    def test_try_except_wires_exception_edge_into_handler(self):
+        cfg = _cfg_of(
+            """
+            def f(x):
+                try:
+                    y = risky(x)
+                except ValueError:
+                    y = 0
+                return y
+            """
+        )
+        handler_ids = {n.node_id for n in cfg.nodes if n.label == "handler"}
+        assert handler_ids
+        except_into_handler = [
+            e for e in cfg.edges if e.kind == EDGE_EXCEPT and e.dst in handler_ids
+        ]
+        assert except_into_handler
+
+    def test_statement_that_may_raise_has_except_edge_to_exit(self):
+        # No handler: the raise path must still be modeled, straight to exit.
+        cfg = _cfg_of(
+            """
+            def f(x):
+                y = risky(x)
+                return y
+            """
+        )
+        assert any(
+            e.kind == EDGE_EXCEPT and e.dst == cfg.exit_id for e in cfg.edges
+        )
+
+    def test_finally_runs_on_exception_path(self):
+        cfg = _cfg_of(
+            """
+            def f(x):
+                try:
+                    y = risky(x)
+                finally:
+                    cleanup()
+                return y
+            """
+        )
+        cleanup_ids = {
+            n.node_id
+            for n in cfg.nodes
+            if n.stmt is not None and "cleanup" in ast.unparse(n.stmt)
+        }
+        assert len(cleanup_ids) == 1
+        (fin,) = cleanup_ids
+        # The raising statement reaches the finally via an exception edge
+        # and the finally can re-raise onward to exit.
+        assert any(e.kind == EDGE_EXCEPT and e.dst == fin for e in cfg.edges)
+        preds_of_exit = {e.src for e in cfg.predecessors(cfg.exit_id)}
+        assert fin in preds_of_exit
+
+    def test_return_in_try_routes_through_finally(self):
+        cfg = _cfg_of(
+            """
+            def f(x):
+                try:
+                    return risky(x)
+                finally:
+                    cleanup()
+            """
+        )
+        return_ids = {
+            n.node_id for n in cfg.nodes if isinstance(n.stmt, ast.Return)
+        }
+        cleanup_ids = {
+            n.node_id
+            for n in cfg.nodes
+            if n.stmt is not None and "cleanup" in ast.unparse(n.stmt)
+        }
+        (ret,), (fin,) = return_ids, cleanup_ids
+        # The return may NOT jump straight to exit; it must pass finally.
+        assert all(
+            e.dst == fin or e.kind == EDGE_EXCEPT
+            for e in cfg.successors(ret)
+        )
+        assert any(e.src == fin for e in cfg.predecessors(cfg.exit_id))
+
+    def test_describe_is_deterministic_and_labeled(self):
+        src = """
+            def f(x):
+                if x:
+                    return 1
+                return 2
+            """
+        a, b = _cfg_of(src), _cfg_of(src)
+        assert a.describe() == b.describe()
+        assert a.describe().startswith("cfg f:")
+        assert "entry" in a.describe() and "exit" in a.describe()
+
+
+def _reaching_of(source):
+    func = ast.parse(textwrap.dedent(source)).body[0]
+    return compute_reaching(build_cfg(func), func)
+
+
+class TestReachingDefs:
+    def test_overwritten_store_is_dead(self):
+        rd = _reaching_of(
+            """
+            def f(x):
+                y = x + 1
+                y = x + 2
+                return y
+            """
+        )
+        dead = rd.dead_definitions()
+        assert [d.var for d in dead] == ["y"]
+
+    def test_used_store_is_live(self):
+        rd = _reaching_of(
+            """
+            def f(x):
+                y = x + 1
+                z = y * 2
+                return z
+            """
+        )
+        assert rd.dead_definitions() == []
+
+    def test_pre_try_def_survives_exception_edge(self):
+        # The assignment inside try may never execute; the initial False
+        # must still reach the return. A kill along the except edge would
+        # wrongly mark it dead.
+        rd = _reaching_of(
+            """
+            def f(x):
+                ok = False
+                try:
+                    ok = risky(x)
+                except ValueError:
+                    pass
+                return ok
+            """
+        )
+        assert all(d.var != "ok" for d in rd.dead_definitions())
+
+    def test_closure_capture_counts_as_use(self):
+        rd = _reaching_of(
+            """
+            def f(x):
+                y = x + 1
+                def inner():
+                    return y
+                return inner
+            """
+        )
+        assert "y" in rd.captured
+        assert all(d.var != "y" for d in rd.dead_definitions())
+
+    def test_underscore_convention_not_special_in_dataflow(self):
+        # The dataflow layer reports every dead def; filtering `_` names
+        # is rule policy (FLOW002), not dataflow fact.
+        rd = _reaching_of(
+            """
+            def f(pairs):
+                _unused = 3
+                return pairs
+            """
+        )
+        assert [d.var for d in rd.dead_definitions()] == ["_unused"]
+
+
+def _project(files):
+    trees = {path: ast.parse(textwrap.dedent(src)) for path, src in files.items()}
+    index = ProjectIndex.build(trees)
+    return index, CallGraph.build(index)
+
+
+class TestProjectIndex:
+    def test_module_name_strips_src_prefix(self):
+        assert module_name_for("src/repro/md/forces.py") == "repro.md.forces"
+        assert module_name_for("pkg/a.py") == "pkg.a"
+
+    def test_cross_module_call_resolved_through_import(self):
+        index, graph = _project(
+            {
+                "pkg/a.py": """
+                    def helper(x):
+                        return x + 1
+                    """,
+                "pkg/b.py": """
+                    from pkg.a import helper
+
+                    def caller(x):
+                        return helper(x)
+                    """,
+            }
+        )
+        assert "pkg.a.helper" in index.functions
+        assert ("pkg.a.helper") in graph.edges.get("pkg.b.caller", set())
+
+    def test_method_call_on_local_instance_resolved(self):
+        index, graph = _project(
+            {
+                "pkg/m.py": """
+                    class Engine:
+                        def step(self):
+                            return 1
+
+                    def drive():
+                        e = Engine()
+                        return e.step()
+                    """,
+            }
+        )
+        assert "pkg.m.Engine.step" in graph.edges.get("pkg.m.drive", set())
+
+    def test_reachable_from_transitive(self):
+        _, graph = _project(
+            {
+                "pkg/c.py": """
+                    def a():
+                        return b()
+
+                    def b():
+                        return c()
+
+                    def c():
+                        return 0
+                    """,
+            }
+        )
+        reached = graph.reachable_from({"pkg.c.a"})
+        assert {"pkg.c.a", "pkg.c.b", "pkg.c.c"} <= reached
+
+
+class TestTaint:
+    def _flows(self, files):
+        index, graph = _project(files)
+        return TaintAnalysis(index, graph, AnalysisConfig()).run()
+
+    def test_direct_listing_to_json_sink(self):
+        flows = self._flows(
+            {
+                "pkg/x.py": """
+                    import json
+                    import os
+
+                    def dump(root):
+                        return json.dumps(os.listdir(root))
+                    """,
+            }
+        )
+        assert [f.label for f in flows] == ["fs-order"]
+
+    def test_taint_through_helper_across_modules(self):
+        # The read and the sink live in different files; only the
+        # interprocedural pass can connect them.
+        flows = self._flows(
+            {
+                "pkg/lister.py": """
+                    import os
+
+                    def entries(root):
+                        return os.listdir(root)
+                    """,
+                "pkg/export.py": """
+                    import json
+
+                    from pkg.lister import entries
+
+                    def dump(root):
+                        names = entries(root)
+                        return json.dumps(names)
+                    """,
+            }
+        )
+        assert len(flows) == 1
+        (flow,) = flows
+        assert flow.label == "fs-order"
+        assert flow.path == "pkg/export.py"
+        assert flow.source_path == "pkg/lister.py"
+
+    def test_sorted_sanitizes_order_entropy(self):
+        flows = self._flows(
+            {
+                "pkg/x.py": """
+                    import json
+                    import os
+
+                    def dump(root):
+                        return json.dumps(sorted(os.listdir(root)))
+                    """,
+            }
+        )
+        assert flows == []
+
+    def test_wall_clock_not_sanitized_by_sorted(self):
+        # sorted() fixes ordering entropy only; a clock value stays tainted.
+        flows = self._flows(
+            {
+                "pkg/x.py": """
+                    import json
+                    import time
+
+                    def dump():
+                        stamps = [time.time()]
+                        return json.dumps(sorted(stamps))
+                    """,
+            }
+        )
+        assert [f.label for f in flows] == ["wall-clock"]
+
+    def test_runs_are_deterministic(self):
+        files = {
+            "pkg/a.py": """
+                import json
+                import os
+                import time
+
+                def one(root):
+                    return json.dumps(os.listdir(root))
+
+                def two():
+                    return json.dumps(time.time())
+                """,
+        }
+        assert self._flows(files) == self._flows(files)
+
+
+@pytest.fixture
+def lint_tree(tmp_path, monkeypatch):
+    """Write a fixture package and return a runner for analyze_paths."""
+    monkeypatch.chdir(tmp_path)
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+
+    def run(files, select=None):
+        for name, src in files.items():
+            (pkg / name).write_text(textwrap.dedent(src))
+        config = AnalysisConfig(select=frozenset(select) if select else frozenset())
+        return analyze_paths([pkg], config)
+
+    return run
+
+
+class TestFlowRules:
+    def test_flow001_true_positive_across_files(self, lint_tree):
+        # No syntactic rule fires on os.listdir; only taint connects the
+        # helper's read to the caller's json sink.
+        findings = lint_tree(
+            {
+                "lister.py": """
+                    \"\"\"Listing helpers.\"\"\"
+
+                    import os
+
+                    __all__ = ["entries"]
+
+                    def entries(root):
+                        \"\"\"Names under root.\"\"\"
+                        return os.listdir(root)
+                    """,
+                "export.py": """
+                    \"\"\"Export.\"\"\"
+
+                    import json
+
+                    from pkg.lister import entries
+
+                    __all__ = ["dump"]
+
+                    def dump(root):
+                        \"\"\"Serialize the listing.\"\"\"
+                        return json.dumps(entries(root))
+                    """,
+            },
+            select={"FLOW001"},
+        )
+        assert [f.rule_id for f in findings] == ["FLOW001"]
+        assert findings[0].path == "pkg/export.py"
+        assert "pkg/lister.py" in findings[0].message
+
+    def test_flow002_dead_store(self, lint_tree):
+        findings = lint_tree(
+            {
+                "dead.py": """
+                    \"\"\"Mod.\"\"\"
+
+                    __all__ = ["f"]
+
+                    def f(x):
+                        \"\"\"Doc.\"\"\"
+                        y = x + 1
+                        y = x + 2
+                        return y
+                    """,
+            },
+            select={"FLOW002"},
+        )
+        assert [f.rule_id for f in findings] == ["FLOW002"]
+        assert "y" in findings[0].message
+
+    def test_flow003_span_leak_and_fixed_variant(self, lint_tree):
+        findings = lint_tree(
+            {
+                "spans.py": """
+                    \"\"\"Mod.\"\"\"
+
+                    __all__ = ["leaky", "safe"]
+
+                    def leaky(tracer, work):
+                        \"\"\"Opens a span work() can leak.\"\"\"
+                        sid = tracer.open_span("job", "run")
+                        out = work()
+                        tracer.close_span(sid)
+                        return out
+
+                    def safe(tracer, work):
+                        \"\"\"Same job, exception-safe.\"\"\"
+                        sid = tracer.open_span("job", "run")
+                        try:
+                            return work()
+                        finally:
+                            tracer.close_span(sid)
+                    """,
+            },
+            select={"FLOW003"},
+        )
+        assert [f.rule_id for f in findings] == ["FLOW003"]
+        assert "sid" in findings[0].message
+        # the leak is reported at the open site inside `leaky`
+        assert findings[0].line < 12
+
+    def test_conc001_shared_state_from_worker(self, lint_tree):
+        findings = lint_tree(
+            {
+                "racy.py": """
+                    \"\"\"Mod.\"\"\"
+
+                    __all__ = ["work", "driver"]
+
+                    CACHE = {}
+
+                    def work(key):
+                        \"\"\"Mutates module state.\"\"\"
+                        CACHE[key] = 1
+
+                    def driver(pool, items):
+                        \"\"\"Fans work out.\"\"\"
+                        for item in items:
+                            pool.submit(work, item)
+                    """,
+            },
+            select={"CONC001"},
+        )
+        assert [f.rule_id for f in findings] == ["CONC001"]
+        assert "CACHE" in findings[0].message
+
+    def test_conc002_loop_var_captured_into_worker(self, lint_tree):
+        findings = lint_tree(
+            {
+                "capture.py": """
+                    \"\"\"Mod.\"\"\"
+
+                    __all__ = ["driver"]
+
+                    def driver(pool, items):
+                        \"\"\"Schedules lambdas over a loop var.\"\"\"
+                        futures = []
+                        for item in items:
+                            futures.append(pool.submit(lambda: item * 2))
+                        return futures
+                    """,
+            },
+            select={"CONC002"},
+        )
+        assert [f.rule_id for f in findings] == ["CONC002"]
+        assert "item" in findings[0].message
+
+    def test_no_flow_config_skips_project_rules(self, lint_tree, tmp_path):
+        (tmp_path / "pkg" / "dead.py").write_text(
+            '"""Mod."""\n__all__ = ["f"]\n'
+            "def f(x):\n"
+            '    """Doc."""\n'
+            "    y = x + 1\n"
+            "    y = x + 2\n"
+            "    return y\n"
+        )
+        config = AnalysisConfig(select=frozenset({"FLOW002"}), flow=False)
+        assert analyze_paths([tmp_path / "pkg"], config) == []
+
+
+class TestNoqaValidation:
+    def test_unknown_rule_id_warned(self):
+        src = '"""Mod."""\n__all__ = []\nx = 1  # repro: noqa[DET0X1]\n'
+        findings = analyze_source(src, "src/repro/x.py")
+        assert [f.rule_id for f in findings] == ["ANA001"]
+        assert "DET0X1" in findings[0].message
+
+    def test_known_rules_pass(self):
+        src = '"""Mod."""\n__all__ = []\nimport random  # repro: noqa[DET002]\n'
+        assert analyze_source(src, "src/repro/x.py") == []
+
+    def test_multi_rule_list_flags_only_unknown(self):
+        src = (
+            '"""Mod."""\n__all__ = []\n'
+            "import random  # repro: noqa[DET002, BOGUS9]\n"
+        )
+        findings = analyze_source(src, "src/repro/x.py")
+        assert [f.rule_id for f in findings] == ["ANA001"]
+        assert "BOGUS9" in findings[0].message
+
+    def test_duplicate_rule_id_warned(self):
+        src = (
+            '"""Mod."""\n__all__ = []\n'
+            "import random  # repro: noqa[DET002, DET002]\n"
+        )
+        findings = analyze_source(src, "src/repro/x.py")
+        assert [f.rule_id for f in findings] == ["ANA001"]
+        assert "duplicate" in findings[0].message
+
+    def test_malformed_bracket_list_warned(self):
+        # lowercase ids fail the rule-list grammar; directive degrades to
+        # a suppress-everything bare noqa.
+        src = '"""Mod."""\n__all__ = []\nimport random  # repro: noqa [det002]\n'
+        findings = analyze_source(src, "src/repro/x.py")
+        assert "ANA001" in {f.rule_id for f in findings}
+        assert any("malformed" in f.message for f in findings)
+
+    def test_docstring_mention_is_inert(self):
+        # Directives inside string literals are neither live suppressions
+        # nor ANA001 candidates — only real comments count.
+        src = (
+            '"""Docs show `# repro: noqa[NOPE99]` as an example."""\n'
+            "__all__ = []\n"
+        )
+        assert analyze_source(src, "src/repro/x.py") == []
+
+    def test_ana001_cannot_be_suppressed(self):
+        src = '"""Mod."""\n__all__ = []\nx = 1  # repro: noqa[WAT001]\n'
+        findings = analyze_source(src, "src/repro/x.py")
+        assert [f.rule_id for f in findings] == ["ANA001"]
+
+
+class TestJsonByteStability:
+    def test_consecutive_json_runs_identical(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "a.py").write_text(
+            '"""Mod."""\n__all__ = ["f"]\n'
+            "import json\nimport os\n"
+            "def f(root):\n"
+            '    """Doc."""\n'
+            "    y = 1\n"
+            "    y = 2\n"
+            "    return json.dumps(os.listdir(root)), y\n"
+        )
+        main([str(pkg), "--format", "json", "--no-baseline"])
+        first = capsys.readouterr().out
+        main([str(pkg), "--format", "json", "--no-baseline"])
+        second = capsys.readouterr().out
+        assert first == second
+        payload = json.loads(first)
+        assert {f["rule"] for f in payload["findings"]} >= {"FLOW001", "FLOW002"}

@@ -8,6 +8,7 @@ justified exceptions — regenerate the committed baseline with
 ``justification`` field.
 """
 
+import time
 from pathlib import Path
 
 import pytest
@@ -17,6 +18,14 @@ from repro.analysis import Baseline, analyze_paths
 REPO_ROOT = Path(__file__).resolve().parents[2]
 SRC = REPO_ROOT / "src" / "repro"
 BASELINE = REPO_ROOT / "analysis-baseline.json"
+
+#: Everything `make lint` / CI covers (keep in sync with LINT_PATHS).
+LINT_SURFACE = [SRC, REPO_ROOT / "tests", REPO_ROOT / "benchmarks", REPO_ROOT / "examples"]
+
+#: Generous ceiling for one full-surface run including the
+#: interprocedural flow phase; the point is to catch a fixpoint that
+#: stops converging, not to benchmark (a warm run is well under 15 s).
+WALL_CLOCK_BUDGET_S = 90.0
 
 
 @pytest.fixture(autouse=True)
@@ -36,6 +45,26 @@ def test_self_lint_zero_non_baselined_findings():
     assert leftover == [], (
         "static analysis found new violations:\n"
         + "\n".join(f"  {f.location()}: {f.rule_id} {f.message}" for f in leftover)
+    )
+
+
+def test_full_surface_lints_clean_within_budget():
+    """`make lint` scope (src + tests/benchmarks/examples) stays clean —
+    and one full run, flow phase included, fits the wall-clock budget."""
+    existing = [p for p in LINT_SURFACE if p.is_dir()]
+    start = time.perf_counter()  # repro: noqa[OBS001] -- timing the linter itself, outside any traced workload
+    findings = analyze_paths(existing)
+    elapsed = time.perf_counter() - start  # repro: noqa[OBS001] -- see above
+    baseline = Baseline.load(BASELINE) if BASELINE.exists() else Baseline()
+    leftover = baseline.apply(findings)
+    assert leftover == [], (
+        "extended lint surface has new violations:\n"
+        + "\n".join(f"  {f.location()}: {f.rule_id} {f.message}" for f in leftover)
+    )
+    assert elapsed < WALL_CLOCK_BUDGET_S, (
+        f"full-surface analysis took {elapsed:.1f}s "
+        f"(budget {WALL_CLOCK_BUDGET_S:.0f}s) — a dataflow fixpoint is "
+        "probably failing to converge"
     )
 
 

@@ -19,7 +19,7 @@ from repro.obs.trace import Tracer
 
 def sample_tracer():
     tr = Tracer(meta={"t_seq": 0.05, "seed": 0})
-    root = tr.open_span("serve", "serve", t_start=0.0)
+    root = tr.open_span("serve", "serve", t_start=0.0)  # repro: noqa[FLOW003] -- linear fixture builder; a record() failure fails the test anyway
     tr.record("uq_row", "lookup", 0.0, 0.001, attrs={"query_id": 1})
     tr.record("fallback", "simulate", 0.001, 0.051, attrs={"query_id": 2})
     tr.close_span(root, t_end=0.1)

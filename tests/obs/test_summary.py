@@ -10,7 +10,7 @@ from repro.obs.trace import Tracer
 def des_trace():
     """A small discrete-event trace shaped like a serve run."""
     tr = Tracer(meta={"t_seq": 0.05})
-    root = tr.open_span("serve", "serve", t_start=0.0)
+    root = tr.open_span("serve", "serve", t_start=0.0)  # repro: noqa[FLOW003] -- linear fixture builder; a record() failure fails the test anyway
     tr.record("uq_row", "lookup", 0.0, 0.001)
     tr.record("uq_row", "lookup", 0.001, 0.002)
     tr.record("fallback", "simulate", 0.002, 0.052)

@@ -80,7 +80,7 @@ class TestExplicitSpans:
 
     def test_open_close_with_explicit_coordinates(self):
         tr = Tracer(clock=PoisonClock())
-        sid = tr.open_span("flush", "batch", t_start=1.0)
+        sid = tr.open_span("flush", "batch", t_start=1.0)  # repro: noqa[FLOW003] -- the open/close pairing IS the behavior under test
         tr.record("row", "lookup", 1.0, 1.1)
         span = tr.close_span(sid, t_end=2.0, attrs={"n": 1})
         assert span.t_end == 2.0 and span.attrs == {"n": 1}
