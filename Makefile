@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint lint-json baseline bench trace regress check
+.PHONY: test lint lint-json baseline bench trace profile regress check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -15,6 +15,12 @@ trace:
 		--skip-calibration --trace --trace-output /tmp/TRACE_serve.jsonl.gz \
 		--output /tmp/BENCH_serve_trace.json
 	$(PYTHON) -m repro.obs summarize /tmp/TRACE_serve.jsonl.gz
+
+# Profile-mine the committed serve trace (exclusive self-time per kind,
+# hot spans, flame paths); bench_tables.txt is the tracked text
+# rendering of this view — regenerate it after `make bench`.
+profile:
+	$(PYTHON) -m repro.obs profile TRACE_serve.jsonl.gz | tee bench_tables.txt
 
 # Fresh reduced benches compared against the committed BENCH_*.json
 # baselines.  Criteria are gated unconditionally; numeric metrics only

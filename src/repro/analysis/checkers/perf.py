@@ -9,7 +9,13 @@ need the slow form.  The second targets per-row ``predict*`` calls
 inside loops: every model in this repo exposes a batched prediction
 path (one vectorized forward + UQ pass for a whole matrix — the
 amortization the serving layer is built on), so looping a single-row
-predict over loop elements forfeits 10-100x of throughput.
+predict over loop elements forfeits 10-100x of throughput.  The third
+targets per-call array allocation on traced hot paths: a function that
+opens a trace span is, by construction, one the profiler
+(``python -m repro.obs profile``) measures, and a fresh
+``np.zeros``/``np.empty`` on every call shows up there as allocator and
+page-fault time — the repo's idiom is a grow-only scratch object
+(:class:`repro.md.forces.PairScratch`) reused across calls.
 """
 
 from __future__ import annotations
@@ -39,9 +45,81 @@ PERF002 = Rule(
     "all accept matrices).",
 )
 
+PERF003 = Rule(
+    "PERF003",
+    "no-per-call-alloc-in-hot-span",
+    "per-call `np.zeros`/`np.empty` allocation in a span-opening function",
+    "A function that opens a trace span is on the profiled hot path; a "
+    "fresh allocation per call pays allocator + page-fault cost on every "
+    "invocation.  Reuse a grow-only scratch buffer across calls "
+    "(the repro.md.forces.PairScratch idiom) or hoist the allocation "
+    "out of the hot function.",
+)
+
+#: Attribute names whose call marks the enclosing function as a traced
+#: hot-path function (Tracer.span / Tracer.open_span and the `_span`
+#: convenience wrappers several subsystems define over them).
+_SPAN_OPENERS = frozenset({"span", "open_span", "_span"})
+
+#: Attribute names that allocate a fresh array sized per call.
+_PER_CALL_ALLOCS = frozenset({"zeros", "empty", "zeros_like", "empty_like"})
+
 # The scatter helper itself is the one place allowed to own the idiom
 # (it uses np.bincount, but any future fallback lives there too).
 _SCATTER_MODULE_SUFFIX = "repro/util/scatter.py"
+
+
+def _own_nodes(func: ast.AST):
+    """Walk a function body without descending into nested functions,
+    lambdas, or classes — a span opened by a closure does not put the
+    enclosing function on the hot path."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _opens_span(func: ast.AST) -> bool:
+    """True when the function's own body calls a span-opening method."""
+    return any(
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _SPAN_OPENERS
+        for node in _own_nodes(func)
+    )
+
+
+def _span_callee_names(tree: ast.Module) -> frozenset[str]:
+    """Names of functions/methods called directly by a span-opening
+    function in this module.
+
+    One level of module-local reach: the traced wrapper pattern
+    (``compute`` opens the span, the untraced ``_compute`` does the
+    work) would otherwise hide the actual hot body from PERF003.  The
+    match is by bare name, which is the right precision for per-file
+    analysis — a false positive lands in the baseline with a
+    justification, a false negative hides allocator time the profiler
+    will attribute to the span.
+    """
+    names: set[str] = set()
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not _opens_span(func):
+            continue
+        for node in _own_nodes(func):
+            if isinstance(node, ast.Call):
+                callee = node.func
+                if isinstance(callee, ast.Attribute):
+                    names.add(callee.attr)
+                elif isinstance(callee, ast.Name):
+                    names.add(callee.id)
+    return frozenset(names - _SPAN_OPENERS)
 
 
 def _target_names(target: ast.expr) -> set[str]:
@@ -63,7 +141,7 @@ def _references_any(node: ast.expr, names: set[str]) -> bool:
 class PerfChecker(BaseChecker):
     """Flags slow numeric idioms with fast in-repo replacements."""
 
-    rules = (PERF001, PERF002)
+    rules = (PERF001, PERF002, PERF003)
 
     def __init__(self, context: FileContext):
         super().__init__(context)
@@ -71,6 +149,20 @@ class PerfChecker(BaseChecker):
         # Stack of name-sets bound by the enclosing for-loops /
         # comprehension generators the visitor is currently inside.
         self._loop_targets: list[set[str]] = []
+        # Stack of "does the enclosing function open a span" flags.
+        self._hot_functions: list[bool] = []
+        self._span_callees = _span_callee_names(context.tree)
+
+    # -- function-scope tracking ---------------------------------------
+    def _visit_function(self, node) -> None:
+        self._hot_functions.append(
+            _opens_span(node) or node.name in self._span_callees
+        )
+        self.generic_visit(node)
+        self._hot_functions.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
 
     # -- loop-scope tracking -------------------------------------------
     def visit_For(self, node: ast.For) -> None:
@@ -123,7 +215,24 @@ class PerfChecker(BaseChecker):
                 "use repro.util.scatter.scatter_add",
             )
         self._check_per_row_predict(node)
+        self._check_hot_span_alloc(node)
         self.generic_visit(node)
+
+    def _check_hot_span_alloc(self, node: ast.Call) -> None:
+        # Match `<anything>.zeros/empty/zeros_like/empty_like(...)` when
+        # the innermost enclosing function also opens a trace span —
+        # i.e. is a function the profile view measures per call.
+        if not (self._hot_functions and self._hot_functions[-1]):
+            return
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _PER_CALL_ALLOCS:
+            self.report(
+                node,
+                "PERF003",
+                f"per-call np.{func.attr} allocation inside a span-opening "
+                "(profiled hot-path) function; reuse a grow-only scratch "
+                "buffer or hoist the allocation",
+            )
 
     def _check_per_row_predict(self, node: ast.Call) -> None:
         # Heuristic: a `.predict*` attribute call where some argument

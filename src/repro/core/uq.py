@@ -20,6 +20,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.nn.layers import Dropout
 from repro.nn.model import MLP
 from repro.nn.metrics import picp
 from repro.util.rng import ensure_rng, spawn_rngs
@@ -124,12 +125,61 @@ class MCDropoutUQ(UQBackend):
         self.n_samples = int(n_samples)
         self.seed = int(seed)
 
+    def _batched_masks(
+        self, gen: np.random.Generator
+    ) -> list[list[np.ndarray]] | None:
+        """All passes' dropout masks from one RNG block draw.
+
+        The sequential path consumes the generator as ``S`` passes ×
+        ``L`` layers of ``gen.random((1, w_l))`` calls.  A numpy
+        Generator fills arrays in C order, so the single call
+        ``gen.random((S, total_width))`` produces *the same uniform
+        stream*: row ``s``, split at the layer widths, is bitwise what
+        pass ``s`` would have drawn call by call.  Thresholding and
+        scaling are elementwise, so the resulting masks — and therefore
+        every UQ result — are bitwise identical to per-pass generation,
+        at one RNG dispatch instead of ``S * L``.
+
+        Returns ``None`` when mask widths cannot be derived statically
+        (the caller falls back to per-pass draws).
+        """
+        try:
+            widths = self.model.mc_dropout_widths()
+        except ValueError:
+            return None
+        rates = [
+            layer.rate
+            for layer in self.model.layers
+            if isinstance(layer, Dropout) and layer.rate > 0.0
+        ]
+        if len(widths) != len(rates):  # foreign model subclass; stay safe
+            return None
+        block = gen.random((self.n_samples, sum(widths)))
+        masks: list[list[np.ndarray]] = []
+        for s in range(self.n_samples):
+            row: list[np.ndarray] = []
+            offset = 0
+            for width, rate in zip(widths, rates):
+                keep = 1.0 - rate
+                seg = block[s, offset : offset + width][None, :]
+                row.append((seg < keep) / keep)
+                offset += width
+            masks.append(row)
+        return masks
+
     def predict(self, x: np.ndarray) -> UQResult:
         gen = np.random.default_rng(self.seed)
-        draws = [
-            self.model.predict_stable(x, mc_dropout_rng=gen)
-            for _ in range(self.n_samples)
-        ]
+        masks = self._batched_masks(gen)
+        if masks is not None:
+            draws = [
+                self.model.predict_stable(x, mc_dropout_masks=masks[s])
+                for s in range(self.n_samples)
+            ]
+        else:
+            draws = [
+                self.model.predict_stable(x, mc_dropout_rng=gen)
+                for _ in range(self.n_samples)
+            ]
         mean, std = _stable_moments(draws)
         return UQResult(mean=mean, std=std)
 

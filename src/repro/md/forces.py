@@ -28,12 +28,82 @@ from repro.util.validation import check_finite
 
 __all__ = [
     "PairTable",
+    "PairScratch",
     "pairwise_forces",
     "CellList",
     "cell_list_forces",
     "wall_forces",
     "accumulate_pair_forces",
+    "pair_displacements",
 ]
+
+
+class PairScratch:
+    """Grow-only per-pair work buffers for the reused force path.
+
+    One instance lives on a :class:`~repro.md.neighbors.ForceEngine` and
+    is threaded through :func:`pair_displacements` /
+    :func:`accumulate_pair_forces`, so the per-call cost of a force
+    evaluation stops including six O(n_pairs) allocations.  Buffers only
+    ever grow (to the largest pair count seen); all kernels slice
+    ``[:m]`` views, which stay C-contiguous.  The profile view
+    (``python -m repro.obs profile``) attributes ~all md.reuse self-time
+    to this kernel, which is why it is the one place buffers are managed
+    manually.
+    """
+
+    __slots__ = ("capacity", "xi", "dr", "r2", "fr", "fvec", "col", "qq")
+
+    def __init__(self) -> None:
+        self.capacity = 0
+
+    def ensure(self, m: int) -> None:
+        """Guarantee capacity for ``m`` pairs (reallocating only to grow)."""
+        if m <= self.capacity:
+            return
+        self.capacity = m
+        self.xi = np.empty((m, 3))
+        self.dr = np.empty((m, 3))
+        self.r2 = np.empty(m)
+        self.fr = np.empty(m)
+        self.fvec = np.empty((m, 3))
+        self.col = np.empty(m)
+        self.qq = np.empty(m)
+
+
+def pair_displacements(
+    system: ParticleSystem,
+    i: np.ndarray,
+    j: np.ndarray,
+    scratch: PairScratch,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Minimum-image displacements and squared distances, allocation-free.
+
+    Returns ``(dr, r2)`` views into ``scratch`` sized to ``len(i)``.
+    Bitwise identical to
+    ``dr = box.minimum_image(x[i] - x[j]); r2 = einsum("ij,ij->i", dr, dr)``:
+    the per-axis wrap applies the same multiply/round/subtract sequence
+    (float multiplication is commutative bitwise), only the destination
+    buffers differ.
+    """
+    m = i.size
+    scratch.ensure(m)
+    xi = scratch.xi[:m]
+    dr = scratch.dr[:m]
+    r2 = scratch.r2[:m]
+    col = scratch.col[:m]
+    np.take(system.x, i, axis=0, out=dr)
+    np.take(system.x, j, axis=0, out=xi)
+    np.subtract(dr, xi, out=dr)
+    box = system.box
+    for ax, length in ((0, box.lx), (1, box.ly)):
+        axis = dr[:, ax]
+        np.divide(axis, length, out=col)
+        np.round(col, out=col)
+        np.multiply(col, length, out=col)
+        axis -= col
+    np.einsum("ij,ij->i", dr, dr, out=r2)
+    return dr, r2
 
 
 @dataclass
@@ -78,6 +148,7 @@ def accumulate_pair_forces(
     forces: np.ndarray,
     *,
     fr_scratch: np.ndarray | None = None,
+    scratch: PairScratch | None = None,
 ) -> float:
     """Evaluate every pair potential over the pairs ``(i, j)``.
 
@@ -92,9 +163,19 @@ def accumulate_pair_forces(
     ``fr_scratch``, when given, must be a float buffer of length
     ``len(i)``; it is zeroed and reused, letting a persistent engine
     avoid a per-step allocation.
+
+    ``scratch`` selects the fully reused path: every O(n_pairs)
+    intermediate (gathers, displacements, distances, force factors,
+    force vectors) lives in the :class:`PairScratch` buffers, the
+    combined :meth:`~repro.md.potentials.PairPotential.energy_and_force_over_r`
+    kernel shares subexpressions between energy and force, and the
+    Newton's-third-law scatter subtracts in place.  Results are bitwise
+    identical to the allocating path; ``fr_scratch`` is ignored.
     """
     if i.size == 0:
         return 0.0
+    if scratch is not None:
+        return _accumulate_reused(system, table, i, j, forces, scratch)
     dr = system.box.minimum_image(system.x[i] - system.x[j])
     r2 = np.einsum("ij,ij->i", dr, dr)
     qq = system.q[i] * system.q[j]
@@ -115,6 +196,58 @@ def accumulate_pair_forces(
     fvec = fr[:, None] * dr
     scatter_add(forces, i, fvec)
     scatter_add(forces, j, -fvec)
+    return energy
+
+
+def _accumulate_reused(
+    system: ParticleSystem,
+    table: PairTable,
+    i: np.ndarray,
+    j: np.ndarray,
+    forces: np.ndarray,
+    scratch: PairScratch,
+) -> float:
+    """Scratch-buffer variant of :func:`accumulate_pair_forces`.
+
+    Bitwise-identity notes (each step mirrors the allocating path):
+    displacements via :func:`pair_displacements`; ``qq`` gathered only
+    when some potential needs it (its value is unchanged — the
+    allocating path computes it unconditionally but charge-free tables
+    never read it); per-potential masked evaluation and the
+    ``fr[mask] +=`` accumulation are verbatim; ``fvec`` is the same
+    commutative elementwise product; and the subtracting scatter equals
+    adding ``-fvec`` because IEEE negation is exact.
+    """
+    m = i.size
+    dr, r2 = pair_displacements(system, i, j, scratch)
+    fr = scratch.fr[:m]
+    fr[:] = 0.0
+    qq = None
+    if any(pot.needs_charge for pot in table.pair_potentials):
+        qq = scratch.qq[:m]
+        col = scratch.col[:m]  # free after pair_displacements
+        np.take(system.q, i, out=qq)
+        np.take(system.q, j, out=col)
+        np.multiply(qq, col, out=qq)
+    energy = 0.0
+    for pot in table.pair_potentials:
+        mask = r2 < pot.rcut * pot.rcut
+        if not np.any(mask):
+            continue
+        r2m = r2[mask]
+        qqm = qq[mask] if pot.needs_charge else None
+        e, f = pot.energy_and_force_over_r(r2m, qqm)
+        energy += float(np.sum(e))
+        fr[mask] += f
+    fvec = scratch.fvec[:m]
+    np.multiply(dr, fr[:, None], out=fvec)
+    # Inlined scatter_add(forces, i, fvec) / scatter_add(..., subtract=True):
+    # same bincount accumulation, minus the per-call index validation —
+    # (i, j) come from the NeighborList, already validated at build time.
+    n = forces.shape[0]
+    for c in range(3):
+        forces[:, c] += np.bincount(i, weights=fvec[:, c], minlength=n)
+        forces[:, c] -= np.bincount(j, weights=fvec[:, c], minlength=n)
     return energy
 
 

@@ -23,7 +23,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.md.forces import CellList, PairTable, accumulate_pair_forces, wall_forces
+from repro.md.forces import (
+    CellList,
+    PairScratch,
+    PairTable,
+    accumulate_pair_forces,
+    pair_displacements,
+    wall_forces,
+)
 from repro.md.system import ParticleSystem
 from repro.util.validation import check_positive
 
@@ -58,7 +65,12 @@ class NeighborList:
     """
 
     def __init__(
-        self, system: ParticleSystem, rcut: float, skin: float = DEFAULT_SKIN
+        self,
+        system: ParticleSystem,
+        rcut: float,
+        skin: float = DEFAULT_SKIN,
+        *,
+        scratch: PairScratch | None = None,
     ):
         self.rcut = check_positive("rcut", rcut)
         self.skin = check_positive("skin", skin)
@@ -68,6 +80,10 @@ class NeighborList:
         self._x_ref: np.ndarray | None = None
         self._adj: np.ndarray | None = None
         self._adj_starts: np.ndarray | None = None
+        # Shared with the owning ForceEngine: builds run their
+        # displacement/distance pass through the same grow-only buffers
+        # the per-step kernel uses, instead of allocating per build.
+        self._scratch = scratch
         self.build(system)
 
     @property
@@ -86,8 +102,11 @@ class NeighborList:
         cl = CellList(system, r_list)
         ci, cj = cl.candidate_pairs()
         if ci.size:
-            dr = system.box.minimum_image(system.x[ci] - system.x[cj])
-            r2 = np.einsum("ij,ij->i", dr, dr)
+            if self._scratch is not None:
+                _, r2 = pair_displacements(system, ci, cj, self._scratch)
+            else:
+                dr = system.box.minimum_image(system.x[ci] - system.x[cj])
+                r2 = np.einsum("ij,ij->i", dr, dr)
             keep = r2 <= r_list * r_list
             self.i, self.j = ci[keep], cj[keep]
         else:
@@ -175,6 +194,15 @@ class ForceEngine:
         current pair count into the ``md.neighbor.pairs`` gauge.  Both
         hooks are duck-typed so :mod:`repro.md` never imports
         :mod:`repro.obs`.
+    reuse_buffers:
+        When True (default) the engine owns a
+        :class:`~repro.md.forces.PairScratch` and runs the fully reused
+        force kernel: no O(n_pairs) allocation per call, combined
+        energy+force potential evaluation, in-place Newton scatter.
+        Results are bitwise identical to the allocating path — the flag
+        exists for A/B benchmarking
+        (``python -m repro.md.bench``, ``kernel`` section), not because
+        semantics differ.
     """
 
     def __init__(
@@ -184,11 +212,13 @@ class ForceEngine:
         skin: float = DEFAULT_SKIN,
         tracer=None,
         registry=None,
+        reuse_buffers: bool = True,
     ):
         self.table = table
         self.skin = check_positive("skin", skin)
         self.nlist: NeighborList | None = None
         self._fr_scratch: np.ndarray | None = None
+        self._scratch: PairScratch | None = PairScratch() if reuse_buffers else None
         self.tracer = tracer
         self.registry = registry
 
@@ -204,10 +234,17 @@ class ForceEngine:
         """Neighbor-list rebuilds after the initial construction."""
         return self.nlist.n_rebuilds if self.nlist is not None else 0
 
+    @property
+    def reuse_buffers(self) -> bool:
+        """Whether the reused (scratch-buffer) force kernel is active."""
+        return self._scratch is not None
+
     def reset(self) -> None:
         """Drop the neighbor list (e.g. when switching systems)."""
         self.nlist = None
         self._fr_scratch = None
+        if self._scratch is not None:
+            self._scratch = PairScratch()
 
     def prepare(self, system: ParticleSystem) -> bool:
         """Build the list for ``system``, or refresh it if stale.
@@ -224,7 +261,7 @@ class ForceEngine:
             or self.nlist._x_ref is None
             or self.nlist._x_ref.shape != system.x.shape
         ):
-            self.nlist = NeighborList(system, rcut, self.skin)
+            self.nlist = NeighborList(system, rcut, self.skin, scratch=self._scratch)
             self._fr_scratch = None
             self._note_build(rebuilt=True)
             return True
@@ -268,24 +305,37 @@ class ForceEngine:
     def _compute(
         self, system: ParticleSystem, *, prepared: bool = False
     ) -> tuple[np.ndarray, float]:
+        # Freshly allocated on purpose: integrators and MC callers hold
+        # the returned array across calls, so it cannot be a reused
+        # buffer (see the analysis baseline entry for PERF003).
         forces = np.zeros_like(system.x)
         energy = 0.0
         if not prepared:
             self.prepare(system)
         if self.nlist is not None and self.nlist.n_pairs:
-            if (
-                self._fr_scratch is None
-                or self._fr_scratch.size != self.nlist.n_pairs
-            ):
-                self._fr_scratch = np.zeros(self.nlist.n_pairs)
-            energy += accumulate_pair_forces(
-                system,
-                self.table,
-                self.nlist.i,
-                self.nlist.j,
-                forces,
-                fr_scratch=self._fr_scratch,
-            )
+            if self._scratch is not None:
+                energy += accumulate_pair_forces(
+                    system,
+                    self.table,
+                    self.nlist.i,
+                    self.nlist.j,
+                    forces,
+                    scratch=self._scratch,
+                )
+            else:
+                if (
+                    self._fr_scratch is None
+                    or self._fr_scratch.size != self.nlist.n_pairs
+                ):
+                    self._fr_scratch = np.zeros(self.nlist.n_pairs)
+                energy += accumulate_pair_forces(
+                    system,
+                    self.table,
+                    self.nlist.i,
+                    self.nlist.j,
+                    forces,
+                    fr_scratch=self._fr_scratch,
+                )
         if self.table.wall is not None:
             fw, ew = wall_forces(system, self.table.wall)
             forces += fw

@@ -46,6 +46,20 @@ class PairPotential:
         """``-(dU/dr)/r`` for squared distances ``r2`` (vectorized)."""
         raise NotImplementedError
 
+    def energy_and_force_over_r(
+        self, r2: np.ndarray, qq: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Both kernels in one call, for the hot force path.
+
+        The contract is bitwise identity with calling :meth:`energy` and
+        :meth:`force_over_r` separately.  Subclasses override to share
+        subexpressions (``(sigma/r)^6`` powers, the Yukawa sqrt/exp) —
+        but must keep each output's expression *shape* unchanged, since
+        refactoring float products (e.g. ``2*s6*s6`` into ``2*s12``)
+        changes association and therefore last-ulp results.
+        """
+        return self.energy(r2, qq), self.force_over_r(r2, qq)
+
 
 class LennardJones(PairPotential):
     """12-6 Lennard-Jones, truncated and shifted to zero at ``rcut``.
@@ -81,6 +95,16 @@ class LennardJones(PairPotential):
         s6 = s2 * s2 * s2
         return 24.0 * self.epsilon * (2.0 * s6 * s6 - s6) / r2
 
+    def energy_and_force_over_r(self, r2, qq=None):
+        # One division and two multiplies shared; the energy/force
+        # expressions themselves are verbatim copies of the single-kernel
+        # forms (2.0 * s6 * s6 must stay left-associated, not 2.0 * s12).
+        s2 = self.sigma * self.sigma / r2
+        s6 = s2 * s2 * s2
+        e = 4.0 * self.epsilon * (s6 * s6 - s6) - self._shift
+        f = 24.0 * self.epsilon * (2.0 * s6 * s6 - s6) / r2
+        return e, f
+
 
 class WCA(LennardJones):
     """Weeks–Chandler–Andersen: purely repulsive LJ, shifted to zero at
@@ -94,6 +118,10 @@ class WCA(LennardJones):
         return super().energy(r2) + self.epsilon
 
     # force_over_r inherited: the constant shift has zero derivative.
+
+    def energy_and_force_over_r(self, r2, qq=None):
+        e, f = super().energy_and_force_over_r(r2)
+        return e + self.epsilon, f
 
 
 class SoftSphere(PairPotential):
@@ -114,6 +142,11 @@ class SoftSphere(PairPotential):
         s2 = self.sigma * self.sigma / r2
         s6 = s2 * s2 * s2
         return 12.0 * self.epsilon * s6 * s6 / r2
+
+    def energy_and_force_over_r(self, r2, qq=None):
+        s2 = self.sigma * self.sigma / r2
+        s6 = s2 * s2 * s2
+        return self.epsilon * s6 * s6, 12.0 * self.epsilon * s6 * s6 / r2
 
 
 class Yukawa(PairPotential):
@@ -155,6 +188,17 @@ class Yukawa(PairPotential):
         # -(dU/dr)/r with U = lB qq e^{-kr}/r:
         #   dU/dr = -lB qq e^{-kr} (1 + k r) / r^2
         return self.bjerrum * qq * np.exp(-self.kappa * r) * (1.0 + self.kappa * r) / (r2 * r)
+
+    def energy_and_force_over_r(self, r2, qq=None):
+        if qq is None:
+            raise ValueError("Yukawa.energy_and_force_over_r requires charge products qq")
+        # Shares the sqrt and exp — the two transcendental calls that
+        # dominate this kernel — between the energy and force forms.
+        r = np.sqrt(r2)
+        ex = np.exp(-self.kappa * r)
+        e = self.bjerrum * qq * ex / r - self._shift_per_qq * qq
+        f = self.bjerrum * qq * ex * (1.0 + self.kappa * r) / (r2 * r)
+        return e, f
 
 
 class Wall93(PairPotential):

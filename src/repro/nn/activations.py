@@ -30,6 +30,19 @@ class Activation:
     def forward(self, x: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
+    def apply_inplace(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate f(x) writing into ``x``; returns ``x``.
+
+        The fused serving path (:meth:`repro.nn.model.MLP.predict`) calls
+        this on its preallocated activation buffers.  The contract is
+        value-identity with :meth:`forward` — subclasses override only
+        when an ``out=``-capable ufunc exists; the fallback materializes
+        ``forward`` and copies, which is still allocation-free for the
+        caller's buffer.
+        """
+        x[...] = self.forward(x)
+        return x
+
     def backward(self, x: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
@@ -45,6 +58,9 @@ class Identity(Activation):
     def forward(self, x: np.ndarray) -> np.ndarray:
         return x
 
+    def apply_inplace(self, x: np.ndarray) -> np.ndarray:
+        return x
+
     def backward(self, x: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
         return grad_out
 
@@ -56,6 +72,9 @@ class ReLU(Activation):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         return np.maximum(x, 0.0)
+
+    def apply_inplace(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0, out=x)
 
     def backward(self, x: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
         return grad_out * (x > 0.0)
@@ -88,6 +107,9 @@ class Tanh(Activation):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         return np.tanh(x)
+
+    def apply_inplace(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x, out=x)
 
     def backward(self, x: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
         t = np.tanh(x)

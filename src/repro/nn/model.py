@@ -20,7 +20,136 @@ from repro.nn.layers import ActivationLayer, Dense, Dropout, Layer
 from repro.nn.losses import Loss, get_loss
 from repro.util.rng import ensure_rng, spawn_rngs
 
-__all__ = ["MLP"]
+__all__ = ["MLP", "SERVING_DTYPES"]
+
+#: Dtypes :meth:`MLP.set_serving_dtype` accepts.  float64 is the default
+#: (bitwise-identical to the layer-by-layer forward); float32 is the
+#: opt-in serving mode — single-precision GEMMs move half the bytes and
+#: the result is returned upcast to float64 for the serving stack.
+SERVING_DTYPES = (np.float64, np.float32)
+
+
+class _FusedForward:
+    """Preallocated fused inference over a Dense/Activation/Dropout stack.
+
+    The generic :meth:`MLP.forward` allocates one fresh array per layer
+    per call (``x @ W`` then ``+ b`` then the activation).  This plan
+    walks the same layers writing into persistent per-layer buffers:
+    ``np.dot(x, W, out=buf)``, ``buf += b``, activation applied in place
+    via :meth:`~repro.nn.activations.Activation.apply_inplace`.  In
+    float64 the result is bitwise identical to the generic path (same
+    GEMM, same add, same elementwise maps — only the destinations
+    differ); in float32 the weights/biases are cast once and cached, and
+    the compute runs in single precision (sgemm).
+
+    Inference-mode dropout layers are identity and are skipped; a plan
+    is only consulted when no dropout layer is in MC mode (the model
+    checks per call).  The returned array is always freshly allocated
+    float64 — callers may hold it across calls while the internal
+    buffers are reused.
+    """
+
+    __slots__ = ("dtype", "in_dim", "_steps", "_weights", "_bufs", "_xbuf",
+                 "_capacity", "_param_version")
+
+    def __init__(self, layers: Sequence[Layer], dtype: np.dtype):
+        self.dtype = np.dtype(dtype)
+        steps: list[tuple[str, object]] = []
+        in_dim: int | None = None
+        for layer in layers:
+            if isinstance(layer, Dense):
+                if in_dim is None:
+                    in_dim = layer.in_dim
+                steps.append(("dense", layer))
+            elif isinstance(layer, ActivationLayer):
+                steps.append(("act", layer.activation))
+            elif isinstance(layer, Dropout):
+                continue  # identity at inference; MC mode bypasses the plan
+            else:
+                raise TypeError(f"unsupported layer for fused forward: {layer!r}")
+        if in_dim is None:
+            raise TypeError("fused forward needs at least one Dense layer")
+        self.in_dim = in_dim
+        self._steps = steps
+        self._weights: list[tuple[np.ndarray, np.ndarray]] = []
+        self._bufs: list[np.ndarray] = []
+        self._xbuf: np.ndarray | None = None
+        self._capacity = 0
+        self._param_version = -1
+
+    @staticmethod
+    def supports(layers: Sequence[Layer]) -> bool:
+        """True when every layer has a fused equivalent."""
+        return any(isinstance(l, Dense) for l in layers) and all(
+            isinstance(l, (Dense, ActivationLayer, Dropout)) for l in layers
+        )
+
+    def _refresh_weights(self, version: int) -> None:
+        if self._param_version == version:
+            return
+        weights = []
+        for op, payload in self._steps:
+            if op != "dense":
+                continue
+            if self.dtype == np.float64:
+                # Live references: in-place weight updates are seen
+                # immediately, so the float64 plan can never go stale.
+                weights.append((payload.W, payload.b))
+            else:
+                weights.append((
+                    np.ascontiguousarray(payload.W, dtype=self.dtype),
+                    np.ascontiguousarray(payload.b, dtype=self.dtype),
+                ))
+        self._weights = weights
+        self._param_version = version
+
+    def _ensure_capacity(self, n: int) -> None:
+        if n <= self._capacity:
+            return
+        self._capacity = n
+        self._xbuf = np.empty((n, self.in_dim), dtype=self.dtype)
+        self._bufs = [
+            np.empty((n, payload.out_dim), dtype=self.dtype)
+            for op, payload in self._steps
+            if op == "dense"
+        ]
+
+    def run(self, x: np.ndarray, version: int) -> np.ndarray:
+        """Fused inference pass; returns a fresh float64 array."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            x = x[None, :]
+        if x.ndim != 2 or x.shape[1] != self.in_dim:
+            raise ValueError(
+                f"fused forward expected input shape (n, {self.in_dim}), "
+                f"got {x.shape}"
+            )
+        self._refresh_weights(version)
+        n = x.shape[0]
+        self._ensure_capacity(n)
+        if self.dtype == np.float64:
+            cur = x
+        else:
+            cur = self._xbuf[:n]
+            cur[...] = x  # casting copy into the preallocated f32 buffer
+        dense_i = 0
+        for op, payload in self._steps:
+            if op == "dense":
+                W, b = self._weights[dense_i]
+                out = self._bufs[dense_i][:n]
+                np.dot(cur, W, out=out)
+                out += b
+                cur = out
+                dense_i += 1
+            elif dense_i == 0 and self.dtype == np.float64:
+                # Before the first Dense, ``cur`` may alias the caller's
+                # input — evaluate out of place rather than clobber it.
+                cur = payload.forward(cur)
+            else:
+                cur = payload.apply_inplace(cur)
+        if cur.dtype == np.float64:
+            return cur.copy()
+        return cur.astype(np.float64)
 
 
 class MLP:
@@ -35,6 +164,9 @@ class MLP:
         if not layers:
             raise ValueError("MLP needs at least one layer")
         self.layers = list(layers)
+        self._serving_dtype = np.dtype(np.float64)
+        self._fused: _FusedForward | None = None
+        self._param_version = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -87,14 +219,69 @@ class MLP:
         return out
 
     def predict(self, x: np.ndarray) -> np.ndarray:
-        """Inference pass (dropout inactive unless a layer is in MC mode)."""
+        """Inference pass (dropout inactive unless a layer is in MC mode).
+
+        Runs through the fused serving plan when possible: preallocated
+        activation buffers, ``np.dot(..., out=)`` GEMMs, and — after
+        :meth:`set_serving_dtype` opts in — float32 compute.  The
+        float64 default is bitwise identical to the layer-by-layer
+        :meth:`forward`; MC-mode dropout and exotic layers fall back to
+        the generic path, so semantics never depend on the plan.
+        """
+        if self._fused is None and _FusedForward.supports(self.layers):
+            self._fused = _FusedForward(self.layers, self._serving_dtype)
+        if self._fused is not None and not self._mc_dropout_active():
+            return self._fused.run(x, self._param_version)
         return self.forward(x, training=False)
+
+    def _mc_dropout_active(self) -> bool:
+        return any(
+            isinstance(l, Dropout) and l.mc and l.rate > 0.0 for l in self.layers
+        )
+
+    # ------------------------------------------------------------------
+    # serving dtype policy
+    # ------------------------------------------------------------------
+    @property
+    def serving_dtype(self) -> np.dtype:
+        """Compute dtype of the fused :meth:`predict` path."""
+        return self._serving_dtype
+
+    def set_serving_dtype(self, dtype) -> None:
+        """Select the :meth:`predict` compute precision (serving only).
+
+        ``float64`` (default) keeps predictions bitwise identical to the
+        generic forward.  ``float32`` is the opt-in fast serving mode:
+        weights are cast once and cached, compute runs in single
+        precision, and results come back as float64 arrays within a few
+        1e-7 relative of the double-precision answer.  Training, and the
+        :meth:`predict_stable` row-stability contract, always stay
+        float64 — this switch affects :meth:`predict` alone.
+        """
+        dt = np.dtype(dtype)
+        if not any(dt == np.dtype(d) for d in SERVING_DTYPES):
+            names = [np.dtype(d).name for d in SERVING_DTYPES]
+            raise ValueError(f"serving dtype must be one of {names}, got {dt.name}")
+        if dt != self._serving_dtype:
+            self._serving_dtype = dt
+            self._fused = None
+
+    def invalidate_serving_cache(self) -> None:
+        """Mark cached serving weights stale after in-place mutation.
+
+        :meth:`set_flat_params` and :class:`~repro.nn.training.Trainer`
+        call this automatically; call it yourself only after mutating
+        ``W``/``b`` arrays directly while in float32 serving mode (the
+        float64 plan holds live references and cannot go stale).
+        """
+        self._param_version += 1
 
     def predict_stable(
         self,
         x: np.ndarray,
         *,
         mc_dropout_rng: np.random.Generator | None = None,
+        mc_dropout_masks: Sequence[np.ndarray] | None = None,
     ) -> np.ndarray:
         """Row-stable inference: row ``i`` of the result is bitwise identical
         whether ``x`` holds one row or many.
@@ -113,7 +300,30 @@ class MLP:
         layer widths, the generator consumes the same number of draws for any
         batch size, preserving row stability.  With ``None`` dropout layers
         are the identity.
+
+        ``mc_dropout_masks`` supplies the scaled per-unit masks directly —
+        one ``(1, width)`` array per active (rate > 0) dropout layer, in
+        layer order.  This is the batched-UQ entry point: the caller draws
+        masks for many stochastic passes in one RNG block
+        (:class:`~repro.core.uq.MCDropoutUQ`) and replays them pass by
+        pass, bitwise identical to per-pass ``mc_dropout_rng`` draws.
         """
+        if mc_dropout_rng is not None and mc_dropout_masks is not None:
+            raise ValueError(
+                "pass either mc_dropout_rng or mc_dropout_masks, not both"
+            )
+        masks = None
+        if mc_dropout_masks is not None:
+            masks = list(mc_dropout_masks)
+            n_active = sum(
+                1 for l in self.layers if isinstance(l, Dropout) and l.rate > 0.0
+            )
+            if len(masks) != n_active:
+                raise ValueError(
+                    f"expected {n_active} dropout masks (one per active "
+                    f"Dropout layer), got {len(masks)}"
+                )
+        mask_i = 0
         out = np.asarray(x, dtype=float)
         if out.ndim == 1:
             out = out[None, :]
@@ -128,7 +338,10 @@ class MLP:
                 # order (no BLAS dispatch), which is what makes rows stable.
                 out = np.einsum("nd,dh->nh", out, layer.W, optimize=False) + layer.b
             elif isinstance(layer, Dropout):
-                if mc_dropout_rng is not None and layer.rate > 0.0:
+                if layer.rate > 0.0 and masks is not None:
+                    out = out * masks[mask_i]
+                    mask_i += 1
+                elif mc_dropout_rng is not None and layer.rate > 0.0:
                     keep = 1.0 - layer.rate
                     mask = (mc_dropout_rng.random((1, out.shape[1])) < keep) / keep
                     out = out * mask
@@ -196,6 +409,7 @@ class MLP:
         for p in self.params:
             p[...] = flat[offset : offset + p.size].reshape(p.shape)
             offset += p.size
+        self.invalidate_serving_cache()
 
     def flat_grad(self) -> np.ndarray:
         """Concatenate all gradient buffers into one 1-D vector (a copy)."""
@@ -211,6 +425,29 @@ class MLP:
 
     def has_dropout(self) -> bool:
         return any(isinstance(l, Dropout) and l.rate > 0 for l in self.layers)
+
+    def mc_dropout_widths(self) -> list[int]:
+        """Feature width at each active (rate > 0) Dropout layer.
+
+        These are the per-unit mask widths :meth:`predict_stable`
+        consumes — what batched mask generation
+        (:class:`~repro.core.uq.MCDropoutUQ`) needs to draw all passes'
+        masks in one RNG block.  Raises when a width cannot be derived
+        statically (a Dropout before any Dense layer).
+        """
+        widths: list[int] = []
+        current: int | None = None
+        for layer in self.layers:
+            if isinstance(layer, Dense):
+                current = layer.out_dim
+            elif isinstance(layer, Dropout) and layer.rate > 0.0:
+                if current is None:
+                    raise ValueError(
+                        "cannot derive the mask width of a Dropout layer "
+                        "placed before the first Dense layer"
+                    )
+                widths.append(current)
+        return widths
 
     def copy(self) -> "MLP":
         """Deep copy sharing nothing with the original."""

@@ -221,6 +221,10 @@ class Trainer:
             if stop:
                 history.stopped_epoch = epoch
                 break
+        # Optimizer steps mutate W/b in place; drop any cached serving
+        # casts (float32 plan) so post-fit predictions see new weights.
+        if hasattr(self.model, "invalidate_serving_cache"):
+            self.model.invalidate_serving_cache()
         return history
 
     def evaluate(self, x: np.ndarray, y: np.ndarray) -> float:

@@ -20,6 +20,11 @@ flow through:
   :func:`ledger_from_spans`, which folds a trace's ledger-kind spans
   back into §III-D form so ``python -m repro.obs summarize`` reproduces
   a served run's measured effective speedup from the trace file alone;
+* :mod:`~repro.obs.profile` — the optimization view over the same
+  spans: exclusive self-time per kind, top-k spans by self-time and
+  flame-style name-path aggregation (``python -m repro.obs profile``),
+  the evidence trail behind the fused serving kernels and the
+  buffer-reuse force path;
 * :mod:`~repro.obs.streaming` / :mod:`~repro.obs.monitor` — the control
   plane over the backbone: from-scratch streaming statistics (Welford,
   EWMA) and drift detectors (Page–Hinkley, two-sided CUSUM) feeding UQ
@@ -66,6 +71,11 @@ from repro.obs.monitor import (
     default_serve_monitors,
     dumps_alerts,
     watch_trace,
+)
+from repro.obs.profile import (
+    profile,
+    render_profile_json,
+    render_profile_text,
 )
 from repro.obs.regress import compare_reports, run_regress
 from repro.obs.span import (
@@ -117,8 +127,11 @@ __all__ = [
     "dumps_trace",
     "ledger_from_spans",
     "loads_trace",
+    "profile",
     "read_trace",
     "render_json",
+    "render_profile_json",
+    "render_profile_text",
     "render_text",
     "run_regress",
     "summarize",

@@ -1,10 +1,15 @@
 """Command-line interface: ``python -m repro.obs <command> trace.jsonl``.
 
-Four subcommands:
+Five subcommands:
 
 * ``summarize`` — per-span-kind totals, critical path, top-k slowest
   spans, and (when the trace carries ledger-kind spans) the §III-D
   effective-speedup block reconstructed from the trace alone;
+* ``profile`` — the optimization view (:mod:`repro.obs.profile`):
+  exclusive self-time per kind, top-k spans by self-time, and
+  flame-style root→span name-path aggregation.  Inclusive per-kind
+  totals agree with ``summarize`` bitwise; JSON output is byte-stable
+  (run twice and ``cmp``);
 * ``speedup`` — just the reconstructed
   :class:`~repro.core.effective.EffectiveSpeedupModel` inputs and the
   speedup at the trace's own lookup/simulate mix, as JSON;
@@ -38,6 +43,7 @@ from repro.obs.monitor import (
     render_alerts_text,
     watch_trace,
 )
+from repro.obs.profile import profile, render_profile_json, render_profile_text
 from repro.obs.regress import render_report_text, run_regress
 from repro.obs.summary import summarize
 
@@ -69,6 +75,25 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=5,
         help="number of slowest spans to report (default: %(default)s)",
+    )
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="mine a trace for exclusive self-time, hot spans, flame paths",
+    )
+    p_prof.add_argument("trace", help="JSONL trace file to profile")
+    p_prof.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    p_prof.add_argument(
+        "--top-k",
+        type=int,
+        default=10,
+        help="number of hot spans to report by self-time "
+        "(default: %(default)s)",
     )
 
     p_speed = sub.add_parser(
@@ -170,6 +195,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
         print(f"error: cannot read trace {trace_path}: {exc}", file=sys.stderr)
         return 2
+
+    if args.command == "profile":
+        try:
+            prof = profile(spans, meta=meta, top_k=args.top_k)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.format == "json":
+            print(render_profile_json(prof))
+        else:
+            print(render_profile_text(prof))
+        return 0
 
     if args.command == "speedup":
         summary = summarize(spans, meta=meta)

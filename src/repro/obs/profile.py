@@ -1,0 +1,239 @@
+"""Profile mining over span traces: self-time, hot spans, flame paths.
+
+:func:`repro.obs.summary.summarize` answers "how much time did each kind
+take, inclusively?".  This module answers the optimization question:
+"*where* is the time actually spent?" — the exclusive **self-time** of a
+span is its duration minus the time covered by its children, so a parent
+that merely delegates scores near zero and the leaves doing real work
+float to the top.  That is the view that drove the fused serving kernels
+and the buffer-reuse force path: the committed serve trace shows the
+``serve`` root almost entirely explained by its children, with
+``lookup``/``simulate`` leaves carrying the self-time.
+
+Three aggregations over one parent/child pass:
+
+* **per-kind rows** — call count, inclusive total (accumulated in
+  span-id order, so it matches :func:`~repro.obs.summary.summarize`
+  bitwise), exclusive self total, mean and a deterministic p99 of the
+  inclusive durations, and ``overlap_seconds`` (how much child time
+  exceeded the parent — nonzero only for DES traces whose children run
+  concurrently under one root, e.g. pipelined serve stages);
+* **top-k spans by self-time** — the individual intervals worth fusing,
+  ties broken by ``(t_start, name, span_id)`` so reports are stable;
+* **flame paths** — self-time grouped by the root→span *name* path
+  (``serve;flush;lookup``), the text analogue of a flame graph.
+
+Self-time is clamped at zero: a DES parent whose children overlap in
+virtual time can be over-covered, and a negative "exclusive" time is
+noise, not signal — the excess is surfaced as ``overlap_seconds``
+instead of silently corrupting kind totals.
+
+Reporters follow the :mod:`repro.analysis.reporters` protocol: pure
+functions from the profile dict to text / byte-stable JSON (sorted keys,
+fixed separators), so ``python -m repro.obs profile`` run twice on the
+same trace is ``cmp``-identical.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.obs.span import Span
+
+__all__ = [
+    "profile",
+    "render_profile_text",
+    "render_profile_json",
+]
+
+
+def _quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of pre-sorted values, pure Python.
+
+    Matches numpy's default ``linear`` method but avoids pairwise
+    summation and dtype promotion entirely — the result is a
+    deterministic function of the input floats, independent of numpy
+    version or SIMD width.
+    """
+    n = len(sorted_values)
+    if n == 0:
+        raise ValueError("quantile of an empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if n == 1:
+        return float(sorted_values[0])
+    pos = q * (n - 1)
+    lo = int(pos)
+    if lo >= n - 1:
+        return float(sorted_values[n - 1])
+    frac = pos - lo
+    below = float(sorted_values[lo])
+    above = float(sorted_values[lo + 1])
+    return below + (above - below) * frac
+
+
+def _name_paths(spans: Sequence[Span]) -> dict[int, str]:
+    """Root→span name path per span id, ``;``-joined, iteratively built.
+
+    Spans are walked in span-id order; a tracer assigns parent ids
+    before child ids, so every parent's path is already known when its
+    child is reached.  Orphaned parents (trace slices) fall back to
+    treating the span as a root.
+    """
+    paths: dict[int, str] = {}
+    for span in spans:
+        parent = paths.get(span.parent_id) if span.parent_id is not None else None
+        paths[span.span_id] = span.name if parent is None else f"{parent};{span.name}"
+    return paths
+
+
+def profile(
+    spans: Sequence[Span],
+    *,
+    meta: dict | None = None,
+    top_k: int = 10,
+) -> dict:
+    """Mine a span list into the JSON-ready profile dict.
+
+    Spans are processed in span-id order.  Inclusive per-kind totals are
+    accumulated in exactly the order :func:`~repro.obs.summary.summarize`
+    uses, so the two views agree bitwise — the CLI smoke test and
+    ``tests/obs/test_profile.py`` assert ≤ 1e-9 relative agreement.
+    """
+    if top_k < 1:
+        raise ValueError(f"top_k must be >= 1, got {top_k}")
+    spans = sorted(spans, key=lambda s: s.span_id)
+    meta = dict(meta or {})
+    if not spans:
+        return {
+            "version": 1,
+            "n_spans": 0,
+            "t_min": 0.0,
+            "t_max": 0.0,
+            "wall_seconds": 0.0,
+            "total_self_seconds": 0.0,
+            "total_overlap_seconds": 0.0,
+            "kinds": {},
+            "hot_spans": [],
+            "flame": {},
+            "meta": meta,
+        }
+
+    # One pass to attribute child time to parents; self-time follows.
+    child_seconds: dict[int, float] = {}
+    for span in spans:
+        if span.parent_id is not None:
+            child_seconds[span.parent_id] = (
+                child_seconds.get(span.parent_id, 0.0) + span.duration
+            )
+
+    self_seconds: dict[int, float] = {}
+    overlap_seconds: dict[int, float] = {}
+    for span in spans:
+        covered = child_seconds.get(span.span_id, 0.0)
+        self_seconds[span.span_id] = max(0.0, span.duration - covered)
+        overlap_seconds[span.span_id] = max(0.0, covered - span.duration)
+
+    kinds: dict[str, dict] = {}
+    durations: dict[str, list[float]] = {}
+    for span in spans:
+        row = kinds.setdefault(
+            span.kind,
+            {
+                "count": 0,
+                "total_seconds": 0.0,
+                "self_seconds": 0.0,
+                "overlap_seconds": 0.0,
+                "mean_seconds": 0.0,
+                "p99_seconds": 0.0,
+            },
+        )
+        row["count"] += 1
+        row["total_seconds"] += span.duration
+        row["self_seconds"] += self_seconds[span.span_id]
+        row["overlap_seconds"] += overlap_seconds[span.span_id]
+        durations.setdefault(span.kind, []).append(span.duration)
+    for kind, row in kinds.items():
+        row["mean_seconds"] = row["total_seconds"] / row["count"]
+        row["p99_seconds"] = _quantile(sorted(durations[kind]), 0.99)
+    kinds = {k: kinds[k] for k in sorted(kinds)}
+
+    hot = sorted(
+        spans,
+        key=lambda s: (-self_seconds[s.span_id], s.t_start, s.name, s.span_id),
+    )[:top_k]
+    hot_rows = [
+        {
+            "id": s.span_id,
+            "name": s.name,
+            "kind": s.kind,
+            "self_seconds": self_seconds[s.span_id],
+            "total_seconds": s.duration,
+            "t_start": s.t_start,
+        }
+        for s in hot
+    ]
+
+    paths = _name_paths(spans)
+    flame: dict[str, dict] = {}
+    for span in spans:
+        row = flame.setdefault(
+            paths[span.span_id],
+            {"count": 0, "self_seconds": 0.0, "total_seconds": 0.0},
+        )
+        row["count"] += 1
+        row["self_seconds"] += self_seconds[span.span_id]
+        row["total_seconds"] += span.duration
+    flame = {p: flame[p] for p in sorted(flame)}
+
+    return {
+        "version": 1,
+        "n_spans": len(spans),
+        "t_min": min(s.t_start for s in spans),
+        "t_max": max(s.t_end for s in spans),
+        "wall_seconds": max(s.t_end for s in spans) - min(s.t_start for s in spans),
+        "total_self_seconds": sum(self_seconds[s.span_id] for s in spans),
+        "total_overlap_seconds": sum(overlap_seconds[s.span_id] for s in spans),
+        "kinds": kinds,
+        "hot_spans": hot_rows,
+        "flame": flame,
+        "meta": meta,
+    }
+
+
+def render_profile_text(prof: dict) -> str:
+    """Human-readable profile: kind table, hot spans, flame paths."""
+    lines = [
+        f"profile: {prof['n_spans']} spans over {prof['wall_seconds']:.6g} s, "
+        f"self {prof['total_self_seconds']:.6g} s, "
+        f"child overlap {prof['total_overlap_seconds']:.6g} s"
+    ]
+    lines.append("per-kind (self = exclusive of children):")
+    for kind, row in prof["kinds"].items():
+        lines.append(
+            f"  {kind:<12} count {row['count']:>7}  "
+            f"self {row['self_seconds']:.6g} s  "
+            f"total {row['total_seconds']:.6g} s  "
+            f"mean {row['mean_seconds']:.3g} s  "
+            f"p99 {row['p99_seconds']:.3g} s"
+        )
+    lines.append("hot spans (by self-time):")
+    for row in prof["hot_spans"]:
+        lines.append(
+            f"  #{row['id']} {row['name']} [{row['kind']}] "
+            f"self {row['self_seconds']:.6g} s "
+            f"(total {row['total_seconds']:.6g} s) @ t={row['t_start']:.6g}"
+        )
+    lines.append("flame (self-time by root→span name path):")
+    for path, row in prof["flame"].items():
+        lines.append(
+            f"  {path:<36} self {row['self_seconds']:.6g} s  "
+            f"total {row['total_seconds']:.6g} s  (n={row['count']})"
+        )
+    return "\n".join(lines)
+
+
+def render_profile_json(prof: dict) -> str:
+    """Byte-stable JSON profile: sorted keys, fixed layout."""
+    return json.dumps(prof, indent=2, sort_keys=True)

@@ -93,6 +93,9 @@ _SERVE_METRICS = (
     MetricSpec("cache.hit_rate", "higher", 0.02),
     MetricSpec("effective_speedup_agreement.measured_speedup", "higher", 0.05),
     MetricSpec("effective_speedup_agreement.rel_diff", "lower", 0.10, abs_slack=0.02),
+    # The serving-kernel micro-bench is the serve bench's one wall-clock
+    # section, so it gets an md-style generous tolerance.
+    MetricSpec("kernel.predict_f32_speedup", "higher", 0.5),
 )
 
 #: MD metrics are wall-clock: only large drops count.
@@ -162,6 +165,14 @@ def _metric_specs(benchmark: str, baseline: dict, fresh: dict) -> list[tuple[str
                         MetricSpec(f"__row|{n!r}|{name}", direction, tol, abs_slack=slack),
                     )
                 )
+        # Buffer-reuse kernel A/B (emitted only at full bench sizes; a
+        # reduced fresh run simply reports this row as missing).
+        specs.append(
+            (
+                "kernel.engine_reuse_speedup",
+                MetricSpec("kernel.engine_reuse_speedup", "higher", 0.6),
+            )
+        )
         return specs
     return []
 

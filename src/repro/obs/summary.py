@@ -117,7 +117,12 @@ def summarize(
     kinds = {k: kinds[k] for k in sorted(kinds)}
 
     path = critical_path(spans)
-    slowest = sorted(spans, key=lambda s: (-s.duration, s.span_id))[:top_k]
+    # Equal-duration spans (ubiquitous in DES traces, where costs are
+    # modeled constants) are ordered by start time then name so the
+    # top-k report is stable against recording-order changes.
+    slowest = sorted(
+        spans, key=lambda s: (-s.duration, s.t_start, s.name, s.span_id)
+    )[:top_k]
     ledger = ledger_from_spans(spans)
 
     effective = None

@@ -18,7 +18,9 @@ import numpy as np
 __all__ = ["scatter_add"]
 
 
-def scatter_add(out: np.ndarray, idx: np.ndarray, values) -> np.ndarray:
+def scatter_add(
+    out: np.ndarray, idx: np.ndarray, values, *, subtract: bool = False
+) -> np.ndarray:
     """Accumulate ``values`` into ``out`` at rows ``idx``, in place.
 
     Drop-in replacement for ``np.add.at(out, idx, values)`` built on
@@ -38,6 +40,11 @@ def scatter_add(out: np.ndarray, idx: np.ndarray, values) -> np.ndarray:
     values:
         Scalar, ``(k,)``, or ``(k, d)`` array of addends; broadcast
         against ``(k,)`` / ``(k, d)`` as appropriate.
+    subtract:
+        Subtract the binned sums instead of adding them.  Bitwise
+        equivalent to passing ``-values`` (IEEE negation is exact and
+        ``x -= s`` rounds like ``x += -s``) without materializing the
+        negated array — the Newton's-third-law half of a force scatter.
 
     Returns
     -------
@@ -64,12 +71,20 @@ def scatter_add(out: np.ndarray, idx: np.ndarray, values) -> np.ndarray:
         )
     if out.ndim == 1:
         vals = np.broadcast_to(np.asarray(values, dtype=out.dtype), idx.shape)
-        out += np.bincount(idx, weights=vals, minlength=m)
+        binned = np.bincount(idx, weights=vals, minlength=m)
+        if subtract:
+            out -= binned
+        else:
+            out += binned
     else:
         d = out.shape[1]
         vals = np.broadcast_to(
             np.asarray(values, dtype=out.dtype), (idx.size, d)
         )
         for col in range(d):
-            out[:, col] += np.bincount(idx, weights=vals[:, col], minlength=m)
+            binned = np.bincount(idx, weights=vals[:, col], minlength=m)
+            if subtract:
+                out[:, col] -= binned
+            else:
+                out[:, col] += binned
     return out

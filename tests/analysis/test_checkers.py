@@ -501,3 +501,71 @@ class TestObservability:
     def test_obs002_exempt_in_timing_module(self):
         src = HEADER + "import datetime\nt = datetime.datetime.now()\n"
         assert "OBS002" not in rules_of(src, path="src/repro/util/timing.py")
+
+
+class TestPerf003:
+    def test_fires_on_alloc_in_span_opening_function(self):
+        src = HEADER + (
+            "import numpy as np\n"
+            "def compute(self, tracer, n):\n"
+            "    sid = tracer.open_span('force', 'md')\n"
+            "    out = np.zeros((n, 3))\n"
+            "    tracer.close_span(sid)\n"
+            "    return out\n"
+        )
+        assert "PERF003" in rules_of(src)
+
+    def test_fires_on_span_context_manager(self):
+        src = HEADER + (
+            "import numpy as np\n"
+            "def fit(self, n):\n"
+            "    with self._span('fit', 'train'):\n"
+            "        buf = np.empty(n)\n"
+            "    return buf\n"
+        )
+        assert "PERF003" in rules_of(src)
+
+    def test_fires_one_level_into_span_callee(self):
+        # The traced-wrapper pattern: compute opens the span, _compute
+        # does the work.  The callee is hot too.
+        src = HEADER + (
+            "import numpy as np\n"
+            "class Engine:\n"
+            "    def compute(self, x):\n"
+            "        with self.tracer.span('f', 'md'):\n"
+            "            return self._compute(x)\n"
+            "    def _compute(self, x):\n"
+            "        return np.zeros_like(x)\n"
+        )
+        assert "PERF003" in rules_of(src)
+
+    def test_quiet_without_span(self):
+        src = HEADER + (
+            "import numpy as np\n"
+            "def helper(n):\n"
+            "    return np.zeros((n, 3))\n"
+        )
+        assert "PERF003" not in rules_of(src)
+
+    def test_quiet_when_span_only_in_nested_function(self):
+        # A closure that opens a span does not put the enclosing
+        # function on the hot path.
+        src = HEADER + (
+            "import numpy as np\n"
+            "def outer(tracer, n):\n"
+            "    def traced():\n"
+            "        with tracer.span('t', 'x'):\n"
+            "            pass\n"
+            "    buf = np.zeros(n)\n"
+            "    return traced, buf\n"
+        )
+        assert "PERF003" not in rules_of(src)
+
+    def test_noqa_suppresses(self):
+        src = HEADER + (
+            "import numpy as np\n"
+            "def run(tracer, n):\n"
+            "    with tracer.span('r', 'x'):\n"
+            "        return np.empty(n)  # repro: noqa[PERF003]\n"
+        )
+        assert "PERF003" not in rules_of(src)

@@ -214,3 +214,47 @@ class TestBitwiseBatchStability:
             row = ens.predict(x[i : i + 1])
             assert np.array_equal(batched.mean[i], row.mean[0])
             assert np.array_equal(batched.std[i], row.std[0])
+
+
+class TestBatchedMaskGeneration:
+    def test_batched_masks_match_sequential_draws_bitwise(self):
+        m, x, _ = _trained_dropout_model()
+        uq = MCDropoutUQ(m, n_samples=12, seed=7)
+        result = uq.predict(x[:9])
+        # Replay the exact sequential protocol the batched block
+        # replaces: S passes of predict_stable(mc_dropout_rng=gen) off
+        # one generator, then the same stable moments.
+        gen = np.random.default_rng(7)
+        draws = [
+            m.predict_stable(x[:9], mc_dropout_rng=gen) for _ in range(12)
+        ]
+        from repro.core.uq import _stable_moments
+
+        mean, std = _stable_moments(draws)
+        assert np.array_equal(result.mean, mean)
+        assert np.array_equal(result.std, std)
+
+    def test_batched_masks_block_is_per_pass_stream(self):
+        m, _, _ = _trained_dropout_model()
+        uq = MCDropoutUQ(m, n_samples=5, seed=3)
+        masks = uq._batched_masks(np.random.default_rng(3))
+        assert masks is not None
+        widths = m.mc_dropout_widths()
+        # One (1, width) scaled mask per active dropout layer per pass.
+        assert len(masks) == 5
+        for row in masks:
+            assert [seg.shape for seg in row] == [(1, w) for w in widths]
+        # And the draws are bitwise what per-pass calls would produce.
+        gen = np.random.default_rng(3)
+        for row in masks:
+            for width, seg in zip(widths, row):
+                ref = (gen.random((1, width)) < 0.8) / 0.8
+                assert np.array_equal(seg, ref)
+
+    def test_row_stability_preserved(self):
+        m, x, _ = _trained_dropout_model()
+        uq = MCDropoutUQ(m, n_samples=8, seed=1)
+        full = uq.predict(x[:6])
+        single = uq.predict(x[2:3])
+        assert np.array_equal(full.mean[2], single.mean[0])
+        assert np.array_equal(full.std[2], single.std[0])

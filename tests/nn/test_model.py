@@ -148,3 +148,98 @@ class TestSerialization:
         assert m.n_params == 2 * 3 + 3
         out = m.predict(np.zeros((1, 2)))
         assert out.shape == (1, 3)
+
+
+class TestServingDtype:
+    def test_default_is_float64_and_bitwise_matches_forward(self, model):
+        x = np.random.default_rng(1).normal(size=(17, 3))
+        assert model.serving_dtype == np.float64
+        assert np.array_equal(model.predict(x), model.forward(x, training=False))
+        # Single row and 1-D input agree with the generic path too.
+        assert np.array_equal(
+            model.predict(x[:1]), model.forward(x[:1], training=False)
+        )
+        assert np.array_equal(model.predict(x[0]), model.forward(x[0], training=False))
+
+    def test_float32_close_at_batch_and_single_row(self, model):
+        x = np.random.default_rng(2).normal(size=(64, 3))
+        y64 = model.predict(x)
+        model.set_serving_dtype(np.float32)
+        y32 = model.predict(x)
+        assert y32.dtype == np.float64  # always returned as float64
+        assert np.allclose(y32, y64, rtol=1e-4, atol=1e-6)
+        one64 = model.forward(x[:1], training=False)
+        assert np.allclose(model.predict(x[:1]), one64, rtol=1e-4, atol=1e-6)
+
+    def test_invalid_dtype_rejected(self, model):
+        with pytest.raises(ValueError, match="serving dtype"):
+            model.set_serving_dtype(np.int32)
+
+    def test_set_flat_params_refreshes_float32_weights(self, model):
+        x = np.random.default_rng(3).normal(size=(4, 3))
+        model.set_serving_dtype(np.float32)
+        model.predict(x)  # populate the cached float32 weights
+        params = model.get_flat_params()
+        model.set_flat_params(params * 0.5)
+        fresh = model.forward(x, training=False)
+        assert np.allclose(model.predict(x), fresh, rtol=1e-4, atol=1e-6)
+
+    def test_mc_dropout_bypasses_fused_plan(self):
+        m = MLP.regressor(3, [16], 1, dropout=0.3, rng=0)
+        m.set_serving_dtype(np.float32)
+        m.set_mc_dropout(True)
+        x = np.ones((2, 3))
+        # Stochastic through the generic path: two calls differ.
+        assert not np.array_equal(m.predict(x), m.predict(x))
+        m.set_mc_dropout(False)
+        assert np.array_equal(m.predict(x), m.predict(x))
+
+    def test_training_unaffected_by_serving_dtype(self, model):
+        x = np.random.default_rng(4).normal(size=(8, 3))
+        ref = model.forward(x, training=False)
+        model.set_serving_dtype(np.float32)
+        # The generic forward (training path) stays float64 bitwise.
+        assert np.array_equal(model.forward(x, training=False), ref)
+
+    def test_predict_stable_stays_float64(self, model):
+        x = np.random.default_rng(5).normal(size=(6, 3))
+        ref = model.predict_stable(x)
+        model.set_serving_dtype(np.float32)
+        assert np.array_equal(model.predict_stable(x), ref)
+
+
+class TestMCDropoutWidths:
+    def test_widths_list_active_dropout_layers(self):
+        m = MLP.regressor(3, [8, 6], 2, dropout=0.2, rng=0)
+        assert m.mc_dropout_widths() == [8, 6]
+
+    def test_no_dropout_is_empty(self, model):
+        assert model.mc_dropout_widths() == []
+
+    def test_masks_and_rng_mutually_exclusive(self):
+        m = MLP.regressor(3, [8], 1, dropout=0.2, rng=0)
+        with pytest.raises(ValueError, match="not both"):
+            m.predict_stable(
+                np.zeros((1, 3)),
+                mc_dropout_rng=np.random.default_rng(0),
+                mc_dropout_masks=[np.ones((1, 8))],
+            )
+
+    def test_mask_count_validated(self):
+        m = MLP.regressor(3, [8], 1, dropout=0.2, rng=0)
+        with pytest.raises(ValueError, match="mask"):
+            m.predict_stable(np.zeros((1, 3)), mc_dropout_masks=[])
+
+    def test_masks_replay_rng_draws_bitwise(self):
+        m = MLP.regressor(3, [8, 6], 2, dropout=0.2, rng=0)
+        x = np.random.default_rng(6).normal(size=(5, 3))
+        gen = np.random.default_rng(42)
+        ref = m.predict_stable(x, mc_dropout_rng=gen)
+        # Replay the same draws as explicit masks: one (1, width) unit
+        # mask per active dropout layer, scaled by 1/keep.
+        gen = np.random.default_rng(42)
+        masks = []
+        for width, rate in zip(m.mc_dropout_widths(), (0.2, 0.2)):
+            keep = 1.0 - rate
+            masks.append((gen.random((1, width)) < keep) / keep)
+        assert np.array_equal(m.predict_stable(x, mc_dropout_masks=masks), ref)

@@ -1,0 +1,171 @@
+"""Tests for repro.obs.profile — self-time mining over span traces."""
+
+import json
+
+import pytest
+
+from repro.obs.cli import main
+from repro.obs.export import write_trace
+from repro.obs.profile import (
+    _quantile,
+    profile,
+    render_profile_json,
+    render_profile_text,
+)
+from repro.obs.span import Span
+from repro.obs.summary import summarize
+from repro.obs.trace import Tracer
+
+
+def des_trace():
+    """A small discrete-event trace shaped like a serve run."""
+    tr = Tracer(meta={"t_seq": 0.05})
+    root = tr.open_span("serve", "serve", t_start=0.0)  # repro: noqa[FLOW003] -- linear fixture builder; a record() failure fails the test anyway
+    tr.record("uq_row", "lookup", 0.0, 0.001)
+    tr.record("uq_row", "lookup", 0.001, 0.002)
+    tr.record("fallback", "simulate", 0.002, 0.052)
+    tr.record("retrain", "train", 0.052, 0.552)
+    tr.record("cache_hit", "cache", 0.6, 0.600002)
+    tr.close_span(root, t_end=1.0)
+    return tr
+
+
+class TestQuantile:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            _quantile([], 0.99)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="quantile"):
+            _quantile([1.0], 1.5)
+
+    def test_single_value(self):
+        assert _quantile([3.0], 0.99) == 3.0
+
+    def test_endpoints_and_interpolation(self):
+        vals = [1.0, 2.0, 4.0]
+        assert _quantile(vals, 0.0) == 1.0
+        assert _quantile(vals, 1.0) == 4.0
+        assert _quantile(vals, 0.5) == 2.0
+        assert _quantile(vals, 0.75) == 3.0  # midway between 2 and 4
+
+
+class TestProfile:
+    def test_empty_trace(self):
+        prof = profile([])
+        assert prof["n_spans"] == 0
+        assert prof["kinds"] == {}
+        assert prof["hot_spans"] == []
+        assert prof["flame"] == {}
+
+    def test_top_k_validation(self):
+        with pytest.raises(ValueError, match="top_k"):
+            profile([], top_k=0)
+
+    def test_self_time_excludes_children(self):
+        spans = [
+            Span(0, None, "root", "serve", 0.0, 10.0),
+            Span(1, 0, "work", "lookup", 0.0, 3.0),
+            Span(2, 0, "work", "lookup", 3.0, 7.0),
+        ]
+        prof = profile(spans)
+        assert prof["kinds"]["serve"]["self_seconds"] == pytest.approx(3.0)
+        assert prof["kinds"]["serve"]["total_seconds"] == pytest.approx(10.0)
+        assert prof["kinds"]["lookup"]["self_seconds"] == pytest.approx(7.0)
+
+    def test_overlapping_children_clamp_to_zero_self(self):
+        # DES children can overlap in virtual time and over-cover the
+        # parent; the excess surfaces as overlap, never negative self.
+        spans = [
+            Span(0, None, "root", "serve", 0.0, 1.0),
+            Span(1, 0, "a", "lookup", 0.0, 1.0),
+            Span(2, 0, "b", "lookup", 0.0, 1.0),
+        ]
+        prof = profile(spans)
+        assert prof["kinds"]["serve"]["self_seconds"] == 0.0
+        assert prof["kinds"]["serve"]["overlap_seconds"] == pytest.approx(1.0)
+        assert prof["total_overlap_seconds"] == pytest.approx(1.0)
+
+    def test_kind_totals_match_summarize(self):
+        tr = des_trace()
+        prof = profile(tr.spans, meta=tr.meta)
+        summ = summarize(tr.spans, meta=tr.meta)
+        assert set(prof["kinds"]) == set(summ["kinds"])
+        for kind, row in prof["kinds"].items():
+            ref = summ["kinds"][kind]["total_seconds"]
+            assert abs(row["total_seconds"] - ref) <= 1e-9 * max(abs(ref), 1.0)
+            assert row["count"] == summ["kinds"][kind]["count"]
+
+    def test_hot_spans_ranked_by_self_time(self):
+        tr = des_trace()
+        prof = profile(tr.spans, top_k=3)
+        selfs = [row["self_seconds"] for row in prof["hot_spans"]]
+        assert selfs == sorted(selfs, reverse=True)
+        assert prof["hot_spans"][0]["name"] == "retrain"
+
+    def test_hot_span_ties_break_by_start_then_name(self):
+        spans = [
+            Span(0, None, "beta", "a", 5.0, 6.0),
+            Span(1, None, "alpha", "a", 0.0, 1.0),
+            Span(2, None, "alpha", "a", 5.0, 6.0),
+        ]
+        prof = profile(spans, top_k=3)
+        assert [(r["t_start"], r["name"]) for r in prof["hot_spans"]] == [
+            (0.0, "alpha"),
+            (5.0, "alpha"),
+            (5.0, "beta"),
+        ]
+
+    def test_flame_paths_join_names(self):
+        tr = des_trace()
+        prof = profile(tr.spans)
+        assert "serve" in prof["flame"]
+        assert "serve;retrain" in prof["flame"]
+        assert prof["flame"]["serve;uq_row"]["count"] == 2
+
+    def test_orphan_parent_treated_as_root(self):
+        # A trace slice can reference a parent id that was cut away.
+        spans = [Span(7, 3, "leaf", "lookup", 0.0, 1.0)]
+        prof = profile(spans)
+        assert list(prof["flame"]) == ["leaf"]
+
+    def test_insensitive_to_span_order(self):
+        tr = des_trace()
+        prof = profile(tr.spans)
+        assert profile(list(reversed(tr.spans))) == profile(tr.spans)
+        assert prof is not None
+
+
+class TestReporters:
+    def test_json_byte_stable(self):
+        tr = des_trace()
+        a = render_profile_json(profile(tr.spans, meta=tr.meta))
+        b = render_profile_json(profile(des_trace().spans, meta=tr.meta))
+        assert a == b
+        json.loads(a)  # valid JSON
+
+    def test_text_mentions_kinds_and_paths(self):
+        text = render_profile_text(profile(des_trace().spans))
+        assert "per-kind" in text
+        assert "serve;retrain" in text
+        assert "hot spans" in text
+
+
+class TestCli:
+    def test_profile_text_and_json(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl.gz", des_trace())
+        assert main(["profile", str(path)]) == 0
+        text = capsys.readouterr().out
+        assert "per-kind" in text
+
+        assert main(["profile", str(path), "--format", "json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["profile", str(path), "--format", "json"]) == 0
+        second = capsys.readouterr().out
+        assert first == second  # byte-stable across runs
+        prof = json.loads(first)
+        assert prof["n_spans"] == 6
+
+    def test_profile_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["profile", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error" in capsys.readouterr().err.lower()

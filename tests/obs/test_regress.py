@@ -128,6 +128,41 @@ class TestCompareReports:
         with pytest.raises(ValueError, match="mismatch"):
             compare_reports(serve_report(), {"benchmark": "md_force_kernels"})
 
+    def test_kernel_metric_missing_in_fresh_is_not_a_regression(self):
+        # The serve kernel block is emitted unconditionally, but the md
+        # kernel block (and the serve overhead criteria) only appear at
+        # full bench sizes; a reduced fresh run must not trip the gate.
+        base = serve_report()
+        base["kernel"] = {
+            "predict_f32_speedup": 3.0,
+            "criteria": {"predict_f32_speedup_ge_1_5x": True},
+        }
+        report = compare_reports(base, serve_report())
+        assert report["ok"]
+        metric = next(
+            r for r in report["metrics"]
+            if r["name"] == "kernel.predict_f32_speedup"
+        )
+        assert metric["status"] == "missing"
+        criterion = next(
+            r for r in report["criteria"]
+            if r["name"] == "kernel.criteria.predict_f32_speedup_ge_1_5x"
+        )
+        assert criterion["status"] == "skipped"
+
+    def test_kernel_metric_regression_fails_when_present(self):
+        base = serve_report()
+        base["kernel"] = {"predict_f32_speedup": 3.0}
+        fresh = serve_report()
+        fresh["kernel"] = {"predict_f32_speedup": 1.0}
+        report = compare_reports(base, fresh)
+        assert not report["ok"]
+        metric = next(
+            r for r in report["metrics"]
+            if r["name"] == "kernel.predict_f32_speedup"
+        )
+        assert metric["status"] == "regression"
+
     def test_render_text_has_verdict(self):
         text = render_report_text(compare_reports(serve_report(), serve_report()))
         assert "verdict: OK" in text

@@ -96,3 +96,19 @@ class TestSummarize:
         s = summarize(des_trace().spans, top_k=2)
         assert len(s["slowest"]) == 2
         assert s["slowest"][0]["name"] == "serve"
+
+    def test_slowest_ties_break_by_start_then_name(self):
+        # DES costs are modeled constants, so equal durations are the
+        # norm; the top-k report orders them by (t_start, name) so it
+        # is stable against recording-order changes.
+        spans = [
+            Span(0, None, "beta", "a", 5.0, 6.0),
+            Span(1, None, "alpha", "a", 0.0, 1.0),
+            Span(2, None, "alpha", "a", 5.0, 6.0),
+        ]
+        s = summarize(spans, top_k=3)
+        assert [(r["t_start"], r["name"]) for r in s["slowest"]] == [
+            (0.0, "alpha"),
+            (5.0, "alpha"),
+            (5.0, "beta"),
+        ]

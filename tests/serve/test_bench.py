@@ -31,7 +31,6 @@ class TestRunServeBench:
         )
         crit = payload["criteria"]
         for name in (
-            "monitor_overhead_lt_5pct",
             "monitor_quiet_on_healthy",
             "drift_alert_fired",
             "drift_triggers_retrain",
@@ -39,6 +38,12 @@ class TestRunServeBench:
             "deterministic_drift_replay",
         ):
             assert name in crit
+        # Overhead ratios are timer noise below OVERHEAD_MIN_REQUESTS:
+        # the values are still recorded, but the criteria stay ungated
+        # so a reduced smoke run cannot fake a regression.
+        assert "monitor_overhead_lt_5pct" not in crit
+        assert "trace_overhead_lt_5pct" not in crit
+        assert "overhead_vs_traced" in payload["trace"]["monitor"]
         assert crit["drift_alert_fired"]
         assert crit["drift_triggers_retrain"]
         assert crit["monitor_replay_matches_live"]

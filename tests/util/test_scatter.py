@@ -111,3 +111,33 @@ class TestEdgesAndErrors:
     def test_mismatched_values_shape_rejected(self):
         with pytest.raises(ValueError):
             scatter_add(np.zeros(3), np.array([0, 1]), np.zeros(5))
+
+
+class TestSubtract:
+    def test_1d_subtract_matches_negated_values(self):
+        gen = ensure_rng(0)
+        idx = gen.integers(0, 7, 40)
+        vals = gen.normal(size=40)
+        a = gen.normal(size=7)
+        b = a.copy()
+        scatter_add(a, idx, vals, subtract=True)
+        scatter_add(b, idx, -vals)
+        assert np.array_equal(a, b)
+
+    def test_2d_subtract_matches_negated_values(self):
+        gen = ensure_rng(1)
+        idx = gen.integers(0, 5, 30)
+        vals = gen.normal(size=(30, 3))
+        a = gen.normal(size=(5, 3))
+        b = a.copy()
+        scatter_add(a, idx, vals, subtract=True)
+        scatter_add(b, idx, -vals)
+        assert np.array_equal(a, b)
+
+    def test_subtract_then_add_round_trips(self):
+        out = np.zeros(4)
+        idx = np.array([0, 1, 1, 3])
+        vals = np.array([1.0, 2.0, 3.0, 4.0])
+        scatter_add(out, idx, vals)
+        scatter_add(out, idx, vals, subtract=True)
+        assert np.array_equal(out, np.zeros(4))
