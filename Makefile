@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint lint-json baseline bench trace profile regress check
+.PHONY: test lint lint-json baseline bench bench-gp trace profile regress check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -9,6 +9,18 @@ test:
 bench:
 	$(PYTHON) -m repro.md.bench --trace
 	$(PYTHON) -m repro.serve.bench --trace
+	$(PYTHON) -m repro.gp.bench
+
+# Reduced-size GP-vs-ANN DoE smoke: same campaigns as the committed
+# BENCH_gp_doe.json but smaller pool/epochs, then the criteria-level
+# regression gate against the committed baseline (numeric metrics only
+# arm at full size — see `make regress`).
+bench-gp:
+	$(PYTHON) -m repro.gp.bench --pool-size 96 --n-test 48 --max-rounds 10 \
+		--epochs 60 --n-small 32 --n-query 64 --rounds 2 \
+		--output /tmp/BENCH_gp_doe_fresh.json
+	$(PYTHON) -m repro.obs regress BENCH_gp_doe.json /tmp/BENCH_gp_doe_fresh.json \
+		--output /tmp/REGRESS_gp_doe.json
 
 trace:
 	$(PYTHON) -m repro.serve.bench --n-requests 300 --epochs 60 \
@@ -36,6 +48,7 @@ regress:
 		--output /tmp/REGRESS_serve.json
 	$(PYTHON) -m repro.obs regress BENCH_md_forces.json /tmp/BENCH_md_forces_fresh.json \
 		--output /tmp/REGRESS_md_forces.json
+	$(MAKE) bench-gp
 
 LINT_PATHS = src/repro tests benchmarks examples
 

@@ -29,15 +29,26 @@ from repro.core.surrogate import Surrogate
 from repro.nn import metrics
 from repro.util.rng import ensure_rng, spawn_rngs
 
-__all__ = ["ActiveLearningResult", "ActiveLearner", "random_sampling_baseline"]
+__all__ = [
+    "ActiveLearningResult",
+    "ActiveLearner",
+    "compare_campaigns",
+    "random_sampling_baseline",
+]
 
 
 @dataclass
 class ActiveLearningResult:
-    """Trace of one acquisition campaign."""
+    """Trace of one acquisition campaign.
+
+    ``sim_calls`` records the simulator invocations made in each round
+    (including failed runs, which still cost compute) — the currency
+    §III-D's effective-speedup argument is denominated in.
+    """
 
     n_labeled: list[int] = field(default_factory=list)
     test_mae: list[float] = field(default_factory=list)
+    sim_calls: list[int] = field(default_factory=list)
     reached_target: bool = False
 
     @property
@@ -48,11 +59,25 @@ class ActiveLearningResult:
     def final_test_mae(self) -> float:
         return self.test_mae[-1] if self.test_mae else float("nan")
 
+    @property
+    def total_sim_calls(self) -> int:
+        """Simulator invocations across the whole campaign."""
+        return int(sum(self.sim_calls))
+
     def n_labeled_to_reach(self, target_mae: float) -> int | None:
         """Smallest label count whose test MAE met ``target_mae``."""
         for n, m in zip(self.n_labeled, self.test_mae):
             if m <= target_mae:
                 return n
+        return None
+
+    def sims_to_reach(self, target_mae: float) -> int | None:
+        """Cumulative simulator calls when ``target_mae`` was first met."""
+        total = 0
+        for calls, m in zip(self.sim_calls, self.test_mae):
+            total += calls
+            if m <= target_mae:
+                return total
         return None
 
 
@@ -134,11 +159,8 @@ class ActiveLearner:
         result = ActiveLearningResult()
 
         seed_idx = self.rng.choice(len(self.pool), size=self.seed_size, replace=False)
-        self._label(seed_idx, unlabeled, sim_rng)
-        self._refit()
-        self._record(result)
-        if target_mae is not None and result.final_test_mae <= target_mae:
-            result.reached_target = True
+        n_calls = self._label(seed_idx, unlabeled, sim_rng)
+        if self._finish_round(result, n_calls, target_mae):
             return result
 
         for _ in range(max_rounds):
@@ -155,34 +177,49 @@ class ActiveLearner:
                 pick = self.rng.choice(top, size=k, replace=False)
             else:
                 pick = self.rng.choice(candidates, size=k, replace=False)
-            self._label(pick, unlabeled, sim_rng)
-            self._refit()
-            self._record(result)
-            if target_mae is not None and result.final_test_mae <= target_mae:
-                result.reached_target = True
+            n_calls = self._label(pick, unlabeled, sim_rng)
+            if self._finish_round(result, n_calls, target_mae):
                 break
         return result
 
     # ------------------------------------------------------------------
     def _label(
         self, indices: np.ndarray, unlabeled: np.ndarray, sim_rng: np.random.Generator
-    ) -> None:
+    ) -> int:
+        """Run the simulator on each index; returns the number of calls made."""
         for i in indices:
             try:
                 self.simulation.run_recorded(self.pool[i], self.db, sim_rng)
             except SimulationError:
                 pass  # failure recorded; point still consumed from the pool
             unlabeled[i] = False
+        return len(indices)
 
     def _refit(self) -> None:
         X, Y = self.db.training_arrays()
         self.surrogate = self.surrogate_factory()
         self.surrogate.fit(X, Y)
 
-    def _record(self, result: ActiveLearningResult) -> None:
+    def _finish_round(
+        self,
+        result: ActiveLearningResult,
+        n_calls: int,
+        target_mae: float | None,
+    ) -> bool:
+        """Refit, record the round, and report whether the target was met.
+
+        One code path for the seed round and every acquisition round, so
+        the stopping rule and the bookkeeping cannot drift apart.
+        """
+        self._refit()
         pred = self.surrogate.predict(self.x_test)
         result.n_labeled.append(self.db.n_success)
+        result.sim_calls.append(int(n_calls))
         result.test_mae.append(metrics.mae(pred, self.y_test))
+        if target_mae is not None and result.final_test_mae <= target_mae:
+            result.reached_target = True
+            return True
+        return False
 
 
 def random_sampling_baseline(
@@ -210,3 +247,31 @@ def random_sampling_baseline(
         rng=rng,
     )
     return learner.run(target_mae=target_mae, max_rounds=max_rounds, strategy="random")
+
+
+def compare_campaigns(
+    campaigns: dict[str, Callable[[], ActiveLearningResult]],
+    *,
+    target_mae: float,
+) -> dict[str, dict]:
+    """Run named acquisition campaigns and compare sims-to-target.
+
+    The single harness the ISSUE asks for: the ANN+uncertainty loop, the
+    GP adaptive-DoE loop, and the random baseline each reduce to a
+    zero-argument thunk returning an :class:`ActiveLearningResult`, and
+    every entry is scored in the same currency — simulator calls spent
+    to first reach ``target_mae`` on the shared test set (``None`` when
+    the campaign never got there).
+    """
+    summary: dict[str, dict] = {}
+    for name, run in campaigns.items():
+        result = run()
+        summary[name] = {
+            "reached_target": bool(result.reached_target),
+            "sims_to_target": result.sims_to_reach(target_mae),
+            "total_sim_calls": result.total_sim_calls,
+            "final_test_mae": result.final_test_mae,
+            "final_n_labeled": result.final_n_labeled,
+            "rounds": len(result.test_mae),
+        }
+    return summary

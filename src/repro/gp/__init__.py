@@ -1,0 +1,55 @@
+"""Gaussian-process surrogates with adaptive design-of-experiments.
+
+The second surrogate backend of the tree (alongside the :mod:`repro.nn`
+MLP): a numpy-only exact GP with ARD kernels (:mod:`repro.gp.kernels`),
+Cholesky-factored inference with grow-only refit updates
+(:mod:`repro.gp.gp`), marginal-likelihood hyperparameter fitting via a
+from-scratch L-BFGS (:mod:`repro.gp.fit`), and the quoFEM-style
+adaptive-DoE loop that grows the training set where the posterior is
+most uncertain (:mod:`repro.gp.doe`).  :class:`GPSurrogate` satisfies
+the same duck type as :class:`repro.core.surrogate.Surrogate`, so it
+drops into the MLAroundHPC UQ gate and the serving stack unchanged.
+``python -m repro.gp.bench`` runs the tracked GP-vs-ANN
+sims-to-tolerance benchmark behind ``BENCH_gp_doe.json``.
+"""
+
+from repro.gp.doe import ACQUISITIONS, AdaptiveDoE, DoEResult
+from repro.gp.fit import (
+    CholeskyResult,
+    LBFGS,
+    OptimizeResult,
+    jittered_cholesky,
+    log_marginal_likelihood,
+    optimize_hyperparams,
+)
+from repro.gp.gp import GPAnalyticUQ, GPSurrogate
+from repro.gp.kernels import (
+    KERNELS,
+    Kernel,
+    Matern32,
+    Matern52,
+    RBF,
+    kernel_from_config,
+    make_kernel,
+)
+
+__all__ = [
+    "ACQUISITIONS",
+    "AdaptiveDoE",
+    "CholeskyResult",
+    "DoEResult",
+    "GPAnalyticUQ",
+    "GPSurrogate",
+    "KERNELS",
+    "Kernel",
+    "LBFGS",
+    "Matern32",
+    "Matern52",
+    "OptimizeResult",
+    "RBF",
+    "jittered_cholesky",
+    "kernel_from_config",
+    "log_marginal_likelihood",
+    "make_kernel",
+    "optimize_hyperparams",
+]

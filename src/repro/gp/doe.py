@@ -1,0 +1,369 @@
+"""Adaptive design-of-experiments driven by the GP posterior.
+
+The quoFEM/SimCenter surrogate workflow (SNIPPETS.md) grows a Gaussian-
+process training set *adaptively*: fit on a small seed design, then
+repeatedly run the expensive simulator exactly where the surrogate is
+most uncertain, until a tolerance is met.  §III-D of the paper makes
+this the biggest lever on effective speedup — every simulator call the
+DoE loop avoids is wall-clock the surrogate saved.
+
+:class:`AdaptiveDoE` implements quoFEM's three input regimes:
+
+* **Case 1** (:meth:`AdaptiveDoE.from_bounds`) — parameter bounds plus a
+  simulator; candidate designs are drawn fresh from the box each round.
+* **Case 2** (:meth:`AdaptiveDoE.from_pool`) — a fixed dataset of
+  candidate inputs plus a simulator; acquisition consumes the pool.
+* **Case 3** (:meth:`AdaptiveDoE.from_dataset`) — a pure input/output
+  dataset and no simulator; acquisition selects which existing rows the
+  GP actually needs (data-efficiency without any new runs).
+
+Two acquisition rules are provided: ``"variance"`` picks the candidates
+with the largest *epistemic* posterior std (quoFEM's default), and
+``"imse"`` scores each candidate by how much observing it would shrink
+the integrated posterior variance over a monitor set — the classic
+IMSE-reduction criterion :math:`\\sum_m k_n(c, m)^2 / (\\sigma_n^2(c) +
+\\sigma_{noise}^2)`.
+
+Results are :class:`DoEResult`, a :class:`~repro.core.active.
+ActiveLearningResult` subclass, so the GP DoE loop, the ANN+uncertainty
+loop and the random baseline all score under the same
+:func:`~repro.core.active.compare_campaigns` harness in the same
+currency: simulator calls to target accuracy.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.active import ActiveLearningResult
+from repro.core.simulation import RunDatabase, Simulation, SimulationError
+from repro.gp.gp import GPSurrogate
+from repro.nn import metrics
+from repro.util.rng import ensure_rng, spawn_rngs
+
+__all__ = ["ACQUISITIONS", "AdaptiveDoE", "DoEResult"]
+
+#: Supported acquisition rules.
+ACQUISITIONS = ("variance", "imse")
+
+
+@dataclass
+class DoEResult(ActiveLearningResult):
+    """Trace of one adaptive-DoE campaign.
+
+    Extends the shared campaign record with the DoE-specific signals:
+    which quoFEM input regime ran, and the per-round maximum epistemic
+    posterior std over the candidate set (scaled units) — the quantity
+    ``target_std`` stopping watches.
+    """
+
+    case: str = ""
+    max_std: list[float] = field(default_factory=list)
+
+    @property
+    def final_max_std(self) -> float:
+        """Last recorded candidate-set posterior std (nan before any round)."""
+        return self.max_std[-1] if self.max_std else float("nan")
+
+
+class AdaptiveDoE:
+    """GP-driven sequential design loop over one of quoFEM's three cases.
+
+    Construct via :meth:`from_bounds` / :meth:`from_pool` /
+    :meth:`from_dataset` rather than directly.  The loop owns a single
+    persistent :class:`~repro.gp.gp.GPSurrogate` and refits it on the
+    grown data each round, so between hyperparameter re-optimizations
+    the refit takes the GP's cheap grow-only factor-update path.
+
+    Parameters
+    ----------
+    gp:
+        The (unfitted) surrogate to grow.
+    x_test, y_test:
+        Optional fixed evaluation set for the accuracy trace (required
+        when stopping on ``target_mae``).
+    batch_size:
+        Designs acquired per round (greedy top-k under the acquisition).
+    seed_size:
+        Random designs evaluated before the first fit.
+    n_candidates:
+        Candidate designs scored per round (Case 1 only; pool cases
+        score every remaining row).
+    n_monitor:
+        Monitor-set size for the ``"imse"`` acquisition integral.
+    acquisition:
+        ``"variance"`` or ``"imse"``.
+    rng:
+        Seed/generator for the seed design, candidate draws and
+        simulator noise.
+    """
+
+    def __init__(
+        self,
+        gp: GPSurrogate,
+        *,
+        case: str,
+        simulation: Simulation | None = None,
+        bounds: np.ndarray | None = None,
+        pool: np.ndarray | None = None,
+        pool_y: np.ndarray | None = None,
+        x_test: np.ndarray | None = None,
+        y_test: np.ndarray | None = None,
+        batch_size: int = 1,
+        seed_size: int = 8,
+        n_candidates: int = 128,
+        n_monitor: int = 64,
+        acquisition: str = "variance",
+        rng: int | np.random.Generator | None = None,
+    ):
+        if acquisition not in ACQUISITIONS:
+            raise ValueError(
+                f"unknown acquisition {acquisition!r}; choose from {ACQUISITIONS}"
+            )
+        if batch_size < 1 or seed_size < 2:
+            raise ValueError("batch_size >= 1 and seed_size >= 2 required")
+        if n_candidates < 1 or n_monitor < 1:
+            raise ValueError("n_candidates and n_monitor must be >= 1")
+        self.gp = gp
+        self.case = case
+        self.simulation = simulation
+        self.bounds = bounds
+        self.pool = pool
+        self.pool_y = pool_y
+        self.x_test = None if x_test is None else np.atleast_2d(
+            np.asarray(x_test, dtype=float)
+        )
+        self.y_test = None if y_test is None else np.atleast_2d(
+            np.asarray(y_test, dtype=float)
+        )
+        self.batch_size = int(batch_size)
+        self.seed_size = int(seed_size)
+        self.n_candidates = int(n_candidates)
+        self.n_monitor = int(n_monitor)
+        self.acquisition = acquisition
+        self.rng = ensure_rng(rng)
+        self._sim_rng, self._design_rng = spawn_rngs(self.rng, 2)
+        self.db = RunDatabase()
+        #: Optional duck-typed tracer; defaults to the surrogate's.
+        self.tracer = gp.tracer
+        self._unpicked: np.ndarray | None = (
+            None if pool is None else np.ones(len(pool), dtype=bool)
+        )
+        # Dataset case: labels come from the stored outputs, not a solver.
+        self._X_rows: list[np.ndarray] = []
+        self._Y_rows: list[np.ndarray] = []
+
+    # ------------------------------------------------------------------
+    # constructors for the three quoFEM cases
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_bounds(
+        cls,
+        gp: GPSurrogate,
+        simulation: Simulation,
+        bounds: np.ndarray,
+        **kwargs,
+    ) -> "AdaptiveDoE":
+        """Case 1 — parameter box + simulator; candidates drawn fresh."""
+        bounds = np.asarray(bounds, dtype=float)
+        if bounds.ndim != 2 or bounds.shape != (gp.in_dim, 2):
+            raise ValueError(
+                f"bounds must have shape ({gp.in_dim}, 2), got {bounds.shape}"
+            )
+        if not np.all(bounds[:, 0] < bounds[:, 1]):
+            raise ValueError("each bounds row must satisfy low < high")
+        return cls(gp, case="bounds", simulation=simulation, bounds=bounds, **kwargs)
+
+    @classmethod
+    def from_pool(
+        cls,
+        gp: GPSurrogate,
+        simulation: Simulation,
+        pool: np.ndarray,
+        **kwargs,
+    ) -> "AdaptiveDoE":
+        """Case 2 — fixed candidate inputs + simulator; pool is consumed."""
+        pool = np.atleast_2d(np.asarray(pool, dtype=float))
+        if pool.shape[1] != gp.in_dim:
+            raise ValueError(f"pool expects {gp.in_dim} features, got {pool.shape}")
+        return cls(gp, case="pool", simulation=simulation, pool=pool, **kwargs)
+
+    @classmethod
+    def from_dataset(
+        cls,
+        gp: GPSurrogate,
+        X: np.ndarray,
+        Y: np.ndarray,
+        **kwargs,
+    ) -> "AdaptiveDoE":
+        """Case 3 — pure dataset, no simulator; rows are selected, not run."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        Y = np.asarray(Y, dtype=float)
+        if Y.ndim == 1:
+            Y = Y[:, None]
+        if len(X) != len(Y):
+            raise ValueError("X and Y row counts differ")
+        if X.shape[1] != gp.in_dim or Y.shape[1] != gp.out_dim:
+            raise ValueError(
+                f"dataset shapes {X.shape}/{Y.shape} do not match GP "
+                f"({gp.in_dim} -> {gp.out_dim})"
+            )
+        return cls(gp, case="dataset", pool=X, pool_y=Y, **kwargs)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        *,
+        target_mae: float | None = None,
+        target_std: float | None = None,
+        max_rounds: int = 20,
+    ) -> DoEResult:
+        """Execute the adaptive loop.
+
+        Stops when the test-set MAE reaches ``target_mae`` (requires
+        ``x_test``/``y_test``), when the maximum epistemic posterior std
+        over the candidate set falls to ``target_std`` (scaled units),
+        or after ``max_rounds`` acquisition rounds — whichever first.
+        """
+        if target_mae is not None and self.x_test is None:
+            raise ValueError("target_mae stopping requires x_test/y_test")
+        result = DoEResult(case=self.case)
+
+        seed = self._seed_design()
+        n_calls = self._observe(seed)
+        with self._span("gp.doe.seed", len(seed)):
+            if self._finish_round(result, n_calls, target_mae, target_std):
+                return result
+
+        for _ in range(max_rounds):
+            candidates = self._candidates()
+            if len(candidates) == 0:
+                break
+            with self._span("gp.doe.round", len(candidates)):
+                picked = self._acquire(candidates)
+                n_calls = self._observe(picked)
+                if self._finish_round(result, n_calls, target_mae, target_std):
+                    return result
+        return result
+
+    # ------------------------------------------------------------------
+    def _span(self, name: str, n_rows: int):
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(name, "gp.doe", attrs={"n_rows": int(n_rows)})
+
+    def _seed_design(self) -> np.ndarray:
+        """Initial random design (points for Case 1, row indices otherwise)."""
+        if self.case == "bounds":
+            return self._sample_box(self.seed_size)
+        n = len(self.pool)
+        size = min(self.seed_size, n)
+        idx = self._design_rng.choice(n, size=size, replace=False)
+        self._unpicked[idx] = False
+        return idx
+
+    def _sample_box(self, n: int) -> np.ndarray:
+        lo, hi = self.bounds[:, 0], self.bounds[:, 1]
+        return lo + (hi - lo) * self._design_rng.random((n, self.gp.in_dim))
+
+    def _candidates(self) -> np.ndarray:
+        """This round's candidate designs (points, or row indices for pools)."""
+        if self.case == "bounds":
+            return self._sample_box(self.n_candidates)
+        return np.flatnonzero(self._unpicked)
+
+    def _candidate_points(self, candidates: np.ndarray) -> np.ndarray:
+        return candidates if self.case == "bounds" else self.pool[candidates]
+
+    def _acquire(self, candidates: np.ndarray) -> np.ndarray:
+        """Greedy top-k under the acquisition rule."""
+        points = self._candidate_points(candidates)
+        k = min(self.batch_size, len(points))
+        scores = self._scores(points)
+        order = np.argsort(scores)[-k:]
+        picked = candidates[order]
+        if self.case != "bounds":
+            self._unpicked[picked] = False
+        return picked
+
+    def _scores(self, points: np.ndarray) -> np.ndarray:
+        uq = self.gp._posterior_scaled(
+            self.gp.x_scaler.transform(points), include_noise=False
+        )
+        var = uq.std[:, 0] ** 2
+        if self.acquisition == "variance":
+            return var
+        # IMSE reduction: how much observing c shrinks integrated variance
+        # over the monitor set — sum_m k_n(c, m)^2 / (var(c) + noise).
+        monitor = self._monitor_points()
+        cross = self.gp.posterior_cov(points, monitor)
+        denom = var + self.gp.noise
+        return np.einsum("cm,cm->c", cross, cross, optimize=False) / denom
+
+    def _monitor_points(self) -> np.ndarray:
+        if self.case == "bounds":
+            return self._sample_box(self.n_monitor)
+        n = len(self.pool)
+        size = min(self.n_monitor, n)
+        idx = self._design_rng.choice(n, size=size, replace=False)
+        return self.pool[idx]
+
+    def _observe(self, picked: np.ndarray) -> int:
+        """Label the picked designs; returns the simulator calls spent.
+
+        Cases 1/2 run the simulator (failures still cost a call); Case 3
+        copies the stored rows — zero simulator cost by construction.
+        """
+        if self.case == "dataset":
+            for i in picked:
+                self._X_rows.append(self.pool[i])
+                self._Y_rows.append(self.pool_y[i])
+            return 0
+        points = picked if self.case == "bounds" else self.pool[picked]
+        for x in points:
+            try:
+                self.simulation.run_recorded(x, self.db, self._sim_rng)
+            except SimulationError:
+                pass  # failed run: recorded, costed, yields no training row
+        return len(points)
+
+    def _training_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        if self.case == "dataset":
+            return np.asarray(self._X_rows), np.asarray(self._Y_rows)
+        return self.db.training_arrays()
+
+    def _finish_round(
+        self,
+        result: DoEResult,
+        n_calls: int,
+        target_mae: float | None,
+        target_std: float | None,
+    ) -> bool:
+        """Refit on the grown data, record the round, check both targets."""
+        X, Y = self._training_arrays()
+        self.gp.fit(X, Y)
+        result.n_labeled.append(len(X))
+        result.sim_calls.append(int(n_calls))
+        if self.x_test is not None:
+            pred = self.gp.predict(self.x_test)
+            result.test_mae.append(metrics.mae(pred, self.y_test))
+        else:
+            result.test_mae.append(float("nan"))
+        probe = self._candidates()
+        if len(probe):
+            uq = self.gp._posterior_scaled(
+                self.gp.x_scaler.transform(self._candidate_points(probe)),
+                include_noise=False,
+            )
+            result.max_std.append(float(np.max(uq.std)))
+        else:
+            result.max_std.append(0.0)
+        hit_mae = target_mae is not None and result.final_test_mae <= target_mae
+        hit_std = target_std is not None and result.final_max_std <= target_std
+        if hit_mae or hit_std:
+            result.reached_target = True
+            return True
+        return False

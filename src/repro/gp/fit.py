@@ -1,0 +1,363 @@
+"""Marginal-likelihood hyperparameter fitting for the GP backend.
+
+Exact-GP hyperparameters (ARD lengthscales, signal variance, noise
+variance) are chosen by maximizing the log marginal likelihood
+
+.. math::
+
+    \\log p(Y \\mid X, \\theta) = -\\tfrac12 \\sum_k y_k^T K^{-1} y_k
+        - K_{out} \\log|L| - \\tfrac{n K_{out}}{2} \\log 2\\pi
+
+with one shared covariance ``K`` across the ``K_out`` output columns
+(the multi-output convention GPy calls *independent outputs, shared
+kernel*).  Everything here is from scratch on numpy + stdlib:
+
+* :func:`jittered_cholesky` — Cholesky factorization with escalating
+  diagonal jitter, the standard numerical safety net for near-singular
+  kernels (coincident training points, tiny noise);
+* :func:`log_marginal_likelihood` — value and analytic gradient with
+  respect to the *log* hyperparameters, validated against finite
+  differences in the test suite (the ``nn/gradcheck`` discipline);
+* :class:`LBFGS` — a from-scratch limited-memory BFGS maximizer
+  (two-loop recursion, Armijo backtracking, box projection);
+* :func:`optimize_hyperparams` — deterministic multi-start optimization
+  under :func:`~repro.util.rng.ensure_rng`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gp.kernels import Kernel
+from repro.util.rng import ensure_rng
+
+__all__ = [
+    "CholeskyResult",
+    "jittered_cholesky",
+    "log_marginal_likelihood",
+    "LBFGS",
+    "OptimizeResult",
+    "optimize_hyperparams",
+]
+
+#: First jitter magnitude tried when a bare factorization fails.
+DEFAULT_JITTER = 1e-10
+#: Escalation factor between successive jitter attempts.
+JITTER_GROWTH = 10.0
+#: Attempts before giving up (1e-10 * 10^7 = 1e-3 — far beyond any
+#: kernel matrix a sane model should produce).
+MAX_JITTER_TRIES = 8
+
+#: Box bounds (in log space) that keep hyperparameters sane during
+#: optimization: e^-8 ~ 3e-4 to e^8 ~ 3e3 relative to unit-scaled data.
+LOG_PARAM_BOUNDS = (-8.0, 8.0)
+
+
+@dataclass(frozen=True)
+class CholeskyResult:
+    """A successful (possibly jittered) Cholesky factorization."""
+
+    L: np.ndarray
+    jitter: float
+    n_tries: int
+
+
+def jittered_cholesky(
+    K: np.ndarray,
+    *,
+    initial_jitter: float = DEFAULT_JITTER,
+    max_tries: int = MAX_JITTER_TRIES,
+) -> CholeskyResult:
+    """Factor ``K (+ jitter I)`` with escalating diagonal jitter.
+
+    The first attempt uses the matrix as given (``jitter == 0``); each
+    failed attempt multiplies the jitter by :data:`JITTER_GROWTH`,
+    scaled relative to the mean diagonal so the escalation is invariant
+    to the kernel's overall magnitude.  Raises
+    :class:`numpy.linalg.LinAlgError` after ``max_tries`` failures.
+    """
+    K = np.asarray(K, dtype=float)
+    if K.ndim != 2 or K.shape[0] != K.shape[1]:
+        raise ValueError(f"K must be square, got shape {K.shape}")
+    if max_tries < 1:
+        raise ValueError(f"max_tries must be >= 1, got {max_tries}")
+    scale = max(float(np.mean(np.diag(K))), 1e-300)
+    jitter = 0.0
+    for attempt in range(max_tries):
+        try:
+            L = np.linalg.cholesky(
+                K if jitter == 0.0 else K + jitter * np.eye(K.shape[0])
+            )
+            return CholeskyResult(L=L, jitter=jitter, n_tries=attempt + 1)
+        except np.linalg.LinAlgError:
+            jitter = (
+                initial_jitter * scale
+                if jitter == 0.0
+                else jitter * JITTER_GROWTH
+            )
+    raise np.linalg.LinAlgError(
+        f"Cholesky failed after {max_tries} jitter escalations "
+        f"(last jitter {jitter:.2e}); kernel matrix is numerically singular"
+    )
+
+
+def _cho_solve(L: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Solve ``(L L^T) x = B`` from a lower Cholesky factor."""
+    return np.linalg.solve(L.T, np.linalg.solve(L, B))
+
+
+def log_marginal_likelihood(
+    kernel: Kernel,
+    log_noise: float,
+    X: np.ndarray,
+    Y: np.ndarray,
+    *,
+    with_grad: bool = True,
+) -> tuple[float, np.ndarray | None]:
+    """Log marginal likelihood (and its log-parameter gradient).
+
+    Parameters
+    ----------
+    kernel:
+        The covariance function; evaluated at its *current*
+        hyperparameters.
+    log_noise:
+        Log of the observation-noise variance :math:`\\sigma_n^2`.
+    X, Y:
+        Training inputs (n, D) and targets (n, K_out) — already scaled
+        by the caller.
+    with_grad:
+        When True the second return value is the gradient with respect
+        to ``[kernel.get_log_params()..., log_noise]``; when False it is
+        ``None`` (saves the O(n^3) inverse).
+
+    The gradient uses the classic identity
+    ``dLML/dtheta = 0.5 tr((G - K_out K^{-1}) dK/dtheta)`` with
+    ``G = alpha alpha^T`` summed over output columns.
+    """
+    X = np.atleast_2d(np.asarray(X, dtype=float))
+    Y = np.asarray(Y, dtype=float)
+    if Y.ndim == 1:
+        Y = Y[:, None]
+    n, k_out = Y.shape
+    noise = float(np.exp(log_noise))
+    K = kernel(X, X)
+    K[np.diag_indices_from(K)] += noise
+    chol = jittered_cholesky(K)
+    L = chol.L
+    alpha = _cho_solve(L, Y)  # (n, K_out)
+    log_det = float(np.sum(np.log(np.diag(L))))
+    lml = (
+        -0.5 * float(np.sum(Y * alpha))
+        - k_out * log_det
+        - 0.5 * n * k_out * np.log(2.0 * np.pi)
+    )
+    if not with_grad:
+        return lml, None
+    K_inv = _cho_solve(L, np.eye(n))
+    # G - K_out * K^{-1}: the matrix every dK/dtheta is contracted with.
+    M = alpha @ alpha.T - k_out * K_inv
+    grads = np.empty(kernel.n_params + 1)
+    for j, dK in enumerate(kernel.grad_log_params(X)):
+        grads[j] = 0.5 * float(np.sum(M * dK))
+    # dK/d log noise = noise * I.
+    grads[kernel.n_params] = 0.5 * noise * float(np.trace(M))
+    return lml, grads
+
+
+@dataclass
+class OptimizeResult:
+    """Outcome of one (multi-start) hyperparameter optimization."""
+
+    theta: np.ndarray
+    lml: float
+    n_iterations: int
+    n_starts: int
+    converged: bool
+
+
+class LBFGS:
+    """From-scratch limited-memory BFGS maximizer with box projection.
+
+    Maximizes ``f(theta)`` given a callable returning ``(value, grad)``.
+    The search direction comes from the standard two-loop recursion over
+    the last ``memory`` curvature pairs; step lengths from Armijo
+    backtracking on the *negated* objective; iterates are projected into
+    ``bounds`` after every step (hyperparameters in log space must not
+    run away to 0 or infinity, where the kernel matrix degenerates).
+
+    Deterministic: no randomness, no wall-clock — identical inputs give
+    identical iterates.
+    """
+
+    def __init__(
+        self,
+        *,
+        memory: int = 8,
+        max_iter: int = 60,
+        grad_tol: float = 1e-5,
+        bounds: tuple[float, float] = LOG_PARAM_BOUNDS,
+        armijo_c: float = 1e-4,
+        backtrack: float = 0.5,
+        max_backtracks: int = 25,
+    ):
+        if memory < 1 or max_iter < 1:
+            raise ValueError("memory and max_iter must be >= 1")
+        if not bounds[0] < bounds[1]:
+            raise ValueError(f"bounds must satisfy lo < hi, got {bounds}")
+        self.memory = int(memory)
+        self.max_iter = int(max_iter)
+        self.grad_tol = float(grad_tol)
+        self.bounds = (float(bounds[0]), float(bounds[1]))
+        self.armijo_c = float(armijo_c)
+        self.backtrack = float(backtrack)
+        self.max_backtracks = int(max_backtracks)
+
+    def _project(self, theta: np.ndarray) -> np.ndarray:
+        return np.clip(theta, self.bounds[0], self.bounds[1])
+
+    def maximize(self, f_grad, theta0: np.ndarray) -> OptimizeResult:
+        """Run the ascent from ``theta0``; returns the best iterate seen.
+
+        Internally this is textbook L-BFGS *minimization* of ``-f``
+        (curvature pairs satisfy the standard ``s . y > 0`` condition),
+        so only this wrapper speaks in maximization terms.
+        """
+        theta = self._project(np.asarray(theta0, dtype=float).copy())
+        f_value, f_gradient = f_grad(theta)
+        value, grad = -f_value, -np.asarray(f_gradient, dtype=float)
+        best_theta, best_value = theta.copy(), value
+        s_hist: list[np.ndarray] = []
+        y_hist: list[np.ndarray] = []
+        converged = False
+        # max_iter >= 1, so the loop always binds `it`.
+        for it in range(1, self.max_iter + 1):
+            if float(np.max(np.abs(grad))) < self.grad_tol:
+                converged = True
+                break
+            direction = self._two_loop(grad, s_hist, y_hist)
+            slope = float(direction @ grad)
+            if slope >= 0.0:
+                direction = -grad  # fall back to steepest descent
+                slope = -float(grad @ grad)
+            step = 1.0
+            new_theta = None
+            new_value = value
+            new_grad = grad
+            for _ in range(self.max_backtracks):
+                cand = self._project(theta + step * direction)
+                cand_f, cand_g = f_grad(cand)
+                cand_value = -cand_f
+                if np.isfinite(cand_value) and (
+                    cand_value <= value + self.armijo_c * step * slope
+                ):
+                    new_theta = cand
+                    new_value = cand_value
+                    new_grad = -np.asarray(cand_g, dtype=float)
+                    break
+                step *= self.backtrack
+            if new_theta is None:
+                converged = True  # no descent step found: a (boxed) optimum
+                break
+            s = new_theta - theta
+            y = new_grad - grad
+            if float(s @ y) > 1e-12:  # standard curvature condition
+                s_hist.append(s)
+                y_hist.append(y)
+                if len(s_hist) > self.memory:
+                    s_hist.pop(0)
+                    y_hist.pop(0)
+            theta, value, grad = new_theta, new_value, new_grad
+            if value < best_value:
+                best_theta, best_value = theta.copy(), value
+        return OptimizeResult(
+            theta=best_theta,
+            lml=-best_value,
+            n_iterations=it,
+            n_starts=1,
+            converged=converged,
+        )
+
+    def _two_loop(
+        self, grad: np.ndarray, s_hist: list[np.ndarray], y_hist: list[np.ndarray]
+    ) -> np.ndarray:
+        """Two-loop recursion: quasi-Newton descent direction ``-H grad``."""
+        q = grad.copy()
+        if not s_hist:
+            return -q
+        alphas = []
+        rhos = []
+        for s, y in zip(reversed(s_hist), reversed(y_hist)):
+            rho = 1.0 / float(s @ y)
+            a = rho * float(s @ q)
+            q -= a * y
+            alphas.append(a)
+            rhos.append(rho)
+        s_last, y_last = s_hist[-1], y_hist[-1]
+        gamma = float(s_last @ y_last) / max(float(y_last @ y_last), 1e-300)
+        q *= gamma
+        for (s, y), a, rho in zip(
+            zip(s_hist, y_hist), reversed(alphas), reversed(rhos)
+        ):
+            b = rho * float(y @ q)
+            q += (a - b) * s
+        return -q
+
+
+def optimize_hyperparams(
+    kernel: Kernel,
+    log_noise: float,
+    X: np.ndarray,
+    Y: np.ndarray,
+    *,
+    n_restarts: int = 2,
+    max_iter: int = 60,
+    perturb_scale: float = 0.7,
+    rng: int | np.random.Generator | None = None,
+) -> OptimizeResult:
+    """Multi-start LML maximization; mutates ``kernel`` to the winner.
+
+    Start 0 is the caller's current hyperparameters (the heuristic
+    initialization, or — on a refit — the previous optimum, which is why
+    warm restarts converge in a handful of iterations).  Each additional
+    start perturbs the log-parameters with seeded Gaussian noise so the
+    optimizer can escape bad local optima of the (multi-modal) marginal
+    likelihood.  Deterministic under an int seed or supplied generator.
+
+    Returns the best :class:`OptimizeResult`; on return ``kernel`` holds
+    the winning parameters and ``result.theta[-1]`` is the winning log
+    noise variance.
+    """
+    if n_restarts < 0:
+        raise ValueError(f"n_restarts must be >= 0, got {n_restarts}")
+    gen = ensure_rng(rng)
+    theta0 = np.concatenate([kernel.get_log_params(), [float(log_noise)]])
+
+    def f_grad(theta: np.ndarray) -> tuple[float, np.ndarray]:
+        kernel.set_log_params(theta[:-1])
+        try:
+            return log_marginal_likelihood(kernel, float(theta[-1]), X, Y)
+        except np.linalg.LinAlgError:
+            # A numerically singular configuration: worst possible value,
+            # zero gradient — the line search backtracks away from it.
+            return -np.inf, np.zeros_like(theta)
+
+    optimizer = LBFGS(max_iter=max_iter)
+    best = optimizer.maximize(f_grad, theta0)
+    total_iters = best.n_iterations
+    for _ in range(n_restarts):
+        start = theta0 + gen.normal(0.0, perturb_scale, size=theta0.size)
+        result = optimizer.maximize(f_grad, start)
+        total_iters += result.n_iterations
+        if result.lml > best.lml:
+            best = result
+    kernel.set_log_params(best.theta[:-1])
+    return OptimizeResult(
+        theta=best.theta,
+        lml=best.lml,
+        n_iterations=total_iters,
+        n_starts=1 + n_restarts,
+        converged=best.converged,
+    )

@@ -1,0 +1,598 @@
+"""Exact Gaussian-process surrogates with grow-only refits.
+
+:class:`GPSurrogate` is the second :class:`~repro.core.surrogate.Surrogate`
+backend of the tree (the quoFEM/SimCenter pattern from SNIPPETS.md): a
+numpy-only exact GP with Cholesky-factored inference, analytic predictive
+mean *and* variance, and marginal-likelihood hyperparameter fitting
+(:mod:`repro.gp.fit`).  It satisfies the ANN surrogate's duck type —
+``fit`` / ``predict`` / ``predict_stable`` / ``predict_with_uncertainty``
+returning a :class:`~repro.core.uq.UQResult`, plus the ``x_scaler`` /
+``y_scaler`` / ``uq_backend`` attributes the UQ gate reads — so it drops
+into :class:`~repro.core.mlaround.MLAroundHPC` and the serving stack
+unchanged, replacing MC-dropout's S stochastic forward passes with one
+closed-form posterior evaluation.
+
+Two properties matter operationally:
+
+* **Grow-only refits.**  ``MLAroundHPC`` retrains by handing the
+  surrogate the *full* run database, which only ever grows at the tail.
+  When the previous training rows are a prefix of the new ones and
+  hyperparameters are not due for re-optimization, the Cholesky factor
+  is extended by a block update (solve + small factorization of the new
+  rows' Schur complement) instead of refactored from scratch —
+  O(n^2 m + m^3) instead of O((n+m)^3).
+* **Bitwise row-stability.**  ``predict_stable`` and
+  ``predict_with_uncertainty`` evaluate every contraction in a fixed
+  summation order (einsum / sequential substitution), so row ``i`` of a
+  batched posterior is bitwise identical to the same query posed alone —
+  the invariant :mod:`repro.serve` micro-batching relies on.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import nullcontext
+
+import numpy as np
+
+from repro.core.surrogate import SurrogateReport
+from repro.core.uq import UQBackend, UQResult
+from repro.gp.fit import (
+    DEFAULT_JITTER,
+    jittered_cholesky,
+    log_marginal_likelihood,
+    optimize_hyperparams,
+)
+from repro.gp.kernels import Kernel, kernel_from_config, make_kernel
+from repro.nn import metrics
+from repro.nn.scalers import StandardScaler
+from repro.util.rng import ensure_rng, spawn_rngs
+
+__all__ = ["GPAnalyticUQ", "GPSurrogate", "solve_lower_stable"]
+
+
+def solve_lower_stable(L: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Forward-substitute ``L Z = B`` with batch-independent summation order.
+
+    Each output column (one query) is computed by sequential fixed-order
+    contractions (``einsum`` with ``optimize=False``), so column ``j``
+    of the result is bitwise identical no matter how many other columns
+    share the call — the triangular-solve analogue of
+    :meth:`repro.nn.model.MLP.predict_stable`.  O(n^2 m) for an (n, n)
+    factor and (n, m) right-hand side.
+    """
+    L = np.asarray(L, dtype=float)
+    B = np.asarray(B, dtype=float)
+    squeeze = B.ndim == 1
+    if squeeze:
+        B = B[:, None]
+    n = L.shape[0]
+    if L.shape != (n, n) or B.shape[0] != n:
+        raise ValueError(f"shape mismatch: L {L.shape}, B {B.shape}")
+    # Work in (m, n) layout so every substitution step reduces over the
+    # *contiguous* trailing axis of each column's own row — the same
+    # fixed-order contraction shape as ``predict_stable``'s
+    # ``"nd,nd->n"``, whose per-row result does not depend on how many
+    # other rows share the call.  (Reducing over the strided outer axis
+    # of an (i, m) block is NOT batch-independent: the inner kernel
+    # changes with m.)
+    Zt = np.empty((B.shape[1], n))
+    Bt = np.ascontiguousarray(B.T)
+    for i in range(n):
+        if i:
+            acc = np.einsum("i,mi->m", L[i, :i], Zt[:, :i], optimize=False)
+            Zt[:, i] = (Bt[:, i] - acc) / L[i, i]
+        else:
+            Zt[:, 0] = Bt[:, 0] / L[0, 0]
+    return Zt[0] if squeeze else np.ascontiguousarray(Zt.T)
+
+
+class GPAnalyticUQ(UQBackend):
+    """Analytic GP posterior as a :class:`~repro.core.uq.UQBackend`.
+
+    Where :class:`~repro.core.uq.MCDropoutUQ` runs S stochastic forward
+    passes, the GP's predictive distribution is available in closed form
+    — one kernel evaluation and one triangular solve.  The backend
+    operates in the surrogate's *scaled* spaces (exactly like the
+    MC-dropout backend operates on the scaled MLP), and the owning
+    :class:`GPSurrogate` wraps it with the usual scale/descale plumbing.
+    """
+
+    def __init__(self, gp: "GPSurrogate", *, include_noise: bool = True):
+        self._gp = gp
+        self.include_noise = bool(include_noise)
+
+    def predict(self, x: np.ndarray) -> UQResult:
+        """Posterior mean/std for already-scaled inputs (scaled units)."""
+        return self._gp._posterior_scaled(
+            np.atleast_2d(np.asarray(x, dtype=float)),
+            include_noise=self.include_noise,
+        )
+
+
+class GPSurrogate:
+    """A trained Gaussian-process stand-in for an expensive simulation.
+
+    Parameters
+    ----------
+    in_dim, out_dim:
+        Feature signature (the paper's D and the output count).  Outputs
+        share one kernel (independent-outputs convention): a single
+        Cholesky factor serves all K columns.
+    kernel:
+        Kernel name (``"rbf"`` / ``"matern32"`` / ``"matern52"``) or a
+        ready :class:`~repro.gp.kernels.Kernel` instance.
+    noise:
+        Initial observation-noise variance (optimized unless
+        ``optimize=False``).
+    optimize:
+        Fit hyperparameters by marginal likelihood on (re)fit.  With
+        ``False`` the kernel is used as constructed — and every refit on
+        grown data takes the fast grow-only path.
+    n_restarts, max_opt_iter:
+        Multi-start count and per-start iteration cap forwarded to
+        :func:`repro.gp.fit.optimize_hyperparams`.
+    reopt_growth:
+        Re-optimize hyperparameters only when the training count has
+        grown by at least this factor since the last optimization;
+        refits in between reuse the hyperparameters and extend the
+        factor in place (grow-only update).
+    test_fraction:
+        Held-out fraction for the accuracy report.  Defaults to 0.0 —
+        unlike the ANN surrogate, the GP does not need held-out data for
+        model selection, and adaptive DoE cannot afford to discard 30%
+        of its expensive simulator runs.  Any positive value disables
+        the grow-only path (the random split breaks prefix structure).
+    rng:
+        Seed/generator controlling the multi-start perturbations and the
+        test split.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        *,
+        kernel: str | Kernel = "rbf",
+        noise: float = 1e-2,
+        optimize: bool = True,
+        n_restarts: int = 2,
+        max_opt_iter: int = 60,
+        reopt_growth: float = 1.5,
+        test_fraction: float = 0.0,
+        rng: int | np.random.Generator | None = None,
+    ):
+        if not 0.0 <= test_fraction < 1.0:
+            raise ValueError(f"test_fraction must be in [0, 1), got {test_fraction}")
+        if noise <= 0 or not np.isfinite(noise):
+            raise ValueError(f"noise must be finite and > 0, got {noise}")
+        if reopt_growth < 1.0:
+            raise ValueError(f"reopt_growth must be >= 1, got {reopt_growth}")
+        self.in_dim = int(in_dim)
+        self.out_dim = int(out_dim)
+        self.kernel: Kernel = (
+            make_kernel(kernel, self.in_dim) if isinstance(kernel, str) else kernel
+        )
+        if self.kernel.in_dim != self.in_dim:
+            raise ValueError(
+                f"kernel expects {self.kernel.in_dim} features, surrogate {self.in_dim}"
+            )
+        self.log_noise = float(np.log(noise))
+        self.optimize = bool(optimize)
+        self.n_restarts = int(n_restarts)
+        self.max_opt_iter = int(max_opt_iter)
+        self.reopt_growth = float(reopt_growth)
+        self.test_fraction = float(test_fraction)
+        gen = ensure_rng(rng)
+        self._opt_rng, self._split_rng = spawn_rngs(gen, 2)
+        self.x_scaler = StandardScaler()
+        self.y_scaler = StandardScaler()
+        self._fitted = False
+        self.report: SurrogateReport | None = None
+        self.uq_backend: UQBackend | None = None
+        #: Optional duck-typed repro.obs.trace.Tracer — fit/predict/DoE
+        #: work is wrapped in spans of kind "gp.fit" / "gp.predict".
+        self.tracer = None
+        #: Optional duck-typed repro.obs.metrics.MetricRegistry.
+        self.registry = None
+        # Training state (scaled spaces) + raw copies for prefix detection.
+        self._X_raw: np.ndarray | None = None
+        self._Y_raw: np.ndarray | None = None
+        self._Xs: np.ndarray | None = None
+        self._L: np.ndarray | None = None
+        self._alpha: np.ndarray | None = None
+        self._jitter = 0.0
+        self._n_at_last_opt = 0
+        self.last_lml = float("nan")
+        self.n_full_factorizations = 0
+        self.n_grow_updates = 0
+
+    # ------------------------------------------------------------------
+    def _span(self, name: str, kind: str, n_rows: int):
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(name, kind, attrs={"n_rows": int(n_rows)})
+
+    def _count(self, name: str) -> None:
+        if self.registry is not None:
+            self.registry.counter(name).inc()
+
+    @property
+    def n_train(self) -> int:
+        """Number of training rows currently in the factorized model."""
+        return 0 if self._Xs is None else len(self._Xs)
+
+    @property
+    def noise(self) -> float:
+        """Observation-noise variance (original for unfitted, fitted after)."""
+        return float(np.exp(self.log_noise))
+
+    @property
+    def jitter_used(self) -> float:
+        """Diagonal jitter the current factorization needed (0 when none)."""
+        return self._jitter
+
+    # ------------------------------------------------------------------
+    # fitting
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, Y: np.ndarray) -> SurrogateReport:
+        """(Re)train on (X, Y); returns the accuracy report.
+
+        Rows with non-finite inputs or outputs (failed simulation runs)
+        are dropped, matching the ANN surrogate.  When the previously
+        fitted rows form a prefix of the new data and hyperparameters
+        are not due for re-optimization, the Cholesky factor is extended
+        in place (grow-only update) instead of rebuilt.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        Y = np.asarray(Y, dtype=float)
+        if Y.ndim == 1:
+            Y = Y[:, None]
+        if X.shape[1] != self.in_dim or Y.shape[1] != self.out_dim:
+            raise ValueError(
+                f"expected shapes (n, {self.in_dim}) and (n, {self.out_dim}); "
+                f"got {X.shape} and {Y.shape}"
+            )
+        if len(X) != len(Y):
+            raise ValueError("X and Y row counts differ")
+        finite = np.all(np.isfinite(Y), axis=1) & np.all(np.isfinite(X), axis=1)
+        X, Y = X[finite], Y[finite]
+        if len(X) < 2:
+            raise ValueError(f"need at least 2 finite samples, got {len(X)}")
+
+        with self._span("gp.fit", "gp.fit", len(X)):
+            if self._can_grow(X, Y):
+                self._grow(X, Y)
+            else:
+                self._full_fit(X, Y)
+        self.uq_backend = GPAnalyticUQ(self)
+        return self.report
+
+    def _can_grow(self, X: np.ndarray, Y: np.ndarray) -> bool:
+        if not self._fitted or self.test_fraction > 0.0:
+            return False
+        n_old = len(self._X_raw)
+        if len(X) <= n_old:
+            return False
+        if self.optimize and len(X) >= self.reopt_growth * self._n_at_last_opt:
+            return False  # enough new data: re-optimize from scratch
+        return bool(
+            np.array_equal(X[:n_old], self._X_raw)
+            and np.array_equal(Y[:n_old], self._Y_raw)
+        )
+
+    def _full_fit(self, X: np.ndarray, Y: np.ndarray) -> None:
+        n_test = int(round(self.test_fraction * len(X)))
+        if n_test:
+            order = self._split_rng.permutation(len(X))
+            test_idx, train_idx = order[:n_test], order[n_test:]
+        else:
+            test_idx = np.empty(0, dtype=int)
+            train_idx = np.arange(len(X))
+        X_train, Y_train = X[train_idx], Y[train_idx]
+        if len(X_train) < 2:
+            raise ValueError("test split left fewer than 2 training rows")
+
+        Xs = self.x_scaler.fit(X_train).transform(X_train)
+        Ys = self.y_scaler.fit(Y_train).transform(Y_train)
+        if self.optimize:
+            result = optimize_hyperparams(
+                self.kernel,
+                self.log_noise,
+                Xs,
+                Ys,
+                n_restarts=self.n_restarts,
+                max_iter=self.max_opt_iter,
+                rng=self._opt_rng,
+            )
+            self.log_noise = float(result.theta[-1])
+            self.last_lml = result.lml
+        else:
+            self.last_lml, _ = log_marginal_likelihood(
+                self.kernel, self.log_noise, Xs, Ys, with_grad=False
+            )
+        self._n_at_last_opt = len(X)
+
+        K = self.kernel(Xs, Xs)
+        K[np.diag_indices_from(K)] += self.noise
+        chol = jittered_cholesky(K)
+        self._L = chol.L
+        self._jitter = chol.jitter
+        self._Xs = Xs
+        self._alpha = np.linalg.solve(
+            self._L.T, np.linalg.solve(self._L, Ys)
+        )
+        self._X_raw = X.copy()
+        self._Y_raw = Y.copy()
+        self._fitted = True
+        self.n_full_factorizations += 1
+        self._count("gp.full_factorizations")
+        self._build_report(X, Y, train_idx, test_idx)
+
+    def _grow(self, X: np.ndarray, Y: np.ndarray) -> None:
+        """Extend the factorization by the new tail rows (frozen scalers).
+
+        Block Cholesky: with ``K_new = [[K11, K12], [K21, K22]]`` and the
+        existing factor ``L11`` of ``K11``, the extended factor is
+        ``[[L11, 0], [C^T, chol(K22 - C^T C)]]`` where ``C`` solves
+        ``L11 C = K12``.  Only the weights ``alpha`` are recomputed
+        against the grown factor.
+        """
+        n_old = len(self._X_raw)
+        X_new, Y_new = X[n_old:], Y[n_old:]
+        Xs_new = self.x_scaler.transform(X_new)
+        m = len(Xs_new)
+
+        K12 = self.kernel(self._Xs, Xs_new)  # (n_old, m)
+        K22 = self.kernel(Xs_new, Xs_new)
+        K22[np.diag_indices_from(K22)] += self.noise + self._jitter
+        C = np.linalg.solve(self._L, K12)  # (n_old, m)
+        schur = K22 - C.T @ C
+        chol = jittered_cholesky(schur)
+        n_total = n_old + m
+        L = np.zeros((n_total, n_total))
+        L[:n_old, :n_old] = self._L
+        L[n_old:, :n_old] = C.T
+        L[n_old:, n_old:] = chol.L
+        self._L = L
+        self._jitter = max(self._jitter, chol.jitter)
+        self._Xs = np.vstack([self._Xs, Xs_new])
+        Ys = self.y_scaler.transform(Y)
+        self._alpha = np.linalg.solve(self._L.T, np.linalg.solve(self._L, Ys))
+        self._X_raw = X.copy()
+        self._Y_raw = Y.copy()
+        self.n_grow_updates += 1
+        self._count("gp.grow_updates")
+        self._build_report(X, Y, np.arange(len(X)), np.empty(0, dtype=int))
+
+    def _build_report(
+        self,
+        X: np.ndarray,
+        Y: np.ndarray,
+        train_idx: np.ndarray,
+        test_idx: np.ndarray,
+    ) -> None:
+        if len(test_idx):
+            pred = self.predict(X[test_idx])
+            truth = Y[test_idx]
+            per_out = np.sqrt(np.mean((pred - truth) ** 2, axis=0))
+            self.report = SurrogateReport(
+                n_train=len(train_idx),
+                n_test=len(test_idx),
+                test_rmse=metrics.rmse(pred, truth),
+                test_mae=metrics.mae(pred, truth),
+                test_r2=metrics.r2_score(pred, truth),
+                per_output_rmse=per_out,
+            )
+        else:
+            self.report = SurrogateReport(
+                n_train=len(train_idx),
+                n_test=0,
+                test_rmse=float("nan"),
+                test_mae=float("nan"),
+                test_r2=float("nan"),
+            )
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError("GPSurrogate used before fit()")
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Posterior-mean predictions in original units, shape (n, K)."""
+        self._require_fitted()
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        with self._span("gp.predict", "gp.predict", len(X)):
+            Ks = self.kernel(self.x_scaler.transform(X), self._Xs)
+            return self.y_scaler.inverse_transform(Ks @ self._alpha)
+
+    def predict_stable(self, X: np.ndarray) -> np.ndarray:
+        """Row-stable posterior mean, shape (n, K).
+
+        Like :meth:`predict` but every contraction runs in a fixed
+        summation order, so row ``i`` is bitwise identical no matter
+        which other rows share the batch — the serving layer's
+        degraded-answer invariant.
+        """
+        self._require_fitted()
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        with self._span("gp.predict_stable", "gp.predict", len(X)):
+            Ks = self.kernel(self.x_scaler.transform(X), self._Xs)
+            mean = np.einsum("nm,mk->nk", Ks, self._alpha, optimize=False)
+            return self.y_scaler.inverse_transform(mean)
+
+    def _posterior_scaled(
+        self, Xs: np.ndarray, *, include_noise: bool = True
+    ) -> UQResult:
+        """Posterior mean/std at already-scaled inputs, in scaled units.
+
+        Row-stable by construction: the kernel rows, the einsum mean, the
+        sequential triangular solve and the per-column variance reduction
+        are each independent of the batch around them.  With
+        ``include_noise`` the std is the *observation* predictive std
+        (latent + noise) — what interval-coverage calibration against
+        noisy simulator outputs expects; without it, the purely epistemic
+        latent std that adaptive DoE acquires against.
+        """
+        self._require_fitted()
+        Ks = self.kernel(Xs, self._Xs)  # (n, m)
+        mean = np.einsum("nm,mk->nk", Ks, self._alpha, optimize=False)
+        V = solve_lower_stable(self._L, Ks.T)  # (m, n)
+        # Reduce over each query's own contiguous row: summing the
+        # strided training axis of V directly would vectorize across
+        # the batch and break bitwise row-stability.
+        Vt = np.ascontiguousarray(V.T)  # (n, m)
+        var = self.kernel.diag(len(Xs)) - np.einsum(
+            "nm,nm->n", Vt, Vt, optimize=False
+        )
+        var = np.maximum(var, 0.0)
+        if include_noise:
+            var = var + self.noise
+        std = np.sqrt(var)[:, None] * np.ones((1, self.out_dim))
+        return UQResult(mean=mean, std=std)
+
+    def predict_with_uncertainty(self, X: np.ndarray) -> UQResult:
+        """Analytic predictive mean and std in original units.
+
+        One kernel evaluation + one triangular solve, versus MC-dropout's
+        S stochastic forward passes — this is why the GP gate is far
+        cheaper per query at small training sizes.  Bitwise row-stable:
+        batching queries never changes any answer or gate decision.
+        """
+        self._require_fitted()
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        with self._span("gp.predict_uq", "gp.predict", len(X)):
+            raw = self.uq_backend.predict(self.x_scaler.transform(X))
+            mean = self.y_scaler.inverse_transform(raw.mean)
+            std = raw.std * self.y_scaler.scale_std()
+            return UQResult(mean=mean, std=std)
+
+    def posterior_cov(self, X1: np.ndarray, X2: np.ndarray) -> np.ndarray:
+        """Latent posterior cross-covariance ``cov(f(X1), f(X2))``.
+
+        In scaled-output units (outputs share one kernel, so a single
+        (n1, n2) matrix covers every output).  This is the quantity
+        IMSE-style acquisition integrates: how much observing a candidate
+        would shrink the variance elsewhere.  Fast BLAS path — acquisition
+        scoring ranks candidates, so row-stability is not required here.
+        """
+        self._require_fitted()
+        A = self.x_scaler.transform(np.atleast_2d(np.asarray(X1, dtype=float)))
+        B = self.x_scaler.transform(np.atleast_2d(np.asarray(X2, dtype=float)))
+        Kab = self.kernel(A, B)
+        Va = np.linalg.solve(self._L, self.kernel(self._Xs, A))
+        Vb = np.linalg.solve(self._L, self.kernel(self._Xs, B))
+        return Kab - Va.T @ Vb
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialize a *fitted* GP (hyperparams + training set + scalers)."""
+        self._require_fitted()
+        payload = {
+            "in_dim": self.in_dim,
+            "out_dim": self.out_dim,
+            "kernel": self.kernel.config(),
+            "log_noise": self.log_noise,
+            "jitter": self._jitter,
+            "test_fraction": self.test_fraction,
+            "n_at_last_opt": self._n_at_last_opt,
+            "x_scaler": {
+                "mean": self.x_scaler.mean_.tolist(),
+                "scale": self.x_scaler.scale_.tolist(),
+            },
+            "y_scaler": {
+                "mean": self.y_scaler.mean_.tolist(),
+                "scale": self.y_scaler.scale_.tolist(),
+            },
+            "X": self._X_raw.tolist(),
+            "Y": self._Y_raw.tolist(),
+            "report": None
+            if self.report is None
+            else {
+                "n_train": self.report.n_train,
+                "n_test": self.report.n_test,
+                "test_rmse": self.report.test_rmse,
+                "test_mae": self.report.test_mae,
+                "test_r2": self.report.test_r2,
+            },
+        }
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "GPSurrogate":
+        """Restore a fitted GP saved by :meth:`to_json`.
+
+        The kernel matrix is re-factored from the stored training set at
+        the stored jitter, so a model that never took the grow-only path
+        reproduces its factor (and hence its predictions) exactly; a
+        grown model reproduces them to numerical precision.
+        """
+        payload = json.loads(text)
+        gp = cls.__new__(cls)
+        gp.in_dim = int(payload["in_dim"])
+        gp.out_dim = int(payload["out_dim"])
+        gp.kernel = kernel_from_config(payload["kernel"])
+        gp.log_noise = float(payload["log_noise"])
+        gp.optimize = False  # a restored model is not meant to be refit
+        gp.n_restarts = 0
+        gp.max_opt_iter = 0
+        gp.reopt_growth = float("inf")
+        gp.test_fraction = float(payload["test_fraction"])
+        gp._opt_rng = None
+        gp._split_rng = None
+        gp.x_scaler = StandardScaler()
+        gp.x_scaler.mean_ = np.asarray(payload["x_scaler"]["mean"])
+        gp.x_scaler.scale_ = np.asarray(payload["x_scaler"]["scale"])
+        gp.x_scaler._fitted = True
+        gp.y_scaler = StandardScaler()
+        gp.y_scaler.mean_ = np.asarray(payload["y_scaler"]["mean"])
+        gp.y_scaler.scale_ = np.asarray(payload["y_scaler"]["scale"])
+        gp.y_scaler._fitted = True
+        gp.tracer = None
+        gp.registry = None
+        gp._X_raw = np.asarray(payload["X"], dtype=float)
+        gp._Y_raw = np.asarray(payload["Y"], dtype=float)
+        gp._n_at_last_opt = int(payload["n_at_last_opt"])
+        gp.last_lml = float("nan")
+        gp.n_full_factorizations = 0
+        gp.n_grow_updates = 0
+        # Re-factor at the stored jitter (escalating only if this machine
+        # still cannot factor it — then predictions differ in low bits).
+        gp._Xs = gp.x_scaler.transform(gp._X_raw)
+        Ys = gp.y_scaler.transform(gp._Y_raw)
+        K = gp.kernel(gp._Xs, gp._Xs)
+        K[np.diag_indices_from(K)] += gp.noise + float(payload["jitter"])
+        try:
+            gp._L = np.linalg.cholesky(K)
+            gp._jitter = float(payload["jitter"])
+        except np.linalg.LinAlgError:
+            chol = jittered_cholesky(K)
+            gp._L = chol.L
+            gp._jitter = float(payload["jitter"]) + chol.jitter
+        gp._alpha = np.linalg.solve(gp._L.T, np.linalg.solve(gp._L, Ys))
+        gp._fitted = True
+        rep = payload.get("report")
+        gp.report = (
+            None
+            if rep is None
+            else SurrogateReport(
+                n_train=rep["n_train"],
+                n_test=rep["n_test"],
+                test_rmse=rep["test_rmse"],
+                test_mae=rep["test_mae"],
+                test_r2=rep["test_r2"],
+            )
+        )
+        gp.uq_backend = GPAnalyticUQ(gp)
+        return gp
+
+    def __repr__(self) -> str:
+        state = f"fitted, n={self.n_train}" if self._fitted else "unfitted"
+        return (
+            f"GPSurrogate(D={self.in_dim}, K={self.out_dim}, "
+            f"kernel={self.kernel.name}, {state})"
+        )

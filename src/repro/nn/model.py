@@ -486,10 +486,11 @@ class MLP:
         return cls(layers)
 
     def to_json(self) -> str:
-        """Serialize architecture + weights to a JSON string."""
+        """Serialize architecture + weights + serving policy to JSON."""
         payload = {
             "config": self.config(),
             "params": [p.tolist() for p in self.params],
+            "serving_dtype": self._serving_dtype.name,
         }
         return json.dumps(payload)
 
@@ -501,6 +502,10 @@ class MLP:
         model.set_flat_params(
             np.concatenate(flats) if flats else np.empty(0)
         )
+        # Serving precision is part of the deployed model's behavior
+        # (float32 serving answers differ in low bits from float64), so a
+        # reload must restore it; pre-policy payloads default to float64.
+        model.set_serving_dtype(payload.get("serving_dtype", "float64"))
         return model
 
     def __repr__(self) -> str:

@@ -84,6 +84,20 @@ class MetricSpec:
 _PARAM_KEYS = {
     "serve": ("n_requests", "seed", "epochs"),
     "md_force_kernels": ("potential", "rcut", "skin", "density", "seed"),
+    "gp_doe": (
+        "seed",
+        "pool_size",
+        "n_test",
+        "target_mae",
+        "relaxed_target_mae",
+        "seed_size",
+        "batch_size",
+        "max_rounds",
+        "epochs",
+        "n_small",
+        "n_query",
+        "assumed_sim_cost_s",
+    ),
 }
 
 #: Serve metrics are virtual-clock deterministic: tight tolerances.
@@ -104,6 +118,21 @@ _MD_METRIC_TEMPLATES = (
     ("speedup_verlet_vs_cell", "higher", 0.6, 0.0),
     ("max_rel_force_error", "lower", 0.0, 1e-9),
     ("rel_energy_error", "lower", 0.0, 1e-9),
+)
+
+#: GP-DoE sims-to-target counts are deterministic at fixed params (seeded
+#: campaigns, no wall-clock in the loop) so they get tight tolerances;
+#: the predict-cost and effective-speedup entries are wall-clock and get
+#: md-style generous ones.
+_GP_DOE_METRICS = (
+    MetricSpec("head_to_head.gp_doe_variance.sims_to_target", "lower", 0.25),
+    MetricSpec(
+        "head_to_head.gp_doe_variance.final_test_mae", "lower", 0.5, abs_slack=0.01
+    ),
+    MetricSpec("head_to_head.sims_ratio_ann_over_gp", "higher", 0.3),
+    MetricSpec("predict_cost.gp_us_per_query", "lower", 1.0, abs_slack=10.0),
+    MetricSpec("predict_cost.ann_over_gp", "higher", 0.6),
+    MetricSpec("effective_speedup.gp_speedup", "higher", 0.5),
 )
 
 
@@ -174,6 +203,8 @@ def _metric_specs(benchmark: str, baseline: dict, fresh: dict) -> list[tuple[str
             )
         )
         return specs
+    if benchmark == "gp_doe":
+        return [(s.path, s) for s in _GP_DOE_METRICS]
     return []
 
 

@@ -98,3 +98,45 @@ class TestBaselineComparison:
         labeled_a = {tuple(r.inputs) for r in a.db}
         labeled_b = {tuple(r.inputs) for r in b.db}
         assert labeled_a != labeled_b
+
+
+class TestSimCallAccounting:
+    def test_sim_calls_recorded_per_round(self):
+        sim, pool, xt, yt = _setup()
+        learner = ActiveLearner(sim, _factory, pool, xt, yt,
+                                batch_size=10, seed_size=10, rng=1)
+        result = learner.run(max_rounds=3)
+        assert result.sim_calls == [10, 10, 10, 10]  # seed + 3 rounds
+        assert result.total_sim_calls == 40
+        assert len(result.sim_calls) == len(result.test_mae)
+
+    def test_sims_to_reach(self):
+        from repro.core.active import ActiveLearningResult
+
+        r = ActiveLearningResult(
+            n_labeled=[10, 20, 30],
+            test_mae=[1.0, 0.4, 0.2],
+            sim_calls=[10, 10, 10],
+        )
+        assert r.sims_to_reach(0.5) == 20
+        assert r.sims_to_reach(2.0) == 10
+        assert r.sims_to_reach(0.1) is None
+
+    def test_compare_campaigns_summary(self):
+        from repro.core.active import compare_campaigns
+
+        sim, pool, xt, yt = _setup()
+
+        def campaign():
+            learner = ActiveLearner(sim, _factory, pool, xt, yt,
+                                    batch_size=10, seed_size=10, rng=1)
+            return learner.run(target_mae=1e9, max_rounds=3)
+
+        summary = compare_campaigns({"ann": campaign}, target_mae=1e9)
+        row = summary["ann"]
+        assert row["reached_target"]
+        assert row["sims_to_target"] == 10  # met right after seeding
+        assert row["total_sim_calls"] == 10
+        assert row["final_n_labeled"] == 10
+        assert row["rounds"] == 1
+        assert np.isfinite(row["final_test_mae"])

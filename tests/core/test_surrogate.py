@@ -174,6 +174,16 @@ class TestSerialization:
         assert uq.std.shape == (3, 2)
         assert np.all(uq.std >= 0)
 
+    def test_roundtrip_preserves_serving_dtype(self, smooth_problem):
+        x, y = smooth_problem
+        s = Surrogate(2, 2, hidden=(16,), epochs=30, rng=0)
+        s.fit(x, y)
+        s.model.set_serving_dtype(np.float32)
+        served = s.predict(x[:10])
+        restored = Surrogate.from_json(s.to_json())
+        assert restored.model.serving_dtype == np.float32
+        assert np.array_equal(restored.predict(x[:10]), served)
+
     def test_unfitted_cannot_serialize(self):
         with pytest.raises(RuntimeError):
             Surrogate(2, 1, rng=0).to_json()

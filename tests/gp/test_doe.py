@@ -1,0 +1,198 @@
+"""Tests for repro.gp.doe — adaptive design-of-experiments."""
+
+import numpy as np
+import pytest
+
+from repro.core.active import ActiveLearningResult, compare_campaigns
+from repro.core.simulation import CallableSimulation
+from repro.gp.doe import AdaptiveDoE, DoEResult
+from repro.gp.gp import GPSurrogate
+from repro.obs.trace import Tracer
+
+BOUNDS = np.array([[-2.0, 2.0], [-2.0, 2.0]])
+
+
+def _fn(x):
+    return np.array(
+        [np.sin(3 * x[0]) * np.cos(x[1]), np.exp(-x[0] * x[0]) + 0.5 * x[1]]
+    )
+
+
+def _fn_batch(X):
+    return np.array([_fn(x) for x in X])
+
+
+def _sim():
+    return CallableSimulation(_fn, ["a", "b"], ["u", "v"])
+
+
+def _test_set(rng, n=60):
+    X = rng.uniform(-2, 2, size=(n, 2))
+    return X, _fn_batch(X)
+
+
+def _gp(seed=0):
+    return GPSurrogate(2, 2, rng=seed, reopt_growth=1.5)
+
+
+class TestCase1Bounds:
+    def test_reaches_target_and_counts_sims(self, rng):
+        x_test, y_test = _test_set(rng)
+        doe = AdaptiveDoE.from_bounds(
+            _gp(), _sim(), BOUNDS,
+            seed_size=8, batch_size=2, n_candidates=64,
+            x_test=x_test, y_test=y_test, rng=3,
+        )
+        result = doe.run(target_mae=0.08, max_rounds=25)
+        assert isinstance(result, DoEResult)
+        assert result.case == "bounds"
+        assert result.reached_target
+        assert result.final_test_mae <= 0.08
+        assert result.sim_calls[0] == 8  # seed round
+        assert all(c == 2 for c in result.sim_calls[1:])
+        assert result.total_sim_calls == sum(result.sim_calls)
+        assert result.sims_to_reach(0.08) == result.total_sim_calls
+        assert doe.gp.n_grow_updates > 0  # persistent GP reuses its factor
+
+    def test_target_std_stopping(self):
+        doe = AdaptiveDoE.from_bounds(
+            _gp(1), _sim(), BOUNDS,
+            seed_size=8, batch_size=2, n_candidates=64, rng=5,
+        )
+        result = doe.run(target_std=0.15, max_rounds=30)
+        assert result.reached_target
+        assert result.final_max_std <= 0.15
+        assert np.isnan(result.final_test_mae)  # no test set supplied
+
+    def test_deterministic(self, rng):
+        x_test, y_test = _test_set(rng)
+        traces = []
+        for _ in range(2):
+            doe = AdaptiveDoE.from_bounds(
+                _gp(2), _sim(), BOUNDS,
+                seed_size=8, batch_size=2, n_candidates=32,
+                x_test=x_test, y_test=y_test, rng=7,
+            )
+            traces.append(doe.run(target_mae=0.1, max_rounds=10))
+        assert traces[0].n_labeled == traces[1].n_labeled
+        assert traces[0].test_mae == traces[1].test_mae
+        assert traces[0].max_std == traces[1].max_std
+
+
+class TestCase2Pool:
+    @pytest.mark.parametrize("acquisition", ["variance", "imse"])
+    def test_consumes_pool_without_replacement(self, acquisition, rng):
+        pool = rng.uniform(-2, 2, size=(80, 2))
+        x_test, y_test = _test_set(rng)
+        doe = AdaptiveDoE.from_pool(
+            _gp(), _sim(), pool,
+            seed_size=8, batch_size=4, acquisition=acquisition,
+            x_test=x_test, y_test=y_test, rng=9,
+        )
+        result = doe.run(target_mae=0.08, max_rounds=15)
+        assert result.case == "pool"
+        assert result.reached_target
+        # Every labeled row is a distinct pool row.
+        X, _ = doe.db.training_arrays()
+        seen = {tuple(row) for row in X}
+        assert len(seen) == len(X)
+        pool_rows = {tuple(row) for row in pool}
+        assert seen <= pool_rows
+
+    def test_pool_exhaustion_stops_loop(self, rng):
+        pool = rng.uniform(-2, 2, size=(12, 2))
+        doe = AdaptiveDoE.from_pool(
+            _gp(), _sim(), pool, seed_size=8, batch_size=4, rng=11,
+        )
+        result = doe.run(max_rounds=50)
+        assert result.final_n_labeled == 12
+        assert doe.db.n_success == 12
+
+
+class TestCase3Dataset:
+    def test_selects_rows_with_zero_sim_cost(self, rng):
+        X_data = rng.uniform(-2, 2, size=(100, 2))
+        x_test, y_test = _test_set(rng)
+        doe = AdaptiveDoE.from_dataset(
+            _gp(), X_data, _fn_batch(X_data),
+            seed_size=8, batch_size=4,
+            x_test=x_test, y_test=y_test, rng=13,
+        )
+        result = doe.run(target_mae=0.08, max_rounds=20)
+        assert result.case == "dataset"
+        assert result.reached_target
+        assert result.total_sim_calls == 0
+        assert result.sims_to_reach(0.08) == 0
+        # The GP did not need the whole dataset to get there.
+        assert result.final_n_labeled < len(X_data)
+
+    def test_dataset_validation(self):
+        with pytest.raises(ValueError, match="row counts"):
+            AdaptiveDoE.from_dataset(_gp(), np.zeros((5, 2)), np.zeros((4, 2)))
+        with pytest.raises(ValueError, match="do not match"):
+            AdaptiveDoE.from_dataset(_gp(), np.zeros((5, 3)), np.zeros((5, 2)))
+
+
+class TestValidationAndHarness:
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            AdaptiveDoE.from_bounds(_gp(), _sim(), np.zeros((3, 2)))
+        with pytest.raises(ValueError, match="low < high"):
+            AdaptiveDoE.from_bounds(
+                _gp(), _sim(), np.array([[1.0, -1.0], [0.0, 1.0]])
+            )
+
+    def test_pool_feature_mismatch(self):
+        with pytest.raises(ValueError, match="features"):
+            AdaptiveDoE.from_pool(_gp(), _sim(), np.zeros((10, 3)))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="unknown acquisition"):
+            AdaptiveDoE.from_bounds(
+                _gp(), _sim(), BOUNDS, acquisition="entropy"
+            )
+        with pytest.raises(ValueError, match="batch_size"):
+            AdaptiveDoE.from_bounds(_gp(), _sim(), BOUNDS, batch_size=0)
+        with pytest.raises(ValueError, match="n_candidates"):
+            AdaptiveDoE.from_bounds(_gp(), _sim(), BOUNDS, n_candidates=0)
+
+    def test_target_mae_requires_test_set(self):
+        doe = AdaptiveDoE.from_bounds(_gp(), _sim(), BOUNDS)
+        with pytest.raises(ValueError, match="x_test"):
+            doe.run(target_mae=0.1)
+
+    def test_doe_result_is_campaign_result(self):
+        assert issubclass(DoEResult, ActiveLearningResult)
+
+    def test_compare_campaigns_over_mixed_loops(self, rng):
+        x_test, y_test = _test_set(rng, n=40)
+
+        def gp_campaign():
+            doe = AdaptiveDoE.from_bounds(
+                _gp(), _sim(), BOUNDS,
+                seed_size=8, batch_size=4, n_candidates=32,
+                x_test=x_test, y_test=y_test, rng=17,
+            )
+            return doe.run(target_mae=0.15, max_rounds=10)
+
+        summary = compare_campaigns(
+            {"gp": gp_campaign}, target_mae=0.15
+        )
+        row = summary["gp"]
+        assert row["reached_target"]
+        assert row["sims_to_target"] == row["total_sim_calls"]
+        assert row["rounds"] >= 1
+        assert np.isfinite(row["final_test_mae"])
+
+    def test_doe_spans(self, rng):
+        x_test, y_test = _test_set(rng, n=30)
+        gp = _gp()
+        gp.tracer = Tracer()
+        doe = AdaptiveDoE.from_bounds(
+            gp, _sim(), BOUNDS,
+            seed_size=8, batch_size=2, n_candidates=32,
+            x_test=x_test, y_test=y_test, rng=19,
+        )
+        doe.run(target_mae=0.2, max_rounds=5)
+        kinds = {s.kind for s in gp.tracer.spans}
+        assert "gp.doe" in kinds and "gp.fit" in kinds

@@ -1,0 +1,165 @@
+"""Tests for repro.gp.fit — LML, gradients, jitter, L-BFGS."""
+
+import numpy as np
+import pytest
+
+from repro.gp.fit import (
+    LBFGS,
+    jittered_cholesky,
+    log_marginal_likelihood,
+    optimize_hyperparams,
+)
+from repro.gp.kernels import KERNELS, make_kernel
+from repro.nn.gradcheck import max_relative_error, numerical_gradient
+
+ALL_KERNELS = sorted(KERNELS)
+
+
+class TestJitteredCholesky:
+    def test_well_conditioned_needs_no_jitter(self, rng):
+        A = rng.normal(size=(8, 8))
+        K = A @ A.T + 8.0 * np.eye(8)
+        res = jittered_cholesky(K)
+        assert res.jitter == 0.0
+        assert res.n_tries == 1
+        assert np.allclose(res.L @ res.L.T, K)
+
+    def test_near_singular_kernel_escalates(self, rng):
+        # Coincident training points + zero noise: the kernel matrix is
+        # exactly rank-deficient and the bare factorization must fail.
+        k = make_kernel("rbf", 2)
+        X = np.vstack([rng.normal(size=(6, 2))] * 2)  # every row duplicated
+        K = k(X, X)
+        res = jittered_cholesky(K)
+        assert res.jitter > 0.0
+        assert res.n_tries > 1
+        recon = res.L @ res.L.T
+        assert np.allclose(recon, K + res.jitter * np.eye(len(K)), atol=1e-8)
+
+    def test_indefinite_matrix_raises(self):
+        K = np.array([[1.0, 2.0], [2.0, 1.0]])  # eigenvalues 3, -1
+        with pytest.raises(np.linalg.LinAlgError, match="jitter escalations"):
+            jittered_cholesky(K)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="square"):
+            jittered_cholesky(np.zeros((2, 3)))
+        with pytest.raises(ValueError, match="max_tries"):
+            jittered_cholesky(np.eye(2), max_tries=0)
+
+
+class TestLogMarginalLikelihood:
+    @pytest.mark.parametrize("name", ALL_KERNELS)
+    def test_gradient_matches_finite_differences(self, name, rng):
+        k = make_kernel(
+            name, 3, lengthscales=np.array([0.8, 1.2, 1.5]), variance=1.3
+        )
+        X = rng.normal(size=(20, 3))
+        Y = rng.normal(size=(20, 2))
+        theta0 = np.concatenate([k.get_log_params(), [np.log(0.05)]])
+
+        def f(theta):
+            k.set_log_params(theta[:-1])
+            value, _ = log_marginal_likelihood(
+                k, float(theta[-1]), X, Y, with_grad=False
+            )
+            return value
+
+        _, analytic = log_marginal_likelihood(k, float(theta0[-1]), X, Y)
+        k.set_log_params(theta0[:-1])
+        numeric = numerical_gradient(f, theta0)
+        assert max_relative_error(analytic, numeric) < 1e-6
+
+    def test_outputs_sum(self, rng):
+        # Independent outputs under a shared kernel: the joint LML is the
+        # sum of the per-column LMLs.
+        k = make_kernel("matern52", 2)
+        X = rng.normal(size=(15, 2))
+        Y = rng.normal(size=(15, 2))
+        joint, _ = log_marginal_likelihood(k, np.log(0.1), X, Y, with_grad=False)
+        col0, _ = log_marginal_likelihood(
+            k, np.log(0.1), X, Y[:, :1], with_grad=False
+        )
+        col1, _ = log_marginal_likelihood(
+            k, np.log(0.1), X, Y[:, 1:], with_grad=False
+        )
+        assert np.isclose(joint, col0 + col1)
+
+    def test_without_grad_returns_none(self, rng):
+        k = make_kernel("rbf", 1)
+        value, grads = log_marginal_likelihood(
+            k, 0.0, rng.normal(size=(5, 1)), rng.normal(size=(5, 1)),
+            with_grad=False,
+        )
+        assert np.isfinite(value) and grads is None
+
+
+class TestLBFGS:
+    def test_converges_on_quadratic(self):
+        A = np.diag([1.0, 4.0, 0.5])
+        target = np.array([0.3, -1.2, 2.0])
+
+        def f_grad(theta):
+            d = theta - target
+            return -0.5 * float(d @ A @ d), -(A @ d)
+
+        result = LBFGS(max_iter=100).maximize(f_grad, np.zeros(3))
+        assert result.converged
+        assert np.allclose(result.theta, target, atol=1e-4)
+        assert result.lml == pytest.approx(0.0, abs=1e-8)
+
+    def test_respects_bounds(self):
+        # Unconstrained optimum at 10, outside the box: the iterate must
+        # stop on the boundary.
+        def f_grad(theta):
+            d = theta - 10.0
+            return -0.5 * float(d @ d), -d
+
+        result = LBFGS(max_iter=100, bounds=(-2.0, 2.0)).maximize(
+            f_grad, np.zeros(2)
+        )
+        assert np.allclose(result.theta, 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="memory and max_iter"):
+            LBFGS(memory=0)
+        with pytest.raises(ValueError, match="bounds"):
+            LBFGS(bounds=(1.0, -1.0))
+
+
+class TestOptimizeHyperparams:
+    def _problem(self, rng):
+        X = rng.uniform(-2, 2, size=(30, 2))
+        Y = np.column_stack([np.sin(2 * X[:, 0]), X[:, 1] ** 2])
+        Y = (Y - Y.mean(axis=0)) / Y.std(axis=0)
+        return X, Y
+
+    def test_improves_lml_and_mutates_kernel(self, rng):
+        X, Y = self._problem(rng)
+        k = make_kernel("rbf", 2, lengthscales=5.0, variance=0.1)
+        before, _ = log_marginal_likelihood(k, np.log(0.5), X, Y, with_grad=False)
+        result = optimize_hyperparams(k, np.log(0.5), X, Y, rng=0)
+        assert result.lml > before
+        assert result.n_starts == 3
+        # Kernel now holds the winner; re-evaluating at it reproduces lml.
+        check, _ = log_marginal_likelihood(
+            k, float(result.theta[-1]), X, Y, with_grad=False
+        )
+        assert np.isclose(check, result.lml)
+
+    def test_deterministic_under_seed(self, rng):
+        X, Y = self._problem(rng)
+        results = []
+        for _ in range(2):
+            k = make_kernel("matern32", 2)
+            results.append(optimize_hyperparams(k, np.log(0.1), X, Y, rng=7))
+        assert np.array_equal(results[0].theta, results[1].theta)
+        assert results[0].lml == results[1].lml
+
+    def test_validation(self, rng):
+        k = make_kernel("rbf", 1)
+        with pytest.raises(ValueError, match="n_restarts"):
+            optimize_hyperparams(
+                k, 0.0, rng.normal(size=(5, 1)), rng.normal(size=(5, 1)),
+                n_restarts=-1,
+            )

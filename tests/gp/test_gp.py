@@ -1,0 +1,258 @@
+"""Tests for repro.gp.gp — the GPSurrogate backend."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.mlaround import MLAroundHPC, RetrainPolicy
+from repro.core.simulation import CallableSimulation
+from repro.core.uq import UQResult
+from repro.gp.gp import GPSurrogate, solve_lower_stable
+from repro.gp.kernels import make_kernel
+from repro.obs.metrics import MetricRegistry
+from repro.obs.trace import Tracer
+
+
+def _fn_batch(X):
+    return np.column_stack(
+        [np.sin(3 * X[:, 0]) * np.cos(X[:, 1]), np.exp(-X[:, 0] ** 2) + 0.5 * X[:, 1]]
+    )
+
+
+def _training(rng, n=40):
+    X = rng.uniform(-2, 2, size=(n, 2))
+    return X, _fn_batch(X)
+
+
+def _fitted(rng, **kw):
+    gp = GPSurrogate(2, 2, rng=0, **kw)
+    gp.fit(*_training(rng))
+    return gp
+
+
+class TestSolveLowerStable:
+    def test_matches_blas_solve(self, rng):
+        A = rng.normal(size=(10, 10))
+        L = np.linalg.cholesky(A @ A.T + 10 * np.eye(10))
+        B = rng.normal(size=(10, 4))
+        assert np.allclose(solve_lower_stable(L, B), np.linalg.solve(L, B))
+
+    def test_columns_batch_independent(self, rng):
+        L = np.linalg.cholesky(np.eye(6) + 0.1)
+        B = rng.normal(size=(6, 5))
+        full = solve_lower_stable(L, B)
+        one = solve_lower_stable(L, B[:, 2])
+        assert np.array_equal(full[:, 2], one)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            solve_lower_stable(np.eye(3), np.zeros((4, 2)))
+
+
+class TestFitPredict:
+    def test_accuracy_on_smooth_function(self, rng):
+        gp = _fitted(rng)
+        X_new = rng.uniform(-2, 2, size=(60, 2))
+        mae = np.mean(np.abs(gp.predict(X_new) - _fn_batch(X_new)))
+        assert mae < 0.05
+        assert gp.n_train == 40
+        assert np.isfinite(gp.last_lml)
+
+    def test_report_shape(self, rng):
+        gp = _fitted(rng)
+        assert gp.report.n_train == 40 and gp.report.n_test == 0
+        gp2 = GPSurrogate(2, 2, rng=0, test_fraction=0.25)
+        report = gp2.fit(*_training(rng, n=60))
+        assert report.n_test == 15
+        assert np.isfinite(report.test_mae)
+
+    def test_nonfinite_rows_dropped(self, rng):
+        X, Y = _training(rng)
+        Y[3, 0] = np.nan
+        X[7, 1] = np.inf
+        gp = GPSurrogate(2, 2, rng=0)
+        gp.fit(X, Y)
+        assert gp.n_train == 38
+
+    def test_validation_errors(self, rng):
+        gp = GPSurrogate(2, 2, rng=0)
+        with pytest.raises(RuntimeError, match="before fit"):
+            gp.predict(np.zeros((1, 2)))
+        with pytest.raises(ValueError, match="expected shapes"):
+            gp.fit(np.zeros((4, 3)), np.zeros((4, 2)))
+        with pytest.raises(ValueError, match="at least 2"):
+            gp.fit(np.zeros((1, 2)), np.zeros((1, 2)))
+        with pytest.raises(ValueError, match="test_fraction"):
+            GPSurrogate(2, 2, test_fraction=1.0)
+        with pytest.raises(ValueError, match="noise"):
+            GPSurrogate(2, 2, noise=0.0)
+        with pytest.raises(ValueError, match="reopt_growth"):
+            GPSurrogate(2, 2, reopt_growth=0.5)
+        with pytest.raises(ValueError, match="features"):
+            GPSurrogate(2, 2, kernel=make_kernel("rbf", 3))
+
+    def test_interval_coverage_calibrated(self, rng):
+        # Noisy observations of a smooth function: the 95% predictive
+        # interval (latent + fitted noise) must cover ~95% of fresh
+        # noisy draws.
+        X = rng.uniform(-2, 2, size=(120, 2))
+        noise_std = 0.1
+        Y = _fn_batch(X) + rng.normal(0, noise_std, size=(120, 2))
+        gp = GPSurrogate(2, 2, rng=0)
+        gp.fit(X, Y)
+        X_new = rng.uniform(-2, 2, size=(300, 2))
+        Y_new = _fn_batch(X_new) + rng.normal(0, noise_std, size=(300, 2))
+        uq = gp.predict_with_uncertainty(X_new)
+        covered = np.abs(Y_new - uq.mean) <= 1.96 * uq.std
+        coverage = float(np.mean(covered))
+        assert 0.88 <= coverage <= 0.995
+        # The fitted noise should land near the true observation noise.
+        assert 0.25 * noise_std**2 < gp.noise * gp.y_scaler.scale_std().mean() ** 2
+
+
+class TestStability:
+    def test_stable_matches_fast_path(self, rng):
+        gp = _fitted(rng)
+        X = rng.uniform(-2, 2, size=(30, 2))
+        assert np.allclose(gp.predict_stable(X), gp.predict(X), atol=1e-10)
+
+    def test_predict_stable_row_stable_bitwise(self, rng):
+        gp = _fitted(rng)
+        X = rng.uniform(-2, 2, size=(16, 2))
+        full = gp.predict_stable(X)
+        for i in (0, 7, 15):
+            assert np.array_equal(gp.predict_stable(X[i : i + 1])[0], full[i])
+
+    def test_uncertainty_row_stable_bitwise(self, rng):
+        gp = _fitted(rng)
+        X = rng.uniform(-2, 2, size=(16, 2))
+        full = gp.predict_with_uncertainty(X)
+        assert isinstance(full, UQResult)
+        for i in (0, 5, 15):
+            one = gp.predict_with_uncertainty(X[i : i + 1])
+            assert np.array_equal(one.mean[0], full.mean[i])
+            assert np.array_equal(one.std[0], full.std[i])
+
+
+class TestGrowOnlyRefit:
+    def _gp_pair(self, rng):
+        X, Y = _training(rng, n=30)
+        X_more = np.vstack([X, rng.uniform(-2, 2, size=(6, 2))])
+        return X, Y, X_more, _fn_batch(X_more)
+
+    def test_prefix_refit_takes_grow_path(self, rng):
+        X, Y, X_more, Y_more = self._gp_pair(rng)
+        gp = GPSurrogate(2, 2, rng=0, reopt_growth=2.0)
+        gp.fit(X, Y)
+        gp.fit(X_more, Y_more)
+        assert gp.n_grow_updates == 1
+        assert gp.n_full_factorizations == 1
+        assert gp.n_train == 36
+
+    def test_grown_factor_matches_full_factorization(self, rng):
+        X, Y, X_more, Y_more = self._gp_pair(rng)
+        gp = GPSurrogate(2, 2, rng=0, reopt_growth=2.0)
+        gp.fit(X, Y)
+        gp.fit(X_more, Y_more)
+        K = gp.kernel(gp._Xs, gp._Xs)
+        K[np.diag_indices_from(K)] += gp.noise + gp.jitter_used
+        L_full = np.linalg.cholesky(K)
+        assert np.allclose(gp._L, L_full, atol=1e-8)
+
+    def test_reopt_growth_forces_full_refit(self, rng):
+        X, Y, _, _ = self._gp_pair(rng)
+        X_big = np.vstack([X, rng.uniform(-2, 2, size=(40, 2))])
+        gp = GPSurrogate(2, 2, rng=0, reopt_growth=1.5)
+        gp.fit(X, Y)
+        gp.fit(X_big, _fn_batch(X_big))  # 70 >= 1.5 * 30
+        assert gp.n_grow_updates == 0
+        assert gp.n_full_factorizations == 2
+
+    def test_non_prefix_data_forces_full_refit(self, rng):
+        X, Y, X_more, Y_more = self._gp_pair(rng)
+        gp = GPSurrogate(2, 2, rng=0, reopt_growth=2.0)
+        gp.fit(X, Y)
+        shuffled = X_more[::-1].copy()
+        gp.fit(shuffled, _fn_batch(shuffled))
+        assert gp.n_grow_updates == 0
+        assert gp.n_full_factorizations == 2
+
+    def test_test_fraction_disables_grow(self, rng):
+        X, Y, X_more, Y_more = self._gp_pair(rng)
+        gp = GPSurrogate(2, 2, rng=0, test_fraction=0.2, reopt_growth=10.0)
+        gp.fit(X, Y)
+        gp.fit(X_more, Y_more)
+        assert gp.n_grow_updates == 0
+
+
+class TestSerialization:
+    def test_round_trip_exact_without_grow(self, rng):
+        gp = _fitted(rng)
+        restored = GPSurrogate.from_json(gp.to_json())
+        X = rng.uniform(-2, 2, size=(20, 2))
+        assert np.array_equal(restored.predict(X), gp.predict(X))
+        uq_a = gp.predict_with_uncertainty(X)
+        uq_b = restored.predict_with_uncertainty(X)
+        assert np.array_equal(uq_a.mean, uq_b.mean)
+        assert np.array_equal(uq_a.std, uq_b.std)
+        assert restored.report.n_train == gp.report.n_train
+
+    def test_round_trip_after_grow_close(self, rng):
+        X, Y = _training(rng, n=30)
+        X_more = np.vstack([X, rng.uniform(-2, 2, size=(5, 2))])
+        gp = GPSurrogate(2, 2, rng=0, reopt_growth=2.0)
+        gp.fit(X, Y)
+        gp.fit(X_more, _fn_batch(X_more))
+        restored = GPSurrogate.from_json(gp.to_json())
+        Xq = rng.uniform(-2, 2, size=(20, 2))
+        assert np.allclose(restored.predict(Xq), gp.predict(Xq), atol=1e-8)
+
+    def test_unfitted_refuses(self):
+        with pytest.raises(RuntimeError, match="before fit"):
+            GPSurrogate(2, 2).to_json()
+
+    def test_payload_is_json(self, rng):
+        payload = json.loads(_fitted(rng).to_json())
+        assert payload["kernel"]["kind"] == "rbf"
+        assert len(payload["X"]) == 40
+
+
+class TestObservability:
+    def test_spans_and_counters(self, rng):
+        gp = GPSurrogate(2, 2, rng=0)
+        gp.tracer = Tracer()
+        gp.registry = MetricRegistry()
+        gp.fit(*_training(rng))
+        gp.predict(np.zeros((3, 2)))
+        gp.predict_with_uncertainty(np.zeros((3, 2)))
+        kinds = {s.kind for s in gp.tracer.spans}
+        assert kinds == {"gp.fit", "gp.predict"}
+        assert gp.registry.counter("gp.full_factorizations").value == 1
+
+
+class TestMLAroundIntegration:
+    def test_gp_drops_into_uq_gate(self, rng):
+        def fn(x):
+            return np.array(
+                [np.sin(3 * x[0]) * np.cos(x[1]), np.exp(-x[0] * x[0]) + 0.5 * x[1]]
+            )
+
+        sim = CallableSimulation(fn, ["a", "b"], ["u", "v"])
+        gp = GPSurrogate(2, 2, rng=0)
+        engine = MLAroundHPC(
+            sim,
+            gp,
+            tolerance=0.3,
+            policy=RetrainPolicy(min_initial_runs=16),
+            rng=1,
+        )
+        engine.bootstrap(rng.uniform(-2, 2, size=(40, 2)))
+        assert engine.is_trained
+        # In-domain query: the analytic GP gate should be confident.
+        out = engine.query(np.array([0.3, -0.5]))
+        assert out.source == "lookup"
+        assert np.isfinite(out.uncertainty)
+        # Far out of domain: the gate must fall back to simulation.
+        out_far = engine.query(np.array([40.0, -40.0]))
+        assert out_far.source == "simulate"

@@ -1,0 +1,126 @@
+"""Tests for repro.gp.kernels — ARD kernel family."""
+
+import numpy as np
+import pytest
+
+from repro.gp.kernels import (
+    KERNELS,
+    Matern32,
+    Matern52,
+    RBF,
+    kernel_from_config,
+    make_kernel,
+)
+
+ALL_KERNELS = sorted(KERNELS)
+
+
+def _sample(rng, n=12, d=3):
+    return rng.normal(size=(n, d))
+
+
+class TestValues:
+    @pytest.mark.parametrize("name", ALL_KERNELS)
+    def test_diagonal_is_variance(self, name, rng):
+        k = make_kernel(name, 3, lengthscales=0.7, variance=2.5)
+        X = _sample(rng)
+        K = k(X, X)
+        assert np.allclose(np.diag(K), 2.5)
+        assert np.allclose(k.diag(5), 2.5)
+
+    @pytest.mark.parametrize("name", ALL_KERNELS)
+    def test_symmetric_and_psd(self, name, rng):
+        k = make_kernel(name, 3)
+        X = _sample(rng)
+        K = k(X, X)
+        assert np.array_equal(K, K.T)
+        assert np.linalg.eigvalsh(K).min() > -1e-10
+
+    def test_rbf_decays_with_distance(self):
+        k = RBF(1, lengthscales=1.0)
+        near = k(np.array([[0.0]]), np.array([[0.1]]))[0, 0]
+        far = k(np.array([[0.0]]), np.array([[3.0]]))[0, 0]
+        assert near > far > 0.0
+
+    def test_matern_rougher_than_rbf(self):
+        # At moderate distance the Matérn families decay more slowly
+        # than the squared exponential (heavier tails).
+        x1, x2 = np.array([[0.0]]), np.array([[2.0]])
+        rbf = RBF(1)(x1, x2)[0, 0]
+        m32 = Matern32(1)(x1, x2)[0, 0]
+        m52 = Matern52(1)(x1, x2)[0, 0]
+        assert m32 > m52 > rbf
+
+    def test_ard_lengthscales_weight_dimensions(self):
+        k = RBF(2, lengthscales=np.array([0.1, 10.0]))
+        base = np.zeros((1, 2))
+        move_0 = k(base, np.array([[1.0, 0.0]]))[0, 0]
+        move_1 = k(base, np.array([[0.0, 1.0]]))[0, 0]
+        assert move_0 < move_1  # short lengthscale -> fast decay
+
+
+class TestLogParams:
+    @pytest.mark.parametrize("name", ALL_KERNELS)
+    def test_round_trip(self, name):
+        k = make_kernel(name, 2, lengthscales=np.array([0.5, 2.0]), variance=1.7)
+        theta = k.get_log_params()
+        assert theta.shape == (3,)
+        k.set_log_params(theta + 0.3)
+        k.set_log_params(theta)
+        assert np.allclose(k.lengthscales, [0.5, 2.0])
+        assert np.isclose(k.variance, 1.7)
+        assert len(k.param_names()) == k.n_params
+
+    @pytest.mark.parametrize("name", ALL_KERNELS)
+    def test_grads_match_finite_differences(self, name, rng):
+        k = make_kernel(name, 3, lengthscales=np.array([0.6, 1.1, 1.9]), variance=1.4)
+        X = _sample(rng, n=8)
+        theta = k.get_log_params()
+        grads = k.grad_log_params(X)
+        eps = 1e-6
+        for j in range(k.n_params):
+            up, down = theta.copy(), theta.copy()
+            up[j] += eps
+            down[j] -= eps
+            k.set_log_params(up)
+            K_up = k(X, X)
+            k.set_log_params(down)
+            K_down = k(X, X)
+            k.set_log_params(theta)
+            numeric = (K_up - K_down) / (2 * eps)
+            assert np.allclose(grads[j], numeric, atol=1e-6), (name, j)
+
+
+class TestValidationAndConfig:
+    def test_make_kernel_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            make_kernel("periodic", 2)
+
+    def test_bad_lengthscales(self):
+        with pytest.raises(ValueError, match="lengthscales"):
+            RBF(2, lengthscales=np.array([1.0, 2.0, 3.0]))
+        with pytest.raises(ValueError, match="lengthscales"):
+            RBF(2, lengthscales=-1.0)
+
+    def test_bad_variance_and_dim(self):
+        with pytest.raises(ValueError, match="variance"):
+            RBF(2, variance=0.0)
+        with pytest.raises(ValueError, match="in_dim"):
+            RBF(0)
+
+    def test_feature_count_checked(self):
+        k = RBF(3)
+        with pytest.raises(ValueError, match="features"):
+            k(np.zeros((4, 2)), np.zeros((4, 3)))
+
+    @pytest.mark.parametrize("name", ALL_KERNELS)
+    def test_config_round_trip(self, name, rng):
+        k = make_kernel(name, 2, lengthscales=np.array([0.3, 3.0]), variance=0.9)
+        k2 = kernel_from_config(k.config())
+        X = _sample(rng, d=2)
+        assert type(k2) is type(k)
+        assert np.array_equal(k(X, X), k2(X, X))
+
+    def test_config_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown kernel kind"):
+            kernel_from_config({"kind": "nope"})

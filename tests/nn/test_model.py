@@ -139,6 +139,23 @@ class TestSerialization:
         restored = MLP.from_json(m.to_json())
         assert restored.config() == m.config()
 
+    def test_json_roundtrip_preserves_serving_dtype(self, model):
+        x = np.random.default_rng(7).normal(size=(9, 3))
+        model.set_serving_dtype(np.float32)
+        served = model.predict(x)
+        restored = MLP.from_json(model.to_json())
+        assert restored.serving_dtype == np.float32
+        # Same weights + same serving precision: bitwise-equal answers.
+        assert np.array_equal(restored.predict(x), served)
+
+    def test_json_payload_without_serving_dtype_defaults_float64(self, model):
+        import json
+
+        payload = json.loads(model.to_json())
+        del payload["serving_dtype"]
+        restored = MLP.from_json(json.dumps(payload))
+        assert restored.serving_dtype == np.float64
+
     def test_from_config_unknown_kind(self):
         with pytest.raises(ValueError):
             MLP.from_config({"layers": [{"kind": "conv"}]})

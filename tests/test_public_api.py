@@ -7,6 +7,7 @@ import pytest
 PACKAGES = [
     "repro",
     "repro.core",
+    "repro.gp",
     "repro.nn",
     "repro.md",
     "repro.epi",
