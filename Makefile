@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint lint-json baseline bench bench-gp trace profile regress check
+.PHONY: test lint lint-json baseline bench bench-gp trace profile latency regress check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -33,6 +33,14 @@ trace:
 # rendering of this view — regenerate it after `make bench`.
 profile:
 	$(PYTHON) -m repro.obs profile TRACE_serve.jsonl.gz | tee bench_tables.txt
+
+# Tail-latency view of the committed serve trace: per-request stage
+# decomposition with percentile-band blame, then the counterfactual
+# what-if projections (cache_miss_free / half_batch_wait /
+# faster_fallback) over the same spans.
+latency:
+	$(PYTHON) -m repro.obs latency TRACE_serve.jsonl.gz
+	$(PYTHON) -m repro.obs whatif TRACE_serve.jsonl.gz
 
 # Fresh reduced benches compared against the committed BENCH_*.json
 # baselines.  Criteria are gated unconditionally; numeric metrics only

@@ -6,6 +6,15 @@ The repo's timing story has exactly two sanctioned surfaces: the
 bypass both — the cost neither lands in a ledger category nor appears in
 a trace, so it silently falls out of the §III-D accounting and, worse,
 can leak nondeterministic wall time into virtual-time code paths.
+
+The quantile story has exactly one sanctioned surface for unbounded
+request populations: :class:`~repro.obs.sketch.QuantileSketch` (OBS003).
+Retaining every sample so ``np.percentile`` can run later costs
+O(requests) memory on a stream that never ends and produces a state that
+cannot be merged across replicas; the sketch answers the same quantile
+queries in O(log range) memory with a guaranteed relative-error bound.
+Exactness is still the point in tests, benchmarks and the sketch module
+itself — those paths are exempt or baseline-justified.
 """
 
 from __future__ import annotations
@@ -34,10 +43,25 @@ OBS002 = Rule(
     "at the CLI boundary.",
 )
 
+OBS003 = Rule(
+    "OBS003",
+    "no-raw-quantile-retention",
+    "Unbounded sample retention or numpy percentile over a request population",
+    "Full-sample quantiles cost O(requests) memory on an unbounded stream and "
+    "cannot merge across replicas; feed a repro.obs.sketch.QuantileSketch "
+    "instead (exact populations belong in tests/certification passes).",
+)
+
 #: ``datetime``-module class methods OBS002 flags (on ``datetime.datetime``
 #: and ``datetime.date``).  Constructors and parsing are fine — they are
 #: pure functions of their arguments.
 _DATETIME_READS = frozenset({"now", "utcnow", "today"})
+
+#: numpy quantile-family functions OBS003 flags.  Each one requires the
+#: full sample population to be materialized at query time.
+_QUANTILE_FNS = frozenset(
+    {"percentile", "quantile", "nanpercentile", "nanquantile"}
+)
 
 #: Clock-reading functions in the stdlib ``time`` module that OBS001
 #: flags.  Sleeping/formatting helpers (sleep, strftime, ...) are fine.
@@ -73,7 +97,7 @@ def _dotted_name(node: ast.AST) -> str | None:
 class ObservabilityChecker(BaseChecker):
     """Flags wall-clock reads that bypass the timing/obs plumbing."""
 
-    rules = (OBS001, OBS002)
+    rules = (OBS001, OBS002, OBS003)
 
     def __init__(self, context: FileContext):
         super().__init__(context)
@@ -83,7 +107,12 @@ class ObservabilityChecker(BaseChecker):
         self._datetime_mod_aliases: set[str] = set()
         # local alias -> datetime class ("datetime" or "date") it names
         self._datetime_cls_aliases: dict[str, str] = {}
+        self._numpy_aliases: set[str] = set()
+        # local alias -> numpy quantile function it names
+        self._quantile_aliases: dict[str, str] = {}
+        self._observe_depth = 0
         self._exempt = context.config.is_timing_module(context.path)
+        self._quantile_exempt = context.config.is_quantile_module(context.path)
 
     # -- imports ------------------------------------------------------
 
@@ -93,6 +122,8 @@ class ObservabilityChecker(BaseChecker):
                 self._time_aliases.add(alias.asname or "time")
             elif alias.name == "datetime":
                 self._datetime_mod_aliases.add(alias.asname or "datetime")
+            elif alias.name == "numpy":
+                self._numpy_aliases.add(alias.asname or "numpy")
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -106,32 +137,79 @@ class ObservabilityChecker(BaseChecker):
                     self._datetime_cls_aliases[alias.asname or alias.name] = (
                         alias.name
                     )
+        if node.level == 0 and node.module == "numpy":
+            for alias in node.names:
+                if alias.name in _QUANTILE_FNS:
+                    self._quantile_aliases[alias.asname or alias.name] = (
+                        alias.name
+                    )
         self.generic_visit(node)
+
+    # -- functions ----------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def _visit_function(self, node: ast.AST) -> None:
+        # Track whether we are inside an ``observe`` method: that is a
+        # per-request ingest hook, so any ``.append(...)`` there retains
+        # state proportional to the request count.
+        is_observe = getattr(node, "name", None) == "observe"
+        if is_observe:
+            self._observe_depth += 1
+        self.generic_visit(node)
+        if is_observe:
+            self._observe_depth -= 1
 
     # -- calls --------------------------------------------------------
 
     def visit_Call(self, node: ast.Call) -> None:
-        if not self._exempt:
-            dotted = _dotted_name(node.func)
+        dotted = _dotted_name(node.func)
+        if not self._exempt and dotted is not None:
+            fn = self._clock_read_name(dotted)
+            if fn is not None:
+                self.report(
+                    node,
+                    "OBS001",
+                    f"raw wall-clock read time.{fn}(); use "
+                    "repro.util.timing (Timer/ledger) or a "
+                    "repro.obs.trace span so the cost is accounted",
+                )
+            read = self._datetime_read_name(dotted)
+            if read is not None:
+                self.report(
+                    node,
+                    "OBS002",
+                    f"ambient date read {read}(); pass the timestamp in "
+                    "explicitly (argument or trace meta) so replays stay "
+                    "bitwise reproducible",
+                )
+        if not self._quantile_exempt:
             if dotted is not None:
-                fn = self._clock_read_name(dotted)
-                if fn is not None:
+                qfn = self._quantile_call_name(dotted)
+                if qfn is not None:
                     self.report(
                         node,
-                        "OBS001",
-                        f"raw wall-clock read time.{fn}(); use "
-                        "repro.util.timing (Timer/ledger) or a "
-                        "repro.obs.trace span so the cost is accounted",
+                        "OBS003",
+                        f"raw numpy.{qfn}() requires the full sample "
+                        "population; use repro.obs.sketch.QuantileSketch "
+                        "(or exact_quantile in tests/certification code)",
                     )
-                read = self._datetime_read_name(dotted)
-                if read is not None:
-                    self.report(
-                        node,
-                        "OBS002",
-                        f"ambient date read {read}(); pass the timestamp in "
-                        "explicitly (argument or trace meta) so replays stay "
-                        "bitwise reproducible",
-                    )
+            if (
+                self._observe_depth
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "append"
+            ):
+                self.report(
+                    node,
+                    "OBS003",
+                    "sample-list append inside observe(): unbounded "
+                    "per-request retention; feed a "
+                    "repro.obs.sketch.QuantileSketch instead",
+                )
         self.generic_visit(node)
 
     def _clock_read_name(self, dotted: str) -> str | None:
@@ -144,6 +222,18 @@ class ObservabilityChecker(BaseChecker):
             return parts[1]
         if len(parts) == 1 and parts[0] in self._clock_aliases:
             return self._clock_aliases[parts[0]]
+        return None
+
+    def _quantile_call_name(self, dotted: str) -> str | None:
+        parts = dotted.split(".")
+        if (
+            len(parts) == 2
+            and parts[0] in self._numpy_aliases
+            and parts[1] in _QUANTILE_FNS
+        ):
+            return parts[1]
+        if len(parts) == 1 and parts[0] in self._quantile_aliases:
+            return self._quantile_aliases[parts[0]]
         return None
 
     def _datetime_read_name(self, dotted: str) -> str | None:

@@ -18,6 +18,7 @@ __all__ = [
     "DEFAULT_ALLOWED_ROOTS",
     "DEFAULT_RNG_MODULES",
     "DEFAULT_TIMING_MODULES",
+    "DEFAULT_QUANTILE_MODULES",
     "DEFAULT_PATH_RULES",
 ]
 
@@ -33,6 +34,10 @@ DEFAULT_RNG_MODULES: tuple[str, ...] = ("repro/util/rng.py",)
 # "/" are directory markers matched as path substrings; everything else
 # is a posix path suffix, like the RNG list.
 DEFAULT_TIMING_MODULES: tuple[str, ...] = ("repro/util/timing.py", "repro/obs/")
+
+# Modules that ARE the quantile plumbing (OBS003): the sketch module may
+# retain buckets and define exact_quantile; everyone else goes through it.
+DEFAULT_QUANTILE_MODULES: tuple[str, ...] = ("repro/obs/sketch.py",)
 
 
 def _stdlib_names() -> frozenset[str]:
@@ -72,12 +77,16 @@ class PathRules:
 DEFAULT_PATH_RULES: tuple[PathRules, ...] = (
     PathRules(
         "tests/",
-        ignore=frozenset({"API", "DET005", "NUM002", "NUM005", "PERF", "FLOW002"}),
+        ignore=frozenset(
+            {"API", "DET005", "NUM002", "NUM005", "OBS003", "PERF", "FLOW002"}
+        ),
         extra_import_roots=frozenset({"pytest", "hypothesis"}),
     ),
     PathRules(
         "benchmarks/",
-        ignore=frozenset({"API", "DET005", "NUM005", "OBS001", "PERF", "FLOW002"}),
+        ignore=frozenset(
+            {"API", "DET005", "NUM005", "OBS001", "OBS003", "PERF", "FLOW002"}
+        ),
         extra_import_roots=frozenset({"pytest", "benchmarks"}),
     ),
     PathRules("examples/", ignore=frozenset({"API"})),
@@ -103,6 +112,9 @@ class AnalysisConfig:
         Path suffixes (or ``.../``-terminated directory markers) of
         modules exempt from OBS001 because they *are* the timing /
         observability plumbing.
+    quantile_module_suffixes:
+        Path suffixes of modules exempt from OBS003 because they *are*
+        the quantile plumbing (the sketch implementation).
     select:
         If non-empty, only these rule ids (or family prefixes) run.
     ignore:
@@ -119,6 +131,7 @@ class AnalysisConfig:
     stdlib_roots: frozenset[str] = field(default_factory=_stdlib_names)
     rng_module_suffixes: tuple[str, ...] = DEFAULT_RNG_MODULES
     timing_module_suffixes: tuple[str, ...] = DEFAULT_TIMING_MODULES
+    quantile_module_suffixes: tuple[str, ...] = DEFAULT_QUANTILE_MODULES
     select: frozenset[str] = frozenset()
     ignore: frozenset[str] = frozenset()
     path_rules: tuple[PathRules, ...] = DEFAULT_PATH_RULES
@@ -158,6 +171,12 @@ class AnalysisConfig:
         return any(
             (sfx in posix_path) if sfx.endswith("/") else posix_path.endswith(sfx)
             for sfx in self.timing_module_suffixes
+        )
+
+    def is_quantile_module(self, posix_path: str) -> bool:
+        """Return True when ``posix_path`` is the quantile plumbing."""
+        return any(
+            posix_path.endswith(sfx) for sfx in self.quantile_module_suffixes
         )
 
     def import_allowed(self, root: str, posix_path: str = "") -> bool:

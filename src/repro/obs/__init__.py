@@ -31,6 +31,21 @@ flow through:
   calibration-coverage, latency/shed SLO burn-rate and cache-hit
   monitors, whose deduplicated :class:`Alert` log is byte-stable and
   replayable from a trace file (``python -m repro.obs monitor``);
+* :mod:`~repro.obs.sketch` — :class:`QuantileSketch`, a from-scratch
+  log-bucketed mergeable quantile sketch (DDSketch-style) with a
+  guaranteed relative-error bound, exact count/sum/min/max sidecars and
+  byte-stable JSON serialization; the registry's fourth metric type and
+  the backing store for every unbounded latency population;
+* :mod:`~repro.obs.latency` — per-request latency decomposition from
+  serve span trees: admission/batch/cache/forward/fallback/retrain
+  stage attribution that reproduces each recorded latency to ≤ 1e-9,
+  critical-path extraction per request and tail blame by percentile
+  band (``python -m repro.obs latency``);
+* :mod:`~repro.obs.whatif` — counterfactual projection replaying
+  recorded span trees under hypotheses (cache-miss-free, half batch
+  wait, faster fallback) and projecting latency / effective-speedup
+  deltas, bench-validated against an actual DES re-run
+  (``python -m repro.obs whatif``);
 * :mod:`~repro.obs.regress` — the performance-regression gate comparing
   a fresh bench run against committed ``BENCH_*.json`` history
   (``python -m repro.obs regress``), wired into CI.
@@ -48,6 +63,16 @@ from repro.obs.export import (
     render_json,
     render_text,
     write_trace,
+)
+from repro.obs.latency import (
+    DEFAULT_BANDS,
+    STAGES,
+    RequestLatency,
+    aggregate,
+    decompose,
+    latency_report,
+    render_latency_json,
+    render_latency_text,
 )
 from repro.obs.metrics import (
     DEFAULT_TIME_EDGES,
@@ -78,6 +103,7 @@ from repro.obs.profile import (
     render_profile_text,
 )
 from repro.obs.regress import compare_reports, run_regress
+from repro.obs.sketch import DEFAULT_ALPHA, QuantileSketch, exact_quantile
 from repro.obs.span import (
     KIND_CACHE,
     KIND_LOOKUP,
@@ -89,6 +115,13 @@ from repro.obs.span import (
 from repro.obs.streaming import EWMA, PageHinkley, TwoSidedCUSUM, Welford
 from repro.obs.summary import critical_path, ledger_from_spans, summarize
 from repro.obs.trace import ClockLike, Tracer, WallClock
+from repro.obs.whatif import (
+    HYPOTHESES,
+    project,
+    render_whatif_json,
+    render_whatif_text,
+    whatif_report,
+)
 
 __all__ = [
     "ACTION_FORCE_FALLBACK",
@@ -100,9 +133,12 @@ __all__ = [
     "CalibrationCoverageMonitor",
     "ClockLike",
     "Counter",
+    "DEFAULT_ALPHA",
+    "DEFAULT_BANDS",
     "DEFAULT_TIME_EDGES",
     "EWMA",
     "Gauge",
+    "HYPOTHESES",
     "Histogram",
     "KIND_CACHE",
     "KIND_LOOKUP",
@@ -113,28 +149,41 @@ __all__ = [
     "MetricRegistry",
     "MonitorSuite",
     "PageHinkley",
+    "QuantileSketch",
+    "RequestLatency",
     "SEVERITIES",
+    "STAGES",
     "ShedRateMonitor",
     "Span",
     "Tracer",
     "TwoSidedCUSUM",
     "WallClock",
     "Welford",
+    "aggregate",
     "compare_reports",
     "critical_path",
+    "decompose",
     "default_serve_monitors",
     "dumps_alerts",
     "dumps_trace",
+    "exact_quantile",
+    "latency_report",
     "ledger_from_spans",
     "loads_trace",
     "profile",
+    "project",
     "read_trace",
     "render_json",
+    "render_latency_json",
+    "render_latency_text",
     "render_profile_json",
     "render_profile_text",
     "render_text",
+    "render_whatif_json",
+    "render_whatif_text",
     "run_regress",
     "summarize",
     "watch_trace",
+    "whatif_report",
     "write_trace",
 ]

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro.obs <command> trace.jsonl``.
 
-Five subcommands:
+Seven subcommands:
 
 * ``summarize`` — per-span-kind totals, critical path, top-k slowest
   spans, and (when the trace carries ledger-kind spans) the §III-D
@@ -18,6 +18,15 @@ Five subcommands:
   log.  Because traces store spans in record order and the suite is a
   pure function of its span feed, the printed JSONL alert log is
   byte-identical to the one produced live — run it twice and ``cmp``;
+* ``latency`` — per-request latency decomposition
+  (:mod:`repro.obs.latency`): a tail scorecard from mergeable quantile
+  sketches, stage blame by percentile band, and the critical stage per
+  band.  Stage sums reproduce each recorded latency to ≤ 1e-9 and the
+  JSON output is byte-stable;
+* ``whatif`` — counterfactual projection (:mod:`repro.obs.whatif`):
+  replay the recorded span trees under a hypothesis (``cache_miss_free``,
+  ``half_batch_wait``, ``faster_fallback``) and report projected
+  latency / effective-speedup deltas without re-running the DES;
 * ``regress`` — compare a fresh ``BENCH_*.json`` report against the
   committed baseline (:mod:`repro.obs.regress`) and fail on regression.
 
@@ -36,6 +45,12 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.obs.export import read_trace, render_json, render_text
+from repro.obs.latency import (
+    DEFAULT_BANDS,
+    latency_report,
+    render_latency_json,
+    render_latency_text,
+)
 from repro.obs.monitor import (
     SEVERITIES,
     default_serve_monitors,
@@ -45,7 +60,14 @@ from repro.obs.monitor import (
 )
 from repro.obs.profile import profile, render_profile_json, render_profile_text
 from repro.obs.regress import render_report_text, run_regress
+from repro.obs.sketch import DEFAULT_ALPHA
 from repro.obs.summary import summarize
+from repro.obs.whatif import (
+    HYPOTHESES,
+    render_whatif_json,
+    render_whatif_text,
+    whatif_report,
+)
 
 __all__ = ["build_parser", "main"]
 
@@ -145,6 +167,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 when any alert at or above this severity fired",
     )
 
+    p_lat = sub.add_parser(
+        "latency",
+        help="decompose per-request latency into stages and blame the tail",
+    )
+    p_lat.add_argument("trace", help="JSONL serve trace file to decompose")
+    p_lat.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    p_lat.add_argument(
+        "--bands",
+        type=float,
+        nargs="+",
+        default=list(DEFAULT_BANDS),
+        help="percentile band boundaries in (0, 1), strictly increasing "
+        "(default: %(default)s)",
+    )
+    p_lat.add_argument(
+        "--alpha",
+        type=float,
+        default=DEFAULT_ALPHA,
+        help="scorecard sketch relative-error bound (default: %(default)s)",
+    )
+
+    p_what = sub.add_parser(
+        "whatif",
+        help="project counterfactual latency from a recorded trace",
+    )
+    p_what.add_argument("trace", help="JSONL serve trace file to project over")
+    p_what.add_argument(
+        "--hypothesis",
+        choices=HYPOTHESES,
+        action="append",
+        default=None,
+        help="hypothesis to project (repeatable; default: all of them)",
+    )
+    p_what.add_argument(
+        "--factor",
+        type=float,
+        default=0.5,
+        help="scaling knob in (0, 1] for half_batch_wait / faster_fallback "
+        "(default: %(default)s)",
+    )
+    p_what.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+
     p_reg = sub.add_parser(
         "regress", help="gate a fresh bench report against a committed baseline"
     )
@@ -206,6 +280,35 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(render_profile_json(prof))
         else:
             print(render_profile_text(prof))
+        return 0
+
+    if args.command == "latency":
+        try:
+            report = latency_report(
+                spans, meta=meta, bands=tuple(args.bands), alpha=args.alpha
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.format == "json":
+            print(render_latency_json(report))
+        else:
+            print(render_latency_text(report))
+        return 0
+
+    if args.command == "whatif":
+        hypotheses = tuple(args.hypothesis) if args.hypothesis else HYPOTHESES
+        try:
+            report = whatif_report(
+                spans, meta=meta, hypotheses=hypotheses, factor=args.factor
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.format == "json":
+            print(render_whatif_json(report))
+        else:
+            print(render_whatif_text(report))
         return 0
 
     if args.command == "speedup":

@@ -1,0 +1,458 @@
+"""Per-request latency decomposition reconstructed from span trees.
+
+``python -m repro.obs summarize`` says how much time each *kind* took;
+this module answers the tail-latency question — *why is p99 slow?* —
+by reconstructing, for every served request in a serve trace, where its
+end-to-end latency went:
+
+* ``admission`` — arrival to entering the pipeline (zero in the current
+  synchronous admission path; cache hits book their arrival→probe gap
+  here);
+* ``cache`` — quantized-LRU lookup service time;
+* ``batch_collect`` — waiting in the micro-batcher for the flush
+  trigger (fill or timer) while the NN was otherwise idle;
+* ``nn_busy`` — waiting because earlier flushes held the NN
+  (head-of-line blocking);
+* ``retrain_wait`` — waiting while a retrain held the NN — the
+  *retrain interference* component;
+* ``gate`` — the request's own flush: vectorized UQ gate + forward;
+* ``pool_wait`` — gate-rejected rows queueing for a fallback worker;
+* ``simulate`` — the fallback simulation itself.
+
+The reconstruction uses only recorded span coordinates: a row's arrival
+time is recovered from its span's ``lat`` attribute (``t_done - lat``),
+its wait interval ``[t_arrival, flush.t_start]`` is intersected with
+the merged ``train``-kind and ``flush`` interval unions to split
+blocking time into ``retrain_wait`` / ``nn_busy`` / ``batch_collect``,
+and the post-flush stages come straight off the fallback span.  By
+construction the stages sum to the recorded latency up to float
+rounding; :func:`decompose` records the worst residual and the serve
+bench gates it at 1e-9 virtual seconds over the committed traces.
+
+Per request, the **critical stage** is the stage carrying the largest
+share; :func:`aggregate` buckets requests into percentile bands (p50 /
+p90 / p99 boundaries by default) and attributes blame per band — the
+delta between the tail band's and the body band's stage means is what
+makes p99 slow *that does not make p50 slow*.
+
+Shed and rejected requests carry no latency (no ``lat`` attribute) and
+are reported as unattributed counts, never silently dropped.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.obs.sketch import DEFAULT_ALPHA, QuantileSketch, exact_quantile
+from repro.obs.span import Span
+
+__all__ = [
+    "STAGES",
+    "RequestLatency",
+    "decompose",
+    "aggregate",
+    "latency_report",
+    "render_latency_text",
+    "render_latency_json",
+]
+
+#: Stage keys, in pipeline order — also the tie-break order for the
+#: per-request critical stage.
+STAGES = (
+    "admission",
+    "cache",
+    "batch_collect",
+    "nn_busy",
+    "retrain_wait",
+    "gate",
+    "pool_wait",
+    "simulate",
+)
+
+#: Default percentile-band boundaries for blame attribution.
+DEFAULT_BANDS = (0.5, 0.9, 0.99)
+
+
+@dataclass(frozen=True)
+class RequestLatency:
+    """One served request's reconstructed latency decomposition."""
+
+    query_id: int
+    source: str
+    status: str
+    t_arrival: float
+    t_done: float
+    latency: float
+    stages: dict
+
+    @property
+    def residual(self) -> float:
+        """|sum of stages - recorded latency| — float rounding only."""
+        total = 0.0
+        for stage in STAGES:
+            total += self.stages[stage]
+        return abs(total - self.latency)
+
+    @property
+    def critical_stage(self) -> str:
+        """The stage carrying the largest share (pipeline-order ties)."""
+        best = STAGES[0]
+        for stage in STAGES[1:]:
+            if self.stages[stage] > self.stages[best]:
+                best = stage
+        return best
+
+
+def _merged_intervals(
+    intervals: Sequence[tuple[float, float]]
+) -> list[tuple[float, float]]:
+    """Coalesce intervals into a sorted disjoint union."""
+    merged: list[tuple[float, float]] = []
+    for lo, hi in sorted(intervals):
+        if merged and lo <= merged[-1][1]:
+            prev_lo, prev_hi = merged[-1]
+            merged[-1] = (prev_lo, max(prev_hi, hi))
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+def _overlap(lo: float, hi: float, merged: Sequence[tuple[float, float]]) -> float:
+    """Total intersection of ``[lo, hi]`` with a disjoint interval union."""
+    if hi <= lo:
+        return 0.0
+    total = 0.0
+    for a, b in merged:
+        if b <= lo:
+            continue
+        if a >= hi:
+            break
+        total += min(hi, b) - max(lo, a)
+    return total
+
+
+def _empty_stages() -> dict:
+    return {stage: 0.0 for stage in STAGES}
+
+
+def decompose(spans: Sequence[Span], *, meta: dict | None = None) -> dict:
+    """Reconstruct per-request stage decompositions from a serve trace.
+
+    Returns a dict with
+
+    * ``records`` — one :class:`RequestLatency` per served request, in
+      query-id order;
+    * ``unattributed`` — ``{"rejected": n, "shed": n}`` counts (those
+      spans carry no latency by design);
+    * ``max_residual_s`` — the worst |stage sum − recorded latency|
+      across all records (gated at 1e-9 by the serve bench).
+    """
+    spans = sorted(spans, key=lambda s: s.span_id)
+    by_id = {s.span_id: s for s in spans}
+    train_union = _merged_intervals(
+        [(s.t_start, s.t_end) for s in spans if s.kind == "train"]
+    )
+    busy_union = _merged_intervals(
+        [(s.t_start, s.t_end) for s in spans if s.kind == "train"]
+        + [(s.t_start, s.t_end) for s in spans if s.name == "flush"]
+    )
+    records: list[RequestLatency] = []
+    unattributed = {"rejected": 0, "shed": 0}
+
+    def batch_wait(stages: dict, t_arrival: float, flush_start: float) -> None:
+        """Split ``[t_arrival, flush_start]`` into collect/busy/retrain."""
+        retrain = _overlap(t_arrival, flush_start, train_union)
+        busy = _overlap(t_arrival, flush_start, busy_union)
+        stages["retrain_wait"] = retrain
+        stages["nn_busy"] = busy - retrain
+        stages["batch_collect"] = (flush_start - t_arrival) - busy
+
+    for span in spans:
+        lat = span.attrs.get("lat")
+        if span.name == "reject":
+            unattributed["rejected"] += 1
+            continue
+        if span.name == "shed":
+            unattributed["shed"] += 1
+            continue
+        if lat is None:
+            continue
+        stages = _empty_stages()
+        if span.name == "cache_hit":
+            t_done = span.t_end
+            t_arrival = t_done - lat
+            stages["cache"] = span.t_end - span.t_start
+            stages["admission"] = span.t_start - t_arrival
+            records.append(
+                RequestLatency(
+                    query_id=int(span.attrs["query_id"]),
+                    source="cache",
+                    status="ok",
+                    t_arrival=t_arrival,
+                    t_done=t_done,
+                    latency=lat,
+                    stages=stages,
+                )
+            )
+            continue
+        flush = by_id.get(span.parent_id)
+        if flush is None or flush.name != "flush":
+            raise ValueError(
+                f"span #{span.span_id} ({span.name!r}) carries a latency but "
+                "has no enclosing flush span — not a serve trace?"
+            )
+        if span.name in ("uq_row", "degraded_row"):
+            t_done = flush.t_end
+            t_arrival = t_done - lat
+            batch_wait(stages, t_arrival, flush.t_start)
+            stages["gate"] = flush.t_end - flush.t_start
+            records.append(
+                RequestLatency(
+                    query_id=int(span.attrs["query_id"]),
+                    source="surrogate",
+                    status="degraded" if span.name == "degraded_row" else "ok",
+                    t_arrival=t_arrival,
+                    t_done=t_done,
+                    latency=lat,
+                    stages=stages,
+                )
+            )
+        elif span.name == "fallback":
+            t_done = span.t_end
+            t_arrival = t_done - lat
+            batch_wait(stages, t_arrival, flush.t_start)
+            stages["gate"] = flush.t_end - flush.t_start
+            stages["pool_wait"] = span.t_start - flush.t_end
+            stages["simulate"] = span.t_end - span.t_start
+            records.append(
+                RequestLatency(
+                    query_id=int(span.attrs["query_id"]),
+                    source="simulation",
+                    status="ok",
+                    t_arrival=t_arrival,
+                    t_done=t_done,
+                    latency=lat,
+                    stages=stages,
+                )
+            )
+
+    records.sort(key=lambda r: r.query_id)
+    max_residual = max((r.residual for r in records), default=0.0)
+    return {
+        "records": records,
+        "unattributed": unattributed,
+        "max_residual_s": max_residual,
+    }
+
+
+def _band_labels(bands: Sequence[float]) -> list[str]:
+    edges = ["p0", *[f"p{100 * b:g}" for b in bands], "p100"]
+    return [f"{lo}_{hi}" for lo, hi in zip(edges, edges[1:])]
+
+
+def aggregate(
+    records: Sequence[RequestLatency],
+    *,
+    bands: Sequence[float] = DEFAULT_BANDS,
+) -> dict:
+    """Blame attribution by percentile band over decomposed requests.
+
+    ``bands`` are interior quantile boundaries (default p50/p90/p99):
+    requests are bucketed by their end-to-end latency relative to the
+    exact population quantiles, each band reports per-stage means,
+    shares and critical-stage counts, and ``tail_blame`` is the
+    stage-mean delta between the top band and the bottom band — the
+    components that make the tail slow without making the body slow.
+    """
+    bands = tuple(bands)
+    if any(not 0.0 < b < 1.0 for b in bands) or list(bands) != sorted(set(bands)):
+        raise ValueError(f"bands must be strictly increasing in (0, 1): {bands}")
+    labels = _band_labels(bands)
+    if not records:
+        return {"n": 0, "bands": [], "tail_blame": None, "stages": {}}
+
+    ordered = sorted(records, key=lambda r: (r.latency, r.query_id))
+    latencies = [r.latency for r in ordered]
+    thresholds = [exact_quantile(latencies, b) for b in bands]
+
+    rows = [
+        {
+            "band": label,
+            "n": 0,
+            "mean_latency_s": 0.0,
+            "stage_mean_s": _empty_stages(),
+            "stage_share": _empty_stages(),
+            "critical": {},
+        }
+        for label in labels
+    ]
+    for rec in ordered:
+        idx = 0
+        while idx < len(thresholds) and rec.latency > thresholds[idx]:
+            idx += 1
+        row = rows[idx]
+        row["n"] += 1
+        row["mean_latency_s"] += rec.latency
+        for stage in STAGES:
+            row["stage_mean_s"][stage] += rec.stages[stage]
+        crit = rec.critical_stage
+        row["critical"][crit] = row["critical"].get(crit, 0) + 1
+
+    totals = _empty_stages()
+    for rec in ordered:
+        for stage in STAGES:
+            totals[stage] += rec.stages[stage]
+    grand_total = sum(totals.values())
+
+    for row in rows:
+        n = row["n"]
+        if n:
+            row["mean_latency_s"] /= n
+            for stage in STAGES:
+                row["stage_mean_s"][stage] /= n
+        band_total = sum(row["stage_mean_s"].values())
+        for stage in STAGES:
+            row["stage_share"][stage] = (
+                row["stage_mean_s"][stage] / band_total if band_total else 0.0
+            )
+        row["critical"] = {k: row["critical"][k] for k in sorted(row["critical"])}
+
+    top, bottom = rows[-1], rows[0]
+    delta = {
+        stage: top["stage_mean_s"][stage] - bottom["stage_mean_s"][stage]
+        for stage in STAGES
+    }
+    blame_stage = STAGES[0]
+    for stage in STAGES[1:]:
+        if delta[stage] > delta[blame_stage]:
+            blame_stage = stage
+    tail_blame = {
+        "band": labels[-1],
+        "vs": labels[0],
+        "delta_mean_s": delta,
+        "top_stage": blame_stage,
+    }
+    return {
+        "n": len(ordered),
+        "thresholds_s": {
+            f"p{100 * b:g}": t for b, t in zip(bands, thresholds)
+        },
+        "bands": rows,
+        "tail_blame": tail_blame,
+        "stages": {
+            stage: {
+                "total_seconds": totals[stage],
+                "share": totals[stage] / grand_total if grand_total else 0.0,
+            }
+            for stage in STAGES
+        },
+    }
+
+
+def latency_report(
+    spans: Sequence[Span],
+    *,
+    meta: dict | None = None,
+    bands: Sequence[float] = DEFAULT_BANDS,
+    alpha: float = DEFAULT_ALPHA,
+) -> dict:
+    """Full JSON-ready tail-latency report for one serve trace.
+
+    Combines the per-source scorecard (quantiles via a fresh
+    :class:`~repro.obs.sketch.QuantileSketch` per source — the same
+    estimates a live :class:`~repro.serve.metrics.ServeMetrics` serves),
+    the stage totals, the percentile-band blame attribution and the
+    decomposition-exactness residual.
+    """
+    meta = dict(meta or {})
+    dec = decompose(spans, meta=meta)
+    records = dec["records"]
+
+    scorecard: dict = {}
+    sketches: dict[str, QuantileSketch] = {}
+    for rec in records:
+        sketches.setdefault(
+            rec.source, QuantileSketch(f"latency.{rec.source}", alpha=alpha)
+        ).observe(rec.latency)
+    merged = QuantileSketch("latency.all", alpha=alpha)
+    for source in sorted(sketches):
+        merged.merge(sketches[source])
+    sketches["all"] = merged
+    for source in sorted(sketches):
+        sk = sketches[source]
+        row = {
+            "count": sk.count,
+            "mean_s": sk.mean,
+            "min_s": sk.vmin,
+            "max_s": sk.vmax,
+            "alpha": sk.alpha,
+        }
+        for label, q in (
+            ("p50_s", 0.50), ("p90_s", 0.90), ("p99_s", 0.99), ("p999_s", 0.999)
+        ):
+            row[label] = sk.quantile(q)
+        scorecard[source] = row
+
+    return {
+        "version": 1,
+        "n_spans": len(spans),
+        "n_served": len(records),
+        "unattributed": dec["unattributed"],
+        "max_residual_s": dec["max_residual_s"],
+        "scorecard": scorecard,
+        "blame": aggregate(records, bands=bands),
+        "meta": meta,
+    }
+
+
+def render_latency_text(report: dict) -> str:
+    """Human-readable tail-latency report."""
+    lines = [
+        f"latency: {report['n_served']} served requests decomposed from "
+        f"{report['n_spans']} spans "
+        f"(max residual {report['max_residual_s']:.3g} s, "
+        f"unattributed {report['unattributed']})"
+    ]
+    lines.append("scorecard (per source, sketch quantiles):")
+    for source, row in report["scorecard"].items():
+        lines.append(
+            f"  {source:<12} n {row['count']:>6}  mean {row['mean_s']:.3g} s  "
+            f"p50 {row['p50_s']:.3g}  p90 {row['p90_s']:.3g}  "
+            f"p99 {row['p99_s']:.3g}  p99.9 {row['p999_s']:.3g}  "
+            f"max {row['max_s']:.3g}"
+        )
+    blame = report["blame"]
+    if blame["n"]:
+        lines.append("stage totals (share of all attributed seconds):")
+        for stage in STAGES:
+            row = blame["stages"][stage]
+            if row["total_seconds"] == 0.0:
+                continue
+            lines.append(
+                f"  {stage:<14} {row['total_seconds']:.6g} s  "
+                f"({100 * row['share']:.1f}%)"
+            )
+        lines.append("bands (critical stage = largest share per request):")
+        for row in blame["bands"]:
+            crit = ", ".join(f"{k}:{v}" for k, v in row["critical"].items())
+            lines.append(
+                f"  {row['band']:<10} n {row['n']:>6}  "
+                f"mean {row['mean_latency_s']:.3g} s  critical [{crit}]"
+            )
+        tb = blame["tail_blame"]
+        deltas = {k: v for k, v in tb["delta_mean_s"].items() if v != 0.0}
+        ranked = sorted(deltas, key=lambda k: -deltas[k])
+        lines.append(
+            f"tail blame ({tb['band']} vs {tb['vs']}): top stage "
+            f"{tb['top_stage']}"
+        )
+        for stage in ranked:
+            lines.append(f"  {stage:<14} {deltas[stage]:+.6g} s mean")
+    return "\n".join(lines)
+
+
+def render_latency_json(report: dict) -> str:
+    """Byte-stable JSON report: sorted keys, fixed layout."""
+    return json.dumps(report, indent=2, sort_keys=True)

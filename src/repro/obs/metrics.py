@@ -1,4 +1,4 @@
-"""Deterministic metrics: counters, gauges, fixed-bucket histograms.
+"""Deterministic metrics: counters, gauges, histograms, quantile sketches.
 
 A :class:`MetricRegistry` is the shared sink the subsystem-local
 counters (``ServeMetrics`` status/source tallies, ``NeighborList`` build
@@ -11,14 +11,19 @@ bucket edges chosen at creation — never reservoir sampling, never
 adaptive re-bucketing — so two replays of the same run produce
 bitwise-identical snapshots, and merging shards is plain addition.
 Quantiles interpolated from histogram buckets are approximations with a
-known resolution (the bucket width); populations that need exact
-percentiles (the serve latency populations) keep their full sample list
-and use the histogram only as the mergeable summary.
+known resolution (the bucket width); populations that need *relative*
+accuracy independent of magnitude (the serve latency populations) use
+the fourth registry type, the log-bucketed
+:class:`~repro.obs.sketch.QuantileSketch`, whose estimates carry a
+guaranteed relative error ``alpha`` in O(log range) memory — no full
+sample lists, no ``np.percentile`` over request populations.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.obs.sketch import DEFAULT_ALPHA, QuantileSketch
 
 __all__ = [
     "Counter",
@@ -208,7 +213,7 @@ class Histogram:
 
 
 class MetricRegistry:
-    """Named get-or-create store of counters, gauges and histograms.
+    """Named get-or-create store of counters, gauges, histograms, sketches.
 
     One registry describes one run.  Metric names are dotted paths
     (``"serve.status.ok"``, ``"md.neighbor.builds"``); a name is bound
@@ -218,7 +223,7 @@ class MetricRegistry:
     """
 
     def __init__(self) -> None:
-        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._metrics: dict[str, Counter | Gauge | Histogram | QuantileSketch] = {}
 
     def _get_or_create(self, name: str, cls, *args):
         existing = self._metrics.get(name)
@@ -254,7 +259,23 @@ class MetricRegistry:
             raise ValueError(f"histogram {name!r} already exists with other edges")
         return hist
 
-    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+    def sketch(self, name: str, alpha: float | None = None) -> QuantileSketch:
+        """Get or create the quantile sketch called ``name``.
+
+        ``alpha`` (guaranteed relative error, default
+        :data:`~repro.obs.sketch.DEFAULT_ALPHA`) only applies at
+        creation; a later lookup with a different ``alpha`` raises so
+        all writers — and hence all mergeable shards — share one
+        resolution.
+        """
+        sk = self._get_or_create(
+            name, QuantileSketch, DEFAULT_ALPHA if alpha is None else alpha
+        )
+        if alpha is not None and sk.alpha != float(alpha):
+            raise ValueError(f"sketch {name!r} already exists with other alpha")
+        return sk
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | QuantileSketch | None:
         """Return the metric called ``name``, or None."""
         return self._metrics.get(name)
 

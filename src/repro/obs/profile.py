@@ -39,6 +39,7 @@ from __future__ import annotations
 import json
 from typing import Sequence
 
+from repro.obs.sketch import exact_quantile
 from repro.obs.span import Span
 
 __all__ = [
@@ -46,31 +47,6 @@ __all__ = [
     "render_profile_text",
     "render_profile_json",
 ]
-
-
-def _quantile(sorted_values: Sequence[float], q: float) -> float:
-    """Linear-interpolation quantile of pre-sorted values, pure Python.
-
-    Matches numpy's default ``linear`` method but avoids pairwise
-    summation and dtype promotion entirely — the result is a
-    deterministic function of the input floats, independent of numpy
-    version or SIMD width.
-    """
-    n = len(sorted_values)
-    if n == 0:
-        raise ValueError("quantile of an empty sequence")
-    if not 0.0 <= q <= 1.0:
-        raise ValueError(f"quantile must be in [0, 1], got {q}")
-    if n == 1:
-        return float(sorted_values[0])
-    pos = q * (n - 1)
-    lo = int(pos)
-    if lo >= n - 1:
-        return float(sorted_values[n - 1])
-    frac = pos - lo
-    below = float(sorted_values[lo])
-    above = float(sorted_values[lo + 1])
-    return below + (above - below) * frac
 
 
 def _name_paths(spans: Sequence[Span]) -> dict[int, str]:
@@ -156,7 +132,7 @@ def profile(
         durations.setdefault(span.kind, []).append(span.duration)
     for kind, row in kinds.items():
         row["mean_seconds"] = row["total_seconds"] / row["count"]
-        row["p99_seconds"] = _quantile(sorted(durations[kind]), 0.99)
+        row["p99_seconds"] = exact_quantile(sorted(durations[kind]), 0.99)
     kinds = {k: kinds[k] for k in sorted(kinds)}
 
     hot = sorted(

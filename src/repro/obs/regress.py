@@ -110,6 +110,16 @@ _SERVE_METRICS = (
     # The serving-kernel micro-bench is the serve bench's one wall-clock
     # section, so it gets an md-style generous tolerance.
     MetricSpec("kernel.predict_f32_speedup", "higher", 0.5),
+    # Tail-latency surface: the sketch scorecard quantiles are
+    # virtual-clock deterministic at fixed params; the decomposition
+    # residual and the what-if projection error are exactness claims
+    # gated at their design bounds rather than relative to baseline.
+    MetricSpec("latency_scorecard.all.p50_s", "lower", 0.10, abs_slack=1e-6),
+    MetricSpec("latency_scorecard.all.p99_s", "lower", 0.10, abs_slack=1e-6),
+    MetricSpec("trace.decomposition.max_residual_s", "lower", 0.0, abs_slack=1e-9),
+    MetricSpec("trace.whatif.rel_err_mean", "lower", 0.0, abs_slack=0.10),
+    MetricSpec("trace.whatif.rel_err_p99", "lower", 0.0, abs_slack=0.10),
+    MetricSpec("heavy_tail.gap_cv2", "higher", 0.5),
 )
 
 #: MD metrics are wall-clock: only large drops count.

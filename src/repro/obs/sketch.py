@@ -1,0 +1,329 @@
+"""Mergeable log-bucketed quantile sketch + the shared exact quantile.
+
+``ServeMetrics`` used to keep the *full* latency sample list per source
+and call ``np.percentile`` over it — O(requests) memory that cannot
+merge across the sharded replicas the ROADMAP scale-out item demands.
+:class:`QuantileSketch` is the replacement substrate: a from-scratch
+DDSketch-style summary with
+
+* **guaranteed relative error** — bucket ``k`` covers
+  ``(γ^(k-1), γ^k]`` with ``γ = (1 + α) / (1 - α)``, so the bucket
+  midpoint ``2 γ^k / (γ + 1)`` is within ``α`` of every value it
+  absorbs; any rank query is therefore within ``α`` (relative) of the
+  exact order statistic, and the linear interpolation between two
+  adjacent rank estimates is within ``α`` of numpy's default
+  interpolated percentile for non-negative data;
+* **O(log range) memory** — occupied buckets only, independent of the
+  number of observations;
+* **exact sidecars** — count, min, max and a fixed-point exact sum
+  (every finite double is an integer multiple of ``2**-1074``, so the
+  sum is a big int and addition is truly associative/commutative);
+* **associative, commutative merge** — bucket counts, the zero/negative
+  stores and every sidecar are order-independent accumulators, so
+  ``merge(a, b)`` is byte-identical (via :meth:`to_json`) to ingesting
+  the union stream in any order — the property shard fan-in needs;
+* **byte-stable JSON** — :meth:`to_json` / :meth:`from_json` round-trip
+  the exact state with sorted keys and compact separators.
+
+Validity floor: bucket midpoints are reconstructed through
+``math.exp``, whose subnormal rounding grows past ``α`` for magnitudes
+below ``~1e-320``; such values are still counted exactly (count / sum /
+min / max) but their quantile estimate degrades to subnormal spacing.
+Every physical timing population is > 1e-12 s, far inside the envelope.
+
+:func:`exact_quantile` is the one shared exact path (moved here from
+``obs/profile``): a pure-Python linear-interpolation quantile over a
+pre-sorted sequence, matching numpy's default ``linear`` method without
+pairwise summation or dtype promotion, so results are a deterministic
+function of the input floats.  Bounded populations (per-kind span
+durations, a certification pass over a recorded run) use it directly;
+unbounded per-request populations go through the sketch.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Sequence
+
+__all__ = ["DEFAULT_ALPHA", "QuantileSketch", "exact_quantile"]
+
+#: Default guaranteed relative error for timing populations: 1% is far
+#: below any latency SLO band while keeping the bucket count for a
+#: nanoseconds-to-minutes range around ~1200.
+DEFAULT_ALPHA = 0.01
+
+#: Fixed-point scale for the exact sum sidecar (see
+#: :class:`repro.obs.metrics.Histogram`, which uses the same encoding):
+#: the smallest positive subnormal double is ``2**-1074``.
+_SUM_FIXED_SHIFT = 1074
+
+
+def _to_fixed(value: float) -> int:
+    """Exact big-int encoding of a finite double, scaled by ``2**1074``."""
+    num, den = value.as_integer_ratio()
+    return num << (_SUM_FIXED_SHIFT - (den.bit_length() - 1))
+
+
+def exact_quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of pre-sorted values, pure Python.
+
+    Matches numpy's default ``linear`` method but avoids pairwise
+    summation and dtype promotion entirely — the result is a
+    deterministic function of the input floats, independent of numpy
+    version or SIMD width.  ``q`` is in [0, 1].
+    """
+    n = len(sorted_values)
+    if n == 0:
+        raise ValueError("quantile of an empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if n == 1:
+        return float(sorted_values[0])
+    pos = q * (n - 1)
+    lo = int(pos)
+    if lo >= n - 1:
+        return float(sorted_values[n - 1])
+    frac = pos - lo
+    below = float(sorted_values[lo])
+    above = float(sorted_values[lo + 1])
+    return below + (above - below) * frac
+
+
+class QuantileSketch:
+    """Deterministic mergeable quantile sketch with relative-error α.
+
+    Parameters
+    ----------
+    name:
+        Metric name (dotted path when registry-owned).
+    alpha:
+        Guaranteed relative error of any quantile estimate, in (0, 1).
+        Two sketches merge only when their ``alpha`` matches exactly —
+        bucket indices are not convertible across resolutions.
+    """
+
+    __slots__ = (
+        "name",
+        "alpha",
+        "_gamma",
+        "_log_gamma",
+        "buckets",
+        "neg_buckets",
+        "n_zero",
+        "count",
+        "_sum_fixed",
+        "vmin",
+        "vmax",
+    )
+
+    def __init__(self, name: str, alpha: float = DEFAULT_ALPHA):
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        self.name = name
+        self.alpha = float(alpha)
+        self._gamma = (1.0 + self.alpha) / (1.0 - self.alpha)
+        self._log_gamma = math.log(self._gamma)
+        #: bucket index -> count, for positive observations
+        self.buckets: dict[int, int] = {}
+        #: bucket index of |v| -> count, for negative observations
+        self.neg_buckets: dict[int, int] = {}
+        self.n_zero = 0
+        self.count = 0
+        self._sum_fixed = 0
+        self.vmin = float("inf")
+        self.vmax = float("-inf")
+
+    # -- ingestion -----------------------------------------------------
+
+    def _key(self, magnitude: float) -> int:
+        """Log-bucket index of a positive magnitude."""
+        return math.ceil(math.log(magnitude) / self._log_gamma)
+
+    def _bucket_value(self, key: int) -> float:
+        """Representative (midpoint) value of bucket ``key``.
+
+        ``exp`` can overflow for keys near the top of the double range;
+        the estimate is clamped to the exact ``[vmin, vmax]`` sidecars
+        by every caller, so saturating to infinity here is safe.
+        """
+        try:
+            power = math.exp(key * self._log_gamma)
+        except OverflowError:
+            return float("inf")
+        return 2.0 * power / (self._gamma + 1.0)
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the buckets and exact sidecars."""
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(f"sketch {self.name!r} observed non-finite {value!r}")
+        if value > 0.0:
+            key = self._key(value)
+            self.buckets[key] = self.buckets.get(key, 0) + 1
+        elif value < 0.0:
+            key = self._key(-value)
+            self.neg_buckets[key] = self.neg_buckets.get(key, 0) + 1
+        else:
+            self.n_zero += 1
+        self.count += 1
+        self._sum_fixed += _to_fixed(value)
+        self.vmin = min(self.vmin, value)
+        self.vmax = max(self.vmax, value)
+
+    # -- exact sidecars ------------------------------------------------
+
+    @property
+    def total(self) -> float:
+        """Correctly rounded exact sum of all observations."""
+        try:
+            return self._sum_fixed / (1 << _SUM_FIXED_SHIFT)
+        except OverflowError:
+            return float("inf") if self._sum_fixed > 0 else float("-inf")
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def n_buckets(self) -> int:
+        """Occupied buckets — the memory footprint, O(log range)."""
+        return len(self.buckets) + len(self.neg_buckets) + (1 if self.n_zero else 0)
+
+    # -- quantiles -----------------------------------------------------
+
+    def _value_at_rank(self, rank: int) -> float:
+        """Estimate of the 0-indexed order statistic ``rank``.
+
+        Walks the buckets in ascending value order: negatives (largest
+        |v| first), the zero store, then positives.
+        """
+        seen = 0
+        for key in sorted(self.neg_buckets, reverse=True):
+            seen += self.neg_buckets[key]
+            if seen > rank:
+                return -self._bucket_value(key)
+        seen += self.n_zero
+        if seen > rank:
+            return 0.0
+        for key in sorted(self.buckets):
+            seen += self.buckets[key]
+            if seen > rank:
+                return self._bucket_value(key)
+        return self.vmax
+
+    def quantile(self, q: float) -> float:
+        """Quantile estimate, ``q`` in [0, 1]; NaN when empty.
+
+        Interpolates linearly between the two adjacent order-statistic
+        estimates at ``q * (count - 1)`` — numpy's default ``linear``
+        positioning — and clamps to the exact observed ``[min, max]``,
+        so ``q = 0``/``q = 1`` (and any single-observation sketch) are
+        exact.  For non-negative data the result is within ``alpha``
+        (relative) of the exact interpolated quantile.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.count == 0:
+            return float("nan")
+        if q == 0.0:
+            return self.vmin
+        pos = q * (self.count - 1)
+        lo = int(pos)
+        if lo >= self.count - 1:
+            return self.vmax
+        frac = pos - lo
+        below = self._value_at_rank(lo)
+        above = below if frac == 0.0 else self._value_at_rank(lo + 1)
+        estimate = below + (above - below) * frac
+        return min(max(estimate, self.vmin), self.vmax)
+
+    # -- merge ---------------------------------------------------------
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold another sketch with identical ``alpha`` into this one.
+
+        Every accumulator is an order-independent integer (or min/max),
+        so merging is associative and commutative and the merged state
+        is byte-identical to single-stream ingestion of the union.
+        """
+        if other.alpha != self.alpha:
+            raise ValueError(
+                f"cannot merge sketches with different alpha "
+                f"({self.name!r} has {self.alpha}, {other.name!r} has "
+                f"{other.alpha})"
+            )
+        for key, n in other.buckets.items():
+            self.buckets[key] = self.buckets.get(key, 0) + n
+        for key, n in other.neg_buckets.items():
+            self.neg_buckets[key] = self.neg_buckets.get(key, 0) + n
+        self.n_zero += other.n_zero
+        self.count += other.count
+        self._sum_fixed += other._sum_fixed
+        self.vmin = min(self.vmin, other.vmin)
+        self.vmax = max(self.vmax, other.vmax)
+
+    # -- serialization -------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot (exact sidecars + sparse bucket counts).
+
+        Bucket keys are stringified in ascending numeric order; the
+        canonical byte form is :meth:`to_json`.
+        """
+        return {
+            "type": "sketch",
+            "alpha": self.alpha,
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.vmin if self.count else 0.0,
+            "max": self.vmax if self.count else 0.0,
+            "zero": self.n_zero,
+            "buckets": {str(k): self.buckets[k] for k in sorted(self.buckets)},
+            "neg_buckets": {
+                str(k): self.neg_buckets[k] for k in sorted(self.neg_buckets)
+            },
+        }
+
+    def to_json(self) -> str:
+        """Canonical byte-stable JSON: sorted keys, compact separators."""
+        return json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, payload: dict, *, name: str | None = None) -> "QuantileSketch":
+        """Rebuild a sketch from an :meth:`as_dict` snapshot.
+
+        The exact sum is reconstructed from the correctly rounded
+        ``sum`` float; because the true sum of ``count`` doubles each a
+        multiple of ``2**-1074`` rounds to a representable double for
+        every population this repo produces, the round-trip is lossless
+        in practice and :meth:`to_json` of the result is byte-identical
+        (asserted by the sketch test suite).
+        """
+        if payload.get("type") != "sketch":
+            raise ValueError(f"not a sketch snapshot: {payload.get('type')!r}")
+        sketch = cls(name if name is not None else "sketch", alpha=payload["alpha"])
+        sketch.count = int(payload["count"])
+        sketch.n_zero = int(payload["zero"])
+        sketch.buckets = {int(k): int(n) for k, n in payload["buckets"].items()}
+        sketch.neg_buckets = {
+            int(k): int(n) for k, n in payload["neg_buckets"].items()
+        }
+        if sketch.count:
+            sketch.vmin = float(payload["min"])
+            sketch.vmax = float(payload["max"])
+            sketch._sum_fixed = _to_fixed(float(payload["sum"]))
+        return sketch
+
+    @classmethod
+    def from_json(cls, text: str, *, name: str | None = None) -> "QuantileSketch":
+        """Rebuild a sketch from its :meth:`to_json` string."""
+        return cls.from_dict(json.loads(text), name=name)
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantileSketch({self.name!r}, alpha={self.alpha}, "
+            f"count={self.count}, n_buckets={self.n_buckets})"
+        )

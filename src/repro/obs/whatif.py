@@ -1,0 +1,316 @@
+"""Counterfactual what-if projection over recorded serve span trees.
+
+The latency decomposition (:mod:`repro.obs.latency`) says where time
+went; this module asks the follow-up an operator actually acts on:
+*what would p99 be if we changed X?* — without re-running anything.  A
+recorded trace is replayed under a hypothesis and each served request's
+latency is re-projected from its own decomposition:
+
+* ``cache_miss_free`` — every served request is answered at cache-hit
+  cost (``meta["t_cache_hit"]``, falling back to the trace's observed
+  mean cache-span duration).  Upper bound of any caching improvement:
+  assumes a warm, infinite, perfectly-shared cache.
+* ``half_batch_wait`` — the micro-batcher's max-wait is halved; each
+  request's idle ``batch_collect`` component is scaled by the factor
+  while head-of-line blocking (``nn_busy`` / ``retrain_wait``) and the
+  flush cost stay put.  First-order projection: it ignores the
+  second-order effect of smaller realized batches on the amortized
+  per-row gate cost.
+* ``faster_fallback`` — fallback simulations run ``1/factor`` times
+  faster (default factor 0.5 = "2× faster workers").  This one is not a
+  heuristic: the flush schedule is invariant to fallback durations (the
+  pool never blocks the NN), so the projection *re-simulates the worker
+  pool queue exactly* — same greedy next-free-worker discipline as
+  :class:`~repro.parallel.cluster.OnlineDispatcher`, same submission
+  order, scaled durations — and composes each fallback request's new
+  ``pool_wait``/``simulate`` onto its unchanged batch stages.  The
+  serve bench validates this projection against an *actual* DES re-run
+  with ``t_simulate`` scaled by the same factor and gates the agreement
+  at 10%.
+
+Validity envelope (documented, and part of DESIGN.md §13): projections
+assume the hypothesis does not change admission verdicts, gate
+decisions or the flush schedule.  That holds exactly for the committed
+agreement traces (no rejections, no deadline shedding, fallback
+completions never feed back into batching) and approximately for
+lightly-loaded traces; a saturated drift trace with depth-dependent
+admission would need the full DES re-run the bench performs anyway.
+
+The ``faster_fallback`` effective-speedup projection rebuilds the
+§III-D model from the trace ledger with simulate durations scaled —
+the measured counterpart of moving down the paper's ``T_train`` axis.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from typing import Sequence
+
+from repro.core.effective import EffectiveSpeedupModel
+from repro.obs.latency import RequestLatency, decompose
+from repro.obs.sketch import exact_quantile
+from repro.obs.span import Span
+from repro.obs.summary import ledger_from_spans
+from repro.util.timing import WallClockLedger
+
+__all__ = [
+    "HYPOTHESES",
+    "project",
+    "whatif_report",
+    "render_whatif_text",
+    "render_whatif_json",
+]
+
+#: Supported hypotheses, in report order.
+HYPOTHESES = ("cache_miss_free", "half_batch_wait", "faster_fallback")
+
+
+def _population_stats(latencies: Sequence[float]) -> dict:
+    """Exact mean/p50/p99/max block over a latency population."""
+    ordered = sorted(latencies)
+    n = len(ordered)
+    total = 0.0
+    for v in ordered:
+        total += v
+    return {
+        "n": n,
+        "mean_s": total / n if n else 0.0,
+        "p50_s": exact_quantile(ordered, 0.50) if n else 0.0,
+        "p99_s": exact_quantile(ordered, 0.99) if n else 0.0,
+        "max_s": ordered[-1] if n else 0.0,
+    }
+
+
+def _resimulate_pool(
+    jobs: Sequence[tuple[float, float]], n_workers: int, factor: float
+) -> list[tuple[float, float]]:
+    """Replay the fallback queue with durations scaled by ``factor``.
+
+    ``jobs`` are ``(release, duration)`` in original submission order;
+    returns ``(start, end)`` per job.  Mirrors
+    :class:`~repro.parallel.cluster.OnlineDispatcher`: a min-heap of
+    ``(free_at, submission_counter, worker)`` picks the next-free
+    worker, ties broken FIFO.  Zero dispatch overhead and unit worker
+    speeds — the serve pool's defaults; heterogeneous pools would need
+    per-worker speeds from the trace.
+    """
+    heap = [(0.0, i, i) for i in range(n_workers)]
+    heapq.heapify(heap)
+    counter = n_workers
+    placed: list[tuple[float, float]] = []
+    for release, duration in jobs:
+        free_at, _, worker = heapq.heappop(heap)
+        start = max(free_at, release)
+        end = start + factor * duration
+        heapq.heappush(heap, (end, counter, worker))
+        counter += 1
+        placed.append((start, end))
+    return placed
+
+
+def _fallback_jobs(
+    spans: Sequence[Span],
+) -> tuple[list[tuple[int, float, float]], int]:
+    """Fallback submissions ``(query_id, release, duration)`` in
+    submission (span-id) order, plus the worker count seen in the
+    trace."""
+    by_id = {s.span_id: s for s in spans}
+    jobs: list[tuple[int, float, float]] = []
+    max_worker = -1
+    for span in sorted(spans, key=lambda s: s.span_id):
+        if span.name != "fallback":
+            continue
+        flush = by_id.get(span.parent_id)
+        release = flush.t_end if flush is not None else span.t_start
+        jobs.append((int(span.attrs["query_id"]), release, span.duration))
+        max_worker = max(max_worker, int(span.attrs.get("worker_id", 0)))
+    return jobs, max_worker + 1
+
+
+def _effective_block(ledger: WallClockLedger, t_seq: float | None) -> dict | None:
+    """§III-D speedup at the ledger's own mix, or None when undefined."""
+    if ledger.count("simulate") == 0 or ledger.count("lookup") == 0:
+        return None
+    model = EffectiveSpeedupModel.from_ledger(ledger, t_seq=t_seq)
+    return {
+        "speedup": model.speedup(
+            n_lookup=ledger.count("lookup"), n_train=ledger.count("simulate")
+        ),
+        "t_lookup": model.t_lookup,
+        "t_train": model.t_train,
+    }
+
+
+def project(
+    spans: Sequence[Span],
+    *,
+    meta: dict | None = None,
+    hypothesis: str,
+    factor: float = 0.5,
+) -> dict:
+    """Project one hypothesis over a recorded serve trace.
+
+    Returns a JSON-ready dict with the baseline population stats, the
+    projected stats, deltas, the number of affected requests and (for
+    ``faster_fallback``) the projected §III-D effective speedup.
+    ``factor`` scales fallback durations / batch-collect idle time for
+    the hypotheses that take a knob; ``cache_miss_free`` ignores it.
+    """
+    if hypothesis not in HYPOTHESES:
+        raise ValueError(
+            f"unknown hypothesis {hypothesis!r}; expected one of {HYPOTHESES}"
+        )
+    if not 0.0 < factor <= 1.0:
+        raise ValueError(f"factor must be in (0, 1], got {factor}")
+    meta = dict(meta or {})
+    records: list[RequestLatency] = decompose(spans, meta=meta)["records"]
+    if not records:
+        raise ValueError("trace has no served requests to project over")
+    baseline = _population_stats([r.latency for r in records])
+    t_seq = meta.get("t_seq")
+    base_ledger = ledger_from_spans(spans)
+
+    effective = {"baseline": _effective_block(base_ledger, t_seq), "projected": None}
+    notes: str
+    if hypothesis == "cache_miss_free":
+        t_cache = meta.get("t_cache_hit")
+        hit_source = "meta"
+        if t_cache is None:
+            cache_spans = [s for s in spans if s.kind == "cache"]
+            if cache_spans:
+                t_cache = sum(s.duration for s in cache_spans) / max(
+                    len(cache_spans), 1
+                )
+                hit_source = "cache_spans"
+            else:
+                # Trace never hit the cache and its meta predates the
+                # t_cache_hit key: the fastest served request is the
+                # best available floor estimate.
+                t_cache = min(r.latency for r in records)
+                hit_source = "min_latency"
+        projected_lat = [float(t_cache) for _ in records]
+        n_affected = sum(1 for r in records if r.latency != t_cache)
+        params = {"t_cache_hit": float(t_cache), "t_cache_hit_source": hit_source}
+        notes = (
+            "upper bound: assumes a warm infinite cache answering every "
+            "request at hit cost; §III-D speedup is not re-projected "
+            "(cache hits are excluded from the lookup/simulate ledger)"
+        )
+    elif hypothesis == "half_batch_wait":
+        projected_lat = [
+            r.latency - (1.0 - factor) * r.stages["batch_collect"] for r in records
+        ]
+        n_affected = sum(1 for r in records if r.stages["batch_collect"] > 0.0)
+        params = {"batch_wait_factor": factor}
+        notes = (
+            "first-order: scales idle batch-collect time only; ignores the "
+            "second-order cost of smaller realized batches on the amortized "
+            "per-row gate time"
+        )
+    else:  # faster_fallback
+        jobs, seen_workers = _fallback_jobs(spans)
+        n_workers = int(meta.get("n_workers", 0)) or max(seen_workers, 1)
+        placed = _resimulate_pool(
+            [(release, dur) for _, release, dur in jobs], n_workers, factor
+        )
+        new_done = {
+            qid: end for (qid, _, _), (_, end) in zip(jobs, placed)
+        }
+        projected_lat = []
+        for r in records:
+            if r.source == "simulation":
+                projected_lat.append(new_done[r.query_id] - r.t_arrival)
+            else:
+                projected_lat.append(r.latency)
+        n_affected = len(jobs)
+        params = {"duration_factor": factor, "n_workers": n_workers}
+        # Scaled ledger: simulate spans at factor x duration, in the
+        # same span-id order the baseline ledger replays.
+        scaled = WallClockLedger()
+        for span in sorted(spans, key=lambda s: s.span_id):
+            if span.kind == "simulate":
+                scaled.record("simulate", factor * span.duration)
+            elif span.kind in ("lookup", "train", "cache"):
+                scaled.record(span.kind, span.duration)
+        effective["projected"] = _effective_block(scaled, t_seq)
+        notes = (
+            "exact under the trace's schedule invariants: flush timings do "
+            "not depend on fallback durations, the pool queue is re-simulated "
+            "with the dispatcher's own greedy discipline (zero dispatch "
+            "overhead, unit worker speeds)"
+        )
+
+    projected = _population_stats(projected_lat)
+    return {
+        "hypothesis": hypothesis,
+        "params": params,
+        "n_requests": len(records),
+        "n_affected": n_affected,
+        "baseline": baseline,
+        "projected": projected,
+        "delta": {
+            "mean_s": projected["mean_s"] - baseline["mean_s"],
+            "p50_s": projected["p50_s"] - baseline["p50_s"],
+            "p99_s": projected["p99_s"] - baseline["p99_s"],
+            "max_s": projected["max_s"] - baseline["max_s"],
+        },
+        "latency_speedup_mean": (
+            baseline["mean_s"] / projected["mean_s"]
+            if projected["mean_s"] > 0.0
+            else float("inf")
+        ),
+        "effective": effective,
+        "notes": notes,
+    }
+
+
+def whatif_report(
+    spans: Sequence[Span],
+    *,
+    meta: dict | None = None,
+    hypotheses: Sequence[str] = HYPOTHESES,
+    factor: float = 0.5,
+) -> dict:
+    """Project every requested hypothesis over one trace."""
+    meta = dict(meta or {})
+    out: dict = {
+        "version": 1,
+        "n_spans": len(spans),
+        "factor": factor,
+        "hypotheses": {},
+        "meta": meta,
+    }
+    for hyp in hypotheses:
+        out["hypotheses"][hyp] = project(
+            spans, meta=meta, hypothesis=hyp, factor=factor
+        )
+    return out
+
+
+def render_whatif_text(report: dict) -> str:
+    """Human-readable what-if report."""
+    lines = [f"whatif: {report['n_spans']} spans, factor {report['factor']:g}"]
+    for hyp, row in report["hypotheses"].items():
+        base, proj = row["baseline"], row["projected"]
+        lines.append(
+            f"{hyp} ({row['n_affected']}/{row['n_requests']} requests affected):"
+        )
+        lines.append(
+            f"  mean {base['mean_s']:.6g} s -> {proj['mean_s']:.6g} s  "
+            f"p99 {base['p99_s']:.6g} s -> {proj['p99_s']:.6g} s  "
+            f"({row['latency_speedup_mean']:.2f}x mean)"
+        )
+        eff = row["effective"]
+        if eff["projected"] is not None:
+            lines.append(
+                f"  effective speedup {eff['baseline']['speedup']:.1f} -> "
+                f"{eff['projected']['speedup']:.1f}"
+            )
+        lines.append(f"  note: {row['notes']}")
+    return "\n".join(lines)
+
+
+def render_whatif_json(report: dict) -> str:
+    """Byte-stable JSON report: sorted keys, fixed layout."""
+    return json.dumps(report, indent=2, sort_keys=True)

@@ -2,7 +2,7 @@
 
 Replays seeded open-loop request streams through :class:`SurrogateServer`
 configurations and writes ``BENCH_serve.json``, the repo's tracked
-serving baseline.  Four scenarios:
+serving baseline.  Five scenarios:
 
 * **throughput sweep** — served throughput and p50/p99 latency versus
   offered load;
@@ -15,7 +15,15 @@ serving baseline.  Four scenarios:
   *measured* §III-D speedup (via
   :meth:`~repro.core.effective.EffectiveSpeedupModel.from_ledger` on the
   serve ledger) must agree with the analytic model evaluated at the same
-  lookup fraction and realized mean batch size to within 10%.
+  lookup fraction and realized mean batch size to within 10%; its
+  per-source tail scorecard (p50/p90/p99/p99.9 off the mergeable
+  :class:`~repro.obs.sketch.QuantileSketch` sidecars) is recorded as
+  ``latency_scorecard``;
+* **heavy tail** — the agreement stream re-generated with Pareto (Lomax)
+  interarrivals at the same offered rate: the gap CV² must exceed the
+  Poisson baseline, and — served into an ``exact_latency`` metrics sink —
+  every sketch scorecard quantile must sit within the guaranteed α of
+  exact ``np.percentile`` over the retained per-source populations.
 
 A fifth, wall-clock section — **kernel** — A/Bs the fused float32
 serving forward pass (:meth:`~repro.nn.model.MLP.set_serving_dtype`)
@@ -41,6 +49,15 @@ JSON.  The two overhead criteria only gate at full-size streams
 (``OVERHEAD_MIN_REQUESTS``); reduced smoke runs record the values but
 skip the pass/fail, which is noise at sub-second serve times.
 
+The traced run also feeds the tail-latency observability gates: the
+per-request stage decomposition (:mod:`repro.obs.latency`) must
+reproduce every recorded latency to ≤ 1e-9 over 100% of served
+requests, the live sketches are re-certified against the decomposed
+exact populations, and the ``faster_fallback`` counterfactual
+projection (:mod:`repro.obs.whatif`) is validated against an *actual*
+DES re-run with ``t_simulate`` halved on the identical request stream —
+projected mean and p99 must land within 10% of ground truth.
+
 ``--trace`` also exercises the closed MLControl loop twice:
 
 * **monitored agreement** — the healthy scenario re-served with the
@@ -59,6 +76,7 @@ skip the pass/fail, which is noise at sub-second serve times.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 from pathlib import Path
 from typing import Sequence
@@ -71,15 +89,22 @@ from repro.core.simulation import CallableSimulation
 from repro.core.surrogate import Surrogate
 from repro.nn.model import MLP
 from repro.obs.export import dumps_trace, write_trace
+from repro.obs.latency import decompose
 from repro.obs.monitor import default_serve_monitors, dumps_alerts, watch_trace
 from repro.obs.summary import summarize
 from repro.obs.trace import Tracer
+from repro.obs.whatif import project
 from repro.parallel.cluster import Worker
 from repro.serve.batching import MicroBatcher
 from repro.serve.cost import ServeCostModel
 from repro.serve.dispatch import FallbackPool
 from repro.serve.loadgen import OpenLoopLoadGenerator
-from repro.serve.messages import SOURCE_CACHE, SOURCE_SURROGATE
+from repro.serve.messages import (
+    SOURCE_CACHE,
+    SOURCE_SIMULATION,
+    SOURCE_SURROGATE,
+)
+from repro.serve.metrics import SCORECARD_QUANTILES, ServeMetrics
 from repro.serve.server import SurrogateServer
 from repro.util.rng import ensure_rng
 from repro.util.timing import Timer
@@ -192,6 +217,40 @@ def _bench_predict_kernel(
     }
 
 
+def _sketch_certification(
+    populations: dict[str, list[float]], sketches: dict, *, alpha: float
+) -> dict:
+    """Certify sketch scorecard quantiles against exact ``np.percentile``.
+
+    For every non-empty population and every scorecard quantile, the
+    sketch estimate must sit within the guaranteed relative error
+    ``alpha`` of the exact value.  Returns the per-population worst
+    relative error and the overall verdict.
+    """
+    rows: dict[str, dict] = {}
+    worst = 0.0
+    for key in sorted(populations):
+        pop = populations[key]
+        if not pop:
+            continue
+        arr = np.sort(np.asarray(pop, dtype=float))
+        sk = sketches[key]
+        pop_worst = 0.0
+        for _, q in SCORECARD_QUANTILES:
+            exact = float(np.percentile(arr, 100.0 * q))
+            est = sk.quantile(q)
+            rel = abs(est - exact) / abs(exact) if exact != 0.0 else abs(est)
+            pop_worst = max(pop_worst, rel)
+        rows[key] = {"n": len(pop), "worst_rel_err": pop_worst}
+        worst = max(worst, pop_worst)
+    return {
+        "alpha": alpha,
+        "worst_rel_err": worst,
+        "populations": rows,
+        "ok": bool(worst <= alpha),
+    }
+
+
 def _drift_trace_path(trace_output: str | Path) -> Path:
     """Sibling path for the drift-scenario trace (``X.jsonl.gz`` ->
     ``X_drift.jsonl.gz``)."""
@@ -271,12 +330,15 @@ def _run(
     tracer: Tracer | None = None,
     monitor=None,
     prepare=None,
+    metrics: ServeMetrics | None = None,
 ) -> tuple[SurrogateServer, float]:
     """Serve ``requests`` on a fresh engine; returns (server, serve wall s).
 
     ``monitor`` is forwarded to the server (requires ``tracer``);
     ``prepare`` is called with the built server before serving — the
     hook the drift scenario uses to schedule its mid-stream fault.
+    ``metrics`` lets a scenario inject a pre-built sink (the heavy-tail
+    scenario passes an ``exact_latency`` one to certify the sketches).
     """
     engine = build_engine(
         tolerance=tolerance, seed=seed, epochs=epochs,
@@ -290,6 +352,7 @@ def _run(
         rng=seed + 1,
         tracer=tracer,
         monitor=monitor,
+        metrics=metrics,
     )
     if prepare is not None:
         prepare(server)
@@ -421,11 +484,51 @@ def run_serve_bench(
         replay.metrics.summary(), sort_keys=True
     )
 
+    # ---- scenario 5: heavy-tailed arrivals + sketch certification -----
+    # Pareto (Lomax) interarrivals at the agreement rate: same mean load,
+    # infinite gap variance — the burst regime tail latency lives in.
+    # The run doubles as the sketch-certification site: an exact_latency
+    # metrics sink retains every sample, so the mergeable sketches can be
+    # checked against np.percentile on an adversarially bursty stream.
+    ht_gen = OpenLoopLoadGenerator(
+        2000.0, SERVE_BOUNDS, interarrival="pareto", pareto_shape=1.5
+    )
+    ht_requests = ht_gen.generate(n_requests, rng=seed)
+    ht_gaps = np.diff(np.array([r.t_arrival for r in ht_requests]), prepend=0.0)
+    gap_cv2 = float(np.var(ht_gaps) / np.mean(ht_gaps) ** 2)
+    ht_metrics = ServeMetrics(exact_latency=True)
+    _run(
+        ht_requests, tolerance=0.6, seed=seed, cost=cost, epochs=epochs,
+        metrics=ht_metrics,
+    )
+    ht_pops = {"all": ht_metrics.latencies()}
+    for source in (SOURCE_CACHE, SOURCE_SURROGATE, SOURCE_SIMULATION):
+        ht_pops[source] = ht_metrics.latencies(source)
+    ht_sketches = {
+        key: ht_metrics.latency_sketch(None if key == "all" else key)
+        for key in ht_pops
+    }
+    ht_cert = _sketch_certification(
+        ht_pops, ht_sketches, alpha=ht_metrics.latency_alpha
+    )
+    heavy_tail = {
+        "interarrival": "pareto",
+        "pareto_shape": 1.5,
+        "offered_rate": 2000.0,
+        "gap_cv2": gap_cv2,
+        "n_served": ht_metrics.n_served,
+        "status_counts": dict(ht_metrics.status_counts),
+        "scorecard": ht_metrics.scorecard(),
+        "sketch_certification": ht_cert,
+    }
+
     criteria = {
         "batched_speedup_ge_5x": bool(batch_ratio >= 5.0),
         "cache_hit_ge_20x": bool(cache_ratio >= 20.0),
         "effective_agreement_le_10pct": bool(rel_diff <= 0.10),
         "deterministic_replay": bool(deterministic),
+        "heavy_tail_burstier_than_poisson": bool(gap_cv2 >= 2.0),
+        "sketch_quantiles_within_alpha": bool(ht_cert["ok"]),
     }
 
     # ---- optional: traced agreement run + overhead guard --------------
@@ -437,6 +540,8 @@ def run_serve_bench(
             "seed": seed,
             "n_requests": n_requests,
             "t_seq": cost.t_simulate,
+            "t_cache_hit": cost.t_cache_hit,
+            "n_workers": 4,
         }
         traced, t_traced = agreement_run(Tracer(meta=trace_meta))
         traced_replay, t_traced2 = agreement_run(Tracer(meta=trace_meta))
@@ -499,6 +604,88 @@ def run_serve_bench(
             write_trace(trace_output, traced.tracer)
             trace_block["output"] = str(trace_output)
 
+        # ---- tail observability over the traced run -------------------
+        # Per-request stage decomposition must reproduce every recorded
+        # latency (criterion: max residual <= 1e-9 over 100% of served
+        # requests), and the live latency sketches must agree with exact
+        # np.percentile over the decomposed per-source populations.
+        dec = decompose(traced.tracer.spans, meta=trace_meta)
+        dec_records = dec["records"]
+        stage_totals = {stage: 0.0 for stage in dec_records[0].stages}
+        for rec in dec_records:
+            for stage, value in rec.stages.items():
+                stage_totals[stage] += value
+        trace_block["decomposition"] = {
+            "n_records": len(dec_records),
+            "n_served": traced.metrics.n_served,
+            "max_residual_s": dec["max_residual_s"],
+            "unattributed": dec["unattributed"],
+            "stage_totals_s": stage_totals,
+        }
+        criteria["decomposition_exact_1e_9"] = bool(
+            dec["max_residual_s"] <= 1e-9
+            and len(dec_records) == traced.metrics.n_served
+        )
+        ag_pops: dict[str, list[float]] = {
+            "all": [r.latency for r in dec_records]
+        }
+        for rec in dec_records:
+            ag_pops.setdefault(rec.source, []).append(rec.latency)
+        ag_sketches = {
+            key: traced.metrics.latency_sketch(None if key == "all" else key)
+            for key in ag_pops
+        }
+        ag_cert = _sketch_certification(
+            ag_pops, ag_sketches, alpha=traced.metrics.latency_alpha
+        )
+        trace_block["sketch_certification"] = ag_cert
+        criteria["sketch_quantiles_within_alpha"] = bool(
+            criteria["sketch_quantiles_within_alpha"] and ag_cert["ok"]
+        )
+
+        # ---- counterfactual validation: projection vs a real re-run ---
+        # Project the faster-fallback hypothesis from the trace alone,
+        # then actually re-run the DES with t_simulate halved on the
+        # identical request stream and compare: the projection must land
+        # within 10% of ground truth on both mean and p99.
+        proj = project(
+            traced.tracer.spans, meta=trace_meta,
+            hypothesis="faster_fallback", factor=0.5,
+        )
+        fast_cost = dataclasses.replace(
+            cost, t_simulate=0.5 * cost.t_simulate
+        )
+        fgen = OpenLoopLoadGenerator(2000.0, SERVE_BOUNDS)
+        fast, _ = _run(
+            fgen.generate(n_requests, rng=seed), tolerance=0.6, seed=seed,
+            cost=fast_cost, epochs=epochs,
+        )
+        fast_sk = fast.metrics.latency_sketch()
+        rel_err_mean = (
+            abs(proj["projected"]["mean_s"] - fast_sk.mean) / fast_sk.mean
+        )
+        actual_p99 = fast_sk.quantile(0.99)
+        rel_err_p99 = abs(proj["projected"]["p99_s"] - actual_p99) / actual_p99
+        trace_block["whatif"] = {
+            "hypothesis": "faster_fallback",
+            "factor": 0.5,
+            "projected_mean_s": proj["projected"]["mean_s"],
+            "actual_mean_s": fast_sk.mean,
+            "rel_err_mean": rel_err_mean,
+            "projected_p99_s": proj["projected"]["p99_s"],
+            "actual_p99_s": actual_p99,
+            "rel_err_p99": rel_err_p99,
+            "projected_effective_speedup": proj["effective"]["projected"][
+                "speedup"
+            ],
+            "actual_effective_speedup": fast.metrics.measured_effective_speedup(
+                t_seq=cost.t_simulate
+            ),
+        }
+        criteria["whatif_fallback_within_10pct"] = bool(
+            rel_err_mean <= 0.10 and rel_err_p99 <= 0.10
+        )
+
         healthy_criticals = sum(
             1 for a in healthy_suite.alerts if a.severity == "critical"
         )
@@ -519,6 +706,8 @@ def run_serve_bench(
             "seed": seed,
             "n_requests": n_requests,
             "t_seq": cost.t_simulate,
+            "t_cache_hit": cost.t_cache_hit,
+            "n_workers": 4,
             "bias_sigma": _DRIFT_BIAS_SIGMA,
         }
         # Inject a quarter of the way through the stream; a tighter
@@ -611,6 +800,8 @@ def run_serve_bench(
         "batched_vs_unbatched": batched_vs_unbatched,
         "cache": cache_block,
         "effective_speedup_agreement": agreement,
+        "latency_scorecard": ag.metrics.scorecard(),
+        "heavy_tail": heavy_tail,
         "criteria": criteria,
         "all_criteria_pass": bool(all(criteria.values())),
     }
@@ -695,6 +886,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         f"effective speedup measured {a['measured_speedup']:.1f} vs analytic "
         f"{a['analytic_speedup']:.1f}  (rel diff {a['rel_diff'] * 100:.2f}%)"
     )
+    ht = payload["heavy_tail"]
+    sc = payload["latency_scorecard"]["all"]
+    print(
+        f"scorecard (agreement): p50 {sc['p50_s'] * 1e3:.2f} ms  "
+        f"p99 {sc['p99_s'] * 1e3:.2f} ms  p99.9 {sc['p999_s'] * 1e3:.2f} ms"
+    )
+    print(
+        f"heavy tail (pareto {ht['pareto_shape']}): gap CV^2 "
+        f"{ht['gap_cv2']:.1f}, sketch worst rel err "
+        f"{ht['sketch_certification']['worst_rel_err']:.2e} "
+        f"(alpha {ht['sketch_certification']['alpha']})"
+    )
     k = payload["kernel"]
     kb = max(k["batches"], key=lambda r: r["batch"])
     print(
@@ -709,6 +912,14 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"trace: {t['n_spans']} spans, speedup {t['speedup_from_trace']:.1f} "
             f"({t['rel_diff_vs_measured'] * 100:.2f}% vs measured), "
             f"overhead {t['overhead'] * 100:.2f}%"
+        )
+        w = t["whatif"]
+        print(
+            f"whatif faster_fallback: projected mean "
+            f"{w['projected_mean_s'] * 1e3:.3f} ms vs actual "
+            f"{w['actual_mean_s'] * 1e3:.3f} ms "
+            f"(rel err {w['rel_err_mean'] * 100:.2f}%, "
+            f"p99 rel err {w['rel_err_p99'] * 100:.2f}%)"
         )
         mon = t["monitor"]
         dr = t["drift"]

@@ -1,12 +1,30 @@
 """Seeded open-loop load generation for the serving bench.
 
-Open-loop means arrivals are scheduled by a Poisson process at a fixed
-offered rate regardless of how the server is coping — the honest way to
-probe saturation, because a closed-loop client slows down with the
-server and hides overload.  Everything is drawn from one seeded
+Open-loop means arrivals are scheduled by a stochastic process at a
+fixed offered rate regardless of how the server is coping — the honest
+way to probe saturation, because a closed-loop client slows down with
+the server and hides overload.  Everything is drawn from one seeded
 generator, so a given (seed, rate, n) triple always produces the exact
 same request stream and any two serving configurations can be compared
 on *identical* traffic.
+
+Interarrival processes
+----------------------
+The default is Poisson (exponential gaps, CV² = 1), the classic
+open-loop model.  Real query streams are burstier: the tail-latency
+work needs arrival processes whose gap distribution has heavier tails
+than exponential, because tail latency is dominated by bursts, not by
+the mean rate.  Two seeded heavy-tailed options share the same mean gap
+``1/rate``:
+
+* ``"pareto"`` — Lomax (shifted Pareto) gaps with shape ``a > 1``:
+  ``gap = (1/rate) * (a - 1) * X`` where ``X ~ numpy Pareto(a)``
+  (``E[X] = 1/(a-1)``, so ``E[gap] = 1/rate``).  For ``a ≤ 2`` the gap
+  variance is infinite — maximal burstiness at the same offered rate.
+* ``"lognormal"`` — gaps with coefficient of variation ``cv``:
+  ``sigma² = log(1 + cv²)``, ``mu = log(1/rate) - sigma²/2`` gives mean
+  exactly ``1/rate``; ``cv = 1`` roughly matches Poisson variability
+  while keeping a log-symmetric (heavier) upper tail.
 """
 
 from __future__ import annotations
@@ -17,17 +35,20 @@ from repro.serve.messages import Request
 from repro.util.rng import ensure_rng
 from repro.util.validation import check_positive
 
-__all__ = ["OpenLoopLoadGenerator"]
+__all__ = ["OpenLoopLoadGenerator", "INTERARRIVALS"]
+
+#: Supported interarrival-gap distributions.
+INTERARRIVALS = ("exponential", "pareto", "lognormal")
 
 
 class OpenLoopLoadGenerator:
-    """Poisson arrivals over a box-uniform query distribution.
+    """Open-loop arrivals over a box-uniform query distribution.
 
     Parameters
     ----------
     rate:
-        Offered load in queries per virtual second (exponential
-        inter-arrival times with this rate).
+        Offered load in queries per virtual second; every interarrival
+        distribution is parameterized to a mean gap of ``1/rate``.
     bounds:
         ``(D, 2)`` array of per-dimension ``[low, high]`` bounds from
         which query points are drawn uniformly.
@@ -38,6 +59,17 @@ class OpenLoopLoadGenerator:
     relative_deadline:
         If set, every request carries ``deadline = t_arrival + this``;
         ``None`` disables deadline shedding.
+    interarrival:
+        Gap distribution: ``"exponential"`` (Poisson arrivals, the
+        default), ``"pareto"`` (Lomax, heavy-tailed bursts) or
+        ``"lognormal"``.
+    pareto_shape:
+        Lomax tail index ``a`` for ``interarrival="pareto"``; must be
+        > 1 so the mean gap exists.  Smaller = burstier; the default
+        1.5 has infinite gap variance.
+    lognormal_cv:
+        Coefficient of variation of the gaps for
+        ``interarrival="lognormal"``.
     """
 
     def __init__(
@@ -47,6 +79,9 @@ class OpenLoopLoadGenerator:
         *,
         duplicate_fraction: float = 0.0,
         relative_deadline: float | None = None,
+        interarrival: str = "exponential",
+        pareto_shape: float = 1.5,
+        lognormal_cv: float = 1.0,
     ):
         check_positive("rate", rate)
         self.bounds = np.atleast_2d(np.asarray(bounds, dtype=float))
@@ -60,14 +95,45 @@ class OpenLoopLoadGenerator:
             )
         if relative_deadline is not None:
             check_positive("relative_deadline", relative_deadline)
+        if interarrival not in INTERARRIVALS:
+            raise ValueError(
+                f"unknown interarrival {interarrival!r}; "
+                f"expected one of {INTERARRIVALS}"
+            )
+        if interarrival == "pareto" and not pareto_shape > 1.0:
+            raise ValueError(
+                f"pareto_shape must be > 1 for a finite mean gap, "
+                f"got {pareto_shape}"
+            )
+        if interarrival == "lognormal":
+            check_positive("lognormal_cv", lognormal_cv)
         self.rate = float(rate)
         self.duplicate_fraction = float(duplicate_fraction)
         self.relative_deadline = relative_deadline
+        self.interarrival = interarrival
+        self.pareto_shape = float(pareto_shape)
+        self.lognormal_cv = float(lognormal_cv)
 
     @property
     def dim(self) -> int:
         """Query-point dimensionality."""
         return self.bounds.shape[0]
+
+    def _gaps(self, n: int, gen: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` interarrival gaps with mean ``1/rate``."""
+        mean_gap = 1.0 / self.rate
+        if self.interarrival == "pareto":
+            # numpy's pareto() samples X with E[X] = 1/(a-1); scaling by
+            # mean_gap * (a-1) pins the mean gap while keeping the tail
+            # index a.
+            return gen.pareto(self.pareto_shape, size=n) * mean_gap * (
+                self.pareto_shape - 1.0
+            )
+        if self.interarrival == "lognormal":
+            sigma2 = np.log1p(self.lognormal_cv**2)
+            mu = np.log(mean_gap) - 0.5 * sigma2
+            return gen.lognormal(mu, np.sqrt(sigma2), size=n)
+        return gen.exponential(mean_gap, size=n)
 
     def generate(
         self, n: int, rng: int | np.random.Generator | None = None
@@ -76,7 +142,7 @@ class OpenLoopLoadGenerator:
         if n < 1:
             raise ValueError(f"n must be >= 1, got {n}")
         gen = ensure_rng(rng)
-        gaps = gen.exponential(1.0 / self.rate, size=n)
+        gaps = self._gaps(n, gen)
         arrivals = np.cumsum(gaps)
         lo, hi = self.bounds[:, 0], self.bounds[:, 1]
         requests: list[Request] = []

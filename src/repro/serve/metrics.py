@@ -14,22 +14,28 @@ compared number-for-number at the same lookup fraction.
 
 Counters live in a :class:`~repro.obs.metrics.MetricRegistry` (the
 status/source tallies are ``serve.status.*`` / ``serve.source.*``
-counters, latencies feed ``serve.latency.*`` histograms, and the ledger
-is constructed bound to the registry so the two can never drift); the
+counters, latencies feed ``serve.latency.*``
+:class:`~repro.obs.sketch.QuantileSketch` entries, and the ledger is
+constructed bound to the registry so the two can never drift); the
 dict-shaped accessors are thin views over those metrics.
 
-All latencies are virtual seconds; percentile aggregation uses
-``np.percentile`` over the recorded populations, never sampling, so a
-replayed run reports bitwise-identical metrics.  The registry histograms
-are the mergeable fixed-bucket summaries of the same populations.
+All latencies are virtual seconds.  Percentiles come from the per-source
+quantile sketches: O(log range) memory independent of request count,
+mergeable across replicas, and within the configured relative error
+``latency_alpha`` of the exact population percentile — never sampling,
+so a replayed run reports bitwise-identical metrics.  The opt-in
+``exact_latency`` mode additionally retains the full per-source sample
+lists and routes :meth:`percentile` through the shared exact helper
+(:func:`repro.obs.sketch.exact_quantile`); it exists so tests and
+certification passes can compare the sketch against ground truth, not
+for production streams.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.effective import EffectiveSpeedupModel
 from repro.obs.metrics import MetricRegistry
+from repro.obs.sketch import DEFAULT_ALPHA, QuantileSketch, exact_quantile
 from repro.serve.messages import (
     SOURCE_CACHE,
     SOURCE_SIMULATION,
@@ -42,14 +48,23 @@ from repro.serve.messages import (
 )
 from repro.util.timing import WallClockLedger
 
-__all__ = ["ServeMetrics"]
+__all__ = ["ServeMetrics", "SCORECARD_QUANTILES"]
 
 _STATUSES = (STATUS_OK, STATUS_DEGRADED, STATUS_REJECTED, STATUS_SHED)
 _SOURCES = (SOURCE_CACHE, SOURCE_SURROGATE, SOURCE_SIMULATION)
 
+#: Tail scorecard columns: (label, quantile) pairs every serving run
+#: reports per source, all straight off the mergeable sketches.
+SCORECARD_QUANTILES = (
+    ("p50_s", 0.50),
+    ("p90_s", 0.90),
+    ("p99_s", 0.99),
+    ("p999_s", 0.999),
+)
+
 
 class ServeMetrics:
-    """Accumulates per-stage counters, latency populations and the ledger.
+    """Accumulates per-stage counters, latency sketches and the ledger.
 
     Parameters
     ----------
@@ -57,18 +72,36 @@ class ServeMetrics:
         Metrics sink shared with the rest of the run; a private
         :class:`~repro.obs.metrics.MetricRegistry` is created when not
         given.
+    exact_latency:
+        Certification mode: additionally retain every latency sample
+        per source (O(requests) memory) and answer :meth:`percentile`
+        from the exact population instead of the sketch.  Default off —
+        production streams are unbounded and must stay O(log range).
+    latency_alpha:
+        Guaranteed relative error of the latency sketches.
     """
 
-    def __init__(self, registry: MetricRegistry | None = None) -> None:
+    def __init__(
+        self,
+        registry: MetricRegistry | None = None,
+        *,
+        exact_latency: bool = False,
+        latency_alpha: float = DEFAULT_ALPHA,
+    ) -> None:
         self.registry = registry if registry is not None else MetricRegistry()
         self.ledger = WallClockLedger(registry=self.registry, prefix="serve.ledger")
-        self._latency: dict[str, list[float]] = {s: [] for s in _SOURCES}
+        self.exact_latency = bool(exact_latency)
+        self.latency_alpha = float(latency_alpha)
+        self._latency: dict[str, list[float]] | None = (
+            {s: [] for s in _SOURCES} if self.exact_latency else None
+        )
         self.t_first_arrival = float("inf")
         self.t_last_done = 0.0
         for status in _STATUSES:
             self.registry.counter(f"serve.status.{status}")
         for source in _SOURCES:
             self.registry.counter(f"serve.source.{source}")
+            self.registry.sketch(f"serve.latency.{source}", alpha=self.latency_alpha)
 
     # ------------------------------------------------------------------
     def observe(self, response: Response) -> None:
@@ -81,10 +114,11 @@ class ServeMetrics:
         self.t_last_done = max(self.t_last_done, response.t_done)
         if response.served:
             self.registry.counter(f"serve.source.{response.source}").inc()
-            self._latency[response.source].append(response.latency)
-            self.registry.histogram(
+            self.registry.sketch(
                 f"serve.latency.{response.source}"
             ).observe(response.latency)
+            if self._latency is not None:
+                self._latency[response.source].append(response.latency)
 
     # ------------------------------------------------------------------
     @property
@@ -125,29 +159,81 @@ class ServeMetrics:
         """Served responses per virtual second."""
         return self.n_served / self.duration if self.duration > 0 else 0.0
 
-    def latencies(self, source: str | None = None) -> np.ndarray:
-        """Latency population for one source, or all served traffic."""
-        if source is None:
-            pop = [v for vals in self._latency.values() for v in vals]
-        else:
-            if source not in self._latency:
+    def latency_sketch(self, source: str | None = None) -> QuantileSketch:
+        """Latency sketch for one source, or all served traffic merged.
+
+        ``source=None`` returns a *fresh* sketch that merges the three
+        per-source sketches — the same associative fold a sharded
+        deployment applies across replicas.
+        """
+        if source is not None:
+            if source not in _SOURCES:
                 raise ValueError(f"unknown source {source!r}")
-            pop = self._latency[source]
-        return np.asarray(pop, dtype=float)
+            return self.registry.sketch(f"serve.latency.{source}")
+        merged = QuantileSketch("serve.latency.all", alpha=self.latency_alpha)
+        for s in _SOURCES:
+            merged.merge(self.registry.sketch(f"serve.latency.{s}"))
+        return merged
+
+    def latencies(self, source: str | None = None) -> list[float]:
+        """Exact latency population (requires ``exact_latency=True``).
+
+        The default sketch mode deliberately does not retain samples;
+        asking for them is a programming error, not an empty list.
+        """
+        if self._latency is None:
+            raise RuntimeError(
+                "latency samples are only retained in exact_latency mode; "
+                "construct ServeMetrics(exact_latency=True) or use "
+                "latency_sketch()/percentile()"
+            )
+        if source is None:
+            return [v for s in _SOURCES for v in self._latency[s]]
+        if source not in self._latency:
+            raise ValueError(f"unknown source {source!r}")
+        return list(self._latency[source])
 
     def percentile(self, q: float, source: str | None = None) -> float:
         """Latency percentile ``q`` (in [0, 100]) over served traffic.
 
-        Returns NaN for an empty population (e.g. a source filter that
-        matched nothing); rejects ``q`` outside [0, 100] rather than
-        letting ``np.percentile`` raise from deep inside.
+        Sketch-backed by default (guaranteed relative error
+        ``latency_alpha``, exact at the endpoints); exact via
+        :func:`~repro.obs.sketch.exact_quantile` in ``exact_latency``
+        mode.  Returns NaN for an empty population (e.g. a source filter
+        that matched nothing); rejects ``q`` outside [0, 100].
         """
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"q must be in [0, 100], got {q}")
-        pop = self.latencies(source)
-        if pop.size == 0:
-            return float("nan")
-        return float(np.percentile(pop, q))
+        if self._latency is not None:
+            pop = sorted(self.latencies(source))
+            if not pop:
+                return float("nan")
+            return exact_quantile(pop, q / 100.0)
+        return self.latency_sketch(source).quantile(q / 100.0)
+
+    def scorecard(self) -> dict:
+        """Per-source tail-latency scorecard, straight off the sketches.
+
+        One row per source (plus the merged ``all``): count, exact
+        mean/min/max sidecars and the :data:`SCORECARD_QUANTILES`
+        estimates.  Empty sources are omitted.
+        """
+        card: dict = {}
+        for source in (*_SOURCES, None):
+            sk = self.latency_sketch(source)
+            if sk.count == 0:
+                continue
+            row = {
+                "count": sk.count,
+                "mean_s": sk.mean,
+                "min_s": sk.vmin,
+                "max_s": sk.vmax,
+                "alpha": sk.alpha,
+            }
+            for label, q in SCORECARD_QUANTILES:
+                row[label] = sk.quantile(q)
+            card[source or "all"] = row
+        return card
 
     @property
     def lookup_fraction(self) -> float:
@@ -207,14 +293,14 @@ class ServeMetrics:
             },
         }
         for source in (None, *_SOURCES):
-            pop = self.latencies(source)
-            if pop.size == 0:
+            sk = self.latency_sketch(source)
+            if sk.count == 0:
                 continue
             out["latency"][source or "all"] = {
-                "n": int(pop.size),
-                "mean": float(pop.mean()),
-                "p50": float(np.percentile(pop, 50)),
-                "p99": float(np.percentile(pop, 99)),
-                "max": float(pop.max()),
+                "n": sk.count,
+                "mean": sk.mean,
+                "p50": sk.quantile(0.5),
+                "p99": sk.quantile(0.99),
+                "max": sk.vmax,
             }
         return out

@@ -114,6 +114,11 @@ class SurrogateServer:
         Bounds on alert-driven actions
         (:class:`~repro.serve.control.ControlPolicy`; defaults apply
         when ``None``).
+    metrics:
+        Optional pre-built :class:`~repro.serve.metrics.ServeMetrics` —
+        the hook certification runs use to serve with
+        ``exact_latency=True`` retention, or to share one registry
+        across replicas.  Default: a fresh sketch-mode sink.
     """
 
     def __init__(
@@ -129,6 +134,7 @@ class SurrogateServer:
         tracer=None,
         monitor=None,
         control: ControlPolicy | None = None,
+        metrics: ServeMetrics | None = None,
     ):
         self.engine = engine
         self.cost = cost or ServeCostModel()
@@ -136,7 +142,7 @@ class SurrogateServer:
         self.cache = cache or QuantizedLRUCache()
         self.admission = admission or AdmissionController()
         self.pool = pool or FallbackPool([Worker(i) for i in range(4)])
-        self.metrics = ServeMetrics()
+        self.metrics = metrics if metrics is not None else ServeMetrics()
         self.clock = SimulatedClock()
         self.tracer = tracer
         if monitor is not None and tracer is None:

@@ -502,6 +502,59 @@ class TestObservability:
         src = HEADER + "import datetime\nt = datetime.datetime.now()\n"
         assert "OBS002" not in rules_of(src, path="src/repro/util/timing.py")
 
+    def test_obs003_np_percentile(self):
+        src = HEADER + "import numpy as np\np = np.percentile([1.0], 99)\n"
+        assert "OBS003" in rules_of(src)
+
+    def test_obs003_from_import_quantile(self):
+        src = HEADER + "from numpy import quantile\nq = quantile([1.0], 0.5)\n"
+        assert "OBS003" in rules_of(src)
+
+    def test_obs003_nanpercentile_alias(self):
+        src = HEADER + (
+            "from numpy import nanpercentile as npc\np = npc([1.0], 99)\n"
+        )
+        (finding,) = findings_for(src, "OBS003")
+        assert "nanpercentile" in finding.message
+
+    def test_obs003_append_inside_observe(self):
+        src = HEADER + (
+            "class Sink:\n"
+            "    def __init__(self):\n"
+            "        self.samples = []\n"
+            "    def observe(self, v):\n"
+            "        self.samples.append(v)\n"
+        )
+        (finding,) = findings_for(src, "OBS003")
+        assert "observe" in finding.message
+
+    def test_obs003_quiet_on_append_outside_observe(self):
+        src = HEADER + (
+            "class Sink:\n"
+            "    def __init__(self):\n"
+            "        self.samples = []\n"
+            "    def add(self, v):\n"
+            "        self.samples.append(v)\n"
+        )
+        assert "OBS003" not in rules_of(src)
+
+    def test_obs003_quiet_on_unrelated_percentile_name(self):
+        src = HEADER + (
+            "def percentile(xs, q):\n"
+            "    return xs[0]\n"
+            "p = percentile([1.0], 99)\n"
+        )
+        assert "OBS003" not in rules_of(src)
+
+    def test_obs003_exempt_in_sketch_module(self):
+        src = HEADER + "import numpy as np\np = np.percentile([1.0], 99)\n"
+        assert "OBS003" not in rules_of(src, path="src/repro/obs/sketch.py")
+
+    def test_obs003_ignored_in_tests_and_benchmarks(self):
+        src = HEADER + "import numpy as np\np = np.percentile([1.0], 99)\n"
+        assert "OBS003" not in rules_of(src, path="tests/serve/test_x.py")
+        assert "OBS003" not in rules_of(src, path="benchmarks/bench_x.py")
+
 
 class TestPerf003:
     def test_fires_on_alloc_in_span_opening_function(self):

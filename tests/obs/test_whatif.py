@@ -1,0 +1,201 @@
+"""Tests for counterfactual what-if projection over serve traces.
+
+The load-bearing claim is that ``faster_fallback`` is *exact* under the
+trace's schedule invariants, so the end-to-end test validates the
+projection against an actual discrete-event re-run with ``t_simulate``
+scaled by the same factor — the same agreement the serve bench gates at
+10% on the committed trace.  The synthetic tests pin the per-hypothesis
+arithmetic and the pool re-simulation in closed form.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.mlaround import MLAroundHPC, RetrainPolicy
+from repro.core.simulation import CallableSimulation
+from repro.core.surrogate import Surrogate
+from repro.obs.latency import decompose
+from repro.obs.span import Span
+from repro.obs.trace import Tracer
+from repro.obs.whatif import (
+    HYPOTHESES,
+    _resimulate_pool,
+    project,
+    render_whatif_json,
+    render_whatif_text,
+    whatif_report,
+)
+from repro.serve import OpenLoopLoadGenerator, ServeCostModel, SurrogateServer
+from repro.serve.messages import SOURCE_SIMULATION
+from repro.serve.metrics import ServeMetrics
+
+BOUNDS = np.array([[-2.0, 2.0], [-2.0, 2.0]])
+
+
+def _fn(x):
+    return np.array([np.sin(x[0]) * np.cos(x[1]), 0.25 * x[0] * x[1]])
+
+
+def _build_engine(seed=0):
+    sim = CallableSimulation(_fn, ["a", "b"], ["u", "v"])
+    surrogate = Surrogate(2, 2, hidden=(24, 24), dropout=0.1, epochs=120, rng=seed)
+    engine = MLAroundHPC(
+        sim, surrogate, tolerance=0.6,
+        policy=RetrainPolicy(min_initial_runs=16, retrain_every=24),
+        rng=seed,
+    )
+    gen = np.random.default_rng(seed)
+    engine.bootstrap(-2.0 + gen.random((48, 2)) * 4.0)
+    return engine
+
+
+def _requests(n=150, seed=0):
+    return OpenLoopLoadGenerator(2000.0, BOUNDS).generate(n, rng=seed)
+
+
+def synthetic_spans():
+    """Flush at [10, 11] feeding two fallbacks onto a 1-worker pool."""
+    return [
+        Span(0, None, "flush", "batch", 10.0, 11.0),
+        # Arrived 9.0 and 9.5; both released to the pool at flush end.
+        Span(1, 0, "fallback", "simulate", 11.0, 13.0,
+             {"query_id": 0, "lat": 4.0, "worker_id": 0}),
+        Span(2, 0, "fallback", "simulate", 13.0, 15.0,
+             {"query_id": 1, "lat": 5.5, "worker_id": 0}),
+        # A surrogate row to keep the ledger's lookup side populated.
+        Span(3, 0, "uq_row", "lookup", 10.0, 11.0,
+             {"query_id": 2, "lat": 2.0}),
+    ]
+
+
+class TestPoolResimulation:
+    def test_single_worker_queueing(self):
+        jobs = [(0.0, 2.0), (1.0, 2.0)]
+        assert _resimulate_pool(jobs, 1, 1.0) == [(0.0, 2.0), (2.0, 4.0)]
+        # Halved durations drain the queue before job 2's release.
+        assert _resimulate_pool(jobs, 1, 0.5) == [(0.0, 1.0), (1.0, 2.0)]
+
+    def test_two_workers_run_concurrently(self):
+        jobs = [(0.0, 2.0), (0.0, 2.0), (0.0, 2.0)]
+        placed = _resimulate_pool(jobs, 2, 1.0)
+        assert placed == [(0.0, 2.0), (0.0, 2.0), (2.0, 4.0)]
+
+    def test_identity_factor_reproduces_trace(self):
+        spans = synthetic_spans()
+        proj = project(spans, hypothesis="faster_fallback", factor=1.0)
+        assert proj["baseline"] == proj["projected"]
+        assert proj["n_affected"] == 2
+
+
+class TestHypothesisArithmetic:
+    def test_faster_fallback_synthetic_exact(self):
+        proj = project(synthetic_spans(), hypothesis="faster_fallback", factor=0.5)
+        # Worker free at 11: job0 runs [11, 12], job1 [12, 13]; latencies
+        # drop from (4.0, 5.5) to (3.0, 3.5) while the uq_row keeps 2.0.
+        assert proj["params"]["n_workers"] == 1
+        assert proj["projected"]["max_s"] == pytest.approx(3.5)
+        assert proj["projected"]["mean_s"] == pytest.approx((3.0 + 3.5 + 2.0) / 3)
+        assert proj["baseline"]["mean_s"] == pytest.approx((4.0 + 5.5 + 2.0) / 3)
+        assert proj["effective"]["projected"] is not None
+
+    def test_half_batch_wait_scales_collect_only(self):
+        spans = synthetic_spans()
+        records = decompose(spans)["records"]
+        proj = project(spans, hypothesis="half_batch_wait", factor=0.5)
+        expected = sorted(
+            r.latency - 0.5 * r.stages["batch_collect"] for r in records
+        )
+        assert proj["projected"]["max_s"] == pytest.approx(expected[-1])
+        assert proj["n_affected"] == sum(
+            1 for r in records if r.stages["batch_collect"] > 0.0
+        )
+
+    def test_cache_miss_free_prefers_meta_hit_cost(self):
+        proj = project(
+            synthetic_spans(),
+            meta={"t_cache_hit": 0.002},
+            hypothesis="cache_miss_free",
+        )
+        assert proj["params"]["t_cache_hit_source"] == "meta"
+        assert proj["projected"]["max_s"] == pytest.approx(0.002)
+        assert proj["projected"]["p99_s"] == pytest.approx(0.002)
+
+    def test_cache_miss_free_falls_back_to_min_latency(self):
+        # No cache spans and no meta key: the floor is the fastest
+        # served request (2.0 s for the uq_row).
+        proj = project(synthetic_spans(), hypothesis="cache_miss_free")
+        assert proj["params"]["t_cache_hit_source"] == "min_latency"
+        assert proj["params"]["t_cache_hit"] == pytest.approx(2.0)
+
+    def test_cache_miss_free_uses_cache_spans_when_present(self):
+        spans = synthetic_spans() + [
+            Span(4, None, "cache_hit", "cache", 20.0, 20.004,
+                 {"query_id": 3, "lat": 0.004}),
+        ]
+        proj = project(spans, hypothesis="cache_miss_free")
+        assert proj["params"]["t_cache_hit_source"] == "cache_spans"
+        assert proj["params"]["t_cache_hit"] == pytest.approx(0.004)
+
+
+class TestValidation:
+    def test_unknown_hypothesis(self):
+        with pytest.raises(ValueError, match="unknown hypothesis"):
+            project(synthetic_spans(), hypothesis="free_lunch")
+
+    def test_factor_out_of_range(self):
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError, match="factor"):
+                project(synthetic_spans(), hypothesis="half_batch_wait", factor=bad)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError, match="no served requests"):
+            project([], hypothesis="half_batch_wait")
+
+
+class TestReport:
+    def test_report_covers_all_hypotheses_and_is_byte_stable(self):
+        spans = synthetic_spans()
+        a = whatif_report(spans, meta={"t_cache_hit": 0.001})
+        b = whatif_report(spans, meta={"t_cache_hit": 0.001})
+        assert tuple(a["hypotheses"]) == HYPOTHESES
+        assert render_whatif_json(a) == render_whatif_json(b)
+        text = render_whatif_text(a)
+        assert text == render_whatif_text(b)
+        for hyp in HYPOTHESES:
+            assert hyp in text
+
+
+class TestAgainstActualRerun:
+    def test_faster_fallback_projection_matches_des_rerun(self):
+        # Trace a baseline run, project 2x-faster fallback workers, then
+        # actually re-run the DES with t_simulate halved and compare.
+        factor = 0.5
+        tracer = Tracer(meta={
+            "t_seq": ServeCostModel().t_simulate,
+            "t_cache_hit": ServeCostModel().t_cache_hit,
+            "n_workers": 4,
+        })
+        server = SurrogateServer(_build_engine(), rng=1, tracer=tracer)
+        server.serve(_requests(150))
+        proj = project(
+            tracer.spans, meta=tracer.meta,
+            hypothesis="faster_fallback", factor=factor,
+        )
+
+        cost = ServeCostModel()
+        fast = dataclasses.replace(cost, t_simulate=factor * cost.t_simulate)
+        metrics = ServeMetrics(exact_latency=True)
+        rerun = SurrogateServer(
+            _build_engine(), rng=1, cost=fast, metrics=metrics
+        )
+        rerun.serve(_requests(150))
+        actual = sorted(metrics.latencies())
+        assert proj["projected"]["mean_s"] == pytest.approx(
+            sum(actual) / len(actual), rel=0.10
+        )
+        assert proj["n_affected"] == sum(
+            1 for s in tracer.spans if s.name == "fallback"
+        )
+        assert rerun.metrics.source_counts.get(SOURCE_SIMULATION, 0) > 0

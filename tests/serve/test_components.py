@@ -275,3 +275,61 @@ class TestLoadGenerator:
             OpenLoopLoadGenerator(1.0, np.array([[1.0, 0.0]]))
         with pytest.raises(ValueError):
             OpenLoopLoadGenerator(1.0, BOUNDS, duplicate_fraction=1.0)
+
+    def test_interarrival_validation(self):
+        with pytest.raises(ValueError, match="interarrival"):
+            OpenLoopLoadGenerator(1.0, BOUNDS, interarrival="weibull")
+        with pytest.raises(ValueError, match="pareto_shape"):
+            OpenLoopLoadGenerator(1.0, BOUNDS, interarrival="pareto", pareto_shape=1.0)
+        with pytest.raises(ValueError):
+            OpenLoopLoadGenerator(
+                1.0, BOUNDS, interarrival="lognormal", lognormal_cv=0.0
+            )
+
+    @pytest.mark.parametrize("interarrival", ["pareto", "lognormal"])
+    def test_heavy_tail_mean_gap_pins_offered_rate(self, interarrival):
+        # Both heavy-tailed processes are parameterized so the mean gap
+        # stays 1/rate — same offered load as the Poisson baseline.
+        rate = 1000.0
+        g = OpenLoopLoadGenerator(rate, BOUNDS, interarrival=interarrival)
+        reqs = g.generate(20_000, rng=3)
+        times = [r.t_arrival for r in reqs]
+        gaps = np.diff(times, prepend=0.0)
+        assert np.mean(gaps) == pytest.approx(1.0 / rate, rel=0.25)
+        assert all(t2 > t1 for t1, t2 in zip(times, times[1:]))
+
+    def test_pareto_gaps_burstier_than_poisson(self):
+        rate = 1000.0
+        pareto = OpenLoopLoadGenerator(
+            rate, BOUNDS, interarrival="pareto", pareto_shape=1.5
+        )
+        poisson = OpenLoopLoadGenerator(rate, BOUNDS)
+
+        def gap_cv2(reqs):
+            gaps = np.diff([r.t_arrival for r in reqs], prepend=0.0)
+            return float(np.var(gaps) / np.mean(gaps) ** 2)
+
+        # Exponential gaps have CV^2 = 1; Lomax(1.5) has infinite
+        # variance, so the empirical CV^2 blows well past it.
+        assert gap_cv2(poisson.generate(5000, rng=0)) == pytest.approx(1.0, abs=0.25)
+        assert gap_cv2(pareto.generate(5000, rng=0)) > 2.0
+
+    def test_heavy_tail_streams_seeded_and_distinct(self):
+        g = OpenLoopLoadGenerator(100.0, BOUNDS, interarrival="lognormal")
+        a = g.generate(50, rng=7)
+        b = g.generate(50, rng=7)
+        assert [r.t_arrival for r in a] == [r.t_arrival for r in b]
+        exp = OpenLoopLoadGenerator(100.0, BOUNDS).generate(50, rng=7)
+        assert [r.t_arrival for r in a] != [r.t_arrival for r in exp]
+
+    def test_exponential_stream_unchanged_by_new_knobs(self):
+        # The default path must keep its exact RNG draws: new
+        # interarrival knobs may not perturb seeded baseline traces.
+        base = OpenLoopLoadGenerator(100.0, BOUNDS).generate(30, rng=5)
+        explicit = OpenLoopLoadGenerator(
+            100.0, BOUNDS, interarrival="exponential"
+        ).generate(30, rng=5)
+        assert [r.t_arrival for r in base] == [r.t_arrival for r in explicit]
+        assert all(
+            np.array_equal(a.x, b.x) for a, b in zip(base, explicit)
+        )

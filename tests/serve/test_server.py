@@ -258,12 +258,36 @@ class TestMetrics:
         assert np.isnan(server.metrics.percentile(50, SOURCE_SIMULATION))
 
     def test_percentile_endpoints_bracket_population(self):
+        # Default (sketch-only) mode: endpoints come from the exact
+        # min/max sidecars, so they are bitwise, not approximate.
         server = build_server()
         server.serve(stream(150))
         m = server.metrics
-        pop = m.latencies()
-        assert m.percentile(0) == pytest.approx(float(pop.min()))
-        assert m.percentile(100) == pytest.approx(float(pop.max()))
+        sk = m.latency_sketch()
+        assert m.percentile(0) == sk.vmin
+        assert m.percentile(100) == sk.vmax
+
+    def test_exact_mode_retains_population_and_agrees_with_sketch(self):
+        from repro.serve.metrics import ServeMetrics
+
+        m = ServeMetrics(exact_latency=True)
+        server = build_server(metrics=m)
+        server.serve(stream(150))
+        pop = np.sort(m.latencies())
+        assert len(pop) == m.n_served
+        assert m.percentile(0) == pytest.approx(float(pop[0]))
+        assert m.percentile(100) == pytest.approx(float(pop[-1]))
+        # The sketch tracks the exact population within its alpha bound.
+        sk = m.latency_sketch()
+        for q in (50.0, 90.0, 99.0):
+            exact = float(np.percentile(pop, q))
+            assert abs(sk.quantile(q / 100.0) - exact) <= sk.alpha * exact
+
+    def test_sketch_mode_refuses_raw_population(self):
+        server = build_server()
+        server.serve(stream(20))
+        with pytest.raises(RuntimeError, match="exact_latency"):
+            server.metrics.latencies()
 
     def test_percentile_single_sample_is_that_sample(self):
         from repro.serve.messages import Response
