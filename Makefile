@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint lint-json baseline bench bench-gp trace profile latency regress check
+.PHONY: test lint lint-json baseline bench bench-gp trace profile latency slo regress check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -41,6 +41,14 @@ profile:
 latency:
 	$(PYTHON) -m repro.obs latency TRACE_serve.jsonl.gz
 	$(PYTHON) -m repro.obs whatif TRACE_serve.jsonl.gz
+
+# Windowed timeline plus SLO error-budget view of the committed traces:
+# the healthy trace must stay quiet; the drift trace must burn (hence
+# no --fail-on-burn on the second invocation — the burn is the point).
+slo:
+	$(PYTHON) -m repro.obs timeline TRACE_serve.jsonl.gz
+	$(PYTHON) -m repro.obs slo TRACE_serve.jsonl.gz --fail-on-burn
+	$(PYTHON) -m repro.obs slo TRACE_serve_drift.jsonl.gz
 
 # Fresh reduced benches compared against the committed BENCH_*.json
 # baselines.  Criteria are gated unconditionally; numeric metrics only

@@ -20,6 +20,7 @@ itself — those paths are exempt or baseline-justified.
 from __future__ import annotations
 
 import ast
+import re
 
 from repro.analysis.engine import BaseChecker, FileContext, register_checker
 from repro.analysis.findings import Rule
@@ -52,6 +53,17 @@ OBS003 = Rule(
     "instead (exact populations belong in tests/certification passes).",
 )
 
+OBS004 = Rule(
+    "OBS004",
+    "metric-name-grammar",
+    "Metric or label-key literal violating the dot-namespaced lowercase grammar",
+    "Registry metric names are a greppable public API: only dot-namespaced "
+    "lowercase identifiers ([a-z0-9_.]) are accepted, and label keys follow "
+    "the same grammar.  A nonconforming literal raises at registry time; "
+    "catch it at lint time instead (deliberate negative tests belong in the "
+    "baseline).",
+)
+
 #: ``datetime``-module class methods OBS002 flags (on ``datetime.datetime``
 #: and ``datetime.date``).  Constructors and parsing are fine — they are
 #: pure functions of their arguments.
@@ -62,6 +74,16 @@ _DATETIME_READS = frozenset({"now", "utcnow", "today"})
 _QUANTILE_FNS = frozenset(
     {"percentile", "quantile", "nanpercentile", "nanquantile"}
 )
+
+#: Registry factory methods whose first argument is a metric name.
+_METRIC_METHODS = frozenset({"counter", "gauge", "histogram", "sketch"})
+
+#: The registry's metric-name / label-value grammars, kept in lockstep
+#: with ``repro.obs.metrics.validate_metric_name`` / ``canonical_labels``
+#: (duplicated here so the linter has no runtime dependency on the
+#: package it lints).
+_METRIC_NAME_RE = re.compile(r"^[a-z0-9_]+(?:\.[a-z0-9_]+)*$")
+_METRIC_LABEL_VALUE_RE = re.compile(r"^[a-z0-9_.:\-]+$")
 
 #: Clock-reading functions in the stdlib ``time`` module that OBS001
 #: flags.  Sleeping/formatting helpers (sleep, strftime, ...) are fine.
@@ -97,7 +119,7 @@ def _dotted_name(node: ast.AST) -> str | None:
 class ObservabilityChecker(BaseChecker):
     """Flags wall-clock reads that bypass the timing/obs plumbing."""
 
-    rules = (OBS001, OBS002, OBS003)
+    rules = (OBS001, OBS002, OBS003, OBS004)
 
     def __init__(self, context: FileContext):
         super().__init__(context)
@@ -210,7 +232,60 @@ class ObservabilityChecker(BaseChecker):
                     "per-request retention; feed a "
                     "repro.obs.sketch.QuantileSketch instead",
                 )
+        self._check_metric_name_grammar(node)
         self.generic_visit(node)
+
+    def _check_metric_name_grammar(self, node: ast.Call) -> None:
+        """OBS004: literal metric names / label keys must fit the grammar.
+
+        Only string *literals* are checked — a name built at runtime
+        (f-string, variable) is the registry's job to validate; the
+        linter's job is to catch the misspelled constant before it
+        ships.
+        """
+        if not (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _METRIC_METHODS
+            and node.args
+        ):
+            return
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            if not _METRIC_NAME_RE.match(first.value):
+                self.report(
+                    node,
+                    "OBS004",
+                    f"metric name {first.value!r} violates the registry "
+                    "grammar (dot-namespaced lowercase [a-z0-9_.] "
+                    "identifiers)",
+                )
+        for kw in node.keywords:
+            if kw.arg != "labels" or not isinstance(kw.value, ast.Dict):
+                continue
+            for key, value in zip(kw.value.keys, kw.value.values):
+                if (
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                    and not _METRIC_NAME_RE.match(key.value)
+                ):
+                    self.report(
+                        node,
+                        "OBS004",
+                        f"label key {key.value!r} violates the registry "
+                        "grammar (dot-namespaced lowercase [a-z0-9_.] "
+                        "identifiers)",
+                    )
+                if (
+                    isinstance(value, ast.Constant)
+                    and isinstance(value.value, str)
+                    and not _METRIC_LABEL_VALUE_RE.match(value.value)
+                ):
+                    self.report(
+                        node,
+                        "OBS004",
+                        f"label value {value.value!r} violates the registry "
+                        "grammar ([a-z0-9_.:-] identifiers)",
+                    )
 
     def _clock_read_name(self, dotted: str) -> str | None:
         parts = dotted.split(".")

@@ -46,6 +46,17 @@ flow through:
   wait, faster fallback) and projecting latency / effective-speedup
   deltas, bench-validated against an actual DES re-run
   (``python -m repro.obs whatif``);
+* :mod:`~repro.obs.timeseries` — deterministic tumbling-window time
+  series keyed by virtual-clock coordinates: each window holds a
+  mergeable aggregate (exact counter deltas, last-write gauges,
+  per-window :class:`QuantileSketch`), hierarchical downsampling is
+  order-independent window merging, and the serve-trace timeline view
+  (``python -m repro.obs timeline``) is byte-stable;
+* :mod:`~repro.obs.slo` — declarative :class:`SLOSpec` objectives
+  (latency-quantile and availability), error-budget accounting and
+  SRE-style multi-window burn-rate alerts routed through the
+  :class:`AlertManager`, replayable byte-for-byte from committed traces
+  (``python -m repro.obs slo``);
 * :mod:`~repro.obs.regress` — the performance-regression gate comparing
   a fresh bench run against committed ``BENCH_*.json`` history
   (``python -m repro.obs regress``), wired into CI.
@@ -75,11 +86,15 @@ from repro.obs.latency import (
     render_latency_text,
 )
 from repro.obs.metrics import (
+    DEFAULT_LABEL_CARDINALITY,
     DEFAULT_TIME_EDGES,
     Counter,
     Gauge,
     Histogram,
     MetricRegistry,
+    canonical_labels,
+    flat_metric_name,
+    validate_metric_name,
 )
 from repro.obs.monitor import (
     ACTION_FORCE_FALLBACK,
@@ -104,6 +119,15 @@ from repro.obs.profile import (
 )
 from repro.obs.regress import compare_reports, run_regress
 from repro.obs.sketch import DEFAULT_ALPHA, QuantileSketch, exact_quantile
+from repro.obs.slo import (
+    SLO_KINDS,
+    SLOEngine,
+    SLOSpec,
+    default_slo_specs,
+    dumps_slo,
+    render_slo_text,
+    slo_report,
+)
 from repro.obs.span import (
     KIND_CACHE,
     KIND_LOOKUP,
@@ -114,6 +138,15 @@ from repro.obs.span import (
 )
 from repro.obs.streaming import EWMA, PageHinkley, TwoSidedCUSUM, Welford
 from repro.obs.summary import critical_path, ledger_from_spans, summarize
+from repro.obs.timeseries import (
+    SERIES_KINDS,
+    TimeSeries,
+    WindowSpec,
+    dumps_timeline,
+    fold_timeline,
+    render_timeline_text,
+    timeline_report,
+)
 from repro.obs.trace import ClockLike, Tracer, WallClock
 from repro.obs.whatif import (
     HYPOTHESES,
@@ -135,6 +168,7 @@ __all__ = [
     "Counter",
     "DEFAULT_ALPHA",
     "DEFAULT_BANDS",
+    "DEFAULT_LABEL_CARDINALITY",
     "DEFAULT_TIME_EDGES",
     "EWMA",
     "Gauge",
@@ -151,22 +185,34 @@ __all__ = [
     "PageHinkley",
     "QuantileSketch",
     "RequestLatency",
+    "SERIES_KINDS",
     "SEVERITIES",
+    "SLOEngine",
+    "SLOSpec",
+    "SLO_KINDS",
     "STAGES",
     "ShedRateMonitor",
     "Span",
+    "TimeSeries",
     "Tracer",
     "TwoSidedCUSUM",
     "WallClock",
     "Welford",
+    "WindowSpec",
     "aggregate",
+    "canonical_labels",
     "compare_reports",
     "critical_path",
     "decompose",
     "default_serve_monitors",
+    "default_slo_specs",
     "dumps_alerts",
+    "dumps_slo",
+    "dumps_timeline",
     "dumps_trace",
     "exact_quantile",
+    "flat_metric_name",
+    "fold_timeline",
     "latency_report",
     "ledger_from_spans",
     "loads_trace",

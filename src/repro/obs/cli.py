@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro.obs <command> trace.jsonl``.
 
-Seven subcommands:
+Nine subcommands:
 
 * ``summarize`` — per-span-kind totals, critical path, top-k slowest
   spans, and (when the trace carries ledger-kind spans) the §III-D
@@ -27,6 +27,17 @@ Seven subcommands:
   replay the recorded span trees under a hypothesis (``cache_miss_free``,
   ``half_batch_wait``, ``faster_fallback``) and report projected
   latency / effective-speedup deltas without re-running the DES;
+* ``timeline`` — tumbling-window time series over the trace
+  (:mod:`repro.obs.timeseries`): per-window response/shed/reject/cache
+  counters, latency quantiles, labeled per-source / per-tenant
+  children, and the hierarchical merge of every latency window (which
+  is byte-identical to the whole-run sketch).  JSON output is
+  byte-stable;
+* ``slo`` — evaluate declarative SLOs (:mod:`repro.obs.slo`): error
+  budgets, multi-window burn-rate alerts through the
+  :class:`~repro.obs.monitor.AlertManager`, and per-objective budget
+  accounting.  Replayed from a trace the report is byte-identical to
+  the live run's — run it twice and ``cmp``;
 * ``regress`` — compare a fresh ``BENCH_*.json`` report against the
   committed baseline (:mod:`repro.obs.regress`) and fail on regression.
 
@@ -61,7 +72,18 @@ from repro.obs.monitor import (
 from repro.obs.profile import profile, render_profile_json, render_profile_text
 from repro.obs.regress import render_report_text, run_regress
 from repro.obs.sketch import DEFAULT_ALPHA
+from repro.obs.slo import (
+    default_slo_specs,
+    dumps_slo,
+    render_slo_text,
+    slo_report,
+)
 from repro.obs.summary import summarize
+from repro.obs.timeseries import (
+    dumps_timeline,
+    render_timeline_text,
+    timeline_report,
+)
 from repro.obs.whatif import (
     HYPOTHESES,
     render_whatif_json,
@@ -219,6 +241,86 @@ def build_parser() -> argparse.ArgumentParser:
         help="report format (default: text)",
     )
 
+    p_tl = sub.add_parser(
+        "timeline",
+        help="fold a trace into tumbling-window time series",
+    )
+    p_tl.add_argument("trace", help="JSONL serve trace file to window")
+    p_tl.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    p_tl.add_argument(
+        "--window",
+        type=float,
+        default=0.05,
+        help="tumbling-window width in trace seconds (default: %(default)s)",
+    )
+    p_tl.add_argument(
+        "--downsample",
+        type=int,
+        default=1,
+        help="coarsen by an integer factor via hierarchical window merges "
+        "(default: %(default)s)",
+    )
+    p_tl.add_argument(
+        "--alpha",
+        type=float,
+        default=DEFAULT_ALPHA,
+        help="latency sketch relative-error bound (default: %(default)s)",
+    )
+
+    p_slo = sub.add_parser(
+        "slo",
+        help="evaluate SLO error budgets and burn-rate alerts over a trace",
+    )
+    p_slo.add_argument("trace", help="JSONL serve trace file to evaluate")
+    p_slo.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    p_slo.add_argument(
+        "--window",
+        type=float,
+        default=0.05,
+        help="base burn-rate window width in trace seconds "
+        "(default: %(default)s)",
+    )
+    p_slo.add_argument(
+        "--latency-threshold",
+        type=float,
+        default=0.25,
+        help="latency SLO threshold in seconds (default: %(default)s)",
+    )
+    p_slo.add_argument(
+        "--latency-target",
+        type=float,
+        default=0.9,
+        help="latency SLO target fraction (default: %(default)s)",
+    )
+    p_slo.add_argument(
+        "--availability-target",
+        type=float,
+        default=0.95,
+        help="availability SLO target fraction (default: %(default)s)",
+    )
+    p_slo.add_argument(
+        "--cooldown",
+        type=float,
+        default=0.2,
+        help="alert dedup cooldown per objective in trace seconds "
+        "(default: %(default)s)",
+    )
+    p_slo.add_argument(
+        "--fail-on-burn",
+        action="store_true",
+        help="exit 1 when any burn alert fired",
+    )
+
     p_reg = sub.add_parser(
         "regress", help="gate a fresh bench report against a committed baseline"
     )
@@ -322,6 +424,44 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
             return 2
         print(json.dumps(effective, indent=2, sort_keys=True))
+        return 0
+
+    if args.command == "timeline":
+        try:
+            report = timeline_report(
+                spans,
+                window=args.window,
+                alpha=args.alpha,
+                downsample=args.downsample,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.format == "json":
+            sys.stdout.write(dumps_timeline(report))
+        else:
+            print(render_timeline_text(report))
+        return 0
+
+    if args.command == "slo":
+        try:
+            specs = default_slo_specs(
+                latency_threshold_s=args.latency_threshold,
+                latency_target=args.latency_target,
+                availability_target=args.availability_target,
+            )
+            report = slo_report(
+                spans, specs, window=args.window, cooldown=args.cooldown
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.format == "json":
+            sys.stdout.write(dumps_slo(report))
+        else:
+            print(render_slo_text(report))
+        if args.fail_on_burn and report["meta"]["n_alerts"]:
+            return 1
         return 0
 
     if args.command == "monitor":

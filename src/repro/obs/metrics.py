@@ -21,6 +21,8 @@ sample lists, no ``np.percentile`` over request populations.
 
 from __future__ import annotations
 
+import re
+
 import numpy as np
 
 from repro.obs.sketch import DEFAULT_ALPHA, QuantileSketch
@@ -31,7 +33,81 @@ __all__ = [
     "Histogram",
     "MetricRegistry",
     "DEFAULT_TIME_EDGES",
+    "DEFAULT_LABEL_CARDINALITY",
+    "LabelSet",
+    "canonical_labels",
+    "flat_metric_name",
+    "validate_metric_name",
 ]
+
+#: Default per-base-name cap on distinct label sets.  Unbounded label
+#: cardinality is the classic way a metrics pipeline eats a host; the
+#: cap is explicit and exceeding it raises loudly instead of silently
+#: dropping or aggregating.
+DEFAULT_LABEL_CARDINALITY = 64
+
+#: Canonical label tuple: ``((key, value), ...)`` sorted by key.
+LabelSet = tuple[tuple[str, str], ...]
+
+# Registry names are dot-namespaced lowercase identifiers (rule OBS004
+# enforces the same grammar statically at call sites).  Label values
+# additionally allow ``-`` and ``:`` for ids like ``tenant-3``.
+_NAME_RE = re.compile(r"^[a-z0-9_]+(?:\.[a-z0-9_]+)*$")
+_LABEL_VALUE_RE = re.compile(r"^[a-z0-9_.:\-]+$")
+
+
+def validate_metric_name(name: str) -> str:
+    """Check ``name`` is a dot-namespaced lowercase identifier.
+
+    Every segment matches ``[a-z0-9_]+`` and segments are joined by
+    single dots — the grammar rule OBS004 enforces statically.  Returns
+    the name unchanged; raises :class:`ValueError` otherwise.
+    """
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        raise ValueError(
+            f"metric name {name!r} is not a dot-namespaced lowercase "
+            f"identifier (expected segments of [a-z0-9_] joined by '.')"
+        )
+    return name
+
+
+def canonical_labels(labels: dict[str, str] | LabelSet | None) -> LabelSet:
+    """Normalize a label mapping to the canonical sorted tuple form.
+
+    Keys must satisfy the metric-name grammar; values must be non-empty
+    ``[a-z0-9_.:-]`` strings so the flattened child name stays
+    unambiguous and byte-stable.
+    """
+    if not labels:
+        return ()
+    items = labels.items() if isinstance(labels, dict) else labels
+    canon = []
+    for key, value in items:
+        validate_metric_name(key)
+        if not isinstance(value, str) or not _LABEL_VALUE_RE.match(value):
+            raise ValueError(
+                f"label value {value!r} for key {key!r} must be a non-empty "
+                f"string of [a-z0-9_.:-]"
+            )
+        canon.append((key, value))
+    canon.sort()
+    for (a, _), (b, _) in zip(canon, canon[1:]):
+        if a == b:
+            raise ValueError(f"duplicate label key {a!r}")
+    return tuple(canon)
+
+
+def flat_metric_name(name: str, labels: LabelSet) -> str:
+    """Canonical flat name of a labeled child: ``name{k1=v1,k2=v2}``.
+
+    Labels are sorted by key (``canonical_labels`` guarantees it), so
+    the same label mapping always yields the same child name and the
+    registry snapshot stays byte-stable.
+    """
+    if not labels:
+        return name
+    body = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{body}}}"
 
 #: Default histogram edges for timing populations: half-decade geometric
 #: spacing from 1 ns to 100 s.  Fixed at import time so every timing
@@ -185,8 +261,12 @@ class Histogram:
         """Fold another histogram with identical edges into this one."""
         if other.edges != self.edges:
             raise ValueError(
-                f"cannot merge histograms with different edges "
-                f"({self.name!r} vs {other.name!r})"
+                f"cannot merge histograms with incompatible bucket edges: "
+                f"{self.name!r} has {len(self.edges)} edges spanning "
+                f"[{self.edges[0]:g}, {self.edges[-1]:g}], {other.name!r} has "
+                f"{len(other.edges)} edges spanning "
+                f"[{other.edges[0]:g}, {other.edges[-1]:g}]; rebucket one side "
+                f"before merging"
             )
         for i, n in enumerate(other.bucket_counts):
             self.bucket_counts[i] += n
@@ -216,50 +296,90 @@ class MetricRegistry:
     """Named get-or-create store of counters, gauges, histograms, sketches.
 
     One registry describes one run.  Metric names are dotted paths
-    (``"serve.status.ok"``, ``"md.neighbor.builds"``); a name is bound
-    to its metric type at first use and re-requesting it with a
-    different type is an error — silent type morphing is how dashboards
-    lie.
+    (``"serve.status.ok"``, ``"md.neighbor.builds"``) validated against
+    the OBS004 grammar at runtime; a name is bound to its metric type at
+    first use and re-requesting it with a different type is an error —
+    silent type morphing is how dashboards lie.
+
+    **Dimensional labels.** Every factory accepts ``labels=``, a small
+    ``{key: value}`` mapping.  The labeled child is a metric of its own
+    stored under the canonical flat name ``name{k1=v1,k2=v2}`` (keys
+    sorted), so snapshots stay byte-stable, and is additionally indexed
+    by base name for aggregation (:meth:`children`).  Distinct label
+    sets per base name are capped at ``max_label_cardinality``;
+    exceeding the cap raises :class:`ValueError` loudly — unbounded
+    cardinality is an outage, not a feature.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_label_cardinality: int = DEFAULT_LABEL_CARDINALITY):
         self._metrics: dict[str, Counter | Gauge | Histogram | QuantileSketch] = {}
+        self.max_label_cardinality = int(max_label_cardinality)
+        #: base name -> {canonical label tuple -> child metric}
+        self._children: dict[str, dict[LabelSet, object]] = {}
 
-    def _get_or_create(self, name: str, cls, *args):
-        existing = self._metrics.get(name)
+    def _get_or_create(self, name: str, cls, *args, labels=None):
+        label_set = canonical_labels(labels)
+        if label_set:
+            validate_metric_name(name)
+            flat = flat_metric_name(name, label_set)
+        else:
+            flat = validate_metric_name(name)
+        existing = self._metrics.get(flat)
         if existing is not None:
             if not isinstance(existing, cls):
                 raise TypeError(
-                    f"metric {name!r} is a {type(existing).__name__}, "
+                    f"metric {flat!r} is a {type(existing).__name__}, "
                     f"requested as {cls.__name__}"
                 )
             return existing
-        metric = cls(name, *args)
-        self._metrics[name] = metric
+        if label_set:
+            family = self._children.setdefault(name, {})
+            if len(family) >= self.max_label_cardinality:
+                raise ValueError(
+                    f"label cardinality cap exceeded for metric {name!r}: "
+                    f"{len(family)} distinct label sets already exist "
+                    f"(max_label_cardinality={self.max_label_cardinality}); "
+                    f"refusing to create child for {dict(label_set)!r} — "
+                    f"bound the label domain or raise the cap explicitly"
+                )
+        metric = cls(flat, *args)
+        self._metrics[flat] = metric
+        if label_set:
+            self._children[name][label_set] = metric
         return metric
 
-    def counter(self, name: str) -> Counter:
-        """Get or create the counter called ``name``."""
-        return self._get_or_create(name, Counter)
+    def counter(self, name: str, *, labels: dict[str, str] | None = None) -> Counter:
+        """Get or create the counter called ``name`` (optionally labeled)."""
+        return self._get_or_create(name, Counter, labels=labels)
 
-    def gauge(self, name: str) -> Gauge:
-        """Get or create the gauge called ``name``."""
-        return self._get_or_create(name, Gauge)
+    def gauge(self, name: str, *, labels: dict[str, str] | None = None) -> Gauge:
+        """Get or create the gauge called ``name`` (optionally labeled)."""
+        return self._get_or_create(name, Gauge, labels=labels)
 
     def histogram(
-        self, name: str, edges: tuple[float, ...] | None = None
+        self,
+        name: str,
+        edges: tuple[float, ...] | None = None,
+        *,
+        labels: dict[str, str] | None = None,
     ) -> Histogram:
         """Get or create the histogram called ``name``.
 
         ``edges`` only applies at creation; a later lookup with
         different edges raises so all writers share one bucketing.
         """
-        hist = self._get_or_create(name, Histogram, edges)
+        hist = self._get_or_create(name, Histogram, edges, labels=labels)
         if edges is not None and hist.edges != tuple(float(e) for e in edges):
             raise ValueError(f"histogram {name!r} already exists with other edges")
         return hist
 
-    def sketch(self, name: str, alpha: float | None = None) -> QuantileSketch:
+    def sketch(
+        self,
+        name: str,
+        alpha: float | None = None,
+        *,
+        labels: dict[str, str] | None = None,
+    ) -> QuantileSketch:
         """Get or create the quantile sketch called ``name``.
 
         ``alpha`` (guaranteed relative error, default
@@ -269,11 +389,24 @@ class MetricRegistry:
         resolution.
         """
         sk = self._get_or_create(
-            name, QuantileSketch, DEFAULT_ALPHA if alpha is None else alpha
+            name,
+            QuantileSketch,
+            DEFAULT_ALPHA if alpha is None else alpha,
+            labels=labels,
         )
         if alpha is not None and sk.alpha != float(alpha):
             raise ValueError(f"sketch {name!r} already exists with other alpha")
         return sk
+
+    def children(self, name: str) -> dict[LabelSet, object]:
+        """Labeled children of base metric ``name``: label tuple -> metric.
+
+        Returned in label-tuple sort order (insertion-independent), so
+        iterating a family is deterministic regardless of which tenant
+        or shard showed up first.
+        """
+        family = self._children.get(name, {})
+        return {labels: family[labels] for labels in sorted(family)}
 
     def get(self, name: str) -> Counter | Gauge | Histogram | QuantileSketch | None:
         """Return the metric called ``name``, or None."""

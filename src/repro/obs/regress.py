@@ -120,6 +120,18 @@ _SERVE_METRICS = (
     MetricSpec("trace.whatif.rel_err_mean", "lower", 0.0, abs_slack=0.10),
     MetricSpec("trace.whatif.rel_err_p99", "lower", 0.0, abs_slack=0.10),
     MetricSpec("heavy_tail.gap_cv2", "higher", 0.5),
+    # Windowed timeline / SLO surface: virtual-clock deterministic, so
+    # the healthy-run budget burn and the drift detection latency are
+    # gated tight (both only exist in full traced baselines; reduced
+    # runs report them as skipped via the params gate).
+    MetricSpec("trace.timeline.merged_latency_count", "higher", 0.05),
+    MetricSpec(
+        "trace.slo.healthy.serve_latency.budget_consumed",
+        "lower",
+        0.10,
+        abs_slack=0.05,
+    ),
+    MetricSpec("trace.slo.detection_latency_s", "lower", 0.10, abs_slack=0.05),
 )
 
 #: MD metrics are wall-clock: only large drops count.

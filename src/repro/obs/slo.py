@@ -1,0 +1,435 @@
+"""Declarative SLOs, error-budget accounting, multi-window burn alerts.
+
+The paper's effective-speedup argument (§III-D) is about *sustained*
+surrogate service; operators of a sustained service reason in SLOs, not
+end-of-run averages.  This module puts the SRE vocabulary on top of the
+windowed substrate in :mod:`repro.obs.timeseries`:
+
+* an :class:`SLOSpec` declares an objective — ``latency`` ("fraction of
+  responses faster than ``threshold_s`` stays above ``target``") or
+  ``availability`` ("fraction of requests actually served stays above
+  ``target``") — plus the multi-window burn-rate alerting policy;
+* the **error budget** is ``1 - target``; a window's *burn rate* is its
+  bad-event fraction divided by the budget, so burn 1.0 spends budget
+  exactly at the sustainable rate and burn 14 exhausts a 30-day budget
+  in ~2 days — the classic SRE calibration;
+* alerts use the **multi-window (fast/slow) discipline**: fire only
+  when *both* a short trailing window (fast detection) and a longer one
+  (evidence the condition is sustained) exceed their burn thresholds.
+  Alerts route through the existing
+  :class:`~repro.obs.monitor.AlertManager` (cooldown dedup, severity
+  ranking, byte-stable logs).
+
+Determinism contract: the engine is a pure function of the span
+sequence — events land in tumbling windows keyed by virtual-clock
+coordinates, trailing sums are integer arithmetic, and the alert log is
+byte-identical between a live run and a trace replay
+(``python -m repro.obs slo``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.obs.monitor import (
+    SEVERITIES,
+    SEVERITY_CRITICAL,
+    SEVERITY_WARNING,
+    Alert,
+    AlertManager,
+)
+from repro.obs.span import Span
+from repro.obs.timeseries import WindowSpec
+
+__all__ = [
+    "SLO_LATENCY",
+    "SLO_AVAILABILITY",
+    "SLO_KINDS",
+    "SLOSpec",
+    "SLOEngine",
+    "default_slo_specs",
+    "slo_report",
+    "dumps_slo",
+    "render_slo_text",
+]
+
+SLO_LATENCY = "latency"
+SLO_AVAILABILITY = "availability"
+#: Objective kinds an :class:`SLOSpec` can declare.
+SLO_KINDS = (SLO_LATENCY, SLO_AVAILABILITY)
+
+#: Span names that count as a served-or-dropped request outcome.
+_OUTCOME_SPANS = frozenset(
+    {"reject", "shed", "cache_hit", "uq_row", "degraded_row", "fallback"}
+)
+_DROPPED_SPANS = frozenset({"reject", "shed"})
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One declarative service-level objective with its alert policy.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier; becomes the alert ``source``.
+    kind:
+        :data:`SLO_LATENCY` (bad = response slower than ``threshold_s``)
+        or :data:`SLO_AVAILABILITY` (bad = request shed or rejected).
+    target:
+        Objective in (0, 1); the error budget is ``1 - target``.
+    threshold_s:
+        Latency threshold; required for ``latency`` specs.
+    fast_windows / slow_windows:
+        Trailing-window lengths in *base windows* for the fast (detect)
+        and slow (sustain) burn conditions; ``slow_windows`` must be
+        >= ``fast_windows``.
+    fast_burn / slow_burn:
+        Burn-rate thresholds; an alert needs both trailing windows at
+        or above their threshold simultaneously.
+    min_events:
+        Minimum events in the fast trailing window before it can fire —
+        sparse windows make burn a noise amplifier.
+    severity:
+        Severity of the fired alert (one of
+        :data:`~repro.obs.monitor.SEVERITIES`).
+    """
+
+    name: str
+    kind: str
+    target: float
+    threshold_s: float | None = None
+    fast_windows: int = 2
+    slow_windows: int = 8
+    fast_burn: float = 10.0
+    slow_burn: float = 5.0
+    min_events: int = 20
+    severity: str = SEVERITY_CRITICAL
+
+    def __post_init__(self) -> None:
+        if self.kind not in SLO_KINDS:
+            raise ValueError(f"kind must be one of {SLO_KINDS}, got {self.kind!r}")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {self.target}")
+        if self.kind == SLO_LATENCY and (
+            self.threshold_s is None or self.threshold_s <= 0
+        ):
+            raise ValueError(
+                f"latency SLO {self.name!r} needs threshold_s > 0, "
+                f"got {self.threshold_s}"
+            )
+        if self.fast_windows < 1 or self.slow_windows < self.fast_windows:
+            raise ValueError(
+                f"require slow_windows >= fast_windows >= 1, got "
+                f"fast={self.fast_windows} slow={self.slow_windows}"
+            )
+        if self.fast_burn <= 0 or self.slow_burn <= 0:
+            raise ValueError("burn thresholds must be > 0")
+        if self.min_events < 1:
+            raise ValueError(f"min_events must be >= 1, got {self.min_events}")
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    @property
+    def budget(self) -> float:
+        """Error budget: tolerable bad-event fraction, ``1 - target``."""
+        return 1.0 - self.target
+
+    def classify(self, span: Span) -> tuple[int, int]:
+        """``(events, bad)`` contribution of one span to this objective."""
+        if self.kind == SLO_AVAILABILITY:
+            if span.name not in _OUTCOME_SPANS:
+                return (0, 0)
+            if span.name == "uq_row" and span.attrs.get("lat") is None:
+                return (0, 0)  # row not yet a response (deferred to fallback)
+            return (1, 1 if span.name in _DROPPED_SPANS else 0)
+        lat = span.attrs.get("lat")
+        if lat is None:
+            return (0, 0)
+        return (1, 1 if float(lat) > self.threshold_s else 0)
+
+    def to_dict(self) -> dict:
+        """JSON-ready declaration (embedded in SLO reports)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "target": self.target,
+            "threshold_s": self.threshold_s,
+            "fast_windows": self.fast_windows,
+            "slow_windows": self.slow_windows,
+            "fast_burn": self.fast_burn,
+            "slow_burn": self.slow_burn,
+            "min_events": self.min_events,
+            "severity": self.severity,
+        }
+
+
+class SLOEngine:
+    """Folds a span stream into per-SLO windows and fires burn alerts.
+
+    Two-phase and fully deterministic: :meth:`feed` lands every span's
+    ``(events, bad)`` contribution in its virtual-time window as plain
+    integer counts (order-independent addition), then :meth:`evaluate`
+    walks the occupied window range once, maintains trailing fast/slow
+    sums, and routes multi-window burn alerts through the
+    :class:`~repro.obs.monitor.AlertManager`.  Feeding a trace replay
+    produces the same alert log byte-for-byte as the live run.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[SLOSpec],
+        *,
+        window: float = 0.05,
+        origin: float = 0.0,
+        manager: AlertManager | None = None,
+    ):
+        if not specs:
+            raise ValueError("SLOEngine needs at least one spec")
+        names = [s.name for s in specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO spec names: {names}")
+        self.specs = list(specs)
+        self.spec_window = WindowSpec(float(window), float(origin))
+        self.manager = manager if manager is not None else AlertManager(cooldown=0.2)
+        #: spec name -> {window index -> [events, bad]}
+        self._windows: dict[str, dict[int, list[int]]] = {
+            s.name: {} for s in self.specs
+        }
+        self.n_spans = 0
+
+    def feed(self, spans: Sequence[Span]) -> None:
+        """Fold spans into per-spec window counts (no alerts yet)."""
+        for span in spans:
+            self.n_spans += 1
+            for spec in self.specs:
+                events, bad = spec.classify(span)
+                if events == 0:
+                    continue
+                idx = self.spec_window.index(span.t_end)
+                cell = self._windows[spec.name].get(idx)
+                if cell is None:
+                    self._windows[spec.name][idx] = [events, bad]
+                else:
+                    cell[0] += events
+                    cell[1] += bad
+
+    def _trailing(self, counts: dict[int, list[int]], idx: int, n: int) -> tuple[int, int]:
+        events = bad = 0
+        for j in range(idx - n + 1, idx + 1):
+            cell = counts.get(j)
+            if cell is not None:
+                events += cell[0]
+                bad += cell[1]
+        return events, bad
+
+    def evaluate(self) -> list[Alert]:
+        """Walk the occupied windows and fire multi-window burn alerts.
+
+        Returns the fired alerts (post-dedup); the full log stays on
+        :attr:`manager`.  Evaluation order is spec order then window
+        order, so the log is deterministic.
+        """
+        fired: list[Alert] = []
+        for spec in self.specs:
+            counts = self._windows[spec.name]
+            if not counts:
+                continue
+            budget = spec.budget
+            for idx in range(min(counts), max(counts) + 1):
+                fast_events, fast_bad = self._trailing(counts, idx, spec.fast_windows)
+                if fast_events < spec.min_events:
+                    continue
+                fast_burn = (fast_bad / fast_events) / budget
+                if fast_burn < spec.fast_burn:
+                    continue
+                slow_events, slow_bad = self._trailing(counts, idx, spec.slow_windows)
+                slow_burn = (slow_bad / slow_events) / budget
+                if slow_burn < spec.slow_burn:
+                    continue
+                t = self.spec_window.end(idx)
+                alert = self.manager.fire(
+                    Alert(
+                        t=t,
+                        source=spec.name,
+                        kind="slo_burn",
+                        severity=spec.severity,
+                        message=(
+                            f"{spec.kind} SLO burn: fast {fast_burn:.1f}x over "
+                            f"{spec.fast_windows} window(s) "
+                            f"({fast_bad}/{fast_events} bad), slow "
+                            f"{slow_burn:.1f}x over {spec.slow_windows} "
+                            f"(target {spec.target:g})"
+                        ),
+                        attrs={
+                            "window": int(idx),
+                            "fast_burn": float(fast_burn),
+                            "slow_burn": float(slow_burn),
+                            "fast_bad": int(fast_bad),
+                            "fast_events": int(fast_events),
+                            "slow_bad": int(slow_bad),
+                            "slow_events": int(slow_events),
+                            "target": spec.target,
+                        },
+                    )
+                )
+                if alert is not None:
+                    fired.append(alert)
+        return fired
+
+    def budget_summary(self, spec: SLOSpec) -> dict:
+        """Whole-run error-budget accounting for one spec."""
+        counts = self._windows[spec.name]
+        events = sum(c[0] for c in counts.values())
+        bad = sum(c[1] for c in counts.values())
+        bad_fraction = bad / events if events else 0.0
+        consumed = bad_fraction / spec.budget if events else 0.0
+        return {
+            "spec": spec.to_dict(),
+            "events": int(events),
+            "bad": int(bad),
+            "bad_fraction": bad_fraction,
+            "budget": spec.budget,
+            "budget_consumed": consumed,
+            "budget_remaining": 1.0 - consumed,
+            "compliant": bad_fraction <= spec.budget,
+            "n_windows": len(counts),
+        }
+
+
+def default_slo_specs(
+    *,
+    latency_threshold_s: float = 0.25,
+    latency_target: float = 0.9,
+    availability_target: float = 0.95,
+) -> tuple[SLOSpec, ...]:
+    """The canonical serve SLOs.
+
+    Tuned against the committed serve traces: the healthy trace (steady
+    mixed cache/NN/fallback traffic) stays inside budget and fires
+    nothing, while the drift trace's monitor-triggered retrain stall —
+    a burst of batched lookups stuck behind the 0.5 s virtual retrain —
+    pushes the fast and slow latency burn over threshold within a few
+    windows of the injection.  Both the bench and the ``repro.obs slo``
+    CLI build specs here, the precondition for byte-identical live and
+    replayed SLO reports.
+    """
+    return (
+        SLOSpec(
+            name="serve_latency",
+            kind=SLO_LATENCY,
+            target=latency_target,
+            threshold_s=latency_threshold_s,
+            fast_windows=2,
+            slow_windows=8,
+            fast_burn=5.0,
+            slow_burn=2.5,
+            min_events=20,
+            severity=SEVERITY_CRITICAL,
+        ),
+        SLOSpec(
+            name="serve_availability",
+            kind=SLO_AVAILABILITY,
+            target=availability_target,
+            fast_windows=2,
+            slow_windows=8,
+            fast_burn=5.0,
+            slow_burn=2.5,
+            min_events=20,
+            severity=SEVERITY_WARNING,
+        ),
+    )
+
+
+def slo_report(
+    spans: Sequence[Span],
+    specs: Sequence[SLOSpec] | None = None,
+    *,
+    window: float = 0.05,
+    origin: float = 0.0,
+    cooldown: float = 0.2,
+) -> dict:
+    """JSON-ready SLO evaluation of a recorded span stream.
+
+    Pure function of the spans (plus the spec/window/cooldown
+    configuration): the report embeds each spec's declaration, its
+    whole-run error-budget accounting, the fired alert log, and each
+    spec's first alert time — the burn-rate detection latency anchor
+    the drift bench measures against the injection time.
+    """
+    specs = tuple(specs) if specs is not None else default_slo_specs()
+    engine = SLOEngine(
+        specs,
+        window=window,
+        origin=origin,
+        manager=AlertManager(cooldown=cooldown),
+    )
+    engine.feed(spans)
+    engine.evaluate()
+    alerts = engine.manager.alerts
+    first_alert: dict[str, float | None] = {}
+    for spec in specs:
+        ts = [a.t for a in alerts if a.source == spec.name]
+        first_alert[spec.name] = min(ts) if ts else None
+    return {
+        "meta": {
+            "window_s": engine.spec_window.width,
+            "origin": engine.spec_window.origin,
+            "cooldown_s": cooldown,
+            "n_spans": engine.n_spans,
+            "n_alerts": len(alerts),
+        },
+        "slos": {
+            spec.name: engine.budget_summary(spec) for spec in specs
+        },
+        "first_alert_t": first_alert,
+        "alerts": [a.to_dict() for a in alerts],
+        "alert_summary": engine.manager.summary(),
+    }
+
+
+def dumps_slo(report: dict) -> str:
+    """Canonical byte-stable JSON for an :func:`slo_report`."""
+    return json.dumps(report, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def render_slo_text(report: dict) -> str:
+    """Text dashboard: per-SLO budget lines, then the fired alert log."""
+    meta = report["meta"]
+    lines = [
+        (
+            f"slo: {len(report['slos'])} objective(s) over {meta['n_spans']} "
+            f"span(s), window {meta['window_s']:g}s"
+        )
+    ]
+    for name in sorted(report["slos"]):
+        s = report["slos"][name]
+        spec = s["spec"]
+        threshold = (
+            f" < {spec['threshold_s']:g}s" if spec["threshold_s"] is not None else ""
+        )
+        status = "OK " if s["compliant"] else "BURN"
+        lines.append(
+            f"  [{status}] {name} ({spec['kind']}{threshold}, target "
+            f"{spec['target']:g}): {s['bad']}/{s['events']} bad "
+            f"({s['bad_fraction']:.4f}), budget consumed "
+            f"{s['budget_consumed']:.2f}x"
+        )
+        first = report["first_alert_t"].get(name)
+        if first is not None:
+            lines.append(f"         first burn alert at t={first:.6g}s")
+    alerts = [Alert.from_dict(a) for a in report["alerts"]]
+    if alerts:
+        lines.append(f"{len(alerts)} burn alert(s):")
+        for a in alerts:
+            lines.append(
+                f"  [{a.severity:<8}] t={a.t:.6g} {a.source}: {a.message}"
+            )
+    else:
+        lines.append("no burn alerts")
+    return "\n".join(lines)

@@ -1,0 +1,609 @@
+"""Deterministic tumbling-window time series over the virtual clock.
+
+Every observability view before this module collapsed a whole run into
+one aggregate — one latency sketch, one counter total — which cannot
+answer "what was p99 *during the drift window*" or "how much error
+budget did minute three burn".  :class:`TimeSeries` is the missing
+substrate: a metric laid out over tumbling windows of the DES virtual
+clock, where each window holds a *mergeable* aggregate:
+
+* **counter** windows accumulate deltas as exact fixed-point integers
+  (the :class:`~repro.obs.metrics.Histogram` sum encoding), so window
+  merges are associative and commutative — true integer addition, not
+  float accumulation;
+* **gauge** windows keep the last write, with a deterministic
+  order-independent rule (max by ``(t, value)``), so two shards merging
+  their gauge series agree regardless of merge order;
+* **sketch** windows hold one
+  :class:`~repro.obs.sketch.QuantileSketch` each, whose merge is
+  byte-identical to single-stream ingestion.
+
+Windows are keyed by *virtual clock coordinates* — window ``i`` covers
+``[origin + i·width, origin + (i+1)·width)`` — never by wall time, so
+two replays of the same DES run (or a live run and its trace replay)
+produce byte-identical serialized series.  Hierarchical downsampling
+(:meth:`TimeSeries.downsample`) is nothing but window merges at a
+coarser key, and therefore inherits the order-independence of the
+underlying aggregates: merging all windows of a sketch series yields a
+sketch byte-identical (via ``to_json``) to the whole-run sketch fed the
+same observations.
+
+Empty-window queries are total functions: a quantile of an absent or
+empty window returns NaN (the same sentinel
+:meth:`QuantileSketch.quantile` uses) instead of raising deep inside
+the sketch.
+
+:func:`fold_timeline` folds a recorded serve span stream (the
+vocabulary :mod:`repro.obs.monitor` recognizes) into a bank of series —
+response/shed/reject/cache-hit counters, a latency sketch, and labeled
+per-source / per-tenant children — and :func:`timeline_report` /
+:func:`render_timeline_text` are the byte-stable JSON and text-dashboard
+renderings behind ``python -m repro.obs timeline``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.obs.metrics import flat_metric_name
+from repro.obs.sketch import DEFAULT_ALPHA, QuantileSketch, _to_fixed
+from repro.obs.span import Span
+
+__all__ = [
+    "KIND_COUNTER",
+    "KIND_GAUGE",
+    "KIND_SKETCH",
+    "SERIES_KINDS",
+    "WindowSpec",
+    "TimeSeries",
+    "fold_timeline",
+    "timeline_report",
+    "render_timeline_text",
+    "dumps_timeline",
+]
+
+KIND_COUNTER = "counter"
+KIND_GAUGE = "gauge"
+KIND_SKETCH = "sketch"
+#: Window aggregate kinds a series can hold.
+SERIES_KINDS = (KIND_COUNTER, KIND_GAUGE, KIND_SKETCH)
+
+#: Fixed-point scale shared with the sketch/histogram exact sums.
+_SUM_FIXED_SHIFT = 1074
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """Tumbling-window geometry on the virtual clock.
+
+    Window ``i`` covers ``[origin + i*width, origin + (i+1)*width)``.
+    ``index`` is a pure function of the timestamp, so any two series
+    sharing a spec place the same instant in the same window — the
+    precondition for cross-series joins and order-independent merges.
+    """
+
+    width: float
+    origin: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not (self.width > 0.0 and math.isfinite(self.width)):
+            raise ValueError(f"window width must be finite and > 0, got {self.width}")
+        if not math.isfinite(self.origin):
+            raise ValueError(f"window origin must be finite, got {self.origin}")
+
+    def index(self, t: float) -> int:
+        """Window index containing virtual time ``t``."""
+        return math.floor((t - self.origin) / self.width)
+
+    def start(self, index: int) -> float:
+        """Inclusive start coordinate of window ``index``."""
+        return self.origin + index * self.width
+
+    def end(self, index: int) -> float:
+        """Exclusive end coordinate of window ``index``."""
+        return self.origin + (index + 1) * self.width
+
+
+class TimeSeries:
+    """One metric over tumbling virtual-time windows.
+
+    Parameters
+    ----------
+    name:
+        Series name (a registry-style dotted path, or a labeled flat
+        name such as ``"timeline.latency{source=cache}"``).
+    kind:
+        One of :data:`SERIES_KINDS`.
+    spec:
+        Shared :class:`WindowSpec`.
+    alpha:
+        Sketch resolution for ``kind="sketch"`` windows.
+    """
+
+    __slots__ = ("name", "kind", "spec", "alpha", "_windows")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        spec: WindowSpec,
+        *,
+        alpha: float = DEFAULT_ALPHA,
+    ):
+        if kind not in SERIES_KINDS:
+            raise ValueError(f"kind must be one of {SERIES_KINDS}, got {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.spec = spec
+        self.alpha = float(alpha)
+        # counter: idx -> fixed-point int; gauge: idx -> (t, value);
+        # sketch: idx -> QuantileSketch
+        self._windows: dict = {}
+
+    # -- ingestion -----------------------------------------------------
+
+    def record(self, t: float, value: float = 1.0) -> None:
+        """Fold one observation at virtual time ``t`` into its window."""
+        t = float(t)
+        value = float(value)
+        if not (math.isfinite(t) and math.isfinite(value)):
+            raise ValueError(
+                f"series {self.name!r} observed non-finite (t={t!r}, value={value!r})"
+            )
+        idx = self.spec.index(t)
+        if self.kind == KIND_COUNTER:
+            if value < 0.0:
+                raise ValueError(
+                    f"counter series {self.name!r} cannot decrease ({value})"
+                )
+            self._windows[idx] = self._windows.get(idx, 0) + _to_fixed(value)
+        elif self.kind == KIND_GAUGE:
+            pair = (t, value)
+            existing = self._windows.get(idx)
+            # Last write wins, with (t, value) max as the deterministic
+            # order-independent tie-break so shard merges commute.
+            if existing is None or pair >= existing:
+                self._windows[idx] = pair
+        else:
+            sketch = self._windows.get(idx)
+            if sketch is None:
+                sketch = QuantileSketch(self.name, alpha=self.alpha)
+                self._windows[idx] = sketch
+            sketch.observe(value)
+
+    # -- reads ---------------------------------------------------------
+
+    def window_indices(self) -> list[int]:
+        """Sorted indices of non-empty windows."""
+        return sorted(self._windows)
+
+    def span(self) -> tuple[int, int] | None:
+        """``(first, last)`` occupied window index, or None when empty."""
+        if not self._windows:
+            return None
+        idxs = self._windows.keys()
+        return (min(idxs), max(idxs))
+
+    def value(self, index: int) -> float:
+        """Window aggregate value: counter delta, gauge last write, sketch count.
+
+        Absent windows read as 0.0 for counters/sketches and NaN for
+        gauges (a gauge that was never written has no value).
+        """
+        entry = self._windows.get(index)
+        if self.kind == KIND_COUNTER:
+            return 0.0 if entry is None else entry / (1 << _SUM_FIXED_SHIFT)
+        if self.kind == KIND_GAUGE:
+            return float("nan") if entry is None else entry[1]
+        return 0.0 if entry is None else float(entry.count)
+
+    def quantile(self, index: int, q: float) -> float:
+        """Sketch-window quantile; NaN for absent or empty windows.
+
+        The NaN sentinel (matching
+        :meth:`~repro.obs.sketch.QuantileSketch.quantile` on empty
+        sketches) makes per-window quantile queries total — dashboards
+        iterate the window range without guarding every cell.
+        """
+        if self.kind != KIND_SKETCH:
+            raise TypeError(f"series {self.name!r} is {self.kind}, not sketch")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        sketch = self._windows.get(index)
+        if sketch is None or sketch.count == 0:
+            return float("nan")
+        return sketch.quantile(q)
+
+    def sketch_at(self, index: int) -> QuantileSketch | None:
+        """The window's sketch, or None when absent."""
+        if self.kind != KIND_SKETCH:
+            raise TypeError(f"series {self.name!r} is {self.kind}, not sketch")
+        return self._windows.get(index)
+
+    def merged_sketch(self, name: str | None = None) -> QuantileSketch:
+        """Order-independent merge of every window sketch.
+
+        The result is byte-identical (via ``to_json``) to a whole-run
+        sketch fed the same observations — the hierarchical-merge
+        equivalence the timeline regression criteria assert.
+        """
+        if self.kind != KIND_SKETCH:
+            raise TypeError(f"series {self.name!r} is {self.kind}, not sketch")
+        merged = QuantileSketch(name if name is not None else self.name, alpha=self.alpha)
+        for idx in sorted(self._windows):
+            merged.merge(self._windows[idx])
+        return merged
+
+    def total(self) -> float:
+        """Whole-series rollup: counter sum, gauge last write, sketch count."""
+        if self.kind == KIND_COUNTER:
+            return sum(self._windows.values()) / (1 << _SUM_FIXED_SHIFT)
+        if self.kind == KIND_GAUGE:
+            if not self._windows:
+                return float("nan")
+            return self._windows[max(self._windows)][1]
+        return float(sum(s.count for s in self._windows.values()))
+
+    # -- merge / downsample --------------------------------------------
+
+    def _check_compatible(self, other: "TimeSeries") -> None:
+        if other.kind != self.kind:
+            raise ValueError(
+                f"cannot merge {other.kind} series {other.name!r} into "
+                f"{self.kind} series {self.name!r}"
+            )
+        if other.spec != self.spec:
+            raise ValueError(
+                f"cannot merge series with different window specs "
+                f"({self.name!r} has {self.spec}, {other.name!r} has {other.spec})"
+            )
+        if self.kind == KIND_SKETCH and other.alpha != self.alpha:
+            raise ValueError(
+                f"cannot merge sketch series with different alpha "
+                f"({self.name!r} has {self.alpha}, {other.name!r} has {other.alpha})"
+            )
+
+    def merge(self, other: "TimeSeries") -> None:
+        """Fold another series with identical kind/spec into this one.
+
+        Window-by-window merge of order-independent aggregates, so the
+        fold is associative and commutative — the shard fan-in property.
+        """
+        self._check_compatible(other)
+        for idx, entry in other._windows.items():
+            mine = self._windows.get(idx)
+            if self.kind == KIND_COUNTER:
+                self._windows[idx] = (0 if mine is None else mine) + entry
+            elif self.kind == KIND_GAUGE:
+                if mine is None or entry >= mine:
+                    self._windows[idx] = entry
+            else:
+                if mine is None:
+                    mine = QuantileSketch(self.name, alpha=self.alpha)
+                    self._windows[idx] = mine
+                mine.merge(entry)
+
+    def downsample(self, factor: int) -> "TimeSeries":
+        """Coarsen by an integer factor via order-independent window merges.
+
+        The result's window ``j`` aggregates source windows
+        ``[j*factor, (j+1)*factor)`` (floor division handles negative
+        indices), so repeated downsampling composes: ``downsample(a*b)``
+        equals ``downsample(a).downsample(b)`` byte-for-byte.
+        """
+        if int(factor) != factor or factor < 1:
+            raise ValueError(f"downsample factor must be an integer >= 1, got {factor}")
+        factor = int(factor)
+        coarse = TimeSeries(
+            self.name,
+            self.kind,
+            WindowSpec(self.spec.width * factor, self.spec.origin),
+            alpha=self.alpha,
+        )
+        for idx, entry in self._windows.items():
+            cidx = idx // factor
+            mine = coarse._windows.get(cidx)
+            if self.kind == KIND_COUNTER:
+                coarse._windows[cidx] = (0 if mine is None else mine) + entry
+            elif self.kind == KIND_GAUGE:
+                if mine is None or entry >= mine:
+                    coarse._windows[cidx] = entry
+            else:
+                if mine is None:
+                    mine = QuantileSketch(self.name, alpha=self.alpha)
+                    coarse._windows[cidx] = mine
+                mine.merge(entry)
+        return coarse
+
+    # -- serialization -------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot; windows as index-sorted ``[idx, payload]`` pairs.
+
+        The pair-list form keeps numeric window order under
+        ``sort_keys`` serialization (string keys would sort "10" before
+        "2"), which is what makes :meth:`to_json` byte-stable.
+        """
+        windows = []
+        for idx in sorted(self._windows):
+            entry = self._windows[idx]
+            if self.kind == KIND_COUNTER:
+                payload = entry / (1 << _SUM_FIXED_SHIFT)
+            elif self.kind == KIND_GAUGE:
+                payload = {"t": entry[0], "value": entry[1]}
+            else:
+                payload = entry.as_dict()
+            windows.append([idx, payload])
+        out = {
+            "type": "timeseries",
+            "name": self.name,
+            "kind": self.kind,
+            "window_s": self.spec.width,
+            "origin": self.spec.origin,
+            "windows": windows,
+        }
+        if self.kind == KIND_SKETCH:
+            out["alpha"] = self.alpha
+        return out
+
+    def to_json(self) -> str:
+        """Canonical byte-stable JSON: sorted keys, compact separators."""
+        return json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TimeSeries":
+        """Rebuild a series from an :meth:`as_dict` snapshot."""
+        if payload.get("type") != "timeseries":
+            raise ValueError(f"not a timeseries snapshot: {payload.get('type')!r}")
+        series = cls(
+            str(payload["name"]),
+            str(payload["kind"]),
+            WindowSpec(float(payload["window_s"]), float(payload["origin"])),
+            alpha=float(payload.get("alpha", DEFAULT_ALPHA)),
+        )
+        for idx, entry in payload["windows"]:
+            idx = int(idx)
+            if series.kind == KIND_COUNTER:
+                series._windows[idx] = _to_fixed(float(entry))
+            elif series.kind == KIND_GAUGE:
+                series._windows[idx] = (float(entry["t"]), float(entry["value"]))
+            else:
+                series._windows[idx] = QuantileSketch.from_dict(
+                    entry, name=series.name
+                )
+        return series
+
+    @classmethod
+    def from_json(cls, text: str) -> "TimeSeries":
+        """Rebuild a series from its :meth:`to_json` string."""
+        return cls.from_dict(json.loads(text))
+
+    def __len__(self) -> int:
+        return len(self._windows)
+
+    def __repr__(self) -> str:
+        return (
+            f"TimeSeries({self.name!r}, kind={self.kind}, "
+            f"windows={len(self._windows)}, width={self.spec.width})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Serve-trace timeline folding.
+
+#: Base series every serve timeline carries (the counter family mirrors
+#: the monitor suite's registry fold, windowed).
+_COUNTER_SERIES = (
+    ("timeline.responses", ("reject", "shed", "cache_hit", "degraded_row", "fallback")),
+    ("timeline.rejected", ("reject",)),
+    ("timeline.shed", ("shed",)),
+    ("timeline.cache_hits", ("cache_hit",)),
+    ("timeline.fallbacks", ("fallback",)),
+    ("timeline.lookups", ("uq_row", "degraded_row")),
+    ("timeline.retrains", ("retrain", "control_retrain")),
+    ("timeline.batches", ("flush",)),
+)
+
+#: Span name -> latency source label for the per-source sketch children.
+_SOURCE_OF = {
+    "cache_hit": "cache",
+    "uq_row": "nn",
+    "degraded_row": "nn",
+    "fallback": "simulator",
+}
+
+
+def fold_timeline(
+    spans: Sequence[Span],
+    *,
+    window: float = 0.05,
+    origin: float = 0.0,
+    alpha: float = DEFAULT_ALPHA,
+) -> dict[str, TimeSeries]:
+    """Fold a recorded serve span stream into a bank of windowed series.
+
+    Mirrors the :class:`~repro.obs.monitor.MonitorSuite` fold (same
+    recognized span vocabulary, same latency attribute), but lays every
+    tally out over tumbling windows keyed by span *end* time.  Returns
+    a name-keyed dict of series: the :data:`_COUNTER_SERIES` counters,
+    a ``timeline.latency`` sketch series, and labeled per-source /
+    per-tenant children (``timeline.latency{source=...}``,
+    ``timeline.responses{tenant=...}``) when the spans carry those
+    attributes.  A pure function of the span sequence — live runs and
+    trace replays produce byte-identical banks.
+    """
+    spec = WindowSpec(float(window), float(origin))
+    bank: dict[str, TimeSeries] = {}
+    for name, _ in _COUNTER_SERIES:
+        bank[name] = TimeSeries(name, KIND_COUNTER, spec)
+    bank["timeline.latency"] = TimeSeries(
+        "timeline.latency", KIND_SKETCH, spec, alpha=alpha
+    )
+
+    def counter(name: str, labels: tuple[tuple[str, str], ...] = ()) -> TimeSeries:
+        flat = flat_metric_name(name, labels)
+        series = bank.get(flat)
+        if series is None:
+            series = TimeSeries(flat, KIND_COUNTER, spec)
+            bank[flat] = series
+        return series
+
+    def sketch(name: str, labels: tuple[tuple[str, str], ...] = ()) -> TimeSeries:
+        flat = flat_metric_name(name, labels)
+        series = bank.get(flat)
+        if series is None:
+            series = TimeSeries(flat, KIND_SKETCH, spec, alpha=alpha)
+            bank[flat] = series
+        return series
+
+    response_names = set(_COUNTER_SERIES[0][1])
+    for span in spans:
+        name = span.name
+        folded = False
+        for series_name, triggers in _COUNTER_SERIES:
+            if name in triggers:
+                bank[series_name].record(span.t_end)
+                folded = True
+        lat = span.attrs.get("lat")
+        if name == "uq_row" and lat is not None:
+            # Confident uq_row is also a response (monitor fold parity).
+            bank["timeline.responses"].record(span.t_end)
+            folded = True
+        if not folded:
+            continue
+        tenant = span.attrs.get("tenant")
+        is_response = name in response_names or (name == "uq_row" and lat is not None)
+        if tenant is not None and is_response:
+            counter("timeline.responses", (("tenant", str(tenant)),)).record(
+                span.t_end
+            )
+        if lat is not None:
+            lat = float(lat)
+            bank["timeline.latency"].record(span.t_end, lat)
+            source = _SOURCE_OF.get(name)
+            if source is not None:
+                sketch("timeline.latency", (("source", source),)).record(
+                    span.t_end, lat
+                )
+            if tenant is not None:
+                sketch("timeline.latency", (("tenant", str(tenant)),)).record(
+                    span.t_end, lat
+                )
+    return bank
+
+
+#: Quantile columns of the timeline dashboard.
+_TIMELINE_QUANTILES = (("p50_s", 0.50), ("p90_s", 0.90), ("p99_s", 0.99))
+
+
+def _nan_to_none(x: float) -> float | None:
+    return None if math.isnan(x) else x
+
+
+def timeline_report(
+    spans: Sequence[Span],
+    *,
+    window: float = 0.05,
+    origin: float = 0.0,
+    alpha: float = DEFAULT_ALPHA,
+    downsample: int = 1,
+) -> dict:
+    """JSON-ready timeline over a recorded serve span stream.
+
+    ``rows`` is the dashboard: one entry per window in the occupied
+    range with counter deltas and latency quantiles (empty windows read
+    as zero counts and ``null`` quantiles — the NaN sentinel, made
+    JSON-safe).  ``series`` is the full mergeable state of every folded
+    series, and ``merged_latency`` is the hierarchical merge of all
+    latency windows — byte-identical to a whole-run sketch of the same
+    observations, which the regression gate asserts.
+    """
+    if not isinstance(downsample, int) or downsample < 1:
+        raise ValueError(
+            f"downsample factor must be an integer >= 1, got {downsample}"
+        )
+    bank = fold_timeline(spans, window=window, origin=origin, alpha=alpha)
+    if downsample > 1:
+        bank = {name: s.downsample(downsample) for name, s in bank.items()}
+    latency = bank["timeline.latency"]
+    occupied: set[int] = set()
+    for series in bank.values():
+        occupied.update(series.window_indices())
+    rows = []
+    if occupied:
+        lo, hi = min(occupied), max(occupied)
+        spec = latency.spec
+        for idx in range(lo, hi + 1):
+            row = {
+                "window": idx,
+                "t_start": spec.start(idx),
+                "responses": bank["timeline.responses"].value(idx),
+                "rejected": bank["timeline.rejected"].value(idx),
+                "shed": bank["timeline.shed"].value(idx),
+                "cache_hits": bank["timeline.cache_hits"].value(idx),
+                "fallbacks": bank["timeline.fallbacks"].value(idx),
+                "retrains": bank["timeline.retrains"].value(idx),
+                "latency_count": latency.value(idx),
+            }
+            for key, q in _TIMELINE_QUANTILES:
+                row[key] = _nan_to_none(latency.quantile(idx, q))
+            rows.append(row)
+    merged = latency.merged_sketch()
+    return {
+        "meta": {
+            "window_s": latency.spec.width,
+            "origin": latency.spec.origin,
+            "alpha": alpha,
+            "downsample": int(downsample),
+            "n_windows": len(rows),
+            "n_series": len(bank),
+        },
+        "rows": rows,
+        "series": {name: bank[name].as_dict() for name in sorted(bank)},
+        "merged_latency": merged.as_dict(),
+    }
+
+
+def dumps_timeline(report: dict) -> str:
+    """Canonical byte-stable JSON for a :func:`timeline_report`."""
+    return json.dumps(report, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def _fmt(x: float | None) -> str:
+    if x is None:
+        return "-"
+    return f"{x:.3g}"
+
+
+def render_timeline_text(report: dict) -> str:
+    """Text dashboard: one row per window, counters and latency quantiles."""
+    meta = report["meta"]
+    lines = [
+        (
+            f"timeline: {meta['n_windows']} window(s) x {meta['window_s']:g}s "
+            f"(origin {meta['origin']:g}, {meta['n_series']} series)"
+        ),
+        (
+            f"{'win':>5} {'t_start':>9} {'resp':>6} {'shed':>5} {'rej':>5} "
+            f"{'cache':>6} {'fall':>5} {'retr':>5} "
+            f"{'p50_s':>9} {'p90_s':>9} {'p99_s':>9}"
+        ),
+    ]
+    for row in report["rows"]:
+        lines.append(
+            f"{row['window']:>5} {row['t_start']:>9.4g} "
+            f"{int(row['responses']):>6} {int(row['shed']):>5} "
+            f"{int(row['rejected']):>5} {int(row['cache_hits']):>6} "
+            f"{int(row['fallbacks']):>5} {int(row['retrains']):>5} "
+            f"{_fmt(row['p50_s']):>9} {_fmt(row['p90_s']):>9} "
+            f"{_fmt(row['p99_s']):>9}"
+        )
+    merged = report["merged_latency"]
+    lines.append(
+        f"whole-run latency: count={merged['count']} mean={merged['mean']:.3g}s "
+        f"max={merged['max']:.3g}s"
+    )
+    return "\n".join(lines)

@@ -91,7 +91,9 @@ from repro.nn.model import MLP
 from repro.obs.export import dumps_trace, write_trace
 from repro.obs.latency import decompose
 from repro.obs.monitor import default_serve_monitors, dumps_alerts, watch_trace
+from repro.obs.slo import default_slo_specs, dumps_slo, slo_report
 from repro.obs.summary import summarize
+from repro.obs.timeseries import dumps_timeline, timeline_report
 from repro.obs.trace import Tracer
 from repro.obs.whatif import project
 from repro.parallel.cluster import Worker
@@ -443,7 +445,11 @@ def run_serve_bench(
     def agreement_run(
         tracer: Tracer | None = None, monitor=None
     ) -> tuple[SurrogateServer, float]:
-        agen = OpenLoopLoadGenerator(2000.0, SERVE_BOUNDS)
+        # Three round-robin tenants tag every request; tenant assignment
+        # consumes no randomness, so the stream (gaps, points, duplicates)
+        # is bit-identical to untagged traffic and the labeled per-tenant
+        # metrics ride the same DES run for free.
+        agen = OpenLoopLoadGenerator(2000.0, SERVE_BOUNDS, tenants=3)
         return _run(
             agen.generate(n_requests, rng=seed), tolerance=0.6, seed=seed,
             cost=cost, epochs=epochs, tracer=tracer, monitor=monitor,
@@ -723,7 +729,7 @@ def run_serve_bench(
         def drift_run() -> tuple[SurrogateServer, object, Tracer]:
             suite = default_serve_monitors()
             tracer = Tracer(meta=drift_meta)
-            dgen = OpenLoopLoadGenerator(2000.0, SERVE_BOUNDS)
+            dgen = OpenLoopLoadGenerator(2000.0, SERVE_BOUNDS, tenants=3)
             server, _ = _run(
                 dgen.generate(n_requests, rng=seed), tolerance=0.4, seed=seed,
                 cost=cost, epochs=epochs, retrain_every=10**6,
@@ -777,6 +783,74 @@ def run_serve_bench(
             drift_block["output"] = str(drift_output)
         trace_block["monitor"] = monitor_block
         trace_block["drift"] = drift_block
+
+        # ---- windowed timeline + SLO burn over the traced runs --------
+        # Both views are pure functions of the span stream; rendering
+        # them from two independently executed runs must be
+        # byte-identical, same discipline as the trace/monitor replay
+        # gates above.
+        tl_report = timeline_report(traced.tracer.spans)
+        tl_stable = dumps_timeline(tl_report) == dumps_timeline(
+            timeline_report(traced_replay.tracer.spans)
+        )
+        # Hierarchical-merge equivalence: folding every per-window
+        # latency sketch back together must reproduce the whole-run
+        # sketch with byte-identical serialized state — the windowed
+        # layer loses nothing relative to the run aggregate.
+        merged_window = traced.metrics.merged_window_latency().to_json()
+        whole_run = traced.metrics.latency_sketch(None).to_json()
+        tenant_card = traced.metrics.tenant_scorecard()
+        trace_block["timeline"] = {
+            "window_s": tl_report["meta"]["window_s"],
+            "n_windows": tl_report["meta"]["n_windows"],
+            "n_series": tl_report["meta"]["n_series"],
+            "merged_latency_count": tl_report["merged_latency"]["count"],
+            "tenants": tenant_card,
+        }
+        criteria["timeline_byte_stable"] = bool(tl_stable)
+        criteria["windowed_sketch_merge_exact"] = bool(
+            merged_window == whole_run
+        )
+        criteria["tenant_coverage_complete"] = bool(
+            sorted(tenant_card) == ["t0", "t1", "t2"]
+            and all(row["requests"] > 0 for row in tenant_card.values())
+        )
+
+        # SLO burn-rate: the healthy traced run must stay inside budget
+        # and fire nothing; the drift run must burn, and the replay of
+        # its independent re-run must produce a byte-identical report.
+        slo_specs = default_slo_specs()
+        healthy_slo = slo_report(traced.tracer.spans, slo_specs)
+        drift_slo = slo_report(drift_tracer.spans, slo_specs)
+        slo_stable = dumps_slo(drift_slo) == dumps_slo(
+            slo_report(drift_tracer2.spans, slo_specs)
+        )
+        avail_first = drift_slo["first_alert_t"]["serve_availability"]
+        detection_s = None if avail_first is None else avail_first - t_inject
+        trace_block["slo"] = {
+            "healthy": healthy_slo["slos"],
+            "healthy_n_alerts": healthy_slo["meta"]["n_alerts"],
+            "drift": drift_slo["slos"],
+            "drift_n_alerts": drift_slo["meta"]["n_alerts"],
+            "drift_first_alert_t": drift_slo["first_alert_t"],
+            "t_inject_s": t_inject,
+            "detection_latency_s": detection_s,
+        }
+        criteria["slo_quiet_on_healthy"] = bool(
+            healthy_slo["meta"]["n_alerts"] == 0
+        )
+        criteria["slo_fires_on_drift"] = bool(
+            drift_slo["meta"]["n_alerts"] >= 1
+        )
+        criteria["deterministic_slo_replay"] = bool(slo_stable)
+        if gate_overheads:
+            # The availability burn (mass rejects behind the stalled
+            # retrain) only gates at full stream sizes: a smoke stream
+            # ends a few windows after injection, before the slow-window
+            # evidence the burn policy deliberately waits for exists.
+            criteria["slo_detection_within_0_5s"] = bool(
+                detection_s is not None and 0.0 <= detection_s <= 0.5
+            )
 
     # ---- kernel: fused float32 serving forward pass -------------------
     kernel_block = _bench_predict_kernel(seed=seed)
@@ -932,6 +1006,14 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"drift: {dr['n_alerts']} alerts, "
             f"{dr['n_control_retrains']} control retrains "
             f"(inject at t={dr['t_inject_s']:.2f}s)"
+        )
+        slo = t["slo"]
+        det = slo["detection_latency_s"]
+        det_s = "n/a" if det is None else f"{det:.3f}s"
+        print(
+            f"slo: healthy {slo['healthy_n_alerts']} alerts, drift "
+            f"{slo['drift_n_alerts']} alerts, availability burn detected "
+            f"{det_s} after injection"
         )
     print(f"criteria: {payload['criteria']}")
     print(f"wrote {args.output}")

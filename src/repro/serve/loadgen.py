@@ -70,6 +70,22 @@ class OpenLoopLoadGenerator:
     lognormal_cv:
         Coefficient of variation of the gaps for
         ``interarrival="lognormal"``.
+    tenants:
+        Optional tenant population: an int ``k`` names tenants
+        ``"t0" .. "t{k-1}"``, or pass explicit label-value ids.  When
+        set, every request is tagged with a deterministic tenant id so
+        per-tenant labeled metrics see real traffic.  ``None`` (the
+        default) leaves requests untagged.  Tenant assignment never
+        draws from the main request generator, so enabling it leaves
+        arrival times, query points and duplicates bit-identical.
+    tenant_weights:
+        Optional per-tenant traffic weights.  ``None`` assigns tenants
+        round-robin by ``query_id`` (consumes no randomness at all);
+        weights switch to i.i.d. sampling from a *separate* generator
+        seeded with ``tenant_seed``.
+    tenant_seed:
+        Seed of the dedicated tenant-assignment stream used with
+        ``tenant_weights``.
     """
 
     def __init__(
@@ -82,6 +98,9 @@ class OpenLoopLoadGenerator:
         interarrival: str = "exponential",
         pareto_shape: float = 1.5,
         lognormal_cv: float = 1.0,
+        tenants: int | list[str] | tuple[str, ...] | None = None,
+        tenant_weights: list[float] | tuple[float, ...] | None = None,
+        tenant_seed: int = 0,
     ):
         check_positive("rate", rate)
         self.bounds = np.atleast_2d(np.asarray(bounds, dtype=float))
@@ -107,12 +126,39 @@ class OpenLoopLoadGenerator:
             )
         if interarrival == "lognormal":
             check_positive("lognormal_cv", lognormal_cv)
+        if tenants is None:
+            tenant_names: tuple[str, ...] = ()
+        elif isinstance(tenants, int):
+            if tenants < 1:
+                raise ValueError(f"tenants must be >= 1, got {tenants}")
+            tenant_names = tuple(f"t{i}" for i in range(tenants))
+        else:
+            tenant_names = tuple(str(t) for t in tenants)
+            if not tenant_names:
+                raise ValueError("tenants must not be an empty sequence")
+            if len(set(tenant_names)) != len(tenant_names):
+                raise ValueError(f"duplicate tenant ids: {tenant_names}")
+        if tenant_weights is not None:
+            if not tenant_names:
+                raise ValueError("tenant_weights requires tenants")
+            if len(tenant_weights) != len(tenant_names):
+                raise ValueError(
+                    f"tenant_weights length {len(tenant_weights)} != "
+                    f"{len(tenant_names)} tenants"
+                )
+            if any(w < 0 for w in tenant_weights) or sum(tenant_weights) <= 0:
+                raise ValueError("tenant_weights must be >= 0 with a positive sum")
         self.rate = float(rate)
         self.duplicate_fraction = float(duplicate_fraction)
         self.relative_deadline = relative_deadline
         self.interarrival = interarrival
         self.pareto_shape = float(pareto_shape)
         self.lognormal_cv = float(lognormal_cv)
+        self.tenants = tenant_names
+        self.tenant_weights = (
+            None if tenant_weights is None else tuple(float(w) for w in tenant_weights)
+        )
+        self.tenant_seed = int(tenant_seed)
 
     @property
     def dim(self) -> int:
@@ -135,6 +181,26 @@ class OpenLoopLoadGenerator:
             return gen.lognormal(mu, np.sqrt(sigma2), size=n)
         return gen.exponential(mean_gap, size=n)
 
+    def _tenant_stream(self, n: int) -> list[str | None]:
+        """Deterministic per-request tenant ids, independent of the main RNG.
+
+        Round-robin assignment (the unweighted default) is a pure
+        function of the request index; weighted assignment draws from a
+        dedicated generator seeded with ``tenant_seed``.  Either way the
+        main request stream (gaps, duplicates, points) is untouched, so
+        tagging traffic cannot perturb an existing benchmark.
+        """
+        if not self.tenants:
+            return [None] * n
+        if self.tenant_weights is None:
+            k = len(self.tenants)
+            return [self.tenants[i % k] for i in range(n)]
+        tgen = np.random.default_rng(self.tenant_seed)
+        total = sum(self.tenant_weights)
+        p = [w / total for w in self.tenant_weights]
+        picks = tgen.choice(len(self.tenants), size=n, p=p)
+        return [self.tenants[int(i)] for i in picks]
+
     def generate(
         self, n: int, rng: int | np.random.Generator | None = None
     ) -> list[Request]:
@@ -144,6 +210,7 @@ class OpenLoopLoadGenerator:
         gen = ensure_rng(rng)
         gaps = self._gaps(n, gen)
         arrivals = np.cumsum(gaps)
+        tenants = self._tenant_stream(n)
         lo, hi = self.bounds[:, 0], self.bounds[:, 1]
         requests: list[Request] = []
         for i in range(n):
@@ -160,5 +227,13 @@ class OpenLoopLoadGenerator:
             deadline = (
                 None if self.relative_deadline is None else t + self.relative_deadline
             )
-            requests.append(Request(query_id=i, x=x, t_arrival=t, deadline=deadline))
+            requests.append(
+                Request(
+                    query_id=i,
+                    x=x,
+                    t_arrival=t,
+                    deadline=deadline,
+                    tenant=tenants[i],
+                )
+            )
         return requests

@@ -65,12 +65,16 @@ class Request:
     deadline:
         Absolute virtual time after which the answer is worthless; ``None``
         disables shedding for this request.
+    tenant:
+        Optional tenant id (a label value such as ``"t0"``) for
+        per-tenant dimensional metrics; ``None`` means untagged traffic.
     """
 
     query_id: int
     x: np.ndarray
     t_arrival: float
     deadline: float | None = None
+    tenant: str | None = None
 
     def __post_init__(self) -> None:
         if self.t_arrival < 0:
@@ -100,6 +104,7 @@ class Response:
     batch_size: int = 0
     worker_id: int | None = None
     x: np.ndarray = field(default=None, repr=False)
+    tenant: str | None = None
 
     @property
     def latency(self) -> float:

@@ -34,8 +34,14 @@ for production streams.
 from __future__ import annotations
 
 from repro.core.effective import EffectiveSpeedupModel
-from repro.obs.metrics import MetricRegistry
+from repro.obs.metrics import MetricRegistry, flat_metric_name
 from repro.obs.sketch import DEFAULT_ALPHA, QuantileSketch, exact_quantile
+from repro.obs.timeseries import (
+    KIND_COUNTER,
+    KIND_SKETCH,
+    TimeSeries,
+    WindowSpec,
+)
 from repro.serve.messages import (
     SOURCE_CACHE,
     SOURCE_SIMULATION,
@@ -79,6 +85,14 @@ class ServeMetrics:
         production streams are unbounded and must stay O(log range).
     latency_alpha:
         Guaranteed relative error of the latency sketches.
+    window_s:
+        Tumbling-window width (virtual seconds) of the windowed series
+        every response is additionally folded into: per-window response
+        counters and latency sketches, plus labeled per-source and
+        per-tenant children.  The windows are keyed by virtual-clock
+        coordinates, so replays produce byte-identical series, and the
+        full hierarchical merge of the latency windows is byte-identical
+        to the whole-run sketch (asserted by the regression gate).
     """
 
     def __init__(
@@ -87,6 +101,7 @@ class ServeMetrics:
         *,
         exact_latency: bool = False,
         latency_alpha: float = DEFAULT_ALPHA,
+        window_s: float = 0.05,
     ) -> None:
         self.registry = registry if registry is not None else MetricRegistry()
         self.ledger = WallClockLedger(registry=self.registry, prefix="serve.ledger")
@@ -97,6 +112,13 @@ class ServeMetrics:
         )
         self.t_first_arrival = float("inf")
         self.t_last_done = 0.0
+        self.window = WindowSpec(float(window_s))
+        self._series: dict[str, TimeSeries] = {}
+        for name in ("serve.win.responses", "serve.win.served", "serve.win.dropped"):
+            self._series[name] = TimeSeries(name, KIND_COUNTER, self.window)
+        self._series["serve.win.latency"] = TimeSeries(
+            "serve.win.latency", KIND_SKETCH, self.window, alpha=self.latency_alpha
+        )
         for status in _STATUSES:
             self.registry.counter(f"serve.status.{status}")
         for source in _SOURCES:
@@ -104,21 +126,58 @@ class ServeMetrics:
             self.registry.sketch(f"serve.latency.{source}", alpha=self.latency_alpha)
 
     # ------------------------------------------------------------------
+    def _windowed(
+        self, name: str, kind: str, labels: tuple[tuple[str, str], ...] = ()
+    ) -> TimeSeries:
+        """Get or create a windowed series (optionally a labeled child)."""
+        flat = flat_metric_name(name, labels)
+        series = self._series.get(flat)
+        if series is None:
+            series = TimeSeries(flat, kind, self.window, alpha=self.latency_alpha)
+            self._series[flat] = series
+        return series
+
     def observe(self, response: Response) -> None:
-        """Fold one response into the counters."""
+        """Fold one response into the counters and windowed series."""
         if response.status not in _STATUSES:
             raise ValueError(f"unknown status {response.status!r}")
         self.registry.counter("serve.requests").inc()
         self.registry.counter(f"serve.status.{response.status}").inc()
         self.t_first_arrival = min(self.t_first_arrival, response.t_arrival)
         self.t_last_done = max(self.t_last_done, response.t_done)
+        t = response.t_done
+        tenant = response.tenant
+        self._series["serve.win.responses"].record(t)
+        if tenant is not None:
+            label = (("tenant", tenant),)
+            self.registry.counter("serve.tenant.requests", labels={"tenant": tenant}).inc()
+            self._windowed("serve.win.responses", KIND_COUNTER, label).record(t)
         if response.served:
             self.registry.counter(f"serve.source.{response.source}").inc()
             self.registry.sketch(
                 f"serve.latency.{response.source}"
             ).observe(response.latency)
+            self._series["serve.win.served"].record(t)
+            self._series["serve.win.latency"].record(t, response.latency)
+            self._windowed(
+                "serve.win.latency", KIND_SKETCH, (("source", response.source),)
+            ).record(t, response.latency)
+            if tenant is not None:
+                self.registry.counter(
+                    "serve.tenant.served", labels={"tenant": tenant}
+                ).inc()
+                self.registry.sketch(
+                    "serve.tenant.latency",
+                    alpha=self.latency_alpha,
+                    labels={"tenant": tenant},
+                ).observe(response.latency)
+                self._windowed("serve.win.latency", KIND_SKETCH, label).record(
+                    t, response.latency
+                )
             if self._latency is not None:
                 self._latency[response.source].append(response.latency)
+        else:
+            self._series["serve.win.dropped"].record(t)
 
     # ------------------------------------------------------------------
     @property
@@ -235,6 +294,86 @@ class ServeMetrics:
             card[source or "all"] = row
         return card
 
+    def series(self, name: str) -> TimeSeries:
+        """One windowed series by flat name (``serve.win.*``).
+
+        Labeled children use the canonical flat form, e.g.
+        ``"serve.win.latency{tenant=t0}"``.
+        """
+        try:
+            return self._series[name]
+        except KeyError:
+            raise KeyError(
+                f"no windowed series {name!r}; have {sorted(self._series)}"
+            ) from None
+
+    def series_names(self) -> list[str]:
+        """Sorted flat names of every windowed series."""
+        return sorted(self._series)
+
+    def merged_window_latency(self) -> QuantileSketch:
+        """Hierarchical merge of every latency window into one sketch.
+
+        Byte-identical (via ``to_json``) to :meth:`latency_sketch` with
+        ``source=None`` — the windowed layer loses nothing relative to
+        the whole-run aggregate, which the regression gate asserts.
+        """
+        return self._series["serve.win.latency"].merged_sketch("serve.latency.all")
+
+    def timeline(self, *, quantiles=SCORECARD_QUANTILES) -> list[dict]:
+        """Per-window dashboard rows over the occupied window range.
+
+        Each row carries the window index and start coordinate, the
+        response/served/dropped counter deltas, and the latency-window
+        quantiles (NaN-free: absent windows report ``None``).
+        """
+        latency = self._series["serve.win.latency"]
+        occupied: set[int] = set()
+        for series in self._series.values():
+            occupied.update(series.window_indices())
+        if not occupied:
+            return []
+        rows = []
+        for idx in range(min(occupied), max(occupied) + 1):
+            row = {
+                "window": idx,
+                "t_start": self.window.start(idx),
+                "responses": self._series["serve.win.responses"].value(idx),
+                "served": self._series["serve.win.served"].value(idx),
+                "dropped": self._series["serve.win.dropped"].value(idx),
+                "latency_count": latency.value(idx),
+            }
+            for label, q in quantiles:
+                v = latency.quantile(idx, q)
+                row[label] = None if v != v else v
+            rows.append(row)
+        return rows
+
+    def tenant_scorecard(self) -> dict:
+        """Per-tenant rollup off the labeled registry children.
+
+        One row per tenant (label-sorted): request/served counts and the
+        :data:`SCORECARD_QUANTILES` estimates from the tenant's latency
+        sketch.  Empty when traffic is untagged.
+        """
+        card: dict = {}
+        requests = self.registry.children("serve.tenant.requests")
+        served = self.registry.children("serve.tenant.served")
+        sketches = self.registry.children("serve.tenant.latency")
+        for labels, counter in requests.items():
+            tenant = dict(labels)["tenant"]
+            row: dict = {"requests": int(counter.value), "served": 0}
+            served_counter = served.get(labels)
+            if served_counter is not None:
+                row["served"] = int(served_counter.value)
+            sk = sketches.get(labels)
+            if sk is not None and sk.count:
+                row["mean_s"] = sk.mean
+                for label, q in SCORECARD_QUANTILES:
+                    row[label] = sk.quantile(q)
+            card[tenant] = row
+        return card
+
     @property
     def lookup_fraction(self) -> float:
         """``N_lookup / (N_lookup + N_train)`` as the §III-D model counts it.
@@ -303,4 +442,12 @@ class ServeMetrics:
                 "p99": sk.quantile(0.99),
                 "max": sk.vmax,
             }
+        out["windows"] = {
+            "window_s": self.window.width,
+            "n_windows": len(self._series["serve.win.responses"]),
+            "n_series": len(self._series),
+        }
+        tenants = self.tenant_scorecard()
+        if tenants:
+            out["tenants"] = tenants
         return out

@@ -324,6 +324,13 @@ class SurrogateServer:
     ) -> None:
         self._push(response.t_done, _COMPLETE, (response, cache_x, cached))
 
+    @staticmethod
+    def _tag(attrs: dict, req: Request) -> dict:
+        """Attach the request's tenant label to span attrs (when tagged)."""
+        if req.tenant is not None:
+            attrs["tenant"] = req.tenant
+        return attrs
+
     def _on_arrival(self, req: Request, now: float) -> None:
         depth = self.batcher.size + self.pool.in_flight(now)
         decision = self.admission.admit(now, depth)
@@ -332,7 +339,9 @@ class SurrogateServer:
                 self._emit(
                     self.tracer.record(
                         "reject", "admit", now, now,
-                        attrs={"query_id": int(req.query_id), "depth": int(depth)},
+                        attrs=self._tag(
+                            {"query_id": int(req.query_id), "depth": int(depth)}, req
+                        ),
                     )
                 )
             self._complete(
@@ -342,6 +351,7 @@ class SurrogateServer:
                     source=SOURCE_NONE,
                     t_arrival=req.t_arrival,
                     t_done=now,
+                    tenant=req.tenant,
                 )
             )
             return
@@ -352,10 +362,13 @@ class SurrogateServer:
                 self._emit(
                     self.tracer.record(
                         "cache_hit", "cache", now, now + self.cost.t_cache_hit,
-                        attrs={
-                            "query_id": int(req.query_id),
-                            "lat": now + self.cost.t_cache_hit - req.t_arrival,
-                        },
+                        attrs=self._tag(
+                            {
+                                "query_id": int(req.query_id),
+                                "lat": now + self.cost.t_cache_hit - req.t_arrival,
+                            },
+                            req,
+                        ),
                     )
                 )
             self._complete(
@@ -368,6 +381,7 @@ class SurrogateServer:
                     y=hit.y,
                     uncertainty=hit.uncertainty,
                     x=req.x,
+                    tenant=req.tenant,
                 )
             )
             return
@@ -392,7 +406,9 @@ class SurrogateServer:
                     self._emit(
                         self.tracer.record(
                             "shed", "shed", now, now,
-                            attrs={"query_id": int(p.request.query_id)},
+                            attrs=self._tag(
+                                {"query_id": int(p.request.query_id)}, p.request
+                            ),
                         )
                     )
                 self._complete(
@@ -402,6 +418,7 @@ class SurrogateServer:
                         source=SOURCE_NONE,
                         t_arrival=p.request.t_arrival,
                         t_done=now,
+                        tenant=p.request.tenant,
                     )
                 )
             else:
@@ -441,10 +458,13 @@ class SurrogateServer:
                 for i, p in enumerate(normal):
                     self.metrics.ledger.record("lookup", uq_share)
                     if self.tracer is not None:
-                        row_attrs = {
-                            "query_id": int(normal[i].request.query_id),
-                            "confident": bool(confident[i]),
-                        }
+                        row_attrs = self._tag(
+                            {
+                                "query_id": int(normal[i].request.query_id),
+                                "confident": bool(confident[i]),
+                            },
+                            normal[i].request,
+                        )
                         if confident[i]:
                             row_attrs["lat"] = t_done - p.request.t_arrival
                         self._emit(
@@ -465,6 +485,7 @@ class SurrogateServer:
                                 uncertainty=float(std_norm[i]),
                                 batch_size=len(normal),
                                 x=p.request.x,
+                                tenant=p.request.tenant,
                             ),
                             cache_x=p.request.x,
                             cached=CachedResult(
@@ -496,10 +517,13 @@ class SurrogateServer:
                                 "lookup",
                                 service_start,
                                 service_start + self.cost.t_point_row,
-                                attrs={
-                                    "query_id": int(p.request.query_id),
-                                    "lat": t_done - p.request.t_arrival,
-                                },
+                                attrs=self._tag(
+                                    {
+                                        "query_id": int(p.request.query_id),
+                                        "lat": t_done - p.request.t_arrival,
+                                    },
+                                    p.request,
+                                ),
                             )
                         )
                     self._complete(
@@ -512,6 +536,7 @@ class SurrogateServer:
                             y=y_degraded[i],
                             batch_size=len(live),
                             x=p.request.x,
+                            tenant=p.request.tenant,
                         )
                     )
         finally:
@@ -542,11 +567,14 @@ class SurrogateServer:
         outcome = self.engine.force_simulate(p.request.x)
         self.metrics.ledger.record("simulate", end - start)
         if self.tracer is not None:
-            attrs = {
-                "query_id": int(p.request.query_id),
-                "worker_id": int(worker_id),
-                "lat": end - p.request.t_arrival,
-            }
+            attrs = self._tag(
+                {
+                    "query_id": int(p.request.query_id),
+                    "worker_id": int(worker_id),
+                    "lat": end - p.request.t_arrival,
+                },
+                p.request,
+            )
             if (
                 mean_row is not None
                 and std_row is not None
@@ -580,6 +608,7 @@ class SurrogateServer:
                 batch_size=batch_size,
                 worker_id=worker_id,
                 x=p.request.x,
+                tenant=p.request.tenant,
             ),
             cache_x=p.request.x,
             cached=CachedResult(

@@ -555,6 +555,57 @@ class TestObservability:
         assert "OBS003" not in rules_of(src, path="tests/serve/test_x.py")
         assert "OBS003" not in rules_of(src, path="benchmarks/bench_x.py")
 
+    def test_obs004_uppercase_metric_name(self):
+        src = HEADER + "c = registry.counter('Serve.Requests')\n"
+        assert "OBS004" in rules_of(src)
+
+    def test_obs004_hyphenated_metric_name(self):
+        src = HEADER + "g = registry.gauge('serve-queue-depth')\n"
+        (finding,) = findings_for(src, "OBS004")
+        assert "serve-queue-depth" in finding.message
+
+    def test_obs004_all_factory_methods(self):
+        for method in ("counter", "gauge", "histogram", "sketch"):
+            src = HEADER + f"m = registry.{method}('Bad Name')\n"
+            assert "OBS004" in rules_of(src), method
+
+    def test_obs004_bad_label_key(self):
+        src = HEADER + (
+            "c = registry.counter('serve.requests', labels={'Tenant': 't0'})\n"
+        )
+        (finding,) = findings_for(src, "OBS004")
+        assert "Tenant" in finding.message
+
+    def test_obs004_bad_label_value(self):
+        src = HEADER + (
+            "c = registry.counter('serve.requests', labels={'tenant': 'T 0'})\n"
+        )
+        (finding,) = findings_for(src, "OBS004")
+        assert "T 0" in finding.message
+
+    def test_obs004_quiet_on_conforming_names(self):
+        src = HEADER + (
+            "c = registry.counter('serve.requests_total')\n"
+            "s = registry.sketch('serve.latency.all', "
+            "labels={'tenant': 't0', 'source': 'nn'})\n"
+        )
+        assert "OBS004" not in rules_of(src)
+
+    def test_obs004_quiet_on_dynamic_names(self):
+        # Runtime-built names are the registry's job to validate.
+        src = HEADER + (
+            "name = 'Serve.Requests'\n"
+            "c = registry.counter(name)\n"
+            "s = registry.sketch(f'serve.latency.{name}')\n"
+        )
+        assert "OBS004" not in rules_of(src)
+
+    def test_obs004_applies_in_tests_too(self):
+        # Metric-name grammar is repo-wide; deliberate negative tests
+        # carry baseline justifications instead of a path exemption.
+        src = HEADER + "c = registry.counter('Bad-Name')\n"
+        assert "OBS004" in rules_of(src, path="tests/obs/test_x.py")
+
 
 class TestPerf003:
     def test_fires_on_alloc_in_span_opening_function(self):

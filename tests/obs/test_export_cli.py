@@ -145,3 +145,93 @@ class TestCli:
     def test_bad_top_k_exits_2(self, tmp_path, capsys):
         path = write_trace(tmp_path / "t.jsonl", sample_tracer())
         assert main(["summarize", str(path), "--top-k", "0"]) == 2
+
+
+def serve_tracer(*, burn=False):
+    """A small serve-shaped trace: tagged lookups plus optional burn."""
+    tr = Tracer(meta={"seed": 0})
+    lat = 0.4 if burn else 0.001
+    for i in range(60):
+        t = 0.005 * i
+        name = "fallback" if burn else "uq_row"
+        kind = "simulate" if burn else "lookup"
+        tr.record(
+            name, kind, t, t + lat,
+            attrs={"lat": lat, "tenant": f"t{i % 2}"},
+        )
+    return tr
+
+
+class TestTimelineCli:
+    def test_text_mentions_windows(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", serve_tracer())
+        assert main(["timeline", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "window" in out and "timeline" in out
+
+    def test_json_byte_stable_and_structured(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", serve_tracer())
+        assert main(["timeline", str(path), "--format", "json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["timeline", str(path), "--format", "json"]) == 0
+        assert capsys.readouterr().out == first
+        payload = json.loads(first)
+        assert payload["meta"]["window_s"] == 0.05
+        assert payload["meta"]["n_windows"] >= 1
+        assert "timeline.responses{tenant=t0}" in payload["series"]
+
+    def test_downsample_coarsens(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", serve_tracer())
+        assert main(["timeline", str(path), "--format", "json"]) == 0
+        fine = json.loads(capsys.readouterr().out)
+        assert main(
+            ["timeline", str(path), "--format", "json", "--downsample", "3"]
+        ) == 0
+        coarse = json.loads(capsys.readouterr().out)
+        assert coarse["meta"]["n_windows"] <= fine["meta"]["n_windows"]
+        assert (
+            coarse["merged_latency"]["count"] == fine["merged_latency"]["count"]
+        )
+
+    def test_bad_downsample_exits_2(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", serve_tracer())
+        assert main(["timeline", str(path), "--downsample", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestSloCli:
+    def test_quiet_trace_text(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", serve_tracer())
+        assert main(["slo", str(path)]) == 0
+        assert "no burn alerts" in capsys.readouterr().out
+
+    def test_burning_trace_fails_when_asked(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", serve_tracer(burn=True))
+        assert main(["slo", str(path)]) == 0  # report only
+        assert "[BURN]" in capsys.readouterr().out
+        assert main(["slo", str(path), "--fail-on-burn"]) == 1
+
+    def test_json_byte_stable(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", serve_tracer(burn=True))
+        assert main(["slo", str(path), "--format", "json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["slo", str(path), "--format", "json"]) == 0
+        assert capsys.readouterr().out == first
+        payload = json.loads(first)
+        assert payload["meta"]["n_alerts"] >= 1
+        assert "serve_latency" in payload["slos"]
+
+    def test_threshold_knob_changes_verdict(self, tmp_path, capsys):
+        # raising the latency threshold above the burn latencies
+        # silences the latency objective
+        path = write_trace(tmp_path / "t.jsonl", serve_tracer(burn=True))
+        assert main(
+            ["slo", str(path), "--latency-threshold", "1.0", "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["first_alert_t"]["serve_latency"] is None
+
+    def test_bad_target_exits_2(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", serve_tracer())
+        assert main(["slo", str(path), "--latency-target", "1.5"]) == 2
+        assert "error" in capsys.readouterr().err

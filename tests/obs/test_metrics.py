@@ -10,6 +10,9 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricRegistry,
+    canonical_labels,
+    flat_metric_name,
+    validate_metric_name,
 )
 
 
@@ -83,8 +86,22 @@ class TestHistogram:
         assert (a.vmin, a.vmax) == (0.5, 2.0)
 
     def test_merge_mismatched_edges_rejected(self):
-        with pytest.raises(ValueError, match="different edges"):
+        # The error must name both histograms and describe both edge
+        # sets — a blind "edges differ" is useless when a shard fan-in
+        # of dozens of histograms fails.
+        with pytest.raises(ValueError, match="incompatible bucket edges") as err:
             Histogram("a", edges=(1.0,)).merge(Histogram("b", edges=(2.0,)))
+        message = str(err.value)
+        assert "'a'" in message and "'b'" in message
+        assert "1 edges" in message
+        assert "[1, 1]" in message and "[2, 2]" in message
+
+    def test_merge_mismatched_edge_count_rejected(self):
+        with pytest.raises(ValueError, match="incompatible bucket edges") as err:
+            Histogram("fine", edges=(1.0, 2.0)).merge(
+                Histogram("coarse", edges=(2.0,))
+            )
+        assert "2 edges" in str(err.value) and "1 edges" in str(err.value)
 
 
 def _shard(values, edges=(1.0,)):
@@ -191,3 +208,81 @@ class TestRegistry:
         reg.merge_ledger(led)
         assert reg.counter("ledger.simulate.count").value == 2
         assert reg.counter("ledger.simulate.seconds").value == pytest.approx(6.0)
+
+
+class TestNameGrammar:
+    def test_dot_namespaced_lowercase_accepted(self):
+        for name in ("x", "serve.latency.all", "a_1.b_2"):
+            validate_metric_name(name)
+
+    @pytest.mark.parametrize(
+        "name",
+        ["", "Serve.Requests", "serve-requests", "serve..x", ".serve", "serve.", "a b"],
+    )
+    def test_bad_names_rejected(self, name):
+        with pytest.raises(ValueError, match="metric name"):
+            validate_metric_name(name)
+
+    def test_registry_enforces_grammar(self):
+        reg = MetricRegistry()
+        with pytest.raises(ValueError, match="metric name"):
+            reg.counter("Serve.Requests")  # repro: noqa[OBS004]
+
+    def test_canonical_labels_sorted_and_validated(self):
+        labels = canonical_labels({"b": "v2", "a": "v1"})
+        assert labels == (("a", "v1"), ("b", "v2"))
+        with pytest.raises(ValueError, match="metric name"):
+            canonical_labels({"Bad Key": "v"})
+        with pytest.raises(ValueError, match="label value"):
+            canonical_labels({"k": "bad value"})
+
+    def test_flat_metric_name_layout(self):
+        flat = flat_metric_name("serve.latency", (("source", "nn"),))
+        assert flat == "serve.latency{source=nn}"
+        assert flat_metric_name("serve.latency", ()) == "serve.latency"
+
+
+class TestLabeledChildren:
+    def test_labels_create_distinct_children(self):
+        reg = MetricRegistry()
+        a = reg.counter("serve.requests", labels={"tenant": "t0"})
+        b = reg.counter("serve.requests", labels={"tenant": "t1"})
+        a.inc(2)
+        b.inc(3)
+        assert a is not b
+        assert reg.counter("serve.requests", labels={"tenant": "t0"}).value == 2
+
+    def test_label_order_is_canonical(self):
+        reg = MetricRegistry()
+        a = reg.counter("c", labels={"x": "1", "y": "2"})
+        b = reg.counter("c", labels={"y": "2", "x": "1"})
+        assert a is b
+
+    def test_children_listing_label_sorted(self):
+        reg = MetricRegistry()
+        reg.counter("c", labels={"tenant": "t1"})
+        reg.counter("c", labels={"tenant": "t0"})
+        kids = reg.children("c")
+        assert list(kids) == [(("tenant", "t0"),), (("tenant", "t1"),)]
+
+    def test_flat_names_visible_in_registry(self):
+        reg = MetricRegistry()
+        reg.gauge("serve.depth", labels={"queue": "fast"})
+        assert "serve.depth{queue=fast}" in reg.names()
+
+    def test_cardinality_cap_raises_loudly(self):
+        reg = MetricRegistry(max_label_cardinality=3)
+        for i in range(3):
+            reg.counter("c", labels={"tenant": f"t{i}"})
+        with pytest.raises(ValueError, match="cardinality cap"):
+            reg.counter("c", labels={"tenant": "t3"})
+        # existing children stay reachable after the refusal
+        assert len(reg.children("c")) == 3
+
+    def test_cap_is_per_base_name(self):
+        reg = MetricRegistry(max_label_cardinality=2)
+        for i in range(2):
+            reg.counter("a", labels={"t": f"v{i}"})
+            reg.counter("b", labels={"t": f"v{i}"})
+        with pytest.raises(ValueError, match="cardinality cap"):
+            reg.counter("a", labels={"t": "v9"})

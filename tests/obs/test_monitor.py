@@ -91,6 +91,61 @@ class TestAlertManager:
         assert s["n_alerts"] == 1 and s["by_severity"]["warning"] == 1
         assert s["by_kind"] == {"s/k": 1}
 
+    def test_cooldown_boundary_fires(self):
+        # The window is half-open: an alert exactly cooldown seconds
+        # after the last fired one fires again.
+        m = AlertManager(cooldown=1.0)
+        assert m.fire(self._alert(0.0)) is not None
+        assert m.fire(self._alert(1.0)) is not None
+
+    def test_suppressed_alert_does_not_extend_cooldown(self):
+        # Cooldown is measured from the last *fired* alert; a suppressed
+        # repeat must not push the window forward (otherwise a sustained
+        # condition could silence itself forever).
+        m = AlertManager(cooldown=1.0)
+        assert m.fire(self._alert(0.0)) is not None
+        assert m.fire(self._alert(0.9)) is None
+        assert m.fire(self._alert(1.0)) is not None
+
+    def test_zero_cooldown_never_suppresses(self):
+        m = AlertManager()
+        assert m.fire(self._alert(0.0)) is not None
+        assert m.fire(self._alert(0.0)) is not None
+        assert m.n_suppressed == 0
+
+    def test_subscribers_called_in_subscription_order(self):
+        m = AlertManager()
+        calls = []
+        m.subscribe(lambda a: calls.append(("first", a.t)))
+        m.subscribe(lambda a: calls.append(("second", a.t)))
+        m.fire(self._alert(0.5))
+        assert calls == [("first", 0.5), ("second", 0.5)]
+
+    def test_late_subscriber_misses_earlier_alerts(self):
+        m = AlertManager()
+        m.fire(self._alert(0.0))
+        seen = []
+        m.subscribe(seen.append)
+        m.fire(self._alert(1.0, kind="k2"))
+        assert [a.kind for a in seen] == ["k2"]
+
+    def test_ranked_ties_break_by_time_then_source_then_kind(self):
+        m = AlertManager()
+        mk = lambda t, source, kind: Alert(
+            t=t, source=source, kind=kind, severity="warning", message="m"
+        )
+        m.fire(mk(1.0, "b", "x"))
+        m.fire(mk(1.0, "a", "x"))
+        m.fire(mk(1.0, "a", "w"))
+        m.fire(mk(2.0, "b", "x"))
+        ranked = [(a.t, a.source, a.kind) for a in m.ranked()]
+        assert ranked == [
+            (1.0, "a", "w"),
+            (1.0, "a", "x"),
+            (1.0, "b", "x"),
+            (2.0, "b", "x"),
+        ]
+
 
 class TestCalibrationCoverageMonitor:
     def test_healthy_probes_stay_silent(self):

@@ -1,0 +1,249 @@
+"""Tests for repro.obs.slo — specs, burn-rate engine, reports."""
+
+import json
+
+import pytest
+
+from repro.obs.monitor import AlertManager
+from repro.obs.slo import (
+    SLO_AVAILABILITY,
+    SLO_LATENCY,
+    SLOEngine,
+    SLOSpec,
+    default_slo_specs,
+    dumps_slo,
+    render_slo_text,
+    slo_report,
+)
+from repro.obs.span import Span
+
+
+def _span(name, kind, t0, t1, span_id=0, **attrs):
+    return Span(
+        span_id=span_id, parent_id=None, name=name, kind=kind,
+        t_start=t0, t_end=t1, attrs=attrs,
+    )
+
+
+def _latency_spec(**kw):
+    base = dict(
+        name="lat", kind=SLO_LATENCY, target=0.9, threshold_s=0.1,
+        fast_windows=1, slow_windows=2, fast_burn=2.0, slow_burn=1.0,
+        min_events=1,
+    )
+    base.update(kw)
+    return SLOSpec(**base)
+
+
+def _avail_spec(**kw):
+    base = dict(
+        name="avail", kind=SLO_AVAILABILITY, target=0.9,
+        fast_windows=1, slow_windows=2, fast_burn=2.0, slow_burn=1.0,
+        min_events=1,
+    )
+    base.update(kw)
+    return SLOSpec(**base)
+
+
+class TestSLOSpec:
+    def test_budget_is_one_minus_target(self):
+        assert _latency_spec(target=0.99).budget == pytest.approx(0.01)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            _latency_spec(kind="throughput")
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(ValueError, match="target"):
+            _latency_spec(target=1.0)
+
+    def test_latency_needs_threshold(self):
+        with pytest.raises(ValueError, match="threshold_s"):
+            _latency_spec(threshold_s=None)
+
+    def test_window_ordering_enforced(self):
+        with pytest.raises(ValueError, match="slow_windows"):
+            _latency_spec(fast_windows=4, slow_windows=2)
+
+    def test_bad_severity_rejected(self):
+        with pytest.raises(ValueError, match="severity"):
+            _latency_spec(severity="loud")
+
+    def test_latency_classify(self):
+        spec = _latency_spec(threshold_s=0.1)
+        assert spec.classify(
+            _span("uq_row", "lookup", 0.0, 0.01, lat=0.05)
+        ) == (1, 0)
+        assert spec.classify(
+            _span("fallback", "simulate", 0.0, 0.3, lat=0.3)
+        ) == (1, 1)
+        # no lat attr: not a latency event (deferred uq_row, flush, ...)
+        assert spec.classify(_span("uq_row", "lookup", 0.0, 0.01)) == (0, 0)
+
+    def test_availability_classify(self):
+        spec = _avail_spec()
+        assert spec.classify(
+            _span("cache_hit", "cache", 0.0, 0.01, lat=0.01)
+        ) == (1, 0)
+        assert spec.classify(_span("reject", "admission", 0.0, 0.0)) == (1, 1)
+        assert spec.classify(_span("shed", "admission", 0.0, 0.0)) == (1, 1)
+        # deferred uq_row is not yet an outcome; flush never is
+        assert spec.classify(_span("uq_row", "lookup", 0.0, 0.01)) == (0, 0)
+        assert spec.classify(_span("flush", "batch", 0.0, 0.01)) == (0, 0)
+
+    def test_to_dict_json_ready(self):
+        json.dumps(_latency_spec().to_dict())
+
+
+class TestSLOEngine:
+    def test_needs_specs_and_unique_names(self):
+        with pytest.raises(ValueError, match="at least one"):
+            SLOEngine([])
+        with pytest.raises(ValueError, match="duplicate"):
+            SLOEngine([_latency_spec(), _latency_spec()])
+
+    def test_quiet_when_inside_budget(self):
+        engine = SLOEngine([_latency_spec()], window=0.05)
+        spans = [
+            _span("uq_row", "lookup", 0.001 * i, 0.001 * i + 0.001,
+                  span_id=i, lat=0.001)
+            for i in range(100)
+        ]
+        engine.feed(spans)
+        assert engine.evaluate() == []
+
+    def test_fires_when_fast_and_slow_burn(self):
+        engine = SLOEngine([_latency_spec()], window=0.05)
+        spans = [
+            _span("fallback", "simulate", 0.001 * i, 0.001 * i + 0.3,
+                  span_id=i, lat=0.3)
+            for i in range(50)
+        ]
+        engine.feed(spans)
+        fired = engine.evaluate()
+        assert fired and fired[0].kind == "slo_burn"
+        assert fired[0].source == "lat"
+        assert fired[0].attrs["fast_burn"] >= 2.0
+
+    def test_fast_burn_alone_insufficient(self):
+        # One bad burst in an otherwise healthy run: the slow window
+        # dilutes it below slow_burn, so no alert — the multi-window
+        # discipline's whole point.
+        spec = _latency_spec(
+            fast_windows=1, slow_windows=8, fast_burn=5.0, slow_burn=5.0
+        )
+        engine = SLOEngine([spec], window=0.05)
+        spans = []
+        sid = 0
+        for i in range(400):  # 8 windows of fast traffic
+            spans.append(_span("uq_row", "lookup", 0.001 * i,
+                               0.001 * i + 0.001, span_id=sid, lat=0.001))
+            sid += 1
+        for i in range(10):  # one bad window at the end
+            t = 0.4 + 0.001 * i
+            spans.append(_span("fallback", "simulate", t, t + 0.3,
+                               span_id=sid, lat=0.3))
+            sid += 1
+        engine.feed(spans)
+        assert engine.evaluate() == []
+
+    def test_min_events_guards_sparse_windows(self):
+        spec = _latency_spec(min_events=50)
+        engine = SLOEngine([spec], window=0.05)
+        engine.feed([
+            _span("fallback", "simulate", 0.0, 0.3, span_id=1, lat=0.3)
+        ])
+        assert engine.evaluate() == []
+
+    def test_alerts_route_through_manager_cooldown(self):
+        manager = AlertManager(cooldown=10.0)
+        engine = SLOEngine([_latency_spec()], window=0.05, manager=manager)
+        spans = [
+            _span("fallback", "simulate", 0.01 * i, 0.01 * i + 0.3,
+                  span_id=i, lat=0.3)
+            for i in range(100)
+        ]
+        engine.feed(spans)
+        engine.evaluate()
+        # many windows burn, but the cooldown dedups to one fired alert
+        assert len(manager.alerts) == 1
+        assert manager.n_suppressed > 0
+
+    def test_feed_order_independent(self):
+        spans = [
+            _span("fallback", "simulate", 0.001 * i, 0.001 * i + 0.3,
+                  span_id=i, lat=0.3)
+            for i in range(60)
+        ]
+
+        def log(ordered):
+            engine = SLOEngine([_latency_spec()], window=0.05)
+            engine.feed(ordered)
+            engine.evaluate()
+            return [a.to_dict() for a in engine.manager.alerts]
+
+        assert log(spans) == log(list(reversed(spans)))
+
+    def test_budget_summary_accounting(self):
+        spec = _avail_spec(target=0.9)
+        engine = SLOEngine([spec], window=0.05)
+        spans = [
+            _span("cache_hit", "cache", 0.001 * i, 0.001 * i + 0.001,
+                  span_id=i, lat=0.001)
+            for i in range(95)
+        ] + [
+            _span("reject", "admission", 0.001 * i, 0.001 * i,
+                  span_id=100 + i)
+            for i in range(5)
+        ]
+        engine.feed(spans)
+        s = engine.budget_summary(spec)
+        assert s["events"] == 100 and s["bad"] == 5
+        assert s["bad_fraction"] == pytest.approx(0.05)
+        assert s["budget_consumed"] == pytest.approx(0.5)
+        assert s["compliant"] is True
+
+
+class TestDefaultSpecs:
+    def test_two_canonical_specs(self):
+        specs = default_slo_specs()
+        assert [s.name for s in specs] == ["serve_latency", "serve_availability"]
+        assert specs[0].severity == "critical"
+        assert specs[1].severity == "warning"
+
+
+class TestSLOReport:
+    def _burning_spans(self):
+        return [
+            _span("fallback", "simulate", 0.005 * i, 0.005 * i + 0.4,
+                  span_id=i, lat=0.4)
+            for i in range(60)
+        ]
+
+    def test_replay_byte_stable(self):
+        spans = self._burning_spans()
+        assert dumps_slo(slo_report(spans)) == dumps_slo(
+            slo_report(list(spans))
+        )
+
+    def test_first_alert_t_per_spec(self):
+        report = slo_report(self._burning_spans())
+        assert report["first_alert_t"]["serve_latency"] is not None
+        assert report["first_alert_t"]["serve_availability"] is None
+        assert report["meta"]["n_alerts"] >= 1
+
+    def test_render_text_shows_burn_and_budget(self):
+        text = render_slo_text(slo_report(self._burning_spans()))
+        assert "[BURN] serve_latency" in text
+        assert "first burn alert at" in text
+        assert "burn alert(s):" in text
+
+    def test_render_text_quiet_run(self):
+        spans = [
+            _span("uq_row", "lookup", 0.001 * i, 0.001 * i + 0.001,
+                  span_id=i, lat=0.001)
+            for i in range(100)
+        ]
+        text = render_slo_text(slo_report(spans))
+        assert "no burn alerts" in text
+        assert "[OK ]" in text

@@ -1,0 +1,306 @@
+"""Tests for repro.obs.timeseries — windows, merges, timeline folding."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.sketch import QuantileSketch
+from repro.obs.span import Span
+from repro.obs.timeseries import (
+    KIND_COUNTER,
+    KIND_GAUGE,
+    KIND_SKETCH,
+    TimeSeries,
+    WindowSpec,
+    dumps_timeline,
+    fold_timeline,
+    render_timeline_text,
+    timeline_report,
+)
+
+SPEC = WindowSpec(0.05)
+
+
+def _span(name, kind, t0, t1, span_id=0, **attrs):
+    return Span(
+        span_id=span_id, parent_id=None, name=name, kind=kind,
+        t_start=t0, t_end=t1, attrs=attrs,
+    )
+
+
+class TestWindowSpec:
+    def test_index_floor_semantics(self):
+        spec = WindowSpec(0.5, origin=1.0)
+        assert spec.index(1.0) == 0
+        assert spec.index(1.49) == 0
+        assert spec.index(1.5) == 1
+        assert spec.index(0.99) == -1
+
+    def test_start_end_roundtrip(self):
+        spec = WindowSpec(0.25, origin=-1.0)
+        for idx in (-3, 0, 7):
+            assert spec.index(spec.start(idx)) == idx
+            assert spec.end(idx) == pytest.approx(spec.start(idx + 1))
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError, match="width"):
+            WindowSpec(0.0)
+        with pytest.raises(ValueError, match="width"):
+            WindowSpec(float("inf"))
+
+    def test_bad_origin_rejected(self):
+        with pytest.raises(ValueError, match="origin"):
+            WindowSpec(1.0, origin=float("nan"))
+
+
+class TestCounterSeries:
+    def test_deltas_accumulate_per_window(self):
+        s = TimeSeries("c", KIND_COUNTER, SPEC)
+        s.record(0.01, 2.0)
+        s.record(0.02, 3.0)
+        s.record(0.07)
+        assert s.value(0) == 5.0
+        assert s.value(1) == 1.0
+        assert s.value(2) == 0.0  # absent windows read as zero
+        assert s.total() == 6.0
+
+    def test_negative_delta_rejected(self):
+        s = TimeSeries("c", KIND_COUNTER, SPEC)
+        with pytest.raises(ValueError, match="cannot decrease"):
+            s.record(0.0, -1.0)
+
+    def test_non_finite_rejected(self):
+        s = TimeSeries("c", KIND_COUNTER, SPEC)
+        with pytest.raises(ValueError, match="non-finite"):
+            s.record(float("nan"), 1.0)
+        with pytest.raises(ValueError, match="non-finite"):
+            s.record(0.0, float("inf"))
+
+    def test_merge_is_exact_addition(self):
+        # 0.1 + 0.2 style float sums are exact through the fixed-point
+        # encoding: the merged total equals single-stream ingestion.
+        a = TimeSeries("c", KIND_COUNTER, SPEC)
+        b = TimeSeries("c", KIND_COUNTER, SPEC)
+        one = TimeSeries("c", KIND_COUNTER, SPEC)
+        for i in range(50):
+            v = 0.1 * (i % 7 + 1)
+            (a if i % 2 else b).record(0.01 * i, v)
+            one.record(0.01 * i, v)
+        a.merge(b)
+        assert a.to_json() == one.to_json()
+
+
+class TestGaugeSeries:
+    def test_last_write_wins(self):
+        s = TimeSeries("g", KIND_GAUGE, SPEC)
+        s.record(0.01, 5.0)
+        s.record(0.03, 2.0)
+        assert s.value(0) == 2.0
+
+    def test_absent_window_reads_nan(self):
+        s = TimeSeries("g", KIND_GAUGE, SPEC)
+        assert math.isnan(s.value(3))
+        assert math.isnan(s.total())
+
+    def test_merge_order_independent(self):
+        writes = [(0.01, 1.0), (0.03, 4.0), (0.02, 9.0), (0.06, 2.0)]
+        a = TimeSeries("g", KIND_GAUGE, SPEC)
+        b = TimeSeries("g", KIND_GAUGE, SPEC)
+        for i, (t, v) in enumerate(writes):
+            (a if i % 2 else b).record(t, v)
+        ab = TimeSeries("g", KIND_GAUGE, SPEC)
+        ab.merge(a)
+        ab.merge(b)
+        ba = TimeSeries("g", KIND_GAUGE, SPEC)
+        ba.merge(b)
+        ba.merge(a)
+        assert ab.to_json() == ba.to_json()
+        assert ab.value(0) == 4.0  # latest t in window 0 wins
+
+
+class TestSketchSeries:
+    def test_quantile_nan_sentinel_on_absent_window(self):
+        s = TimeSeries("l", KIND_SKETCH, SPEC)
+        s.record(0.01, 0.5)
+        assert math.isnan(s.quantile(7, 0.5))
+        assert s.quantile(0, 0.5) == pytest.approx(0.5, rel=0.02)
+
+    def test_quantile_validates_q(self):
+        s = TimeSeries("l", KIND_SKETCH, SPEC)
+        with pytest.raises(ValueError, match="q must be"):
+            s.quantile(0, 1.5)
+
+    def test_quantile_on_counter_is_type_error(self):
+        s = TimeSeries("c", KIND_COUNTER, SPEC)
+        with pytest.raises(TypeError, match="not sketch"):
+            s.quantile(0, 0.5)
+
+    def test_merged_sketch_matches_whole_run_bytes(self):
+        # The hierarchical-merge contract: merging every window sketch
+        # reproduces a whole-run sketch fed the same observations, with
+        # byte-identical serialized state.
+        s = TimeSeries("l", KIND_SKETCH, SPEC)
+        whole = QuantileSketch("l")
+        for i in range(200):
+            v = 0.001 * (i % 37 + 1)
+            s.record(0.003 * i, v)
+            whole.observe(v)
+        assert s.merged_sketch().to_json() == whole.to_json()
+
+    def test_merge_alpha_mismatch_rejected(self):
+        a = TimeSeries("l", KIND_SKETCH, SPEC, alpha=0.01)
+        b = TimeSeries("l", KIND_SKETCH, SPEC, alpha=0.02)
+        with pytest.raises(ValueError, match="alpha"):
+            a.merge(b)
+
+
+class TestMergeCompat:
+    def test_kind_mismatch_rejected(self):
+        a = TimeSeries("x", KIND_COUNTER, SPEC)
+        b = TimeSeries("x", KIND_GAUGE, SPEC)
+        with pytest.raises(ValueError, match="cannot merge"):
+            a.merge(b)
+
+    def test_spec_mismatch_rejected(self):
+        a = TimeSeries("x", KIND_COUNTER, WindowSpec(0.05))
+        b = TimeSeries("x", KIND_COUNTER, WindowSpec(0.1))
+        with pytest.raises(ValueError, match="window specs"):
+            a.merge(b)
+
+
+class TestDownsample:
+    def test_composes_byte_for_byte(self):
+        s = TimeSeries("l", KIND_SKETCH, SPEC)
+        for i in range(300):
+            s.record(0.004 * i - 0.3, 0.001 * (i % 11 + 1))
+        assert s.downsample(4).to_json() == (
+            s.downsample(2).downsample(2).to_json()
+        )
+
+    def test_negative_indices_floor_divide(self):
+        s = TimeSeries("c", KIND_COUNTER, SPEC)
+        s.record(-0.01, 1.0)  # window -1
+        s.record(0.01, 1.0)  # window 0
+        coarse = s.downsample(2)
+        assert coarse.value(-1) == 1.0
+        assert coarse.value(0) == 1.0
+
+    def test_counter_totals_preserved(self):
+        s = TimeSeries("c", KIND_COUNTER, SPEC)
+        for i in range(100):
+            s.record(0.013 * i, 0.1)
+        assert s.downsample(8).total() == s.total()
+
+    def test_bad_factor_rejected(self):
+        s = TimeSeries("c", KIND_COUNTER, SPEC)
+        with pytest.raises(ValueError, match="factor"):
+            s.downsample(0)
+        with pytest.raises(ValueError, match="factor"):
+            s.downsample(2.5)
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("kind", [KIND_COUNTER, KIND_GAUGE, KIND_SKETCH])
+    def test_json_round_trip_byte_stable(self, kind):
+        s = TimeSeries("x", kind, SPEC)
+        for i in range(40):
+            s.record(0.007 * i, 0.01 * (i + 1))
+        text = s.to_json()
+        assert TimeSeries.from_json(text).to_json() == text
+
+    def test_windows_serialized_in_numeric_order(self):
+        s = TimeSeries("c", KIND_COUNTER, SPEC)
+        for idx in (10, 2, -3):
+            s.record(SPEC.start(idx) + 0.001)
+        payload = json.loads(s.to_json())
+        assert [w[0] for w in payload["windows"]] == [-3, 2, 10]
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ValueError, match="not a timeseries"):
+            TimeSeries.from_dict({"type": "sketch"})
+
+
+class TestFoldTimeline:
+    def _spans(self):
+        return [
+            _span("cache_hit", "cache", 0.00, 0.01, span_id=1, lat=0.01),
+            _span("uq_row", "lookup", 0.02, 0.03, span_id=2, lat=0.01,
+                  tenant="t0"),
+            _span("uq_row", "lookup", 0.02, 0.03, span_id=3),  # deferred
+            _span("fallback", "simulate", 0.04, 0.06, span_id=4, lat=0.02,
+                  tenant="t1"),
+            _span("reject", "admission", 0.07, 0.07, span_id=5),
+            _span("flush", "batch", 0.00, 0.08, span_id=6),
+        ]
+
+    def test_counter_parity_with_monitor_fold(self):
+        bank = fold_timeline(self._spans())
+        # responses: cache_hit + confident uq_row + fallback + reject;
+        # the deferred uq_row (no lat) is not yet a response.
+        assert bank["timeline.responses"].total() == 4.0
+        assert bank["timeline.rejected"].total() == 1.0
+        assert bank["timeline.lookups"].total() == 2.0
+        assert bank["timeline.batches"].total() == 1.0
+        assert bank["timeline.latency"].total() == 3.0
+
+    def test_tenant_and_source_children(self):
+        bank = fold_timeline(self._spans())
+        assert bank["timeline.responses{tenant=t0}"].total() == 1.0
+        assert bank["timeline.latency{tenant=t1}"].total() == 1.0
+        assert bank["timeline.latency{source=cache}"].total() == 1.0
+        assert bank["timeline.latency{source=simulator}"].total() == 1.0
+
+    def test_unrecognized_spans_ignored(self):
+        bank = fold_timeline([_span("serve", "serve", 0.0, 9.0)])
+        assert all(len(s) == 0 for s in bank.values())
+
+    def test_pure_function_of_span_sequence(self):
+        spans = self._spans()
+        a = {n: s.to_json() for n, s in fold_timeline(spans).items()}
+        b = {n: s.to_json() for n, s in fold_timeline(list(spans)).items()}
+        assert a == b
+
+
+class TestTimelineReport:
+    def test_rows_cover_occupied_range_with_nan_as_none(self):
+        spans = [
+            _span("cache_hit", "cache", 0.00, 0.01, span_id=1, lat=0.01),
+            _span("reject", "admission", 0.12, 0.12, span_id=2),
+        ]
+        report = timeline_report(spans)
+        rows = report["rows"]
+        assert [r["window"] for r in rows] == [0, 1, 2]
+        assert rows[0]["p50_s"] == pytest.approx(0.01, rel=0.02)
+        # window 1 has no latency observations: NaN rendered as None
+        assert rows[1]["p50_s"] is None
+        assert rows[2]["rejected"] == 1.0
+
+    def test_dumps_byte_stable_and_replayable(self):
+        spans = [
+            _span("uq_row", "lookup", 0.01 * i, 0.01 * i + 0.005,
+                  span_id=i, lat=0.005, tenant=f"t{i % 2}")
+            for i in range(30)
+        ]
+        text = dumps_timeline(timeline_report(spans))
+        assert text == dumps_timeline(timeline_report(list(spans)))
+        assert text.endswith("\n")
+        json.loads(text)
+
+    def test_downsample_coarsens_rows(self):
+        spans = [
+            _span("cache_hit", "cache", 0.02 * i, 0.02 * i + 0.001,
+                  span_id=i, lat=0.001)
+            for i in range(20)
+        ]
+        fine = timeline_report(spans)
+        coarse = timeline_report(spans, downsample=4)
+        assert coarse["meta"]["window_s"] == pytest.approx(0.2)
+        assert len(coarse["rows"]) < len(fine["rows"])
+        assert coarse["merged_latency"] == fine["merged_latency"]
+
+    def test_render_text_smoke(self):
+        spans = [_span("cache_hit", "cache", 0.0, 0.01, span_id=1, lat=0.01)]
+        text = render_timeline_text(timeline_report(spans))
+        assert "timeline: 1 window(s)" in text
+        assert "whole-run latency" in text

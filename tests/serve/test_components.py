@@ -333,3 +333,70 @@ class TestLoadGenerator:
         assert all(
             np.array_equal(a.x, b.x) for a, b in zip(base, explicit)
         )
+
+    def test_tenants_leave_main_stream_bit_identical(self):
+        # Tenant tagging must never draw from the request generator:
+        # arrival times, points and duplicates stay bit-identical to the
+        # untagged stream, so enabling tenants cannot perturb a seeded
+        # baseline — weighted assignment included (its draws come from a
+        # dedicated tenant_seed generator).
+        plain = OpenLoopLoadGenerator(
+            100.0, BOUNDS, duplicate_fraction=0.3
+        ).generate(50, rng=7)
+        for kwargs in (
+            {"tenants": 4},
+            {"tenants": 3, "tenant_weights": (0.7, 0.2, 0.1)},
+        ):
+            tagged = OpenLoopLoadGenerator(
+                100.0, BOUNDS, duplicate_fraction=0.3, **kwargs
+            ).generate(50, rng=7)
+            assert [r.t_arrival for r in tagged] == [
+                r.t_arrival for r in plain
+            ]
+            assert all(
+                np.array_equal(a.x, b.x) for a, b in zip(tagged, plain)
+            )
+
+    def test_round_robin_tenants_deterministic(self):
+        g = OpenLoopLoadGenerator(100.0, BOUNDS, tenants=3)
+        reqs = g.generate(7, rng=0)
+        assert [r.tenant for r in reqs] == [
+            "t0", "t1", "t2", "t0", "t1", "t2", "t0"
+        ]
+
+    def test_explicit_tenant_ids(self):
+        g = OpenLoopLoadGenerator(100.0, BOUNDS, tenants=["gold", "free"])
+        assert [r.tenant for r in g.generate(4, rng=0)] == [
+            "gold", "free", "gold", "free"
+        ]
+
+    def test_untagged_by_default(self):
+        g = OpenLoopLoadGenerator(100.0, BOUNDS)
+        assert all(r.tenant is None for r in g.generate(5, rng=0))
+
+    def test_weighted_tenants_seeded_and_skewed(self):
+        g = OpenLoopLoadGenerator(
+            100.0, BOUNDS, tenants=2, tenant_weights=(0.9, 0.1),
+            tenant_seed=3,
+        )
+        a = [r.tenant for r in g.generate(200, rng=0)]
+        b = [r.tenant for r in g.generate(200, rng=1)]
+        # the tenant stream depends only on tenant_seed, not the main rng
+        assert a == b
+        assert a.count("t0") > 140  # ~180 expected at weight 0.9
+
+    def test_tenant_validation(self):
+        with pytest.raises(ValueError, match="tenants must be >= 1"):
+            OpenLoopLoadGenerator(1.0, BOUNDS, tenants=0)
+        with pytest.raises(ValueError, match="duplicate tenant"):
+            OpenLoopLoadGenerator(1.0, BOUNDS, tenants=["a", "a"])
+        with pytest.raises(ValueError, match="requires tenants"):
+            OpenLoopLoadGenerator(1.0, BOUNDS, tenant_weights=(1.0,))
+        with pytest.raises(ValueError, match="length"):
+            OpenLoopLoadGenerator(
+                1.0, BOUNDS, tenants=2, tenant_weights=(1.0,)
+            )
+        with pytest.raises(ValueError, match="positive sum"):
+            OpenLoopLoadGenerator(
+                1.0, BOUNDS, tenants=2, tenant_weights=(0.0, 0.0)
+            )

@@ -313,6 +313,91 @@ class TestMetrics:
             m.percentile(100.5)
 
 
+class TestWindowedMetrics:
+    def serve(self, *, tenants=None, n=150):
+        server = build_server(tolerance=0.6)
+        server.serve(stream(n, duplicate_fraction=0.2, tenants=tenants))
+        return server.metrics
+
+    def test_core_series_always_present(self):
+        m = self.serve()
+        names = m.series_names()
+        for name in ("serve.win.responses", "serve.win.served",
+                     "serve.win.dropped", "serve.win.latency"):
+            assert name in names
+        with pytest.raises(KeyError, match="no windowed series"):
+            m.series("serve.win.nope")
+
+    def test_window_counters_sum_to_totals(self):
+        m = self.serve()
+        assert m.series("serve.win.responses").total() == m.n_requests
+        assert m.series("serve.win.served").total() == m.n_served
+        assert m.series("serve.win.dropped").total() == (
+            m.n_requests - m.n_served
+        )
+
+    def test_merged_window_latency_byte_identical_to_whole_run(self):
+        # The tentpole invariant: hierarchically merging every latency
+        # window reproduces the whole-run sketch byte-for-byte.
+        m = self.serve()
+        assert (
+            m.merged_window_latency().to_json()
+            == m.latency_sketch(None).to_json()
+        )
+
+    def test_timeline_rows_cover_occupied_range(self):
+        m = self.serve()
+        rows = m.timeline()
+        assert rows
+        assert rows[0]["window"] <= rows[-1]["window"]
+        assert sum(r["responses"] for r in rows) == m.n_requests
+        # NaN-free contract: empty latency windows report None
+        for r in rows:
+            if r["latency_count"] == 0:
+                assert r["p50_s"] is None
+            else:
+                assert r["p50_s"] is not None and r["p50_s"] == r["p50_s"]
+
+    def test_tenant_scorecard_empty_without_tags(self):
+        assert self.serve().tenant_scorecard() == {}
+
+    def test_tenant_scorecard_rows_per_tenant(self):
+        m = self.serve(tenants=3)
+        card = m.tenant_scorecard()
+        assert sorted(card) == ["t0", "t1", "t2"]
+        assert sum(r["requests"] for r in card.values()) == m.n_requests
+        assert sum(r["served"] for r in card.values()) == m.n_served
+        for row in card.values():
+            assert row["served"] <= row["requests"]
+            if "mean_s" in row:
+                assert row["p50_s"] <= row["p99_s"]
+
+    def test_tenant_windowed_children_created(self):
+        m = self.serve(tenants=2)
+        names = m.series_names()
+        assert "serve.win.responses{tenant=t0}" in names
+        assert "serve.win.latency{tenant=t1}" in names
+        child_total = sum(
+            m.series(f"serve.win.responses{{tenant=t{i}}}").total()
+            for i in range(2)
+        )
+        assert child_total == m.n_requests
+
+    def test_summary_carries_windows_and_tenants(self):
+        m = self.serve(tenants=2)
+        summary = json.loads(json.dumps(m.summary()))
+        assert summary["windows"]["window_s"] == pytest.approx(0.05)
+        assert summary["windows"]["n_windows"] >= 1
+        assert summary["windows"]["n_series"] >= 4
+        assert sorted(summary["tenants"]) == ["t0", "t1"]
+
+    def test_replay_windows_byte_identical(self):
+        a, b = self.serve(tenants=2), self.serve(tenants=2)
+        for name in a.series_names():
+            assert a.series(name).to_json() == b.series(name).to_json()
+        assert a.series_names() == b.series_names()
+
+
 class TestTracing:
     def serve_traced(self, n=150):
         from repro.obs.trace import Tracer
